@@ -1,0 +1,66 @@
+// Ablation A: the paper's first FLWOR approach (tuple streams as RDDs of
+// Tuple objects, Figure 9) versus the second (tuple streams as DataFrames,
+// Sections 4.3+). The paper adopted DataFrames because the structured
+// representation with native key columns lets the relational layer group
+// and sort without touching boxed items; this ablation quantifies that
+// choice on the group and sort queries. Expected shape: DataFrame backend
+// wins on group and sort; filter is close (both pipeline a predicate).
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kPartitions = 8;
+
+jsoniq::Rumble MakeEngine(common::FlworBackend backend) {
+  common::RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = kPartitions;
+  config.flwor_backend = backend;
+  return jsoniq::Rumble(config);
+}
+
+void RunCase(benchmark::State& state, common::FlworBackend backend,
+             const char* which) {
+  std::uint64_t n = ScaledObjects(static_cast<std::uint64_t>(state.range(0)));
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine = MakeEngine(backend);
+  std::string query = which == std::string("filter") ? FilterQuery(dataset)
+                      : which == std::string("group") ? GroupQuery(dataset)
+                                                      : SortQuery(dataset);
+  RunQueryBenchmark(state, engine, query, n);
+}
+
+void BM_DataFrame_Filter(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kDataFrame, "filter");
+}
+void BM_TupleRdd_Filter(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kTupleRdd, "filter");
+}
+void BM_DataFrame_Group(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kDataFrame, "group");
+}
+void BM_TupleRdd_Group(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kTupleRdd, "group");
+}
+void BM_DataFrame_Sort(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kDataFrame, "sort");
+}
+void BM_TupleRdd_Sort(benchmark::State& state) {
+  RunCase(state, common::FlworBackend::kTupleRdd, "sort");
+}
+
+#define ABLATION_SIZES Arg(16000)->Arg(64000)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_DataFrame_Filter)->ABLATION_SIZES;
+BENCHMARK(BM_TupleRdd_Filter)->ABLATION_SIZES;
+BENCHMARK(BM_DataFrame_Group)->ABLATION_SIZES;
+BENCHMARK(BM_TupleRdd_Group)->ABLATION_SIZES;
+BENCHMARK(BM_DataFrame_Sort)->ABLATION_SIZES;
+BENCHMARK(BM_TupleRdd_Sort)->ABLATION_SIZES;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Ablation D: the Section 4.8 order-by designs. The compliant
+// implementation does "a first pass ... to discover the type and throw an
+// error in case of incompatible types", then creates only the needed native
+// key columns. The paper sketches an alternate design: "generate all
+// columns as in group by, and drop the extra type check for better
+// performance ... at the cost of not being fully compliant with the JSONiq
+// specification". Both are implemented (config.orderby_skip_type_check);
+// this bench quantifies the compliance tax on the sorting query.
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kPartitions = 8;
+
+void RunSort(benchmark::State& state, bool skip_type_check) {
+  std::uint64_t n = ScaledObjects(static_cast<std::uint64_t>(state.range(0)));
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  common::RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = kPartitions;
+  config.orderby_skip_type_check = skip_type_check;
+  jsoniq::Rumble engine(config);
+  RunQueryBenchmark(state, engine, SortQuery(dataset), n);
+}
+
+void BM_OrderBy_TypeChecked(benchmark::State& state) { RunSort(state, false); }
+void BM_OrderBy_NoTypeCheck(benchmark::State& state) { RunSort(state, true); }
+
+#define ABLATION_SIZES Arg(16000)->Arg(64000)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_OrderBy_TypeChecked)->ABLATION_SIZES;
+BENCHMARK(BM_OrderBy_NoTypeCheck)->ABLATION_SIZES;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Ablation C: the Section 5.7 parser choice. The paper uses JSONiter to
+// "directly build the items, rather than an intermediate JSON
+// representation"; this ablation compares the streaming item parser against
+// the DOM-first path (parse to a generic tree, then convert) on a parse-
+// heavy filter query — the paper's observation being that for JSON inputs
+// "the bottleneck lies less in the disk I/O than in the CPU resources used
+// to parse JSON". Expected shape: streaming wins by a constant factor that
+// holds across sizes.
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kPartitions = 8;
+
+void RunFilter(benchmark::State& state, bool streaming) {
+  std::uint64_t n = ScaledObjects(static_cast<std::uint64_t>(state.range(0)));
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  common::RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = kPartitions;
+  config.streaming_parser = streaming;
+  jsoniq::Rumble engine(config);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n);
+}
+
+void BM_Parser_Streaming(benchmark::State& state) { RunFilter(state, true); }
+void BM_Parser_DomFirst(benchmark::State& state) { RunFilter(state, false); }
+
+#define ABLATION_SIZES Arg(16000)->Arg(64000)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Parser_Streaming)->ABLATION_SIZES;
+BENCHMARK(BM_Parser_DomFirst)->ABLATION_SIZES;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

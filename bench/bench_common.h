@@ -1,0 +1,110 @@
+#ifndef RUMBLE_BENCH_BENCH_COMMON_H_
+#define RUMBLE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "src/jsoniq/rumble.h"
+#include "src/workload/confusion.h"
+#include "src/workload/reddit.h"
+
+namespace rumble::bench {
+
+/// Datasets are generated once per process into the bench scratch directory
+/// and reused across benchmark repetitions. The base scale can be raised
+/// with RUMBLE_BENCH_SCALE (a multiplier; default 1 keeps every binary in
+/// the tens-of-seconds range on one core — the paper's absolute sizes are
+/// cluster-scale and documented in EXPERIMENTS.md).
+inline std::string ScratchDir() {
+  return (std::filesystem::temp_directory_path() / "rumble_bench").string();
+}
+
+inline std::uint64_t ScaledObjects(std::uint64_t base) {
+  const char* scale = std::getenv("RUMBLE_BENCH_SCALE");
+  return scale == nullptr ? base : base * std::strtoull(scale, nullptr, 10);
+}
+
+inline const std::string& ConfusionDataset(std::uint64_t num_objects,
+                                           int partitions = 8) {
+  static std::map<std::uint64_t, std::string>* cache =
+      new std::map<std::uint64_t, std::string>();
+  auto it = cache->find(num_objects);
+  if (it != cache->end()) return it->second;
+  workload::ConfusionOptions options;
+  options.num_objects = num_objects;
+  options.partitions = partitions;
+  std::string path =
+      ScratchDir() + "/confusion_" + std::to_string(num_objects);
+  workload::ConfusionGenerator::WriteDataset(path, options);
+  return cache->emplace(num_objects, path).first->second;
+}
+
+inline const std::string& RedditDataset(std::uint64_t num_objects,
+                                        int replication = 1,
+                                        int partitions = 8) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  std::string key =
+      std::to_string(num_objects) + "x" + std::to_string(replication);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+  workload::RedditOptions options;
+  options.num_objects = num_objects;
+  options.replication = replication;
+  options.partitions = partitions;
+  std::string path = ScratchDir() + "/reddit_" + key;
+  workload::RedditGenerator::WriteDataset(path, options);
+  return cache->emplace(key, path).first->second;
+}
+
+// ---- The paper's three Section 6.1 queries ---------------------------------
+
+inline std::string FilterQuery(const std::string& dataset) {
+  return "count(for $e in json-file(\"" + dataset +
+         "\") where $e.guess eq $e.target return $e)";
+}
+
+inline std::string GroupQuery(const std::string& dataset) {
+  return "for $e in json-file(\"" + dataset +
+         "\") group by $t := $e.target let $c := count($e) "
+         "order by $c descending return { \"target\": $t, \"count\": $c }";
+}
+
+inline std::string SortQuery(const std::string& dataset) {
+  return "subsequence((for $e in json-file(\"" + dataset +
+         "\") where $e.guess eq $e.target "
+         "order by $e.target ascending, $e.country descending, "
+         "$e.date descending return $e), 1, 10)";
+}
+
+/// Reddit: the paper's "highly filtering query" (Sections 6.5/6.6).
+inline std::string RedditFilterQuery(const std::string& dataset) {
+  return "count(for $c in json-file(\"" + dataset +
+         "\") where $c.score gt 1800 and $c.subreddit eq \"science\" "
+         "return $c)";
+}
+
+/// Runs a query on the engine and reports items/second to the benchmark.
+inline void RunQueryBenchmark(benchmark::State& state, jsoniq::Rumble& engine,
+                              const std::string& query,
+                              std::uint64_t num_objects) {
+  for (auto _ : state) {
+    auto result = engine.Run(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(num_objects) * state.iterations());
+  state.counters["objects"] = static_cast<double>(num_objects);
+}
+
+}  // namespace rumble::bench
+
+#endif  // RUMBLE_BENCH_BENCH_COMMON_H_

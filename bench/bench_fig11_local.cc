@@ -1,0 +1,182 @@
+// Figure 11: local measurements for Rumble, Spark (RDD API), Spark SQL and
+// PySpark on the confusion dataset, for the filter / group / sort queries of
+// Section 6.1. The paper sweeps 1M-16M objects on a quad-core laptop; this
+// harness sweeps the same 4x geometric ladder at a single-core-friendly base
+// (raise with RUMBLE_BENCH_SCALE). Expected shape (paper): Rumble fastest on
+// filter (no schema inference), between Spark/Spark SQL and PySpark on group
+// and sort; PySpark slowest everywhere.
+
+#include "bench/bench_common.h"
+
+#include "src/baselines/pyspark_sim.h"
+#include "src/baselines/sparksql.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kExecutors = 4;     // the paper's laptop has 4 cores
+constexpr int kPartitions = 8;
+
+std::uint64_t Objects(const benchmark::State& state) {
+  return ScaledObjects(static_cast<std::uint64_t>(state.range(0)));
+}
+
+common::RumbleConfig LocalConfig() {
+  common::RumbleConfig config;
+  config.executors = kExecutors;
+  config.default_partitions = kPartitions;
+  return config;
+}
+
+// ---- Rumble -----------------------------------------------------------------
+
+void BM_Rumble_Filter(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n);
+}
+
+void BM_Rumble_Group(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  RunQueryBenchmark(state, engine, GroupQuery(dataset), n);
+}
+
+void BM_Rumble_Sort(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  RunQueryBenchmark(state, engine, SortQuery(dataset), n);
+}
+
+// ---- Spark (RDD API, "Spark (Java)") ---------------------------------------
+
+void BM_Spark_Filter(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::RawSparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::RawSparkFilterCount(rdd));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_Spark_Group(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::RawSparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::RawSparkGroupCounts(rdd));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_Spark_Sort(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::RawSparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::RawSparkSortTake(rdd, 10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+// ---- Spark SQL ---------------------------------------------------------------
+
+void BM_SparkSQL_Filter(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    // End-to-end as in the paper: load (schema inference) + query.
+    auto df = baselines::LoadJsonDataFrame(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::SparkSqlFilterCount(df));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_SparkSQL_Group(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto df = baselines::LoadJsonDataFrame(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::SparkSqlGroupCounts(df));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_SparkSQL_Sort(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto df = baselines::LoadJsonDataFrame(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::SparkSqlSortTake(df, 10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+// ---- PySpark ------------------------------------------------------------------
+
+void BM_PySpark_Filter(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::PySparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::PySparkFilterCount(rdd));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_PySpark_Group(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::PySparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::PySparkGroupCounts(rdd));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_PySpark_Sort(benchmark::State& state) {
+  std::uint64_t n = Objects(state);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  spark::Context context(LocalConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::PySparkLoad(&context, dataset, kPartitions);
+    benchmark::DoNotOptimize(baselines::PySparkSortTake(rdd, 10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+// The paper's x axis is 1M..16M objects; ours is the same 4x ladder scaled
+// down (multiply via RUMBLE_BENCH_SCALE to approach paper sizes).
+#define FIG11_SIZES Arg(4000)->Arg(16000)->Arg(64000)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Rumble_Filter)->FIG11_SIZES;
+BENCHMARK(BM_Spark_Filter)->FIG11_SIZES;
+BENCHMARK(BM_SparkSQL_Filter)->FIG11_SIZES;
+BENCHMARK(BM_PySpark_Filter)->FIG11_SIZES;
+
+BENCHMARK(BM_Rumble_Group)->FIG11_SIZES;
+BENCHMARK(BM_Spark_Group)->FIG11_SIZES;
+BENCHMARK(BM_SparkSQL_Group)->FIG11_SIZES;
+BENCHMARK(BM_PySpark_Group)->FIG11_SIZES;
+
+BENCHMARK(BM_Rumble_Sort)->FIG11_SIZES;
+BENCHMARK(BM_Spark_Sort)->FIG11_SIZES;
+BENCHMARK(BM_SparkSQL_Sort)->FIG11_SIZES;
+BENCHMARK(BM_PySpark_Sort)->FIG11_SIZES;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Figure 13: cluster measurements for Rumble, Spark, Spark SQL and PySpark
+// on the 20x-replicated confusion dataset (the paper's 9-node m5.xlarge
+// cluster, 320M objects / 58GB). The cluster is modeled by the executor
+// pool with the cluster's executor count and more partitions; the dataset
+// is the paper's 20x replication of the local base size. Expected shape
+// (paper): JSONiq/Rumble best on filter, equal to raw Spark on sort, ~2x
+// slower than Spark/Spark SQL on group, always faster than PySpark.
+
+#include "bench/bench_common.h"
+
+#include "src/baselines/pyspark_sim.h"
+#include "src/baselines/sparksql.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kClusterExecutors = 9 * 4;  // 9 nodes x 4 vCPUs (m5.xlarge)
+constexpr int kClusterPartitions = 72;
+constexpr std::uint64_t kLocalBase = 8000;  // Figure 11's mid-size base
+constexpr std::uint64_t kReplication = 20;  // the paper's 20x duplication
+
+std::uint64_t ClusterObjects() { return ScaledObjects(kLocalBase) * kReplication; }
+
+common::RumbleConfig ClusterConfig() {
+  common::RumbleConfig config;
+  config.executors = kClusterExecutors;
+  config.default_partitions = kClusterPartitions;
+  return config;
+}
+
+enum class Query { kFilter, kGroup, kSort };
+
+std::string QueryText(Query query, const std::string& dataset) {
+  switch (query) {
+    case Query::kFilter: return FilterQuery(dataset);
+    case Query::kGroup: return GroupQuery(dataset);
+    case Query::kSort: return SortQuery(dataset);
+  }
+  return {};
+}
+
+void BM_Rumble(benchmark::State& state, Query query) {
+  std::uint64_t n = ClusterObjects();
+  const std::string& dataset = ConfusionDataset(n, kClusterPartitions);
+  jsoniq::Rumble engine(ClusterConfig());
+  RunQueryBenchmark(state, engine, QueryText(query, dataset), n);
+}
+
+void BM_Spark(benchmark::State& state, Query query) {
+  std::uint64_t n = ClusterObjects();
+  const std::string& dataset = ConfusionDataset(n, kClusterPartitions);
+  spark::Context context(ClusterConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::RawSparkLoad(&context, dataset, kClusterPartitions);
+    switch (query) {
+      case Query::kFilter:
+        benchmark::DoNotOptimize(baselines::RawSparkFilterCount(rdd));
+        break;
+      case Query::kGroup:
+        benchmark::DoNotOptimize(baselines::RawSparkGroupCounts(rdd));
+        break;
+      case Query::kSort:
+        benchmark::DoNotOptimize(baselines::RawSparkSortTake(rdd, 10));
+        break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_SparkSQL(benchmark::State& state, Query query) {
+  std::uint64_t n = ClusterObjects();
+  const std::string& dataset = ConfusionDataset(n, kClusterPartitions);
+  spark::Context context(ClusterConfig());
+  for (auto _ : state) {
+    auto df =
+        baselines::LoadJsonDataFrame(&context, dataset, kClusterPartitions);
+    switch (query) {
+      case Query::kFilter:
+        benchmark::DoNotOptimize(baselines::SparkSqlFilterCount(df));
+        break;
+      case Query::kGroup:
+        benchmark::DoNotOptimize(baselines::SparkSqlGroupCounts(df));
+        break;
+      case Query::kSort:
+        benchmark::DoNotOptimize(baselines::SparkSqlSortTake(df, 10));
+        break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+void BM_PySpark(benchmark::State& state, Query query) {
+  std::uint64_t n = ClusterObjects();
+  const std::string& dataset = ConfusionDataset(n, kClusterPartitions);
+  spark::Context context(ClusterConfig());
+  for (auto _ : state) {
+    auto rdd = baselines::PySparkLoad(&context, dataset, kClusterPartitions);
+    switch (query) {
+      case Query::kFilter:
+        benchmark::DoNotOptimize(baselines::PySparkFilterCount(rdd));
+        break;
+      case Query::kGroup:
+        benchmark::DoNotOptimize(baselines::PySparkGroupCounts(rdd));
+        break;
+      case Query::kSort:
+        benchmark::DoNotOptimize(baselines::PySparkSortTake(rdd, 10));
+        break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+
+#define FIG13_OPTS Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK_CAPTURE(BM_Rumble, filter, Query::kFilter)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_Spark, filter, Query::kFilter)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_SparkSQL, filter, Query::kFilter)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_PySpark, filter, Query::kFilter)->FIG13_OPTS;
+
+BENCHMARK_CAPTURE(BM_Rumble, group, Query::kGroup)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_Spark, group, Query::kGroup)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_SparkSQL, group, Query::kGroup)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_PySpark, group, Query::kGroup)->FIG13_OPTS;
+
+BENCHMARK_CAPTURE(BM_Rumble, sort, Query::kSort)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_Spark, sort, Query::kSort)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_SparkSQL, sort, Query::kSort)->FIG13_OPTS;
+BENCHMARK_CAPTURE(BM_PySpark, sort, Query::kSort)->FIG13_OPTS;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Figure 14: speedup analysis — runtime and aggregated task time of a
+// highly filtering query on the Reddit dataset, for 1 to 32 executors.
+//
+// The paper runs on a 9-node cluster; this machine has one core, so a
+// wall-clock thread sweep would be meaningless. Instead the harness runs
+// the query once for real, recording every task's duration through the
+// executor pool's metrics, and replays the schedule through the
+// deterministic cluster simulator (greedy FIFO list scheduling plus
+// per-task and per-executor overheads — see exec/simulated_cluster.h).
+// Reported counters per executor count:
+//   wall_s        end-to-end runtime (the paper's descending curve)
+//   aggregated_s  total task time (the paper's slowly rising curve,
+//                 bounded by ~2x per the paper's observation)
+// Expected shape: near-ideal speedup at low executor counts, flattening as
+// per-task overheads and stragglers dominate; aggregated time rises mildly.
+
+#include "bench/bench_common.h"
+
+#include "src/exec/simulated_cluster.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr std::uint64_t kRedditObjects = 400000;  // paper: 54M (30 GB)
+constexpr int kPartitions = 64;  // 2 tasks per executor at 32 executors
+
+/// One real execution, shared by every replay. Returns task durations.
+const std::vector<std::int64_t>& RecordedTaskDurations() {
+  static const std::vector<std::int64_t>* kDurations = [] {
+    common::RumbleConfig config;
+    config.executors = 1;  // sequential recording: unskewed durations
+    config.default_partitions = kPartitions;
+    auto* engine = new jsoniq::Rumble(config);
+    engine->engine()->spark->pool().metrics().Reset();
+    auto result = engine->Run(
+        RedditFilterQuery(RedditDataset(ScaledObjects(kRedditObjects), 1,
+                                        kPartitions)));
+    if (!result.ok()) {
+      fprintf(stderr, "recording run failed: %s\n",
+              result.status().ToString().c_str());
+      exit(1);
+    }
+    return new std::vector<std::int64_t>(
+        engine->engine()->spark->pool().metrics().TaskDurations());
+  }();
+  return *kDurations;
+}
+
+void BM_Speedup(benchmark::State& state) {
+  int executors = static_cast<int>(state.range(0));
+  const auto& durations = RecordedTaskDurations();
+  exec::SimulatedCluster cluster;
+  exec::SimulatedRun run{};
+  for (auto _ : state) {
+    run = cluster.Replay(durations, executors);
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["executors"] = executors;
+  state.counters["wall_s"] = static_cast<double>(run.wall_nanos) * 1e-9;
+  state.counters["aggregated_s"] =
+      static_cast<double>(run.aggregated_nanos) * 1e-9;
+  state.counters["tasks"] = static_cast<double>(durations.size());
+}
+
+BENCHMARK(BM_Speedup)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Figure 15: performance analysis with billions of objects — the paper
+// replicates the 54M-object Reddit dataset up to 400x (21.6B objects, 12 TB
+// on S3) and shows that a filtering query's runtime grows linearly in the
+// input size. This harness sweeps replication factors 1-16 over the scaled
+// Reddit base and reports runtime; linearity of time vs `objects` is the
+// reproduced claim. The `linear_fit_ratio` counter is wall-time divided by
+// replication (flat series == linear scaling).
+
+#include "bench/bench_common.h"
+
+#include "src/util/stopwatch.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr std::uint64_t kRedditBase = 8000;  // paper: 54M objects
+constexpr int kPartitions = 16;
+
+void BM_Scale_Filter(benchmark::State& state) {
+  int replication = static_cast<int>(state.range(0));
+  std::uint64_t base = ScaledObjects(kRedditBase);
+  const std::string& dataset = RedditDataset(base, replication, kPartitions);
+
+  common::RumbleConfig config;
+  config.executors = 10 * 16;  // the paper's 10 m5.4xlarge machines
+  config.default_partitions = kPartitions;
+  jsoniq::Rumble engine(config);
+
+  std::string query = RedditFilterQuery(dataset);
+  double seconds = 0;
+  for (auto _ : state) {
+    util::Stopwatch watch;
+    auto result = engine.Run(query);
+    seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value());
+  }
+  std::uint64_t objects = base * static_cast<std::uint64_t>(replication);
+  state.SetItemsProcessed(static_cast<std::int64_t>(objects) *
+                          state.iterations());
+  state.counters["objects"] = static_cast<double>(objects);
+  state.counters["replication"] = replication;
+  state.counters["linear_fit_ratio"] = seconds / replication;
+}
+
+BENCHMARK(BM_Scale_Filter)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

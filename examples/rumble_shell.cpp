@@ -1,0 +1,130 @@
+// Interactive JSONiq shell, as described in paper Section 5.4: "Rumble is
+// also available on a shell, in which case the output of each query is
+// collected (up to a configurable maximum number) and printed on the
+// screen. The shell runs as a single Spark application, so that the
+// executors are only set up once upon launch."
+//
+//   ./build/examples/rumble_shell [--executors N] [--max-items N]
+//                                 [--query "<jsoniq>"] [--file query.jq]
+//
+// Interactive by default: one query per line (end a multi-line query with
+// an empty line); `:quit` exits, `:help` lists commands. With --query or
+// --file, runs that query and exits (scripting mode).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "Commands:\n"
+      "  :help            this message\n"
+      "  :explain <query> show the compiled tree and execution mode\n"
+      "  :quit            exit the shell\n"
+      "Queries: type JSONiq; finish a multi-line query with an empty line.\n"
+      "Example: for $x in parallelize(1 to 10) where $x mod 2 eq 0 "
+      "return $x\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rumble::common::RumbleConfig config;
+  std::size_t max_items = 200;
+  std::string oneshot;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
+      config.executors = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-items") == 0 && i + 1 < argc) {
+      max_items = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      oneshot = argv[++i];
+    } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in) {
+        std::cerr << "cannot open query file\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      oneshot = text.str();
+    }
+  }
+
+  // One engine for the whole session: executors start once.
+  rumble::jsoniq::Rumble engine(config);
+
+  if (!oneshot.empty()) {
+    auto result = engine.Run(oneshot);
+    if (!result.ok()) {
+      std::cerr << "error: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    for (const auto& item : result.value()) {
+      std::cout << item->Serialize() << "\n";
+    }
+    return 0;
+  }
+  std::cout << "Rumble-CXX shell — JSONiq on minispark ("
+            << config.executors << " executors). :help for help.\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "rumble$ " : "      > ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    if (buffer.empty()) {
+      if (line == ":quit" || line == ":q") break;
+      if (line == ":help") {
+        PrintHelp();
+        continue;
+      }
+      if (line.rfind(":explain ", 0) == 0) {
+        auto plan = engine.Explain(line.substr(9));
+        if (plan.ok()) {
+          std::cout << plan.value();
+        } else {
+          std::cout << "error: " << plan.status().ToString() << "\n";
+        }
+        continue;
+      }
+      if (line.empty()) continue;
+    }
+    if (!line.empty()) {
+      buffer += line;
+      buffer.push_back('\n');
+      // Heuristic: single-line queries run immediately if they parse.
+      if (engine.Check(buffer).ok()) {
+        // fall through to execution
+      } else {
+        continue;  // keep accumulating lines
+      }
+    }
+
+    auto result = engine.Run(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      continue;
+    }
+    const auto& items = result.value();
+    std::size_t shown = std::min(items.size(), max_items);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::cout << items[i]->Serialize() << "\n";
+    }
+    if (shown < items.size()) {
+      std::cout << "... (" << items.size() - shown << " more items; raise "
+                << "--max-items to see them)\n";
+    }
+  }
+  std::cout << "\nbye.\n";
+  return 0;
+}

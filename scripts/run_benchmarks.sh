@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary (one per paper figure + ablations) and tees
+# the combined output. RUMBLE_BENCH_SCALE multiplies dataset sizes toward
+# the paper's scales (default 1 keeps the whole suite in minutes).
+#
+#   scripts/run_benchmarks.sh [output-file]
+
+set -u
+cd "$(dirname "$0")/.."
+
+out="${1:-bench_output.txt}"
+: > "$out"
+
+if [ ! -d build/bench ]; then
+  echo "build first: cmake -B build -G Ninja && cmake --build build" >&2
+  exit 1
+fi
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $b (RUMBLE_BENCH_SCALE=${RUMBLE_BENCH_SCALE:-1})" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done
+
+echo "wrote $out"

@@ -1,0 +1,68 @@
+#include "src/baselines/handcoded.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/storage/dfs.h"
+
+namespace rumble::baselines {
+
+namespace {
+
+/// Extracts the value of `"key": "..."` from a raw JSON line, assuming the
+/// dataset-specific invariants (key appears once, values are unescaped
+/// strings) that generic engines cannot assume.
+std::string_view ExtractField(std::string_view line, std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\": \"";
+  std::size_t start = line.find(needle);
+  if (start == std::string_view::npos) return {};
+  start += needle.size();
+  std::size_t end = line.find('"', start);
+  if (end == std::string_view::npos) return {};
+  return line.substr(start, end - start);
+}
+
+template <typename LineFn>
+void ScanDataset(const std::string& dataset_path, LineFn&& fn) {
+  for (const auto& file : storage::Dfs::ListDataFiles(dataset_path)) {
+    std::string content = storage::Dfs::ReadFile(file);
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      std::size_t end = content.find('\n', pos);
+      if (end == std::string::npos) end = content.size();
+      if (end > pos) {
+        fn(std::string_view(content).substr(pos, end - pos));
+      }
+      pos = end + 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t HandcodedFilterCount(const std::string& dataset_path) {
+  std::size_t count = 0;
+  ScanDataset(dataset_path, [&count](std::string_view line) {
+    if (ExtractField(line, "guess") == ExtractField(line, "target")) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> HandcodedGroupCounts(
+    const std::string& dataset_path) {
+  std::map<std::string, std::int64_t, std::less<>> counts;
+  ScanDataset(dataset_path, [&counts](std::string_view line) {
+    std::string_view target = ExtractField(line, "target");
+    auto it = counts.find(target);
+    if (it == counts.end()) {
+      counts.emplace(std::string(target), 1);
+    } else {
+      ++it->second;
+    }
+  });
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace rumble::baselines

@@ -1,0 +1,99 @@
+#include "src/baselines/pyspark_sim.h"
+
+#include <algorithm>
+
+#include "src/json/item_parser.h"
+
+namespace rumble::baselines {
+
+namespace {
+
+using json::DomValue;
+using json::DomValuePtr;
+
+std::string SerializeDom(const DomValuePtr& value) {
+  // Via the item layer: the simulation charges exactly one serialization
+  // and one parse per boundary crossing, like pickle does.
+  return json::DomToItem(*value)->Serialize();
+}
+
+/// One JVM <-> Python worker boundary: serialize every record, ship it,
+/// deserialize it into boxed Python-style values.
+spark::Rdd<DomValuePtr> PickleBoundary(const spark::Rdd<DomValuePtr>& rdd) {
+  return rdd.Map(SerializeDom).Map([](const std::string& blob) {
+    return json::ParseDom(blob);
+  });
+}
+
+std::string DictField(const DomValue& object, const std::string& key) {
+  const auto* map = std::get_if<DomValue::Object>(&object.value);
+  if (map == nullptr) return "";
+  auto it = map->find(key);
+  if (it == map->end()) return "";
+  const auto* str = std::get_if<std::string>(&it->second->value);
+  return str != nullptr ? *str : "";
+}
+
+bool GuessMatches(const DomValuePtr& object) {
+  std::string guess = DictField(*object, "guess");
+  return !guess.empty() && guess == DictField(*object, "target");
+}
+
+}  // namespace
+
+spark::Rdd<DomValuePtr> PySparkLoad(spark::Context* context,
+                                    const std::string& path,
+                                    int min_partitions) {
+  return context->TextFile(path, min_partitions)
+      .Map([](const std::string& line) { return json::ParseDom(line); });
+}
+
+std::size_t PySparkFilterCount(const spark::Rdd<DomValuePtr>& rdd) {
+  // The lambda passed to filter() runs in the Python worker: one boundary.
+  return PickleBoundary(rdd).Filter(GuessMatches).Count();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> PySparkGroupCounts(
+    const spark::Rdd<DomValuePtr>& rdd) {
+  // map(lambda row: row["target"]) runs in Python: one boundary; the
+  // groupByKey shuffle then pickles again (second boundary).
+  auto grouped =
+      PickleBoundary(PickleBoundary(rdd))
+          .GroupBy<std::string>(
+              [](const DomValuePtr& object) {
+                return DictField(*object, "target");
+              },
+              std::hash<std::string>{}, std::equal_to<std::string>{},
+              rdd.num_partitions());
+  auto groups = grouped.Collect();
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    out.emplace_back(key, static_cast<std::int64_t>(members.size()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> PySparkSortTake(const spark::Rdd<DomValuePtr>& rdd,
+                                         std::size_t n) {
+  // filter() and the sortBy key function both run in Python.
+  auto sorted =
+      PickleBoundary(PickleBoundary(rdd).Filter(GuessMatches))
+          .SortBy([](const DomValuePtr& a, const DomValuePtr& b) {
+            std::string ta = DictField(*a, "target");
+            std::string tb = DictField(*b, "target");
+            if (ta != tb) return ta < tb;
+            std::string ca = DictField(*a, "country");
+            std::string cb = DictField(*b, "country");
+            if (ca != cb) return ca > cb;
+            return DictField(*a, "date") > DictField(*b, "date");
+          });
+  std::vector<std::string> out;
+  for (const auto& value : sorted.Take(n)) {
+    out.push_back(SerializeDom(value));
+  }
+  return out;
+}
+
+}  // namespace rumble::baselines

@@ -1,0 +1,38 @@
+#ifndef RUMBLE_BASELINES_PYSPARK_SIM_H_
+#define RUMBLE_BASELINES_PYSPARK_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/json/dom.h"
+#include "src/spark/context.h"
+
+namespace rumble::baselines {
+
+/// Simulated PySpark (paper Figures 2, 11, 13). Real PySpark pays two costs
+/// this simulation reproduces on the same substrate: (i) every record
+/// crossing a Python UDF boundary is serialized on the JVM side and
+/// deserialized by the Python worker (pickling) — modeled as a JSON
+/// serialize + reparse round-trip per stage; (ii) Python evaluates over
+/// boxed dynamic values with dictionary field lookups — modeled by the
+/// boxed DomValue representation instead of the engine's Item classes.
+/// See DESIGN.md §1 for the substitution table.
+
+spark::Rdd<json::DomValuePtr> PySparkLoad(spark::Context* context,
+                                          const std::string& path,
+                                          int min_partitions);
+
+std::size_t PySparkFilterCount(const spark::Rdd<json::DomValuePtr>& rdd);
+
+std::vector<std::pair<std::string, std::int64_t>> PySparkGroupCounts(
+    const spark::Rdd<json::DomValuePtr>& rdd);
+
+/// Returns serialized JSON of the first n results of the sorting query.
+std::vector<std::string> PySparkSortTake(
+    const spark::Rdd<json::DomValuePtr>& rdd, std::size_t n);
+
+}  // namespace rumble::baselines
+
+#endif  // RUMBLE_BASELINES_PYSPARK_SIM_H_

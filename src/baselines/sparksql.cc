@@ -1,0 +1,282 @@
+#include "src/baselines/sparksql.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/item/item_compare.h"
+#include "src/json/item_parser.h"
+
+namespace rumble::baselines {
+
+namespace {
+
+using df::DataFrame;
+using df::DataType;
+using df::RecordBatch;
+using item::ItemPtr;
+using item::ItemSequence;
+
+/// Coerces one JSON value into a native column cell per Figure 6: matching
+/// scalars are stored natively; mismatching or nested values are serialized
+/// into strings ("the original type information is lost"); null/absent
+/// becomes NULL.
+void AppendCoerced(const item::Item* value, DataType type, df::Column* out) {
+  if (value == nullptr || value->IsNull()) {
+    out->AppendNull();
+    return;
+  }
+  switch (type) {
+    case DataType::kInt64:
+      if (value->IsInteger()) {
+        out->AppendInt64(value->IntegerValue());
+      } else if (value->IsNumeric()) {
+        out->AppendInt64(static_cast<std::int64_t>(value->NumericValue()));
+      } else {
+        out->AppendNull();
+      }
+      return;
+    case DataType::kFloat64:
+      if (value->IsNumeric()) {
+        out->AppendFloat64(value->NumericValue());
+      } else {
+        out->AppendNull();
+      }
+      return;
+    case DataType::kBool:
+      if (value->IsBoolean()) {
+        out->AppendBool(value->BooleanValue());
+      } else {
+        out->AppendNull();
+      }
+      return;
+    case DataType::kString:
+      if (value->IsString()) {
+        out->AppendString(value->StringValue());
+      } else {
+        out->AppendString(value->Serialize());
+      }
+      return;
+    case DataType::kItemSeq:
+      out->AppendSeq({});
+      return;
+  }
+}
+
+}  // namespace
+
+df::DataFrame LoadJsonDataFrame(spark::Context* context,
+                                const std::string& path, int min_partitions,
+                                std::size_t schema_sample) {
+  spark::Rdd<std::string> lines = context->TextFile(path, min_partitions);
+
+  // Schema inference pass. schema_sample == 0 reproduces Spark's default
+  // samplingRatio = 1.0: the whole dataset is parsed once just to infer the
+  // schema, before the conversion pass parses it again.
+  df::SchemaPtr schema;
+  if (schema_sample == 0) {
+    std::vector<df::SchemaPtr> partials =
+        lines
+            .MapPartitions([](std::vector<std::string>&& part) {
+              ItemSequence parsed;
+              parsed.reserve(part.size());
+              std::size_t line_number = 0;
+              for (const auto& line : part) {
+                parsed.push_back(json::ParseLine(line, ++line_number));
+              }
+              return std::vector<df::SchemaPtr>{df::InferSchema(parsed)};
+            })
+            .Collect();
+    // Merge partition schemas by re-running inference over synthetic rows
+    // is unnecessary: InferSchema is associative over samples, so feed the
+    // union through a single merged sample of per-partition witnesses.
+    std::map<std::string, df::DataType> merged;
+    std::vector<std::string> order;
+    for (const auto& partial : partials) {
+      for (const auto& field : partial->fields()) {
+        auto it = merged.find(field.name);
+        if (it == merged.end()) {
+          merged.emplace(field.name, field.type);
+          order.push_back(field.name);
+        } else if (it->second != field.type) {
+          bool numeric =
+              (it->second == df::DataType::kInt64 ||
+               it->second == df::DataType::kFloat64) &&
+              (field.type == df::DataType::kInt64 ||
+               field.type == df::DataType::kFloat64);
+          it->second =
+              numeric ? df::DataType::kFloat64 : df::DataType::kString;
+        }
+      }
+    }
+    std::vector<df::Field> fields;
+    fields.reserve(order.size());
+    for (const auto& name : order) {
+      fields.push_back(df::Field{name, merged[name]});
+    }
+    schema = std::make_shared<df::Schema>(std::move(fields));
+  } else {
+    std::vector<std::string> sample_lines = lines.Take(schema_sample);
+    ItemSequence sample;
+    sample.reserve(sample_lines.size());
+    for (std::size_t i = 0; i < sample_lines.size(); ++i) {
+      sample.push_back(json::ParseLine(sample_lines[i], i + 1));
+    }
+    schema = df::InferSchema(sample);
+  }
+
+  // Conversion pass: each text partition parses and coerces to one batch.
+  df::SchemaPtr captured_schema = schema;
+  spark::Rdd<RecordBatch> batches =
+      lines.MapPartitions([captured_schema](std::vector<std::string>&& part) {
+        RecordBatch batch;
+        for (const auto& field : captured_schema->fields()) {
+          batch.columns.emplace_back(field.type);
+        }
+        std::size_t line_number = 0;
+        for (const auto& line : part) {
+          ItemPtr object = json::ParseLine(line, ++line_number);
+          for (std::size_t c = 0; c < captured_schema->num_fields(); ++c) {
+            const auto& field = captured_schema->field(c);
+            ItemPtr value = object->IsObject()
+                                ? object->ValueForKey(field.name)
+                                : nullptr;
+            AppendCoerced(value.get(), field.type, &batch.columns[c]);
+          }
+          ++batch.num_rows;
+        }
+        return std::vector<RecordBatch>{std::move(batch)};
+      });
+  return DataFrame::FromRdd(context, schema, batches);
+}
+
+namespace {
+
+/// WHERE guess = target as a native string-column predicate.
+df::Predicate GuessEqualsTarget() {
+  df::Predicate predicate;
+  predicate.inputs = {"guess", "target"};
+  predicate.eval = [](const df::Schema& schema, const RecordBatch& batch) {
+    std::size_t guess = schema.RequireIndex("guess");
+    std::size_t target = schema.RequireIndex("target");
+    std::vector<char> mask(batch.num_rows, 0);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      if (batch.columns[guess].IsNull(row) ||
+          batch.columns[target].IsNull(row)) {
+        continue;
+      }
+      mask[row] = batch.columns[guess].StringAt(row) ==
+                          batch.columns[target].StringAt(row)
+                      ? 1
+                      : 0;
+    }
+    return mask;
+  };
+  return predicate;
+}
+
+}  // namespace
+
+std::size_t SparkSqlFilterCount(const DataFrame& df) {
+  return df.Filter(GuessEqualsTarget()).CountRows();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> SparkSqlGroupCounts(
+    const DataFrame& df) {
+  DataFrame grouped =
+      df.GroupBy({"target"}, {df::Aggregate{"", "count", df::AggKind::kCount}});
+  RecordBatch batch = grouped.CollectBatch();
+  const df::Schema& schema = grouped.schema();
+  std::size_t target = schema.RequireIndex("target");
+  std::size_t count = schema.RequireIndex("count");
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(batch.num_rows);
+  for (std::size_t row = 0; row < batch.num_rows; ++row) {
+    out.emplace_back(batch.columns[target].StringAt(row),
+                     batch.columns[count].Int64At(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RecordBatch SparkSqlSortTake(const DataFrame& df, std::size_t n) {
+  return df.Filter(GuessEqualsTarget())
+      .Sort({df::SortKey{"target", true, true},
+             df::SortKey{"country", false, true},
+             df::SortKey{"date", false, true}})
+      .Limit(n)
+      .CollectBatch();
+}
+
+// ---------------------------------------------------------------------------
+// Raw Spark (RDD API)
+// ---------------------------------------------------------------------------
+
+spark::Rdd<ItemPtr> RawSparkLoad(spark::Context* context,
+                                 const std::string& path,
+                                 int min_partitions) {
+  return context->TextFile(path, min_partitions)
+      .MapPartitions([](std::vector<std::string>&& lines) {
+        ItemSequence items;
+        items.reserve(lines.size());
+        std::size_t line_number = 0;
+        for (const auto& line : lines) {
+          items.push_back(json::ParseLine(line, ++line_number));
+        }
+        return items;
+      });
+}
+
+namespace {
+
+std::string FieldString(const item::Item& object, std::string_view key) {
+  ItemPtr value = object.ValueForKey(key);
+  if (value == nullptr || !value->IsString()) return "";
+  return value->StringValue();
+}
+
+bool GuessMatches(const ItemPtr& object) {
+  if (!object->IsObject()) return false;
+  ItemPtr guess = object->ValueForKey("guess");
+  ItemPtr target = object->ValueForKey("target");
+  return guess != nullptr && target != nullptr && guess->IsString() &&
+         target->IsString() && guess->StringValue() == target->StringValue();
+}
+
+}  // namespace
+
+std::size_t RawSparkFilterCount(const spark::Rdd<ItemPtr>& rdd) {
+  return rdd.Filter(GuessMatches).Count();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> RawSparkGroupCounts(
+    const spark::Rdd<ItemPtr>& rdd) {
+  auto grouped = rdd.GroupBy<std::string>(
+      [](const ItemPtr& object) { return FieldString(*object, "target"); },
+      std::hash<std::string>{}, std::equal_to<std::string>{},
+      rdd.num_partitions());
+  std::vector<std::pair<std::string, std::vector<ItemPtr>>> groups =
+      grouped.Collect();
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    out.emplace_back(key, static_cast<std::int64_t>(members.size()));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ItemSequence RawSparkSortTake(const spark::Rdd<ItemPtr>& rdd, std::size_t n) {
+  return rdd.Filter(GuessMatches)
+      .SortBy([](const ItemPtr& a, const ItemPtr& b) {
+        std::string ta = FieldString(*a, "target");
+        std::string tb = FieldString(*b, "target");
+        if (ta != tb) return ta < tb;
+        std::string ca = FieldString(*a, "country");
+        std::string cb = FieldString(*b, "country");
+        if (ca != cb) return ca > cb;  // descending
+        return FieldString(*a, "date") > FieldString(*b, "date");
+      })
+      .Take(n);
+}
+
+}  // namespace rumble::baselines

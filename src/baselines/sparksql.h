@@ -1,0 +1,62 @@
+#ifndef RUMBLE_BASELINES_SPARKSQL_H_
+#define RUMBLE_BASELINES_SPARKSQL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/df/dataframe.h"
+#include "src/item/item.h"
+#include "src/spark/context.h"
+
+namespace rumble::baselines {
+
+/// Baselines the paper compares Rumble against on the confusion dataset
+/// (Sections 6.2 and 6.4): hand-written "Spark (Java)" programs over RDDs
+/// and "Spark SQL" queries over schema-inferred DataFrames. Both run on the
+/// same minispark substrate as Rumble, so differences measure the layers,
+/// not the runtime.
+
+// ---- Spark SQL (DataFrames) -------------------------------------------------
+
+/// Loads a JSON Lines dataset into a typed DataFrame the way
+/// spark.read.json does: infer the schema (Figure 6 semantics:
+/// heterogeneous/nested values coerce to strings, absent values to NULL),
+/// then convert every record to native columns. `schema_sample` = 0 means a
+/// full inference pass over the data — Spark's default samplingRatio of 1.0
+/// and the cost the paper credits for Rumble's win on the filter query
+/// ("faster than Spark SQL because, there, no schema inference is needed").
+df::DataFrame LoadJsonDataFrame(spark::Context* context,
+                                const std::string& path, int min_partitions,
+                                std::size_t schema_sample = 0);
+
+/// SELECT count(*) WHERE guess = target.
+std::size_t SparkSqlFilterCount(const df::DataFrame& df);
+
+/// SELECT target, COUNT(*) GROUP BY target.
+std::vector<std::pair<std::string, std::int64_t>> SparkSqlGroupCounts(
+    const df::DataFrame& df);
+
+/// SELECT * WHERE guess = target ORDER BY target ASC, country DESC,
+/// date DESC LIMIT n (Figure 3's query).
+df::RecordBatch SparkSqlSortTake(const df::DataFrame& df, std::size_t n);
+
+// ---- Raw Spark (RDD API, "Spark (Java)" in Figures 11/13) -----------------
+
+/// textFile + parse, the shared scan of the raw-Spark queries.
+spark::Rdd<item::ItemPtr> RawSparkLoad(spark::Context* context,
+                                       const std::string& path,
+                                       int min_partitions);
+
+std::size_t RawSparkFilterCount(const spark::Rdd<item::ItemPtr>& rdd);
+
+std::vector<std::pair<std::string, std::int64_t>> RawSparkGroupCounts(
+    const spark::Rdd<item::ItemPtr>& rdd);
+
+item::ItemSequence RawSparkSortTake(const spark::Rdd<item::ItemPtr>& rdd,
+                                    std::size_t n);
+
+}  // namespace rumble::baselines
+
+#endif  // RUMBLE_BASELINES_SPARKSQL_H_

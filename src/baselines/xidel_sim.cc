@@ -1,0 +1,17 @@
+#include "src/baselines/xidel_sim.h"
+
+namespace rumble::baselines {
+
+std::unique_ptr<jsoniq::Rumble> MakeXidelSim(XidelSimOptions options) {
+  common::RumbleConfig config;
+  config.executors = 1;
+  config.default_partitions = 1;
+  config.force_local_execution = true;
+  config.flwor_backend = common::FlworBackend::kLocalOnly;
+  config.streaming_parser = false;
+  config.memory_budget_bytes = options.memory_budget_bytes;
+  config.charge_parse_to_budget = true;  // whole input lives in memory
+  return std::make_unique<jsoniq::Rumble>(config);
+}
+
+}  // namespace rumble::baselines

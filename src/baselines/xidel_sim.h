@@ -1,0 +1,25 @@
+#ifndef RUMBLE_BASELINES_XIDEL_SIM_H_
+#define RUMBLE_BASELINES_XIDEL_SIM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/jsoniq/rumble.h"
+
+namespace rumble::baselines {
+
+/// Simulated Xidel (paper Section 6.3): a single-threaded Pascal JSONiq
+/// implementation that loads the whole document set into memory before
+/// evaluating. On top of the Zorba simulation's restrictions, parsing
+/// charges the (smaller) memory budget — reproducing Figure 12's earlier
+/// failures: out-of-memory on the filter query at 8M objects, and on
+/// group/sort at 1-2M. See DESIGN.md §1.
+struct XidelSimOptions {
+  std::uint64_t memory_budget_bytes = 256ull << 20;
+};
+
+std::unique_ptr<jsoniq::Rumble> MakeXidelSim(XidelSimOptions options = {});
+
+}  // namespace rumble::baselines
+
+#endif  // RUMBLE_BASELINES_XIDEL_SIM_H_

@@ -1,0 +1,17 @@
+#include "src/baselines/zorba_sim.h"
+
+namespace rumble::baselines {
+
+std::unique_ptr<jsoniq::Rumble> MakeZorbaSim(ZorbaSimOptions options) {
+  common::RumbleConfig config;
+  config.executors = 1;
+  config.default_partitions = 1;
+  config.force_local_execution = true;
+  config.flwor_backend = common::FlworBackend::kLocalOnly;
+  config.streaming_parser = false;  // builds an intermediate store
+  config.memory_budget_bytes = options.memory_budget_bytes;
+  config.charge_parse_to_budget = false;  // the filter pipeline streams
+  return std::make_unique<jsoniq::Rumble>(config);
+}
+
+}  // namespace rumble::baselines

@@ -1,0 +1,29 @@
+#ifndef RUMBLE_BASELINES_ZORBA_SIM_H_
+#define RUMBLE_BASELINES_ZORBA_SIM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/jsoniq/rumble.h"
+
+namespace rumble::baselines {
+
+/// Simulated Zorba (paper Section 6.3): a mature single-threaded JSONiq
+/// engine. The simulation reuses this repository's JSONiq front-end but
+/// forces: single executor, purely local pull execution (no RDD/DataFrame
+/// backends), DOM-style parsing (items built via an intermediate generic
+/// representation), and a bounded memory budget charged by the blocking
+/// operators — reproducing Figure 12's behaviour where Zorba streams the
+/// filter query at any size but runs out of memory grouping/sorting beyond
+/// a few million objects. See DESIGN.md §1 for the substitution rationale.
+struct ZorbaSimOptions {
+  /// Default models Zorba's observed ~4M-object group/sort ceiling scaled
+  /// to this repository's datasets; benches override it.
+  std::uint64_t memory_budget_bytes = 512ull << 20;
+};
+
+std::unique_ptr<jsoniq::Rumble> MakeZorbaSim(ZorbaSimOptions options = {});
+
+}  // namespace rumble::baselines
+
+#endif  // RUMBLE_BASELINES_ZORBA_SIM_H_

@@ -1,0 +1,5 @@
+#include "src/common/config.h"
+
+// Configuration is a plain aggregate; this translation unit exists so the
+// header has an associated object file per project convention.
+namespace rumble::common {}  // namespace rumble::common

@@ -1,0 +1,71 @@
+#ifndef RUMBLE_COMMON_CONFIG_H_
+#define RUMBLE_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rumble::common {
+
+/// Which physical backend FLWOR tuple streams use when the input is
+/// distributed. kDataFrame is the paper's second (and default) approach
+/// (Section 4.3+); kTupleRdd is the first approach (Figure 9), kept for the
+/// ablation benchmark; kLocalOnly forces pull-based local execution (used by
+/// the Zorba/Xidel baseline simulations).
+enum class FlworBackend {
+  kDataFrame,
+  kTupleRdd,
+  kLocalOnly,
+};
+
+/// Engine configuration. Defaults model the paper's laptop setup scaled to
+/// this machine; benches override executors/partitions per experiment.
+struct RumbleConfig {
+  /// Number of executor threads in the minispark pool.
+  int executors = 4;
+
+  /// Default number of partitions for inputs created by json-file() /
+  /// parallelize() when the caller does not specify one.
+  int default_partitions = 8;
+
+  /// Maximum number of items materialized when a consumer pulls a
+  /// distributed sequence through the local API (Section 5.5). Exceeding the
+  /// cap raises kMaterializationCap unless warn_only_on_cap is set.
+  std::size_t materialization_cap = 1'000'000;
+  bool warn_only_on_cap = true;
+
+  /// FLWOR physical backend selection (see FlworBackend).
+  FlworBackend flwor_backend = FlworBackend::kDataFrame;
+
+  /// Section 4.7 optimizations: rewrite materialized non-grouping variables
+  /// into COUNT() when only counted, and drop them entirely when unused.
+  bool groupby_count_pushdown = true;
+  bool groupby_drop_unused = true;
+
+  /// Section 4.8's "alternate design": when true, order-by skips the
+  /// type-discovery first pass and encodes all native key columns
+  /// unconditionally (as group-by does). Faster, but not fully compliant:
+  /// queries mixing incompatible key types return a result instead of
+  /// raising XPTY0004. Only affects the DataFrame backend.
+  bool orderby_skip_type_check = false;
+
+  /// Section 5.7: build Items directly while parsing (JSONiter-style). When
+  /// false, parse to a DOM first and convert (the slow path the paper avoids).
+  bool streaming_parser = true;
+
+  /// Memory budget in bytes for local materialization; 0 = unlimited. Used
+  /// by the Zorba/Xidel simulations to reproduce their out-of-memory points.
+  /// Blocking operators (group-by, order-by buffers) always charge the
+  /// budget; parsing charges it only when charge_parse_to_budget is set
+  /// (engines that build a full in-memory store, like the Xidel simulation,
+  /// set it; streaming pipelines do not).
+  std::uint64_t memory_budget_bytes = 0;
+  bool charge_parse_to_budget = false;
+
+  /// When true, expression iterators refuse the RDD API so everything runs
+  /// through the single-threaded pull path (baseline simulations).
+  bool force_local_execution = false;
+};
+
+}  // namespace rumble::common
+
+#endif  // RUMBLE_COMMON_CONFIG_H_

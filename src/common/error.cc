@@ -1,0 +1,47 @@
+#include "src/common/error.h"
+
+namespace rumble::common {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kStaticSyntax: return "XPST0003";
+    case ErrorCode::kUndeclaredVariable: return "XPST0008";
+    case ErrorCode::kUnknownFunction: return "XPST0017";
+    case ErrorCode::kAbsentContextItem: return "XPDY0002";
+    case ErrorCode::kTypeError: return "XPTY0004";
+    case ErrorCode::kDivisionByZero: return "FOAR0001";
+    case ErrorCode::kNumericOverflow: return "FOAR0002";
+    case ErrorCode::kInvalidCast: return "FORG0001";
+    case ErrorCode::kCardinalityError: return "XPTY0004";
+    case ErrorCode::kInvalidArgument: return "FORG0006";
+    case ErrorCode::kRegexError: return "FORX0002";
+    case ErrorCode::kArrayIndexOutOfBounds: return "JNDY0003";
+    case ErrorCode::kInvalidGroupingKey: return "JNTY0024";
+    case ErrorCode::kInvalidSortKey: return "XPTY0004";
+    case ErrorCode::kIncompatibleSortKeys: return "XPTY0004";
+    case ErrorCode::kDuplicateObjectKey: return "JNDY0021";
+    case ErrorCode::kJsonParseError: return "JNDY0021";
+    case ErrorCode::kFileNotFound: return "FODC0002";
+    case ErrorCode::kOutOfMemory: return "SENR0001";
+    case ErrorCode::kUserError: return "FOER0000";
+    case ErrorCode::kMaterializationCap: return "RBML0001";
+    case ErrorCode::kInternal: return "RBIN0000";
+  }
+  return "RBIN0000";
+}
+
+RumbleException::RumbleException(ErrorCode code, const std::string& message)
+    : std::runtime_error(std::string(ErrorCodeName(code)) + ": " + message),
+      code_(code) {}
+
+bool RumbleException::IsStaticError() const {
+  return code_ == ErrorCode::kStaticSyntax ||
+         code_ == ErrorCode::kUndeclaredVariable ||
+         code_ == ErrorCode::kUnknownFunction;
+}
+
+void ThrowError(ErrorCode code, const std::string& message) {
+  throw RumbleException(code, message);
+}
+
+}  // namespace rumble::common

@@ -1,0 +1,64 @@
+#ifndef RUMBLE_COMMON_ERROR_H_
+#define RUMBLE_COMMON_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rumble::common {
+
+/// JSONiq / XQuery error codes raised by the engine. The codes follow the
+/// W3C & JSONiq specifications so that conformance tests can assert on them.
+enum class ErrorCode {
+  // Static (compile-time) errors.
+  kStaticSyntax,            // XPST0003: query does not parse.
+  kUndeclaredVariable,      // XPST0008: variable not in static context.
+  kUnknownFunction,         // XPST0017: no function with this name/arity.
+  // Dynamic (run-time) errors.
+  kAbsentContextItem,       // XPDY0002: $$ used with no context item.
+  kTypeError,               // XPTY0004: value has an inappropriate type.
+  kDivisionByZero,          // FOAR0001: integer division by zero.
+  kNumericOverflow,         // FOAR0002: numeric operation overflow.
+  kInvalidCast,             // FORG0001: invalid value for cast.
+  kCardinalityError,        // XPTY0004-like: more than one item where one expected.
+  kInvalidArgument,         // FORG0006: invalid argument type for a function.
+  kRegexError,              // FORX0002: invalid regular expression.
+  kArrayIndexOutOfBounds,   // JNDY0003 (JSONiq): [[i]] out of bounds.
+  kInvalidGroupingKey,      // JNTY0024: grouping key is not an atomic.
+  kInvalidSortKey,          // XPTY0004 flavour for order-by keys.
+  kIncompatibleSortKeys,    // XPTY0004: string vs number in the same order-by.
+  kDuplicateObjectKey,      // JNDY0021: duplicate key in object constructor.
+  kJsonParseError,          // JNDY0021 flavour: malformed JSON input.
+  kFileNotFound,            // FODC0002: cannot retrieve resource.
+  kOutOfMemory,             // SENR0001 flavour: memory budget exhausted.
+  kUserError,               // FOER0000: fn:error() called.
+  kMaterializationCap,      // RBML0001 (Rumble): too many items materialized.
+  kInternal,                // RBIN0000: engine invariant violated.
+};
+
+/// Returns the W3C/JSONiq spec code string (e.g. "XPST0003") for a code.
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Exception type used for all engine errors. Dynamic errors propagate
+/// through deep iterator recursion with this type; the public API boundary
+/// (rumble::Rumble) converts it to common::Status. See DESIGN.md §2 for the
+/// rationale of using exceptions internally.
+class RumbleException : public std::runtime_error {
+ public:
+  RumbleException(ErrorCode code, const std::string& message);
+
+  ErrorCode code() const { return code_; }
+
+  /// True for errors detected before execution starts (parse/bind time).
+  bool IsStaticError() const;
+
+ private:
+  ErrorCode code_;
+};
+
+/// Convenience: throws RumbleException with the given code and message.
+[[noreturn]] void ThrowError(ErrorCode code, const std::string& message);
+
+}  // namespace rumble::common
+
+#endif  // RUMBLE_COMMON_ERROR_H_

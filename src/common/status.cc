@@ -1,0 +1,12 @@
+#include "src/common/status.h"
+
+namespace rumble::common {
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  return std::string(ErrorCodeName(*code_)) + ": " + message_;
+}
+
+}  // namespace rumble::common

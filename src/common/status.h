@@ -1,0 +1,73 @@
+#ifndef RUMBLE_COMMON_STATUS_H_
+#define RUMBLE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/error.h"
+
+namespace rumble::common {
+
+/// Arrow-style status object returned by the public API boundary. The engine
+/// itself uses RumbleException internally; rumble::Rumble catches and wraps.
+class Status {
+ public:
+  static Status OK() { return Status(); }
+  static Status Error(ErrorCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
+  static Status FromException(const RumbleException& e) {
+    return Status(e.code(), e.what());
+  }
+
+  bool ok() const { return !code_.has_value(); }
+  ErrorCode code() const { return code_.value_or(ErrorCode::kInternal); }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: message".
+  std::string ToString() const;
+
+ private:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  std::optional<ErrorCode> code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  /// Returns the value, or terminates if this holds an error. For tests and
+  /// examples where the error is a bug.
+  const T& ValueOrDie() const;
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const {
+  if (!ok()) {
+    ThrowError(status_.code(), status_.message());
+  }
+  return *value_;
+}
+
+}  // namespace rumble::common
+
+#endif  // RUMBLE_COMMON_STATUS_H_

@@ -1,0 +1,129 @@
+#include "src/df/column.h"
+
+#include "src/common/error.h"
+
+namespace rumble::df {
+
+void Column::AppendInt64(std::int64_t value) {
+  ints_.push_back(value);
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendFloat64(double value) {
+  doubles_.push_back(value);
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendString(std::string value) {
+  strings_.push_back(std::move(value));
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendBool(bool value) {
+  bools_.push_back(value ? 1 : 0);
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendSeq(item::ItemSequence value) {
+  seqs_.push_back(std::move(value));
+  nulls_.push_back(0);
+  ++size_;
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64: ints_.push_back(0); break;
+    case DataType::kFloat64: doubles_.push_back(0); break;
+    case DataType::kString: strings_.emplace_back(); break;
+    case DataType::kBool: bools_.push_back(0); break;
+    case DataType::kItemSeq: seqs_.emplace_back(); break;
+  }
+  nulls_.push_back(1);
+  ++size_;
+}
+
+void Column::AppendFrom(const Column& other, std::size_t row) {
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64: AppendInt64(other.Int64At(row)); break;
+    case DataType::kFloat64: AppendFloat64(other.Float64At(row)); break;
+    case DataType::kString: AppendString(other.StringAt(row)); break;
+    case DataType::kBool: AppendBool(other.BoolAt(row)); break;
+    case DataType::kItemSeq: AppendSeq(other.SeqAt(row)); break;
+  }
+}
+
+void Column::Reserve(std::size_t rows) {
+  nulls_.reserve(rows);
+  switch (type_) {
+    case DataType::kInt64: ints_.reserve(rows); break;
+    case DataType::kFloat64: doubles_.reserve(rows); break;
+    case DataType::kString: strings_.reserve(rows); break;
+    case DataType::kBool: bools_.reserve(rows); break;
+    case DataType::kItemSeq: seqs_.reserve(rows); break;
+  }
+}
+
+RecordBatch ConcatBatches(std::vector<RecordBatch> batches) {
+  RecordBatch out;
+  if (batches.empty()) return out;
+  std::size_t total = 0;
+  for (const auto& batch : batches) total += batch.num_rows;
+  out.columns.reserve(batches.front().columns.size());
+  for (const auto& column : batches.front().columns) {
+    Column builder(column.type());
+    builder.Reserve(total);
+    out.columns.push_back(std::move(builder));
+  }
+  for (const auto& batch : batches) {
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      AppendRow(batch, row, &out);
+    }
+  }
+  out.num_rows = total;
+  return out;
+}
+
+std::vector<RecordBatch> SplitBatch(const RecordBatch& batch, int parts) {
+  if (parts < 1) parts = 1;
+  std::vector<RecordBatch> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  std::size_t total = batch.num_rows;
+  auto n = static_cast<std::size_t>(parts);
+  std::size_t chunk = total / n;
+  std::size_t remainder = total % n;
+  std::size_t row = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    RecordBatch piece;
+    for (const auto& column : batch.columns) {
+      piece.columns.emplace_back(column.type());
+    }
+    std::size_t size = chunk + (p < remainder ? 1 : 0);
+    for (std::size_t i = 0; i < size; ++i, ++row) {
+      AppendRow(batch, row, &piece);
+    }
+    piece.num_rows = size;
+    out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+void AppendRow(const RecordBatch& input, std::size_t row, RecordBatch* output) {
+  if (output->columns.size() != input.columns.size()) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "AppendRow: batch layout mismatch");
+  }
+  for (std::size_t c = 0; c < input.columns.size(); ++c) {
+    output->columns[c].AppendFrom(input.columns[c], row);
+  }
+  ++output->num_rows;
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,75 @@
+#ifndef RUMBLE_DF_COLUMN_H_
+#define RUMBLE_DF_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/df/schema.h"
+#include "src/item/item.h"
+
+namespace rumble::df {
+
+/// One column of one partition's record batch. Values of the declared type
+/// live in the matching typed vector; every column carries a null mask
+/// (native columns from schema inference are nullable — Figure 6; kItemSeq
+/// columns encode "absent" as the empty sequence and never use the mask).
+class Column {
+ public:
+  Column() : type_(DataType::kItemSeq) {}
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  std::size_t size() const { return size_; }
+
+  // -- Appenders ---------------------------------------------------------
+  void AppendInt64(std::int64_t value);
+  void AppendFloat64(double value);
+  void AppendString(std::string value);
+  void AppendBool(bool value);
+  void AppendSeq(item::ItemSequence value);
+  void AppendNull();
+
+  /// Appends row `row` of `other` (same type) to this column.
+  void AppendFrom(const Column& other, std::size_t row);
+
+  // -- Accessors (no type checks in release-hot paths; callers go through
+  // the schema) ------------------------------------------------------------
+  bool IsNull(std::size_t row) const { return nulls_[row] != 0; }
+  std::int64_t Int64At(std::size_t row) const { return ints_[row]; }
+  double Float64At(std::size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(std::size_t row) const { return strings_[row]; }
+  bool BoolAt(std::size_t row) const { return bools_[row] != 0; }
+  const item::ItemSequence& SeqAt(std::size_t row) const { return seqs_[row]; }
+
+  void Reserve(std::size_t rows);
+
+ private:
+  DataType type_;
+  std::size_t size_ = 0;
+  std::vector<std::int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<std::uint8_t> bools_;
+  std::vector<item::ItemSequence> seqs_;
+  std::vector<std::uint8_t> nulls_;
+};
+
+/// One partition's worth of rows, column-major.
+struct RecordBatch {
+  std::vector<Column> columns;
+  std::size_t num_rows = 0;
+};
+
+/// Concatenates batches (same layout) into one.
+RecordBatch ConcatBatches(std::vector<RecordBatch> batches);
+
+/// Splits a batch into `parts` contiguous batches of near-equal size.
+std::vector<RecordBatch> SplitBatch(const RecordBatch& batch, int parts);
+
+/// Copies row `row` of `input` into the builders of `output`.
+void AppendRow(const RecordBatch& input, std::size_t row, RecordBatch* output);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_COLUMN_H_

@@ -1,0 +1,71 @@
+#include "src/df/dataframe.h"
+
+#include "src/df/physical_exec.h"
+
+namespace rumble::df {
+
+DataFrame DataFrame::FromBatches(spark::Context* context, SchemaPtr schema,
+                                 std::vector<RecordBatch> batches) {
+  return DataFrame(
+      context, MakeScan(std::move(schema),
+                        BatchesToRdd(context, std::move(batches))));
+}
+
+DataFrame DataFrame::FromRdd(spark::Context* context, SchemaPtr schema,
+                             spark::Rdd<RecordBatch> batches) {
+  return DataFrame(context, MakeScan(std::move(schema), std::move(batches)));
+}
+
+DataFrame DataFrame::Project(std::vector<NamedExpr> exprs) const {
+  return DataFrame(context_, MakeProject(plan_, std::move(exprs)));
+}
+
+DataFrame DataFrame::Filter(Predicate predicate) const {
+  return DataFrame(context_, MakeFilter(plan_, std::move(predicate)));
+}
+
+DataFrame DataFrame::Explode(const std::string& column, bool keep_empty,
+                             const std::string& position_column) const {
+  return DataFrame(context_,
+                   MakeExplode(plan_, column, keep_empty, position_column));
+}
+
+DataFrame DataFrame::GroupBy(std::vector<std::string> keys,
+                             std::vector<Aggregate> aggregates) const {
+  return DataFrame(
+      context_, MakeGroupBy(plan_, std::move(keys), std::move(aggregates)));
+}
+
+DataFrame DataFrame::Sort(std::vector<SortKey> keys) const {
+  return DataFrame(context_, MakeSort(plan_, std::move(keys)));
+}
+
+DataFrame DataFrame::ZipIndex(const std::string& index_column) const {
+  return DataFrame(context_, MakeZipIndex(plan_, index_column));
+}
+
+DataFrame DataFrame::Limit(std::size_t rows) const {
+  return DataFrame(context_, MakeLimit(plan_, rows));
+}
+
+spark::Rdd<RecordBatch> DataFrame::Execute() const {
+  return ExecutePlan(Optimize(plan_), context_);
+}
+
+RecordBatch DataFrame::CollectBatch() const {
+  return ConcatBatches(Execute().Collect());
+}
+
+std::size_t DataFrame::CountRows() const {
+  std::size_t total = 0;
+  for (const auto& batch : Execute().Collect()) {
+    total += batch.num_rows;
+  }
+  return total;
+}
+
+std::string DataFrame::Explain() const {
+  return PlanToString(*Optimize(plan_));
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,69 @@
+#ifndef RUMBLE_DF_DATAFRAME_H_
+#define RUMBLE_DF_DATAFRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "src/df/logical_plan.h"
+#include "src/df/optimizer.h"
+#include "src/spark/context.h"
+
+namespace rumble::df {
+
+/// Spark-SQL-style DataFrame: an immutable logical plan plus a schema.
+/// Transformations build plan nodes; actions optimize and execute. FLWOR
+/// tuple streams are DataFrames whose variable columns have type kItemSeq
+/// (paper Section 4.3).
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Wraps materialized batches (one partition each) with a schema.
+  static DataFrame FromBatches(spark::Context* context, SchemaPtr schema,
+                               std::vector<RecordBatch> batches);
+
+  /// Wraps a lazy RDD of batches with a schema.
+  static DataFrame FromRdd(spark::Context* context, SchemaPtr schema,
+                           spark::Rdd<RecordBatch> batches);
+
+  bool valid() const { return plan_ != nullptr; }
+  spark::Context* context() const { return context_; }
+  const Schema& schema() const { return *plan_->schema; }
+  SchemaPtr schema_ptr() const { return plan_->schema; }
+  const PlanPtr& plan() const { return plan_; }
+
+  // ---- Transformations (lazy) ------------------------------------------
+  DataFrame Project(std::vector<NamedExpr> exprs) const;
+  DataFrame Filter(Predicate predicate) const;
+  DataFrame Explode(const std::string& column, bool keep_empty = false,
+                    const std::string& position_column = "") const;
+  DataFrame GroupBy(std::vector<std::string> keys,
+                    std::vector<Aggregate> aggregates) const;
+  DataFrame Sort(std::vector<SortKey> keys) const;
+  DataFrame ZipIndex(const std::string& index_column) const;
+  DataFrame Limit(std::size_t rows) const;
+
+  // ---- Actions ------------------------------------------------------------
+  /// Optimizes and executes; returns the result as a lazy RDD of batches
+  /// (narrow tails still pipeline when the consumer maps over it).
+  spark::Rdd<RecordBatch> Execute() const;
+
+  /// Collects all result rows into a single batch.
+  RecordBatch CollectBatch() const;
+
+  std::size_t CountRows() const;
+
+  /// The optimized plan, printed — EXPLAIN for tests.
+  std::string Explain() const;
+
+ private:
+  DataFrame(spark::Context* context, PlanPtr plan)
+      : context_(context), plan_(std::move(plan)) {}
+
+  spark::Context* context_ = nullptr;
+  PlanPtr plan_;
+};
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_DATAFRAME_H_

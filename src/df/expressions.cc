@@ -1,0 +1,5 @@
+#include "src/df/expressions.h"
+
+// Expression structs are header-only aggregates; this translation unit
+// anchors the header per project convention.
+namespace rumble::df {}  // namespace rumble::df

@@ -1,0 +1,122 @@
+#ifndef RUMBLE_DF_EXPRESSIONS_H_
+#define RUMBLE_DF_EXPRESSIONS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/df/column.h"
+#include "src/df/schema.h"
+
+namespace rumble::df {
+
+/// Read-only view of one row of a batch, resolved against a schema.
+class RowView {
+ public:
+  RowView(const Schema* schema, const RecordBatch* batch, std::size_t row)
+      : schema_(schema), batch_(batch), row_(row) {}
+
+  const Schema& schema() const { return *schema_; }
+  std::size_t row() const { return row_; }
+
+  bool IsNull(std::size_t column) const {
+    return batch_->columns[column].IsNull(row_);
+  }
+  std::int64_t Int64(std::size_t column) const {
+    return batch_->columns[column].Int64At(row_);
+  }
+  double Float64(std::size_t column) const {
+    return batch_->columns[column].Float64At(row_);
+  }
+  const std::string& String(std::size_t column) const {
+    return batch_->columns[column].StringAt(row_);
+  }
+  bool Bool(std::size_t column) const {
+    return batch_->columns[column].BoolAt(row_);
+  }
+  const item::ItemSequence& Seq(std::size_t column) const {
+    return batch_->columns[column].SeqAt(row_);
+  }
+
+  /// Column index by name (schema lookup).
+  std::size_t ColumnIndex(std::string_view name) const {
+    return schema_->RequireIndex(name);
+  }
+
+ private:
+  const Schema* schema_;
+  const RecordBatch* batch_;
+  std::size_t row_;
+};
+
+/// A user-defined function evaluated over one whole batch: appends exactly
+/// `batch.num_rows` values (possibly nulls) to the output column builder.
+/// The paper's EVALUATE_EXPRESSION UDFs (Sections 4.4-4.6) are instances of
+/// this; the batch granularity lets implementations set up per-task state
+/// (e.g. clone a runtime-iterator tree) once per batch instead of per row.
+/// The declared input columns drive the optimizer's column pruning.
+struct Udf {
+  std::function<void(const Schema&, const RecordBatch&, Column*)> eval;
+  std::vector<std::string> inputs;
+};
+
+/// A projection output: either a pass-through column reference or a UDF.
+struct NamedExpr {
+  std::string name;
+  DataType type = DataType::kItemSeq;
+  /// When non-empty, pass through this input column and ignore `udf`.
+  std::string source_column;
+  Udf udf;
+
+  static NamedExpr Ref(std::string output, std::string input, DataType type) {
+    NamedExpr expr;
+    expr.name = std::move(output);
+    expr.type = type;
+    expr.source_column = std::move(input);
+    return expr;
+  }
+
+  static NamedExpr Computed(std::string output, DataType type, Udf udf) {
+    NamedExpr expr;
+    expr.name = std::move(output);
+    expr.type = type;
+    expr.udf = std::move(udf);
+    return expr;
+  }
+
+  bool is_column_ref() const { return !source_column.empty(); }
+};
+
+/// A boolean predicate for Filter, evaluated over one whole batch: returns a
+/// selection mask of length `batch.num_rows` (non-zero keeps the row).
+struct Predicate {
+  std::function<std::vector<char>(const Schema&, const RecordBatch&)> eval;
+  std::vector<std::string> inputs;
+};
+
+/// Sort key over a native column. `nulls_smallest` mirrors the JSONiq
+/// "empty least/greatest" choice after key-column encoding.
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+  bool nulls_smallest = true;
+};
+
+enum class AggKind {
+  kCollect,   // SEQUENCE(): concatenate item sequences of the group
+  kCount,     // COUNT(): number of tuples in the group
+  kFirst,     // arbitrary witness (used to recover grouping-key items)
+  kSumInt64,  // SUM() over a native int64 column
+  kMinInt64,
+  kMaxInt64,
+};
+
+struct Aggregate {
+  std::string input_column;  // ignored for kCount
+  std::string output_name;
+  AggKind kind = AggKind::kCollect;
+};
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_EXPRESSIONS_H_

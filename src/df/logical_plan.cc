@@ -1,0 +1,233 @@
+#include "src/df/logical_plan.h"
+
+#include "src/common/error.h"
+
+namespace rumble::df {
+
+namespace {
+
+using common::ErrorCode;
+
+void RequireColumn(const Schema& schema, const std::string& name,
+                   const char* context) {
+  if (schema.IndexOf(name) < 0) {
+    common::ThrowError(ErrorCode::kInternal,
+                       std::string(context) + ": unknown column '" + name +
+                           "' in schema [" + schema.ToString() + "]");
+  }
+}
+
+}  // namespace
+
+PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kScan;
+  node->schema = std::move(schema);
+  node->scan_batches = std::move(batches);
+  return node;
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<NamedExpr> exprs) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kProject;
+  auto schema = std::make_shared<Schema>();
+  for (const auto& expr : exprs) {
+    if (expr.is_column_ref()) {
+      RequireColumn(*child->schema, expr.source_column, "Project");
+    } else {
+      for (const auto& input : expr.udf.inputs) {
+        RequireColumn(*child->schema, input, "Project(udf)");
+      }
+    }
+    schema->AddField(Field{expr.name, expr.type});
+  }
+  node->schema = std::move(schema);
+  node->child = std::move(child);
+  node->exprs = std::move(exprs);
+  return node;
+}
+
+PlanPtr MakeFilter(PlanPtr child, Predicate predicate) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kFilter;
+  for (const auto& input : predicate.inputs) {
+    RequireColumn(*child->schema, input, "Filter");
+  }
+  node->schema = child->schema;
+  node->child = std::move(child);
+  node->predicate = std::move(predicate);
+  return node;
+}
+
+PlanPtr MakeExplode(PlanPtr child, std::string column, bool keep_empty,
+                    std::string position_column) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kExplode;
+  node->explode_keep_empty = keep_empty;
+  RequireColumn(*child->schema, column, "Explode");
+  if (child->schema->field(child->schema->RequireIndex(column)).type !=
+      DataType::kItemSeq) {
+    common::ThrowError(ErrorCode::kInternal,
+                       "Explode requires an item-seq column: " + column);
+  }
+  if (position_column.empty()) {
+    node->schema = child->schema;
+  } else {
+    auto schema = std::make_shared<Schema>(child->schema->fields());
+    schema->AddField(Field{position_column, DataType::kInt64});
+    node->schema = std::move(schema);
+  }
+  node->child = std::move(child);
+  node->explode_column = std::move(column);
+  node->explode_position_column = std::move(position_column);
+  return node;
+}
+
+PlanPtr MakeGroupBy(PlanPtr child, std::vector<std::string> keys,
+                    std::vector<Aggregate> aggregates) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kGroupBy;
+  auto schema = std::make_shared<Schema>();
+  for (const auto& key : keys) {
+    RequireColumn(*child->schema, key, "GroupBy(key)");
+    schema->AddField(child->schema->field(child->schema->RequireIndex(key)));
+  }
+  for (const auto& agg : aggregates) {
+    DataType type = DataType::kItemSeq;
+    switch (agg.kind) {
+      case AggKind::kCollect:
+        RequireColumn(*child->schema, agg.input_column, "GroupBy(collect)");
+        type = DataType::kItemSeq;
+        break;
+      case AggKind::kCount:
+        type = DataType::kInt64;
+        break;
+      case AggKind::kFirst:
+        RequireColumn(*child->schema, agg.input_column, "GroupBy(first)");
+        type = child->schema
+                   ->field(child->schema->RequireIndex(agg.input_column))
+                   .type;
+        break;
+      case AggKind::kSumInt64:
+      case AggKind::kMinInt64:
+      case AggKind::kMaxInt64:
+        RequireColumn(*child->schema, agg.input_column, "GroupBy(int agg)");
+        type = DataType::kInt64;
+        break;
+    }
+    schema->AddField(Field{agg.output_name, type});
+  }
+  node->schema = std::move(schema);
+  node->child = std::move(child);
+  node->group_keys = std::move(keys);
+  node->aggregates = std::move(aggregates);
+  return node;
+}
+
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kSort;
+  for (const auto& key : keys) {
+    RequireColumn(*child->schema, key.column, "Sort");
+  }
+  node->schema = child->schema;
+  node->child = std::move(child);
+  node->sort_keys = std::move(keys);
+  return node;
+}
+
+PlanPtr MakeZipIndex(PlanPtr child, std::string index_column) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kZipIndex;
+  auto schema = std::make_shared<Schema>(child->schema->fields());
+  schema->AddField(Field{index_column, DataType::kInt64});
+  node->schema = std::move(schema);
+  node->child = std::move(child);
+  node->index_column = std::move(index_column);
+  return node;
+}
+
+PlanPtr MakeLimit(PlanPtr child, std::size_t limit_rows) {
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kLimit;
+  node->schema = child->schema;
+  node->child = std::move(child);
+  node->limit_rows = limit_rows;
+  return node;
+}
+
+namespace {
+
+void PlanToStringImpl(const LogicalPlan& plan, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan:
+      out->append("Scan [" + plan.schema->ToString() + "]\n");
+      break;
+    case LogicalPlan::Kind::kProject: {
+      out->append("Project [");
+      for (std::size_t i = 0; i < plan.exprs.size(); ++i) {
+        if (i > 0) out->append(", ");
+        const auto& expr = plan.exprs[i];
+        if (expr.is_column_ref()) {
+          out->append(expr.source_column + " AS " + expr.name);
+        } else {
+          out->append("udf(...) AS " + expr.name);
+        }
+      }
+      out->append("]\n");
+      break;
+    }
+    case LogicalPlan::Kind::kFilter:
+      out->append("Filter [udf over ");
+      for (std::size_t i = 0; i < plan.predicate.inputs.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(plan.predicate.inputs[i]);
+      }
+      out->append("]\n");
+      break;
+    case LogicalPlan::Kind::kExplode:
+      out->append("Explode [" + plan.explode_column + "]\n");
+      break;
+    case LogicalPlan::Kind::kGroupBy: {
+      out->append("GroupBy [keys: ");
+      for (std::size_t i = 0; i < plan.group_keys.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(plan.group_keys[i]);
+      }
+      out->append("; aggs: ");
+      for (std::size_t i = 0; i < plan.aggregates.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(plan.aggregates[i].output_name);
+      }
+      out->append("]\n");
+      break;
+    }
+    case LogicalPlan::Kind::kSort:
+      out->append("Sort [");
+      for (std::size_t i = 0; i < plan.sort_keys.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(plan.sort_keys[i].column);
+        out->append(plan.sort_keys[i].ascending ? " asc" : " desc");
+      }
+      out->append("]\n");
+      break;
+    case LogicalPlan::Kind::kZipIndex:
+      out->append("ZipIndex [" + plan.index_column + "]\n");
+      break;
+    case LogicalPlan::Kind::kLimit:
+      out->append("Limit [" + std::to_string(plan.limit_rows) + "]\n");
+      break;
+  }
+  if (plan.child) PlanToStringImpl(*plan.child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string PlanToString(const LogicalPlan& plan) {
+  std::string out;
+  PlanToStringImpl(plan, 0, &out);
+  return out;
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,91 @@
+#ifndef RUMBLE_DF_LOGICAL_PLAN_H_
+#define RUMBLE_DF_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/df/column.h"
+#include "src/df/expressions.h"
+#include "src/df/schema.h"
+#include "src/spark/rdd.h"
+
+namespace rumble::df {
+
+/// Logical plan node. A tagged struct rather than a class hierarchy: the
+/// node set is small and closed, and the optimizer rewrites trees by
+/// constructing new nodes. The per-kind payload fields are documented next
+/// to the kind.
+struct LogicalPlan;
+using PlanPtr = std::shared_ptr<const LogicalPlan>;
+
+struct LogicalPlan {
+  enum class Kind {
+    kScan,      // leaf: scan_schema + scan_batches (an RDD of RecordBatch)
+    kProject,   // exprs: extended projection (paper's SELECT ... UDF(...))
+    kFilter,    // predicate (paper's WHERE EVALUATE_EXPRESSION(...))
+    kExplode,   // explode_column: one row per item of the sequence (§4.4)
+    kGroupBy,   // group_keys (native cols) + aggregates (§4.7)
+    kSort,      // sort_keys over native cols (§4.8)
+    kZipIndex,  // index_column: global 0-based row number (§4.9, count clause)
+    kLimit,     // limit_rows
+  };
+
+  Kind kind = Kind::kScan;
+  PlanPtr child;  // null for kScan
+
+  /// Output schema of this node; computed by the builder functions below.
+  SchemaPtr schema;
+
+  // kScan
+  spark::Rdd<RecordBatch> scan_batches;
+
+  // kProject
+  std::vector<NamedExpr> exprs;
+
+  // kFilter
+  Predicate predicate;
+
+  // kExplode
+  std::string explode_column;
+  /// JSONiq `for ... allowing empty`: keep a row with the empty sequence
+  /// when the exploded sequence has no items.
+  bool explode_keep_empty = false;
+  /// When non-empty, adds an int64 column with the 1-based position of the
+  /// item within its source sequence (0 for an `allowing empty` row) —
+  /// implements `for ... at $p`.
+  std::string explode_position_column;
+
+  // kGroupBy
+  std::vector<std::string> group_keys;
+  std::vector<Aggregate> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kZipIndex
+  std::string index_column;
+
+  // kLimit
+  std::size_t limit_rows = 0;
+};
+
+/// Node builders; each validates column references against the child schema
+/// (throwing kInternal on engine bugs) and derives the output schema.
+PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches);
+PlanPtr MakeProject(PlanPtr child, std::vector<NamedExpr> exprs);
+PlanPtr MakeFilter(PlanPtr child, Predicate predicate);
+PlanPtr MakeExplode(PlanPtr child, std::string column, bool keep_empty = false,
+                    std::string position_column = "");
+PlanPtr MakeGroupBy(PlanPtr child, std::vector<std::string> keys,
+                    std::vector<Aggregate> aggregates);
+PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
+PlanPtr MakeZipIndex(PlanPtr child, std::string index_column);
+PlanPtr MakeLimit(PlanPtr child, std::size_t limit_rows);
+
+/// Pretty-printer for tests and EXPLAIN-style debugging.
+std::string PlanToString(const LogicalPlan& plan);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_LOGICAL_PLAN_H_

@@ -1,0 +1,267 @@
+#include "src/df/optimizer.h"
+
+#include <set>
+#include <string>
+
+namespace rumble::df {
+
+namespace {
+
+using ColumnSet = std::set<std::string>;
+
+ColumnSet AllColumns(const Schema& schema) {
+  ColumnSet out;
+  for (const auto& field : schema.fields()) out.insert(field.name);
+  return out;
+}
+
+PlanPtr Prune(const PlanPtr& plan, const ColumnSet& required);
+
+/// Inserts a reference-only projection above `plan` keeping `required`
+/// columns (in schema order). Keeps at least one column so row counts
+/// survive (a COUNT over zero columns needs a witness column).
+PlanPtr KeepOnly(PlanPtr plan, const ColumnSet& required) {
+  const Schema& schema = *plan->schema;
+  std::vector<NamedExpr> exprs;
+  for (const auto& field : schema.fields()) {
+    if (required.count(field.name) > 0) {
+      exprs.push_back(NamedExpr::Ref(field.name, field.name, field.type));
+    }
+  }
+  if (exprs.size() == schema.num_fields()) return plan;  // nothing to prune
+  if (exprs.empty()) {
+    const Field& witness = schema.field(0);
+    exprs.push_back(NamedExpr::Ref(witness.name, witness.name, witness.type));
+  }
+  return MakeProject(std::move(plan), std::move(exprs));
+}
+
+PlanPtr Prune(const PlanPtr& plan, const ColumnSet& required) {
+  switch (plan->kind) {
+    case LogicalPlan::Kind::kScan:
+      return KeepOnly(plan, required);
+
+    case LogicalPlan::Kind::kProject: {
+      std::vector<NamedExpr> kept;
+      ColumnSet child_required;
+      for (const auto& expr : plan->exprs) {
+        if (required.count(expr.name) == 0) continue;
+        kept.push_back(expr);
+        if (expr.is_column_ref()) {
+          child_required.insert(expr.source_column);
+        } else {
+          for (const auto& input : expr.udf.inputs) {
+            child_required.insert(input);
+          }
+        }
+      }
+      if (kept.empty()) {
+        // Keep the first expression as a witness for the row count.
+        kept.push_back(plan->exprs.front());
+        const auto& expr = kept.front();
+        if (expr.is_column_ref()) {
+          child_required.insert(expr.source_column);
+        } else {
+          for (const auto& input : expr.udf.inputs) {
+            child_required.insert(input);
+          }
+        }
+      }
+      return MakeProject(Prune(plan->child, child_required), std::move(kept));
+    }
+
+    case LogicalPlan::Kind::kFilter: {
+      ColumnSet child_required = required;
+      for (const auto& input : plan->predicate.inputs) {
+        child_required.insert(input);
+      }
+      PlanPtr child = Prune(plan->child, child_required);
+      return MakeFilter(std::move(child), plan->predicate);
+    }
+
+    case LogicalPlan::Kind::kExplode: {
+      ColumnSet child_required = required;
+      if (!plan->explode_position_column.empty()) {
+        child_required.erase(plan->explode_position_column);
+      }
+      child_required.insert(plan->explode_column);
+      PlanPtr child = Prune(plan->child, child_required);
+      return MakeExplode(std::move(child), plan->explode_column,
+                         plan->explode_keep_empty,
+                         plan->explode_position_column);
+    }
+
+    case LogicalPlan::Kind::kGroupBy: {
+      std::vector<Aggregate> kept;
+      ColumnSet child_required;
+      for (const auto& key : plan->group_keys) child_required.insert(key);
+      for (const auto& agg : plan->aggregates) {
+        if (required.count(agg.output_name) == 0) continue;
+        kept.push_back(agg);
+        if (agg.kind != AggKind::kCount) {
+          child_required.insert(agg.input_column);
+        }
+      }
+      PlanPtr child = Prune(plan->child, child_required);
+      return MakeGroupBy(std::move(child), plan->group_keys, std::move(kept));
+    }
+
+    case LogicalPlan::Kind::kSort: {
+      ColumnSet child_required = required;
+      for (const auto& key : plan->sort_keys) {
+        child_required.insert(key.column);
+      }
+      PlanPtr child = Prune(plan->child, child_required);
+      return MakeSort(std::move(child), plan->sort_keys);
+    }
+
+    case LogicalPlan::Kind::kZipIndex: {
+      ColumnSet child_required = required;
+      child_required.erase(plan->index_column);
+      PlanPtr child = Prune(plan->child, child_required);
+      return MakeZipIndex(std::move(child), plan->index_column);
+    }
+
+    case LogicalPlan::Kind::kLimit:
+      return MakeLimit(Prune(plan->child, required), plan->limit_rows);
+  }
+  return plan;
+}
+
+PlanPtr Rebuild(const PlanPtr& plan, PlanPtr new_child) {
+  switch (plan->kind) {
+    case LogicalPlan::Kind::kProject:
+      return MakeProject(std::move(new_child), plan->exprs);
+    case LogicalPlan::Kind::kFilter:
+      return MakeFilter(std::move(new_child), plan->predicate);
+    case LogicalPlan::Kind::kExplode:
+      return MakeExplode(std::move(new_child), plan->explode_column,
+                         plan->explode_keep_empty,
+                         plan->explode_position_column);
+    case LogicalPlan::Kind::kGroupBy:
+      return MakeGroupBy(std::move(new_child), plan->group_keys,
+                         plan->aggregates);
+    case LogicalPlan::Kind::kSort:
+      return MakeSort(std::move(new_child), plan->sort_keys);
+    case LogicalPlan::Kind::kZipIndex:
+      return MakeZipIndex(std::move(new_child), plan->index_column);
+    case LogicalPlan::Kind::kLimit:
+      return MakeLimit(std::move(new_child), plan->limit_rows);
+    case LogicalPlan::Kind::kScan:
+      return plan;
+  }
+  return plan;
+}
+
+/// True when `column` passes through the projection unchanged (a reference
+/// whose output name equals its source column). Pushing an operator that
+/// reads `column` below such a projection cannot change its meaning.
+bool IsIdentityPassThrough(const LogicalPlan& project,
+                           const std::string& column) {
+  for (const auto& expr : project.exprs) {
+    if (expr.name == column) {
+      return expr.is_column_ref() && expr.source_column == column;
+    }
+  }
+  return false;
+}
+
+/// Predicate/limit pushdown: Filter(Project(x)) -> Project(Filter(x)) when
+/// the predicate only reads identity pass-through columns (UDF projections
+/// then evaluate on fewer rows), and Limit(Project(x)) -> Project(Limit(x))
+/// always (projections are 1:1). Applied bottom-up to convergence.
+PlanPtr PushDown(const PlanPtr& plan) {
+  if (!plan->child) return plan;
+  PlanPtr child = PushDown(plan->child);
+
+  if (plan->kind == LogicalPlan::Kind::kFilter &&
+      child->kind == LogicalPlan::Kind::kProject) {
+    bool pushable = true;
+    for (const auto& input : plan->predicate.inputs) {
+      if (!IsIdentityPassThrough(*child, input)) {
+        pushable = false;
+        break;
+      }
+    }
+    if (pushable) {
+      PlanPtr filtered =
+          PushDown(MakeFilter(child->child, plan->predicate));
+      return MakeProject(std::move(filtered), child->exprs);
+    }
+  }
+
+  if (plan->kind == LogicalPlan::Kind::kLimit &&
+      child->kind == LogicalPlan::Kind::kProject) {
+    PlanPtr limited = PushDown(MakeLimit(child->child, plan->limit_rows));
+    return MakeProject(std::move(limited), child->exprs);
+  }
+
+  return Rebuild(plan, std::move(child));
+}
+
+/// Collapses Project(Project(x)) when the outer is all references, and
+/// removes identity projections.
+PlanPtr Fuse(const PlanPtr& plan) {
+  if (!plan->child) return plan;
+  PlanPtr child = Fuse(plan->child);
+
+  auto rebuild = [&](PlanPtr new_child) -> PlanPtr {
+    return Rebuild(plan, std::move(new_child));
+  };
+
+  if (plan->kind != LogicalPlan::Kind::kProject) return rebuild(child);
+
+  bool all_refs = true;
+  for (const auto& expr : plan->exprs) {
+    if (!expr.is_column_ref()) {
+      all_refs = false;
+      break;
+    }
+  }
+
+  // Identity projection: same columns, same names, same order.
+  if (all_refs && plan->exprs.size() == child->schema->num_fields()) {
+    bool identity = true;
+    for (std::size_t i = 0; i < plan->exprs.size(); ++i) {
+      const auto& expr = plan->exprs[i];
+      if (expr.name != expr.source_column ||
+          child->schema->field(i).name != expr.name) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) return child;
+  }
+
+  // Fuse reference-only projection into a child projection.
+  if (all_refs && child->kind == LogicalPlan::Kind::kProject) {
+    std::vector<NamedExpr> fused;
+    fused.reserve(plan->exprs.size());
+    for (const auto& outer : plan->exprs) {
+      const NamedExpr* inner = nullptr;
+      for (const auto& candidate : child->exprs) {
+        if (candidate.name == outer.source_column) {
+          inner = &candidate;
+          break;
+        }
+      }
+      if (inner == nullptr) return rebuild(child);  // should not happen
+      NamedExpr copy = *inner;
+      copy.name = outer.name;
+      fused.push_back(std::move(copy));
+    }
+    return MakeProject(child->child, std::move(fused));
+  }
+
+  return rebuild(child);
+}
+
+}  // namespace
+
+PlanPtr Optimize(PlanPtr plan) {
+  PlanPtr pushed = PushDown(plan);
+  PlanPtr pruned = Prune(pushed, AllColumns(*pushed->schema));
+  return Fuse(pruned);
+}
+
+}  // namespace rumble::df

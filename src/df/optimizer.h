@@ -1,0 +1,24 @@
+#ifndef RUMBLE_DF_OPTIMIZER_H_
+#define RUMBLE_DF_OPTIMIZER_H_
+
+#include "src/df/logical_plan.h"
+
+namespace rumble::df {
+
+/// Catalyst-lite rewriter. Passes:
+///   1. Pushdown — Filter(Project) reorders to Project(Filter) when the
+///      predicate only reads identity pass-through columns, so projection
+///      UDFs run on fewer rows; Limit(Project) always reorders.
+///   2. Column pruning — only columns required by ancestors survive; a
+///      projection is inserted above Scan when it reads more than needed.
+///   3. Projection fusion — Project(Project(x)) collapses when the outer
+///      projection is pure column references, and identity projections are
+///      removed.
+/// The paper's §4.7 rewrites (COUNT pushdown, unused-variable dropping) are
+/// applied by the FLWOR-to-DataFrame translator, which has the JSONiq-level
+/// usage information; they compose with these relational passes.
+PlanPtr Optimize(PlanPtr plan);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_OPTIMIZER_H_

@@ -1,0 +1,554 @@
+#include "src/df/physical_exec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "src/common/error.h"
+
+namespace rumble::df {
+
+namespace {
+
+using spark::Context;
+using spark::Rdd;
+
+Column MakeColumnLike(const Schema& schema, std::size_t index) {
+  return Column(schema.field(index).type);
+}
+
+// ---------------------------------------------------------------------------
+// Narrow operators
+// ---------------------------------------------------------------------------
+
+RecordBatch EvalProject(const SchemaPtr& in_schema,
+                        const std::vector<NamedExpr>& exprs,
+                        const RecordBatch& input) {
+  RecordBatch out;
+  out.num_rows = input.num_rows;
+  out.columns.reserve(exprs.size());
+  for (const auto& expr : exprs) {
+    if (expr.is_column_ref()) {
+      // Pass-through columns are shared by value copy of the column buffer;
+      // cheap relative to per-row copies and keeps batches immutable.
+      out.columns.push_back(
+          input.columns[in_schema->RequireIndex(expr.source_column)]);
+      continue;
+    }
+    Column built(expr.type);
+    built.Reserve(input.num_rows);
+    expr.udf.eval(*in_schema, input, &built);
+    if (built.size() != input.num_rows) {
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "projection UDF for '" + expr.name +
+                             "' produced a wrong-sized column");
+    }
+    out.columns.push_back(std::move(built));
+  }
+  return out;
+}
+
+RecordBatch EvalFilter(const SchemaPtr& schema, const Predicate& predicate,
+                       const RecordBatch& input) {
+  RecordBatch out;
+  for (std::size_t c = 0; c < input.columns.size(); ++c) {
+    out.columns.emplace_back(input.columns[c].type());
+  }
+  std::vector<char> mask = predicate.eval(*schema, input);
+  if (mask.size() != input.num_rows) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "filter predicate produced a wrong-sized mask");
+  }
+  for (std::size_t row = 0; row < input.num_rows; ++row) {
+    if (mask[row]) {
+      AppendRow(input, row, &out);
+    }
+  }
+  return out;
+}
+
+RecordBatch EvalExplode(const SchemaPtr& schema, const std::string& column,
+                        bool keep_empty, bool with_position,
+                        const RecordBatch& input) {
+  std::size_t target = schema->RequireIndex(column);
+  RecordBatch out;
+  for (std::size_t c = 0; c < input.columns.size(); ++c) {
+    out.columns.emplace_back(input.columns[c].type());
+  }
+  if (with_position) out.columns.emplace_back(DataType::kInt64);
+  std::size_t position_col = input.columns.size();
+
+  auto emit = [&](std::size_t row, const item::ItemPtr& member,
+                  std::int64_t position) {
+    for (std::size_t c = 0; c < input.columns.size(); ++c) {
+      if (c == target) {
+        if (member == nullptr) {
+          out.columns[c].AppendSeq({});
+        } else {
+          out.columns[c].AppendSeq({member});
+        }
+      } else {
+        out.columns[c].AppendFrom(input.columns[c], row);
+      }
+    }
+    if (with_position) out.columns[position_col].AppendInt64(position);
+    ++out.num_rows;
+  };
+
+  for (std::size_t row = 0; row < input.num_rows; ++row) {
+    const item::ItemSequence& seq = input.columns[target].SeqAt(row);
+    if (seq.empty()) {
+      if (keep_empty) emit(row, nullptr, 0);
+      continue;
+    }
+    std::int64_t position = 1;
+    for (const auto& member : seq) {
+      emit(row, member, position++);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GroupBy
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  item::ItemSequence items;
+  bool first_set = false;
+  // kFirst witness, stored as a single-value column.
+  Column first;
+};
+
+struct GroupState {
+  RecordBatch key_row;  // one row, the key columns
+  std::vector<AggState> aggs;
+};
+
+void AccumulateRow(const Schema& schema,
+                   const std::vector<Aggregate>& aggregates,
+                   const RecordBatch& batch, std::size_t row,
+                   GroupState* state) {
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    const Aggregate& agg = aggregates[a];
+    AggState& acc = state->aggs[a];
+    switch (agg.kind) {
+      case AggKind::kCount:
+        ++acc.count;
+        break;
+      case AggKind::kCollect: {
+        const auto& seq =
+            batch.columns[schema.RequireIndex(agg.input_column)].SeqAt(row);
+        acc.items.insert(acc.items.end(), seq.begin(), seq.end());
+        break;
+      }
+      case AggKind::kFirst: {
+        if (!acc.first_set) {
+          std::size_t index = schema.RequireIndex(agg.input_column);
+          acc.first = Column(schema.field(index).type);
+          acc.first.AppendFrom(batch.columns[index], row);
+          acc.first_set = true;
+        }
+        break;
+      }
+      case AggKind::kSumInt64:
+      case AggKind::kMinInt64:
+      case AggKind::kMaxInt64: {
+        std::size_t index = schema.RequireIndex(agg.input_column);
+        if (batch.columns[index].IsNull(row)) break;
+        std::int64_t value = batch.columns[index].Int64At(row);
+        acc.sum += value;
+        acc.min = std::min(acc.min, value);
+        acc.max = std::max(acc.max, value);
+        ++acc.count;
+        break;
+      }
+    }
+  }
+}
+
+void MergeStates(const std::vector<Aggregate>& aggregates, GroupState* into,
+                 GroupState&& from) {
+  for (std::size_t a = 0; a < aggregates.size(); ++a) {
+    AggState& acc = into->aggs[a];
+    AggState& other = from.aggs[a];
+    acc.count += other.count;
+    acc.sum += other.sum;
+    acc.min = std::min(acc.min, other.min);
+    acc.max = std::max(acc.max, other.max);
+    acc.items.insert(acc.items.end(),
+                     std::make_move_iterator(other.items.begin()),
+                     std::make_move_iterator(other.items.end()));
+    if (!acc.first_set && other.first_set) {
+      acc.first = std::move(other.first);
+      acc.first_set = true;
+    }
+  }
+}
+
+Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
+                             Rdd<RecordBatch> child_rdd) {
+  const SchemaPtr in_schema = plan.child->schema;
+  const SchemaPtr out_schema = plan.schema;
+  const std::vector<std::string>& keys = plan.group_keys;
+  const std::vector<Aggregate>& aggregates = plan.aggregates;
+
+  std::vector<std::size_t> key_indices;
+  key_indices.reserve(keys.size());
+  for (const auto& key : keys) {
+    key_indices.push_back(in_schema->RequireIndex(key));
+  }
+
+  int n_parts = child_rdd.num_partitions();
+  auto n = static_cast<std::size_t>(n_parts);
+
+  // Phase 1: per-partition partial aggregation (map-side combine).
+  using PartialMap = std::unordered_map<std::string, GroupState>;
+  std::vector<PartialMap> partials(n);
+  context->pool().RunParallel(n, [&](std::size_t p) {
+    PartialMap& partial = partials[p];
+    for (const RecordBatch& batch :
+         child_rdd.ComputePartition(static_cast<int>(p))) {
+      for (std::size_t row = 0; row < batch.num_rows; ++row) {
+        std::string key = EncodeKey(*in_schema, key_indices, batch, row);
+        auto [it, inserted] = partial.try_emplace(std::move(key));
+        GroupState& state = it->second;
+        if (inserted) {
+          state.aggs.resize(aggregates.size());
+          for (std::size_t k : key_indices) {
+            state.key_row.columns.push_back(MakeColumnLike(*in_schema, k));
+          }
+          std::size_t c = 0;
+          for (std::size_t k : key_indices) {
+            state.key_row.columns[c++].AppendFrom(batch.columns[k], row);
+          }
+          state.key_row.num_rows = 1;
+        }
+        AccumulateRow(*in_schema, aggregates, batch, row, &state);
+      }
+    }
+  });
+
+  // Phase 2: shuffle partial states into reduce buckets by key hash.
+  std::vector<PartialMap> buckets(n);
+  std::hash<std::string> hasher;
+  for (auto& partial : partials) {
+    for (auto& [key, state] : partial) {
+      PartialMap& bucket = buckets[hasher(key) % n];
+      auto [it, inserted] = bucket.try_emplace(key);
+      if (inserted) {
+        it->second = std::move(state);
+      } else {
+        MergeStates(aggregates, &it->second, std::move(state));
+      }
+    }
+  }
+  partials.clear();
+
+  // Phase 3: emit one output batch per reduce bucket.
+  auto results = std::make_shared<std::vector<RecordBatch>>(n);
+  context->pool().RunParallel(n, [&](std::size_t p) {
+    RecordBatch out;
+    for (const auto& field : out_schema->fields()) {
+      out.columns.emplace_back(field.type);
+    }
+    for (auto& [key, state] : buckets[p]) {
+      std::size_t c = 0;
+      for (; c < key_indices.size(); ++c) {
+        out.columns[c].AppendFrom(state.key_row.columns[c], 0);
+      }
+      for (std::size_t a = 0; a < aggregates.size(); ++a, ++c) {
+        AggState& acc = state.aggs[a];
+        switch (aggregates[a].kind) {
+          case AggKind::kCount:
+            out.columns[c].AppendInt64(acc.count);
+            break;
+          case AggKind::kCollect:
+            out.columns[c].AppendSeq(std::move(acc.items));
+            break;
+          case AggKind::kFirst:
+            if (acc.first_set) {
+              out.columns[c].AppendFrom(acc.first, 0);
+            } else {
+              out.columns[c].AppendNull();
+            }
+            break;
+          case AggKind::kSumInt64:
+            out.columns[c].AppendInt64(acc.sum);
+            break;
+          case AggKind::kMinInt64:
+            if (acc.count > 0) {
+              out.columns[c].AppendInt64(acc.min);
+            } else {
+              out.columns[c].AppendNull();
+            }
+            break;
+          case AggKind::kMaxInt64:
+            if (acc.count > 0) {
+              out.columns[c].AppendInt64(acc.max);
+            } else {
+              out.columns[c].AppendNull();
+            }
+            break;
+        }
+      }
+      ++out.num_rows;
+    }
+    (*results)[p] = std::move(out);
+  });
+
+  return BatchesToRdd(context, std::move(*results));
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+/// Three-way comparison of one sort key at two rows. Nulls order per key
+/// configuration; values compare natively.
+int CompareCell(const Column& column, std::size_t left, std::size_t right,
+                const SortKey& key) {
+  bool ln = column.IsNull(left);
+  bool rn = column.IsNull(right);
+  if (ln || rn) {
+    if (ln && rn) return 0;
+    int null_side = key.nulls_smallest ? -1 : 1;
+    return ln ? null_side : -null_side;
+  }
+  int cmp = 0;
+  switch (column.type()) {
+    case DataType::kInt64: {
+      auto l = column.Int64At(left), r = column.Int64At(right);
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    case DataType::kFloat64: {
+      auto l = column.Float64At(left), r = column.Float64At(right);
+      cmp = l < r ? -1 : (l > r ? 1 : 0);
+      break;
+    }
+    case DataType::kString: {
+      int c = column.StringAt(left).compare(column.StringAt(right));
+      cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+      break;
+    }
+    case DataType::kBool: {
+      int l = column.BoolAt(left) ? 1 : 0, r = column.BoolAt(right) ? 1 : 0;
+      cmp = l - r;
+      break;
+    }
+    case DataType::kItemSeq:
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot sort on an item-seq column");
+  }
+  return cmp;
+}
+
+Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
+                          Rdd<RecordBatch> child_rdd) {
+  const SchemaPtr schema = plan.schema;
+  int n_parts = child_rdd.num_partitions();
+  RecordBatch all = ConcatBatches(child_rdd.Collect());
+
+  std::vector<std::size_t> key_indices;
+  key_indices.reserve(plan.sort_keys.size());
+  for (const auto& key : plan.sort_keys) {
+    key_indices.push_back(schema->RequireIndex(key.column));
+  }
+
+  std::vector<std::size_t> permutation(all.num_rows);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  std::stable_sort(
+      permutation.begin(), permutation.end(),
+      [&](std::size_t left, std::size_t right) {
+        for (std::size_t k = 0; k < key_indices.size(); ++k) {
+          int cmp = CompareCell(all.columns[key_indices[k]], left, right,
+                                plan.sort_keys[k]);
+          if (cmp != 0) {
+            return plan.sort_keys[k].ascending ? cmp < 0 : cmp > 0;
+          }
+        }
+        return false;
+      });
+
+  RecordBatch sorted;
+  for (const auto& column : all.columns) {
+    Column builder(column.type());
+    builder.Reserve(all.num_rows);
+    sorted.columns.push_back(std::move(builder));
+  }
+  for (std::size_t row : permutation) {
+    AppendRow(all, row, &sorted);
+  }
+  return BatchesToRdd(context, SplitBatch(sorted, n_parts));
+}
+
+// ---------------------------------------------------------------------------
+// ZipIndex / Limit
+// ---------------------------------------------------------------------------
+
+Rdd<RecordBatch> ExecZipIndex(const LogicalPlan& /*plan*/, Context* context,
+                              Rdd<RecordBatch> child_rdd) {
+  std::vector<RecordBatch> batches = child_rdd.Collect();
+  std::int64_t next = 0;
+  for (auto& batch : batches) {
+    Column index_column(DataType::kInt64);
+    index_column.Reserve(batch.num_rows);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      index_column.AppendInt64(next++);
+    }
+    batch.columns.push_back(std::move(index_column));
+  }
+  return BatchesToRdd(context, std::move(batches));
+}
+
+Rdd<RecordBatch> ExecLimit(const LogicalPlan& plan, Context* context,
+                           Rdd<RecordBatch> child_rdd) {
+  RecordBatch out;
+  bool initialized = false;
+  std::size_t taken = 0;
+  for (int p = 0; p < child_rdd.num_partitions() && taken < plan.limit_rows;
+       ++p) {
+    for (const RecordBatch& batch : child_rdd.ComputePartition(p)) {
+      if (!initialized && !batch.columns.empty()) {
+        for (const auto& column : batch.columns) {
+          out.columns.emplace_back(column.type());
+        }
+        initialized = true;
+      }
+      for (std::size_t row = 0;
+           row < batch.num_rows && taken < plan.limit_rows; ++row, ++taken) {
+        AppendRow(batch, row, &out);
+      }
+      if (taken >= plan.limit_rows) break;
+    }
+  }
+  if (!initialized) {
+    for (const auto& field : plan.schema->fields()) {
+      out.columns.emplace_back(field.type);
+    }
+  }
+  std::vector<RecordBatch> result;
+  result.push_back(std::move(out));
+  return BatchesToRdd(context, std::move(result));
+}
+
+}  // namespace
+
+spark::Rdd<RecordBatch> BatchesToRdd(Context* context,
+                                     std::vector<RecordBatch> batches) {
+  auto shared = std::make_shared<std::vector<RecordBatch>>(std::move(batches));
+  int n = static_cast<int>(shared->size());
+  if (n == 0) n = 1;
+  return Rdd<RecordBatch>(context, n, [shared](int index) {
+    std::vector<RecordBatch> out;
+    if (static_cast<std::size_t>(index) < shared->size()) {
+      out.push_back((*shared)[static_cast<std::size_t>(index)]);
+    } else {
+      out.emplace_back();
+    }
+    return out;
+  });
+}
+
+std::string EncodeKey(const Schema& schema,
+                      const std::vector<std::size_t>& key_indices,
+                      const RecordBatch& batch, std::size_t row) {
+  std::string out;
+  for (std::size_t index : key_indices) {
+    const Column& column = batch.columns[index];
+    if (column.IsNull(row)) {
+      out.push_back('\x00');
+      continue;
+    }
+    switch (schema.field(index).type) {
+      case DataType::kInt64: {
+        out.push_back('\x01');
+        std::int64_t value = column.Int64At(row);
+        out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+        break;
+      }
+      case DataType::kFloat64: {
+        out.push_back('\x02');
+        double value = column.Float64At(row);
+        if (value == 0.0) value = 0.0;  // normalize -0.0
+        out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+        break;
+      }
+      case DataType::kString: {
+        out.push_back('\x03');
+        const std::string& value = column.StringAt(row);
+        auto size = static_cast<std::uint32_t>(value.size());
+        out.append(reinterpret_cast<const char*>(&size), sizeof(size));
+        out.append(value);
+        break;
+      }
+      case DataType::kBool:
+        out.push_back(column.BoolAt(row) ? '\x05' : '\x04');
+        break;
+      case DataType::kItemSeq:
+        common::ThrowError(common::ErrorCode::kInternal,
+                           "cannot use an item-seq column as a native key");
+    }
+  }
+  return out;
+}
+
+spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan, Context* context) {
+  switch (plan->kind) {
+    case LogicalPlan::Kind::kScan:
+      return plan->scan_batches;
+
+    case LogicalPlan::Kind::kProject: {
+      Rdd<RecordBatch> child = ExecutePlan(plan->child, context);
+      SchemaPtr in_schema = plan->child->schema;
+      std::vector<NamedExpr> exprs = plan->exprs;
+      return child.Map([in_schema, exprs](const RecordBatch& batch) {
+        return EvalProject(in_schema, exprs, batch);
+      });
+    }
+
+    case LogicalPlan::Kind::kFilter: {
+      Rdd<RecordBatch> child = ExecutePlan(plan->child, context);
+      SchemaPtr schema = plan->child->schema;
+      Predicate predicate = plan->predicate;
+      return child.Map([schema, predicate](const RecordBatch& batch) {
+        return EvalFilter(schema, predicate, batch);
+      });
+    }
+
+    case LogicalPlan::Kind::kExplode: {
+      Rdd<RecordBatch> child = ExecutePlan(plan->child, context);
+      SchemaPtr schema = plan->child->schema;
+      std::string column = plan->explode_column;
+      bool keep_empty = plan->explode_keep_empty;
+      bool with_position = !plan->explode_position_column.empty();
+      return child.Map(
+          [schema, column, keep_empty, with_position](const RecordBatch& batch) {
+            return EvalExplode(schema, column, keep_empty, with_position,
+                               batch);
+          });
+    }
+
+    case LogicalPlan::Kind::kGroupBy:
+      return ExecGroupBy(*plan, context, ExecutePlan(plan->child, context));
+
+    case LogicalPlan::Kind::kSort:
+      return ExecSort(*plan, context, ExecutePlan(plan->child, context));
+
+    case LogicalPlan::Kind::kZipIndex:
+      return ExecZipIndex(*plan, context, ExecutePlan(plan->child, context));
+
+    case LogicalPlan::Kind::kLimit:
+      return ExecLimit(*plan, context, ExecutePlan(plan->child, context));
+  }
+  common::ThrowError(common::ErrorCode::kInternal, "unknown plan node");
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,28 @@
+#ifndef RUMBLE_DF_PHYSICAL_EXEC_H_
+#define RUMBLE_DF_PHYSICAL_EXEC_H_
+
+#include "src/df/logical_plan.h"
+#include "src/spark/context.h"
+
+namespace rumble::df {
+
+/// Executes a (typically optimized) logical plan. Narrow operators
+/// (Project/Filter/Explode) stay lazy and pipeline inside RDD partitions;
+/// wide operators (GroupBy/Sort/ZipIndex/Limit) run eagerly when this
+/// function reaches them — callers invoke ExecutePlan at action time only.
+spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan,
+                                    spark::Context* context);
+
+/// Wraps already-materialized batches as a one-partition-per-batch RDD.
+spark::Rdd<RecordBatch> BatchesToRdd(spark::Context* context,
+                                     std::vector<RecordBatch> batches);
+
+/// Encodes the native key columns of one row into a byte string usable as a
+/// hash-map key (type tag + value bytes per column). Exposed for tests.
+std::string EncodeKey(const Schema& schema,
+                      const std::vector<std::size_t>& key_indices,
+                      const RecordBatch& batch, std::size_t row);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_PHYSICAL_EXEC_H_

@@ -1,0 +1,99 @@
+#include "src/df/schema.h"
+
+#include <map>
+
+#include "src/common/error.h"
+
+namespace rumble::df {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "int64";
+    case DataType::kFloat64: return "float64";
+    case DataType::kString: return "string";
+    case DataType::kBool: return "bool";
+    case DataType::kItemSeq: return "item-seq";
+  }
+  return "unknown";
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t Schema::RequireIndex(std::string_view name) const {
+  int index = IndexOf(name);
+  if (index < 0) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "unknown DataFrame column: " + std::string(name) +
+                           " in schema [" + ToString() + "]");
+  }
+  return static_cast<std::size_t>(index);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+SchemaPtr InferSchema(const item::ItemSequence& sample) {
+  // For each key: the single scalar type observed, or kString once types
+  // conflict or a nested value appears. Insertion order is preserved via a
+  // parallel vector.
+  std::map<std::string, DataType> types;
+  std::vector<std::string> order;
+
+  auto scalar_type = [](const item::Item& value) -> DataType {
+    switch (value.type()) {
+      case item::ItemType::kBoolean: return DataType::kBool;
+      case item::ItemType::kInteger: return DataType::kInt64;
+      case item::ItemType::kDecimal:
+      case item::ItemType::kDouble: return DataType::kFloat64;
+      case item::ItemType::kString: return DataType::kString;
+      default: return DataType::kString;  // nested or null -> string column
+    }
+  };
+
+  for (const auto& object : sample) {
+    if (!object->IsObject()) continue;
+    for (const auto& key : object->Keys()) {
+      item::ItemPtr value = object->ValueForKey(key);
+      if (value->IsNull()) continue;  // nulls do not constrain the type
+      DataType observed = scalar_type(*value);
+      // Nested values always degrade the column to string (Figure 6).
+      if (value->IsArray() || value->IsObject()) observed = DataType::kString;
+      auto it = types.find(key);
+      if (it == types.end()) {
+        types.emplace(key, observed);
+        order.push_back(key);
+      } else if (it->second != observed) {
+        // Numeric widening int64 -> float64 is allowed; everything else
+        // degrades to string.
+        bool numeric_widening =
+            (it->second == DataType::kInt64 &&
+             observed == DataType::kFloat64) ||
+            (it->second == DataType::kFloat64 &&
+             observed == DataType::kInt64);
+        it->second = numeric_widening ? DataType::kFloat64 : DataType::kString;
+      }
+    }
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(order.size());
+  for (const auto& key : order) {
+    fields.push_back(Field{key, types[key]});
+  }
+  return std::make_shared<Schema>(std::move(fields));
+}
+
+}  // namespace rumble::df

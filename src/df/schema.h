@@ -1,0 +1,72 @@
+#ifndef RUMBLE_DF_SCHEMA_H_
+#define RUMBLE_DF_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/item/item.h"
+
+namespace rumble::df {
+
+/// Column types. The native types carry Spark-SQL-style optimizable values;
+/// kItemSeq is the "List of Items" column type the paper introduces for
+/// FLWOR variables (Section 4.3): every tuple-stream variable is one
+/// kItemSeq column.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+  kBool,
+  kItemSeq,
+};
+
+std::string_view DataTypeName(DataType type);
+
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t num_fields() const { return fields_.size(); }
+  const Field& field(std::size_t i) const { return fields_[i]; }
+
+  /// Index of a column by name, or -1 when absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Throws kInternal when the column is missing (caller bug).
+  std::size_t RequireIndex(std::string_view name) const;
+
+  void AddField(Field field) { fields_.push_back(std::move(field)); }
+
+  /// "name:type, name:type, ..." — used by tests and error messages.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Infers a flat relational schema from a sample of JSON object items the
+/// way Spark SQL does when loading JSON (paper Figure 6): a field seen with
+/// exactly one native scalar type gets that type; heterogeneous fields and
+/// nested values (arrays/objects) are forced to strings; fields absent from
+/// some objects remain nullable (every column is nullable here).
+SchemaPtr InferSchema(const item::ItemSequence& sample);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "src/exec/executor_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "src/util/stopwatch.h"
+
+namespace rumble::exec {
+
+thread_local bool ExecutorPool::in_worker_ = false;
+
+ExecutorPool::ExecutorPool(int num_executors) {
+  if (num_executors < 1) num_executors = 1;
+  workers_.reserve(static_cast<std::size_t>(num_executors));
+  for (int i = 0; i < num_executors; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ExecutorPool::WorkerLoop() {
+  in_worker_ = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ExecutorPool::RunParallel(std::size_t task_count,
+                               const std::function<void(std::size_t)>& fn,
+                               TaskMetrics* metrics) {
+  if (task_count == 0) return;
+
+  auto run_one = [&](std::size_t i) {
+    util::Stopwatch watch;
+    fn(i);
+    std::int64_t nanos = watch.ElapsedNanos();
+    pool_metrics_.RecordTask(nanos);
+    if (metrics != nullptr) metrics->RecordTask(nanos);
+  };
+
+  // Nested parallel regions (a task spawning tasks) run inline: Spark jobs
+  // do not nest either (Section 5.6), so this path is rare and correctness
+  // matters more than parallelism here.
+  if (in_worker_ || workers_.size() <= 1 || task_count == 1) {
+    for (std::size_t i = 0; i < task_count; ++i) run_one(i);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{task_count};
+  std::exception_ptr first_error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < task_count; ++i) {
+      tasks_.push([&, i] {
+        try {
+          run_one(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> error_lock(done_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(done_mu);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> done_lock(done_mu);
+  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rumble::exec

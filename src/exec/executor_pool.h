@@ -1,0 +1,59 @@
+#ifndef RUMBLE_EXEC_EXECUTOR_POOL_H_
+#define RUMBLE_EXEC_EXECUTOR_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/exec/task_metrics.h"
+
+namespace rumble::exec {
+
+/// Fixed-size worker pool standing in for a Spark executor fleet. Each
+/// submitted task corresponds to one partition of one stage, mirroring
+/// Spark's task-per-partition model. Per-task wall times are recorded in a
+/// TaskMetrics sink so the cluster simulator can replay schedules for
+/// arbitrary executor counts (Figure 14).
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(int num_executors);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  int num_executors() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(i)` for i in [0, task_count), in parallel across the pool, and
+  /// blocks until all tasks finish. Exceptions thrown by tasks are captured
+  /// and the first one is rethrown on the calling thread. Task durations are
+  /// appended to `metrics` when non-null. Re-entrant: a task may itself call
+  /// RunParallel (the nested call helps execute on the calling thread), which
+  /// matches Spark's restriction workaround that jobs do not nest — nested
+  /// calls degrade to inline execution rather than deadlocking.
+  void RunParallel(std::size_t task_count,
+                   const std::function<void(std::size_t)>& fn,
+                   TaskMetrics* metrics = nullptr);
+
+  TaskMetrics& metrics() { return pool_metrics_; }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  static thread_local bool in_worker_;
+
+  TaskMetrics pool_metrics_;
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_EXECUTOR_POOL_H_

@@ -1,0 +1,33 @@
+#include "src/exec/task_metrics.h"
+
+#include <numeric>
+
+namespace rumble::exec {
+
+void TaskMetrics::RecordTask(std::int64_t duration_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  durations_.push_back(duration_nanos);
+}
+
+std::vector<std::int64_t> TaskMetrics::TaskDurations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durations_;
+}
+
+std::int64_t TaskMetrics::TotalNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::accumulate(durations_.begin(), durations_.end(),
+                         static_cast<std::int64_t>(0));
+}
+
+std::size_t TaskMetrics::TaskCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durations_.size();
+}
+
+void TaskMetrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  durations_.clear();
+}
+
+}  // namespace rumble::exec

@@ -1,0 +1,37 @@
+#ifndef RUMBLE_EXEC_TASK_METRICS_H_
+#define RUMBLE_EXEC_TASK_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace rumble::exec {
+
+/// Thread-safe recorder of per-task wall times. Spark's UI exposes the same
+/// data ("aggregated task time"); Figure 14 plots it next to end-to-end
+/// runtime, and the cluster simulator replays it for other executor counts.
+class TaskMetrics {
+ public:
+  TaskMetrics() = default;
+
+  TaskMetrics(const TaskMetrics&) = delete;
+  TaskMetrics& operator=(const TaskMetrics&) = delete;
+
+  void RecordTask(std::int64_t duration_nanos);
+
+  /// Snapshot of all recorded task durations, in recording order.
+  std::vector<std::int64_t> TaskDurations() const;
+
+  std::int64_t TotalNanos() const;
+  std::size_t TaskCount() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::int64_t> durations_;
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_TASK_METRICS_H_

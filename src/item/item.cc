@@ -1,0 +1,58 @@
+#include "src/item/item.h"
+
+#include "src/common/error.h"
+
+namespace rumble::item {
+
+namespace {
+
+[[noreturn]] void ThrowAccessor(const Item& item, std::string_view wanted) {
+  common::ThrowError(
+      common::ErrorCode::kTypeError,
+      "cannot read a " + std::string(wanted) + " value from an item of type " +
+          std::string(ItemTypeName(item.type())));
+}
+
+}  // namespace
+
+std::string_view ItemTypeName(ItemType type) {
+  switch (type) {
+    case ItemType::kNull: return "null";
+    case ItemType::kBoolean: return "boolean";
+    case ItemType::kInteger: return "integer";
+    case ItemType::kDecimal: return "decimal";
+    case ItemType::kDouble: return "double";
+    case ItemType::kString: return "string";
+    case ItemType::kArray: return "array";
+    case ItemType::kObject: return "object";
+  }
+  return "item";
+}
+
+bool Item::BooleanValue() const { ThrowAccessor(*this, "boolean"); }
+
+std::int64_t Item::IntegerValue() const { ThrowAccessor(*this, "integer"); }
+
+double Item::NumericValue() const { ThrowAccessor(*this, "numeric"); }
+
+const std::string& Item::StringValue() const { ThrowAccessor(*this, "string"); }
+
+const std::vector<std::string>& Item::Keys() const {
+  ThrowAccessor(*this, "object-keys");
+}
+
+ItemPtr Item::ValueForKey(std::string_view) const { return nullptr; }
+
+const ItemSequence& Item::Members() const { ThrowAccessor(*this, "array"); }
+
+std::size_t Item::ArraySize() const { ThrowAccessor(*this, "array-size"); }
+
+ItemPtr Item::MemberAt(std::size_t) const { ThrowAccessor(*this, "array-member"); }
+
+std::string Item::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+}  // namespace rumble::item

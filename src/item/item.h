@@ -1,0 +1,105 @@
+#ifndef RUMBLE_ITEM_ITEM_H_
+#define RUMBLE_ITEM_ITEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rumble::item {
+
+class Item;
+
+/// Items are immutable and shared; sequences copy pointers, never payloads.
+/// This mirrors the paper's design of a single Item superclass so that an
+/// RDD of Items supports heterogeneity (Section 4.1.1).
+using ItemPtr = std::shared_ptr<const Item>;
+
+/// A (flat) sequence of items — the value of every JSONiq expression.
+using ItemSequence = std::vector<ItemPtr>;
+
+/// JSONiq Data Model item kinds implemented in this engine. `decimal` is
+/// approximated by double precision (documented substitution: the paper's
+/// engine uses Java BigDecimal; none of its experiments depend on >53-bit
+/// decimal precision).
+enum class ItemType : std::uint8_t {
+  kNull = 0,
+  kBoolean = 1,
+  kInteger = 2,
+  kDecimal = 3,
+  kDouble = 4,
+  kString = 5,
+  kArray = 6,
+  kObject = 7,
+};
+
+/// Human-readable type name ("integer", "object", ...). Used in error
+/// messages and by the `instance of` machinery.
+std::string_view ItemTypeName(ItemType type);
+
+/// Base class of the item hierarchy (paper Section 4.1.1). Accessors throw
+/// RumbleException(kTypeError) when invoked on the wrong kind; callers that
+/// must not throw test the type first.
+class Item {
+ public:
+  virtual ~Item() = default;
+
+  Item(const Item&) = delete;
+  Item& operator=(const Item&) = delete;
+
+  virtual ItemType type() const = 0;
+
+  bool IsNull() const { return type() == ItemType::kNull; }
+  bool IsBoolean() const { return type() == ItemType::kBoolean; }
+  bool IsInteger() const { return type() == ItemType::kInteger; }
+  bool IsString() const { return type() == ItemType::kString; }
+  bool IsArray() const { return type() == ItemType::kArray; }
+  bool IsObject() const { return type() == ItemType::kObject; }
+  bool IsNumeric() const {
+    ItemType t = type();
+    return t == ItemType::kInteger || t == ItemType::kDecimal ||
+           t == ItemType::kDouble;
+  }
+  bool IsAtomic() const {
+    ItemType t = type();
+    return t != ItemType::kArray && t != ItemType::kObject;
+  }
+
+  // -- Atomic accessors ------------------------------------------------
+  virtual bool BooleanValue() const;
+  virtual std::int64_t IntegerValue() const;
+  /// Numeric value as double; valid for integer, decimal and double items.
+  virtual double NumericValue() const;
+  virtual const std::string& StringValue() const;
+
+  // -- Object accessors ------------------------------------------------
+  /// Keys in document order.
+  virtual const std::vector<std::string>& Keys() const;
+  /// Value for a key, or nullptr when absent (absence is the empty
+  /// sequence in JSONiq, never an error).
+  virtual ItemPtr ValueForKey(std::string_view key) const;
+
+  // -- Array accessors -------------------------------------------------
+  virtual const ItemSequence& Members() const;
+  virtual std::size_t ArraySize() const;
+  /// 0-based member access; callers perform bound checks.
+  virtual ItemPtr MemberAt(std::size_t index) const;
+
+  // -- Common ----------------------------------------------------------
+  /// Appends the canonical JSON serialization of this item to `out`.
+  virtual void SerializeTo(std::string* out) const = 0;
+  std::string Serialize() const;
+
+  /// Approximate heap footprint, used by MemoryBudget accounting.
+  virtual std::size_t FootprintBytes() const = 0;
+
+ protected:
+  Item() = default;
+};
+
+}  // namespace rumble::item
+
+#endif  // RUMBLE_ITEM_ITEM_H_

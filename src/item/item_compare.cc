@@ -1,0 +1,140 @@
+#include "src/item/item_compare.h"
+
+#include <functional>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace rumble::item {
+
+namespace {
+
+/// Rank used to detect comparable families: null(0), boolean(1), number(2),
+/// string(3). Objects and arrays are not atomics.
+int AtomicFamily(const Item& item) {
+  switch (item.type()) {
+    case ItemType::kNull: return 0;
+    case ItemType::kBoolean: return 1;
+    case ItemType::kInteger:
+    case ItemType::kDecimal:
+    case ItemType::kDouble: return 2;
+    case ItemType::kString: return 3;
+    default:
+      common::ThrowError(common::ErrorCode::kTypeError,
+                         std::string("not an atomic item: ") +
+                             std::string(ItemTypeName(item.type())));
+  }
+}
+
+}  // namespace
+
+bool AtomicEquals(const Item& left, const Item& right) {
+  int lf = AtomicFamily(left);
+  int rf = AtomicFamily(right);
+  if (lf != rf) return false;
+  switch (lf) {
+    case 0: return true;  // null == null
+    case 1: return left.BooleanValue() == right.BooleanValue();
+    case 2:
+      if (left.IsInteger() && right.IsInteger()) {
+        return left.IntegerValue() == right.IntegerValue();
+      }
+      return left.NumericValue() == right.NumericValue();
+    default: return left.StringValue() == right.StringValue();
+  }
+}
+
+int CompareAtomics(const Item& left, const Item& right) {
+  int lf = AtomicFamily(left);
+  int rf = AtomicFamily(right);
+  // null is comparable to (and smaller than) every other atomic value.
+  if (lf == 0 || rf == 0) {
+    return (lf == 0 && rf == 0) ? 0 : (lf == 0 ? -1 : 1);
+  }
+  if (lf != rf) {
+    common::ThrowError(
+        common::ErrorCode::kIncompatibleSortKeys,
+        std::string("cannot compare ") +
+            std::string(ItemTypeName(left.type())) + " with " +
+            std::string(ItemTypeName(right.type())));
+  }
+  switch (lf) {
+    case 1: {
+      int l = left.BooleanValue() ? 1 : 0;
+      int r = right.BooleanValue() ? 1 : 0;
+      return l - r;
+    }
+    case 2: {
+      if (left.IsInteger() && right.IsInteger()) {
+        std::int64_t l = left.IntegerValue();
+        std::int64_t r = right.IntegerValue();
+        return l < r ? -1 : (l > r ? 1 : 0);
+      }
+      double l = left.NumericValue();
+      double r = right.NumericValue();
+      return l < r ? -1 : (l > r ? 1 : 0);
+    }
+    default: {
+      int cmp = left.StringValue().compare(right.StringValue());
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+  }
+}
+
+std::size_t AtomicHash(const Item& item) {
+  switch (AtomicFamily(item)) {
+    case 0: return 0x9bf0'9573u;
+    case 1: return item.BooleanValue() ? 0x85eb'ca6bu : 0xc2b2'ae35u;
+    case 2: return std::hash<double>()(item.NumericValue());
+    default: return std::hash<std::string>()(item.StringValue());
+  }
+}
+
+bool DeepEquals(const Item& left, const Item& right) {
+  if (left.IsObject() && right.IsObject()) {
+    const auto& keys = left.Keys();
+    if (keys.size() != right.Keys().size()) return false;
+    for (const auto& key : keys) {
+      ItemPtr lv = left.ValueForKey(key);
+      ItemPtr rv = right.ValueForKey(key);
+      if (rv == nullptr || !DeepEquals(*lv, *rv)) return false;
+    }
+    return true;
+  }
+  if (left.IsArray() && right.IsArray()) {
+    if (left.ArraySize() != right.ArraySize()) return false;
+    for (std::size_t i = 0; i < left.ArraySize(); ++i) {
+      if (!DeepEquals(*left.MemberAt(i), *right.MemberAt(i))) return false;
+    }
+    return true;
+  }
+  if (left.IsAtomic() && right.IsAtomic()) {
+    return AtomicEquals(left, right);
+  }
+  return false;
+}
+
+bool EffectiveBooleanValue(const ItemSequence& sequence) {
+  if (sequence.empty()) return false;
+  const Item& first = *sequence.front();
+  if (first.IsObject() || first.IsArray()) return true;
+  if (sequence.size() > 1) {
+    common::ThrowError(
+        common::ErrorCode::kTypeError,
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  switch (first.type()) {
+    case ItemType::kNull: return false;
+    case ItemType::kBoolean: return first.BooleanValue();
+    case ItemType::kString: return !first.StringValue().empty();
+    case ItemType::kInteger: return first.IntegerValue() != 0;
+    case ItemType::kDecimal:
+    case ItemType::kDouble: {
+      double v = first.NumericValue();
+      return v != 0.0 && v == v;  // false for 0 and NaN
+    }
+    default: return true;
+  }
+}
+
+}  // namespace rumble::item

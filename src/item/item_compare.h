@@ -1,0 +1,38 @@
+#ifndef RUMBLE_ITEM_ITEM_COMPARE_H_
+#define RUMBLE_ITEM_ITEM_COMPARE_H_
+
+#include <cstddef>
+
+#include "src/item/item.h"
+
+namespace rumble::item {
+
+/// Value equality across atomic items: numbers compare numerically across
+/// integer/decimal/double, strings byte-wise, null equals only null. Used by
+/// general comparison, distinct-values and group-by semantics. Comparing a
+/// string with a number is simply `false` for equality (JSONiq group-by
+/// tolerates mixed-type keys; Section 4.7).
+bool AtomicEquals(const Item& left, const Item& right);
+
+/// Three-way ordering for order-by (Section 4.8): null sorts below every
+/// other atomic; booleans, strings and numbers are each internally ordered.
+/// Comparing incompatible kinds (e.g. string vs number) raises
+/// kIncompatibleSortKeys, as the JSONiq specification requires.
+int CompareAtomics(const Item& left, const Item& right);
+
+/// Hash consistent with AtomicEquals (numeric items hash by numeric value).
+std::size_t AtomicHash(const Item& item);
+
+/// Structural deep equality (objects: same key set with deep-equal values,
+/// order-insensitive; arrays: same members in order; atomics: AtomicEquals).
+bool DeepEquals(const Item& left, const Item& right);
+
+/// Effective boolean value of a sequence per JSONiq: empty -> false; first
+/// item object/array -> true (only if singleton is not required — JSONiq
+/// allows a non-empty sequence starting with a JSON item to be true);
+/// singleton atomic by kind; otherwise raises kTypeError.
+bool EffectiveBooleanValue(const ItemSequence& sequence);
+
+}  // namespace rumble::item
+
+#endif  // RUMBLE_ITEM_ITEM_COMPARE_H_

@@ -1,0 +1,207 @@
+#include "src/item/item_factory.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/error.h"
+#include "src/util/strings.h"
+
+namespace rumble::item {
+
+namespace {
+
+class NullItem final : public Item {
+ public:
+  ItemType type() const override { return ItemType::kNull; }
+  void SerializeTo(std::string* out) const override { out->append("null"); }
+  std::size_t FootprintBytes() const override { return sizeof(*this); }
+};
+
+class BooleanItem final : public Item {
+ public:
+  explicit BooleanItem(bool value) : value_(value) {}
+  ItemType type() const override { return ItemType::kBoolean; }
+  bool BooleanValue() const override { return value_; }
+  void SerializeTo(std::string* out) const override {
+    out->append(value_ ? "true" : "false");
+  }
+  std::size_t FootprintBytes() const override { return sizeof(*this); }
+
+ private:
+  bool value_;
+};
+
+class IntegerItem final : public Item {
+ public:
+  explicit IntegerItem(std::int64_t value) : value_(value) {}
+  ItemType type() const override { return ItemType::kInteger; }
+  std::int64_t IntegerValue() const override { return value_; }
+  double NumericValue() const override {
+    return static_cast<double>(value_);
+  }
+  void SerializeTo(std::string* out) const override {
+    out->append(std::to_string(value_));
+  }
+  std::size_t FootprintBytes() const override { return sizeof(*this) + 16; }
+
+ private:
+  std::int64_t value_;
+};
+
+class DoubleLikeItem : public Item {
+ public:
+  explicit DoubleLikeItem(double value) : value_(value) {}
+  double NumericValue() const override { return value_; }
+  void SerializeTo(std::string* out) const override {
+    out->append(util::FormatDouble(value_));
+  }
+  std::size_t FootprintBytes() const override { return sizeof(*this) + 16; }
+
+ private:
+  double value_;
+};
+
+class DecimalItem final : public DoubleLikeItem {
+ public:
+  using DoubleLikeItem::DoubleLikeItem;
+  ItemType type() const override { return ItemType::kDecimal; }
+};
+
+class DoubleItem final : public DoubleLikeItem {
+ public:
+  using DoubleLikeItem::DoubleLikeItem;
+  ItemType type() const override { return ItemType::kDouble; }
+};
+
+class StringItem final : public Item {
+ public:
+  explicit StringItem(std::string value) : value_(std::move(value)) {}
+  ItemType type() const override { return ItemType::kString; }
+  const std::string& StringValue() const override { return value_; }
+  void SerializeTo(std::string* out) const override {
+    out->push_back('"');
+    out->append(util::JsonEscape(value_));
+    out->push_back('"');
+  }
+  std::size_t FootprintBytes() const override {
+    return sizeof(*this) + value_.capacity() + 16;
+  }
+
+ private:
+  std::string value_;
+};
+
+class ArrayItem final : public Item {
+ public:
+  explicit ArrayItem(ItemSequence members) : members_(std::move(members)) {}
+  ItemType type() const override { return ItemType::kArray; }
+  const ItemSequence& Members() const override { return members_; }
+  std::size_t ArraySize() const override { return members_.size(); }
+  ItemPtr MemberAt(std::size_t index) const override {
+    return index < members_.size() ? members_[index] : nullptr;
+  }
+  void SerializeTo(std::string* out) const override {
+    out->push_back('[');
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i > 0) out->append(", ");
+      members_[i]->SerializeTo(out);
+    }
+    out->push_back(']');
+  }
+  std::size_t FootprintBytes() const override {
+    std::size_t total = sizeof(*this) + members_.capacity() * sizeof(ItemPtr);
+    for (const auto& member : members_) total += member->FootprintBytes();
+    return total;
+  }
+
+ private:
+  ItemSequence members_;
+};
+
+class ObjectItem final : public Item {
+ public:
+  explicit ObjectItem(std::vector<std::pair<std::string, ItemPtr>> fields)
+      : fields_(std::move(fields)) {
+    keys_.reserve(fields_.size());
+    for (const auto& [key, value] : fields_) keys_.push_back(key);
+  }
+  ItemType type() const override { return ItemType::kObject; }
+  const std::vector<std::string>& Keys() const override { return keys_; }
+  ItemPtr ValueForKey(std::string_view key) const override {
+    for (const auto& [field_key, value] : fields_) {
+      if (field_key == key) return value;
+    }
+    return nullptr;
+  }
+  void SerializeTo(std::string* out) const override {
+    out->push_back('{');
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out->append(", ");
+      out->push_back('"');
+      out->append(util::JsonEscape(fields_[i].first));
+      out->append("\" : ");
+      fields_[i].second->SerializeTo(out);
+    }
+    out->push_back('}');
+  }
+  std::size_t FootprintBytes() const override {
+    std::size_t total = sizeof(*this);
+    for (const auto& [key, value] : fields_) {
+      total += key.capacity() + sizeof(ItemPtr) * 2 + value->FootprintBytes();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::pair<std::string, ItemPtr>> fields_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace
+
+ItemPtr MakeNull() {
+  static const ItemPtr kNull = std::make_shared<NullItem>();
+  return kNull;
+}
+
+ItemPtr MakeBoolean(bool value) {
+  static const ItemPtr kTrue = std::make_shared<BooleanItem>(true);
+  static const ItemPtr kFalse = std::make_shared<BooleanItem>(false);
+  return value ? kTrue : kFalse;
+}
+
+ItemPtr MakeInteger(std::int64_t value) {
+  return std::make_shared<IntegerItem>(value);
+}
+
+ItemPtr MakeDecimal(double value) {
+  return std::make_shared<DecimalItem>(value);
+}
+
+ItemPtr MakeDouble(double value) {
+  return std::make_shared<DoubleItem>(value);
+}
+
+ItemPtr MakeString(std::string value) {
+  return std::make_shared<StringItem>(std::move(value));
+}
+
+ItemPtr MakeArray(ItemSequence members) {
+  return std::make_shared<ArrayItem>(std::move(members));
+}
+
+ItemPtr MakeObject(std::vector<std::pair<std::string, ItemPtr>> fields,
+                   bool check_duplicates) {
+  if (check_duplicates) {
+    std::unordered_set<std::string_view> seen;
+    for (const auto& [key, value] : fields) {
+      if (!seen.insert(key).second) {
+        common::ThrowError(common::ErrorCode::kDuplicateObjectKey,
+                           "duplicate key in object constructor: " + key);
+      }
+    }
+  }
+  return std::make_shared<ObjectItem>(std::move(fields));
+}
+
+}  // namespace rumble::item

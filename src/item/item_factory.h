@@ -1,0 +1,32 @@
+#ifndef RUMBLE_ITEM_ITEM_FACTORY_H_
+#define RUMBLE_ITEM_ITEM_FACTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/item/item.h"
+
+namespace rumble::item {
+
+/// Factory functions for every item kind. Null and the two booleans are
+/// shared singletons; numbers and strings allocate.
+ItemPtr MakeNull();
+ItemPtr MakeBoolean(bool value);
+ItemPtr MakeInteger(std::int64_t value);
+ItemPtr MakeDecimal(double value);
+ItemPtr MakeDouble(double value);
+ItemPtr MakeString(std::string value);
+ItemPtr MakeArray(ItemSequence members);
+
+/// Object fields in document order. When `check_duplicates` is set, a
+/// duplicate key raises kDuplicateObjectKey (JNDY0021) as the object
+/// constructor expression requires; parsers pass false and keep the first
+/// occurrence, mirroring common JSON parser behaviour.
+ItemPtr MakeObject(std::vector<std::pair<std::string, ItemPtr>> fields,
+                   bool check_duplicates = false);
+
+}  // namespace rumble::item
+
+#endif  // RUMBLE_ITEM_ITEM_FACTORY_H_

@@ -1,0 +1,90 @@
+#include "src/json/dom.h"
+
+#include "src/item/item_factory.h"
+#include "src/json/item_parser.h"
+
+namespace rumble::json {
+
+namespace {
+
+/// Builds the DOM by converting from an Item tree. Reusing the
+/// well-tested streaming parser keeps one grammar implementation; the DOM
+/// path still pays the two-representation cost it exists to model.
+DomValuePtr ItemToDom(const item::Item& item) {
+  auto out = std::make_shared<DomValue>();
+  switch (item.type()) {
+    case item::ItemType::kNull:
+      out->value = nullptr;
+      break;
+    case item::ItemType::kBoolean:
+      out->value = item.BooleanValue();
+      break;
+    case item::ItemType::kInteger:
+      out->value = item.IntegerValue();
+      break;
+    case item::ItemType::kDecimal:
+    case item::ItemType::kDouble:
+      out->value = item.NumericValue();
+      break;
+    case item::ItemType::kString:
+      out->value = item.StringValue();
+      break;
+    case item::ItemType::kArray: {
+      DomValue::Array array;
+      array.reserve(item.ArraySize());
+      for (const auto& member : item.Members()) {
+        array.push_back(ItemToDom(*member));
+      }
+      out->value = std::move(array);
+      break;
+    }
+    case item::ItemType::kObject: {
+      DomValue::Object object;
+      for (const auto& key : item.Keys()) {
+        object[key] = ItemToDom(*item.ValueForKey(key));
+      }
+      out->value = std::move(object);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DomValuePtr ParseDom(std::string_view text) {
+  return ItemToDom(*ParseItem(text));
+}
+
+item::ItemPtr DomToItem(const DomValue& value) {
+  return std::visit(
+      [](const auto& v) -> item::ItemPtr {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::nullptr_t>) {
+          return item::MakeNull();
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return item::MakeBoolean(v);
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return item::MakeInteger(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          return item::MakeDecimal(v);
+        } else if constexpr (std::is_same_v<T, std::string>) {
+          return item::MakeString(v);
+        } else if constexpr (std::is_same_v<T, DomValue::Array>) {
+          item::ItemSequence members;
+          members.reserve(v.size());
+          for (const auto& member : v) members.push_back(DomToItem(*member));
+          return item::MakeArray(std::move(members));
+        } else {
+          std::vector<std::pair<std::string, item::ItemPtr>> fields;
+          fields.reserve(v.size());
+          for (const auto& [key, field] : v) {
+            fields.emplace_back(key, DomToItem(*field));
+          }
+          return item::MakeObject(std::move(fields));
+        }
+      },
+      value.value);
+}
+
+}  // namespace rumble::json

@@ -1,0 +1,41 @@
+#ifndef RUMBLE_JSON_DOM_H_
+#define RUMBLE_JSON_DOM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/item/item.h"
+
+namespace rumble::json {
+
+/// Generic DOM value used by the non-streaming parse path (the approach the
+/// paper's json-file() avoids, Section 5.7) and by the Xidel baseline
+/// simulation. Deliberately a boxier representation than Item: every value
+/// is heap-allocated and object fields live in an ordered map.
+struct DomValue;
+using DomValuePtr = std::shared_ptr<DomValue>;
+
+struct DomValue {
+  using Array = std::vector<DomValuePtr>;
+  using Object = std::map<std::string, DomValuePtr>;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      value;
+};
+
+/// Parses text into a DOM tree. Throws kJsonParseError on malformed input.
+DomValuePtr ParseDom(std::string_view text);
+
+/// Converts a DOM tree to an Item tree (the extra copy the streaming parser
+/// avoids). Object keys come out in map order, which is fine for engine
+/// semantics (object key order is not significant in JSON).
+item::ItemPtr DomToItem(const DomValue& value);
+
+}  // namespace rumble::json
+
+#endif  // RUMBLE_JSON_DOM_H_

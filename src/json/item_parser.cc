@@ -1,0 +1,280 @@
+#include "src/json/item_parser.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+
+namespace rumble::json {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ItemPtr Parse() {
+    SkipWhitespace();
+    ItemPtr value = ParseValue();
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    common::ThrowError(ErrorCode::kJsonParseError,
+                       message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  ItemPtr ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return item::MakeString(ParseString());
+      case 't': ParseLiteral("true"); return item::MakeBoolean(true);
+      case 'f': ParseLiteral("false"); return item::MakeBoolean(false);
+      case 'n': ParseLiteral("null"); return item::MakeNull();
+      default: return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      Fail("invalid literal");
+    }
+    pos_ += literal.size();
+  }
+
+  ItemPtr ParseObject() {
+    Expect('{');
+    std::vector<std::pair<std::string, ItemPtr>> fields;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return item::MakeObject(std::move(fields));
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') Fail("expected object key string");
+      std::string key = ParseString();
+      SkipWhitespace();
+      Expect(':');
+      SkipWhitespace();
+      fields.emplace_back(std::move(key), ParseValue());
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return item::MakeObject(std::move(fields));
+      }
+      Fail("expected ',' or '}' in object");
+    }
+  }
+
+  ItemPtr ParseArray() {
+    Expect('[');
+    ItemSequence members;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return item::MakeArray(std::move(members));
+    }
+    while (true) {
+      SkipWhitespace();
+      members.push_back(ParseValue());
+      SkipWhitespace();
+      char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return item::MakeArray(std::move(members));
+      }
+      Fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': AppendUnicodeEscape(&out); break;
+        default: Fail("invalid escape character");
+      }
+    }
+  }
+
+  void AppendUnicodeEscape(std::string* out) {
+    std::uint32_t code = ParseHex4();
+    // Surrogate pair handling.
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+          text_[pos_ + 1] == 'u') {
+        pos_ += 2;
+        std::uint32_t low = ParseHex4();
+        if (low >= 0xDC00 && low <= 0xDFFF) {
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else {
+          Fail("invalid low surrogate");
+        }
+      } else {
+        Fail("unpaired high surrogate");
+      }
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  std::uint32_t ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  ItemPtr ParseNumber() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool has_digits = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+      has_digits = true;
+    }
+    if (!has_digits) Fail("invalid number");
+    bool is_integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      std::int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return item::MakeInteger(value);
+      }
+      // Overflow: fall through to decimal.
+    }
+    double value = std::strtod(std::string(token).c_str(), nullptr);
+    // Per the JSONiq data model: a literal with an exponent is a double, a
+    // literal with only a fraction (or an overflowing integer) is a decimal.
+    return is_double ? item::MakeDouble(value) : item::MakeDecimal(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+item::ItemPtr ParseItem(std::string_view text) { return Parser(text).Parse(); }
+
+item::ItemPtr ParseLine(std::string_view line, std::size_t line_number) {
+  try {
+    return Parser(line).Parse();
+  } catch (const common::RumbleException& e) {
+    common::ThrowError(ErrorCode::kJsonParseError,
+                       "line " + std::to_string(line_number) + ": " + e.what());
+  }
+}
+
+}  // namespace rumble::json

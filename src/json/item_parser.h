@@ -1,0 +1,23 @@
+#ifndef RUMBLE_JSON_ITEM_PARSER_H_
+#define RUMBLE_JSON_ITEM_PARSER_H_
+
+#include <string_view>
+
+#include "src/item/item.h"
+
+namespace rumble::json {
+
+/// Single-pass recursive-descent JSON parser that builds engine Items
+/// directly, with no intermediate representation — the design point the
+/// paper adopts from JSONiter (Section 5.7). Throws
+/// RumbleException(kJsonParseError) on malformed input.
+item::ItemPtr ParseItem(std::string_view text);
+
+/// Parses one JSON Lines record. Identical to ParseItem but reports the
+/// provided line number in errors, which matters when a multi-GB file has
+/// one bad record.
+item::ItemPtr ParseLine(std::string_view line, std::size_t line_number);
+
+}  // namespace rumble::json
+
+#endif  // RUMBLE_JSON_ITEM_PARSER_H_

@@ -1,0 +1,53 @@
+#include "src/json/lines.h"
+
+namespace rumble::json {
+
+std::vector<ByteRange> SplitByteRanges(std::uint64_t file_size,
+                                       int target_splits) {
+  std::vector<ByteRange> ranges;
+  if (file_size == 0) return ranges;
+  if (target_splits < 1) target_splits = 1;
+  auto splits = static_cast<std::uint64_t>(target_splits);
+  if (splits > file_size) splits = file_size;
+  std::uint64_t chunk = file_size / splits;
+  std::uint64_t remainder = file_size % splits;
+  std::uint64_t offset = 0;
+  for (std::uint64_t i = 0; i < splits; ++i) {
+    std::uint64_t size = chunk + (i < remainder ? 1 : 0);
+    ranges.push_back(ByteRange{offset, offset + size});
+    offset += size;
+  }
+  return ranges;
+}
+
+std::vector<std::string> LinesInRange(std::string_view content,
+                                      ByteRange range) {
+  std::vector<std::string> lines;
+  std::size_t pos = range.begin;
+  if (pos > content.size()) return lines;
+
+  // Skip the partial line at the start of the range; it belongs to the
+  // previous split, which reads past its own end to finish it.
+  if (pos != 0) {
+    std::size_t newline = content.find('\n', pos - 1);
+    if (newline == std::string_view::npos) return lines;
+    // If the byte just before `pos` is itself a newline, the line starting
+    // at pos belongs to us.
+    pos = (content[pos - 1] == '\n') ? pos : newline + 1;
+  }
+
+  // Emit lines whose first byte is inside [begin, end).
+  while (pos < content.size() && pos < range.end) {
+    std::size_t newline = content.find('\n', pos);
+    std::size_t line_end =
+        newline == std::string_view::npos ? content.size() : newline;
+    if (line_end > pos) {
+      lines.emplace_back(content.substr(pos, line_end - pos));
+    }
+    if (newline == std::string_view::npos) break;
+    pos = newline + 1;
+  }
+  return lines;
+}
+
+}  // namespace rumble::json

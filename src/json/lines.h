@@ -1,0 +1,33 @@
+#ifndef RUMBLE_JSON_LINES_H_
+#define RUMBLE_JSON_LINES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumble::json {
+
+/// A byte range [begin, end) of a file assigned to one input partition.
+struct ByteRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Splits `file_size` bytes into up to `target_splits` contiguous ranges.
+/// Ranges are provisional: readers extend past `end` to the next newline and
+/// skip a leading partial line unless they start at 0 — the standard
+/// HDFS/TextInputFormat contract that makes JSON Lines splittable.
+std::vector<ByteRange> SplitByteRanges(std::uint64_t file_size,
+                                       int target_splits);
+
+/// Extracts the complete lines of `content` that belong to the range
+/// [range.begin, range.end) under the TextInputFormat contract described
+/// above. Used by the text source and unit-tested directly.
+std::vector<std::string> LinesInRange(std::string_view content,
+                                      ByteRange range);
+
+}  // namespace rumble::json
+
+#endif  // RUMBLE_JSON_LINES_H_

@@ -1,0 +1,23 @@
+#include "src/json/writer.h"
+
+namespace rumble::json {
+
+std::string SerializeLines(const item::ItemSequence& items) {
+  std::string out;
+  for (const auto& item : items) {
+    item->SerializeTo(&out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string SerializeSequence(const item::ItemSequence& items) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.push_back('\n');
+    items[i]->SerializeTo(&out);
+  }
+  return out;
+}
+
+}  // namespace rumble::json

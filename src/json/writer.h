@@ -1,0 +1,19 @@
+#ifndef RUMBLE_JSON_WRITER_H_
+#define RUMBLE_JSON_WRITER_H_
+
+#include <string>
+
+#include "src/item/item.h"
+
+namespace rumble::json {
+
+/// Serializes a sequence of items as JSON Lines (one item per line).
+std::string SerializeLines(const item::ItemSequence& items);
+
+/// Serializes a sequence the way the Rumble shell prints results: items
+/// separated by newlines, empty sequence prints as "".
+std::string SerializeSequence(const item::ItemSequence& items);
+
+}  // namespace rumble::json
+
+#endif  // RUMBLE_JSON_WRITER_H_

@@ -1,0 +1,180 @@
+#include "src/jsoniq/ast.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+void Dump(const Expr& expr, int depth, std::string* out) {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append(ExprKindName(expr.kind));
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      out->append(" ");
+      out->append(expr.literal->Serialize());
+      break;
+    case Expr::Kind::kVariableRef:
+      out->append(" $" + expr.variable);
+      break;
+    case Expr::Kind::kFunctionCall:
+      out->append(" " + expr.function_name + "#" +
+                  std::to_string(expr.children.size()));
+      break;
+    case Expr::Kind::kInstanceOf:
+    case Expr::Kind::kTreatAs:
+    case Expr::Kind::kCastAs:
+      out->append(" " + expr.sequence_type.ToString());
+      break;
+    default:
+      break;
+  }
+  out->push_back('\n');
+
+  auto dump_child = [&](const ExprPtr& child) {
+    if (child) Dump(*child, depth + 1, out);
+  };
+
+  if (expr.kind == Expr::Kind::kFlwor) {
+    for (const auto& clause : expr.clauses) {
+      out->append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+      switch (clause.kind) {
+        case FlworClause::Kind::kFor:
+          out->append("for $" + clause.variable);
+          if (!clause.position_variable.empty()) {
+            out->append(" at $" + clause.position_variable);
+          }
+          if (clause.allowing_empty) out->append(" allowing empty");
+          out->push_back('\n');
+          dump_child(clause.expr);
+          break;
+        case FlworClause::Kind::kLet:
+          out->append("let $" + clause.variable + "\n");
+          dump_child(clause.expr);
+          break;
+        case FlworClause::Kind::kWhere:
+          out->append("where\n");
+          dump_child(clause.expr);
+          break;
+        case FlworClause::Kind::kGroupBy:
+          out->append("group by");
+          for (const auto& spec : clause.group_specs) {
+            out->append(" $" + spec.variable);
+          }
+          out->push_back('\n');
+          for (const auto& spec : clause.group_specs) {
+            if (spec.expr) Dump(*spec.expr, depth + 2, out);
+          }
+          break;
+        case FlworClause::Kind::kOrderBy:
+          out->append("order by\n");
+          for (const auto& spec : clause.order_specs) {
+            out->append(static_cast<std::size_t>(depth + 2) * 2, ' ');
+            out->append(spec.ascending ? "ascending" : "descending");
+            if (spec.empty_greatest) out->append(" empty greatest");
+            out->push_back('\n');
+            Dump(*spec.expr, depth + 3, out);
+          }
+          break;
+        case FlworClause::Kind::kCount:
+          out->append("count $" + clause.variable + "\n");
+          break;
+      }
+    }
+    out->append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    out->append("return\n");
+    Dump(*expr.return_expr, depth + 2, out);
+    return;
+  }
+
+  if (expr.kind == Expr::Kind::kQuantified) {
+    for (const auto& [variable, binding] : expr.quantifier_bindings) {
+      out->append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+      out->append("bind $" + variable + "\n");
+      Dump(*binding, depth + 2, out);
+    }
+    Dump(*expr.children.back(), depth + 1, out);
+    return;
+  }
+
+  if (expr.kind == Expr::Kind::kObjectConstructor) {
+    for (std::size_t i = 0; i < expr.object_keys.size(); ++i) {
+      dump_child(expr.object_keys[i]);
+      dump_child(expr.object_values[i]);
+    }
+    return;
+  }
+
+  for (const auto& child : expr.children) {
+    dump_child(child);
+  }
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& expr) {
+  std::string out;
+  Dump(expr, 0, &out);
+  return out;
+}
+
+ExprPtr MakeLiteral(item::ItemPtr value) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = Expr::Kind::kLiteral;
+  expr->literal = std::move(value);
+  return expr;
+}
+
+ExprPtr MakeUnary(Expr::Kind kind, ExprPtr child) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = kind;
+  expr->children.push_back(std::move(child));
+  return expr;
+}
+
+ExprPtr MakeBinary(Expr::Kind kind, ExprPtr left, ExprPtr right) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = kind;
+  expr->children.push_back(std::move(left));
+  expr->children.push_back(std::move(right));
+  return expr;
+}
+
+ExprPtr MakeVariadic(Expr::Kind kind, std::vector<ExprPtr> children) {
+  auto expr = std::make_shared<Expr>();
+  expr->kind = kind;
+  expr->children = std::move(children);
+  return expr;
+}
+
+std::string_view ExprKindName(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kLiteral: return "literal";
+    case Expr::Kind::kVariableRef: return "variable-reference";
+    case Expr::Kind::kContextItem: return "context-item";
+    case Expr::Kind::kSequence: return "sequence";
+    case Expr::Kind::kIfThenElse: return "if-then-else";
+    case Expr::Kind::kSwitch: return "switch";
+    case Expr::Kind::kQuantified: return "quantified";
+    case Expr::Kind::kOr: return "or";
+    case Expr::Kind::kAnd: return "and";
+    case Expr::Kind::kComparison: return "comparison";
+    case Expr::Kind::kArithmetic: return "arithmetic";
+    case Expr::Kind::kUnaryMinus: return "unary-minus";
+    case Expr::Kind::kStringConcat: return "string-concat";
+    case Expr::Kind::kRange: return "range";
+    case Expr::Kind::kObjectConstructor: return "object-constructor";
+    case Expr::Kind::kArrayConstructor: return "array-constructor";
+    case Expr::Kind::kObjectLookup: return "object-lookup";
+    case Expr::Kind::kArrayLookup: return "array-lookup";
+    case Expr::Kind::kArrayUnbox: return "array-unbox";
+    case Expr::Kind::kPredicate: return "predicate";
+    case Expr::Kind::kFunctionCall: return "function-call";
+    case Expr::Kind::kFlwor: return "flwor";
+    case Expr::Kind::kTryCatch: return "try-catch";
+    case Expr::Kind::kInstanceOf: return "instance-of";
+    case Expr::Kind::kTreatAs: return "treat-as";
+    case Expr::Kind::kCastAs: return "cast-as";
+  }
+  return "expression";
+}
+
+}  // namespace rumble::jsoniq

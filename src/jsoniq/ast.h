@@ -1,0 +1,150 @@
+#ifndef RUMBLE_JSONIQ_AST_H_
+#define RUMBLE_JSONIQ_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/item/item.h"
+#include "src/jsoniq/sequence_type.h"
+
+namespace rumble::jsoniq {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators. Value comparisons (eq..ge) require singleton
+/// atomics (or empty); general comparisons (=..>=) are existential.
+enum class CompareOp {
+  kValueEq, kValueNe, kValueLt, kValueLe, kValueGt, kValueGe,
+  kGeneralEq, kGeneralNe, kGeneralLt, kGeneralLe, kGeneralGt, kGeneralGe,
+};
+
+enum class ArithmeticOp { kAdd, kSub, kMul, kDiv, kIDiv, kMod };
+
+enum class QuantifierKind { kSome, kEvery };
+
+/// One FLWOR clause (paper Section 4). Tagged struct; fields used per kind
+/// are documented next to the kind.
+struct FlworClause {
+  enum class Kind { kFor, kLet, kWhere, kGroupBy, kOrderBy, kCount };
+
+  struct GroupSpec {
+    std::string variable;
+    ExprPtr expr;  // null: group by an already-bound variable
+  };
+  struct OrderSpec {
+    ExprPtr expr;
+    bool ascending = true;
+    bool empty_greatest = false;
+  };
+
+  Kind kind = Kind::kFor;
+
+  // kFor
+  std::string variable;       // also kLet, kCount
+  std::string position_variable;  // "at $p"; empty when absent
+  bool allowing_empty = false;
+  ExprPtr expr;               // also kLet binding expr, kWhere condition
+
+  // kGroupBy
+  std::vector<GroupSpec> group_specs;
+
+  // kOrderBy
+  std::vector<OrderSpec> order_specs;
+};
+
+/// Expression tree node (paper Section 5.3). One tagged struct covering all
+/// expression kinds implemented by this engine; the per-kind payload fields
+/// are grouped below.
+struct Expr {
+  enum class Kind {
+    kLiteral,           // literal: atomic item
+    kVariableRef,       // $name
+    kContextItem,       // $$
+    kSequence,          // e1, e2, ...  (also the empty sequence: no children)
+    kIfThenElse,        // if (c) then t else e
+    kSwitch,            // switch (op) case k return v ... default return d
+                        // children layout: op, k1, v1, ..., kN, vN, default
+    kQuantified,        // some/every $v in e (, ...) satisfies p
+    kOr, kAnd,          // two-valued logic over children
+    kComparison,        // left op right
+    kArithmetic,        // left op right
+    kUnaryMinus,        // -e
+    kStringConcat,      // e1 || e2
+    kRange,             // e1 to e2
+    kObjectConstructor, // { k : v, ... }
+    kArrayConstructor,  // [ e ]
+    kObjectLookup,      // target.key / target.$v / target.("k")
+    kArrayLookup,       // target[[i]]
+    kArrayUnbox,        // target[]
+    kPredicate,         // target[p]
+    kFunctionCall,      // fn(args...)
+    kFlwor,             // for/let/.../return
+    kTryCatch,          // try { e } catch * { h }
+    kInstanceOf,        // e instance of T
+    kTreatAs,           // e treat as T
+    kCastAs,            // e cast as T / T?
+  };
+
+  Kind kind = Kind::kLiteral;
+
+  // Common child slots. Unary expressions use children[0]; binary use
+  // children[0] and children[1]; variadic (sequence, concat, and/or,
+  // function args) use all.
+  std::vector<ExprPtr> children;
+
+  // kLiteral
+  item::ItemPtr literal;
+
+  // kVariableRef
+  std::string variable;
+
+  // kComparison / kArithmetic
+  CompareOp compare_op = CompareOp::kValueEq;
+  ArithmeticOp arithmetic_op = ArithmeticOp::kAdd;
+
+  // kQuantified
+  QuantifierKind quantifier = QuantifierKind::kSome;
+  std::vector<std::pair<std::string, ExprPtr>> quantifier_bindings;
+
+  // kObjectConstructor: parallel arrays of key expressions and value
+  // expressions (keys are computed; constant keys are literal exprs).
+  std::vector<ExprPtr> object_keys;
+  std::vector<ExprPtr> object_values;
+
+  // kObjectLookup: children[0] is the target, children[1] the key expr.
+
+  // kFunctionCall
+  std::string function_name;
+
+  // kFlwor
+  std::vector<FlworClause> clauses;
+  ExprPtr return_expr;
+
+  // kInstanceOf / kTreatAs / kCastAs
+  SequenceType sequence_type;
+
+  // Source position for error messages (1-based line/column).
+  int line = 0;
+  int column = 0;
+};
+
+/// Builders used by the parser; they allocate and fill common fields.
+ExprPtr MakeLiteral(item::ItemPtr value);
+ExprPtr MakeUnary(Expr::Kind kind, ExprPtr child);
+ExprPtr MakeBinary(Expr::Kind kind, ExprPtr left, ExprPtr right);
+ExprPtr MakeVariadic(Expr::Kind kind, std::vector<ExprPtr> children);
+
+/// Pretty-prints the expression kind for diagnostics.
+std::string_view ExprKindName(Expr::Kind kind);
+
+/// Indented tree dump of an expression — the EXPLAIN surface for queries
+/// (the compiled runtime iterators mirror this tree one-to-one, paper
+/// Section 5.4).
+std::string ExprToString(const Expr& expr);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_AST_H_

@@ -1,0 +1,84 @@
+#include "src/jsoniq/functions/function_library.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+/// Iterator for SimpleFunctionImpl-based builtins: materializes all argument
+/// sequences and delegates.
+class SimpleFunctionIterator final
+    : public CloneableIterator<SimpleFunctionIterator> {
+ public:
+  SimpleFunctionIterator(EngineContextPtr engine,
+                         std::vector<RuntimeIteratorPtr> args,
+                         SimpleFunctionImpl impl)
+      : CloneableIterator(std::move(engine), std::move(args)),
+        impl_(std::move(impl)) {}
+
+ protected:
+  item::ItemSequence Compute(const DynamicContext& context) override {
+    std::vector<item::ItemSequence> args;
+    args.reserve(children_.size());
+    for (const auto& child : children_) {
+      args.push_back(child->MaterializeAll(context));
+    }
+    return impl_(args, context, *engine_);
+  }
+
+ private:
+  SimpleFunctionImpl impl_;
+};
+
+}  // namespace
+
+const FunctionLibrary& FunctionLibrary::Global() {
+  static const FunctionLibrary* kLibrary = [] {
+    auto* library = new FunctionLibrary();
+    RegisterSequenceFunctions(library);
+    RegisterStringFunctions(library);
+    RegisterNumericFunctions(library);
+    RegisterObjectFunctions(library);
+    RegisterIoFunctions(library);
+    return library;
+  }();
+  return *kLibrary;
+}
+
+void FunctionLibrary::Register(const std::string& name, int arity,
+                               FunctionFactory factory) {
+  factories_[{name, arity}] = std::move(factory);
+}
+
+const FunctionFactory* FunctionLibrary::Lookup(const std::string& name,
+                                               int arity) const {
+  auto it = factories_.find({name, arity});
+  if (it != factories_.end()) return &it->second;
+  it = factories_.find({name, -1});
+  if (it != factories_.end()) return &it->second;
+  return nullptr;
+}
+
+bool FunctionLibrary::HasName(const std::string& name) const {
+  auto it = factories_.lower_bound({name, -1});
+  return it != factories_.end() && it->first.first == name;
+}
+
+std::vector<std::string> FunctionLibrary::Signatures() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) {
+    out.push_back(key.first + "#" +
+                  (key.second < 0 ? "N" : std::to_string(key.second)));
+  }
+  return out;
+}
+
+FunctionFactory MakeSimpleFunction(SimpleFunctionImpl impl) {
+  return [impl](EngineContextPtr engine,
+                std::vector<RuntimeIteratorPtr> args) -> RuntimeIteratorPtr {
+    return std::make_shared<SimpleFunctionIterator>(std::move(engine),
+                                                    std::move(args), impl);
+  };
+}
+
+}  // namespace rumble::jsoniq

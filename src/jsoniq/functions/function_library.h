@@ -1,0 +1,59 @@
+#ifndef RUMBLE_JSONIQ_FUNCTIONS_FUNCTION_LIBRARY_H_
+#define RUMBLE_JSONIQ_FUNCTIONS_FUNCTION_LIBRARY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+/// Builds the runtime iterator for one call of a builtin function.
+using FunctionFactory = std::function<RuntimeIteratorPtr(
+    EngineContextPtr, std::vector<RuntimeIteratorPtr>)>;
+
+/// Registry of builtin functions keyed by (name, arity); arity -1 entries
+/// are variadic fallbacks (e.g. concat). Immutable after construction; the
+/// global instance registers every family in its constructor.
+class FunctionLibrary {
+ public:
+  static const FunctionLibrary& Global();
+
+  void Register(const std::string& name, int arity, FunctionFactory factory);
+
+  /// Exact-arity match first, then variadic; nullptr when absent.
+  const FunctionFactory* Lookup(const std::string& name, int arity) const;
+
+  /// True when any arity of this name exists (for error messages).
+  bool HasName(const std::string& name) const;
+
+  /// Sorted list of registered "name#arity" signatures (documentation and
+  /// tests).
+  std::vector<std::string> Signatures() const;
+
+ private:
+  std::map<std::pair<std::string, int>, FunctionFactory> factories_;
+};
+
+/// A builtin whose semantics need only the materialized argument sequences,
+/// the dynamic context, and the engine. Covers most of the library.
+using SimpleFunctionImpl = std::function<item::ItemSequence(
+    std::vector<item::ItemSequence>& args, const DynamicContext& context,
+    const EngineContext& engine)>;
+
+/// Wraps a SimpleFunctionImpl as a FunctionFactory.
+FunctionFactory MakeSimpleFunction(SimpleFunctionImpl impl);
+
+// Per-family registration hooks (implemented in the sibling .cc files).
+void RegisterSequenceFunctions(FunctionLibrary* library);
+void RegisterStringFunctions(FunctionLibrary* library);
+void RegisterNumericFunctions(FunctionLibrary* library);
+void RegisterObjectFunctions(FunctionLibrary* library);
+void RegisterIoFunctions(FunctionLibrary* library);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_FUNCTIONS_FUNCTION_LIBRARY_H_

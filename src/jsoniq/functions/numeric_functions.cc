@@ -1,0 +1,141 @@
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/functions/function_library.h"
+#include "src/jsoniq/sequence_type.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+using item::ItemType;
+
+ItemPtr RequireNumeric(const ItemSequence& seq, const char* what,
+                       bool* is_empty) {
+  *is_empty = seq.empty();
+  if (seq.empty()) return nullptr;
+  if (seq.size() > 1 || !seq.front()->IsNumeric()) {
+    common::ThrowError(ErrorCode::kInvalidArgument,
+                       std::string(what) + ": expected a single number");
+  }
+  return seq.front();
+}
+
+/// Rebuilds a numeric item of the same kind as `like` from a double value.
+ItemPtr SameKind(const item::Item& like, double value) {
+  switch (like.type()) {
+    case ItemType::kInteger:
+      return item::MakeInteger(static_cast<std::int64_t>(value));
+    case ItemType::kDecimal: return item::MakeDecimal(value);
+    default: return item::MakeDouble(value);
+  }
+}
+
+}  // namespace
+
+void RegisterNumericFunctions(FunctionLibrary* library) {
+  library->Register(
+      "abs", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        bool empty = false;
+        ItemPtr value = RequireNumeric(args[0], "abs", &empty);
+        if (empty) return ItemSequence{};
+        if (value->IsInteger()) {
+          std::int64_t v = value->IntegerValue();
+          return ItemSequence{item::MakeInteger(v < 0 ? -v : v)};
+        }
+        return ItemSequence{SameKind(*value, std::fabs(value->NumericValue()))};
+      }));
+
+  library->Register(
+      "ceiling", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        bool empty = false;
+        ItemPtr value = RequireNumeric(args[0], "ceiling", &empty);
+        if (empty) return ItemSequence{};
+        if (value->IsInteger()) return ItemSequence{value};
+        return ItemSequence{SameKind(*value, std::ceil(value->NumericValue()))};
+      }));
+
+  library->Register(
+      "floor", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        bool empty = false;
+        ItemPtr value = RequireNumeric(args[0], "floor", &empty);
+        if (empty) return ItemSequence{};
+        if (value->IsInteger()) return ItemSequence{value};
+        return ItemSequence{
+            SameKind(*value, std::floor(value->NumericValue()))};
+      }));
+
+  auto round = [](auto& args, const DynamicContext&, const EngineContext&) {
+    bool empty = false;
+    ItemPtr value = RequireNumeric(args[0], "round", &empty);
+    if (empty) return ItemSequence{};
+    int precision = 0;
+    if (args.size() > 1 && !args[1].empty()) {
+      if (!args[1].front()->IsNumeric()) {
+        common::ThrowError(ErrorCode::kInvalidArgument,
+                           "round: precision must be a number");
+      }
+      precision = static_cast<int>(args[1].front()->NumericValue());
+    }
+    if (value->IsInteger() && precision >= 0) return ItemSequence{value};
+    double scale = std::pow(10.0, precision);
+    // round-half-up, as XPath fn:round specifies.
+    double rounded = std::floor(value->NumericValue() * scale + 0.5) / scale;
+    return ItemSequence{SameKind(*value, rounded)};
+  };
+  library->Register("round", 1, MakeSimpleFunction(round));
+  library->Register("round", 2, MakeSimpleFunction(round));
+
+  library->Register(
+      "number", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        // fn:number never errors: uncastable values become NaN.
+        if (args[0].size() != 1) {
+          return ItemSequence{item::MakeDouble(std::nan(""))};
+        }
+        try {
+          return ItemSequence{CastAtomic(args[0].front(), TypeName::kDouble)};
+        } catch (const common::RumbleException&) {
+          return ItemSequence{item::MakeDouble(std::nan(""))};
+        }
+      }));
+
+  library->Register(
+      "integer", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].empty()) return ItemSequence{};
+        if (args[0].size() > 1) {
+          common::ThrowError(ErrorCode::kInvalidArgument,
+                             "integer: expected at most one item");
+        }
+        return ItemSequence{CastAtomic(args[0].front(), TypeName::kInteger)};
+      }));
+
+  library->Register(
+      "sqrt", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        bool empty = false;
+        ItemPtr value = RequireNumeric(args[0], "sqrt", &empty);
+        if (empty) return ItemSequence{};
+        return ItemSequence{
+            item::MakeDouble(std::sqrt(value->NumericValue()))};
+      }));
+
+  library->Register(
+      "pow", 2, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        bool empty = false;
+        ItemPtr base = RequireNumeric(args[0], "pow", &empty);
+        if (empty) return ItemSequence{};
+        ItemPtr exponent = RequireNumeric(args[1], "pow", &empty);
+        if (empty) return ItemSequence{};
+        return ItemSequence{item::MakeDouble(
+            std::pow(base->NumericValue(), exponent->NumericValue()))};
+      }));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,156 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/functions/function_library.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+}  // namespace
+
+void RegisterObjectFunctions(FunctionLibrary* library) {
+  // keys($objects): distinct field names across all input objects, in first
+  // appearance order.
+  library->Register(
+      "keys", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        ItemSequence out;
+        std::vector<std::string> seen;
+        for (const auto& object : args[0]) {
+          if (!object->IsObject()) continue;
+          for (const auto& key : object->Keys()) {
+            bool duplicate = false;
+            for (const auto& existing : seen) {
+              if (existing == key) {
+                duplicate = true;
+                break;
+              }
+            }
+            if (!duplicate) {
+              seen.push_back(key);
+              out.push_back(item::MakeString(key));
+            }
+          }
+        }
+        return out;
+      }));
+
+  // values($objects): all field values of all input objects.
+  library->Register(
+      "values", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        ItemSequence out;
+        for (const auto& object : args[0]) {
+          if (!object->IsObject()) continue;
+          for (const auto& key : object->Keys()) {
+            out.push_back(object->ValueForKey(key));
+          }
+        }
+        return out;
+      }));
+
+  // members($arrays): concatenated members of all input arrays.
+  library->Register(
+      "members", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        ItemSequence out;
+        for (const auto& array : args[0]) {
+          if (!array->IsArray()) continue;
+          const ItemSequence& members = array->Members();
+          out.insert(out.end(), members.begin(), members.end());
+        }
+        return out;
+      }));
+
+  // size($array): the number of members; size(()) is ().
+  library->Register(
+      "size", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].empty()) return ItemSequence{};
+        if (args[0].size() > 1 || !args[0].front()->IsArray()) {
+          common::ThrowError(ErrorCode::kInvalidArgument,
+                             "size: expected a single array");
+        }
+        return ItemSequence{item::MakeInteger(
+            static_cast<std::int64_t>(args[0].front()->ArraySize()))};
+      }));
+
+  // project($objects, $keys): objects restricted to the given keys.
+  library->Register(
+      "project", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::vector<std::string> wanted;
+        for (const auto& key : args[1]) {
+          if (!key->IsString()) {
+            common::ThrowError(ErrorCode::kInvalidArgument,
+                               "project: keys must be strings");
+          }
+          wanted.push_back(key->StringValue());
+        }
+        ItemSequence out;
+        for (const auto& object : args[0]) {
+          if (!object->IsObject()) {
+            out.push_back(object);
+            continue;
+          }
+          std::vector<std::pair<std::string, ItemPtr>> fields;
+          for (const auto& key : object->Keys()) {
+            for (const auto& want : wanted) {
+              if (key == want) {
+                fields.emplace_back(key, object->ValueForKey(key));
+                break;
+              }
+            }
+          }
+          out.push_back(item::MakeObject(std::move(fields)));
+        }
+        return out;
+      }));
+
+  // remove-keys($objects, $keys): objects without the given keys.
+  library->Register(
+      "remove-keys", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::vector<std::string> banned;
+        for (const auto& key : args[1]) {
+          if (!key->IsString()) {
+            common::ThrowError(ErrorCode::kInvalidArgument,
+                               "remove-keys: keys must be strings");
+          }
+          banned.push_back(key->StringValue());
+        }
+        ItemSequence out;
+        for (const auto& object : args[0]) {
+          if (!object->IsObject()) {
+            out.push_back(object);
+            continue;
+          }
+          std::vector<std::pair<std::string, ItemPtr>> fields;
+          for (const auto& key : object->Keys()) {
+            bool drop = false;
+            for (const auto& ban : banned) {
+              if (key == ban) {
+                drop = true;
+                break;
+              }
+            }
+            if (!drop) fields.emplace_back(key, object->ValueForKey(key));
+          }
+          out.push_back(item::MakeObject(std::move(fields)));
+        }
+        return out;
+      }));
+
+  // null(): the null item.
+  library->Register(
+      "null", 0, MakeSimpleFunction([](auto&, const auto&, const auto&) {
+        return ItemSequence{item::MakeNull()};
+      }));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,423 @@
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/functions/function_library.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// Aggregate functions push a Spark action down to the child RDD when the
+/// argument is distributed (Section 4.1.2: "the count() function can be
+/// implemented with a count action"); otherwise they fold locally.
+class AggregateIterator final : public CloneableIterator<AggregateIterator> {
+ public:
+  AggregateIterator(EngineContextPtr engine, AggKind kind,
+                    RuntimeIteratorPtr argument)
+      : CloneableIterator(std::move(engine), {std::move(argument)}),
+        kind_(kind) {}
+
+ protected:
+  item::ItemSequence Compute(const DynamicContext& context) override {
+    if (children_[0]->IsRddAble()) {
+      return ComputeDistributed(context);
+    }
+    ItemSequence values = children_[0]->MaterializeAll(context);
+    return Fold(values);
+  }
+
+ private:
+  struct SumState {
+    double sum = 0;
+    std::int64_t int_sum = 0;
+    bool all_integers = true;
+    bool any_double = false;
+    std::int64_t count = 0;
+  };
+
+  static SumState Accumulate(SumState state, const ItemPtr& value) {
+    if (!value->IsNumeric()) {
+      common::ThrowError(ErrorCode::kInvalidArgument,
+                         "sum/avg over a non-numeric item: " +
+                             value->Serialize());
+    }
+    state.sum += value->NumericValue();
+    if (value->IsInteger()) {
+      state.int_sum += value->IntegerValue();
+    } else {
+      state.all_integers = false;
+      if (value->type() == item::ItemType::kDouble) state.any_double = true;
+    }
+    ++state.count;
+    return state;
+  }
+
+  static SumState MergeSum(SumState left, const SumState& right) {
+    left.sum += right.sum;
+    left.int_sum += right.int_sum;
+    left.all_integers = left.all_integers && right.all_integers;
+    left.any_double = left.any_double || right.any_double;
+    left.count += right.count;
+    return left;
+  }
+
+  static ItemPtr SumItem(const SumState& state) {
+    if (state.all_integers) return item::MakeInteger(state.int_sum);
+    if (state.any_double) return item::MakeDouble(state.sum);
+    return item::MakeDecimal(state.sum);
+  }
+
+  static ItemPtr Extreme(const ItemPtr& left, const ItemPtr& right,
+                         bool want_max) {
+    if (left == nullptr) return right;
+    if (right == nullptr) return left;
+    int cmp = item::CompareAtomics(*left, *right);
+    return (want_max ? cmp >= 0 : cmp <= 0) ? left : right;
+  }
+
+  ItemSequence Fold(const ItemSequence& values) {
+    switch (kind_) {
+      case AggKind::kCount:
+        return {item::MakeInteger(static_cast<std::int64_t>(values.size()))};
+      case AggKind::kSum: {
+        SumState state;
+        for (const auto& value : values) {
+          state = Accumulate(std::move(state), value);
+        }
+        return {SumItem(state)};
+      }
+      case AggKind::kAvg: {
+        if (values.empty()) return {};
+        SumState state;
+        for (const auto& value : values) {
+          state = Accumulate(std::move(state), value);
+        }
+        return {item::MakeDecimal(state.sum /
+                                  static_cast<double>(state.count))};
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (values.empty()) return {};
+        ItemPtr best;
+        for (const auto& value : values) {
+          best = Extreme(best, value, kind_ == AggKind::kMax);
+        }
+        return {best};
+      }
+    }
+    common::ThrowError(ErrorCode::kInternal, "unknown aggregate kind");
+  }
+
+  ItemSequence ComputeDistributed(const DynamicContext& context) {
+    spark::Rdd<ItemPtr> rdd = children_[0]->GetRdd(context);
+    switch (kind_) {
+      case AggKind::kCount:
+        return {item::MakeInteger(static_cast<std::int64_t>(rdd.Count()))};
+      case AggKind::kSum: {
+        SumState state = rdd.Aggregate(
+            SumState{},
+            [](SumState acc, const ItemPtr& value) {
+              return Accumulate(std::move(acc), value);
+            },
+            &MergeSum);
+        return {SumItem(state)};
+      }
+      case AggKind::kAvg: {
+        // sum and count in one pass.
+        SumState state = rdd.Aggregate(
+            SumState{},
+            [](SumState acc, const ItemPtr& value) {
+              return Accumulate(std::move(acc), value);
+            },
+            &MergeSum);
+        if (state.count == 0) return {};
+        return {item::MakeDecimal(state.sum /
+                                  static_cast<double>(state.count))};
+      }
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        bool want_max = kind_ == AggKind::kMax;
+        auto pick = [want_max](ItemPtr acc, const ItemPtr& value) {
+          return Extreme(acc, value, want_max);
+        };
+        ItemPtr best = rdd.Aggregate(ItemPtr{}, pick, pick);
+        if (best == nullptr) return {};
+        return {best};
+      }
+    }
+    common::ThrowError(ErrorCode::kInternal, "unknown aggregate kind");
+  }
+
+  AggKind kind_;
+};
+
+ItemPtr RequireSingle(const ItemSequence& seq, const char* what) {
+  if (seq.size() != 1) {
+    common::ThrowError(ErrorCode::kInvalidArgument,
+                       std::string(what) + ": expected exactly one item");
+  }
+  return seq.front();
+}
+
+std::int64_t RequireInteger(const ItemSequence& seq, const char* what) {
+  ItemPtr value = RequireSingle(seq, what);
+  if (value->IsInteger()) return value->IntegerValue();
+  if (value->IsNumeric()) {
+    return static_cast<std::int64_t>(value->NumericValue());
+  }
+  common::ThrowError(ErrorCode::kInvalidArgument,
+                     std::string(what) + ": expected a number");
+}
+
+void RegisterAggregate(FunctionLibrary* library, const std::string& name,
+                       AggKind kind) {
+  library->Register(
+      name, 1,
+      [kind](EngineContextPtr engine,
+             std::vector<RuntimeIteratorPtr> args) -> RuntimeIteratorPtr {
+        return std::make_shared<AggregateIterator>(std::move(engine), kind,
+                                                   std::move(args[0]));
+      });
+}
+
+}  // namespace
+
+void RegisterSequenceFunctions(FunctionLibrary* library) {
+  RegisterAggregate(library, "count", AggKind::kCount);
+  RegisterAggregate(library, "sum", AggKind::kSum);
+  RegisterAggregate(library, "avg", AggKind::kAvg);
+  RegisterAggregate(library, "min", AggKind::kMin);
+  RegisterAggregate(library, "max", AggKind::kMax);
+
+  library->Register(
+      "empty", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        return ItemSequence{item::MakeBoolean(args[0].empty())};
+      }));
+
+  library->Register(
+      "exists", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        return ItemSequence{item::MakeBoolean(!args[0].empty())};
+      }));
+
+  library->Register(
+      "head", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].empty()) return ItemSequence{};
+        return ItemSequence{args[0].front()};
+      }));
+
+  library->Register(
+      "tail", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].size() <= 1) return ItemSequence{};
+        return ItemSequence(args[0].begin() + 1, args[0].end());
+      }));
+
+  library->Register(
+      "reverse", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        ItemSequence out = std::move(args[0]);
+        std::reverse(out.begin(), out.end());
+        return out;
+      }));
+
+  library->Register(
+      "insert-before", 3,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::int64_t position = RequireInteger(args[1], "insert-before");
+        if (position < 1) position = 1;
+        auto at = std::min<std::size_t>(static_cast<std::size_t>(position - 1),
+                                        args[0].size());
+        ItemSequence out = std::move(args[0]);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   args[2].begin(), args[2].end());
+        return out;
+      }));
+
+  library->Register(
+      "remove", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::int64_t position = RequireInteger(args[1], "remove");
+        ItemSequence out = std::move(args[0]);
+        if (position >= 1 &&
+            static_cast<std::size_t>(position) <= out.size()) {
+          out.erase(out.begin() + static_cast<std::ptrdiff_t>(position - 1));
+        }
+        return out;
+      }));
+
+  auto subsequence = [](auto& args, const DynamicContext&,
+                        const EngineContext&) {
+    ItemSequence& input = args[0];
+    double start = 1;
+    if (!args[1].empty()) {
+      start = RequireSingle(args[1], "subsequence")->NumericValue();
+    }
+    double length = static_cast<double>(input.size()) + 1 - start;
+    if (args.size() > 2 && !args[2].empty()) {
+      length = RequireSingle(args[2], "subsequence")->NumericValue();
+    }
+    ItemSequence out;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      double position = static_cast<double>(i) + 1;
+      if (position >= start && position < start + length) {
+        out.push_back(input[i]);
+      }
+    }
+    return out;
+  };
+  library->Register("subsequence", 2, MakeSimpleFunction(subsequence));
+  library->Register("subsequence", 3, MakeSimpleFunction(subsequence));
+
+  library->Register(
+      "distinct-values", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        // Hash-bucketed dedup (AtomicHash is consistent with AtomicEquals),
+        // keeping first-appearance order.
+        ItemSequence out;
+        std::unordered_multimap<std::size_t, std::size_t> by_hash;
+        for (const auto& value : args[0]) {
+          if (!value->IsAtomic()) {
+            common::ThrowError(ErrorCode::kInvalidArgument,
+                               "distinct-values requires atomic items");
+          }
+          std::size_t h = item::AtomicHash(*value);
+          bool seen = false;
+          auto [begin, end] = by_hash.equal_range(h);
+          for (auto it = begin; it != end; ++it) {
+            if (item::AtomicEquals(*out[it->second], *value)) {
+              seen = true;
+              break;
+            }
+          }
+          if (!seen) {
+            by_hash.emplace(h, out.size());
+            out.push_back(value);
+          }
+        }
+        return out;
+      }));
+
+  library->Register(
+      "boolean", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        return ItemSequence{
+            item::MakeBoolean(item::EffectiveBooleanValue(args[0]))};
+      }));
+
+  library->Register(
+      "not", 1, MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        return ItemSequence{
+            item::MakeBoolean(!item::EffectiveBooleanValue(args[0]))};
+      }));
+
+  library->Register(
+      "deep-equal", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].size() != args[1].size()) {
+          return ItemSequence{item::MakeBoolean(false)};
+        }
+        for (std::size_t i = 0; i < args[0].size(); ++i) {
+          if (!item::DeepEquals(*args[0][i], *args[1][i])) {
+            return ItemSequence{item::MakeBoolean(false)};
+          }
+        }
+        return ItemSequence{item::MakeBoolean(true)};
+      }));
+
+  library->Register(
+      "position", 0,
+      MakeSimpleFunction([](auto&, const DynamicContext& context,
+                            const auto&) {
+        if (context.context_item() == nullptr) {
+          common::ThrowError(ErrorCode::kAbsentContextItem,
+                             "position() outside of a predicate");
+        }
+        return ItemSequence{item::MakeInteger(context.context_position())};
+      }));
+
+  library->Register(
+      "last", 0,
+      MakeSimpleFunction([](auto&, const DynamicContext& context,
+                            const auto&) {
+        if (context.context_item() == nullptr) {
+          common::ThrowError(ErrorCode::kAbsentContextItem,
+                             "last() outside of a predicate");
+        }
+        return ItemSequence{item::MakeInteger(context.context_size())};
+      }));
+
+  // index-of($seq, $search): 1-based positions where $search occurs.
+  library->Register(
+      "index-of", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        ItemPtr search = RequireSingle(args[1], "index-of");
+        if (!search->IsAtomic()) {
+          common::ThrowError(ErrorCode::kInvalidArgument,
+                             "index-of: the search value must be atomic");
+        }
+        ItemSequence out;
+        for (std::size_t i = 0; i < args[0].size(); ++i) {
+          if (args[0][i]->IsAtomic() &&
+              item::AtomicEquals(*args[0][i], *search)) {
+            out.push_back(item::MakeInteger(static_cast<std::int64_t>(i + 1)));
+          }
+        }
+        return out;
+      }));
+
+  // Cardinality assertions from the XPath function library.
+  library->Register(
+      "exactly-one", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].size() != 1) {
+          common::ThrowError(ErrorCode::kCardinalityError,
+                             "exactly-one: sequence has " +
+                                 std::to_string(args[0].size()) + " items");
+        }
+        return std::move(args[0]);
+      }));
+
+  library->Register(
+      "zero-or-one", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].size() > 1) {
+          common::ThrowError(ErrorCode::kCardinalityError,
+                             "zero-or-one: sequence has " +
+                                 std::to_string(args[0].size()) + " items");
+        }
+        return std::move(args[0]);
+      }));
+
+  library->Register(
+      "one-or-more", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].empty()) {
+          common::ThrowError(ErrorCode::kCardinalityError,
+                             "one-or-more: sequence is empty");
+        }
+        return std::move(args[0]);
+      }));
+
+  auto error_fn = [](auto& args, const DynamicContext&,
+                     const EngineContext&) -> ItemSequence {
+    std::string message = "fn:error() called";
+    if (!args.empty() && !args[0].empty() && args[0].front()->IsString()) {
+      message = args[0].front()->StringValue();
+    }
+    common::ThrowError(ErrorCode::kUserError, message);
+  };
+  library->Register("error", 0, MakeSimpleFunction(error_fn));
+  library->Register("error", 1, MakeSimpleFunction(error_fn));
+}
+
+}  // namespace rumble::jsoniq

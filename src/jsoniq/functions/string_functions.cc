@@ -1,0 +1,268 @@
+#include <regex>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/functions/function_library.h"
+#include "src/util/strings.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+/// String value of a zero-or-one argument: () and null become "" (the
+/// XPath/JSONiq string() coercion used throughout this family); other
+/// atomics stringify canonically.
+std::string StringArg(const ItemSequence& seq, const char* what) {
+  if (seq.empty()) return "";
+  if (seq.size() > 1) {
+    common::ThrowError(ErrorCode::kInvalidArgument,
+                       std::string(what) + ": expected at most one item");
+  }
+  const item::Item& value = *seq.front();
+  if (value.IsString()) return value.StringValue();
+  if (value.IsNull()) return "";
+  if (value.IsAtomic()) return value.Serialize();
+  common::ThrowError(ErrorCode::kInvalidArgument,
+                     std::string(what) + ": expected an atomic value");
+}
+
+std::regex CompileRegex(const std::string& pattern, const char* what) {
+  try {
+    return std::regex(pattern, std::regex::ECMAScript);
+  } catch (const std::regex_error&) {
+    common::ThrowError(ErrorCode::kRegexError,
+                       std::string(what) + ": invalid pattern '" + pattern +
+                           "'");
+  }
+}
+
+}  // namespace
+
+void RegisterStringFunctions(FunctionLibrary* library) {
+  library->Register(
+      "string", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        if (args[0].empty()) return ItemSequence{};
+        return ItemSequence{item::MakeString(StringArg(args[0], "string"))};
+      }));
+
+  // concat is variadic: concat("a", 1, (), "b").
+  library->Register(
+      "concat", -1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string out;
+        for (const auto& arg : args) {
+          out += StringArg(arg, "concat");
+        }
+        return ItemSequence{item::MakeString(std::move(out))};
+      }));
+
+  auto string_join = [](auto& args, const DynamicContext&,
+                        const EngineContext&) {
+    std::string sep =
+        args.size() > 1 ? StringArg(args[1], "string-join") : "";
+    std::string out;
+    for (std::size_t i = 0; i < args[0].size(); ++i) {
+      if (i > 0) out += sep;
+      out += StringArg({args[0][i]}, "string-join");
+    }
+    return ItemSequence{item::MakeString(std::move(out))};
+  };
+  library->Register("string-join", 1, MakeSimpleFunction(string_join));
+  library->Register("string-join", 2, MakeSimpleFunction(string_join));
+
+  // string-length and substring count Unicode codepoints, not bytes, as
+  // the W3C function library specifies.
+  library->Register(
+      "string-length", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        return ItemSequence{item::MakeInteger(static_cast<std::int64_t>(
+            util::Utf8Length(StringArg(args[0], "string-length"))))};
+      }));
+
+  auto substring = [](auto& args, const DynamicContext&,
+                      const EngineContext&) {
+    std::string input = StringArg(args[0], "substring");
+    if (args[1].empty() || !args[1].front()->IsNumeric()) {
+      common::ThrowError(ErrorCode::kInvalidArgument,
+                         "substring: start must be a number");
+    }
+    double start = args[1].front()->NumericValue();
+    double length = static_cast<double>(input.size()) + 1.0 - start;
+    if (args.size() > 2) {
+      if (args[2].empty() || !args[2].front()->IsNumeric()) {
+        common::ThrowError(ErrorCode::kInvalidArgument,
+                           "substring: length must be a number");
+      }
+      length = args[2].front()->NumericValue();
+    }
+    return ItemSequence{
+        item::MakeString(util::Utf8Substring(input, start, length))};
+  };
+  library->Register("substring", 2, MakeSimpleFunction(substring));
+  library->Register("substring", 3, MakeSimpleFunction(substring));
+
+  library->Register(
+      "contains", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string haystack = StringArg(args[0], "contains");
+        std::string needle = StringArg(args[1], "contains");
+        return ItemSequence{item::MakeBoolean(
+            needle.empty() || haystack.find(needle) != std::string::npos)};
+      }));
+
+  library->Register(
+      "starts-with", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "starts-with");
+        std::string prefix = StringArg(args[1], "starts-with");
+        return ItemSequence{
+            item::MakeBoolean(text.rfind(prefix, 0) == 0)};
+      }));
+
+  library->Register(
+      "ends-with", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "ends-with");
+        std::string suffix = StringArg(args[1], "ends-with");
+        return ItemSequence{item::MakeBoolean(
+            text.size() >= suffix.size() &&
+            text.compare(text.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)};
+      }));
+
+  library->Register(
+      "upper-case", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "upper-case");
+        for (char& c : text) {
+          c = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(c)));
+        }
+        return ItemSequence{item::MakeString(std::move(text))};
+      }));
+
+  library->Register(
+      "lower-case", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "lower-case");
+        for (char& c : text) {
+          c = static_cast<char>(
+              std::tolower(static_cast<unsigned char>(c)));
+        }
+        return ItemSequence{item::MakeString(std::move(text))};
+      }));
+
+  library->Register(
+      "normalize-space", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "normalize-space");
+        std::string out;
+        bool in_space = true;
+        for (char c : text) {
+          bool space = c == ' ' || c == '\t' || c == '\n' || c == '\r';
+          if (space) {
+            if (!in_space) out.push_back(' ');
+            in_space = true;
+          } else {
+            out.push_back(c);
+            in_space = false;
+          }
+        }
+        while (!out.empty() && out.back() == ' ') out.pop_back();
+        return ItemSequence{item::MakeString(std::move(out))};
+      }));
+
+  library->Register(
+      "tokenize", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "tokenize");
+        std::regex pattern =
+            CompileRegex(StringArg(args[1], "tokenize"), "tokenize");
+        ItemSequence out;
+        std::sregex_token_iterator it(text.begin(), text.end(), pattern, -1);
+        std::sregex_token_iterator end;
+        for (; it != end; ++it) {
+          out.push_back(item::MakeString(*it));
+        }
+        return out;
+      }));
+
+  library->Register(
+      "matches", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "matches");
+        std::regex pattern =
+            CompileRegex(StringArg(args[1], "matches"), "matches");
+        return ItemSequence{
+            item::MakeBoolean(std::regex_search(text, pattern))};
+      }));
+
+  library->Register(
+      "replace", 3,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "replace");
+        std::regex pattern =
+            CompileRegex(StringArg(args[1], "replace"), "replace");
+        std::string replacement = StringArg(args[2], "replace");
+        return ItemSequence{item::MakeString(
+            std::regex_replace(text, pattern, replacement))};
+      }));
+
+  library->Register(
+      "substring-before", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "substring-before");
+        std::string sep = StringArg(args[1], "substring-before");
+        std::size_t at = sep.empty() ? std::string::npos : text.find(sep);
+        return ItemSequence{item::MakeString(
+            at == std::string::npos ? "" : text.substr(0, at))};
+      }));
+
+  library->Register(
+      "substring-after", 2,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "substring-after");
+        std::string sep = StringArg(args[1], "substring-after");
+        std::size_t at = sep.empty() ? std::string::npos : text.find(sep);
+        return ItemSequence{item::MakeString(
+            at == std::string::npos ? "" : text.substr(at + sep.size()))};
+      }));
+
+  library->Register(
+      "translate", 3,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string text = StringArg(args[0], "translate");
+        std::string from = StringArg(args[1], "translate");
+        std::string to = StringArg(args[2], "translate");
+        std::string out;
+        out.reserve(text.size());
+        for (char c : text) {
+          std::size_t at = from.find(c);
+          if (at == std::string::npos) {
+            out.push_back(c);
+          } else if (at < to.size()) {
+            out.push_back(to[at]);
+          }  // mapped past `to`: dropped, per fn:translate
+        }
+        return ItemSequence{item::MakeString(std::move(out))};
+      }));
+
+  library->Register(
+      "serialize", 1,
+      MakeSimpleFunction([](auto& args, const auto&, const auto&) {
+        std::string out;
+        for (std::size_t i = 0; i < args[0].size(); ++i) {
+          if (i > 0) out += ", ";
+          args[0][i]->SerializeTo(&out);
+        }
+        return ItemSequence{item::MakeString(std::move(out))};
+      }));
+}
+
+}  // namespace rumble::jsoniq

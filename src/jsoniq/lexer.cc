@@ -1,0 +1,323 @@
+#include "src/jsoniq/lexer.h"
+
+#include <cctype>
+
+#include "src/common/error.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view query) : text_(query) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token token = NextToken();
+      bool done = token.kind == TokenKind::kEof;
+      tokens.push_back(std::move(token));
+      if (done) return tokens;
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) {
+    common::ThrowError(ErrorCode::kStaticSyntax,
+                       message + " at line " + std::to_string(line_) +
+                           ", column " + std::to_string(column_));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        Advance();
+        continue;
+      }
+      if (c == '(' && Peek(1) == ':') {
+        Advance();
+        Advance();
+        int depth = 1;
+        while (depth > 0) {
+          if (AtEnd()) Fail("unterminated comment");
+          if (Peek() == '(' && Peek(1) == ':') {
+            Advance();
+            Advance();
+            ++depth;
+          } else if (Peek() == ':' && Peek(1) == ')') {
+            Advance();
+            Advance();
+            --depth;
+          } else {
+            Advance();
+          }
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token Make(TokenKind kind, std::string text = {}) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = token_line_;
+    token.column = token_column_;
+    return token;
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Token NextToken() {
+    token_line_ = line_;
+    token_column_ = column_;
+    if (AtEnd()) return Make(TokenKind::kEof);
+    char c = Advance();
+    switch (c) {
+      case '(': return Make(TokenKind::kLParen);
+      case ')': return Make(TokenKind::kRParen);
+      case '{': return Make(TokenKind::kLBrace);
+      case '}': return Make(TokenKind::kRBrace);
+      case '[':
+        if (Peek() == '[') {
+          Advance();
+          return Make(TokenKind::kDoubleLBracket);
+        }
+        return Make(TokenKind::kLBracket);
+      case ']':
+        if (Peek() == ']') {
+          Advance();
+          return Make(TokenKind::kDoubleRBracket);
+        }
+        return Make(TokenKind::kRBracket);
+      case ',': return Make(TokenKind::kComma);
+      case ';': return Make(TokenKind::kSemicolon);
+      case '?': return Make(TokenKind::kQuestion);
+      case ':':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kAssign);
+        }
+        return Make(TokenKind::kColon);
+      case '.':
+        if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+          return LexNumber(c);
+        }
+        return Make(TokenKind::kDot);
+      case '+': return Make(TokenKind::kPlus);
+      case '-': return Make(TokenKind::kMinus);
+      case '*': return Make(TokenKind::kStar);
+      case '/': return Make(TokenKind::kSlash);
+      case '=': return Make(TokenKind::kEq);
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kNe);
+        }
+        return Make(TokenKind::kBang);
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe);
+        }
+        return Make(TokenKind::kLt);
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe);
+        }
+        return Make(TokenKind::kGt);
+      case '|':
+        if (Peek() == '|') {
+          Advance();
+          return Make(TokenKind::kConcat);
+        }
+        Fail("unexpected '|'");
+      case '$':
+        if (Peek() == '$') {
+          Advance();
+          return Make(TokenKind::kContextItem);
+        }
+        return LexVariable();
+      case '"':
+      case '\'':
+        return LexString(c);
+      default:
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+          return LexNumber(c);
+        }
+        if (IsNameStart(c)) {
+          return LexName(c);
+        }
+        Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token LexVariable() {
+    if (AtEnd() || !IsNameStart(Peek())) {
+      Fail("expected variable name after '$'");
+    }
+    std::string name;
+    name.push_back(Advance());
+    while (!AtEnd()) {
+      char c = Peek();
+      if (IsNameChar(c)) {
+        name.push_back(Advance());
+      } else if (c == '-' && IsNameStart(Peek(1))) {
+        name.push_back(Advance());
+        name.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    return Make(TokenKind::kVariable, std::move(name));
+  }
+
+  Token LexName(char first) {
+    std::string name;
+    name.push_back(first);
+    while (!AtEnd()) {
+      char c = Peek();
+      if (IsNameChar(c)) {
+        name.push_back(Advance());
+      } else if (c == '-' && IsNameStart(Peek(1))) {
+        // Hyphenated names (json-file, distinct-values). Binary minus before
+        // a letter needs surrounding whitespace, as in XQuery; a digit after
+        // '-' always lexes as subtraction.
+        name.push_back(Advance());
+        name.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    return Make(TokenKind::kName, std::move(name));
+  }
+
+  Token LexString(char quote) {
+    std::string value;
+    while (true) {
+      if (AtEnd()) Fail("unterminated string literal");
+      char c = Advance();
+      if (c == quote) break;
+      if (c != '\\') {
+        value.push_back(c);
+        continue;
+      }
+      if (AtEnd()) Fail("unterminated escape sequence");
+      char esc = Advance();
+      switch (esc) {
+        case '"': value.push_back('"'); break;
+        case '\'': value.push_back('\''); break;
+        case '\\': value.push_back('\\'); break;
+        case '/': value.push_back('/'); break;
+        case 'n': value.push_back('\n'); break;
+        case 'r': value.push_back('\r'); break;
+        case 't': value.push_back('\t'); break;
+        case 'b': value.push_back('\b'); break;
+        case 'f': value.push_back('\f'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd()) Fail("truncated \\u escape");
+            char h = Advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("invalid \\u escape");
+            }
+          }
+          // Encode as UTF-8 (BMP only in string literals; surrogate pairs
+          // in queries are rare enough to reject).
+          if (code < 0x80) {
+            value.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            value.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            value.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            value.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            value.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: Fail("invalid escape sequence");
+      }
+    }
+    return Make(TokenKind::kString, std::move(value));
+  }
+
+  Token LexNumber(char first) {
+    std::string number;
+    number.push_back(first);
+    bool has_dot = first == '.';
+    bool has_exp = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number.push_back(Advance());
+      } else if (c == '.' && !has_dot && !has_exp) {
+        has_dot = true;
+        number.push_back(Advance());
+      } else if ((c == 'e' || c == 'E') && !has_exp) {
+        has_exp = true;
+        number.push_back(Advance());
+        if (Peek() == '+' || Peek() == '-') {
+          number.push_back(Advance());
+        }
+      } else {
+        break;
+      }
+    }
+    TokenKind kind = has_exp ? TokenKind::kDouble
+                             : (has_dot ? TokenKind::kDecimal
+                                        : TokenKind::kInteger);
+    return Make(kind, std::move(number));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view query) {
+  return Lexer(query).Run();
+}
+
+}  // namespace rumble::jsoniq

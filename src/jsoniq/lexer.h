@@ -1,0 +1,51 @@
+#ifndef RUMBLE_JSONIQ_LEXER_H_
+#define RUMBLE_JSONIQ_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumble::jsoniq {
+
+/// Token kinds. JSONiq keywords are not reserved; the lexer emits kName for
+/// all words and the parser matches keyword text contextually, as the
+/// JSONiq/XQuery grammars require.
+enum class TokenKind {
+  kEof,
+  kName,          // NCName, possibly containing '-' (e.g. json-file)
+  kVariable,      // $name (text = name without '$')
+  kContextItem,   // $$
+  kString,        // quoted string (text = decoded value)
+  kInteger,       // 42
+  kDecimal,       // 3.14
+  kDouble,        // 1e6
+  // Punctuation / operators:
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kDoubleLBracket, kDoubleRBracket,
+  kComma, kColon, kSemicolon, kDot, kAssign,         // :=
+  kPlus, kMinus, kStar, kSlash,
+  kEq, kNe, kLt, kLe, kGt, kGe,                      // = != < <= > >=
+  kConcat,                                           // ||
+  kQuestion, kBang,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // decoded payload for names/strings/numbers
+  int line = 1;
+  int column = 1;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  bool IsName(std::string_view name) const {
+    return kind == TokenKind::kName && text == name;
+  }
+};
+
+/// Tokenizes a whole query. Throws RumbleException(kStaticSyntax) on lexical
+/// errors (unterminated strings, stray characters). Comments use the XQuery
+/// smiley form `(: ... :)` and nest.
+std::vector<Token> Tokenize(std::string_view query);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_LEXER_H_

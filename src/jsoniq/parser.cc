@@ -1,0 +1,808 @@
+#include "src/jsoniq/parser.h"
+
+#include <cstdlib>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/lexer.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view query) : tokens_(Tokenize(query)) {}
+
+  ExprPtr Parse() {
+    ExprPtr expr = ParseExpr();
+    Expect(TokenKind::kEof, "end of query");
+    return expr;
+  }
+
+ private:
+  // ---- Token helpers -----------------------------------------------------
+
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t index = pos_ + ahead;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (Peek().Is(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchName(std::string_view name) {
+    if (Peek().IsName(name)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const Token& Expect(TokenKind kind, const char* what) {
+    if (!Peek().Is(kind)) Fail(std::string("expected ") + what);
+    return Advance();
+  }
+
+  /// `[[` and `]]` lex as single tokens (array lookup), but array
+  /// constructors can legitimately juxtapose brackets ("[[1], 2]",
+  /// "[1, [2]]"). The parser splits a double token into two singles when
+  /// the grammar needs a single bracket at that position.
+  void SplitDoubleToken(TokenKind single_kind) {
+    Token second = tokens_[pos_];
+    tokens_[pos_].kind = single_kind;
+    second.kind = single_kind;
+    second.column += 1;
+    tokens_.insert(tokens_.begin() + static_cast<std::ptrdiff_t>(pos_) + 1,
+                   second);
+  }
+
+  void ExpectSingleRBracket() {
+    if (Peek().Is(TokenKind::kDoubleRBracket)) {
+      SplitDoubleToken(TokenKind::kRBracket);
+    }
+    Expect(TokenKind::kRBracket, "']'");
+  }
+
+  void ExpectDoubleRBracket() {
+    if (Peek().Is(TokenKind::kRBracket) &&
+        Peek(1).Is(TokenKind::kRBracket)) {
+      pos_ += 2;
+      return;
+    }
+    Expect(TokenKind::kDoubleRBracket, "']]'");
+  }
+
+  void ExpectName(std::string_view name) {
+    if (!Peek().IsName(name)) Fail("expected keyword '" + std::string(name) + "'");
+    ++pos_;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    const Token& token = Peek();
+    std::string got = token.Is(TokenKind::kEof)
+                          ? "end of input"
+                          : (token.text.empty() ? "symbol" : "'" + token.text + "'");
+    common::ThrowError(ErrorCode::kStaticSyntax,
+                       message + " but found " + got + " at line " +
+                           std::to_string(token.line) + ", column " +
+                           std::to_string(token.column));
+  }
+
+  template <typename T>
+  std::shared_ptr<T> Stamp(std::shared_ptr<T> expr) const {
+    return expr;
+  }
+
+  ExprPtr WithPos(std::shared_ptr<Expr> expr, const Token& token) const {
+    expr->line = token.line;
+    expr->column = token.column;
+    return expr;
+  }
+
+  // ---- Grammar -------------------------------------------------------------
+
+  // Expr := ExprSingle ("," ExprSingle)*
+  ExprPtr ParseExpr() {
+    const Token& start = Peek();
+    std::vector<ExprPtr> parts;
+    parts.push_back(ParseExprSingle());
+    while (Match(TokenKind::kComma)) {
+      parts.push_back(ParseExprSingle());
+    }
+    if (parts.size() == 1) return parts.front();
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kSequence;
+    expr->children = std::move(parts);
+    return WithPos(std::move(expr), start);
+  }
+
+  ExprPtr ParseExprSingle() {
+    const Token& token = Peek();
+    if (token.Is(TokenKind::kName)) {
+      if ((token.text == "for" || token.text == "let") &&
+          Peek(1).Is(TokenKind::kVariable)) {
+        return ParseFlwor();
+      }
+      if ((token.text == "some" || token.text == "every") &&
+          Peek(1).Is(TokenKind::kVariable)) {
+        return ParseQuantified();
+      }
+      if (token.text == "if" && Peek(1).Is(TokenKind::kLParen)) {
+        return ParseIf();
+      }
+      if (token.text == "switch" && Peek(1).Is(TokenKind::kLParen)) {
+        return ParseSwitch();
+      }
+      if (token.text == "try" && Peek(1).Is(TokenKind::kLBrace)) {
+        return ParseTryCatch();
+      }
+    }
+    return ParseOr();
+  }
+
+  // ---- FLWOR ---------------------------------------------------------------
+
+  ExprPtr ParseFlwor() {
+    const Token& start = Peek();
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kFlwor;
+
+    bool first = true;
+    while (true) {
+      const Token& token = Peek();
+      if (!token.Is(TokenKind::kName)) break;
+      if (token.text == "for") {
+        ++pos_;
+        ParseForBindings(&expr->clauses);
+      } else if (token.text == "let") {
+        ++pos_;
+        ParseLetBindings(&expr->clauses);
+      } else if (token.text == "where") {
+        ++pos_;
+        FlworClause clause;
+        clause.kind = FlworClause::Kind::kWhere;
+        clause.expr = ParseExprSingle();
+        expr->clauses.push_back(std::move(clause));
+      } else if (token.text == "group" && Peek(1).IsName("by")) {
+        pos_ += 2;
+        FlworClause clause;
+        clause.kind = FlworClause::Kind::kGroupBy;
+        do {
+          FlworClause::GroupSpec spec;
+          spec.variable = Expect(TokenKind::kVariable, "grouping variable").text;
+          if (Match(TokenKind::kAssign)) {
+            spec.expr = ParseExprSingle();
+          }
+          clause.group_specs.push_back(std::move(spec));
+        } while (Match(TokenKind::kComma));
+        expr->clauses.push_back(std::move(clause));
+      } else if ((token.text == "order" && Peek(1).IsName("by")) ||
+                 (token.text == "stable" && Peek(1).IsName("order"))) {
+        if (token.text == "stable") {
+          pos_ += 3;  // stable order by
+        } else {
+          pos_ += 2;  // order by
+        }
+        FlworClause clause;
+        clause.kind = FlworClause::Kind::kOrderBy;
+        do {
+          FlworClause::OrderSpec spec;
+          spec.expr = ParseExprSingle();
+          if (MatchName("ascending")) {
+            spec.ascending = true;
+          } else if (MatchName("descending")) {
+            spec.ascending = false;
+          }
+          if (MatchName("empty")) {
+            if (MatchName("greatest")) {
+              spec.empty_greatest = true;
+            } else {
+              ExpectName("least");
+              spec.empty_greatest = false;
+            }
+          }
+          clause.order_specs.push_back(std::move(spec));
+        } while (Match(TokenKind::kComma));
+        expr->clauses.push_back(std::move(clause));
+      } else if (token.text == "count" && Peek(1).Is(TokenKind::kVariable)) {
+        ++pos_;
+        FlworClause clause;
+        clause.kind = FlworClause::Kind::kCount;
+        clause.variable = Advance().text;
+        expr->clauses.push_back(std::move(clause));
+      } else if (token.text == "return") {
+        ++pos_;
+        expr->return_expr = ParseExprSingle();
+        break;
+      } else {
+        Fail("expected a FLWOR clause or 'return'");
+      }
+      first = false;
+    }
+    (void)first;
+    if (!expr->return_expr) Fail("FLWOR expression lacks a 'return' clause");
+    if (expr->clauses.empty()) Fail("FLWOR expression lacks clauses");
+    return WithPos(std::move(expr), start);
+  }
+
+  void ParseForBindings(std::vector<FlworClause>* clauses) {
+    do {
+      FlworClause clause;
+      clause.kind = FlworClause::Kind::kFor;
+      clause.variable = Expect(TokenKind::kVariable, "for variable").text;
+      if (MatchName("allowing")) {
+        ExpectName("empty");
+        clause.allowing_empty = true;
+      }
+      if (MatchName("at")) {
+        clause.position_variable =
+            Expect(TokenKind::kVariable, "positional variable").text;
+      }
+      ExpectName("in");
+      clause.expr = ParseExprSingle();
+      clauses->push_back(std::move(clause));
+    } while (Match(TokenKind::kComma));
+  }
+
+  void ParseLetBindings(std::vector<FlworClause>* clauses) {
+    do {
+      FlworClause clause;
+      clause.kind = FlworClause::Kind::kLet;
+      clause.variable = Expect(TokenKind::kVariable, "let variable").text;
+      Expect(TokenKind::kAssign, "':='");
+      clause.expr = ParseExprSingle();
+      clauses->push_back(std::move(clause));
+    } while (Match(TokenKind::kComma));
+  }
+
+  // ---- Other control expressions --------------------------------------------
+
+  ExprPtr ParseQuantified() {
+    const Token& start = Advance();  // some | every
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kQuantified;
+    expr->quantifier = start.text == "some" ? QuantifierKind::kSome
+                                            : QuantifierKind::kEvery;
+    do {
+      std::string variable =
+          Expect(TokenKind::kVariable, "quantifier variable").text;
+      ExpectName("in");
+      expr->quantifier_bindings.emplace_back(std::move(variable),
+                                             ParseExprSingle());
+    } while (Match(TokenKind::kComma));
+    ExpectName("satisfies");
+    expr->children.push_back(ParseExprSingle());
+    return WithPos(std::move(expr), start);
+  }
+
+  ExprPtr ParseIf() {
+    const Token& start = Advance();  // if
+    Expect(TokenKind::kLParen, "'(' after 'if'");
+    ExprPtr condition = ParseExpr();
+    Expect(TokenKind::kRParen, "')'");
+    ExpectName("then");
+    ExprPtr then_branch = ParseExprSingle();
+    ExpectName("else");
+    ExprPtr else_branch = ParseExprSingle();
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kIfThenElse;
+    expr->children = {std::move(condition), std::move(then_branch),
+                      std::move(else_branch)};
+    return WithPos(std::move(expr), start);
+  }
+
+  // switch (op) case k1 return v1 ... default return d
+  // Each case may list several keys: case 1 case 2 return v.
+  ExprPtr ParseSwitch() {
+    const Token& start = Advance();  // switch
+    Expect(TokenKind::kLParen, "'(' after 'switch'");
+    ExprPtr operand = ParseExpr();
+    Expect(TokenKind::kRParen, "')'");
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kSwitch;
+    expr->children.push_back(std::move(operand));
+    bool saw_case = false;
+    while (MatchName("case")) {
+      saw_case = true;
+      std::vector<ExprPtr> keys;
+      keys.push_back(ParseExprSingle());
+      while (MatchName("case")) {
+        keys.push_back(ParseExprSingle());
+      }
+      ExpectName("return");
+      ExprPtr value = ParseExprSingle();
+      for (auto& key : keys) {
+        expr->children.push_back(std::move(key));
+        expr->children.push_back(value);  // shared: the AST is immutable
+      }
+    }
+    if (!saw_case) Fail("switch needs at least one 'case'");
+    ExpectName("default");
+    ExpectName("return");
+    expr->children.push_back(ParseExprSingle());
+    return WithPos(std::move(expr), start);
+  }
+
+  ExprPtr ParseTryCatch() {
+    const Token& start = Advance();  // try
+    Expect(TokenKind::kLBrace, "'{' after 'try'");
+    ExprPtr body = ParseExpr();
+    Expect(TokenKind::kRBrace, "'}'");
+    ExpectName("catch");
+    // Only the catch-all form is supported: catch * { ... }.
+    Expect(TokenKind::kStar, "'*' (catch-all)");
+    Expect(TokenKind::kLBrace, "'{' after 'catch *'");
+    ExprPtr handler = ParseExpr();
+    Expect(TokenKind::kRBrace, "'}'");
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kTryCatch;
+    expr->children = {std::move(body), std::move(handler)};
+    return WithPos(std::move(expr), start);
+  }
+
+  // ---- Operator precedence chain --------------------------------------------
+
+  ExprPtr ParseOr() {
+    const Token& start = Peek();
+    std::vector<ExprPtr> parts;
+    parts.push_back(ParseAnd());
+    while (MatchName("or")) {
+      parts.push_back(ParseAnd());
+    }
+    if (parts.size() == 1) return parts.front();
+    return WithPos(
+        std::const_pointer_cast<Expr>(MakeVariadic(Expr::Kind::kOr,
+                                                   std::move(parts))),
+        start);
+  }
+
+  ExprPtr ParseAnd() {
+    const Token& start = Peek();
+    std::vector<ExprPtr> parts;
+    parts.push_back(ParseComparison());
+    while (MatchName("and")) {
+      parts.push_back(ParseComparison());
+    }
+    if (parts.size() == 1) return parts.front();
+    return WithPos(
+        std::const_pointer_cast<Expr>(MakeVariadic(Expr::Kind::kAnd,
+                                                   std::move(parts))),
+        start);
+  }
+
+  ExprPtr ParseComparison() {
+    const Token& start = Peek();
+    ExprPtr left = ParseStringConcat();
+    CompareOp op;
+    const Token& token = Peek();
+    if (token.Is(TokenKind::kName)) {
+      if (token.text == "eq") op = CompareOp::kValueEq;
+      else if (token.text == "ne") op = CompareOp::kValueNe;
+      else if (token.text == "lt") op = CompareOp::kValueLt;
+      else if (token.text == "le") op = CompareOp::kValueLe;
+      else if (token.text == "gt") op = CompareOp::kValueGt;
+      else if (token.text == "ge") op = CompareOp::kValueGe;
+      else return left;
+      ++pos_;
+    } else if (token.Is(TokenKind::kEq)) {
+      op = CompareOp::kGeneralEq;
+      ++pos_;
+    } else if (token.Is(TokenKind::kNe)) {
+      op = CompareOp::kGeneralNe;
+      ++pos_;
+    } else if (token.Is(TokenKind::kLt)) {
+      op = CompareOp::kGeneralLt;
+      ++pos_;
+    } else if (token.Is(TokenKind::kLe)) {
+      op = CompareOp::kGeneralLe;
+      ++pos_;
+    } else if (token.Is(TokenKind::kGt)) {
+      op = CompareOp::kGeneralGt;
+      ++pos_;
+    } else if (token.Is(TokenKind::kGe)) {
+      op = CompareOp::kGeneralGe;
+      ++pos_;
+    } else {
+      return left;
+    }
+    ExprPtr right = ParseStringConcat();
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kComparison;
+    expr->compare_op = op;
+    expr->children = {std::move(left), std::move(right)};
+    return WithPos(std::move(expr), start);
+  }
+
+  ExprPtr ParseStringConcat() {
+    const Token& start = Peek();
+    std::vector<ExprPtr> parts;
+    parts.push_back(ParseRange());
+    while (Match(TokenKind::kConcat)) {
+      parts.push_back(ParseRange());
+    }
+    if (parts.size() == 1) return parts.front();
+    return WithPos(
+        std::const_pointer_cast<Expr>(
+            MakeVariadic(Expr::Kind::kStringConcat, std::move(parts))),
+        start);
+  }
+
+  ExprPtr ParseRange() {
+    const Token& start = Peek();
+    ExprPtr left = ParseAdditive();
+    if (MatchName("to")) {
+      ExprPtr right = ParseAdditive();
+      return WithPos(std::const_pointer_cast<Expr>(MakeBinary(
+                         Expr::Kind::kRange, std::move(left),
+                         std::move(right))),
+                     start);
+    }
+    return left;
+  }
+
+  ExprPtr ParseAdditive() {
+    const Token& start = Peek();
+    ExprPtr left = ParseMultiplicative();
+    while (true) {
+      ArithmeticOp op;
+      if (Match(TokenKind::kPlus)) {
+        op = ArithmeticOp::kAdd;
+      } else if (Match(TokenKind::kMinus)) {
+        op = ArithmeticOp::kSub;
+      } else {
+        return left;
+      }
+      ExprPtr right = ParseMultiplicative();
+      auto expr = std::make_shared<Expr>();
+      expr->kind = Expr::Kind::kArithmetic;
+      expr->arithmetic_op = op;
+      expr->children = {std::move(left), std::move(right)};
+      left = WithPos(std::move(expr), start);
+    }
+  }
+
+  ExprPtr ParseMultiplicative() {
+    const Token& start = Peek();
+    ExprPtr left = ParseInstanceOf();
+    while (true) {
+      ArithmeticOp op;
+      if (Match(TokenKind::kStar)) {
+        op = ArithmeticOp::kMul;
+      } else if (MatchName("div")) {
+        op = ArithmeticOp::kDiv;
+      } else if (MatchName("idiv")) {
+        op = ArithmeticOp::kIDiv;
+      } else if (MatchName("mod")) {
+        op = ArithmeticOp::kMod;
+      } else {
+        return left;
+      }
+      ExprPtr right = ParseInstanceOf();
+      auto expr = std::make_shared<Expr>();
+      expr->kind = Expr::Kind::kArithmetic;
+      expr->arithmetic_op = op;
+      expr->children = {std::move(left), std::move(right)};
+      left = WithPos(std::move(expr), start);
+    }
+  }
+
+  ExprPtr ParseInstanceOf() {
+    const Token& start = Peek();
+    ExprPtr child = ParseTreat();
+    if (Peek().IsName("instance") && Peek(1).IsName("of")) {
+      pos_ += 2;
+      auto expr = std::make_shared<Expr>();
+      expr->kind = Expr::Kind::kInstanceOf;
+      expr->children = {std::move(child)};
+      expr->sequence_type = ParseSequenceType();
+      return WithPos(std::move(expr), start);
+    }
+    return child;
+  }
+
+  ExprPtr ParseTreat() {
+    const Token& start = Peek();
+    ExprPtr child = ParseCast();
+    if (Peek().IsName("treat") && Peek(1).IsName("as")) {
+      pos_ += 2;
+      auto expr = std::make_shared<Expr>();
+      expr->kind = Expr::Kind::kTreatAs;
+      expr->children = {std::move(child)};
+      expr->sequence_type = ParseSequenceType();
+      return WithPos(std::move(expr), start);
+    }
+    return child;
+  }
+
+  ExprPtr ParseCast() {
+    const Token& start = Peek();
+    ExprPtr child = ParseUnary();
+    if (Peek().IsName("cast") && Peek(1).IsName("as")) {
+      pos_ += 2;
+      auto expr = std::make_shared<Expr>();
+      expr->kind = Expr::Kind::kCastAs;
+      expr->children = {std::move(child)};
+      expr->sequence_type = ParseSequenceType();
+      if (expr->sequence_type.arity != Arity::kOne &&
+          expr->sequence_type.arity != Arity::kOptional) {
+        Fail("cast target must be a single type, optionally with '?'");
+      }
+      return WithPos(std::move(expr), start);
+    }
+    return child;
+  }
+
+  ExprPtr ParseUnary() {
+    const Token& start = Peek();
+    bool negate = false;
+    while (true) {
+      if (Match(TokenKind::kMinus)) {
+        negate = !negate;
+      } else if (Match(TokenKind::kPlus)) {
+        // no-op
+      } else {
+        break;
+      }
+    }
+    ExprPtr expr = ParsePostfix();
+    if (negate) {
+      return WithPos(std::const_pointer_cast<Expr>(
+                         MakeUnary(Expr::Kind::kUnaryMinus, std::move(expr))),
+                     start);
+    }
+    return expr;
+  }
+
+  ExprPtr ParsePostfix() {
+    const Token& start = Peek();
+    ExprPtr target = ParsePrimary();
+    while (true) {
+      const Token& token = Peek();
+      if (token.Is(TokenKind::kDot)) {
+        ++pos_;
+        target = ParseObjectLookup(std::move(target), start);
+      } else if (token.Is(TokenKind::kDoubleLBracket)) {
+        ++pos_;
+        ExprPtr index = ParseExpr();
+        ExpectDoubleRBracket();
+        target = WithPos(
+            std::const_pointer_cast<Expr>(MakeBinary(
+                Expr::Kind::kArrayLookup, std::move(target), std::move(index))),
+            start);
+      } else if (token.Is(TokenKind::kLBracket)) {
+        if (Peek(1).Is(TokenKind::kRBracket)) {
+          pos_ += 2;
+          target = WithPos(std::const_pointer_cast<Expr>(MakeUnary(
+                               Expr::Kind::kArrayUnbox, std::move(target))),
+                           start);
+        } else {
+          ++pos_;
+          ExprPtr predicate = ParseExpr();
+          ExpectSingleRBracket();
+          target = WithPos(std::const_pointer_cast<Expr>(
+                               MakeBinary(Expr::Kind::kPredicate,
+                                          std::move(target),
+                                          std::move(predicate))),
+                           start);
+        }
+      } else {
+        return target;
+      }
+    }
+  }
+
+  ExprPtr ParseObjectLookup(ExprPtr target, const Token& start) {
+    const Token& token = Peek();
+    ExprPtr key;
+    if (token.Is(TokenKind::kName)) {
+      ++pos_;
+      key = MakeLiteral(item::MakeString(token.text));
+    } else if (token.Is(TokenKind::kString)) {
+      ++pos_;
+      key = MakeLiteral(item::MakeString(token.text));
+    } else if (token.Is(TokenKind::kVariable)) {
+      ++pos_;
+      auto ref = std::make_shared<Expr>();
+      ref->kind = Expr::Kind::kVariableRef;
+      ref->variable = token.text;
+      key = WithPos(std::move(ref), token);
+    } else if (token.Is(TokenKind::kLParen)) {
+      ++pos_;
+      key = ParseExpr();
+      Expect(TokenKind::kRParen, "')'");
+    } else if (token.Is(TokenKind::kInteger)) {
+      // .5 style lookups are not valid; numbers as keys come quoted.
+      Fail("expected object lookup key");
+    } else {
+      Fail("expected object lookup key");
+    }
+    return WithPos(std::const_pointer_cast<Expr>(
+                       MakeBinary(Expr::Kind::kObjectLookup, std::move(target),
+                                  std::move(key))),
+                   start);
+  }
+
+  ExprPtr ParsePrimary() {
+    // Copy: SplitDoubleToken below may reallocate the token vector.
+    const Token token = Peek();
+    switch (token.kind) {
+      case TokenKind::kString:
+        ++pos_;
+        return WithPos(std::const_pointer_cast<Expr>(
+                           MakeLiteral(item::MakeString(token.text))),
+                       token);
+      case TokenKind::kInteger: {
+        ++pos_;
+        return WithPos(std::const_pointer_cast<Expr>(MakeLiteral(
+                           item::MakeInteger(std::atoll(token.text.c_str())))),
+                       token);
+      }
+      case TokenKind::kDecimal: {
+        ++pos_;
+        return WithPos(std::const_pointer_cast<Expr>(MakeLiteral(
+                           item::MakeDecimal(std::atof(token.text.c_str())))),
+                       token);
+      }
+      case TokenKind::kDouble: {
+        ++pos_;
+        return WithPos(std::const_pointer_cast<Expr>(MakeLiteral(
+                           item::MakeDouble(std::atof(token.text.c_str())))),
+                       token);
+      }
+      case TokenKind::kVariable: {
+        ++pos_;
+        auto expr = std::make_shared<Expr>();
+        expr->kind = Expr::Kind::kVariableRef;
+        expr->variable = token.text;
+        return WithPos(std::move(expr), token);
+      }
+      case TokenKind::kContextItem: {
+        ++pos_;
+        auto expr = std::make_shared<Expr>();
+        expr->kind = Expr::Kind::kContextItem;
+        return WithPos(std::move(expr), token);
+      }
+      case TokenKind::kLParen: {
+        ++pos_;
+        if (Match(TokenKind::kRParen)) {
+          auto expr = std::make_shared<Expr>();
+          expr->kind = Expr::Kind::kSequence;  // empty sequence
+          return WithPos(std::move(expr), token);
+        }
+        ExprPtr inner = ParseExpr();
+        Expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      case TokenKind::kLBrace:
+        return ParseObjectConstructor();
+      case TokenKind::kDoubleLBracket:
+        // An array constructor immediately containing another one.
+        SplitDoubleToken(TokenKind::kLBracket);
+        [[fallthrough]];
+      case TokenKind::kLBracket: {
+        ++pos_;
+        auto expr = std::make_shared<Expr>();
+        expr->kind = Expr::Kind::kArrayConstructor;
+        if (!Peek().Is(TokenKind::kRBracket) &&
+            !Peek().Is(TokenKind::kDoubleRBracket)) {
+          expr->children.push_back(ParseExpr());
+        }
+        ExpectSingleRBracket();
+        return WithPos(std::move(expr), token);
+      }
+      case TokenKind::kName: {
+        // Literals true/false/null unless used as a function call.
+        if (!Peek(1).Is(TokenKind::kLParen)) {
+          if (token.text == "true") {
+            ++pos_;
+            return WithPos(std::const_pointer_cast<Expr>(
+                               MakeLiteral(item::MakeBoolean(true))),
+                           token);
+          }
+          if (token.text == "false") {
+            ++pos_;
+            return WithPos(std::const_pointer_cast<Expr>(
+                               MakeLiteral(item::MakeBoolean(false))),
+                           token);
+          }
+          if (token.text == "null") {
+            ++pos_;
+            return WithPos(
+                std::const_pointer_cast<Expr>(MakeLiteral(item::MakeNull())),
+                token);
+          }
+          Fail("unexpected name; function calls need parentheses");
+        }
+        return ParseFunctionCall();
+      }
+      default:
+        Fail("expected an expression");
+    }
+  }
+
+  ExprPtr ParseFunctionCall() {
+    const Token& name = Advance();
+    Expect(TokenKind::kLParen, "'('");
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kFunctionCall;
+    expr->function_name = name.text;
+    if (!Peek().Is(TokenKind::kRParen)) {
+      do {
+        expr->children.push_back(ParseExprSingle());
+      } while (Match(TokenKind::kComma));
+    }
+    Expect(TokenKind::kRParen, "')'");
+    return WithPos(std::move(expr), name);
+  }
+
+  ExprPtr ParseObjectConstructor() {
+    const Token& start = Advance();  // {
+    auto expr = std::make_shared<Expr>();
+    expr->kind = Expr::Kind::kObjectConstructor;
+    if (Match(TokenKind::kRBrace)) {
+      return WithPos(std::move(expr), start);
+    }
+    do {
+      // Unquoted NCName keys: { foo : 1 }.
+      ExprPtr key;
+      if (Peek().Is(TokenKind::kName) && Peek(1).Is(TokenKind::kColon)) {
+        key = MakeLiteral(item::MakeString(Advance().text));
+      } else {
+        key = ParseExprSingle();
+      }
+      Expect(TokenKind::kColon, "':' in object constructor");
+      ExprPtr value = ParseExprSingle();
+      expr->object_keys.push_back(std::move(key));
+      expr->object_values.push_back(std::move(value));
+    } while (Match(TokenKind::kComma));
+    Expect(TokenKind::kRBrace, "'}'");
+    return WithPos(std::move(expr), start);
+  }
+
+  SequenceType ParseSequenceType() {
+    SequenceType type;
+    const Token& name = Expect(TokenKind::kName, "type name");
+    if (name.text == "empty-sequence") {
+      Expect(TokenKind::kLParen, "'('");
+      Expect(TokenKind::kRParen, "')'");
+      type.is_empty_sequence = true;
+      return type;
+    }
+    auto parsed = TypeNameFromString(name.text);
+    if (!parsed.has_value()) {
+      Fail("unknown type name '" + name.text + "'");
+    }
+    type.type = *parsed;
+    // Some type names are written with parentheses: object(), array().
+    if (Match(TokenKind::kLParen)) {
+      Expect(TokenKind::kRParen, "')'");
+    }
+    if (Match(TokenKind::kQuestion)) {
+      type.arity = Arity::kOptional;
+    } else if (Match(TokenKind::kStar)) {
+      type.arity = Arity::kStar;
+    } else if (Match(TokenKind::kPlus)) {
+      type.arity = Arity::kPlus;
+    }
+    return type;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr ParseQuery(std::string_view query) { return Parser(query).Parse(); }
+
+}  // namespace rumble::jsoniq

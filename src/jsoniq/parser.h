@@ -1,0 +1,17 @@
+#ifndef RUMBLE_JSONIQ_PARSER_H_
+#define RUMBLE_JSONIQ_PARSER_H_
+
+#include <string_view>
+
+#include "src/jsoniq/ast.h"
+
+namespace rumble::jsoniq {
+
+/// Parses a JSONiq query into an expression tree. Throws
+/// RumbleException(kStaticSyntax) with line/column information on syntax
+/// errors. The supported grammar subset is documented in DESIGN.md §3.
+ExprPtr ParseQuery(std::string_view query);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_PARSER_H_

@@ -1,0 +1,117 @@
+#include "src/jsoniq/rumble.h"
+
+#include <set>
+
+#include "src/json/writer.h"
+#include "src/storage/dfs.h"
+#include "src/jsoniq/functions/function_library.h"
+#include "src/jsoniq/parser.h"
+#include "src/jsoniq/static_context.h"
+#include "src/jsoniq/visitor/iterator_builder.h"
+
+namespace rumble::jsoniq {
+
+EngineContextPtr MakeEngineContext(common::RumbleConfig config) {
+  auto engine = std::make_shared<EngineContext>();
+  engine->config = config;
+  engine->spark = std::make_shared<spark::Context>(config);
+  if (config.memory_budget_bytes > 0) {
+    engine->memory =
+        std::make_shared<util::MemoryBudget>(config.memory_budget_bytes);
+  }
+  return engine;
+}
+
+Rumble::Rumble(common::RumbleConfig config)
+    : engine_(MakeEngineContext(config)),
+      globals_(std::make_shared<DynamicContext>()) {}
+
+void Rumble::BindVariable(const std::string& name, item::ItemSequence value) {
+  globals_->Bind(name, std::move(value));
+  globals_names_.insert(name);
+}
+
+common::Result<RuntimeIteratorPtr> Rumble::Compile(
+    const std::string& query) const {
+  try {
+    ExprPtr ast = ParseQuery(query);
+    // Host-bound globals are visible to static checking.
+    CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
+    return BuildRuntimeIterator(ast, engine_);
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
+}
+
+common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
+  common::Result<RuntimeIteratorPtr> compiled = Compile(query);
+  if (!compiled.ok()) return compiled.status();
+  try {
+    if (engine_->memory != nullptr) {
+      engine_->memory->Reset();
+    }
+    return compiled.value()->MaterializeAll(*globals_);
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
+}
+
+common::Result<std::string> Rumble::RunToJson(const std::string& query) {
+  common::Result<item::ItemSequence> result = Run(query);
+  if (!result.ok()) return result.status();
+  return json::SerializeLines(result.value());
+}
+
+common::Status Rumble::RunToDataset(const std::string& query,
+                                    const std::string& output_path) {
+  common::Result<RuntimeIteratorPtr> compiled = Compile(query);
+  if (!compiled.ok()) return compiled.status();
+  try {
+    if (engine_->memory != nullptr) {
+      engine_->memory->Reset();
+    }
+    RuntimeIteratorPtr root = compiled.value();
+    if (root->IsRddAble()) {
+      // Parallel write path: serialize each partition on its executor.
+      spark::Rdd<std::string> lines =
+          root->GetRdd(*globals_).Map([](const item::ItemPtr& item) {
+            return item->Serialize();
+          });
+      engine_->spark->SaveAsTextFile(lines, output_path);
+      return common::Status::OK();
+    }
+    item::ItemSequence items = root->MaterializeAll(*globals_);
+    storage::Dfs::WritePartitioned(output_path,
+                                   {json::SerializeLines(items)});
+    return common::Status::OK();
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
+}
+
+common::Status Rumble::Check(const std::string& query) const {
+  common::Result<RuntimeIteratorPtr> compiled = Compile(query);
+  return compiled.status();
+}
+
+common::Result<std::string> Rumble::Explain(const std::string& query) const {
+  try {
+    ExprPtr ast = ParseQuery(query);
+    CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
+    RuntimeIteratorPtr root = BuildRuntimeIterator(ast, engine_);
+    std::string out = ExprToString(*ast);
+    out += "execution: ";
+    if (root->IsRddAble()) {
+      out += engine_->config.flwor_backend == common::FlworBackend::kTupleRdd
+                 ? "distributed (RDD-of-tuples FLWOR backend)\n"
+                 : "distributed (DataFrame FLWOR backend)\n";
+    } else {
+      out += "local (pull-based iterators)\n";
+    }
+    return out;
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,68 @@
+#ifndef RUMBLE_JSONIQ_RUMBLE_H_
+#define RUMBLE_JSONIQ_RUMBLE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+#include "src/item/item.h"
+#include "src/jsoniq/runtime/engine_context.h"
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+/// The public engine facade. One Rumble instance corresponds to one Spark
+/// application (the shell keeps a single instance alive so executors are set
+/// up once — Section 5.4). All methods catch engine exceptions and return
+/// Status/Result; no exception escapes this API.
+///
+/// Example:
+///   rumble::jsoniq::Rumble engine;
+///   auto result = engine.Run(
+///       "for $x in json-file(\"people.json\") where $x.age le 65 "
+///       "return $x.name");
+///   if (result.ok()) { ... result.value() ... }
+class Rumble {
+ public:
+  explicit Rumble(common::RumbleConfig config = {});
+
+  /// Parses, statically checks, executes, and materializes the result
+  /// sequence (honouring the materialization cap).
+  common::Result<item::ItemSequence> Run(const std::string& query);
+
+  /// Run + JSON-Lines serialization of the result.
+  common::Result<std::string> RunToJson(const std::string& query);
+
+  /// Executes the query and writes the result to a DFS dataset. When the
+  /// root iterator supports the RDD API the items are serialized and
+  /// written in parallel, one part file per partition, without ever
+  /// materializing the whole output on the driver (Section 5.4).
+  common::Status RunToDataset(const std::string& query,
+                              const std::string& output_path);
+
+  /// Parses and statically checks only; OK means the query would compile.
+  common::Status Check(const std::string& query) const;
+
+  /// EXPLAIN: the compiled expression tree plus the execution mode the
+  /// root iterator would take (distributed backend or local pull).
+  common::Result<std::string> Explain(const std::string& query) const;
+
+  /// Binds a host-provided external variable visible to queries.
+  void BindVariable(const std::string& name, item::ItemSequence value);
+
+  /// Internal contexts, exposed for tests and the benchmark harness.
+  const EngineContextPtr& engine() const { return engine_; }
+
+ private:
+  common::Result<RuntimeIteratorPtr> Compile(const std::string& query) const;
+
+  EngineContextPtr engine_;
+  std::shared_ptr<DynamicContext> globals_;
+  std::set<std::string> globals_names_;
+};
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUMBLE_H_

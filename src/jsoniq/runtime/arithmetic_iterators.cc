@@ -1,0 +1,206 @@
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+using item::ItemType;
+
+/// Numeric type promotion lattice: integer < decimal < double.
+ItemType PromotedType(ItemType left, ItemType right) {
+  auto rank = [](ItemType t) {
+    switch (t) {
+      case ItemType::kInteger: return 0;
+      case ItemType::kDecimal: return 1;
+      default: return 2;
+    }
+  };
+  return rank(left) >= rank(right) ? left : right;
+}
+
+ItemPtr MakeNumeric(ItemType type, double value) {
+  switch (type) {
+    case ItemType::kInteger:
+      return item::MakeInteger(static_cast<std::int64_t>(value));
+    case ItemType::kDecimal: return item::MakeDecimal(value);
+    default: return item::MakeDouble(value);
+  }
+}
+
+class ArithmeticIterator final : public CloneableIterator<ArithmeticIterator> {
+ public:
+  ArithmeticIterator(EngineContextPtr engine, ArithmeticOp op,
+                     RuntimeIteratorPtr left, RuntimeIteratorPtr right)
+      : CloneableIterator(std::move(engine),
+                          {std::move(left), std::move(right)}),
+        op_(op) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemPtr left = children_[0]->MaterializeAtMostOne(context, "arithmetic");
+    ItemPtr right = children_[1]->MaterializeAtMostOne(context, "arithmetic");
+    // The empty sequence propagates: () + 1 is ().
+    if (left == nullptr || right == nullptr) return {};
+    if (!left->IsNumeric() || !right->IsNumeric()) {
+      common::ThrowError(
+          ErrorCode::kTypeError,
+          "arithmetic requires numeric operands, found " +
+              std::string(item::ItemTypeName(left->type())) + " and " +
+              std::string(item::ItemTypeName(right->type())));
+    }
+
+    // Fast exact path for integer +, -, *.
+    if (left->IsInteger() && right->IsInteger()) {
+      std::int64_t l = left->IntegerValue();
+      std::int64_t r = right->IntegerValue();
+      switch (op_) {
+        case ArithmeticOp::kAdd: return {item::MakeInteger(l + r)};
+        case ArithmeticOp::kSub: return {item::MakeInteger(l - r)};
+        case ArithmeticOp::kMul: return {item::MakeInteger(l * r)};
+        case ArithmeticOp::kIDiv:
+          if (r == 0) {
+            common::ThrowError(ErrorCode::kDivisionByZero, "idiv by zero");
+          }
+          return {item::MakeInteger(l / r)};
+        case ArithmeticOp::kMod:
+          if (r == 0) {
+            common::ThrowError(ErrorCode::kDivisionByZero, "mod by zero");
+          }
+          return {item::MakeInteger(l % r)};
+        case ArithmeticOp::kDiv: {
+          if (r == 0) {
+            common::ThrowError(ErrorCode::kDivisionByZero, "div by zero");
+          }
+          // Integer div yields a decimal per the JSONiq semantics.
+          return {item::MakeDecimal(static_cast<double>(l) /
+                                    static_cast<double>(r))};
+        }
+      }
+    }
+
+    double l = left->NumericValue();
+    double r = right->NumericValue();
+    ItemType out = PromotedType(left->type(), right->type());
+    switch (op_) {
+      case ArithmeticOp::kAdd: return {MakeNumeric(out, l + r)};
+      case ArithmeticOp::kSub: return {MakeNumeric(out, l - r)};
+      case ArithmeticOp::kMul: return {MakeNumeric(out, l * r)};
+      case ArithmeticOp::kDiv:
+        if (r == 0.0 && out != ItemType::kDouble) {
+          common::ThrowError(ErrorCode::kDivisionByZero, "div by zero");
+        }
+        // double division by zero yields ±Infinity, as in XPath.
+        if (out == ItemType::kInteger) out = ItemType::kDecimal;
+        return {MakeNumeric(out, l / r)};
+      case ArithmeticOp::kIDiv:
+        if (r == 0.0) {
+          common::ThrowError(ErrorCode::kDivisionByZero, "idiv by zero");
+        }
+        return {item::MakeInteger(static_cast<std::int64_t>(l / r))};
+      case ArithmeticOp::kMod:
+        if (r == 0.0 && out != ItemType::kDouble) {
+          common::ThrowError(ErrorCode::kDivisionByZero, "mod by zero");
+        }
+        return {MakeNumeric(out, std::fmod(l, r))};
+    }
+    common::ThrowError(ErrorCode::kInternal, "unknown arithmetic operator");
+  }
+
+ private:
+  ArithmeticOp op_;
+};
+
+class UnaryMinusIterator final : public CloneableIterator<UnaryMinusIterator> {
+ public:
+  UnaryMinusIterator(EngineContextPtr engine, RuntimeIteratorPtr child)
+      : CloneableIterator(std::move(engine), {std::move(child)}) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemPtr value = children_[0]->MaterializeAtMostOne(context, "unary -");
+    if (value == nullptr) return {};
+    switch (value->type()) {
+      case ItemType::kInteger:
+        return {item::MakeInteger(-value->IntegerValue())};
+      case ItemType::kDecimal:
+        return {item::MakeDecimal(-value->NumericValue())};
+      case ItemType::kDouble:
+        return {item::MakeDouble(-value->NumericValue())};
+      default:
+        common::ThrowError(ErrorCode::kTypeError,
+                           "unary minus requires a numeric operand");
+    }
+  }
+};
+
+/// Streaming 1-to-N range; `1 to 1000000000` must not materialize eagerly in
+/// the iterator itself.
+class RangeIterator final : public CloneableIterator<RangeIterator> {
+ public:
+  RangeIterator(EngineContextPtr engine, RuntimeIteratorPtr from,
+                RuntimeIteratorPtr to)
+      : CloneableIterator(std::move(engine), {std::move(from), std::move(to)}) {}
+
+  void Open(const DynamicContext& context) override {
+    ItemPtr from = children_[0]->MaterializeAtMostOne(context, "range");
+    ItemPtr to = children_[1]->MaterializeAtMostOne(context, "range");
+    if (from == nullptr || to == nullptr) {
+      next_ = 1;
+      last_ = 0;  // empty
+      return;
+    }
+    if (!from->IsInteger() || !to->IsInteger()) {
+      common::ThrowError(ErrorCode::kTypeError,
+                         "'to' requires integer endpoints");
+    }
+    next_ = from->IntegerValue();
+    last_ = to->IntegerValue();
+  }
+
+  bool HasNext() override { return next_ <= last_; }
+
+  item::ItemPtr Next() override { return item::MakeInteger(next_++); }
+
+  void Close() override {
+    next_ = 1;
+    last_ = 0;
+  }
+
+ private:
+  std::int64_t next_ = 1;
+  std::int64_t last_ = 0;
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeArithmeticIterator(EngineContextPtr engine,
+                                          ArithmeticOp op,
+                                          RuntimeIteratorPtr left,
+                                          RuntimeIteratorPtr right) {
+  return std::make_shared<ArithmeticIterator>(std::move(engine), op,
+                                              std::move(left),
+                                              std::move(right));
+}
+
+RuntimeIteratorPtr MakeUnaryMinusIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr child) {
+  return std::make_shared<UnaryMinusIterator>(std::move(engine),
+                                              std::move(child));
+}
+
+RuntimeIteratorPtr MakeRangeIterator(EngineContextPtr engine,
+                                     RuntimeIteratorPtr from,
+                                     RuntimeIteratorPtr to) {
+  return std::make_shared<RangeIterator>(std::move(engine), std::move(from),
+                                         std::move(to));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,123 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+bool IsValueOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kValueEq:
+    case CompareOp::kValueNe:
+    case CompareOp::kValueLt:
+    case CompareOp::kValueLe:
+    case CompareOp::kValueGt:
+    case CompareOp::kValueGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+enum class Relation { kEq, kNe, kLt, kLe, kGt, kGe };
+
+Relation RelationOf(CompareOp op) {
+  switch (op) {
+    case CompareOp::kValueEq:
+    case CompareOp::kGeneralEq: return Relation::kEq;
+    case CompareOp::kValueNe:
+    case CompareOp::kGeneralNe: return Relation::kNe;
+    case CompareOp::kValueLt:
+    case CompareOp::kGeneralLt: return Relation::kLt;
+    case CompareOp::kValueLe:
+    case CompareOp::kGeneralLe: return Relation::kLe;
+    case CompareOp::kValueGt:
+    case CompareOp::kGeneralGt: return Relation::kGt;
+    case CompareOp::kValueGe:
+    case CompareOp::kGeneralGe: return Relation::kGe;
+  }
+  return Relation::kEq;
+}
+
+/// Compares two atomic items under a relation. Equality across incompatible
+/// atomic families is false (messy data must not error on eq/ne — the
+/// behaviour the paper's heterogeneity examples rely on); ordering across
+/// incompatible families raises a type error, per the JSONiq spec.
+bool CompareItems(const item::Item& left, const item::Item& right,
+                  Relation relation) {
+  if (!left.IsAtomic() || !right.IsAtomic()) {
+    common::ThrowError(ErrorCode::kTypeError,
+                       "comparison operands must be atomic values");
+  }
+  switch (relation) {
+    case Relation::kEq: return item::AtomicEquals(left, right);
+    case Relation::kNe: return !item::AtomicEquals(left, right);
+    default: break;
+  }
+  int cmp = item::CompareAtomics(left, right);
+  switch (relation) {
+    case Relation::kLt: return cmp < 0;
+    case Relation::kLe: return cmp <= 0;
+    case Relation::kGt: return cmp > 0;
+    case Relation::kGe: return cmp >= 0;
+    default: return false;
+  }
+}
+
+class ComparisonIterator final : public CloneableIterator<ComparisonIterator> {
+ public:
+  ComparisonIterator(EngineContextPtr engine, CompareOp op,
+                     RuntimeIteratorPtr left, RuntimeIteratorPtr right)
+      : CloneableIterator(std::move(engine),
+                          {std::move(left), std::move(right)}),
+        op_(op) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    if (IsValueOp(op_)) {
+      ItemPtr left =
+          children_[0]->MaterializeAtMostOne(context, "value comparison");
+      ItemPtr right =
+          children_[1]->MaterializeAtMostOne(context, "value comparison");
+      // Value comparison with an empty operand yields the empty sequence.
+      if (left == nullptr || right == nullptr) return {};
+      return {item::MakeBoolean(CompareItems(*left, *right, RelationOf(op_)))};
+    }
+    // General comparison: existential over both sequences.
+    ItemSequence left = children_[0]->MaterializeAll(context);
+    ItemSequence right = children_[1]->MaterializeAll(context);
+    Relation relation = RelationOf(op_);
+    for (const auto& l : left) {
+      for (const auto& r : right) {
+        if (CompareItems(*l, *r, relation)) {
+          return {item::MakeBoolean(true)};
+        }
+      }
+    }
+    return {item::MakeBoolean(false)};
+  }
+
+ private:
+  CompareOp op_;
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeComparisonIterator(EngineContextPtr engine,
+                                          CompareOp op,
+                                          RuntimeIteratorPtr left,
+                                          RuntimeIteratorPtr right) {
+  return std::make_shared<ComparisonIterator>(std::move(engine), op,
+                                              std::move(left),
+                                              std::move(right));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,245 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+#include "src/jsoniq/sequence_type.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+class IfIterator final : public CloneableIterator<IfIterator> {
+ public:
+  IfIterator(EngineContextPtr engine, RuntimeIteratorPtr condition,
+             RuntimeIteratorPtr then_branch, RuntimeIteratorPtr else_branch)
+      : CloneableIterator(std::move(engine),
+                          {std::move(condition), std::move(then_branch),
+                           std::move(else_branch)}) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    bool condition = children_[0]->MaterializeBoolean(context);
+    return children_[condition ? 1 : 2]->MaterializeAll(context);
+  }
+};
+
+/// switch: the operand atomizes to at most one atomic; the first case whose
+/// key equals it (empty matches empty, equality per AtomicEquals) wins.
+class SwitchIterator final : public CloneableIterator<SwitchIterator> {
+ public:
+  SwitchIterator(EngineContextPtr engine,
+                 std::vector<RuntimeIteratorPtr> parts)
+      : CloneableIterator(std::move(engine), std::move(parts)) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemPtr operand =
+        children_.front()->MaterializeAtMostOne(context, "switch operand");
+    if (operand != nullptr && !operand->IsAtomic()) {
+      common::ThrowError(ErrorCode::kTypeError,
+                         "switch operand must be an atomic or empty");
+    }
+    // children: operand, (key, value)*, default.
+    for (std::size_t i = 1; i + 1 < children_.size(); i += 2) {
+      ItemPtr key =
+          children_[i]->MaterializeAtMostOne(context, "switch case");
+      bool matches;
+      if (operand == nullptr || key == nullptr) {
+        matches = operand == nullptr && key == nullptr;
+      } else {
+        matches = key->IsAtomic() && item::AtomicEquals(*operand, *key);
+      }
+      if (matches) {
+        return children_[i + 1]->MaterializeAll(context);
+      }
+    }
+    return children_.back()->MaterializeAll(context);
+  }
+};
+
+class TryCatchIterator final : public CloneableIterator<TryCatchIterator> {
+ public:
+  TryCatchIterator(EngineContextPtr engine, RuntimeIteratorPtr body,
+                   RuntimeIteratorPtr handler)
+      : CloneableIterator(std::move(engine),
+                          {std::move(body), std::move(handler)}) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    try {
+      return children_[0]->MaterializeAll(context);
+    } catch (const common::RumbleException& error) {
+      // Static errors and engine invariants are not catchable, per spec.
+      if (error.IsStaticError() ||
+          error.code() == ErrorCode::kInternal) {
+        throw;
+      }
+      return children_[1]->MaterializeAll(context);
+    }
+  }
+};
+
+class QuantifiedIterator final : public CloneableIterator<QuantifiedIterator> {
+ public:
+  QuantifiedIterator(EngineContextPtr engine, QuantifierKind kind,
+                     std::vector<std::string> variables,
+                     std::vector<RuntimeIteratorPtr> bindings,
+                     RuntimeIteratorPtr satisfies)
+      : CloneableIterator(std::move(engine), {}),
+        kind_(kind),
+        variables_(std::move(variables)) {
+    children_ = std::move(bindings);
+    children_.push_back(std::move(satisfies));
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    bool result = Recurse(context, 0);
+    return {item::MakeBoolean(result)};
+  }
+
+ private:
+  /// Depth-first product over binding sequences: some -> exists a binding
+  /// satisfying; every -> all bindings satisfy.
+  bool Recurse(const DynamicContext& context, std::size_t depth) {
+    if (depth == variables_.size()) {
+      return children_.back()->MaterializeBoolean(context);
+    }
+    ItemSequence values = children_[depth]->MaterializeAll(context);
+    for (const auto& value : values) {
+      DynamicContext scope(&context);
+      scope.Bind(variables_[depth], {value});
+      bool satisfied = Recurse(scope, depth + 1);
+      if (kind_ == QuantifierKind::kSome && satisfied) return true;
+      if (kind_ == QuantifierKind::kEvery && !satisfied) return false;
+    }
+    return kind_ == QuantifierKind::kEvery;
+  }
+
+  QuantifierKind kind_;
+  std::vector<std::string> variables_;
+};
+
+class InstanceOfIterator final : public CloneableIterator<InstanceOfIterator> {
+ public:
+  InstanceOfIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
+                     SequenceType type)
+      : CloneableIterator(std::move(engine), {std::move(child)}),
+        type_(type) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence value = children_[0]->MaterializeAll(context);
+    return {item::MakeBoolean(SequenceMatchesType(value, type_))};
+  }
+
+ private:
+  SequenceType type_;
+};
+
+class TreatAsIterator final : public CloneableIterator<TreatAsIterator> {
+ public:
+  TreatAsIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
+                  SequenceType type)
+      : CloneableIterator(std::move(engine), {std::move(child)}),
+        type_(type) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence value = children_[0]->MaterializeAll(context);
+    if (!SequenceMatchesType(value, type_)) {
+      common::ThrowError(ErrorCode::kTypeError,
+                         "treat as " + type_.ToString() +
+                             ": value does not match the type");
+    }
+    return value;
+  }
+
+ private:
+  SequenceType type_;
+};
+
+class CastAsIterator final : public CloneableIterator<CastAsIterator> {
+ public:
+  CastAsIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
+                 SequenceType type)
+      : CloneableIterator(std::move(engine), {std::move(child)}),
+        type_(type) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemPtr value = children_[0]->MaterializeAtMostOne(context, "cast as");
+    if (value == nullptr) {
+      if (type_.arity == Arity::kOptional) return {};
+      common::ThrowError(ErrorCode::kTypeError,
+                         "cast as " + type_.ToString() +
+                             " of the empty sequence");
+    }
+    return {CastAtomic(value, type_.type)};
+  }
+
+ private:
+  SequenceType type_;
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeIfIterator(EngineContextPtr engine,
+                                  RuntimeIteratorPtr condition,
+                                  RuntimeIteratorPtr then_branch,
+                                  RuntimeIteratorPtr else_branch) {
+  return std::make_shared<IfIterator>(std::move(engine), std::move(condition),
+                                      std::move(then_branch),
+                                      std::move(else_branch));
+}
+
+RuntimeIteratorPtr MakeSwitchIterator(EngineContextPtr engine,
+                                      std::vector<RuntimeIteratorPtr> parts) {
+  return std::make_shared<SwitchIterator>(std::move(engine), std::move(parts));
+}
+
+RuntimeIteratorPtr MakeTryCatchIterator(EngineContextPtr engine,
+                                        RuntimeIteratorPtr body,
+                                        RuntimeIteratorPtr handler) {
+  return std::make_shared<TryCatchIterator>(std::move(engine),
+                                            std::move(body),
+                                            std::move(handler));
+}
+
+RuntimeIteratorPtr MakeQuantifiedIterator(
+    EngineContextPtr engine, QuantifierKind kind,
+    std::vector<std::string> variables,
+    std::vector<RuntimeIteratorPtr> bindings, RuntimeIteratorPtr satisfies) {
+  return std::make_shared<QuantifiedIterator>(
+      std::move(engine), kind, std::move(variables), std::move(bindings),
+      std::move(satisfies));
+}
+
+RuntimeIteratorPtr MakeInstanceOfIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr child,
+                                          SequenceType type) {
+  return std::make_shared<InstanceOfIterator>(std::move(engine),
+                                              std::move(child), type);
+}
+
+RuntimeIteratorPtr MakeTreatAsIterator(EngineContextPtr engine,
+                                       RuntimeIteratorPtr child,
+                                       SequenceType type) {
+  return std::make_shared<TreatAsIterator>(std::move(engine),
+                                           std::move(child), type);
+}
+
+RuntimeIteratorPtr MakeCastAsIterator(EngineContextPtr engine,
+                                      RuntimeIteratorPtr child,
+                                      SequenceType type) {
+  return std::make_shared<CastAsIterator>(std::move(engine), std::move(child),
+                                          type);
+}
+
+}  // namespace rumble::jsoniq

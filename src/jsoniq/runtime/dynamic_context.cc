@@ -1,0 +1,67 @@
+#include "src/jsoniq/runtime/dynamic_context.h"
+
+#include <set>
+
+namespace rumble::jsoniq {
+
+void DynamicContext::Bind(std::string name, item::ItemSequence value) {
+  for (auto& [existing, bound] : bindings_) {
+    if (existing == name) {
+      bound = std::move(value);
+      return;
+    }
+  }
+  bindings_.emplace_back(std::move(name), std::move(value));
+}
+
+void DynamicContext::BindCopy(const std::string& name,
+                              const item::ItemSequence& value) {
+  for (auto& [existing, bound] : bindings_) {
+    if (existing == name) {
+      bound.assign(value.begin(), value.end());
+      return;
+    }
+  }
+  bindings_.emplace_back(name, value);
+}
+
+const item::ItemSequence* DynamicContext::Lookup(std::string_view name) const {
+  for (const DynamicContext* scope = this; scope != nullptr;
+       scope = scope->parent_) {
+    for (const auto& [existing, bound] : scope->bindings_) {
+      if (existing == name) return &bound;
+    }
+  }
+  return nullptr;
+}
+
+void DynamicContext::SetContextItem(item::ItemPtr item, std::int64_t position,
+                                    std::int64_t size) {
+  context_item_ = std::move(item);
+  context_position_ = position;
+  context_size_ = size;
+}
+
+DynamicContextPtr DynamicContext::Snapshot(const DynamicContext& context) {
+  auto flat = std::make_shared<DynamicContext>();
+  std::set<std::string> seen;
+  for (const DynamicContext* scope = &context; scope != nullptr;
+       scope = scope->parent_) {
+    for (const auto& [name, value] : scope->bindings_) {
+      if (seen.insert(name).second) {
+        flat->bindings_.emplace_back(name, value);
+      }
+    }
+  }
+  flat->context_item_ = context.context_item_;
+  flat->context_position_ = context.context_position_;
+  flat->context_size_ = context.context_size_;
+  return flat;
+}
+
+DynamicContextPtr DynamicContext::Empty() {
+  static const DynamicContextPtr kEmpty = std::make_shared<DynamicContext>();
+  return kEmpty;
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,60 @@
+#ifndef RUMBLE_JSONIQ_RUNTIME_DYNAMIC_CONTEXT_H_
+#define RUMBLE_JSONIQ_RUNTIME_DYNAMIC_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/item/item.h"
+
+namespace rumble::jsoniq {
+
+class DynamicContext;
+using DynamicContextPtr = std::shared_ptr<const DynamicContext>;
+
+/// Dynamic context (paper Section 5.5): variable bindings plus the context
+/// item ($$) with its position. Contexts chain to their parent so nested
+/// scopes do not copy bindings; Snapshot() flattens a chain into one
+/// heap-owned context for capture inside RDD/DataFrame closures.
+class DynamicContext {
+ public:
+  DynamicContext() = default;
+  explicit DynamicContext(const DynamicContext* parent) : parent_(parent) {}
+
+  /// Binds (or rebinds, shadowing) a variable in this scope.
+  void Bind(std::string name, item::ItemSequence value);
+
+  /// Copy-binding that reuses the existing binding's capacity — the hot path
+  /// for per-row rebinding inside DataFrame UDFs, where the same scope is
+  /// rebound for every row of a batch.
+  void BindCopy(const std::string& name, const item::ItemSequence& value);
+
+  /// Looks a variable up through the parent chain; nullptr when unbound.
+  const item::ItemSequence* Lookup(std::string_view name) const;
+
+  void SetContextItem(item::ItemPtr item, std::int64_t position,
+                      std::int64_t size);
+  const item::ItemPtr& context_item() const { return context_item_; }
+  std::int64_t context_position() const { return context_position_; }
+  std::int64_t context_size() const { return context_size_; }
+
+  /// Flattens the visible bindings (and context item) of `context` into a
+  /// single self-contained context safe to capture in closures.
+  static DynamicContextPtr Snapshot(const DynamicContext& context);
+
+  /// An empty shared context for top-level evaluation.
+  static DynamicContextPtr Empty();
+
+ private:
+  const DynamicContext* parent_ = nullptr;
+  std::vector<std::pair<std::string, item::ItemSequence>> bindings_;
+  item::ItemPtr context_item_;
+  std::int64_t context_position_ = 0;
+  std::int64_t context_size_ = 0;
+};
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUNTIME_DYNAMIC_CONTEXT_H_

@@ -1,0 +1,32 @@
+#ifndef RUMBLE_JSONIQ_RUNTIME_ENGINE_CONTEXT_H_
+#define RUMBLE_JSONIQ_RUNTIME_ENGINE_CONTEXT_H_
+
+#include <memory>
+
+#include "src/common/config.h"
+#include "src/spark/context.h"
+#include "src/util/memory_budget.h"
+
+namespace rumble::jsoniq {
+
+/// Immutable per-engine state shared by every runtime iterator: the
+/// configuration, the minispark context (executor pool + RDD factory) and
+/// the memory budget used by the local-execution baselines.
+struct EngineContext {
+  common::RumbleConfig config;
+  std::shared_ptr<spark::Context> spark;
+  std::shared_ptr<util::MemoryBudget> memory;
+
+  /// True when iterators may offer the RDD API (Section 5.6).
+  bool ParallelEnabled() const {
+    return spark != nullptr && !config.force_local_execution;
+  }
+};
+
+using EngineContextPtr = std::shared_ptr<const EngineContext>;
+
+EngineContextPtr MakeEngineContext(common::RumbleConfig config);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUNTIME_ENGINE_CONTEXT_H_

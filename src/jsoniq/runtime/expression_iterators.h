@@ -1,0 +1,97 @@
+#ifndef RUMBLE_JSONIQ_RUNTIME_EXPRESSION_ITERATORS_H_
+#define RUMBLE_JSONIQ_RUNTIME_EXPRESSION_ITERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/jsoniq/ast.h"
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+// Factory functions for every expression iterator family. Implementations
+// live in the per-family .cc files (primary / arithmetic / comparison /
+// logic / navigation / control); only the iterator builder needs these.
+
+// -- primary_iterators.cc ---------------------------------------------------
+RuntimeIteratorPtr MakeLiteralIterator(EngineContextPtr engine,
+                                       item::ItemPtr value);
+RuntimeIteratorPtr MakeVariableRefIterator(EngineContextPtr engine,
+                                           std::string name);
+RuntimeIteratorPtr MakeContextItemIterator(EngineContextPtr engine);
+/// Sequence concatenation (the comma operator); no children = ().
+RuntimeIteratorPtr MakeSequenceIterator(EngineContextPtr engine,
+                                        std::vector<RuntimeIteratorPtr> parts);
+RuntimeIteratorPtr MakeObjectConstructorIterator(
+    EngineContextPtr engine, std::vector<RuntimeIteratorPtr> keys,
+    std::vector<RuntimeIteratorPtr> values);
+/// `content` may be null for [].
+RuntimeIteratorPtr MakeArrayConstructorIterator(EngineContextPtr engine,
+                                                RuntimeIteratorPtr content);
+RuntimeIteratorPtr MakeStringConcatIterator(
+    EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts);
+
+// -- arithmetic_iterators.cc ----------------------------------------------
+RuntimeIteratorPtr MakeArithmeticIterator(EngineContextPtr engine,
+                                          ArithmeticOp op,
+                                          RuntimeIteratorPtr left,
+                                          RuntimeIteratorPtr right);
+RuntimeIteratorPtr MakeUnaryMinusIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr child);
+RuntimeIteratorPtr MakeRangeIterator(EngineContextPtr engine,
+                                     RuntimeIteratorPtr from,
+                                     RuntimeIteratorPtr to);
+
+// -- comparison_iterators.cc ------------------------------------------------
+RuntimeIteratorPtr MakeComparisonIterator(EngineContextPtr engine,
+                                          CompareOp op,
+                                          RuntimeIteratorPtr left,
+                                          RuntimeIteratorPtr right);
+
+// -- logic_iterators.cc -------------------------------------------------------
+RuntimeIteratorPtr MakeAndIterator(EngineContextPtr engine,
+                                   std::vector<RuntimeIteratorPtr> parts);
+RuntimeIteratorPtr MakeOrIterator(EngineContextPtr engine,
+                                  std::vector<RuntimeIteratorPtr> parts);
+
+// -- navigation_iterators.cc --------------------------------------------------
+RuntimeIteratorPtr MakeObjectLookupIterator(EngineContextPtr engine,
+                                            RuntimeIteratorPtr target,
+                                            RuntimeIteratorPtr key);
+RuntimeIteratorPtr MakeArrayLookupIterator(EngineContextPtr engine,
+                                           RuntimeIteratorPtr target,
+                                           RuntimeIteratorPtr index);
+RuntimeIteratorPtr MakeArrayUnboxIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr target);
+RuntimeIteratorPtr MakePredicateIterator(EngineContextPtr engine,
+                                         RuntimeIteratorPtr target,
+                                         RuntimeIteratorPtr predicate);
+
+// -- control_iterators.cc -------------------------------------------------------
+RuntimeIteratorPtr MakeIfIterator(EngineContextPtr engine,
+                                  RuntimeIteratorPtr condition,
+                                  RuntimeIteratorPtr then_branch,
+                                  RuntimeIteratorPtr else_branch);
+/// children layout: operand, key1, value1, ..., keyN, valueN, default.
+RuntimeIteratorPtr MakeSwitchIterator(EngineContextPtr engine,
+                                      std::vector<RuntimeIteratorPtr> parts);
+RuntimeIteratorPtr MakeTryCatchIterator(EngineContextPtr engine,
+                                        RuntimeIteratorPtr body,
+                                        RuntimeIteratorPtr handler);
+RuntimeIteratorPtr MakeQuantifiedIterator(
+    EngineContextPtr engine, QuantifierKind kind,
+    std::vector<std::string> variables,
+    std::vector<RuntimeIteratorPtr> bindings, RuntimeIteratorPtr satisfies);
+RuntimeIteratorPtr MakeInstanceOfIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr child,
+                                          SequenceType type);
+RuntimeIteratorPtr MakeTreatAsIterator(EngineContextPtr engine,
+                                       RuntimeIteratorPtr child,
+                                       SequenceType type);
+RuntimeIteratorPtr MakeCastAsIterator(EngineContextPtr engine,
+                                      RuntimeIteratorPtr child,
+                                      SequenceType type);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUNTIME_EXPRESSION_ITERATORS_H_

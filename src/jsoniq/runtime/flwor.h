@@ -1,0 +1,112 @@
+#ifndef RUMBLE_JSONIQ_RUNTIME_FLWOR_H_
+#define RUMBLE_JSONIQ_RUNTIME_FLWOR_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/jsoniq/ast.h"
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+/// A FLWOR tuple: variable-name -> materialized sequence bindings (paper
+/// Section 4.2 — not a database tuple). Kept as a small vector: tuples
+/// rarely carry more than a handful of variables.
+using FlworTuple = std::vector<std::pair<std::string, item::ItemSequence>>;
+
+/// How a non-grouping variable is consumed downstream of a group-by clause
+/// (paper Section 4.7): materialized as a sequence, only ever counted, or
+/// never used.
+enum class VarUsage { kGeneral, kCountOnly, kUnused };
+
+/// One compiled FLWOR clause: AST metadata plus prebuilt runtime iterators
+/// for the nested expressions. Produced by the iterator builder; consumed by
+/// all three tuple-stream backends (local pull, DataFrame, RDD-of-tuples).
+struct CompiledClause {
+  FlworClause::Kind kind = FlworClause::Kind::kFor;
+
+  // kFor / kLet / kCount
+  std::string variable;
+  std::string position_variable;  // kFor only
+  bool allowing_empty = false;    // kFor only
+  RuntimeIteratorPtr expr;        // kFor / kLet binding, kWhere condition
+  /// Variables the expression references (drives DataFrame column pruning).
+  std::vector<std::string> free_vars;
+
+  // kGroupBy
+  struct GroupSpec {
+    std::string variable;
+    RuntimeIteratorPtr expr;  // null: group by an already-bound variable
+    std::vector<std::string> free_vars;
+  };
+  std::vector<GroupSpec> group_specs;
+  /// Usage classification for every non-grouping live variable.
+  std::vector<std::pair<std::string, VarUsage>> nongroup_vars;
+
+  // kOrderBy
+  struct OrderSpec {
+    RuntimeIteratorPtr expr;
+    bool ascending = true;
+    bool empty_greatest = false;
+    std::vector<std::string> free_vars;
+  };
+  std::vector<OrderSpec> order_specs;
+};
+
+/// A fully compiled FLWOR expression.
+struct CompiledFlwor {
+  std::vector<CompiledClause> clauses;
+  RuntimeIteratorPtr return_expr;
+  std::vector<std::string> return_free_vars;
+};
+
+/// Creates the FLWOR expression iterator, which switches between local
+/// pull-based execution and the configured distributed backend (paper
+/// Sections 5.5 and 5.8).
+RuntimeIteratorPtr MakeFlworIterator(EngineContextPtr engine,
+                                     CompiledFlwor flwor);
+
+// ---- Helpers shared by the three backends ---------------------------------
+
+/// Validates a grouping value (at most one atomic item) and appends its
+/// canonical byte encoding to `out`. Equal atomics encode equally across
+/// numeric kinds (1 == 1.0), matching JSONiq group-by semantics.
+void EncodeGroupKey(const item::ItemSequence& value, std::string* out);
+
+/// An order-by key value: empty optional = the empty sequence.
+using SortKeyValue = std::optional<item::ItemPtr>;
+
+/// Validates an order-by key (at most one atomic item; kInvalidSortKey on
+/// arrays/objects or multi-item sequences).
+SortKeyValue MakeSortKeyValue(const item::ItemSequence& value);
+
+/// Three-way comparison of two sort keys under one order spec's empty
+/// handling (ascending is applied by the caller). Throws
+/// kIncompatibleSortKeys across families, per Section 4.8.
+int CompareSortKeys(const SortKeyValue& left, const SortKeyValue& right,
+                    bool empty_greatest);
+
+/// The paper's Section 4.7/4.8 native type tag for a key value: 1 empty (or
+/// 7 when empty sorts greatest), 2 null, 3 false, 4 true, 5 string/number
+/// value present. (We order false < true, unlike the paper's merely
+/// illustrative 3/4 assignment, so ORDER BY is spec-correct.)
+std::int64_t SortKeyTypeTag(const SortKeyValue& value, bool empty_greatest);
+
+/// Binds a tuple's variables into a dynamic context.
+void BindTuple(const FlworTuple& tuple, DynamicContext* context);
+
+/// Per-backend entry points (implemented in flwor_dataframe.cc and
+/// flwor_tuple_rdd.cc). Both require the first clause to be a `for` whose
+/// expression is RDD-able.
+spark::Rdd<item::ItemPtr> ExecuteFlworOnDataFrames(
+    const EngineContextPtr& engine, const CompiledFlwor& flwor,
+    const DynamicContext& context);
+spark::Rdd<item::ItemPtr> ExecuteFlworOnTupleRdd(
+    const EngineContextPtr& engine, const CompiledFlwor& flwor,
+    const DynamicContext& context);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUNTIME_FLWOR_H_

@@ -1,0 +1,571 @@
+#include <set>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/df/dataframe.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/flwor.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using df::DataFrame;
+using df::DataType;
+using df::NamedExpr;
+using df::RecordBatch;
+using item::ItemPtr;
+using item::ItemSequence;
+
+/// Names of engine-internal columns start with '#', which can never clash
+/// with JSONiq variable names.
+constexpr char kPositionColumn[] = "#pos";
+constexpr char kCountColumn[] = "#cnt";
+
+std::vector<std::string> ColumnsOf(const df::Schema& schema) {
+  std::vector<std::string> out;
+  out.reserve(schema.num_fields());
+  for (const auto& field : schema.fields()) out.push_back(field.name);
+  return out;
+}
+
+/// Pass-through references for every column except those in `exclude`.
+std::vector<NamedExpr> RefsExcept(const df::Schema& schema,
+                                  const std::set<std::string>& exclude) {
+  std::vector<NamedExpr> out;
+  for (const auto& field : schema.fields()) {
+    if (exclude.count(field.name) > 0) continue;
+    out.push_back(NamedExpr::Ref(field.name, field.name, field.type));
+  }
+  return out;
+}
+
+/// Variables referenced by an expression that are currently tuple columns;
+/// everything else resolves through the captured outer context.
+std::vector<std::string> ColumnInputs(const std::vector<std::string>& free_vars,
+                                      const df::Schema& schema) {
+  std::vector<std::string> out;
+  for (const auto& name : free_vars) {
+    if (schema.IndexOf(name) >= 0) out.push_back(name);
+  }
+  return out;
+}
+
+/// The paper's EVALUATE_EXPRESSION UDF (Section 4.4): evaluates a runtime
+/// iterator per row, binding the referenced tuple variables from their
+/// item-seq columns, and appends the resulting sequence.
+df::Udf SeqUdf(RuntimeIteratorPtr prototype, DynamicContextPtr captured,
+               std::vector<std::string> inputs) {
+  df::Udf udf;
+  udf.inputs = inputs;
+  udf.eval = [prototype, captured, inputs](const df::Schema& schema,
+                                           const RecordBatch& batch,
+                                           df::Column* out) {
+    RuntimeIteratorPtr iterator = prototype->Clone();
+    std::vector<std::size_t> indices;
+    indices.reserve(inputs.size());
+    for (const auto& name : inputs) {
+      indices.push_back(schema.RequireIndex(name));
+    }
+    // One scope reused across rows: rebinding reuses binding capacity.
+    DynamicContext scope(captured.get());
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        scope.BindCopy(inputs[i], batch.columns[indices[i]].SeqAt(row));
+      }
+      out->AppendSeq(iterator->MaterializeAll(scope));
+    }
+  };
+  return udf;
+}
+
+/// Converts an int64 column to a singleton-integer item-seq column,
+/// optionally with an offset (count clause: index + 1).
+df::Udf Int64ToSeqUdf(std::string source, std::int64_t offset) {
+  df::Udf udf;
+  udf.inputs = {source};
+  udf.eval = [source, offset](const df::Schema& schema,
+                              const RecordBatch& batch, df::Column* out) {
+    std::size_t index = schema.RequireIndex(source);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendSeq(
+          {item::MakeInteger(batch.columns[index].Int64At(row) + offset)});
+    }
+  };
+  return udf;
+}
+
+/// Projection keeping all columns, with `name` replaced (or appended) by a
+/// computed item-seq column.
+DataFrame ProjectWithVariable(const DataFrame& df, const std::string& name,
+                              df::Udf udf) {
+  std::vector<NamedExpr> exprs = RefsExcept(df.schema(), {name});
+  exprs.push_back(NamedExpr::Computed(name, DataType::kItemSeq, std::move(udf)));
+  return df.Project(std::move(exprs));
+}
+
+// ---- group-by key encoding (Section 4.7) -----------------------------------
+
+/// The three native columns per grouping variable. Tags follow the paper:
+/// 1 empty sequence, 2 null, 3 true, 4 false, 5 string, 6 number.
+df::Udf GroupTagUdf(std::string variable) {
+  df::Udf udf;
+  udf.inputs = {variable};
+  udf.eval = [variable](const df::Schema& schema, const RecordBatch& batch,
+                        df::Column* out) {
+    std::size_t index = schema.RequireIndex(variable);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value = batch.columns[index].SeqAt(row);
+      if (value.empty()) {
+        out->AppendInt64(1);
+        continue;
+      }
+      if (value.size() > 1) {
+        common::ThrowError(ErrorCode::kInvalidGroupingKey,
+                           "grouping key bound to more than one item");
+      }
+      switch (value.front()->type()) {
+        case item::ItemType::kNull: out->AppendInt64(2); break;
+        case item::ItemType::kBoolean:
+          out->AppendInt64(value.front()->BooleanValue() ? 3 : 4);
+          break;
+        case item::ItemType::kString: out->AppendInt64(5); break;
+        case item::ItemType::kInteger:
+        case item::ItemType::kDecimal:
+        case item::ItemType::kDouble: out->AppendInt64(6); break;
+        default:
+          common::ThrowError(
+              ErrorCode::kInvalidGroupingKey,
+              "grouping key must be an atomic, found " +
+                  std::string(item::ItemTypeName(value.front()->type())));
+      }
+    }
+  };
+  return udf;
+}
+
+df::Udf GroupStringUdf(std::string variable) {
+  df::Udf udf;
+  udf.inputs = {variable};
+  udf.eval = [variable](const df::Schema& schema, const RecordBatch& batch,
+                        df::Column* out) {
+    std::size_t index = schema.RequireIndex(variable);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value = batch.columns[index].SeqAt(row);
+      if (value.size() == 1 && value.front()->IsString()) {
+        out->AppendString(value.front()->StringValue());
+      } else {
+        out->AppendString("");
+      }
+    }
+  };
+  return udf;
+}
+
+df::Udf GroupNumberUdf(std::string variable) {
+  df::Udf udf;
+  udf.inputs = {variable};
+  udf.eval = [variable](const df::Schema& schema, const RecordBatch& batch,
+                        df::Column* out) {
+    std::size_t index = schema.RequireIndex(variable);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value = batch.columns[index].SeqAt(row);
+      if (value.size() == 1 && value.front()->IsNumeric()) {
+        double numeric = value.front()->NumericValue();
+        if (numeric == 0.0) numeric = 0.0;  // normalize -0.0
+        out->AppendFloat64(numeric);
+      } else {
+        out->AppendFloat64(0.0);
+      }
+    }
+  };
+  return udf;
+}
+
+// ---- order-by key encoding (Section 4.8) -----------------------------------
+
+enum class KeyFamily { kNone, kBoolean, kString, kNumber };
+
+df::Udf SortTagUdf(std::string source, bool empty_greatest) {
+  df::Udf udf;
+  udf.inputs = {source};
+  udf.eval = [source, empty_greatest](const df::Schema& schema,
+                                      const RecordBatch& batch,
+                                      df::Column* out) {
+    std::size_t index = schema.RequireIndex(source);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      SortKeyValue value =
+          MakeSortKeyValue(batch.columns[index].SeqAt(row));
+      out->AppendInt64(SortKeyTypeTag(value, empty_greatest));
+    }
+  };
+  return udf;
+}
+
+df::Udf SortValueUdf(std::string source, KeyFamily family) {
+  df::Udf udf;
+  udf.inputs = {source};
+  udf.eval = [source, family](const df::Schema& schema,
+                              const RecordBatch& batch, df::Column* out) {
+    std::size_t index = schema.RequireIndex(source);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& seq = batch.columns[index].SeqAt(row);
+      if (family == KeyFamily::kString) {
+        if (seq.size() == 1 && seq.front()->IsString()) {
+          out->AppendString(seq.front()->StringValue());
+        } else {
+          out->AppendString("");
+        }
+      } else {
+        if (seq.size() == 1 && seq.front()->IsNumeric()) {
+          out->AppendFloat64(seq.front()->NumericValue());
+        } else {
+          out->AppendFloat64(0.0);
+        }
+      }
+    }
+  };
+  return udf;
+}
+
+// ---- Clause translation ------------------------------------------------------
+
+struct Translator {
+  const EngineContextPtr& engine;
+  DynamicContextPtr captured;
+  DataFrame df;
+
+  void Apply(const CompiledClause& clause) {
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor: ApplyFor(clause); break;
+      case FlworClause::Kind::kLet: ApplyLet(clause); break;
+      case FlworClause::Kind::kWhere: ApplyWhere(clause); break;
+      case FlworClause::Kind::kGroupBy: ApplyGroupBy(clause); break;
+      case FlworClause::Kind::kOrderBy: ApplyOrderBy(clause); break;
+      case FlworClause::Kind::kCount: ApplyCount(clause); break;
+    }
+  }
+
+  void ApplyFor(const CompiledClause& clause) {
+    df = ProjectWithVariable(
+        df, clause.variable,
+        SeqUdf(clause.expr, captured,
+               ColumnInputs(clause.free_vars, df.schema())));
+    bool with_position = !clause.position_variable.empty();
+    df = df.Explode(clause.variable, clause.allowing_empty,
+                    with_position ? kPositionColumn : "");
+    if (with_position) {
+      std::vector<NamedExpr> exprs =
+          RefsExcept(df.schema(), {kPositionColumn, clause.position_variable});
+      exprs.push_back(NamedExpr::Computed(clause.position_variable,
+                                          DataType::kItemSeq,
+                                          Int64ToSeqUdf(kPositionColumn, 0)));
+      df = df.Project(std::move(exprs));
+    }
+  }
+
+  void ApplyLet(const CompiledClause& clause) {
+    df = ProjectWithVariable(
+        df, clause.variable,
+        SeqUdf(clause.expr, captured,
+               ColumnInputs(clause.free_vars, df.schema())));
+  }
+
+  void ApplyWhere(const CompiledClause& clause) {
+    df::Predicate predicate;
+    predicate.inputs = ColumnInputs(clause.free_vars, df.schema());
+    RuntimeIteratorPtr prototype = clause.expr;
+    DynamicContextPtr outer = captured;
+    std::vector<std::string> inputs = predicate.inputs;
+    predicate.eval = [prototype, outer, inputs](const df::Schema& schema,
+                                                const RecordBatch& batch) {
+      RuntimeIteratorPtr iterator = prototype->Clone();
+      std::vector<std::size_t> indices;
+      indices.reserve(inputs.size());
+      for (const auto& name : inputs) {
+        indices.push_back(schema.RequireIndex(name));
+      }
+      std::vector<char> mask(batch.num_rows, 0);
+      DynamicContext scope(outer.get());
+      for (std::size_t row = 0; row < batch.num_rows; ++row) {
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+          scope.BindCopy(inputs[i], batch.columns[indices[i]].SeqAt(row));
+        }
+        mask[row] = iterator->MaterializeBoolean(scope) ? 1 : 0;
+      }
+      return mask;
+    };
+    df = df.Filter(std::move(predicate));
+  }
+
+  void ApplyGroupBy(const CompiledClause& clause) {
+    // 1. Bind grouping variables that come with expressions.
+    for (const auto& spec : clause.group_specs) {
+      if (spec.expr == nullptr) continue;
+      df = ProjectWithVariable(
+          df, spec.variable,
+          SeqUdf(spec.expr, captured,
+                 ColumnInputs(spec.free_vars, df.schema())));
+    }
+
+    // 2. Add the paper's three native key columns per grouping variable.
+    std::vector<NamedExpr> with_keys = RefsExcept(df.schema(), {});
+    std::vector<std::string> key_columns;
+    for (std::size_t i = 0; i < clause.group_specs.size(); ++i) {
+      const auto& variable = clause.group_specs[i].variable;
+      std::string base = "#k" + std::to_string(i);
+      with_keys.push_back(NamedExpr::Computed(base + "t", DataType::kInt64,
+                                              GroupTagUdf(variable)));
+      with_keys.push_back(NamedExpr::Computed(base + "s", DataType::kString,
+                                              GroupStringUdf(variable)));
+      with_keys.push_back(NamedExpr::Computed(base + "d", DataType::kFloat64,
+                                              GroupNumberUdf(variable)));
+      key_columns.push_back(base + "t");
+      key_columns.push_back(base + "s");
+      key_columns.push_back(base + "d");
+    }
+    df = df.Project(std::move(with_keys));
+
+    // 3. Aggregate: grouping variables keep a witness value; non-grouping
+    //    variables materialize (SEQUENCE()), count (COUNT()) or disappear.
+    std::vector<df::Aggregate> aggregates;
+    std::vector<std::string> counted;
+    for (const auto& spec : clause.group_specs) {
+      aggregates.push_back(
+          df::Aggregate{spec.variable, spec.variable, df::AggKind::kFirst});
+    }
+    for (const auto& [name, usage] : clause.nongroup_vars) {
+      switch (usage) {
+        case VarUsage::kUnused:
+          break;
+        case VarUsage::kCountOnly:
+          aggregates.push_back(
+              df::Aggregate{name, "#c_" + name, df::AggKind::kCount});
+          counted.push_back(name);
+          break;
+        case VarUsage::kGeneral:
+          aggregates.push_back(
+              df::Aggregate{name, name, df::AggKind::kCollect});
+          break;
+      }
+    }
+    df = df.GroupBy(key_columns, std::move(aggregates));
+
+    // 4. Project away the native key columns and convert counts back to
+    //    singleton integers.
+    std::set<std::string> drop(key_columns.begin(), key_columns.end());
+    for (const auto& name : counted) drop.insert("#c_" + name);
+    std::vector<NamedExpr> cleanup = RefsExcept(df.schema(), drop);
+    for (const auto& name : counted) {
+      cleanup.push_back(NamedExpr::Computed(name, DataType::kItemSeq,
+                                            Int64ToSeqUdf("#c_" + name, 0)));
+    }
+    df = df.Project(std::move(cleanup));
+  }
+
+  void ApplyOrderBy(const CompiledClause& clause) {
+    // 1. Add one item-seq key column per order spec.
+    std::vector<NamedExpr> with_keys = RefsExcept(df.schema(), {});
+    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
+      with_keys.push_back(NamedExpr::Computed(
+          "#o" + std::to_string(i), DataType::kItemSeq,
+          SeqUdf(clause.order_specs[i].expr, captured,
+                 ColumnInputs(clause.order_specs[i].free_vars, df.schema()))));
+    }
+    df = df.Project(std::move(with_keys));
+
+    if (engine->config.orderby_skip_type_check) {
+      ApplyOrderByWithoutTypeCheck(clause);
+      return;
+    }
+
+    // 2. First pass (Section 4.8): discover each key's type family and
+    //    throw on incompatibilities before sorting. The intermediate result
+    //    is materialized so the plan does not run twice.
+    std::vector<RecordBatch> batches = df.Execute().Collect();
+    std::vector<KeyFamily> families(clause.order_specs.size(),
+                                    KeyFamily::kNone);
+    df::SchemaPtr schema = df.schema_ptr();
+    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
+      std::size_t index = schema->RequireIndex("#o" + std::to_string(i));
+      for (const auto& batch : batches) {
+        for (std::size_t row = 0; row < batch.num_rows; ++row) {
+          SortKeyValue value =
+              MakeSortKeyValue(batch.columns[index].SeqAt(row));
+          if (!value.has_value()) continue;
+          KeyFamily family = KeyFamily::kNone;
+          switch ((*value)->type()) {
+            case item::ItemType::kNull: continue;  // comparable to anything
+            case item::ItemType::kBoolean: family = KeyFamily::kBoolean; break;
+            case item::ItemType::kString: family = KeyFamily::kString; break;
+            default: family = KeyFamily::kNumber; break;
+          }
+          if (families[i] == KeyFamily::kNone) {
+            families[i] = family;
+          } else if (families[i] != family) {
+            common::ThrowError(
+                ErrorCode::kIncompatibleSortKeys,
+                "order-by key mixes incompatible types across the stream");
+          }
+        }
+      }
+    }
+    df = DataFrame::FromBatches(engine->spark.get(), schema,
+                                std::move(batches));
+
+    // 3. Only the needed native columns are created per key (tag always;
+    //    a value column only for string/number families).
+    std::vector<NamedExpr> with_native = RefsExcept(df.schema(), {});
+    std::vector<df::SortKey> sort_keys;
+    std::set<std::string> drop;
+    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
+      const auto& spec = clause.order_specs[i];
+      std::string source = "#o" + std::to_string(i);
+      std::string tag = "#s" + std::to_string(i) + "t";
+      with_native.push_back(NamedExpr::Computed(
+          tag, DataType::kInt64, SortTagUdf(source, spec.empty_greatest)));
+      sort_keys.push_back(df::SortKey{tag, spec.ascending, true});
+      drop.insert(source);
+      drop.insert(tag);
+      if (families[i] == KeyFamily::kString ||
+          families[i] == KeyFamily::kNumber) {
+        std::string value = "#s" + std::to_string(i) + "v";
+        with_native.push_back(NamedExpr::Computed(
+            value,
+            families[i] == KeyFamily::kString ? DataType::kString
+                                              : DataType::kFloat64,
+            SortValueUdf(source, families[i])));
+        sort_keys.push_back(df::SortKey{value, spec.ascending, true});
+        drop.insert(value);
+      }
+    }
+    df = df.Project(std::move(with_native)).Sort(std::move(sort_keys));
+    df = df.Project(RefsExcept(df.schema(), drop));
+  }
+
+  /// Section 4.8's alternate design: no discovery pass; every key gets all
+  /// three native columns (as group-by does) and sorting proceeds without
+  /// validating type compatibility across the stream.
+  void ApplyOrderByWithoutTypeCheck(const CompiledClause& clause) {
+    std::vector<NamedExpr> with_native = RefsExcept(df.schema(), {});
+    std::vector<df::SortKey> sort_keys;
+    std::set<std::string> drop;
+    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
+      const auto& spec = clause.order_specs[i];
+      std::string source = "#o" + std::to_string(i);
+      std::string tag = "#s" + std::to_string(i) + "t";
+      std::string str = "#s" + std::to_string(i) + "s";
+      std::string num = "#s" + std::to_string(i) + "d";
+      with_native.push_back(NamedExpr::Computed(
+          tag, DataType::kInt64, SortTagUdf(source, spec.empty_greatest)));
+      with_native.push_back(NamedExpr::Computed(
+          str, DataType::kString, SortValueUdf(source, KeyFamily::kString)));
+      with_native.push_back(NamedExpr::Computed(
+          num, DataType::kFloat64, SortValueUdf(source, KeyFamily::kNumber)));
+      sort_keys.push_back(df::SortKey{tag, spec.ascending, true});
+      sort_keys.push_back(df::SortKey{str, spec.ascending, true});
+      sort_keys.push_back(df::SortKey{num, spec.ascending, true});
+      drop.insert(source);
+      drop.insert(tag);
+      drop.insert(str);
+      drop.insert(num);
+    }
+    df = df.Project(std::move(with_native)).Sort(std::move(sort_keys));
+    df = df.Project(RefsExcept(df.schema(), drop));
+  }
+
+  void ApplyCount(const CompiledClause& clause) {
+    df = df.ZipIndex(kCountColumn);
+    std::vector<NamedExpr> exprs =
+        RefsExcept(df.schema(), {kCountColumn, clause.variable});
+    exprs.push_back(NamedExpr::Computed(clause.variable, DataType::kItemSeq,
+                                        Int64ToSeqUdf(kCountColumn, 1)));
+    df = df.Project(std::move(exprs));
+  }
+};
+
+}  // namespace
+
+spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
+                                             const CompiledFlwor& flwor,
+                                             const DynamicContext& context) {
+  const CompiledClause& first = flwor.clauses.front();
+  if (first.kind != FlworClause::Kind::kFor || !first.expr->IsRddAble()) {
+    common::ThrowError(ErrorCode::kInternal,
+                       "DataFrame FLWOR execution requires a distributed "
+                       "initial for clause");
+  }
+
+  DynamicContextPtr captured = DynamicContext::Snapshot(context);
+
+  // Initial for clause: the input RDD of items becomes a one-column
+  // DataFrame of singleton sequences (Section 4.4, "if the underlying FLWOR
+  // expression physically supports an RDD ... mapped to a DataFrame in
+  // parallel on the cluster").
+  spark::Rdd<ItemPtr> input = first.expr->GetRdd(context);
+  spark::Rdd<RecordBatch> batches =
+      input.MapPartitions([](ItemSequence&& items) {
+        RecordBatch batch;
+        df::Column column(DataType::kItemSeq);
+        column.Reserve(items.size());
+        for (auto& item : items) {
+          column.AppendSeq({std::move(item)});
+        }
+        batch.num_rows = column.size();
+        batch.columns.push_back(std::move(column));
+        return std::vector<RecordBatch>{std::move(batch)};
+      });
+  auto schema = std::make_shared<df::Schema>(std::vector<df::Field>{
+      df::Field{first.variable, DataType::kItemSeq}});
+  Translator translator{engine, captured,
+                        DataFrame::FromRdd(engine->spark.get(),
+                                           std::move(schema),
+                                           std::move(batches))};
+
+  if (!first.position_variable.empty()) {
+    translator.df = translator.df.ZipIndex(kPositionColumn);
+    std::vector<NamedExpr> exprs =
+        RefsExcept(translator.df.schema(), {kPositionColumn});
+    exprs.push_back(NamedExpr::Computed(first.position_variable,
+                                        DataType::kItemSeq,
+                                        Int64ToSeqUdf(kPositionColumn, 1)));
+    translator.df = translator.df.Project(std::move(exprs));
+  }
+
+  for (std::size_t i = 1; i < flwor.clauses.size(); ++i) {
+    translator.Apply(flwor.clauses[i]);
+  }
+
+  // Return clause (Section 4.10): flatMap rows back to an RDD of items.
+  df::SchemaPtr final_schema = translator.df.schema_ptr();
+  std::vector<std::string> inputs =
+      ColumnInputs(flwor.return_free_vars, *final_schema);
+  RuntimeIteratorPtr prototype = flwor.return_expr;
+  return translator.df.Execute().MapPartitions(
+      [final_schema, inputs, prototype,
+       captured](std::vector<RecordBatch>&& parts) {
+        RuntimeIteratorPtr iterator = prototype->Clone();
+        std::vector<std::size_t> indices;
+        indices.reserve(inputs.size());
+        for (const auto& name : inputs) {
+          indices.push_back(final_schema->RequireIndex(name));
+        }
+        ItemSequence out;
+        DynamicContext scope(captured.get());
+        for (const auto& batch : parts) {
+          for (std::size_t row = 0; row < batch.num_rows; ++row) {
+            for (std::size_t i = 0; i < inputs.size(); ++i) {
+              scope.BindCopy(inputs[i], batch.columns[indices[i]].SeqAt(row));
+            }
+            ItemSequence part = iterator->MaterializeAll(scope);
+            out.insert(out.end(), std::make_move_iterator(part.begin()),
+                       std::make_move_iterator(part.end()));
+          }
+        }
+        return out;
+      });
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,477 @@
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/flwor.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+CompiledClause::GroupSpec CloneGroupSpec(const CompiledClause::GroupSpec& spec) {
+  CompiledClause::GroupSpec out = spec;
+  if (out.expr) out.expr = out.expr->Clone();
+  return out;
+}
+
+CompiledClause CloneClause(const CompiledClause& clause) {
+  CompiledClause out = clause;
+  if (out.expr) out.expr = out.expr->Clone();
+  out.group_specs.clear();
+  for (const auto& spec : clause.group_specs) {
+    out.group_specs.push_back(CloneGroupSpec(spec));
+  }
+  out.order_specs.clear();
+  for (const auto& spec : clause.order_specs) {
+    CompiledClause::OrderSpec copy = spec;
+    if (copy.expr) copy.expr = copy.expr->Clone();
+    out.order_specs.push_back(std::move(copy));
+  }
+  return out;
+}
+
+CompiledFlwor CloneFlwor(const CompiledFlwor& flwor) {
+  CompiledFlwor out;
+  out.clauses.reserve(flwor.clauses.size());
+  for (const auto& clause : flwor.clauses) {
+    out.clauses.push_back(CloneClause(clause));
+  }
+  out.return_expr = flwor.return_expr->Clone();
+  out.return_free_vars = flwor.return_free_vars;
+  return out;
+}
+
+/// Approximate footprint of a tuple including the bound items' payloads,
+/// for the memory budget charged by the single-threaded baselines
+/// (Figure 12's out-of-memory reproduction). Items are shared between
+/// tuples in reality; charging their full size per tuple models engines
+/// that materialize copies into their stores, which is what the simulated
+/// engines' blocking operators do.
+std::size_t TupleFootprint(const FlworTuple& tuple) {
+  std::size_t total = sizeof(FlworTuple);
+  for (const auto& [name, value] : tuple) {
+    total += name.size() + 32 + value.size() * sizeof(ItemPtr);
+    for (const auto& item : value) {
+      total += item->FootprintBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared key helpers
+// ---------------------------------------------------------------------------
+
+void EncodeGroupKey(const ItemSequence& value, std::string* out) {
+  if (value.empty()) {
+    out->push_back('\x00');
+    return;
+  }
+  if (value.size() > 1) {
+    common::ThrowError(ErrorCode::kInvalidGroupingKey,
+                       "grouping key bound to more than one item");
+  }
+  const item::Item& key = *value.front();
+  switch (key.type()) {
+    case item::ItemType::kNull:
+      out->push_back('\x01');
+      return;
+    case item::ItemType::kBoolean:
+      out->push_back(key.BooleanValue() ? '\x03' : '\x02');
+      return;
+    case item::ItemType::kInteger:
+    case item::ItemType::kDecimal:
+    case item::ItemType::kDouble: {
+      out->push_back('\x04');
+      double numeric = key.NumericValue();
+      if (numeric == 0.0) numeric = 0.0;  // normalize -0.0
+      char bytes[sizeof(double)];
+      std::memcpy(bytes, &numeric, sizeof(double));
+      out->append(bytes, sizeof(double));
+      return;
+    }
+    case item::ItemType::kString:
+      out->push_back('\x05');
+      out->append(key.StringValue());
+      return;
+    default:
+      common::ThrowError(ErrorCode::kInvalidGroupingKey,
+                         "grouping key must be an atomic, found " +
+                             std::string(item::ItemTypeName(key.type())));
+  }
+}
+
+SortKeyValue MakeSortKeyValue(const ItemSequence& value) {
+  if (value.empty()) return std::nullopt;
+  if (value.size() > 1 || !value.front()->IsAtomic()) {
+    common::ThrowError(
+        ErrorCode::kInvalidSortKey,
+        "order-by key must be a single atomic or the empty sequence");
+  }
+  return value.front();
+}
+
+int CompareSortKeys(const SortKeyValue& left, const SortKeyValue& right,
+                    bool empty_greatest) {
+  bool le = !left.has_value();
+  bool re = !right.has_value();
+  if (le || re) {
+    if (le && re) return 0;
+    int empty_side = empty_greatest ? 1 : -1;
+    return le ? empty_side : -empty_side;
+  }
+  return item::CompareAtomics(**left, **right);
+}
+
+std::int64_t SortKeyTypeTag(const SortKeyValue& value, bool empty_greatest) {
+  if (!value.has_value()) return empty_greatest ? 7 : 1;
+  switch ((*value)->type()) {
+    case item::ItemType::kNull: return 2;
+    case item::ItemType::kBoolean: return (*value)->BooleanValue() ? 4 : 3;
+    default: return 5;
+  }
+}
+
+void BindTuple(const FlworTuple& tuple, DynamicContext* context) {
+  for (const auto& [name, value] : tuple) {
+    context->Bind(name, value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Local (pull-based) tuple pipeline — paper Section 5.5
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LocalFlworPipeline {
+ public:
+  LocalFlworPipeline(const EngineContextPtr& engine,
+                     const CompiledFlwor& flwor,
+                     const DynamicContext& context)
+      : engine_(engine), flwor_(flwor), context_(context) {}
+
+  ItemSequence Run() {
+    std::vector<FlworTuple> tuples;
+    tuples.emplace_back();  // the initial tuple stream: one empty tuple
+    for (const auto& clause : flwor_.clauses) {
+      switch (clause.kind) {
+        case FlworClause::Kind::kFor: tuples = RunFor(clause, tuples); break;
+        case FlworClause::Kind::kLet: tuples = RunLet(clause, tuples); break;
+        case FlworClause::Kind::kWhere:
+          tuples = RunWhere(clause, tuples);
+          break;
+        case FlworClause::Kind::kGroupBy:
+          tuples = RunGroupBy(clause, tuples);
+          break;
+        case FlworClause::Kind::kOrderBy:
+          tuples = RunOrderBy(clause, tuples);
+          break;
+        case FlworClause::Kind::kCount:
+          tuples = RunCount(clause, tuples);
+          break;
+      }
+    }
+    ItemSequence out;
+    for (const auto& tuple : tuples) {
+      DynamicContext scope(&context_);
+      BindTuple(tuple, &scope);
+      ItemSequence part = flwor_.return_expr->MaterializeAll(scope);
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
+
+ private:
+  void Charge(const FlworTuple& tuple) {
+    if (engine_->memory != nullptr) {
+      engine_->memory->Allocate(TupleFootprint(tuple));
+    }
+  }
+
+  ItemSequence Evaluate(const RuntimeIteratorPtr& expr,
+                        const FlworTuple& tuple) {
+    DynamicContext scope(&context_);
+    BindTuple(tuple, &scope);
+    return expr->MaterializeAll(scope);
+  }
+
+  std::vector<FlworTuple> RunFor(const CompiledClause& clause,
+                                 const std::vector<FlworTuple>& input) {
+    std::vector<FlworTuple> out;
+    for (const auto& tuple : input) {
+      ItemSequence values = Evaluate(clause.expr, tuple);
+      if (values.empty() && clause.allowing_empty) {
+        FlworTuple extended = tuple;
+        extended.emplace_back(clause.variable, ItemSequence{});
+        if (!clause.position_variable.empty()) {
+          extended.emplace_back(clause.position_variable,
+                                ItemSequence{item::MakeInteger(0)});
+        }
+        out.push_back(std::move(extended));
+        continue;
+      }
+      std::int64_t position = 1;
+      for (auto& value : values) {
+        FlworTuple extended = tuple;
+        extended.emplace_back(clause.variable, ItemSequence{std::move(value)});
+        if (!clause.position_variable.empty()) {
+          extended.emplace_back(clause.position_variable,
+                                ItemSequence{item::MakeInteger(position)});
+        }
+        ++position;
+        out.push_back(std::move(extended));
+      }
+    }
+    return out;
+  }
+
+  std::vector<FlworTuple> RunLet(const CompiledClause& clause,
+                                 std::vector<FlworTuple> input) {
+    for (auto& tuple : input) {
+      ItemSequence value = Evaluate(clause.expr, tuple);
+      // Variable redeclaration rebinds (Section 4.5).
+      bool rebound = false;
+      for (auto& [name, bound] : tuple) {
+        if (name == clause.variable) {
+          bound = std::move(value);
+          rebound = true;
+          break;
+        }
+      }
+      if (!rebound) {
+        tuple.emplace_back(clause.variable, std::move(value));
+      }
+    }
+    return input;
+  }
+
+  std::vector<FlworTuple> RunWhere(const CompiledClause& clause,
+                                   std::vector<FlworTuple> input) {
+    std::vector<FlworTuple> out;
+    for (auto& tuple : input) {
+      ItemSequence value = Evaluate(clause.expr, tuple);
+      if (item::EffectiveBooleanValue(value)) {
+        out.push_back(std::move(tuple));
+      }
+    }
+    return out;
+  }
+
+  std::vector<FlworTuple> RunGroupBy(const CompiledClause& clause,
+                                     std::vector<FlworTuple> input) {
+    // Bind grouping variables that come with expressions.
+    for (auto& tuple : input) {
+      for (const auto& spec : clause.group_specs) {
+        if (spec.expr == nullptr) continue;
+        ItemSequence value = Evaluate(spec.expr, tuple);
+        tuple.emplace_back(spec.variable, std::move(value));
+      }
+    }
+
+    struct Group {
+      FlworTuple witness_keys;
+      std::vector<FlworTuple> tuples;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<std::string, std::size_t> index;
+
+    auto lookup_binding =
+        [](const FlworTuple& tuple,
+           const std::string& name) -> const ItemSequence* {
+      // Last binding wins (redeclaration).
+      for (auto it = tuple.rbegin(); it != tuple.rend(); ++it) {
+        if (it->first == name) return &it->second;
+      }
+      return nullptr;
+    };
+
+    for (auto& tuple : input) {
+      // Group-by is a blocking operator: every tuple is held in memory
+      // simultaneously, so the budget is charged here (Figure 12's
+      // out-of-memory model; see DESIGN.md).
+      Charge(tuple);
+      std::string key;
+      FlworTuple witness;
+      for (const auto& spec : clause.group_specs) {
+        const ItemSequence* value = lookup_binding(tuple, spec.variable);
+        static const ItemSequence kEmpty;
+        const ItemSequence& bound = value != nullptr ? *value : kEmpty;
+        EncodeGroupKey(bound, &key);
+        key.push_back('\x1f');
+        witness.emplace_back(spec.variable, bound);
+      }
+      auto [it, inserted] = index.try_emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back(Group{std::move(witness), {}});
+      }
+      groups[it->second].tuples.push_back(std::move(tuple));
+    }
+
+    std::vector<FlworTuple> out;
+    out.reserve(groups.size());
+    for (auto& group : groups) {
+      FlworTuple result = std::move(group.witness_keys);
+      for (const auto& [name, usage] : clause.nongroup_vars) {
+        switch (usage) {
+          case VarUsage::kUnused:
+            break;
+          case VarUsage::kCountOnly: {
+            std::int64_t count = 0;
+            for (const auto& tuple : group.tuples) {
+              const ItemSequence* value = lookup_binding(tuple, name);
+              if (value != nullptr) {
+                count += static_cast<std::int64_t>(value->size());
+              }
+            }
+            result.emplace_back(name, ItemSequence{item::MakeInteger(count)});
+            break;
+          }
+          case VarUsage::kGeneral: {
+            ItemSequence all;
+            for (const auto& tuple : group.tuples) {
+              const ItemSequence* value = lookup_binding(tuple, name);
+              if (value != nullptr) {
+                all.insert(all.end(), value->begin(), value->end());
+              }
+            }
+            result.emplace_back(name, std::move(all));
+            break;
+          }
+        }
+      }
+      Charge(result);
+      out.push_back(std::move(result));
+    }
+    return out;
+  }
+
+  std::vector<FlworTuple> RunOrderBy(const CompiledClause& clause,
+                                     std::vector<FlworTuple> input) {
+    struct Keyed {
+      std::vector<SortKeyValue> keys;
+      std::size_t original;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      Keyed entry;
+      entry.original = i;
+      for (const auto& spec : clause.order_specs) {
+        entry.keys.push_back(
+            MakeSortKeyValue(Evaluate(spec.expr, input[i])));
+      }
+      Charge(input[i]);
+      keyed.push_back(std::move(entry));
+    }
+    std::stable_sort(
+        keyed.begin(), keyed.end(), [&](const Keyed& a, const Keyed& b) {
+          for (std::size_t k = 0; k < clause.order_specs.size(); ++k) {
+            const auto& spec = clause.order_specs[k];
+            int cmp = CompareSortKeys(a.keys[k], b.keys[k],
+                                      spec.empty_greatest);
+            if (cmp != 0) return spec.ascending ? cmp < 0 : cmp > 0;
+          }
+          return false;
+        });
+    std::vector<FlworTuple> out;
+    out.reserve(input.size());
+    for (const auto& entry : keyed) {
+      out.push_back(std::move(input[entry.original]));
+    }
+    return out;
+  }
+
+  std::vector<FlworTuple> RunCount(const CompiledClause& clause,
+                                   std::vector<FlworTuple> input) {
+    std::int64_t position = 1;
+    for (auto& tuple : input) {
+      tuple.emplace_back(clause.variable,
+                         ItemSequence{item::MakeInteger(position++)});
+    }
+    return input;
+  }
+
+  const EngineContextPtr& engine_;
+  const CompiledFlwor& flwor_;
+  const DynamicContext& context_;
+};
+
+// ---------------------------------------------------------------------------
+// FLWOR expression iterator — backend switching (Sections 5.5, 5.8)
+// ---------------------------------------------------------------------------
+
+class FlworExpressionIterator final : public RuntimeIterator {
+ public:
+  FlworExpressionIterator(EngineContextPtr engine, CompiledFlwor flwor)
+      : RuntimeIterator(std::move(engine), {}), flwor_(std::move(flwor)) {}
+
+  bool IsRddAble() const override {
+    if (!engine_->ParallelEnabled()) return false;
+    if (engine_->config.flwor_backend == common::FlworBackend::kLocalOnly) {
+      return false;
+    }
+    const CompiledClause& first = flwor_.clauses.front();
+    // `allowing empty` on the initial clause must yield one tuple when the
+    // whole input is empty — a driver-side decision, so it stays local.
+    return first.kind == FlworClause::Kind::kFor &&
+           !first.allowing_empty && first.expr->IsRddAble();
+  }
+
+  spark::Rdd<item::ItemPtr> GetRdd(const DynamicContext& context) override {
+    if (engine_->config.flwor_backend == common::FlworBackend::kTupleRdd) {
+      return ExecuteFlworOnTupleRdd(engine_, flwor_, context);
+    }
+    return ExecuteFlworOnDataFrames(engine_, flwor_, context);
+  }
+
+  RuntimeIteratorPtr Clone() const override {
+    return std::make_shared<FlworExpressionIterator>(engine_,
+                                                     CloneFlwor(flwor_));
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    if (IsRddAble()) {
+      // Collected through Spark, then served locally (Section 5.5).
+      return MaterializeViaRdd(context);
+    }
+    return LocalFlworPipeline(engine_, flwor_, context).Run();
+  }
+
+ private:
+  ItemSequence MaterializeViaRdd(const DynamicContext& context) {
+    ItemSequence items = GetRdd(context).Collect();
+    const auto& config = engine_->config;
+    if (items.size() > config.materialization_cap && !config.warn_only_on_cap) {
+      common::ThrowError(
+          ErrorCode::kMaterializationCap,
+          "materialized " + std::to_string(items.size()) + " items; cap is " +
+              std::to_string(config.materialization_cap));
+    }
+    return items;
+  }
+
+  CompiledFlwor flwor_;
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeFlworIterator(EngineContextPtr engine,
+                                     CompiledFlwor flwor) {
+  return std::make_shared<FlworExpressionIterator>(std::move(engine),
+                                                   std::move(flwor));
+}
+
+}  // namespace rumble::jsoniq

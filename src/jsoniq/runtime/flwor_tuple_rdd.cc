@@ -1,0 +1,338 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/flwor.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+/// The paper's first approach (Figure 9): FLWOR clauses map directly to
+/// Spark transformations over RDDs of Tuple objects. Kept as a complete
+/// backend so the DataFrame redesign (Sections 4.3+) can be measured
+/// against it (bench_ablation_flwor_backend).
+using TupleRdd = spark::Rdd<FlworTuple>;
+
+const ItemSequence* LookupBinding(const FlworTuple& tuple,
+                                  const std::string& name) {
+  for (auto it = tuple.rbegin(); it != tuple.rend(); ++it) {
+    if (it->first == name) return &it->second;
+  }
+  return nullptr;
+}
+
+DynamicContext TupleScope(const DynamicContextPtr& captured,
+                          const FlworTuple& tuple) {
+  DynamicContext scope(captured.get());
+  BindTuple(tuple, &scope);
+  return scope;
+}
+
+/// for clause -> flatMap (per partition, cloning the nested iterator once).
+TupleRdd ApplyFor(const TupleRdd& input, const CompiledClause& clause,
+                  const DynamicContextPtr& captured) {
+  RuntimeIteratorPtr prototype = clause.expr;
+  std::string variable = clause.variable;
+  std::string position_variable = clause.position_variable;
+  bool allowing_empty = clause.allowing_empty;
+  return input.MapPartitions([prototype, captured, variable,
+                              position_variable, allowing_empty](
+                                 std::vector<FlworTuple>&& tuples) {
+    RuntimeIteratorPtr expr = prototype->Clone();
+    std::vector<FlworTuple> out;
+    for (auto& tuple : tuples) {
+      DynamicContext scope = TupleScope(captured, tuple);
+      ItemSequence values = expr->MaterializeAll(scope);
+      if (values.empty() && allowing_empty) {
+        FlworTuple extended = tuple;
+        extended.emplace_back(variable, ItemSequence{});
+        if (!position_variable.empty()) {
+          extended.emplace_back(position_variable,
+                                ItemSequence{item::MakeInteger(0)});
+        }
+        out.push_back(std::move(extended));
+        continue;
+      }
+      std::int64_t position = 1;
+      for (auto& value : values) {
+        FlworTuple extended = tuple;
+        extended.emplace_back(variable, ItemSequence{std::move(value)});
+        if (!position_variable.empty()) {
+          extended.emplace_back(position_variable,
+                                ItemSequence{item::MakeInteger(position)});
+        }
+        ++position;
+        out.push_back(std::move(extended));
+      }
+    }
+    return out;
+  });
+}
+
+/// let clause -> map.
+TupleRdd ApplyLet(const TupleRdd& input, const CompiledClause& clause,
+                  const DynamicContextPtr& captured) {
+  RuntimeIteratorPtr prototype = clause.expr;
+  std::string variable = clause.variable;
+  return input.MapPartitions(
+      [prototype, captured, variable](std::vector<FlworTuple>&& tuples) {
+        RuntimeIteratorPtr expr = prototype->Clone();
+        for (auto& tuple : tuples) {
+          DynamicContext scope = TupleScope(captured, tuple);
+          ItemSequence value = expr->MaterializeAll(scope);
+          bool rebound = false;
+          for (auto& [name, bound] : tuple) {
+            if (name == variable) {
+              bound = std::move(value);
+              rebound = true;
+              break;
+            }
+          }
+          if (!rebound) tuple.emplace_back(variable, std::move(value));
+        }
+        return tuples;
+      });
+}
+
+/// where clause -> filter(condition).
+TupleRdd ApplyWhere(const TupleRdd& input, const CompiledClause& clause,
+                    const DynamicContextPtr& captured) {
+  RuntimeIteratorPtr prototype = clause.expr;
+  return input.MapPartitions(
+      [prototype, captured](std::vector<FlworTuple>&& tuples) {
+        RuntimeIteratorPtr expr = prototype->Clone();
+        std::vector<FlworTuple> out;
+        for (auto& tuple : tuples) {
+          DynamicContext scope = TupleScope(captured, tuple);
+          if (expr->MaterializeBoolean(scope)) {
+            out.push_back(std::move(tuple));
+          }
+        }
+        return out;
+      });
+}
+
+/// group-by clause -> mapToPair + groupByKey + map (Figure 9).
+TupleRdd ApplyGroupBy(const TupleRdd& input, const CompiledClause& clause,
+                      const DynamicContextPtr& captured) {
+  // Bind grouping variables with expressions first (map).
+  TupleRdd bound = input;
+  for (const auto& spec : clause.group_specs) {
+    if (spec.expr == nullptr) continue;
+    RuntimeIteratorPtr prototype = spec.expr;
+    std::string variable = spec.variable;
+    bound = bound.MapPartitions(
+        [prototype, captured, variable](std::vector<FlworTuple>&& tuples) {
+          RuntimeIteratorPtr expr = prototype->Clone();
+          for (auto& tuple : tuples) {
+            DynamicContext scope = TupleScope(captured, tuple);
+            tuple.emplace_back(variable, expr->MaterializeAll(scope));
+          }
+          return tuples;
+        });
+  }
+
+  std::vector<std::string> key_variables;
+  for (const auto& spec : clause.group_specs) {
+    key_variables.push_back(spec.variable);
+  }
+  auto key_of = [key_variables](const FlworTuple& tuple) {
+    std::string key;
+    for (const auto& variable : key_variables) {
+      const ItemSequence* value = LookupBinding(tuple, variable);
+      static const ItemSequence kEmpty;
+      EncodeGroupKey(value != nullptr ? *value : kEmpty, &key);
+      key.push_back('\x1f');
+    }
+    return key;
+  };
+
+  auto grouped = bound.GroupBy<std::string>(
+      key_of, std::hash<std::string>{}, std::equal_to<std::string>{},
+      input.num_partitions());
+
+  std::vector<std::pair<std::string, VarUsage>> nongroup = clause.nongroup_vars;
+  return grouped.Map(
+      [key_variables, nongroup](
+          const std::pair<std::string, std::vector<FlworTuple>>& group) {
+        const std::vector<FlworTuple>& tuples = group.second;
+        FlworTuple out;
+        for (const auto& variable : key_variables) {
+          const ItemSequence* value = LookupBinding(tuples.front(), variable);
+          out.emplace_back(variable,
+                           value != nullptr ? *value : ItemSequence{});
+        }
+        for (const auto& [name, usage] : nongroup) {
+          switch (usage) {
+            case VarUsage::kUnused:
+              break;
+            case VarUsage::kCountOnly: {
+              std::int64_t count = 0;
+              for (const auto& tuple : tuples) {
+                const ItemSequence* value = LookupBinding(tuple, name);
+                if (value != nullptr) {
+                  count += static_cast<std::int64_t>(value->size());
+                }
+              }
+              out.emplace_back(name,
+                               ItemSequence{item::MakeInteger(count)});
+              break;
+            }
+            case VarUsage::kGeneral: {
+              ItemSequence all;
+              for (const auto& tuple : tuples) {
+                const ItemSequence* value = LookupBinding(tuple, name);
+                if (value != nullptr) {
+                  all.insert(all.end(), value->begin(), value->end());
+                }
+              }
+              out.emplace_back(name, std::move(all));
+              break;
+            }
+          }
+        }
+        return out;
+      });
+}
+
+/// order-by clause -> mapToPair + sortByKey + map (Figure 9).
+TupleRdd ApplyOrderBy(const TupleRdd& input, const CompiledClause& clause,
+                      const DynamicContextPtr& captured) {
+  struct Keyed {
+    std::vector<SortKeyValue> keys;
+    FlworTuple tuple;
+  };
+  std::vector<RuntimeIteratorPtr> prototypes;
+  std::vector<char> ascending;
+  std::vector<char> empty_greatest;
+  for (const auto& spec : clause.order_specs) {
+    prototypes.push_back(spec.expr);
+    ascending.push_back(spec.ascending ? 1 : 0);
+    empty_greatest.push_back(spec.empty_greatest ? 1 : 0);
+  }
+
+  spark::Rdd<Keyed> keyed = input.MapPartitions(
+      [prototypes, captured](std::vector<FlworTuple>&& tuples) {
+        std::vector<RuntimeIteratorPtr> exprs = CloneIterators(prototypes);
+        std::vector<Keyed> out;
+        out.reserve(tuples.size());
+        for (auto& tuple : tuples) {
+          Keyed entry;
+          for (const auto& expr : exprs) {
+            DynamicContext scope = TupleScope(captured, tuple);
+            entry.keys.push_back(
+                MakeSortKeyValue(expr->MaterializeAll(scope)));
+          }
+          entry.tuple = std::move(tuple);
+          out.push_back(std::move(entry));
+        }
+        return out;
+      });
+
+  spark::Rdd<Keyed> sorted = keyed.SortBy(
+      [ascending, empty_greatest](const Keyed& a, const Keyed& b) {
+        for (std::size_t k = 0; k < a.keys.size(); ++k) {
+          int cmp = CompareSortKeys(a.keys[k], b.keys[k],
+                                    empty_greatest[k] != 0);
+          if (cmp != 0) return ascending[k] != 0 ? cmp < 0 : cmp > 0;
+        }
+        return false;
+      });
+
+  return sorted.Map([](const Keyed& entry) { return entry.tuple; });
+}
+
+/// count clause -> zipWithIndex + map (Figure 9).
+TupleRdd ApplyCount(const TupleRdd& input, const CompiledClause& clause) {
+  std::string variable = clause.variable;
+  return input.ZipWithIndex().Map(
+      [variable](const std::pair<FlworTuple, std::int64_t>& pair) {
+        FlworTuple tuple = pair.first;
+        tuple.emplace_back(variable,
+                           ItemSequence{item::MakeInteger(pair.second + 1)});
+        return tuple;
+      });
+}
+
+}  // namespace
+
+spark::Rdd<ItemPtr> ExecuteFlworOnTupleRdd(const EngineContextPtr& engine,
+                                           const CompiledFlwor& flwor,
+                                           const DynamicContext& context) {
+  const CompiledClause& first = flwor.clauses.front();
+  if (first.kind != FlworClause::Kind::kFor || !first.expr->IsRddAble()) {
+    common::ThrowError(ErrorCode::kInternal,
+                       "tuple-RDD FLWOR execution requires a distributed "
+                       "initial for clause");
+  }
+  (void)engine;
+
+  DynamicContextPtr captured = DynamicContext::Snapshot(context);
+
+  // Initial for clause: map each input item to a one-variable tuple.
+  std::string first_variable = first.variable;
+  TupleRdd tuples =
+      first.expr->GetRdd(context).Map([first_variable](const ItemPtr& item) {
+        FlworTuple tuple;
+        tuple.emplace_back(first_variable, ItemSequence{item});
+        return tuple;
+      });
+  if (!first.position_variable.empty()) {
+    std::string position_variable = first.position_variable;
+    tuples = tuples.ZipWithIndex().Map(
+        [position_variable](const std::pair<FlworTuple, std::int64_t>& pair) {
+          FlworTuple tuple = pair.first;
+          tuple.emplace_back(
+              position_variable,
+              ItemSequence{item::MakeInteger(pair.second + 1)});
+          return tuple;
+        });
+  }
+
+  for (std::size_t i = 1; i < flwor.clauses.size(); ++i) {
+    const CompiledClause& clause = flwor.clauses[i];
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor:
+        tuples = ApplyFor(tuples, clause, captured);
+        break;
+      case FlworClause::Kind::kLet:
+        tuples = ApplyLet(tuples, clause, captured);
+        break;
+      case FlworClause::Kind::kWhere:
+        tuples = ApplyWhere(tuples, clause, captured);
+        break;
+      case FlworClause::Kind::kGroupBy:
+        tuples = ApplyGroupBy(tuples, clause, captured);
+        break;
+      case FlworClause::Kind::kOrderBy:
+        tuples = ApplyOrderBy(tuples, clause, captured);
+        break;
+      case FlworClause::Kind::kCount:
+        tuples = ApplyCount(tuples, clause);
+        break;
+    }
+  }
+
+  // return clause -> flatMap back to items (Figure 9).
+  RuntimeIteratorPtr prototype = flwor.return_expr;
+  return tuples.MapPartitions(
+      [prototype, captured](std::vector<FlworTuple>&& parts) {
+        RuntimeIteratorPtr expr = prototype->Clone();
+        ItemSequence out;
+        for (auto& tuple : parts) {
+          DynamicContext scope = TupleScope(captured, tuple);
+          ItemSequence result = expr->MaterializeAll(scope);
+          out.insert(out.end(), std::make_move_iterator(result.begin()),
+                     std::make_move_iterator(result.end()));
+        }
+        return out;
+      });
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,56 @@
+#include <utility>
+
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using item::ItemSequence;
+
+class AndIterator final : public CloneableIterator<AndIterator> {
+ public:
+  AndIterator(EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts)
+      : CloneableIterator(std::move(engine), std::move(parts)) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    for (const auto& child : children_) {
+      if (!child->MaterializeBoolean(context)) {
+        return {item::MakeBoolean(false)};
+      }
+    }
+    return {item::MakeBoolean(true)};
+  }
+};
+
+class OrIterator final : public CloneableIterator<OrIterator> {
+ public:
+  OrIterator(EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts)
+      : CloneableIterator(std::move(engine), std::move(parts)) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    for (const auto& child : children_) {
+      if (child->MaterializeBoolean(context)) {
+        return {item::MakeBoolean(true)};
+      }
+    }
+    return {item::MakeBoolean(false)};
+  }
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeAndIterator(EngineContextPtr engine,
+                                   std::vector<RuntimeIteratorPtr> parts) {
+  return std::make_shared<AndIterator>(std::move(engine), std::move(parts));
+}
+
+RuntimeIteratorPtr MakeOrIterator(EngineContextPtr engine,
+                                  std::vector<RuntimeIteratorPtr> parts) {
+  return std::make_shared<OrIterator>(std::move(engine), std::move(parts));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,259 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+/// Base for the per-item navigation expressions the paper maps to flatMap
+/// transformations (Sections 4.1.2 and 5.6): object lookup, array lookup,
+/// array unboxing and (boolean) predicates. The RDD path clones the nested
+/// iterators once per partition — the analogue of Rumble shipping closures
+/// with serialized runtime iterators to the executors.
+template <typename Derived>
+class NavigationIterator : public CloneableIterator<Derived> {
+ public:
+  using CloneableIterator<Derived>::CloneableIterator;
+
+  bool IsRddAble() const override {
+    return this->children_.front()->IsRddAble();
+  }
+};
+
+class ObjectLookupIterator final
+    : public NavigationIterator<ObjectLookupIterator> {
+ public:
+  ObjectLookupIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
+                       RuntimeIteratorPtr key)
+      : NavigationIterator(std::move(engine),
+                           {std::move(target), std::move(key)}) {}
+
+  spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
+    std::string key = EvaluateKey(context);
+    return children_[0]->GetRdd(context).FlatMap(
+        [key](const ItemPtr& item) -> ItemSequence {
+          ItemPtr value = item->IsObject() ? item->ValueForKey(key) : nullptr;
+          if (value == nullptr) return {};
+          return {std::move(value)};
+        });
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    std::string key = EvaluateKey(context);
+    const ItemSequence* borrowed = children_[0]->TryBorrow(context);
+    ItemSequence owned;
+    if (borrowed == nullptr) {
+      owned = children_[0]->MaterializeAll(context);
+      borrowed = &owned;
+    }
+    ItemSequence out;
+    for (const auto& item : *borrowed) {
+      if (!item->IsObject()) continue;  // non-objects are filtered out
+      ItemPtr value = item->ValueForKey(key);
+      if (value != nullptr) out.push_back(std::move(value));
+    }
+    return out;
+  }
+
+ private:
+  std::string EvaluateKey(const DynamicContext& context) {
+    // Constant keys ($e.guess) skip per-evaluation materialization.
+    ItemPtr key = children_[1]->ConstantValue();
+    if (key == nullptr) {
+      key = children_[1]->MaterializeAtMostOne(context, "object lookup");
+    }
+    if (key == nullptr) {
+      common::ThrowError(ErrorCode::kTypeError,
+                         "object lookup key is the empty sequence");
+    }
+    if (key->IsString()) return key->StringValue();
+    if (key->IsAtomic()) return key->Serialize();
+    common::ThrowError(ErrorCode::kTypeError,
+                       "object lookup key must be an atomic");
+  }
+};
+
+class ArrayLookupIterator final
+    : public NavigationIterator<ArrayLookupIterator> {
+ public:
+  ArrayLookupIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
+                      RuntimeIteratorPtr index)
+      : NavigationIterator(std::move(engine),
+                           {std::move(target), std::move(index)}) {}
+
+  spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
+    std::int64_t index = EvaluateIndex(context);
+    return children_[0]->GetRdd(context).FlatMap(
+        [index](const ItemPtr& item) -> ItemSequence {
+          if (!item->IsArray() || index < 1 ||
+              static_cast<std::size_t>(index) > item->ArraySize()) {
+            return {};
+          }
+          return {item->MemberAt(static_cast<std::size_t>(index - 1))};
+        });
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    std::int64_t index = EvaluateIndex(context);
+    ItemSequence out;
+    for (const auto& item : children_[0]->MaterializeAll(context)) {
+      if (!item->IsArray()) continue;
+      if (index < 1 || static_cast<std::size_t>(index) > item->ArraySize()) {
+        continue;  // out-of-bounds lookup yields the empty sequence
+      }
+      out.push_back(item->MemberAt(static_cast<std::size_t>(index - 1)));
+    }
+    return out;
+  }
+
+ private:
+  std::int64_t EvaluateIndex(const DynamicContext& context) {
+    ItemPtr index = children_[1]->MaterializeAtMostOne(context, "[[...]]");
+    if (index == nullptr || !index->IsNumeric()) {
+      common::ThrowError(ErrorCode::kTypeError,
+                         "array lookup index must be a single number");
+    }
+    return index->IsInteger()
+               ? index->IntegerValue()
+               : static_cast<std::int64_t>(index->NumericValue());
+  }
+};
+
+class ArrayUnboxIterator final : public NavigationIterator<ArrayUnboxIterator> {
+ public:
+  ArrayUnboxIterator(EngineContextPtr engine, RuntimeIteratorPtr target)
+      : NavigationIterator(std::move(engine), {std::move(target)}) {}
+
+  spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
+    return children_[0]->GetRdd(context).FlatMap(
+        [](const ItemPtr& item) -> ItemSequence {
+          if (!item->IsArray()) return {};
+          return item->Members();
+        });
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence out;
+    for (const auto& item : children_[0]->MaterializeAll(context)) {
+      if (!item->IsArray()) continue;
+      const ItemSequence& members = item->Members();
+      out.insert(out.end(), members.begin(), members.end());
+    }
+    return out;
+  }
+};
+
+class PredicateIterator final : public NavigationIterator<PredicateIterator> {
+ public:
+  PredicateIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
+                    RuntimeIteratorPtr predicate)
+      : NavigationIterator(std::move(engine),
+                           {std::move(target), std::move(predicate)}) {}
+
+  spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
+    RuntimeIteratorPtr prototype = children_[1];
+    DynamicContextPtr captured = DynamicContext::Snapshot(context);
+    // Positional semantics need global positions (and last() the total
+    // count): zipWithIndex provides them, as Spark programs do by hand.
+    spark::Rdd<std::pair<ItemPtr, std::int64_t>> indexed =
+        children_[0]->GetRdd(context).ZipWithIndex();
+    auto size = static_cast<std::int64_t>(indexed.Count());
+    return indexed.MapPartitions(
+        [prototype, captured,
+         size](std::vector<std::pair<ItemPtr, std::int64_t>>&& items) {
+          // Clone once per partition: iterators are stateful, tasks are
+          // parallel (Section 5.6).
+          RuntimeIteratorPtr predicate = prototype->Clone();
+          ItemSequence out;
+          DynamicContext row_context(captured.get());
+          for (auto& [item, index] : items) {
+            std::int64_t position = index + 1;
+            row_context.SetContextItem(item, position, size);
+            ItemSequence value = predicate->MaterializeAll(row_context);
+            // A numeric predicate selects by position, like locally.
+            if (value.size() == 1 && value.front()->IsNumeric()) {
+              if (static_cast<double>(position) ==
+                  value.front()->NumericValue()) {
+                out.push_back(std::move(item));
+              }
+              continue;
+            }
+            if (item::EffectiveBooleanValue(value)) {
+              out.push_back(std::move(item));
+            }
+          }
+          return out;
+        });
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence input = children_[0]->MaterializeAll(context);
+    ItemSequence out;
+    auto size = static_cast<std::int64_t>(input.size());
+    for (std::int64_t position = 1;
+         position <= static_cast<std::int64_t>(input.size()); ++position) {
+      ItemPtr item = input[static_cast<std::size_t>(position - 1)];
+      DynamicContext row_context(&context);
+      row_context.SetContextItem(item, position, size);
+      ItemSequence value = children_[1]->MaterializeAll(row_context);
+      // A numeric predicate selects by position: $seq[3].
+      if (value.size() == 1 && value.front()->IsNumeric()) {
+        double wanted = value.front()->NumericValue();
+        if (static_cast<double>(position) == wanted) {
+          out.push_back(std::move(item));
+        }
+        continue;
+      }
+      if (item::EffectiveBooleanValue(value)) {
+        out.push_back(std::move(item));
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeObjectLookupIterator(EngineContextPtr engine,
+                                            RuntimeIteratorPtr target,
+                                            RuntimeIteratorPtr key) {
+  return std::make_shared<ObjectLookupIterator>(std::move(engine),
+                                                std::move(target),
+                                                std::move(key));
+}
+
+RuntimeIteratorPtr MakeArrayLookupIterator(EngineContextPtr engine,
+                                           RuntimeIteratorPtr target,
+                                           RuntimeIteratorPtr index) {
+  return std::make_shared<ArrayLookupIterator>(std::move(engine),
+                                               std::move(target),
+                                               std::move(index));
+}
+
+RuntimeIteratorPtr MakeArrayUnboxIterator(EngineContextPtr engine,
+                                          RuntimeIteratorPtr target) {
+  return std::make_shared<ArrayUnboxIterator>(std::move(engine),
+                                              std::move(target));
+}
+
+RuntimeIteratorPtr MakePredicateIterator(EngineContextPtr engine,
+                                         RuntimeIteratorPtr target,
+                                         RuntimeIteratorPtr predicate) {
+  return std::make_shared<PredicateIterator>(std::move(engine),
+                                             std::move(target),
+                                             std::move(predicate));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,237 @@
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::ItemPtr;
+using item::ItemSequence;
+
+class LiteralIterator final : public CloneableIterator<LiteralIterator> {
+ public:
+  LiteralIterator(EngineContextPtr engine, ItemPtr value)
+      : CloneableIterator(std::move(engine), {}), value_(std::move(value)) {}
+
+  item::ItemPtr ConstantValue() const override { return value_; }
+
+ protected:
+  ItemSequence Compute(const DynamicContext&) override { return {value_}; }
+
+ private:
+  ItemPtr value_;
+};
+
+class VariableRefIterator final
+    : public CloneableIterator<VariableRefIterator> {
+ public:
+  VariableRefIterator(EngineContextPtr engine, std::string name)
+      : CloneableIterator(std::move(engine), {}), name_(std::move(name)) {}
+
+  const ItemSequence* TryBorrow(const DynamicContext& context) override {
+    return context.Lookup(name_);
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    const ItemSequence* bound = context.Lookup(name_);
+    if (bound == nullptr) {
+      common::ThrowError(ErrorCode::kUndeclaredVariable,
+                         "variable $" + name_ + " is not bound");
+    }
+    return *bound;
+  }
+
+ private:
+  std::string name_;
+};
+
+class ContextItemIterator final
+    : public CloneableIterator<ContextItemIterator> {
+ public:
+  explicit ContextItemIterator(EngineContextPtr engine)
+      : CloneableIterator(std::move(engine), {}) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    if (context.context_item() == nullptr) {
+      common::ThrowError(ErrorCode::kAbsentContextItem,
+                         "$$ used where no context item is defined");
+    }
+    return {context.context_item()};
+  }
+};
+
+class SequenceIterator final : public CloneableIterator<SequenceIterator> {
+ public:
+  SequenceIterator(EngineContextPtr engine,
+                   std::vector<RuntimeIteratorPtr> parts)
+      : CloneableIterator(std::move(engine), std::move(parts)) {}
+
+  /// A concatenation of RDD-able parts is the union of their RDDs — used by
+  /// queries reading several datasets. All parts must be RDD-able; mixing
+  /// small local parts with huge distributed ones falls back to local.
+  bool IsRddAble() const override {
+    if (children_.empty()) return false;
+    for (const auto& child : children_) {
+      if (!child->IsRddAble()) return false;
+    }
+    return true;
+  }
+
+  spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
+    spark::Rdd<ItemPtr> result = children_.front()->GetRdd(context);
+    for (std::size_t i = 1; i < children_.size(); ++i) {
+      result = result.Union(children_[i]->GetRdd(context));
+    }
+    return result;
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence out;
+    for (const auto& child : children_) {
+      ItemSequence part = child->MaterializeAll(context);
+      out.insert(out.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return out;
+  }
+};
+
+class ObjectConstructorIterator final
+    : public CloneableIterator<ObjectConstructorIterator> {
+ public:
+  ObjectConstructorIterator(EngineContextPtr engine,
+                            std::vector<RuntimeIteratorPtr> keys,
+                            std::vector<RuntimeIteratorPtr> values)
+      : CloneableIterator(std::move(engine), {}), num_fields_(keys.size()) {
+    children_.reserve(keys.size() + values.size());
+    for (auto& key : keys) children_.push_back(std::move(key));
+    for (auto& value : values) children_.push_back(std::move(value));
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    std::vector<std::pair<std::string, ItemPtr>> fields;
+    fields.reserve(num_fields_);
+    for (std::size_t i = 0; i < num_fields_; ++i) {
+      ItemPtr key =
+          children_[i]->MaterializeAtMostOne(context, "object key");
+      if (key == nullptr || !key->IsString()) {
+        common::ThrowError(ErrorCode::kTypeError,
+                           "object constructor key must be a single string");
+      }
+      ItemSequence value =
+          children_[num_fields_ + i]->MaterializeAll(context);
+      // JSONiq pair-construction rules: () -> null, one item -> the item,
+      // several items -> an array.
+      ItemPtr boxed;
+      if (value.empty()) {
+        boxed = item::MakeNull();
+      } else if (value.size() == 1) {
+        boxed = value.front();
+      } else {
+        boxed = item::MakeArray(std::move(value));
+      }
+      fields.emplace_back(key->StringValue(), std::move(boxed));
+    }
+    return {item::MakeObject(std::move(fields), /*check_duplicates=*/true)};
+  }
+
+ private:
+  std::size_t num_fields_;
+};
+
+class ArrayConstructorIterator final
+    : public CloneableIterator<ArrayConstructorIterator> {
+ public:
+  ArrayConstructorIterator(EngineContextPtr engine, RuntimeIteratorPtr content)
+      : CloneableIterator(std::move(engine), {}) {
+    if (content != nullptr) children_.push_back(std::move(content));
+  }
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    ItemSequence members;
+    if (!children_.empty()) {
+      members = children_.front()->MaterializeAll(context);
+    }
+    return {item::MakeArray(std::move(members))};
+  }
+};
+
+class StringConcatIterator final
+    : public CloneableIterator<StringConcatIterator> {
+ public:
+  StringConcatIterator(EngineContextPtr engine,
+                       std::vector<RuntimeIteratorPtr> parts)
+      : CloneableIterator(std::move(engine), std::move(parts)) {}
+
+ protected:
+  ItemSequence Compute(const DynamicContext& context) override {
+    std::string out;
+    for (const auto& child : children_) {
+      ItemPtr value = child->MaterializeAtMostOne(context, "||");
+      if (value == nullptr || value->IsNull()) continue;  // () and null -> ""
+      if (value->IsString()) {
+        out += value->StringValue();
+      } else if (value->IsAtomic()) {
+        out += value->Serialize();
+      } else {
+        common::ThrowError(ErrorCode::kTypeError,
+                           "|| operand must be an atomic or empty");
+      }
+    }
+    return {item::MakeString(std::move(out))};
+  }
+};
+
+}  // namespace
+
+RuntimeIteratorPtr MakeLiteralIterator(EngineContextPtr engine,
+                                       ItemPtr value) {
+  return std::make_shared<LiteralIterator>(std::move(engine),
+                                           std::move(value));
+}
+
+RuntimeIteratorPtr MakeVariableRefIterator(EngineContextPtr engine,
+                                           std::string name) {
+  return std::make_shared<VariableRefIterator>(std::move(engine),
+                                               std::move(name));
+}
+
+RuntimeIteratorPtr MakeContextItemIterator(EngineContextPtr engine) {
+  return std::make_shared<ContextItemIterator>(std::move(engine));
+}
+
+RuntimeIteratorPtr MakeSequenceIterator(
+    EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts) {
+  return std::make_shared<SequenceIterator>(std::move(engine),
+                                            std::move(parts));
+}
+
+RuntimeIteratorPtr MakeObjectConstructorIterator(
+    EngineContextPtr engine, std::vector<RuntimeIteratorPtr> keys,
+    std::vector<RuntimeIteratorPtr> values) {
+  return std::make_shared<ObjectConstructorIterator>(
+      std::move(engine), std::move(keys), std::move(values));
+}
+
+RuntimeIteratorPtr MakeArrayConstructorIterator(EngineContextPtr engine,
+                                                RuntimeIteratorPtr content) {
+  return std::make_shared<ArrayConstructorIterator>(std::move(engine),
+                                                    std::move(content));
+}
+
+RuntimeIteratorPtr MakeStringConcatIterator(
+    EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts) {
+  return std::make_shared<StringConcatIterator>(std::move(engine),
+                                                std::move(parts));
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,123 @@
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+
+namespace rumble::jsoniq {
+
+using common::ErrorCode;
+
+void RuntimeIterator::Open(const DynamicContext& context) {
+  buffer_ = Compute(context);
+  buffer_index_ = 0;
+  opened_ = true;
+}
+
+bool RuntimeIterator::HasNext() { return buffer_index_ < buffer_.size(); }
+
+item::ItemPtr RuntimeIterator::Next() {
+  if (buffer_index_ >= buffer_.size()) {
+    common::ThrowError(ErrorCode::kInternal,
+                       "Next() called on an exhausted iterator");
+  }
+  return buffer_[buffer_index_++];
+}
+
+void RuntimeIterator::Close() {
+  buffer_.clear();
+  buffer_index_ = 0;
+  opened_ = false;
+}
+
+spark::Rdd<item::ItemPtr> RuntimeIterator::GetRdd(const DynamicContext&) {
+  common::ThrowError(ErrorCode::kInternal,
+                     "GetRdd() called on a non-RDD-able iterator");
+}
+
+item::ItemSequence RuntimeIterator::Compute(const DynamicContext&) {
+  common::ThrowError(ErrorCode::kInternal,
+                     "iterator implements neither Compute nor the local API");
+}
+
+item::ItemSequence RuntimeIterator::MaterializeAll(
+    const DynamicContext& context) {
+  if (const item::ItemSequence* borrowed = TryBorrow(context)) {
+    return *borrowed;  // one copy instead of compute-then-drain
+  }
+  if (IsRddAble()) {
+    // Section 5.5: collect the RDD and serve items locally, respecting the
+    // configured materialization cap.
+    spark::Rdd<item::ItemPtr> rdd = GetRdd(context);
+    item::ItemSequence items = rdd.Collect();
+    const auto& config = engine_->config;
+    if (items.size() > config.materialization_cap &&
+        !config.warn_only_on_cap) {
+      common::ThrowError(
+          ErrorCode::kMaterializationCap,
+          "materialized " + std::to_string(items.size()) +
+              " items; cap is " + std::to_string(config.materialization_cap));
+    }
+    return items;
+  }
+  item::ItemSequence items;
+  Open(context);
+  while (HasNext()) {
+    items.push_back(Next());
+  }
+  Close();
+  return items;
+}
+
+item::ItemPtr RuntimeIterator::MaterializeAtMostOne(
+    const DynamicContext& context, const char* what) {
+  Open(context);
+  item::ItemPtr result;
+  if (HasNext()) {
+    result = Next();
+    if (HasNext()) {
+      Close();
+      common::ThrowError(ErrorCode::kCardinalityError,
+                         std::string(what) +
+                             ": expected at most one item, found several");
+    }
+  }
+  Close();
+  return result;
+}
+
+bool RuntimeIterator::MaterializeBoolean(const DynamicContext& context) {
+  // The effective boolean value only needs the first two items; pull lazily
+  // so `boolean()` over a large sequence stays cheap.
+  Open(context);
+  item::ItemSequence prefix;
+  while (HasNext() && prefix.size() < 2) {
+    prefix.push_back(Next());
+  }
+  Close();
+  if (prefix.size() == 2 && !prefix.front()->IsObject() &&
+      !prefix.front()->IsArray()) {
+    common::ThrowError(
+        ErrorCode::kTypeError,
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  return item::EffectiveBooleanValue(prefix);
+}
+
+void RuntimeIterator::AfterClone() {
+  children_ = CloneIterators(children_);
+  buffer_.clear();
+  buffer_index_ = 0;
+  opened_ = false;
+}
+
+std::vector<RuntimeIteratorPtr> CloneIterators(
+    const std::vector<RuntimeIteratorPtr>& iterators) {
+  std::vector<RuntimeIteratorPtr> clones;
+  clones.reserve(iterators.size());
+  for (const auto& iterator : iterators) {
+    clones.push_back(iterator ? iterator->Clone() : nullptr);
+  }
+  return clones;
+}
+
+}  // namespace rumble::jsoniq

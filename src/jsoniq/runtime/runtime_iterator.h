@@ -1,0 +1,129 @@
+#ifndef RUMBLE_JSONIQ_RUNTIME_RUNTIME_ITERATOR_H_
+#define RUMBLE_JSONIQ_RUNTIME_RUNTIME_ITERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/item/item.h"
+#include "src/jsoniq/runtime/dynamic_context.h"
+#include "src/jsoniq/runtime/engine_context.h"
+#include "src/spark/rdd.h"
+
+namespace rumble::jsoniq {
+
+class RuntimeIterator;
+using RuntimeIteratorPtr = std::shared_ptr<RuntimeIterator>;
+
+/// Base class for expression runtime iterators (paper Section 5.4). Offers:
+///  - the pull-based local API: Open / HasNext / Next / Close (Section 5.5);
+///  - the RDD API: IsRddAble / GetRdd (Section 5.6);
+///  - Clone(), which deep-copies the iterator tree so closures shipped to
+///    executor tasks can evaluate nested iterators without sharing mutable
+///    state (the C++ analogue of Rumble serializing closures to the
+///    cluster).
+///
+/// The default local API materializes via Compute(); genuinely streaming
+/// iterators override the four local methods instead.
+class RuntimeIterator {
+ public:
+  RuntimeIterator(EngineContextPtr engine,
+                  std::vector<RuntimeIteratorPtr> children)
+      : engine_(std::move(engine)), children_(std::move(children)) {}
+  virtual ~RuntimeIterator() = default;
+
+  // ---- Local (pull) API -------------------------------------------------
+  virtual void Open(const DynamicContext& context);
+  virtual bool HasNext();
+  virtual item::ItemPtr Next();
+  virtual void Close();
+  void Reset(const DynamicContext& context) {
+    Close();
+    Open(context);
+  }
+
+  // ---- RDD API ------------------------------------------------------------
+  /// Whether this iterator can produce its sequence as an RDD in the given
+  /// engine configuration. Must not evaluate anything.
+  virtual bool IsRddAble() const { return false; }
+
+  /// Returns the sequence as an RDD of items. Only valid when IsRddAble().
+  virtual spark::Rdd<item::ItemPtr> GetRdd(const DynamicContext& context);
+
+  // ---- Helpers ------------------------------------------------------------
+  /// Fully materializes the sequence. When the iterator is RDD-able the
+  /// collection happens through Spark with the configured materialization
+  /// cap (Section 5.5), otherwise through the local API.
+  item::ItemSequence MaterializeAll(const DynamicContext& context);
+
+  /// Materializes expecting zero-or-one items; throws kCardinalityError on
+  /// more.
+  item::ItemPtr MaterializeAtMostOne(const DynamicContext& context,
+                                     const char* what);
+
+  /// Effective boolean value of the sequence.
+  bool MaterializeBoolean(const DynamicContext& context);
+
+  /// Deep-copies this iterator tree with fresh (closed) state.
+  virtual RuntimeIteratorPtr Clone() const = 0;
+
+  /// When the iterator is a single-item constant (a literal), returns the
+  /// item; nullptr otherwise. Lets hot paths (e.g. object lookup keys)
+  /// avoid per-row evaluation.
+  virtual item::ItemPtr ConstantValue() const { return nullptr; }
+
+  /// Zero-copy fast path: when the iterator's whole result already exists
+  /// as a materialized sequence owned by the context (a variable binding),
+  /// returns a pointer to it — valid until the context changes. Navigation
+  /// and comparison iterators use this to avoid one copy per evaluation,
+  /// which matters because FLWOR UDFs evaluate per row.
+  virtual const item::ItemSequence* TryBorrow(const DynamicContext&) {
+    return nullptr;
+  }
+
+  const EngineContextPtr& engine() const { return engine_; }
+  const std::vector<RuntimeIteratorPtr>& children() const { return children_; }
+
+ protected:
+  /// Materializing evaluation hook used by the default local API.
+  virtual item::ItemSequence Compute(const DynamicContext& context);
+
+  /// Deep-clones children and clears local state; called on the copy by
+  /// Clone() implementations.
+  void AfterClone();
+
+  EngineContextPtr engine_;
+  std::vector<RuntimeIteratorPtr> children_;
+
+  // Default local-API state.
+  item::ItemSequence buffer_;
+  std::size_t buffer_index_ = 0;
+  bool opened_ = false;
+};
+
+/// CRTP helper providing Clone() via the copy constructor + AfterClone().
+/// Subclasses keep all nested iterators inside children_ so the deep copy
+/// is complete.
+template <typename Derived>
+class CloneableIterator : public RuntimeIterator {
+ public:
+  using RuntimeIterator::RuntimeIterator;
+
+  RuntimeIteratorPtr Clone() const override {
+    auto copy = std::make_shared<Derived>(static_cast<const Derived&>(*this));
+    copy->AfterClone();
+    return copy;
+  }
+
+ private:
+  friend Derived;
+};
+
+/// Clones a vector of iterators (for Clone implementations with out-of-band
+/// children).
+std::vector<RuntimeIteratorPtr> CloneIterators(
+    const std::vector<RuntimeIteratorPtr>& iterators);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_RUNTIME_RUNTIME_ITERATOR_H_

@@ -1,0 +1,213 @@
+#include "src/jsoniq/sequence_type.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+#include "src/util/strings.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+using item::Item;
+using item::ItemPtr;
+using item::ItemType;
+
+std::string_view TypeNameToString(TypeName type) {
+  switch (type) {
+    case TypeName::kItem: return "item";
+    case TypeName::kAtomic: return "atomic";
+    case TypeName::kJsonItem: return "json-item";
+    case TypeName::kObject: return "object";
+    case TypeName::kArray: return "array";
+    case TypeName::kString: return "string";
+    case TypeName::kInteger: return "integer";
+    case TypeName::kDecimal: return "decimal";
+    case TypeName::kDouble: return "double";
+    case TypeName::kNumber: return "number";
+    case TypeName::kBoolean: return "boolean";
+    case TypeName::kNull: return "null";
+  }
+  return "item";
+}
+
+}  // namespace
+
+std::string SequenceType::ToString() const {
+  if (is_empty_sequence) return "empty-sequence()";
+  std::string out(TypeNameToString(type));
+  switch (arity) {
+    case Arity::kOne: break;
+    case Arity::kOptional: out += "?"; break;
+    case Arity::kStar: out += "*"; break;
+    case Arity::kPlus: out += "+"; break;
+  }
+  return out;
+}
+
+std::optional<TypeName> TypeNameFromString(std::string_view name) {
+  if (name == "item") return TypeName::kItem;
+  if (name == "atomic") return TypeName::kAtomic;
+  if (name == "json-item") return TypeName::kJsonItem;
+  if (name == "object") return TypeName::kObject;
+  if (name == "array") return TypeName::kArray;
+  if (name == "string") return TypeName::kString;
+  if (name == "integer") return TypeName::kInteger;
+  if (name == "decimal") return TypeName::kDecimal;
+  if (name == "double") return TypeName::kDouble;
+  if (name == "number") return TypeName::kNumber;
+  if (name == "boolean") return TypeName::kBoolean;
+  if (name == "null") return TypeName::kNull;
+  return std::nullopt;
+}
+
+bool ItemMatchesType(const Item& item, TypeName type) {
+  switch (type) {
+    case TypeName::kItem: return true;
+    case TypeName::kAtomic: return item.IsAtomic();
+    case TypeName::kJsonItem: return item.IsObject() || item.IsArray();
+    case TypeName::kObject: return item.IsObject();
+    case TypeName::kArray: return item.IsArray();
+    case TypeName::kString: return item.IsString();
+    case TypeName::kInteger: return item.IsInteger();
+    case TypeName::kDecimal:
+      // Integers are substitutable for decimals, as in the JSONiq type
+      // hierarchy (integer <: decimal).
+      return item.type() == ItemType::kDecimal || item.IsInteger();
+    case TypeName::kDouble: return item.type() == ItemType::kDouble;
+    case TypeName::kNumber: return item.IsNumeric();
+    case TypeName::kBoolean: return item.IsBoolean();
+    case TypeName::kNull: return item.IsNull();
+  }
+  return false;
+}
+
+bool SequenceMatchesType(const item::ItemSequence& sequence,
+                         const SequenceType& type) {
+  if (type.is_empty_sequence) return sequence.empty();
+  switch (type.arity) {
+    case Arity::kOne:
+      if (sequence.size() != 1) return false;
+      break;
+    case Arity::kOptional:
+      if (sequence.size() > 1) return false;
+      break;
+    case Arity::kPlus:
+      if (sequence.empty()) return false;
+      break;
+    case Arity::kStar:
+      break;
+  }
+  for (const auto& item : sequence) {
+    if (!ItemMatchesType(*item, type.type)) return false;
+  }
+  return true;
+}
+
+item::ItemPtr CastAtomic(const item::ItemPtr& value_ptr, TypeName target) {
+  const Item& value = *value_ptr;
+  if (!value.IsAtomic()) {
+    common::ThrowError(ErrorCode::kTypeError,
+                       "cannot cast a non-atomic item");
+  }
+  auto invalid = [&]() -> ItemPtr {
+    common::ThrowError(
+        ErrorCode::kInvalidCast,
+        "cannot cast " + value.Serialize() + " to " +
+            std::string(TypeNameToString(target)));
+  };
+
+  switch (target) {
+    case TypeName::kString:
+      if (value.IsString()) return item::MakeString(value.StringValue());
+      return item::MakeString(value.Serialize());
+
+    case TypeName::kBoolean:
+      switch (value.type()) {
+        case ItemType::kBoolean: return item::MakeBoolean(value.BooleanValue());
+        case ItemType::kInteger:
+          return item::MakeBoolean(value.IntegerValue() != 0);
+        case ItemType::kDecimal:
+        case ItemType::kDouble:
+          return item::MakeBoolean(value.NumericValue() != 0.0 &&
+                                   !std::isnan(value.NumericValue()));
+        case ItemType::kString: {
+          const std::string& s = value.StringValue();
+          if (s == "true" || s == "1") return item::MakeBoolean(true);
+          if (s == "false" || s == "0") return item::MakeBoolean(false);
+          return invalid();
+        }
+        case ItemType::kNull: return item::MakeBoolean(false);
+        default: return invalid();
+      }
+
+    case TypeName::kInteger:
+      switch (value.type()) {
+        case ItemType::kInteger: return item::MakeInteger(value.IntegerValue());
+        case ItemType::kDecimal:
+        case ItemType::kDouble: {
+          double v = value.NumericValue();
+          if (std::isnan(v) || std::isinf(v)) return invalid();
+          return item::MakeInteger(static_cast<std::int64_t>(v));
+        }
+        case ItemType::kBoolean:
+          return item::MakeInteger(value.BooleanValue() ? 1 : 0);
+        case ItemType::kString: {
+          const std::string& s = value.StringValue();
+          std::int64_t out = 0;
+          auto [ptr, ec] =
+              std::from_chars(s.data(), s.data() + s.size(), out);
+          if (ec != std::errc() || ptr != s.data() + s.size()) {
+            return invalid();
+          }
+          return item::MakeInteger(out);
+        }
+        default: return invalid();
+      }
+
+    case TypeName::kDecimal:
+    case TypeName::kDouble:
+    case TypeName::kNumber: {
+      auto make = [&](double v) -> ItemPtr {
+        return target == TypeName::kDouble ? item::MakeDouble(v)
+                                           : item::MakeDecimal(v);
+      };
+      switch (value.type()) {
+        case ItemType::kInteger:
+        case ItemType::kDecimal:
+        case ItemType::kDouble: return make(value.NumericValue());
+        case ItemType::kBoolean: return make(value.BooleanValue() ? 1.0 : 0.0);
+        case ItemType::kString: {
+          const std::string& s = value.StringValue();
+          if (s.empty()) return invalid();
+          errno = 0;
+          char* end = nullptr;
+          double v = std::strtod(s.c_str(), &end);
+          if (end != s.c_str() + s.size() || errno == ERANGE) {
+            return invalid();
+          }
+          return make(v);
+        }
+        default: return invalid();
+      }
+    }
+
+    case TypeName::kNull:
+      if (value.IsNull()) return item::MakeNull();
+      return invalid();
+
+    case TypeName::kAtomic:
+    case TypeName::kItem:
+      return value_ptr;  // identity casts
+
+    default:
+      return invalid();
+  }
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,63 @@
+#ifndef RUMBLE_JSONIQ_SEQUENCE_TYPE_H_
+#define RUMBLE_JSONIQ_SEQUENCE_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/item/item.h"
+
+namespace rumble::jsoniq {
+
+/// Item-type component of a JSONiq sequence type. `kNumber` is the JSONiq
+/// convenience union of integer/decimal/double; `kAtomic` any non-JSON item;
+/// `kJsonItem` object-or-array.
+enum class TypeName {
+  kItem,
+  kAtomic,
+  kJsonItem,
+  kObject,
+  kArray,
+  kString,
+  kInteger,
+  kDecimal,
+  kDouble,
+  kNumber,
+  kBoolean,
+  kNull,
+};
+
+/// Occurrence indicator.
+enum class Arity {
+  kOne,        // T
+  kOptional,   // T?
+  kStar,       // T*
+  kPlus,       // T+
+};
+
+struct SequenceType {
+  TypeName type = TypeName::kItem;
+  Arity arity = Arity::kOne;
+  /// `empty-sequence()`.
+  bool is_empty_sequence = false;
+
+  std::string ToString() const;
+};
+
+/// Parses a type name keyword; returns nullopt for unknown names.
+std::optional<TypeName> TypeNameFromString(std::string_view name);
+
+/// True iff `item` matches the item-type component.
+bool ItemMatchesType(const item::Item& item, TypeName type);
+
+/// True iff the whole sequence matches (arity + item type).
+bool SequenceMatchesType(const item::ItemSequence& sequence,
+                         const SequenceType& type);
+
+/// Casts an atomic item to the target atomic type. Throws kInvalidCast when
+/// the value is not castable and kTypeError when the kinds are not atomic.
+item::ItemPtr CastAtomic(const item::ItemPtr& value, TypeName target);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_SEQUENCE_TYPE_H_

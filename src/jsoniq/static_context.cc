@@ -1,0 +1,403 @@
+#include "src/jsoniq/static_context.h"
+
+#include "src/common/error.h"
+#include "src/jsoniq/functions/function_library.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+
+// ---------------------------------------------------------------------------
+// Static binding / function resolution checks
+// ---------------------------------------------------------------------------
+
+class StaticChecker {
+ public:
+  StaticChecker(const FunctionLibrary& library,
+                const std::set<std::string>& outer)
+      : library_(library), scope_(outer) {}
+
+  void Check(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kVariableRef:
+        if (scope_.count(expr.variable) == 0) {
+          common::ThrowError(
+              ErrorCode::kUndeclaredVariable,
+              "variable $" + expr.variable + " is not in scope at line " +
+                  std::to_string(expr.line) + ", column " +
+                  std::to_string(expr.column));
+        }
+        return;
+
+      case Expr::Kind::kFunctionCall: {
+        int arity = static_cast<int>(expr.children.size());
+        if (library_.Lookup(expr.function_name, arity) == nullptr) {
+          std::string message =
+              "unknown function " + expr.function_name + "#" +
+              std::to_string(arity);
+          if (library_.HasName(expr.function_name)) {
+            message += " (the name exists with a different arity)";
+          }
+          common::ThrowError(ErrorCode::kUnknownFunction,
+                             message + " at line " +
+                                 std::to_string(expr.line) + ", column " +
+                                 std::to_string(expr.column));
+        }
+        CheckChildren(expr);
+        return;
+      }
+
+      case Expr::Kind::kQuantified: {
+        std::set<std::string> saved = scope_;
+        for (const auto& [variable, binding] : expr.quantifier_bindings) {
+          Check(*binding);
+          scope_.insert(variable);
+        }
+        Check(*expr.children.back());
+        scope_ = std::move(saved);
+        return;
+      }
+
+      case Expr::Kind::kFlwor: {
+        std::set<std::string> saved = scope_;
+        for (const auto& clause : expr.clauses) {
+          CheckClause(clause);
+        }
+        Check(*expr.return_expr);
+        scope_ = std::move(saved);
+        return;
+      }
+
+      case Expr::Kind::kObjectConstructor:
+        for (const auto& key : expr.object_keys) Check(*key);
+        for (const auto& value : expr.object_values) Check(*value);
+        return;
+
+      default:
+        CheckChildren(expr);
+        return;
+    }
+  }
+
+ private:
+  void CheckChildren(const Expr& expr) {
+    for (const auto& child : expr.children) {
+      if (child) Check(*child);
+    }
+  }
+
+  void CheckClause(const FlworClause& clause) {
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor:
+        Check(*clause.expr);
+        scope_.insert(clause.variable);
+        if (!clause.position_variable.empty()) {
+          scope_.insert(clause.position_variable);
+        }
+        return;
+      case FlworClause::Kind::kLet:
+        Check(*clause.expr);
+        scope_.insert(clause.variable);
+        return;
+      case FlworClause::Kind::kWhere:
+        Check(*clause.expr);
+        return;
+      case FlworClause::Kind::kGroupBy:
+        for (const auto& spec : clause.group_specs) {
+          if (spec.expr != nullptr) {
+            Check(*spec.expr);
+          } else if (scope_.count(spec.variable) == 0) {
+            common::ThrowError(ErrorCode::kUndeclaredVariable,
+                               "grouping variable $" + spec.variable +
+                                   " is not in scope");
+          }
+          scope_.insert(spec.variable);
+        }
+        return;
+      case FlworClause::Kind::kOrderBy:
+        for (const auto& spec : clause.order_specs) {
+          Check(*spec.expr);
+        }
+        return;
+      case FlworClause::Kind::kCount:
+        scope_.insert(clause.variable);
+        return;
+    }
+  }
+
+  const FunctionLibrary& library_;
+  std::set<std::string> scope_;
+};
+
+// ---------------------------------------------------------------------------
+// Free variables
+// ---------------------------------------------------------------------------
+
+void CollectFree(const Expr& expr, std::set<std::string>& bound,
+                 std::set<std::string>* out) {
+  switch (expr.kind) {
+    case Expr::Kind::kVariableRef:
+      if (bound.count(expr.variable) == 0) out->insert(expr.variable);
+      return;
+
+    case Expr::Kind::kQuantified: {
+      std::set<std::string> inner = bound;
+      for (const auto& [variable, binding] : expr.quantifier_bindings) {
+        CollectFree(*binding, inner, out);
+        inner.insert(variable);
+      }
+      CollectFree(*expr.children.back(), inner, out);
+      return;
+    }
+
+    case Expr::Kind::kFlwor: {
+      std::set<std::string> inner = bound;
+      for (const auto& clause : expr.clauses) {
+        switch (clause.kind) {
+          case FlworClause::Kind::kFor:
+            CollectFree(*clause.expr, inner, out);
+            inner.insert(clause.variable);
+            if (!clause.position_variable.empty()) {
+              inner.insert(clause.position_variable);
+            }
+            break;
+          case FlworClause::Kind::kLet:
+            CollectFree(*clause.expr, inner, out);
+            inner.insert(clause.variable);
+            break;
+          case FlworClause::Kind::kWhere:
+            CollectFree(*clause.expr, inner, out);
+            break;
+          case FlworClause::Kind::kGroupBy:
+            for (const auto& spec : clause.group_specs) {
+              if (spec.expr != nullptr) CollectFree(*spec.expr, inner, out);
+              inner.insert(spec.variable);
+            }
+            break;
+          case FlworClause::Kind::kOrderBy:
+            for (const auto& spec : clause.order_specs) {
+              CollectFree(*spec.expr, inner, out);
+            }
+            break;
+          case FlworClause::Kind::kCount:
+            inner.insert(clause.variable);
+            break;
+        }
+      }
+      CollectFree(*expr.return_expr, inner, out);
+      return;
+    }
+
+    case Expr::Kind::kObjectConstructor:
+      for (const auto& key : expr.object_keys) CollectFree(*key, bound, out);
+      for (const auto& value : expr.object_values) {
+        CollectFree(*value, bound, out);
+      }
+      return;
+
+    default:
+      for (const auto& child : expr.children) {
+        if (child) CollectFree(*child, bound, out);
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Usage analysis and count rewriting (Section 4.7)
+// ---------------------------------------------------------------------------
+
+bool IsCountOfVariable(const Expr& expr, const std::string& variable) {
+  return expr.kind == Expr::Kind::kFunctionCall &&
+         expr.function_name == "count" && expr.children.size() == 1 &&
+         expr.children[0]->kind == Expr::Kind::kVariableRef &&
+         expr.children[0]->variable == variable;
+}
+
+UsageKind Combine(UsageKind left, UsageKind right) {
+  if (left == UsageKind::kGeneral || right == UsageKind::kGeneral) {
+    return UsageKind::kGeneral;
+  }
+  if (left == UsageKind::kCountOnly || right == UsageKind::kCountOnly) {
+    return UsageKind::kCountOnly;
+  }
+  return UsageKind::kUnused;
+}
+
+/// Returns whether a FLWOR clause rebinds (shadows) the variable.
+bool ClauseRebinds(const FlworClause& clause, const std::string& variable) {
+  switch (clause.kind) {
+    case FlworClause::Kind::kFor:
+      return clause.variable == variable ||
+             clause.position_variable == variable;
+    case FlworClause::Kind::kLet:
+    case FlworClause::Kind::kCount:
+      return clause.variable == variable;
+    case FlworClause::Kind::kGroupBy:
+      for (const auto& spec : clause.group_specs) {
+        if (spec.variable == variable && spec.expr != nullptr) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+UsageKind Analyze(const Expr& expr, const std::string& variable) {
+  if (IsCountOfVariable(expr, variable)) return UsageKind::kCountOnly;
+
+  switch (expr.kind) {
+    case Expr::Kind::kVariableRef:
+      return expr.variable == variable ? UsageKind::kGeneral
+                                       : UsageKind::kUnused;
+
+    case Expr::Kind::kQuantified: {
+      UsageKind usage = UsageKind::kUnused;
+      for (const auto& [bound, binding] : expr.quantifier_bindings) {
+        usage = Combine(usage, Analyze(*binding, variable));
+        if (bound == variable) return usage;  // shadowed from here on
+      }
+      return Combine(usage, Analyze(*expr.children.back(), variable));
+    }
+
+    case Expr::Kind::kFlwor: {
+      UsageKind usage = UsageKind::kUnused;
+      for (const auto& clause : expr.clauses) {
+        switch (clause.kind) {
+          case FlworClause::Kind::kFor:
+          case FlworClause::Kind::kLet:
+          case FlworClause::Kind::kWhere:
+            usage = Combine(usage, Analyze(*clause.expr, variable));
+            break;
+          case FlworClause::Kind::kGroupBy:
+            for (const auto& spec : clause.group_specs) {
+              if (spec.expr != nullptr) {
+                usage = Combine(usage, Analyze(*spec.expr, variable));
+              }
+            }
+            break;
+          case FlworClause::Kind::kOrderBy:
+            for (const auto& spec : clause.order_specs) {
+              usage = Combine(usage, Analyze(*spec.expr, variable));
+            }
+            break;
+          case FlworClause::Kind::kCount:
+            break;
+        }
+        if (ClauseRebinds(clause, variable)) return usage;
+      }
+      return Combine(usage, Analyze(*expr.return_expr, variable));
+    }
+
+    case Expr::Kind::kObjectConstructor: {
+      UsageKind usage = UsageKind::kUnused;
+      for (const auto& key : expr.object_keys) {
+        usage = Combine(usage, Analyze(*key, variable));
+      }
+      for (const auto& value : expr.object_values) {
+        usage = Combine(usage, Analyze(*value, variable));
+      }
+      return usage;
+    }
+
+    default: {
+      UsageKind usage = UsageKind::kUnused;
+      for (const auto& child : expr.children) {
+        if (child) usage = Combine(usage, Analyze(*child, variable));
+      }
+      return usage;
+    }
+  }
+}
+
+ExprPtr Rewrite(const ExprPtr& expr, const std::string& variable);
+
+FlworClause RewriteClause(const FlworClause& clause,
+                          const std::string& variable) {
+  FlworClause out = clause;
+  if (out.expr) out.expr = Rewrite(out.expr, variable);
+  for (auto& spec : out.group_specs) {
+    if (spec.expr) spec.expr = Rewrite(spec.expr, variable);
+  }
+  for (auto& spec : out.order_specs) {
+    spec.expr = Rewrite(spec.expr, variable);
+  }
+  return out;
+}
+
+ExprPtr Rewrite(const ExprPtr& expr, const std::string& variable) {
+  if (IsCountOfVariable(*expr, variable)) {
+    auto ref = std::make_shared<Expr>();
+    ref->kind = Expr::Kind::kVariableRef;
+    ref->variable = variable;
+    ref->line = expr->line;
+    ref->column = expr->column;
+    return ref;
+  }
+
+  auto copy = std::make_shared<Expr>(*expr);
+
+  if (expr->kind == Expr::Kind::kQuantified) {
+    bool shadowed = false;
+    copy->quantifier_bindings.clear();
+    for (const auto& [bound, binding] : expr->quantifier_bindings) {
+      copy->quantifier_bindings.emplace_back(
+          bound, shadowed ? binding : Rewrite(binding, variable));
+      if (bound == variable) shadowed = true;
+    }
+    if (!shadowed) {
+      copy->children.back() = Rewrite(expr->children.back(), variable);
+    }
+    return copy;
+  }
+
+  if (expr->kind == Expr::Kind::kFlwor) {
+    bool shadowed = false;
+    copy->clauses.clear();
+    for (const auto& clause : expr->clauses) {
+      copy->clauses.push_back(shadowed ? clause
+                                       : RewriteClause(clause, variable));
+      if (!shadowed && ClauseRebinds(clause, variable)) shadowed = true;
+    }
+    if (!shadowed) {
+      copy->return_expr = Rewrite(expr->return_expr, variable);
+    }
+    return copy;
+  }
+
+  for (auto& child : copy->children) {
+    if (child) child = Rewrite(child, variable);
+  }
+  if (expr->kind == Expr::Kind::kObjectConstructor) {
+    for (auto& key : copy->object_keys) key = Rewrite(key, variable);
+    for (auto& value : copy->object_values) value = Rewrite(value, variable);
+  }
+  return copy;
+}
+
+}  // namespace
+
+void CheckStaticContext(const Expr& expr, const FunctionLibrary& library,
+                        const std::set<std::string>& outer_variables) {
+  StaticChecker(library, outer_variables).Check(expr);
+}
+
+std::set<std::string> FreeVariables(const Expr& expr) {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  CollectFree(expr, bound, &out);
+  return out;
+}
+
+UsageKind AnalyzeVariableUsage(const Expr& expr, const std::string& variable) {
+  return Analyze(expr, variable);
+}
+
+ExprPtr RewriteCountToVariable(const ExprPtr& expr,
+                               const std::string& variable) {
+  return Rewrite(expr, variable);
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,40 @@
+#ifndef RUMBLE_JSONIQ_STATIC_CONTEXT_H_
+#define RUMBLE_JSONIQ_STATIC_CONTEXT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/jsoniq/ast.h"
+
+namespace rumble::jsoniq {
+
+class FunctionLibrary;
+
+/// Static (compile-time) checks over the expression tree, per paper Section
+/// 5.3: every variable reference must be in scope (XPST0008) and every
+/// function call must resolve to a known name#arity (XPST0017). Scopes chain
+/// exactly as the runtime ones do. `outer_variables` are bindings provided
+/// by the host (the shell, tests).
+void CheckStaticContext(const Expr& expr, const FunctionLibrary& library,
+                        const std::set<std::string>& outer_variables = {});
+
+/// Free variables of an expression: referenced variables not bound within
+/// the expression itself. Drives FLWOR column pruning.
+std::set<std::string> FreeVariables(const Expr& expr);
+
+/// How `variable` is consumed by an expression (paper Section 4.7): never,
+/// only as count($v), or generally. Nested scopes that rebind the variable
+/// shadow it.
+enum class UsageKind { kUnused, kCountOnly, kGeneral };
+UsageKind AnalyzeVariableUsage(const Expr& expr, const std::string& variable);
+
+/// Rewrites count($v) calls into $v (used after a group-by clause replaces
+/// the materialized sequence with a precomputed count). Shadowing scopes are
+/// left untouched.
+ExprPtr RewriteCountToVariable(const ExprPtr& expr,
+                               const std::string& variable);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_STATIC_CONTEXT_H_

@@ -1,0 +1,374 @@
+#include "src/jsoniq/visitor/iterator_builder.h"
+
+#include <set>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/jsoniq/functions/function_library.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
+#include "src/jsoniq/runtime/flwor.h"
+#include "src/jsoniq/static_context.h"
+
+namespace rumble::jsoniq {
+
+namespace {
+
+using common::ErrorCode;
+
+std::vector<std::string> FreeVariableList(const Expr& expr) {
+  std::set<std::string> free = FreeVariables(expr);
+  return {free.begin(), free.end()};
+}
+
+std::vector<RuntimeIteratorPtr> BuildChildren(
+    const std::vector<ExprPtr>& children, const EngineContextPtr& engine) {
+  std::vector<RuntimeIteratorPtr> out;
+  out.reserve(children.size());
+  for (const auto& child : children) {
+    out.push_back(BuildRuntimeIterator(child, engine));
+  }
+  return out;
+}
+
+/// Compiles a FLWOR expression. Applies the Section 4.7 static rewrites per
+/// group-by clause before building iterators for the downstream clauses:
+///  - a non-grouping variable used only as count($v) downstream is
+///    aggregated as COUNT() and the downstream count($v) calls become $v
+///    (only when $v is guaranteed singleton-per-tuple, i.e. bound by a
+///    plain for clause or a positional/count variable);
+///  - a non-grouping variable never used downstream is dropped entirely.
+RuntimeIteratorPtr BuildFlwor(const Expr& expr,
+                              const EngineContextPtr& engine) {
+  std::vector<FlworClause> clauses = expr.clauses;
+  ExprPtr return_expr = expr.return_expr;
+
+  // Variables currently live (bound by preceding clauses) and the subset
+  // guaranteed to hold exactly one item per tuple.
+  std::vector<std::string> live;
+  std::set<std::string> singleton;
+  auto bind = [&](const std::string& name, bool is_singleton) {
+    for (const auto& existing : live) {
+      if (existing == name) {
+        if (is_singleton) {
+          singleton.insert(name);
+        } else {
+          singleton.erase(name);
+        }
+        return;
+      }
+    }
+    live.push_back(name);
+    if (is_singleton) singleton.insert(name);
+  };
+
+  CompiledFlwor compiled;
+
+  for (std::size_t index = 0; index < clauses.size(); ++index) {
+    // Note: clauses[index] may be replaced by rewrites below, so take
+    // copies of the fields we mutate.
+    FlworClause clause = clauses[index];
+    CompiledClause out;
+    out.kind = clause.kind;
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor:
+        out.variable = clause.variable;
+        out.position_variable = clause.position_variable;
+        out.allowing_empty = clause.allowing_empty;
+        out.expr = BuildRuntimeIterator(clause.expr, engine);
+        out.free_vars = FreeVariableList(*clause.expr);
+        bind(clause.variable, !clause.allowing_empty);
+        if (!clause.position_variable.empty()) {
+          bind(clause.position_variable, true);
+        }
+        break;
+
+      case FlworClause::Kind::kLet:
+        out.variable = clause.variable;
+        out.expr = BuildRuntimeIterator(clause.expr, engine);
+        out.free_vars = FreeVariableList(*clause.expr);
+        bind(clause.variable, false);
+        break;
+
+      case FlworClause::Kind::kWhere:
+        out.expr = BuildRuntimeIterator(clause.expr, engine);
+        out.free_vars = FreeVariableList(*clause.expr);
+        break;
+
+      case FlworClause::Kind::kCount:
+        out.variable = clause.variable;
+        bind(clause.variable, true);
+        break;
+
+      case FlworClause::Kind::kOrderBy:
+        for (const auto& spec : clause.order_specs) {
+          CompiledClause::OrderSpec compiled_spec;
+          compiled_spec.expr = BuildRuntimeIterator(spec.expr, engine);
+          compiled_spec.ascending = spec.ascending;
+          compiled_spec.empty_greatest = spec.empty_greatest;
+          compiled_spec.free_vars = FreeVariableList(*spec.expr);
+          out.order_specs.push_back(std::move(compiled_spec));
+        }
+        break;
+
+      case FlworClause::Kind::kGroupBy: {
+        std::set<std::string> grouping;
+        for (const auto& spec : clause.group_specs) {
+          CompiledClause::GroupSpec compiled_spec;
+          compiled_spec.variable = spec.variable;
+          if (spec.expr != nullptr) {
+            compiled_spec.expr = BuildRuntimeIterator(spec.expr, engine);
+            compiled_spec.free_vars = FreeVariableList(*spec.expr);
+          }
+          grouping.insert(spec.variable);
+          out.group_specs.push_back(std::move(compiled_spec));
+        }
+
+        // Classify every live non-grouping variable by downstream usage.
+        auto analyze_downstream =
+            [&](const std::string& name) -> UsageKind {
+          UsageKind usage = UsageKind::kUnused;
+          auto combine = [&usage](UsageKind other) {
+            if (other == UsageKind::kGeneral) {
+              usage = UsageKind::kGeneral;
+            } else if (other == UsageKind::kCountOnly &&
+                       usage == UsageKind::kUnused) {
+              usage = UsageKind::kCountOnly;
+            }
+          };
+          for (std::size_t later = index + 1; later < clauses.size();
+               ++later) {
+            const FlworClause& downstream = clauses[later];
+            if (downstream.expr != nullptr) {
+              combine(AnalyzeVariableUsage(*downstream.expr, name));
+            }
+            for (const auto& spec : downstream.group_specs) {
+              if (spec.expr != nullptr) {
+                combine(AnalyzeVariableUsage(*spec.expr, name));
+              }
+            }
+            for (const auto& spec : downstream.order_specs) {
+              combine(AnalyzeVariableUsage(*spec.expr, name));
+            }
+            // A later clause rebinding the variable shadows it.
+            bool rebinds = false;
+            switch (downstream.kind) {
+              case FlworClause::Kind::kFor:
+                rebinds = downstream.variable == name ||
+                          downstream.position_variable == name;
+                break;
+              case FlworClause::Kind::kLet:
+              case FlworClause::Kind::kCount:
+                rebinds = downstream.variable == name;
+                break;
+              case FlworClause::Kind::kGroupBy:
+                for (const auto& spec : downstream.group_specs) {
+                  if (spec.variable == name && spec.expr != nullptr) {
+                    rebinds = true;
+                  }
+                }
+                break;
+              default:
+                break;
+            }
+            if (rebinds) return usage;
+          }
+          combine(AnalyzeVariableUsage(*return_expr, name));
+          return usage;
+        };
+
+        auto rewrite_downstream = [&](const std::string& name) {
+          for (std::size_t later = index + 1; later < clauses.size();
+               ++later) {
+            FlworClause& downstream = clauses[later];
+            if (downstream.expr != nullptr) {
+              downstream.expr = RewriteCountToVariable(downstream.expr, name);
+            }
+            for (auto& spec : downstream.group_specs) {
+              if (spec.expr != nullptr) {
+                spec.expr = RewriteCountToVariable(spec.expr, name);
+              }
+            }
+            for (auto& spec : downstream.order_specs) {
+              spec.expr = RewriteCountToVariable(spec.expr, name);
+            }
+          }
+          return_expr = RewriteCountToVariable(return_expr, name);
+        };
+
+        std::vector<std::string> new_live;
+        std::set<std::string> new_singleton;
+        for (const auto& spec : clause.group_specs) {
+          new_live.push_back(spec.variable);
+        }
+        for (const auto& name : live) {
+          if (grouping.count(name) > 0) continue;
+          UsageKind usage = analyze_downstream(name);
+          VarUsage resolved = VarUsage::kGeneral;
+          if (usage == UsageKind::kUnused &&
+              engine->config.groupby_drop_unused) {
+            resolved = VarUsage::kUnused;
+          } else if (usage == UsageKind::kCountOnly &&
+                     engine->config.groupby_count_pushdown &&
+                     singleton.count(name) > 0) {
+            resolved = VarUsage::kCountOnly;
+            rewrite_downstream(name);
+          }
+          out.nongroup_vars.emplace_back(name, resolved);
+          if (resolved != VarUsage::kUnused) {
+            new_live.push_back(name);
+          }
+          if (resolved == VarUsage::kCountOnly) {
+            new_singleton.insert(name);
+          }
+        }
+        live = std::move(new_live);
+        singleton = std::move(new_singleton);
+        break;
+      }
+    }
+    compiled.clauses.push_back(std::move(out));
+  }
+
+  compiled.return_expr = BuildRuntimeIterator(return_expr, engine);
+  compiled.return_free_vars = FreeVariableList(*return_expr);
+  return MakeFlworIterator(engine, std::move(compiled));
+}
+
+}  // namespace
+
+RuntimeIteratorPtr BuildRuntimeIterator(const ExprPtr& expr,
+                                        const EngineContextPtr& engine) {
+  const Expr& node = *expr;
+  switch (node.kind) {
+    case Expr::Kind::kLiteral:
+      return MakeLiteralIterator(engine, node.literal);
+
+    case Expr::Kind::kVariableRef:
+      return MakeVariableRefIterator(engine, node.variable);
+
+    case Expr::Kind::kContextItem:
+      return MakeContextItemIterator(engine);
+
+    case Expr::Kind::kSequence:
+      return MakeSequenceIterator(engine, BuildChildren(node.children, engine));
+
+    case Expr::Kind::kIfThenElse:
+      return MakeIfIterator(engine,
+                            BuildRuntimeIterator(node.children[0], engine),
+                            BuildRuntimeIterator(node.children[1], engine),
+                            BuildRuntimeIterator(node.children[2], engine));
+
+    case Expr::Kind::kSwitch:
+      return MakeSwitchIterator(engine, BuildChildren(node.children, engine));
+
+    case Expr::Kind::kQuantified: {
+      std::vector<std::string> variables;
+      std::vector<RuntimeIteratorPtr> bindings;
+      for (const auto& [variable, binding] : node.quantifier_bindings) {
+        variables.push_back(variable);
+        bindings.push_back(BuildRuntimeIterator(binding, engine));
+      }
+      return MakeQuantifiedIterator(
+          engine, node.quantifier, std::move(variables), std::move(bindings),
+          BuildRuntimeIterator(node.children.back(), engine));
+    }
+
+    case Expr::Kind::kOr:
+      return MakeOrIterator(engine, BuildChildren(node.children, engine));
+
+    case Expr::Kind::kAnd:
+      return MakeAndIterator(engine, BuildChildren(node.children, engine));
+
+    case Expr::Kind::kComparison:
+      return MakeComparisonIterator(
+          engine, node.compare_op,
+          BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kArithmetic:
+      return MakeArithmeticIterator(
+          engine, node.arithmetic_op,
+          BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kUnaryMinus:
+      return MakeUnaryMinusIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine));
+
+    case Expr::Kind::kStringConcat:
+      return MakeStringConcatIterator(engine,
+                                      BuildChildren(node.children, engine));
+
+    case Expr::Kind::kRange:
+      return MakeRangeIterator(engine,
+                               BuildRuntimeIterator(node.children[0], engine),
+                               BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kObjectConstructor:
+      return MakeObjectConstructorIterator(
+          engine, BuildChildren(node.object_keys, engine),
+          BuildChildren(node.object_values, engine));
+
+    case Expr::Kind::kArrayConstructor:
+      return MakeArrayConstructorIterator(
+          engine, node.children.empty()
+                      ? nullptr
+                      : BuildRuntimeIterator(node.children[0], engine));
+
+    case Expr::Kind::kObjectLookup:
+      return MakeObjectLookupIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kArrayLookup:
+      return MakeArrayLookupIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kArrayUnbox:
+      return MakeArrayUnboxIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine));
+
+    case Expr::Kind::kPredicate:
+      return MakePredicateIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kFunctionCall: {
+      const FunctionFactory* factory = FunctionLibrary::Global().Lookup(
+          node.function_name, static_cast<int>(node.children.size()));
+      if (factory == nullptr) {
+        common::ThrowError(ErrorCode::kUnknownFunction,
+                           "unknown function " + node.function_name + "#" +
+                               std::to_string(node.children.size()));
+      }
+      return (*factory)(engine, BuildChildren(node.children, engine));
+    }
+
+    case Expr::Kind::kFlwor:
+      return BuildFlwor(node, engine);
+
+    case Expr::Kind::kTryCatch:
+      return MakeTryCatchIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          BuildRuntimeIterator(node.children[1], engine));
+
+    case Expr::Kind::kInstanceOf:
+      return MakeInstanceOfIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          node.sequence_type);
+
+    case Expr::Kind::kTreatAs:
+      return MakeTreatAsIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          node.sequence_type);
+
+    case Expr::Kind::kCastAs:
+      return MakeCastAsIterator(
+          engine, BuildRuntimeIterator(node.children[0], engine),
+          node.sequence_type);
+  }
+  common::ThrowError(ErrorCode::kInternal, "unknown expression kind");
+}
+
+}  // namespace rumble::jsoniq

@@ -1,0 +1,19 @@
+#ifndef RUMBLE_JSONIQ_VISITOR_ITERATOR_BUILDER_H_
+#define RUMBLE_JSONIQ_VISITOR_ITERATOR_BUILDER_H_
+
+#include "src/jsoniq/ast.h"
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+/// Code generation (paper Section 5.4): converts the expression tree into a
+/// tree of runtime iterators, resolving builtin function calls against the
+/// global function library and compiling FLWOR expressions (including the
+/// Section 4.7 group-by rewrites: COUNT pushdown and unused-variable
+/// dropping, controlled by the engine configuration).
+RuntimeIteratorPtr BuildRuntimeIterator(const ExprPtr& expr,
+                                        const EngineContextPtr& engine);
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_VISITOR_ITERATOR_BUILDER_H_

@@ -1,0 +1,46 @@
+#include "src/spark/context.h"
+
+#include "src/storage/dfs.h"
+
+namespace rumble::spark {
+
+exec::ExecutorPool& PoolOf(Context* context) { return context->pool(); }
+
+Context::Context(common::RumbleConfig config)
+    : config_(config),
+      pool_(std::make_unique<exec::ExecutorPool>(config.executors)) {}
+
+Rdd<std::string> Context::TextFile(const std::string& path,
+                                   int min_partitions) {
+  if (min_partitions < 1) min_partitions = config_.default_partitions;
+  auto splits = std::make_shared<std::vector<storage::TextSplit>>(
+      storage::TextSource::PlanSplits(path, min_partitions));
+  int n = static_cast<int>(splits->size());
+  if (n == 0) {
+    // Empty dataset: one empty partition keeps downstream logic uniform.
+    return Rdd<std::string>(this, 1,
+                            [](int) { return std::vector<std::string>{}; });
+  }
+  return Rdd<std::string>(this, n, [splits](int index) {
+    return storage::TextSource::ReadSplit(
+        (*splits)[static_cast<std::size_t>(index)]);
+  });
+}
+
+void Context::SaveAsTextFile(const Rdd<std::string>& rdd,
+                             const std::string& path) {
+  std::vector<std::string> partitions(
+      static_cast<std::size_t>(rdd.num_partitions()));
+  pool_->RunParallel(partitions.size(), [&](std::size_t index) {
+    std::string blob;
+    for (const std::string& line :
+         rdd.ComputePartition(static_cast<int>(index))) {
+      blob.append(line);
+      blob.push_back('\n');
+    }
+    partitions[index] = std::move(blob);
+  });
+  storage::Dfs::WritePartitioned(path, partitions);
+}
+
+}  // namespace rumble::spark

@@ -1,0 +1,59 @@
+#ifndef RUMBLE_SPARK_CONTEXT_H_
+#define RUMBLE_SPARK_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/exec/executor_pool.h"
+#include "src/spark/rdd.h"
+#include "src/storage/text_source.h"
+
+namespace rumble::spark {
+
+/// SparkContext stand-in: owns the executor pool and creates source RDDs.
+/// One Context corresponds to one Spark application; the Rumble shell keeps
+/// a single Context alive across queries, as the paper notes (Section 5.4).
+class Context {
+ public:
+  explicit Context(common::RumbleConfig config = {});
+
+  const common::RumbleConfig& config() const { return config_; }
+  exec::ExecutorPool& pool() { return *pool_; }
+
+  /// Creates an RDD from a local collection (Spark's parallelize()).
+  template <typename T>
+  Rdd<T> Parallelize(std::vector<T> values, int num_partitions = 0) {
+    if (num_partitions < 1) num_partitions = config_.default_partitions;
+    auto data = std::make_shared<std::vector<T>>(std::move(values));
+    int n = num_partitions;
+    return Rdd<T>(this, n, [data, n](int index) {
+      std::size_t total = data->size();
+      auto parts = static_cast<std::size_t>(n);
+      std::size_t chunk = total / parts;
+      std::size_t remainder = total % parts;
+      auto i = static_cast<std::size_t>(index);
+      std::size_t begin = i * chunk + std::min(i, remainder);
+      std::size_t size = chunk + (i < remainder ? 1 : 0);
+      return std::vector<T>(data->begin() + static_cast<std::ptrdiff_t>(begin),
+                            data->begin() +
+                                static_cast<std::ptrdiff_t>(begin + size));
+    });
+  }
+
+  /// Creates an RDD of text lines from a DFS dataset (Spark's textFile()).
+  /// Splits are planned eagerly (cheap metadata), read lazily per task.
+  Rdd<std::string> TextFile(const std::string& path, int min_partitions = 0);
+
+  /// Writes an RDD of lines back to the DFS as a partitioned dataset.
+  void SaveAsTextFile(const Rdd<std::string>& rdd, const std::string& path);
+
+ private:
+  common::RumbleConfig config_;
+  std::unique_ptr<exec::ExecutorPool> pool_;
+};
+
+}  // namespace rumble::spark
+
+#endif  // RUMBLE_SPARK_CONTEXT_H_

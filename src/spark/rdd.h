@@ -1,0 +1,454 @@
+#ifndef RUMBLE_SPARK_RDD_H_
+#define RUMBLE_SPARK_RDD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/exec/executor_pool.h"
+
+namespace rumble::spark {
+
+class Context;
+exec::ExecutorPool& PoolOf(Context* context);
+
+namespace internal {
+
+/// Shared state of one RDD: a partition count and a thunk computing each
+/// partition. Narrow transformations chain thunks, so a map-filter-map
+/// pipeline executes in one pass over each partition without materializing
+/// intermediates — the property that makes the paper's expression-to-
+/// transformation mapping cheap. Wide operations (groupBy, sortBy) install a
+/// lazily executed shuffle guarded by std::once_flag.
+template <typename T>
+struct RddState {
+  Context* context = nullptr;
+  int num_partitions = 0;
+  std::function<std::vector<T>(int)> compute;
+
+  // Cache support (Rdd::Cache). Guarded by `mu`.
+  bool cache_enabled = false;
+  std::mutex mu;
+  std::optional<std::vector<std::vector<T>>> cached;
+};
+
+}  // namespace internal
+
+/// Resilient-Distributed-Dataset stand-in (DESIGN.md §1): an immutable,
+/// lazily computed, partitioned collection. Values are copied into actions'
+/// results; thunks capture parents by shared_ptr so RDD lineage is a DAG of
+/// shared states, as in Spark.
+template <typename T>
+class Rdd {
+ public:
+  Rdd() = default;
+
+  /// Constructs a source RDD from a per-partition compute function.
+  Rdd(Context* context, int num_partitions,
+      std::function<std::vector<T>(int)> compute) {
+    state_ = std::make_shared<internal::RddState<T>>();
+    state_->context = context;
+    state_->num_partitions = num_partitions;
+    state_->compute = std::move(compute);
+  }
+
+  bool valid() const { return state_ != nullptr; }
+  int num_partitions() const { return state_->num_partitions; }
+  Context* context() const { return state_->context; }
+
+  /// Computes one partition (honouring the cache).
+  std::vector<T> ComputePartition(int index) const {
+    auto state = state_;
+    if (state->cache_enabled) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (state->cached.has_value()) {
+        return (*state->cached)[static_cast<std::size_t>(index)];
+      }
+    }
+    std::vector<T> result = state->compute(index);
+    return result;
+  }
+
+  // ---- Narrow transformations (pipelined, no shuffle) -----------------
+
+  template <typename F>
+  auto Map(F fn) const {
+    using U = std::invoke_result_t<F, const T&>;
+    auto parent = state_;
+    return Rdd<U>(parent->context, parent->num_partitions,
+                  [parent, fn](int index) {
+                    std::vector<T> input = Compute(parent, index);
+                    std::vector<U> out;
+                    out.reserve(input.size());
+                    for (const T& value : input) out.push_back(fn(value));
+                    return out;
+                  });
+  }
+
+  template <typename F>
+  auto FlatMap(F fn) const {
+    using Seq = std::invoke_result_t<F, const T&>;
+    using U = typename Seq::value_type;
+    auto parent = state_;
+    return Rdd<U>(parent->context, parent->num_partitions,
+                  [parent, fn](int index) {
+                    std::vector<T> input = Compute(parent, index);
+                    std::vector<U> out;
+                    for (const T& value : input) {
+                      Seq expanded = fn(value);
+                      for (auto& item : expanded) {
+                        out.push_back(std::move(item));
+                      }
+                    }
+                    return out;
+                  });
+  }
+
+  template <typename F>
+  Rdd<T> Filter(F predicate) const {
+    auto parent = state_;
+    return Rdd<T>(parent->context, parent->num_partitions,
+                  [parent, predicate](int index) {
+                    std::vector<T> input = Compute(parent, index);
+                    std::vector<T> out;
+                    for (T& value : input) {
+                      if (predicate(static_cast<const T&>(value))) {
+                        out.push_back(std::move(value));
+                      }
+                    }
+                    return out;
+                  });
+  }
+
+  /// mapPartitions: one call per partition; the paper's json-file() uses it
+  /// to parse each text partition into items in a single pass.
+  template <typename F>
+  auto MapPartitions(F fn) const {
+    using Seq = std::invoke_result_t<F, std::vector<T>&&>;
+    using U = typename Seq::value_type;
+    auto parent = state_;
+    return Rdd<U>(parent->context, parent->num_partitions,
+                  [parent, fn](int index) {
+                    return fn(Compute(parent, index));
+                  });
+  }
+
+  Rdd<T> Union(const Rdd<T>& other) const {
+    auto left = state_;
+    auto right = other.state_;
+    int left_parts = left->num_partitions;
+    return Rdd<T>(left->context, left_parts + right->num_partitions,
+                  [left, right, left_parts](int index) {
+                    if (index < left_parts) return Compute(left, index);
+                    return Compute(right, index - left_parts);
+                  });
+  }
+
+  // ---- Caching ---------------------------------------------------------
+
+  /// Marks this RDD as cached: the first action materializes all partitions
+  /// once; later computations reuse them.
+  Rdd<T> Cache() const {
+    state_->cache_enabled = true;
+    return *this;
+  }
+
+  // ---- Wide transformations (shuffle) -----------------------------------
+
+  /// Groups elements by key. KeyFn: const T& -> K. Hash/Eq are functors over
+  /// K. The result has `output_partitions` partitions; each output element
+  /// is a (key, values) pair. Implemented as a real two-phase shuffle: a
+  /// parallel map phase buckets each input partition by key hash, then each
+  /// reduce task groups its bucket — mirroring Spark's groupByKey.
+  template <typename K, typename KeyFn, typename Hash, typename Eq>
+  Rdd<std::pair<K, std::vector<T>>> GroupBy(KeyFn key_fn, Hash hash, Eq eq,
+                                            int output_partitions) const {
+    auto parent = state_;
+    Context* context = parent->context;
+    if (output_partitions < 1) output_partitions = parent->num_partitions;
+
+    struct Shuffle {
+      std::once_flag once;
+      // buckets[reduce][input partition] -> (key, value) pairs.
+      std::vector<std::vector<std::vector<std::pair<K, T>>>> buckets;
+    };
+    auto shuffle = std::make_shared<Shuffle>();
+    int n_out = output_partitions;
+
+    auto ensure_shuffled = [parent, context, shuffle, key_fn, hash, n_out]() {
+      std::call_once(shuffle->once, [&] {
+        int n_in = parent->num_partitions;
+        shuffle->buckets.assign(
+            static_cast<std::size_t>(n_out),
+            std::vector<std::vector<std::pair<K, T>>>(
+                static_cast<std::size_t>(n_in)));
+        PoolOf(context).RunParallel(
+            static_cast<std::size_t>(n_in), [&](std::size_t input_index) {
+              std::vector<T> input =
+                  Compute(parent, static_cast<int>(input_index));
+              for (T& value : input) {
+                K key = key_fn(static_cast<const T&>(value));
+                std::size_t reduce =
+                    hash(key) % static_cast<std::size_t>(n_out);
+                shuffle->buckets[reduce][input_index].emplace_back(
+                    std::move(key), std::move(value));
+              }
+            });
+      });
+    };
+
+    return Rdd<std::pair<K, std::vector<T>>>(
+        context, n_out,
+        [ensure_shuffled, shuffle, eq, hash](int index) {
+          ensure_shuffled();
+          // Group this reduce bucket. Keys within one bucket are grouped
+          // with a hash index; order of groups is unspecified (as in Spark).
+          std::vector<std::pair<K, std::vector<T>>> groups;
+          std::unordered_multimap<std::size_t, std::size_t> by_hash;
+          for (auto& input_bucket :
+               shuffle->buckets[static_cast<std::size_t>(index)]) {
+            for (auto& [key, value] : input_bucket) {
+              std::size_t h = hash(key);
+              std::vector<T>* values = nullptr;
+              auto [begin, end] = by_hash.equal_range(h);
+              for (auto it = begin; it != end; ++it) {
+                if (eq(groups[it->second].first, key)) {
+                  values = &groups[it->second].second;
+                  break;
+                }
+              }
+              if (values == nullptr) {
+                by_hash.emplace(h, groups.size());
+                groups.emplace_back(std::move(key), std::vector<T>{});
+                values = &groups.back().second;
+              }
+              values->push_back(std::move(value));
+            }
+          }
+          return groups;
+        });
+  }
+
+  /// Globally sorts by a comparator. Implemented as: parallel per-partition
+  /// sort, then a sequential k-way merge, re-split into the original number
+  /// of partitions (range partitioning, like Spark's sortBy after sampling).
+  template <typename Less>
+  Rdd<T> SortBy(Less less) const {
+    auto parent = state_;
+    Context* context = parent->context;
+    int n_parts = parent->num_partitions;
+
+    struct Sorted {
+      std::once_flag once;
+      std::vector<T> values;
+    };
+    auto sorted = std::make_shared<Sorted>();
+
+    auto ensure_sorted = [parent, context, sorted, less, n_parts]() {
+      std::call_once(sorted->once, [&] {
+        std::vector<std::vector<T>> runs(static_cast<std::size_t>(n_parts));
+        PoolOf(context).RunParallel(
+            static_cast<std::size_t>(n_parts), [&](std::size_t index) {
+              std::vector<T> run = Compute(parent, static_cast<int>(index));
+              std::stable_sort(run.begin(), run.end(), less);
+              runs[index] = std::move(run);
+            });
+        // Sequential k-way merge (driver-side, like a final single-reducer
+        // merge); stable across runs by taking the earliest run on ties.
+        std::size_t total = 0;
+        for (const auto& run : runs) total += run.size();
+        sorted->values.reserve(total);
+        std::vector<std::size_t> cursor(runs.size(), 0);
+        while (sorted->values.size() < total) {
+          int best = -1;
+          for (std::size_t r = 0; r < runs.size(); ++r) {
+            if (cursor[r] >= runs[r].size()) continue;
+            if (best < 0 ||
+                less(runs[r][cursor[r]],
+                     runs[static_cast<std::size_t>(best)]
+                         [cursor[static_cast<std::size_t>(best)]])) {
+              best = static_cast<int>(r);
+            }
+          }
+          auto b = static_cast<std::size_t>(best);
+          sorted->values.push_back(std::move(runs[b][cursor[b]]));
+          ++cursor[b];
+        }
+      });
+    };
+
+    return Rdd<T>(context, n_parts, [ensure_sorted, sorted, n_parts](int index) {
+      ensure_sorted();
+      std::size_t total = sorted->values.size();
+      auto parts = static_cast<std::size_t>(n_parts);
+      std::size_t chunk = total / parts;
+      std::size_t remainder = total % parts;
+      auto idx = static_cast<std::size_t>(index);
+      std::size_t begin = idx * chunk + std::min(idx, remainder);
+      std::size_t size = chunk + (idx < remainder ? 1 : 0);
+      return std::vector<T>(sorted->values.begin() + begin,
+                            sorted->values.begin() + begin + size);
+    });
+  }
+
+  /// zipWithIndex: pairs each element with its global position. Triggers a
+  /// counting job over the parent (as Spark's does); the parent is cached
+  /// first so it is not computed twice.
+  Rdd<std::pair<T, std::int64_t>> ZipWithIndex() const {
+    Rdd<T> cached = Cache();
+    auto parent = cached.state_;
+    Context* context = parent->context;
+    int n_parts = parent->num_partitions;
+
+    struct Offsets {
+      std::once_flag once;
+      std::vector<std::int64_t> starts;
+    };
+    auto offsets = std::make_shared<Offsets>();
+    auto ensure_offsets = [parent, context, offsets, n_parts]() {
+      std::call_once(offsets->once, [&] {
+        std::vector<std::int64_t> sizes(static_cast<std::size_t>(n_parts), 0);
+        PoolOf(context).RunParallel(
+            static_cast<std::size_t>(n_parts), [&](std::size_t index) {
+              sizes[index] = static_cast<std::int64_t>(
+                  Compute(parent, static_cast<int>(index)).size());
+            });
+        offsets->starts.assign(static_cast<std::size_t>(n_parts), 0);
+        std::int64_t running = 0;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+          offsets->starts[i] = running;
+          running += sizes[i];
+        }
+      });
+    };
+
+    return Rdd<std::pair<T, std::int64_t>>(
+        context, n_parts, [parent, ensure_offsets, offsets](int index) {
+          ensure_offsets();
+          std::vector<T> input = Compute(parent, index);
+          std::vector<std::pair<T, std::int64_t>> out;
+          out.reserve(input.size());
+          std::int64_t next =
+              offsets->starts[static_cast<std::size_t>(index)];
+          for (T& value : input) {
+            out.emplace_back(std::move(value), next++);
+          }
+          return out;
+        });
+  }
+
+  // ---- Actions -----------------------------------------------------------
+
+  std::vector<T> Collect() const {
+    auto parent = state_;
+    std::vector<std::vector<T>> parts(
+        static_cast<std::size_t>(parent->num_partitions));
+    PoolOf(parent->context)
+        .RunParallel(parts.size(), [&](std::size_t index) {
+          parts[index] = Compute(parent, static_cast<int>(index));
+        });
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (auto& part : parts) {
+      for (auto& value : part) out.push_back(std::move(value));
+    }
+    return out;
+  }
+
+  std::size_t Count() const {
+    auto parent = state_;
+    std::vector<std::size_t> sizes(
+        static_cast<std::size_t>(parent->num_partitions), 0);
+    PoolOf(parent->context)
+        .RunParallel(sizes.size(), [&](std::size_t index) {
+          sizes[index] = Compute(parent, static_cast<int>(index)).size();
+        });
+    std::size_t total = 0;
+    for (std::size_t size : sizes) total += size;
+    return total;
+  }
+
+  /// take(n): computes partitions in order until n elements are available.
+  /// Sequential over partitions (like Spark's incremental take).
+  std::vector<T> Take(std::size_t n) const {
+    auto parent = state_;
+    std::vector<T> out;
+    for (int p = 0; p < parent->num_partitions && out.size() < n; ++p) {
+      std::vector<T> part = Compute(parent, p);
+      for (auto& value : part) {
+        if (out.size() >= n) break;
+        out.push_back(std::move(value));
+      }
+    }
+    return out;
+  }
+
+  /// Spark-style aggregate: folds each partition's elements with `fold`
+  /// starting from `init`, then combines the per-partition partials with
+  /// `merge` (both must be associative; `merge` commutative).
+  template <typename U, typename FoldFn, typename MergeFn>
+  U Aggregate(U init, FoldFn fold, MergeFn merge) const {
+    auto parent = state_;
+    std::vector<U> partials(static_cast<std::size_t>(parent->num_partitions),
+                            init);
+    PoolOf(parent->context)
+        .RunParallel(partials.size(), [&](std::size_t index) {
+          U acc = init;
+          for (const T& value : Compute(parent, static_cast<int>(index))) {
+            acc = fold(std::move(acc), value);
+          }
+          partials[index] = std::move(acc);
+        });
+    U total = init;
+    for (auto& partial : partials) {
+      total = merge(std::move(total), partial);
+    }
+    return total;
+  }
+
+ private:
+  template <typename U>
+  friend class Rdd;
+
+  /// Computes a partition of a state, honouring its cache. Static so thunks
+  /// can capture only the shared state, not a dangling Rdd.
+  static std::vector<T> Compute(
+      const std::shared_ptr<internal::RddState<T>>& state, int index) {
+    if (state->cache_enabled) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->cached.has_value()) {
+          return (*state->cached)[static_cast<std::size_t>(index)];
+        }
+      }
+      // Materialize everything once. Computed outside the lock; multiple
+      // threads may race to build partitions, but only one result is kept.
+      std::vector<std::vector<T>> all(
+          static_cast<std::size_t>(state->num_partitions));
+      for (int p = 0; p < state->num_partitions; ++p) {
+        all[static_cast<std::size_t>(p)] = state->compute(p);
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->cached.has_value()) {
+        state->cached = std::move(all);
+      }
+      return (*state->cached)[static_cast<std::size_t>(index)];
+    }
+    return state->compute(index);
+  }
+
+  std::shared_ptr<internal::RddState<T>> state_;
+};
+
+}  // namespace rumble::spark
+
+#endif  // RUMBLE_SPARK_RDD_H_

@@ -1,0 +1,121 @@
+#include "src/storage/dfs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/error.h"
+
+namespace rumble::storage {
+
+namespace fs = std::filesystem;
+using common::ErrorCode;
+
+std::string Dfs::StripScheme(const std::string& path) {
+  for (const char* scheme : {"hdfs://", "s3://", "file://"}) {
+    if (path.rfind(scheme, 0) == 0) {
+      return path.substr(std::string(scheme).size());
+    }
+  }
+  return path;
+}
+
+bool Dfs::Exists(const std::string& path) {
+  return fs::exists(StripScheme(path));
+}
+
+std::vector<std::string> Dfs::ListDataFiles(const std::string& raw_path) {
+  std::string path = StripScheme(raw_path);
+  if (!fs::exists(path)) {
+    common::ThrowError(ErrorCode::kFileNotFound,
+                       "dataset not found: " + raw_path);
+  }
+  if (fs::is_regular_file(path)) {
+    return {path};
+  }
+  std::vector<std::string> parts;
+  for (const auto& entry : fs::directory_iterator(path)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.rfind("part-", 0) == 0) {
+      parts.push_back(entry.path().string());
+    }
+  }
+  if (parts.empty()) {
+    common::ThrowError(ErrorCode::kFileNotFound,
+                       "dataset has no part files: " + raw_path);
+  }
+  std::sort(parts.begin(), parts.end());
+  return parts;
+}
+
+std::uint64_t Dfs::FileSize(const std::string& file) {
+  std::error_code ec;
+  auto size = fs::file_size(StripScheme(file), ec);
+  if (ec) {
+    common::ThrowError(ErrorCode::kFileNotFound, "cannot stat: " + file);
+  }
+  return size;
+}
+
+std::string Dfs::ReadFile(const std::string& file) {
+  std::ifstream in(StripScheme(file), std::ios::binary);
+  if (!in) {
+    common::ThrowError(ErrorCode::kFileNotFound, "cannot open: " + file);
+  }
+  std::string content;
+  in.seekg(0, std::ios::end);
+  content.resize(static_cast<std::size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  return content;
+}
+
+std::string Dfs::ReadRange(const std::string& file, std::uint64_t begin,
+                           std::uint64_t end) {
+  std::string path = StripScheme(file);
+  std::uint64_t size = FileSize(path);
+  if (begin >= size) return "";
+  if (end > size) end = size;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    common::ThrowError(ErrorCode::kFileNotFound, "cannot open: " + file);
+  }
+  std::string content;
+  content.resize(static_cast<std::size_t>(end - begin));
+  in.seekg(static_cast<std::streamoff>(begin));
+  in.read(content.data(), static_cast<std::streamsize>(content.size()));
+  return content;
+}
+
+void Dfs::WritePartitioned(const std::string& raw_path,
+                           const std::vector<std::string>& partitions) {
+  std::string path = StripScheme(raw_path);
+  Remove(path);
+  fs::create_directories(path);
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05zu", i);
+    WriteFile(path + "/" + name, partitions[i]);
+  }
+  WriteFile(path + "/_SUCCESS", "");
+}
+
+void Dfs::WriteFile(const std::string& raw_file, const std::string& content) {
+  std::string file = StripScheme(raw_file);
+  fs::path parent = fs::path(file).parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    common::ThrowError(ErrorCode::kFileNotFound, "cannot write: " + raw_file);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+void Dfs::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(StripScheme(path), ec);
+}
+
+}  // namespace rumble::storage

@@ -1,0 +1,53 @@
+#ifndef RUMBLE_STORAGE_DFS_H_
+#define RUMBLE_STORAGE_DFS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumble::storage {
+
+/// Local-filesystem stand-in for HDFS/S3. A "dataset" is either a single
+/// file or a directory of `part-NNNNN` files plus a `_SUCCESS` marker —
+/// the layout Spark jobs write and read. Paths are ordinary local paths;
+/// the `hdfs://` and `s3://` prefixes are accepted and stripped so paper
+/// queries can be pasted verbatim.
+class Dfs {
+ public:
+  /// Strips a scheme prefix ("hdfs://", "s3://", "file://") if present.
+  static std::string StripScheme(const std::string& path);
+
+  /// True if `path` names an existing file or partitioned dataset directory.
+  static bool Exists(const std::string& path);
+
+  /// Lists the data files of a dataset in partition order. For a plain file
+  /// this is the file itself; for a directory, its sorted part files.
+  /// Throws kFileNotFound when the dataset does not exist.
+  static std::vector<std::string> ListDataFiles(const std::string& path);
+
+  static std::uint64_t FileSize(const std::string& file);
+
+  /// Reads an entire file into memory. Throws kFileNotFound on failure.
+  static std::string ReadFile(const std::string& file);
+
+  /// Reads the byte range [begin, end_hint + overshoot] of a file; the
+  /// caller applies the JSON Lines split contract. `end` is clamped to the
+  /// file size.
+  static std::string ReadRange(const std::string& file, std::uint64_t begin,
+                               std::uint64_t end);
+
+  /// Writes a partitioned dataset: one `part-NNNNN` file per entry plus a
+  /// `_SUCCESS` marker, replacing any existing dataset at `path`.
+  static void WritePartitioned(const std::string& path,
+                               const std::vector<std::string>& partitions);
+
+  /// Writes a single file (creating parent directories).
+  static void WriteFile(const std::string& file, const std::string& content);
+
+  /// Recursively removes a dataset (file or directory). Missing is a no-op.
+  static void Remove(const std::string& path);
+};
+
+}  // namespace rumble::storage
+
+#endif  // RUMBLE_STORAGE_DFS_H_

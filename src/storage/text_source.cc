@@ -1,0 +1,55 @@
+#include "src/storage/text_source.h"
+
+#include <algorithm>
+
+#include "src/storage/dfs.h"
+
+namespace rumble::storage {
+
+std::vector<TextSplit> TextSource::PlanSplits(const std::string& path,
+                                              int min_splits) {
+  std::vector<std::string> files = Dfs::ListDataFiles(path);
+  if (min_splits < 1) min_splits = 1;
+
+  std::uint64_t total_size = 0;
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(files.size());
+  for (const auto& file : files) {
+    sizes.push_back(Dfs::FileSize(file));
+    total_size += sizes.back();
+  }
+
+  std::vector<TextSplit> splits;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (sizes[i] == 0) continue;
+    // Distribute the split budget proportionally to file size, at least one
+    // split per non-empty file.
+    int file_splits = 1;
+    if (total_size > 0 && files.size() < static_cast<std::size_t>(min_splits)) {
+      double share = static_cast<double>(sizes[i]) /
+                     static_cast<double>(total_size) * min_splits;
+      file_splits = std::max(1, static_cast<int>(share + 0.5));
+    }
+    for (const auto& range : json::SplitByteRanges(sizes[i], file_splits)) {
+      splits.push_back(TextSplit{files[i], range});
+    }
+  }
+  return splits;
+}
+
+std::vector<std::string> TextSource::ReadSplit(const TextSplit& split) {
+  // Read past the nominal end so the last line can be completed; 1 MiB of
+  // overshoot is far beyond any JSON record in our workloads. If the line
+  // still does not terminate, fall back to reading to EOF.
+  constexpr std::uint64_t kOvershoot = 1 << 20;
+  std::uint64_t file_size = Dfs::FileSize(split.file);
+  std::uint64_t read_begin = split.range.begin == 0 ? 0 : split.range.begin - 1;
+  std::uint64_t read_end = std::min(file_size, split.range.end + kOvershoot);
+  std::string content = Dfs::ReadRange(split.file, read_begin, read_end);
+
+  json::ByteRange local{split.range.begin - read_begin,
+                        split.range.end - read_begin};
+  return json::LinesInRange(content, local);
+}
+
+}  // namespace rumble::storage

@@ -1,0 +1,36 @@
+#ifndef RUMBLE_STORAGE_TEXT_SOURCE_H_
+#define RUMBLE_STORAGE_TEXT_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/json/lines.h"
+
+namespace rumble::storage {
+
+/// One input split: a byte range of one data file. The unit of parallelism
+/// for text inputs, mirroring Hadoop's FileSplit.
+struct TextSplit {
+  std::string file;
+  json::ByteRange range;
+};
+
+/// Plans and reads line-oriented input splits over a DFS dataset.
+class TextSource {
+ public:
+  /// Plans at least `min_splits` splits over the dataset at `path`
+  /// (a file or partitioned directory). Large files are split by byte
+  /// ranges; a dataset with many part files yields at least one split per
+  /// part. Throws kFileNotFound if the dataset is missing.
+  static std::vector<TextSplit> PlanSplits(const std::string& path,
+                                           int min_splits);
+
+  /// Reads the complete lines belonging to a split (TextInputFormat
+  /// contract: skip leading partial line unless at offset 0, read past the
+  /// end to finish the last line).
+  static std::vector<std::string> ReadSplit(const TextSplit& split);
+};
+
+}  // namespace rumble::storage
+
+#endif  // RUMBLE_STORAGE_TEXT_SOURCE_H_

@@ -1,0 +1,24 @@
+#include "src/util/memory_budget.h"
+
+#include <string>
+
+#include "src/common/error.h"
+
+namespace rumble::util {
+
+void MemoryBudget::Allocate(std::uint64_t bytes) {
+  std::uint64_t now =
+      used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    common::ThrowError(
+        common::ErrorCode::kOutOfMemory,
+        "memory budget exhausted: " + std::to_string(now) + " of " +
+            std::to_string(limit_) + " bytes in use");
+  }
+}
+
+void MemoryBudget::Release(std::uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace rumble::util

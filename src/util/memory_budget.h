@@ -1,0 +1,41 @@
+#ifndef RUMBLE_UTIL_MEMORY_BUDGET_H_
+#define RUMBLE_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rumble::util {
+
+/// Tracks an approximate number of live bytes against a limit and raises
+/// kOutOfMemory when the limit is exceeded. Used to reproduce the paper's
+/// Figure 12 observation that single-threaded engines (Zorba, Xidel) run out
+/// of memory on a few million objects, without actually exhausting this
+/// machine's RAM. A zero limit disables enforcement but still counts.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Records an allocation; throws RumbleException(kOutOfMemory) when the
+  /// running total exceeds the limit.
+  void Allocate(std::uint64_t bytes);
+
+  /// Records a release.
+  void Release(std::uint64_t bytes);
+
+  std::uint64_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  std::uint64_t limit_bytes() const { return limit_; }
+  void set_limit_bytes(std::uint64_t limit) { limit_ = limit; }
+
+  void Reset() { used_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::uint64_t limit_;
+  std::atomic<std::uint64_t> used_{0};
+};
+
+}  // namespace rumble::util
+
+#endif  // RUMBLE_UTIL_MEMORY_BUDGET_H_

@@ -1,0 +1,52 @@
+#include "src/util/prng.h"
+
+#include <cmath>
+
+namespace rumble::util {
+
+std::uint64_t Prng::NextU64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Prng::NextBounded(std::uint64_t bound) {
+  // Lemire's multiply-shift reduction; bias is negligible for our bounds.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+}
+
+double Prng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::NextBool(double p) { return NextDouble() < p; }
+
+std::uint64_t Prng::NextZipf(std::uint64_t n, double s) {
+  // Approximate inverse-CDF sampling for a Zipf(s) distribution over n ranks
+  // using the continuous approximation of the harmonic sums.
+  if (n <= 1) return 0;
+  double u = NextDouble();
+  if (s == 1.0) {
+    double h = std::log(static_cast<double>(n) + 1.0);
+    return static_cast<std::uint64_t>(std::exp(u * h)) - 1;
+  }
+  double one_minus_s = 1.0 - s;
+  double h = (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0);
+  double x = std::pow(u * h + 1.0, 1.0 / one_minus_s) - 1.0;
+  auto rank = static_cast<std::uint64_t>(x);
+  return rank >= n ? n - 1 : rank;
+}
+
+std::string Prng::NextHex(std::size_t length) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kHex[NextBounded(16)]);
+  }
+  return out;
+}
+
+}  // namespace rumble::util

@@ -1,0 +1,47 @@
+#ifndef RUMBLE_UTIL_PRNG_H_
+#define RUMBLE_UTIL_PRNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumble::util {
+
+/// Deterministic SplitMix64 PRNG. Workload generators depend on determinism
+/// so that tests and benchmarks are reproducible across runs and machines.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t NextU64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (approximated by
+  /// rejection-free inverse CDF over a precomputed harmonic table is too
+  /// heavy for large n; we use the Gray et al. approximation).
+  std::uint64_t NextZipf(std::uint64_t n, double s);
+
+  /// Random lowercase hex string of the given length.
+  std::string NextHex(std::size_t length);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& values) {
+    return values[NextBounded(values.size())];
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rumble::util
+
+#endif  // RUMBLE_UTIL_PRNG_H_

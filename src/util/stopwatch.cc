@@ -1,0 +1,15 @@
+#include "src/util/stopwatch.h"
+
+namespace rumble::util {
+
+std::int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) * 1e-9;
+}
+
+}  // namespace rumble::util

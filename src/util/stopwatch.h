@@ -1,0 +1,25 @@
+#ifndef RUMBLE_UTIL_STOPWATCH_H_
+#define RUMBLE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rumble::util {
+
+/// Steady-clock stopwatch used by task metrics and the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  std::int64_t ElapsedNanos() const;
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rumble::util
+
+#endif  // RUMBLE_UTIL_STOPWATCH_H_

@@ -1,0 +1,99 @@
+#include "src/util/strings.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace rumble::util {
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  std::array<char, 32> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  (void)ec;
+  return std::string(buf.data(), ptr);
+}
+
+namespace {
+
+bool IsContinuationByte(char c) {
+  return (static_cast<unsigned char>(c) & 0xC0) == 0x80;
+}
+
+}  // namespace
+
+std::size_t Utf8Length(std::string_view text) {
+  std::size_t count = 0;
+  for (char c : text) {
+    if (!IsContinuationByte(c)) ++count;
+  }
+  return count;
+}
+
+std::string Utf8Substring(std::string_view text, double start, double length) {
+  std::string out;
+  double position = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    position += 1;  // 1-based position of the codepoint starting here
+    std::size_t begin = i;
+    ++i;
+    while (i < text.size() && IsContinuationByte(text[i])) ++i;
+    if (position >= start && position < start + length) {
+      out.append(text.substr(begin, i - begin));
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rumble::util

@@ -1,0 +1,34 @@
+#ifndef RUMBLE_UTIL_STRINGS_H_
+#define RUMBLE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumble::util {
+
+/// Splits on a single-character separator. An empty input yields {""}.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a double the way JSON serializers do: integral doubles print
+/// without a trailing ".0" mantissa explosion, and round-tripping is exact.
+std::string FormatDouble(double value);
+
+/// Escapes a string for inclusion in a JSON document (adds no quotes).
+std::string JsonEscape(std::string_view text);
+
+/// Number of Unicode codepoints in a UTF-8 string (continuation bytes are
+/// not counted). The unit the JSONiq string functions are specified in.
+std::size_t Utf8Length(std::string_view text);
+
+/// Codepoint-based substring with XPath fn:substring semantics: positions
+/// are 1-based doubles; a codepoint at position p is included iff
+/// p >= start && p < start + length (NaN-safe comparisons).
+std::string Utf8Substring(std::string_view text, double start, double length);
+
+}  // namespace rumble::util
+
+#endif  // RUMBLE_UTIL_STRINGS_H_

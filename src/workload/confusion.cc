@@ -1,0 +1,126 @@
+#include "src/workload/confusion.h"
+
+#include <cstdio>
+
+#include "src/storage/dfs.h"
+#include "src/util/prng.h"
+
+namespace rumble::workload {
+
+namespace {
+
+const std::vector<std::string>& LanguageList() {
+  static const std::vector<std::string>* kLanguages =
+      new std::vector<std::string>{
+          "French",     "German",    "Spanish",   "Italian",   "Portuguese",
+          "Dutch",      "Swedish",   "Norwegian", "Danish",    "Finnish",
+          "Russian",    "Ukrainian", "Polish",    "Czech",     "Slovak",
+          "Hungarian",  "Romanian",  "Bulgarian", "Serbian",   "Croatian",
+          "Greek",      "Turkish",   "Arabic",    "Hebrew",    "Persian",
+          "Hindi",      "Urdu",      "Bengali",   "Tamil",     "Telugu",
+          "Kannada",    "Malayalam", "Punjabi",   "Gujarati",  "Marathi",
+          "Mandarin",   "Cantonese", "Japanese",  "Korean",    "Vietnamese",
+          "Thai",       "Lao",       "Khmer",     "Burmese",   "Indonesian",
+          "Malay",      "Tagalog",   "Javanese",  "Swahili",   "Amharic",
+          "Somali",     "Yoruba",    "Igbo",      "Zulu",      "Xhosa",
+          "Afrikaans",  "Albanian",  "Armenian",  "Azerbaijani", "Basque",
+          "Belarusian", "Bosnian",   "Catalan",   "Estonian",  "Georgian",
+          "Icelandic",  "Irish",     "Latvian",   "Lithuanian", "Macedonian",
+          "Maltese",    "Mongolian", "Nepali",    "Pashto",    "Sinhalese",
+          "Slovenian",  "Welsh",     "Yiddish"};
+  return *kLanguages;
+}
+
+const std::vector<std::string>& CountryList() {
+  static const std::vector<std::string>* kCountries =
+      new std::vector<std::string>{
+          "AU", "US", "GB", "DE", "FR", "NL", "SE", "NO", "DK", "FI",
+          "CH", "AT", "BE", "IT", "ES", "PT", "PL", "CZ", "RU", "UA",
+          "CA", "MX", "BR", "AR", "CL", "IN", "CN", "JP", "KR", "SG",
+          "HK", "TW", "TH", "VN", "ID", "MY", "PH", "NZ", "ZA", "EG",
+          "IL", "TR", "GR", "HU", "RO", "BG", "RS", "HR", "IE", "IS"};
+  return *kCountries;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ConfusionGenerator::Languages() {
+  return LanguageList();
+}
+
+const std::vector<std::string>& ConfusionGenerator::Countries() {
+  return CountryList();
+}
+
+std::string ConfusionGenerator::GenerateLine(std::uint64_t seed,
+                                             std::uint64_t index) {
+  // Each record derives its own PRNG stream so generation is random-access
+  // (partitions can be produced independently and in parallel).
+  util::Prng prng(seed * 0x9e3779b97f4a7c15ULL + index + 1);
+  const auto& languages = LanguageList();
+  const auto& countries = CountryList();
+
+  std::size_t target_index = prng.NextZipf(languages.size(), 0.6);
+  const std::string& target = languages[target_index];
+
+  // The paper's filter query selects guess eq target; players guess right
+  // roughly 72% of the time in the original dataset.
+  bool correct = prng.NextBool(0.72);
+  const std::string& guess =
+      correct ? target : prng.Pick(languages);
+
+  const std::string& country = prng.Pick(countries);
+
+  // Four choices, always containing the target.
+  std::string choices = "[\"" + target + "\"";
+  for (int i = 0; i < 3; ++i) {
+    choices += ", \"" + prng.Pick(languages) + "\"";
+  }
+  choices += "]";
+
+  // Dates spread over the game's 2013-2014 run.
+  int month = static_cast<int>(prng.NextBounded(16));
+  int year = 2013 + month / 12;
+  month = month % 12 + 1;
+  int day = static_cast<int>(prng.NextBounded(28)) + 1;
+  char date[16];
+  std::snprintf(date, sizeof(date), "%04d-%02d-%02d", year, month, day);
+
+  std::string line = "{\"guess\": \"" + guess + "\", \"target\": \"" + target +
+                     "\", \"country\": \"" + country + "\", \"choices\": " +
+                     choices + ", \"sample\": \"" + prng.NextHex(32) +
+                     "\", \"date\": \"" + date + "\"}";
+  return line;
+}
+
+std::vector<std::string> ConfusionGenerator::GenerateLines(
+    const ConfusionOptions& options) {
+  std::vector<std::string> lines;
+  lines.reserve(options.num_objects);
+  for (std::uint64_t i = 0; i < options.num_objects; ++i) {
+    lines.push_back(GenerateLine(options.seed, i));
+  }
+  return lines;
+}
+
+std::string ConfusionGenerator::WriteDataset(const std::string& path,
+                                             const ConfusionOptions& options) {
+  int partitions = options.partitions < 1 ? 1 : options.partitions;
+  std::vector<std::string> parts(static_cast<std::size_t>(partitions));
+  std::uint64_t per_part = options.num_objects / partitions;
+  std::uint64_t remainder = options.num_objects % partitions;
+  std::uint64_t index = 0;
+  for (int p = 0; p < partitions; ++p) {
+    std::uint64_t count =
+        per_part + (static_cast<std::uint64_t>(p) < remainder ? 1 : 0);
+    std::string& blob = parts[static_cast<std::size_t>(p)];
+    for (std::uint64_t i = 0; i < count; ++i, ++index) {
+      blob += GenerateLine(options.seed, index);
+      blob.push_back('\n');
+    }
+  }
+  storage::Dfs::WritePartitioned(path, parts);
+  return path;
+}
+
+}  // namespace rumble::workload

@@ -1,0 +1,41 @@
+#ifndef RUMBLE_WORKLOAD_CONFUSION_H_
+#define RUMBLE_WORKLOAD_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumble::workload {
+
+/// Deterministic synthetic stand-in for the Great Language Game "confusion"
+/// dataset (paper Section 6.1): ~16M JSON objects with fields guess, target,
+/// country, choices, sample and date. The generator preserves the properties
+/// the paper's three queries exercise — a ~72% guess==target match rate,
+/// ~70 distinct target languages with a skewed distribution, string sort
+/// keys with plenty of duplicates — while being reproducible from a seed.
+struct ConfusionOptions {
+  std::uint64_t num_objects = 10000;
+  std::uint64_t seed = 42;
+  int partitions = 8;
+};
+
+class ConfusionGenerator {
+ public:
+  /// One JSON Lines record (no trailing newline).
+  static std::string GenerateLine(std::uint64_t seed, std::uint64_t index);
+
+  /// All records, in order.
+  static std::vector<std::string> GenerateLines(const ConfusionOptions& options);
+
+  /// Writes the dataset as a partitioned DFS directory; returns the path.
+  static std::string WriteDataset(const std::string& path,
+                                  const ConfusionOptions& options);
+
+  /// The language and country vocabularies (exposed for tests).
+  static const std::vector<std::string>& Languages();
+  static const std::vector<std::string>& Countries();
+};
+
+}  // namespace rumble::workload
+
+#endif  // RUMBLE_WORKLOAD_CONFUSION_H_

@@ -1,0 +1,65 @@
+#include "src/workload/messy.h"
+
+#include "src/storage/dfs.h"
+#include "src/util/prng.h"
+#include "src/workload/confusion.h"
+
+namespace rumble::workload {
+
+std::vector<std::string> MessyGenerator::Figure5Lines() {
+  return {
+      R"({"foo": "1", "bar":2, "foobar": true})",
+      R"({"foo": "2", "bar":[4], "foobar": "false"})",
+      R"({"foo": "3", "bar":"6"})",
+  };
+}
+
+std::vector<std::string> MessyGenerator::GenerateLines(
+    std::uint64_t num_objects, std::uint64_t seed) {
+  std::vector<std::string> lines;
+  lines.reserve(num_objects);
+  const auto& countries = ConfusionGenerator::Countries();
+  for (std::uint64_t i = 0; i < num_objects; ++i) {
+    util::Prng prng(seed * 0x94d049bb133111ebULL + i + 1);
+    std::string line = "{\"guess\": \"" +
+                       ConfusionGenerator::Languages()[prng.NextBounded(
+                           ConfusionGenerator::Languages().size())] +
+                       "\"";
+    double roll = prng.NextDouble();
+    if (roll < 0.95) {
+      // Clean record: country is a plain string.
+      line += ", \"country\": \"" + prng.Pick(countries) + "\"";
+    } else if (roll < 0.97) {
+      // Country is an array of strings (Figure 7's first fallback).
+      line += ", \"country\": [\"" + prng.Pick(countries) + "\", \"" +
+              prng.Pick(countries) + "\"]";
+    } else if (roll < 0.98) {
+      // Country is null.
+      line += ", \"country\": null";
+    } else if (roll < 0.99) {
+      // Country has the wrong type entirely.
+      line += ", \"country\": " + std::to_string(prng.NextBounded(100));
+    }
+    // else: country is absent.
+    line += ", \"score\": " + std::to_string(prng.NextBounded(1000)) + "}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string MessyGenerator::WriteDataset(const std::string& path,
+                                         std::uint64_t num_objects,
+                                         std::uint64_t seed, int partitions) {
+  if (partitions < 1) partitions = 1;
+  std::vector<std::string> lines = GenerateLines(num_objects, seed);
+  std::vector<std::string> parts(static_cast<std::size_t>(partitions));
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string& blob = parts[i % static_cast<std::size_t>(partitions)];
+    blob += lines[i];
+    blob.push_back('\n');
+  }
+  storage::Dfs::WritePartitioned(path, parts);
+  return path;
+}
+
+}  // namespace rumble::workload

@@ -1,0 +1,32 @@
+#ifndef RUMBLE_WORKLOAD_MESSY_H_
+#define RUMBLE_WORKLOAD_MESSY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumble::workload {
+
+/// Heterogeneous "messy" datasets from the paper's Figures 5 and 7: fields
+/// whose values change type across records, go missing, or nest arrays —
+/// the inputs Spark SQL's DataFrames cannot represent without degrading
+/// everything to strings (Figure 6).
+class MessyGenerator {
+ public:
+  /// The exact three records of Figure 5.
+  static std::vector<std::string> Figure5Lines();
+
+  /// Records in the style of Figure 7: `country` is sometimes a string,
+  /// sometimes an array of strings, sometimes missing; 95% of values are
+  /// clean, the rest are the paper's "unclean data" cases.
+  static std::vector<std::string> GenerateLines(std::uint64_t num_objects,
+                                                std::uint64_t seed);
+
+  static std::string WriteDataset(const std::string& path,
+                                  std::uint64_t num_objects,
+                                  std::uint64_t seed, int partitions);
+};
+
+}  // namespace rumble::workload
+
+#endif  // RUMBLE_WORKLOAD_MESSY_H_

@@ -1,0 +1,136 @@
+#include "src/workload/reddit.h"
+
+#include "src/storage/dfs.h"
+#include "src/util/prng.h"
+#include "src/util/strings.h"
+
+namespace rumble::workload {
+
+namespace {
+
+const std::vector<std::string>& SubredditList() {
+  static const std::vector<std::string>* kSubreddits =
+      new std::vector<std::string>{
+          "AskReddit", "funny",   "pics",          "gaming",  "worldnews",
+          "science",   "movies",  "todayilearned", "videos",  "news",
+          "aww",       "music",   "books",         "history", "space",
+          "sports",    "food",    "art",           "technology", "politics",
+          "dataisbeautiful", "programming", "linux", "cpp", "databases"};
+  return *kSubreddits;
+}
+
+const char* const kWords[] = {
+    "the",   "quick", "brown",  "fox",    "jumps",  "over", "lazy",
+    "dog",   "data",  "query",  "spark",  "json",   "nested", "messy",
+    "scale", "wow",   "really", "maybe",  "never",  "always", "great",
+    "terrible", "interesting", "comment", "thread", "upvote", "because"};
+
+std::string RandomBody(util::Prng& prng) {
+  std::size_t words = 3 + prng.NextBounded(20);
+  std::string body;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i > 0) body.push_back(' ');
+    body += kWords[prng.NextBounded(sizeof(kWords) / sizeof(kWords[0]))];
+  }
+  return body;
+}
+
+}  // namespace
+
+const std::vector<std::string>& RedditGenerator::Subreddits() {
+  return SubredditList();
+}
+
+std::string RedditGenerator::GenerateLine(std::uint64_t seed,
+                                          std::uint64_t index) {
+  util::Prng prng(seed * 0xbf58476d1ce4e5b9ULL + index + 1);
+
+  // Era: 2008..2015; later eras have more fields (schema drift without
+  // back-conversion — the paper's "schema changes every couple of years").
+  int era = static_cast<int>(prng.NextBounded(8));  // 0 -> 2008
+  std::int64_t created =
+      1199145600LL + era * 31536000LL +
+      static_cast<std::int64_t>(prng.NextBounded(31536000ULL));
+
+  std::string line = "{\"author\": \"user_" +
+                     std::to_string(prng.NextBounded(50000)) +
+                     "\", \"subreddit\": \"" + prng.Pick(SubredditList()) +
+                     "\", \"body\": \"" + RandomBody(prng) + "\"";
+  line += ", \"score\": " +
+          std::to_string(static_cast<std::int64_t>(prng.NextBounded(2000)) -
+                         100);
+  line += ", \"created_utc\": " + std::to_string(created);
+
+  // Heterogeneous field: `edited` is false, or the edit timestamp.
+  if (prng.NextBool(0.1)) {
+    line += ", \"edited\": " + std::to_string(created + 3600);
+  } else {
+    line += ", \"edited\": false";
+  }
+
+  // Era-dependent fields.
+  if (era >= 2) {
+    line += ", \"score_hidden\": ";
+    line += prng.NextBool(0.05) ? "true" : "false";
+  }
+  if (era >= 4) {
+    line += ", \"gilded\": " + std::to_string(prng.NextBounded(3));
+    line += ", \"distinguished\": ";
+    line += prng.NextBool(0.02) ? "\"moderator\"" : "null";
+  }
+  if (era >= 6 && prng.NextBool(0.3)) {
+    line += ", \"user_reports\": [";
+    std::size_t reports = prng.NextBounded(3);
+    for (std::size_t i = 0; i < reports; ++i) {
+      if (i > 0) line += ", ";
+      line += "[\"spam\", " + std::to_string(prng.NextBounded(5)) + "]";
+    }
+    line += "]";
+  }
+
+  // Occasionally missing field (deleted comments lose their author flair).
+  if (prng.NextBool(0.7)) {
+    line += ", \"author_flair_text\": ";
+    line += prng.NextBool(0.5)
+                ? "null"
+                : "\"" + prng.Pick(SubredditList()) + " fan\"";
+  }
+
+  line += "}";
+  return line;
+}
+
+std::vector<std::string> RedditGenerator::GenerateLines(
+    const RedditOptions& options) {
+  std::vector<std::string> lines;
+  lines.reserve(options.num_objects);
+  for (std::uint64_t i = 0; i < options.num_objects; ++i) {
+    lines.push_back(GenerateLine(options.seed, i));
+  }
+  return lines;
+}
+
+std::string RedditGenerator::WriteDataset(const std::string& path,
+                                          const RedditOptions& options) {
+  int partitions = options.partitions < 1 ? 1 : options.partitions;
+  int replication = options.replication < 1 ? 1 : options.replication;
+  std::uint64_t total =
+      options.num_objects * static_cast<std::uint64_t>(replication);
+  std::vector<std::string> parts(static_cast<std::size_t>(partitions));
+  std::uint64_t per_part = total / partitions;
+  std::uint64_t remainder = total % partitions;
+  std::uint64_t index = 0;
+  for (int p = 0; p < partitions; ++p) {
+    std::uint64_t count =
+        per_part + (static_cast<std::uint64_t>(p) < remainder ? 1 : 0);
+    std::string& blob = parts[static_cast<std::size_t>(p)];
+    for (std::uint64_t i = 0; i < count; ++i, ++index) {
+      blob += GenerateLine(options.seed, index % options.num_objects);
+      blob.push_back('\n');
+    }
+  }
+  storage::Dfs::WritePartitioned(path, parts);
+  return path;
+}
+
+}  // namespace rumble::workload

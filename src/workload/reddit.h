@@ -1,0 +1,37 @@
+#ifndef RUMBLE_WORKLOAD_REDDIT_H_
+#define RUMBLE_WORKLOAD_REDDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rumble::workload {
+
+/// Deterministic stand-in for the paper's semi-structured Reddit comments
+/// dataset (Section 6.1): objects with era-dependent schema drift (fields
+/// appear in later "years" without back-filling older records), optional
+/// fields, heterogeneous types (`edited` is false or a timestamp number),
+/// and nested arrays. Used by the Figure 14/15 experiments.
+struct RedditOptions {
+  std::uint64_t num_objects = 10000;
+  std::uint64_t seed = 7;
+  int partitions = 8;
+  /// Replication factor (Figure 15 replicates the dataset up to 400x).
+  int replication = 1;
+};
+
+class RedditGenerator {
+ public:
+  static std::string GenerateLine(std::uint64_t seed, std::uint64_t index);
+  static std::vector<std::string> GenerateLines(const RedditOptions& options);
+  /// Writes `num_objects * replication` records; replicas repeat the same
+  /// logical records, as the paper's replication does.
+  static std::string WriteDataset(const std::string& path,
+                                  const RedditOptions& options);
+
+  static const std::vector<std::string>& Subreddits();
+};
+
+}  // namespace rumble::workload
+
+#endif  // RUMBLE_WORKLOAD_REDDIT_H_

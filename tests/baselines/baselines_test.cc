@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/baselines/handcoded.h"
+#include "src/baselines/pyspark_sim.h"
+#include "src/baselines/sparksql.h"
+#include "src/baselines/xidel_sim.h"
+#include "src/baselines/zorba_sim.h"
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+#include "src/storage/dfs.h"
+#include "src/workload/confusion.h"
+
+namespace rumble {
+namespace {
+
+/// All baselines must produce the same answers as the Rumble engine on the
+/// confusion dataset — they differ in *how*, not in *what* (the point of
+/// comparing them in Figures 11-13).
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    path_ = (std::filesystem::temp_directory_path() /
+             "rumble_baselines_test_confusion")
+                .string();
+    workload::ConfusionOptions options;
+    options.num_objects = 1500;
+    options.partitions = 3;
+    workload::ConfusionGenerator::WriteDataset(path_, options);
+
+    jsoniq::Rumble engine;
+    auto filter = engine.Run("count(for $e in json-file(\"" + path_ +
+                             "\") where $e.guess eq $e.target return $e)");
+    ASSERT_TRUE(filter.ok());
+    expected_filter_count_ =
+        static_cast<std::size_t>(filter.value().front()->IntegerValue());
+
+    auto groups = engine.Run(
+        "for $e in json-file(\"" + path_ + "\") group by $t := $e.target "
+        "let $n := count($e) order by $t "
+        "return $t || \"=\" || $n");
+    ASSERT_TRUE(groups.ok());
+    for (const auto& line : groups.value()) {
+      expected_groups_.push_back(line->StringValue());
+    }
+  }
+  static void TearDownTestSuite() { storage::Dfs::Remove(path_); }
+
+  static std::vector<std::string> FormatGroups(
+      const std::vector<std::pair<std::string, std::int64_t>>& groups) {
+    std::vector<std::string> out;
+    out.reserve(groups.size());
+    for (const auto& [key, count] : groups) {
+      out.push_back(key + "=" + std::to_string(count));
+    }
+    return out;
+  }
+
+  static std::string path_;
+  static std::size_t expected_filter_count_;
+  static std::vector<std::string> expected_groups_;
+};
+
+std::string BaselinesTest::path_;
+std::size_t BaselinesTest::expected_filter_count_;
+std::vector<std::string> BaselinesTest::expected_groups_;
+
+common::RumbleConfig SmallConfig() {
+  common::RumbleConfig config;
+  config.executors = 2;
+  config.default_partitions = 3;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Raw Spark (RDD API)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, RawSparkFilterMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::RawSparkLoad(&context, path_, 3);
+  EXPECT_EQ(baselines::RawSparkFilterCount(rdd), expected_filter_count_);
+}
+
+TEST_F(BaselinesTest, RawSparkGroupMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::RawSparkLoad(&context, path_, 3);
+  EXPECT_EQ(FormatGroups(baselines::RawSparkGroupCounts(rdd)),
+            expected_groups_);
+}
+
+TEST_F(BaselinesTest, RawSparkSortReturnsOrderedPrefix) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::RawSparkLoad(&context, path_, 3);
+  auto top = baselines::RawSparkSortTake(rdd, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1]->ValueForKey("target")->StringValue(),
+              top[i]->ValueForKey("target")->StringValue());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spark SQL (DataFrames)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, SparkSqlSchemaInferenceOnCleanData) {
+  spark::Context context(SmallConfig());
+  auto df = baselines::LoadJsonDataFrame(&context, path_, 3);
+  // guess/target/country/date native strings; choices (an array) degrades
+  // to a string column (Figure 6).
+  EXPECT_EQ(df.schema().field(df.schema().RequireIndex("guess")).type,
+            df::DataType::kString);
+  EXPECT_EQ(df.schema().field(df.schema().RequireIndex("choices")).type,
+            df::DataType::kString);
+}
+
+TEST_F(BaselinesTest, SparkSqlFilterMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto df = baselines::LoadJsonDataFrame(&context, path_, 3);
+  EXPECT_EQ(baselines::SparkSqlFilterCount(df), expected_filter_count_);
+}
+
+TEST_F(BaselinesTest, SparkSqlGroupMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto df = baselines::LoadJsonDataFrame(&context, path_, 3);
+  EXPECT_EQ(FormatGroups(baselines::SparkSqlGroupCounts(df)),
+            expected_groups_);
+}
+
+TEST_F(BaselinesTest, SparkSqlSortTakeIsOrdered) {
+  spark::Context context(SmallConfig());
+  auto df = baselines::LoadJsonDataFrame(&context, path_, 3);
+  auto batch = baselines::SparkSqlSortTake(df, 10);
+  ASSERT_EQ(batch.num_rows, 10u);
+  std::size_t target = df.schema().RequireIndex("target");
+  for (std::size_t row = 1; row < batch.num_rows; ++row) {
+    EXPECT_LE(batch.columns[target].StringAt(row - 1),
+              batch.columns[target].StringAt(row));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PySpark simulation
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, PySparkFilterMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::PySparkLoad(&context, path_, 3);
+  EXPECT_EQ(baselines::PySparkFilterCount(rdd), expected_filter_count_);
+}
+
+TEST_F(BaselinesTest, PySparkGroupMatchesEngine) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::PySparkLoad(&context, path_, 3);
+  EXPECT_EQ(FormatGroups(baselines::PySparkGroupCounts(rdd)),
+            expected_groups_);
+}
+
+TEST_F(BaselinesTest, PySparkSortTakeReturnsJson) {
+  spark::Context context(SmallConfig());
+  auto rdd = baselines::PySparkLoad(&context, path_, 3);
+  auto top = baselines::PySparkSortTake(rdd, 5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_NE(top[0].find("\"guess\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Handcoded (Section 6.3)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, HandcodedFilterMatchesEngine) {
+  EXPECT_EQ(baselines::HandcodedFilterCount(path_), expected_filter_count_);
+}
+
+TEST_F(BaselinesTest, HandcodedGroupMatchesEngine) {
+  EXPECT_EQ(FormatGroups(baselines::HandcodedGroupCounts(path_)),
+            expected_groups_);
+}
+
+// ---------------------------------------------------------------------------
+// Zorba / Xidel simulations (Figure 12 behaviour)
+// ---------------------------------------------------------------------------
+
+TEST_F(BaselinesTest, ZorbaSimProducesCorrectResultsWithinBudget) {
+  auto zorba = baselines::MakeZorbaSim({1ull << 30});
+  auto result = zorba->Run("count(for $e in json-file(\"" + path_ +
+                           "\") where $e.guess eq $e.target return $e)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().front()->IntegerValue(),
+            static_cast<std::int64_t>(expected_filter_count_));
+}
+
+TEST_F(BaselinesTest, ZorbaSimStreamsFilterButDiesOnGroupBy) {
+  // A budget big enough for streaming but too small for the group-by hash
+  // table reproduces Figure 12: filter completes, grouping goes OOM.
+  baselines::ZorbaSimOptions options;
+  options.memory_budget_bytes = 150'000;
+  auto zorba = baselines::MakeZorbaSim(options);
+  auto filter = zorba->Run("count(for $e in json-file(\"" + path_ +
+                           "\") where $e.guess eq $e.target return $e)");
+  EXPECT_TRUE(filter.ok()) << filter.status().ToString();
+  auto group = zorba->Run("for $e in json-file(\"" + path_ +
+                          "\") group by $t := $e.target return count($e)");
+  ASSERT_FALSE(group.ok());
+  EXPECT_EQ(group.status().code(), common::ErrorCode::kOutOfMemory);
+}
+
+TEST_F(BaselinesTest, XidelSimDiesEvenOnFilterWhenInputExceedsBudget) {
+  // Xidel loads the whole store up front, so the same budget that lets the
+  // Zorba simulation stream a filter kills the Xidel simulation on parse.
+  baselines::XidelSimOptions options;
+  options.memory_budget_bytes = 150'000;
+  auto xidel = baselines::MakeXidelSim(options);
+  auto filter = xidel->Run("count(for $e in json-file(\"" + path_ +
+                           "\") where $e.guess eq $e.target return $e)");
+  ASSERT_FALSE(filter.ok());
+  EXPECT_EQ(filter.status().code(), common::ErrorCode::kOutOfMemory);
+}
+
+TEST_F(BaselinesTest, XidelSimCorrectWithLargeBudget) {
+  auto xidel = baselines::MakeXidelSim({1ull << 30});
+  auto result = xidel->Run("count(json-file(\"" + path_ + "\"))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().front()->IntegerValue(), 1500);
+}
+
+TEST_F(BaselinesTest, SingleThreadedSimsNeverUseTheRddPath) {
+  // The simulations must stay on the local API even for RDD-able queries.
+  auto zorba = baselines::MakeZorbaSim({1ull << 30});
+  EXPECT_FALSE(zorba->engine()->ParallelEnabled());
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/df/dataframe.h"
+#include "src/df/physical_exec.h"
+#include "src/item/item_factory.h"
+#include "src/json/item_parser.h"
+
+namespace rumble {
+namespace {
+
+using df::Aggregate;
+using df::AggKind;
+using df::Column;
+using df::DataFrame;
+using df::DataType;
+using df::NamedExpr;
+using df::RecordBatch;
+using df::Schema;
+using df::SchemaPtr;
+using item::ItemSequence;
+
+common::RumbleConfig TestConfig() {
+  common::RumbleConfig config;
+  config.executors = 2;
+  config.default_partitions = 3;
+  return config;
+}
+
+/// Builds a single-column int64 DataFrame [0, n) split into `parts` batches.
+DataFrame IntFrame(spark::Context* context, int n, int parts) {
+  std::vector<RecordBatch> batches;
+  int per = (n + parts - 1) / parts;
+  int value = 0;
+  for (int p = 0; p < parts; ++p) {
+    RecordBatch batch;
+    Column column(DataType::kInt64);
+    for (int i = 0; i < per && value < n; ++i) {
+      column.AppendInt64(value++);
+    }
+    batch.num_rows = column.size();
+    batch.columns.push_back(std::move(column));
+    batches.push_back(std::move(batch));
+  }
+  auto schema = std::make_shared<Schema>(
+      std::vector<df::Field>{{"x", DataType::kInt64}});
+  return DataFrame::FromBatches(context, schema, std::move(batches));
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, IndexOfAndToString) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("zz"), -1);
+  EXPECT_EQ(schema.ToString(), "a:int64, b:string");
+  EXPECT_THROW(schema.RequireIndex("zz"), common::RumbleException);
+}
+
+/// Figure 6: the heterogeneous Figure 5 dataset forced into a DataFrame —
+/// heterogeneous columns degrade to strings, absent values become NULLs.
+TEST(SchemaInferenceTest, Figure6HeterogeneityDegradesToStrings) {
+  ItemSequence sample = {
+      json::ParseItem(R"({"foo": "1", "bar":2, "foobar": true})"),
+      json::ParseItem(R"({"foo": "2", "bar":[4], "foobar": "false"})"),
+      json::ParseItem(R"({"foo": "3", "bar":"6"})"),
+  };
+  SchemaPtr schema = df::InferSchema(sample);
+  ASSERT_EQ(schema->num_fields(), 3u);
+  EXPECT_EQ(schema->field(schema->RequireIndex("foo")).type,
+            DataType::kString);
+  // bar mixes integer, array and string -> string.
+  EXPECT_EQ(schema->field(schema->RequireIndex("bar")).type,
+            DataType::kString);
+  // foobar mixes boolean and string -> string.
+  EXPECT_EQ(schema->field(schema->RequireIndex("foobar")).type,
+            DataType::kString);
+}
+
+TEST(SchemaInferenceTest, CleanColumnsKeepNativeTypes) {
+  ItemSequence sample = {
+      json::ParseItem(R"({"s": "x", "i": 1, "f": 1.5, "b": true})"),
+      json::ParseItem(R"({"s": "y", "i": 2, "f": 2.5, "b": false})"),
+  };
+  SchemaPtr schema = df::InferSchema(sample);
+  EXPECT_EQ(schema->field(schema->RequireIndex("s")).type, DataType::kString);
+  EXPECT_EQ(schema->field(schema->RequireIndex("i")).type, DataType::kInt64);
+  EXPECT_EQ(schema->field(schema->RequireIndex("f")).type, DataType::kFloat64);
+  EXPECT_EQ(schema->field(schema->RequireIndex("b")).type, DataType::kBool);
+}
+
+TEST(SchemaInferenceTest, IntWidensToFloat) {
+  ItemSequence sample = {json::ParseItem(R"({"n": 1})"),
+                         json::ParseItem(R"({"n": 2.5})")};
+  SchemaPtr schema = df::InferSchema(sample);
+  EXPECT_EQ(schema->field(0).type, DataType::kFloat64);
+}
+
+TEST(SchemaInferenceTest, NullsDoNotConstrain) {
+  ItemSequence sample = {json::ParseItem(R"({"n": null})"),
+                         json::ParseItem(R"({"n": 7})")};
+  SchemaPtr schema = df::InferSchema(sample);
+  EXPECT_EQ(schema->field(0).type, DataType::kInt64);
+}
+
+// ---------------------------------------------------------------------------
+// Column / RecordBatch
+// ---------------------------------------------------------------------------
+
+TEST(ColumnTest, AppendAndReadAllTypes) {
+  Column ints(DataType::kInt64);
+  ints.AppendInt64(5);
+  ints.AppendNull();
+  EXPECT_EQ(ints.size(), 2u);
+  EXPECT_FALSE(ints.IsNull(0));
+  EXPECT_TRUE(ints.IsNull(1));
+  EXPECT_EQ(ints.Int64At(0), 5);
+
+  Column seqs(DataType::kItemSeq);
+  seqs.AppendSeq({item::MakeInteger(1)});
+  EXPECT_EQ(seqs.SeqAt(0).size(), 1u);
+}
+
+TEST(ColumnTest, ConcatAndSplitRoundTrip) {
+  RecordBatch batch;
+  Column column(DataType::kString);
+  for (int i = 0; i < 10; ++i) column.AppendString("v" + std::to_string(i));
+  batch.num_rows = 10;
+  batch.columns.push_back(std::move(column));
+
+  auto pieces = df::SplitBatch(batch, 3);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].num_rows + pieces[1].num_rows + pieces[2].num_rows, 10u);
+  RecordBatch merged = df::ConcatBatches(pieces);
+  EXPECT_EQ(merged.num_rows, 10u);
+  EXPECT_EQ(merged.columns[0].StringAt(7), "v7");
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+TEST(DataFrameTest, ProjectWithUdf) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 10, 2);
+  df::Udf udf;
+  udf.inputs = {"x"};
+  udf.eval = [](const Schema& schema, const RecordBatch& batch, Column* out) {
+    std::size_t x = schema.RequireIndex("x");
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendInt64(batch.columns[x].Int64At(row) * 10);
+    }
+  };
+  DataFrame projected = df.Project(
+      {NamedExpr::Ref("x", "x", DataType::kInt64),
+       NamedExpr::Computed("y", DataType::kInt64, std::move(udf))});
+  RecordBatch result = projected.CollectBatch();
+  EXPECT_EQ(result.num_rows, 10u);
+  EXPECT_EQ(result.columns[1].Int64At(3), 30);
+}
+
+TEST(DataFrameTest, FilterMask) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 100, 4);
+  df::Predicate predicate;
+  predicate.inputs = {"x"};
+  predicate.eval = [](const Schema& schema, const RecordBatch& batch) {
+    std::size_t x = schema.RequireIndex("x");
+    std::vector<char> mask(batch.num_rows);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      mask[row] = batch.columns[x].Int64At(row) % 2 == 0;
+    }
+    return mask;
+  };
+  EXPECT_EQ(df.Filter(predicate).CountRows(), 50u);
+}
+
+TEST(DataFrameTest, ExplodeExpandsSequences) {
+  spark::Context context(TestConfig());
+  RecordBatch batch;
+  Column column(DataType::kItemSeq);
+  column.AppendSeq({item::MakeInteger(1), item::MakeInteger(2)});
+  column.AppendSeq({});
+  column.AppendSeq({item::MakeInteger(3)});
+  batch.num_rows = 3;
+  batch.columns.push_back(std::move(column));
+  auto schema = std::make_shared<Schema>(
+      std::vector<df::Field>{{"v", DataType::kItemSeq}});
+  DataFrame df = DataFrame::FromBatches(&context, schema, {batch});
+
+  EXPECT_EQ(df.Explode("v").CountRows(), 3u);
+  EXPECT_EQ(df.Explode("v", /*keep_empty=*/true).CountRows(), 4u);
+
+  RecordBatch with_pos =
+      df.Explode("v", true, "#p").CollectBatch();
+  ASSERT_EQ(with_pos.num_rows, 4u);
+  EXPECT_EQ(with_pos.columns[1].Int64At(0), 1);  // first member position 1
+  EXPECT_EQ(with_pos.columns[1].Int64At(1), 2);
+  EXPECT_EQ(with_pos.columns[1].Int64At(2), 0);  // allowing-empty row
+}
+
+TEST(DataFrameTest, GroupByCountAndCollect) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 100, 5);
+  // Key column: x mod 3 as a string (exercise string keys).
+  df::Udf key_udf;
+  key_udf.inputs = {"x"};
+  key_udf.eval = [](const Schema& schema, const RecordBatch& batch,
+                    Column* out) {
+    std::size_t x = schema.RequireIndex("x");
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendString("k" +
+                        std::to_string(batch.columns[x].Int64At(row) % 3));
+    }
+  };
+  DataFrame keyed =
+      df.Project({NamedExpr::Ref("x", "x", DataType::kInt64),
+                  NamedExpr::Computed("k", DataType::kString, key_udf)});
+  DataFrame grouped = keyed.GroupBy(
+      {"k"}, {Aggregate{"", "n", AggKind::kCount},
+              Aggregate{"x", "sum", AggKind::kSumInt64},
+              Aggregate{"x", "min", AggKind::kMinInt64},
+              Aggregate{"x", "max", AggKind::kMaxInt64}});
+  RecordBatch result = grouped.CollectBatch();
+  ASSERT_EQ(result.num_rows, 3u);
+  std::int64_t total = 0;
+  for (std::size_t row = 0; row < result.num_rows; ++row) {
+    total += result.columns[1].Int64At(row);
+    EXPECT_GE(result.columns[4].Int64At(row),
+              result.columns[3].Int64At(row));  // max >= min
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(DataFrameTest, GroupByNullKeysFormTheirOwnGroup) {
+  spark::Context context(TestConfig());
+  RecordBatch batch;
+  Column key(DataType::kString);
+  key.AppendString("a");
+  key.AppendNull();
+  key.AppendNull();
+  batch.num_rows = 3;
+  batch.columns.push_back(std::move(key));
+  auto schema = std::make_shared<Schema>(
+      std::vector<df::Field>{{"k", DataType::kString}});
+  DataFrame df = DataFrame::FromBatches(&context, schema, {batch});
+  DataFrame grouped = df.GroupBy({"k"}, {Aggregate{"", "n", AggKind::kCount}});
+  EXPECT_EQ(grouped.CountRows(), 2u);
+}
+
+TEST(DataFrameTest, SortMultiKeyWithNulls) {
+  spark::Context context(TestConfig());
+  RecordBatch batch;
+  Column a(DataType::kString);
+  Column b(DataType::kInt64);
+  a.AppendString("x"); b.AppendInt64(2);
+  a.AppendNull();      b.AppendInt64(1);
+  a.AppendString("x"); b.AppendInt64(1);
+  a.AppendString("a"); b.AppendInt64(9);
+  batch.num_rows = 4;
+  batch.columns.push_back(std::move(a));
+  batch.columns.push_back(std::move(b));
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"a", DataType::kString}, {"b", DataType::kInt64}});
+  DataFrame df = DataFrame::FromBatches(&context, schema, {batch});
+
+  RecordBatch sorted = df.Sort({df::SortKey{"a", true, true},
+                                df::SortKey{"b", false, true}})
+                           .CollectBatch();
+  ASSERT_EQ(sorted.num_rows, 4u);
+  EXPECT_TRUE(sorted.columns[0].IsNull(0));  // nulls smallest first
+  EXPECT_EQ(sorted.columns[0].StringAt(1), "a");
+  // Within "x": b descending.
+  EXPECT_EQ(sorted.columns[1].Int64At(2), 2);
+  EXPECT_EQ(sorted.columns[1].Int64At(3), 1);
+}
+
+TEST(DataFrameTest, ZipIndexIsGlobalAndOrdered) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 25, 4).ZipIndex("#i");
+  RecordBatch result = df.CollectBatch();
+  for (std::size_t row = 0; row < result.num_rows; ++row) {
+    EXPECT_EQ(result.columns[1].Int64At(row), static_cast<std::int64_t>(row));
+  }
+}
+
+TEST(DataFrameTest, LimitTakesPrefix) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 100, 5).Limit(7);
+  RecordBatch result = df.CollectBatch();
+  ASSERT_EQ(result.num_rows, 7u);
+  EXPECT_EQ(result.columns[0].Int64At(6), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer
+// ---------------------------------------------------------------------------
+
+TEST(OptimizerTest, ColumnPruningInsertsProjectionAboveScan) {
+  spark::Context context(TestConfig());
+  RecordBatch batch;
+  batch.columns.emplace_back(DataType::kInt64);
+  batch.columns.emplace_back(DataType::kString);
+  batch.columns[0].AppendInt64(1);
+  batch.columns[1].AppendString("a");
+  batch.num_rows = 1;
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"keep", DataType::kInt64}, {"drop", DataType::kString}});
+  DataFrame df = DataFrame::FromBatches(&context, schema, {batch});
+  DataFrame narrow =
+      df.Project({NamedExpr::Ref("keep", "keep", DataType::kInt64)});
+  std::string plan = narrow.Explain();
+  // The fused plan projects only `keep` directly above the scan.
+  EXPECT_NE(plan.find("Project [keep AS keep]"), std::string::npos) << plan;
+  RecordBatch result = narrow.CollectBatch();
+  EXPECT_EQ(result.columns.size(), 1u);
+}
+
+TEST(OptimizerTest, UnusedAggregatesArePruned) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 10, 2);
+  DataFrame grouped =
+      df.GroupBy({"x"}, {Aggregate{"", "n", AggKind::kCount},
+                         Aggregate{"x", "unused", AggKind::kSumInt64}});
+  DataFrame narrowed = grouped.Project(
+      {NamedExpr::Ref("n", "n", DataType::kInt64)});
+  std::string plan = narrowed.Explain();
+  EXPECT_EQ(plan.find("unused"), std::string::npos) << plan;
+}
+
+TEST(OptimizerTest, FilterPushedBelowUdfProjection) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 20, 2);
+  // Projection adds a computed column the filter does not read.
+  df::Udf udf;
+  udf.inputs = {"x"};
+  udf.eval = [](const Schema& schema, const RecordBatch& batch, Column* out) {
+    std::size_t x = schema.RequireIndex("x");
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendInt64(batch.columns[x].Int64At(row) * 2);
+    }
+  };
+  DataFrame projected =
+      df.Project({NamedExpr::Ref("x", "x", DataType::kInt64),
+                  NamedExpr::Computed("y", DataType::kInt64, udf)});
+  df::Predicate predicate;
+  predicate.inputs = {"x"};
+  predicate.eval = [](const Schema& schema, const RecordBatch& batch) {
+    std::size_t x = schema.RequireIndex("x");
+    std::vector<char> mask(batch.num_rows);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      mask[row] = batch.columns[x].Int64At(row) < 5;
+    }
+    return mask;
+  };
+  DataFrame filtered = projected.Filter(predicate);
+  // The optimized plan evaluates Filter before the UDF projection.
+  std::string plan = filtered.Explain();
+  std::size_t filter_at = plan.find("Filter");
+  std::size_t project_at = plan.find("Project");
+  ASSERT_NE(filter_at, std::string::npos) << plan;
+  ASSERT_NE(project_at, std::string::npos) << plan;
+  EXPECT_GT(filter_at, project_at) << plan;  // deeper = later in the text
+  // Semantics unchanged.
+  RecordBatch result = filtered.CollectBatch();
+  ASSERT_EQ(result.num_rows, 5u);
+  EXPECT_EQ(result.columns[1].Int64At(4), 8);
+}
+
+TEST(OptimizerTest, FilterNotPushedWhenReadingComputedColumn) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 10, 2);
+  df::Udf udf;
+  udf.inputs = {"x"};
+  udf.eval = [](const Schema& schema, const RecordBatch& batch, Column* out) {
+    std::size_t x = schema.RequireIndex("x");
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendInt64(batch.columns[x].Int64At(row) + 1);
+    }
+  };
+  DataFrame projected =
+      df.Project({NamedExpr::Computed("y", DataType::kInt64, udf)});
+  df::Predicate predicate;
+  predicate.inputs = {"y"};
+  predicate.eval = [](const Schema& schema, const RecordBatch& batch) {
+    std::size_t y = schema.RequireIndex("y");
+    std::vector<char> mask(batch.num_rows);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      mask[row] = batch.columns[y].Int64At(row) % 2 == 0;
+    }
+    return mask;
+  };
+  DataFrame filtered = projected.Filter(predicate);
+  std::string plan = filtered.Explain();
+  // Filter stays above the projection that computes its input.
+  EXPECT_LT(plan.find("Filter"), plan.find("Project")) << plan;
+  EXPECT_EQ(filtered.CountRows(), 5u);
+}
+
+TEST(OptimizerTest, LimitPushedBelowProjection) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 100, 4);
+  df::Udf udf;
+  udf.inputs = {"x"};
+  udf.eval = [](const Schema& schema, const RecordBatch& batch, Column* out) {
+    std::size_t x = schema.RequireIndex("x");
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      out->AppendInt64(batch.columns[x].Int64At(row) * 3);
+    }
+  };
+  DataFrame limited =
+      df.Project({NamedExpr::Computed("y", DataType::kInt64, udf)}).Limit(4);
+  std::string plan = limited.Explain();
+  EXPECT_GT(plan.find("Limit"), plan.find("Project")) << plan;
+  RecordBatch result = limited.CollectBatch();
+  ASSERT_EQ(result.num_rows, 4u);
+  EXPECT_EQ(result.columns[0].Int64At(3), 9);
+}
+
+TEST(OptimizerTest, IdentityProjectionRemoved) {
+  spark::Context context(TestConfig());
+  DataFrame df = IntFrame(&context, 5, 1);
+  DataFrame same = df.Project({NamedExpr::Ref("x", "x", DataType::kInt64)});
+  EXPECT_EQ(same.Explain().find("Project"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding
+// ---------------------------------------------------------------------------
+
+TEST(EncodeKeyTest, DistinguishesTypesAndValues) {
+  Schema schema({{"i", DataType::kInt64}, {"s", DataType::kString}});
+  RecordBatch batch;
+  batch.columns.emplace_back(DataType::kInt64);
+  batch.columns.emplace_back(DataType::kString);
+  batch.columns[0].AppendInt64(1);
+  batch.columns[1].AppendString("x");
+  batch.columns[0].AppendInt64(1);
+  batch.columns[1].AppendString("y");
+  batch.columns[0].AppendNull();
+  batch.columns[1].AppendString("x");
+  batch.num_rows = 3;
+  std::vector<std::size_t> keys = {0, 1};
+  std::string k0 = df::EncodeKey(schema, keys, batch, 0);
+  std::string k1 = df::EncodeKey(schema, keys, batch, 1);
+  std::string k2 = df::EncodeKey(schema, keys, batch, 2);
+  EXPECT_NE(k0, k1);
+  EXPECT_NE(k0, k2);
+  EXPECT_NE(k1, k2);
+  EXPECT_EQ(k0, df::EncodeKey(schema, keys, batch, 0));
+}
+
+}  // namespace
+}  // namespace rumble

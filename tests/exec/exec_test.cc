@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/exec/executor_pool.h"
+#include "src/exec/simulated_cluster.h"
+#include "src/exec/task_metrics.h"
+
+namespace rumble {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ExecutorPool
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorPoolTest, RunsEveryTaskExactlyOnce) {
+  exec::ExecutorPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.RunParallel(64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ExecutorPoolTest, ZeroTasksIsNoOp) {
+  exec::ExecutorPool pool(2);
+  EXPECT_NO_THROW(pool.RunParallel(0, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ExecutorPoolTest, SingleExecutorStillWorks) {
+  exec::ExecutorPool pool(1);
+  std::atomic<int> sum{0};
+  pool.RunParallel(10, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ExecutorPoolTest, PropagatesTaskException) {
+  exec::ExecutorPool pool(4);
+  EXPECT_THROW(pool.RunParallel(8,
+                                [](std::size_t i) {
+                                  if (i == 3) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ExecutorPoolTest, NestedRunParallelRunsInline) {
+  exec::ExecutorPool pool(4);
+  std::atomic<int> total{0};
+  pool.RunParallel(4, [&](std::size_t) {
+    pool.RunParallel(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ExecutorPoolTest, RecordsTaskMetrics) {
+  exec::ExecutorPool pool(2);
+  exec::TaskMetrics metrics;
+  pool.RunParallel(5, [](std::size_t) {}, &metrics);
+  EXPECT_EQ(metrics.TaskCount(), 5u);
+  EXPECT_GE(metrics.TotalNanos(), 0);
+}
+
+TEST(ExecutorPoolTest, PoolMetricsAccumulateAcrossJobs) {
+  exec::ExecutorPool pool(2);
+  pool.RunParallel(3, [](std::size_t) {});
+  pool.RunParallel(2, [](std::size_t) {});
+  EXPECT_EQ(pool.metrics().TaskCount(), 5u);
+}
+
+TEST(ExecutorPoolTest, ClampsExecutorCountToAtLeastOne) {
+  exec::ExecutorPool pool(0);
+  EXPECT_EQ(pool.num_executors(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// TaskMetrics
+// ---------------------------------------------------------------------------
+
+TEST(TaskMetricsTest, RecordsDurationsInOrder) {
+  exec::TaskMetrics metrics;
+  metrics.RecordTask(10);
+  metrics.RecordTask(20);
+  auto durations = metrics.TaskDurations();
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_EQ(durations[0], 10);
+  EXPECT_EQ(durations[1], 20);
+  EXPECT_EQ(metrics.TotalNanos(), 30);
+}
+
+TEST(TaskMetricsTest, ResetClears) {
+  exec::TaskMetrics metrics;
+  metrics.RecordTask(10);
+  metrics.Reset();
+  EXPECT_EQ(metrics.TaskCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SimulatedCluster
+// ---------------------------------------------------------------------------
+
+exec::ClusterCostModel ZeroOverhead() {
+  exec::ClusterCostModel model;
+  model.per_task_overhead_nanos = 0;
+  model.per_executor_startup_nanos = 0;
+  model.driver_overhead_nanos = 0;
+  model.contention_per_executor = 0.0;
+  return model;
+}
+
+TEST(SimulatedClusterTest, OneExecutorIsSequential) {
+  exec::SimulatedCluster cluster(ZeroOverhead());
+  auto run = cluster.Replay({100, 200, 300}, 1);
+  EXPECT_EQ(run.wall_nanos, 600);
+  EXPECT_EQ(run.aggregated_nanos, 600);
+}
+
+TEST(SimulatedClusterTest, PerfectSpeedupOnUniformTasks) {
+  exec::SimulatedCluster cluster(ZeroOverhead());
+  std::vector<std::int64_t> tasks(8, 100);
+  EXPECT_EQ(cluster.Replay(tasks, 1).wall_nanos, 800);
+  EXPECT_EQ(cluster.Replay(tasks, 2).wall_nanos, 400);
+  EXPECT_EQ(cluster.Replay(tasks, 4).wall_nanos, 200);
+  EXPECT_EQ(cluster.Replay(tasks, 8).wall_nanos, 100);
+}
+
+TEST(SimulatedClusterTest, StragglerBoundsMakespan) {
+  exec::SimulatedCluster cluster(ZeroOverhead());
+  // One long task dominates regardless of executor count.
+  EXPECT_EQ(cluster.Replay({1000, 10, 10, 10}, 4).wall_nanos, 1000);
+}
+
+TEST(SimulatedClusterTest, OverheadsRaiseAggregatedTime) {
+  exec::ClusterCostModel model = ZeroOverhead();
+  model.per_task_overhead_nanos = 5;
+  exec::SimulatedCluster cluster(model);
+  auto run = cluster.Replay({100, 100}, 2);
+  EXPECT_EQ(run.aggregated_nanos, 210);
+}
+
+TEST(SimulatedClusterTest, MoreExecutorsNeverSlower) {
+  exec::ClusterCostModel model;
+  model.per_executor_startup_nanos = 0;  // startup is per-fleet warm cost
+  exec::SimulatedCluster cluster(model);
+  std::vector<std::int64_t> tasks;
+  for (int i = 0; i < 64; ++i) tasks.push_back(50'000'000 + i * 1'000'000);
+  std::int64_t previous = cluster.Replay(tasks, 1).wall_nanos;
+  for (int executors = 2; executors <= 32; executors *= 2) {
+    std::int64_t wall = cluster.Replay(tasks, executors).wall_nanos;
+    EXPECT_LE(wall, previous);
+    previous = wall;
+  }
+}
+
+TEST(SimulatedClusterTest, AggregatedGrowthStaysBoundedByFactorTwo) {
+  // The paper observes aggregated runtime rising with the executor count,
+  // "ending at no more than a factor of 2": the contention term grows it,
+  // but it must stay under 2x at 32 executors.
+  exec::SimulatedCluster cluster;
+  std::vector<std::int64_t> tasks(64, 50'000'000);
+  auto at1 = cluster.Replay(tasks, 1).aggregated_nanos;
+  auto at32 = cluster.Replay(tasks, 32).aggregated_nanos;
+  EXPECT_GT(at32, at1);
+  EXPECT_LT(at32, 2 * at1);
+}
+
+TEST(SimulatedClusterTest, SpeedupShapeMatchesFigure14) {
+  // Strong speedup at low executor counts, flattening at high counts.
+  exec::SimulatedCluster cluster;
+  std::vector<std::int64_t> tasks(64, 80'000'000);  // ~5 s of work
+  double wall1 = static_cast<double>(cluster.Replay(tasks, 1).wall_nanos);
+  double wall4 = static_cast<double>(cluster.Replay(tasks, 4).wall_nanos);
+  double wall32 = static_cast<double>(cluster.Replay(tasks, 32).wall_nanos);
+  EXPECT_GT(wall1 / wall4, 3.0);    // near-ideal early speedup
+  EXPECT_GT(wall1 / wall32, 8.0);   // still large at 32...
+  EXPECT_LT(wall1 / wall32, 32.0);  // ...but clearly sublinear
+}
+
+}  // namespace
+}  // namespace rumble

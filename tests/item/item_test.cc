@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+
+namespace rumble {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleException;
+using item::ItemPtr;
+using item::ItemSequence;
+using item::ItemType;
+
+ErrorCode CodeOf(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const RumbleException& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a RumbleException";
+  return ErrorCode::kInternal;
+}
+
+// ---------------------------------------------------------------------------
+// Construction & accessors
+// ---------------------------------------------------------------------------
+
+TEST(ItemTest, NullSingleton) {
+  EXPECT_EQ(item::MakeNull().get(), item::MakeNull().get());
+  EXPECT_TRUE(item::MakeNull()->IsNull());
+  EXPECT_TRUE(item::MakeNull()->IsAtomic());
+}
+
+TEST(ItemTest, BooleanSingletons) {
+  EXPECT_EQ(item::MakeBoolean(true).get(), item::MakeBoolean(true).get());
+  EXPECT_NE(item::MakeBoolean(true).get(), item::MakeBoolean(false).get());
+  EXPECT_TRUE(item::MakeBoolean(true)->BooleanValue());
+  EXPECT_FALSE(item::MakeBoolean(false)->BooleanValue());
+}
+
+TEST(ItemTest, IntegerValueAndNumericCoercion) {
+  ItemPtr value = item::MakeInteger(-17);
+  EXPECT_EQ(value->type(), ItemType::kInteger);
+  EXPECT_EQ(value->IntegerValue(), -17);
+  EXPECT_DOUBLE_EQ(value->NumericValue(), -17.0);
+  EXPECT_TRUE(value->IsNumeric());
+}
+
+TEST(ItemTest, DecimalAndDoubleAreDistinctTypes) {
+  EXPECT_EQ(item::MakeDecimal(1.5)->type(), ItemType::kDecimal);
+  EXPECT_EQ(item::MakeDouble(1.5)->type(), ItemType::kDouble);
+  EXPECT_DOUBLE_EQ(item::MakeDecimal(1.5)->NumericValue(), 1.5);
+}
+
+TEST(ItemTest, StringValue) {
+  EXPECT_EQ(item::MakeString("hello")->StringValue(), "hello");
+  EXPECT_TRUE(item::MakeString("")->IsString());
+}
+
+TEST(ItemTest, ArrayAccessors) {
+  ItemPtr array = item::MakeArray({item::MakeInteger(1), item::MakeString("x")});
+  EXPECT_TRUE(array->IsArray());
+  EXPECT_FALSE(array->IsAtomic());
+  EXPECT_EQ(array->ArraySize(), 2u);
+  EXPECT_EQ(array->MemberAt(0)->IntegerValue(), 1);
+  EXPECT_EQ(array->MemberAt(1)->StringValue(), "x");
+  EXPECT_EQ(array->MemberAt(2), nullptr);
+}
+
+TEST(ItemTest, ObjectAccessors) {
+  ItemPtr object = item::MakeObject(
+      {{"a", item::MakeInteger(1)}, {"b", item::MakeNull()}});
+  EXPECT_TRUE(object->IsObject());
+  ASSERT_EQ(object->Keys().size(), 2u);
+  EXPECT_EQ(object->Keys()[0], "a");
+  EXPECT_EQ(object->ValueForKey("a")->IntegerValue(), 1);
+  EXPECT_TRUE(object->ValueForKey("b")->IsNull());
+  EXPECT_EQ(object->ValueForKey("missing"), nullptr);
+}
+
+TEST(ItemTest, ObjectDuplicateKeyCheck) {
+  std::vector<std::pair<std::string, ItemPtr>> fields = {
+      {"k", item::MakeInteger(1)}, {"k", item::MakeInteger(2)}};
+  EXPECT_EQ(CodeOf([&] { item::MakeObject(fields, true); }),
+            ErrorCode::kDuplicateObjectKey);
+  // Without the check the first occurrence wins on lookup.
+  ItemPtr object = item::MakeObject(fields, false);
+  EXPECT_EQ(object->ValueForKey("k")->IntegerValue(), 1);
+}
+
+TEST(ItemTest, WrongAccessorThrowsTypeError) {
+  EXPECT_EQ(CodeOf([] { item::MakeInteger(1)->StringValue(); }),
+            ErrorCode::kTypeError);
+  EXPECT_EQ(CodeOf([] { item::MakeString("x")->BooleanValue(); }),
+            ErrorCode::kTypeError);
+  EXPECT_EQ(CodeOf([] { item::MakeNull()->Members(); }),
+            ErrorCode::kTypeError);
+  EXPECT_EQ(CodeOf([] { item::MakeString("x")->NumericValue(); }),
+            ErrorCode::kTypeError);
+}
+
+TEST(ItemTest, TypeNames) {
+  EXPECT_EQ(item::ItemTypeName(ItemType::kObject), "object");
+  EXPECT_EQ(item::ItemTypeName(ItemType::kDecimal), "decimal");
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(ItemSerializeTest, Atomics) {
+  EXPECT_EQ(item::MakeNull()->Serialize(), "null");
+  EXPECT_EQ(item::MakeBoolean(true)->Serialize(), "true");
+  EXPECT_EQ(item::MakeInteger(42)->Serialize(), "42");
+  EXPECT_EQ(item::MakeString("a\"b")->Serialize(), "\"a\\\"b\"");
+  EXPECT_EQ(item::MakeDecimal(2.5)->Serialize(), "2.5");
+}
+
+TEST(ItemSerializeTest, NestedStructures) {
+  ItemPtr nested = item::MakeObject(
+      {{"xs", item::MakeArray({item::MakeInteger(1), item::MakeInteger(2)})}});
+  EXPECT_EQ(nested->Serialize(), "{\"xs\" : [1, 2]}");
+}
+
+TEST(ItemSerializeTest, EmptyContainers) {
+  EXPECT_EQ(item::MakeArray({})->Serialize(), "[]");
+  EXPECT_EQ(item::MakeObject({})->Serialize(), "{}");
+}
+
+TEST(ItemTest, FootprintGrowsWithContent) {
+  EXPECT_GT(item::MakeString(std::string(1000, 'x'))->FootprintBytes(),
+            item::MakeString("x")->FootprintBytes() + 900);
+  EXPECT_GT(item::MakeArray({item::MakeInteger(1), item::MakeInteger(2)})
+                ->FootprintBytes(),
+            item::MakeArray({})->FootprintBytes());
+}
+
+// ---------------------------------------------------------------------------
+// AtomicEquals
+// ---------------------------------------------------------------------------
+
+TEST(AtomicEqualsTest, NumbersCompareAcrossKinds) {
+  EXPECT_TRUE(item::AtomicEquals(*item::MakeInteger(1), *item::MakeDouble(1.0)));
+  EXPECT_TRUE(
+      item::AtomicEquals(*item::MakeDecimal(2.5), *item::MakeDouble(2.5)));
+  EXPECT_FALSE(
+      item::AtomicEquals(*item::MakeInteger(1), *item::MakeDouble(1.5)));
+}
+
+TEST(AtomicEqualsTest, CrossFamilyIsFalse) {
+  EXPECT_FALSE(
+      item::AtomicEquals(*item::MakeString("1"), *item::MakeInteger(1)));
+  EXPECT_FALSE(
+      item::AtomicEquals(*item::MakeBoolean(true), *item::MakeInteger(1)));
+  EXPECT_FALSE(item::AtomicEquals(*item::MakeNull(), *item::MakeInteger(0)));
+}
+
+TEST(AtomicEqualsTest, NullEqualsOnlyNull) {
+  EXPECT_TRUE(item::AtomicEquals(*item::MakeNull(), *item::MakeNull()));
+}
+
+TEST(AtomicEqualsTest, NonAtomicThrows) {
+  EXPECT_EQ(CodeOf([] {
+              item::AtomicEquals(*item::MakeArray({}), *item::MakeInteger(1));
+            }),
+            ErrorCode::kTypeError);
+}
+
+// ---------------------------------------------------------------------------
+// CompareAtomics
+// ---------------------------------------------------------------------------
+
+TEST(CompareAtomicsTest, NumbersAndStrings) {
+  EXPECT_LT(item::CompareAtomics(*item::MakeInteger(1), *item::MakeDouble(1.5)),
+            0);
+  EXPECT_GT(item::CompareAtomics(*item::MakeString("b"), *item::MakeString("a")),
+            0);
+  EXPECT_EQ(
+      item::CompareAtomics(*item::MakeDecimal(2.0), *item::MakeInteger(2)), 0);
+}
+
+TEST(CompareAtomicsTest, NullIsSmallest) {
+  EXPECT_LT(item::CompareAtomics(*item::MakeNull(), *item::MakeInteger(-100)),
+            0);
+  EXPECT_LT(item::CompareAtomics(*item::MakeNull(), *item::MakeString("")), 0);
+  EXPECT_EQ(item::CompareAtomics(*item::MakeNull(), *item::MakeNull()), 0);
+}
+
+TEST(CompareAtomicsTest, FalseBeforeTrue) {
+  EXPECT_LT(item::CompareAtomics(*item::MakeBoolean(false),
+                                 *item::MakeBoolean(true)),
+            0);
+}
+
+TEST(CompareAtomicsTest, IncompatibleFamiliesThrow) {
+  EXPECT_EQ(CodeOf([] {
+              item::CompareAtomics(*item::MakeString("1"),
+                                   *item::MakeInteger(1));
+            }),
+            ErrorCode::kIncompatibleSortKeys);
+  EXPECT_EQ(CodeOf([] {
+              item::CompareAtomics(*item::MakeBoolean(true),
+                                   *item::MakeString("true"));
+            }),
+            ErrorCode::kIncompatibleSortKeys);
+}
+
+/// Trichotomy / antisymmetry property sweep within each family.
+class CompareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompareProperty, AntisymmetricAndTransitiveOnIntegers) {
+  int seed = GetParam();
+  std::vector<ItemPtr> values;
+  for (int i = 0; i < 10; ++i) {
+    values.push_back(item::MakeInteger((seed * 31 + i * 17) % 23 - 11));
+  }
+  for (const auto& a : values) {
+    for (const auto& b : values) {
+      int ab = item::CompareAtomics(*a, *b);
+      int ba = item::CompareAtomics(*b, *a);
+      EXPECT_EQ(ab, -ba);
+      if (ab == 0) {
+        EXPECT_TRUE(item::AtomicEquals(*a, *b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompareProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(AtomicHashTest, EqualValuesHashEqually) {
+  EXPECT_EQ(item::AtomicHash(*item::MakeInteger(3)),
+            item::AtomicHash(*item::MakeDouble(3.0)));
+  EXPECT_EQ(item::AtomicHash(*item::MakeString("x")),
+            item::AtomicHash(*item::MakeString("x")));
+}
+
+// ---------------------------------------------------------------------------
+// DeepEquals
+// ---------------------------------------------------------------------------
+
+TEST(DeepEqualsTest, ObjectsIgnoreKeyOrder) {
+  ItemPtr a = item::MakeObject(
+      {{"x", item::MakeInteger(1)}, {"y", item::MakeInteger(2)}});
+  ItemPtr b = item::MakeObject(
+      {{"y", item::MakeInteger(2)}, {"x", item::MakeInteger(1)}});
+  EXPECT_TRUE(item::DeepEquals(*a, *b));
+}
+
+TEST(DeepEqualsTest, ArraysAreOrderSensitive) {
+  ItemPtr a = item::MakeArray({item::MakeInteger(1), item::MakeInteger(2)});
+  ItemPtr b = item::MakeArray({item::MakeInteger(2), item::MakeInteger(1)});
+  EXPECT_FALSE(item::DeepEquals(*a, *b));
+}
+
+TEST(DeepEqualsTest, MixedKindsAreNotEqual) {
+  EXPECT_FALSE(item::DeepEquals(*item::MakeArray({}), *item::MakeObject({})));
+  EXPECT_FALSE(item::DeepEquals(*item::MakeArray({}), *item::MakeNull()));
+}
+
+TEST(DeepEqualsTest, DeepNesting) {
+  auto make = [] {
+    return item::MakeObject(
+        {{"a", item::MakeArray({item::MakeObject(
+                   {{"b", item::MakeDecimal(1.5)}})})}});
+  };
+  EXPECT_TRUE(item::DeepEquals(*make(), *make()));
+}
+
+// ---------------------------------------------------------------------------
+// EffectiveBooleanValue
+// ---------------------------------------------------------------------------
+
+TEST(EbvTest, EmptyIsFalse) {
+  EXPECT_FALSE(item::EffectiveBooleanValue({}));
+}
+
+TEST(EbvTest, SingletonAtomics) {
+  EXPECT_TRUE(item::EffectiveBooleanValue({item::MakeBoolean(true)}));
+  EXPECT_FALSE(item::EffectiveBooleanValue({item::MakeBoolean(false)}));
+  EXPECT_FALSE(item::EffectiveBooleanValue({item::MakeNull()}));
+  EXPECT_FALSE(item::EffectiveBooleanValue({item::MakeString("")}));
+  EXPECT_TRUE(item::EffectiveBooleanValue({item::MakeString("x")}));
+  EXPECT_FALSE(item::EffectiveBooleanValue({item::MakeInteger(0)}));
+  EXPECT_TRUE(item::EffectiveBooleanValue({item::MakeInteger(-1)}));
+  EXPECT_FALSE(item::EffectiveBooleanValue({item::MakeDouble(0.0)}));
+}
+
+TEST(EbvTest, JsonItemsAreTrue) {
+  EXPECT_TRUE(item::EffectiveBooleanValue({item::MakeArray({})}));
+  EXPECT_TRUE(item::EffectiveBooleanValue({item::MakeObject({})}));
+  // Even when followed by other items.
+  EXPECT_TRUE(item::EffectiveBooleanValue(
+      {item::MakeObject({}), item::MakeInteger(1)}));
+}
+
+TEST(EbvTest, MultiItemAtomicSequenceThrows) {
+  EXPECT_EQ(CodeOf([] {
+              item::EffectiveBooleanValue(
+                  {item::MakeInteger(1), item::MakeInteger(2)});
+            }),
+            ErrorCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/item/item_compare.h"
+#include "src/item/item_factory.h"
+#include "src/json/dom.h"
+#include "src/json/item_parser.h"
+#include "src/json/lines.h"
+#include "src/json/writer.h"
+#include "src/util/prng.h"
+
+namespace rumble {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleException;
+using item::ItemPtr;
+using item::ItemType;
+
+// ---------------------------------------------------------------------------
+// Streaming parser
+// ---------------------------------------------------------------------------
+
+TEST(ItemParserTest, Scalars) {
+  EXPECT_TRUE(json::ParseItem("null")->IsNull());
+  EXPECT_TRUE(json::ParseItem("true")->BooleanValue());
+  EXPECT_FALSE(json::ParseItem("false")->BooleanValue());
+  EXPECT_EQ(json::ParseItem("42")->IntegerValue(), 42);
+  EXPECT_EQ(json::ParseItem("-7")->IntegerValue(), -7);
+  EXPECT_EQ(json::ParseItem("\"hi\"")->StringValue(), "hi");
+}
+
+TEST(ItemParserTest, NumberKinds) {
+  EXPECT_EQ(json::ParseItem("3")->type(), ItemType::kInteger);
+  EXPECT_EQ(json::ParseItem("3.25")->type(), ItemType::kDecimal);
+  EXPECT_EQ(json::ParseItem("3e2")->type(), ItemType::kDouble);
+  EXPECT_DOUBLE_EQ(json::ParseItem("3e2")->NumericValue(), 300.0);
+  EXPECT_DOUBLE_EQ(json::ParseItem("-0.5")->NumericValue(), -0.5);
+}
+
+TEST(ItemParserTest, IntegerOverflowBecomesDecimal) {
+  ItemPtr big = json::ParseItem("99999999999999999999999999");
+  EXPECT_EQ(big->type(), ItemType::kDecimal);
+  EXPECT_GT(big->NumericValue(), 9e24);
+}
+
+TEST(ItemParserTest, NestedStructures) {
+  ItemPtr value = json::ParseItem(R"({"a": [1, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(value->IsObject());
+  ItemPtr a = value->ValueForKey("a");
+  ASSERT_TRUE(a->IsArray());
+  EXPECT_EQ(a->MemberAt(0)->IntegerValue(), 1);
+  EXPECT_TRUE(a->MemberAt(1)->ValueForKey("b")->IsNull());
+}
+
+TEST(ItemParserTest, WhitespaceTolerance) {
+  EXPECT_TRUE(json::ParseItem("  {\n\t\"a\" :\r 1 }  ")->IsObject());
+}
+
+TEST(ItemParserTest, StringEscapes) {
+  EXPECT_EQ(json::ParseItem(R"("a\"b\\c\nd\t")")->StringValue(),
+            "a\"b\\c\nd\t");
+  EXPECT_EQ(json::ParseItem(R"("A")")->StringValue(), "A");
+  EXPECT_EQ(json::ParseItem(R"("é")")->StringValue(), "\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(json::ParseItem(R"("😀")")->StringValue(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(ItemParserTest, MalformedInputsThrowJsonParseError) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2",
+        "{\"a\": }", "[1 2]", "nul", "+5", "\"\\q\"", "{1: 2}"}) {
+    try {
+      json::ParseItem(bad);
+      FAIL() << "expected parse error for: " << bad;
+    } catch (const RumbleException& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kJsonParseError) << bad;
+    }
+  }
+}
+
+TEST(ItemParserTest, ParseLineReportsLineNumber) {
+  try {
+    json::ParseLine("{bad}", 17);
+    FAIL();
+  } catch (const RumbleException& e) {
+    EXPECT_NE(std::string(e.what()).find("line 17"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: random items survive serialize -> parse.
+// ---------------------------------------------------------------------------
+
+ItemPtr RandomItem(util::Prng& prng, int depth) {
+  switch (prng.NextBounded(depth > 0 ? 8 : 6)) {
+    case 0: return item::MakeNull();
+    case 1: return item::MakeBoolean(prng.NextBool(0.5));
+    case 2:
+      return item::MakeInteger(static_cast<std::int64_t>(prng.NextU64() >> 16) -
+                               100000);
+    case 3: return item::MakeDecimal(prng.NextDouble() * 100 - 50);
+    case 4: return item::MakeString(prng.NextHex(prng.NextBounded(12)));
+    case 5: return item::MakeString("q\"\\\n\t" + prng.NextHex(4));
+    case 6: {
+      item::ItemSequence members;
+      std::size_t size = prng.NextBounded(4);
+      for (std::size_t i = 0; i < size; ++i) {
+        members.push_back(RandomItem(prng, depth - 1));
+      }
+      return item::MakeArray(std::move(members));
+    }
+    default: {
+      std::vector<std::pair<std::string, ItemPtr>> fields;
+      std::size_t size = prng.NextBounded(4);
+      for (std::size_t i = 0; i < size; ++i) {
+        fields.emplace_back("k" + std::to_string(i), RandomItem(prng, depth - 1));
+      }
+      return item::MakeObject(std::move(fields));
+    }
+  }
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonRoundTrip, SerializeParsePreservesValue) {
+  util::Prng prng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (int i = 0; i < 25; ++i) {
+    ItemPtr original = RandomItem(prng, 3);
+    ItemPtr reparsed = json::ParseItem(original->Serialize());
+    EXPECT_TRUE(item::DeepEquals(*original, *reparsed))
+        << original->Serialize();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTrip, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// DOM
+// ---------------------------------------------------------------------------
+
+TEST(DomTest, RoundTripThroughDom) {
+  const char* text = R"({"a": [1, 2.5, "x", true, null]})";
+  json::DomValuePtr dom = json::ParseDom(text);
+  ItemPtr item = json::DomToItem(*dom);
+  ItemPtr direct = json::ParseItem(text);
+  EXPECT_TRUE(item::DeepEquals(*item, *direct));
+}
+
+TEST(DomTest, DomObjectIsMapBacked) {
+  json::DomValuePtr dom = json::ParseDom(R"({"b": 1, "a": 2})");
+  const auto& object = std::get<json::DomValue::Object>(dom->value);
+  EXPECT_EQ(object.size(), 2u);
+  EXPECT_TRUE(object.count("a") == 1 && object.count("b") == 1);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+TEST(WriterTest, SerializeLinesAndSequence) {
+  item::ItemSequence items = {item::MakeInteger(1), item::MakeString("x")};
+  EXPECT_EQ(json::SerializeLines(items), "1\n\"x\"\n");
+  EXPECT_EQ(json::SerializeSequence(items), "1\n\"x\"");
+  EXPECT_EQ(json::SerializeSequence({}), "");
+}
+
+// ---------------------------------------------------------------------------
+// JSON Lines byte-range splitting
+// ---------------------------------------------------------------------------
+
+TEST(LinesTest, SplitByteRangesCoverFile) {
+  auto ranges = json::SplitByteRanges(1000, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, 1000u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+}
+
+TEST(LinesTest, SplitsNeverExceedFileOrGoEmpty) {
+  EXPECT_TRUE(json::SplitByteRanges(0, 4).empty());
+  auto tiny = json::SplitByteRanges(3, 10);
+  EXPECT_EQ(tiny.size(), 3u);  // at most one byte per split
+}
+
+TEST(LinesTest, WholeRangeYieldsAllLines) {
+  std::string content = "a\nbb\nccc\n";
+  auto lines = json::LinesInRange(content, {0, content.size()});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[2], "ccc");
+}
+
+TEST(LinesTest, MissingTrailingNewline) {
+  std::string content = "a\nbb";
+  auto lines = json::LinesInRange(content, {0, content.size()});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "bb");
+}
+
+TEST(LinesTest, MidLineSplitAssignsLineToEarlierRange) {
+  std::string content = "aaaa\nbbbb\n";
+  // Split in the middle of "bbbb": the first range finishes the line, the
+  // second skips its partial start.
+  auto first = json::LinesInRange(content, {0, 7});
+  auto second = json::LinesInRange(content, {7, content.size()});
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[1], "bbbb");
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(LinesTest, SplitExactlyAtNewlineBoundary) {
+  std::string content = "aaaa\nbbbb\n";
+  auto first = json::LinesInRange(content, {0, 5});
+  auto second = json::LinesInRange(content, {5, content.size()});
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], "bbbb");
+}
+
+/// Property: for any split count, the concatenation of LinesInRange over
+/// consecutive ranges reproduces exactly the file's lines, once each.
+class LinesPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinesPartitionProperty, RangesPartitionLines) {
+  util::Prng prng(static_cast<std::uint64_t>(GetParam()) + 99);
+  std::string content;
+  std::vector<std::string> expected;
+  std::size_t num_lines = 1 + prng.NextBounded(40);
+  for (std::size_t i = 0; i < num_lines; ++i) {
+    std::string line = "line-" + std::to_string(i) + "-" +
+                       prng.NextHex(prng.NextBounded(20));
+    expected.push_back(line);
+    content += line;
+    content.push_back('\n');
+  }
+  for (int splits : {1, 2, 3, 5, 8, 13, 100}) {
+    std::vector<std::string> got;
+    for (const auto& range : json::SplitByteRanges(content.size(), splits)) {
+      auto lines = json::LinesInRange(content, range);
+      got.insert(got.end(), lines.begin(), lines.end());
+    }
+    EXPECT_EQ(got, expected) << "splits=" << splits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinesPartitionProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,223 @@
+#include <filesystem>
+
+#include "src/storage/dfs.h"
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using testing::EngineTestBase;
+
+class ConformanceTest : public EngineTestBase {};
+
+// ---------------------------------------------------------------------------
+// switch expression
+// ---------------------------------------------------------------------------
+
+TEST_F(ConformanceTest, SwitchMatchesFirstCase) {
+  EXPECT_EQ(Eval("switch (2) case 1 return \"one\" case 2 return \"two\" "
+                 "default return \"many\""),
+            "\"two\"");
+}
+
+TEST_F(ConformanceTest, SwitchFallsBackToDefault) {
+  EXPECT_EQ(Eval("switch (9) case 1 return \"one\" default return \"many\""),
+            "\"many\"");
+}
+
+TEST_F(ConformanceTest, SwitchComparesAcrossNumericKinds) {
+  EXPECT_EQ(Eval("switch (2.0) case 2 return \"int two\" "
+                 "default return \"no\""),
+            "\"int two\"");
+}
+
+TEST_F(ConformanceTest, SwitchOnStringsAndNull) {
+  EXPECT_EQ(Eval("switch (\"b\") case \"a\" return 1 case \"b\" return 2 "
+                 "default return 3"),
+            "2");
+  EXPECT_EQ(Eval("switch (null) case null return \"n\" default return \"d\""),
+            "\"n\"");
+}
+
+TEST_F(ConformanceTest, SwitchEmptyMatchesEmptyCase) {
+  EXPECT_EQ(Eval("switch (()) case 1 return \"one\" case () return \"none\" "
+                 "default return \"d\""),
+            "\"none\"");
+}
+
+TEST_F(ConformanceTest, SwitchMultiKeyCase) {
+  EXPECT_EQ(Eval("switch (3) case 1 case 2 case 3 return \"small\" "
+                 "default return \"big\""),
+            "\"small\"");
+}
+
+TEST_F(ConformanceTest, SwitchNonAtomicOperandIsError) {
+  EXPECT_EQ(EvalError("switch ([1]) case 1 return 1 default return 2"),
+            ErrorCode::kTypeError);
+  EXPECT_EQ(EvalError("switch ((1, 2)) case 1 return 1 default return 2"),
+            ErrorCode::kCardinalityError);
+}
+
+TEST_F(ConformanceTest, SwitchInsideFlwor) {
+  EXPECT_EQ(Eval("for $x in (0, 1, 2) return "
+                 "switch ($x mod 2) case 0 return \"even\" "
+                 "default return \"odd\""),
+            "\"even\"\n\"odd\"\n\"even\"");
+}
+
+// ---------------------------------------------------------------------------
+// New function-library entries
+// ---------------------------------------------------------------------------
+
+TEST_F(ConformanceTest, IndexOf) {
+  EXPECT_EQ(Eval("index-of((10, 20, 10, 30), 10)"), "1\n3");
+  EXPECT_EQ(Eval("index-of((\"a\", \"b\"), \"c\")"), "");
+  EXPECT_EQ(Eval("index-of((1, 2.0, 3), 2)"), "2");
+}
+
+TEST_F(ConformanceTest, CardinalityAssertions) {
+  EXPECT_EQ(Eval("exactly-one((5))"), "5");
+  EXPECT_EQ(EvalError("exactly-one(())"), ErrorCode::kCardinalityError);
+  EXPECT_EQ(EvalError("exactly-one((1, 2))"), ErrorCode::kCardinalityError);
+  EXPECT_EQ(Eval("zero-or-one(())"), "");
+  EXPECT_EQ(EvalError("zero-or-one((1, 2))"), ErrorCode::kCardinalityError);
+  EXPECT_EQ(Eval("one-or-more((1, 2))"), "1\n2");
+  EXPECT_EQ(EvalError("one-or-more(())"), ErrorCode::kCardinalityError);
+}
+
+TEST_F(ConformanceTest, SubstringBeforeAfter) {
+  EXPECT_EQ(Eval("substring-before(\"a-b-c\", \"-\")"), "\"a\"");
+  EXPECT_EQ(Eval("substring-after(\"a-b-c\", \"-\")"), "\"b-c\"");
+  EXPECT_EQ(Eval("substring-before(\"abc\", \"x\")"), "\"\"");
+  EXPECT_EQ(Eval("substring-after(\"abc\", \"x\")"), "\"\"");
+}
+
+TEST_F(ConformanceTest, Translate) {
+  EXPECT_EQ(Eval("translate(\"bar\", \"abc\", \"ABC\")"), "\"BAr\"");
+  EXPECT_EQ(Eval("translate(\"a,b.c\", \",.\", \"\")"), "\"abc\"");
+}
+
+// ---------------------------------------------------------------------------
+// text-file
+// ---------------------------------------------------------------------------
+
+TEST_F(ConformanceTest, TextFileReadsLinesAsStrings) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "rumble_conformance_text.txt")
+                         .string();
+  storage::Dfs::WriteFile(path, "alpha\nbeta\ngamma\n");
+  EXPECT_EQ(Eval("count(text-file(\"" + path + "\"))"), "3");
+  EXPECT_EQ(Eval("for $l in text-file(\"" + path + "\") "
+                 "where contains($l, \"et\") return upper-case($l)"),
+            "\"BETA\"");
+  storage::Dfs::Remove(path);
+}
+
+TEST_F(ConformanceTest, TextFileMissingDatasetIsFileNotFound) {
+  EXPECT_EQ(EvalError("text-file(\"/no/such/file\")"),
+            ErrorCode::kFileNotFound);
+  EXPECT_EQ(EvalError("json-file(\"/no/such/file\")"),
+            ErrorCode::kFileNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Error-code conformance battery
+// ---------------------------------------------------------------------------
+
+struct ErrorCase {
+  const char* query;
+  ErrorCode code;
+};
+
+class ErrorCodes : public EngineTestBase,
+                   public ::testing::WithParamInterface<ErrorCase> {};
+
+TEST_P(ErrorCodes, QueryRaisesSpecCode) {
+  EXPECT_EQ(EvalError(GetParam().query), GetParam().code);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, ErrorCodes,
+    ::testing::Values(
+        ErrorCase{"1 +", ErrorCode::kStaticSyntax},
+        ErrorCase{"for $x in", ErrorCode::kStaticSyntax},
+        ErrorCase{"$undefined", ErrorCode::kUndeclaredVariable},
+        ErrorCase{"nope(1)", ErrorCode::kUnknownFunction},
+        ErrorCase{"$$", ErrorCode::kAbsentContextItem},
+        ErrorCase{"1 + \"x\"", ErrorCode::kTypeError},
+        ErrorCase{"5 idiv 0", ErrorCode::kDivisionByZero},
+        ErrorCase{"\"oops\" cast as double", ErrorCode::kInvalidCast},
+        ErrorCase{"(1, 2) eq 1", ErrorCode::kCardinalityError},
+        ErrorCase{"sum((\"a\"))", ErrorCode::kInvalidArgument},
+        ErrorCase{"matches(\"x\", \"(\")", ErrorCode::kRegexError},
+        ErrorCase{"for $x in (1,2) group by $k := {} return 1",
+                  ErrorCode::kInvalidGroupingKey},
+        ErrorCase{"for $x in ({}, {}) order by $x return 1",
+                  ErrorCode::kInvalidSortKey},
+        ErrorCase{"for $x in (1, \"a\") order by $x return $x",
+                  ErrorCode::kIncompatibleSortKeys},
+        ErrorCase{"{ k: 1, k: 2 }", ErrorCode::kDuplicateObjectKey},
+        ErrorCase{"parse-json(\"{\")", ErrorCode::kJsonParseError},
+        ErrorCase{"json-doc(\"/missing.json\")", ErrorCode::kFileNotFound},
+        ErrorCase{"error(\"user!\")", ErrorCode::kUserError}));
+
+// ---------------------------------------------------------------------------
+// The §4.8 alternate order-by design (no type check)
+// ---------------------------------------------------------------------------
+
+TEST(OrderBySkipTypeCheckTest, MixedTypesSortInsteadOfErroring) {
+  common::RumbleConfig config;
+  config.orderby_skip_type_check = true;
+  Rumble engine(config);
+  // Distributed path (the flag only affects the DataFrame backend).
+  auto result = engine.Run(
+      "for $x in parallelize((3, \"b\", 1, \"a\", null), 2) "
+      "order by $x return [$x]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // null (tag 2) < strings/numbers (tag 5, strings empty-string-first...):
+  // the exact order is an implementation artifact; the compliance claim is
+  // only that NO error is raised and all items survive.
+  EXPECT_EQ(result.value().size(), 5u);
+}
+
+TEST(OrderBySkipTypeCheckTest, CompliantModeStillErrors) {
+  common::RumbleConfig config;
+  config.orderby_skip_type_check = false;
+  Rumble engine(config);
+  auto result = engine.Run(
+      "for $x in parallelize((3, \"b\", 1), 2) order by $x return $x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kIncompatibleSortKeys);
+}
+
+TEST(OrderBySkipTypeCheckTest, HomogeneousKeysUnaffected) {
+  common::RumbleConfig with;
+  with.orderby_skip_type_check = true;
+  common::RumbleConfig without;
+  Rumble fast(with);
+  Rumble compliant(without);
+  std::string query =
+      "for $x in parallelize((3, 1, 2), 2) order by $x descending return $x";
+  auto a = fast.Run(query);
+  auto b = compliant.Run(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(json::SerializeLines(a.value()), json::SerializeLines(b.value()));
+}
+
+// ---------------------------------------------------------------------------
+// allowing empty on a distributed first clause stays correct (forced local)
+// ---------------------------------------------------------------------------
+
+TEST(AllowingEmptyConsistencyTest, EmptyDistributedInputYieldsOneTuple) {
+  common::RumbleConfig config;
+  Rumble engine(config);
+  auto result = engine.Run(
+      "for $x allowing empty in parallelize((), 4) return count($x)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result.value()), "0\n");
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+#include "src/storage/dfs.h"
+#include "src/workload/confusion.h"
+#include "src/workload/messy.h"
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::FlworBackend;
+using common::RumbleConfig;
+
+/// Shared fixture: one small confusion dataset + one messy dataset on disk.
+class DistributedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = (std::filesystem::temp_directory_path() / "rumble_dist_test")
+                .string();
+    workload::ConfusionOptions options;
+    options.num_objects = 2000;
+    options.partitions = 4;
+    confusion_ = workload::ConfusionGenerator::WriteDataset(
+        base_ + "/confusion", options);
+    messy_ = workload::MessyGenerator::WriteDataset(base_ + "/messy", 500,
+                                                    11, 3);
+  }
+  static void TearDownTestSuite() { storage::Dfs::Remove(base_); }
+
+  static RumbleConfig ConfigFor(FlworBackend backend) {
+    RumbleConfig config;
+    config.executors = 3;
+    config.default_partitions = 4;
+    config.flwor_backend = backend;
+    if (backend == FlworBackend::kLocalOnly) {
+      config.force_local_execution = true;
+    }
+    return config;
+  }
+
+  static std::string base_;
+  static std::string confusion_;
+  static std::string messy_;
+};
+
+std::string DistributedTest::base_;
+std::string DistributedTest::confusion_;
+std::string DistributedTest::messy_;
+
+// ---------------------------------------------------------------------------
+// Backend agreement property: the three execution strategies (local pull,
+// DataFrame / Spark SQL, RDDs of tuples) must return identical results for
+// a battery of queries over the same dataset — the data-independence claim
+// in executable form.
+// ---------------------------------------------------------------------------
+
+class BackendAgreement
+    : public DistributedTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(BackendAgreement, AllBackendsAgree) {
+  std::string query = GetParam();
+  // Substitute the dataset placeholder.
+  std::size_t at = query.find("@DATA@");
+  while (at != std::string::npos) {
+    query.replace(at, 6, confusion_);
+    at = query.find("@DATA@");
+  }
+
+  Rumble local(ConfigFor(FlworBackend::kLocalOnly));
+  Rumble dataframe(ConfigFor(FlworBackend::kDataFrame));
+  Rumble tuple_rdd(ConfigFor(FlworBackend::kTupleRdd));
+
+  auto local_result = local.Run(query);
+  auto df_result = dataframe.Run(query);
+  auto rdd_result = tuple_rdd.Run(query);
+  ASSERT_TRUE(local_result.ok()) << local_result.status().ToString();
+  ASSERT_TRUE(df_result.ok()) << df_result.status().ToString();
+  ASSERT_TRUE(rdd_result.ok()) << rdd_result.status().ToString();
+
+  std::string local_text = json::SerializeLines(local_result.value());
+  EXPECT_EQ(local_text, json::SerializeLines(df_result.value()))
+      << "DataFrame backend disagrees with local for: " << query;
+  EXPECT_EQ(local_text, json::SerializeLines(rdd_result.value()))
+      << "TupleRdd backend disagrees with local for: " << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, BackendAgreement,
+    ::testing::Values(
+        // The paper's three Section 6.1 queries.
+        "count(for $e in json-file(\"@DATA@\") "
+        "where $e.guess eq $e.target return $e)",
+        "for $e in json-file(\"@DATA@\") group by $t := $e.target "
+        "let $c := count($e) order by $t return { \"t\": $t, \"c\": $c }",
+        "subsequence((for $e in json-file(\"@DATA@\") "
+        "where $e.guess eq $e.target "
+        "order by $e.target ascending, $e.country descending, "
+        "$e.date descending return $e), 1, 10)",
+        // let + arithmetic + object construction.
+        "sum(for $e in json-file(\"@DATA@\") "
+        "let $len := string-length($e.guess) return $len)",
+        // where on nested array navigation.
+        "count(for $e in json-file(\"@DATA@\") "
+        "where $e.choices[[1]] eq $e.target return $e)",
+        // count clause.
+        "(for $e in json-file(\"@DATA@\") count $i "
+        "where $i le 5 return $i)",
+        // positional for variable.
+        "sum(for $e at $i in json-file(\"@DATA@\") "
+        "where $i le 10 return $i)",
+        // group by with multiple aggregates and descending count order.
+        "subsequence((for $e in json-file(\"@DATA@\") "
+        "group by $c := $e.country let $n := count($e) "
+        "order by $n descending, $c ascending "
+        "return { \"country\": $c, \"n\": $n }), 1, 5)",
+        // order by empty greatest over a sometimes-missing key.
+        "subsequence((for $e in json-file(\"@DATA@\") "
+        "order by $e.missing-field empty greatest, $e.sample "
+        "return $e.sample), 1, 3)",
+        // nested FLWOR in the return clause.
+        "subsequence((for $e in json-file(\"@DATA@\") "
+        "return [ for $c in $e.choices[] where $c ne $e.target "
+        "return $c ]), 1, 4)",
+        // group on compound key.
+        "count(for $e in json-file(\"@DATA@\") "
+        "group by $t := $e.target, $c := $e.country return 1)"));
+
+// ---------------------------------------------------------------------------
+// Heterogeneous data (messy dataset) across backends
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedTest, MessyGroupingAgreesAcrossBackends) {
+  std::string query =
+      "for $e in json-file(\"" + messy_ + "\") "
+      "group by $c := ($e.country[[1]], $e.country, \"none\")[1] "
+      "let $n := count($e) order by $n descending, "
+      "($c cast as string) ascending "
+      "return { \"c\": ($c cast as string), \"n\": $n }";
+  Rumble local(ConfigFor(FlworBackend::kLocalOnly));
+  Rumble dataframe(ConfigFor(FlworBackend::kDataFrame));
+  auto local_result = local.Run(query);
+  auto df_result = dataframe.Run(query);
+  ASSERT_TRUE(local_result.ok()) << local_result.status().ToString();
+  ASSERT_TRUE(df_result.ok()) << df_result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(local_result.value()),
+            json::SerializeLines(df_result.value()));
+}
+
+TEST_F(DistributedTest, MessyDataNeverErrorsOnEquality) {
+  // guess eq country: country is sometimes an array / number / missing.
+  // Value equality must not throw on heterogeneous rows... but eq with a
+  // non-atomic operand is a type error, so the query guards with a filter —
+  // the JSONiq way of dealing with mess.
+  Rumble engine(ConfigFor(FlworBackend::kDataFrame));
+  auto result = engine.Run(
+      "count(for $e in json-file(\"" + messy_ + "\") "
+      "where $e.country instance of string return $e)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().front()->IntegerValue(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RDD-only expressions (no FLWOR)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedTest, ExpressionPushdownWithoutFlwor) {
+  Rumble engine(ConfigFor(FlworBackend::kDataFrame));
+  // json-file().field[filter] runs fully as RDD transformations.
+  auto result = engine.Run("count(json-file(\"" + confusion_ +
+                           "\").choices[][$$ eq \"French\"])");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().front()->IntegerValue(), 0);
+}
+
+TEST_F(DistributedTest, CountActionPushdown) {
+  Rumble engine(ConfigFor(FlworBackend::kDataFrame));
+  auto result = engine.Run("count(json-file(\"" + confusion_ + "\"))");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().front()->IntegerValue(), 2000);
+}
+
+TEST_F(DistributedTest, ParallelizeTriggersDistributedFlwor) {
+  Rumble engine(ConfigFor(FlworBackend::kDataFrame));
+  auto result = engine.Run(
+      "for $x in parallelize(1 to 1000, 8) "
+      "where $x mod 7 eq 0 count $i where $i le 3 return $x");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result.value()), "7\n14\n21\n");
+}
+
+// ---------------------------------------------------------------------------
+// Output path
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedTest, RunToDatasetWritesPartitionedOutput) {
+  Rumble engine(ConfigFor(FlworBackend::kDataFrame));
+  std::string out = base_ + "/filtered_out";
+  auto status = engine.RunToDataset(
+      "for $e in json-file(\"" + confusion_ + "\") "
+      "where $e.guess eq $e.target return project($e, (\"guess\", \"date\"))",
+      out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(storage::Dfs::Exists(out + "/_SUCCESS"));
+  EXPECT_GT(storage::Dfs::ListDataFiles(out).size(), 1u);
+
+  // The written dataset is itself queryable.
+  auto count = engine.Run("count(json-file(\"" + out + "\"))");
+  auto direct = engine.Run("count(for $e in json-file(\"" + confusion_ +
+                           "\") where $e.guess eq $e.target return $e)");
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(count.value().front()->IntegerValue(),
+            direct.value().front()->IntegerValue());
+}
+
+// ---------------------------------------------------------------------------
+// Materialization cap (Section 5.5)
+// ---------------------------------------------------------------------------
+
+TEST_F(DistributedTest, MaterializationCapEnforcedWhenStrict) {
+  RumbleConfig config = ConfigFor(FlworBackend::kDataFrame);
+  config.materialization_cap = 100;
+  config.warn_only_on_cap = false;
+  Rumble engine(config);
+  auto result =
+      engine.Run("for $e in json-file(\"" + confusion_ + "\") return $e");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::ErrorCode::kMaterializationCap);
+  // Aggregations are unaffected: the result is a single item.
+  auto count = engine.Run("count(json-file(\"" + confusion_ + "\"))");
+  EXPECT_TRUE(count.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Partition/executor layout independence for the full engine
+// ---------------------------------------------------------------------------
+
+struct LayoutCase {
+  int executors;
+  int partitions;
+};
+
+class EngineLayoutProperty
+    : public DistributedTest,
+      public ::testing::WithParamInterface<LayoutCase> {};
+
+TEST_P(EngineLayoutProperty, GroupingResultsStableAcrossLayouts) {
+  auto [executors, partitions] = GetParam();
+  const std::string query =
+      "for $e in json-file(\"" + confusion_ + "\") "
+      "group by $t := $e.target let $n := count($e) "
+      "order by $n descending, $t ascending "
+      "return $t || \":\" || $n";
+
+  RumbleConfig reference_config;
+  reference_config.executors = 1;
+  reference_config.default_partitions = 1;
+  Rumble reference_engine(reference_config);
+  auto reference = reference_engine.Run(query);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  Rumble engine(config);
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result.value()),
+            json::SerializeLines(reference.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, EngineLayoutProperty,
+                         ::testing::Values(LayoutCase{1, 1}, LayoutCase{1, 4},
+                                           LayoutCase{2, 2}, LayoutCase{4, 8},
+                                           LayoutCase{3, 16}));
+
+}  // namespace
+}  // namespace rumble::jsoniq

@@ -1,0 +1,339 @@
+#include "tests/jsoniq/test_helpers.h"
+
+#include "src/item/item_factory.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using testing::EngineTestBase;
+
+class EngineTest : public EngineTestBase {};
+
+// ---------------------------------------------------------------------------
+// Literals and sequences
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, Literals) {
+  EXPECT_EQ(Eval("42"), "42");
+  EXPECT_EQ(Eval("-7"), "-7");
+  EXPECT_EQ(Eval("3.5"), "3.5");
+  EXPECT_EQ(Eval("\"hello\""), "\"hello\"");
+  EXPECT_EQ(Eval("true"), "true");
+  EXPECT_EQ(Eval("null"), "null");
+  EXPECT_EQ(Eval("()"), "");
+}
+
+TEST_F(EngineTest, SequencesAreFlat) {
+  EXPECT_EQ(Eval("(1, 2, 3)"), "1\n2\n3");
+  EXPECT_EQ(Eval("(1, (2, 3), ())"), "1\n2\n3");
+  EXPECT_EQ(Eval("((), ())"), "");
+}
+
+TEST_F(EngineTest, RangeExpression) {
+  EXPECT_EQ(Eval("1 to 4"), "1\n2\n3\n4");
+  EXPECT_EQ(Eval("5 to 4"), "");
+  EXPECT_EQ(Eval("count(1 to 1000)"), "1000");
+  EXPECT_EQ(Eval("() to 3"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3"), "7");
+  EXPECT_EQ(Eval("10 - 4 - 3"), "3");  // left-assoc
+  EXPECT_EQ(Eval("7 idiv 2"), "3");
+  EXPECT_EQ(Eval("7 mod 2"), "1");
+  EXPECT_EQ(Eval("-5 mod 2"), "-1");
+  EXPECT_EQ(Eval("- (3 + 4)"), "-7");
+}
+
+TEST_F(EngineTest, DivisionProducesDecimal) {
+  EXPECT_EQ(Eval("7 div 2"), "3.5");
+  EXPECT_EQ(Eval("6 div 2"), "3");
+}
+
+TEST_F(EngineTest, MixedTypePromotion) {
+  EXPECT_EQ(Eval("1 + 0.5"), "1.5");
+  EXPECT_EQ(Eval("1 + 1e0"), "2");
+  EXPECT_EQ(Eval("2.5 * 2"), "5");
+}
+
+TEST_F(EngineTest, EmptySequencePropagatesThroughArithmetic) {
+  EXPECT_EQ(Eval("() + 1"), "");
+  EXPECT_EQ(Eval("1 * ()"), "");
+  EXPECT_EQ(Eval("-()"), "");
+}
+
+TEST_F(EngineTest, ArithmeticErrors) {
+  EXPECT_EQ(EvalError("1 div 0"), ErrorCode::kDivisionByZero);
+  EXPECT_EQ(EvalError("1 idiv 0"), ErrorCode::kDivisionByZero);
+  EXPECT_EQ(EvalError("1 mod 0"), ErrorCode::kDivisionByZero);
+  EXPECT_EQ(EvalError("\"a\" + 1"), ErrorCode::kTypeError);
+  EXPECT_EQ(EvalError("(1, 2) + 1"), ErrorCode::kCardinalityError);
+  EXPECT_EQ(EvalError("-\"x\""), ErrorCode::kTypeError);
+}
+
+TEST_F(EngineTest, DoubleDivisionByZeroIsInfinity) {
+  EXPECT_EQ(Eval("1e0 div 0"), "Infinity");
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ValueComparisons) {
+  EXPECT_EQ(Eval("1 eq 1"), "true");
+  EXPECT_EQ(Eval("1 eq 1.0"), "true");
+  EXPECT_EQ(Eval("1 ne 2"), "true");
+  EXPECT_EQ(Eval("\"a\" lt \"b\""), "true");
+  EXPECT_EQ(Eval("2 ge 2"), "true");
+  EXPECT_EQ(Eval("null eq null"), "true");
+}
+
+TEST_F(EngineTest, ValueComparisonWithEmptyIsEmpty) {
+  EXPECT_EQ(Eval("() eq 1"), "");
+  EXPECT_EQ(Eval("1 lt ()"), "");
+}
+
+TEST_F(EngineTest, CrossTypeEqualityIsFalseNotError) {
+  // Messy-data tolerance: eq across families is false.
+  EXPECT_EQ(Eval("\"1\" eq 1"), "false");
+  EXPECT_EQ(Eval("\"1\" ne 1"), "true");
+  EXPECT_EQ(Eval("null eq 0"), "false");
+}
+
+TEST_F(EngineTest, CrossTypeOrderingIsError) {
+  EXPECT_EQ(EvalError("\"a\" lt 1"), ErrorCode::kIncompatibleSortKeys);
+}
+
+TEST_F(EngineTest, GeneralComparisonsAreExistential) {
+  EXPECT_EQ(Eval("(1, 2, 3) = 2"), "true");
+  EXPECT_EQ(Eval("(1, 2, 3) = 5"), "false");
+  EXPECT_EQ(Eval("(1, 2) != (1, 2)"), "true");  // 1 != 2 exists
+  EXPECT_EQ(Eval("(1, 2) < (0, 10)"), "true");
+  EXPECT_EQ(Eval("() = ()"), "false");
+}
+
+// ---------------------------------------------------------------------------
+// Logic
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, TwoValuedLogic) {
+  EXPECT_EQ(Eval("true and true"), "true");
+  EXPECT_EQ(Eval("true and false"), "false");
+  EXPECT_EQ(Eval("false or true"), "true");
+  EXPECT_EQ(Eval("not(true)"), "false");
+  EXPECT_EQ(Eval("true and true and false"), "false");
+}
+
+TEST_F(EngineTest, EffectiveBooleanValuesInLogic) {
+  EXPECT_EQ(Eval("1 and \"x\""), "true");
+  EXPECT_EQ(Eval("0 or \"\""), "false");
+  EXPECT_EQ(Eval("() or false"), "false");
+  EXPECT_EQ(Eval("null and true"), "false");
+  EXPECT_EQ(Eval("{} and [1]"), "true");
+}
+
+TEST_F(EngineTest, ShortCircuitPreventsErrors) {
+  EXPECT_EQ(Eval("false and (1 div 0 eq 1)"), "false");
+  EXPECT_EQ(Eval("true or (1 div 0 eq 1)"), "true");
+}
+
+// ---------------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, IfThenElse) {
+  EXPECT_EQ(Eval("if (1 eq 1) then \"yes\" else \"no\""), "\"yes\"");
+  EXPECT_EQ(Eval("if (()) then 1 else 2"), "2");
+  EXPECT_EQ(Eval("if (1 lt 2) then (1,2) else ()"), "1\n2");
+}
+
+TEST_F(EngineTest, TryCatch) {
+  EXPECT_EQ(Eval("try { 1 div 0 } catch * { \"caught\" }"), "\"caught\"");
+  EXPECT_EQ(Eval("try { 5 } catch * { -1 }"), "5");
+  EXPECT_EQ(Eval("try { error(\"boom\") } catch * { \"handled\" }"),
+            "\"handled\"");
+  // Nested try/catch: the inner one handles first.
+  EXPECT_EQ(Eval("try { try { 1 div 0 } catch * { 2 div 0 } } "
+                 "catch * { \"outer\" }"),
+            "\"outer\"");
+}
+
+TEST_F(EngineTest, QuantifiedExpressions) {
+  EXPECT_EQ(Eval("some $x in (1, 2, 3) satisfies $x gt 2"), "true");
+  EXPECT_EQ(Eval("some $x in (1, 2, 3) satisfies $x gt 5"), "false");
+  EXPECT_EQ(Eval("every $x in (2, 4, 6) satisfies $x mod 2 eq 0"), "true");
+  EXPECT_EQ(Eval("every $x in () satisfies false"), "true");
+  EXPECT_EQ(Eval("some $x in () satisfies true"), "false");
+  EXPECT_EQ(
+      Eval("some $x in (1,2), $y in (3,4) satisfies $x + $y eq 6"), "true");
+}
+
+// ---------------------------------------------------------------------------
+// Constructors and navigation
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ObjectConstruction) {
+  EXPECT_EQ(Eval("{ \"a\": 1 }"), "{\"a\" : 1}");
+  EXPECT_EQ(Eval("{ a: 1, b: \"x\" }"), "{\"a\" : 1, \"b\" : \"x\"}");
+  // Computed keys and multi-item values boxed into arrays, () becomes null.
+  EXPECT_EQ(Eval("{ (\"k\" || \"1\") : (1, 2), \"e\": () }"),
+            "{\"k1\" : [1, 2], \"e\" : null}");
+}
+
+TEST_F(EngineTest, ObjectConstructorDuplicateKey) {
+  EXPECT_EQ(EvalError("{ a: 1, a: 2 }"), ErrorCode::kDuplicateObjectKey);
+}
+
+TEST_F(EngineTest, ArrayConstruction) {
+  EXPECT_EQ(Eval("[1, 2, 3]"), "[1, 2, 3]");
+  EXPECT_EQ(Eval("[]"), "[]");
+  EXPECT_EQ(Eval("[(1, 2), 3]"), "[1, 2, 3]");  // arrays flatten sequences
+  EXPECT_EQ(Eval("[[1]]"), "[[1]]");
+}
+
+TEST_F(EngineTest, ObjectLookup) {
+  EXPECT_EQ(Eval("{ a: 42 }.a"), "42");
+  EXPECT_EQ(Eval("{ a: 42 }.missing"), "");
+  EXPECT_EQ(Eval("{ \"two words\": 1 }.\"two words\""), "1");
+  EXPECT_EQ(Eval("let $k := \"a\" return { a: 7 }.$k"), "7");
+  EXPECT_EQ(Eval("{ a: 7 }.(\"a\")"), "7");
+  // Lookup on non-objects silently filters them out.
+  EXPECT_EQ(Eval("(1, { a: 5 }, \"x\").a"), "5");
+}
+
+TEST_F(EngineTest, ArrayNavigation) {
+  EXPECT_EQ(Eval("[10, 20, 30][[2]]"), "20");
+  EXPECT_EQ(Eval("[10][[5]]"), "");
+  EXPECT_EQ(Eval("[1, 2, 3][]"), "1\n2\n3");
+  EXPECT_EQ(Eval("(1, [2, 3])[]"), "2\n3");
+  EXPECT_EQ(Eval("{ xs: [1, [2, 3]] }.xs[][[1]]"), "2");
+}
+
+TEST_F(EngineTest, Predicates) {
+  EXPECT_EQ(Eval("(1, 2, 3, 4)[$$ gt 2]"), "3\n4");
+  EXPECT_EQ(Eval("(1, 2, 3)[2]"), "2");  // positional
+  EXPECT_EQ(Eval("(\"a\", \"bb\", \"ccc\")[string-length($$) eq 2]"),
+            "\"bb\"");
+  EXPECT_EQ(Eval("(1 to 10)[$$ mod 3 eq 0]"), "3\n6\n9");
+  EXPECT_EQ(Eval("()[$$ gt 1]"), "");
+}
+
+TEST_F(EngineTest, ContextItemOutsidePredicateIsError) {
+  EXPECT_EQ(EvalError("$$"), ErrorCode::kAbsentContextItem);
+}
+
+// ---------------------------------------------------------------------------
+// String concatenation
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, StringConcatOperator) {
+  EXPECT_EQ(Eval("\"a\" || \"b\""), "\"ab\"");
+  EXPECT_EQ(Eval("\"n=\" || 42"), "\"n=42\"");
+  EXPECT_EQ(Eval("\"x\" || () || \"y\""), "\"xy\"");
+  EXPECT_EQ(Eval("\"v:\" || null"), "\"v:\"");
+}
+
+// ---------------------------------------------------------------------------
+// Types: instance of / cast / treat
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, InstanceOf) {
+  EXPECT_EQ(Eval("5 instance of integer"), "true");
+  EXPECT_EQ(Eval("5 instance of string"), "false");
+  EXPECT_EQ(Eval("5 instance of number"), "true");
+  EXPECT_EQ(Eval("5 instance of decimal"), "true");  // integer <: decimal
+  EXPECT_EQ(Eval("3.5 instance of integer"), "false");
+  EXPECT_EQ(Eval("(1, 2) instance of integer+"), "true");
+  EXPECT_EQ(Eval("(1, 2) instance of integer"), "false");
+  EXPECT_EQ(Eval("() instance of integer?"), "true");
+  EXPECT_EQ(Eval("() instance of empty-sequence()"), "true");
+  EXPECT_EQ(Eval("{} instance of object()"), "true");
+  EXPECT_EQ(Eval("[1] instance of json-item()"), "true");
+  EXPECT_EQ(Eval("null instance of null"), "true");
+  EXPECT_EQ(Eval("(1, \"x\") instance of atomic*"), "true");
+}
+
+TEST_F(EngineTest, CastAs) {
+  EXPECT_EQ(Eval("\"42\" cast as integer"), "42");
+  EXPECT_EQ(Eval("\"2.5\" cast as decimal"), "2.5");
+  EXPECT_EQ(Eval("1 cast as string"), "\"1\"");
+  EXPECT_EQ(Eval("1 cast as boolean"), "true");
+  EXPECT_EQ(Eval("\"true\" cast as boolean"), "true");
+  EXPECT_EQ(Eval("3.9 cast as integer"), "3");
+  EXPECT_EQ(Eval("() cast as integer?"), "");
+  EXPECT_EQ(EvalError("() cast as integer"), ErrorCode::kTypeError);
+  EXPECT_EQ(EvalError("\"abc\" cast as integer"), ErrorCode::kInvalidCast);
+  EXPECT_EQ(EvalError("\"12monkeys\" cast as integer"),
+            ErrorCode::kInvalidCast);
+}
+
+TEST_F(EngineTest, TreatAs) {
+  EXPECT_EQ(Eval("(5 treat as integer) + 1"), "6");
+  EXPECT_EQ(EvalError("(\"x\" treat as integer)"), ErrorCode::kTypeError);
+  EXPECT_EQ(Eval("(1, 2) treat as integer+"), "1\n2");
+}
+
+// ---------------------------------------------------------------------------
+// Static errors
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, UnboundVariableIsStaticError) {
+  EXPECT_EQ(EvalError("$nope"), ErrorCode::kUndeclaredVariable);
+  EXPECT_EQ(EvalError("for $x in (1,2) return $y"),
+            ErrorCode::kUndeclaredVariable);
+}
+
+TEST_F(EngineTest, UnknownFunctionIsStaticError) {
+  EXPECT_EQ(EvalError("frobnicate(1)"), ErrorCode::kUnknownFunction);
+  EXPECT_EQ(EvalError("count(1, 2)"), ErrorCode::kUnknownFunction);
+}
+
+TEST_F(EngineTest, VariableScopingInFlwor) {
+  // Variables don't leak out of FLWOR scope.
+  EXPECT_EQ(EvalError("(for $x in (1) return $x) + $x"),
+            ErrorCode::kUndeclaredVariable);
+}
+
+TEST_F(EngineTest, BoundGlobalVariableIsVisible) {
+  engine_.BindVariable("answer", {item::MakeInteger(42)});
+  EXPECT_EQ(Eval("$answer + 1"), "43");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8-flavoured compound query (the paper's "more complex" shape)
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, ComplexNestedQuery) {
+  std::string query = R"(
+    {
+      "report" : [
+        for $order in parallelize((
+            {"id": 1, "items": [ {"pid": "a", "n": 2}, {"pid": "b", "n": 1} ]},
+            {"id": 2, "items": [ {"pid": "a", "n": 5} ]},
+            {"id": 3, "items": [ ]}
+          ))
+        where exists($order.items[])
+        let $total := sum(for $i in $order.items[] return $i.n)
+        order by $total descending
+        count $rank
+        return {
+          "order": $order.id,
+          "rank": $rank,
+          "total": $total,
+          "pids": [ distinct-values(for $i in $order.items[] return $i.pid) ]
+        }
+      ]
+    })";
+  EXPECT_EQ(Eval(query),
+            "{\"report\" : [{\"order\" : 2, \"rank\" : 1, \"total\" : 5, "
+            "\"pids\" : [\"a\"]}, {\"order\" : 1, \"rank\" : 2, \"total\" : 3, "
+            "\"pids\" : [\"a\", \"b\"]}]}");
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

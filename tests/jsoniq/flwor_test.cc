@@ -1,0 +1,321 @@
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using testing::EngineTestBase;
+
+class FlworTest : public EngineTestBase {};
+
+// ---------------------------------------------------------------------------
+// for / let / where
+// ---------------------------------------------------------------------------
+
+TEST_F(FlworTest, ForIteratesItemByItem) {
+  EXPECT_EQ(Eval("for $x in (1, 2, 3) return $x * 10"), "10\n20\n30");
+}
+
+TEST_F(FlworTest, ForOverEmptyYieldsNothing) {
+  EXPECT_EQ(Eval("for $x in () return $x"), "");
+}
+
+TEST_F(FlworTest, NestedForsFormCrossProduct) {
+  EXPECT_EQ(Eval("for $x in (1, 2) for $y in (10, 20) return $x + $y"),
+            "11\n21\n12\n22");
+  // Comma form is equivalent.
+  EXPECT_EQ(Eval("for $x in (1, 2), $y in (10, 20) return $x + $y"),
+            "11\n21\n12\n22");
+}
+
+TEST_F(FlworTest, LaterForMayDependOnEarlierVariable) {
+  EXPECT_EQ(Eval("for $x in (1, 2, 3) for $y in 1 to $x return $y"),
+            "1\n1\n2\n1\n2\n3");
+}
+
+TEST_F(FlworTest, AllowingEmptyKeepsTuple) {
+  EXPECT_EQ(Eval("for $x allowing empty in () return \"kept\""), "\"kept\"");
+  EXPECT_EQ(Eval("for $x allowing empty in () return count($x)"), "0");
+  EXPECT_EQ(Eval("for $d in ({\"a\": [1]}, {\"b\": 2}) "
+                 "for $v allowing empty in $d.a[] return ($v, 0)"),
+            "1\n0\n0");
+}
+
+TEST_F(FlworTest, PositionalVariable) {
+  EXPECT_EQ(Eval("for $x at $i in (\"a\", \"b\", \"c\") return $i"),
+            "1\n2\n3");
+  EXPECT_EQ(
+      Eval("for $x at $i in (\"a\", \"b\") return { \"p\": $i, \"v\": $x }"),
+      "{\"p\" : 1, \"v\" : \"a\"}\n{\"p\" : 2, \"v\" : \"b\"}");
+  // allowing empty binds position 0.
+  EXPECT_EQ(Eval("for $x allowing empty at $i in () return $i"), "0");
+}
+
+TEST_F(FlworTest, LetBindsWholeSequence) {
+  EXPECT_EQ(Eval("let $s := (1, 2, 3) return count($s)"), "3");
+  EXPECT_EQ(Eval("let $s := (1, 2, 3) return $s"), "1\n2\n3");
+}
+
+TEST_F(FlworTest, LetAsFirstClauseRunsLocally) {
+  EXPECT_EQ(Eval("let $x := 5 return $x + 1"), "6");
+}
+
+TEST_F(FlworTest, VariableRedeclarationShadowsPriorBinding) {
+  EXPECT_EQ(Eval("let $x := 1 let $x := $x + 1 return $x"), "2");
+  EXPECT_EQ(Eval("for $x in (1, 2) let $x := $x * 10 return $x"), "10\n20");
+}
+
+TEST_F(FlworTest, WhereFiltersTuples) {
+  EXPECT_EQ(Eval("for $x in 1 to 10 where $x mod 2 eq 0 return $x"),
+            "2\n4\n6\n8\n10");
+  // Non-boolean conditions use the effective boolean value.
+  EXPECT_EQ(Eval("for $x in (0, 1, 2) where $x return $x"), "1\n2");
+}
+
+TEST_F(FlworTest, MultipleWhereClauses) {
+  EXPECT_EQ(Eval("for $x in 1 to 20 where $x gt 5 where $x lt 9 return $x"),
+            "6\n7\n8");
+}
+
+// ---------------------------------------------------------------------------
+// group by
+// ---------------------------------------------------------------------------
+
+TEST_F(FlworTest, GroupByCollectsNonGroupingVariables) {
+  EXPECT_EQ(Eval("for $x in (1, 2, 3, 4, 5) group by $k := $x mod 2 "
+                 "order by $k return { \"k\": $k, \"xs\": [$x] }"),
+            "{\"k\" : 0, \"xs\" : [2, 4]}\n{\"k\" : 1, \"xs\" : [1, 3, 5]}");
+}
+
+TEST_F(FlworTest, GroupByCount) {
+  EXPECT_EQ(Eval("for $x in (1, 2, 3, 4, 5, 6) group by $k := $x mod 3 "
+                 "let $c := count($x) order by $k "
+                 "return { \"k\": $k, \"n\": $c }"),
+            "{\"k\" : 0, \"n\" : 2}\n{\"k\" : 1, \"n\" : 2}\n"
+            "{\"k\" : 2, \"n\" : 2}");
+}
+
+TEST_F(FlworTest, GroupByExistingVariable) {
+  EXPECT_EQ(Eval("for $o in ({\"k\": 1, \"v\": 10}, {\"k\": 1, \"v\": 20}) "
+                 "let $k := $o.k group by $k return sum($o.v)"),
+            "30");
+}
+
+TEST_F(FlworTest, GroupByHeterogeneousKeysDoesNotError) {
+  // The paper's Section 4.7 example: keys of different types group fine.
+  EXPECT_EQ(Eval("count(for $x in (\"1\", 1, 1.0, null, true, \"1\") "
+                 "group by $k := $x return $k)"),
+            "4");  // "1", 1(=1.0), null, true
+}
+
+TEST_F(FlworTest, GroupByNumericKeysCompareAcrossKinds) {
+  EXPECT_EQ(Eval("for $x in (1, 1.0, 2) group by $k := $x "
+                 "let $n := count($x) order by $k return $n"),
+            "2\n1");
+}
+
+TEST_F(FlworTest, GroupByAbsentKeyIsItsOwnGroup) {
+  EXPECT_EQ(Eval("for $o in ({\"c\": \"x\"}, {\"d\": 1}, {\"c\": \"x\"}) "
+                 "group by $k := $o.c "
+                 "let $n := count($o) order by $n return $n"),
+            "1\n2");
+}
+
+TEST_F(FlworTest, GroupByCompoundKey) {
+  EXPECT_EQ(Eval("count(for $x in (1, 2, 3, 4, 5, 6, 7, 8) "
+                 "group by $a := $x mod 2, $b := $x mod 3 return [$x])"),
+            "6");
+}
+
+TEST_F(FlworTest, GroupByMultiItemKeyIsError) {
+  EXPECT_EQ(EvalError("for $x in (1, 2) group by $k := (1, 2) return $k"),
+            ErrorCode::kInvalidGroupingKey);
+}
+
+TEST_F(FlworTest, GroupByNonAtomicKeyIsError) {
+  EXPECT_EQ(EvalError("for $x in (1, 2) group by $k := [1] return $k"),
+            ErrorCode::kInvalidGroupingKey);
+}
+
+TEST_F(FlworTest, Figure7StyleHeterogeneousGrouping) {
+  // country is a string, an array of strings, or missing; the query cleans
+  // it up on the fly (paper Figure 7).
+  std::string data =
+      "({\"country\": \"AU\"}, {\"country\": [\"FR\", \"BE\"]}, {\"x\": 1}, "
+      "{\"country\": \"AU\"})";
+  EXPECT_EQ(
+      Eval("for $e in " + data +
+           " group by $c := ($e.country[[1]], $e.country, \"(no country)\")"
+           "[1] let $n := count($e) order by $c return { $c : $n }"),
+      "{\"(no country)\" : 1}\n{\"AU\" : 2}\n{\"FR\" : 1}");
+}
+
+// ---------------------------------------------------------------------------
+// order by
+// ---------------------------------------------------------------------------
+
+TEST_F(FlworTest, OrderByAscendingDefault) {
+  EXPECT_EQ(Eval("for $x in (3, 1, 2) order by $x return $x"), "1\n2\n3");
+}
+
+TEST_F(FlworTest, OrderByDescending) {
+  EXPECT_EQ(Eval("for $x in (3, 1, 2) order by $x descending return $x"),
+            "3\n2\n1");
+}
+
+TEST_F(FlworTest, OrderByMultipleKeys) {
+  EXPECT_EQ(Eval("for $o in ({\"a\": 1, \"b\": 2}, {\"a\": 1, \"b\": 1}, "
+                 "{\"a\": 0, \"b\": 9}) "
+                 "order by $o.a ascending, $o.b descending return $o.b"),
+            "9\n2\n1");
+}
+
+TEST_F(FlworTest, OrderByStringsAndNumbers) {
+  EXPECT_EQ(Eval("for $s in (\"b\", \"a\", \"c\") order by $s return $s"),
+            "\"a\"\n\"b\"\n\"c\"");
+  EXPECT_EQ(Eval("for $x in (2.5, 1, 3) order by $x return $x"),
+            "1\n2.5\n3");
+}
+
+TEST_F(FlworTest, OrderByEmptyLeastByDefault) {
+  EXPECT_EQ(Eval("for $o in ({\"v\": 2}, {\"x\": 0}, {\"v\": 1}) "
+                 "order by $o.v return ($o.v, -1)[1]"),
+            "-1\n1\n2");
+}
+
+TEST_F(FlworTest, OrderByEmptyGreatest) {
+  EXPECT_EQ(Eval("for $o in ({\"v\": 2}, {\"x\": 0}, {\"v\": 1}) "
+                 "order by $o.v empty greatest return ($o.v, -1)[1]"),
+            "1\n2\n-1");
+}
+
+TEST_F(FlworTest, NullSortsBelowValues) {
+  EXPECT_EQ(Eval("for $x in (2, null, 1) order by $x return $x"),
+            "null\n1\n2");
+}
+
+TEST_F(FlworTest, BooleansSortFalseFirst) {
+  EXPECT_EQ(Eval("for $x in (true, false, true) order by $x return $x"),
+            "false\ntrue\ntrue");
+}
+
+TEST_F(FlworTest, OrderByIncompatibleTypesThrows) {
+  EXPECT_EQ(
+      EvalError("for $x in (1, \"a\") order by $x return $x"),
+      ErrorCode::kIncompatibleSortKeys);
+}
+
+TEST_F(FlworTest, OrderByNonAtomicKeyThrows) {
+  EXPECT_EQ(EvalError("for $x in ([1], [2]) order by $x return 1"),
+            ErrorCode::kInvalidSortKey);
+  EXPECT_EQ(
+      EvalError("for $x in (1, 2) order by (1, 2) return $x"),
+      ErrorCode::kInvalidSortKey);
+}
+
+TEST_F(FlworTest, OrderByIsStable) {
+  EXPECT_EQ(Eval("for $o in ({\"k\": 1, \"i\": 1}, {\"k\": 1, \"i\": 2}, "
+                 "{\"k\": 0, \"i\": 3}) order by $o.k return $o.i"),
+            "3\n1\n2");
+}
+
+// ---------------------------------------------------------------------------
+// count clause
+// ---------------------------------------------------------------------------
+
+TEST_F(FlworTest, CountClauseNumbersTuples) {
+  EXPECT_EQ(Eval("for $x in (\"a\", \"b\", \"c\") count $i return $i"),
+            "1\n2\n3");
+}
+
+TEST_F(FlworTest, CountAfterWhereCountsSurvivors) {
+  EXPECT_EQ(Eval("for $x in 1 to 10 where $x mod 3 eq 0 count $i "
+                 "return [$i, $x]"),
+            "[1, 3]\n[2, 6]\n[3, 9]");
+}
+
+TEST_F(FlworTest, CountThenWhereImplementsPagination) {
+  EXPECT_EQ(Eval("for $x in (\"a\",\"b\",\"c\",\"d\",\"e\") count $i "
+                 "where $i ge 2 and $i le 3 return $x"),
+            "\"b\"\n\"c\"");
+}
+
+TEST_F(FlworTest, CountAfterOrderByReflectsRank) {
+  // The paper's Figure 8 uses count after order by for ranking.
+  EXPECT_EQ(Eval("for $x in (30, 10, 20) order by $x descending count $rank "
+                 "return { \"v\": $x, \"r\": $rank }"),
+            "{\"v\" : 30, \"r\" : 1}\n{\"v\" : 20, \"r\" : 2}\n"
+            "{\"v\" : 10, \"r\" : 3}");
+}
+
+// ---------------------------------------------------------------------------
+// clause composition & nesting
+// ---------------------------------------------------------------------------
+
+TEST_F(FlworTest, ClausesComposeInAnyOrder) {
+  // where after group by, order by on aggregates: "FLWOR clauses can be
+  // combined and ordered at will".
+  EXPECT_EQ(Eval("for $x in 1 to 12 group by $k := $x mod 4 "
+                 "let $n := count($x) where $n gt 2 "
+                 "order by $k descending return $k"),
+            "3\n2\n1\n0");
+}
+
+TEST_F(FlworTest, PaperIntroQueryShape) {
+  // The Section 2.3 example query shape over inline data.
+  std::string people =
+      "({\"age\": 30, \"position\": \"dev\"}, "
+      "{\"age\": 70, \"position\": \"dev\"}, "
+      "{\"age\": 40, \"position\": \"ops\"}, "
+      "{\"age\": 50, \"position\": \"dev\"})";
+  EXPECT_EQ(Eval("for $person in " + people +
+                 " where $person.age le 65 "
+                 "group by $pos := $person.position "
+                 "let $count := count($person) "
+                 "order by $count descending "
+                 "return { \"position\": $pos, \"count\": $count }"),
+            "{\"position\" : \"dev\", \"count\" : 2}\n"
+            "{\"position\" : \"ops\", \"count\" : 1}");
+}
+
+TEST_F(FlworTest, NestedFlworInReturn) {
+  EXPECT_EQ(Eval("for $x in (1, 2) return "
+                 "[ for $y in 1 to $x return $y * $x ]"),
+            "[1]\n[2, 4]");
+}
+
+TEST_F(FlworTest, NestedFlworInLet) {
+  EXPECT_EQ(Eval("let $squares := for $i in 1 to 4 return $i * $i "
+                 "return sum($squares)"),
+            "30");
+}
+
+TEST_F(FlworTest, GroupThenGroupAgain) {
+  EXPECT_EQ(Eval("count(for $x in 1 to 100 group by $a := $x mod 10 "
+                 "let $n := count($x) group by $b := $n return $b)"),
+            "1");
+}
+
+// ---------------------------------------------------------------------------
+// Memory budget behaviour (Figure 12 model)
+// ---------------------------------------------------------------------------
+
+TEST(FlworBudgetTest, BlockingClausesChargeBudget) {
+  common::RumbleConfig config;
+  config.force_local_execution = true;
+  config.flwor_backend = common::FlworBackend::kLocalOnly;
+  config.memory_budget_bytes = 20'000;  // tiny
+  Rumble engine(config);
+  // Streaming filter passes...
+  auto filtered =
+      engine.Run("count(for $x in 1 to 5000 where $x mod 2 eq 0 return $x)");
+  EXPECT_TRUE(filtered.ok()) << filtered.status().ToString();
+  // ...but grouping the same stream exhausts the budget.
+  auto grouped = engine.Run(
+      "for $x in 1 to 5000 group by $k := $x mod 2 return count($x)");
+  ASSERT_FALSE(grouped.ok());
+  EXPECT_EQ(grouped.status().code(), ErrorCode::kOutOfMemory);
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

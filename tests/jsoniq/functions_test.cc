@@ -1,0 +1,278 @@
+#include "tests/jsoniq/test_helpers.h"
+
+#include "src/jsoniq/functions/function_library.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using testing::EngineTestBase;
+
+class FunctionsTest : public EngineTestBase {};
+
+// ---------------------------------------------------------------------------
+// Aggregates
+// ---------------------------------------------------------------------------
+
+TEST_F(FunctionsTest, Count) {
+  EXPECT_EQ(Eval("count(())"), "0");
+  EXPECT_EQ(Eval("count((1, \"a\", null, {}))"), "4");
+  EXPECT_EQ(Eval("count(1 to 100)"), "100");
+}
+
+TEST_F(FunctionsTest, Sum) {
+  EXPECT_EQ(Eval("sum((1, 2, 3))"), "6");
+  EXPECT_EQ(Eval("sum(())"), "0");
+  EXPECT_EQ(Eval("sum((1, 2.5))"), "3.5");
+  EXPECT_EQ(EvalError("sum((1, \"x\"))"), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FunctionsTest, Avg) {
+  EXPECT_EQ(Eval("avg((1, 2, 3))"), "2");
+  EXPECT_EQ(Eval("avg((1, 2))"), "1.5");
+  EXPECT_EQ(Eval("avg(())"), "");
+}
+
+TEST_F(FunctionsTest, MinMax) {
+  EXPECT_EQ(Eval("min((3, 1, 2))"), "1");
+  EXPECT_EQ(Eval("max((3, 1, 2))"), "3");
+  EXPECT_EQ(Eval("min(())"), "");
+  EXPECT_EQ(Eval("max((\"a\", \"c\", \"b\"))"), "\"c\"");
+  EXPECT_EQ(Eval("min((2, 1.5))"), "1.5");
+  EXPECT_EQ(EvalError("min((1, \"a\"))"), ErrorCode::kIncompatibleSortKeys);
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+TEST_F(FunctionsTest, EmptyExists) {
+  EXPECT_EQ(Eval("empty(())"), "true");
+  EXPECT_EQ(Eval("empty((1))"), "false");
+  EXPECT_EQ(Eval("exists(())"), "false");
+  EXPECT_EQ(Eval("exists((1))"), "true");
+}
+
+TEST_F(FunctionsTest, HeadTail) {
+  EXPECT_EQ(Eval("head((1, 2, 3))"), "1");
+  EXPECT_EQ(Eval("head(())"), "");
+  EXPECT_EQ(Eval("tail((1, 2, 3))"), "2\n3");
+  EXPECT_EQ(Eval("tail((1))"), "");
+}
+
+TEST_F(FunctionsTest, Reverse) {
+  EXPECT_EQ(Eval("reverse((1, 2, 3))"), "3\n2\n1");
+  EXPECT_EQ(Eval("reverse(())"), "");
+}
+
+TEST_F(FunctionsTest, Subsequence) {
+  EXPECT_EQ(Eval("subsequence((1, 2, 3, 4, 5), 2, 2)"), "2\n3");
+  EXPECT_EQ(Eval("subsequence((1, 2, 3), 2)"), "2\n3");
+  EXPECT_EQ(Eval("subsequence((1, 2, 3), 0, 2)"), "1");
+  EXPECT_EQ(Eval("subsequence((1, 2, 3), 10)"), "");
+}
+
+TEST_F(FunctionsTest, InsertBeforeAndRemove) {
+  EXPECT_EQ(Eval("insert-before((1, 3), 2, 2)"), "1\n2\n3");
+  EXPECT_EQ(Eval("insert-before((), 1, 5)"), "5");
+  EXPECT_EQ(Eval("remove((1, 2, 3), 2)"), "1\n3");
+  EXPECT_EQ(Eval("remove((1, 2, 3), 9)"), "1\n2\n3");
+}
+
+TEST_F(FunctionsTest, DistinctValues) {
+  EXPECT_EQ(Eval("distinct-values((1, 2, 1, 3, 2))"), "1\n2\n3");
+  EXPECT_EQ(Eval("distinct-values((1, 1.0, \"1\"))"), "1\n\"1\"");
+  EXPECT_EQ(Eval("distinct-values(())"), "");
+}
+
+TEST_F(FunctionsTest, BooleanAndNot) {
+  EXPECT_EQ(Eval("boolean(())"), "false");
+  EXPECT_EQ(Eval("boolean(\"x\")"), "true");
+  EXPECT_EQ(Eval("boolean(0)"), "false");
+  EXPECT_EQ(Eval("not(())"), "true");
+  EXPECT_EQ(Eval("not(1)"), "false");
+}
+
+TEST_F(FunctionsTest, DeepEqual) {
+  EXPECT_EQ(Eval("deep-equal({\"a\": [1, 2]}, {\"a\": [1, 2]})"), "true");
+  EXPECT_EQ(Eval("deep-equal({\"a\": 1}, {\"a\": 2})"), "false");
+  EXPECT_EQ(Eval("deep-equal((1, 2), (1, 2))"), "true");
+  EXPECT_EQ(Eval("deep-equal((1, 2), (1))"), "false");
+}
+
+TEST_F(FunctionsTest, PositionAndLastInPredicates) {
+  EXPECT_EQ(Eval("(\"a\", \"b\", \"c\")[position() eq 2]"), "\"b\"");
+  EXPECT_EQ(Eval("(\"a\", \"b\", \"c\")[position() lt last()]"),
+            "\"a\"\n\"b\"");
+}
+
+TEST_F(FunctionsTest, ErrorFunction) {
+  EXPECT_EQ(EvalError("error()"), ErrorCode::kUserError);
+  EXPECT_EQ(EvalError("error(\"custom message\")"), ErrorCode::kUserError);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST_F(FunctionsTest, StringConversion) {
+  EXPECT_EQ(Eval("string(42)"), "\"42\"");
+  EXPECT_EQ(Eval("string(true)"), "\"true\"");
+  EXPECT_EQ(Eval("string(null)"), "\"\"");
+  EXPECT_EQ(Eval("string(())"), "");
+}
+
+TEST_F(FunctionsTest, ConcatIsVariadic) {
+  EXPECT_EQ(Eval("concat(\"a\", 1, (), \"b\")"), "\"a1b\"");
+  EXPECT_EQ(Eval("concat()"), "\"\"");
+}
+
+TEST_F(FunctionsTest, StringJoin) {
+  EXPECT_EQ(Eval("string-join((\"a\", \"b\", \"c\"), \"-\")"), "\"a-b-c\"");
+  EXPECT_EQ(Eval("string-join((\"a\", \"b\"))"), "\"ab\"");
+  EXPECT_EQ(Eval("string-join((), \",\")"), "\"\"");
+}
+
+TEST_F(FunctionsTest, StringLengthAndSubstring) {
+  EXPECT_EQ(Eval("string-length(\"hello\")"), "5");
+  EXPECT_EQ(Eval("string-length(\"\")"), "0");
+  EXPECT_EQ(Eval("string-length(())"), "0");
+  EXPECT_EQ(Eval("substring(\"hello\", 2)"), "\"ello\"");
+  EXPECT_EQ(Eval("substring(\"hello\", 2, 3)"), "\"ell\"");
+  EXPECT_EQ(Eval("substring(\"hello\", 0, 2)"), "\"h\"");
+}
+
+TEST_F(FunctionsTest, StringPredicates) {
+  EXPECT_EQ(Eval("contains(\"database\", \"tab\")"), "true");
+  EXPECT_EQ(Eval("contains(\"database\", \"xyz\")"), "false");
+  EXPECT_EQ(Eval("contains(\"abc\", \"\")"), "true");
+  EXPECT_EQ(Eval("starts-with(\"rumble\", \"rum\")"), "true");
+  EXPECT_EQ(Eval("ends-with(\"rumble\", \"ble\")"), "true");
+  EXPECT_EQ(Eval("ends-with(\"x\", \"xx\")"), "false");
+}
+
+TEST_F(FunctionsTest, StringFunctionsCountCodepointsNotBytes) {
+  // "héllo" = 5 codepoints, 6 bytes; the emoji is 1 codepoint, 4 bytes.
+  EXPECT_EQ(Eval("string-length(\"héllo\")"), "5");
+  EXPECT_EQ(Eval("string-length(\"😀\")"), "1");
+  EXPECT_EQ(Eval("substring(\"héllo\", 2, 2)"), "\"él\"");
+  EXPECT_EQ(Eval("substring(\"a😀b\", 2, 1)"), "\"😀\"");
+}
+
+TEST_F(FunctionsTest, CaseMapping) {
+  EXPECT_EQ(Eval("upper-case(\"MiXeD\")"), "\"MIXED\"");
+  EXPECT_EQ(Eval("lower-case(\"MiXeD\")"), "\"mixed\"");
+}
+
+TEST_F(FunctionsTest, NormalizeSpace) {
+  EXPECT_EQ(Eval("normalize-space(\"  a \t b\nc  \")"), "\"a b c\"");
+}
+
+TEST_F(FunctionsTest, TokenizeMatchesReplace) {
+  EXPECT_EQ(Eval("tokenize(\"a,b,,c\", \",\")"),
+            "\"a\"\n\"b\"\n\"\"\n\"c\"");
+  EXPECT_EQ(Eval("matches(\"hello42\", \"[0-9]+\")"), "true");
+  EXPECT_EQ(Eval("matches(\"hello\", \"^[0-9]+$\")"), "false");
+  EXPECT_EQ(Eval("replace(\"a1b2\", \"[0-9]\", \"#\")"), "\"a#b#\"");
+  EXPECT_EQ(EvalError("tokenize(\"x\", \"[\")"), ErrorCode::kRegexError);
+}
+
+TEST_F(FunctionsTest, SerializeFunction) {
+  EXPECT_EQ(Eval("serialize({\"a\": [1]})"), "\"{\\\"a\\\" : [1]}\"");
+}
+
+// ---------------------------------------------------------------------------
+// Numerics
+// ---------------------------------------------------------------------------
+
+TEST_F(FunctionsTest, AbsFloorCeiling) {
+  EXPECT_EQ(Eval("abs(-5)"), "5");
+  EXPECT_EQ(Eval("abs(2.5)"), "2.5");
+  EXPECT_EQ(Eval("abs(())"), "");
+  EXPECT_EQ(Eval("floor(2.7)"), "2");
+  EXPECT_EQ(Eval("ceiling(2.1)"), "3");
+  EXPECT_EQ(Eval("floor(-2.5)"), "-3");
+}
+
+TEST_F(FunctionsTest, Round) {
+  EXPECT_EQ(Eval("round(2.5)"), "3");
+  EXPECT_EQ(Eval("round(2.4)"), "2");
+  EXPECT_EQ(Eval("round(2.345, 2)"), "2.35");
+  EXPECT_EQ(Eval("round(17)"), "17");
+}
+
+TEST_F(FunctionsTest, NumberNeverErrors) {
+  EXPECT_EQ(Eval("number(\"12.5\")"), "12.5");
+  EXPECT_EQ(Eval("number(\"abc\")"), "NaN");
+  EXPECT_EQ(Eval("number(())"), "NaN");
+  EXPECT_EQ(Eval("number(true)"), "1");
+}
+
+TEST_F(FunctionsTest, IntegerCastFunction) {
+  EXPECT_EQ(Eval("integer(\"42\")"), "42");
+  EXPECT_EQ(Eval("integer(3.9)"), "3");
+  EXPECT_EQ(Eval("integer(())"), "");
+}
+
+TEST_F(FunctionsTest, SqrtPow) {
+  EXPECT_EQ(Eval("sqrt(9)"), "3");
+  EXPECT_EQ(Eval("pow(2, 10)"), "1024");
+}
+
+// ---------------------------------------------------------------------------
+// Objects and arrays
+// ---------------------------------------------------------------------------
+
+TEST_F(FunctionsTest, Keys) {
+  EXPECT_EQ(Eval("keys({\"a\": 1, \"b\": 2})"), "\"a\"\n\"b\"");
+  EXPECT_EQ(Eval("keys(({\"a\": 1}, {\"b\": 2}, {\"a\": 3}))"),
+            "\"a\"\n\"b\"");
+  EXPECT_EQ(Eval("keys(())"), "");
+}
+
+TEST_F(FunctionsTest, Values) {
+  EXPECT_EQ(Eval("values({\"a\": 1, \"b\": [2]})"), "1\n[2]");
+}
+
+TEST_F(FunctionsTest, MembersAndSize) {
+  EXPECT_EQ(Eval("members([1, 2, 3])"), "1\n2\n3");
+  EXPECT_EQ(Eval("size([1, 2, 3])"), "3");
+  EXPECT_EQ(Eval("size([])"), "0");
+  EXPECT_EQ(Eval("size(())"), "");
+  EXPECT_EQ(EvalError("size(1)"), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FunctionsTest, ProjectAndRemoveKeys) {
+  EXPECT_EQ(Eval("project({\"a\": 1, \"b\": 2, \"c\": 3}, (\"a\", \"c\"))"),
+            "{\"a\" : 1, \"c\" : 3}");
+  EXPECT_EQ(Eval("remove-keys({\"a\": 1, \"b\": 2}, \"a\")"), "{\"b\" : 2}");
+}
+
+TEST_F(FunctionsTest, NullFunction) {
+  EXPECT_EQ(Eval("null()"), "null");
+}
+
+TEST_F(FunctionsTest, ParseJson) {
+  EXPECT_EQ(Eval("parse-json(\"[1, 2]\")[[1]]"), "1");
+  EXPECT_EQ(EvalError("parse-json(\"{bad\")"), ErrorCode::kJsonParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Library registry
+// ---------------------------------------------------------------------------
+
+TEST(FunctionLibraryTest, SignaturesArePopulated) {
+  const auto& library = FunctionLibrary::Global();
+  auto signatures = library.Signatures();
+  EXPECT_GT(signatures.size(), 50u);
+  EXPECT_TRUE(library.HasName("count"));
+  EXPECT_TRUE(library.HasName("json-file"));
+  EXPECT_FALSE(library.HasName("no-such-function"));
+  EXPECT_NE(library.Lookup("count", 1), nullptr);
+  EXPECT_EQ(library.Lookup("count", 3), nullptr);
+  // concat is variadic: any arity resolves.
+  EXPECT_NE(library.Lookup("concat", 7), nullptr);
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

@@ -1,0 +1,203 @@
+#include <filesystem>
+
+#include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/dynamic_context.h"
+#include "src/util/prng.h"
+#include "src/storage/dfs.h"
+#include "src/workload/confusion.h"
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using testing::EngineTestBase;
+
+class IntegrationTest : public EngineTestBase {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = (std::filesystem::temp_directory_path() / "rumble_integration")
+                .string();
+    workload::ConfusionOptions options;
+    options.num_objects = 600;
+    options.partitions = 3;
+    workload::ConfusionGenerator::WriteDataset(base_ + "/a", options);
+    options.seed = 77;
+    options.num_objects = 400;
+    workload::ConfusionGenerator::WriteDataset(base_ + "/b", options);
+  }
+  static void TearDownTestSuite() { storage::Dfs::Remove(base_); }
+
+  static std::string base_;
+};
+
+std::string IntegrationTest::base_;
+
+// ---------------------------------------------------------------------------
+// Unions of distributed inputs (SequenceIterator's RDD path)
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, CommaOfJsonFilesUnionsRdds) {
+  EXPECT_EQ(Eval("count((json-file(\"" + base_ + "/a\"), json-file(\"" +
+                 base_ + "/b\")))"),
+            "1000");
+}
+
+TEST_F(IntegrationTest, FlworOverUnionedDatasets) {
+  // The initial for clause sees the union as one distributed sequence.
+  EXPECT_EQ(Eval("count(for $e in (json-file(\"" + base_ +
+                 "/a\"), json-file(\"" + base_ +
+                 "/b\")) where $e.guess eq $e.target return $e)"),
+            Eval("count(for $e in json-file(\"" + base_ +
+                 "/a\") where $e.guess eq $e.target return $e) + "
+                 "count(for $e in json-file(\"" + base_ +
+                 "/b\") where $e.guess eq $e.target return $e)"));
+}
+
+TEST_F(IntegrationTest, MixedLocalAndDistributedSequenceFallsBackLocal) {
+  // One part is a literal: the union cannot be an RDD, but must still work.
+  EXPECT_EQ(Eval("count((json-file(\"" + base_ + "/a\"), {\"extra\": 1}))"),
+            "601");
+}
+
+// ---------------------------------------------------------------------------
+// Queries over query outputs (dataset round trips)
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, ChainedDatasetPipeline) {
+  // Stage 1: clean/project. Stage 2: aggregate the staged dataset.
+  std::string staged = base_ + "/staged";
+  auto status = engine_.RunToDataset(
+      "for $e in json-file(\"" + base_ + "/a\") "
+      "where $e.guess eq $e.target "
+      "return { \"t\": $e.target, \"c\": $e.country }",
+      staged);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::string top = Eval(
+      "subsequence((for $r in json-file(\"" + staged + "\") "
+      "group by $t := $r.t let $n := count($r) "
+      "order by $n descending, $t return $t), 1, 1)");
+  EXPECT_FALSE(top.empty());
+  // The staged dataset only carries the projected fields.
+  EXPECT_EQ(Eval("keys(head(json-file(\"" + staged + "\")))"),
+            "\"t\"\n\"c\"");
+}
+
+// ---------------------------------------------------------------------------
+// Engine API surface
+// ---------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, CheckCompilesWithoutExecuting) {
+  EXPECT_TRUE(engine_.Check("1 + 1").ok());
+  EXPECT_FALSE(engine_.Check("1 +").ok());
+  // A query over a missing file compiles (the error is dynamic).
+  EXPECT_TRUE(engine_.Check("json-file(\"/not/yet/there\")").ok());
+}
+
+TEST_F(IntegrationTest, ExplainShowsTreeAndExecutionMode) {
+  auto distributed = engine_.Explain(
+      "for $e in json-file(\"" + base_ + "/a\") "
+      "where $e.guess eq $e.target return $e.target");
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_NE(distributed.value().find("flwor"), std::string::npos);
+  EXPECT_NE(distributed.value().find("for $e"), std::string::npos);
+  EXPECT_NE(distributed.value().find("json-file#1"), std::string::npos);
+  EXPECT_NE(distributed.value().find("distributed (DataFrame"),
+            std::string::npos);
+
+  auto local = engine_.Explain("let $x := 1 return $x + 1");
+  ASSERT_TRUE(local.ok());
+  EXPECT_NE(local.value().find("local (pull-based"), std::string::npos);
+
+  EXPECT_FALSE(engine_.Explain("1 +").ok());
+}
+
+TEST_F(IntegrationTest, RunToJsonSerializesLines) {
+  auto result = engine_.RunToJson("(1, \"x\", [2])");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "1\n\"x\"\n[2]\n");
+}
+
+TEST_F(IntegrationTest, BoundVariablesComposeWithDistributedQueries) {
+  engine_.BindVariable("wanted", {item::MakeString("French")});
+  EXPECT_EQ(Eval("count(for $e in json-file(\"" + base_ + "/a\") "
+                 "where $e.target eq $wanted return $e)"),
+            Eval("count(for $e in json-file(\"" + base_ + "/a\") "
+                 "where $e.target eq \"French\" return $e)"));
+}
+
+// ---------------------------------------------------------------------------
+// DynamicContext mechanics
+// ---------------------------------------------------------------------------
+
+TEST(DynamicContextTest, ChainedLookupAndShadowing) {
+  DynamicContext outer;
+  outer.Bind("x", {item::MakeInteger(1)});
+  outer.Bind("y", {item::MakeInteger(2)});
+  DynamicContext inner(&outer);
+  inner.Bind("x", {item::MakeInteger(10)});
+  ASSERT_NE(inner.Lookup("x"), nullptr);
+  EXPECT_EQ(inner.Lookup("x")->front()->IntegerValue(), 10);
+  EXPECT_EQ(inner.Lookup("y")->front()->IntegerValue(), 2);
+  EXPECT_EQ(inner.Lookup("z"), nullptr);
+  // The outer scope is unaffected by the shadowing bind.
+  EXPECT_EQ(outer.Lookup("x")->front()->IntegerValue(), 1);
+}
+
+TEST(DynamicContextTest, SnapshotFlattensWithInnermostWinning) {
+  DynamicContext outer;
+  outer.Bind("x", {item::MakeInteger(1)});
+  outer.Bind("only-outer", {item::MakeInteger(5)});
+  DynamicContext inner(&outer);
+  inner.Bind("x", {item::MakeInteger(10)});
+  DynamicContextPtr flat = DynamicContext::Snapshot(inner);
+  EXPECT_EQ(flat->Lookup("x")->front()->IntegerValue(), 10);
+  EXPECT_EQ(flat->Lookup("only-outer")->front()->IntegerValue(), 5);
+}
+
+TEST(DynamicContextTest, BindCopyReplacesInPlace) {
+  DynamicContext context;
+  context.BindCopy("v", {item::MakeInteger(1)});
+  context.BindCopy("v", {item::MakeInteger(2), item::MakeInteger(3)});
+  ASSERT_NE(context.Lookup("v"), nullptr);
+  EXPECT_EQ(context.Lookup("v")->size(), 2u);
+  EXPECT_EQ(context.Lookup("v")->back()->IntegerValue(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Parser robustness: garbage never crashes, always a static error.
+// ---------------------------------------------------------------------------
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, GarbageInputsRaiseStaticErrors) {
+  util::Prng prng(static_cast<std::uint64_t>(GetParam()) * 77 + 5);
+  static constexpr const char* kFragments[] = {
+      "for",  "$x",   "in",    "(",      ")",     "{",     "}",
+      "[",    "]",    "[[",    "]]",     ",",     ":",     ":=",
+      "1",    "\"s\"", "return", "where", "group", "by",    "+",
+      "eq",   ".",    "||",    "to",     "count", "null",  "if"};
+  for (int round = 0; round < 50; ++round) {
+    std::string query;
+    std::size_t length = 1 + prng.NextBounded(12);
+    for (std::size_t i = 0; i < length; ++i) {
+      query += kFragments[prng.NextBounded(std::size(kFragments))];
+      query += " ";
+    }
+    Rumble engine;
+    auto status = engine.Check(query);
+    // Either it parses (some fragments form valid queries) or it reports a
+    // static error — it must never crash or loop.
+    if (!status.ok()) {
+      EXPECT_TRUE(status.code() == ErrorCode::kStaticSyntax ||
+                  status.code() == ErrorCode::kUndeclaredVariable ||
+                  status.code() == ErrorCode::kUnknownFunction)
+          << query << " -> " << status.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace rumble::jsoniq

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/jsoniq/lexer.h"
+#include "src/jsoniq/parser.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleException;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+std::vector<TokenKind> Kinds(const std::string& input) {
+  std::vector<TokenKind> kinds;
+  for (const auto& token : Tokenize(input)) kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("for $x in json-file(\"a.json\")");
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_TRUE(tokens[0].IsName("for"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_TRUE(tokens[2].IsName("in"));
+  EXPECT_TRUE(tokens[3].IsName("json-file"));  // hyphenated name, one token
+  EXPECT_EQ(tokens[4].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[5].text, "a.json");
+}
+
+TEST(LexerTest, NumbersThreeKinds) {
+  auto tokens = Tokenize("42 3.14 1e6 .5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDecimal);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDouble);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDecimal);
+}
+
+TEST(LexerTest, HyphenVsMinus) {
+  // Letter after '-': part of the name. Digit after '-': subtraction.
+  auto hyphen = Tokenize("distinct-values");
+  EXPECT_EQ(hyphen.size(), 2u);  // name + eof
+  auto minus = Tokenize("$a - 1");
+  EXPECT_EQ(minus[1].kind, TokenKind::kMinus);
+  auto tight = Tokenize("$a -1");
+  EXPECT_EQ(tight[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(tight[2].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, OperatorsAndBrackets) {
+  EXPECT_EQ(Kinds("[[ ]] [ ] := || != <= >="),
+            (std::vector<TokenKind>{
+                TokenKind::kDoubleLBracket, TokenKind::kDoubleRBracket,
+                TokenKind::kLBracket, TokenKind::kRBracket, TokenKind::kAssign,
+                TokenKind::kConcat, TokenKind::kNe, TokenKind::kLe,
+                TokenKind::kGe, TokenKind::kEof}));
+}
+
+TEST(LexerTest, ContextItemToken) {
+  auto tokens = Tokenize("$$.foo");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kContextItem);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_TRUE(tokens[2].IsName("foo"));
+}
+
+TEST(LexerTest, StringEscapesAndBothQuotes) {
+  EXPECT_EQ(Tokenize(R"("a\"b")")[0].text, "a\"b");
+  EXPECT_EQ(Tokenize(R"('it''s' )")[0].text, "it");  // '' not an escape
+  EXPECT_EQ(Tokenize(R"("tab\tx")")[0].text, "tab\tx");
+  EXPECT_EQ(Tokenize(R"("A")")[0].text, "A");
+}
+
+TEST(LexerTest, NestedComments) {
+  auto tokens = Tokenize("1 (: outer (: inner :) still :) 2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "1");
+  EXPECT_EQ(tokens[1].text, "2");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = Tokenize("1 +\n  2");
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, LexicalErrors) {
+  for (const char* bad : {"\"unterminated", "(: unterminated", "$", "#", "@"}) {
+    try {
+      Tokenize(bad);
+      FAIL() << bad;
+    } catch (const RumbleException& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kStaticSyntax) << bad;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser: structure
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, LiteralKinds) {
+  EXPECT_EQ(ParseQuery("42")->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(ParseQuery("\"s\"")->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(ParseQuery("true")->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(ParseQuery("null")->kind, Expr::Kind::kLiteral);
+  EXPECT_TRUE(ParseQuery("null")->literal->IsNull());
+}
+
+TEST(ParserTest, PrecedenceArithmeticOverComparison) {
+  ExprPtr expr = ParseQuery("1 + 2 eq 3");
+  EXPECT_EQ(expr->kind, Expr::Kind::kComparison);
+  EXPECT_EQ(expr->children[0]->kind, Expr::Kind::kArithmetic);
+}
+
+TEST(ParserTest, MultiplicationBindsTighterThanAddition) {
+  ExprPtr expr = ParseQuery("1 + 2 * 3");
+  EXPECT_EQ(expr->kind, Expr::Kind::kArithmetic);
+  EXPECT_EQ(expr->arithmetic_op, ArithmeticOp::kAdd);
+  EXPECT_EQ(expr->children[1]->arithmetic_op, ArithmeticOp::kMul);
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  ExprPtr expr = ParseQuery("true or false and false");
+  EXPECT_EQ(expr->kind, Expr::Kind::kOr);
+  EXPECT_EQ(expr->children[1]->kind, Expr::Kind::kAnd);
+}
+
+TEST(ParserTest, CommaBuildsSequence) {
+  ExprPtr expr = ParseQuery("1, 2, 3");
+  EXPECT_EQ(expr->kind, Expr::Kind::kSequence);
+  EXPECT_EQ(expr->children.size(), 3u);
+  EXPECT_EQ(ParseQuery("()")->kind, Expr::Kind::kSequence);
+  EXPECT_TRUE(ParseQuery("()")->children.empty());
+}
+
+TEST(ParserTest, PostfixChain) {
+  ExprPtr expr = ParseQuery("$x.a[][[1]]");
+  EXPECT_EQ(expr->kind, Expr::Kind::kArrayLookup);
+  EXPECT_EQ(expr->children[0]->kind, Expr::Kind::kArrayUnbox);
+  EXPECT_EQ(expr->children[0]->children[0]->kind, Expr::Kind::kObjectLookup);
+}
+
+TEST(ParserTest, ObjectLookupKeyForms) {
+  EXPECT_EQ(ParseQuery("$x.foo")->children[1]->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(ParseQuery("$x.\"f o\"")->children[1]->literal->StringValue(),
+            "f o");
+  EXPECT_EQ(ParseQuery("$x.$k")->children[1]->kind, Expr::Kind::kVariableRef);
+  EXPECT_EQ(ParseQuery("$x.(\"dyn\")")->children[1]->kind,
+            Expr::Kind::kLiteral);
+}
+
+TEST(ParserTest, PredicateVsUnbox) {
+  EXPECT_EQ(ParseQuery("$x[1]")->kind, Expr::Kind::kPredicate);
+  EXPECT_EQ(ParseQuery("$x[]")->kind, Expr::Kind::kArrayUnbox);
+}
+
+TEST(ParserTest, ObjectConstructorKeyForms) {
+  ExprPtr expr = ParseQuery("{ plain: 1, \"quoted\": 2 }");
+  EXPECT_EQ(expr->kind, Expr::Kind::kObjectConstructor);
+  ASSERT_EQ(expr->object_keys.size(), 2u);
+  EXPECT_EQ(expr->object_keys[0]->literal->StringValue(), "plain");
+}
+
+TEST(ParserTest, FlworClauseSequence) {
+  ExprPtr expr = ParseQuery(
+      "for $x in (1,2,3) let $y := $x * 2 where $y gt 2 "
+      "group by $k := $y mod 2 order by $k descending empty greatest "
+      "count $c return $c");
+  EXPECT_EQ(expr->kind, Expr::Kind::kFlwor);
+  ASSERT_EQ(expr->clauses.size(), 6u);
+  EXPECT_EQ(expr->clauses[0].kind, FlworClause::Kind::kFor);
+  EXPECT_EQ(expr->clauses[1].kind, FlworClause::Kind::kLet);
+  EXPECT_EQ(expr->clauses[2].kind, FlworClause::Kind::kWhere);
+  EXPECT_EQ(expr->clauses[3].kind, FlworClause::Kind::kGroupBy);
+  EXPECT_EQ(expr->clauses[4].kind, FlworClause::Kind::kOrderBy);
+  EXPECT_FALSE(expr->clauses[4].order_specs[0].ascending);
+  EXPECT_TRUE(expr->clauses[4].order_specs[0].empty_greatest);
+  EXPECT_EQ(expr->clauses[5].kind, FlworClause::Kind::kCount);
+}
+
+TEST(ParserTest, ForWithPositionalAndAllowingEmpty) {
+  ExprPtr expr =
+      ParseQuery("for $x allowing empty at $i in (1,2) return $i");
+  EXPECT_TRUE(expr->clauses[0].allowing_empty);
+  EXPECT_EQ(expr->clauses[0].position_variable, "i");
+}
+
+TEST(ParserTest, MultipleBindingsInOneClause) {
+  ExprPtr expr = ParseQuery("for $x in (1,2), $y in (3,4) return $x");
+  EXPECT_EQ(expr->clauses.size(), 2u);
+  expr = ParseQuery("let $a := 1, $b := 2 return $a");
+  EXPECT_EQ(expr->clauses.size(), 2u);
+}
+
+TEST(ParserTest, QuantifiedExpressions) {
+  ExprPtr expr =
+      ParseQuery("some $x in (1,2,3) satisfies $x gt 2");
+  EXPECT_EQ(expr->kind, Expr::Kind::kQuantified);
+  EXPECT_EQ(expr->quantifier, QuantifierKind::kSome);
+  expr = ParseQuery("every $x in (1,2), $y in (3,4) satisfies $x lt $y");
+  EXPECT_EQ(expr->quantifier_bindings.size(), 2u);
+}
+
+TEST(ParserTest, IfAndTryCatch) {
+  EXPECT_EQ(ParseQuery("if (1 eq 1) then 2 else 3")->kind,
+            Expr::Kind::kIfThenElse);
+  EXPECT_EQ(ParseQuery("try { 1 div 0 } catch * { -1 }")->kind,
+            Expr::Kind::kTryCatch);
+}
+
+TEST(ParserTest, TypeExpressions) {
+  ExprPtr expr = ParseQuery("5 instance of integer");
+  EXPECT_EQ(expr->kind, Expr::Kind::kInstanceOf);
+  EXPECT_EQ(expr->sequence_type.type, TypeName::kInteger);
+  expr = ParseQuery("\"5\" cast as integer?");
+  EXPECT_EQ(expr->kind, Expr::Kind::kCastAs);
+  EXPECT_EQ(expr->sequence_type.arity, Arity::kOptional);
+  expr = ParseQuery("(1,2) treat as integer+");
+  EXPECT_EQ(expr->sequence_type.arity, Arity::kPlus);
+  expr = ParseQuery("() instance of empty-sequence()");
+  EXPECT_TRUE(expr->sequence_type.is_empty_sequence);
+}
+
+TEST(ParserTest, RangeAndConcat) {
+  EXPECT_EQ(ParseQuery("1 to 5")->kind, Expr::Kind::kRange);
+  EXPECT_EQ(ParseQuery("\"a\" || \"b\" || \"c\"")->children.size(), 3u);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryPosition) {
+  for (const char* bad :
+       {"for $x in", "1 +", "{ \"a\" 1 }", "if (1) then 2", "$x.", "((1)",
+        "for return 1", "let $x 3 return $x", "1 2"}) {
+    try {
+      ParseQuery(bad);
+      FAIL() << bad;
+    } catch (const RumbleException& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kStaticSyntax) << bad;
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+    }
+  }
+}
+
+TEST(ParserTest, KeywordsUsableAsLookupKeys) {
+  // Keywords are not reserved: .for is a field lookup.
+  ExprPtr expr = ParseQuery("$x.where");
+  EXPECT_EQ(expr->kind, Expr::Kind::kObjectLookup);
+  EXPECT_EQ(expr->children[1]->literal->StringValue(), "where");
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

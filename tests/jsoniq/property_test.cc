@@ -1,0 +1,220 @@
+// Property tests that check the engine against independent reference
+// models computed directly in C++ over randomly generated data.
+
+#include <algorithm>
+#include <map>
+
+#include "src/item/item_factory.h"
+#include "src/util/prng.h"
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+/// Random flat records with a low-cardinality key, a value, and occasional
+/// missing fields — enough structure for group/sort/filter references.
+struct Record {
+  std::string key;   // empty = absent
+  std::int64_t value;
+  bool has_value;
+};
+
+std::vector<Record> RandomRecords(std::uint64_t seed, std::size_t n) {
+  util::Prng prng(seed);
+  std::vector<Record> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Record record;
+    if (!prng.NextBool(0.1)) {
+      record.key = std::string(1, static_cast<char>('a' + prng.NextBounded(5)));
+    }
+    record.has_value = !prng.NextBool(0.1);
+    record.value = static_cast<std::int64_t>(prng.NextBounded(100)) - 50;
+    records.push_back(record);
+  }
+  return records;
+}
+
+/// Serializes the records as a JSONiq parallelize(...) literal.
+std::string AsQueryData(const std::vector<Record>& records) {
+  std::string out = "parallelize((";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{";
+    bool first = true;
+    if (!records[i].key.empty()) {
+      out += "\"k\": \"" + records[i].key + "\"";
+      first = false;
+    }
+    if (records[i].has_value) {
+      if (!first) out += ", ";
+      out += "\"v\": " + std::to_string(records[i].value);
+      first = false;
+    }
+    if (first) out += "\"pad\": 0";
+    out += "}";
+  }
+  out += "), 4)";
+  return out;
+}
+
+class ReferenceModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReferenceModelProperty, GroupByCountsMatchReference) {
+  auto records = RandomRecords(static_cast<std::uint64_t>(GetParam()) + 1, 120);
+
+  // Reference: counts per key, absent keys forming their own group.
+  std::map<std::string, int> reference;
+  for (const auto& record : records) {
+    ++reference[record.key.empty() ? "<empty>" : record.key];
+  }
+
+  Rumble engine;
+  auto result = engine.Run(
+      "for $r in " + AsQueryData(records) +
+      " group by $k := $r.k let $n := count($r) "
+      "order by ($k, \"<empty>\")[1] return (($k, \"<empty>\")[1] "
+      "|| \"=\" || $n)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::vector<std::string> got;
+  for (const auto& item : result.value()) {
+    got.push_back(item->StringValue());
+  }
+  std::vector<std::string> want;
+  for (const auto& [key, count] : reference) {
+    want.push_back(key + "=" + std::to_string(count));
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(ReferenceModelProperty, FilterPartitionsTheInput) {
+  auto records = RandomRecords(static_cast<std::uint64_t>(GetParam()) + 99, 150);
+  std::string data = AsQueryData(records);
+  Rumble engine;
+  auto matching = engine.Run("count(for $r in " + data +
+                             " where $r.v gt 0 return $r)");
+  auto complement = engine.Run("count(for $r in " + data +
+                               " where not($r.v gt 0) return $r)");
+  ASSERT_TRUE(matching.ok());
+  ASSERT_TRUE(complement.ok());
+  EXPECT_EQ(matching.value().front()->IntegerValue() +
+                complement.value().front()->IntegerValue(),
+            static_cast<std::int64_t>(records.size()));
+
+  // Reference count.
+  std::int64_t reference = 0;
+  for (const auto& record : records) {
+    if (record.has_value && record.value > 0) ++reference;
+  }
+  EXPECT_EQ(matching.value().front()->IntegerValue(), reference);
+}
+
+TEST_P(ReferenceModelProperty, OrderByProducesSortedPermutation) {
+  auto records = RandomRecords(static_cast<std::uint64_t>(GetParam()) + 7, 100);
+  std::string data = AsQueryData(records);
+  Rumble engine;
+  auto sorted = engine.Run("for $r in " + data +
+                           " where exists($r.v) order by $r.v return $r.v");
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+
+  std::vector<std::int64_t> got;
+  for (const auto& item : sorted.value()) {
+    got.push_back(item->IntegerValue());
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+
+  std::vector<std::int64_t> want;
+  for (const auto& record : records) {
+    if (record.has_value) want.push_back(record.value);
+  }
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);  // same multiset, since both are sorted
+}
+
+TEST_P(ReferenceModelProperty, SumAvgMinMaxMatchReference) {
+  auto records = RandomRecords(static_cast<std::uint64_t>(GetParam()) + 31, 80);
+  std::string data = AsQueryData(records);
+  std::int64_t sum = 0;
+  std::int64_t count = 0;
+  std::int64_t lo = 1000;
+  std::int64_t hi = -1000;
+  for (const auto& record : records) {
+    if (!record.has_value) continue;
+    sum += record.value;
+    ++count;
+    lo = std::min(lo, record.value);
+    hi = std::max(hi, record.value);
+  }
+  ASSERT_GT(count, 0);
+
+  Rumble engine;
+  auto result = engine.Run(
+      "let $vs := (for $r in " + data + " return $r.v) return "
+      "[sum($vs), count($vs), min($vs), max($vs)]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const item::Item& array = *result.value().front();
+  EXPECT_EQ(array.MemberAt(0)->IntegerValue(), sum);
+  EXPECT_EQ(array.MemberAt(1)->IntegerValue(), count);
+  EXPECT_EQ(array.MemberAt(2)->IntegerValue(), lo);
+  EXPECT_EQ(array.MemberAt(3)->IntegerValue(), hi);
+}
+
+TEST_P(ReferenceModelProperty, CountClauseEnumeratesConsecutively) {
+  auto records = RandomRecords(static_cast<std::uint64_t>(GetParam()) + 63, 60);
+  Rumble engine;
+  auto result = engine.Run("for $r in " + AsQueryData(records) +
+                           " count $i return $i");
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < result.value().size(); ++i) {
+    EXPECT_EQ(result.value()[i]->IntegerValue(),
+              static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_EQ(result.value().size(), records.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReferenceModelProperty, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Distributed positional predicates (zipWithIndex-backed)
+// ---------------------------------------------------------------------------
+
+TEST(DistributedPredicateTest, NumericPredicateSelectsByGlobalPosition) {
+  Rumble engine;
+  auto result = engine.Run("parallelize((\"a\",\"b\",\"c\",\"d\"), 3)[3]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result.value()), "\"c\"\n");
+}
+
+TEST(DistributedPredicateTest, PositionAndLastWorkDistributed) {
+  Rumble engine;
+  auto head2 = engine.Run(
+      "parallelize(1 to 100, 8)[position() le 2]");
+  ASSERT_TRUE(head2.ok());
+  EXPECT_EQ(json::SerializeLines(head2.value()), "1\n2\n");
+  auto last = engine.Run("parallelize(1 to 100, 8)[position() eq last()]");
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(json::SerializeLines(last.value()), "100\n");
+}
+
+TEST(DistributedPredicateTest, MatchesLocalSemantics) {
+  common::RumbleConfig local_config;
+  local_config.force_local_execution = true;
+  Rumble local(local_config);
+  Rumble distributed;
+  for (const char* query :
+       {"parallelize(1 to 37, 5)[$$ mod 3 eq 1]",
+        "parallelize(1 to 37, 5)[17]",
+        "parallelize((), 3)[1]"}) {
+    auto a = local.Run(query);
+    auto b = distributed.Run(query);
+    ASSERT_TRUE(a.ok()) << query;
+    ASSERT_TRUE(b.ok()) << query;
+    EXPECT_EQ(json::SerializeLines(a.value()),
+              json::SerializeLines(b.value()))
+        << query;
+  }
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

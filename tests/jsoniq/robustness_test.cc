@@ -1,0 +1,186 @@
+#include <filesystem>
+#include <thread>
+
+#include "src/item/item_factory.h"
+#include "src/storage/dfs.h"
+#include "src/workload/confusion.h"
+#include "tests/jsoniq/test_helpers.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+using common::ErrorCode;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("rumble_robust_" + name))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: errors inside executor tasks must surface as the right
+// Status on the driver, never crash, hang or get swallowed.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, MalformedRecordInsideDatasetSurfacesParseError) {
+  std::string path = TempPath("bad_json");
+  storage::Dfs::WritePartitioned(
+      path, {"{\"a\": 1}\n{\"a\": 2}\n", "{\"a\": 3}\nTHIS IS NOT JSON\n",
+             "{\"a\": 5}\n"});
+  Rumble engine;
+  auto result = engine.Run("count(json-file(\"" + path + "\"))");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kJsonParseError);
+  storage::Dfs::Remove(path);
+}
+
+TEST(FailureInjectionTest, MalformedRecordInFlworPipelineSurfaces) {
+  std::string path = TempPath("bad_json_flwor");
+  storage::Dfs::WritePartitioned(path,
+                                 {"{\"a\": 1}\n{broken\n{\"a\": 2}\n"});
+  Rumble engine;
+  auto result = engine.Run("for $x in json-file(\"" + path +
+                           "\") where $x.a gt 0 return $x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kJsonParseError);
+  storage::Dfs::Remove(path);
+}
+
+TEST(FailureInjectionTest, UserErrorInsideDistributedUdfSurfaces) {
+  Rumble engine;
+  auto result = engine.Run(
+      "for $x in parallelize(1 to 100, 8) "
+      "let $y := if ($x eq 37) then error(\"poison pill\") else $x "
+      "where $y gt 0 return $y");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kUserError);
+  EXPECT_NE(result.status().message().find("poison"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, TypeErrorInsideGroupKeySurfaces) {
+  Rumble engine;
+  auto result = engine.Run(
+      "for $x in parallelize((1, 2, 3), 2) "
+      "group by $k := [$x] return $k");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidGroupingKey);
+}
+
+TEST(FailureInjectionTest, TryCatchHandlesDistributedFailuresAtTheDriver) {
+  // The error crosses the task boundary, is rethrown on the driver, and is
+  // caught by a try/catch around the whole FLWOR.
+  Rumble engine;
+  auto result = engine.Run(
+      "try { count(for $x in parallelize(1 to 50, 4) "
+      "let $y := $x div ($x - 25) return $y) } catch * { \"recovered\" }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().front()->StringValue(), "recovered");
+}
+
+TEST(FailureInjectionTest, EngineIsReusableAfterErrors) {
+  Rumble engine;
+  EXPECT_FALSE(engine.Run("1 div 0").ok());
+  EXPECT_FALSE(engine.Run("json-file(\"/missing\")").ok());
+  auto ok = engine.Run("sum(parallelize(1 to 10, 3))");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().front()->IntegerValue(), 55);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one engine, many driver threads.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ParallelQueriesOnOneEngineAgree) {
+  std::string path = TempPath("concurrent");
+  workload::ConfusionOptions options;
+  options.num_objects = 800;
+  options.partitions = 4;
+  workload::ConfusionGenerator::WriteDataset(path, options);
+
+  Rumble engine;
+  std::string query = "count(for $e in json-file(\"" + path +
+                      "\") where $e.guess eq $e.target return $e)";
+  auto expected = engine.Run(query);
+  ASSERT_TRUE(expected.ok());
+  std::int64_t expected_count = expected.value().front()->IntegerValue();
+
+  constexpr int kThreads = 6;
+  std::vector<std::int64_t> results(kThreads, -1);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto result = engine.Run(query);
+      if (result.ok()) {
+        results[static_cast<std::size_t>(t)] =
+            result.value().front()->IntegerValue();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::int64_t count : results) {
+    EXPECT_EQ(count, expected_count);
+  }
+  storage::Dfs::Remove(path);
+}
+
+TEST(ConcurrencyTest, MixedQueryShapesInParallel) {
+  Rumble engine;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  auto check = [&](const std::string& query, const std::string& expected) {
+    auto result = engine.Run(query);
+    if (!result.ok() ||
+        json::SerializeLines(result.value()) != expected + "\n") {
+      failures.fetch_add(1);
+    }
+  };
+  threads.emplace_back(check, "sum(parallelize(1 to 100, 5))", "5050");
+  threads.emplace_back(
+      check, "count(for $x in parallelize(1 to 60, 3) group by $k := $x mod 6 return $k)",
+      "6");
+  threads.emplace_back(check, "string-join((\"a\",\"b\"), \"-\")", "\"a-b\"");
+  threads.emplace_back(
+      check,
+      "(for $x in parallelize((3,1,2), 2) order by $x descending return $x)[1]",
+      "3");
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Large-ish stress within test budget
+// ---------------------------------------------------------------------------
+
+TEST(StressTest, WideGroupByManyDistinctKeys) {
+  Rumble engine;
+  auto result = engine.Run(
+      "count(for $x in parallelize(1 to 20000, 8) "
+      "group by $k := $x mod 5000 return $k)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().front()->IntegerValue(), 5000);
+}
+
+TEST(StressTest, DeepExpressionNesting) {
+  // 200 nested parentheses/additions: no recursion blowups in the parser
+  // or the iterator builder.
+  std::string query = "0";
+  for (int i = 0; i < 200; ++i) {
+    query = "(" + query + " + 1)";
+  }
+  Rumble engine;
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().front()->IntegerValue(), 200);
+}
+
+TEST(StressTest, ManySmallQueriesReuseTheEngine) {
+  Rumble engine;
+  for (int i = 0; i < 200; ++i) {
+    auto result =
+        engine.Run("sum((1 to " + std::to_string(i % 10 + 1) + "))");
+    ASSERT_TRUE(result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "src/jsoniq/parser.h"
+#include "src/jsoniq/static_context.h"
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+
+namespace rumble::jsoniq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FreeVariables
+// ---------------------------------------------------------------------------
+
+std::set<std::string> FreeOf(const std::string& query) {
+  return FreeVariables(*ParseQuery(query));
+}
+
+TEST(FreeVariablesTest, SimpleReference) {
+  EXPECT_EQ(FreeOf("$x + $y"), (std::set<std::string>{"x", "y"}));
+  EXPECT_TRUE(FreeOf("1 + 2").empty());
+}
+
+TEST(FreeVariablesTest, FlworBindingsAreNotFree) {
+  EXPECT_TRUE(FreeOf("for $x in (1, 2) return $x").empty());
+  EXPECT_EQ(FreeOf("for $x in $input return $x"),
+            (std::set<std::string>{"input"}));
+}
+
+TEST(FreeVariablesTest, ShadowingInsideFlwor) {
+  // The outer $x is free in the binding expression, bound in the return.
+  EXPECT_EQ(FreeOf("for $x in ($x, 1) return $x"),
+            (std::set<std::string>{"x"}));
+}
+
+TEST(FreeVariablesTest, QuantifierBindings) {
+  EXPECT_TRUE(FreeOf("some $v in (1,2) satisfies $v gt 1").empty());
+  EXPECT_EQ(FreeOf("some $v in $src satisfies $v gt $limit"),
+            (std::set<std::string>{"src", "limit"}));
+}
+
+TEST(FreeVariablesTest, GroupByAndCountBindings) {
+  EXPECT_TRUE(
+      FreeOf("for $x in (1,2) group by $k := $x mod 2 return $k").empty());
+  EXPECT_TRUE(FreeOf("for $x in (1,2) count $c return $c").empty());
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzeVariableUsage (the Section 4.7 classification)
+// ---------------------------------------------------------------------------
+
+UsageKind UsageOf(const std::string& expr, const std::string& variable) {
+  return AnalyzeVariableUsage(*ParseQuery(expr), variable);
+}
+
+TEST(UsageAnalysisTest, Unused) {
+  EXPECT_EQ(UsageOf("1 + 2", "v"), UsageKind::kUnused);
+  EXPECT_EQ(UsageOf("$other", "v"), UsageKind::kUnused);
+}
+
+TEST(UsageAnalysisTest, CountOnly) {
+  EXPECT_EQ(UsageOf("count($v)", "v"), UsageKind::kCountOnly);
+  EXPECT_EQ(UsageOf("count($v) + count($v)", "v"), UsageKind::kCountOnly);
+  EXPECT_EQ(UsageOf("{ \"n\": count($v) }", "v"), UsageKind::kCountOnly);
+}
+
+TEST(UsageAnalysisTest, GeneralWins) {
+  EXPECT_EQ(UsageOf("$v", "v"), UsageKind::kGeneral);
+  EXPECT_EQ(UsageOf("count($v) + sum($v)", "v"), UsageKind::kGeneral);
+  EXPECT_EQ(UsageOf("count(($v, 1))", "v"), UsageKind::kGeneral);
+}
+
+TEST(UsageAnalysisTest, ShadowingStopsAnalysis) {
+  // The inner for rebinds $v; its body's $v is not ours.
+  EXPECT_EQ(UsageOf("for $v in (1,2) return $v", "v"), UsageKind::kUnused);
+  EXPECT_EQ(UsageOf("for $x in $v return $v", "v"), UsageKind::kGeneral);
+  EXPECT_EQ(UsageOf("for $x in count($v) return 1", "v"),
+            UsageKind::kCountOnly);
+}
+
+// ---------------------------------------------------------------------------
+// RewriteCountToVariable
+// ---------------------------------------------------------------------------
+
+TEST(CountRewriteTest, ReplacesCountCalls) {
+  ExprPtr expr = ParseQuery("count($v) + 1");
+  ExprPtr rewritten = RewriteCountToVariable(expr, "v");
+  // count($v) became $v.
+  EXPECT_EQ(rewritten->children[0]->kind, Expr::Kind::kVariableRef);
+  EXPECT_EQ(rewritten->children[0]->variable, "v");
+}
+
+TEST(CountRewriteTest, LeavesOtherCountsAlone) {
+  ExprPtr expr = ParseQuery("count($w)");
+  ExprPtr rewritten = RewriteCountToVariable(expr, "v");
+  EXPECT_EQ(rewritten->kind, Expr::Kind::kFunctionCall);
+}
+
+TEST(CountRewriteTest, RespectsShadowing) {
+  ExprPtr expr = ParseQuery("for $v in (1,2) return count($v)");
+  ExprPtr rewritten = RewriteCountToVariable(expr, "v");
+  // Inside the rebinding FLWOR, count($v) must survive.
+  EXPECT_EQ(rewritten->return_expr->kind, Expr::Kind::kFunctionCall);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: pushdown configuration changes plumbing, not results.
+// ---------------------------------------------------------------------------
+
+TEST(PushdownConfigTest, ResultsIdenticalWithAndWithoutOptimizations) {
+  const std::string query =
+      "for $x in parallelize(1 to 200, 4) "
+      "let $unused := $x * 100 "
+      "group by $k := $x mod 7 "
+      "let $n := count($x) "
+      "order by $n descending, $k ascending "
+      "return { \"k\": $k, \"n\": $n }";
+
+  common::RumbleConfig on;
+  on.groupby_count_pushdown = true;
+  on.groupby_drop_unused = true;
+  common::RumbleConfig off;
+  off.groupby_count_pushdown = false;
+  off.groupby_drop_unused = false;
+
+  Rumble engine_on(on);
+  Rumble engine_off(off);
+  auto result_on = engine_on.Run(query);
+  auto result_off = engine_off.Run(query);
+  ASSERT_TRUE(result_on.ok()) << result_on.status().ToString();
+  ASSERT_TRUE(result_off.ok()) << result_off.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result_on.value()),
+            json::SerializeLines(result_off.value()));
+}
+
+TEST(PushdownConfigTest, MixedCountAndMaterializedUsage) {
+  // $x is counted AND summed: pushdown must not fire, results stay right.
+  const std::string query =
+      "for $x in parallelize(1 to 100, 4) group by $k := $x mod 2 "
+      "order by $k return { \"n\": count($x), \"s\": sum($x) }";
+  Rumble engine{common::RumbleConfig{}};
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(json::SerializeLines(result.value()),
+            "{\"n\" : 50, \"s\" : 2550}\n{\"n\" : 50, \"s\" : 2500}\n");
+}
+
+TEST(PushdownConfigTest, CountOfLetBoundVariableIsNotPushedDown) {
+  // $s is let-bound to a multi-item sequence; count($s) is the total number
+  // of items, not the tuple count — pushdown must not apply.
+  const std::string query =
+      "for $x in parallelize((1, 2, 3, 4), 2) "
+      "let $s := (1 to $x) "
+      "group by $k := $x mod 2 "
+      "order by $k return count($s)";
+  Rumble engine{common::RumbleConfig{}};
+  auto result = engine.Run(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // k=0: x in {2,4} -> 2+4 = 6 items; k=1: x in {1,3} -> 1+3 = 4 items.
+  EXPECT_EQ(json::SerializeLines(result.value()), "6\n4\n");
+}
+
+}  // namespace
+}  // namespace rumble::jsoniq

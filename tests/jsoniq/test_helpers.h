@@ -1,0 +1,46 @@
+#ifndef RUMBLE_TESTS_JSONIQ_TEST_HELPERS_H_
+#define RUMBLE_TESTS_JSONIQ_TEST_HELPERS_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+
+namespace rumble::jsoniq::testing {
+
+/// Runs a query on a fresh default engine and returns the result serialized
+/// as newline-separated JSON; fails the test on error.
+inline std::string Eval(Rumble& engine, const std::string& query) {
+  auto result = engine.Run(query);
+  EXPECT_TRUE(result.ok()) << query << "\n  -> " << result.status().ToString();
+  if (!result.ok()) return "<error>";
+  return json::SerializeSequence(result.value());
+}
+
+/// Runs a query expecting an error; returns its code.
+inline common::ErrorCode EvalError(Rumble& engine, const std::string& query) {
+  auto result = engine.Run(query);
+  EXPECT_FALSE(result.ok()) << query << " unexpectedly succeeded with: "
+                            << (result.ok() ? json::SerializeSequence(
+                                                  result.value())
+                                            : "");
+  return result.ok() ? common::ErrorCode::kInternal : result.status().code();
+}
+
+class EngineTestBase : public ::testing::Test {
+ protected:
+  std::string Eval(const std::string& query) {
+    return ::rumble::jsoniq::testing::Eval(engine_, query);
+  }
+  common::ErrorCode EvalError(const std::string& query) {
+    return ::rumble::jsoniq::testing::EvalError(engine_, query);
+  }
+
+  Rumble engine_;
+};
+
+}  // namespace rumble::jsoniq::testing
+
+#endif  // RUMBLE_TESTS_JSONIQ_TEST_HELPERS_H_

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <numeric>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/spark/context.h"
+#include "src/storage/dfs.h"
+
+namespace rumble {
+namespace {
+
+using spark::Context;
+using spark::Rdd;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 4) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  return values;
+}
+
+TEST(RddTest, ParallelizeAndCollectPreservesOrder) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(100), 7);
+  EXPECT_EQ(rdd.num_partitions(), 7);
+  EXPECT_EQ(rdd.Collect(), Iota(100));
+}
+
+TEST(RddTest, ParallelizeMorePartitionsThanElements) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(3), 10);
+  EXPECT_EQ(rdd.Collect(), Iota(3));
+  EXPECT_EQ(rdd.Count(), 3u);
+}
+
+TEST(RddTest, MapTransformsEveryElement) {
+  Context context(SmallConfig());
+  auto doubled = context.Parallelize(Iota(50), 5).Map(
+      [](const int& x) { return x * 2; });
+  auto result = doubled.Collect();
+  ASSERT_EQ(result.size(), 50u);
+  EXPECT_EQ(result[10], 20);
+}
+
+TEST(RddTest, FilterKeepsMatching) {
+  Context context(SmallConfig());
+  auto even = context.Parallelize(Iota(100), 4).Filter(
+      [](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(even.Count(), 50u);
+}
+
+TEST(RddTest, FlatMapExpandsAndDrops) {
+  Context context(SmallConfig());
+  auto result = context.Parallelize(Iota(10), 3)
+                    .FlatMap([](const int& x) {
+                      std::vector<int> out;
+                      for (int i = 0; i < x % 3; ++i) out.push_back(x);
+                      return out;
+                    })
+                    .Collect();
+  std::size_t expected = 0;
+  for (int x : Iota(10)) expected += static_cast<std::size_t>(x % 3);
+  EXPECT_EQ(result.size(), expected);
+}
+
+TEST(RddTest, MapPartitionsSeesWholePartitions) {
+  Context context(SmallConfig());
+  auto sizes = context.Parallelize(Iota(10), 4)
+                   .MapPartitions([](std::vector<int>&& part) {
+                     return std::vector<std::size_t>{part.size()};
+                   })
+                   .Collect();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0u), 10u);
+}
+
+TEST(RddTest, PipelinedNarrowChain) {
+  Context context(SmallConfig());
+  auto result = context.Parallelize(Iota(1000), 8)
+                    .Map([](const int& x) { return x + 1; })
+                    .Filter([](const int& x) { return x % 10 == 0; })
+                    .Map([](const int& x) { return x / 10; })
+                    .Collect();
+  EXPECT_EQ(result.size(), 100u);
+  EXPECT_EQ(result.front(), 1);
+}
+
+TEST(RddTest, UnionConcatenates) {
+  Context context(SmallConfig());
+  auto left = context.Parallelize(Iota(5), 2);
+  auto right = context.Parallelize(Iota(3), 1);
+  auto both = left.Union(right);
+  EXPECT_EQ(both.num_partitions(), 3);
+  EXPECT_EQ(both.Count(), 8u);
+}
+
+TEST(RddTest, TakeIsPrefixAcrossPartitions) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(100), 6);
+  EXPECT_EQ(rdd.Take(5), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(rdd.Take(1000).size(), 100u);
+  EXPECT_TRUE(rdd.Take(0).empty());
+}
+
+TEST(RddTest, ZipWithIndexAssignsGlobalPositions) {
+  Context context(SmallConfig());
+  auto indexed = context.Parallelize(Iota(42), 5).ZipWithIndex().Collect();
+  ASSERT_EQ(indexed.size(), 42u);
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed[i].first, static_cast<int>(i));
+    EXPECT_EQ(indexed[i].second, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(RddTest, GroupByGroupsAllValues) {
+  Context context(SmallConfig());
+  auto grouped = context.Parallelize(Iota(100), 8).GroupBy<int>(
+      [](const int& x) { return x % 7; }, std::hash<int>{},
+      std::equal_to<int>{}, 4);
+  auto groups = grouped.Collect();
+  ASSERT_EQ(groups.size(), 7u);
+  std::size_t total = 0;
+  for (const auto& [key, values] : groups) {
+    for (int value : values) {
+      EXPECT_EQ(value % 7, key);
+    }
+    total += values.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(RddTest, GroupByHandlesHashCollisions) {
+  Context context(SmallConfig());
+  struct BadHash {
+    std::size_t operator()(const int&) const { return 42; }
+  };
+  auto grouped = context.Parallelize(Iota(20), 4).GroupBy<int>(
+      [](const int& x) { return x % 5; }, BadHash{}, std::equal_to<int>{}, 3);
+  EXPECT_EQ(grouped.Collect().size(), 5u);
+}
+
+TEST(RddTest, SortByProducesGlobalOrder) {
+  Context context(SmallConfig());
+  std::vector<int> values;
+  for (int i = 0; i < 200; ++i) values.push_back((i * 37) % 200);
+  auto sorted = context.Parallelize(values, 6)
+                    .SortBy([](const int& a, const int& b) { return a < b; })
+                    .Collect();
+  EXPECT_EQ(sorted, Iota(200));
+}
+
+TEST(RddTest, SortByIsStable) {
+  Context context(SmallConfig(2, 1));  // single partition: stability is exact
+  std::vector<std::pair<int, int>> values;
+  for (int i = 0; i < 50; ++i) values.push_back({i % 5, i});
+  auto sorted =
+      context.Parallelize(values, 1)
+          .SortBy([](const auto& a, const auto& b) { return a.first < b.first; })
+          .Collect();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1].first == sorted[i].first) {
+      EXPECT_LT(sorted[i - 1].second, sorted[i].second);
+    }
+  }
+}
+
+TEST(RddTest, AggregateSumsAcrossPartitions) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(101), 9);
+  long total = rdd.Aggregate(
+      0L, [](long acc, const int& x) { return acc + x; },
+      [](long a, const long& b) { return a + b; });
+  EXPECT_EQ(total, 5050L);
+}
+
+TEST(RddTest, CacheAvoidsRecomputation) {
+  Context context(SmallConfig());
+  auto counter = std::make_shared<std::atomic<int>>(0);
+  auto rdd = context.Parallelize(Iota(10), 2)
+                 .Map([counter](const int& x) {
+                   counter->fetch_add(1);
+                   return x;
+                 })
+                 .Cache();
+  rdd.Collect();
+  int after_first = counter->load();
+  rdd.Collect();
+  EXPECT_EQ(counter->load(), after_first);
+}
+
+TEST(RddTest, ExceptionInTaskPropagatesFromAction) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(10), 4).Map([](const int& x) {
+    if (x == 7) {
+      common::ThrowError(common::ErrorCode::kUserError, "task failure");
+    }
+    return x;
+  });
+  EXPECT_THROW(rdd.Collect(), common::RumbleException);
+}
+
+// ---------------------------------------------------------------------------
+// Property: results are independent of partition and executor counts.
+// ---------------------------------------------------------------------------
+
+struct RddConfigCase {
+  int executors;
+  int partitions;
+};
+
+class RddConfigProperty : public ::testing::TestWithParam<RddConfigCase> {};
+
+TEST_P(RddConfigProperty, ResultsIndependentOfPhysicalLayout) {
+  auto [executors, partitions] = GetParam();
+  Context context(SmallConfig(executors, partitions));
+  auto rdd = context.Parallelize(Iota(500), partitions);
+
+  EXPECT_EQ(rdd.Count(), 500u);
+  EXPECT_EQ(rdd.Filter([](const int& x) { return x % 3 == 0; }).Count(), 167u);
+  long total = rdd.Aggregate(
+      0L, [](long acc, const int& x) { return acc + x; },
+      [](long a, const long& b) { return a + b; });
+  EXPECT_EQ(total, 124750L);
+  auto sorted = rdd.SortBy([](const int& a, const int& b) { return a > b; })
+                    .Take(3);
+  EXPECT_EQ(sorted, (std::vector<int>{499, 498, 497}));
+  EXPECT_EQ(rdd.GroupBy<int>([](const int& x) { return x % 11; },
+                             std::hash<int>{}, std::equal_to<int>{}, 0)
+                .Count(),
+            11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, RddConfigProperty,
+    ::testing::Values(RddConfigCase{1, 1}, RddConfigCase{1, 8},
+                      RddConfigCase{2, 3}, RddConfigCase{4, 4},
+                      RddConfigCase{4, 16}, RddConfigCase{8, 2}));
+
+// ---------------------------------------------------------------------------
+// TextFile integration
+// ---------------------------------------------------------------------------
+
+TEST(ContextTest, TextFileRoundTripThroughSave) {
+  Context context(SmallConfig());
+  std::string path = std::filesystem::temp_directory_path() /
+                     "rumble_rdd_test_textfile";
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) lines.push_back("row-" + std::to_string(i));
+  context.SaveAsTextFile(context.Parallelize(lines, 4), path);
+  auto loaded = context.TextFile(path, 4).Collect();
+  EXPECT_EQ(loaded, lines);
+  storage::Dfs::Remove(path);
+}
+
+}  // namespace
+}  // namespace rumble

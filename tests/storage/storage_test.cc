@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/common/error.h"
+#include "src/storage/dfs.h"
+#include "src/storage/text_source.h"
+#include "src/util/prng.h"
+
+namespace rumble {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleException;
+using storage::Dfs;
+using storage::TextSource;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("rumble_storage_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  std::string Path(const std::string& name) { return (root_ / name).string(); }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(StorageTest, StripScheme) {
+  EXPECT_EQ(Dfs::StripScheme("hdfs:///data/x"), "/data/x");
+  EXPECT_EQ(Dfs::StripScheme("s3://bucket/key"), "bucket/key");
+  EXPECT_EQ(Dfs::StripScheme("file:///x"), "/x");
+  EXPECT_EQ(Dfs::StripScheme("/plain/path"), "/plain/path");
+}
+
+TEST_F(StorageTest, WriteAndReadFile) {
+  std::string file = Path("sub/dir/f.txt");
+  Dfs::WriteFile(file, "hello\nworld\n");
+  EXPECT_TRUE(Dfs::Exists(file));
+  EXPECT_EQ(Dfs::ReadFile(file), "hello\nworld\n");
+  EXPECT_EQ(Dfs::FileSize(file), 12u);
+}
+
+TEST_F(StorageTest, ReadRange) {
+  std::string file = Path("r.txt");
+  Dfs::WriteFile(file, "0123456789");
+  EXPECT_EQ(Dfs::ReadRange(file, 2, 5), "234");
+  EXPECT_EQ(Dfs::ReadRange(file, 8, 100), "89");
+  EXPECT_EQ(Dfs::ReadRange(file, 100, 200), "");
+}
+
+TEST_F(StorageTest, MissingFileThrows) {
+  try {
+    Dfs::ReadFile(Path("nope"));
+    FAIL();
+  } catch (const RumbleException& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kFileNotFound);
+  }
+}
+
+TEST_F(StorageTest, PartitionedDatasetLayout) {
+  std::string dataset = Path("data");
+  Dfs::WritePartitioned(dataset, {"a\n", "b\n", "c\n"});
+  auto files = Dfs::ListDataFiles(dataset);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_NE(files[0].find("part-00000"), std::string::npos);
+  EXPECT_NE(files[2].find("part-00002"), std::string::npos);
+  EXPECT_TRUE(Dfs::Exists(dataset + "/_SUCCESS"));
+  EXPECT_EQ(Dfs::ReadFile(files[1]), "b\n");
+}
+
+TEST_F(StorageTest, WritePartitionedReplacesExisting) {
+  std::string dataset = Path("data");
+  Dfs::WritePartitioned(dataset, {"a\n", "b\n"});
+  Dfs::WritePartitioned(dataset, {"only\n"});
+  EXPECT_EQ(Dfs::ListDataFiles(dataset).size(), 1u);
+}
+
+TEST_F(StorageTest, ListDataFilesOnPlainFile) {
+  std::string file = Path("single.json");
+  Dfs::WriteFile(file, "{}\n");
+  auto files = Dfs::ListDataFiles(file);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], file);
+}
+
+TEST_F(StorageTest, ListMissingDatasetThrows) {
+  EXPECT_THROW(Dfs::ListDataFiles(Path("missing")), RumbleException);
+}
+
+TEST_F(StorageTest, RemoveIsIdempotent) {
+  std::string dataset = Path("data");
+  Dfs::WritePartitioned(dataset, {"a\n"});
+  Dfs::Remove(dataset);
+  EXPECT_FALSE(Dfs::Exists(dataset));
+  EXPECT_NO_THROW(Dfs::Remove(dataset));
+}
+
+// ---------------------------------------------------------------------------
+// TextSource
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, PlanSplitsAtLeastOnePerNonEmptyFile) {
+  std::string dataset = Path("data");
+  Dfs::WritePartitioned(dataset, {"a\n", "", "b\nc\n"});
+  auto splits = TextSource::PlanSplits(dataset, 1);
+  EXPECT_EQ(splits.size(), 2u);  // the empty part file yields no split
+}
+
+TEST_F(StorageTest, PlanSplitsHonorsMinSplitsOnBigFile) {
+  std::string file = Path("big.txt");
+  std::string content;
+  for (int i = 0; i < 1000; ++i) content += "line-" + std::to_string(i) + "\n";
+  Dfs::WriteFile(file, content);
+  auto splits = TextSource::PlanSplits(file, 8);
+  EXPECT_GE(splits.size(), 8u);
+}
+
+TEST_F(StorageTest, SplitsReadEveryLineExactlyOnce) {
+  util::Prng prng(1234);
+  std::string file = Path("lines.txt");
+  std::vector<std::string> expected;
+  std::string content;
+  for (int i = 0; i < 500; ++i) {
+    std::string line = std::to_string(i) + ":" + prng.NextHex(prng.NextBounded(30));
+    expected.push_back(line);
+    content += line;
+    content.push_back('\n');
+  }
+  Dfs::WriteFile(file, content);
+  for (int min_splits : {1, 2, 4, 9, 33}) {
+    std::vector<std::string> got;
+    for (const auto& split : TextSource::PlanSplits(file, min_splits)) {
+      auto lines = TextSource::ReadSplit(split);
+      got.insert(got.end(), lines.begin(), lines.end());
+    }
+    EXPECT_EQ(got, expected) << "min_splits=" << min_splits;
+  }
+}
+
+TEST_F(StorageTest, MultiFileDatasetSplitsPreservePartitionOrder) {
+  std::string dataset = Path("data");
+  Dfs::WritePartitioned(dataset, {"a1\na2\n", "b1\n"});
+  std::vector<std::string> got;
+  for (const auto& split : TextSource::PlanSplits(dataset, 1)) {
+    for (const auto& line : TextSource::ReadSplit(split)) {
+      got.push_back(line);
+    }
+  }
+  EXPECT_EQ(got, (std::vector<std::string>{"a1", "a2", "b1"}));
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/common/status.h"
+#include "src/util/memory_budget.h"
+#include "src/util/prng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace rumble {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prng
+// ---------------------------------------------------------------------------
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  util::Prng a(123);
+  util::Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  util::Prng a(1);
+  util::Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(PrngTest, NextBoundedStaysInRange) {
+  util::Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.NextBounded(17), 17u);
+  }
+}
+
+TEST(PrngTest, NextBoundedCoversRange) {
+  util::Prng prng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(prng.NextBounded(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  util::Prng prng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double value = prng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBoolMatchesProbabilityRoughly) {
+  util::Prng prng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (prng.NextBool(0.7)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.7, 0.03);
+}
+
+TEST(PrngTest, ZipfInRangeAndSkewed) {
+  util::Prng prng(9);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t rank = prng.NextZipf(50, 0.8);
+    ASSERT_LT(rank, 50u);
+    ++counts[rank];
+  }
+  // Rank 0 must be clearly more popular than rank 40.
+  EXPECT_GT(counts[0], counts[40] * 3);
+}
+
+TEST(PrngTest, ZipfSingleElement) {
+  util::Prng prng(4);
+  EXPECT_EQ(prng.NextZipf(1, 1.0), 0u);
+}
+
+TEST(PrngTest, HexStringFormat) {
+  util::Prng prng(6);
+  std::string hex = prng.NextHex(32);
+  EXPECT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = util::Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitEmptyAndTrailing) {
+  EXPECT_EQ(util::Split("", ',').size(), 1u);
+  auto parts = util::Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(util::Join(parts, "--"), "x--y--z");
+  EXPECT_EQ(util::Join({}, ","), "");
+}
+
+TEST(StringsTest, FormatDoubleIntegralValues) {
+  EXPECT_EQ(util::FormatDouble(1.0), "1");
+  EXPECT_EQ(util::FormatDouble(-3.0), "-3");
+}
+
+TEST(StringsTest, FormatDoubleRoundTrips) {
+  for (double value : {3.14, -0.5, 1e100, 6.02e23, 0.1}) {
+    EXPECT_EQ(std::stod(util::FormatDouble(value)), value);
+  }
+}
+
+TEST(StringsTest, FormatDoubleSpecials) {
+  EXPECT_EQ(util::FormatDouble(std::nan("")), "NaN");
+  EXPECT_EQ(util::FormatDouble(INFINITY), "Infinity");
+  EXPECT_EQ(util::FormatDouble(-INFINITY), "-Infinity");
+}
+
+TEST(StringsTest, Utf8Length) {
+  EXPECT_EQ(util::Utf8Length(""), 0u);
+  EXPECT_EQ(util::Utf8Length("abc"), 3u);
+  EXPECT_EQ(util::Utf8Length("h\xc3\xa9llo"), 5u);           // é
+  EXPECT_EQ(util::Utf8Length("\xf0\x9f\x98\x80"), 1u);       // emoji
+  EXPECT_EQ(util::Utf8Length("a\xe2\x82\xacz"), 3u);         // a€z
+}
+
+TEST(StringsTest, Utf8Substring) {
+  EXPECT_EQ(util::Utf8Substring("hello", 2, 3), "ell");
+  EXPECT_EQ(util::Utf8Substring("h\xc3\xa9llo", 1, 2), "h\xc3\xa9");
+  EXPECT_EQ(util::Utf8Substring("abc", 0, 2), "a");  // fn:substring rules
+  EXPECT_EQ(util::Utf8Substring("abc", 10, 5), "");
+}
+
+TEST(StringsTest, JsonEscapeSpecials) {
+  EXPECT_EQ(util::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(util::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(util::JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(util::JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// MemoryBudget
+// ---------------------------------------------------------------------------
+
+TEST(MemoryBudgetTest, CountsWithoutLimit) {
+  util::MemoryBudget budget(0);
+  budget.Allocate(100);
+  budget.Allocate(50);
+  EXPECT_EQ(budget.used_bytes(), 150u);
+  budget.Release(50);
+  EXPECT_EQ(budget.used_bytes(), 100u);
+}
+
+TEST(MemoryBudgetTest, ThrowsWhenExceeded) {
+  util::MemoryBudget budget(100);
+  budget.Allocate(90);
+  EXPECT_THROW(budget.Allocate(20), common::RumbleException);
+}
+
+TEST(MemoryBudgetTest, ErrorCodeIsOutOfMemory) {
+  util::MemoryBudget budget(10);
+  try {
+    budget.Allocate(11);
+    FAIL() << "expected an exception";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kOutOfMemory);
+  }
+}
+
+TEST(MemoryBudgetTest, ResetClearsUsage) {
+  util::MemoryBudget budget(100);
+  budget.Allocate(80);
+  budget.Reset();
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_NO_THROW(budget.Allocate(80));
+}
+
+// ---------------------------------------------------------------------------
+// Stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  util::Stopwatch watch;
+  std::int64_t first = watch.ElapsedNanos();
+  std::int64_t second = watch.ElapsedNanos();
+  EXPECT_GE(second, first);
+  EXPECT_GE(first, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Error codes
+// ---------------------------------------------------------------------------
+
+TEST(ErrorTest, CodeNamesAreSpecCodes) {
+  EXPECT_EQ(common::ErrorCodeName(common::ErrorCode::kStaticSyntax),
+            "XPST0003");
+  EXPECT_EQ(common::ErrorCodeName(common::ErrorCode::kTypeError), "XPTY0004");
+  EXPECT_EQ(common::ErrorCodeName(common::ErrorCode::kDivisionByZero),
+            "FOAR0001");
+}
+
+TEST(ErrorTest, WhatIncludesCodeAndMessage) {
+  common::RumbleException error(common::ErrorCode::kTypeError, "boom");
+  EXPECT_NE(std::string(error.what()).find("XPTY0004"), std::string::npos);
+  EXPECT_NE(std::string(error.what()).find("boom"), std::string::npos);
+}
+
+TEST(ErrorTest, StaticErrorClassification) {
+  EXPECT_TRUE(common::RumbleException(common::ErrorCode::kStaticSyntax, "x")
+                  .IsStaticError());
+  EXPECT_TRUE(common::RumbleException(common::ErrorCode::kUnknownFunction, "x")
+                  .IsStaticError());
+  EXPECT_FALSE(common::RumbleException(common::ErrorCode::kTypeError, "x")
+                   .IsStaticError());
+}
+
+TEST(StatusTest, OkAndErrorToString) {
+  EXPECT_EQ(common::Status::OK().ToString(), "OK");
+  auto status = common::Status::Error(common::ErrorCode::kFileNotFound, "gone");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("FODC0002"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  common::Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  common::Result<int> bad(
+      common::Status::Error(common::ErrorCode::kInternal, "x"));
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace rumble

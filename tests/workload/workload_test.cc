@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "src/json/item_parser.h"
+#include "src/storage/dfs.h"
+#include "src/workload/confusion.h"
+#include "src/workload/messy.h"
+#include "src/workload/reddit.h"
+
+namespace rumble {
+namespace {
+
+using workload::ConfusionGenerator;
+using workload::ConfusionOptions;
+using workload::MessyGenerator;
+using workload::RedditGenerator;
+using workload::RedditOptions;
+
+// ---------------------------------------------------------------------------
+// Confusion dataset
+// ---------------------------------------------------------------------------
+
+TEST(ConfusionTest, Deterministic) {
+  EXPECT_EQ(ConfusionGenerator::GenerateLine(42, 7),
+            ConfusionGenerator::GenerateLine(42, 7));
+  EXPECT_NE(ConfusionGenerator::GenerateLine(42, 7),
+            ConfusionGenerator::GenerateLine(42, 8));
+  EXPECT_NE(ConfusionGenerator::GenerateLine(42, 7),
+            ConfusionGenerator::GenerateLine(43, 7));
+}
+
+TEST(ConfusionTest, RecordsHaveThePaperSchema) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    item::ItemPtr record =
+        json::ParseItem(ConfusionGenerator::GenerateLine(1, i));
+    ASSERT_TRUE(record->IsObject());
+    for (const char* field :
+         {"guess", "target", "country", "choices", "sample", "date"}) {
+      EXPECT_NE(record->ValueForKey(field), nullptr) << field;
+    }
+    EXPECT_TRUE(record->ValueForKey("choices")->IsArray());
+    EXPECT_EQ(record->ValueForKey("choices")->ArraySize(), 4u);
+    EXPECT_EQ(record->ValueForKey("sample")->StringValue().size(), 32u);
+    EXPECT_EQ(record->ValueForKey("date")->StringValue().size(), 10u);
+  }
+}
+
+TEST(ConfusionTest, ChoicesContainTarget) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    item::ItemPtr record =
+        json::ParseItem(ConfusionGenerator::GenerateLine(5, i));
+    std::string target = record->ValueForKey("target")->StringValue();
+    bool found = false;
+    for (const auto& choice : record->ValueForKey("choices")->Members()) {
+      if (choice->StringValue() == target) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ConfusionTest, MatchRateNearPaper) {
+  int matches = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    item::ItemPtr record = json::ParseItem(
+        ConfusionGenerator::GenerateLine(9, static_cast<std::uint64_t>(i)));
+    if (record->ValueForKey("guess")->StringValue() ==
+        record->ValueForKey("target")->StringValue()) {
+      ++matches;
+    }
+  }
+  // 72% intended plus incidental correct random guesses.
+  EXPECT_NEAR(matches / static_cast<double>(n), 0.725, 0.03);
+}
+
+TEST(ConfusionTest, TargetDistributionIsSkewed) {
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    item::ItemPtr record = json::ParseItem(
+        ConfusionGenerator::GenerateLine(3, static_cast<std::uint64_t>(i)));
+    ++counts[record->ValueForKey("target")->StringValue()];
+  }
+  EXPECT_GT(counts["French"], counts["Welsh"]);
+  EXPECT_GT(counts.size(), 30u);
+}
+
+TEST(ConfusionTest, WriteDatasetPartitionsAddUp) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "rumble_workload_test_confusion")
+                         .string();
+  ConfusionOptions options;
+  options.num_objects = 103;
+  options.partitions = 4;
+  ConfusionGenerator::WriteDataset(path, options);
+  std::size_t lines = 0;
+  for (const auto& file : storage::Dfs::ListDataFiles(path)) {
+    std::string content = storage::Dfs::ReadFile(file);
+    for (char c : content) {
+      if (c == '\n') ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 103u);
+  storage::Dfs::Remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Reddit dataset
+// ---------------------------------------------------------------------------
+
+TEST(RedditTest, DeterministicAndParseable) {
+  EXPECT_EQ(RedditGenerator::GenerateLine(7, 3),
+            RedditGenerator::GenerateLine(7, 3));
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    item::ItemPtr record = json::ParseItem(RedditGenerator::GenerateLine(7, i));
+    ASSERT_TRUE(record->IsObject());
+    EXPECT_NE(record->ValueForKey("author"), nullptr);
+    EXPECT_NE(record->ValueForKey("subreddit"), nullptr);
+    EXPECT_TRUE(record->ValueForKey("score")->IsInteger());
+  }
+}
+
+TEST(RedditTest, SchemaDriftAcrossEras) {
+  // Some records carry era-dependent fields, some do not.
+  bool some_have_gilded = false;
+  bool some_lack_gilded = false;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    item::ItemPtr record = json::ParseItem(RedditGenerator::GenerateLine(1, i));
+    if (record->ValueForKey("gilded") != nullptr) {
+      some_have_gilded = true;
+    } else {
+      some_lack_gilded = true;
+    }
+  }
+  EXPECT_TRUE(some_have_gilded);
+  EXPECT_TRUE(some_lack_gilded);
+}
+
+TEST(RedditTest, EditedFieldIsHeterogeneous) {
+  bool saw_boolean = false;
+  bool saw_number = false;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    item::ItemPtr record = json::ParseItem(RedditGenerator::GenerateLine(2, i));
+    item::ItemPtr edited = record->ValueForKey("edited");
+    ASSERT_NE(edited, nullptr);
+    if (edited->IsBoolean()) saw_boolean = true;
+    if (edited->IsNumeric()) saw_number = true;
+  }
+  EXPECT_TRUE(saw_boolean);
+  EXPECT_TRUE(saw_number);
+}
+
+TEST(RedditTest, ReplicationMultipliesRecords) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "rumble_workload_test_reddit")
+                         .string();
+  RedditOptions options;
+  options.num_objects = 50;
+  options.replication = 3;
+  options.partitions = 2;
+  RedditGenerator::WriteDataset(path, options);
+  std::size_t lines = 0;
+  for (const auto& file : storage::Dfs::ListDataFiles(path)) {
+    for (char c : storage::Dfs::ReadFile(file)) {
+      if (c == '\n') ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 150u);
+  storage::Dfs::Remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Messy dataset
+// ---------------------------------------------------------------------------
+
+TEST(MessyTest, Figure5LinesRoundTrip) {
+  auto lines = MessyGenerator::Figure5Lines();
+  ASSERT_EQ(lines.size(), 3u);
+  item::ItemPtr second = json::ParseItem(lines[1]);
+  EXPECT_TRUE(second->ValueForKey("bar")->IsArray());
+  EXPECT_TRUE(second->ValueForKey("foobar")->IsString());
+  item::ItemPtr third = json::ParseItem(lines[2]);
+  EXPECT_EQ(third->ValueForKey("foobar"), nullptr);
+}
+
+TEST(MessyTest, CountryFieldVariety) {
+  auto lines = MessyGenerator::GenerateLines(3000, 21);
+  int strings = 0, arrays = 0, nulls = 0, numbers = 0, absent = 0;
+  for (const auto& line : lines) {
+    item::ItemPtr record = json::ParseItem(line);
+    item::ItemPtr country = record->ValueForKey("country");
+    if (country == nullptr) {
+      ++absent;
+    } else if (country->IsString()) {
+      ++strings;
+    } else if (country->IsArray()) {
+      ++arrays;
+    } else if (country->IsNull()) {
+      ++nulls;
+    } else if (country->IsNumeric()) {
+      ++numbers;
+    }
+  }
+  // ~95% clean, every unclean variant present (the paper's "unclean data"
+  // description in Section 3.4).
+  EXPECT_GT(strings, 2700);
+  EXPECT_GT(arrays, 0);
+  EXPECT_GT(nulls, 0);
+  EXPECT_GT(numbers, 0);
+  EXPECT_GT(absent, 0);
+}
+
+}  // namespace
+}  // namespace rumble
