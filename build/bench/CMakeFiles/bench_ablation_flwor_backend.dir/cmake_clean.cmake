@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flwor_backend.dir/bench_ablation_flwor_backend.cc.o"
+  "CMakeFiles/bench_ablation_flwor_backend.dir/bench_ablation_flwor_backend.cc.o.d"
+  "bench_ablation_flwor_backend"
+  "bench_ablation_flwor_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flwor_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

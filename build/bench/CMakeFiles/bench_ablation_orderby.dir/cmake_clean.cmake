@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_orderby.dir/bench_ablation_orderby.cc.o"
+  "CMakeFiles/bench_ablation_orderby.dir/bench_ablation_orderby.cc.o.d"
+  "bench_ablation_orderby"
+  "bench_ablation_orderby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_orderby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parser.dir/bench_ablation_parser.cc.o"
+  "CMakeFiles/bench_ablation_parser.dir/bench_ablation_parser.cc.o.d"
+  "bench_ablation_parser"
+  "bench_ablation_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

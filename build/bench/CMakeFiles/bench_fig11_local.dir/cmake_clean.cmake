@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_local.dir/bench_fig11_local.cc.o"
+  "CMakeFiles/bench_fig11_local.dir/bench_fig11_local.cc.o.d"
+  "bench_fig11_local"
+  "bench_fig11_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

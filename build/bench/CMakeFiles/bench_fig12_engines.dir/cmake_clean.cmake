@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_engines.dir/bench_fig12_engines.cc.o"
+  "CMakeFiles/bench_fig12_engines.dir/bench_fig12_engines.cc.o.d"
+  "bench_fig12_engines"
+  "bench_fig12_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reddit_analytics.dir/reddit_analytics.cpp.o"
+  "CMakeFiles/reddit_analytics.dir/reddit_analytics.cpp.o.d"
+  "reddit_analytics"
+  "reddit_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reddit_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumble_shell.dir/rumble_shell.cpp.o"
+  "CMakeFiles/rumble_shell.dir/rumble_shell.cpp.o.d"
+  "rumble_shell"
+  "rumble_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumble_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/rumble.dir/common/config.cc.o" "gcc" "src/CMakeFiles/rumble.dir/common/config.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/CMakeFiles/rumble.dir/common/error.cc.o" "gcc" "src/CMakeFiles/rumble.dir/common/error.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rumble.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rumble.dir/common/status.cc.o.d"
+  "/root/repo/src/df/column.cc" "src/CMakeFiles/rumble.dir/df/column.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/column.cc.o.d"
+  "/root/repo/src/df/dataframe.cc" "src/CMakeFiles/rumble.dir/df/dataframe.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/dataframe.cc.o.d"
+  "/root/repo/src/df/expressions.cc" "src/CMakeFiles/rumble.dir/df/expressions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/expressions.cc.o.d"
+  "/root/repo/src/df/logical_plan.cc" "src/CMakeFiles/rumble.dir/df/logical_plan.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/logical_plan.cc.o.d"
+  "/root/repo/src/df/optimizer.cc" "src/CMakeFiles/rumble.dir/df/optimizer.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/optimizer.cc.o.d"
+  "/root/repo/src/df/physical_exec.cc" "src/CMakeFiles/rumble.dir/df/physical_exec.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/physical_exec.cc.o.d"
+  "/root/repo/src/df/schema.cc" "src/CMakeFiles/rumble.dir/df/schema.cc.o" "gcc" "src/CMakeFiles/rumble.dir/df/schema.cc.o.d"
+  "/root/repo/src/exec/executor_pool.cc" "src/CMakeFiles/rumble.dir/exec/executor_pool.cc.o" "gcc" "src/CMakeFiles/rumble.dir/exec/executor_pool.cc.o.d"
+  "/root/repo/src/exec/simulated_cluster.cc" "src/CMakeFiles/rumble.dir/exec/simulated_cluster.cc.o" "gcc" "src/CMakeFiles/rumble.dir/exec/simulated_cluster.cc.o.d"
+  "/root/repo/src/exec/task_metrics.cc" "src/CMakeFiles/rumble.dir/exec/task_metrics.cc.o" "gcc" "src/CMakeFiles/rumble.dir/exec/task_metrics.cc.o.d"
+  "/root/repo/src/item/item.cc" "src/CMakeFiles/rumble.dir/item/item.cc.o" "gcc" "src/CMakeFiles/rumble.dir/item/item.cc.o.d"
+  "/root/repo/src/item/item_compare.cc" "src/CMakeFiles/rumble.dir/item/item_compare.cc.o" "gcc" "src/CMakeFiles/rumble.dir/item/item_compare.cc.o.d"
+  "/root/repo/src/item/item_factory.cc" "src/CMakeFiles/rumble.dir/item/item_factory.cc.o" "gcc" "src/CMakeFiles/rumble.dir/item/item_factory.cc.o.d"
+  "/root/repo/src/json/dom.cc" "src/CMakeFiles/rumble.dir/json/dom.cc.o" "gcc" "src/CMakeFiles/rumble.dir/json/dom.cc.o.d"
+  "/root/repo/src/json/item_parser.cc" "src/CMakeFiles/rumble.dir/json/item_parser.cc.o" "gcc" "src/CMakeFiles/rumble.dir/json/item_parser.cc.o.d"
+  "/root/repo/src/json/lines.cc" "src/CMakeFiles/rumble.dir/json/lines.cc.o" "gcc" "src/CMakeFiles/rumble.dir/json/lines.cc.o.d"
+  "/root/repo/src/json/writer.cc" "src/CMakeFiles/rumble.dir/json/writer.cc.o" "gcc" "src/CMakeFiles/rumble.dir/json/writer.cc.o.d"
+  "/root/repo/src/jsoniq/ast.cc" "src/CMakeFiles/rumble.dir/jsoniq/ast.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/ast.cc.o.d"
+  "/root/repo/src/jsoniq/functions/function_library.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/function_library.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/function_library.cc.o.d"
+  "/root/repo/src/jsoniq/functions/io_functions.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/io_functions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/io_functions.cc.o.d"
+  "/root/repo/src/jsoniq/functions/numeric_functions.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/numeric_functions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/numeric_functions.cc.o.d"
+  "/root/repo/src/jsoniq/functions/object_functions.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/object_functions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/object_functions.cc.o.d"
+  "/root/repo/src/jsoniq/functions/sequence_functions.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/sequence_functions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/sequence_functions.cc.o.d"
+  "/root/repo/src/jsoniq/functions/string_functions.cc" "src/CMakeFiles/rumble.dir/jsoniq/functions/string_functions.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/functions/string_functions.cc.o.d"
+  "/root/repo/src/jsoniq/lexer.cc" "src/CMakeFiles/rumble.dir/jsoniq/lexer.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/lexer.cc.o.d"
+  "/root/repo/src/jsoniq/parser.cc" "src/CMakeFiles/rumble.dir/jsoniq/parser.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/parser.cc.o.d"
+  "/root/repo/src/jsoniq/rumble.cc" "src/CMakeFiles/rumble.dir/jsoniq/rumble.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/rumble.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/arithmetic_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/arithmetic_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/arithmetic_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/comparison_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/comparison_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/comparison_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/control_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/control_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/control_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/dynamic_context.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/dynamic_context.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/dynamic_context.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/flwor_dataframe.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_dataframe.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_dataframe.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/flwor_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/flwor_tuple_rdd.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_tuple_rdd.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/flwor_tuple_rdd.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/logic_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/logic_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/logic_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/navigation_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/navigation_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/navigation_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/primary_iterators.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/primary_iterators.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/primary_iterators.cc.o.d"
+  "/root/repo/src/jsoniq/runtime/runtime_iterator.cc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/runtime_iterator.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/runtime/runtime_iterator.cc.o.d"
+  "/root/repo/src/jsoniq/sequence_type.cc" "src/CMakeFiles/rumble.dir/jsoniq/sequence_type.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/sequence_type.cc.o.d"
+  "/root/repo/src/jsoniq/static_context.cc" "src/CMakeFiles/rumble.dir/jsoniq/static_context.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/static_context.cc.o.d"
+  "/root/repo/src/jsoniq/visitor/iterator_builder.cc" "src/CMakeFiles/rumble.dir/jsoniq/visitor/iterator_builder.cc.o" "gcc" "src/CMakeFiles/rumble.dir/jsoniq/visitor/iterator_builder.cc.o.d"
+  "/root/repo/src/spark/context.cc" "src/CMakeFiles/rumble.dir/spark/context.cc.o" "gcc" "src/CMakeFiles/rumble.dir/spark/context.cc.o.d"
+  "/root/repo/src/storage/dfs.cc" "src/CMakeFiles/rumble.dir/storage/dfs.cc.o" "gcc" "src/CMakeFiles/rumble.dir/storage/dfs.cc.o.d"
+  "/root/repo/src/storage/text_source.cc" "src/CMakeFiles/rumble.dir/storage/text_source.cc.o" "gcc" "src/CMakeFiles/rumble.dir/storage/text_source.cc.o.d"
+  "/root/repo/src/util/memory_budget.cc" "src/CMakeFiles/rumble.dir/util/memory_budget.cc.o" "gcc" "src/CMakeFiles/rumble.dir/util/memory_budget.cc.o.d"
+  "/root/repo/src/util/prng.cc" "src/CMakeFiles/rumble.dir/util/prng.cc.o" "gcc" "src/CMakeFiles/rumble.dir/util/prng.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/rumble.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/rumble.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/rumble.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/rumble.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

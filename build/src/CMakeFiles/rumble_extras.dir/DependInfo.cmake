@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/handcoded.cc" "src/CMakeFiles/rumble_extras.dir/baselines/handcoded.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/baselines/handcoded.cc.o.d"
+  "/root/repo/src/baselines/pyspark_sim.cc" "src/CMakeFiles/rumble_extras.dir/baselines/pyspark_sim.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/baselines/pyspark_sim.cc.o.d"
+  "/root/repo/src/baselines/sparksql.cc" "src/CMakeFiles/rumble_extras.dir/baselines/sparksql.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/baselines/sparksql.cc.o.d"
+  "/root/repo/src/baselines/xidel_sim.cc" "src/CMakeFiles/rumble_extras.dir/baselines/xidel_sim.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/baselines/xidel_sim.cc.o.d"
+  "/root/repo/src/baselines/zorba_sim.cc" "src/CMakeFiles/rumble_extras.dir/baselines/zorba_sim.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/baselines/zorba_sim.cc.o.d"
+  "/root/repo/src/workload/confusion.cc" "src/CMakeFiles/rumble_extras.dir/workload/confusion.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/workload/confusion.cc.o.d"
+  "/root/repo/src/workload/messy.cc" "src/CMakeFiles/rumble_extras.dir/workload/messy.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/workload/messy.cc.o.d"
+  "/root/repo/src/workload/reddit.cc" "src/CMakeFiles/rumble_extras.dir/workload/reddit.cc.o" "gcc" "src/CMakeFiles/rumble_extras.dir/workload/reddit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rumble.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

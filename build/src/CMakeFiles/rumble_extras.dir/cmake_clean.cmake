@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rumble_extras.dir/baselines/handcoded.cc.o"
+  "CMakeFiles/rumble_extras.dir/baselines/handcoded.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/baselines/pyspark_sim.cc.o"
+  "CMakeFiles/rumble_extras.dir/baselines/pyspark_sim.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/baselines/sparksql.cc.o"
+  "CMakeFiles/rumble_extras.dir/baselines/sparksql.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/baselines/xidel_sim.cc.o"
+  "CMakeFiles/rumble_extras.dir/baselines/xidel_sim.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/baselines/zorba_sim.cc.o"
+  "CMakeFiles/rumble_extras.dir/baselines/zorba_sim.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/workload/confusion.cc.o"
+  "CMakeFiles/rumble_extras.dir/workload/confusion.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/workload/messy.cc.o"
+  "CMakeFiles/rumble_extras.dir/workload/messy.cc.o.d"
+  "CMakeFiles/rumble_extras.dir/workload/reddit.cc.o"
+  "CMakeFiles/rumble_extras.dir/workload/reddit.cc.o.d"
+  "librumble_extras.a"
+  "librumble_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rumble_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

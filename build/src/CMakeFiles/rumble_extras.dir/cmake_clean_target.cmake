@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librumble_extras.a"
+)

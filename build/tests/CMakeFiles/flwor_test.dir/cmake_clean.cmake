@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flwor_test.dir/jsoniq/flwor_test.cc.o"
+  "CMakeFiles/flwor_test.dir/jsoniq/flwor_test.cc.o.d"
+  "flwor_test"
+  "flwor_test.pdb"
+  "flwor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flwor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
