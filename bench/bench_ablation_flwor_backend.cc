@@ -29,7 +29,11 @@ void RunCase(benchmark::State& state, common::FlworBackend backend,
   std::string query = which == std::string("filter") ? FilterQuery(dataset)
                       : which == std::string("group") ? GroupQuery(dataset)
                                                       : SortQuery(dataset);
-  RunQueryBenchmark(state, engine, query, n);
+  std::string tag = std::string("ablation_flwor_") +
+                    (backend == common::FlworBackend::kDataFrame ? "dataframe_"
+                                                                 : "tuplerdd_") +
+                    which;
+  RunQueryBenchmark(state, engine, query, n, tag.c_str());
 }
 
 void BM_DataFrame_Filter(benchmark::State& state) {

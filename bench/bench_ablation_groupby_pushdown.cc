@@ -21,7 +21,9 @@ void RunGroup(benchmark::State& state, bool optimized) {
   config.groupby_count_pushdown = optimized;
   config.groupby_drop_unused = optimized;
   jsoniq::Rumble engine(config);
-  RunQueryBenchmark(state, engine, GroupQuery(dataset), n);
+  RunQueryBenchmark(state, engine, GroupQuery(dataset), n,
+                    optimized ? "ablation_groupby_optimized"
+                              : "ablation_groupby_materializing");
 }
 
 void BM_GroupBy_Optimized(benchmark::State& state) { RunGroup(state, true); }

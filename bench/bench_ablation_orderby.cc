@@ -22,7 +22,9 @@ void RunSort(benchmark::State& state, bool skip_type_check) {
   config.default_partitions = kPartitions;
   config.orderby_skip_type_check = skip_type_check;
   jsoniq::Rumble engine(config);
-  RunQueryBenchmark(state, engine, SortQuery(dataset), n);
+  RunQueryBenchmark(state, engine, SortQuery(dataset), n,
+                    skip_type_check ? "ablation_orderby_notypecheck"
+                                    : "ablation_orderby_typechecked");
 }
 
 void BM_OrderBy_TypeChecked(benchmark::State& state) { RunSort(state, false); }

@@ -22,7 +22,9 @@ void RunFilter(benchmark::State& state, bool streaming) {
   config.default_partitions = kPartitions;
   config.streaming_parser = streaming;
   jsoniq::Rumble engine(config);
-  RunQueryBenchmark(state, engine, FilterQuery(dataset), n);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n,
+                    streaming ? "ablation_parser_streaming"
+                              : "ablation_parser_domfirst");
 }
 
 void BM_Parser_Streaming(benchmark::State& state) { RunFilter(state, true); }

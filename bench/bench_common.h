@@ -88,10 +88,24 @@ inline std::string RedditFilterQuery(const std::string& dataset) {
          "return $c)";
 }
 
+/// When RUMBLE_EVENT_LOG_DIR is set (scripts/run_benchmarks.sh --event-log),
+/// streams the engine's JSONL event log to <dir>/<tag>.jsonl so every
+/// benchmark run leaves an inspectable job/stage/task trace
+/// (schema: docs/METRICS.md). No-op otherwise.
+inline void MaybeAttachEventLog(jsoniq::Rumble& engine, const char* tag) {
+  const char* dir = std::getenv("RUMBLE_EVENT_LOG_DIR");
+  if (dir == nullptr || *dir == '\0' || tag == nullptr) return;
+  engine.event_bus().SetLogFile(std::string(dir) + "/" + tag + ".jsonl");
+}
+
 /// Runs a query on the engine and reports items/second to the benchmark.
+/// `tag`, when given, names the JSONL event log this run streams under
+/// --event-log (one file per benchmark).
 inline void RunQueryBenchmark(benchmark::State& state, jsoniq::Rumble& engine,
                               const std::string& query,
-                              std::uint64_t num_objects) {
+                              std::uint64_t num_objects,
+                              const char* tag = nullptr) {
+  MaybeAttachEventLog(engine, tag);
   for (auto _ : state) {
     auto result = engine.Run(query);
     if (!result.ok()) {

@@ -34,21 +34,21 @@ void BM_Rumble_Filter(benchmark::State& state) {
   std::uint64_t n = Objects(state);
   const std::string& dataset = ConfusionDataset(n, kPartitions);
   jsoniq::Rumble engine(LocalConfig());
-  RunQueryBenchmark(state, engine, FilterQuery(dataset), n);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n, "fig11_filter");
 }
 
 void BM_Rumble_Group(benchmark::State& state) {
   std::uint64_t n = Objects(state);
   const std::string& dataset = ConfusionDataset(n, kPartitions);
   jsoniq::Rumble engine(LocalConfig());
-  RunQueryBenchmark(state, engine, GroupQuery(dataset), n);
+  RunQueryBenchmark(state, engine, GroupQuery(dataset), n, "fig11_group");
 }
 
 void BM_Rumble_Sort(benchmark::State& state) {
   std::uint64_t n = Objects(state);
   const std::string& dataset = ConfusionDataset(n, kPartitions);
   jsoniq::Rumble engine(LocalConfig());
-  RunQueryBenchmark(state, engine, SortQuery(dataset), n);
+  RunQueryBenchmark(state, engine, SortQuery(dataset), n, "fig11_sort");
 }
 
 // ---- Spark (RDD API, "Spark (Java)") ---------------------------------------

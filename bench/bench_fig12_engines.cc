@@ -39,7 +39,8 @@ void BM_Rumble(benchmark::State& state, const char* which) {
   std::string query = which == std::string("filter") ? FilterQuery(dataset)
                       : which == std::string("group") ? GroupQuery(dataset)
                                                       : SortQuery(dataset);
-  RunQueryBenchmark(state, engine, query, n);
+  RunQueryBenchmark(state, engine, query, n,
+                    (std::string("fig12_rumble_") + which).c_str());
 }
 
 void BM_Zorba(benchmark::State& state, const char* which) {

@@ -43,7 +43,10 @@ void BM_Rumble(benchmark::State& state, Query query) {
   std::uint64_t n = ClusterObjects();
   const std::string& dataset = ConfusionDataset(n, kClusterPartitions);
   jsoniq::Rumble engine(ClusterConfig());
-  RunQueryBenchmark(state, engine, QueryText(query, dataset), n);
+  const char* tag = query == Query::kFilter  ? "fig13_filter"
+                    : query == Query::kGroup ? "fig13_group"
+                                             : "fig13_sort";
+  RunQueryBenchmark(state, engine, QueryText(query, dataset), n, tag);
 }
 
 void BM_Spark(benchmark::State& state, Query query) {

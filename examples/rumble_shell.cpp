@@ -6,14 +6,22 @@
 //
 //   ./build/examples/rumble_shell [--executors N] [--max-items N]
 //                                 [--query "<jsoniq>"] [--file query.jq]
+//                                 [--metrics] [--event-log <path>]
 //
 // Interactive by default: one query per line (end a multi-line query with
-// an empty line); `:quit` exits, `:help` lists commands. With --query or
-// --file, runs that query and exits (scripting mode).
+// an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
+// shows the plan and `:metrics on|off` toggles the per-query stage summary
+// (docs/QUERY_LANGUAGE.md documents both). With --query or --file, runs
+// that query and exits (scripting mode). --event-log streams the JSONL
+// event log (schema: docs/METRICS.md) for either mode.
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -25,12 +33,27 @@ namespace {
 void PrintHelp() {
   std::cout <<
       "Commands:\n"
-      "  :help            this message\n"
-      "  :explain <query> show the compiled tree and execution mode\n"
-      "  :quit            exit the shell\n"
+      "  :help             this message\n"
+      "  :explain <query>  show the compiled tree, execution modes, and plan\n"
+      "  :metrics on|off   toggle the per-query stage/counter summary\n"
+      "  :metrics          show the current counter totals\n"
+      "  :quit             exit the shell\n"
       "Queries: type JSONiq; finish a multi-line query with an empty line.\n"
       "Example: for $x in parallelize(1 to 10) where $x mod 2 eq 0 "
       "return $x\n";
+}
+
+/// Prints the mini Spark-UI summary for one query: the stage table scoped to
+/// the query's events plus the counter deltas it caused.
+void PrintQuerySummary(rumble::obs::EventBus& bus, std::int64_t since,
+                       const std::map<std::string, std::int64_t>& before,
+                       std::size_t rows_out) {
+  std::string summary = bus.SummarySince(since);
+  if (!summary.empty()) std::cout << summary;
+  std::string delta =
+      rumble::obs::EventBus::RenderCounterDelta(before, bus.CounterSnapshot());
+  if (!delta.empty()) std::cout << "counters:\n" << delta << "\n";
+  std::cout << "output rows: " << rows_out << "\n";
 }
 
 }  // namespace
@@ -39,6 +62,8 @@ int main(int argc, char** argv) {
   rumble::common::RumbleConfig config;
   std::size_t max_items = 200;
   std::string oneshot;
+  std::string event_log;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
       config.executors = std::atoi(argv[++i]);
@@ -46,6 +71,10 @@ int main(int argc, char** argv) {
       max_items = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       oneshot = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
+      event_log = argv[++i];
     } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       if (!in) {
@@ -60,8 +89,15 @@ int main(int argc, char** argv) {
 
   // One engine for the whole session: executors start once.
   rumble::jsoniq::Rumble engine(config);
+  rumble::obs::EventBus& bus = engine.event_bus();
+  if (!event_log.empty() && !bus.SetLogFile(event_log)) {
+    std::cerr << "cannot open event log " << event_log << "\n";
+    return 2;
+  }
 
   if (!oneshot.empty()) {
+    std::int64_t since = bus.NextSequence();
+    auto before = bus.CounterSnapshot();
     auto result = engine.Run(oneshot);
     if (!result.ok()) {
       std::cerr << "error: " << result.status().ToString() << "\n";
@@ -69,6 +105,9 @@ int main(int argc, char** argv) {
     }
     for (const auto& item : result.value()) {
       std::cout << item->Serialize() << "\n";
+    }
+    if (metrics) {
+      PrintQuerySummary(bus, since, before, result.value().size());
     }
     return 0;
   }
@@ -87,13 +126,41 @@ int main(int argc, char** argv) {
         PrintHelp();
         continue;
       }
-      if (line.rfind(":explain ", 0) == 0) {
-        auto plan = engine.Explain(line.substr(9));
+      if (line == ":metrics on" || line == "metrics on") {
+        metrics = true;
+        std::cout << "metrics: on\n";
+        continue;
+      }
+      if (line == ":metrics off" || line == "metrics off") {
+        metrics = false;
+        std::cout << "metrics: off\n";
+        continue;
+      }
+      if (line == ":metrics" || line == "metrics") {
+        auto snapshot = bus.CounterSnapshot();
+        if (snapshot.empty()) {
+          std::cout << "no counters recorded yet\n";
+        } else {
+          for (const auto& [name, value] : snapshot) {
+            std::cout << "  " << name << " = " << value << "\n";
+          }
+        }
+        continue;
+      }
+      if (line.rfind(":explain ", 0) == 0 || line.rfind("explain ", 0) == 0) {
+        std::size_t skip = line.front() == ':' ? 9 : 8;
+        auto plan = engine.Explain(line.substr(skip));
         if (plan.ok()) {
           std::cout << plan.value();
         } else {
           std::cout << "error: " << plan.status().ToString() << "\n";
         }
+        continue;
+      }
+      if (!line.empty() && line.front() == ':') {
+        // Unknown :command: complain now instead of silently treating it as
+        // the first line of a query.
+        std::cout << "unknown command " << line << " (:help for help)\n";
         continue;
       }
       if (line.empty()) continue;
@@ -109,6 +176,8 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::int64_t since = bus.NextSequence();
+    auto before = bus.CounterSnapshot();
     auto result = engine.Run(buffer);
     buffer.clear();
     if (!result.ok()) {
@@ -123,6 +192,9 @@ int main(int argc, char** argv) {
     if (shown < items.size()) {
       std::cout << "... (" << items.size() - shown << " more items; raise "
                 << "--max-items to see them)\n";
+    }
+    if (metrics) {
+      PrintQuerySummary(bus, since, before, items.size());
     }
   }
   std::cout << "\nbye.\n";

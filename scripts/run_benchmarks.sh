@@ -3,12 +3,29 @@
 # the combined output. RUMBLE_BENCH_SCALE multiplies dataset sizes toward
 # the paper's scales (default 1 keeps the whole suite in minutes).
 #
-#   scripts/run_benchmarks.sh [output-file]
+#   scripts/run_benchmarks.sh [--event-log <dir>] [output-file]
+#
+# --event-log streams each benchmark's JSONL job/stage/task event log into
+# <dir>/<benchmark>.jsonl (schema: docs/METRICS.md).
 
 set -u
 cd "$(dirname "$0")/.."
 
-out="${1:-bench_output.txt}"
+out="bench_output.txt"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --event-log)
+      [ $# -ge 2 ] || { echo "--event-log needs a directory" >&2; exit 2; }
+      mkdir -p "$2"
+      export RUMBLE_EVENT_LOG_DIR="$(cd "$2" && pwd)"
+      shift 2
+      ;;
+    *)
+      out="$1"
+      shift
+      ;;
+  esac
+done
 : > "$out"
 
 if [ ! -d build/bench ]; then
@@ -24,3 +41,6 @@ for b in build/bench/bench_*; do
 done
 
 echo "wrote $out"
+if [ -n "${RUMBLE_EVENT_LOG_DIR:-}" ]; then
+  echo "event logs in $RUMBLE_EVENT_LOG_DIR"
+fi

@@ -211,29 +211,39 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   // Phase 1: per-partition partial aggregation (map-side combine).
   using PartialMap = std::unordered_map<std::string, GroupState>;
   std::vector<PartialMap> partials(n);
-  context->pool().RunParallel(n, [&](std::size_t p) {
-    PartialMap& partial = partials[p];
-    for (const RecordBatch& batch :
-         child_rdd.ComputePartition(static_cast<int>(p))) {
-      for (std::size_t row = 0; row < batch.num_rows; ++row) {
-        std::string key = EncodeKey(*in_schema, key_indices, batch, row);
-        auto [it, inserted] = partial.try_emplace(std::move(key));
-        GroupState& state = it->second;
-        if (inserted) {
-          state.aggs.resize(aggregates.size());
-          for (std::size_t k : key_indices) {
-            state.key_row.columns.push_back(MakeColumnLike(*in_schema, k));
+  std::vector<std::int64_t> input_rows(n, 0);
+  context->pool().RunParallel(
+      n,
+      [&](std::size_t p) {
+        PartialMap& partial = partials[p];
+        for (const RecordBatch& batch :
+             child_rdd.ComputePartition(static_cast<int>(p))) {
+          input_rows[p] += static_cast<std::int64_t>(batch.num_rows);
+          for (std::size_t row = 0; row < batch.num_rows; ++row) {
+            std::string key = EncodeKey(*in_schema, key_indices, batch, row);
+            auto [it, inserted] = partial.try_emplace(std::move(key));
+            GroupState& state = it->second;
+            if (inserted) {
+              state.aggs.resize(aggregates.size());
+              for (std::size_t k : key_indices) {
+                state.key_row.columns.push_back(MakeColumnLike(*in_schema, k));
+              }
+              std::size_t c = 0;
+              for (std::size_t k : key_indices) {
+                state.key_row.columns[c++].AppendFrom(batch.columns[k], row);
+              }
+              state.key_row.num_rows = 1;
+            }
+            AccumulateRow(*in_schema, aggregates, batch, row, &state);
           }
-          std::size_t c = 0;
-          for (std::size_t k : key_indices) {
-            state.key_row.columns[c++].AppendFrom(batch.columns[k], row);
-          }
-          state.key_row.num_rows = 1;
         }
-        AccumulateRow(*in_schema, aggregates, batch, row, &state);
-      }
-    }
-  });
+      },
+      nullptr, "df.groupBy.partial");
+  {
+    std::int64_t total_rows = 0;
+    for (std::int64_t rows : input_rows) total_rows += rows;
+    spark::BusOf(context).AddToCounter("df.groupby.input_rows", total_rows);
+  }
 
   // Phase 2: shuffle partial states into reduce buckets by key hash.
   std::vector<PartialMap> buckets(n);
@@ -252,6 +262,11 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   partials.clear();
 
   // Phase 3: emit one output batch per reduce bucket.
+  std::int64_t total_groups = 0;
+  for (const auto& bucket : buckets) {
+    total_groups += static_cast<std::int64_t>(bucket.size());
+  }
+  spark::BusOf(context).AddToCounter("df.groupby.groups", total_groups);
   auto results = std::make_shared<std::vector<RecordBatch>>(n);
   context->pool().RunParallel(n, [&](std::size_t p) {
     RecordBatch out;
@@ -301,7 +316,7 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
       ++out.num_rows;
     }
     (*results)[p] = std::move(out);
-  });
+  }, nullptr, "df.groupBy.emit");
 
   return BatchesToRdd(context, std::move(*results));
 }
@@ -355,6 +370,8 @@ Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
   const SchemaPtr schema = plan.schema;
   int n_parts = child_rdd.num_partitions();
   RecordBatch all = ConcatBatches(child_rdd.Collect());
+  spark::BusOf(context).AddToCounter(
+      "df.sort.rows", static_cast<std::int64_t>(all.num_rows));
 
   std::vector<std::size_t> key_indices;
   key_indices.reserve(plan.sort_keys.size());

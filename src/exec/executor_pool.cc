@@ -48,8 +48,18 @@ void ExecutorPool::WorkerLoop() {
 
 void ExecutorPool::RunParallel(std::size_t task_count,
                                const std::function<void(std::size_t)>& fn,
-                               TaskMetrics* metrics) {
+                               TaskMetrics* metrics,
+                               const char* stage_label) {
   if (task_count == 0) return;
+
+  // One RunParallel call = one stage (Spark's task-per-partition model).
+  obs::EventBus* bus = bus_;
+  std::int64_t stage_id = -1;
+  util::Stopwatch stage_watch;
+  if (bus != nullptr) {
+    stage_id = bus->BeginStage(stage_label != nullptr ? stage_label : "stage",
+                               task_count);
+  }
 
   auto run_one = [&](std::size_t i) {
     util::Stopwatch watch;
@@ -57,13 +67,22 @@ void ExecutorPool::RunParallel(std::size_t task_count,
     std::int64_t nanos = watch.ElapsedNanos();
     pool_metrics_.RecordTask(nanos);
     if (metrics != nullptr) metrics->RecordTask(nanos);
+    if (bus != nullptr) bus->TaskEnd(stage_id, i, nanos);
   };
 
   // Nested parallel regions (a task spawning tasks) run inline: Spark jobs
   // do not nest either (Section 5.6), so this path is rare and correctness
   // matters more than parallelism here.
   if (in_worker_ || workers_.size() <= 1 || task_count == 1) {
-    for (std::size_t i = 0; i < task_count; ++i) run_one(i);
+    try {
+      for (std::size_t i = 0; i < task_count; ++i) run_one(i);
+    } catch (...) {
+      if (bus != nullptr) {
+        bus->EndStage(stage_id, stage_watch.ElapsedNanos(), {{"failed", 1}});
+      }
+      throw;
+    }
+    if (bus != nullptr) bus->EndStage(stage_id, stage_watch.ElapsedNanos());
     return;
   }
 
@@ -93,6 +112,13 @@ void ExecutorPool::RunParallel(std::size_t task_count,
 
   std::unique_lock<std::mutex> done_lock(done_mu);
   done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+  if (bus != nullptr && first_error) {
+    // The failed task recorded no task_end; close the stage without the
+    // task-count cross-check by reporting what actually completed.
+    bus->EndStage(stage_id, stage_watch.ElapsedNanos(), {{"failed", 1}});
+  } else if (bus != nullptr) {
+    bus->EndStage(stage_id, stage_watch.ElapsedNanos());
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

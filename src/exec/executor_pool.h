@@ -10,14 +10,20 @@
 #include <vector>
 
 #include "src/exec/task_metrics.h"
+#include "src/obs/event_bus.h"
 
 namespace rumble::exec {
 
 /// Fixed-size worker pool standing in for a Spark executor fleet. Each
 /// submitted task corresponds to one partition of one stage, mirroring
-/// Spark's task-per-partition model. Per-task wall times are recorded in a
-/// TaskMetrics sink so the cluster simulator can replay schedules for
-/// arbitrary executor counts (Figure 14).
+/// Spark's task-per-partition model.
+///
+/// Observability: every RunParallel call is one *stage*. When an
+/// obs::EventBus is attached (spark::Context does this), the pool publishes
+/// stage_start / task_end / stage_end events with per-task wall times — the
+/// scheduler half of the mini Spark-UI. The legacy TaskMetrics sink is kept
+/// as the replay buffer for the cluster simulator (Figure 14), which only
+/// needs raw durations.
 class ExecutorPool {
  public:
   explicit ExecutorPool(int num_executors);
@@ -28,16 +34,28 @@ class ExecutorPool {
 
   int num_executors() const { return static_cast<int>(workers_.size()); }
 
+  /// Attaches the event bus stage/task events are published to (may be null
+  /// to detach). Not synchronized against in-flight RunParallel calls: wire
+  /// it up before running work.
+  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
+  obs::EventBus* event_bus() const { return bus_; }
+
   /// Runs `fn(i)` for i in [0, task_count), in parallel across the pool, and
   /// blocks until all tasks finish. Exceptions thrown by tasks are captured
   /// and the first one is rethrown on the calling thread. Task durations are
   /// appended to `metrics` when non-null. Re-entrant: a task may itself call
   /// RunParallel (the nested call helps execute on the calling thread), which
   /// matches Spark's restriction workaround that jobs do not nest — nested
-  /// calls degrade to inline execution rather than deadlocking.
+  /// calls degrade to inline execution rather than deadlocking. A nested call
+  /// still publishes its own stage (e.g. a shuffle map phase triggered from
+  /// inside a reduce task is a real stage boundary).
+  ///
+  /// `stage_label` names the stage in events and summaries; callers pass
+  /// "action.collect", "shuffle.groupBy.map", ... (default "stage").
   void RunParallel(std::size_t task_count,
                    const std::function<void(std::size_t)>& fn,
-                   TaskMetrics* metrics = nullptr);
+                   TaskMetrics* metrics = nullptr,
+                   const char* stage_label = nullptr);
 
   TaskMetrics& metrics() { return pool_metrics_; }
 
@@ -52,6 +70,7 @@ class ExecutorPool {
   static thread_local bool in_worker_;
 
   TaskMetrics pool_metrics_;
+  obs::EventBus* bus_ = nullptr;
 };
 
 }  // namespace rumble::exec

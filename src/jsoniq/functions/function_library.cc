@@ -15,6 +15,10 @@ class SimpleFunctionIterator final
       : CloneableIterator(std::move(engine), std::move(args)),
         impl_(std::move(impl)) {}
 
+  /// The builder attaches "fn:<name>" as the debug name; this is the
+  /// fallback when it did not.
+  const char* Name() const override { return "function-call"; }
+
  protected:
   item::ItemSequence Compute(const DynamicContext& context) override {
     std::vector<item::ItemSequence> args;

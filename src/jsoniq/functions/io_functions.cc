@@ -39,6 +39,8 @@ class JsonFileIterator final : public CloneableIterator<JsonFileIterator> {
                    std::vector<RuntimeIteratorPtr> args)
       : CloneableIterator(std::move(engine), std::move(args)) {}
 
+  const char* Name() const override { return "json-file"; }
+
   bool IsRddAble() const override { return engine_->ParallelEnabled(); }
 
   spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
@@ -110,6 +112,8 @@ class ParallelizeIterator final
                       std::vector<RuntimeIteratorPtr> args)
       : CloneableIterator(std::move(engine), std::move(args)) {}
 
+  const char* Name() const override { return "parallelize"; }
+
   bool IsRddAble() const override { return engine_->ParallelEnabled(); }
 
   spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
@@ -141,6 +145,8 @@ class TextFileIterator final : public CloneableIterator<TextFileIterator> {
   TextFileIterator(EngineContextPtr engine,
                    std::vector<RuntimeIteratorPtr> args)
       : CloneableIterator(std::move(engine), std::move(args)) {}
+
+  const char* Name() const override { return "text-file"; }
 
   bool IsRddAble() const override { return engine_->ParallelEnabled(); }
 

@@ -27,6 +27,17 @@ class AggregateIterator final : public CloneableIterator<AggregateIterator> {
       : CloneableIterator(std::move(engine), {std::move(argument)}),
         kind_(kind) {}
 
+  const char* Name() const override {
+    switch (kind_) {
+      case AggKind::kCount: return "fn:count";
+      case AggKind::kSum: return "fn:sum";
+      case AggKind::kAvg: return "fn:avg";
+      case AggKind::kMin: return "fn:min";
+      case AggKind::kMax: return "fn:max";
+    }
+    return "aggregate";
+  }
+
  protected:
   item::ItemSequence Compute(const DynamicContext& context) override {
     if (children_[0]->IsRddAble()) {

@@ -46,12 +46,20 @@ common::Result<RuntimeIteratorPtr> Rumble::Compile(
 common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
   common::Result<RuntimeIteratorPtr> compiled = Compile(query);
   if (!compiled.ok()) return compiled.status();
+  // One query run = one job in the event log; every stage the executor pool
+  // runs during evaluation lands under this job id.
+  obs::EventBus& bus = engine_->spark->bus();
+  std::int64_t job = bus.BeginJob(query);
   try {
     if (engine_->memory != nullptr) {
       engine_->memory->Reset();
     }
-    return compiled.value()->MaterializeAll(*globals_);
+    item::ItemSequence items = compiled.value()->MaterializeAll(*globals_);
+    bus.EndJob(job, {{"query.rows_out",
+                      static_cast<std::int64_t>(items.size())}});
+    return items;
   } catch (const common::RumbleException& error) {
+    bus.EndJob(job, {{"failed", 1}});
     return common::Status::FromException(error);
   }
 }
@@ -100,6 +108,8 @@ common::Result<std::string> Rumble::Explain(const std::string& query) const {
     CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
     RuntimeIteratorPtr root = BuildRuntimeIterator(ast, engine_);
     std::string out = ExprToString(*ast);
+    out += "iterator tree:\n";
+    root->ExplainTree(*globals_, 1, &out);
     out += "execution: ";
     if (root->IsRddAble()) {
       out += engine_->config.flwor_backend == common::FlworBackend::kTupleRdd

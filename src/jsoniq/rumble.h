@@ -45,8 +45,10 @@ class Rumble {
   /// Parses and statically checks only; OK means the query would compile.
   common::Status Check(const std::string& query) const;
 
-  /// EXPLAIN: the compiled expression tree plus the execution mode the
-  /// root iterator would take (distributed backend or local pull).
+  /// EXPLAIN: the runtime-iterator tree with every node tagged with its
+  /// execution mode (local / RDD / DF), the DataFrame logical plan where a
+  /// FLWOR takes that backend, and a summary line for the root. Never
+  /// executes the query.
   common::Result<std::string> Explain(const std::string& query) const;
 
   /// Binds a host-provided external variable visible to queries.
@@ -54,6 +56,10 @@ class Rumble {
 
   /// Internal contexts, exposed for tests and the benchmark harness.
   const EngineContextPtr& engine() const { return engine_; }
+
+  /// The per-application event bus: jobs, stages, tasks, counters. Consumers
+  /// attach a JSONL log (SetLogFile) or render summaries (SummarySince).
+  obs::EventBus& event_bus() { return engine_->spark->bus(); }
 
  private:
   common::Result<RuntimeIteratorPtr> Compile(const std::string& query) const;

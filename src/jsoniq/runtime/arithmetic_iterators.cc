@@ -37,6 +37,7 @@ ItemPtr MakeNumeric(ItemType type, double value) {
 
 class ArithmeticIterator final : public CloneableIterator<ArithmeticIterator> {
  public:
+  const char* Name() const override { return "arithmetic"; }
   ArithmeticIterator(EngineContextPtr engine, ArithmeticOp op,
                      RuntimeIteratorPtr left, RuntimeIteratorPtr right)
       : CloneableIterator(std::move(engine),
@@ -120,6 +121,7 @@ class ArithmeticIterator final : public CloneableIterator<ArithmeticIterator> {
 
 class UnaryMinusIterator final : public CloneableIterator<UnaryMinusIterator> {
  public:
+  const char* Name() const override { return "unary-minus"; }
   UnaryMinusIterator(EngineContextPtr engine, RuntimeIteratorPtr child)
       : CloneableIterator(std::move(engine), {std::move(child)}) {}
 
@@ -145,6 +147,7 @@ class UnaryMinusIterator final : public CloneableIterator<UnaryMinusIterator> {
 /// the iterator itself.
 class RangeIterator final : public CloneableIterator<RangeIterator> {
  public:
+  const char* Name() const override { return "range"; }
   RangeIterator(EngineContextPtr engine, RuntimeIteratorPtr from,
                 RuntimeIteratorPtr to)
       : CloneableIterator(std::move(engine), {std::move(from), std::move(to)}) {}

@@ -74,6 +74,7 @@ bool CompareItems(const item::Item& left, const item::Item& right,
 
 class ComparisonIterator final : public CloneableIterator<ComparisonIterator> {
  public:
+  const char* Name() const override { return "comparison"; }
   ComparisonIterator(EngineContextPtr engine, CompareOp op,
                      RuntimeIteratorPtr left, RuntimeIteratorPtr right)
       : CloneableIterator(std::move(engine),

@@ -16,6 +16,7 @@ using item::ItemSequence;
 
 class IfIterator final : public CloneableIterator<IfIterator> {
  public:
+  const char* Name() const override { return "if"; }
   IfIterator(EngineContextPtr engine, RuntimeIteratorPtr condition,
              RuntimeIteratorPtr then_branch, RuntimeIteratorPtr else_branch)
       : CloneableIterator(std::move(engine),
@@ -33,6 +34,7 @@ class IfIterator final : public CloneableIterator<IfIterator> {
 /// key equals it (empty matches empty, equality per AtomicEquals) wins.
 class SwitchIterator final : public CloneableIterator<SwitchIterator> {
  public:
+  const char* Name() const override { return "switch"; }
   SwitchIterator(EngineContextPtr engine,
                  std::vector<RuntimeIteratorPtr> parts)
       : CloneableIterator(std::move(engine), std::move(parts)) {}
@@ -65,6 +67,7 @@ class SwitchIterator final : public CloneableIterator<SwitchIterator> {
 
 class TryCatchIterator final : public CloneableIterator<TryCatchIterator> {
  public:
+  const char* Name() const override { return "try-catch"; }
   TryCatchIterator(EngineContextPtr engine, RuntimeIteratorPtr body,
                    RuntimeIteratorPtr handler)
       : CloneableIterator(std::move(engine),
@@ -87,6 +90,7 @@ class TryCatchIterator final : public CloneableIterator<TryCatchIterator> {
 
 class QuantifiedIterator final : public CloneableIterator<QuantifiedIterator> {
  public:
+  const char* Name() const override { return "quantified"; }
   QuantifiedIterator(EngineContextPtr engine, QuantifierKind kind,
                      std::vector<std::string> variables,
                      std::vector<RuntimeIteratorPtr> bindings,
@@ -128,6 +132,7 @@ class QuantifiedIterator final : public CloneableIterator<QuantifiedIterator> {
 
 class InstanceOfIterator final : public CloneableIterator<InstanceOfIterator> {
  public:
+  const char* Name() const override { return "instance-of"; }
   InstanceOfIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
                      SequenceType type)
       : CloneableIterator(std::move(engine), {std::move(child)}),
@@ -145,6 +150,7 @@ class InstanceOfIterator final : public CloneableIterator<InstanceOfIterator> {
 
 class TreatAsIterator final : public CloneableIterator<TreatAsIterator> {
  public:
+  const char* Name() const override { return "treat-as"; }
   TreatAsIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
                   SequenceType type)
       : CloneableIterator(std::move(engine), {std::move(child)}),
@@ -167,6 +173,7 @@ class TreatAsIterator final : public CloneableIterator<TreatAsIterator> {
 
 class CastAsIterator final : public CloneableIterator<CastAsIterator> {
  public:
+  const char* Name() const override { return "cast-as"; }
   CastAsIterator(EngineContextPtr engine, RuntimeIteratorPtr child,
                  SequenceType type)
       : CloneableIterator(std::move(engine), {std::move(child)}),

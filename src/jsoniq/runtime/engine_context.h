@@ -21,6 +21,12 @@ struct EngineContext {
   bool ParallelEnabled() const {
     return spark != nullptr && !config.force_local_execution;
   }
+
+  /// The application event bus (null only when there is no spark context,
+  /// which does not happen through MakeEngineContext).
+  obs::EventBus* bus() const {
+    return spark != nullptr ? &spark->bus() : nullptr;
+  }
 };
 
 using EngineContextPtr = std::shared_ptr<const EngineContext>;

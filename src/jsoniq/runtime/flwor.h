@@ -107,6 +107,13 @@ spark::Rdd<item::ItemPtr> ExecuteFlworOnTupleRdd(
     const EngineContextPtr& engine, const CompiledFlwor& flwor,
     const DynamicContext& context);
 
+/// EXPLAIN support: renders the DataFrame logical plan the FLWOR would run,
+/// without executing anything (the order-by type-discovery pass is skipped).
+/// Same preconditions as ExecuteFlworOnDataFrames.
+std::string ExplainFlworOnDataFrames(const EngineContextPtr& engine,
+                                     const CompiledFlwor& flwor,
+                                     const DynamicContext& context);
+
 }  // namespace rumble::jsoniq
 
 #endif  // RUMBLE_JSONIQ_RUNTIME_FLWOR_H_

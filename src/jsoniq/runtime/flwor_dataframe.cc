@@ -236,6 +236,10 @@ struct Translator {
   const EngineContextPtr& engine;
   DynamicContextPtr captured;
   DataFrame df;
+  /// EXPLAIN mode: build the logical plan without ever executing it. The
+  /// order-by type-discovery pass runs the plan, so plan-only translation
+  /// takes the lazy no-type-check path instead.
+  bool plan_only = false;
 
   void Apply(const CompiledClause& clause) {
     switch (clause.kind) {
@@ -376,7 +380,7 @@ struct Translator {
     }
     df = df.Project(std::move(with_keys));
 
-    if (engine->config.orderby_skip_type_check) {
+    if (plan_only || engine->config.orderby_skip_type_check) {
       ApplyOrderByWithoutTypeCheck(clause);
       return;
     }
@@ -486,11 +490,13 @@ struct Translator {
   }
 };
 
-}  // namespace
-
-spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
-                                             const CompiledFlwor& flwor,
-                                             const DynamicContext& context) {
+/// Shared translation for execution and EXPLAIN: builds the tuple-stream
+/// DataFrame covering every clause (the return clause is applied by the
+/// caller). With `plan_only` the translation never executes the plan.
+DataFrame TranslateFlwor(const EngineContextPtr& engine,
+                         const CompiledFlwor& flwor,
+                         const DynamicContext& context,
+                         DynamicContextPtr* captured_out, bool plan_only) {
   const CompiledClause& first = flwor.clauses.front();
   if (first.kind != FlworClause::Kind::kFor || !first.expr->IsRddAble()) {
     common::ThrowError(ErrorCode::kInternal,
@@ -499,6 +505,7 @@ spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
   }
 
   DynamicContextPtr captured = DynamicContext::Snapshot(context);
+  *captured_out = captured;
 
   // Initial for clause: the input RDD of items becomes a one-column
   // DataFrame of singleton sequences (Section 4.4, "if the underlying FLWOR
@@ -522,7 +529,8 @@ spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
   Translator translator{engine, captured,
                         DataFrame::FromRdd(engine->spark.get(),
                                            std::move(schema),
-                                           std::move(batches))};
+                                           std::move(batches)),
+                        plan_only};
 
   if (!first.position_variable.empty()) {
     translator.df = translator.df.ZipIndex(kPositionColumn);
@@ -537,13 +545,27 @@ spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
   for (std::size_t i = 1; i < flwor.clauses.size(); ++i) {
     translator.Apply(flwor.clauses[i]);
   }
+  return translator.df;
+}
+
+}  // namespace
+
+spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
+                                             const CompiledFlwor& flwor,
+                                             const DynamicContext& context) {
+  DynamicContextPtr captured;
+  DataFrame df =
+      TranslateFlwor(engine, flwor, context, &captured, /*plan_only=*/false);
+  if (obs::EventBus* bus = engine->bus()) {
+    bus->AddToCounter("flwor.backend.dataframe", 1);
+  }
 
   // Return clause (Section 4.10): flatMap rows back to an RDD of items.
-  df::SchemaPtr final_schema = translator.df.schema_ptr();
+  df::SchemaPtr final_schema = df.schema_ptr();
   std::vector<std::string> inputs =
       ColumnInputs(flwor.return_free_vars, *final_schema);
   RuntimeIteratorPtr prototype = flwor.return_expr;
-  return translator.df.Execute().MapPartitions(
+  return df.Execute().MapPartitions(
       [final_schema, inputs, prototype,
        captured](std::vector<RecordBatch>&& parts) {
         RuntimeIteratorPtr iterator = prototype->Clone();
@@ -566,6 +588,15 @@ spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
         }
         return out;
       });
+}
+
+std::string ExplainFlworOnDataFrames(const EngineContextPtr& engine,
+                                     const CompiledFlwor& flwor,
+                                     const DynamicContext& context) {
+  DynamicContextPtr captured;
+  DataFrame df =
+      TranslateFlwor(engine, flwor, context, &captured, /*plan_only=*/true);
+  return df.Explain();
 }
 
 }  // namespace rumble::jsoniq

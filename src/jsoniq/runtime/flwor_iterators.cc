@@ -412,10 +412,93 @@ class LocalFlworPipeline {
 // FLWOR expression iterator — backend switching (Sections 5.5, 5.8)
 // ---------------------------------------------------------------------------
 
+const char* ClauseKindName(FlworClause::Kind kind) {
+  switch (kind) {
+    case FlworClause::Kind::kFor: return "for";
+    case FlworClause::Kind::kLet: return "let";
+    case FlworClause::Kind::kWhere: return "where";
+    case FlworClause::Kind::kGroupBy: return "group-by";
+    case FlworClause::Kind::kOrderBy: return "order-by";
+    case FlworClause::Kind::kCount: return "count";
+  }
+  return "clause";
+}
+
 class FlworExpressionIterator final : public RuntimeIterator {
  public:
   FlworExpressionIterator(EngineContextPtr engine, CompiledFlwor flwor)
       : RuntimeIterator(std::move(engine), {}), flwor_(std::move(flwor)) {}
+
+  const char* Name() const override { return "flwor"; }
+
+  std::string ExecModeTag() const override {
+    if (!IsRddAble()) return "local";
+    return engine_->config.flwor_backend == common::FlworBackend::kTupleRdd
+               ? "RDD(tuple)"
+               : "DF";
+  }
+
+  /// EXPLAIN: clauses with their nested expression subtrees, the return
+  /// expression, and — on the DataFrame backend — the translated logical
+  /// plan. Never executes the query.
+  void ExplainTree(const DynamicContext& context, int depth,
+                   std::string* out) const override {
+    std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    out->append(indent);
+    out->append("flwor [");
+    out->append(ExecModeTag());
+    out->append("]\n");
+    for (const auto& clause : flwor_.clauses) {
+      out->append(indent);
+      out->append("  ");
+      out->append(ClauseKindName(clause.kind));
+      if (!clause.variable.empty()) out->append(" $" + clause.variable);
+      out->append("\n");
+      if (clause.expr != nullptr) {
+        clause.expr->ExplainTree(context, depth + 2, out);
+      }
+      for (const auto& spec : clause.group_specs) {
+        if (spec.expr != nullptr) {
+          spec.expr->ExplainTree(context, depth + 2, out);
+        }
+      }
+      for (const auto& spec : clause.order_specs) {
+        if (spec.expr != nullptr) {
+          spec.expr->ExplainTree(context, depth + 2, out);
+        }
+      }
+    }
+    out->append(indent);
+    out->append("  return\n");
+    if (flwor_.return_expr != nullptr) {
+      flwor_.return_expr->ExplainTree(context, depth + 2, out);
+    }
+    if (IsRddAble() &&
+        engine_->config.flwor_backend == common::FlworBackend::kDataFrame) {
+      try {
+        std::string plan = ExplainFlworOnDataFrames(engine_, flwor_, context);
+        out->append(indent);
+        out->append("  dataframe plan:\n");
+        std::size_t start = 0;
+        while (start < plan.size()) {
+          std::size_t end = plan.find('\n', start);
+          if (end == std::string::npos) end = plan.size();
+          out->append(indent);
+          out->append("    ");
+          out->append(plan, start, end - start);
+          out->push_back('\n');
+          start = end + 1;
+        }
+      } catch (const std::exception& error) {
+        // Plan translation touches input metadata (split planning); a
+        // missing file must not make EXPLAIN itself fail.
+        out->append(indent);
+        out->append("  dataframe plan: <unavailable: ");
+        out->append(error.what());
+        out->append(">\n");
+      }
+    }
+  }
 
   bool IsRddAble() const override {
     if (!engine_->ParallelEnabled()) return false;
@@ -446,6 +529,9 @@ class FlworExpressionIterator final : public RuntimeIterator {
     if (IsRddAble()) {
       // Collected through Spark, then served locally (Section 5.5).
       return MaterializeViaRdd(context);
+    }
+    if (obs::EventBus* bus = engine_->bus()) {
+      bus->AddToCounter("flwor.backend.local", 1);
     }
     return LocalFlworPipeline(engine_, flwor_, context).Run();
   }

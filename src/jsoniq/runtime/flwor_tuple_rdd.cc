@@ -271,6 +271,9 @@ spark::Rdd<ItemPtr> ExecuteFlworOnTupleRdd(const EngineContextPtr& engine,
                        "tuple-RDD FLWOR execution requires a distributed "
                        "initial for clause");
   }
+  if (obs::EventBus* bus = engine->bus()) {
+    bus->AddToCounter("flwor.backend.tuple_rdd", 1);
+  }
   (void)engine;
 
   DynamicContextPtr captured = DynamicContext::Snapshot(context);

@@ -11,6 +11,7 @@ using item::ItemSequence;
 
 class AndIterator final : public CloneableIterator<AndIterator> {
  public:
+  const char* Name() const override { return "and"; }
   AndIterator(EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts)
       : CloneableIterator(std::move(engine), std::move(parts)) {}
 
@@ -27,6 +28,7 @@ class AndIterator final : public CloneableIterator<AndIterator> {
 
 class OrIterator final : public CloneableIterator<OrIterator> {
  public:
+  const char* Name() const override { return "or"; }
   OrIterator(EngineContextPtr engine, std::vector<RuntimeIteratorPtr> parts)
       : CloneableIterator(std::move(engine), std::move(parts)) {}
 

@@ -31,6 +31,7 @@ class NavigationIterator : public CloneableIterator<Derived> {
 class ObjectLookupIterator final
     : public NavigationIterator<ObjectLookupIterator> {
  public:
+  const char* Name() const override { return "object-lookup"; }
   ObjectLookupIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
                        RuntimeIteratorPtr key)
       : NavigationIterator(std::move(engine),
@@ -85,6 +86,7 @@ class ObjectLookupIterator final
 class ArrayLookupIterator final
     : public NavigationIterator<ArrayLookupIterator> {
  public:
+  const char* Name() const override { return "array-lookup"; }
   ArrayLookupIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
                       RuntimeIteratorPtr index)
       : NavigationIterator(std::move(engine),
@@ -131,6 +133,7 @@ class ArrayLookupIterator final
 
 class ArrayUnboxIterator final : public NavigationIterator<ArrayUnboxIterator> {
  public:
+  const char* Name() const override { return "array-unbox"; }
   ArrayUnboxIterator(EngineContextPtr engine, RuntimeIteratorPtr target)
       : NavigationIterator(std::move(engine), {std::move(target)}) {}
 
@@ -156,6 +159,7 @@ class ArrayUnboxIterator final : public NavigationIterator<ArrayUnboxIterator> {
 
 class PredicateIterator final : public NavigationIterator<PredicateIterator> {
  public:
+  const char* Name() const override { return "predicate"; }
   PredicateIterator(EngineContextPtr engine, RuntimeIteratorPtr target,
                     RuntimeIteratorPtr predicate)
       : NavigationIterator(std::move(engine),

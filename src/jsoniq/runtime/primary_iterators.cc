@@ -14,6 +14,7 @@ using item::ItemSequence;
 
 class LiteralIterator final : public CloneableIterator<LiteralIterator> {
  public:
+  const char* Name() const override { return "literal"; }
   LiteralIterator(EngineContextPtr engine, ItemPtr value)
       : CloneableIterator(std::move(engine), {}), value_(std::move(value)) {}
 
@@ -29,6 +30,7 @@ class LiteralIterator final : public CloneableIterator<LiteralIterator> {
 class VariableRefIterator final
     : public CloneableIterator<VariableRefIterator> {
  public:
+  const char* Name() const override { return "variable-ref"; }
   VariableRefIterator(EngineContextPtr engine, std::string name)
       : CloneableIterator(std::move(engine), {}), name_(std::move(name)) {}
 
@@ -53,6 +55,7 @@ class VariableRefIterator final
 class ContextItemIterator final
     : public CloneableIterator<ContextItemIterator> {
  public:
+  const char* Name() const override { return "context-item"; }
   explicit ContextItemIterator(EngineContextPtr engine)
       : CloneableIterator(std::move(engine), {}) {}
 
@@ -68,6 +71,7 @@ class ContextItemIterator final
 
 class SequenceIterator final : public CloneableIterator<SequenceIterator> {
  public:
+  const char* Name() const override { return "sequence"; }
   SequenceIterator(EngineContextPtr engine,
                    std::vector<RuntimeIteratorPtr> parts)
       : CloneableIterator(std::move(engine), std::move(parts)) {}
@@ -106,6 +110,7 @@ class SequenceIterator final : public CloneableIterator<SequenceIterator> {
 class ObjectConstructorIterator final
     : public CloneableIterator<ObjectConstructorIterator> {
  public:
+  const char* Name() const override { return "object-constructor"; }
   ObjectConstructorIterator(EngineContextPtr engine,
                             std::vector<RuntimeIteratorPtr> keys,
                             std::vector<RuntimeIteratorPtr> values)
@@ -150,6 +155,7 @@ class ObjectConstructorIterator final
 class ArrayConstructorIterator final
     : public CloneableIterator<ArrayConstructorIterator> {
  public:
+  const char* Name() const override { return "array-constructor"; }
   ArrayConstructorIterator(EngineContextPtr engine, RuntimeIteratorPtr content)
       : CloneableIterator(std::move(engine), {}) {
     if (content != nullptr) children_.push_back(std::move(content));
@@ -168,6 +174,7 @@ class ArrayConstructorIterator final
 class StringConcatIterator final
     : public CloneableIterator<StringConcatIterator> {
  public:
+  const char* Name() const override { return "string-concat"; }
   StringConcatIterator(EngineContextPtr engine,
                        std::vector<RuntimeIteratorPtr> parts)
       : CloneableIterator(std::move(engine), std::move(parts)) {}

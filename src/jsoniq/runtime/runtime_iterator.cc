@@ -8,6 +8,7 @@ namespace rumble::jsoniq {
 using common::ErrorCode;
 
 void RuntimeIterator::Open(const DynamicContext& context) {
+  CountOpen();
   buffer_ = Compute(context);
   buffer_index_ = 0;
   opened_ = true;
@@ -24,9 +25,40 @@ item::ItemPtr RuntimeIterator::Next() {
 }
 
 void RuntimeIterator::Close() {
+  CountClose();
   buffer_.clear();
   buffer_index_ = 0;
   opened_ = false;
+}
+
+void RuntimeIterator::CountOpen() {
+  if (opens_cell_ == nullptr) {
+    obs::EventBus* bus = engine_ != nullptr ? engine_->bus() : nullptr;
+    if (bus == nullptr) return;
+    opens_cell_ = bus->GetCounter("iterator.opens");
+  }
+  opens_cell_->value.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeIterator::CountClose() {
+  if (closes_cell_ == nullptr) {
+    obs::EventBus* bus = engine_ != nullptr ? engine_->bus() : nullptr;
+    if (bus == nullptr) return;
+    closes_cell_ = bus->GetCounter("iterator.closes");
+  }
+  closes_cell_->value.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeIterator::ExplainTree(const DynamicContext& context, int depth,
+                                  std::string* out) const {
+  out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  out->append(DisplayName());
+  out->append(" [");
+  out->append(ExecModeTag());
+  out->append("]\n");
+  for (const auto& child : children_) {
+    if (child != nullptr) child->ExplainTree(context, depth + 1, out);
+  }
 }
 
 spark::Rdd<item::ItemPtr> RuntimeIterator::GetRdd(const DynamicContext&) {
@@ -57,6 +89,10 @@ item::ItemSequence RuntimeIterator::MaterializeAll(
           "materialized " + std::to_string(items.size()) +
               " items; cap is " + std::to_string(config.materialization_cap));
     }
+    if (obs::EventBus* bus = engine_->bus()) {
+      bus->AddToCounter("iterator.rows_materialized",
+                        static_cast<std::int64_t>(items.size()));
+    }
     return items;
   }
   item::ItemSequence items;
@@ -65,6 +101,12 @@ item::ItemSequence RuntimeIterator::MaterializeAll(
     items.push_back(Next());
   }
   Close();
+  if (engine_ != nullptr) {
+    if (obs::EventBus* bus = engine_->bus()) {
+      bus->AddToCounter("iterator.rows_materialized",
+                        static_cast<std::int64_t>(items.size()));
+    }
+  }
   return items;
 }
 

@@ -67,6 +67,33 @@ class RuntimeIterator {
   /// Deep-copies this iterator tree with fresh (closed) state.
   virtual RuntimeIteratorPtr Clone() const = 0;
 
+  // ---- Observability / EXPLAIN --------------------------------------------
+  /// Short operator name shown in EXPLAIN trees ("comparison", "json-file").
+  virtual const char* Name() const { return "iterator"; }
+
+  /// Execution-mode tag for EXPLAIN: which backend would evaluate this node.
+  /// Default reflects the RDD API; the FLWOR iterator overrides it with
+  /// "DF" / "RDD(tuple)" / "local" depending on the chosen backend.
+  virtual std::string ExecModeTag() const {
+    return IsRddAble() ? "RDD" : "local";
+  }
+
+  /// Renders this subtree one node per line ("name [mode]"), two spaces of
+  /// indent per depth level. Must not evaluate the query; `context` is only
+  /// passed through so FLWOR can build (not run) its DataFrame plan.
+  virtual void ExplainTree(const DynamicContext& context, int depth,
+                           std::string* out) const;
+
+  /// Display-name override (e.g. "fn:count" on the generic function-call
+  /// iterator), set by the iterator builder. Survives Clone().
+  void set_debug_name(std::string name) { debug_name_ = std::move(name); }
+  const std::string& debug_name() const { return debug_name_; }
+
+  /// The name ExplainTree prints: debug name when set, Name() otherwise.
+  std::string DisplayName() const {
+    return debug_name_.empty() ? std::string(Name()) : debug_name_;
+  }
+
   /// When the iterator is a single-item constant (a literal), returns the
   /// item; nullptr otherwise. Lets hot paths (e.g. object lookup keys)
   /// avoid per-row evaluation.
@@ -89,16 +116,28 @@ class RuntimeIterator {
   virtual item::ItemSequence Compute(const DynamicContext& context);
 
   /// Deep-clones children and clears local state; called on the copy by
-  /// Clone() implementations.
+  /// Clone() implementations. Keeps debug_name_ (clones shipped to executor
+  /// tasks should explain/count under the same name).
   void AfterClone();
+
+  /// Counter bumps for the local pull API; cells are looked up once per
+  /// iterator instance and shared with clones' engine, so the hot path is a
+  /// single relaxed atomic add.
+  void CountOpen();
+  void CountClose();
 
   EngineContextPtr engine_;
   std::vector<RuntimeIteratorPtr> children_;
+  std::string debug_name_;
 
   // Default local-API state.
   item::ItemSequence buffer_;
   std::size_t buffer_index_ = 0;
   bool opened_ = false;
+
+ private:
+  obs::CounterCell* opens_cell_ = nullptr;
+  obs::CounterCell* closes_cell_ = nullptr;
 };
 
 /// CRTP helper providing Clone() via the copy constructor + AfterClone().

@@ -342,7 +342,14 @@ RuntimeIteratorPtr BuildRuntimeIterator(const ExprPtr& expr,
                            "unknown function " + node.function_name + "#" +
                                std::to_string(node.children.size()));
       }
-      return (*factory)(engine, BuildChildren(node.children, engine));
+      RuntimeIteratorPtr call =
+          (*factory)(engine, BuildChildren(node.children, engine));
+      // Label the call for EXPLAIN; specialized iterators (json-file, fn:count)
+      // already self-identify through Name().
+      if (call != nullptr && std::string(call->Name()) == "function-call") {
+        call->set_debug_name("fn:" + node.function_name);
+      }
+      return call;
     }
 
     case Expr::Kind::kFlwor:

@@ -1,0 +1,391 @@
+#include "src/obs/event_bus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace rumble::obs {
+
+namespace {
+
+/// Retention cap for the in-memory event buffer. JSONL streaming is
+/// unaffected; only snapshot consumers (summaries, tests) see at most this
+/// many trailing events. Long benchmark loops therefore stay bounded.
+constexpr std::size_t kMaxRetainedEvents = 1 << 16;
+
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// One JSONL record per event. Field set per kind is documented in
+/// docs/METRICS.md; keep the two in sync.
+std::string EventToJson(const Event& event) {
+  std::string out = "{\"event\":\"";
+  out += EventKindName(event.kind);
+  out += "\",\"seq\":" + std::to_string(event.sequence);
+  out += ",\"t_ns\":" + std::to_string(event.wall_nanos);
+  if (event.job_id >= 0) out += ",\"job\":" + std::to_string(event.job_id);
+  if (event.stage_id >= 0) {
+    out += ",\"stage\":" + std::to_string(event.stage_id);
+  }
+  if (event.kind == EventKind::kTaskEnd) {
+    out += ",\"task\":" + std::to_string(event.task_id);
+  }
+  if (event.kind == EventKind::kStageStart) {
+    out += ",\"tasks\":" + std::to_string(event.num_tasks);
+  }
+  if (event.kind == EventKind::kTaskEnd ||
+      event.kind == EventKind::kStageEnd ||
+      event.kind == EventKind::kJobEnd) {
+    out += ",\"ns\":" + std::to_string(event.duration_nanos);
+  }
+  if (!event.label.empty()) {
+    out += ",\"label\":\"";
+    AppendEscaped(event.label, &out);
+    out += "\"";
+  }
+  if (!event.metrics.empty()) {
+    out += ",\"metrics\":{";
+    for (std::size_t i = 0; i < event.metrics.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      AppendEscaped(event.metrics[i].first, &out);
+      out += "\":" + std::to_string(event.metrics[i].second);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobStart: return "job_start";
+    case EventKind::kJobEnd: return "job_end";
+    case EventKind::kStageStart: return "stage_start";
+    case EventKind::kStageEnd: return "stage_end";
+    case EventKind::kTaskEnd: return "task_end";
+  }
+  return "unknown";
+}
+
+void MetricsCheckFailed(const std::string& message) {
+  throw std::logic_error("metrics cross-check failed: " + message);
+}
+
+EventBus::EventBus() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventBus::~EventBus() { CloseLogFile(); }
+
+std::int64_t EventBus::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventBus::Publish(Event event) {
+  // Caller holds mu_.
+  event.sequence = next_sequence_++;
+  event.wall_nanos = NowNanos();
+  if (log_ != nullptr && log_->is_open()) {
+    *log_ << EventToJson(event) << '\n';
+    if (event.kind == EventKind::kJobEnd) log_->flush();
+  }
+  if (events_.size() >= kMaxRetainedEvents) {
+    // Drop the oldest half; snapshots keep working on recent history.
+    auto keep_from =
+        events_.begin() + static_cast<std::ptrdiff_t>(events_.size() / 2);
+    dropped_ += keep_from - events_.begin();
+    events_.erase(events_.begin(), keep_from);
+  }
+  events_.push_back(std::move(event));
+}
+
+std::int64_t EventBus::BeginJob(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kJobStart;
+  event.job_id = next_job_id_++;
+  event.label = std::move(label);
+  current_job_ = event.job_id;
+  Publish(std::move(event));
+  return current_job_;
+}
+
+void EventBus::EndJob(
+    std::int64_t job_id,
+    std::vector<std::pair<std::string, std::int64_t>> metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kJobEnd;
+  event.job_id = job_id;
+  event.metrics = std::move(metrics);
+  // Find the matching start to report the job wall time.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->kind == EventKind::kJobStart && it->job_id == job_id) {
+      event.duration_nanos = NowNanos() - it->wall_nanos;
+      break;
+    }
+  }
+  if (current_job_ == job_id) current_job_ = -1;
+  Publish(std::move(event));
+}
+
+std::int64_t EventBus::BeginStage(std::string label, std::size_t num_tasks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kStageStart;
+  event.job_id = current_job_;
+  event.stage_id = next_stage_id_++;
+  event.num_tasks = num_tasks;
+  event.label = std::move(label);
+  open_stages_[event.stage_id] = {num_tasks, 0};
+  std::int64_t id = event.stage_id;
+  Publish(std::move(event));
+  return id;
+}
+
+void EventBus::TaskEnd(std::int64_t stage_id, std::size_t task_index,
+                       std::int64_t duration_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kTaskEnd;
+  event.job_id = current_job_;
+  event.stage_id = stage_id;
+  event.task_id = static_cast<std::int64_t>(task_index);
+  event.duration_nanos = duration_nanos;
+  auto it = open_stages_.find(stage_id);
+  if (it != open_stages_.end()) ++it->second.second;
+  Publish(std::move(event));
+}
+
+void EventBus::EndStage(
+    std::int64_t stage_id, std::int64_t duration_nanos,
+    std::vector<std::pair<std::string, std::int64_t>> metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kStageEnd;
+  event.job_id = current_job_;
+  event.stage_id = stage_id;
+  event.duration_nanos = duration_nanos;
+  event.metrics = std::move(metrics);
+  bool failed = false;
+  for (const auto& [name, value] : event.metrics) {
+    if (name == "failed" && value != 0) failed = true;
+  }
+  auto it = open_stages_.find(stage_id);
+  if (it != open_stages_.end()) {
+    if (!failed) {
+      // A failed stage legitimately records fewer task events than planned;
+      // only cross-check stages that completed normally.
+      RUMBLE_METRICS_CHECK(
+          it->second.second == it->second.first,
+          "stage " + std::to_string(stage_id) + " recorded " +
+              std::to_string(it->second.second) + " task events, expected " +
+              std::to_string(it->second.first));
+    }
+    open_stages_.erase(it);
+  }
+  Publish(std::move(event));
+}
+
+CounterCell* EventBus::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<CounterCell>()).first;
+  }
+  return it->second.get();
+}
+
+void EventBus::AddToCounter(const std::string& name, std::int64_t delta) {
+  GetCounter(name)->value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t EventBus::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  return it->second->value.load(std::memory_order_relaxed);
+}
+
+std::map<std::string, std::int64_t> EventBus::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, cell] : counters_) {
+    out[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::int64_t EventBus::NextSequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+std::vector<Event> EventBus::EventsSince(std::int64_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const auto& event : events_) {
+    if (event.sequence >= since) out.push_back(event);
+  }
+  return out;
+}
+
+std::int64_t EventBus::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string EventBus::SummarySince(std::int64_t since) const {
+  struct StageRow {
+    std::int64_t id = 0;
+    std::int64_t job = -1;
+    std::string label;
+    std::size_t planned_tasks = 0;
+    std::size_t task_events = 0;
+    std::int64_t task_nanos = 0;   // aggregate across tasks
+    std::int64_t wall_nanos = 0;   // stage wall time
+    std::vector<std::pair<std::string, std::int64_t>> metrics;
+  };
+  std::vector<StageRow> rows;
+  std::map<std::int64_t, std::string> job_labels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& event : events_) {
+      if (event.sequence < since) continue;
+      switch (event.kind) {
+        case EventKind::kJobStart:
+          job_labels[event.job_id] = event.label;
+          break;
+        case EventKind::kStageStart: {
+          StageRow row;
+          row.id = event.stage_id;
+          row.job = event.job_id;
+          row.label = event.label;
+          row.planned_tasks = event.num_tasks;
+          rows.push_back(std::move(row));
+          break;
+        }
+        case EventKind::kTaskEnd:
+          for (auto& row : rows) {
+            if (row.id == event.stage_id) {
+              ++row.task_events;
+              row.task_nanos += event.duration_nanos;
+            }
+          }
+          break;
+        case EventKind::kStageEnd:
+          for (auto& row : rows) {
+            if (row.id == event.stage_id) {
+              row.wall_nanos = event.duration_nanos;
+              row.metrics = event.metrics;
+            }
+          }
+          break;
+        case EventKind::kJobEnd:
+          break;
+      }
+    }
+  }
+  if (rows.empty()) return "";
+
+  auto ms = [](std::int64_t nanos) {
+    std::ostringstream out;
+    out.precision(2);
+    out << std::fixed << static_cast<double>(nanos) / 1e6;
+    return out.str();
+  };
+  std::ostringstream out;
+  out << "stage  tasks  task-time(ms)  wall(ms)  label\n";
+  std::int64_t last_job = -2;
+  for (const auto& row : rows) {
+    if (row.job != last_job) {
+      last_job = row.job;
+      auto it = job_labels.find(row.job);
+      if (it != job_labels.end()) {
+        out << "job " << row.job << ": " << it->second << "\n";
+      }
+    }
+    out << "  " << row.id;
+    for (std::size_t pad = std::to_string(row.id).size(); pad < 5; ++pad) {
+      out << ' ';
+    }
+    std::string tasks = std::to_string(row.task_events);
+    out << tasks;
+    for (std::size_t pad = tasks.size(); pad < 7; ++pad) out << ' ';
+    std::string task_time = ms(row.task_nanos);
+    out << task_time;
+    for (std::size_t pad = task_time.size(); pad < 15; ++pad) out << ' ';
+    std::string wall = ms(row.wall_nanos);
+    out << wall;
+    for (std::size_t pad = wall.size(); pad < 10; ++pad) out << ' ';
+    out << row.label;
+    for (const auto& [name, value] : row.metrics) {
+      out << "  " << name << "=" << value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string EventBus::RenderCounterDelta(
+    const std::map<std::string, std::int64_t>& before,
+    const std::map<std::string, std::int64_t>& after) {
+  std::string out;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    std::int64_t delta = value - (it == before.end() ? 0 : it->second);
+    if (delta == 0) continue;
+    if (!out.empty()) out += "\n";
+    out += "  " + name + " = " + std::to_string(delta);
+  }
+  return out;
+}
+
+bool EventBus::SetLogFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto log = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!log->is_open()) return false;
+  log_ = std::move(log);
+  return true;
+}
+
+void EventBus::CloseLogFile() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ != nullptr) {
+    log_->flush();
+    log_.reset();
+  }
+}
+
+void EventBus::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  open_stages_.clear();
+  for (auto& [name, cell] : counters_) {
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rumble::obs

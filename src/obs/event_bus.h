@@ -1,0 +1,188 @@
+#ifndef RUMBLE_OBS_EVENT_BUS_H_
+#define RUMBLE_OBS_EVENT_BUS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rumble::obs {
+
+/// Structured execution events, modelled on the Spark event log: a job is one
+/// engine-level unit of work (a query run, a benchmark iteration), a stage is
+/// one parallel phase over partitions (every ExecutorPool::RunParallel call —
+/// stage boundaries therefore form exactly where shuffles materialize), and a
+/// task is one partition of one stage. See docs/METRICS.md for the JSONL
+/// schema and the full counter reference.
+enum class EventKind {
+  kJobStart,
+  kJobEnd,
+  kStageStart,
+  kStageEnd,
+  kTaskEnd,
+};
+
+const char* EventKindName(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kJobStart;
+  /// Monotonic per-bus sequence number; total order over all events.
+  std::int64_t sequence = 0;
+  /// Nanoseconds since the bus was created (steady clock).
+  std::int64_t wall_nanos = 0;
+  std::int64_t job_id = -1;
+  std::int64_t stage_id = -1;
+  std::int64_t task_id = -1;
+  /// Task/stage/job wall duration; 0 for *Start events.
+  std::int64_t duration_nanos = 0;
+  /// StageStart: number of tasks the stage will run.
+  std::size_t num_tasks = 0;
+  /// Job label (the query), stage label ("action.collect", ...).
+  std::string label;
+  /// Extra per-event metrics (StageEnd: rows, bytes; JobEnd: counter deltas).
+  std::vector<std::pair<std::string, std::int64_t>> metrics;
+};
+
+/// A named counter cell. Pointers returned by EventBus::GetCounter are stable
+/// for the bus lifetime, so hot paths look a counter up once and then update
+/// the atomic without taking the bus mutex.
+struct CounterCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// Thread-safe publisher/collector for execution events and named counters —
+/// the C++ stand-in for the Spark UI + event log. One bus lives per
+/// spark::Context (i.e. per engine); the scheduler and the RDD/DataFrame/
+/// iterator layers publish to it, consumers read snapshots, render summary
+/// tables, or stream JSONL to disk.
+class EventBus {
+ public:
+  EventBus();
+  ~EventBus();
+
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  // ---- Jobs ---------------------------------------------------------------
+  std::int64_t BeginJob(std::string label);
+  /// Ends a job; `metrics` is appended to the job_end record (the engine
+  /// passes e.g. the result row count).
+  void EndJob(std::int64_t job_id,
+              std::vector<std::pair<std::string, std::int64_t>> metrics = {});
+
+  // ---- Stages and tasks ---------------------------------------------------
+  std::int64_t BeginStage(std::string label, std::size_t num_tasks);
+  void TaskEnd(std::int64_t stage_id, std::size_t task_index,
+               std::int64_t duration_nanos);
+  void EndStage(std::int64_t stage_id, std::int64_t duration_nanos,
+                std::vector<std::pair<std::string, std::int64_t>> metrics = {});
+
+  // ---- Counters -----------------------------------------------------------
+  /// Returns the stable cell for a named counter, creating it at zero.
+  CounterCell* GetCounter(const std::string& name);
+  void AddToCounter(const std::string& name, std::int64_t delta);
+  std::int64_t CounterValue(const std::string& name) const;
+  std::map<std::string, std::int64_t> CounterSnapshot() const;
+
+  // ---- Snapshots ----------------------------------------------------------
+  /// The sequence number the next published event will get; capture it before
+  /// a query to scope summaries/snapshots to that query.
+  std::int64_t NextSequence() const;
+  /// All retained events with sequence >= since (oldest may have been
+  /// dropped past the retention cap; see dropped_events()).
+  std::vector<Event> EventsSince(std::int64_t since) const;
+  std::int64_t dropped_events() const;
+
+  /// Renders the per-stage summary table for every event since `since`:
+  /// one row per stage (id, label, task count, aggregate task time, wall
+  /// time) grouped under its job. The mini Spark-UI "stages" page as text.
+  std::string SummarySince(std::int64_t since) const;
+
+  /// Formats the difference between two counter snapshots, skipping zero
+  /// deltas; empty string when nothing changed.
+  static std::string RenderCounterDelta(
+      const std::map<std::string, std::int64_t>& before,
+      const std::map<std::string, std::int64_t>& after);
+
+  // ---- JSONL event log ----------------------------------------------------
+  /// Streams every subsequently published event to `path` as one JSON object
+  /// per line (schema in docs/METRICS.md). Replaces any previous log file.
+  /// Returns false when the file cannot be opened.
+  bool SetLogFile(const std::string& path);
+  void CloseLogFile();
+
+  /// Clears retained events and zeroes all counters (the log file, if any,
+  /// stays attached). Benchmarks call this between measurement phases.
+  void Reset();
+
+ private:
+  void Publish(Event event);  // assigns sequence/wall time, logs, retains
+  std::int64_t NowNanos() const;
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::int64_t next_sequence_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t next_job_id_ = 0;
+  std::int64_t next_stage_id_ = 0;
+  std::int64_t current_job_ = -1;
+  /// stage_id -> (expected tasks, recorded task events); used by the
+  /// RUMBLE_ASSERT_METRICS cross-check in EndStage.
+  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> open_stages_;
+  std::map<std::string, std::unique_ptr<CounterCell>> counters_;
+  std::unique_ptr<std::ofstream> log_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Debug-build cross-check hook (enabled with -DRUMBLE_ASSERT_METRICS=ON):
+/// throws std::logic_error so metric-wiring drift fails tests loudly instead
+/// of silently reporting wrong numbers.
+void MetricsCheckFailed(const std::string& message);
+
+#ifdef RUMBLE_ASSERT_METRICS
+#define RUMBLE_METRICS_CHECK(condition, message) \
+  do {                                           \
+    if (!(condition)) ::rumble::obs::MetricsCheckFailed(message); \
+  } while (false)
+#else
+#define RUMBLE_METRICS_CHECK(condition, message) \
+  do {                                           \
+  } while (false)
+#endif
+
+// ---- Approximate payload sizing -------------------------------------------
+// Deterministic, cheap byte estimates for shuffle volume counters. These are
+// not allocator-exact (Spark's shuffle bytes are serialized sizes; ours are
+// in-memory estimates) but they are stable across runs, which is what the
+// counter-accuracy tests and regression comparisons need.
+
+template <typename T>
+inline std::size_t ApproxByteSize(const T&) {
+  return sizeof(T);
+}
+
+inline std::size_t ApproxByteSize(const std::string& value) {
+  return sizeof(std::string) + value.size();
+}
+
+template <typename A, typename B>
+inline std::size_t ApproxByteSize(const std::pair<A, B>& value) {
+  return ApproxByteSize(value.first) + ApproxByteSize(value.second);
+}
+
+template <typename T>
+inline std::size_t ApproxByteSize(const std::vector<T>& value) {
+  std::size_t total = sizeof(std::vector<T>);
+  for (const auto& element : value) total += ApproxByteSize(element);
+  return total;
+}
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_EVENT_BUS_H_

@@ -6,9 +6,14 @@ namespace rumble::spark {
 
 exec::ExecutorPool& PoolOf(Context* context) { return context->pool(); }
 
+obs::EventBus& BusOf(Context* context) { return context->bus(); }
+
 Context::Context(common::RumbleConfig config)
     : config_(config),
-      pool_(std::make_unique<exec::ExecutorPool>(config.executors)) {}
+      bus_(std::make_shared<obs::EventBus>()),
+      pool_(std::make_unique<exec::ExecutorPool>(config.executors)) {
+  pool_->set_event_bus(bus_.get());
+}
 
 Rdd<std::string> Context::TextFile(const std::string& path,
                                    int min_partitions) {
@@ -31,15 +36,18 @@ void Context::SaveAsTextFile(const Rdd<std::string>& rdd,
                              const std::string& path) {
   std::vector<std::string> partitions(
       static_cast<std::size_t>(rdd.num_partitions()));
-  pool_->RunParallel(partitions.size(), [&](std::size_t index) {
-    std::string blob;
-    for (const std::string& line :
-         rdd.ComputePartition(static_cast<int>(index))) {
-      blob.append(line);
-      blob.push_back('\n');
-    }
-    partitions[index] = std::move(blob);
-  });
+  pool_->RunParallel(
+      partitions.size(),
+      [&](std::size_t index) {
+        std::string blob;
+        for (const std::string& line :
+             rdd.ComputePartition(static_cast<int>(index))) {
+          blob.append(line);
+          blob.push_back('\n');
+        }
+        partitions[index] = std::move(blob);
+      },
+      nullptr, "action.saveAsTextFile");
   storage::Dfs::WritePartitioned(path, partitions);
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/common/config.h"
 #include "src/exec/executor_pool.h"
+#include "src/obs/event_bus.h"
 #include "src/spark/rdd.h"
 #include "src/storage/text_source.h"
 
@@ -21,6 +22,10 @@ class Context {
 
   const common::RumbleConfig& config() const { return config_; }
   exec::ExecutorPool& pool() { return *pool_; }
+
+  /// The per-application event bus (mini Spark-UI backend). Every stage the
+  /// pool runs and every counter the RDD/DataFrame layers bump lands here.
+  obs::EventBus& bus() { return *bus_; }
 
   /// Creates an RDD from a local collection (Spark's parallelize()).
   template <typename T>
@@ -51,6 +56,7 @@ class Context {
 
  private:
   common::RumbleConfig config_;
+  std::shared_ptr<obs::EventBus> bus_;
   std::unique_ptr<exec::ExecutorPool> pool_;
 };
 

@@ -2,22 +2,24 @@
 #define RUMBLE_SPARK_RDD_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/exec/executor_pool.h"
+#include "src/obs/event_bus.h"
 
 namespace rumble::spark {
 
 class Context;
 exec::ExecutorPool& PoolOf(Context* context);
+obs::EventBus& BusOf(Context* context);
 
 namespace internal {
 
@@ -33,10 +35,14 @@ struct RddState {
   int num_partitions = 0;
   std::function<std::vector<T>(int)> compute;
 
-  // Cache support (Rdd::Cache). Guarded by `mu`.
+  // Cache support (Rdd::Cache). The same once/atomic discipline as shuffles:
+  // call_once guarantees exactly one thread materializes `cached`, and the
+  // acquire/release flag publishes it to threads that never entered the
+  // call_once (they must not touch `cached` before the flag is set).
   bool cache_enabled = false;
-  std::mutex mu;
-  std::optional<std::vector<std::vector<T>>> cached;
+  std::once_flag cache_once;
+  std::atomic<bool> cache_materialized{false};
+  std::vector<std::vector<T>> cached;
 };
 
 }  // namespace internal
@@ -65,15 +71,7 @@ class Rdd {
 
   /// Computes one partition (honouring the cache).
   std::vector<T> ComputePartition(int index) const {
-    auto state = state_;
-    if (state->cache_enabled) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (state->cached.has_value()) {
-        return (*state->cached)[static_cast<std::size_t>(index)];
-      }
-    }
-    std::vector<T> result = state->compute(index);
-    return result;
+    return Compute(state_, index);
   }
 
   // ---- Narrow transformations (pipelined, no shuffle) -----------------
@@ -189,8 +187,11 @@ class Rdd {
             static_cast<std::size_t>(n_out),
             std::vector<std::vector<std::pair<K, T>>>(
                 static_cast<std::size_t>(n_in)));
+        // The shuffle map phase is its own stage — this is exactly where a
+        // Spark stage boundary forms.
         PoolOf(context).RunParallel(
-            static_cast<std::size_t>(n_in), [&](std::size_t input_index) {
+            static_cast<std::size_t>(n_in),
+            [&](std::size_t input_index) {
               std::vector<T> input =
                   Compute(parent, static_cast<int>(input_index));
               for (T& value : input) {
@@ -200,14 +201,42 @@ class Rdd {
                 shuffle->buckets[reduce][input_index].emplace_back(
                     std::move(key), std::move(value));
               }
-            });
+            },
+            nullptr, "shuffle.groupBy.map");
+        std::int64_t records = 0;
+        std::int64_t bytes = 0;
+        for (const auto& reduce_buckets : shuffle->buckets) {
+          for (const auto& bucket : reduce_buckets) {
+            records += static_cast<std::int64_t>(bucket.size());
+            for (const auto& entry : bucket) {
+              bytes += static_cast<std::int64_t>(obs::ApproxByteSize(entry));
+            }
+          }
+        }
+        obs::EventBus& bus = BusOf(context);
+        bus.AddToCounter("shuffle.records_written", records);
+        bus.AddToCounter("shuffle.bytes_written", bytes);
       });
     };
 
     return Rdd<std::pair<K, std::vector<T>>>(
         context, n_out,
-        [ensure_shuffled, shuffle, eq, hash](int index) {
+        [ensure_shuffled, shuffle, context, eq, hash](int index) {
           ensure_shuffled();
+          // Account what this reduce task pulls from the map outputs.
+          std::int64_t records_read = 0;
+          std::int64_t bytes_read = 0;
+          for (const auto& input_bucket :
+               shuffle->buckets[static_cast<std::size_t>(index)]) {
+            records_read += static_cast<std::int64_t>(input_bucket.size());
+            for (const auto& entry : input_bucket) {
+              bytes_read +=
+                  static_cast<std::int64_t>(obs::ApproxByteSize(entry));
+            }
+          }
+          obs::EventBus& bus = BusOf(context);
+          bus.AddToCounter("shuffle.records_read", records_read);
+          bus.AddToCounter("shuffle.bytes_read", bytes_read);
           // Group this reduce bucket. Keys within one bucket are grouped
           // with a hash index; order of groups is unspecified (as in Spark).
           std::vector<std::pair<K, std::vector<T>>> groups;
@@ -255,11 +284,13 @@ class Rdd {
       std::call_once(sorted->once, [&] {
         std::vector<std::vector<T>> runs(static_cast<std::size_t>(n_parts));
         PoolOf(context).RunParallel(
-            static_cast<std::size_t>(n_parts), [&](std::size_t index) {
+            static_cast<std::size_t>(n_parts),
+            [&](std::size_t index) {
               std::vector<T> run = Compute(parent, static_cast<int>(index));
               std::stable_sort(run.begin(), run.end(), less);
               runs[index] = std::move(run);
-            });
+            },
+            nullptr, "shuffle.sortBy.map");
         // Sequential k-way merge (driver-side, like a final single-reducer
         // merge); stable across runs by taking the earliest run on ties.
         std::size_t total = 0;
@@ -281,6 +312,8 @@ class Rdd {
           sorted->values.push_back(std::move(runs[b][cursor[b]]));
           ++cursor[b];
         }
+        BusOf(context).AddToCounter(
+            "sort.records", static_cast<std::int64_t>(sorted->values.size()));
       });
     };
 
@@ -316,10 +349,12 @@ class Rdd {
       std::call_once(offsets->once, [&] {
         std::vector<std::int64_t> sizes(static_cast<std::size_t>(n_parts), 0);
         PoolOf(context).RunParallel(
-            static_cast<std::size_t>(n_parts), [&](std::size_t index) {
+            static_cast<std::size_t>(n_parts),
+            [&](std::size_t index) {
               sizes[index] = static_cast<std::int64_t>(
                   Compute(parent, static_cast<int>(index)).size());
-            });
+            },
+            nullptr, "rdd.zipWithIndex.count");
         offsets->starts.assign(static_cast<std::size_t>(n_parts), 0);
         std::int64_t running = 0;
         for (std::size_t i = 0; i < sizes.size(); ++i) {
@@ -351,9 +386,12 @@ class Rdd {
     std::vector<std::vector<T>> parts(
         static_cast<std::size_t>(parent->num_partitions));
     PoolOf(parent->context)
-        .RunParallel(parts.size(), [&](std::size_t index) {
-          parts[index] = Compute(parent, static_cast<int>(index));
-        });
+        .RunParallel(
+            parts.size(),
+            [&](std::size_t index) {
+              parts[index] = Compute(parent, static_cast<int>(index));
+            },
+            nullptr, "action.collect");
     std::size_t total = 0;
     for (const auto& part : parts) total += part.size();
     std::vector<T> out;
@@ -361,6 +399,11 @@ class Rdd {
     for (auto& part : parts) {
       for (auto& value : part) out.push_back(std::move(value));
     }
+    RUMBLE_METRICS_CHECK(out.size() == total,
+                         "collect flattened a different number of rows than "
+                         "its partitions produced");
+    BusOf(parent->context)
+        .AddToCounter("action.rows_out", static_cast<std::int64_t>(total));
     return out;
   }
 
@@ -369,11 +412,16 @@ class Rdd {
     std::vector<std::size_t> sizes(
         static_cast<std::size_t>(parent->num_partitions), 0);
     PoolOf(parent->context)
-        .RunParallel(sizes.size(), [&](std::size_t index) {
-          sizes[index] = Compute(parent, static_cast<int>(index)).size();
-        });
+        .RunParallel(
+            sizes.size(),
+            [&](std::size_t index) {
+              sizes[index] = Compute(parent, static_cast<int>(index)).size();
+            },
+            nullptr, "action.count");
     std::size_t total = 0;
     for (std::size_t size : sizes) total += size;
+    BusOf(parent->context)
+        .AddToCounter("action.rows_out", static_cast<std::int64_t>(total));
     return total;
   }
 
@@ -389,6 +437,8 @@ class Rdd {
         out.push_back(std::move(value));
       }
     }
+    BusOf(parent->context)
+        .AddToCounter("action.rows_out", static_cast<std::int64_t>(out.size()));
     return out;
   }
 
@@ -401,13 +451,16 @@ class Rdd {
     std::vector<U> partials(static_cast<std::size_t>(parent->num_partitions),
                             init);
     PoolOf(parent->context)
-        .RunParallel(partials.size(), [&](std::size_t index) {
-          U acc = init;
-          for (const T& value : Compute(parent, static_cast<int>(index))) {
-            acc = fold(std::move(acc), value);
-          }
-          partials[index] = std::move(acc);
-        });
+        .RunParallel(
+            partials.size(),
+            [&](std::size_t index) {
+              U acc = init;
+              for (const T& value : Compute(parent, static_cast<int>(index))) {
+                acc = fold(std::move(acc), value);
+              }
+              partials[index] = std::move(acc);
+            },
+            nullptr, "action.aggregate");
     U total = init;
     for (auto& partial : partials) {
       total = merge(std::move(total), partial);
@@ -421,29 +474,38 @@ class Rdd {
 
   /// Computes a partition of a state, honouring its cache. Static so thunks
   /// can capture only the shared state, not a dangling Rdd.
+  ///
+  /// Cached path: exactly one thread materializes all partitions (call_once),
+  /// every other caller either waits inside call_once or — once the
+  /// materialized flag is up — reads `cached` directly. The old
+  /// check-then-compute version let concurrent callers each rebuild every
+  /// partition and discard all but one result.
   static std::vector<T> Compute(
       const std::shared_ptr<internal::RddState<T>>& state, int index) {
-    if (state->cache_enabled) {
-      {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (state->cached.has_value()) {
-          return (*state->cached)[static_cast<std::size_t>(index)];
-        }
-      }
-      // Materialize everything once. Computed outside the lock; multiple
-      // threads may race to build partitions, but only one result is kept.
-      std::vector<std::vector<T>> all(
-          static_cast<std::size_t>(state->num_partitions));
-      for (int p = 0; p < state->num_partitions; ++p) {
-        all[static_cast<std::size_t>(p)] = state->compute(p);
-      }
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (!state->cached.has_value()) {
-        state->cached = std::move(all);
-      }
-      return (*state->cached)[static_cast<std::size_t>(index)];
+    if (!state->cache_enabled) return state->compute(index);
+
+    obs::EventBus& bus = BusOf(state->context);
+    if (state->cache_materialized.load(std::memory_order_acquire)) {
+      bus.AddToCounter("rdd.cache.hits", 1);
+      return state->cached[static_cast<std::size_t>(index)];
     }
-    return state->compute(index);
+    std::call_once(state->cache_once, [&] {
+      auto n = static_cast<std::size_t>(state->num_partitions);
+      state->cached.assign(n, std::vector<T>{});
+      PoolOf(state->context)
+          .RunParallel(
+              n,
+              [&](std::size_t p) {
+                state->cached[p] = state->compute(static_cast<int>(p));
+              },
+              nullptr, "rdd.cache.materialize");
+      bus.AddToCounter("rdd.cache.misses",
+                       static_cast<std::int64_t>(n));
+      state->cache_materialized.store(true, std::memory_order_release);
+    });
+    // Losers of the call_once race return here after the winner finished;
+    // they are neither hits nor misses (they piggyback on the build).
+    return state->cached[static_cast<std::size_t>(index)];
   }
 
   std::shared_ptr<internal::RddState<T>> state_;

@@ -1,0 +1,221 @@
+// Event-ordering and event-log tests for the observability layer: the bus
+// itself plus the ExecutorPool's stage/task publishing. Counter-accuracy
+// tests for the RDD layer live in tests/spark/rdd_metrics_test.cc.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exec/executor_pool.h"
+#include "src/obs/event_bus.h"
+
+namespace rumble {
+namespace {
+
+using obs::Event;
+using obs::EventBus;
+using obs::EventKind;
+
+std::vector<Event> OfKind(const std::vector<Event>& events, EventKind kind) {
+  std::vector<Event> out;
+  for (const auto& event : events) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+TEST(EventBusTest, StageEventsArriveInOrderWithIncreasingSequence) {
+  EventBus bus;
+  exec::ExecutorPool pool(4);
+  pool.set_event_bus(&bus);
+  pool.RunParallel(4, [](std::size_t) {}, nullptr, "test.stage");
+
+  std::vector<Event> events = bus.EventsSince(0);
+  ASSERT_EQ(events.size(), 6u);  // stage_start + 4 task_end + stage_end
+  EXPECT_EQ(events.front().kind, EventKind::kStageStart);
+  EXPECT_EQ(events.front().label, "test.stage");
+  EXPECT_EQ(events.front().num_tasks, 4u);
+  EXPECT_EQ(events.back().kind, EventKind::kStageEnd);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GT(events[i].sequence, events[i - 1].sequence);
+    EXPECT_GE(events[i].wall_nanos, events[i - 1].wall_nanos);
+  }
+  // Every task reported exactly once, all for the same stage.
+  std::vector<Event> tasks = OfKind(events, EventKind::kTaskEnd);
+  ASSERT_EQ(tasks.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const auto& task : tasks) {
+    EXPECT_EQ(task.stage_id, events.front().stage_id);
+    seen[static_cast<std::size_t>(task.task_id)] = true;
+  }
+  for (bool task_seen : seen) EXPECT_TRUE(task_seen);
+}
+
+TEST(EventBusTest, StagesInheritTheCurrentJob) {
+  EventBus bus;
+  exec::ExecutorPool pool(2);
+  pool.set_event_bus(&bus);
+
+  std::int64_t job = bus.BeginJob("test query");
+  pool.RunParallel(3, [](std::size_t) {}, nullptr, "inside.job");
+  bus.EndJob(job, {{"query.rows_out", 7}});
+  pool.RunParallel(2, [](std::size_t) {}, nullptr, "outside.job");
+
+  std::vector<Event> events = bus.EventsSince(0);
+  bool saw_inside = false;
+  bool saw_outside = false;
+  for (const auto& event : events) {
+    if (event.label == "inside.job") {
+      saw_inside = true;
+      EXPECT_EQ(event.job_id, job);
+    }
+    if (event.label == "outside.job") {
+      saw_outside = true;
+      EXPECT_EQ(event.job_id, -1);  // no open job
+    }
+  }
+  EXPECT_TRUE(saw_inside);
+  EXPECT_TRUE(saw_outside);
+
+  std::vector<Event> ends = OfKind(events, EventKind::kJobEnd);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_GE(ends[0].duration_nanos, 0);
+  ASSERT_EQ(ends[0].metrics.size(), 1u);
+  EXPECT_EQ(ends[0].metrics[0].first, "query.rows_out");
+  EXPECT_EQ(ends[0].metrics[0].second, 7);
+}
+
+TEST(EventBusTest, FailedStageStillClosesWithFailedMetric) {
+  EventBus bus;
+  exec::ExecutorPool pool(4);
+  pool.set_event_bus(&bus);
+  EXPECT_THROW(pool.RunParallel(4,
+                                [](std::size_t i) {
+                                  if (i == 1) {
+                                    throw std::runtime_error("task boom");
+                                  }
+                                },
+                                nullptr, "failing.stage"),
+               std::runtime_error);
+
+  std::vector<Event> ends = OfKind(bus.EventsSince(0), EventKind::kStageEnd);
+  ASSERT_EQ(ends.size(), 1u);
+  bool failed = false;
+  for (const auto& [name, value] : ends[0].metrics) {
+    if (name == "failed" && value != 0) failed = true;
+  }
+  EXPECT_TRUE(failed);
+  // The bus must not be left with an open stage: the next stage works and the
+  // RUMBLE_ASSERT_METRICS task-count check was skipped (no throw here).
+  EXPECT_NO_THROW(
+      pool.RunParallel(2, [](std::size_t) {}, nullptr, "after.failure"));
+}
+
+TEST(EventBusTest, CountersAccumulateAndSnapshot) {
+  EventBus bus;
+  bus.AddToCounter("rows", 5);
+  bus.AddToCounter("rows", 7);
+  bus.AddToCounter("bytes", 100);
+  EXPECT_EQ(bus.CounterValue("rows"), 12);
+  EXPECT_EQ(bus.CounterValue("missing"), 0);
+
+  // GetCounter returns a stable cell usable without the bus lock.
+  obs::CounterCell* cell = bus.GetCounter("rows");
+  cell->value.fetch_add(3);
+  EXPECT_EQ(bus.CounterValue("rows"), 15);
+  EXPECT_EQ(bus.GetCounter("rows"), cell);
+
+  auto snapshot = bus.CounterSnapshot();
+  EXPECT_EQ(snapshot.at("rows"), 15);
+  EXPECT_EQ(snapshot.at("bytes"), 100);
+}
+
+TEST(EventBusTest, RenderCounterDeltaSkipsZeroes) {
+  std::map<std::string, std::int64_t> before{{"a", 1}, {"b", 2}};
+  std::map<std::string, std::int64_t> after{{"a", 1}, {"b", 5}, {"c", 3}};
+  std::string delta = EventBus::RenderCounterDelta(before, after);
+  EXPECT_EQ(delta.find("a"), std::string::npos);
+  EXPECT_NE(delta.find("b = 3"), std::string::npos);
+  EXPECT_NE(delta.find("c = 3"), std::string::npos);
+  EXPECT_TRUE(EventBus::RenderCounterDelta(after, after).empty());
+}
+
+TEST(EventBusTest, SummarySinceRendersStagesUnderTheirJob) {
+  EventBus bus;
+  exec::ExecutorPool pool(2);
+  pool.set_event_bus(&bus);
+  std::int64_t before = bus.NextSequence();
+  std::int64_t job = bus.BeginJob("summary query");
+  pool.RunParallel(3, [](std::size_t) {}, nullptr, "action.collect");
+  bus.EndJob(job);
+
+  std::string summary = bus.SummarySince(before);
+  EXPECT_NE(summary.find("stage  tasks"), std::string::npos);
+  EXPECT_NE(summary.find("summary query"), std::string::npos);
+  EXPECT_NE(summary.find("action.collect"), std::string::npos);
+  // Scoping: a snapshot taken after the job sees nothing.
+  EXPECT_TRUE(bus.SummarySince(bus.NextSequence()).empty());
+}
+
+TEST(EventBusTest, JsonlLogMatchesDocumentedSchema) {
+  auto path = std::filesystem::temp_directory_path() / "rumble_event_log_test";
+  std::filesystem::create_directories(path);
+  std::string file = (path / "events.jsonl").string();
+
+  EventBus bus;
+  ASSERT_TRUE(bus.SetLogFile(file));
+  exec::ExecutorPool pool(2);
+  pool.set_event_bus(&bus);
+  std::int64_t job = bus.BeginJob("log \"me\"\n");  // exercises escaping
+  pool.RunParallel(2, [](std::size_t) {}, nullptr, "logged.stage");
+  bus.EndJob(job, {{"query.rows_out", 2}});
+  bus.CloseLogFile();
+
+  std::ifstream in(file);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);  // job_start, stage_start, 2 task_end,
+                                // stage_end, job_end
+
+  // Every record: one JSON object with event/seq/t_ns (docs/METRICS.md).
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"event\":\""), std::string::npos);
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"t_ns\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"event\":\"job_start\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\\\"me\\\"\\n"), std::string::npos);  // escaped
+  EXPECT_NE(lines[1].find("\"event\":\"stage_start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"tasks\":2"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"event\":\"task_end\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"task\":"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ns\":"), std::string::npos);
+  EXPECT_NE(lines[4].find("\"event\":\"stage_end\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"event\":\"job_end\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"metrics\":{\"query.rows_out\":2}"),
+            std::string::npos);
+}
+
+TEST(EventBusTest, ResetClearsEventsAndZeroesCounters) {
+  EventBus bus;
+  std::int64_t job = bus.BeginJob("gone");
+  bus.EndJob(job);
+  bus.AddToCounter("rows", 10);
+  bus.Reset();
+  EXPECT_TRUE(bus.EventsSince(0).empty());
+  EXPECT_EQ(bus.CounterValue("rows"), 0);
+  // Counter cells stay valid across Reset (hot paths cache the pointers).
+  obs::CounterCell* cell = bus.GetCounter("rows");
+  bus.Reset();
+  cell->value.fetch_add(1);
+  EXPECT_EQ(bus.CounterValue("rows"), 1);
+}
+
+}  // namespace
+}  // namespace rumble

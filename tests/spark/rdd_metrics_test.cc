@@ -1,0 +1,154 @@
+// Counter-accuracy tests for the RDD layer's observability instrumentation:
+// shuffle stage counts and byte totals are deterministic across runs, cache
+// hit/miss counters are exact with one executor, and Cache() materializes
+// each partition exactly once even under concurrent actions (the double-
+// compute race this PR fixes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/event_bus.h"
+#include "src/spark/context.h"
+
+namespace rumble {
+namespace {
+
+using obs::Event;
+using obs::EventKind;
+using spark::Context;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 4) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  return values;
+}
+
+std::size_t CountStages(Context& context, const std::string& label) {
+  std::size_t count = 0;
+  for (const auto& event : context.bus().EventsSince(0)) {
+    if (event.kind == EventKind::kStageStart && event.label == label) ++count;
+  }
+  return count;
+}
+
+/// Runs mod-3 groupBy + Collect on a fresh context over Iota(n) and returns
+/// the context's final counter snapshot.
+std::map<std::string, std::int64_t> RunGroupByOnce(int n) {
+  Context context(SmallConfig());
+  auto grouped = context.Parallelize(Iota(n), 4).GroupBy<int>(
+      [](const int& x) { return x % 3; }, std::hash<int>{},
+      std::equal_to<int>{}, 4);
+  auto groups = grouped.Collect();
+  std::size_t total = 0;
+  for (const auto& [key, values] : groups) total += values.size();
+  EXPECT_EQ(total, static_cast<std::size_t>(n));
+  return context.bus().CounterSnapshot();
+}
+
+TEST(RddMetricsTest, GroupByRunsExactlyOneMapStage) {
+  Context context(SmallConfig());
+  auto grouped = context.Parallelize(Iota(100), 4).GroupBy<int>(
+      [](const int& x) { return x % 5; }, std::hash<int>{},
+      std::equal_to<int>{}, 4);
+  grouped.Collect();
+  grouped.Count();  // second action: map phase must NOT rerun (call_once)
+  EXPECT_EQ(CountStages(context, "shuffle.groupBy.map"), 1u);
+  EXPECT_EQ(CountStages(context, "action.collect"), 1u);
+  EXPECT_EQ(CountStages(context, "action.count"), 1u);
+}
+
+TEST(RddMetricsTest, ShuffleRecordAndByteTotalsAreConsistent) {
+  auto counters = RunGroupByOnce(100);
+  // One action: every record written by the map phase is read by exactly one
+  // reduce task, so the read and write totals must agree.
+  EXPECT_EQ(counters.at("shuffle.records_written"), 100);
+  EXPECT_EQ(counters.at("shuffle.records_read"), 100);
+  EXPECT_GT(counters.at("shuffle.bytes_written"), 0);
+  EXPECT_EQ(counters.at("shuffle.bytes_written"),
+            counters.at("shuffle.bytes_read"));
+}
+
+TEST(RddMetricsTest, ShuffleByteTotalsAreDeterministicAcrossRuns) {
+  auto first = RunGroupByOnce(200);
+  auto second = RunGroupByOnce(200);
+  EXPECT_EQ(first.at("shuffle.bytes_written"),
+            second.at("shuffle.bytes_written"));
+  EXPECT_EQ(first.at("shuffle.bytes_read"), second.at("shuffle.bytes_read"));
+  EXPECT_EQ(first.at("shuffle.records_written"),
+            second.at("shuffle.records_written"));
+}
+
+TEST(RddMetricsTest, CacheHitAndMissCountsAreDeterministicSingleThreaded) {
+  // One executor makes every access ordered, so the counts are exact: the
+  // first Collect's task 0 materializes all 4 partitions (4 misses), tasks
+  // 1..3 hit; the second Collect hits on all 4.
+  Context context(SmallConfig(/*executors=*/1));
+  auto rdd = context.Parallelize(Iota(40), 4).Cache();
+
+  rdd.Collect();
+  EXPECT_EQ(context.bus().CounterValue("rdd.cache.misses"), 4);
+  EXPECT_EQ(context.bus().CounterValue("rdd.cache.hits"), 3);
+
+  rdd.Collect();
+  EXPECT_EQ(context.bus().CounterValue("rdd.cache.misses"), 4);
+  EXPECT_EQ(context.bus().CounterValue("rdd.cache.hits"), 7);
+  EXPECT_EQ(CountStages(context, "rdd.cache.materialize"), 1u);
+}
+
+TEST(RddMetricsTest, CacheComputesEachPartitionExactlyOnceUnderConcurrency) {
+  // The regression this PR fixes: concurrent first actions on a cached RDD
+  // used to each recompute every partition (check-then-compute race). With
+  // the once/mutex discipline the partition compute function runs exactly
+  // once per partition no matter how many actions race.
+  Context context(SmallConfig(/*executors=*/4));
+  std::atomic<int> computes{0};
+  auto rdd = context.Parallelize(Iota(400), 4)
+                 .MapPartitions([&computes](std::vector<int>&& part) {
+                   computes.fetch_add(1);
+                   return std::move(part);
+                 })
+                 .Cache();
+
+  std::vector<std::thread> actions;
+  for (int t = 0; t < 4; ++t) {
+    actions.emplace_back([&rdd] { EXPECT_EQ(rdd.Count(), 400u); });
+  }
+  for (auto& action : actions) action.join();
+  EXPECT_EQ(computes.load(), 4);
+  EXPECT_EQ(context.bus().CounterValue("rdd.cache.misses"), 4);
+}
+
+TEST(RddMetricsTest, ActionsCountRowsOut) {
+  Context context(SmallConfig());
+  auto rdd = context.Parallelize(Iota(30), 3);
+  rdd.Collect();
+  EXPECT_EQ(context.bus().CounterValue("action.rows_out"), 30);
+  rdd.Count();
+  EXPECT_EQ(context.bus().CounterValue("action.rows_out"), 60);
+  rdd.Take(5);
+  EXPECT_EQ(context.bus().CounterValue("action.rows_out"), 65);
+}
+
+TEST(RddMetricsTest, SortByCountsSortedRecordsOnce) {
+  Context context(SmallConfig());
+  auto sorted =
+      context.Parallelize(Iota(50), 4).SortBy([](int a, int b) { return a > b; });
+  sorted.Collect();
+  sorted.Collect();  // merge is call_once; the counter must not double
+  EXPECT_EQ(context.bus().CounterValue("sort.records"), 50);
+  EXPECT_EQ(CountStages(context, "shuffle.sortBy.map"), 1u);
+}
+
+}  // namespace
+}  // namespace rumble
