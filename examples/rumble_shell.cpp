@@ -7,13 +7,17 @@
 //   ./build/examples/rumble_shell [--executors N] [--max-items N]
 //                                 [--query "<jsoniq>"] [--file query.jq]
 //                                 [--metrics] [--event-log <path>]
+//                                 [--fault-spec "<spec>"] [--skip-malformed]
 //
 // Interactive by default: one query per line (end a multi-line query with
 // an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
 // shows the plan and `:metrics on|off` toggles the per-query stage summary
 // (docs/QUERY_LANGUAGE.md documents both). With --query or --file, runs
 // that query and exits (scripting mode). --event-log streams the JSONL
-// event log (schema: docs/METRICS.md) for either mode.
+// event log (schema: docs/METRICS.md) for either mode. --fault-spec enables
+// deterministic fault injection (grammar: docs/FAULT_TOLERANCE.md) and
+// --skip-malformed makes json-file() skip malformed lines instead of
+// failing the query.
 
 #include <algorithm>
 #include <cstdint>
@@ -75,6 +79,10 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
       event_log = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-spec") == 0 && i + 1 < argc) {
+      config.fault_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--skip-malformed") == 0) {
+      config.skip_malformed_lines = true;
     } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       if (!in) {

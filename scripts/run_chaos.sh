@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Chaos harness: runs the test suite and a query workload under seeded,
+# deterministic fault injection (docs/FAULT_TOLERANCE.md) and verifies
+# that faults are invisible to results.
+#
+#   scripts/run_chaos.sh [build-dir]        (default: build)
+#
+# Phases:
+#   1. the tier-1 ctest suite with RUMBLE_FAULT_SPEC injecting transient
+#      task failures + stragglers into every Context the tests create —
+#      the whole suite must still pass. The scheduler's own
+#      fault-accounting tests (FaultToleranceTest) are excluded here:
+#      they assert exact retry/failure counters against their private
+#      specs, which ambient injection would perturb.
+#   2. the dedicated recovery tests with their built-in specs: executor
+#      kill + lineage recomputation, cache loss, shuffle map rebuild,
+#      straggler speculation, JSONiq fail-fast.
+#   3. rumble_shell on a generated JSON-Lines dataset: byte-diff a clean
+#      run against a run under a full spec (transients + stragglers + one
+#      executor kill) and check the event log recorded the chaos.
+#
+# Exits nonzero on the first divergence.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+spec_suite="seed=7,transient=0.1,straggle=0.05,straggle_ms=5"
+spec_shell="seed=41,transient=0.15,straggle=0.1,straggle_ms=10,kill=2"
+
+[ -x "$build/examples/rumble_shell" ] || {
+  echo "run_chaos: $build/examples/rumble_shell not found — build first:" >&2
+  echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+  exit 2
+}
+
+echo "== phase 1: tier-1 suite under RUMBLE_FAULT_SPEC=$spec_suite"
+RUMBLE_FAULT_SPEC="$spec_suite" \
+  ctest --test-dir "$build" -j --output-on-failure -E "FaultToleranceTest"
+
+echo
+echo "== phase 2: recovery tests (kill / cache loss / shuffle rebuild / speculation)"
+env -u RUMBLE_FAULT_SPEC \
+  ctest --test-dir "$build" -j --output-on-failure \
+  -R "FaultTolerance|FaultInjector|MalformedJson"
+
+echo
+echo "== phase 3: result identity under chaos (rumble_shell)"
+work="$(mktemp -d "${TMPDIR:-/tmp}/rumble_chaos.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+data="$work/confusion.json"
+targets=(Russian German French English Dutch)
+for i in $(seq 0 1999); do
+  t=${targets[$((i % 5))]}
+  g=${targets[$(((i * 7) % 5))]}
+  printf '{"guess":"%s","target":"%s","country":"C%d","sample":%d}\n' \
+    "$g" "$t" $((i % 23)) "$i" >>"$data"
+done
+
+queries="$work/queries.txt"
+cat >"$queries" <<EOF
+count(for \$e in json-file("$data", 8) where \$e.guess eq \$e.target return \$e)
+for \$e in json-file("$data", 8) where \$e.guess eq \$e.target group by \$t := \$e.target let \$c := count(\$e) order by \$c descending, \$t return { "target": \$t, "count": \$c }
+sum(for \$e in json-file("$data", 8) return \$e.sample)
+EOF
+
+shell="$build/examples/rumble_shell"
+run_queries() { # $1 = fault spec ("" for clean), $2 = event log path
+  local n=0
+  while IFS= read -r q; do
+    n=$((n + 1))
+    if [ -n "$1" ]; then
+      "$shell" --executors 4 --fault-spec "$1" --event-log "$2.$n" \
+        --query "$q"
+    else
+      "$shell" --executors 4 --query "$q"
+    fi
+  done <"$queries"
+}
+
+run_queries "" "" >"$work/clean.out"
+run_queries "$spec_shell" "$work/events" >"$work/chaos.out"
+
+if ! diff -u "$work/clean.out" "$work/chaos.out"; then
+  echo "run_chaos: FAIL — results diverged under $spec_shell" >&2
+  exit 1
+fi
+echo "results identical across $(wc -l <"$queries") queries"
+
+retries=$(cat "$work"/events.* | grep -c '"event":"task_retry"' || true)
+kills=$(cat "$work"/events.* | grep -c '"event":"executor_lost"' || true)
+echo "event log: $retries task retries, $kills executor kill(s)"
+[ "$retries" -gt 0 ] || { echo "run_chaos: FAIL — no retries injected" >&2; exit 1; }
+[ "$kills" -gt 0 ] || { echo "run_chaos: FAIL — kill never fired" >&2; exit 1; }
+
+echo
+echo "run_chaos: OK"

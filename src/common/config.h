@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace rumble::common {
 
@@ -64,6 +65,33 @@ struct RumbleConfig {
   /// When true, expression iterators refuse the RDD API so everything runs
   /// through the single-threaded pull path (baseline simulations).
   bool force_local_execution = false;
+
+  // ---- Fault tolerance (docs/FAULT_TOLERANCE.md) --------------------------
+
+  /// Total attempts per task before its stage fails (Spark's
+  /// spark.task.maxFailures). Transient failures retry with exponential
+  /// backoff; JSONiq dynamic errors never retry.
+  int max_task_attempts = 4;
+  /// Base backoff before retry attempt n: base << (n - 2) milliseconds.
+  std::int64_t task_retry_backoff_ms = 1;
+
+  /// Straggler speculation (spark.speculation): tasks running past
+  /// max(multiplier * stage median task time, min_runtime) get a speculative
+  /// copy; first commit wins.
+  bool speculation = true;
+  double speculation_multiplier = 4.0;
+  std::int64_t speculation_min_runtime_ms = 100;
+
+  /// Deterministic fault-injection spec for chaos testing, e.g.
+  /// "seed=7,transient=0.1,straggle=0.05,straggle_ms=200,kill=3". Empty =
+  /// no injection; the RUMBLE_FAULT_SPEC environment variable is used as a
+  /// fallback when this is empty. Grammar in exec::FaultInjector::ParseSpec.
+  std::string fault_spec;
+
+  /// Permissive json-file() parsing: skip malformed JSON lines (counting
+  /// them in the json.malformed_lines counter and sampling a few into the
+  /// event log) instead of aborting the query with kJsonParseError.
+  bool skip_malformed_lines = false;
 };
 
 }  // namespace rumble::common

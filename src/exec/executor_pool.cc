@@ -1,19 +1,102 @@
 #include "src/exec/executor_pool.h"
 
-#include <atomic>
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <thread>
+#include <utility>
 
+#include "src/common/error.h"
 #include "src/util/stopwatch.h"
 
 namespace rumble::exec {
 
 thread_local bool ExecutorPool::in_worker_ = false;
+thread_local int ExecutorPool::worker_index_ = -1;
+
+namespace {
+
+std::int64_t NowSteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepNanos(std::int64_t nanos) {
+  if (nanos > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+}
+
+}  // namespace
+
+/// Per-task scheduling state. `commit_mu` is the idempotent-commit gate: the
+/// attempt holding it may run the task body; `committed` flips exactly once.
+/// Rival attempts (a speculative copy, a stalled original waking up late)
+/// observe `committed` and discard themselves without running the body, so
+/// the body executes at most once per success even under speculation.
+struct ExecutorPool::TaskSlot {
+  std::mutex commit_mu;
+  std::atomic<bool> committed{false};
+  std::atomic<bool> settled{false};
+  /// Steady-clock nanos when the current original attempt started running
+  /// (-1 while queued). The driver's straggler scan reads this.
+  std::atomic<std::int64_t> running_since{-1};
+  /// Body wall time of the committed attempt (-1 until committed); feeds the
+  /// stage's median task time for speculation thresholds.
+  std::atomic<std::int64_t> duration_nanos{-1};
+  std::atomic<bool> speculative_launched{false};
+};
+
+/// Everything one RunParallel call (= one stage) needs, shared by the driver
+/// and every attempt via shared_ptr so late discarded attempts — which can
+/// outlive the RunParallel call — never touch freed state. `fn` and
+/// `caller_metrics` belong to the caller's stack frame: only the committing
+/// attempt may dereference them, which the commit gate guarantees happens
+/// before RunParallel returns.
+struct ExecutorPool::StageState {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  TaskMetrics* caller_metrics = nullptr;
+  obs::EventBus* bus = nullptr;
+  FaultInjector* injector = nullptr;
+  std::int64_t stage_id = -1;
+  std::int64_t stage_ordinal = -1;
+  std::string label;
+  std::size_t task_count = 0;
+  bool pooled = false;
+  int kill_victim = -1;
+  std::atomic<bool> kill_fired{false};
+  /// Fail-fast flag: once set, queued attempts cancel instead of running.
+  std::atomic<bool> doomed{false};
+
+  // Guarded by mu: stage completion and first-failure bookkeeping.
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t settled_count = 0;
+  std::exception_ptr first_error;
+  bool first_error_is_rumble = false;
+  common::ErrorCode first_error_code = common::ErrorCode::kInternal;
+  std::string first_error_what;
+  std::string first_failure_context;
+  int failed_tasks = 0;
+
+  // Per-stage recovery stats, reported on stage_end.
+  std::atomic<std::int64_t> failures{0};
+  std::atomic<std::int64_t> retries{0};
+  std::atomic<std::int64_t> speculative{0};
+  std::atomic<std::int64_t> cancelled{0};
+
+  std::vector<std::unique_ptr<TaskSlot>> slots;
+};
 
 ExecutorPool::ExecutorPool(int num_executors) {
   if (num_executors < 1) num_executors = 1;
   workers_.reserve(static_cast<std::size_t>(num_executors));
   for (int i = 0; i < num_executors; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      worker_index_ = i;
+      WorkerLoop();
+    });
   }
 }
 
@@ -46,6 +129,292 @@ void ExecutorPool::WorkerLoop() {
   }
 }
 
+void ExecutorPool::SubmitAttempt(const std::shared_ptr<StageState>& stage,
+                                 TaskAttempt attempt) {
+  if (!stage->pooled) {
+    // Inline stages (nested parallelism, single worker) run attempts on the
+    // calling thread; retry recursion is bounded by max_task_attempts.
+    RunAttempt(stage, attempt);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push([this, stage, attempt] { RunAttempt(stage, attempt); });
+  }
+  cv_.notify_one();
+}
+
+void ExecutorPool::SettleTask(const std::shared_ptr<StageState>& stage,
+                              std::size_t task) {
+  if (stage->slots[task]->settled.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stage->mu);
+    ++stage->settled_count;
+  }
+  stage->done_cv.notify_all();
+}
+
+void ExecutorPool::HandleFailure(const std::shared_ptr<StageState>& stage,
+                                 TaskAttempt attempt,
+                                 std::exception_ptr error) {
+  bool is_rumble = false;
+  common::ErrorCode code = common::ErrorCode::kInternal;
+  std::string what = "unknown exception";
+  try {
+    std::rethrow_exception(error);
+  } catch (const common::RumbleException& e) {
+    is_rumble = true;
+    code = e.code();
+    what = e.what();
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+
+  stage->failures.fetch_add(1, std::memory_order_relaxed);
+  if (stage->bus != nullptr) {
+    stage->bus->TaskFailed(stage->stage_id, attempt.task, attempt.attempt,
+                           what);
+    stage->bus->AddToCounter("task.failures", 1);
+  }
+  if (attempt.speculative) {
+    // The original attempt owns retry and failure accounting; a failed
+    // speculative copy is simply discarded. A deterministic error will
+    // resurface when the original runs the same body.
+    return;
+  }
+
+  // JSONiq dynamic errors are deterministic: retrying re-executes the same
+  // computation on the same data and fails identically, so they doom the
+  // stage immediately and keep their error code (paper error semantics).
+  bool retryable = !is_rumble && attempt.attempt < policy_.max_task_attempts;
+  if (retryable && !stage->doomed.load(std::memory_order_acquire)) {
+    stage->retries.fetch_add(1, std::memory_order_relaxed);
+    if (stage->bus != nullptr) {
+      stage->bus->TaskRetry(stage->stage_id, attempt.task,
+                            attempt.attempt + 1);
+      stage->bus->AddToCounter("task.retries", 1);
+    }
+    SubmitAttempt(stage, {attempt.task, attempt.attempt + 1, false});
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stage->mu);
+    ++stage->failed_tasks;
+    if (!stage->first_error) {
+      stage->first_error = error;
+      stage->first_error_is_rumble = is_rumble;
+      stage->first_error_code = code;
+      stage->first_error_what = what;
+      stage->first_failure_context =
+          "task " + std::to_string(attempt.task) + " attempt " +
+          std::to_string(attempt.attempt);
+    }
+  }
+  stage->doomed.store(true, std::memory_order_release);
+  SettleTask(stage, attempt.task);
+}
+
+void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
+                              TaskAttempt attempt) {
+  TaskSlot& slot = *stage->slots[attempt.task];
+  if (slot.settled.load(std::memory_order_acquire)) return;
+  if (stage->doomed.load(std::memory_order_acquire)) {
+    if (attempt.speculative) return;  // the original attempt settles the task
+    stage->cancelled.fetch_add(1, std::memory_order_relaxed);
+    if (stage->bus != nullptr) stage->bus->AddToCounter("task.cancelled", 1);
+    SettleTask(stage, attempt.task);
+    return;
+  }
+  if (!attempt.speculative) {
+    slot.running_since.store(NowSteadyNanos(), std::memory_order_release);
+  }
+  if (attempt.attempt > 1 && policy_.retry_backoff_nanos > 0) {
+    std::int64_t backoff = policy_.retry_backoff_nanos
+                           << std::min(attempt.attempt - 2, 20);
+    SleepNanos(std::min(backoff, policy_.retry_backoff_cap_nanos));
+  }
+  try {
+    FaultInjector* injector = stage->injector;
+    if (injector != nullptr && !attempt.speculative) {
+      if (attempt.attempt == 1) {
+        std::int64_t stall =
+            injector->StraggleNanos(stage->stage_ordinal, attempt.task);
+        if (stall > 0) {
+          if (stage->bus != nullptr) {
+            stage->bus->AddToCounter("task.straggle_injected", 1);
+          }
+          SleepNanos(stall);
+        }
+      }
+      // Executor kill: fires once, on task 0's first attempt in the doomed
+      // stage (deterministic placement). The loss handler invalidates cache
+      // and shuffle outputs recorded against the victim, then this attempt
+      // fails transiently and is retried — recovery, not job failure.
+      if (stage->kill_victim >= 0 && attempt.task == 0 &&
+          attempt.attempt == 1 &&
+          !stage->kill_fired.exchange(true, std::memory_order_acq_rel)) {
+        int victim = stage->kill_victim;
+        if (lost_handler_) lost_handler_(victim);
+        if (stage->bus != nullptr) {
+          stage->bus->ExecutorLost(victim);
+          stage->bus->AddToCounter("executor.lost", 1);
+        }
+        throw TransientTaskFault("executor " + std::to_string(victim) +
+                                 " lost");
+      }
+      if (attempt.attempt == 1 &&
+          injector->ShouldFailTransient(stage->stage_ordinal, attempt.task)) {
+        throw TransientTaskFault("injected transient fault");
+      }
+    }
+
+    // Idempotent commit: only the attempt holding commit_mu with `committed`
+    // still false runs the body. A speculative copy try-locks so it never
+    // blocks a worker behind a genuinely slow body; it wins exactly when the
+    // original is stalled before the gate (the straggler case).
+    std::unique_lock<std::mutex> commit(slot.commit_mu, std::defer_lock);
+    if (attempt.speculative) {
+      if (!commit.try_lock()) {
+        if (stage->bus != nullptr) {
+          stage->bus->AddToCounter("task.speculative_discarded", 1);
+        }
+        return;
+      }
+    } else {
+      commit.lock();
+    }
+    if (slot.committed.load(std::memory_order_acquire)) {
+      if (stage->bus != nullptr) {
+        stage->bus->AddToCounter("task.speculative_discarded", 1);
+      }
+      return;  // a rival attempt already won; discard without re-running
+    }
+    if (stage->doomed.load(std::memory_order_acquire)) {
+      commit.unlock();
+      if (attempt.speculative) return;
+      stage->cancelled.fetch_add(1, std::memory_order_relaxed);
+      if (stage->bus != nullptr) stage->bus->AddToCounter("task.cancelled", 1);
+      SettleTask(stage, attempt.task);
+      return;
+    }
+    util::Stopwatch watch;
+    (*stage->fn)(attempt.task);
+    std::int64_t nanos = watch.ElapsedNanos();
+    slot.duration_nanos.store(nanos, std::memory_order_release);
+    slot.committed.store(true, std::memory_order_release);
+    commit.unlock();
+    pool_metrics_.RecordTask(nanos);
+    if (stage->caller_metrics != nullptr) {
+      stage->caller_metrics->RecordTask(nanos);
+    }
+    if (stage->bus != nullptr) {
+      stage->bus->TaskEnd(stage->stage_id, attempt.task, nanos);
+      if (attempt.speculative) {
+        stage->bus->AddToCounter("task.speculative_wins", 1);
+      }
+    }
+    SettleTask(stage, attempt.task);
+  } catch (...) {
+    HandleFailure(stage, attempt, std::current_exception());
+  }
+}
+
+void ExecutorPool::CheckSpeculation(const std::shared_ptr<StageState>& stage) {
+  std::vector<std::int64_t> durations;
+  durations.reserve(stage->task_count);
+  for (const auto& slot : stage->slots) {
+    std::int64_t d = slot->duration_nanos.load(std::memory_order_acquire);
+    if (d >= 0) durations.push_back(d);
+  }
+  // Spark's speculation quantile, scaled down: wait for at least half the
+  // stage before inferring what "normal" task time looks like.
+  if (durations.empty() || durations.size() * 2 < stage->task_count ||
+      durations.size() == stage->task_count) {
+    return;
+  }
+  std::nth_element(durations.begin(),
+                   durations.begin() + static_cast<std::ptrdiff_t>(
+                                           durations.size() / 2),
+                   durations.end());
+  std::int64_t median = durations[durations.size() / 2];
+  auto scaled = static_cast<std::int64_t>(
+      static_cast<double>(median) * policy_.speculation_multiplier);
+  std::int64_t threshold =
+      std::max(scaled, policy_.speculation_min_runtime_nanos);
+  std::int64_t now = NowSteadyNanos();
+  for (std::size_t i = 0; i < stage->task_count; ++i) {
+    TaskSlot& slot = *stage->slots[i];
+    if (slot.settled.load(std::memory_order_acquire) ||
+        slot.committed.load(std::memory_order_acquire)) {
+      continue;
+    }
+    std::int64_t since = slot.running_since.load(std::memory_order_acquire);
+    if (since < 0 || now - since <= threshold) continue;
+    if (slot.speculative_launched.exchange(true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    stage->speculative.fetch_add(1, std::memory_order_relaxed);
+    if (stage->bus != nullptr) {
+      stage->bus->TaskSpeculative(stage->stage_id, i);
+      stage->bus->AddToCounter("task.speculative", 1);
+    }
+    SubmitAttempt(stage, {i, 1, true});
+  }
+}
+
+void ExecutorPool::FinishStage(const std::shared_ptr<StageState>& stage,
+                               std::int64_t stage_wall_nanos) {
+  std::exception_ptr error;
+  int failed_tasks = 0;
+  std::string context;
+  {
+    std::lock_guard<std::mutex> lock(stage->mu);
+    error = stage->first_error;
+    failed_tasks = stage->failed_tasks;
+    context = stage->first_failure_context;
+  }
+  std::vector<std::pair<std::string, std::int64_t>> metrics;
+  if (error) metrics.emplace_back("failed", 1);
+  auto report = [&metrics](const char* name,
+                           const std::atomic<std::int64_t>& value) {
+    std::int64_t v = value.load(std::memory_order_relaxed);
+    if (v != 0) metrics.emplace_back(name, v);
+  };
+  report("task_failures", stage->failures);
+  report("task_retries", stage->retries);
+  report("speculative", stage->speculative);
+  report("cancelled", stage->cancelled);
+  if (stage->bus != nullptr) {
+    stage->bus->EndStage(stage->stage_id, stage_wall_nanos,
+                         std::move(metrics));
+  }
+  if (!error) return;
+
+  // Aggregated failure context: the callers used to see only the first
+  // exception with every other failure silently dropped; now the rethrown
+  // error names the stage, the failure count, and the first failing attempt.
+  std::string suffix = " [stage '" + stage->label + "': " +
+                       std::to_string(failed_tasks) + " of " +
+                       std::to_string(stage->task_count) +
+                       " tasks failed permanently; first failure: " + context +
+                       "]";
+  if (stage->first_error_is_rumble) {
+    throw common::RumbleException(stage->first_error_code,
+                                  stage->first_error_what + suffix);
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(e.what() + suffix);
+  } catch (...) {
+    throw;  // unknown exception type: propagate untouched
+  }
+}
+
 void ExecutorPool::RunParallel(std::size_t task_count,
                                const std::function<void(std::size_t)>& fn,
                                TaskMetrics* metrics,
@@ -53,73 +422,66 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   if (task_count == 0) return;
 
   // One RunParallel call = one stage (Spark's task-per-partition model).
-  obs::EventBus* bus = bus_;
-  std::int64_t stage_id = -1;
-  util::Stopwatch stage_watch;
-  if (bus != nullptr) {
-    stage_id = bus->BeginStage(stage_label != nullptr ? stage_label : "stage",
-                               task_count);
+  // Bus and injector are bound once per stage, so attaching/detaching them
+  // concurrently is safe — a stage sees one consistent pair throughout.
+  auto stage = std::make_shared<StageState>();
+  stage->fn = &fn;
+  stage->caller_metrics = metrics;
+  stage->bus = bus_.load(std::memory_order_acquire);
+  stage->injector = injector_.load(std::memory_order_acquire);
+  stage->label = stage_label != nullptr ? stage_label : "stage";
+  stage->task_count = task_count;
+  stage->slots.reserve(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    stage->slots.push_back(std::make_unique<TaskSlot>());
   }
-
-  auto run_one = [&](std::size_t i) {
-    util::Stopwatch watch;
-    fn(i);
-    std::int64_t nanos = watch.ElapsedNanos();
-    pool_metrics_.RecordTask(nanos);
-    if (metrics != nullptr) metrics->RecordTask(nanos);
-    if (bus != nullptr) bus->TaskEnd(stage_id, i, nanos);
-  };
+  if (stage->injector != nullptr) {
+    stage->stage_ordinal = stage->injector->NextStageOrdinal();
+    stage->kill_victim = stage->injector->KillExecutorInStage(
+        stage->stage_ordinal, num_executors());
+  }
+  if (stage->bus != nullptr) {
+    stage->stage_id = stage->bus->BeginStage(stage->label, task_count);
+  }
+  util::Stopwatch stage_watch;
 
   // Nested parallel regions (a task spawning tasks) run inline: Spark jobs
   // do not nest either (Section 5.6), so this path is rare and correctness
-  // matters more than parallelism here.
+  // matters more than parallelism here. Retries and fault injection still
+  // apply; speculation does not (there is nothing to race against on one
+  // thread).
   if (in_worker_ || workers_.size() <= 1 || task_count == 1) {
-    try {
-      for (std::size_t i = 0; i < task_count; ++i) run_one(i);
-    } catch (...) {
-      if (bus != nullptr) {
-        bus->EndStage(stage_id, stage_watch.ElapsedNanos(), {{"failed", 1}});
-      }
-      throw;
+    for (std::size_t i = 0; i < task_count; ++i) {
+      RunAttempt(stage, {i, 1, false});
     }
-    if (bus != nullptr) bus->EndStage(stage_id, stage_watch.ElapsedNanos());
+    FinishStage(stage, stage_watch.ElapsedNanos());
     return;
   }
 
-  std::atomic<std::size_t> remaining{task_count};
-  std::exception_ptr first_error;
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-
+  stage->pooled = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < task_count; ++i) {
-      tasks_.push([&, i] {
-        try {
-          run_one(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> error_lock(done_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mu);
-          done_cv.notify_all();
-        }
-      });
+      tasks_.push([this, stage, i] { RunAttempt(stage, {i, 1, false}); });
     }
   }
   cv_.notify_all();
 
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
-  if (bus != nullptr && first_error) {
-    // The failed task recorded no task_end; close the stage without the
-    // task-count cross-check by reporting what actually completed.
-    bus->EndStage(stage_id, stage_watch.ElapsedNanos(), {{"failed", 1}});
-  } else if (bus != nullptr) {
-    bus->EndStage(stage_id, stage_watch.ElapsedNanos());
+  // The driver waits for every task to settle, scanning for stragglers on
+  // each wake so speculation works without a separate monitor thread.
+  {
+    std::unique_lock<std::mutex> lock(stage->mu);
+    while (stage->settled_count < task_count) {
+      stage->done_cv.wait_for(lock, std::chrono::milliseconds(2));
+      if (stage->settled_count >= task_count) break;
+      if (policy_.speculation) {
+        lock.unlock();
+        CheckSpeculation(stage);
+        lock.lock();
+      }
+    }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  FinishStage(stage, stage_watch.ElapsedNanos());
 }
 
 }  // namespace rumble::exec

@@ -1,18 +1,52 @@
 #ifndef RUMBLE_EXEC_EXECUTOR_POOL_H_
 #define RUMBLE_EXEC_EXECUTOR_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/exec/fault_injector.h"
 #include "src/exec/task_metrics.h"
 #include "src/obs/event_bus.h"
 
 namespace rumble::exec {
+
+/// Scheduler-level fault-tolerance knobs, mirroring Spark's
+/// spark.task.maxFailures / spark.speculation.* configuration. One policy is
+/// installed per pool (spark::Context copies it out of RumbleConfig).
+struct SchedulerPolicy {
+  /// Total attempts a task may use before its stage fails (>= 1). Transient
+  /// failures (anything that is not a common::RumbleException) are retried
+  /// up to this bound; JSONiq dynamic errors never retry.
+  int max_task_attempts = 4;
+  /// Exponential backoff before attempt n: base << (n - 2), capped below.
+  std::int64_t retry_backoff_nanos = 1'000'000;         // 1 ms
+  std::int64_t retry_backoff_cap_nanos = 100'000'000;   // 100 ms
+  /// Straggler speculation: once at least half a stage's tasks committed, a
+  /// task still running past max(multiplier * median task time, min_runtime)
+  /// gets a speculative copy; the first attempt to commit wins and the loser
+  /// is discarded without running the task body twice.
+  bool speculation = true;
+  double speculation_multiplier = 4.0;
+  std::int64_t speculation_min_runtime_nanos = 100'000'000;  // 100 ms
+};
+
+/// One attempt of one partition task: the unit the scheduler tracks, retries,
+/// and speculates on (Spark's TaskAttempt). `task` is the partition index
+/// within the stage; `attempt` is 1-based.
+struct TaskAttempt {
+  std::size_t task = 0;
+  int attempt = 1;
+  bool speculative = false;
+};
 
 /// Fixed-size worker pool standing in for a Spark executor fleet. Each
 /// submitted task corresponds to one partition of one stage, mirroring
@@ -24,6 +58,17 @@ namespace rumble::exec {
 /// scheduler half of the mini Spark-UI. The legacy TaskMetrics sink is kept
 /// as the replay buffer for the cluster simulator (Figure 14), which only
 /// needs raw durations.
+///
+/// Fault tolerance (docs/FAULT_TOLERANCE.md): tasks run as TaskAttempts.
+/// Transient failures — injected faults, lost executors, or any non-JSONiq
+/// exception — are retried with exponential backoff up to
+/// SchedulerPolicy::max_task_attempts; JSONiq dynamic errors
+/// (common::RumbleException) rethrow immediately without retry so error
+/// semantics survive the scheduler. Once a stage is doomed, queued attempts
+/// are cancelled instead of run (fail-fast). Straggling tasks get
+/// speculative copies; an idempotent per-task commit guarantees the task
+/// body runs at most once per success, so first-completion-wins needs no
+/// output reconciliation.
 class ExecutorPool {
  public:
   explicit ExecutorPool(int num_executors);
@@ -35,20 +80,51 @@ class ExecutorPool {
   int num_executors() const { return static_cast<int>(workers_.size()); }
 
   /// Attaches the event bus stage/task events are published to (may be null
-  /// to detach). Not synchronized against in-flight RunParallel calls: wire
-  /// it up before running work.
-  void set_event_bus(obs::EventBus* bus) { bus_ = bus; }
-  obs::EventBus* event_bus() const { return bus_; }
+  /// to detach). Safe against in-flight RunParallel calls: the pointer is
+  /// atomic and every stage binds it once at stage start, so a stage sees
+  /// either the old bus or the new one, never a torn mix.
+  void set_event_bus(obs::EventBus* bus) {
+    bus_.store(bus, std::memory_order_release);
+  }
+  obs::EventBus* event_bus() const {
+    return bus_.load(std::memory_order_acquire);
+  }
+
+  /// Attaches a deterministic fault injector (null to detach). Like the bus,
+  /// bound per-stage at stage start.
+  void set_fault_injector(FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Installs the scheduler policy. Wire up before running work.
+  void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
+  const SchedulerPolicy& policy() const { return policy_; }
+
+  /// Handler invoked (on the failing worker's thread) when an executor is
+  /// declared lost, before the affected attempt fails. spark::Context routes
+  /// this to the cache/shuffle invalidation listeners so lost partitions are
+  /// recomputed from lineage.
+  void set_executor_lost_handler(std::function<void(int)> handler) {
+    lost_handler_ = std::move(handler);
+  }
+
+  /// The worker index (executor id) of the calling thread, or -1 on the
+  /// driver. Cache and shuffle structures record this as the partition's
+  /// "location" so executor loss knows what to invalidate.
+  static int CurrentExecutor() { return worker_index_; }
 
   /// Runs `fn(i)` for i in [0, task_count), in parallel across the pool, and
-  /// blocks until all tasks finish. Exceptions thrown by tasks are captured
-  /// and the first one is rethrown on the calling thread. Task durations are
-  /// appended to `metrics` when non-null. Re-entrant: a task may itself call
-  /// RunParallel (the nested call helps execute on the calling thread), which
-  /// matches Spark's restriction workaround that jobs do not nest — nested
-  /// calls degrade to inline execution rather than deadlocking. A nested call
-  /// still publishes its own stage (e.g. a shuffle map phase triggered from
-  /// inside a reduce task is a real stage boundary).
+  /// blocks until every task commits or the stage fails. Each task commits at
+  /// most once even under retries and speculation. On stage failure the first
+  /// error is rethrown on the calling thread, augmented with the failure
+  /// count and first-failure context (stage label, task, attempt); JSONiq
+  /// errors keep their error code. Task durations are appended to `metrics`
+  /// when non-null. Re-entrant: a task may itself call RunParallel (the
+  /// nested call executes inline on the calling thread), which matches
+  /// Spark's restriction that jobs do not nest — nested calls degrade to
+  /// inline execution rather than deadlocking. A nested call still publishes
+  /// its own stage (e.g. a shuffle map phase triggered from inside a reduce
+  /// task is a real stage boundary).
   ///
   /// `stage_label` names the stage in events and summaries; callers pass
   /// "action.collect", "shuffle.groupBy.map", ... (default "stage").
@@ -60,7 +136,28 @@ class ExecutorPool {
   TaskMetrics& metrics() { return pool_metrics_; }
 
  private:
+  struct TaskSlot;
+  struct StageState;
+
   void WorkerLoop();
+  /// Queues (pooled stages) or runs inline (nested/sequential stages) one
+  /// attempt.
+  void SubmitAttempt(const std::shared_ptr<StageState>& stage,
+                     TaskAttempt attempt);
+  /// Executes one attempt end to end: cancellation check, backoff, fault
+  /// injection, commit-gated task body, failure classification and retry.
+  void RunAttempt(const std::shared_ptr<StageState>& stage,
+                  TaskAttempt attempt);
+  void HandleFailure(const std::shared_ptr<StageState>& stage,
+                     TaskAttempt attempt, std::exception_ptr error);
+  /// Marks a task settled (committed, permanently failed, or cancelled)
+  /// exactly once and wakes the driver when the stage is finished.
+  void SettleTask(const std::shared_ptr<StageState>& stage, std::size_t task);
+  /// Driver-side straggler scan; launches speculative copies.
+  void CheckSpeculation(const std::shared_ptr<StageState>& stage);
+  /// Closes the stage on the bus and rethrows the recorded failure, if any.
+  void FinishStage(const std::shared_ptr<StageState>& stage,
+                   std::int64_t stage_wall_nanos);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
@@ -68,9 +165,13 @@ class ExecutorPool {
   std::queue<std::function<void()>> tasks_;
   bool shutdown_ = false;
   static thread_local bool in_worker_;
+  static thread_local int worker_index_;
 
   TaskMetrics pool_metrics_;
-  obs::EventBus* bus_ = nullptr;
+  std::atomic<obs::EventBus*> bus_{nullptr};
+  std::atomic<FaultInjector*> injector_{nullptr};
+  SchedulerPolicy policy_;
+  std::function<void(int)> lost_handler_;
 };
 
 }  // namespace rumble::exec

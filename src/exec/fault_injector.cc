@@ -1,0 +1,112 @@
+#include "src/exec/fault_injector.h"
+
+#include <cstdlib>
+
+#include "src/common/error.h"
+#include "src/util/strings.h"
+
+namespace rumble::exec {
+
+namespace {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ParseFraction(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  double p = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+    common::ThrowError(common::ErrorCode::kInvalidArgument,
+                       "fault-spec: " + key + " must be a fraction in [0,1], "
+                       "got \"" + value + "\"");
+  }
+  return p;
+}
+
+std::int64_t ParseInt(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  long long n = std::strtoll(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    common::ThrowError(common::ErrorCode::kInvalidArgument,
+                       "fault-spec: " + key + " must be an integer, got \"" +
+                       value + "\"");
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+}  // namespace
+
+FaultSpec FaultInjector::ParseSpec(const std::string& text) {
+  FaultSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& field : util::Split(text, ',')) {
+    if (field.empty()) continue;
+    std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      common::ThrowError(common::ErrorCode::kInvalidArgument,
+                         "fault-spec: expected key=value, got \"" + field +
+                         "\"");
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(ParseInt(key, value));
+    } else if (key == "transient") {
+      spec.transient_fraction = ParseFraction(key, value);
+    } else if (key == "straggle") {
+      spec.straggle_fraction = ParseFraction(key, value);
+    } else if (key == "straggle_ms") {
+      spec.straggle_nanos = ParseInt(key, value) * 1'000'000;
+    } else if (key == "kill") {
+      spec.kill_stage = ParseInt(key, value);
+    } else {
+      common::ThrowError(common::ErrorCode::kInvalidArgument,
+                         "fault-spec: unknown key \"" + key +
+                         "\" (expected seed, transient, straggle, "
+                         "straggle_ms, kill)");
+    }
+  }
+  return spec;
+}
+
+double FaultInjector::UnitHash(std::int64_t stage_ordinal, std::uint64_t task,
+                               std::uint64_t salt) const {
+  std::uint64_t h = Mix64(spec_.seed ^ Mix64(salt));
+  h = Mix64(h ^ static_cast<std::uint64_t>(stage_ordinal));
+  h = Mix64(h ^ task);
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::ShouldFailTransient(std::int64_t stage_ordinal,
+                                        std::size_t task) const {
+  if (spec_.transient_fraction <= 0.0) return false;
+  return UnitHash(stage_ordinal, task, /*salt=*/0xfa11) <
+         spec_.transient_fraction;
+}
+
+std::int64_t FaultInjector::StraggleNanos(std::int64_t stage_ordinal,
+                                          std::size_t task) const {
+  if (spec_.straggle_fraction <= 0.0 || spec_.straggle_nanos <= 0) return 0;
+  if (UnitHash(stage_ordinal, task, /*salt=*/0x510e) >=
+      spec_.straggle_fraction) {
+    return 0;
+  }
+  return spec_.straggle_nanos;
+}
+
+int FaultInjector::KillExecutorInStage(std::int64_t stage_ordinal,
+                                       int num_executors) const {
+  if (spec_.kill_stage < 0 || stage_ordinal != spec_.kill_stage ||
+      num_executors < 1) {
+    return -1;
+  }
+  std::uint64_t h = Mix64(spec_.seed ^ 0x6b111ULL);
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_executors));
+}
+
+}  // namespace rumble::exec

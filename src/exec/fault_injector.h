@@ -1,0 +1,97 @@
+#ifndef RUMBLE_EXEC_FAULT_INJECTOR_H_
+#define RUMBLE_EXEC_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rumble::exec {
+
+/// Exception modelling a retryable infrastructure failure (an injected
+/// transient fault, a lost executor). The scheduler retries these up to
+/// SchedulerPolicy::max_task_attempts; they never reach user code. JSONiq
+/// dynamic errors (common::RumbleException) are deliberately NOT of this
+/// type so deterministic query errors keep failing fast without retries.
+class TransientTaskFault : public std::runtime_error {
+ public:
+  explicit TransientTaskFault(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Parsed --fault-spec / RumbleConfig::fault_spec. Grammar: comma-separated
+/// key=value pairs, all optional (docs/FAULT_TOLERANCE.md):
+///
+///   seed=<u64>          decision seed (default 1)
+///   transient=<p>       P(a task's first attempt throws a transient fault)
+///   straggle=<p>        P(a task's first attempt stalls before running)
+///   straggle_ms=<n>     stall duration for injected stragglers (default 50)
+///   kill=<stage>        kill one executor when this stage ordinal runs
+///                       (stage ordinals count RunParallel calls per pool,
+///                       from 0; -1 = never)
+///
+/// Example: "seed=42,transient=0.1,straggle=0.05,straggle_ms=50,kill=3".
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double transient_fraction = 0.0;
+  double straggle_fraction = 0.0;
+  std::int64_t straggle_nanos = 50'000'000;
+  std::int64_t kill_stage = -1;
+};
+
+/// Deterministic, seeded fault source for the executor pool. Every decision
+/// is a pure hash of (seed, stage ordinal, task index), never of wall time
+/// or thread interleaving, so the same spec replays the same fault pattern:
+/// the same tasks fail transiently, the same tasks straggle, and the same
+/// stage loses an executor — the property the deterministic-replay tests
+/// (tests/exec/fault_tolerance_test.cc) pin down. Faults fire in the
+/// scheduler before the task body runs, so a faulted attempt has no partial
+/// side effects and a retry executes the body exactly once.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  /// Parses the fault-spec grammar above. Throws
+  /// common::RumbleException(kInvalidArgument) on malformed input.
+  static FaultSpec ParseSpec(const std::string& text);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Assigns the next stage ordinal (one per RunParallel call on the pool
+  /// this injector is attached to). Stage launch order is deterministic —
+  /// the driver starts stages sequentially — so ordinals are too.
+  std::int64_t NextStageOrdinal() {
+    return next_stage_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True when the first attempt of `task` in this stage throws an injected
+  /// transient fault. Retries (attempt > 1) and speculative copies are never
+  /// re-faulted: the fault is transient by construction.
+  bool ShouldFailTransient(std::int64_t stage_ordinal, std::size_t task) const;
+
+  /// Injected stall in nanoseconds before `task`'s first attempt runs its
+  /// body (0 = no stall). Stalled attempts are what straggler speculation
+  /// races against.
+  std::int64_t StraggleNanos(std::int64_t stage_ordinal,
+                             std::size_t task) const;
+
+  /// The executor to "kill" while this stage runs, or -1. The kill fires
+  /// once, when task 0's first attempt executes (deterministic placement);
+  /// the pool then notifies the executor-loss handler so caches and shuffle
+  /// outputs recorded against that executor are invalidated and recomputed
+  /// from lineage.
+  int KillExecutorInStage(std::int64_t stage_ordinal,
+                          int num_executors) const;
+
+ private:
+  /// SplitMix64-style avalanche of (seed, stage, task, salt) to [0, 1).
+  double UnitHash(std::int64_t stage_ordinal, std::uint64_t task,
+                  std::uint64_t salt) const;
+
+  FaultSpec spec_;
+  std::atomic<std::int64_t> next_stage_{0};
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_FAULT_INJECTOR_H_

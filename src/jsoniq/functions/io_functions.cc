@@ -28,6 +28,32 @@ ItemPtr ParseRecord(const std::string& line, std::size_t line_number,
   return json::DomToItem(*json::ParseDom(line));
 }
 
+/// How many malformed lines get their text sampled into the event log in
+/// permissive mode; beyond this only the counter grows.
+constexpr std::int64_t kMalformedSampleCap = 8;
+
+/// Permissive-mode parse (RumbleConfig::skip_malformed_lines): a malformed
+/// JSON line returns nullptr — counted in json.malformed_lines, the first
+/// few sampled into the event log — instead of aborting the query. The
+/// paper's "messy data" story: one bad line must not kill a billion-line
+/// job. Only kJsonParseError is absorbed; every other error (type errors,
+/// memory caps) still propagates.
+ItemPtr ParseRecordPermissive(const std::string& line,
+                              std::size_t line_number, bool streaming,
+                              bool skip_malformed, obs::EventBus* bus) {
+  if (!skip_malformed) return ParseRecord(line, line_number, streaming);
+  try {
+    return ParseRecord(line, line_number, streaming);
+  } catch (const common::RumbleException& e) {
+    if (e.code() != ErrorCode::kJsonParseError || bus == nullptr) throw;
+    if (bus->CounterValue("json.malformed_lines") < kMalformedSampleCap) {
+      bus->MalformedLine(static_cast<std::int64_t>(line_number), line);
+    }
+    bus->AddToCounter("json.malformed_lines", 1);
+    return nullptr;
+  }
+}
+
 /// json-file("path"[, $partitions]) — the paper's primary input function
 /// (Section 5.7). Logically a sequence of JSON objects read from a JSON
 /// Lines dataset; physically an RDD built from text splits with a
@@ -46,15 +72,20 @@ class JsonFileIterator final : public CloneableIterator<JsonFileIterator> {
   spark::Rdd<ItemPtr> GetRdd(const DynamicContext& context) override {
     auto [path, partitions] = EvaluateArgs(context);
     bool streaming = engine_->config.streaming_parser;
+    bool skip_malformed = engine_->config.skip_malformed_lines;
+    obs::EventBus* bus = engine_->bus();
     spark::Rdd<std::string> lines =
         engine_->spark->TextFile(path, partitions);
     return lines.MapPartitions(
-        [streaming](std::vector<std::string>&& part) {
+        [streaming, skip_malformed, bus](std::vector<std::string>&& part) {
           ItemSequence items;
           items.reserve(part.size());
           std::size_t line_number = 0;
           for (const auto& line : part) {
-            items.push_back(ParseRecord(line, ++line_number, streaming));
+            ItemPtr item = ParseRecordPermissive(line, ++line_number,
+                                                 streaming, skip_malformed,
+                                                 bus);
+            if (item != nullptr) items.push_back(std::move(item));
           }
           return items;
         });
@@ -64,12 +95,16 @@ class JsonFileIterator final : public CloneableIterator<JsonFileIterator> {
   ItemSequence Compute(const DynamicContext& context) override {
     auto [path, partitions] = EvaluateArgs(context);
     bool streaming = engine_->config.streaming_parser;
+    bool skip_malformed = engine_->config.skip_malformed_lines;
+    obs::EventBus* bus = engine_->bus();
     ItemSequence items;
     std::size_t line_number = 0;
     for (const auto& split :
          storage::TextSource::PlanSplits(path, partitions)) {
       for (const auto& line : storage::TextSource::ReadSplit(split)) {
-        ItemPtr item = ParseRecord(line, ++line_number, streaming);
+        ItemPtr item = ParseRecordPermissive(line, ++line_number, streaming,
+                                             skip_malformed, bus);
+        if (item == nullptr) continue;
         if (engine_->memory != nullptr &&
             engine_->config.charge_parse_to_budget) {
           engine_->memory->Allocate(item->FootprintBytes());

@@ -45,8 +45,24 @@ std::string EventToJson(const Event& event) {
   if (event.stage_id >= 0) {
     out += ",\"stage\":" + std::to_string(event.stage_id);
   }
-  if (event.kind == EventKind::kTaskEnd) {
+  if (event.kind == EventKind::kTaskEnd ||
+      event.kind == EventKind::kTaskFailed ||
+      event.kind == EventKind::kTaskRetry ||
+      event.kind == EventKind::kTaskSpeculative) {
     out += ",\"task\":" + std::to_string(event.task_id);
+  }
+  if (event.kind == EventKind::kTaskFailed ||
+      event.kind == EventKind::kTaskRetry) {
+    out += ",\"attempt\":" + std::to_string(event.attempt);
+  }
+  if (event.kind == EventKind::kExecutorLost) {
+    out += ",\"executor\":" + std::to_string(event.task_id);
+  }
+  if (event.kind == EventKind::kPartitionRecomputed) {
+    out += ",\"partition\":" + std::to_string(event.task_id);
+  }
+  if (event.kind == EventKind::kMalformedLine) {
+    out += ",\"line\":" + std::to_string(event.task_id);
   }
   if (event.kind == EventKind::kStageStart) {
     out += ",\"tasks\":" + std::to_string(event.num_tasks);
@@ -84,6 +100,12 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kStageStart: return "stage_start";
     case EventKind::kStageEnd: return "stage_end";
     case EventKind::kTaskEnd: return "task_end";
+    case EventKind::kTaskFailed: return "task_failed";
+    case EventKind::kTaskRetry: return "task_retry";
+    case EventKind::kTaskSpeculative: return "task_speculative";
+    case EventKind::kExecutorLost: return "executor_lost";
+    case EventKind::kPartitionRecomputed: return "partition_recomputed";
+    case EventKind::kMalformedLine: return "malformed_line";
   }
   return "unknown";
 }
@@ -208,6 +230,75 @@ void EventBus::EndStage(
   Publish(std::move(event));
 }
 
+void EventBus::TaskFailed(std::int64_t stage_id, std::size_t task_index,
+                          int attempt, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kTaskFailed;
+  event.job_id = current_job_;
+  event.stage_id = stage_id;
+  event.task_id = static_cast<std::int64_t>(task_index);
+  event.attempt = attempt;
+  event.label = reason;
+  Publish(std::move(event));
+}
+
+void EventBus::TaskRetry(std::int64_t stage_id, std::size_t task_index,
+                         int attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kTaskRetry;
+  event.job_id = current_job_;
+  event.stage_id = stage_id;
+  event.task_id = static_cast<std::int64_t>(task_index);
+  event.attempt = attempt;
+  Publish(std::move(event));
+}
+
+void EventBus::TaskSpeculative(std::int64_t stage_id, std::size_t task_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kTaskSpeculative;
+  event.job_id = current_job_;
+  event.stage_id = stage_id;
+  event.task_id = static_cast<std::int64_t>(task_index);
+  Publish(std::move(event));
+}
+
+void EventBus::ExecutorLost(int executor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kExecutorLost;
+  event.job_id = current_job_;
+  event.task_id = executor;  // serialized as "executor"
+  Publish(std::move(event));
+}
+
+void EventBus::PartitionRecomputed(const std::string& label,
+                                   std::int64_t partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kPartitionRecomputed;
+  event.job_id = current_job_;
+  event.task_id = partition;  // serialized as "partition"
+  event.label = label;
+  Publish(std::move(event));
+}
+
+void EventBus::MalformedLine(std::int64_t line_number,
+                             const std::string& sample) {
+  constexpr std::size_t kSampleCap = 120;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kMalformedLine;
+  event.job_id = current_job_;
+  event.task_id = line_number;  // serialized as "line"
+  event.label = sample.size() <= kSampleCap
+                    ? sample
+                    : sample.substr(0, kSampleCap) + "...";
+  Publish(std::move(event));
+}
+
 CounterCell* EventBus::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -303,6 +394,10 @@ std::string EventBus::SummarySince(std::int64_t since) const {
           }
           break;
         case EventKind::kJobEnd:
+          break;
+        default:
+          // Fault-tolerance events do not add stage rows; their per-stage
+          // counts arrive via stage_end metrics.
           break;
       }
     }

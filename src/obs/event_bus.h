@@ -26,6 +26,15 @@ enum class EventKind {
   kStageStart,
   kStageEnd,
   kTaskEnd,
+  // Fault-tolerance events (docs/FAULT_TOLERANCE.md): the scheduler and the
+  // RDD recovery machinery publish these so retries, speculation, and
+  // lineage recomputation are observable in the event log.
+  kTaskFailed,
+  kTaskRetry,
+  kTaskSpeculative,
+  kExecutorLost,
+  kPartitionRecomputed,
+  kMalformedLine,
 };
 
 const char* EventKindName(EventKind kind);
@@ -39,6 +48,9 @@ struct Event {
   std::int64_t job_id = -1;
   std::int64_t stage_id = -1;
   std::int64_t task_id = -1;
+  /// TaskFailed: the failing attempt; TaskRetry: the attempt about to run.
+  /// 0 when the event kind has no attempt notion.
+  std::int64_t attempt = 0;
   /// Task/stage/job wall duration; 0 for *Start events.
   std::int64_t duration_nanos = 0;
   /// StageStart: number of tasks the stage will run.
@@ -82,6 +94,26 @@ class EventBus {
                std::int64_t duration_nanos);
   void EndStage(std::int64_t stage_id, std::int64_t duration_nanos,
                 std::vector<std::pair<std::string, std::int64_t>> metrics = {});
+
+  // ---- Fault-tolerance events ---------------------------------------------
+  // Published by the scheduler (ExecutorPool) and the RDD recovery machinery.
+  // Counters are the caller's responsibility, as elsewhere on the bus.
+
+  /// A task attempt failed; `reason` is the exception summary.
+  void TaskFailed(std::int64_t stage_id, std::size_t task_index,
+                  int attempt, const std::string& reason);
+  /// A failed task was requeued; `attempt` is the attempt about to run.
+  void TaskRetry(std::int64_t stage_id, std::size_t task_index, int attempt);
+  /// A straggling task got a speculative copy launched.
+  void TaskSpeculative(std::int64_t stage_id, std::size_t task_index);
+  /// An executor was declared lost (fault injection or simulation).
+  void ExecutorLost(int executor);
+  /// A lost partition was rebuilt from lineage. `label` names the recovered
+  /// structure ("rdd.cache", "shuffle.groupBy.map").
+  void PartitionRecomputed(const std::string& label, std::int64_t partition);
+  /// One malformed JSON line skipped in permissive mode; `sample` is the
+  /// offending text (truncated). Callers cap how many they publish.
+  void MalformedLine(std::int64_t line_number, const std::string& sample);
 
   // ---- Counters -----------------------------------------------------------
   /// Returns the stable cell for a named counter, creating it at zero.

@@ -1,5 +1,8 @@
 #include "src/spark/context.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/storage/dfs.h"
 
 namespace rumble::spark {
@@ -8,11 +11,65 @@ exec::ExecutorPool& PoolOf(Context* context) { return context->pool(); }
 
 obs::EventBus& BusOf(Context* context) { return context->bus(); }
 
+int RegisterExecutorLossListener(Context* context,
+                                 std::function<void(int)> listener) {
+  return context->RegisterExecutorLossListener(std::move(listener));
+}
+
+void UnregisterExecutorLossListener(Context* context, int token) {
+  context->UnregisterExecutorLossListener(token);
+}
+
 Context::Context(common::RumbleConfig config)
-    : config_(config),
+    : config_(std::move(config)),
       bus_(std::make_shared<obs::EventBus>()),
-      pool_(std::make_unique<exec::ExecutorPool>(config.executors)) {
+      pool_(std::make_unique<exec::ExecutorPool>(config_.executors)) {
   pool_->set_event_bus(bus_.get());
+
+  exec::SchedulerPolicy policy;
+  policy.max_task_attempts = std::max(1, config_.max_task_attempts);
+  policy.retry_backoff_nanos =
+      std::max<std::int64_t>(0, config_.task_retry_backoff_ms) * 1'000'000;
+  policy.speculation = config_.speculation;
+  policy.speculation_multiplier = config_.speculation_multiplier;
+  policy.speculation_min_runtime_nanos =
+      std::max<std::int64_t>(0, config_.speculation_min_runtime_ms) *
+      1'000'000;
+  pool_->set_policy(policy);
+
+  // Fault injection: explicit config wins; the environment variable lets the
+  // chaos harness (scripts/run_chaos.sh) inject faults into unmodified
+  // binaries.
+  std::string spec_text = config_.fault_spec;
+  if (spec_text.empty()) {
+    if (const char* env = std::getenv("RUMBLE_FAULT_SPEC")) spec_text = env;
+  }
+  if (!spec_text.empty()) {
+    injector_ = std::make_unique<exec::FaultInjector>(
+        exec::FaultInjector::ParseSpec(spec_text));
+    pool_->set_fault_injector(injector_.get());
+  }
+  pool_->set_executor_lost_handler(
+      [this](int executor) { NotifyExecutorLost(executor); });
+}
+
+int Context::RegisterExecutorLossListener(std::function<void(int)> listener) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  int token = next_loss_token_++;
+  loss_listeners_.emplace(token, std::move(listener));
+  return token;
+}
+
+void Context::UnregisterExecutorLossListener(int token) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  loss_listeners_.erase(token);
+}
+
+void Context::NotifyExecutorLost(int executor) {
+  std::lock_guard<std::mutex> lock(listeners_mu_);
+  for (auto& [token, listener] : loss_listeners_) {
+    listener(executor);
+  }
 }
 
 Rdd<std::string> Context::TextFile(const std::string& path,

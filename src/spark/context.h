@@ -1,8 +1,12 @@
 #ifndef RUMBLE_SPARK_CONTEXT_H_
 #define RUMBLE_SPARK_CONTEXT_H_
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/config.h"
@@ -26,6 +30,26 @@ class Context {
   /// The per-application event bus (mini Spark-UI backend). Every stage the
   /// pool runs and every counter the RDD/DataFrame layers bump lands here.
   obs::EventBus& bus() { return *bus_; }
+
+  /// The fault injector parsed from config.fault_spec (or the
+  /// RUMBLE_FAULT_SPEC environment variable); null when no injection is
+  /// configured.
+  exec::FaultInjector* fault_injector() { return injector_.get(); }
+
+  // ---- Executor-loss listeners (lineage recovery) -------------------------
+  // Cached RDDs and shuffle outputs register a listener that invalidates the
+  // partitions built on a lost executor; the scheduler's executor-lost
+  // handler (and tests, directly) call NotifyExecutorLost. Listeners run
+  // under the registry lock, so unregistration (from RDD/shuffle
+  // destructors) synchronizes with in-flight notifications — a listener is
+  // never invoked after UnregisterExecutorLossListener returns.
+
+  int RegisterExecutorLossListener(std::function<void(int)> listener);
+  void UnregisterExecutorLossListener(int token);
+  /// Declares an executor lost: every registered invalidation listener runs
+  /// (cache partitions and shuffle map outputs recorded against it become
+  /// invalid and will be recomputed from lineage on next access).
+  void NotifyExecutorLost(int executor);
 
   /// Creates an RDD from a local collection (Spark's parallelize()).
   template <typename T>
@@ -57,6 +81,13 @@ class Context {
  private:
   common::RumbleConfig config_;
   std::shared_ptr<obs::EventBus> bus_;
+  // The injector and listener registry must outlive the pool (workers touch
+  // both until joined), so they are declared before pool_ — members are
+  // destroyed in reverse declaration order.
+  std::unique_ptr<exec::FaultInjector> injector_;
+  std::mutex listeners_mu_;
+  std::map<int, std::function<void(int)>> loss_listeners_;
+  int next_loss_token_ = 0;
   std::unique_ptr<exec::ExecutorPool> pool_;
 };
 

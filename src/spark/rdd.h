@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -20,6 +21,13 @@ namespace rumble::spark {
 class Context;
 exec::ExecutorPool& PoolOf(Context* context);
 obs::EventBus& BusOf(Context* context);
+
+/// Executor-loss listener registry (defined in context.cc; declared here so
+/// the templated RDD/shuffle code can register invalidation hooks without
+/// the full Context definition). The listener receives the lost executor id.
+int RegisterExecutorLossListener(Context* context,
+                                 std::function<void(int)> listener);
+void UnregisterExecutorLossListener(Context* context, int token);
 
 namespace internal {
 
@@ -43,6 +51,27 @@ struct RddState {
   std::once_flag cache_once;
   std::atomic<bool> cache_materialized{false};
   std::vector<std::vector<T>> cached;
+
+  // Lineage recovery (docs/FAULT_TOLERANCE.md). Each cached partition
+  // records the executor that built it; an executor loss marks those
+  // partitions invalid and the next access recomputes them from `compute`
+  // (the lineage). Two locks with disjoint jobs: `cache_mu` guards the
+  // partition *data* (shared for reads, unique while repairing), while the
+  // short-lived `cache_meta_mu` guards the invalidation metadata — the loss
+  // listener only ever takes the latter, so it can never deadlock against a
+  // repair that is recomputing partitions while holding `cache_mu`.
+  std::shared_mutex cache_mu;
+  std::mutex cache_meta_mu;
+  std::vector<int> cache_executor;     // builder executor per partition
+  std::vector<char> cache_invalid;     // 1 = lost, awaiting recompute
+  std::atomic<bool> cache_has_invalid{false};
+  int loss_token = -1;
+
+  ~RddState() {
+    // Synchronizes with in-flight NotifyExecutorLost calls (registry lock),
+    // so the listener's raw `this` capture never dangles.
+    if (loss_token >= 0) UnregisterExecutorLossListener(context, loss_token);
+  }
 };
 
 }  // namespace internal
@@ -176,8 +205,26 @@ class Rdd {
       std::once_flag once;
       // buckets[reduce][input partition] -> (key, value) pairs.
       std::vector<std::vector<std::vector<std::pair<K, T>>>> buckets;
+      // Lineage recovery: the executor that ran each map task, and which map
+      // outputs an executor loss invalidated. Same two-lock split as the RDD
+      // cache — `data_mu` guards the bucket payloads, the short-lived
+      // `meta_mu` guards the invalidation metadata (all the loss listener
+      // touches).
+      std::shared_mutex data_mu;
+      std::mutex meta_mu;
+      std::vector<int> map_executor;   // per input partition
+      std::vector<char> invalid;       // 1 = map output lost
+      std::atomic<bool> has_invalid{false};
+      Context* context = nullptr;
+      int loss_token = -1;
+      ~Shuffle() {
+        if (loss_token >= 0) {
+          UnregisterExecutorLossListener(context, loss_token);
+        }
+      }
     };
     auto shuffle = std::make_shared<Shuffle>();
+    shuffle->context = context;
     int n_out = output_partitions;
 
     auto ensure_shuffled = [parent, context, shuffle, key_fn, hash, n_out]() {
@@ -187,6 +234,8 @@ class Rdd {
             static_cast<std::size_t>(n_out),
             std::vector<std::vector<std::pair<K, T>>>(
                 static_cast<std::size_t>(n_in)));
+        shuffle->map_executor.assign(static_cast<std::size_t>(n_in), -1);
+        shuffle->invalid.assign(static_cast<std::size_t>(n_in), 0);
         // The shuffle map phase is its own stage — this is exactly where a
         // Spark stage boundary forms.
         PoolOf(context).RunParallel(
@@ -201,6 +250,8 @@ class Rdd {
                 shuffle->buckets[reduce][input_index].emplace_back(
                     std::move(key), std::move(value));
               }
+              shuffle->map_executor[input_index] =
+                  exec::ExecutorPool::CurrentExecutor();
             },
             nullptr, "shuffle.groupBy.map");
         std::int64_t records = 0;
@@ -216,13 +267,82 @@ class Rdd {
         obs::EventBus& bus = BusOf(context);
         bus.AddToCounter("shuffle.records_written", records);
         bus.AddToCounter("shuffle.bytes_written", bytes);
+        // Losing an executor loses the map outputs it produced; reduce tasks
+        // repair them from lineage before reading.
+        Shuffle* raw = shuffle.get();
+        shuffle->loss_token = RegisterExecutorLossListener(
+            context, [raw, context](int executor) {
+              std::int64_t invalidated = 0;
+              {
+                std::lock_guard<std::mutex> meta(raw->meta_mu);
+                for (std::size_t p = 0; p < raw->map_executor.size(); ++p) {
+                  if (raw->map_executor[p] == executor &&
+                      raw->invalid[p] == 0) {
+                    raw->invalid[p] = 1;
+                    ++invalidated;
+                  }
+                }
+                if (invalidated > 0) {
+                  raw->has_invalid.store(true, std::memory_order_release);
+                }
+              }
+              if (invalidated > 0) {
+                BusOf(context).AddToCounter("shuffle.map_invalidated",
+                                            invalidated);
+              }
+            });
       });
+    };
+
+    // Rebuilds lost map outputs from lineage (recompute the input partition,
+    // re-bucket it), exactly once per loss: the first reduce task drains the
+    // invalid set; the rest block on the data lock and then read repaired
+    // buckets.
+    auto repair = [parent, context, shuffle, key_fn, hash, n_out]() {
+      if (!shuffle->has_invalid.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::shared_mutex> data_lock(shuffle->data_mu);
+      std::vector<std::size_t> to_repair;
+      {
+        std::lock_guard<std::mutex> meta(shuffle->meta_mu);
+        if (!shuffle->has_invalid.load(std::memory_order_acquire)) return;
+        for (std::size_t p = 0; p < shuffle->invalid.size(); ++p) {
+          if (shuffle->invalid[p] != 0) {
+            to_repair.push_back(p);
+            shuffle->invalid[p] = 0;
+          }
+        }
+        shuffle->has_invalid.store(false, std::memory_order_release);
+      }
+      obs::EventBus& bus = BusOf(context);
+      for (std::size_t input_index : to_repair) {
+        for (int r = 0; r < n_out; ++r) {
+          shuffle->buckets[static_cast<std::size_t>(r)][input_index].clear();
+        }
+        std::vector<T> input =
+            Compute(parent, static_cast<int>(input_index));
+        for (T& value : input) {
+          K key = key_fn(static_cast<const T&>(value));
+          std::size_t reduce = hash(key) % static_cast<std::size_t>(n_out);
+          shuffle->buckets[reduce][input_index].emplace_back(
+              std::move(key), std::move(value));
+        }
+        {
+          std::lock_guard<std::mutex> meta(shuffle->meta_mu);
+          shuffle->map_executor[input_index] =
+              exec::ExecutorPool::CurrentExecutor();
+        }
+        bus.PartitionRecomputed("shuffle.groupBy.map",
+                                static_cast<std::int64_t>(input_index));
+        bus.AddToCounter("partition.recomputed", 1);
+      }
     };
 
     return Rdd<std::pair<K, std::vector<T>>>(
         context, n_out,
-        [ensure_shuffled, shuffle, context, eq, hash](int index) {
+        [ensure_shuffled, repair, shuffle, context, eq, hash](int index) {
           ensure_shuffled();
+          repair();
+          std::shared_lock<std::shared_mutex> data_lock(shuffle->data_mu);
           // Account what this reduce task pulls from the map outputs.
           std::int64_t records_read = 0;
           std::int64_t bytes_read = 0;
@@ -268,6 +388,11 @@ class Rdd {
   /// Globally sorts by a comparator. Implemented as: parallel per-partition
   /// sort, then a sequential k-way merge, re-split into the original number
   /// of partitions (range partitioning, like Spark's sortBy after sampling).
+  ///
+  /// Recovery note: the merged output lives in driver memory (the k-way
+  /// merge runs on the driver), so an executor loss cannot invalidate it —
+  /// only cached partitions and groupBy map outputs track executor locality
+  /// (docs/FAULT_TOLERANCE.md).
   template <typename Less>
   Rdd<T> SortBy(Less less) const {
     auto parent = state_;
@@ -479,33 +604,102 @@ class Rdd {
   /// every other caller either waits inside call_once or — once the
   /// materialized flag is up — reads `cached` directly. The old
   /// check-then-compute version let concurrent callers each rebuild every
-  /// partition and discard all but one result.
+  /// partition and discard all but one result. Partitions invalidated by an
+  /// executor loss are repaired (recomputed from lineage) before the read.
   static std::vector<T> Compute(
       const std::shared_ptr<internal::RddState<T>>& state, int index) {
     if (!state->cache_enabled) return state->compute(index);
 
     obs::EventBus& bus = BusOf(state->context);
-    if (state->cache_materialized.load(std::memory_order_acquire)) {
+    bool was_materialized =
+        state->cache_materialized.load(std::memory_order_acquire);
+    if (was_materialized) {
       bus.AddToCounter("rdd.cache.hits", 1);
-      return state->cached[static_cast<std::size_t>(index)];
+    } else {
+      std::call_once(state->cache_once, [&] {
+        auto n = static_cast<std::size_t>(state->num_partitions);
+        state->cached.assign(n, std::vector<T>{});
+        state->cache_executor.assign(n, -1);
+        state->cache_invalid.assign(n, 0);
+        PoolOf(state->context)
+            .RunParallel(
+                n,
+                [&](std::size_t p) {
+                  state->cached[p] = state->compute(static_cast<int>(p));
+                  state->cache_executor[p] =
+                      exec::ExecutorPool::CurrentExecutor();
+                },
+                nullptr, "rdd.cache.materialize");
+        bus.AddToCounter("rdd.cache.misses",
+                         static_cast<std::int64_t>(n));
+        // From here on an executor loss invalidates the partitions it built.
+        // Registered only after the build: a kill *during* materialization is
+        // already handled by the scheduler retrying the victim's tasks.
+        internal::RddState<T>* raw = state.get();
+        Context* context = state->context;
+        state->loss_token = RegisterExecutorLossListener(
+            context, [raw, context](int executor) {
+              std::int64_t invalidated = 0;
+              {
+                std::lock_guard<std::mutex> meta(raw->cache_meta_mu);
+                for (std::size_t p = 0; p < raw->cache_executor.size(); ++p) {
+                  if (raw->cache_executor[p] == executor &&
+                      raw->cache_invalid[p] == 0) {
+                    raw->cache_invalid[p] = 1;
+                    ++invalidated;
+                  }
+                }
+                if (invalidated > 0) {
+                  raw->cache_has_invalid.store(true,
+                                               std::memory_order_release);
+                }
+              }
+              if (invalidated > 0) {
+                BusOf(context).AddToCounter("rdd.cache.invalidated",
+                                            invalidated);
+              }
+            });
+        state->cache_materialized.store(true, std::memory_order_release);
+      });
+      // Losers of the call_once race land here after the winner finished;
+      // they are neither hits nor misses (they piggyback on the build).
     }
-    std::call_once(state->cache_once, [&] {
-      auto n = static_cast<std::size_t>(state->num_partitions);
-      state->cached.assign(n, std::vector<T>{});
-      PoolOf(state->context)
-          .RunParallel(
-              n,
-              [&](std::size_t p) {
-                state->cached[p] = state->compute(static_cast<int>(p));
-              },
-              nullptr, "rdd.cache.materialize");
-      bus.AddToCounter("rdd.cache.misses",
-                       static_cast<std::int64_t>(n));
-      state->cache_materialized.store(true, std::memory_order_release);
-    });
-    // Losers of the call_once race return here after the winner finished;
-    // they are neither hits nor misses (they piggyback on the build).
+    if (state->cache_has_invalid.load(std::memory_order_acquire)) {
+      RepairCache(state, bus);
+    }
+    std::shared_lock<std::shared_mutex> lock(state->cache_mu);
     return state->cached[static_cast<std::size_t>(index)];
+  }
+
+  /// Recomputes cache partitions lost to an executor failure, from lineage
+  /// (`state->compute`), exactly once per loss: the first caller drains the
+  /// invalid set under the metadata lock and rebuilds under the exclusive
+  /// data lock; concurrent callers find the set empty and fall through to
+  /// the (blocking) shared read.
+  static void RepairCache(const std::shared_ptr<internal::RddState<T>>& state,
+                          obs::EventBus& bus) {
+    std::unique_lock<std::shared_mutex> data_lock(state->cache_mu);
+    std::vector<std::size_t> to_repair;
+    {
+      std::lock_guard<std::mutex> meta(state->cache_meta_mu);
+      if (!state->cache_has_invalid.load(std::memory_order_acquire)) return;
+      for (std::size_t p = 0; p < state->cache_invalid.size(); ++p) {
+        if (state->cache_invalid[p] != 0) {
+          to_repair.push_back(p);
+          state->cache_invalid[p] = 0;
+        }
+      }
+      state->cache_has_invalid.store(false, std::memory_order_release);
+    }
+    for (std::size_t p : to_repair) {
+      state->cached[p] = state->compute(static_cast<int>(p));
+      {
+        std::lock_guard<std::mutex> meta(state->cache_meta_mu);
+        state->cache_executor[p] = exec::ExecutorPool::CurrentExecutor();
+      }
+      bus.PartitionRecomputed("rdd.cache", static_cast<std::int64_t>(p));
+      bus.AddToCounter("partition.recomputed", 1);
+    }
   }
 
   std::shared_ptr<internal::RddState<T>> state_;

@@ -1,0 +1,491 @@
+// Fault-tolerance tests (docs/FAULT_TOLERANCE.md): deterministic fault
+// injection, task retries with backoff, fail-fast on JSONiq dynamic errors,
+// lineage recovery after executor loss, straggler speculation, and the
+// permissive json-file() mode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/exec/fault_injector.h"
+#include "src/jsoniq/rumble.h"
+#include "src/spark/context.h"
+#include "src/storage/dfs.h"
+#include "src/util/stopwatch.h"
+
+namespace rumble {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleException;
+using exec::FaultInjector;
+using exec::FaultSpec;
+using spark::Context;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 4) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  return values;
+}
+
+std::size_t CountEvents(obs::EventBus& bus, obs::EventKind kind) {
+  std::size_t count = 0;
+  for (const auto& event : bus.EventsSince(0)) {
+    if (event.kind == kind) ++count;
+  }
+  return count;
+}
+
+// ---- Fault-spec parsing ----------------------------------------------------
+
+TEST(FaultInjectorTest, ParsesFullSpec) {
+  FaultSpec spec = FaultInjector::ParseSpec(
+      "seed=42,transient=0.25,straggle=0.5,straggle_ms=200,kill=3");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.transient_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.straggle_fraction, 0.5);
+  EXPECT_EQ(spec.straggle_nanos, 200'000'000);
+  EXPECT_EQ(spec.kill_stage, 3);
+}
+
+TEST(FaultInjectorTest, EmptySpecIsDefault) {
+  FaultSpec spec = FaultInjector::ParseSpec("");
+  EXPECT_DOUBLE_EQ(spec.transient_fraction, 0.0);
+  EXPECT_EQ(spec.kill_stage, -1);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"transient", "transient=2.0", "transient=-0.1", "transient=abc",
+        "frobnicate=1", "kill=x", "seed="}) {
+    try {
+      FaultInjector::ParseSpec(bad);
+      FAIL() << "spec \"" << bad << "\" unexpectedly parsed";
+    } catch (const RumbleException& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfSeedStageTask) {
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.transient_fraction = 0.3;
+  spec.straggle_fraction = 0.3;
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  for (std::int64_t stage = 0; stage < 10; ++stage) {
+    for (std::size_t task = 0; task < 32; ++task) {
+      EXPECT_EQ(a.ShouldFailTransient(stage, task),
+                b.ShouldFailTransient(stage, task));
+      EXPECT_EQ(a.StraggleNanos(stage, task), b.StraggleNanos(stage, task));
+    }
+    EXPECT_EQ(a.KillExecutorInStage(stage, 4), b.KillExecutorInStage(stage, 4));
+  }
+}
+
+// ---- Retry behaviour -------------------------------------------------------
+
+TEST(FaultToleranceTest, TransientFailureIsRetriedUntilSuccess) {
+  Context context(SmallConfig());
+  constexpr std::size_t kTasks = 8;
+  std::vector<std::atomic<int>> calls(kTasks);
+  std::vector<int> results(kTasks, 0);
+  context.pool().RunParallel(
+      kTasks,
+      [&](std::size_t i) {
+        // Tasks 2 and 5 fail twice before succeeding: a transient fault.
+        int attempt = ++calls[i];
+        if ((i == 2 || i == 5) && attempt <= 2) {
+          throw std::runtime_error("flaky storage");
+        }
+        results[i] = static_cast<int>(i) * 10;
+      },
+      nullptr, "test.retry");
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(results[i], static_cast<int>(i) * 10);
+    EXPECT_EQ(calls[i].load(), (i == 2 || i == 5) ? 3 : 1);
+  }
+  obs::EventBus& bus = context.bus();
+  EXPECT_EQ(bus.CounterValue("task.retries"), 4);
+  EXPECT_EQ(bus.CounterValue("task.failures"), 4);
+  EXPECT_EQ(CountEvents(bus, obs::EventKind::kTaskRetry), 4u);
+  EXPECT_EQ(CountEvents(bus, obs::EventKind::kTaskFailed), 4u);
+}
+
+TEST(FaultToleranceTest, TransientFailureExhaustsAttemptsThenPropagates) {
+  Context context(SmallConfig());
+  std::atomic<int> calls{0};
+  try {
+    context.pool().RunParallel(
+        2, [&](std::size_t i) {
+          if (i == 0) {
+            ++calls;
+            throw std::runtime_error("always broken");
+          }
+        },
+        nullptr, "test.exhaust");
+    FAIL() << "expected the stage to fail";
+  } catch (const std::runtime_error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("always broken"), std::string::npos);
+    EXPECT_NE(what.find("stage 'test.exhaust'"), std::string::npos);
+    EXPECT_NE(what.find("1 of 2 tasks failed"), std::string::npos);
+    EXPECT_NE(what.find("task 0 attempt 4"), std::string::npos);
+  }
+  // max_task_attempts = 4 by default: 1 original + 3 retries.
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(context.bus().CounterValue("task.retries"), 3);
+}
+
+TEST(FaultToleranceTest, JsoniqDynamicErrorNeverRetries) {
+  Context context(SmallConfig());
+  std::atomic<int> calls{0};
+  try {
+    context.pool().RunParallel(
+        4, [&](std::size_t i) {
+          if (i == 1) {
+            ++calls;
+            common::ThrowError(ErrorCode::kDivisionByZero,
+                               "integer division by zero");
+          }
+        },
+        nullptr, "test.dynamic-error");
+    FAIL() << "expected the stage to fail";
+  } catch (const RumbleException& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDivisionByZero);
+    std::string what = e.what();
+    EXPECT_NE(what.find("integer division by zero"), std::string::npos);
+    EXPECT_NE(what.find("first failure: task 1 attempt 1"), std::string::npos);
+  }
+  // Deterministic errors fail fast: exactly one attempt, zero retries.
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(context.bus().CounterValue("task.retries"), 0);
+  EXPECT_EQ(CountEvents(context.bus(), obs::EventKind::kTaskRetry), 0u);
+}
+
+TEST(FaultToleranceTest, DoomedStageCancelsQueuedTasks) {
+  // 2 executors, 64 tasks: task 0 fails permanently almost immediately, so
+  // most of the queue is still unstarted when the stage is doomed and must
+  // be cancelled instead of run.
+  Context context(SmallConfig(/*executors=*/2));
+  std::atomic<int> bodies_run{0};
+  EXPECT_THROW(
+      context.pool().RunParallel(
+          64,
+          [&](std::size_t i) {
+            if (i == 0) {
+              common::ThrowError(ErrorCode::kUserError, "doomed");
+            }
+            ++bodies_run;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          },
+          nullptr, "test.fail-fast"),
+      RumbleException);
+  std::int64_t cancelled = context.bus().CounterValue("task.cancelled");
+  EXPECT_GE(cancelled, 1);
+  EXPECT_EQ(bodies_run.load() + static_cast<int>(cancelled), 63);
+}
+
+// ---- Deterministic replay --------------------------------------------------
+
+/// The injected fault pattern — which (stage, task, attempt) failed and
+/// retried — is a pure function of the spec seed, so two identical runs
+/// produce identical fault event multisets.
+TEST(FaultToleranceTest, SameSeedReplaysSameFaultSequence) {
+  using Key = std::tuple<int, std::int64_t, std::int64_t, std::int64_t>;
+  auto run = [](const char* spec) {
+    common::RumbleConfig config = SmallConfig(4, 8);
+    config.fault_spec = spec;
+    Context context(config);
+    auto doubled = context.Parallelize(Iota(1000), 8).Map(
+        [](const int& x) { return x * 2; });
+    std::vector<int> result = doubled.Collect();
+    std::multiset<Key> faults;
+    for (const auto& event : context.bus().EventsSince(0)) {
+      if (event.kind == obs::EventKind::kTaskFailed ||
+          event.kind == obs::EventKind::kTaskRetry) {
+        faults.emplace(static_cast<int>(event.kind), event.stage_id,
+                       event.task_id, event.attempt);
+      }
+    }
+    return std::make_pair(result, faults);
+  };
+  const char* spec = "seed=11,transient=0.3,straggle=0.2,straggle_ms=1";
+  auto [result_a, faults_a] = run(spec);
+  auto [result_b, faults_b] = run(spec);
+
+  // Identical results despite the injected faults, and an identical replay.
+  std::vector<int> expected(1000);
+  for (int i = 0; i < 1000; ++i) expected[static_cast<std::size_t>(i)] = 2 * i;
+  EXPECT_EQ(result_a, expected);
+  EXPECT_EQ(result_b, expected);
+  EXPECT_FALSE(faults_a.empty()) << "spec injected no faults; weaken the test";
+  EXPECT_EQ(faults_a, faults_b);
+
+  // A different seed produces a different pattern.
+  auto [result_c, faults_c] = run("seed=12,transient=0.3,straggle=0.2,"
+                                  "straggle_ms=1");
+  EXPECT_EQ(result_c, expected);
+  EXPECT_NE(faults_a, faults_c);
+}
+
+// ---- Lineage recovery ------------------------------------------------------
+
+TEST(FaultToleranceTest, LostCachePartitionsRecomputedExactlyOnce) {
+  Context context(SmallConfig(4, 4));
+  std::atomic<int> computes{0};
+  auto rdd = context
+                 .Parallelize(Iota(100), 4)
+                 .Map([&computes](const int& x) {
+                   ++computes;
+                   return x + 1;
+                 })
+                 .Cache();
+  std::vector<int> first = rdd.Collect();
+  EXPECT_EQ(computes.load(), 100);
+
+  // Lose every executor: all four cached partitions become invalid.
+  for (int e = 0; e < context.pool().num_executors(); ++e) {
+    context.NotifyExecutorLost(e);
+  }
+  obs::EventBus& bus = context.bus();
+  EXPECT_EQ(bus.CounterValue("rdd.cache.invalidated"), 4);
+
+  std::vector<int> second = rdd.Collect();
+  EXPECT_EQ(second, first);
+  // Each lost partition was rebuilt from lineage exactly once.
+  EXPECT_EQ(computes.load(), 200);
+  EXPECT_EQ(bus.CounterValue("partition.recomputed"), 4);
+  EXPECT_EQ(CountEvents(bus, obs::EventKind::kPartitionRecomputed), 4u);
+
+  // Repaired cache serves reads again without recomputation.
+  std::vector<int> third = rdd.Collect();
+  EXPECT_EQ(third, first);
+  EXPECT_EQ(computes.load(), 200);
+  EXPECT_EQ(bus.CounterValue("partition.recomputed"), 4);
+}
+
+TEST(FaultToleranceTest, LostShuffleMapOutputsRebuiltFromLineage) {
+  Context context(SmallConfig(4, 4));
+  std::atomic<int> computes{0};
+  auto pairs = context.Parallelize(Iota(200), 4).Map(
+      [&computes](const int& x) {
+        ++computes;
+        return x;
+      });
+  auto grouped = pairs.GroupBy<int>(
+      [](const int& x) { return x % 7; }, std::hash<int>{},
+      std::equal_to<int>{}, 3);
+  auto normalize = [](std::vector<std::pair<int, std::vector<int>>> groups) {
+    for (auto& [key, values] : groups) std::sort(values.begin(), values.end());
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return groups;
+  };
+  auto first = normalize(grouped.Collect());
+  int computes_after_first = computes.load();
+
+  for (int e = 0; e < context.pool().num_executors(); ++e) {
+    context.NotifyExecutorLost(e);
+  }
+  obs::EventBus& bus = context.bus();
+  EXPECT_EQ(bus.CounterValue("shuffle.map_invalidated"), 4);
+
+  auto second = normalize(grouped.Collect());
+  EXPECT_EQ(second, first);
+  // All four lost map outputs recomputed from the (uncached) parent.
+  EXPECT_EQ(computes.load(), computes_after_first + 200);
+  EXPECT_EQ(bus.CounterValue("partition.recomputed"), 4);
+
+  // No further recomputation on the next action.
+  auto third = normalize(grouped.Collect());
+  EXPECT_EQ(third, first);
+  EXPECT_EQ(computes.load(), computes_after_first + 200);
+}
+
+TEST(FaultToleranceTest, InjectedExecutorKillRecoversAndMatchesFaultFreeRun) {
+  auto run = [](const char* spec) {
+    common::RumbleConfig config = SmallConfig(4, 4);
+    config.fault_spec = spec;
+    Context context(config);
+    auto cached = context.Parallelize(Iota(500), 4)
+                      .Map([](const int& x) { return x * 3; })
+                      .Cache();
+    // Count() materializes the cache (nested stage); Collect() reads it.
+    std::size_t count = cached.Count();
+    std::vector<int> values = cached.Collect();
+    auto lost = context.bus().CounterValue("executor.lost");
+    return std::make_tuple(count, values, lost);
+  };
+  auto [clean_count, clean_values, clean_lost] = run("");
+  EXPECT_EQ(clean_lost, 0);
+  // Kill an executor in stage 1 (the nested cache-materialize stage) on top
+  // of a 10% transient fault rate: the job must still return identical
+  // results, with the kill visible in the counters.
+  auto [count, values, lost] =
+      run("seed=9,transient=0.1,kill=1");
+  EXPECT_EQ(count, clean_count);
+  EXPECT_EQ(values, clean_values);
+  EXPECT_EQ(lost, 1);
+}
+
+// ---- Straggler speculation -------------------------------------------------
+
+TEST(FaultToleranceTest, SpeculativeCopyBeatsInjectedStraggler) {
+  common::RumbleConfig config = SmallConfig(4, 8);
+  // seed chosen so that some but fewer than half of the 8 collect tasks
+  // straggle (the replay test pins determinism; this pins the mechanism).
+  config.fault_spec = "seed=3,straggle=0.2,straggle_ms=1500";
+  config.speculation_min_runtime_ms = 50;
+  Context context(config);
+  util::Stopwatch watch;
+  std::vector<int> result = context.Parallelize(Iota(64), 8).Collect();
+  double elapsed = watch.ElapsedSeconds();
+
+  EXPECT_EQ(result, Iota(64));
+  obs::EventBus& bus = context.bus();
+  ASSERT_GT(bus.CounterValue("task.straggle_injected"), 0)
+      << "seed injected no stragglers; pick another seed";
+  EXPECT_GT(bus.CounterValue("task.speculative"), 0);
+  EXPECT_GT(bus.CounterValue("task.speculative_wins"), 0);
+  EXPECT_GT(CountEvents(bus, obs::EventKind::kTaskSpeculative), 0u);
+  // The stragglers stall for 1.5 s; speculation must finish the stage long
+  // before that (threshold is ~50 ms, the copies commit instantly).
+  EXPECT_LT(elapsed, 1.2);
+}
+
+TEST(FaultToleranceTest, SpeculationCanBeDisabled) {
+  common::RumbleConfig config = SmallConfig(4, 8);
+  config.fault_spec = "seed=3,straggle=0.2,straggle_ms=100";
+  config.speculation = false;
+  Context context(config);
+  std::vector<int> result = context.Parallelize(Iota(64), 8).Collect();
+  EXPECT_EQ(result, Iota(64));
+  EXPECT_EQ(context.bus().CounterValue("task.speculative"), 0);
+}
+
+// ---- Engine-level behaviour ------------------------------------------------
+
+TEST(FaultToleranceTest, EngineDynamicErrorKeepsCodeWithZeroRetries) {
+  common::RumbleConfig config = SmallConfig();
+  jsoniq::Rumble engine(config);
+  auto result = engine.Run(
+      "for $x in parallelize(1 to 100, 4) return $x idiv 0");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kDivisionByZero);
+  EXPECT_EQ(engine.event_bus().CounterValue("task.retries"), 0);
+}
+
+TEST(FaultToleranceTest, EngineDynamicErrorKeepsCodeUnderFaultInjection) {
+  common::RumbleConfig config = SmallConfig();
+  config.fault_spec = "seed=5,transient=0.3";
+  jsoniq::Rumble engine(config);
+  auto result = engine.Run(
+      "for $x in parallelize(1 to 100, 4) return $x idiv 0");
+  ASSERT_FALSE(result.ok());
+  // The deterministic error code survives a scheduler that is busy retrying
+  // injected transient faults.
+  EXPECT_EQ(result.status().code(), ErrorCode::kDivisionByZero);
+}
+
+TEST(FaultToleranceTest, EngineQueryMatchesFaultFreeRunUnderInjection) {
+  const char* query =
+      "sum(for $x in parallelize(1 to 1000, 8) return $x * 2)";
+  auto run = [&](const char* spec) {
+    common::RumbleConfig config = SmallConfig(4, 8);
+    config.fault_spec = spec;
+    jsoniq::Rumble engine(config);
+    auto result = engine.RunToJson(query);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result.value() : std::string("<error>");
+  };
+  std::string clean = run("");
+  EXPECT_EQ(run("seed=21,transient=0.15,straggle=0.1,straggle_ms=5,kill=0"),
+            clean);
+}
+
+// ---- Permissive json-file() ------------------------------------------------
+
+class MalformedJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "rumble_malformed_test")
+               .string();
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/data.json";
+    std::ofstream out(path_);
+    for (int i = 0; i < 100; ++i) {
+      if (i % 10 == 3) {
+        out << "{\"broken\": " << i << "\n";  // unterminated object
+      } else {
+        out << "{\"value\": " << i << "}\n";
+      }
+    }
+  }
+  void TearDown() override { storage::Dfs::Remove(dir_); }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(MalformedJsonTest, StrictModeFailsOnFirstBadLine) {
+  common::RumbleConfig config = SmallConfig();
+  jsoniq::Rumble engine(config);
+  auto result =
+      engine.Run("count(json-file(\"" + path_ + "\"))");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kJsonParseError);
+}
+
+TEST_F(MalformedJsonTest, PermissiveModeSkipsCountsAndSamples) {
+  common::RumbleConfig config = SmallConfig();
+  config.skip_malformed_lines = true;
+  jsoniq::Rumble engine(config);
+  auto result = engine.RunToJson(
+      "sum(for $o in json-file(\"" + path_ + "\") return $o.value)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 90 well-formed lines survive; the 10 with i % 10 == 3 are dropped.
+  std::int64_t expected = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 != 3) expected += i;
+  }
+  EXPECT_EQ(result.value(), std::to_string(expected) + "\n");
+  obs::EventBus& bus = engine.event_bus();
+  EXPECT_EQ(bus.CounterValue("json.malformed_lines"), 10);
+  // Only a small sample of the offending lines lands in the event log.
+  std::size_t sampled = CountEvents(bus, obs::EventKind::kMalformedLine);
+  EXPECT_GE(sampled, 1u);
+  EXPECT_LE(sampled, 8u);
+}
+
+TEST_F(MalformedJsonTest, PermissiveModeWorksInLocalExecution) {
+  common::RumbleConfig config = SmallConfig();
+  config.skip_malformed_lines = true;
+  config.force_local_execution = true;
+  jsoniq::Rumble engine(config);
+  auto result =
+      engine.RunToJson("count(json-file(\"" + path_ + "\"))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), "90\n");
+  EXPECT_EQ(engine.event_bus().CounterValue("json.malformed_lines"), 10);
+}
+
+}  // namespace
+}  // namespace rumble

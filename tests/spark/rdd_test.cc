@@ -261,5 +261,52 @@ TEST(ContextTest, TextFileRoundTripThroughSave) {
   storage::Dfs::Remove(path);
 }
 
+// ---------------------------------------------------------------------------
+// Fault tolerance at the RDD layer (tests/exec/fault_tolerance_test.cc has
+// the scheduler-level tests; these pin result identity of whole pipelines)
+// ---------------------------------------------------------------------------
+
+/// Every RDD operator must return the same result under fault injection as
+/// in a clean run: retries and recomputation are invisible to the API.
+TEST(RddFaultToleranceTest, PipelinesMatchCleanRunUnderInjectedFaults) {
+  auto run = [](const std::string& spec) {
+    common::RumbleConfig config = SmallConfig(4, 8);
+    config.fault_spec = spec;
+    Context context(config);
+    auto base = context.Parallelize(Iota(500), 8);
+    auto mapped =
+        base.Map([](const int& x) { return x * 7 % 101; }).Cache();
+    std::vector<int> sorted =
+        mapped.SortBy([](const int& a, const int& b) { return a < b; })
+            .Collect();
+    std::size_t evens =
+        mapped.Filter([](const int& x) { return x % 2 == 0; }).Count();
+    auto grouped = mapped.GroupBy<int>(
+        [](const int& x) { return x % 13; }, std::hash<int>{},
+        std::equal_to<int>{}, 5);
+    std::size_t groups = grouped.Count();
+    std::vector<std::pair<int, std::int64_t>> indexed =
+        base.ZipWithIndex().Collect();
+    return std::make_tuple(sorted, evens, groups, indexed);
+  };
+  auto clean = run("");
+  EXPECT_EQ(run("seed=17,transient=0.2,straggle=0.1,straggle_ms=2"), clean);
+  EXPECT_EQ(run("seed=18,transient=0.2,straggle=0.1,straggle_ms=2,kill=2"),
+            clean);
+}
+
+TEST(RddFaultToleranceTest, CachedResultsIdenticalAfterExecutorLoss) {
+  Context context(SmallConfig(4, 4));
+  auto rdd = context.Parallelize(Iota(300), 4)
+                 .Map([](const int& x) { return x * x; })
+                 .Cache();
+  std::vector<int> before = rdd.Collect();
+  for (int e = 0; e < context.pool().num_executors(); ++e) {
+    context.NotifyExecutorLost(e);
+  }
+  EXPECT_EQ(rdd.Collect(), before);
+  EXPECT_GT(context.bus().CounterValue("partition.recomputed"), 0);
+}
+
 }  // namespace
 }  // namespace rumble
