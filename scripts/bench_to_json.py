@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Convert Google Benchmark JSON output into a committed BENCH_*.json file.
+
+Each BENCH_<name>.json at the repo root records a *trajectory*: one entry
+per measured state of the code (e.g. "pre-vectorization baseline", then the
+state after an optimisation lands), so the repository carries its own
+performance history in a machine-readable form. See docs/BENCHMARKS.md for
+the schema and the workflow.
+
+Usage:
+  scripts/bench_to_json.py RESULTS.json --label "description of this state" \
+      [--commit SHA] [--output BENCH_name.json]
+
+RESULTS.json is the file written by a benchmark binary run with
+  --benchmark_repetitions=N --benchmark_out=RESULTS.json \
+  --benchmark_out_format=json
+(scripts/run_benchmarks.sh --json <dir> produces one per binary).
+
+If --output already exists, a new trajectory entry is appended; an entry
+with the same label is replaced, so re-running a measurement is idempotent.
+"""
+
+import argparse
+import json
+import os
+import re
+import statistics
+import subprocess
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def collect_runs(gbench):
+    """Per-benchmark repetition times in milliseconds, insertion-ordered."""
+    runs = {}
+    for bench in gbench.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench["name"])
+        unit = bench.get("time_unit", "ns")
+        factor = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+        runs.setdefault(name, []).append(bench["real_time"] * factor)
+    return runs
+
+
+def git_commit():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], text=True
+        ).strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def benchmark_name(path):
+    """bench_fig12_engines -> fig12_engines (from the executable path)."""
+    base = os.path.basename(path)
+    return re.sub(r"^bench_", "", re.sub(r"\.json$", "", base))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="Google Benchmark --benchmark_out file")
+    parser.add_argument("--label", required=True,
+                        help="what code state this entry measures")
+    parser.add_argument("--commit", default=None,
+                        help="commit SHA (default: git rev-parse --short HEAD)")
+    parser.add_argument("--output", default=None,
+                        help="BENCH_*.json to create or append to "
+                             "(default: BENCH_<name>.json beside the repo root)")
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        gbench = json.load(f)
+
+    runs = collect_runs(gbench)
+    if not runs:
+        sys.exit(f"{args.results}: no benchmark runs found")
+
+    context = gbench.get("context", {})
+    reps = max(len(times) for times in runs.values())
+    entry = {
+        "label": args.label,
+        "commit": args.commit or git_commit(),
+        "date": context.get("date", ""),
+        "scale": int(os.environ.get("RUMBLE_BENCH_SCALE", "1")),
+        "repetitions": reps,
+        "host": {
+            "host_name": context.get("host_name", ""),
+            "num_cpus": context.get("num_cpus", 0),
+            "mhz_per_cpu": context.get("mhz_per_cpu", 0),
+        },
+        "medians_ms": {
+            name: round(statistics.median(times), 1)
+            for name, times in runs.items()
+        },
+        "runs_ms": {
+            name: [round(t, 1) for t in times] for name, times in runs.items()
+        },
+    }
+
+    name = benchmark_name(args.results)
+    out_path = args.output or f"BENCH_{name}.json"
+    if os.path.exists(out_path):
+        with open(out_path) as f:
+            doc = json.load(f)
+        doc["trajectory"] = [
+            e for e in doc.get("trajectory", []) if e["label"] != args.label
+        ]
+    else:
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": name,
+            "unit": "ms",
+            "trajectory": [],
+        }
+    doc["trajectory"].append(entry)
+
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(doc['trajectory'])} trajectory entries)")
+
+
+if __name__ == "__main__":
+    main()

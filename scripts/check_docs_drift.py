@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Docs-drift check: fail when the docs and the source disagree.
+
+Two classes of drift, both of which have bitten observability docs before:
+
+1. Every counter name, event kind, and stage label that docs/METRICS.md
+   documents must appear as a string literal somewhere under src/. A
+   renamed counter whose doc row was forgotten fails here.
+2. Every intra-repository markdown link (in README.md, docs/, and the
+   root-level *.md files) must point at a file that exists.
+
+Run from the repository root (or let ctest do it: the `docs_drift` test
+wires this script into the suite). Exits nonzero with one line per
+violation.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Documented names that intentionally have no single source literal.
+ALLOWLIST = {
+    "stage",  # the default RunParallel label is a genuine literal, but it
+              # is also too generic for a grep to prove anything
+}
+
+
+def source_blob():
+    chunks = []
+    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
+        for name in files:
+            if name.endswith((".cc", ".h")):
+                with open(os.path.join(root, name), errors="replace") as f:
+                    chunks.append(f.read())
+    return "\n".join(chunks)
+
+
+def documented_names(metrics_md):
+    """Counter names, event kinds and stage labels from METRICS.md tables."""
+    names = set()
+    with open(metrics_md) as f:
+        lines = f.readlines()
+    for line in lines:
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        # Backticked tokens that look like dotted counter/label names or
+        # snake_case event kinds: `df.sort.rows`, `task_end`, ...
+        for token in re.findall(r"`([A-Za-z0-9_.]+)`", first_cell):
+            if "." in token or "_" in token or token in ("stage", "event"):
+                if token != "event":  # the schema field, not a kind
+                    names.add(token)
+    # Event kinds are listed in the `event` field's meaning cell.
+    for line in lines:
+        if line.startswith("| `event` |"):
+            names.update(re.findall(r"`([a-z_]+)`", line.split("|")[3]))
+    return names - ALLOWLIST
+
+
+def check_metrics_names(errors):
+    blob = source_blob()
+    metrics_md = os.path.join(REPO, "docs", "METRICS.md")
+    for name in sorted(documented_names(metrics_md)):
+        # Names appear either as plain literals ("df.sort.rows") or escaped
+        # inside hand-built JSON ("\"t_ns\":").
+        if f'"{name}"' not in blob and f'\\"{name}\\"' not in blob:
+            errors.append(
+                f"docs/METRICS.md documents `{name}` but no string literal "
+                f'"{name}" exists under src/'
+            )
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    for name in os.listdir(REPO):
+        if name.endswith(".md"):
+            yield os.path.join(REPO, name)
+    docs = os.path.join(REPO, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def check_links(errors):
+    for path in markdown_files():
+        rel = os.path.relpath(path, REPO)
+        with open(path) as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            # Figure images referenced by extracted papers are not shipped.
+            if target.lower().endswith((".jpeg", ".jpg", ".png", ".gif",
+                                        ".svg")):
+                continue
+            target_path = target.split("#")[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path)
+            )
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+
+
+def main():
+    errors = []
+    check_metrics_names(errors)
+    check_links(errors)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        sys.exit(1)
+    print("docs drift check: OK")
+
+
+if __name__ == "__main__":
+    main()

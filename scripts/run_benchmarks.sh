@@ -3,21 +3,57 @@
 # the combined output. RUMBLE_BENCH_SCALE multiplies dataset sizes toward
 # the paper's scales (default 1 keeps the whole suite in minutes).
 #
-#   scripts/run_benchmarks.sh [--event-log <dir>] [output-file]
+#   scripts/run_benchmarks.sh [options] [output-file]
 #
-# --event-log streams each benchmark's JSONL job/stage/task event log into
-# <dir>/<benchmark>.jsonl (schema: docs/METRICS.md).
+#   --event-log <dir>   stream each benchmark's JSONL job/stage/task event
+#                       log into <dir>/<benchmark>.jsonl (schema:
+#                       docs/METRICS.md)
+#   --json <dir>        additionally write Google Benchmark JSON results to
+#                       <dir>/<benchmark>.json, suitable for
+#                       scripts/bench_to_json.py (see docs/BENCHMARKS.md)
+#   --reps <n>          repetitions per benchmark (default 1; use >=5 with
+#                       --json so medians mean something)
+#   --filter <regex>    only run benchmarks matching the regex (passed to
+#                       --benchmark_filter); binaries with no match are
+#                       skipped
+#   --only <glob>       only run binaries whose basename matches the shell
+#                       glob, e.g. --only 'bench_fig12*'
 
 set -u
 cd "$(dirname "$0")/.."
 
 out="bench_output.txt"
+json_dir=""
+reps=1
+filter=""
+only="bench_*"
 while [ $# -gt 0 ]; do
   case "$1" in
     --event-log)
       [ $# -ge 2 ] || { echo "--event-log needs a directory" >&2; exit 2; }
       mkdir -p "$2"
       export RUMBLE_EVENT_LOG_DIR="$(cd "$2" && pwd)"
+      shift 2
+      ;;
+    --json)
+      [ $# -ge 2 ] || { echo "--json needs a directory" >&2; exit 2; }
+      mkdir -p "$2"
+      json_dir="$(cd "$2" && pwd)"
+      shift 2
+      ;;
+    --reps)
+      [ $# -ge 2 ] || { echo "--reps needs a count" >&2; exit 2; }
+      reps="$2"
+      shift 2
+      ;;
+    --filter)
+      [ $# -ge 2 ] || { echo "--filter needs a regex" >&2; exit 2; }
+      filter="$2"
+      shift 2
+      ;;
+    --only)
+      [ $# -ge 2 ] || { echo "--only needs a glob" >&2; exit 2; }
+      only="$2"
       shift 2
       ;;
     *)
@@ -29,18 +65,29 @@ done
 : > "$out"
 
 if [ ! -d build/bench ]; then
-  echo "build first: cmake -B build -G Ninja && cmake --build build" >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
   exit 1
 fi
 
-for b in build/bench/bench_*; do
+for b in build/bench/$only; do
   [ -x "$b" ] || continue
+  name="$(basename "$b" | sed 's/^bench_//')"
   echo "===== $b (RUMBLE_BENCH_SCALE=${RUMBLE_BENCH_SCALE:-1})" | tee -a "$out"
-  "$b" 2>&1 | tee -a "$out"
+  args=()
+  [ -n "$filter" ] && args+=("--benchmark_filter=$filter")
+  [ "$reps" -gt 1 ] && args+=("--benchmark_repetitions=$reps")
+  if [ -n "$json_dir" ]; then
+    args+=("--benchmark_out=$json_dir/$name.json" "--benchmark_out_format=json")
+  fi
+  "$b" ${args[@]+"${args[@]}"} 2>&1 | tee -a "$out"
   echo | tee -a "$out"
 done
 
 echo "wrote $out"
 if [ -n "${RUMBLE_EVENT_LOG_DIR:-}" ]; then
   echo "event logs in $RUMBLE_EVENT_LOG_DIR"
+fi
+if [ -n "$json_dir" ]; then
+  echo "JSON results in $json_dir — turn one into a committed trajectory point:"
+  echo "  scripts/bench_to_json.py $json_dir/<name>.json --label '<code state>'"
 fi

@@ -63,6 +63,7 @@ cat >"$queries" <<EOF
 count(for \$e in json-file("$data", 8) where \$e.guess eq \$e.target return \$e)
 for \$e in json-file("$data", 8) where \$e.guess eq \$e.target group by \$t := \$e.target let \$c := count(\$e) order by \$c descending, \$t return { "target": \$t, "count": \$c }
 sum(for \$e in json-file("$data", 8) return \$e.sample)
+subsequence((for \$e in json-file("$data", 8) order by \$e.target ascending, \$e.country descending, \$e.sample return \$e), 1, 10)
 EOF
 
 shell="$build/examples/rumble_shell"

@@ -79,9 +79,10 @@ df::DataFrame LoadJsonDataFrame(spark::Context* context,
             .MapPartitions([](std::vector<std::string>&& part) {
               ItemSequence parsed;
               parsed.reserve(part.size());
+              json::StringPool pool;
               std::size_t line_number = 0;
               for (const auto& line : part) {
-                parsed.push_back(json::ParseLine(line, ++line_number));
+                parsed.push_back(json::ParseLine(line, ++line_number, &pool));
               }
               return std::vector<df::SchemaPtr>{df::InferSchema(parsed)};
             })
@@ -132,9 +133,10 @@ df::DataFrame LoadJsonDataFrame(spark::Context* context,
         for (const auto& field : captured_schema->fields()) {
           batch.columns.emplace_back(field.type);
         }
+        json::StringPool pool;
         std::size_t line_number = 0;
         for (const auto& line : part) {
-          ItemPtr object = json::ParseLine(line, ++line_number);
+          ItemPtr object = json::ParseLine(line, ++line_number, &pool);
           for (std::size_t c = 0; c < captured_schema->num_fields(); ++c) {
             const auto& field = captured_schema->field(c);
             ItemPtr value = object->IsObject()
@@ -218,9 +220,10 @@ spark::Rdd<ItemPtr> RawSparkLoad(spark::Context* context,
       .MapPartitions([](std::vector<std::string>&& lines) {
         ItemSequence items;
         items.reserve(lines.size());
+        json::StringPool pool;
         std::size_t line_number = 0;
         for (const auto& line : lines) {
-          items.push_back(json::ParseLine(line, ++line_number));
+          items.push_back(json::ParseLine(line, ++line_number, &pool));
         }
         return items;
       });

@@ -5,45 +5,51 @@
 namespace rumble::df {
 
 void Column::AppendInt64(std::int64_t value) {
-  ints_.push_back(value);
-  nulls_.push_back(0);
-  ++size_;
+  Data& data = Mutable();
+  data.ints.push_back(value);
+  data.nulls.push_back(0);
+  ++data.size;
 }
 
 void Column::AppendFloat64(double value) {
-  doubles_.push_back(value);
-  nulls_.push_back(0);
-  ++size_;
+  Data& data = Mutable();
+  data.doubles.push_back(value);
+  data.nulls.push_back(0);
+  ++data.size;
 }
 
 void Column::AppendString(std::string value) {
-  strings_.push_back(std::move(value));
-  nulls_.push_back(0);
-  ++size_;
+  Data& data = Mutable();
+  data.strings.push_back(std::move(value));
+  data.nulls.push_back(0);
+  ++data.size;
 }
 
 void Column::AppendBool(bool value) {
-  bools_.push_back(value ? 1 : 0);
-  nulls_.push_back(0);
-  ++size_;
+  Data& data = Mutable();
+  data.bools.push_back(value ? 1 : 0);
+  data.nulls.push_back(0);
+  ++data.size;
 }
 
 void Column::AppendSeq(item::ItemSequence value) {
-  seqs_.push_back(std::move(value));
-  nulls_.push_back(0);
-  ++size_;
+  Data& data = Mutable();
+  data.seqs.push_back(std::move(value));
+  data.nulls.push_back(0);
+  ++data.size;
 }
 
 void Column::AppendNull() {
+  Data& data = Mutable();
   switch (type_) {
-    case DataType::kInt64: ints_.push_back(0); break;
-    case DataType::kFloat64: doubles_.push_back(0); break;
-    case DataType::kString: strings_.emplace_back(); break;
-    case DataType::kBool: bools_.push_back(0); break;
-    case DataType::kItemSeq: seqs_.emplace_back(); break;
+    case DataType::kInt64: data.ints.push_back(0); break;
+    case DataType::kFloat64: data.doubles.push_back(0); break;
+    case DataType::kString: data.strings.emplace_back(); break;
+    case DataType::kBool: data.bools.push_back(0); break;
+    case DataType::kItemSeq: data.seqs.emplace_back(); break;
   }
-  nulls_.push_back(1);
-  ++size_;
+  data.nulls.push_back(1);
+  ++data.size;
 }
 
 void Column::AppendFrom(const Column& other, std::size_t row) {
@@ -60,20 +66,92 @@ void Column::AppendFrom(const Column& other, std::size_t row) {
   }
 }
 
-void Column::Reserve(std::size_t rows) {
-  nulls_.reserve(rows);
+void Column::AppendRange(const Column& other, std::size_t begin,
+                         std::size_t count) {
+  if (count == 0) return;
+  Data& data = Mutable();
+  const Data& src = *other.data_;
+  auto b = static_cast<std::ptrdiff_t>(begin);
+  auto e = static_cast<std::ptrdiff_t>(begin + count);
   switch (type_) {
-    case DataType::kInt64: ints_.reserve(rows); break;
-    case DataType::kFloat64: doubles_.reserve(rows); break;
-    case DataType::kString: strings_.reserve(rows); break;
-    case DataType::kBool: bools_.reserve(rows); break;
-    case DataType::kItemSeq: seqs_.reserve(rows); break;
+    case DataType::kInt64:
+      data.ints.insert(data.ints.end(), src.ints.begin() + b,
+                       src.ints.begin() + e);
+      break;
+    case DataType::kFloat64:
+      data.doubles.insert(data.doubles.end(), src.doubles.begin() + b,
+                          src.doubles.begin() + e);
+      break;
+    case DataType::kString:
+      data.strings.insert(data.strings.end(), src.strings.begin() + b,
+                          src.strings.begin() + e);
+      break;
+    case DataType::kBool:
+      data.bools.insert(data.bools.end(), src.bools.begin() + b,
+                        src.bools.begin() + e);
+      break;
+    case DataType::kItemSeq:
+      data.seqs.insert(data.seqs.end(), src.seqs.begin() + b,
+                       src.seqs.begin() + e);
+      break;
+  }
+  data.nulls.insert(data.nulls.end(), src.nulls.begin() + b,
+                    src.nulls.begin() + e);
+  data.size += count;
+}
+
+void Column::AppendGather(const Column& other,
+                          const SelectionVector& selection) {
+  if (selection.empty()) return;
+  Data& data = Mutable();
+  const Data& src = *other.data_;
+  switch (type_) {
+    case DataType::kInt64:
+      data.ints.reserve(data.ints.size() + selection.size());
+      for (std::uint32_t row : selection) data.ints.push_back(src.ints[row]);
+      break;
+    case DataType::kFloat64:
+      data.doubles.reserve(data.doubles.size() + selection.size());
+      for (std::uint32_t row : selection) {
+        data.doubles.push_back(src.doubles[row]);
+      }
+      break;
+    case DataType::kString:
+      data.strings.reserve(data.strings.size() + selection.size());
+      for (std::uint32_t row : selection) {
+        data.strings.push_back(src.strings[row]);
+      }
+      break;
+    case DataType::kBool:
+      data.bools.reserve(data.bools.size() + selection.size());
+      for (std::uint32_t row : selection) data.bools.push_back(src.bools[row]);
+      break;
+    case DataType::kItemSeq:
+      data.seqs.reserve(data.seqs.size() + selection.size());
+      for (std::uint32_t row : selection) data.seqs.push_back(src.seqs[row]);
+      break;
+  }
+  data.nulls.reserve(data.nulls.size() + selection.size());
+  for (std::uint32_t row : selection) data.nulls.push_back(src.nulls[row]);
+  data.size += selection.size();
+}
+
+void Column::Reserve(std::size_t rows) {
+  Data& data = Mutable();
+  data.nulls.reserve(rows);
+  switch (type_) {
+    case DataType::kInt64: data.ints.reserve(rows); break;
+    case DataType::kFloat64: data.doubles.reserve(rows); break;
+    case DataType::kString: data.strings.reserve(rows); break;
+    case DataType::kBool: data.bools.reserve(rows); break;
+    case DataType::kItemSeq: data.seqs.reserve(rows); break;
   }
 }
 
 RecordBatch ConcatBatches(std::vector<RecordBatch> batches) {
   RecordBatch out;
   if (batches.empty()) return out;
+  if (batches.size() == 1) return std::move(batches.front());
   std::size_t total = 0;
   for (const auto& batch : batches) total += batch.num_rows;
   out.columns.reserve(batches.front().columns.size());
@@ -83,8 +161,12 @@ RecordBatch ConcatBatches(std::vector<RecordBatch> batches) {
     out.columns.push_back(std::move(builder));
   }
   for (const auto& batch : batches) {
-    for (std::size_t row = 0; row < batch.num_rows; ++row) {
-      AppendRow(batch, row, &out);
+    if (batch.columns.size() != out.columns.size()) {
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "ConcatBatches: batch layout mismatch");
+    }
+    for (std::size_t c = 0; c < batch.columns.size(); ++c) {
+      out.columns[c].AppendRange(batch.columns[c], 0, batch.num_rows);
     }
   }
   out.num_rows = total;
@@ -101,16 +183,9 @@ std::vector<RecordBatch> SplitBatch(const RecordBatch& batch, int parts) {
   std::size_t remainder = total % n;
   std::size_t row = 0;
   for (std::size_t p = 0; p < n; ++p) {
-    RecordBatch piece;
-    for (const auto& column : batch.columns) {
-      piece.columns.emplace_back(column.type());
-    }
     std::size_t size = chunk + (p < remainder ? 1 : 0);
-    for (std::size_t i = 0; i < size; ++i, ++row) {
-      AppendRow(batch, row, &piece);
-    }
-    piece.num_rows = size;
-    out.push_back(std::move(piece));
+    out.push_back(SliceBatch(batch, row, size));
+    row += size;
   }
   return out;
 }
@@ -124,6 +199,32 @@ void AppendRow(const RecordBatch& input, std::size_t row, RecordBatch* output) {
     output->columns[c].AppendFrom(input.columns[c], row);
   }
   ++output->num_rows;
+}
+
+RecordBatch GatherBatch(const RecordBatch& input,
+                        const SelectionVector& selection) {
+  RecordBatch out;
+  out.columns.reserve(input.columns.size());
+  for (const auto& column : input.columns) {
+    Column built(column.type());
+    built.AppendGather(column, selection);
+    out.columns.push_back(std::move(built));
+  }
+  out.num_rows = selection.size();
+  return out;
+}
+
+RecordBatch SliceBatch(const RecordBatch& input, std::size_t begin,
+                       std::size_t count) {
+  RecordBatch out;
+  out.columns.reserve(input.columns.size());
+  for (const auto& column : input.columns) {
+    Column built(column.type());
+    built.AppendRange(column, begin, count);
+    out.columns.push_back(std::move(built));
+  }
+  out.num_rows = count;
+  return out;
 }
 
 }  // namespace rumble::df

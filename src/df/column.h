@@ -2,6 +2,7 @@
 #define RUMBLE_DF_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,17 +11,31 @@
 
 namespace rumble::df {
 
+/// Row indices selecting a subset (or permutation) of a batch's rows — the
+/// selection vectors the vectorized kernels gather through
+/// (docs/PERFORMANCE.md). 32 bits bound batches to 4B rows, far beyond a
+/// single partition's size.
+using SelectionVector = std::vector<std::uint32_t>;
+
 /// One column of one partition's record batch. Values of the declared type
 /// live in the matching typed vector; every column carries a null mask
 /// (native columns from schema inference are nullable — Figure 6; kItemSeq
 /// columns encode "absent" as the empty sequence and never use the mask).
+///
+/// Column buffers are copy-on-write: copying a Column shares the underlying
+/// typed vectors (a refcount bump), and the first mutation of a shared
+/// column detaches a private copy. Pass-through projections, batch copies
+/// into RDD partitions and shuffle fan-out therefore cost O(1) per column
+/// instead of O(rows) — the bulk of the row-at-a-time overhead the
+/// vectorized kernels remove.
 class Column {
  public:
-  Column() : type_(DataType::kItemSeq) {}
-  explicit Column(DataType type) : type_(type) {}
+  Column() : Column(DataType::kItemSeq) {}
+  explicit Column(DataType type)
+      : type_(type), data_(std::make_shared<Data>()) {}
 
   DataType type() const { return type_; }
-  std::size_t size() const { return size_; }
+  std::size_t size() const { return data_->size; }
 
   // -- Appenders ---------------------------------------------------------
   void AppendInt64(std::int64_t value);
@@ -30,29 +45,67 @@ class Column {
   void AppendSeq(item::ItemSequence value);
   void AppendNull();
 
-  /// Appends row `row` of `other` (same type) to this column.
+  /// Appends row `row` of `other` (same type) to this column. The scalar
+  /// reference path; bulk movement goes through AppendRange / AppendGather.
   void AppendFrom(const Column& other, std::size_t row);
+
+  /// Appends rows [begin, begin + count) of `other` (same type) in one
+  /// range-insert per typed vector: one type dispatch per call instead of
+  /// one per row.
+  void AppendRange(const Column& other, std::size_t begin, std::size_t count);
+
+  /// Appends `other`'s rows at the selection-vector positions, in selection
+  /// order. One type dispatch per call; the per-type loop is a tight
+  /// index-gather over contiguous vectors.
+  void AppendGather(const Column& other, const SelectionVector& selection);
 
   // -- Accessors (no type checks in release-hot paths; callers go through
   // the schema) ------------------------------------------------------------
-  bool IsNull(std::size_t row) const { return nulls_[row] != 0; }
-  std::int64_t Int64At(std::size_t row) const { return ints_[row]; }
-  double Float64At(std::size_t row) const { return doubles_[row]; }
-  const std::string& StringAt(std::size_t row) const { return strings_[row]; }
-  bool BoolAt(std::size_t row) const { return bools_[row] != 0; }
-  const item::ItemSequence& SeqAt(std::size_t row) const { return seqs_[row]; }
+  bool IsNull(std::size_t row) const { return data_->nulls[row] != 0; }
+  std::int64_t Int64At(std::size_t row) const { return data_->ints[row]; }
+  double Float64At(std::size_t row) const { return data_->doubles[row]; }
+  const std::string& StringAt(std::size_t row) const {
+    return data_->strings[row];
+  }
+  bool BoolAt(std::size_t row) const { return data_->bools[row] != 0; }
+  const item::ItemSequence& SeqAt(std::size_t row) const {
+    return data_->seqs[row];
+  }
 
+  /// Whole-vector views for vectorized scans (sort-key family checks,
+  /// typed group-by hashing). Only the vector matching type() is populated.
+  const std::vector<std::int64_t>& Int64Values() const { return data_->ints; }
+  const std::vector<double>& Float64Values() const { return data_->doubles; }
+  const std::vector<std::string>& StringValues() const {
+    return data_->strings;
+  }
+  const std::vector<std::uint8_t>& NullMask() const { return data_->nulls; }
+
+  /// Reserves capacity in the null mask and the typed vector selected by the
+  /// declared type — the same vector every appender (including AppendNull)
+  /// pushes into, so a reserved column never reallocates while filling.
   void Reserve(std::size_t rows);
 
  private:
+  /// The shared buffer: every vector plus the row count, detached on write.
+  struct Data {
+    std::size_t size = 0;
+    std::vector<std::int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    std::vector<std::uint8_t> bools;
+    std::vector<item::ItemSequence> seqs;
+    std::vector<std::uint8_t> nulls;
+  };
+
+  /// Write access to the buffer; clones it first when shared (copy-on-write).
+  Data& Mutable() {
+    if (data_.use_count() > 1) data_ = std::make_shared<Data>(*data_);
+    return *data_;
+  }
+
   DataType type_;
-  std::size_t size_ = 0;
-  std::vector<std::int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<std::string> strings_;
-  std::vector<std::uint8_t> bools_;
-  std::vector<item::ItemSequence> seqs_;
-  std::vector<std::uint8_t> nulls_;
+  std::shared_ptr<Data> data_;
 };
 
 /// One partition's worth of rows, column-major.
@@ -61,14 +114,24 @@ struct RecordBatch {
   std::size_t num_rows = 0;
 };
 
-/// Concatenates batches (same layout) into one.
+/// Concatenates batches (same layout) into one via bulk range appends.
 RecordBatch ConcatBatches(std::vector<RecordBatch> batches);
 
 /// Splits a batch into `parts` contiguous batches of near-equal size.
 std::vector<RecordBatch> SplitBatch(const RecordBatch& batch, int parts);
 
-/// Copies row `row` of `input` into the builders of `output`.
+/// Copies row `row` of `input` into the builders of `output`. The scalar
+/// reference path the equivalence tests compare the kernels against.
 void AppendRow(const RecordBatch& input, std::size_t row, RecordBatch* output);
+
+/// Gathers the selected rows of `input` into a new batch, in selection
+/// order. One type dispatch per column.
+RecordBatch GatherBatch(const RecordBatch& input,
+                        const SelectionVector& selection);
+
+/// A contiguous slice [begin, begin + count) of `input` as a new batch.
+RecordBatch SliceBatch(const RecordBatch& input, std::size_t begin,
+                       std::size_t count);
 
 }  // namespace rumble::df
 

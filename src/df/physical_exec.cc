@@ -52,21 +52,21 @@ RecordBatch EvalProject(const SchemaPtr& in_schema,
 
 RecordBatch EvalFilter(const SchemaPtr& schema, const Predicate& predicate,
                        const RecordBatch& input) {
-  RecordBatch out;
-  for (std::size_t c = 0; c < input.columns.size(); ++c) {
-    out.columns.emplace_back(input.columns[c].type());
-  }
   std::vector<char> mask = predicate.eval(*schema, input);
   if (mask.size() != input.num_rows) {
     common::ThrowError(common::ErrorCode::kInternal,
                        "filter predicate produced a wrong-sized mask");
   }
+  SelectionVector selection;
+  std::size_t survivors = 0;
+  for (char m : mask) survivors += m ? 1 : 0;
+  selection.reserve(survivors);
   for (std::size_t row = 0; row < input.num_rows; ++row) {
-    if (mask[row]) {
-      AppendRow(input, row, &out);
-    }
+    if (mask[row]) selection.push_back(static_cast<std::uint32_t>(row));
   }
-  return out;
+  // All rows survive: share the input buffers instead of gathering.
+  if (selection.size() == input.num_rows) return input;
+  return GatherBatch(input, selection);
 }
 
 RecordBatch EvalExplode(const SchemaPtr& schema, const std::string& column,
@@ -127,8 +127,162 @@ struct AggState {
 };
 
 struct GroupState {
-  RecordBatch key_row;  // one row, the key columns
   std::vector<AggState> aggs;
+};
+
+// ---------------------------------------------------------------------------
+// Typed group-by keys: instead of encoding every input row's key cells into
+// a per-row std::string (EncodeKey) and keying an unordered_map on it, the
+// accumulator hashes the native key columns batch-at-a-time into one 64-bit
+// hash per row (one type dispatch per column) and resolves hash collisions
+// with typed cell equality against a columnar key store. Group creation
+// appends the key cells once; emission bulk-copies the store.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t HashBytes(const char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t DoubleBits(double value) {
+  if (value == 0.0) value = 0.0;  // normalize -0.0, as EncodeKey does
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Folds one key column into the per-row hash accumulator. The type tag is
+/// mixed in first so (int64 1) and (bool true) keys cannot collide by value.
+void HashKeyColumn(const Column& column, std::vector<std::uint64_t>* hashes) {
+  const std::vector<std::uint8_t>& nulls = column.NullMask();
+  std::size_t rows = hashes->size();
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const auto& values = column.Int64Values();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL
+                     : MixHash(0x01, static_cast<std::uint64_t>(values[r])));
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& values = column.Float64Values();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL : MixHash(0x02, DoubleBits(values[r])));
+      }
+      break;
+    }
+    case DataType::kString: {
+      const auto& values = column.StringValues();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL
+                     : MixHash(0x03, HashBytes(values[r].data(),
+                                               values[r].size())));
+      }
+      break;
+    }
+    case DataType::kBool: {
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL : (column.BoolAt(r) ? 0x05ULL : 0x04ULL));
+      }
+      break;
+    }
+    case DataType::kItemSeq:
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot use an item-seq column as a native key");
+  }
+}
+
+/// Typed equality of one key cell against another, matching EncodeKey's
+/// byte-identity semantics (doubles compare by -0.0-normalized bit pattern).
+bool CellsEqual(const Column& left, std::size_t left_row, const Column& right,
+                std::size_t right_row) {
+  bool ln = left.IsNull(left_row);
+  bool rn = right.IsNull(right_row);
+  if (ln || rn) return ln && rn;
+  switch (left.type()) {
+    case DataType::kInt64:
+      return left.Int64At(left_row) == right.Int64At(right_row);
+    case DataType::kFloat64:
+      return DoubleBits(left.Float64At(left_row)) ==
+             DoubleBits(right.Float64At(right_row));
+    case DataType::kString:
+      return left.StringAt(left_row) == right.StringAt(right_row);
+    case DataType::kBool:
+      return left.BoolAt(left_row) == right.BoolAt(right_row);
+    case DataType::kItemSeq:
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot use an item-seq column as a native key");
+  }
+  return false;
+}
+
+/// One partial (or reduce-bucket) aggregation table: distinct key rows in a
+/// columnar store, group states alongside, and a hash index whose collision
+/// chains run through `next`. Groups keep first-seen insertion order, which
+/// makes emission deterministic.
+struct GroupTable {
+  RecordBatch key_store;
+  std::vector<std::uint64_t> hashes;
+  std::vector<GroupState> states;
+  std::unordered_map<std::uint64_t, std::uint32_t> heads;
+  std::vector<std::uint32_t> next;
+
+  void InitColumns(const Schema& schema,
+                   const std::vector<std::size_t>& key_indices) {
+    for (std::size_t k : key_indices) {
+      key_store.columns.push_back(MakeColumnLike(schema, k));
+    }
+  }
+
+  /// Finds the group whose key equals `row` of `batch` (columns selected by
+  /// `key_indices`), creating it when absent. `agg_count` sizes new states.
+  std::uint32_t FindOrInsert(std::uint64_t hash, const RecordBatch& batch,
+                             const std::vector<std::size_t>& key_indices,
+                             std::size_t row, std::size_t agg_count) {
+    auto [it, inserted] = heads.try_emplace(hash, kNoGroup);
+    for (std::uint32_t g = it->second; g != kNoGroup; g = next[g]) {
+      bool equal = true;
+      for (std::size_t c = 0; c < key_indices.size(); ++c) {
+        if (!CellsEqual(key_store.columns[c], g,
+                        batch.columns[key_indices[c]], row)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return g;
+    }
+    auto g = static_cast<std::uint32_t>(states.size());
+    for (std::size_t c = 0; c < key_indices.size(); ++c) {
+      key_store.columns[c].AppendFrom(batch.columns[key_indices[c]], row);
+    }
+    ++key_store.num_rows;
+    hashes.push_back(hash);
+    states.emplace_back();
+    states.back().aggs.resize(agg_count);
+    next.push_back(it->second);
+    it->second = g;
+    return g;
+  }
 };
 
 void AccumulateRow(const Schema& schema,
@@ -208,33 +362,28 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   int n_parts = child_rdd.num_partitions();
   auto n = static_cast<std::size_t>(n_parts);
 
-  // Phase 1: per-partition partial aggregation (map-side combine).
-  using PartialMap = std::unordered_map<std::string, GroupState>;
-  std::vector<PartialMap> partials(n);
+  // Phase 1: per-partition partial aggregation (map-side combine). Key
+  // hashes are computed batch-at-a-time, one type dispatch per key column.
+  std::vector<GroupTable> partials(n);
   std::vector<std::int64_t> input_rows(n, 0);
   context->pool().RunParallel(
       n,
       [&](std::size_t p) {
-        PartialMap& partial = partials[p];
+        GroupTable& partial = partials[p];
+        partial.InitColumns(*in_schema, key_indices);
+        std::vector<std::uint64_t> row_hashes;
         for (const RecordBatch& batch :
              child_rdd.ComputePartition(static_cast<int>(p))) {
           input_rows[p] += static_cast<std::int64_t>(batch.num_rows);
+          row_hashes.assign(batch.num_rows, 0);
+          for (std::size_t k : key_indices) {
+            HashKeyColumn(batch.columns[k], &row_hashes);
+          }
           for (std::size_t row = 0; row < batch.num_rows; ++row) {
-            std::string key = EncodeKey(*in_schema, key_indices, batch, row);
-            auto [it, inserted] = partial.try_emplace(std::move(key));
-            GroupState& state = it->second;
-            if (inserted) {
-              state.aggs.resize(aggregates.size());
-              for (std::size_t k : key_indices) {
-                state.key_row.columns.push_back(MakeColumnLike(*in_schema, k));
-              }
-              std::size_t c = 0;
-              for (std::size_t k : key_indices) {
-                state.key_row.columns[c++].AppendFrom(batch.columns[k], row);
-              }
-              state.key_row.num_rows = 1;
-            }
-            AccumulateRow(*in_schema, aggregates, batch, row, &state);
+            std::uint32_t g = partial.FindOrInsert(
+                row_hashes[row], batch, key_indices, row, aggregates.size());
+            AccumulateRow(*in_schema, aggregates, batch, row,
+                          &partial.states[g]);
           }
         }
       },
@@ -245,76 +394,83 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
     spark::BusOf(context).AddToCounter("df.groupby.input_rows", total_rows);
   }
 
-  // Phase 2: shuffle partial states into reduce buckets by key hash.
-  std::vector<PartialMap> buckets(n);
-  std::hash<std::string> hasher;
+  // Phase 2: shuffle partial groups into reduce buckets by key hash. The
+  // key store doubles as the "batch" whose rows are re-inserted downstream.
+  std::vector<std::size_t> store_indices(key_indices.size());
+  std::iota(store_indices.begin(), store_indices.end(), 0);
+  std::vector<GroupTable> buckets(n);
+  for (auto& bucket : buckets) bucket.InitColumns(*in_schema, key_indices);
   for (auto& partial : partials) {
-    for (auto& [key, state] : partial) {
-      PartialMap& bucket = buckets[hasher(key) % n];
-      auto [it, inserted] = bucket.try_emplace(key);
-      if (inserted) {
-        it->second = std::move(state);
-      } else {
-        MergeStates(aggregates, &it->second, std::move(state));
-      }
+    for (std::uint32_t pg = 0; pg < partial.states.size(); ++pg) {
+      GroupTable& bucket = buckets[partial.hashes[pg] % n];
+      std::uint32_t g =
+          bucket.FindOrInsert(partial.hashes[pg], partial.key_store,
+                              store_indices, pg, aggregates.size());
+      MergeStates(aggregates, &bucket.states[g],
+                  std::move(partial.states[pg]));
     }
   }
   partials.clear();
 
-  // Phase 3: emit one output batch per reduce bucket.
+  // Phase 3: emit one output batch per reduce bucket, bulk-copying the key
+  // store columns and appending one aggregate cell per group.
   std::int64_t total_groups = 0;
   for (const auto& bucket : buckets) {
-    total_groups += static_cast<std::int64_t>(bucket.size());
+    total_groups += static_cast<std::int64_t>(bucket.states.size());
   }
   spark::BusOf(context).AddToCounter("df.groupby.groups", total_groups);
   auto results = std::make_shared<std::vector<RecordBatch>>(n);
   context->pool().RunParallel(n, [&](std::size_t p) {
+    GroupTable& bucket = buckets[p];
+    std::size_t groups = bucket.states.size();
     RecordBatch out;
     for (const auto& field : out_schema->fields()) {
       out.columns.emplace_back(field.type);
     }
-    for (auto& [key, state] : buckets[p]) {
-      std::size_t c = 0;
-      for (; c < key_indices.size(); ++c) {
-        out.columns[c].AppendFrom(state.key_row.columns[c], 0);
-      }
-      for (std::size_t a = 0; a < aggregates.size(); ++a, ++c) {
-        AggState& acc = state.aggs[a];
+    std::size_t c = 0;
+    for (; c < key_indices.size(); ++c) {
+      out.columns[c].AppendRange(bucket.key_store.columns[c], 0, groups);
+    }
+    for (std::size_t a = 0; a < aggregates.size(); ++a, ++c) {
+      Column& out_column = out.columns[c];
+      out_column.Reserve(groups);
+      for (std::size_t g = 0; g < groups; ++g) {
+        AggState& acc = bucket.states[g].aggs[a];
         switch (aggregates[a].kind) {
           case AggKind::kCount:
-            out.columns[c].AppendInt64(acc.count);
+            out_column.AppendInt64(acc.count);
             break;
           case AggKind::kCollect:
-            out.columns[c].AppendSeq(std::move(acc.items));
+            out_column.AppendSeq(std::move(acc.items));
             break;
           case AggKind::kFirst:
             if (acc.first_set) {
-              out.columns[c].AppendFrom(acc.first, 0);
+              out_column.AppendFrom(acc.first, 0);
             } else {
-              out.columns[c].AppendNull();
+              out_column.AppendNull();
             }
             break;
           case AggKind::kSumInt64:
-            out.columns[c].AppendInt64(acc.sum);
+            out_column.AppendInt64(acc.sum);
             break;
           case AggKind::kMinInt64:
             if (acc.count > 0) {
-              out.columns[c].AppendInt64(acc.min);
+              out_column.AppendInt64(acc.min);
             } else {
-              out.columns[c].AppendNull();
+              out_column.AppendNull();
             }
             break;
           case AggKind::kMaxInt64:
             if (acc.count > 0) {
-              out.columns[c].AppendInt64(acc.max);
+              out_column.AppendInt64(acc.max);
             } else {
-              out.columns[c].AppendNull();
+              out_column.AppendNull();
             }
             break;
         }
       }
-      ++out.num_rows;
     }
+    out.num_rows = groups;
     (*results)[p] = std::move(out);
   }, nullptr, "df.groupBy.emit");
 
@@ -379,11 +535,11 @@ Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
     key_indices.push_back(schema->RequireIndex(key.column));
   }
 
-  std::vector<std::size_t> permutation(all.num_rows);
+  SelectionVector permutation(all.num_rows);
   std::iota(permutation.begin(), permutation.end(), 0);
   std::stable_sort(
       permutation.begin(), permutation.end(),
-      [&](std::size_t left, std::size_t right) {
+      [&](std::uint32_t left, std::uint32_t right) {
         for (std::size_t k = 0; k < key_indices.size(); ++k) {
           int cmp = CompareCell(all.columns[key_indices[k]], left, right,
                                 plan.sort_keys[k]);
@@ -394,16 +550,33 @@ Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
         return false;
       });
 
-  RecordBatch sorted;
-  for (const auto& column : all.columns) {
-    Column builder(column.type());
-    builder.Reserve(all.num_rows);
-    sorted.columns.push_back(std::move(builder));
+  // Reorder + repartition in one step: each output partition gathers its
+  // contiguous slice of the permutation directly from the unsorted batch,
+  // morsel-parallel across the executor pool.
+  if (n_parts < 1) n_parts = 1;
+  auto n = static_cast<std::size_t>(n_parts);
+  std::size_t chunk = all.num_rows / n;
+  std::size_t remainder = all.num_rows % n;
+  std::vector<std::pair<std::size_t, std::size_t>> slices(n);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    std::size_t size = chunk + (p < remainder ? 1 : 0);
+    slices[p] = {begin, size};
+    begin += size;
   }
-  for (std::size_t row : permutation) {
-    AppendRow(all, row, &sorted);
-  }
-  return BatchesToRdd(context, SplitBatch(sorted, n_parts));
+  auto parts = std::make_shared<std::vector<RecordBatch>>(n);
+  context->pool().RunParallel(
+      n,
+      [&](std::size_t p) {
+        auto [slice_begin, slice_size] = slices[p];
+        SelectionVector selection(
+            permutation.begin() + static_cast<std::ptrdiff_t>(slice_begin),
+            permutation.begin() +
+                static_cast<std::ptrdiff_t>(slice_begin + slice_size));
+        (*parts)[p] = GatherBatch(all, selection);
+      },
+      nullptr, "df.sort.gather");
+  return BatchesToRdd(context, std::move(*parts));
 }
 
 // ---------------------------------------------------------------------------
@@ -439,10 +612,13 @@ Rdd<RecordBatch> ExecLimit(const LogicalPlan& plan, Context* context,
         }
         initialized = true;
       }
-      for (std::size_t row = 0;
-           row < batch.num_rows && taken < plan.limit_rows; ++row, ++taken) {
-        AppendRow(batch, row, &out);
+      std::size_t take =
+          std::min<std::size_t>(batch.num_rows, plan.limit_rows - taken);
+      for (std::size_t c = 0; c < batch.columns.size(); ++c) {
+        out.columns[c].AppendRange(batch.columns[c], 0, take);
       }
+      out.num_rows += take;
+      taken += take;
       if (taken >= plan.limit_rows) break;
     }
   }

@@ -49,7 +49,7 @@ SchemaPtr InferSchema(const item::ItemSequence& sample) {
   // For each key: the single scalar type observed, or kString once types
   // conflict or a nested value appears. Insertion order is preserved via a
   // parallel vector.
-  std::map<std::string, DataType> types;
+  std::map<std::string, DataType, std::less<>> types;
   std::vector<std::string> order;
 
   auto scalar_type = [](const item::Item& value) -> DataType {
@@ -73,8 +73,8 @@ SchemaPtr InferSchema(const item::ItemSequence& sample) {
       if (value->IsArray() || value->IsObject()) observed = DataType::kString;
       auto it = types.find(key);
       if (it == types.end()) {
-        types.emplace(key, observed);
-        order.push_back(key);
+        types.emplace(std::string(key), observed);
+        order.push_back(std::string(key));
       } else if (it->second != observed) {
         // Numeric widening int64 -> float64 is allowed; everything else
         // degrades to string.

@@ -37,7 +37,7 @@ double Item::NumericValue() const { ThrowAccessor(*this, "numeric"); }
 
 const std::string& Item::StringValue() const { ThrowAccessor(*this, "string"); }
 
-const std::vector<std::string>& Item::Keys() const {
+std::vector<std::string_view> Item::Keys() const {
   ThrowAccessor(*this, "object-keys");
 }
 

@@ -76,8 +76,10 @@ class Item {
   virtual const std::string& StringValue() const;
 
   // -- Object accessors ------------------------------------------------
-  /// Keys in document order.
-  virtual const std::vector<std::string>& Keys() const;
+  /// Keys in document order, as views into the object's field storage;
+  /// valid for the item's lifetime. Computed on demand so objects on the
+  /// parse hot path never materialize a key vector.
+  virtual std::vector<std::string_view> Keys() const;
   /// Value for a key, or nullptr when absent (absence is the empty
   /// sequence in JSONiq, never an error).
   virtual ItemPtr ValueForKey(std::string_view key) const;

@@ -121,12 +121,14 @@ class ArrayItem final : public Item {
 class ObjectItem final : public Item {
  public:
   explicit ObjectItem(std::vector<std::pair<std::string, ItemPtr>> fields)
-      : fields_(std::move(fields)) {
-    keys_.reserve(fields_.size());
-    for (const auto& [key, value] : fields_) keys_.push_back(key);
-  }
+      : fields_(std::move(fields)) {}
   ItemType type() const override { return ItemType::kObject; }
-  const std::vector<std::string>& Keys() const override { return keys_; }
+  std::vector<std::string_view> Keys() const override {
+    std::vector<std::string_view> keys;
+    keys.reserve(fields_.size());
+    for (const auto& [key, value] : fields_) keys.push_back(key);
+    return keys;
+  }
   ItemPtr ValueForKey(std::string_view key) const override {
     for (const auto& [field_key, value] : fields_) {
       if (field_key == key) return value;
@@ -154,7 +156,6 @@ class ObjectItem final : public Item {
 
  private:
   std::vector<std::pair<std::string, ItemPtr>> fields_;
-  std::vector<std::string> keys_;
 };
 
 }  // namespace
@@ -171,6 +172,22 @@ ItemPtr MakeBoolean(bool value) {
 }
 
 ItemPtr MakeInteger(std::int64_t value) {
+  // Small integers are interned like booleans: counts, ages, years and enum
+  // codes dominate messy datasets, and sharing one immutable item per value
+  // removes an allocation (and later a destruction) per occurrence.
+  static constexpr std::int64_t kCacheMin = -128;
+  static constexpr std::int64_t kCacheMax = 1024;
+  static const std::vector<ItemPtr> kCache = [] {
+    std::vector<ItemPtr> cache;
+    cache.reserve(static_cast<std::size_t>(kCacheMax - kCacheMin + 1));
+    for (std::int64_t v = kCacheMin; v <= kCacheMax; ++v) {
+      cache.push_back(std::make_shared<IntegerItem>(v));
+    }
+    return cache;
+  }();
+  if (value >= kCacheMin && value <= kCacheMax) {
+    return kCache[static_cast<std::size_t>(value - kCacheMin)];
+  }
   return std::make_shared<IntegerItem>(value);
 }
 

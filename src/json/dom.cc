@@ -41,7 +41,7 @@ DomValuePtr ItemToDom(const item::Item& item) {
     case item::ItemType::kObject: {
       DomValue::Object object;
       for (const auto& key : item.Keys()) {
-        object[key] = ItemToDom(*item.ValueForKey(key));
+        object[std::string(key)] = ItemToDom(*item.ValueForKey(key));
       }
       out->value = std::move(object);
       break;

@@ -18,7 +18,8 @@ using item::ItemSequence;
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, StringPool* pool = nullptr)
+      : text_(text), pool_(pool) {}
 
   ItemPtr Parse() {
     SkipWhitespace();
@@ -63,7 +64,11 @@ class Parser {
     switch (Peek()) {
       case '{': return ParseObject();
       case '[': return ParseArray();
-      case '"': return item::MakeString(ParseString());
+      case '"': {
+        std::string_view value = ParseStringView();
+        if (pool_ != nullptr) return pool_->Intern(value);
+        return item::MakeString(std::string(value));
+      }
       case 't': ParseLiteral("true"); return item::MakeBoolean(true);
       case 'f': ParseLiteral("false"); return item::MakeBoolean(false);
       case 'n': ParseLiteral("null"); return item::MakeNull();
@@ -81,6 +86,7 @@ class Parser {
   ItemPtr ParseObject() {
     Expect('{');
     std::vector<std::pair<std::string, ItemPtr>> fields;
+    fields.reserve(8);  // one allocation covers typical record widths
     SkipWhitespace();
     if (Peek() == '}') {
       ++pos_;
@@ -89,7 +95,7 @@ class Parser {
     while (true) {
       SkipWhitespace();
       if (Peek() != '"') Fail("expected object key string");
-      std::string key = ParseString();
+      std::string key(ParseStringView());
       SkipWhitespace();
       Expect(':');
       SkipWhitespace();
@@ -133,29 +139,55 @@ class Parser {
     }
   }
 
-  std::string ParseString() {
+  /// Parses a string literal and returns its unescaped content. Escape-free
+  /// literals — the overwhelmingly common case in machine-written JSON
+  /// Lines — are returned as a view into the input with no copy at all;
+  /// otherwise the decoded bytes live in `decoded_`, which the next string
+  /// literal reuses. Either way the view is only valid until the next
+  /// ParseStringView call, so callers must consume it immediately.
+  std::string_view ParseStringView() {
     Expect('"');
-    std::string out;
+    std::size_t start = pos_;
+    // Bulk scan: find the end of the span with no quote and no escape.
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        std::string_view clean = text_.substr(start, pos_ - start);
+        ++pos_;
+        return clean;
+      }
+      if (c == '\\') break;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) Fail("unterminated string");
+    // Escape found: decode into the scratch buffer, appending clean spans
+    // in bulk between escapes.
+    decoded_.assign(text_.data() + start, pos_ - start);
     while (true) {
       if (pos_ >= text_.size()) Fail("unterminated string");
       char c = text_[pos_++];
-      if (c == '"') return out;
+      if (c == '"') return decoded_;
       if (c != '\\') {
-        out.push_back(c);
+        std::size_t span = pos_ - 1;
+        while (pos_ < text_.size() && text_[pos_] != '"' &&
+               text_[pos_] != '\\') {
+          ++pos_;
+        }
+        decoded_.append(text_.data() + span, pos_ - span);
         continue;
       }
       if (pos_ >= text_.size()) Fail("unterminated escape");
       char esc = text_[pos_++];
       switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': AppendUnicodeEscape(&out); break;
+        case '"': decoded_.push_back('"'); break;
+        case '\\': decoded_.push_back('\\'); break;
+        case '/': decoded_.push_back('/'); break;
+        case 'b': decoded_.push_back('\b'); break;
+        case 'f': decoded_.push_back('\f'); break;
+        case 'n': decoded_.push_back('\n'); break;
+        case 'r': decoded_.push_back('\r'); break;
+        case 't': decoded_.push_back('\t'); break;
+        case 'u': AppendUnicodeEscape(&decoded_); break;
         default: Fail("invalid escape character");
       }
     }
@@ -262,15 +294,35 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  StringPool* pool_ = nullptr;
+  /// Scratch buffer for string literals containing escapes; reused across
+  /// literals so a record with many escaped strings allocates once.
+  std::string decoded_;
 };
 
 }  // namespace
 
-item::ItemPtr ParseItem(std::string_view text) { return Parser(text).Parse(); }
+item::ItemPtr StringPool::Intern(std::string_view value) {
+  if (value.size() > kMaxInternedLength) {
+    return item::MakeString(std::string(value));
+  }
+  auto it = entries_.find(value);
+  if (it != entries_.end()) return it->second;
+  item::ItemPtr interned = item::MakeString(std::string(value));
+  if (entries_.size() < kMaxEntries) {
+    entries_.emplace(std::string(value), interned);
+  }
+  return interned;
+}
 
-item::ItemPtr ParseLine(std::string_view line, std::size_t line_number) {
+item::ItemPtr ParseItem(std::string_view text, StringPool* pool) {
+  return Parser(text, pool).Parse();
+}
+
+item::ItemPtr ParseLine(std::string_view line, std::size_t line_number,
+                        StringPool* pool) {
   try {
-    return Parser(line).Parse();
+    return Parser(line, pool).Parse();
   } catch (const common::RumbleException& e) {
     common::ThrowError(ErrorCode::kJsonParseError,
                        "line " + std::to_string(line_number) + ": " + e.what());

@@ -1,22 +1,71 @@
 #ifndef RUMBLE_JSON_ITEM_PARSER_H_
 #define RUMBLE_JSON_ITEM_PARSER_H_
 
+#include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "src/item/item.h"
 
 namespace rumble::json {
 
+/// Interns short, repeated string values so every occurrence shares one
+/// immutable item. JSON Lines datasets repeat a small vocabulary of values
+/// (country codes, language names, dates) across millions of records;
+/// returning a shared item instead of allocating a fresh one removes both
+/// the allocation while parsing and — the larger cost on big inputs — the
+/// destruction churn when partition item trees are dropped.
+///
+/// A pool is single-threaded by design: create one per parse task (e.g. per
+/// partition in a mapPartitions parse) and let it die with the task. Long
+/// strings are never interned (UUIDs and free text would only grow the
+/// table), and the entry count is capped so adversarial inputs cannot make
+/// the pool itself the memory problem.
+class StringPool {
+ public:
+  /// Returns a string item for `value`, shared with every previous
+  /// occurrence when the pool already holds it.
+  item::ItemPtr Intern(std::string_view value);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Values longer than this are allocated fresh rather than interned.
+  /// Labels, codes and dates fit comfortably; hex identifiers (32 chars and
+  /// up) and free text — distinct almost every time — stay out, so unique
+  /// values do not pay the hash-and-insert cost on every record.
+  static constexpr std::size_t kMaxInternedLength = 24;
+  /// Once the pool holds this many distinct values it stops growing (hits
+  /// still resolve; misses allocate fresh items).
+  static constexpr std::size_t kMaxEntries = 64 * 1024;
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view value) const noexcept {
+      return std::hash<std::string_view>{}(value);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, item::ItemPtr, Hash, Eq> entries_;
+};
+
 /// Single-pass recursive-descent JSON parser that builds engine Items
 /// directly, with no intermediate representation — the design point the
 /// paper adopts from JSONiter (Section 5.7). Throws
-/// RumbleException(kJsonParseError) on malformed input.
-item::ItemPtr ParseItem(std::string_view text);
+/// RumbleException(kJsonParseError) on malformed input. When `pool` is
+/// non-null, short string values are interned through it.
+item::ItemPtr ParseItem(std::string_view text, StringPool* pool = nullptr);
 
 /// Parses one JSON Lines record. Identical to ParseItem but reports the
 /// provided line number in errors, which matters when a multi-GB file has
 /// one bad record.
-item::ItemPtr ParseLine(std::string_view line, std::size_t line_number);
+item::ItemPtr ParseLine(std::string_view line, std::size_t line_number,
+                        StringPool* pool = nullptr);
 
 }  // namespace rumble::json
 

@@ -21,9 +21,9 @@ using item::ItemSequence;
 /// Section 5.7) or DOM-first (the slower two-representation path kept for
 /// the parser ablation and the Xidel baseline).
 ItemPtr ParseRecord(const std::string& line, std::size_t line_number,
-                    bool streaming) {
+                    bool streaming, json::StringPool* pool) {
   if (streaming) {
-    return json::ParseLine(line, line_number);
+    return json::ParseLine(line, line_number, pool);
   }
   return json::DomToItem(*json::ParseDom(line));
 }
@@ -40,10 +40,11 @@ constexpr std::int64_t kMalformedSampleCap = 8;
 /// memory caps) still propagates.
 ItemPtr ParseRecordPermissive(const std::string& line,
                               std::size_t line_number, bool streaming,
-                              bool skip_malformed, obs::EventBus* bus) {
-  if (!skip_malformed) return ParseRecord(line, line_number, streaming);
+                              bool skip_malformed, obs::EventBus* bus,
+                              json::StringPool* pool) {
+  if (!skip_malformed) return ParseRecord(line, line_number, streaming, pool);
   try {
-    return ParseRecord(line, line_number, streaming);
+    return ParseRecord(line, line_number, streaming, pool);
   } catch (const common::RumbleException& e) {
     if (e.code() != ErrorCode::kJsonParseError || bus == nullptr) throw;
     if (bus->CounterValue("json.malformed_lines") < kMalformedSampleCap) {
@@ -80,11 +81,14 @@ class JsonFileIterator final : public CloneableIterator<JsonFileIterator> {
         [streaming, skip_malformed, bus](std::vector<std::string>&& part) {
           ItemSequence items;
           items.reserve(part.size());
+          // One interning pool per parse task: repeated values across the
+          // partition's records share one item each.
+          json::StringPool pool;
           std::size_t line_number = 0;
           for (const auto& line : part) {
             ItemPtr item = ParseRecordPermissive(line, ++line_number,
                                                  streaming, skip_malformed,
-                                                 bus);
+                                                 bus, &pool);
             if (item != nullptr) items.push_back(std::move(item));
           }
           return items;
@@ -98,12 +102,13 @@ class JsonFileIterator final : public CloneableIterator<JsonFileIterator> {
     bool skip_malformed = engine_->config.skip_malformed_lines;
     obs::EventBus* bus = engine_->bus();
     ItemSequence items;
+    json::StringPool pool;
     std::size_t line_number = 0;
     for (const auto& split :
          storage::TextSource::PlanSplits(path, partitions)) {
       for (const auto& line : storage::TextSource::ReadSplit(split)) {
         ItemPtr item = ParseRecordPermissive(line, ++line_number, streaming,
-                                             skip_malformed, bus);
+                                             skip_malformed, bus, &pool);
         if (item == nullptr) continue;
         if (engine_->memory != nullptr &&
             engine_->config.charge_parse_to_budget) {

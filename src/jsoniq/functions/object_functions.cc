@@ -33,8 +33,8 @@ void RegisterObjectFunctions(FunctionLibrary* library) {
               }
             }
             if (!duplicate) {
-              seen.push_back(key);
-              out.push_back(item::MakeString(key));
+              seen.push_back(std::string(key));
+              out.push_back(item::MakeString(std::string(key)));
             }
           }
         }

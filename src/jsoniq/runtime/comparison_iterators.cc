@@ -81,6 +81,13 @@ class ComparisonIterator final : public CloneableIterator<ComparisonIterator> {
                           {std::move(left), std::move(right)}),
         op_(op) {}
 
+  bool DescribeComparison(ComparisonShape* out) const override {
+    out->op = op_;
+    out->left = children_[0].get();
+    out->right = children_[1].get();
+    return true;
+  }
+
  protected:
   ItemSequence Compute(const DynamicContext& context) override {
     if (IsValueOp(op_)) {
@@ -111,6 +118,13 @@ class ComparisonIterator final : public CloneableIterator<ComparisonIterator> {
 };
 
 }  // namespace
+
+bool IsValueCompareOp(CompareOp op) { return IsValueOp(op); }
+
+bool CompareItemsForOp(const item::Item& left, const item::Item& right,
+                       CompareOp op) {
+  return CompareItems(left, right, RelationOf(op));
+}
 
 RuntimeIteratorPtr MakeComparisonIterator(EngineContextPtr engine,
                                           CompareOp op,

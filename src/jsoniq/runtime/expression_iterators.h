@@ -48,6 +48,16 @@ RuntimeIteratorPtr MakeComparisonIterator(EngineContextPtr engine,
                                           RuntimeIteratorPtr left,
                                           RuntimeIteratorPtr right);
 
+/// Whether `op` is a value comparison (eq..ge) as opposed to a general
+/// (existential) one. Shared with the DataFrame backend's filter kernel.
+bool IsValueCompareOp(CompareOp op);
+
+/// Compares two items under `op`'s relation with the comparison iterator's
+/// exact semantics: non-atomics raise kTypeError, eq/ne across incompatible
+/// atomic families is false, ordering across families raises kTypeError.
+bool CompareItemsForOp(const item::Item& left, const item::Item& right,
+                       CompareOp op);
+
 // -- logic_iterators.cc -------------------------------------------------------
 RuntimeIteratorPtr MakeAndIterator(EngineContextPtr engine,
                                    std::vector<RuntimeIteratorPtr> parts);

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <atomic>
 #include <set>
 #include <utility>
 
@@ -5,6 +7,7 @@
 #include "src/df/dataframe.h"
 #include "src/item/item_compare.h"
 #include "src/item/item_factory.h"
+#include "src/jsoniq/runtime/expression_iterators.h"
 #include "src/jsoniq/runtime/flwor.h"
 
 namespace rumble::jsoniq {
@@ -23,13 +26,6 @@ using item::ItemSequence;
 /// with JSONiq variable names.
 constexpr char kPositionColumn[] = "#pos";
 constexpr char kCountColumn[] = "#cnt";
-
-std::vector<std::string> ColumnsOf(const df::Schema& schema) {
-  std::vector<std::string> out;
-  out.reserve(schema.num_fields());
-  for (const auto& field : schema.fields()) out.push_back(field.name);
-  return out;
-}
 
 /// Pass-through references for every column except those in `exclude`.
 std::vector<NamedExpr> RefsExcept(const df::Schema& schema,
@@ -53,13 +49,99 @@ std::vector<std::string> ColumnInputs(const std::vector<std::string>& free_vars,
   return out;
 }
 
+// ---- vectorized expression kernels (docs/PERFORMANCE.md) -------------------
+
+/// Applies a constant-key lookup chain to a bound sequence exactly as the
+/// chained object-lookup iterators would: non-objects are filtered out and
+/// absent keys contribute nothing. `a` and `b` are reusable scratch buffers
+/// so the per-row hot path stays allocation-free once warm; the returned
+/// pointer aliases `bound` or one of the scratches.
+const ItemSequence* EvalFieldPath(const ItemSequence& bound,
+                                  const std::vector<std::string>& keys,
+                                  ItemSequence* a, ItemSequence* b) {
+  const ItemSequence* current = &bound;
+  for (const auto& key : keys) {
+    ItemSequence* next = (current == a) ? b : a;
+    next->clear();
+    for (const auto& item : *current) {
+      if (!item->IsObject()) continue;
+      ItemPtr value = item->ValueForKey(key);
+      if (value != nullptr) next->push_back(std::move(value));
+    }
+    current = next;
+  }
+  return current;
+}
+
+/// One bump per expression compiled to a columnar kernel instead of per-row
+/// iterator evaluation (docs/METRICS.md).
+void CountVectorizedKernel(const EngineContextPtr& engine) {
+  if (obs::EventBus* bus = engine->bus()) {
+    bus->AddToCounter("df.udf.vectorized", 1);
+  }
+}
+
+/// Effective boolean value with MaterializeBoolean's exact semantics: a
+/// sequence of two or more items raises kTypeError unless it starts with an
+/// object or array.
+bool SequenceBooleanValue(const ItemSequence& sequence) {
+  if (sequence.size() >= 2 && !sequence.front()->IsObject() &&
+      !sequence.front()->IsArray()) {
+    common::ThrowError(
+        ErrorCode::kTypeError,
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  return item::EffectiveBooleanValue(sequence);
+}
+
+/// One side of a describable comparison: either a constant (a singleton
+/// sequence fixed at plan time) or a field path over a tuple column.
+struct CompareOperand {
+  bool is_constant = false;
+  ItemSequence constant;
+  ColumnFieldPath path;
+};
+
+bool DescribeOperand(const RuntimeIterator* node, const df::Schema& schema,
+                     CompareOperand* out) {
+  if (node->DescribeFieldPath(&out->path) &&
+      schema.IndexOf(out->path.variable) >= 0) {
+    return true;
+  }
+  ItemPtr constant = node->ConstantValue();
+  if (constant != nullptr) {
+    out->is_constant = true;
+    out->constant = {std::move(constant)};
+    return true;
+  }
+  return false;
+}
+
 /// The paper's EVALUATE_EXPRESSION UDF (Section 4.4): evaluates a runtime
 /// iterator per row, binding the referenced tuple variables from their
-/// item-seq columns, and appends the resulting sequence.
+/// item-seq columns, and appends the resulting sequence. Field-path
+/// expressions rooted at a tuple column skip all of that and run as a
+/// columnar kernel: no per-row context binding, iterator cloning or buffer
+/// churn.
 df::Udf SeqUdf(RuntimeIteratorPtr prototype, DynamicContextPtr captured,
                std::vector<std::string> inputs) {
   df::Udf udf;
   udf.inputs = inputs;
+  ColumnFieldPath path;
+  if (prototype->DescribeFieldPath(&path) &&
+      std::find(inputs.begin(), inputs.end(), path.variable) != inputs.end()) {
+    CountVectorizedKernel(prototype->engine());
+    udf.eval = [path](const df::Schema& schema, const RecordBatch& batch,
+                      df::Column* out) {
+      const df::Column& column =
+          batch.columns[schema.RequireIndex(path.variable)];
+      ItemSequence a, b;
+      for (std::size_t row = 0; row < batch.num_rows; ++row) {
+        out->AppendSeq(*EvalFieldPath(column.SeqAt(row), path.keys, &a, &b));
+      }
+    };
+    return udf;
+  }
   udf.eval = [prototype, captured, inputs](const df::Schema& schema,
                                            const RecordBatch& batch,
                                            df::Column* out) {
@@ -230,6 +312,50 @@ df::Udf SortValueUdf(std::string source, KeyFamily family) {
   return udf;
 }
 
+/// SortTagUdf with the compliant type check (Section 4.8) fused into the
+/// same pass: every non-empty, non-null key value CAS-merges its type family
+/// into state shared across all copies of the UDF, and a conflict raises
+/// kIncompatibleSortKeys — the error the former separate discovery pass
+/// raised, now detected during the single materialization the sort performs
+/// anyway instead of an extra pass over the whole stream.
+df::Udf ValidatingSortTagUdf(std::string source, bool empty_greatest) {
+  auto family = std::make_shared<std::atomic<int>>(0);  // 0 = none yet
+  df::Udf udf;
+  udf.inputs = {source};
+  udf.eval = [source, empty_greatest, family](const df::Schema& schema,
+                                              const RecordBatch& batch,
+                                              df::Column* out) {
+    std::size_t index = schema.RequireIndex(source);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      SortKeyValue value = MakeSortKeyValue(batch.columns[index].SeqAt(row));
+      if (value.has_value() &&
+          (*value)->type() != item::ItemType::kNull) {  // null compares to all
+        int observed;
+        switch ((*value)->type()) {
+          case item::ItemType::kBoolean:
+            observed = static_cast<int>(KeyFamily::kBoolean);
+            break;
+          case item::ItemType::kString:
+            observed = static_cast<int>(KeyFamily::kString);
+            break;
+          default:
+            observed = static_cast<int>(KeyFamily::kNumber);
+            break;
+        }
+        int expected = 0;
+        if (!family->compare_exchange_strong(expected, observed) &&
+            expected != observed) {
+          common::ThrowError(
+              ErrorCode::kIncompatibleSortKeys,
+              "order-by key mixes incompatible types across the stream");
+        }
+      }
+      out->AppendInt64(SortKeyTypeTag(value, empty_greatest));
+    }
+  };
+  return udf;
+}
+
 // ---- Clause translation ------------------------------------------------------
 
 struct Translator {
@@ -277,9 +403,109 @@ struct Translator {
                ColumnInputs(clause.free_vars, df.schema())));
   }
 
+  /// Compiles where clauses of the shapes `<operand> <cmp> <operand>` (each
+  /// operand a tuple-column field path or a constant) and `<field path>`
+  /// (effective boolean value) into columnar mask kernels. Returns false for
+  /// anything else, leaving the generic per-row path in charge.
+  bool TryVectorizedWhere(const CompiledClause& clause,
+                          df::Predicate* predicate) {
+    ComparisonShape shape;
+    if (clause.expr->DescribeComparison(&shape)) {
+      CompareOperand left;
+      CompareOperand right;
+      if (!DescribeOperand(shape.left, df.schema(), &left) ||
+          !DescribeOperand(shape.right, df.schema(), &right)) {
+        return false;
+      }
+      CountVectorizedKernel(engine);
+      CompareOp op = shape.op;
+      predicate->eval = [op, left, right](const df::Schema& schema,
+                                          const RecordBatch& batch) {
+        const df::Column* left_column =
+            left.is_constant
+                ? nullptr
+                : &batch.columns[schema.RequireIndex(left.path.variable)];
+        const df::Column* right_column =
+            right.is_constant
+                ? nullptr
+                : &batch.columns[schema.RequireIndex(right.path.variable)];
+        std::vector<char> mask(batch.num_rows, 0);
+        ItemSequence la, lb, ra, rb;
+        bool value_op = IsValueCompareOp(op);
+        for (std::size_t row = 0; row < batch.num_rows; ++row) {
+          // Left evaluates (and may throw) before right, like the iterator.
+          const ItemSequence* lseq =
+              left.is_constant ? &left.constant
+                               : EvalFieldPath(left_column->SeqAt(row),
+                                               left.path.keys, &la, &lb);
+          if (value_op && lseq->size() > 1) {
+            common::ThrowError(
+                ErrorCode::kCardinalityError,
+                "value comparison: expected at most one item, found several");
+          }
+          const ItemSequence* rseq =
+              right.is_constant ? &right.constant
+                                : EvalFieldPath(right_column->SeqAt(row),
+                                                right.path.keys, &ra, &rb);
+          if (value_op) {
+            if (rseq->size() > 1) {
+              common::ThrowError(
+                  ErrorCode::kCardinalityError,
+                  "value comparison: expected at most one item, found "
+                  "several");
+            }
+            // Empty operand: the comparison yields (), whose EBV is false.
+            if (lseq->empty() || rseq->empty()) continue;
+            mask[row] = CompareItemsForOp(*lseq->front(), *rseq->front(), op)
+                            ? 1
+                            : 0;
+            continue;
+          }
+          // General comparison: existential over both sequences.
+          for (const auto& l : *lseq) {
+            for (const auto& r : *rseq) {
+              if (CompareItemsForOp(*l, *r, op)) {
+                mask[row] = 1;
+                break;
+              }
+            }
+            if (mask[row]) break;
+          }
+        }
+        return mask;
+      };
+      return true;
+    }
+    ColumnFieldPath path;
+    if (clause.expr->DescribeFieldPath(&path) &&
+        df.schema().IndexOf(path.variable) >= 0) {
+      CountVectorizedKernel(engine);
+      predicate->eval = [path](const df::Schema& schema,
+                               const RecordBatch& batch) {
+        const df::Column& column =
+            batch.columns[schema.RequireIndex(path.variable)];
+        std::vector<char> mask(batch.num_rows, 0);
+        ItemSequence a, b;
+        for (std::size_t row = 0; row < batch.num_rows; ++row) {
+          mask[row] = SequenceBooleanValue(
+                          *EvalFieldPath(column.SeqAt(row), path.keys, &a, &b))
+                          ? 1
+                          : 0;
+        }
+        return mask;
+      };
+      return true;
+    }
+    return false;
+  }
+
   void ApplyWhere(const CompiledClause& clause) {
     df::Predicate predicate;
     predicate.inputs = ColumnInputs(clause.free_vars, df.schema());
+    if (TryVectorizedWhere(clause, &predicate)) {
+      df = df.Filter(std::move(predicate));
+      return;
+    }
     RuntimeIteratorPtr prototype = clause.expr;
     DynamicContextPtr outer = captured;
     std::vector<std::string> inputs = predicate.inputs;
@@ -380,79 +606,25 @@ struct Translator {
     }
     df = df.Project(std::move(with_keys));
 
-    if (plan_only || engine->config.orderby_skip_type_check) {
-      ApplyOrderByWithoutTypeCheck(clause);
-      return;
-    }
-
-    // 2. First pass (Section 4.8): discover each key's type family and
-    //    throw on incompatibilities before sorting. The intermediate result
-    //    is materialized so the plan does not run twice.
-    std::vector<RecordBatch> batches = df.Execute().Collect();
-    std::vector<KeyFamily> families(clause.order_specs.size(),
-                                    KeyFamily::kNone);
-    df::SchemaPtr schema = df.schema_ptr();
-    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
-      std::size_t index = schema->RequireIndex("#o" + std::to_string(i));
-      for (const auto& batch : batches) {
-        for (std::size_t row = 0; row < batch.num_rows; ++row) {
-          SortKeyValue value =
-              MakeSortKeyValue(batch.columns[index].SeqAt(row));
-          if (!value.has_value()) continue;
-          KeyFamily family = KeyFamily::kNone;
-          switch ((*value)->type()) {
-            case item::ItemType::kNull: continue;  // comparable to anything
-            case item::ItemType::kBoolean: family = KeyFamily::kBoolean; break;
-            case item::ItemType::kString: family = KeyFamily::kString; break;
-            default: family = KeyFamily::kNumber; break;
-          }
-          if (families[i] == KeyFamily::kNone) {
-            families[i] = family;
-          } else if (families[i] != family) {
-            common::ThrowError(
-                ErrorCode::kIncompatibleSortKeys,
-                "order-by key mixes incompatible types across the stream");
-          }
-        }
-      }
-    }
-    df = DataFrame::FromBatches(engine->spark.get(), schema,
-                                std::move(batches));
-
-    // 3. Only the needed native columns are created per key (tag always;
-    //    a value column only for string/number families).
-    std::vector<NamedExpr> with_native = RefsExcept(df.schema(), {});
-    std::vector<df::SortKey> sort_keys;
-    std::set<std::string> drop;
-    for (std::size_t i = 0; i < clause.order_specs.size(); ++i) {
-      const auto& spec = clause.order_specs[i];
-      std::string source = "#o" + std::to_string(i);
-      std::string tag = "#s" + std::to_string(i) + "t";
-      with_native.push_back(NamedExpr::Computed(
-          tag, DataType::kInt64, SortTagUdf(source, spec.empty_greatest)));
-      sort_keys.push_back(df::SortKey{tag, spec.ascending, true});
-      drop.insert(source);
-      drop.insert(tag);
-      if (families[i] == KeyFamily::kString ||
-          families[i] == KeyFamily::kNumber) {
-        std::string value = "#s" + std::to_string(i) + "v";
-        with_native.push_back(NamedExpr::Computed(
-            value,
-            families[i] == KeyFamily::kString ? DataType::kString
-                                              : DataType::kFloat64,
-            SortValueUdf(source, families[i])));
-        sort_keys.push_back(df::SortKey{value, spec.ascending, true});
-        drop.insert(value);
-      }
-    }
-    df = df.Project(std::move(with_native)).Sort(std::move(sort_keys));
-    df = df.Project(RefsExcept(df.schema(), drop));
+    // 2. Both paths use the three-native-columns-per-key encoding; the
+    //    compliant path fuses the Section 4.8 type check into the tag UDFs
+    //    (ValidatingSortTagUdf), replacing the former separate discovery
+    //    pass that materialized the whole stream an extra time. When the
+    //    stream's families are valid (uniform per key), the unused value
+    //    column of each key is constant, so ordering is identical to the
+    //    family-specific encoding.
+    ApplyOrderByNative(clause, /*validate_families=*/!(
+                           plan_only ||
+                           engine->config.orderby_skip_type_check));
   }
 
-  /// Section 4.8's alternate design: no discovery pass; every key gets all
-  /// three native columns (as group-by does) and sorting proceeds without
-  /// validating type compatibility across the stream.
-  void ApplyOrderByWithoutTypeCheck(const CompiledClause& clause) {
+  /// The shared native sort-key encoding: every key gets all three native
+  /// columns (as group-by does). With `validate_families` the tag UDFs
+  /// additionally enforce type compatibility across the stream; without it
+  /// this is Section 4.8's alternate skip-type-check design (also used for
+  /// plan-only EXPLAIN, which must not execute anything).
+  void ApplyOrderByNative(const CompiledClause& clause,
+                          bool validate_families) {
     std::vector<NamedExpr> with_native = RefsExcept(df.schema(), {});
     std::vector<df::SortKey> sort_keys;
     std::set<std::string> drop;
@@ -463,7 +635,10 @@ struct Translator {
       std::string str = "#s" + std::to_string(i) + "s";
       std::string num = "#s" + std::to_string(i) + "d";
       with_native.push_back(NamedExpr::Computed(
-          tag, DataType::kInt64, SortTagUdf(source, spec.empty_greatest)));
+          tag, DataType::kInt64,
+          validate_families
+              ? ValidatingSortTagUdf(source, spec.empty_greatest)
+              : SortTagUdf(source, spec.empty_greatest)));
       with_native.push_back(NamedExpr::Computed(
           str, DataType::kString, SortValueUdf(source, KeyFamily::kString)));
       with_native.push_back(NamedExpr::Computed(
@@ -565,6 +740,30 @@ spark::Rdd<ItemPtr> ExecuteFlworOnDataFrames(const EngineContextPtr& engine,
   std::vector<std::string> inputs =
       ColumnInputs(flwor.return_free_vars, *final_schema);
   RuntimeIteratorPtr prototype = flwor.return_expr;
+
+  // Field-path returns (`return $e`, `return $e.name`) skip the per-row
+  // context binding and iterator cloning entirely.
+  ColumnFieldPath return_path;
+  if (prototype->DescribeFieldPath(&return_path) &&
+      final_schema->IndexOf(return_path.variable) >= 0) {
+    CountVectorizedKernel(engine);
+    return df.Execute().MapPartitions(
+        [final_schema, return_path](std::vector<RecordBatch>&& parts) {
+          ItemSequence out;
+          ItemSequence a, b;
+          for (const auto& batch : parts) {
+            const df::Column& column =
+                batch.columns[final_schema->RequireIndex(
+                    return_path.variable)];
+            for (std::size_t row = 0; row < batch.num_rows; ++row) {
+              const ItemSequence* result =
+                  EvalFieldPath(column.SeqAt(row), return_path.keys, &a, &b);
+              out.insert(out.end(), result->begin(), result->end());
+            }
+          }
+          return out;
+        });
+  }
   return df.Execute().MapPartitions(
       [final_schema, inputs, prototype,
        captured](std::vector<RecordBatch>&& parts) {

@@ -47,6 +47,18 @@ class ObjectLookupIterator final
         });
   }
 
+  /// $v.k1...kn.key is a field path when the target is one and the key is a
+  /// constant atomic. Non-atomic constant keys stay on the generic path,
+  /// which raises the type error at evaluation time.
+  bool DescribeFieldPath(ColumnFieldPath* out) const override {
+    ItemPtr key = children_[1]->ConstantValue();
+    if (key == nullptr || !key->IsAtomic()) return false;
+    if (!children_[0]->DescribeFieldPath(out)) return false;
+    out->keys.push_back(key->IsString() ? key->StringValue()
+                                        : key->Serialize());
+    return true;
+  }
+
  protected:
   ItemSequence Compute(const DynamicContext& context) override {
     std::string key = EvaluateKey(context);

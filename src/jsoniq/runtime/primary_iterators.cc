@@ -38,6 +38,12 @@ class VariableRefIterator final
     return context.Lookup(name_);
   }
 
+  bool DescribeFieldPath(ColumnFieldPath* out) const override {
+    out->variable = name_;
+    out->keys.clear();
+    return true;
+  }
+
  protected:
   ItemSequence Compute(const DynamicContext& context) override {
     const ItemSequence* bound = context.Lookup(name_);

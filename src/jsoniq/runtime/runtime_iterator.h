@@ -15,6 +15,24 @@ namespace rumble::jsoniq {
 class RuntimeIterator;
 using RuntimeIteratorPtr = std::shared_ptr<RuntimeIterator>;
 
+enum class CompareOp;  // src/jsoniq/ast.h
+
+/// Expression shapes the DataFrame backend compiles into vectorized columnar
+/// kernels instead of per-row iterator evaluation (docs/PERFORMANCE.md).
+/// A field path is a chain of constant-key object lookups rooted at a
+/// variable reference — $v.k1.k2...; zero keys is the bare variable.
+struct ColumnFieldPath {
+  std::string variable;
+  std::vector<std::string> keys;
+};
+
+/// A comparison node's operator and operand subtrees (borrowed, not owned).
+struct ComparisonShape {
+  CompareOp op;
+  const RuntimeIterator* left = nullptr;
+  const RuntimeIterator* right = nullptr;
+};
+
 /// Base class for expression runtime iterators (paper Section 5.4). Offers:
 ///  - the pull-based local API: Open / HasNext / Next / Close (Section 5.5);
 ///  - the RDD API: IsRddAble / GetRdd (Section 5.6);
@@ -98,6 +116,16 @@ class RuntimeIterator {
   /// item; nullptr otherwise. Lets hot paths (e.g. object lookup keys)
   /// avoid per-row evaluation.
   virtual item::ItemPtr ConstantValue() const { return nullptr; }
+
+  /// Describes this subtree as a constant-key field path, without
+  /// evaluating anything. Only variable references and object lookups with
+  /// constant atomic keys return true; everything else keeps the generic
+  /// per-row evaluation path.
+  virtual bool DescribeFieldPath(ColumnFieldPath*) const { return false; }
+
+  /// Describes this node as a comparison of two operand subtrees, without
+  /// evaluating anything. Only the comparison iterator returns true.
+  virtual bool DescribeComparison(ComparisonShape*) const { return false; }
 
   /// Zero-copy fast path: when the iterator's whole result already exists
   /// as a materialized sequence owned by the context (a variable binding),

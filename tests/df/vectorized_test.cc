@@ -1,0 +1,396 @@
+// Equivalence suite for the vectorized DataFrame kernels: every
+// selection-vector / bulk-append path must produce output byte-identical to
+// the scalar row-at-a-time reference (AppendRow / AppendFrom), including
+// null masks and kItemSeq columns, and the typed-hash group-by must induce
+// exactly the same grouping as the EncodeKey byte-string reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "src/df/dataframe.h"
+#include "src/df/physical_exec.h"
+#include "src/item/item_factory.h"
+#include "src/json/item_parser.h"
+
+namespace rumble {
+namespace {
+
+using df::Aggregate;
+using df::AggKind;
+using df::Column;
+using df::DataFrame;
+using df::DataType;
+using df::RecordBatch;
+using df::Schema;
+using df::SchemaPtr;
+using df::SelectionVector;
+using item::ItemSequence;
+
+common::RumbleConfig TestConfig() {
+  common::RumbleConfig config;
+  config.executors = 2;
+  config.default_partitions = 3;
+  return config;
+}
+
+/// A batch exercising every column type, null masks, -0.0 and empty/multi
+/// item sequences. Values are a deterministic function of the row index.
+RecordBatch MixedBatch(std::size_t rows) {
+  RecordBatch batch;
+  Column ints(DataType::kInt64);
+  Column doubles(DataType::kFloat64);
+  Column strings(DataType::kString);
+  Column bools(DataType::kBool);
+  Column seqs(DataType::kItemSeq);
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (row % 7 == 3) {
+      ints.AppendNull();
+    } else {
+      ints.AppendInt64(static_cast<std::int64_t>(row) - 5);
+    }
+    if (row % 5 == 2) {
+      doubles.AppendNull();
+    } else if (row % 5 == 4) {
+      doubles.AppendFloat64(-0.0);
+    } else {
+      doubles.AppendFloat64(static_cast<double>(row) * 0.5);
+    }
+    if (row % 11 == 6) {
+      strings.AppendNull();
+    } else {
+      strings.AppendString("value-" + std::to_string(row % 4));
+    }
+    if (row % 3 == 1) {
+      bools.AppendNull();
+    } else {
+      bools.AppendBool(row % 2 == 0);
+    }
+    ItemSequence seq;
+    for (std::size_t k = 0; k < row % 3; ++k) {
+      seq.push_back(item::MakeInteger(static_cast<std::int64_t>(row * 10 + k)));
+    }
+    seqs.AppendSeq(std::move(seq));
+  }
+  batch.columns = {std::move(ints), std::move(doubles), std::move(strings),
+                   std::move(bools), std::move(seqs)};
+  batch.num_rows = rows;
+  return batch;
+}
+
+RecordBatch EmptyLike(const RecordBatch& batch) {
+  RecordBatch out;
+  out.columns.reserve(batch.columns.size());
+  for (const auto& column : batch.columns) {
+    out.columns.emplace_back(column.type());
+  }
+  return out;
+}
+
+/// Byte-identity over cells and null masks; kItemSeq compares serialized
+/// items (empty vs. absent is observable and must match).
+void ExpectBatchesIdentical(const RecordBatch& actual,
+                            const RecordBatch& expected) {
+  ASSERT_EQ(actual.num_rows, expected.num_rows);
+  ASSERT_EQ(actual.columns.size(), expected.columns.size());
+  for (std::size_t c = 0; c < expected.columns.size(); ++c) {
+    const Column& a = actual.columns[c];
+    const Column& e = expected.columns[c];
+    ASSERT_EQ(a.type(), e.type()) << "column " << c;
+    ASSERT_EQ(a.size(), e.size()) << "column " << c;
+    for (std::size_t row = 0; row < e.size(); ++row) {
+      ASSERT_EQ(a.IsNull(row), e.IsNull(row))
+          << "column " << c << " row " << row;
+      if (e.IsNull(row)) continue;
+      switch (e.type()) {
+        case DataType::kInt64:
+          EXPECT_EQ(a.Int64At(row), e.Int64At(row))
+              << "column " << c << " row " << row;
+          break;
+        case DataType::kFloat64: {
+          // Bit-identity, not numeric equality: -0.0 must stay -0.0.
+          double av = a.Float64At(row);
+          double ev = e.Float64At(row);
+          EXPECT_EQ(std::signbit(av), std::signbit(ev))
+              << "column " << c << " row " << row;
+          EXPECT_EQ(av, ev) << "column " << c << " row " << row;
+          break;
+        }
+        case DataType::kString:
+          EXPECT_EQ(a.StringAt(row), e.StringAt(row))
+              << "column " << c << " row " << row;
+          break;
+        case DataType::kBool:
+          EXPECT_EQ(a.BoolAt(row), e.BoolAt(row))
+              << "column " << c << " row " << row;
+          break;
+        case DataType::kItemSeq: {
+          const ItemSequence& as = a.SeqAt(row);
+          const ItemSequence& es = e.SeqAt(row);
+          ASSERT_EQ(as.size(), es.size())
+              << "column " << c << " row " << row;
+          for (std::size_t k = 0; k < es.size(); ++k) {
+            EXPECT_EQ(as[k]->Serialize(), es[k]->Serialize())
+                << "column " << c << " row " << row << " item " << k;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / slice / split / concat vs. the scalar reference path
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedKernelTest, GatherMatchesAppendRow) {
+  RecordBatch input = MixedBatch(53);
+  // A selection with reordering, duplicates and gaps.
+  SelectionVector selection;
+  for (std::uint32_t row = 0; row < 53; row += 2) selection.push_back(row);
+  for (std::int32_t row = 52; row > 0; row -= 7) {
+    selection.push_back(static_cast<std::uint32_t>(row));
+  }
+  selection.push_back(0);
+  selection.push_back(0);
+
+  RecordBatch expected = EmptyLike(input);
+  for (std::uint32_t row : selection) df::AppendRow(input, row, &expected);
+  expected.num_rows = selection.size();
+
+  ExpectBatchesIdentical(df::GatherBatch(input, selection), expected);
+}
+
+TEST(VectorizedKernelTest, GatherEmptySelection) {
+  RecordBatch input = MixedBatch(10);
+  RecordBatch out = df::GatherBatch(input, {});
+  EXPECT_EQ(out.num_rows, 0u);
+  ASSERT_EQ(out.columns.size(), input.columns.size());
+}
+
+TEST(VectorizedKernelTest, SliceMatchesAppendRow) {
+  RecordBatch input = MixedBatch(31);
+  RecordBatch expected = EmptyLike(input);
+  for (std::size_t row = 11; row < 24; ++row) {
+    df::AppendRow(input, row, &expected);
+  }
+  expected.num_rows = 13;
+  ExpectBatchesIdentical(df::SliceBatch(input, 11, 13), expected);
+}
+
+TEST(VectorizedKernelTest, SplitRoundTripsThroughConcat) {
+  RecordBatch input = MixedBatch(47);
+  for (int parts : {1, 3, 4, 7}) {
+    std::vector<RecordBatch> split = df::SplitBatch(input, parts);
+    ASSERT_EQ(split.size(), static_cast<std::size_t>(parts));
+    std::size_t total = 0;
+    for (const auto& part : split) total += part.num_rows;
+    EXPECT_EQ(total, input.num_rows);
+    ExpectBatchesIdentical(df::ConcatBatches(std::move(split)), input);
+  }
+}
+
+TEST(VectorizedKernelTest, ConcatMatchesAppendRow) {
+  std::vector<RecordBatch> batches = {MixedBatch(5), MixedBatch(0),
+                                      MixedBatch(17), MixedBatch(1)};
+  RecordBatch expected = EmptyLike(batches.front());
+  std::size_t total = 0;
+  for (const auto& batch : batches) {
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      df::AppendRow(batch, row, &expected);
+    }
+    total += batch.num_rows;
+  }
+  expected.num_rows = total;
+  ExpectBatchesIdentical(df::ConcatBatches(std::move(batches)), expected);
+}
+
+TEST(VectorizedKernelTest, AppendRangeMatchesAppendFrom) {
+  RecordBatch input = MixedBatch(29);
+  for (std::size_t c = 0; c < input.columns.size(); ++c) {
+    Column bulk(input.columns[c].type());
+    bulk.AppendRange(input.columns[c], 4, 20);
+    Column scalar(input.columns[c].type());
+    for (std::size_t row = 4; row < 24; ++row) {
+      scalar.AppendFrom(input.columns[c], row);
+    }
+    RecordBatch a, e;
+    a.columns.push_back(std::move(bulk));
+    a.num_rows = 20;
+    e.columns.push_back(std::move(scalar));
+    e.num_rows = 20;
+    ExpectBatchesIdentical(a, e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write semantics
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedKernelTest, CowCopyDetachesOnWrite) {
+  Column original(DataType::kInt64);
+  original.AppendInt64(1);
+  original.AppendInt64(2);
+  Column copy = original;  // O(1): shares the buffer
+  copy.AppendInt64(3);     // first write detaches a private buffer
+  EXPECT_EQ(original.size(), 2u);
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy.Int64At(2), 3);
+  original.AppendNull();
+  EXPECT_EQ(original.size(), 3u);
+  EXPECT_TRUE(original.IsNull(2));
+  EXPECT_FALSE(copy.IsNull(2));
+}
+
+// ---------------------------------------------------------------------------
+// DataFrame-level equivalence: filter and sort vs. scalar references
+// ---------------------------------------------------------------------------
+
+df::Predicate ModThreePredicate() {
+  df::Predicate predicate;
+  predicate.inputs = {"x"};
+  predicate.eval = [](const Schema& schema, const RecordBatch& batch) {
+    std::size_t x = schema.RequireIndex("x");
+    std::vector<char> mask(batch.num_rows, 0);
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      if (batch.columns[x].IsNull(row)) continue;
+      mask[row] = batch.columns[x].Int64At(row) % 3 == 0 ? 1 : 0;
+    }
+    return mask;
+  };
+  return predicate;
+}
+
+DataFrame MixedFrame(spark::Context* context, std::size_t rows, int parts) {
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"x", DataType::kInt64},
+      {"f", DataType::kFloat64},
+      {"s", DataType::kString},
+      {"b", DataType::kBool},
+      {"q", DataType::kItemSeq}});
+  return DataFrame::FromBatches(context, schema,
+                                df::SplitBatch(MixedBatch(rows), parts));
+}
+
+TEST(VectorizedDataFrameTest, FilterMatchesScalarReference) {
+  common::RumbleConfig config = TestConfig();
+  spark::Context context(config);
+  DataFrame df = MixedFrame(&context, 60, 4);
+  RecordBatch actual = df.Filter(ModThreePredicate()).CollectBatch();
+
+  RecordBatch input = MixedBatch(60);
+  RecordBatch expected = EmptyLike(input);
+  std::size_t kept = 0;
+  for (std::size_t row = 0; row < input.num_rows; ++row) {
+    const Column& x = input.columns[0];
+    if (x.IsNull(row) || x.Int64At(row) % 3 != 0) continue;
+    df::AppendRow(input, row, &expected);
+    ++kept;
+  }
+  expected.num_rows = kept;
+  ExpectBatchesIdentical(actual, expected);
+}
+
+TEST(VectorizedDataFrameTest, SortMatchesStableSortReference) {
+  common::RumbleConfig config = TestConfig();
+  spark::Context context(config);
+  DataFrame df = MixedFrame(&context, 60, 4);
+  RecordBatch actual =
+      df.Sort({df::SortKey{"s", true, true}, df::SortKey{"x", false, false}})
+          .CollectBatch();
+
+  RecordBatch input = MixedBatch(60);
+  const Column& s = input.columns[2];
+  const Column& x = input.columns[0];
+  SelectionVector permutation(input.num_rows);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  std::stable_sort(
+      permutation.begin(), permutation.end(),
+      [&](std::uint32_t left, std::uint32_t right) {
+        // Key 1: s ascending, nulls smallest.
+        if (s.IsNull(left) != s.IsNull(right)) return s.IsNull(left);
+        if (!s.IsNull(left) && s.StringAt(left) != s.StringAt(right)) {
+          return s.StringAt(left) < s.StringAt(right);
+        }
+        // Key 2: x descending, nulls largest — descending puts nulls first.
+        if (x.IsNull(left) != x.IsNull(right)) return x.IsNull(left);
+        if (x.IsNull(left)) return false;
+        return x.Int64At(left) > x.Int64At(right);
+      });
+  ExpectBatchesIdentical(actual, df::GatherBatch(input, permutation));
+}
+
+// ---------------------------------------------------------------------------
+// Typed-hash group-by vs. the EncodeKey byte-string reference
+// ---------------------------------------------------------------------------
+
+TEST(VectorizedDataFrameTest, GroupByMatchesEncodeKeyReference) {
+  common::RumbleConfig config = TestConfig();
+  spark::Context context(config);
+
+  // Key columns chosen to stress the typed hash: repeated strings with
+  // nulls, and doubles where 0.0 / -0.0 must land in ONE group (EncodeKey
+  // normalizes the sign of zero) while nulls form their own group.
+  RecordBatch batch;
+  Column key_s(DataType::kString);
+  Column key_f(DataType::kFloat64);
+  Column payload(DataType::kInt64);
+  std::size_t rows = 48;
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (row % 9 == 4) {
+      key_s.AppendNull();
+    } else {
+      key_s.AppendString("g" + std::to_string(row % 3));
+    }
+    switch (row % 4) {
+      case 0: key_f.AppendFloat64(0.0); break;
+      case 1: key_f.AppendFloat64(-0.0); break;
+      case 2: key_f.AppendFloat64(2.5); break;
+      default: key_f.AppendNull(); break;
+    }
+    payload.AppendInt64(1);
+  }
+  batch.columns = {std::move(key_s), std::move(key_f), std::move(payload)};
+  batch.num_rows = rows;
+
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"s", DataType::kString},
+      {"f", DataType::kFloat64},
+      {"v", DataType::kInt64}});
+
+  // Reference grouping: EncodeKey byte string -> count, in first-seen order.
+  std::map<std::string, std::int64_t> expected_counts;
+  std::vector<std::size_t> key_indices = {0, 1};
+  for (std::size_t row = 0; row < rows; ++row) {
+    expected_counts[df::EncodeKey(*schema, key_indices, batch, row)] += 1;
+  }
+
+  DataFrame df = DataFrame::FromBatches(&context, schema,
+                                        df::SplitBatch(batch, 4));
+  DataFrame grouped =
+      df.GroupBy({"s", "f"}, {Aggregate{"", "count", AggKind::kCount}});
+  RecordBatch result = grouped.CollectBatch();
+  const Schema& out_schema = grouped.schema();
+  std::size_t count_col = out_schema.RequireIndex("count");
+
+  ASSERT_EQ(result.num_rows, expected_counts.size())
+      << "typed-hash group-by must produce exactly the EncodeKey groups";
+  // Re-encode each output group's key cells and look its count up in the
+  // reference: the same byte string must map to the same count.
+  for (std::size_t row = 0; row < result.num_rows; ++row) {
+    std::string key = df::EncodeKey(out_schema, {0, 1}, result, row);
+    auto it = expected_counts.find(key);
+    ASSERT_NE(it, expected_counts.end()) << "group " << row
+                                         << " not in reference";
+    EXPECT_EQ(result.columns[count_col].Int64At(row), it->second);
+    expected_counts.erase(it);  // each group must appear exactly once
+  }
+  EXPECT_TRUE(expected_counts.empty());
+}
+
+}  // namespace
+}  // namespace rumble
