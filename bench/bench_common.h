@@ -5,6 +5,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -95,7 +97,31 @@ inline std::string RedditFilterQuery(const std::string& dataset) {
 inline void MaybeAttachEventLog(jsoniq::Rumble& engine, const char* tag) {
   const char* dir = std::getenv("RUMBLE_EVENT_LOG_DIR");
   if (dir == nullptr || *dir == '\0' || tag == nullptr) return;
-  engine.event_bus().SetLogFile(std::string(dir) + "/" + tag + ".jsonl");
+  std::string path = std::string(dir) + "/" + tag + ".jsonl";
+  if (!engine.event_bus().SetLogFile(path)) {
+    // Asked for an event log but can't deliver one: say so loudly instead
+    // of silently producing a benchmark run with no trace (a frequent
+    // source of "where did my event log go" confusion — docs/BENCHMARKS.md).
+    std::cerr << "WARNING: RUMBLE_EVENT_LOG_DIR is set but " << path
+              << " is not writable; event log disabled for this run\n";
+  }
+}
+
+/// When RUMBLE_METRICS_OUT_DIR is set (scripts/run_benchmarks.sh
+/// --metrics-out), writes the engine's counter+histogram snapshot to
+/// <dir>/<tag>.metrics.json after the benchmark loop so
+/// scripts/bench_to_json.py can attach it to the BENCH_*.json entry.
+inline void MaybeWriteMetrics(jsoniq::Rumble& engine, const char* tag) {
+  const char* dir = std::getenv("RUMBLE_METRICS_OUT_DIR");
+  if (dir == nullptr || *dir == '\0' || tag == nullptr) return;
+  std::string path = std::string(dir) + "/" + tag + ".metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "WARNING: RUMBLE_METRICS_OUT_DIR is set but " << path
+              << " is not writable; metrics snapshot skipped\n";
+    return;
+  }
+  out << engine.event_bus().MetricsJson();
 }
 
 /// Runs a query on the engine and reports items/second to the benchmark.
@@ -117,6 +143,7 @@ inline void RunQueryBenchmark(benchmark::State& state, jsoniq::Rumble& engine,
   state.SetItemsProcessed(
       static_cast<std::int64_t>(num_objects) * state.iterations());
   state.counters["objects"] = static_cast<double>(num_objects);
+  MaybeWriteMetrics(engine, tag);
 }
 
 }  // namespace rumble::bench

@@ -1,0 +1,56 @@
+// Tracing-overhead microbenchmark (docs/TRACING.md): the same 64k-object
+// filter query with the span tracer disabled vs enabled. The disabled
+// configuration is the default for every other benchmark, so its cost —
+// one relaxed atomic load per potential span — must stay in the noise.
+// docs/TRACING.md records the measured disabled-vs-baseline delta; the
+// acceptance bar is < 1%. The enabled run quantifies what EXPLAIN ANALYZE
+// and --trace cost when a user actually asks for them.
+//
+// Run: ./build/bench/bench_tracing_overhead
+// The interesting comparison is BM_Filter_TracingOff vs the pre-tracer
+// baseline recorded in BENCH_*.json, and Off vs On for the opt-in cost.
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr std::uint64_t kObjects = 64 * 1024;
+constexpr int kExecutors = 4;
+constexpr int kPartitions = 8;
+
+common::RumbleConfig LocalConfig() {
+  common::RumbleConfig config;
+  config.executors = kExecutors;
+  config.default_partitions = kPartitions;
+  return config;
+}
+
+void BM_Filter_TracingOff(benchmark::State& state) {
+  std::uint64_t n = ScaledObjects(kObjects);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  // Default state, spelled out: no spans, no operator stats.
+  engine.event_bus().tracer()->set_enabled(false);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n,
+                    "tracing_off_filter");
+}
+
+void BM_Filter_TracingOn(benchmark::State& state) {
+  std::uint64_t n = ScaledObjects(kObjects);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  engine.event_bus().tracer()->set_enabled(true);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n,
+                    "tracing_on_filter");
+}
+
+#define TRACING_ARGS Unit(benchmark::kMillisecond)->MinTime(2.0)
+
+BENCHMARK(BM_Filter_TracingOff)->TRACING_ARGS;
+BENCHMARK(BM_Filter_TracingOn)->TRACING_ARGS;
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

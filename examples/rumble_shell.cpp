@@ -7,14 +7,23 @@
 //   ./build/examples/rumble_shell [--executors N] [--max-items N]
 //                                 [--query "<jsoniq>"] [--file query.jq]
 //                                 [--metrics] [--event-log <path>]
+//                                 [--trace <file>] [--serve <port>]
+//                                 [--metrics-out <file>]
 //                                 [--fault-spec "<spec>"] [--skip-malformed]
 //
 // Interactive by default: one query per line (end a multi-line query with
 // an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
-// shows the plan and `:metrics on|off` toggles the per-query stage summary
-// (docs/QUERY_LANGUAGE.md documents both). With --query or --file, runs
-// that query and exits (scripting mode). --event-log streams the JSONL
-// event log (schema: docs/METRICS.md) for either mode. --fault-spec enables
+// shows the plan, `:analyze <q>` runs it with per-operator tracing and
+// prints the annotated tree (EXPLAIN ANALYZE), and `:metrics on|off`
+// toggles the per-query stage summary (docs/QUERY_LANGUAGE.md documents
+// both). With --query or --file, runs that query and exits (scripting
+// mode). --event-log streams the JSONL event log (schema: docs/METRICS.md)
+// for either mode. --trace enables span tracing for the session and writes
+// a Chrome trace_event JSON file on exit (load it in Perfetto or
+// chrome://tracing; docs/TRACING.md). --serve starts the embedded metrics
+// server on the given port for the session: GET /metrics is Prometheus
+// text, GET /jobs is live job/stage state as JSON. --metrics-out writes a
+// counter+histogram snapshot JSON on exit. --fault-spec enables
 // deterministic fault injection (grammar: docs/FAULT_TOLERANCE.md) and
 // --skip-malformed makes json-file() skip malformed lines instead of
 // failing the query.
@@ -31,6 +40,7 @@
 
 #include "src/json/writer.h"
 #include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_server.h"
 
 namespace {
 
@@ -39,6 +49,7 @@ void PrintHelp() {
       "Commands:\n"
       "  :help             this message\n"
       "  :explain <query>  show the compiled tree, execution modes, and plan\n"
+      "  :analyze <query>  run with tracing and show per-operator times\n"
       "  :metrics on|off   toggle the per-query stage/counter summary\n"
       "  :metrics          show the current counter totals\n"
       "  :quit             exit the shell\n"
@@ -60,6 +71,37 @@ void PrintQuerySummary(rumble::obs::EventBus& bus, std::int64_t since,
   std::cout << "output rows: " << rows_out << "\n";
 }
 
+/// End-of-session artifact writer: the Chrome trace (--trace) and the
+/// metrics snapshot (--metrics-out) are dumped exactly once no matter which
+/// exit path main takes.
+struct SessionDumps {
+  rumble::jsoniq::Rumble* engine = nullptr;
+  std::string trace_file;
+  std::string metrics_file;
+
+  ~SessionDumps() {
+    if (engine == nullptr) return;
+    rumble::obs::EventBus& bus = engine->event_bus();
+    if (!trace_file.empty()) {
+      std::ofstream out(trace_file);
+      if (out) {
+        out << bus.tracer()->ChromeTraceJson();
+        std::cerr << "trace written to " << trace_file << "\n";
+      } else {
+        std::cerr << "cannot write trace file " << trace_file << "\n";
+      }
+    }
+    if (!metrics_file.empty()) {
+      std::ofstream out(metrics_file);
+      if (out) {
+        out << bus.MetricsJson();
+      } else {
+        std::cerr << "cannot write metrics file " << metrics_file << "\n";
+      }
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,6 +109,9 @@ int main(int argc, char** argv) {
   std::size_t max_items = 200;
   std::string oneshot;
   std::string event_log;
+  std::string trace_file;
+  std::string metrics_out;
+  int serve_port = -1;
   bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
@@ -79,6 +124,12 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--event-log") == 0 && i + 1 < argc) {
       event_log = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-spec") == 0 && i + 1 < argc) {
       config.fault_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--skip-malformed") == 0) {
@@ -98,9 +149,26 @@ int main(int argc, char** argv) {
   // One engine for the whole session: executors start once.
   rumble::jsoniq::Rumble engine(config);
   rumble::obs::EventBus& bus = engine.event_bus();
+  SessionDumps dumps;
+  dumps.engine = &engine;
+  dumps.trace_file = trace_file;
+  dumps.metrics_file = metrics_out;
   if (!event_log.empty() && !bus.SetLogFile(event_log)) {
     std::cerr << "cannot open event log " << event_log << "\n";
     return 2;
+  }
+  if (!trace_file.empty()) {
+    // Tracing stays on for the whole session; the trace is written at exit.
+    bus.tracer()->set_enabled(true);
+  }
+  rumble::obs::MetricsServer server(&bus);
+  if (serve_port >= 0) {
+    if (!server.Start(serve_port)) {
+      std::cerr << "cannot bind metrics server to port " << serve_port << "\n";
+      return 2;
+    }
+    std::cerr << "metrics server on http://localhost:" << server.port()
+              << " (/metrics, /jobs)\n";
   }
 
   if (!oneshot.empty()) {
@@ -152,6 +220,17 @@ int main(int argc, char** argv) {
           for (const auto& [name, value] : snapshot) {
             std::cout << "  " << name << " = " << value << "\n";
           }
+        }
+        continue;
+      }
+      if (line.rfind(":analyze ", 0) == 0 ||
+          line.rfind("explain analyze ", 0) == 0) {
+        std::size_t skip = line.front() == ':' ? 9 : 16;
+        auto analyzed = engine.ExplainAnalyze(line.substr(skip));
+        if (analyzed.ok()) {
+          std::cout << analyzed.value();
+        } else {
+          std::cout << "error: " << analyzed.status().ToString() << "\n";
         }
         continue;
       }

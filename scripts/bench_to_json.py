@@ -53,6 +53,29 @@ def git_commit():
         return "unknown"
 
 
+def load_metrics(path):
+    """Counter+histogram snapshots (--metrics-out) to attach to the entry.
+
+    A file embeds that one snapshot; a directory embeds every
+    *.metrics.json it contains, keyed by tag. A missing path is an error —
+    the caller asked for metrics, so silently recording none would
+    misrepresent the measurement.
+    """
+    if os.path.isdir(path):
+        snapshots = {}
+        for name in sorted(os.listdir(path)):
+            if not name.endswith(".metrics.json"):
+                continue
+            tag = name[: -len(".metrics.json")]
+            with open(os.path.join(path, name)) as f:
+                snapshots[tag] = json.load(f)
+        if not snapshots:
+            sys.exit(f"{path}: no *.metrics.json files found")
+        return snapshots
+    with open(path) as f:
+        return json.load(f)
+
+
 def benchmark_name(path):
     """bench_fig12_engines -> fig12_engines (from the executable path)."""
     base = os.path.basename(path)
@@ -69,6 +92,10 @@ def main():
     parser.add_argument("--output", default=None,
                         help="BENCH_*.json to create or append to "
                              "(default: BENCH_<name>.json beside the repo root)")
+    parser.add_argument("--metrics", default=None,
+                        help="a *.metrics.json file (or a directory of them, "
+                             "as written by run_benchmarks.sh --metrics-out) "
+                             "to embed under the entry's 'metrics' key")
     args = parser.parse_args()
 
     with open(args.results) as f:
@@ -99,6 +126,11 @@ def main():
             name: [round(t, 1) for t in times] for name, times in runs.items()
         },
     }
+
+    if args.metrics:
+        metrics = load_metrics(args.metrics)
+        if metrics:
+            entry["metrics"] = metrics
 
     name = benchmark_name(args.results)
     out_path = args.output or f"BENCH_{name}.json"

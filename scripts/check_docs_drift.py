@@ -3,9 +3,10 @@
 
 Two classes of drift, both of which have bitten observability docs before:
 
-1. Every counter name, event kind, and stage label that docs/METRICS.md
-   documents must appear as a string literal somewhere under src/. A
-   renamed counter whose doc row was forgotten fails here.
+1. Every counter name, event kind, stage label, histogram name, and span
+   name that docs/METRICS.md or docs/TRACING.md documents must appear as a
+   string literal somewhere under src/. A renamed counter or histogram
+   whose doc row was forgotten fails here.
 2. Every intra-repository markdown link (in README.md, docs/, and the
    root-level *.md files) must point at a file that exists.
 
@@ -61,15 +62,22 @@ def documented_names(metrics_md):
 
 def check_metrics_names(errors):
     blob = source_blob()
-    metrics_md = os.path.join(REPO, "docs", "METRICS.md")
-    for name in sorted(documented_names(metrics_md)):
-        # Names appear either as plain literals ("df.sort.rows") or escaped
-        # inside hand-built JSON ("\"t_ns\":").
-        if f'"{name}"' not in blob and f'\\"{name}\\"' not in blob:
-            errors.append(
-                f"docs/METRICS.md documents `{name}` but no string literal "
-                f'"{name}" exists under src/'
-            )
+    docs = [
+        (os.path.join(REPO, "docs", "METRICS.md"), "docs/METRICS.md"),
+        (os.path.join(REPO, "docs", "TRACING.md"), "docs/TRACING.md"),
+    ]
+    for path, rel in docs:
+        if not os.path.exists(path):
+            errors.append(f"{rel} is documented as existing but is missing")
+            continue
+        for name in sorted(documented_names(path)):
+            # Names appear either as plain literals ("df.sort.rows") or
+            # escaped inside hand-built JSON ("\"t_ns\":").
+            if f'"{name}"' not in blob and f'\\"{name}\\"' not in blob:
+                errors.append(
+                    f"{rel} documents `{name}` but no string literal "
+                    f'"{name}" exists under src/'
+                )
 
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -8,6 +8,9 @@
 #   --event-log <dir>   stream each benchmark's JSONL job/stage/task event
 #                       log into <dir>/<benchmark>.jsonl (schema:
 #                       docs/METRICS.md)
+#   --metrics-out <dir> write each benchmark's counter+histogram snapshot to
+#                       <dir>/<tag>.metrics.json (attach to a BENCH_*.json
+#                       entry with scripts/bench_to_json.py --metrics)
 #   --json <dir>        additionally write Google Benchmark JSON results to
 #                       <dir>/<benchmark>.json, suitable for
 #                       scripts/bench_to_json.py (see docs/BENCHMARKS.md)
@@ -32,7 +35,21 @@ while [ $# -gt 0 ]; do
     --event-log)
       [ $# -ge 2 ] || { echo "--event-log needs a directory" >&2; exit 2; }
       mkdir -p "$2"
+      # Fail loudly now rather than silently dropping every event log later
+      # (the benchmark binaries only warn per run).
+      [ -d "$2" ] && [ -w "$2" ] || {
+        echo "--event-log: $2 is not a writable directory" >&2; exit 2;
+      }
       export RUMBLE_EVENT_LOG_DIR="$(cd "$2" && pwd)"
+      shift 2
+      ;;
+    --metrics-out)
+      [ $# -ge 2 ] || { echo "--metrics-out needs a directory" >&2; exit 2; }
+      mkdir -p "$2"
+      [ -d "$2" ] && [ -w "$2" ] || {
+        echo "--metrics-out: $2 is not a writable directory" >&2; exit 2;
+      }
+      export RUMBLE_METRICS_OUT_DIR="$(cd "$2" && pwd)"
       shift 2
       ;;
     --json)
@@ -86,6 +103,9 @@ done
 echo "wrote $out"
 if [ -n "${RUMBLE_EVENT_LOG_DIR:-}" ]; then
   echo "event logs in $RUMBLE_EVENT_LOG_DIR"
+fi
+if [ -n "${RUMBLE_METRICS_OUT_DIR:-}" ]; then
+  echo "metrics snapshots in $RUMBLE_METRICS_OUT_DIR"
 fi
 if [ -n "$json_dir" ]; then
   echo "JSON results in $json_dir — turn one into a committed trajectory point:"

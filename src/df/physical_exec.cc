@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/common/error.h"
+#include "src/util/stopwatch.h"
 
 namespace rumble::df {
 
@@ -17,6 +18,62 @@ using spark::Rdd;
 
 Column MakeColumnLike(const Schema& schema, std::size_t index) {
   return Column(schema.field(index).type);
+}
+
+/// Per-kernel observability probe, built once at plan-wrap time (the Map
+/// lambda captures it by value) so task bodies touch only stable pointers:
+/// a latency histogram (always recorded — two clock reads per *batch* are
+/// noise next to the batch work), batch/row counters, and a span gated on
+/// the tracer's enabled flag. Names follow the `df.udf.vectorized` dotted
+/// style; docs/METRICS.md and docs/TRACING.md list them.
+struct KernelProbe {
+  obs::Tracer* tracer = nullptr;
+  obs::Histogram* duration = nullptr;
+  obs::CounterCell* batches = nullptr;
+  obs::CounterCell* rows = nullptr;
+  const char* name = "";
+
+  template <typename Fn>
+  RecordBatch Invoke(const RecordBatch& input, Fn&& eval) const {
+    obs::ScopedSpan span(tracer, "kernel", name);
+    util::Stopwatch watch;
+    RecordBatch out = eval(input);
+    duration->Record(watch.ElapsedNanos());
+    batches->value.fetch_add(1, std::memory_order_relaxed);
+    rows->value.fetch_add(static_cast<std::int64_t>(input.num_rows),
+                          std::memory_order_relaxed);
+    span.AddArg("rows_in", static_cast<std::int64_t>(input.num_rows));
+    span.AddArg("rows_out", static_cast<std::int64_t>(out.num_rows));
+    return out;
+  }
+
+  /// Variant for wide kernels whose task bodies do not map batch-to-batch
+  /// (groupBy phases, sort gather): the body returns the row count it
+  /// processed, which becomes the `rows` counter increment and span arg.
+  /// One call = one task = one "batch" for counting purposes.
+  template <typename Fn>
+  void InvokeWide(Fn&& body) const {
+    obs::ScopedSpan span(tracer, "kernel", name);
+    util::Stopwatch watch;
+    std::int64_t processed = body();
+    duration->Record(watch.ElapsedNanos());
+    batches->value.fetch_add(1, std::memory_order_relaxed);
+    rows->value.fetch_add(processed, std::memory_order_relaxed);
+    span.AddArg("rows", processed);
+  }
+};
+
+KernelProbe MakeKernelProbe(Context* context, const char* name,
+                            const char* duration_name,
+                            const char* batches_name, const char* rows_name) {
+  obs::EventBus& bus = spark::BusOf(context);
+  KernelProbe probe;
+  probe.tracer = bus.tracer();
+  probe.duration = bus.metrics()->GetHistogram(duration_name);
+  probe.batches = bus.GetCounter(batches_name);
+  probe.rows = bus.GetCounter(rows_name);
+  probe.name = name;
+  return probe;
 }
 
 // ---------------------------------------------------------------------------
@@ -366,26 +423,33 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   // hashes are computed batch-at-a-time, one type dispatch per key column.
   std::vector<GroupTable> partials(n);
   std::vector<std::int64_t> input_rows(n, 0);
+  KernelProbe partial_probe = MakeKernelProbe(
+      context, "df.kernel.groupBy.partial",
+      "df.kernel.groupBy.partial.duration_ns",
+      "df.kernel.groupBy.partial.batches", "df.kernel.groupBy.partial.rows");
   context->pool().RunParallel(
       n,
       [&](std::size_t p) {
-        GroupTable& partial = partials[p];
-        partial.InitColumns(*in_schema, key_indices);
-        std::vector<std::uint64_t> row_hashes;
-        for (const RecordBatch& batch :
-             child_rdd.ComputePartition(static_cast<int>(p))) {
-          input_rows[p] += static_cast<std::int64_t>(batch.num_rows);
-          row_hashes.assign(batch.num_rows, 0);
-          for (std::size_t k : key_indices) {
-            HashKeyColumn(batch.columns[k], &row_hashes);
+        partial_probe.InvokeWide([&]() -> std::int64_t {
+          GroupTable& partial = partials[p];
+          partial.InitColumns(*in_schema, key_indices);
+          std::vector<std::uint64_t> row_hashes;
+          for (const RecordBatch& batch :
+               child_rdd.ComputePartition(static_cast<int>(p))) {
+            input_rows[p] += static_cast<std::int64_t>(batch.num_rows);
+            row_hashes.assign(batch.num_rows, 0);
+            for (std::size_t k : key_indices) {
+              HashKeyColumn(batch.columns[k], &row_hashes);
+            }
+            for (std::size_t row = 0; row < batch.num_rows; ++row) {
+              std::uint32_t g = partial.FindOrInsert(
+                  row_hashes[row], batch, key_indices, row, aggregates.size());
+              AccumulateRow(*in_schema, aggregates, batch, row,
+                            &partial.states[g]);
+            }
           }
-          for (std::size_t row = 0; row < batch.num_rows; ++row) {
-            std::uint32_t g = partial.FindOrInsert(
-                row_hashes[row], batch, key_indices, row, aggregates.size());
-            AccumulateRow(*in_schema, aggregates, batch, row,
-                          &partial.states[g]);
-          }
-        }
+          return input_rows[p];
+        });
       },
       nullptr, "df.groupBy.partial");
   {
@@ -420,7 +484,11 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   }
   spark::BusOf(context).AddToCounter("df.groupby.groups", total_groups);
   auto results = std::make_shared<std::vector<RecordBatch>>(n);
+  KernelProbe emit_probe = MakeKernelProbe(
+      context, "df.kernel.groupBy.emit", "df.kernel.groupBy.emit.duration_ns",
+      "df.kernel.groupBy.emit.batches", "df.kernel.groupBy.emit.rows");
   context->pool().RunParallel(n, [&](std::size_t p) {
+   emit_probe.InvokeWide([&]() -> std::int64_t {
     GroupTable& bucket = buckets[p];
     std::size_t groups = bucket.states.size();
     RecordBatch out;
@@ -472,6 +540,8 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
     }
     out.num_rows = groups;
     (*results)[p] = std::move(out);
+    return static_cast<std::int64_t>(groups);
+   });
   }, nullptr, "df.groupBy.emit");
 
   return BatchesToRdd(context, std::move(*results));
@@ -565,15 +635,21 @@ Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
     begin += size;
   }
   auto parts = std::make_shared<std::vector<RecordBatch>>(n);
+  KernelProbe gather_probe = MakeKernelProbe(
+      context, "df.kernel.sort.gather", "df.kernel.sort.gather.duration_ns",
+      "df.kernel.sort.gather.batches", "df.kernel.sort.gather.rows");
   context->pool().RunParallel(
       n,
       [&](std::size_t p) {
-        auto [slice_begin, slice_size] = slices[p];
-        SelectionVector selection(
-            permutation.begin() + static_cast<std::ptrdiff_t>(slice_begin),
-            permutation.begin() +
-                static_cast<std::ptrdiff_t>(slice_begin + slice_size));
-        (*parts)[p] = GatherBatch(all, selection);
+        gather_probe.InvokeWide([&]() -> std::int64_t {
+          auto [slice_begin, slice_size] = slices[p];
+          SelectionVector selection(
+              permutation.begin() + static_cast<std::ptrdiff_t>(slice_begin),
+              permutation.begin() +
+                  static_cast<std::ptrdiff_t>(slice_begin + slice_size));
+          (*parts)[p] = GatherBatch(all, selection);
+          return static_cast<std::int64_t>(slice_size);
+        });
       },
       nullptr, "df.sort.gather");
   return BatchesToRdd(context, std::move(*parts));
@@ -702,8 +778,13 @@ spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan, Context* context) {
       Rdd<RecordBatch> child = ExecutePlan(plan->child, context);
       SchemaPtr in_schema = plan->child->schema;
       std::vector<NamedExpr> exprs = plan->exprs;
-      return child.Map([in_schema, exprs](const RecordBatch& batch) {
-        return EvalProject(in_schema, exprs, batch);
+      KernelProbe probe = MakeKernelProbe(
+          context, "df.kernel.project", "df.kernel.project.duration_ns",
+          "df.kernel.project.batches", "df.kernel.project.rows");
+      return child.Map([in_schema, exprs, probe](const RecordBatch& batch) {
+        return probe.Invoke(batch, [&](const RecordBatch& input) {
+          return EvalProject(in_schema, exprs, input);
+        });
       });
     }
 
@@ -711,8 +792,13 @@ spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan, Context* context) {
       Rdd<RecordBatch> child = ExecutePlan(plan->child, context);
       SchemaPtr schema = plan->child->schema;
       Predicate predicate = plan->predicate;
-      return child.Map([schema, predicate](const RecordBatch& batch) {
-        return EvalFilter(schema, predicate, batch);
+      KernelProbe probe = MakeKernelProbe(
+          context, "df.kernel.filter", "df.kernel.filter.duration_ns",
+          "df.kernel.filter.batches", "df.kernel.filter.rows");
+      return child.Map([schema, predicate, probe](const RecordBatch& batch) {
+        return probe.Invoke(batch, [&](const RecordBatch& input) {
+          return EvalFilter(schema, predicate, input);
+        });
       });
     }
 
@@ -722,11 +808,15 @@ spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan, Context* context) {
       std::string column = plan->explode_column;
       bool keep_empty = plan->explode_keep_empty;
       bool with_position = !plan->explode_position_column.empty();
-      return child.Map(
-          [schema, column, keep_empty, with_position](const RecordBatch& batch) {
-            return EvalExplode(schema, column, keep_empty, with_position,
-                               batch);
-          });
+      KernelProbe probe = MakeKernelProbe(
+          context, "df.kernel.explode", "df.kernel.explode.duration_ns",
+          "df.kernel.explode.batches", "df.kernel.explode.rows");
+      return child.Map([schema, column, keep_empty, with_position,
+                        probe](const RecordBatch& batch) {
+        return probe.Invoke(batch, [&](const RecordBatch& input) {
+          return EvalExplode(schema, column, keep_empty, with_position, input);
+        });
+      });
     }
 
     case LogicalPlan::Kind::kGroupBy:

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/obs/tracer.h"
 #include "src/util/stopwatch.h"
 
 namespace rumble::exec {
@@ -58,8 +59,12 @@ struct ExecutorPool::StageState {
   const std::function<void(std::size_t)>* fn = nullptr;
   TaskMetrics* caller_metrics = nullptr;
   obs::EventBus* bus = nullptr;
+  obs::Tracer* tracer = nullptr;
   FaultInjector* injector = nullptr;
   std::int64_t stage_id = -1;
+  /// Stage span id; task spans parent to it explicitly (task attempts run on
+  /// worker threads whose local span stacks do not see the driver's stage).
+  std::int64_t span = obs::Tracer::kNoSpan;
   std::int64_t stage_ordinal = -1;
   std::string label;
   std::size_t task_count = 0;
@@ -95,6 +100,7 @@ ExecutorPool::ExecutorPool(int num_executors) {
   for (int i = 0; i < num_executors; ++i) {
     workers_.emplace_back([this, i] {
       worker_index_ = i;
+      obs::Tracer::SetCurrentThreadTrack(i + 1);  // track 0 is the driver
       WorkerLoop();
     });
   }
@@ -232,6 +238,15 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
   if (!attempt.speculative) {
     slot.running_since.store(NowSteadyNanos(), std::memory_order_release);
   }
+  // Attempt span: one per attempt (retries and speculative copies each get
+  // their own), parented explicitly to the stage span. Discarded attempts
+  // Cancel so the recorded trace holds only attempts that did work.
+  std::int64_t span = obs::Tracer::kNoSpan;
+  if (stage->tracer != nullptr && stage->tracer->enabled()) {
+    span = stage->tracer->Begin(
+        "task", stage->label + " #" + std::to_string(attempt.task),
+        stage->span);
+  }
   if (attempt.attempt > 1 && policy_.retry_backoff_nanos > 0) {
     std::int64_t backoff = policy_.retry_backoff_nanos
                            << std::min(attempt.attempt - 2, 20);
@@ -282,6 +297,7 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
         if (stage->bus != nullptr) {
           stage->bus->AddToCounter("task.speculative_discarded", 1);
         }
+        if (stage->tracer != nullptr) stage->tracer->Cancel(span);
         return;
       }
     } else {
@@ -291,10 +307,12 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
       if (stage->bus != nullptr) {
         stage->bus->AddToCounter("task.speculative_discarded", 1);
       }
+      if (stage->tracer != nullptr) stage->tracer->Cancel(span);
       return;  // a rival attempt already won; discard without re-running
     }
     if (stage->doomed.load(std::memory_order_acquire)) {
       commit.unlock();
+      if (stage->tracer != nullptr) stage->tracer->Cancel(span);
       if (attempt.speculative) return;
       stage->cancelled.fetch_add(1, std::memory_order_relaxed);
       if (stage->bus != nullptr) stage->bus->AddToCounter("task.cancelled", 1);
@@ -317,8 +335,18 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
         stage->bus->AddToCounter("task.speculative_wins", 1);
       }
     }
+    if (stage->tracer != nullptr) {
+      stage->tracer->End(span, {{"attempt", attempt.attempt},
+                                {"speculative", attempt.speculative ? 1 : 0},
+                                {"body_ns", nanos}});
+    }
     SettleTask(stage, attempt.task);
   } catch (...) {
+    // The failed attempt's span closes before any retry attempt begins, so
+    // sibling attempt spans never overlap on one thread's stack.
+    if (stage->tracer != nullptr) {
+      stage->tracer->End(span, {{"attempt", attempt.attempt}, {"failed", 1}});
+    }
     HandleFailure(stage, attempt, std::current_exception());
   }
 }
@@ -388,6 +416,16 @@ void ExecutorPool::FinishStage(const std::shared_ptr<StageState>& stage,
   report("task_retries", stage->retries);
   report("speculative", stage->speculative);
   report("cancelled", stage->cancelled);
+  if (stage->tracer != nullptr) {
+    // Every task has settled and every surviving attempt span has closed, so
+    // the stage span strictly contains its children. FinishStage runs on the
+    // thread that called RunParallel — the same thread that began the span.
+    std::vector<std::pair<std::string, std::int64_t>> span_args;
+    span_args.emplace_back("tasks",
+                           static_cast<std::int64_t>(stage->task_count));
+    for (const auto& [name, value] : metrics) span_args.emplace_back(name, value);
+    stage->tracer->End(stage->span, std::move(span_args));
+  }
   if (stage->bus != nullptr) {
     stage->bus->EndStage(stage->stage_id, stage_wall_nanos,
                          std::move(metrics));
@@ -442,6 +480,12 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   }
   if (stage->bus != nullptr) {
     stage->stage_id = stage->bus->BeginStage(stage->label, task_count);
+    stage->tracer = stage->bus->tracer();
+    if (stage->tracer->enabled()) {
+      // Implicit parent: the innermost span open on the calling thread (the
+      // engine's job span, or the enclosing task span for inline stages).
+      stage->span = stage->tracer->Begin("stage", stage->label);
+    }
   }
   util::Stopwatch stage_watch;
 

@@ -1,5 +1,7 @@
 #include "src/jsoniq/rumble.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <set>
 
 #include "src/json/writer.h"
@@ -50,15 +52,20 @@ common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
   // runs during evaluation lands under this job id.
   obs::EventBus& bus = engine_->spark->bus();
   std::int64_t job = bus.BeginJob(query);
+  // Root of the span hierarchy: stage spans begun on this thread during
+  // evaluation parent to the job span implicitly (docs/TRACING.md).
+  obs::ScopedSpan job_span(bus.tracer(), "job", query);
   try {
     if (engine_->memory != nullptr) {
       engine_->memory->Reset();
     }
     item::ItemSequence items = compiled.value()->MaterializeAll(*globals_);
+    job_span.AddArg("rows_out", static_cast<std::int64_t>(items.size()));
     bus.EndJob(job, {{"query.rows_out",
                       static_cast<std::int64_t>(items.size())}});
     return items;
   } catch (const common::RumbleException& error) {
+    job_span.AddArg("failed", 1);
     bus.EndJob(job, {{"failed", 1}});
     return common::Status::FromException(error);
   }
@@ -109,7 +116,7 @@ common::Result<std::string> Rumble::Explain(const std::string& query) const {
     RuntimeIteratorPtr root = BuildRuntimeIterator(ast, engine_);
     std::string out = ExprToString(*ast);
     out += "iterator tree:\n";
-    root->ExplainTree(*globals_, 1, &out);
+    root->ExplainTree(*globals_, 1, &out, ExplainOptions{});
     out += "execution: ";
     if (root->IsRddAble()) {
       out += engine_->config.flwor_backend == common::FlworBackend::kTupleRdd
@@ -122,6 +129,86 @@ common::Result<std::string> Rumble::Explain(const std::string& query) const {
   } catch (const common::RumbleException& error) {
     return common::Status::FromException(error);
   }
+}
+
+namespace {
+
+std::string FormatMs(double nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", nanos / 1e6);
+  return std::string(buf) + "ms";
+}
+
+}  // namespace
+
+common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
+  common::Result<RuntimeIteratorPtr> compiled = Compile(query);
+  if (!compiled.ok()) return compiled.status();
+  RuntimeIteratorPtr root = compiled.value();
+  obs::EventBus& bus = engine_->spark->bus();
+  obs::Tracer* tracer = bus.tracer();
+  // Operator stats only accumulate while the tracer is enabled; turn it on
+  // for this run and restore the caller's choice afterwards.
+  bool was_enabled = tracer->enabled();
+  tracer->set_enabled(true);
+  std::int64_t since = bus.NextSequence();
+  std::int64_t job = bus.BeginJob(query);
+  std::int64_t rows_out = 0;
+  try {
+    if (engine_->memory != nullptr) {
+      engine_->memory->Reset();
+    }
+    {
+      obs::ScopedSpan job_span(tracer, "job", query);
+      item::ItemSequence items = root->MaterializeAll(*globals_);
+      rows_out = static_cast<std::int64_t>(items.size());
+      job_span.AddArg("rows_out", rows_out);
+    }
+    bus.EndJob(job, {{"query.rows_out", rows_out}});
+  } catch (const common::RumbleException& error) {
+    bus.EndJob(job, {{"failed", 1}});
+    tracer->set_enabled(was_enabled);
+    return common::Status::FromException(error);
+  }
+  tracer->set_enabled(was_enabled);
+
+  std::int64_t wall = 0;
+  for (const auto& event : bus.EventsSince(since)) {
+    if (event.kind == obs::EventKind::kJobEnd && event.job_id == job) {
+      wall = event.duration_nanos;
+    }
+  }
+  // Cross-check (assert builds): the root operator's inclusive time is the
+  // whole evaluation, so it must agree with the job wall from job_end — a
+  // wiring drift here would render confident but wrong percentages. The
+  // tolerance absorbs job bookkeeping outside the operator (event publish,
+  // memory reset) and scheduling noise.
+  std::int64_t root_nanos =
+      root->op_stats().busy_nanos.load(std::memory_order_relaxed);
+  RUMBLE_METRICS_CHECK(
+      root_nanos <= wall + 5'000'000 &&
+          root_nanos + std::max<std::int64_t>(wall / 4, 10'000'000) >= wall,
+      "EXPLAIN ANALYZE root time " + std::to_string(root_nanos) +
+          "ns disagrees with job wall " + std::to_string(wall) + "ns");
+
+  ExplainOptions options;
+  options.analyze = true;
+  options.job_wall_nanos = wall;
+  std::string out = "iterator tree (analyzed):\n";
+  root->ExplainTree(*globals_, 1, &out, options);
+  out += "job wall: " + FormatMs(static_cast<double>(wall)) +
+         ", rows out: " + std::to_string(rows_out) + "\n";
+  auto histograms = bus.metrics()->Snapshot();
+  for (const char* name : {"task.duration_ns", "stage.duration_ns"}) {
+    auto it = histograms.find(name);
+    if (it == histograms.end() || it->second.count == 0) continue;
+    const auto& snap = it->second;
+    out += std::string(name) + ": p50=" + FormatMs(snap.Quantile(0.50)) +
+           " p95=" + FormatMs(snap.Quantile(0.95)) +
+           " p99=" + FormatMs(snap.Quantile(0.99)) +
+           " (n=" + std::to_string(snap.count) + ", all jobs this session)\n";
+  }
+  return out;
 }
 
 }  // namespace rumble::jsoniq

@@ -51,6 +51,13 @@ class Rumble {
   /// executes the query.
   common::Result<std::string> Explain(const std::string& query) const;
 
+  /// EXPLAIN ANALYZE: runs the query with operator tracing enabled, then
+  /// renders the EXPLAIN tree annotated per node with inclusive/exclusive
+  /// wall time, rows produced, open count, and %-of-job, plus a footer with
+  /// the job wall time and task/stage latency quantiles (docs/TRACING.md).
+  /// Restores the tracer's previous enabled state afterwards.
+  common::Result<std::string> ExplainAnalyze(const std::string& query);
+
   /// Binds a host-provided external variable visible to queries.
   void BindVariable(const std::string& name, item::ItemSequence value);
 

@@ -4,6 +4,7 @@
 #include "src/common/error.h"
 #include "src/item/item_factory.h"
 #include "src/jsoniq/runtime/expression_iterators.h"
+#include "src/util/stopwatch.h"
 
 namespace rumble::jsoniq {
 
@@ -153,6 +154,40 @@ class RangeIterator final : public CloneableIterator<RangeIterator> {
       : CloneableIterator(std::move(engine), {std::move(from), std::move(to)}) {}
 
   void Open(const DynamicContext& context) override {
+    // Streaming override of the whole local API: record the (cheap) endpoint
+    // evaluation here and the produced count at Close, since the base
+    // class's timed Open/Compute never runs for this iterator.
+    traced_ = TracingEnabled();
+    if (traced_) {
+      util::Stopwatch watch;
+      OpenEndpoints(context);
+      op_stats_->busy_nanos.fetch_add(watch.ElapsedNanos(),
+                                      std::memory_order_relaxed);
+      op_stats_->opens.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      OpenEndpoints(context);
+    }
+    produced_ = 0;
+  }
+
+  bool HasNext() override { return next_ <= last_; }
+
+  item::ItemPtr Next() override {
+    ++produced_;
+    return item::MakeInteger(next_++);
+  }
+
+  void Close() override {
+    if (traced_ && produced_ > 0) {
+      op_stats_->items.fetch_add(produced_, std::memory_order_relaxed);
+    }
+    next_ = 1;
+    last_ = 0;
+    produced_ = 0;
+  }
+
+ private:
+  void OpenEndpoints(const DynamicContext& context) {
     ItemPtr from = children_[0]->MaterializeAtMostOne(context, "range");
     ItemPtr to = children_[1]->MaterializeAtMostOne(context, "range");
     if (from == nullptr || to == nullptr) {
@@ -168,18 +203,10 @@ class RangeIterator final : public CloneableIterator<RangeIterator> {
     last_ = to->IntegerValue();
   }
 
-  bool HasNext() override { return next_ <= last_; }
-
-  item::ItemPtr Next() override { return item::MakeInteger(next_++); }
-
-  void Close() override {
-    next_ = 1;
-    last_ = 0;
-  }
-
- private:
   std::int64_t next_ = 1;
   std::int64_t last_ = 0;
+  std::int64_t produced_ = 0;
+  bool traced_ = false;
 };
 
 }  // namespace

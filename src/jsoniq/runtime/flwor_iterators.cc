@@ -442,12 +442,15 @@ class FlworExpressionIterator final : public RuntimeIterator {
   /// expression, and — on the DataFrame backend — the translated logical
   /// plan. Never executes the query.
   void ExplainTree(const DynamicContext& context, int depth,
-                   std::string* out) const override {
+                   std::string* out,
+                   const ExplainOptions& options) const override {
     std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
     out->append(indent);
     out->append("flwor [");
     out->append(ExecModeTag());
-    out->append("]\n");
+    out->append("]");
+    if (options.analyze) AppendAnalyzeAnnotation(options, out);
+    out->append("\n");
     for (const auto& clause : flwor_.clauses) {
       out->append(indent);
       out->append("  ");
@@ -455,23 +458,23 @@ class FlworExpressionIterator final : public RuntimeIterator {
       if (!clause.variable.empty()) out->append(" $" + clause.variable);
       out->append("\n");
       if (clause.expr != nullptr) {
-        clause.expr->ExplainTree(context, depth + 2, out);
+        clause.expr->ExplainTree(context, depth + 2, out, options);
       }
       for (const auto& spec : clause.group_specs) {
         if (spec.expr != nullptr) {
-          spec.expr->ExplainTree(context, depth + 2, out);
+          spec.expr->ExplainTree(context, depth + 2, out, options);
         }
       }
       for (const auto& spec : clause.order_specs) {
         if (spec.expr != nullptr) {
-          spec.expr->ExplainTree(context, depth + 2, out);
+          spec.expr->ExplainTree(context, depth + 2, out, options);
         }
       }
     }
     out->append(indent);
     out->append("  return\n");
     if (flwor_.return_expr != nullptr) {
-      flwor_.return_expr->ExplainTree(context, depth + 2, out);
+      flwor_.return_expr->ExplainTree(context, depth + 2, out, options);
     }
     if (IsRddAble() &&
         engine_->config.flwor_backend == common::FlworBackend::kDataFrame) {
@@ -520,11 +523,32 @@ class FlworExpressionIterator final : public RuntimeIterator {
   }
 
   RuntimeIteratorPtr Clone() const override {
-    return std::make_shared<FlworExpressionIterator>(engine_,
-                                                     CloneFlwor(flwor_));
+    auto copy = std::make_shared<FlworExpressionIterator>(engine_,
+                                                          CloneFlwor(flwor_));
+    // A fresh object, not a copy: adopt this node's shared stats so work a
+    // clone does on an executor shows up under this plan node in ANALYZE.
+    copy->ShareObservability(*this);
+    return copy;
   }
 
  protected:
+  void AppendStatChildren(
+      std::vector<const RuntimeIterator*>* out) const override {
+    // Nested iterators live out-of-band in the clause list, not children_.
+    for (const auto& clause : flwor_.clauses) {
+      if (clause.expr != nullptr) out->push_back(clause.expr.get());
+      for (const auto& spec : clause.group_specs) {
+        if (spec.expr != nullptr) out->push_back(spec.expr.get());
+      }
+      for (const auto& spec : clause.order_specs) {
+        if (spec.expr != nullptr) out->push_back(spec.expr.get());
+      }
+    }
+    if (flwor_.return_expr != nullptr) {
+      out->push_back(flwor_.return_expr.get());
+    }
+  }
+
   ItemSequence Compute(const DynamicContext& context) override {
     if (IsRddAble()) {
       // Collected through Spark, then served locally (Section 5.5).

@@ -1,7 +1,11 @@
 #include "src/jsoniq/runtime/runtime_iterator.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "src/common/error.h"
 #include "src/item/item_compare.h"
+#include "src/util/stopwatch.h"
 
 namespace rumble::jsoniq {
 
@@ -9,7 +13,17 @@ using common::ErrorCode;
 
 void RuntimeIterator::Open(const DynamicContext& context) {
   CountOpen();
-  buffer_ = Compute(context);
+  if (TracingEnabled()) {
+    util::Stopwatch watch;
+    buffer_ = Compute(context);
+    op_stats_->busy_nanos.fetch_add(watch.ElapsedNanos(),
+                                    std::memory_order_relaxed);
+    op_stats_->opens.fetch_add(1, std::memory_order_relaxed);
+    op_stats_->items.fetch_add(static_cast<std::int64_t>(buffer_.size()),
+                               std::memory_order_relaxed);
+  } else {
+    buffer_ = Compute(context);
+  }
   buffer_index_ = 0;
   opened_ = true;
 }
@@ -49,15 +63,82 @@ void RuntimeIterator::CountClose() {
   closes_cell_->value.fetch_add(1, std::memory_order_relaxed);
 }
 
+bool RuntimeIterator::TracingEnabled() {
+  if (tracer_ == nullptr) {
+    obs::EventBus* bus = engine_ != nullptr ? engine_->bus() : nullptr;
+    if (bus == nullptr) return false;
+    tracer_ = bus->tracer();
+  }
+  return tracer_->enabled();
+}
+
+void RuntimeIterator::ShareObservability(const RuntimeIterator& from) {
+  debug_name_ = from.debug_name_;
+  op_stats_ = from.op_stats_;
+  tracer_ = from.tracer_;
+}
+
+void RuntimeIterator::AppendStatChildren(
+    std::vector<const RuntimeIterator*>* out) const {
+  for (const auto& child : children_) {
+    if (child != nullptr) out->push_back(child.get());
+  }
+}
+
+namespace {
+
+void AppendMs(std::int64_t nanos, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(nanos) / 1e6);
+  out->append(buf);
+  out->append("ms");
+}
+
+}  // namespace
+
+void RuntimeIterator::AppendAnalyzeAnnotation(const ExplainOptions& options,
+                                              std::string* out) const {
+  std::int64_t inclusive = op_stats_->busy_nanos.load(std::memory_order_relaxed);
+  std::vector<const RuntimeIterator*> stat_children;
+  AppendStatChildren(&stat_children);
+  std::int64_t children_nanos = 0;
+  for (const RuntimeIterator* child : stat_children) {
+    children_nanos +=
+        child->op_stats_->busy_nanos.load(std::memory_order_relaxed);
+  }
+  std::int64_t exclusive = std::max<std::int64_t>(0, inclusive - children_nanos);
+  out->append("  (actual: total=");
+  AppendMs(inclusive, out);
+  out->append(" self=");
+  AppendMs(exclusive, out);
+  out->append(" rows=");
+  out->append(
+      std::to_string(op_stats_->items.load(std::memory_order_relaxed)));
+  out->append(" opens=");
+  out->append(
+      std::to_string(op_stats_->opens.load(std::memory_order_relaxed)));
+  if (options.job_wall_nanos > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.1f%%",
+                  100.0 * static_cast<double>(inclusive) /
+                      static_cast<double>(options.job_wall_nanos));
+    out->append(buf);
+  }
+  out->append(")");
+}
+
 void RuntimeIterator::ExplainTree(const DynamicContext& context, int depth,
-                                  std::string* out) const {
+                                  std::string* out,
+                                  const ExplainOptions& options) const {
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
   out->append(DisplayName());
   out->append(" [");
   out->append(ExecModeTag());
-  out->append("]\n");
+  out->append("]");
+  if (options.analyze) AppendAnalyzeAnnotation(options, out);
+  out->append("\n");
   for (const auto& child : children_) {
-    if (child != nullptr) child->ExplainTree(context, depth + 1, out);
+    if (child != nullptr) child->ExplainTree(context, depth + 1, out, options);
   }
 }
 
@@ -78,9 +159,23 @@ item::ItemSequence RuntimeIterator::MaterializeAll(
   }
   if (IsRddAble()) {
     // Section 5.5: collect the RDD and serve items locally, respecting the
-    // configured materialization cap.
+    // configured materialization cap. This path bypasses Open(), so it
+    // records the operator span/stats itself (the stage spans the collect
+    // spawns nest inside the operator span via the thread stack).
+    bool traced = TracingEnabled();
+    obs::ScopedSpan span(traced ? tracer_ : nullptr, "operator",
+                         DisplayName());
+    util::Stopwatch watch;
     spark::Rdd<item::ItemPtr> rdd = GetRdd(context);
     item::ItemSequence items = rdd.Collect();
+    if (traced) {
+      op_stats_->busy_nanos.fetch_add(watch.ElapsedNanos(),
+                                      std::memory_order_relaxed);
+      op_stats_->opens.fetch_add(1, std::memory_order_relaxed);
+      op_stats_->items.fetch_add(static_cast<std::int64_t>(items.size()),
+                                 std::memory_order_relaxed);
+      span.AddArg("rows", static_cast<std::int64_t>(items.size()));
+    }
     const auto& config = engine_->config;
     if (items.size() > config.materialization_cap &&
         !config.warn_only_on_cap) {

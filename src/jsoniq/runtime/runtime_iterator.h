@@ -33,6 +33,28 @@ struct ComparisonShape {
   const RuntimeIterator* right = nullptr;
 };
 
+/// Per-operator accumulators behind EXPLAIN ANALYZE: evaluation wall time
+/// (inclusive of children, since an operator's Compute pulls its children),
+/// open count, and items produced. Shared between an iterator and every
+/// clone shipped to executor tasks — the atomics make concurrent task-side
+/// accumulation safe, and the sharing is what routes executor-side work back
+/// to the plan node the user sees. Only populated while the engine tracer is
+/// enabled, so normal runs pay nothing.
+struct OperatorStats {
+  std::atomic<std::int64_t> opens{0};
+  std::atomic<std::int64_t> items{0};
+  std::atomic<std::int64_t> busy_nanos{0};
+};
+using OperatorStatsPtr = std::shared_ptr<OperatorStats>;
+
+/// Options threaded through ExplainTree. `analyze` switches on the per-node
+/// "(actual: ...)" annotations; `job_wall_nanos` (the job_end duration) turns
+/// them into %-of-job figures.
+struct ExplainOptions {
+  bool analyze = false;
+  std::int64_t job_wall_nanos = 0;
+};
+
 /// Base class for expression runtime iterators (paper Section 5.4). Offers:
 ///  - the pull-based local API: Open / HasNext / Next / Close (Section 5.5);
 ///  - the RDD API: IsRddAble / GetRdd (Section 5.6);
@@ -98,9 +120,12 @@ class RuntimeIterator {
 
   /// Renders this subtree one node per line ("name [mode]"), two spaces of
   /// indent per depth level. Must not evaluate the query; `context` is only
-  /// passed through so FLWOR can build (not run) its DataFrame plan.
+  /// passed through so FLWOR can build (not run) its DataFrame plan. With
+  /// options.analyze the node line carries the operator's recorded stats —
+  /// EXPLAIN ANALYZE renders the same tree after running the query.
   virtual void ExplainTree(const DynamicContext& context, int depth,
-                           std::string* out) const;
+                           std::string* out,
+                           const ExplainOptions& options) const;
 
   /// Display-name override (e.g. "fn:count" on the generic function-call
   /// iterator), set by the iterator builder. Survives Clone().
@@ -138,8 +163,31 @@ class RuntimeIterator {
 
   const EngineContextPtr& engine() const { return engine_; }
   const std::vector<RuntimeIteratorPtr>& children() const { return children_; }
+  const OperatorStats& op_stats() const { return *op_stats_; }
 
  protected:
+  /// The children whose stats EXPLAIN ANALYZE subtracts to compute this
+  /// node's exclusive time. Default: children_; iterators holding nested
+  /// iterators out-of-band (FLWOR) override to expose them.
+  virtual void AppendStatChildren(
+      std::vector<const RuntimeIterator*>* out) const;
+
+  /// Whether span/stat recording is on, caching the engine tracer pointer on
+  /// first use — the disabled hot path is one relaxed atomic load.
+  bool TracingEnabled();
+
+  /// Appends the "(actual: ...)" EXPLAIN ANALYZE annotation for this node:
+  /// inclusive/exclusive time, items, opens, and %-of-job. Exclusive time is
+  /// clamped at zero — children evaluated on executor threads can overlap
+  /// each other, so the naive subtraction may go negative under parallelism.
+  void AppendAnalyzeAnnotation(const ExplainOptions& options,
+                               std::string* out) const;
+
+  /// Adopts `from`'s observability identity (debug name, shared operator
+  /// stats, cached tracer). Custom Clone() implementations that build a
+  /// fresh object instead of copying — FLWOR — call this so executor-side
+  /// clones keep accumulating into the original plan node's stats.
+  void ShareObservability(const RuntimeIterator& from);
   /// Materializing evaluation hook used by the default local API.
   virtual item::ItemSequence Compute(const DynamicContext& context);
 
@@ -157,6 +205,9 @@ class RuntimeIterator {
   EngineContextPtr engine_;
   std::vector<RuntimeIteratorPtr> children_;
   std::string debug_name_;
+  /// Shared with clones (the implicit copy constructor copies the
+  /// shared_ptr; AfterClone keeps it, custom clones use ShareObservability).
+  OperatorStatsPtr op_stats_ = std::make_shared<OperatorStats>();
 
   // Default local-API state.
   item::ItemSequence buffer_;
@@ -166,6 +217,7 @@ class RuntimeIterator {
  private:
   obs::CounterCell* opens_cell_ = nullptr;
   obs::CounterCell* closes_cell_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// CRTP helper providing Clone() via the copy constructor + AfterClone().

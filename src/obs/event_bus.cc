@@ -14,26 +14,6 @@ namespace {
 /// many trailing events. Long benchmark loops therefore stay bounded.
 constexpr std::size_t kMaxRetainedEvents = 1 << 16;
 
-void AppendEscaped(const std::string& value, std::string* out) {
-  for (char c : value) {
-    switch (c) {
-      case '"': out->append("\\\""); break;
-      case '\\': out->append("\\\\"); break;
-      case '\n': out->append("\\n"); break;
-      case '\r': out->append("\\r"); break;
-      case '\t': out->append("\\t"); break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-}
-
 /// One JSONL record per event. Field set per kind is documented in
 /// docs/METRICS.md; keep the two in sync.
 std::string EventToJson(const Event& event) {
@@ -74,7 +54,7 @@ std::string EventToJson(const Event& event) {
   }
   if (!event.label.empty()) {
     out += ",\"label\":\"";
-    AppendEscaped(event.label, &out);
+    AppendJsonEscaped(event.label, &out);
     out += "\"";
   }
   if (!event.metrics.empty()) {
@@ -82,7 +62,7 @@ std::string EventToJson(const Event& event) {
     for (std::size_t i = 0; i < event.metrics.size(); ++i) {
       if (i > 0) out += ",";
       out += "\"";
-      AppendEscaped(event.metrics[i].first, &out);
+      AppendJsonEscaped(event.metrics[i].first, &out);
       out += "\":" + std::to_string(event.metrics[i].second);
     }
     out += "}";
@@ -114,7 +94,11 @@ void MetricsCheckFailed(const std::string& message) {
   throw std::logic_error("metrics cross-check failed: " + message);
 }
 
-EventBus::EventBus() : epoch_(std::chrono::steady_clock::now()) {}
+EventBus::EventBus()
+    : epoch_(std::chrono::steady_clock::now()),
+      task_duration_hist_(metrics_.GetHistogram("task.duration_ns")),
+      stage_duration_hist_(metrics_.GetHistogram("stage.duration_ns")),
+      job_duration_hist_(metrics_.GetHistogram("job.duration_ns")) {}
 
 EventBus::~EventBus() { CloseLogFile(); }
 
@@ -169,6 +153,7 @@ void EventBus::EndJob(
     }
   }
   if (current_job_ == job_id) current_job_ = -1;
+  job_duration_hist_->Record(event.duration_nanos);
   Publish(std::move(event));
 }
 
@@ -197,6 +182,7 @@ void EventBus::TaskEnd(std::int64_t stage_id, std::size_t task_index,
   event.duration_nanos = duration_nanos;
   auto it = open_stages_.find(stage_id);
   if (it != open_stages_.end()) ++it->second.second;
+  task_duration_hist_->Record(duration_nanos);
   Publish(std::move(event));
 }
 
@@ -227,6 +213,7 @@ void EventBus::EndStage(
     }
     open_stages_.erase(it);
   }
+  stage_duration_hist_->Record(duration_nanos);
   Publish(std::move(event));
 }
 
@@ -474,13 +461,216 @@ void EventBus::CloseLogFile() {
 }
 
 void EventBus::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.clear();
-  dropped_ = 0;
-  open_stages_.clear();
-  for (auto& [name, cell] : counters_) {
-    cell->value.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+    dropped_ = 0;
+    open_stages_.clear();
+    for (auto& [name, cell] : counters_) {
+      cell->value.store(0, std::memory_order_relaxed);
+    }
   }
+  // The registry and tracer have their own locks; don't hold mu_ across them.
+  metrics_.Reset();
+  tracer_.Clear();
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted counter names map
+/// by replacing every other character with '_' (docs/METRICS.md table).
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string EventBus::PrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    std::string metric = "rumble_" + PrometheusName(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : metrics_.Snapshot()) {
+    std::string metric = "rumble_" + PrometheusName(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      // Skip interior empty octaves to keep the exposition small, but always
+      // emit a bucket once it carries counts (cumulative semantics).
+      if (snap.buckets[i] == 0 && cumulative == 0) continue;
+      out += metric + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += metric + "_sum " + std::to_string(snap.sum) + "\n";
+    out += metric + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::string EventBus::MetricsJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : CounterSnapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : metrics_.Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(name, &out);
+    out += "\":{\"count\":" + std::to_string(snap.count);
+    out += ",\"sum\":" + std::to_string(snap.sum);
+    out += ",\"min\":" + std::to_string(snap.min);
+    out += ",\"max\":" + std::to_string(snap.max);
+    out += ",\"p50\":";
+    AppendDouble(snap.Quantile(0.50), &out);
+    out += ",\"p95\":";
+    AppendDouble(snap.Quantile(0.95), &out);
+    out += ",\"p99\":";
+    AppendDouble(snap.Quantile(0.99), &out);
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first_bucket) out += ",";
+      first_bucket = false;
+      out += "\"" + std::to_string(Histogram::BucketUpperBound(i)) +
+             "\":" + std::to_string(snap.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string EventBus::JobsJson() const {
+  struct StageView {
+    std::int64_t id = 0;
+    std::string label;
+    std::size_t planned = 0;
+    std::size_t done = 0;
+    std::int64_t wall_nanos = 0;
+    bool failed = false;
+    bool ended = false;
+  };
+  struct JobView {
+    std::int64_t id = 0;
+    std::string label;
+    std::int64_t duration_nanos = 0;
+    bool ended = false;
+    std::vector<StageView> stages;
+  };
+  std::vector<JobView> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto job_of = [&jobs](std::int64_t id) -> JobView* {
+      for (auto& job : jobs) {
+        if (job.id == id) return &job;
+      }
+      return nullptr;
+    };
+    auto stage_of = [&jobs](std::int64_t id) -> StageView* {
+      for (auto& job : jobs) {
+        for (auto& stage : job.stages) {
+          if (stage.id == id) return &stage;
+        }
+      }
+      return nullptr;
+    };
+    for (const auto& event : events_) {
+      switch (event.kind) {
+        case EventKind::kJobStart: {
+          JobView job;
+          job.id = event.job_id;
+          job.label = event.label;
+          jobs.push_back(std::move(job));
+          break;
+        }
+        case EventKind::kJobEnd:
+          if (JobView* job = job_of(event.job_id)) {
+            job->ended = true;
+            job->duration_nanos = event.duration_nanos;
+          }
+          break;
+        case EventKind::kStageStart: {
+          StageView stage;
+          stage.id = event.stage_id;
+          stage.label = event.label;
+          stage.planned = event.num_tasks;
+          if (JobView* job = job_of(event.job_id)) {
+            job->stages.push_back(std::move(stage));
+          }
+          break;
+        }
+        case EventKind::kTaskEnd:
+          if (StageView* stage = stage_of(event.stage_id)) ++stage->done;
+          break;
+        case EventKind::kStageEnd:
+          if (StageView* stage = stage_of(event.stage_id)) {
+            stage->ended = true;
+            stage->wall_nanos = event.duration_nanos;
+            for (const auto& [name, value] : event.metrics) {
+              if (name == "failed" && value != 0) stage->failed = true;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::string out = "{\"jobs\":[";
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobView& job = jobs[j];
+    if (j > 0) out += ",";
+    out += "{\"id\":" + std::to_string(job.id);
+    out += ",\"label\":\"";
+    AppendJsonEscaped(job.label, &out);
+    out += "\",\"state\":\"";
+    out += job.ended ? "succeeded" : "running";
+    out += "\",\"duration_ns\":" + std::to_string(job.duration_nanos);
+    out += ",\"stages\":[";
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+      const StageView& stage = job.stages[s];
+      if (s > 0) out += ",";
+      out += "{\"id\":" + std::to_string(stage.id);
+      out += ",\"label\":\"";
+      AppendJsonEscaped(stage.label, &out);
+      out += "\",\"state\":\"";
+      out += stage.failed ? "failed" : (stage.ended ? "succeeded" : "running");
+      out += "\",\"tasks_planned\":" + std::to_string(stage.planned);
+      out += ",\"tasks_done\":" + std::to_string(stage.done);
+      out += ",\"wall_ns\":" + std::to_string(stage.wall_nanos);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace rumble::obs

@@ -12,6 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
+
 namespace rumble::obs {
 
 /// Structured execution events, modelled on the Spark event log: a job is one
@@ -149,9 +152,30 @@ class EventBus {
   bool SetLogFile(const std::string& path);
   void CloseLogFile();
 
-  /// Clears retained events and zeroes all counters (the log file, if any,
-  /// stays attached). Benchmarks call this between measurement phases.
+  /// Clears retained events, zeroes all counters and histograms, and clears
+  /// recorded spans (the log file, if any, stays attached). Benchmarks call
+  /// this between measurement phases.
   void Reset();
+
+  // ---- Tracing and histograms ---------------------------------------------
+  /// The per-engine span tracer (docs/TRACING.md). Disabled by default;
+  /// instrumentation sites cache this pointer and pay one branch when off.
+  Tracer* tracer() { return &tracer_; }
+  /// The per-engine latency-histogram registry (docs/METRICS.md).
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  // ---- Renderers for the metrics endpoint -----------------------------------
+  /// Counters and histograms in Prometheus text exposition format
+  /// (`rumble_<name>_total` counters, `rumble_<name>_bucket{le=...}`
+  /// cumulative histograms). Served at /metrics; see docs/METRICS.md for the
+  /// name mapping.
+  std::string PrometheusText() const;
+  /// Counter + histogram snapshot as one JSON object — the `--metrics-out`
+  /// payload bench_to_json.py attaches to BENCH_*.json trajectory points.
+  std::string MetricsJson() const;
+  /// Live job/stage/task state as JSON (the /jobs view): every job seen with
+  /// state running/succeeded, its stages with planned vs finished tasks.
+  std::string JobsJson() const;
 
  private:
   void Publish(Event event);  // assigns sequence/wall time, logs, retains
@@ -170,6 +194,13 @@ class EventBus {
   std::map<std::string, std::unique_ptr<CounterCell>> counters_;
   std::unique_ptr<std::ofstream> log_;
   std::chrono::steady_clock::time_point epoch_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+  /// Cached cells for the built-in duration histograms recorded by
+  /// TaskEnd/EndStage/EndJob (names in docs/METRICS.md).
+  Histogram* task_duration_hist_;
+  Histogram* stage_duration_hist_;
+  Histogram* job_duration_hist_;
 };
 
 /// Debug-build cross-check hook (enabled with -DRUMBLE_ASSERT_METRICS=ON):

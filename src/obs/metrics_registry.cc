@@ -1,0 +1,112 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace rumble::obs {
+
+int Histogram::BucketIndex(std::int64_t value) {
+  if (value <= 0) return 0;
+  int bucket = 1;
+  // bucket i >= 1 covers [2^(i-1), 2^i - 1]: shift until the value fits.
+  while (bucket < kNumBuckets - 1 &&
+         value >= (std::int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+void Histogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::int64_t count = count_.fetch_add(1, std::memory_order_relaxed);
+  if (count == 0) {
+    // First sample seeds min/max; races with the CAS loops below are benign
+    // (both sides only tighten the bounds).
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  std::int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count - 1);
+  std::int64_t below = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (rank < static_cast<double>(below + buckets[i])) {
+      // Interpolate linearly inside the bucket between its bounds, clamped
+      // to the observed min/max so single-octave histograms stay exact-ish.
+      double lo = static_cast<double>(i <= 1 ? 0 : BucketUpperBound(i - 1));
+      double hi = static_cast<double>(BucketUpperBound(i));
+      lo = std::max(lo, static_cast<double>(min));
+      hi = std::min(hi, static_cast<double>(max));
+      if (hi <= lo) return lo;
+      double frac = buckets[i] == 1
+                        ? 0.5
+                        : (rank - static_cast<double>(below)) /
+                              static_cast<double>(buckets[i] - 1);
+      return lo + frac * (hi - lo);
+    }
+    below += buckets[i];
+  }
+  return static_cast<double>(max);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, Histogram::Snapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace(name, histogram->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace rumble::obs

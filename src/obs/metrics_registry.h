@@ -1,0 +1,83 @@
+#ifndef RUMBLE_OBS_METRICS_REGISTRY_H_
+#define RUMBLE_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace rumble::obs {
+
+/// Log-scale (power-of-two) latency histogram. Bucket 0 holds value 0;
+/// bucket i >= 1 holds [2^(i-1), 2^i - 1]. With 44 buckets the top bucket
+/// absorbs everything past ~73 minutes in nanoseconds, which no task should
+/// reach. Record() is lock-free (relaxed atomics), so histograms sit on the
+/// same hot paths as counters; quantiles are estimated from the buckets with
+/// linear interpolation, which is exact to within one octave — plenty for
+/// p50/p95/p99 latency reporting.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;
+
+  /// Records one value (negative values clamp to 0).
+  void Record(std::int64_t value);
+
+  struct Snapshot {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::array<std::int64_t, kNumBuckets> buckets{};
+
+    /// Estimated q-quantile (q in [0, 1]); 0 when empty.
+    double Quantile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+
+  /// The bucket a value lands in.
+  static int BucketIndex(std::int64_t value);
+  /// Inclusive upper bound of a bucket (2^bucket - 1; bucket 0 -> 0).
+  static std::int64_t BucketUpperBound(int bucket);
+
+ private:
+  std::array<std::atomic<std::int64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Named-histogram registry, the histogram counterpart of the event bus's
+/// counter map. Pointers returned by GetHistogram are stable for the
+/// registry lifetime, so hot paths look a histogram up once and Record()
+/// without the registry mutex (the CounterCell idiom). Owned by
+/// obs::EventBus; docs/METRICS.md lists the histogram names and their
+/// Prometheus mapping.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the stable histogram for `name`, creating it empty.
+  Histogram* GetHistogram(const std::string& name);
+
+  std::map<std::string, Histogram::Snapshot> Snapshot() const;
+
+  /// Zeroes every histogram (names and pointers stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,121 @@
+#include "src/obs/metrics_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/obs/event_bus.h"
+
+namespace rumble::obs {
+
+namespace {
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Extracts the request path from "GET /path HTTP/1.x"; empty on anything
+/// that is not a GET.
+std::string RequestPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return "";
+  std::size_t start = 4;
+  std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  std::string path = request.substr(start, end - start);
+  std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+bool MetricsServer::Start(int port) {
+  if (running()) return false;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void MetricsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() unblocks the accept() so the thread observes running_ false.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void MetricsServer::Serve() {
+  while (running()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running()) break;
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::HandleConnection(int fd) {
+  char buf[2048];
+  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  std::string path = RequestPath(buf);
+  if (path == "/metrics") {
+    SendAll(fd, HttpResponse("200 OK", "text/plain; version=0.0.4",
+                             bus_->PrometheusText()));
+  } else if (path == "/jobs") {
+    SendAll(fd, HttpResponse("200 OK", "application/json", bus_->JobsJson()));
+  } else if (path == "/") {
+    SendAll(fd, HttpResponse("200 OK", "text/plain",
+                             "rumble metrics endpoint\n"
+                             "  /metrics  Prometheus text exposition\n"
+                             "  /jobs     live job/stage/task state (JSON)\n"));
+  } else {
+    SendAll(fd, HttpResponse("404 Not Found", "text/plain", "not found\n"));
+  }
+}
+
+}  // namespace rumble::obs

@@ -1,0 +1,55 @@
+#ifndef RUMBLE_OBS_METRICS_SERVER_H_
+#define RUMBLE_OBS_METRICS_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace rumble::obs {
+
+class EventBus;
+
+/// Minimal embedded HTTP server — the mini Spark Web UI for the minispark
+/// substrate. Blocking POSIX sockets, one accept thread, one request per
+/// connection (HTTP/1.0 close semantics), no dependencies. Routes:
+///
+///   /metrics  EventBus::PrometheusText() — Prometheus text exposition
+///   /jobs     EventBus::JobsJson()       — live job/stage/task state
+///   /         tiny text index of the two
+///
+/// All rendering happens in the serving thread off bus snapshots, so running
+/// queries never block on a slow scraper. See docs/TRACING.md for a curl
+/// walkthrough.
+class MetricsServer {
+ public:
+  explicit MetricsServer(EventBus* bus) : bus_(bus) {}
+  ~MetricsServer() { Stop(); }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the accept
+  /// thread. Returns false when the socket cannot be bound.
+  bool Start(int port);
+
+  /// Stops the accept thread and closes the listening socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (useful after Start(0)); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  EventBus* bus_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_METRICS_SERVER_H_

@@ -1,0 +1,219 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace rumble::obs {
+
+namespace {
+
+/// Retention cap for recorded spans, matching the event-bus cap: the oldest
+/// half is dropped so long traced sessions stay bounded in memory.
+constexpr std::size_t kMaxRetainedSpans = 1 << 16;
+
+/// Per-thread stack of (tracer, span id) for implicit parenting. Keyed by
+/// tracer so two engines traced from one thread do not cross-parent.
+thread_local std::vector<std::pair<const Tracer*, std::int64_t>> tls_stack;
+
+thread_local int tls_track = 0;
+
+void AppendMicros(std::int64_t nanos, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(nanos) / 1000.0);
+  out->append(buf);
+}
+
+}  // namespace
+
+void AppendJsonEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t Tracer::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::SetCurrentThreadTrack(int track) { tls_track = track; }
+
+int Tracer::CurrentThreadTrack() { return tls_track; }
+
+std::int64_t Tracer::Begin(const char* category, std::string name,
+                           std::int64_t parent) {
+  if (!enabled()) return kNoSpan;
+  std::int64_t parent_id = parent;
+  if (parent == kThreadParent) {
+    parent_id = -1;
+    for (auto it = tls_stack.rbegin(); it != tls_stack.rend(); ++it) {
+      if (it->first == this) {
+        parent_id = it->second;
+        break;
+      }
+    }
+  }
+  Span span;
+  span.parent = parent_id;
+  span.track = tls_track;
+  span.category = category;
+  span.name = std::move(name);
+  span.start_nanos = NowNanos();
+  std::int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    span.id = id;
+    ++begun_;
+    open_.emplace(id, std::move(span));
+  }
+  tls_stack.emplace_back(this, id);
+  return id;
+}
+
+namespace {
+
+void PopThreadStack(const Tracer* tracer, std::int64_t id) {
+  for (auto it = tls_stack.rbegin(); it != tls_stack.rend(); ++it) {
+    if (it->first == tracer && it->second == id) {
+      tls_stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Tracer::End(std::int64_t id,
+                 std::vector<std::pair<std::string, std::int64_t>> args) {
+  if (id == kNoSpan) return;
+  PopThreadStack(this, id);
+  std::int64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // already ended or cancelled: record once
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.end_nanos = now;
+  for (auto& arg : args) span.args.push_back(std::move(arg));
+  if (finished_.size() >= kMaxRetainedSpans) {
+    auto keep_from =
+        finished_.begin() + static_cast<std::ptrdiff_t>(finished_.size() / 2);
+    dropped_ += keep_from - finished_.begin();
+    finished_.erase(finished_.begin(), keep_from);
+  }
+  finished_.push_back(std::move(span));
+}
+
+void Tracer::Cancel(std::int64_t id) {
+  if (id == kNoSpan) return;
+  PopThreadStack(this, id);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_.erase(id) > 0) ++cancelled_;
+}
+
+std::vector<Span> Tracer::FinishedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::int64_t Tracer::open_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(open_.size());
+}
+
+std::int64_t Tracer::begun_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begun_;
+}
+
+std::int64_t Tracer::cancelled_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+std::int64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+  begun_ = static_cast<std::int64_t>(open_.size());
+  cancelled_ = 0;
+  dropped_ = 0;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<Span> spans = FinishedSpans();
+  std::set<int> tracks;
+  for (const Span& span : spans) tracks.insert(span.track);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) out += ",";
+    first = false;
+  };
+  // One named track per executor thread (Perfetto shows these as rows).
+  for (int track : tracks) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(track);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    out += track == 0 ? "driver" : "executor " + std::to_string(track - 1);
+    out += "\"}}";
+  }
+  for (const Span& span : spans) {
+    comma();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.track);
+    out += ",\"cat\":\"";
+    out += span.category;
+    out += "\",\"name\":\"";
+    AppendJsonEscaped(span.name, &out);
+    out += "\",\"ts\":";
+    AppendMicros(span.start_nanos, &out);
+    out += ",\"dur\":";
+    AppendMicros(std::max<std::int64_t>(0, span.end_nanos - span.start_nanos),
+                 &out);
+    out += ",\"args\":{\"span\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    for (const auto& [name, value] : span.args) {
+      out += ",\"";
+      AppendJsonEscaped(name, &out);
+      out += "\":" + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ChromeTraceJson() << '\n';
+  return file.good();
+}
+
+}  // namespace rumble::obs

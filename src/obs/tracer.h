@@ -1,0 +1,163 @@
+#ifndef RUMBLE_OBS_TRACER_H_
+#define RUMBLE_OBS_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rumble::obs {
+
+/// One closed span: a named interval on one executor track, linked to its
+/// parent span. Categories mirror the execution hierarchy — "job", "stage",
+/// "task", "operator" (runtime iterators, shuffle phases), "kernel"
+/// (DataFrame batch kernels). docs/TRACING.md documents the span model.
+struct Span {
+  std::int64_t id = 0;
+  /// Parent span id, -1 for a root span.
+  std::int64_t parent = -1;
+  /// Executor track: 0 = driver thread(s), 1 + worker index = executors.
+  int track = 0;
+  /// Static-lifetime category string ("job", "stage", "task", ...).
+  const char* category = "";
+  std::string name;
+  /// Nanoseconds since the tracer was created (steady clock).
+  std::int64_t start_nanos = 0;
+  std::int64_t end_nanos = 0;
+  /// Extra per-span integers (rows, attempt, failed), like event metrics.
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/// Low-overhead hierarchical span collector layered under obs::EventBus (the
+/// bus owns one tracer per engine). Disabled by default: the hot-path check
+/// is one relaxed atomic load and Begin() returns kNoSpan without taking the
+/// mutex, so instrumentation sites cache the Tracer* once and cost a single
+/// predictable branch when tracing is off.
+///
+/// Parenting: every Begin pushes the span onto a thread-local stack, so
+/// spans begun on the same thread nest implicitly (a kernel span inside a
+/// task body parents to the task span). Cross-thread edges — a task span
+/// whose stage span lives on the driver's stack — pass the parent id
+/// explicitly. Begin and End/Cancel must happen on the same thread; the
+/// scheduler's retry/speculation paths satisfy this because one attempt
+/// runs start-to-finish on one worker.
+///
+/// Well-nestedness under faults: a task attempt's span closes (End on
+/// commit/failure, Cancel on discard) strictly before the task settles, and
+/// a stage closes only after every task settled, so recorded spans always
+/// nest inside their parents even under retries, speculation, and executor
+/// loss. Cancelled spans are counted but never recorded.
+class Tracer {
+ public:
+  static constexpr std::int64_t kNoSpan = -1;
+  /// Begin() sentinel: resolve the parent from the calling thread's stack.
+  static constexpr std::int64_t kThreadParent = -2;
+
+  Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Opens a span; returns kNoSpan when tracing is disabled. `category`
+  /// must have static lifetime. `parent` is an explicit parent span id, -1
+  /// for a root span, or kThreadParent for the innermost open span this
+  /// thread began.
+  std::int64_t Begin(const char* category, std::string name,
+                     std::int64_t parent = kThreadParent);
+
+  /// Closes a span and records it. No-op on kNoSpan or an id already
+  /// closed/cancelled — a span is recorded at most once.
+  void End(std::int64_t id,
+           std::vector<std::pair<std::string, std::int64_t>> args = {});
+
+  /// Closes a span without recording it (discarded task attempts).
+  void Cancel(std::int64_t id);
+
+  /// Names the calling thread's track (0 = driver; the executor pool sets
+  /// 1 + worker index on each worker thread). Thread-local and process-wide.
+  static void SetCurrentThreadTrack(int track);
+  static int CurrentThreadTrack();
+
+  // ---- Snapshots ----------------------------------------------------------
+  std::vector<Span> FinishedSpans() const;
+  /// Spans begun but not yet ended/cancelled; 0 means every span closed.
+  std::int64_t open_spans() const;
+  std::int64_t begun_spans() const;
+  std::int64_t cancelled_spans() const;
+  /// Recorded spans dropped past the retention cap.
+  std::int64_t dropped_spans() const;
+  /// Discards recorded spans and resets the span counters. Open spans stay
+  /// open (their eventual End still records them).
+  void Clear();
+
+  // ---- Chrome trace_event export ------------------------------------------
+  /// The recorded spans as a Chrome trace_event JSON document ("X" complete
+  /// events, one track per executor thread, thread_name metadata) loadable
+  /// in Perfetto / chrome://tracing. docs/TRACING.md shows the workflow.
+  std::string ChromeTraceJson() const;
+  /// Writes ChromeTraceJson() to `path`; false when the file cannot open.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  std::int64_t NowNanos() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<std::int64_t, Span> open_;
+  std::vector<Span> finished_;
+  std::int64_t next_id_ = 0;
+  std::int64_t begun_ = 0;
+  std::int64_t cancelled_ = 0;
+  std::int64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: begins on construction when the tracer is enabled, ends on
+/// destruction (also on exception unwind, so spans around task bodies and
+/// materialization close even when the body throws). Null tracer = no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* category, std::string name,
+             std::int64_t parent = Tracer::kThreadParent)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        id_(tracer_ != nullptr
+                ? tracer_->Begin(category, std::move(name), parent)
+                : Tracer::kNoSpan) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr && id_ != Tracer::kNoSpan) {
+      tracer_->End(id_, std::move(args_));
+    }
+  }
+
+  void AddArg(std::string name, std::int64_t value) {
+    if (id_ != Tracer::kNoSpan) args_.emplace_back(std::move(name), value);
+  }
+
+  std::int64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  std::int64_t id_;
+  std::vector<std::pair<std::string, std::int64_t>> args_;
+};
+
+/// JSON string-body escaping shared by the event log, the tracer, and the
+/// metrics endpoint renderers.
+void AppendJsonEscaped(const std::string& value, std::string* out);
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_TRACER_H_

@@ -11,6 +11,8 @@ exec::ExecutorPool& PoolOf(Context* context) { return context->pool(); }
 
 obs::EventBus& BusOf(Context* context) { return context->bus(); }
 
+obs::Tracer& TracerOf(Context* context) { return *context->bus().tracer(); }
+
 int RegisterExecutorLossListener(Context* context,
                                  std::function<void(int)> listener) {
   return context->RegisterExecutorLossListener(std::move(listener));

@@ -21,6 +21,7 @@ namespace rumble::spark {
 class Context;
 exec::ExecutorPool& PoolOf(Context* context);
 obs::EventBus& BusOf(Context* context);
+obs::Tracer& TracerOf(Context* context);
 
 /// Executor-loss listener registry (defined in context.cc; declared here so
 /// the templated RDD/shuffle code can register invalidation hooks without
@@ -229,6 +230,10 @@ class Rdd {
 
     auto ensure_shuffled = [parent, context, shuffle, key_fn, hash, n_out]() {
       std::call_once(shuffle->once, [&] {
+        // Exchange span: covers the map stage plus the driver-side byte
+        // accounting; the map stage's span nests inside it implicitly.
+        obs::ScopedSpan exchange_span(&TracerOf(context), "operator",
+                                      "shuffle.groupBy.exchange");
         int n_in = parent->num_partitions;
         shuffle->buckets.assign(
             static_cast<std::size_t>(n_out),
@@ -314,6 +319,10 @@ class Rdd {
         shuffle->has_invalid.store(false, std::memory_order_release);
       }
       obs::EventBus& bus = BusOf(context);
+      obs::ScopedSpan repair_span(&TracerOf(context), "operator",
+                                  "shuffle.groupBy.repair");
+      repair_span.AddArg("partitions",
+                         static_cast<std::int64_t>(to_repair.size()));
       for (std::size_t input_index : to_repair) {
         for (int r = 0; r < n_out; ++r) {
           shuffle->buckets[static_cast<std::size_t>(r)][input_index].clear();
@@ -418,6 +427,8 @@ class Rdd {
             nullptr, "shuffle.sortBy.map");
         // Sequential k-way merge (driver-side, like a final single-reducer
         // merge); stable across runs by taking the earliest run on ties.
+        obs::ScopedSpan merge_span(&TracerOf(context), "operator",
+                                   "shuffle.sortBy.merge");
         std::size_t total = 0;
         for (const auto& run : runs) total += run.size();
         sorted->values.reserve(total);
@@ -439,6 +450,8 @@ class Rdd {
         }
         BusOf(context).AddToCounter(
             "sort.records", static_cast<std::int64_t>(sorted->values.size()));
+        merge_span.AddArg("rows",
+                          static_cast<std::int64_t>(sorted->values.size()));
       });
     };
 

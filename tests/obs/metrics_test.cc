@@ -1,0 +1,273 @@
+// Latency-histogram, Prometheus/JSON renderer, and embedded metrics-server
+// tests (docs/METRICS.md, docs/TRACING.md): bucket math, quantile
+// estimation, registry pointer stability, the /metrics text exposition
+// format, the /jobs JSON view, and an end-to-end HTTP fetch against the
+// embedded server while a query is running.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/json/dom.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/metrics_server.h"
+
+namespace rumble {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 8) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+// ---- Histogram bucket math -------------------------------------------------
+
+TEST(HistogramTest, BucketIndexIsPowerOfTwoOctaves) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);  // negatives clamp to 0
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Everything past the last octave lands in the top bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::int64_t{1} << 60),
+            Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+}
+
+TEST(HistogramTest, SnapshotTracksCountSumMinMax) {
+  Histogram histogram;
+  for (std::int64_t value : {100, 200, 300, 400, 500}) {
+    histogram.Record(value);
+  }
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 1500);
+  EXPECT_EQ(snap.min, 100);
+  EXPECT_EQ(snap.max, 500);
+}
+
+TEST(HistogramTest, QuantilesAreOctaveAccurateAndClampToObservedRange) {
+  Histogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.Record(1000);  // bucket [512,1023]
+  histogram.Record(1'000'000);  // one outlier
+  Histogram::Snapshot snap = histogram.snapshot();
+  // p50 sits in the 1000s' bucket: within one octave of the true value.
+  double p50 = snap.Quantile(0.50);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p50, 1023.0);
+  // Quantiles never leave the observed range.
+  EXPECT_GE(snap.Quantile(0.0), 1000.0 - 1000.0);  // >= min bucket floor
+  EXPECT_LE(snap.Quantile(1.0), 1'000'000.0);
+  // Empty histogram: all quantiles are 0.
+  EXPECT_EQ(Histogram::Snapshot{}.Quantile(0.5), 0.0);
+  // Single sample: the quantile is the (bucket-resolution) sample itself.
+  Histogram single;
+  single.Record(300);
+  double q = single.snapshot().Quantile(0.99);
+  EXPECT_GE(q, 256.0);
+  EXPECT_LE(q, 511.0);
+}
+
+TEST(HistogramTest, ResetZeroesInPlace) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("x");
+  histogram->Record(42);
+  EXPECT_EQ(registry.GetHistogram("x"), histogram);  // stable pointer
+  registry.Reset();
+  EXPECT_EQ(registry.GetHistogram("x"), histogram);  // still the same cell
+  EXPECT_EQ(histogram->snapshot().count, 0);
+  histogram->Record(7);
+  EXPECT_EQ(histogram->snapshot().count, 1);
+  EXPECT_EQ(histogram->snapshot().min, 7);
+}
+
+// ---- Built-in duration histograms ------------------------------------------
+
+TEST(MetricsTest, TaskStageJobDurationsRecordedOnTheBus) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto result = engine.Run("sum(parallelize(1 to 1000, 8))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto histograms = engine.event_bus().metrics()->Snapshot();
+  for (const char* name :
+       {"task.duration_ns", "stage.duration_ns", "job.duration_ns"}) {
+    auto it = histograms.find(name);
+    ASSERT_NE(it, histograms.end()) << name;
+    EXPECT_GT(it->second.count, 0) << name;
+  }
+  EXPECT_EQ(histograms.at("job.duration_ns").count, 1);
+}
+
+// ---- Renderers -------------------------------------------------------------
+
+TEST(MetricsTest, PrometheusTextExposesCountersAndHistograms) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto result = engine.Run("sum(parallelize(1 to 1000, 8))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string text = engine.event_bus().PrometheusText();
+
+  // Histograms: TYPE line, cumulative le buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("# TYPE rumble_task_duration_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumble_task_duration_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rumble_task_duration_ns_sum"), std::string::npos);
+  EXPECT_NE(text.find("rumble_task_duration_ns_count"), std::string::npos);
+  EXPECT_NE(text.find("rumble_stage_duration_ns_bucket"), std::string::npos);
+  // Counters map to _total gauges.
+  EXPECT_NE(text.find("# TYPE rumble_"), std::string::npos);
+  EXPECT_NE(text.find("_total"), std::string::npos);
+
+  // Cumulative bucket counts are non-decreasing and end equal to _count.
+  std::int64_t last = -1;
+  std::size_t pos = 0;
+  std::string needle = "rumble_task_duration_ns_bucket{le=";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    std::size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    std::int64_t value = std::strtoll(text.c_str() + value_at + 2, nullptr, 10);
+    EXPECT_GE(value, last);
+    last = value;
+    pos = value_at;
+  }
+  ASSERT_GE(last, 1);
+}
+
+TEST(MetricsTest, MetricsJsonParsesAndCarriesQuantiles) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto result = engine.Run("sum(parallelize(1 to 1000, 8))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  json::DomValuePtr root = json::ParseDom(engine.event_bus().MetricsJson());
+  auto& top = std::get<json::DomValue::Object>(root->value);
+  ASSERT_TRUE(top.count("counters"));
+  ASSERT_TRUE(top.count("histograms"));
+  auto& histograms = std::get<json::DomValue::Object>(top["histograms"]->value);
+  ASSERT_TRUE(histograms.count("task.duration_ns"));
+  auto& task =
+      std::get<json::DomValue::Object>(histograms["task.duration_ns"]->value);
+  for (const char* key : {"count", "sum", "min", "max", "p50", "p95", "p99"}) {
+    EXPECT_TRUE(task.count(key)) << key;
+  }
+}
+
+TEST(MetricsTest, JobsJsonTracksJobAndStageStates) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto result = engine.Run("sum(parallelize(1 to 1000, 8))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  json::DomValuePtr root = json::ParseDom(engine.event_bus().JobsJson());
+  auto& top = std::get<json::DomValue::Object>(root->value);
+  ASSERT_TRUE(top.count("jobs"));
+  auto& jobs = std::get<json::DomValue::Array>(top["jobs"]->value);
+  ASSERT_EQ(jobs.size(), 1u);
+  auto& job = std::get<json::DomValue::Object>(jobs[0]->value);
+  EXPECT_EQ(std::get<std::string>(job["state"]->value), "succeeded");
+  auto& stages = std::get<json::DomValue::Array>(job["stages"]->value);
+  ASSERT_FALSE(stages.empty());
+  for (const auto& entry : stages) {
+    auto& stage = std::get<json::DomValue::Object>(entry->value);
+    EXPECT_EQ(std::get<std::string>(stage["state"]->value), "succeeded");
+    EXPECT_EQ(std::get<std::int64_t>(stage["tasks_done"]->value),
+              std::get<std::int64_t>(stage["tasks_planned"]->value));
+  }
+}
+
+// ---- Embedded HTTP server --------------------------------------------------
+
+/// Minimal HTTP/1.0 client for the test: one request, reads to EOF.
+std::string HttpGet(int port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "cannot connect to port " << port;
+    return {};
+  }
+  std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+TEST(MetricsServerTest, ServesMetricsAndJobsWhileQueryRuns) {
+  // Stragglers keep the query alive long enough to scrape it mid-flight.
+  common::RumbleConfig config = SmallConfig(4, 16);
+  config.fault_spec = "seed=3,straggle=0.5,straggle_ms=100";
+  jsoniq::Rumble engine(config);
+  obs::MetricsServer server(&engine.event_bus());
+  ASSERT_TRUE(server.Start(0));  // ephemeral port
+  int port = server.port();
+  ASSERT_GT(port, 0);
+
+  // Warm histograms with one completed query first.
+  ASSERT_TRUE(engine.Run("sum(parallelize(1 to 100, 8))").ok());
+
+  std::thread runner([&engine]() {
+    auto result = engine.Run("sum(parallelize(1 to 2000, 16))");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+
+  // Scrape while the straggler-slowed query is in flight.
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain"), std::string::npos);
+  std::string metrics_body = Body(metrics);
+  EXPECT_NE(metrics_body.find("rumble_task_duration_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics_body.find("rumble_stage_duration_ns_count"),
+            std::string::npos);
+
+  std::string jobs = HttpGet(port, "/jobs");
+  EXPECT_NE(jobs.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(jobs.find("application/json"), std::string::npos);
+  // Live state is valid JSON even while stages are mid-flight.
+  json::DomValuePtr parsed = json::ParseDom(Body(jobs));
+  EXPECT_TRUE(
+      std::get<json::DomValue::Object>(parsed->value).count("jobs"));
+
+  std::string missing = HttpGet(port, "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  runner.join();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace rumble

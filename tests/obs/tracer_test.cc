@@ -1,0 +1,292 @@
+// Span tracer tests (docs/TRACING.md): basic lifecycle, zero-cost disabled
+// behaviour, well-nestedness of the recorded span forest under deterministic
+// fault injection (retries, speculation, executor loss), Chrome trace_event
+// schema validation using the repo's own JSON parser, EXPLAIN ANALYZE output
+// shape, and the fault-event job-id regression (docs/METRICS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/json/dom.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/tracer.h"
+#include "src/spark/context.h"
+
+namespace rumble {
+namespace {
+
+using obs::Span;
+using obs::Tracer;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 8) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+/// Late discarded attempts may close their spans shortly after RunParallel
+/// returns (the losing racer of a speculative pair finishes on its own
+/// time); poll instead of asserting immediately.
+void WaitForAllSpansClosed(const Tracer& tracer) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (tracer.open_spans() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+}
+
+// ---- Lifecycle -------------------------------------------------------------
+
+TEST(TracerTest, DisabledRecordsNothingAndReturnsNoSpan) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  std::int64_t id = tracer.Begin("job", "q");
+  EXPECT_EQ(id, Tracer::kNoSpan);
+  tracer.End(id);
+  EXPECT_TRUE(tracer.FinishedSpans().empty());
+  EXPECT_EQ(tracer.begun_spans(), 0);
+}
+
+TEST(TracerTest, SpansNestImplicitlyOnOneThread) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::int64_t outer = tracer.Begin("job", "outer", Tracer::kNoSpan);
+  std::int64_t inner = tracer.Begin("stage", "inner");
+  tracer.End(inner, {{"rows", 7}});
+  tracer.End(outer);
+
+  std::vector<Span> spans = tracer.FinishedSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends first, so it is recorded first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, outer);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, -1);
+  EXPECT_GE(spans[0].start_nanos, spans[1].start_nanos);
+  EXPECT_LE(spans[0].end_nanos, spans[1].end_nanos);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "rows");
+  EXPECT_EQ(spans[0].args[0].second, 7);
+}
+
+TEST(TracerTest, EndIsExactlyOnceAndCancelNeverRecords) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::int64_t a = tracer.Begin("task", "a", Tracer::kNoSpan);
+  tracer.End(a);
+  tracer.End(a);  // double End: no second record
+  std::int64_t b = tracer.Begin("task", "b", Tracer::kNoSpan);
+  tracer.Cancel(b);
+  tracer.End(b);  // End after Cancel: no record either
+
+  EXPECT_EQ(tracer.FinishedSpans().size(), 1u);
+  EXPECT_EQ(tracer.begun_spans(), 2);
+  EXPECT_EQ(tracer.cancelled_spans(), 1);
+  EXPECT_EQ(tracer.open_spans(), 0);
+}
+
+// ---- Well-nestedness under faults ------------------------------------------
+
+/// Checks the structural invariants of a recorded span forest: every parent
+/// referenced by a recorded span that is itself recorded contains the child's
+/// interval, and spans on one track never partially overlap (they nest).
+void CheckWellNested(const std::vector<Span>& spans) {
+  std::map<std::int64_t, const Span*> by_id;
+  for (const auto& span : spans) {
+    EXPECT_LE(span.start_nanos, span.end_nanos);
+    by_id[span.id] = &span;
+  }
+  for (const auto& span : spans) {
+    if (span.parent == -1) continue;
+    auto it = by_id.find(span.parent);
+    // A parent may be missing (e.g. cleared) but may never be a dangling id
+    // in this test's lifetime; when present it must contain the child.
+    ASSERT_NE(it, by_id.end()) << "span " << span.name << " has unrecorded "
+                               << "parent " << span.parent;
+    const Span& parent = *it->second;
+    EXPECT_GE(span.start_nanos, parent.start_nanos)
+        << span.name << " starts before its parent " << parent.name;
+    EXPECT_LE(span.end_nanos, parent.end_nanos)
+        << span.name << " ends after its parent " << parent.name;
+  }
+  // Per-track nesting: sort by (start, -end); each span must either nest in
+  // the enclosing open span or start after it ended.
+  std::map<int, std::vector<const Span*>> tracks;
+  for (const auto& span : spans) tracks[span.track].push_back(&span);
+  for (auto& [track, list] : tracks) {
+    std::sort(list.begin(), list.end(), [](const Span* a, const Span* b) {
+      if (a->start_nanos != b->start_nanos) {
+        return a->start_nanos < b->start_nanos;
+      }
+      return a->end_nanos > b->end_nanos;
+    });
+    std::vector<const Span*> stack;
+    for (const Span* span : list) {
+      while (!stack.empty() && stack.back()->end_nanos <= span->start_nanos) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        EXPECT_LE(span->end_nanos, stack.back()->end_nanos)
+            << "track " << track << ": " << span->name
+            << " partially overlaps " << stack.back()->name;
+      }
+      stack.push_back(span);
+    }
+  }
+}
+
+TEST(TracerTest, SpansWellNestedUnderChaosSpec) {
+  // The run_chaos.sh shell spec: transient failures, stragglers (which
+  // trigger speculation), and two executor kills.
+  common::RumbleConfig config = SmallConfig(4, 16);
+  config.fault_spec = "seed=41,transient=0.15,straggle=0.1,straggle_ms=10,kill=2";
+  jsoniq::Rumble engine(config);
+  obs::Tracer* tracer = engine.event_bus().tracer();
+  tracer->set_enabled(true);
+
+  for (int round = 0; round < 3; ++round) {
+    auto result = engine.Run(
+        "count(for $x in parallelize(1 to 2000, 16) "
+        "where $x mod 3 eq 0 return $x)");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  WaitForAllSpansClosed(*tracer);
+  std::vector<Span> spans = tracer->FinishedSpans();
+  ASSERT_FALSE(spans.empty());
+  CheckWellNested(spans);
+
+  // Accounting closes: everything begun either finished, was cancelled
+  // (discarded attempts), or is still open (none, per the wait above).
+  EXPECT_EQ(tracer->begun_spans(),
+            static_cast<std::int64_t>(spans.size()) +
+                tracer->cancelled_spans() + tracer->open_spans() +
+                tracer->dropped_spans());
+
+  // The hierarchy is present: jobs parent stages parent tasks.
+  std::map<std::int64_t, const Span*> by_id;
+  for (const auto& span : spans) by_id[span.id] = &span;
+  bool saw_task = false;
+  for (const auto& span : spans) {
+    if (std::string(span.category) != "task") continue;
+    saw_task = true;
+    ASSERT_NE(span.parent, -1);
+    EXPECT_STREQ(by_id.at(span.parent)->category, "stage");
+    EXPECT_GT(span.track, 0) << "task spans run on executor tracks";
+  }
+  EXPECT_TRUE(saw_task);
+}
+
+TEST(TracerTest, FaultEventsCarryJobId) {
+  // Regression (docs/METRICS.md): task_failed/task_retry/task_speculative
+  // records carry the owning job id like every other task-scoped event.
+  common::RumbleConfig config = SmallConfig(4, 16);
+  config.fault_spec = "seed=7,transient=0.3,straggle=0.2,straggle_ms=5";
+  jsoniq::Rumble engine(config);
+  auto result = engine.Run("sum(parallelize(1 to 2000, 16))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::size_t fault_events = 0;
+  for (const auto& event : engine.event_bus().EventsSince(0)) {
+    if (event.kind == obs::EventKind::kTaskFailed ||
+        event.kind == obs::EventKind::kTaskRetry ||
+        event.kind == obs::EventKind::kTaskSpeculative) {
+      ++fault_events;
+      EXPECT_GE(event.job_id, 0)
+          << obs::EventKindName(event.kind) << " lost its job id";
+    }
+  }
+  ASSERT_GT(fault_events, 0u) << "spec injected no faults; weaken the test";
+}
+
+// ---- Chrome trace export ---------------------------------------------------
+
+/// Validates the trace document against the subset of the Chrome
+/// trace_event schema we emit: {"traceEvents": [...], "displayTimeUnit"},
+/// where every event has ph in {"M","X"}, a pid/tid, and "X" events carry
+/// microsecond ts/dur.
+void ValidateChromeTrace(const std::string& text) {
+  json::DomValuePtr root = json::ParseDom(text);
+  auto& top = std::get<json::DomValue::Object>(root->value);
+  ASSERT_TRUE(top.count("traceEvents"));
+  auto& events = std::get<json::DomValue::Array>(top["traceEvents"]->value);
+  ASSERT_FALSE(events.empty());
+  std::size_t complete_events = 0;
+  for (const auto& entry : events) {
+    auto& event = std::get<json::DomValue::Object>(entry->value);
+    ASSERT_TRUE(event.count("ph"));
+    std::string ph = std::get<std::string>(event["ph"]->value);
+    ASSERT_TRUE(event.count("pid"));
+    ASSERT_TRUE(event.count("tid"));
+    if (ph == "M") {
+      EXPECT_EQ(std::get<std::string>(event["name"]->value), "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph, "X") << "unexpected event phase " << ph;
+    ++complete_events;
+    ASSERT_TRUE(event.count("name"));
+    ASSERT_TRUE(event.count("cat"));
+    ASSERT_TRUE(event.count("ts"));
+    ASSERT_TRUE(event.count("dur"));
+    double dur = std::get<double>(event["dur"]->value);
+    EXPECT_GE(dur, 0.0);
+  }
+  EXPECT_GT(complete_events, 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonValidatesAgainstSchema) {
+  jsoniq::Rumble engine(SmallConfig());
+  obs::Tracer* tracer = engine.event_bus().tracer();
+  tracer->set_enabled(true);
+  auto result = engine.Run(
+      "for $x in parallelize(1 to 100, 8) group by $k := $x mod 5 "
+      "return { \"k\": $k, \"n\": count($x) }");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  WaitForAllSpansClosed(*tracer);
+  ValidateChromeTrace(tracer->ChromeTraceJson());
+}
+
+// ---- EXPLAIN ANALYZE -------------------------------------------------------
+
+TEST(TracerTest, ExplainAnalyzeAnnotatesTreeAndRestoresTracer) {
+  jsoniq::Rumble engine(SmallConfig());
+  obs::Tracer* tracer = engine.event_bus().tracer();
+  ASSERT_FALSE(tracer->enabled());
+  auto analyzed = engine.ExplainAnalyze(
+      "count(for $x in parallelize(1 to 1000, 8) "
+      "where $x mod 2 eq 0 return $x)");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  const std::string& text = analyzed.value();
+  EXPECT_NE(text.find("iterator tree (analyzed):"), std::string::npos);
+  EXPECT_NE(text.find("(actual: total="), std::string::npos);
+  EXPECT_NE(text.find("rows="), std::string::npos);
+  EXPECT_NE(text.find("job wall:"), std::string::npos);
+  EXPECT_NE(text.find("rows out: 1"), std::string::npos);
+  EXPECT_NE(text.find("task.duration_ns"), std::string::npos);
+  // The caller's tracing preference is restored.
+  EXPECT_FALSE(tracer->enabled());
+}
+
+TEST(TracerTest, ExplainAnalyzeKernelStatsForDataFrameBackend) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto analyzed = engine.ExplainAnalyze(
+      "for $x in parallelize(1 to 1000, 8) group by $k := $x mod 7 "
+      "return { \"k\": $k, \"n\": count($x) }");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  // The DF group-by ran under tracing, so kernel histograms now exist.
+  auto histograms = engine.event_bus().metrics()->Snapshot();
+  auto it = histograms.find("df.kernel.groupBy.partial.duration_ns");
+  ASSERT_NE(it, histograms.end());
+  EXPECT_GT(it->second.count, 0);
+}
+
+}  // namespace
+}  // namespace rumble
