@@ -10,6 +10,8 @@
 //                                 [--trace <file>] [--serve <port>]
 //                                 [--metrics-out <file>]
 //                                 [--fault-spec "<spec>"] [--skip-malformed]
+//                                 [--memory-limit <size>]
+//                                 [--query-timeout <ms>]
 //
 // Interactive by default: one query per line (end a multi-line query with
 // an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
@@ -26,9 +28,17 @@
 // counter+histogram snapshot JSON on exit. --fault-spec enables
 // deterministic fault injection (grammar: docs/FAULT_TOLERANCE.md) and
 // --skip-malformed makes json-file() skip malformed lines instead of
-// failing the query.
+// failing the query. --memory-limit caps execution memory (suffixes k/m/g;
+// operators spill to disk under pressure, docs/MEMORY.md) and
+// --query-timeout cancels any query running longer than the given number
+// of milliseconds. Ctrl-C cancels the running query cooperatively instead
+// of killing the shell. With --serve, POST /jobs/<id>/cancel cancels a
+// running job remotely.
+
+#include <csignal>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -38,11 +48,36 @@
 #include <sstream>
 #include <string>
 
+#include "src/exec/cancellation.h"
+#include "src/exec/memory_manager.h"
 #include "src/json/writer.h"
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
 
 namespace {
+
+/// Ctrl-C target: the engine's cancellation token. Cancel(Origin) is
+/// async-signal-safe (atomic stores only), so the handler may call it
+/// directly.
+std::atomic<rumble::exec::CancellationToken*> g_interrupt_token{nullptr};
+
+extern "C" void HandleSigint(int) {
+  rumble::exec::CancellationToken* token =
+      g_interrupt_token.load(std::memory_order_acquire);
+  if (token != nullptr) {
+    token->Cancel(rumble::exec::CancellationToken::Origin::kInterrupt);
+  }
+}
+
+void InstallSigintHandler() {
+  struct sigaction action {};
+  action.sa_handler = HandleSigint;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps getline() blocking across a Ctrl-C aimed at a running
+  // query; an idle prompt sees the cancelled flag via IsCancelled below.
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &action, nullptr);
+}
 
 void PrintHelp() {
   std::cout <<
@@ -80,6 +115,9 @@ struct SessionDumps {
   std::string metrics_file;
 
   ~SessionDumps() {
+    // Declared after the engine in main, so this runs first on every exit
+    // path: detach the signal handler's token before the engine dies.
+    g_interrupt_token.store(nullptr, std::memory_order_release);
     if (engine == nullptr) return;
     rumble::obs::EventBus& bus = engine->event_bus();
     if (!trace_file.empty()) {
@@ -134,6 +172,14 @@ int main(int argc, char** argv) {
       config.fault_spec = argv[++i];
     } else if (std::strcmp(argv[i], "--skip-malformed") == 0) {
       config.skip_malformed_lines = true;
+    } else if (std::strcmp(argv[i], "--memory-limit") == 0 && i + 1 < argc) {
+      if (!rumble::exec::MemoryManager::ParseByteSize(
+              argv[++i], &config.memory_limit_bytes)) {
+        std::cerr << "bad --memory-limit (expected e.g. 64m, 512k, 2g)\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--query-timeout") == 0 && i + 1 < argc) {
+      config.query_timeout_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       if (!in) {
@@ -161,14 +207,18 @@ int main(int argc, char** argv) {
     // Tracing stays on for the whole session; the trace is written at exit.
     bus.tracer()->set_enabled(true);
   }
+  g_interrupt_token.store(&engine.cancellation(), std::memory_order_release);
+  InstallSigintHandler();
   rumble::obs::MetricsServer server(&bus);
+  server.SetCancelHandler(
+      [&engine](std::int64_t job_id) { return engine.CancelJob(job_id); });
   if (serve_port >= 0) {
     if (!server.Start(serve_port)) {
       std::cerr << "cannot bind metrics server to port " << serve_port << "\n";
       return 2;
     }
     std::cerr << "metrics server on http://localhost:" << server.port()
-              << " (/metrics, /jobs)\n";
+              << " (/metrics, /jobs, POST /jobs/<id>/cancel)\n";
   }
 
   if (!oneshot.empty()) {

@@ -18,6 +18,9 @@
 #   3. rumble_shell on a generated JSON-Lines dataset: byte-diff a clean
 #      run against a run under a full spec (transients + stragglers + one
 #      executor kill) and check the event log recorded the chaos.
+#   4. memory pressure: the same queries under a tight --memory-limit must
+#      be byte-identical to the unlimited run, with the event log showing
+#      the pipeline breakers actually spilled (docs/MEMORY.md).
 #
 # Exits nonzero on the first divergence.
 
@@ -94,6 +97,29 @@ kills=$(cat "$work"/events.* | grep -c '"event":"executor_lost"' || true)
 echo "event log: $retries task retries, $kills executor kill(s)"
 [ "$retries" -gt 0 ] || { echo "run_chaos: FAIL — no retries injected" >&2; exit 1; }
 [ "$kills" -gt 0 ] || { echo "run_chaos: FAIL — kill never fired" >&2; exit 1; }
+
+echo
+echo "== phase 4: result identity under memory pressure (--memory-limit)"
+run_limited() { # $1 = event log path prefix
+  local n=0
+  while IFS= read -r q; do
+    n=$((n + 1))
+    "$shell" --executors 4 --memory-limit 256k --event-log "$1.$n" \
+      --query "$q"
+  done <"$queries"
+}
+
+run_limited "$work/memevents" >"$work/limited.out"
+
+if ! diff -u "$work/clean.out" "$work/limited.out"; then
+  echo "run_chaos: FAIL — results diverged under --memory-limit 256k" >&2
+  exit 1
+fi
+echo "results identical across $(wc -l <"$queries") queries under 256k"
+
+spills=$(cat "$work"/memevents.* | grep -c '"event":"spill"' || true)
+echo "event log: $spills spill event(s)"
+[ "$spills" -gt 0 ] || { echo "run_chaos: FAIL — limit never forced a spill" >&2; exit 1; }
 
 echo
 echo "run_chaos: OK"

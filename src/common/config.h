@@ -92,6 +92,21 @@ struct RumbleConfig {
   /// them in the json.malformed_lines counter and sampling a few into the
   /// event log) instead of aborting the query with kJsonParseError.
   bool skip_malformed_lines = false;
+
+  // ---- Memory governance (docs/MEMORY.md) ---------------------------------
+
+  /// Engine-wide execution-memory limit in bytes for the central
+  /// exec::MemoryManager; 0 = unlimited (reservations always granted, no
+  /// spilling). When 0 the RUMBLE_MEMORY_LIMIT environment variable is used
+  /// as a fallback (accepts k/m/g suffixes). Unlike memory_budget_bytes —
+  /// which makes the local baselines *fail* with kOutOfMemory — this limit
+  /// makes pipeline breakers *spill* to disk and keep going.
+  std::uint64_t memory_limit_bytes = 0;
+
+  /// Cooperative per-query timeout in milliseconds; 0 = no timeout. The
+  /// deadline is armed when a query starts and checked at task boundaries
+  /// and inside long kernel loops; expiry fails the query with kCancelled.
+  std::int64_t query_timeout_ms = 0;
 };
 
 }  // namespace rumble::common

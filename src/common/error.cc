@@ -25,6 +25,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kOutOfMemory: return "SENR0001";
     case ErrorCode::kUserError: return "FOER0000";
     case ErrorCode::kMaterializationCap: return "RBML0001";
+    case ErrorCode::kCancelled: return "RBCL0001";
+    case ErrorCode::kAdmissionRejected: return "RBAD0001";
     case ErrorCode::kInternal: return "RBIN0000";
   }
   return "RBIN0000";

@@ -33,6 +33,8 @@ enum class ErrorCode {
   kOutOfMemory,             // SENR0001 flavour: memory budget exhausted.
   kUserError,               // FOER0000: fn:error() called.
   kMaterializationCap,      // RBML0001 (Rumble): too many items materialized.
+  kCancelled,               // RBCL0001 (Rumble): query cancelled cooperatively.
+  kAdmissionRejected,       // RBAD0001 (Rumble): engine memory pool exhausted.
   kInternal,                // RBIN0000: engine invariant violated.
 };
 

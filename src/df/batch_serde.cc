@@ -1,0 +1,192 @@
+#include "src/df/batch_serde.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/error.h"
+#include "src/item/item.h"
+#include "src/item/item_serde.h"
+
+namespace rumble::df {
+
+namespace {
+
+void PutRaw(const void* data, std::size_t size, std::string* out) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+void GetRaw(const char** cursor, const char* end, void* data,
+            std::size_t size) {
+  if (static_cast<std::size_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated batch buffer");
+  }
+  std::memcpy(data, *cursor, size);
+  *cursor += size;
+}
+
+void PutU64(std::uint64_t value, std::string* out) {
+  PutRaw(&value, sizeof(value), out);
+}
+
+std::uint64_t GetU64(const char** cursor, const char* end) {
+  std::uint64_t value = 0;
+  GetRaw(cursor, end, &value, sizeof(value));
+  return value;
+}
+
+void PutString(const std::string& value, std::string* out) {
+  PutU64(value.size(), out);
+  out->append(value);
+}
+
+std::string GetStringPayload(const char** cursor, const char* end) {
+  std::uint64_t size = GetU64(cursor, end);
+  if (static_cast<std::uint64_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated batch string");
+  }
+  std::string value(*cursor, static_cast<std::size_t>(size));
+  *cursor += size;
+  return value;
+}
+
+}  // namespace
+
+void EncodeColumn(const Column& column, std::string* out) {
+  out->push_back(static_cast<char>(column.type()));
+  std::size_t rows = column.size();
+  PutU64(rows, out);
+  for (std::size_t row = 0; row < rows; ++row) {
+    out->push_back(column.IsNull(row) ? 1 : 0);
+  }
+  for (std::size_t row = 0; row < rows; ++row) {
+    if (column.IsNull(row)) continue;  // null rows carry no payload
+    switch (column.type()) {
+      case DataType::kInt64: {
+        std::int64_t value = column.Int64At(row);
+        PutRaw(&value, sizeof(value), out);
+        break;
+      }
+      case DataType::kFloat64: {
+        double value = column.Float64At(row);
+        PutRaw(&value, sizeof(value), out);
+        break;
+      }
+      case DataType::kString:
+        PutString(column.StringAt(row), out);
+        break;
+      case DataType::kBool:
+        out->push_back(column.BoolAt(row) ? 1 : 0);
+        break;
+      case DataType::kItemSeq: {
+        const item::ItemSequence& seq = column.SeqAt(row);
+        PutU64(seq.size(), out);
+        for (const item::ItemPtr& item : seq) {
+          item::EncodeItem(item, out);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Column DecodeColumn(const char** cursor, const char* end) {
+  std::uint8_t tag = 0;
+  GetRaw(cursor, end, &tag, 1);
+  Column column(static_cast<DataType>(tag));
+  std::uint64_t rows = GetU64(cursor, end);
+  std::vector<std::uint8_t> nulls(rows, 0);
+  if (rows > 0) GetRaw(cursor, end, nulls.data(), rows);
+  column.Reserve(rows);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    if (nulls[row] != 0) {
+      column.AppendNull();
+      continue;
+    }
+    switch (column.type()) {
+      case DataType::kInt64: {
+        std::int64_t value = 0;
+        GetRaw(cursor, end, &value, sizeof(value));
+        column.AppendInt64(value);
+        break;
+      }
+      case DataType::kFloat64: {
+        double value = 0;
+        GetRaw(cursor, end, &value, sizeof(value));
+        column.AppendFloat64(value);
+        break;
+      }
+      case DataType::kString:
+        column.AppendString(GetStringPayload(cursor, end));
+        break;
+      case DataType::kBool: {
+        std::uint8_t value = 0;
+        GetRaw(cursor, end, &value, 1);
+        column.AppendBool(value != 0);
+        break;
+      }
+      case DataType::kItemSeq: {
+        std::uint64_t count = GetU64(cursor, end);
+        item::ItemSequence seq;
+        seq.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          seq.push_back(item::DecodeItem(cursor, end));
+        }
+        column.AppendSeq(std::move(seq));
+        break;
+      }
+    }
+  }
+  return column;
+}
+
+void EncodeBatch(const RecordBatch& batch, std::string* out) {
+  PutU64(batch.columns.size(), out);
+  PutU64(batch.num_rows, out);
+  for (const Column& column : batch.columns) EncodeColumn(column, out);
+}
+
+RecordBatch DecodeBatch(const char** cursor, const char* end) {
+  RecordBatch batch;
+  std::uint64_t columns = GetU64(cursor, end);
+  batch.num_rows = static_cast<std::size_t>(GetU64(cursor, end));
+  batch.columns.reserve(columns);
+  for (std::uint64_t i = 0; i < columns; ++i) {
+    batch.columns.push_back(DecodeColumn(cursor, end));
+  }
+  return batch;
+}
+
+std::size_t ApproxBatchBytes(const RecordBatch& batch) {
+  std::size_t total = sizeof(RecordBatch);
+  for (const Column& column : batch.columns) {
+    std::size_t rows = column.size();
+    total += sizeof(Column) + rows;  // null mask
+    switch (column.type()) {
+      case DataType::kInt64:
+      case DataType::kFloat64:
+        total += rows * 8;
+        break;
+      case DataType::kBool:
+        total += rows;
+        break;
+      case DataType::kString:
+        for (std::size_t row = 0; row < rows; ++row) {
+          total += sizeof(std::string) + column.StringAt(row).size();
+        }
+        break;
+      case DataType::kItemSeq:
+        for (std::size_t row = 0; row < rows; ++row) {
+          for (const item::ItemPtr& item : column.SeqAt(row)) {
+            total += item::ApproxByteSize(item);
+          }
+          total += sizeof(item::ItemSequence);
+        }
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,27 @@
+#ifndef RUMBLE_DF_BATCH_SERDE_H_
+#define RUMBLE_DF_BATCH_SERDE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/df/column.h"
+
+namespace rumble::df {
+
+/// Binary (de)serialization of columnar batches for spill files
+/// (docs/MEMORY.md). Scalars are raw little-endian bits, so a spilled and
+/// restored batch compares and serializes byte-identically to the original.
+/// Null rows carry no typed payload; decoding rebuilds them with AppendNull.
+void EncodeColumn(const Column& column, std::string* out);
+Column DecodeColumn(const char** cursor, const char* end);
+
+void EncodeBatch(const RecordBatch& batch, std::string* out);
+RecordBatch DecodeBatch(const char** cursor, const char* end);
+
+/// Deterministic in-memory byte estimate for a batch — the reservation unit
+/// the DataFrame pipeline breakers charge against the MemoryManager.
+std::size_t ApproxBatchBytes(const RecordBatch& batch);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_BATCH_SERDE_H_

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
 #include "src/common/error.h"
+#include "src/df/batch_serde.h"
+#include "src/exec/cancellation.h"
+#include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
+#include "src/item/item_serde.h"
 #include "src/util/stopwatch.h"
 
 namespace rumble::df {
@@ -15,6 +21,32 @@ namespace {
 
 using spark::Context;
 using spark::Rdd;
+
+/// Rows per encoded chunk when a sorted run or output partition spills —
+/// bounds the working set of the external merge (docs/MEMORY.md).
+constexpr std::size_t kDfSpillChunkRows = 4096;
+
+// Raw little-endian scalar helpers for the group-run spill format (the batch
+// payloads themselves go through batch_serde).
+void SpillPutU64(std::uint64_t value, std::string* out) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void SpillGetRaw(const char** cursor, const char* end, void* data,
+                 std::size_t size) {
+  if (static_cast<std::size_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated group run");
+  }
+  std::memcpy(data, *cursor, size);
+  *cursor += size;
+}
+
+std::uint64_t SpillGetU64(const char** cursor, const char* end) {
+  std::uint64_t value = 0;
+  SpillGetRaw(cursor, end, &value, sizeof(value));
+  return value;
+}
 
 Column MakeColumnLike(const Schema& schema, std::size_t index) {
   return Column(schema.field(index).type);
@@ -403,6 +435,108 @@ void MergeStates(const std::vector<Aggregate>& aggregates, GroupState* into,
   }
 }
 
+/// A decoded spilled partial-aggregation run: the merge phase only needs the
+/// key rows, their hashes, and the per-group states — the hash index is
+/// rebuilt by the destination table's FindOrInsert.
+struct GroupRun {
+  RecordBatch key_store;
+  std::vector<std::uint64_t> hashes;
+  std::vector<GroupState> states;
+};
+
+std::string EncodeGroupRun(const GroupTable& table, std::size_t agg_count) {
+  std::string out;
+  EncodeBatch(table.key_store, &out);
+  std::size_t groups = table.states.size();
+  SpillPutU64(groups, &out);
+  for (std::size_t g = 0; g < groups; ++g) {
+    SpillPutU64(table.hashes[g], &out);
+    for (std::size_t a = 0; a < agg_count; ++a) {
+      const AggState& acc = table.states[g].aggs[a];
+      out.append(reinterpret_cast<const char*>(&acc.count), sizeof(acc.count));
+      out.append(reinterpret_cast<const char*>(&acc.sum), sizeof(acc.sum));
+      out.append(reinterpret_cast<const char*>(&acc.min), sizeof(acc.min));
+      out.append(reinterpret_cast<const char*>(&acc.max), sizeof(acc.max));
+      out.push_back(acc.first_set ? 1 : 0);
+      if (acc.first_set) EncodeColumn(acc.first, &out);
+      SpillPutU64(acc.items.size(), &out);
+      for (const item::ItemPtr& item : acc.items) {
+        item::EncodeItem(item, &out);
+      }
+    }
+  }
+  return out;
+}
+
+GroupRun DecodeGroupRun(const std::string& blob, std::size_t agg_count) {
+  GroupRun run;
+  const char* cursor = blob.data();
+  const char* end = blob.data() + blob.size();
+  run.key_store = DecodeBatch(&cursor, end);
+  std::uint64_t groups = SpillGetU64(&cursor, end);
+  run.hashes.reserve(groups);
+  run.states.reserve(groups);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    run.hashes.push_back(SpillGetU64(&cursor, end));
+    run.states.emplace_back();
+    run.states.back().aggs.resize(agg_count);
+    for (std::size_t a = 0; a < agg_count; ++a) {
+      AggState& acc = run.states.back().aggs[a];
+      SpillGetRaw(&cursor, end, &acc.count, sizeof(acc.count));
+      SpillGetRaw(&cursor, end, &acc.sum, sizeof(acc.sum));
+      SpillGetRaw(&cursor, end, &acc.min, sizeof(acc.min));
+      SpillGetRaw(&cursor, end, &acc.max, sizeof(acc.max));
+      std::uint8_t first_set = 0;
+      SpillGetRaw(&cursor, end, &first_set, 1);
+      acc.first_set = first_set != 0;
+      if (acc.first_set) acc.first = DecodeColumn(&cursor, end);
+      std::uint64_t items = SpillGetU64(&cursor, end);
+      acc.items.reserve(items);
+      for (std::uint64_t i = 0; i < items; ++i) {
+        acc.items.push_back(item::DecodeItem(&cursor, end));
+      }
+    }
+  }
+  return run;
+}
+
+/// Per-partition spill bookkeeping for the group-by partial phase.
+struct PartialSpill {
+  std::unique_ptr<exec::SpillFile> file;
+  std::vector<exec::SpillSegment> runs;
+  std::uint64_t charged = 0;
+};
+
+/// Serializes the partial table as one sorted-by-insertion run and resets it
+/// for further accumulation. Merge order in phase 2 (runs in write order,
+/// then the live table, groups merged on first occurrence) reproduces the
+/// unspilled insertion order exactly, which keeps limited and unlimited runs
+/// byte-identical.
+void SpillGroupTable(GroupTable* table, PartialSpill* spill, Context* context,
+                     const Schema& schema,
+                     const std::vector<std::size_t>& key_indices,
+                     std::size_t agg_count) {
+  if (table->states.empty()) return;
+  obs::EventBus& bus = spark::BusOf(context);
+  obs::ScopedSpan span(bus.tracer(), "operator", "spill.write");
+  if (spill->file == nullptr) {
+    auto file = std::make_unique<exec::SpillFile>();
+    if (!file->ok()) return;  // cannot spill: keep accumulating in memory
+    spill->file = std::move(file);
+    bus.AddToCounter("spill.files", 1);
+  }
+  std::string blob = EncodeGroupRun(*table, agg_count);
+  exec::SpillSegment seg = spill->file->Append(blob, table->states.size());
+  if (seg.size == 0 && !blob.empty()) return;  // write failed: keep in memory
+  spill->runs.push_back(seg);
+  span.AddArg("bytes", static_cast<std::int64_t>(blob.size()));
+  bus.AddToCounter("spill.bytes_written",
+                   static_cast<std::int64_t>(blob.size()));
+  bus.Spilled("df.groupBy.partial", static_cast<std::int64_t>(blob.size()));
+  *table = GroupTable{};
+  table->InitColumns(schema, key_indices);
+}
+
 Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
                              Rdd<RecordBatch> child_rdd) {
   const SchemaPtr in_schema = plan.child->schema;
@@ -421,7 +555,12 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
 
   // Phase 1: per-partition partial aggregation (map-side combine). Key
   // hashes are computed batch-at-a-time, one type dispatch per key column.
+  // Under an enforcing memory limit each input batch's footprint is reserved
+  // before accumulation; a denied grant spills the partial table as a run
+  // and continues into a fresh one (docs/MEMORY.md).
+  exec::MemoryManager& memory = spark::MemoryOf(context);
   std::vector<GroupTable> partials(n);
+  std::vector<PartialSpill> spills(n);
   std::vector<std::int64_t> input_rows(n, 0);
   KernelProbe partial_probe = MakeKernelProbe(
       context, "df.kernel.groupBy.partial",
@@ -437,6 +576,26 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
           for (const RecordBatch& batch :
                child_rdd.ComputePartition(static_cast<int>(p))) {
             input_rows[p] += static_cast<std::int64_t>(batch.num_rows);
+            bool spill_after = false;
+            if (memory.enforcing()) {
+              auto want =
+                  static_cast<std::uint64_t>(ApproxBatchBytes(batch));
+              if (want > 0) {
+                if (memory.TryReserve(want)) {
+                  spills[p].charged += want;
+                } else {
+                  SpillGroupTable(&partial, &spills[p], context, *in_schema,
+                                  key_indices, aggregates.size());
+                  if (memory.TryReserve(want)) {
+                    spills[p].charged += want;
+                  } else {
+                    // Still denied: accumulate this batch uncharged, then
+                    // spill the resulting run so residency stays bounded.
+                    spill_after = true;
+                  }
+                }
+              }
+            }
             row_hashes.assign(batch.num_rows, 0);
             for (std::size_t k : key_indices) {
               HashKeyColumn(batch.columns[k], &row_hashes);
@@ -446,6 +605,10 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
                   row_hashes[row], batch, key_indices, row, aggregates.size());
               AccumulateRow(*in_schema, aggregates, batch, row,
                             &partial.states[g]);
+            }
+            if (spill_after) {
+              SpillGroupTable(&partial, &spills[p], context, *in_schema,
+                              key_indices, aggregates.size());
             }
           }
           return input_rows[p];
@@ -460,19 +623,46 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
 
   // Phase 2: shuffle partial groups into reduce buckets by key hash. The
   // key store doubles as the "batch" whose rows are re-inserted downstream.
+  // Spilled runs merge first (they were written before the live residue), so
+  // first-occurrence group order matches the unspilled insertion order and
+  // limited runs stay byte-identical to unlimited ones.
+  exec::CancellationToken& cancel = spark::CancelOf(context);
+  obs::EventBus& bus = spark::BusOf(context);
   std::vector<std::size_t> store_indices(key_indices.size());
   std::iota(store_indices.begin(), store_indices.end(), 0);
   std::vector<GroupTable> buckets(n);
   for (auto& bucket : buckets) bucket.InitColumns(*in_schema, key_indices);
-  for (auto& partial : partials) {
-    for (std::uint32_t pg = 0; pg < partial.states.size(); ++pg) {
-      GroupTable& bucket = buckets[partial.hashes[pg] % n];
-      std::uint32_t g =
-          bucket.FindOrInsert(partial.hashes[pg], partial.key_store,
-                              store_indices, pg, aggregates.size());
-      MergeStates(aggregates, &bucket.states[g],
-                  std::move(partial.states[pg]));
+  for (std::size_t p = 0; p < n; ++p) {
+    cancel.Check();
+    auto merge_run = [&](RecordBatch& key_store,
+                         const std::vector<std::uint64_t>& hashes,
+                         std::vector<GroupState>& states) {
+      for (std::uint32_t pg = 0; pg < states.size(); ++pg) {
+        GroupTable& bucket = buckets[hashes[pg] % n];
+        std::uint32_t g = bucket.FindOrInsert(
+            hashes[pg], key_store, store_indices, pg, aggregates.size());
+        MergeStates(aggregates, &bucket.states[g], std::move(states[pg]));
+      }
+    };
+    for (const exec::SpillSegment& seg : spills[p].runs) {
+      std::string blob;
+      if (!spills[p].file->Read(seg, &blob)) {
+        common::ThrowError(common::ErrorCode::kInternal,
+                           "group-by spill file lost mid-query: " +
+                               spills[p].file->path());
+      }
+      bus.AddToCounter("spill.bytes_read",
+                       static_cast<std::int64_t>(blob.size()));
+      GroupRun run = DecodeGroupRun(blob, aggregates.size());
+      merge_run(run.key_store, run.hashes, run.states);
     }
+    merge_run(partials[p].key_store, partials[p].hashes, partials[p].states);
+    partials[p] = GroupTable{};
+    if (spills[p].charged > 0) {
+      memory.Release(spills[p].charged);
+      spills[p].charged = 0;
+    }
+    spills[p].file.reset();
   }
   partials.clear();
 
@@ -551,36 +741,38 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
 // Sort
 // ---------------------------------------------------------------------------
 
-/// Three-way comparison of one sort key at two rows. Nulls order per key
-/// configuration; values compare natively.
-int CompareCell(const Column& column, std::size_t left, std::size_t right,
-                const SortKey& key) {
-  bool ln = column.IsNull(left);
-  bool rn = column.IsNull(right);
+/// Three-way comparison of one sort key between a row of `lc` and a row of
+/// `rc` (the same column in the single-batch sort, two run heads in the
+/// external merge). Nulls order per key configuration; values compare
+/// natively.
+int CompareCells(const Column& lc, std::size_t left, const Column& rc,
+                 std::size_t right, const SortKey& key) {
+  bool ln = lc.IsNull(left);
+  bool rn = rc.IsNull(right);
   if (ln || rn) {
     if (ln && rn) return 0;
     int null_side = key.nulls_smallest ? -1 : 1;
     return ln ? null_side : -null_side;
   }
   int cmp = 0;
-  switch (column.type()) {
+  switch (lc.type()) {
     case DataType::kInt64: {
-      auto l = column.Int64At(left), r = column.Int64At(right);
+      auto l = lc.Int64At(left), r = rc.Int64At(right);
       cmp = l < r ? -1 : (l > r ? 1 : 0);
       break;
     }
     case DataType::kFloat64: {
-      auto l = column.Float64At(left), r = column.Float64At(right);
+      auto l = lc.Float64At(left), r = rc.Float64At(right);
       cmp = l < r ? -1 : (l > r ? 1 : 0);
       break;
     }
     case DataType::kString: {
-      int c = column.StringAt(left).compare(column.StringAt(right));
+      int c = lc.StringAt(left).compare(rc.StringAt(right));
       cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
       break;
     }
     case DataType::kBool: {
-      int l = column.BoolAt(left) ? 1 : 0, r = column.BoolAt(right) ? 1 : 0;
+      int l = lc.BoolAt(left) ? 1 : 0, r = rc.BoolAt(right) ? 1 : 0;
       cmp = l - r;
       break;
     }
@@ -591,8 +783,279 @@ int CompareCell(const Column& column, std::size_t left, std::size_t right,
   return cmp;
 }
 
+int CompareCell(const Column& column, std::size_t left, std::size_t right,
+                const SortKey& key) {
+  return CompareCells(column, left, column, right, key);
+}
+
+/// Keeps the external sort's spill file and outstanding reservations alive
+/// for as long as the result RDD's thunks may read them (released when the
+/// query's RDD lineage is dropped).
+struct SortSpillHolder {
+  exec::MemoryManager* manager = nullptr;
+  std::uint64_t charged = 0;
+  std::unique_ptr<exec::SpillFile> file;
+  std::vector<RecordBatch> parts;                     // in-memory outputs
+  std::vector<std::vector<exec::SpillSegment>> segs;  // spilled outputs
+  std::vector<char> in_memory;                        // 1 = parts[p] valid
+  ~SortSpillHolder() {
+    if (manager != nullptr && charged > 0) manager->Release(charged);
+  }
+};
+
+/// External merge sort, used only under an enforcing memory limit: each child
+/// partition becomes a sorted run (charged against the pool or spilled in
+/// chunks), then a streaming k-way merge — one resident chunk per run plus
+/// one output batch — rebuilds the exact sequence the in-memory
+/// stable_sort-over-concat path produces: per-partition stable sorts plus a
+/// ties-go-to-the-earliest-run merge equal one global stable sort, so
+/// limited and unlimited executions stay byte-identical (docs/MEMORY.md).
+Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
+                                  Rdd<RecordBatch> child_rdd,
+                                  exec::MemoryManager& memory) {
+  const SchemaPtr schema = plan.schema;
+  int n_parts = child_rdd.num_partitions();
+  if (n_parts < 1) n_parts = 1;
+  auto n = static_cast<std::size_t>(n_parts);
+  obs::EventBus& bus = spark::BusOf(context);
+  exec::CancellationToken& cancel = spark::CancelOf(context);
+
+  std::vector<std::size_t> key_indices;
+  key_indices.reserve(plan.sort_keys.size());
+  for (const auto& key : plan.sort_keys) {
+    key_indices.push_back(schema->RequireIndex(key.column));
+  }
+
+  // Phase A: one sorted run per child partition (parallel stage).
+  std::vector<RecordBatch> runs(n);
+  KernelProbe run_probe = MakeKernelProbe(
+      context, "df.kernel.sort.run", "df.kernel.sort.run.duration_ns",
+      "df.kernel.sort.run.batches", "df.kernel.sort.run.rows");
+  context->pool().RunParallel(
+      n,
+      [&](std::size_t p) {
+        run_probe.InvokeWide([&]() -> std::int64_t {
+          RecordBatch part =
+              ConcatBatches(child_rdd.ComputePartition(static_cast<int>(p)));
+          SelectionVector permutation(part.num_rows);
+          std::iota(permutation.begin(), permutation.end(), 0);
+          std::stable_sort(permutation.begin(), permutation.end(),
+                           [&](std::uint32_t left, std::uint32_t right) {
+                             for (std::size_t k = 0; k < key_indices.size();
+                                  ++k) {
+                               int cmp = CompareCell(
+                                   part.columns[key_indices[k]], left, right,
+                                   plan.sort_keys[k]);
+                               if (cmp != 0) {
+                                 return plan.sort_keys[k].ascending ? cmp < 0
+                                                                    : cmp > 0;
+                               }
+                             }
+                             return false;
+                           });
+          runs[p] = GatherBatch(part, permutation);
+          return static_cast<std::int64_t>(part.num_rows);
+        });
+      },
+      nullptr, "df.sort.run");
+
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.num_rows;
+  bus.AddToCounter("df.sort.rows", static_cast<std::int64_t>(total));
+
+  auto holder = std::make_shared<SortSpillHolder>();
+  holder->manager = &memory;
+  std::int64_t written = 0;
+  auto ensure_file = [&]() {
+    if (holder->file != nullptr) return;
+    holder->file = std::make_unique<exec::SpillFile>();
+    if (!holder->file->ok()) {
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot create sort spill file in " +
+                             exec::SpillDirectory());
+    }
+    bus.AddToCounter("spill.files", 1);
+  };
+  auto spill_batch = [&](const RecordBatch& batch,
+                         std::vector<exec::SpillSegment>* segs) {
+    ensure_file();
+    obs::ScopedSpan span(bus.tracer(), "operator", "spill.write");
+    std::int64_t bytes = 0;
+    for (std::size_t begin = 0; begin < batch.num_rows;
+         begin += kDfSpillChunkRows) {
+      std::size_t count =
+          std::min(kDfSpillChunkRows, batch.num_rows - begin);
+      RecordBatch chunk = SliceBatch(batch, begin, count);
+      std::string blob;
+      EncodeBatch(chunk, &blob);
+      exec::SpillSegment seg = holder->file->Append(blob, count);
+      if (seg.size == 0 && !blob.empty()) {
+        common::ThrowError(common::ErrorCode::kInternal,
+                           "sort spill write failed: " + holder->file->path());
+      }
+      segs->push_back(seg);
+      bytes += static_cast<std::int64_t>(blob.size());
+    }
+    span.AddArg("bytes", bytes);
+    written += bytes;
+    bus.Spilled("df.sort", bytes);
+  };
+
+  // Charge each run against the pool, or spill it in chunks.
+  std::uint64_t run_charges = 0;
+  std::vector<std::vector<exec::SpillSegment>> run_segs(n);
+  std::vector<char> run_resident(n, 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (runs[r].num_rows == 0) continue;
+    auto want = static_cast<std::uint64_t>(ApproxBatchBytes(runs[r]));
+    if (memory.TryReserve(want)) {
+      run_charges += want;
+      continue;
+    }
+    spill_batch(runs[r], &run_segs[r]);
+    runs[r] = RecordBatch{};
+    run_resident[r] = 0;
+  }
+
+  // Phase B: streaming merge into the same contiguous partition slices the
+  // in-memory path emits.
+  {
+    obs::ScopedSpan merge_span(bus.tracer(), "operator", "spill.merge");
+    struct RunCursor {
+      const RecordBatch* batch = nullptr;  // resident run
+      RecordBatch chunk;                   // decoded spilled chunk
+      std::size_t pos = 0;                 // row within batch/chunk
+      std::size_t seg = 0;                 // next spilled segment to decode
+    };
+    std::vector<RunCursor> cursors(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (run_resident[r] != 0) cursors[r].batch = &runs[r];
+    }
+    auto refill = [&](std::size_t r) -> const RecordBatch* {
+      RunCursor& c = cursors[r];
+      if (c.batch != nullptr) {
+        return c.pos < c.batch->num_rows ? c.batch : nullptr;
+      }
+      while (c.pos >= c.chunk.num_rows) {
+        if (c.seg >= run_segs[r].size()) return nullptr;
+        std::string blob;
+        if (!holder->file->Read(run_segs[r][c.seg], &blob)) {
+          common::ThrowError(
+              common::ErrorCode::kInternal,
+              "sort spill file lost mid-query: " + holder->file->path());
+        }
+        bus.AddToCounter("spill.bytes_read",
+                         static_cast<std::int64_t>(blob.size()));
+        const char* cursor = blob.data();
+        c.chunk = DecodeBatch(&cursor, blob.data() + blob.size());
+        c.pos = 0;
+        ++c.seg;
+      }
+      return &c.chunk;
+    };
+
+    std::size_t chunk_rows = total / n;
+    std::size_t remainder = total % n;
+    holder->parts.resize(n);
+    holder->segs.resize(n);
+    holder->in_memory.assign(n, 1);
+    RecordBatch out;
+    for (const auto& field : schema->fields()) {
+      out.columns.emplace_back(field.type);
+    }
+    std::size_t merged = 0;
+    for (std::size_t part = 0; part < n; ++part) {
+      std::size_t target = chunk_rows + (part < remainder ? 1 : 0);
+      while (out.num_rows < target) {
+        if ((merged & 0x1FFF) == 0) cancel.Check();
+        int best = -1;
+        const RecordBatch* best_batch = nullptr;
+        std::size_t best_pos = 0;
+        for (std::size_t r = 0; r < n; ++r) {
+          const RecordBatch* head = refill(r);
+          if (head == nullptr) continue;
+          std::size_t pos = cursors[r].pos;
+          if (best < 0) {
+            best = static_cast<int>(r);
+            best_batch = head;
+            best_pos = pos;
+            continue;
+          }
+          bool precedes = false;
+          for (std::size_t k = 0; k < key_indices.size(); ++k) {
+            int cmp = CompareCells(head->columns[key_indices[k]], pos,
+                                   best_batch->columns[key_indices[k]],
+                                   best_pos, plan.sort_keys[k]);
+            if (cmp != 0) {
+              precedes = plan.sort_keys[k].ascending ? cmp < 0 : cmp > 0;
+              break;
+            }
+          }
+          if (precedes) {  // ties keep the earliest run: global stability
+            best = static_cast<int>(r);
+            best_batch = head;
+            best_pos = pos;
+          }
+        }
+        AppendRow(*best_batch, best_pos, &out);
+        ++cursors[static_cast<std::size_t>(best)].pos;
+        ++merged;
+      }
+      auto want = static_cast<std::uint64_t>(ApproxBatchBytes(out));
+      if (memory.TryReserve(want)) {
+        holder->charged += want;
+        holder->parts[part] = std::move(out);
+      } else if (out.num_rows == 0) {
+        holder->parts[part] = std::move(out);  // keep empties resident
+      } else {
+        spill_batch(out, &holder->segs[part]);
+        holder->in_memory[part] = 0;
+      }
+      out = RecordBatch{};
+      for (const auto& field : schema->fields()) {
+        out.columns.emplace_back(field.type);
+      }
+    }
+    merge_span.AddArg("rows", static_cast<std::int64_t>(merged));
+  }
+  if (written > 0) bus.AddToCounter("spill.bytes_written", written);
+  if (run_charges > 0) memory.Release(run_charges);
+
+  return Rdd<RecordBatch>(context, n_parts, [holder, context](int index) {
+    auto p = static_cast<std::size_t>(index);
+    std::vector<RecordBatch> out;
+    if (holder->in_memory[p] != 0) {
+      out.push_back(holder->parts[p]);
+      return out;
+    }
+    obs::EventBus& bus = spark::BusOf(context);
+    std::vector<RecordBatch> chunks;
+    chunks.reserve(holder->segs[p].size());
+    for (const exec::SpillSegment& seg : holder->segs[p]) {
+      std::string blob;
+      if (!holder->file->Read(seg, &blob)) {
+        common::ThrowError(
+            common::ErrorCode::kInternal,
+            "sort spill file lost mid-query: " + holder->file->path());
+      }
+      bus.AddToCounter("spill.bytes_read",
+                       static_cast<std::int64_t>(blob.size()));
+      const char* cursor = blob.data();
+      chunks.push_back(DecodeBatch(&cursor, blob.data() + blob.size()));
+    }
+    out.push_back(ConcatBatches(std::move(chunks)));
+    return out;
+  });
+}
+
 Rdd<RecordBatch> ExecSort(const LogicalPlan& plan, Context* context,
                           Rdd<RecordBatch> child_rdd) {
+  // Under an enforcing memory limit the sort runs externally; the unlimited
+  // path below is byte-identical and allocation-free of spill machinery.
+  exec::MemoryManager& sort_memory = spark::MemoryOf(context);
+  if (sort_memory.enforcing()) {
+    return ExecSortExternal(plan, context, std::move(child_rdd), sort_memory);
+  }
   const SchemaPtr schema = plan.schema;
   int n_parts = child_rdd.num_partitions();
   RecordBatch all = ConcatBatches(child_rdd.Collect());

@@ -1,0 +1,75 @@
+#include "src/exec/cancellation.h"
+
+#include <chrono>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace rumble::exec {
+
+namespace {
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void CancellationToken::Cancel(Origin origin) noexcept {
+  int expected = static_cast<int>(Origin::kNone);
+  origin_.compare_exchange_strong(expected, static_cast<int>(origin),
+                                  std::memory_order_acq_rel);
+}
+
+void CancellationToken::SetDeadlineAfterMs(std::int64_t timeout_ms) {
+  if (timeout_ms <= 0) {
+    deadline_nanos_.store(0, std::memory_order_release);
+    return;
+  }
+  deadline_nanos_.store(SteadyNowNanos() + timeout_ms * 1'000'000,
+                        std::memory_order_release);
+}
+
+void CancellationToken::Reset() {
+  origin_.store(static_cast<int>(Origin::kNone), std::memory_order_release);
+  deadline_nanos_.store(0, std::memory_order_release);
+}
+
+bool CancellationToken::IsCancelled() const {
+  if (origin_.load(std::memory_order_acquire) !=
+      static_cast<int>(Origin::kNone)) {
+    return true;
+  }
+  std::int64_t deadline = deadline_nanos_.load(std::memory_order_acquire);
+  if (deadline != 0 && SteadyNowNanos() >= deadline) {
+    // Latch the expiry so origin() reports kTimeout from now on.
+    int expected = static_cast<int>(Origin::kNone);
+    origin_.compare_exchange_strong(expected,
+                                    static_cast<int>(Origin::kTimeout),
+                                    std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+void CancellationToken::Check() const {
+  if (!IsCancelled()) return;
+  common::ThrowError(
+      common::ErrorCode::kCancelled,
+      std::string("query cancelled (") + OriginName(origin()) + ")");
+}
+
+const char* CancellationToken::OriginName(Origin origin) {
+  switch (origin) {
+    case Origin::kNone: return "none";
+    case Origin::kUser: return "user";
+    case Origin::kTimeout: return "timeout";
+    case Origin::kHttp: return "http";
+    case Origin::kInterrupt: return "interrupt";
+  }
+  return "unknown";
+}
+
+}  // namespace rumble::exec

@@ -1,0 +1,58 @@
+#ifndef RUMBLE_EXEC_CANCELLATION_H_
+#define RUMBLE_EXEC_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rumble::exec {
+
+/// Cooperative per-query cancellation. One token lives on the
+/// spark::Context; the engine resets it at the start of every query, arms an
+/// optional deadline from --query-timeout, and the executor pool plus long
+/// kernel loops poll it. `Cancel` is lock-free and async-signal-safe so the
+/// shell's Ctrl-C handler may call it directly; `Check` throws
+/// RumbleException(kCancelled), which the task scheduler treats as
+/// non-retryable — the stage is doomed fail-fast and the code survives to
+/// the caller (docs/MEMORY.md §Cancellation points).
+class CancellationToken {
+ public:
+  enum class Origin : int {
+    kNone = 0,
+    kUser = 1,       // programmatic Cancel()
+    kTimeout = 2,    // --query-timeout deadline expired
+    kHttp = 3,       // POST /jobs/<id>/cancel on the metrics server
+    kInterrupt = 4,  // shell Ctrl-C
+  };
+
+  /// Requests cancellation. First caller wins (the origin is latched);
+  /// subsequent calls are no-ops. Safe from signal handlers: touches only
+  /// lock-free atomics.
+  void Cancel(Origin origin) noexcept;
+
+  /// Arms a deadline `timeout_ms` from now on the steady clock; 0 disarms.
+  void SetDeadlineAfterMs(std::int64_t timeout_ms);
+
+  /// Clears the cancelled state and the deadline (start of a new query).
+  void Reset();
+
+  /// True once cancelled. A passed deadline latches itself as kTimeout here,
+  /// so callers never observe an expired-but-uncancelled token.
+  bool IsCancelled() const;
+
+  /// Throws RumbleException(kCancelled, ...) naming the origin if cancelled.
+  void Check() const;
+
+  Origin origin() const {
+    return static_cast<Origin>(origin_.load(std::memory_order_acquire));
+  }
+
+  static const char* OriginName(Origin origin);
+
+ private:
+  mutable std::atomic<int> origin_{0};
+  std::atomic<std::int64_t> deadline_nanos_{0};  // steady clock; 0 = none
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_CANCELLATION_H_

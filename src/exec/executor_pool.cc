@@ -61,6 +61,7 @@ struct ExecutorPool::StageState {
   obs::EventBus* bus = nullptr;
   obs::Tracer* tracer = nullptr;
   FaultInjector* injector = nullptr;
+  CancellationToken* cancel = nullptr;
   std::int64_t stage_id = -1;
   /// Stage span id; task spans parent to it explicitly (task attempts run on
   /// worker threads whose local span stacks do not see the driver's stage).
@@ -253,6 +254,9 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
     SleepNanos(std::min(backoff, policy_.retry_backoff_cap_nanos));
   }
   try {
+    // Task-boundary cancellation check: a cancelled query fails its next
+    // attempt with kCancelled, which is non-retryable and dooms the stage.
+    if (stage->cancel != nullptr) stage->cancel->Check();
     FaultInjector* injector = stage->injector;
     if (injector != nullptr && !attempt.speculative) {
       if (attempt.attempt == 1) {
@@ -460,13 +464,17 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   if (task_count == 0) return;
 
   // One RunParallel call = one stage (Spark's task-per-partition model).
-  // Bus and injector are bound once per stage, so attaching/detaching them
-  // concurrently is safe — a stage sees one consistent pair throughout.
+  // Bus, injector, and cancellation token are bound once per stage, so
+  // attaching/detaching them concurrently is safe — a stage sees one
+  // consistent set throughout.
+  CancellationToken* cancel = cancel_.load(std::memory_order_acquire);
+  if (cancel != nullptr) cancel->Check();  // don't even start the stage
   auto stage = std::make_shared<StageState>();
   stage->fn = &fn;
   stage->caller_metrics = metrics;
   stage->bus = bus_.load(std::memory_order_acquire);
   stage->injector = injector_.load(std::memory_order_acquire);
+  stage->cancel = cancel;
   stage->label = stage_label != nullptr ? stage_label : "stage";
   stage->task_count = task_count;
   stage->slots.reserve(task_count);

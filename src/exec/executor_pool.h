@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/exec/cancellation.h"
 #include "src/exec/fault_injector.h"
 #include "src/exec/task_metrics.h"
 #include "src/obs/event_bus.h"
@@ -96,6 +97,15 @@ class ExecutorPool {
     injector_.store(injector, std::memory_order_release);
   }
 
+  /// Attaches the cooperative cancellation token polled at task boundaries
+  /// (null to detach). Like the bus, bound per-stage at stage start; a
+  /// cancelled token makes RunParallel throw RumbleException(kCancelled)
+  /// before starting a stage and fails in-flight stages fast (the error is
+  /// non-retryable, so the stage is doomed and queued attempts cancel).
+  void set_cancellation(CancellationToken* token) {
+    cancel_.store(token, std::memory_order_release);
+  }
+
   /// Installs the scheduler policy. Wire up before running work.
   void set_policy(const SchedulerPolicy& policy) { policy_ = policy; }
   const SchedulerPolicy& policy() const { return policy_; }
@@ -170,6 +180,7 @@ class ExecutorPool {
   TaskMetrics pool_metrics_;
   std::atomic<obs::EventBus*> bus_{nullptr};
   std::atomic<FaultInjector*> injector_{nullptr};
+  std::atomic<CancellationToken*> cancel_{nullptr};
   SchedulerPolicy policy_;
   std::function<void(int)> lost_handler_;
 };

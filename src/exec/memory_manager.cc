@@ -1,0 +1,151 @@
+#include "src/exec/memory_manager.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/error.h"
+#include "src/obs/event_bus.h"
+
+namespace rumble::exec {
+
+namespace {
+
+// Keeps the mem.reserved_bytes gauge in step with the atomic. Deltas may be
+// negative; the counter is a gauge despite living in the counter map.
+void PublishReservedDelta(obs::EventBus* bus, std::int64_t delta) {
+  if (bus != nullptr && delta != 0) {
+    bus->AddToCounter("mem.reserved_bytes", delta);
+  }
+}
+
+}  // namespace
+
+void MemoryManager::Allocate(std::uint64_t bytes) {
+  std::uint64_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
+  std::uint64_t limit = limit_.load(std::memory_order_acquire);
+  if (limit != 0 && now > limit) {
+    common::ThrowError(common::ErrorCode::kOutOfMemory,
+                       "memory budget exhausted: " + std::to_string(now) +
+                           " of " + std::to_string(limit) + " bytes in use");
+  }
+}
+
+void MemoryManager::Release(std::uint64_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
+}
+
+void MemoryManager::Reset() {
+  std::uint64_t old = reserved_.exchange(0, std::memory_order_relaxed);
+  PublishReservedDelta(bus_, -static_cast<std::int64_t>(old));
+}
+
+bool MemoryManager::TryReserve(std::uint64_t bytes) {
+  std::uint64_t now =
+      reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
+  std::uint64_t limit = limit_.load(std::memory_order_acquire);
+  if (limit == 0 || now <= limit) return true;
+
+  // Over the limit: force registered consumers to spill, largest first.
+  // spill_mu_ serializes forced-spill passes; reg_mu_ is held across each
+  // SpillBytes call so Unregister synchronizes with in-flight spills.
+  {
+    std::lock_guard<std::mutex> spill_lock(spill_mu_);
+    std::map<int, bool> skip;
+    while (reserved_.load(std::memory_order_acquire) > limit) {
+      Spillable* victim = nullptr;
+      int victim_token = -1;
+      std::uint64_t victim_bytes = 0;
+      std::lock_guard<std::mutex> reg_lock(reg_mu_);
+      for (const auto& [token, consumer] : spillables_) {
+        if (skip.count(token) != 0) continue;
+        std::uint64_t avail = consumer->SpillableBytes();
+        if (avail > victim_bytes) {
+          victim = consumer;
+          victim_token = token;
+          victim_bytes = avail;
+        }
+      }
+      if (victim == nullptr) break;
+      if (bus_ != nullptr) bus_->AddToCounter("mem.spill_triggered", 1);
+      std::uint64_t over =
+          reserved_.load(std::memory_order_acquire) - limit;
+      std::uint64_t freed = victim->SpillBytes(over < bytes ? bytes : over);
+      if (freed == 0) skip[victim_token] = true;
+    }
+  }
+
+  if (reserved_.load(std::memory_order_acquire) <= limit) return true;
+  // Nothing (more) to spill: back the grant out and deny it. The caller is
+  // expected to spill its own state instead.
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
+  if (bus_ != nullptr) bus_->AddToCounter("mem.reservation_denied", 1);
+  return false;
+}
+
+int MemoryManager::RegisterSpillable(Spillable* consumer) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  int token = next_token_++;
+  spillables_[token] = consumer;
+  return token;
+}
+
+void MemoryManager::UnregisterSpillable(int token) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  spillables_.erase(token);
+}
+
+std::uint64_t MemoryManager::SpillableTotalLocked() const {
+  std::uint64_t total = 0;
+  for (const auto& [token, consumer] : spillables_) {
+    total += consumer->SpillableBytes();
+  }
+  return total;
+}
+
+void MemoryManager::AdmitQuery() {
+  std::uint64_t limit = limit_.load(std::memory_order_acquire);
+  if (limit == 0) return;
+  std::uint64_t reserved = reserved_.load(std::memory_order_acquire);
+  if (reserved < limit) return;
+  std::uint64_t reclaimable;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    reclaimable = SpillableTotalLocked();
+  }
+  if (reserved - (reclaimable < reserved ? reclaimable : reserved) < limit) {
+    return;
+  }
+  if (bus_ != nullptr) bus_->AddToCounter("mem.admission_rejected", 1);
+  common::ThrowError(
+      common::ErrorCode::kAdmissionRejected,
+      "memory pool exhausted: " + std::to_string(reserved) + " of " +
+          std::to_string(limit) +
+          " bytes reserved and unspillable; query rejected");
+}
+
+bool MemoryManager::ParseByteSize(const std::string& text,
+                                  std::uint64_t* bytes) {
+  if (text.empty() || bytes == nullptr) return false;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) return false;
+  std::uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': multiplier = 1ull << 10; break;
+      case 'm': multiplier = 1ull << 20; break;
+      case 'g': multiplier = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  *bytes = static_cast<std::uint64_t>(value) * multiplier;
+  return true;
+}
+
+}  // namespace rumble::exec

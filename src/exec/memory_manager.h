@@ -1,0 +1,123 @@
+#ifndef RUMBLE_EXEC_MEMORY_MANAGER_H_
+#define RUMBLE_EXEC_MEMORY_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rumble::obs {
+class EventBus;
+}  // namespace rumble::obs
+
+namespace rumble::exec {
+
+/// A memory consumer that can serialize (part of) its state to disk when the
+/// engine-wide pool runs dry. Implementations must free memory and release
+/// the corresponding reservations (MemoryManager::Release) before returning,
+/// and must NOT call back into Reserve/TryReserve from SpillBytes — the
+/// manager holds its spill locks across the call.
+class Spillable {
+ public:
+  virtual ~Spillable() = default;
+
+  /// Stable label for events/counters (e.g. "rdd.cache").
+  virtual const char* SpillLabel() const = 0;
+
+  /// Bytes this consumer could free right now by spilling.
+  virtual std::uint64_t SpillableBytes() const = 0;
+
+  /// Spills at least `want` bytes if possible, returning the bytes actually
+  /// freed (0 when nothing could be spilled, e.g. a lock was contended).
+  virtual std::uint64_t SpillBytes(std::uint64_t want) = 0;
+};
+
+/// The central execution-memory arbiter (Spark's MemoryManager, scaled
+/// down). One instance per spark::Context governs every pipeline breaker —
+/// shuffle map outputs, DataFrame group-by tables, sort buffers, cached RDD
+/// partitions — through tracked reservations: operators TryReserve before
+/// holding data, Release when done, and spill their own state (or have the
+/// largest registered Spillable spilled for them) when a grant is denied.
+///
+/// It also subsumes the old util::MemoryBudget for the local-execution
+/// baselines: Allocate/Release/Reset/used_bytes keep the budget semantics
+/// (Allocate *throws* kOutOfMemory instead of spilling) with the former
+/// data race fixed — both the limit and the usage are atomics now, so
+/// set_limit_bytes may race Allocate safely.
+///
+/// With limit 0 the manager is non-enforcing: reservations are tracked but
+/// always granted and no spilling ever happens, keeping the unlimited path
+/// allocation-free. docs/MEMORY.md describes the full protocol.
+class MemoryManager {
+ public:
+  MemoryManager() = default;
+  explicit MemoryManager(std::uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  /// Counters (mem.*) and spill events are published here when set.
+  void set_bus(obs::EventBus* bus) { bus_ = bus; }
+
+  std::uint64_t limit_bytes() const {
+    return limit_.load(std::memory_order_acquire);
+  }
+  void set_limit_bytes(std::uint64_t limit) {
+    limit_.store(limit, std::memory_order_release);
+  }
+
+  /// True when a non-zero limit is being enforced. Every charge/spill site
+  /// is gated on this so limit-0 runs take no new locks and write no files.
+  bool enforcing() const { return limit_bytes() != 0; }
+
+  std::uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_acquire);
+  }
+
+  // ---- Budget mode (util::MemoryBudget semantics) -------------------------
+
+  /// Charges `bytes`, throwing kOutOfMemory when the limit is exceeded
+  /// (the charge stays recorded, mirroring the old MemoryBudget).
+  void Allocate(std::uint64_t bytes);
+
+  void Release(std::uint64_t bytes);
+  void Reset();
+  std::uint64_t used_bytes() const { return reserved_bytes(); }
+
+  // ---- Reservations with spilling (the execution pool) --------------------
+
+  /// Tries to grant `bytes`. Over the limit it first forces registered
+  /// Spillable consumers — largest first — to spill until the pool fits or
+  /// nothing more can spill; if still over, the grant is backed out and
+  /// false is returned (the caller then spills its *own* state and either
+  /// retries or proceeds uncharged). Always true when not enforcing.
+  bool TryReserve(std::uint64_t bytes);
+
+  /// Registers a spill candidate; returns a token for Unregister. The
+  /// registry lock is held across SpillBytes calls, so after Unregister
+  /// returns the consumer is guaranteed not to be mid-spill.
+  int RegisterSpillable(Spillable* consumer);
+  void UnregisterSpillable(int token);
+
+  /// Admission control: throws kAdmissionRejected when the pool is
+  /// exhausted — reserved bytes minus what spilling could reclaim already
+  /// meet the limit — so new queries are rejected, not queued.
+  void AdmitQuery();
+
+  /// Parses "268435456", "256k", "64m", "1g" (case-insensitive suffixes).
+  static bool ParseByteSize(const std::string& text, std::uint64_t* bytes);
+
+ private:
+  std::uint64_t SpillableTotalLocked() const;  // requires reg_mu_
+
+  std::atomic<std::uint64_t> limit_{0};
+  std::atomic<std::uint64_t> reserved_{0};
+  obs::EventBus* bus_ = nullptr;
+
+  std::mutex spill_mu_;  // one forced-spill pass at a time
+  mutable std::mutex reg_mu_;
+  std::map<int, Spillable*> spillables_;
+  int next_token_ = 0;
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_MEMORY_MANAGER_H_

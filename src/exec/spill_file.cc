@@ -1,0 +1,137 @@
+#include "src/exec/spill_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+
+namespace rumble::exec {
+
+namespace {
+
+std::atomic<std::uint64_t> g_spill_seq{0};
+
+// Paths of live SpillFile objects. The sweeper must not unlink files that a
+// running query still references (several engines can coexist in one
+// process), so it only removes rumble-spill-* files absent from this set.
+std::mutex& LiveMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<std::string>& LivePaths() {
+  static std::set<std::string> paths;
+  return paths;
+}
+
+std::string SpillPrefix() {
+  return "rumble-spill-" + std::to_string(::getpid()) + "-";
+}
+
+}  // namespace
+
+std::string SpillDirectory() {
+  const char* tmp = std::getenv("TMPDIR");
+  if (tmp != nullptr && tmp[0] != '\0') return tmp;
+  return "/tmp";
+}
+
+SpillFile::SpillFile() {
+  std::uint64_t seq = g_spill_seq.fetch_add(1, std::memory_order_relaxed);
+  path_ = SpillDirectory() + "/" + SpillPrefix() + std::to_string(seq) +
+          ".bin";
+  fd_ = ::open(path_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd_ >= 0) {
+    std::lock_guard<std::mutex> lock(LiveMutex());
+    LivePaths().insert(path_);
+  }
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+    std::lock_guard<std::mutex> lock(LiveMutex());
+    LivePaths().erase(path_);
+  }
+}
+
+SpillSegment SpillFile::Append(const std::string& blob, std::uint64_t rows) {
+  SpillSegment segment;
+  if (fd_ < 0) return segment;
+  std::lock_guard<std::mutex> lock(mu_);
+  segment.offset = next_offset_;
+  segment.rows = rows;
+  std::size_t written = 0;
+  while (written < blob.size()) {
+    ssize_t n = ::pwrite(fd_, blob.data() + written, blob.size() - written,
+                         static_cast<off_t>(segment.offset + written));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return SpillSegment{};  // size 0 signals failure
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  segment.size = blob.size();
+  next_offset_ += blob.size();
+  return segment;
+}
+
+bool SpillFile::Read(const SpillSegment& segment, std::string* out) const {
+  out->clear();
+  // Reopen by path: a deleted spill file must surface as a failure here so
+  // the cache's lineage-recovery path can kick in.
+  int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->resize(segment.size);
+  std::size_t got = 0;
+  while (got < segment.size) {
+    ssize_t n = ::pread(fd, out->data() + got, segment.size - got,
+                        static_cast<off_t>(segment.offset + got));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      out->clear();
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+int SweepSpillFiles() {
+  int removed = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(SpillDirectory(), ec);
+  if (ec) return 0;
+  const std::string prefix = SpillPrefix();
+  std::lock_guard<std::mutex> lock(LiveMutex());
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (LivePaths().count(entry.path().string()) != 0) continue;
+    if (::unlink(entry.path().c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+int CountSpillFiles() {
+  int count = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(SpillDirectory(), ec);
+  if (ec) return 0;
+  const std::string prefix = SpillPrefix();
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace rumble::exec

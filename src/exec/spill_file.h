@@ -1,0 +1,66 @@
+#ifndef RUMBLE_EXEC_SPILL_FILE_H_
+#define RUMBLE_EXEC_SPILL_FILE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace rumble::exec {
+
+/// One segment of a spill file: a blob written by Append, optionally with a
+/// logical row count so readers can skip whole segments without decoding.
+struct SpillSegment {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t rows = 0;
+};
+
+/// An append-only temp file used by spilling consumers. Files are named
+/// `rumble-spill-<pid>-<seq>.bin` inside SpillDirectory() so the sweeper can
+/// find leftovers; the destructor closes and unlinks. Reads reopen the path
+/// per call, so a file deleted out from under a cached partition surfaces as
+/// a read failure (and the cache falls back to lineage recomputation) rather
+/// than silently reading through a still-open descriptor.
+class SpillFile {
+ public:
+  SpillFile();
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// False when the file could not be created (Append/Read will fail too).
+  bool ok() const { return fd_ >= 0; }
+
+  /// Appends the blob, returning its segment (rows filled in by the caller).
+  /// Thread-safe. Returns {0, 0, 0} with size 0 on write failure.
+  SpillSegment Append(const std::string& blob, std::uint64_t rows = 0);
+
+  /// Reads `segment.size` bytes at `segment.offset` into *out. Reopens the
+  /// path for each call; returns false if the file is gone or truncated.
+  bool Read(const SpillSegment& segment, std::string* out) const;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes_written() const { return next_offset_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mu_;  // serializes Append offset assignment + pwrite
+  std::uint64_t next_offset_ = 0;
+};
+
+/// The directory spill files live in ($TMPDIR or /tmp).
+std::string SpillDirectory();
+
+/// Removes this process's leftover rumble-spill-* files (crash/cancel
+/// stragglers; normal destruction already unlinks). Returns the count
+/// removed. Called on Context shutdown and after a failed/cancelled query.
+int SweepSpillFiles();
+
+/// Counts this process's rumble-spill-* files currently on disk (tests).
+int CountSpillFiles();
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_SPILL_FILE_H_

@@ -102,6 +102,13 @@ class Item {
   Item() = default;
 };
 
+/// Deterministic byte estimate used by shuffle-volume counters and memory
+/// reservations. Found by ADL from the obs::ApproxByteSize templates, so an
+/// RDD of items charges real payload sizes instead of sizeof(shared_ptr).
+inline std::size_t ApproxByteSize(const ItemPtr& item) {
+  return sizeof(ItemPtr) + (item != nullptr ? item->FootprintBytes() : 0);
+}
+
 }  // namespace rumble::item
 
 #endif  // RUMBLE_ITEM_ITEM_H_

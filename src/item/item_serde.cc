@@ -1,0 +1,154 @@
+#include "src/item/item_serde.h"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/item/item_factory.h"
+
+namespace rumble::item {
+
+namespace {
+
+void PutRaw(const void* data, std::size_t size, std::string* out) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+void GetRaw(const char** cursor, const char* end, void* data,
+            std::size_t size) {
+  if (static_cast<std::size_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated item buffer");
+  }
+  std::memcpy(data, *cursor, size);
+  *cursor += size;
+}
+
+void PutU32(std::uint32_t value, std::string* out) {
+  PutRaw(&value, sizeof(value), out);
+}
+
+std::uint32_t GetU32(const char** cursor, const char* end) {
+  std::uint32_t value = 0;
+  GetRaw(cursor, end, &value, sizeof(value));
+  return value;
+}
+
+void PutString(const std::string& value, std::string* out) {
+  PutU32(static_cast<std::uint32_t>(value.size()), out);
+  out->append(value);
+}
+
+std::string GetString(const char** cursor, const char* end) {
+  std::uint32_t size = GetU32(cursor, end);
+  if (static_cast<std::size_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated string payload");
+  }
+  std::string value(*cursor, size);
+  *cursor += size;
+  return value;
+}
+
+}  // namespace
+
+void EncodeItem(const ItemPtr& item, std::string* out) {
+  ItemType type = item != nullptr ? item->type() : ItemType::kNull;
+  out->push_back(static_cast<char>(type));
+  switch (type) {
+    case ItemType::kNull:
+      break;
+    case ItemType::kBoolean:
+      out->push_back(item->BooleanValue() ? 1 : 0);
+      break;
+    case ItemType::kInteger: {
+      std::int64_t value = item->IntegerValue();
+      PutRaw(&value, sizeof(value), out);
+      break;
+    }
+    case ItemType::kDecimal:
+    case ItemType::kDouble: {
+      // Raw bits: the decode side reconstructs the exact same double, so
+      // serialization (which formats from the bits) stays byte-identical.
+      double value = item->NumericValue();
+      PutRaw(&value, sizeof(value), out);
+      break;
+    }
+    case ItemType::kString:
+      PutString(item->StringValue(), out);
+      break;
+    case ItemType::kArray: {
+      const ItemSequence& members = item->Members();
+      PutU32(static_cast<std::uint32_t>(members.size()), out);
+      for (const ItemPtr& member : members) EncodeItem(member, out);
+      break;
+    }
+    case ItemType::kObject: {
+      std::vector<std::string_view> keys = item->Keys();
+      PutU32(static_cast<std::uint32_t>(keys.size()), out);
+      for (std::string_view key : keys) {
+        PutU32(static_cast<std::uint32_t>(key.size()), out);
+        out->append(key.data(), key.size());
+        EncodeItem(item->ValueForKey(key), out);
+      }
+      break;
+    }
+  }
+}
+
+ItemPtr DecodeItem(const char** cursor, const char* end) {
+  std::uint8_t tag = 0;
+  GetRaw(cursor, end, &tag, 1);
+  switch (static_cast<ItemType>(tag)) {
+    case ItemType::kNull:
+      return MakeNull();
+    case ItemType::kBoolean: {
+      std::uint8_t value = 0;
+      GetRaw(cursor, end, &value, 1);
+      return MakeBoolean(value != 0);
+    }
+    case ItemType::kInteger: {
+      std::int64_t value = 0;
+      GetRaw(cursor, end, &value, sizeof(value));
+      return MakeInteger(value);
+    }
+    case ItemType::kDecimal: {
+      double value = 0;
+      GetRaw(cursor, end, &value, sizeof(value));
+      return MakeDecimal(value);
+    }
+    case ItemType::kDouble: {
+      double value = 0;
+      GetRaw(cursor, end, &value, sizeof(value));
+      return MakeDouble(value);
+    }
+    case ItemType::kString:
+      return MakeString(GetString(cursor, end));
+    case ItemType::kArray: {
+      std::uint32_t count = GetU32(cursor, end);
+      ItemSequence members;
+      members.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        members.push_back(DecodeItem(cursor, end));
+      }
+      return MakeArray(std::move(members));
+    }
+    case ItemType::kObject: {
+      std::uint32_t count = GetU32(cursor, end);
+      std::vector<std::pair<std::string, ItemPtr>> fields;
+      fields.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::string key = GetString(cursor, end);
+        ItemPtr value = DecodeItem(cursor, end);
+        fields.emplace_back(std::move(key), std::move(value));
+      }
+      return MakeObject(std::move(fields));
+    }
+  }
+  common::ThrowError(common::ErrorCode::kInternal,
+                     "spill decode: unknown item tag " + std::to_string(tag));
+}
+
+}  // namespace rumble::item

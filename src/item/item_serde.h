@@ -1,0 +1,23 @@
+#ifndef RUMBLE_ITEM_ITEM_SERDE_H_
+#define RUMBLE_ITEM_ITEM_SERDE_H_
+
+#include <string>
+
+#include "src/item/item.h"
+
+namespace rumble::item {
+
+/// Compact binary item serialization for spill files (docs/MEMORY.md). The
+/// format is a one-byte ItemType tag followed by the payload; numbers are
+/// written as raw little-endian bits (distinct tags keep integer vs decimal
+/// vs double apart), so a decode-encode round trip is byte-identical and a
+/// decoded item serializes to exactly the same JSON as the original.
+void EncodeItem(const ItemPtr& item, std::string* out);
+
+/// Decodes one item, advancing *cursor. Throws RumbleException(kInternal) on
+/// a truncated or corrupt buffer.
+ItemPtr DecodeItem(const char** cursor, const char* end);
+
+}  // namespace rumble::item
+
+#endif  // RUMBLE_ITEM_ITEM_SERDE_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <set>
 
+#include "src/exec/spill_file.h"
 #include "src/json/writer.h"
 #include "src/storage/dfs.h"
 #include "src/jsoniq/functions/function_library.h"
@@ -18,8 +19,12 @@ EngineContextPtr MakeEngineContext(common::RumbleConfig config) {
   engine->config = config;
   engine->spark = std::make_shared<spark::Context>(config);
   if (config.memory_budget_bytes > 0) {
+    // Budget-mode manager for the local-execution baselines: Allocate throws
+    // kOutOfMemory. Deliberately bus-less — only the spark context's
+    // spill-capable manager publishes mem.* gauges, so reservations are not
+    // double-counted.
     engine->memory =
-        std::make_shared<util::MemoryBudget>(config.memory_budget_bytes);
+        std::make_shared<exec::MemoryManager>(config.memory_budget_bytes);
   }
   return engine;
 }
@@ -46,29 +51,85 @@ common::Result<RuntimeIteratorPtr> Rumble::Compile(
 }
 
 common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
+  common::Result<item::ItemSequence> result = RunGoverned(query);
+  FinishQuery(result.ok());
+  return result;
+}
+
+common::Result<item::ItemSequence> Rumble::RunGoverned(
+    const std::string& query) {
+  exec::MemoryManager& memory = engine_->spark->memory_manager();
+  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  // Admission control: a pool already exhausted beyond what spilling could
+  // reclaim rejects new queries outright rather than queueing them.
+  try {
+    memory.AdmitQuery();
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
   common::Result<RuntimeIteratorPtr> compiled = Compile(query);
   if (!compiled.ok()) return compiled.status();
+  cancel.Reset();
+  cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
   // One query run = one job in the event log; every stage the executor pool
   // runs during evaluation lands under this job id.
   obs::EventBus& bus = engine_->spark->bus();
   std::int64_t job = bus.BeginJob(query);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    active_jobs_.insert(job);
+  }
   // Root of the span hierarchy: stage spans begun on this thread during
   // evaluation parent to the job span implicitly (docs/TRACING.md).
   obs::ScopedSpan job_span(bus.tracer(), "job", query);
-  try {
-    if (engine_->memory != nullptr) {
-      engine_->memory->Reset();
+  common::Result<item::ItemSequence> result = [&] {
+    try {
+      if (engine_->memory != nullptr) {
+        engine_->memory->Reset();
+      }
+      item::ItemSequence items = compiled.value()->MaterializeAll(*globals_);
+      job_span.AddArg("rows_out", static_cast<std::int64_t>(items.size()));
+      bus.EndJob(job, {{"query.rows_out",
+                        static_cast<std::int64_t>(items.size())}});
+      return common::Result<item::ItemSequence>(std::move(items));
+    } catch (const common::RumbleException& error) {
+      job_span.AddArg("failed", 1);
+      if (error.code() == common::ErrorCode::kCancelled) {
+        bus.QueryCancelled(job, exec::CancellationToken::OriginName(
+                                    cancel.origin()));
+        bus.AddToCounter("cancel.observed", 1);
+      }
+      bus.EndJob(job, {{"failed", 1}});
+      return common::Result<item::ItemSequence>(
+          common::Status::FromException(error));
     }
-    item::ItemSequence items = compiled.value()->MaterializeAll(*globals_);
-    job_span.AddArg("rows_out", static_cast<std::int64_t>(items.size()));
-    bus.EndJob(job, {{"query.rows_out",
-                      static_cast<std::int64_t>(items.size())}});
-    return items;
-  } catch (const common::RumbleException& error) {
-    job_span.AddArg("failed", 1);
-    bus.EndJob(job, {{"failed", 1}});
-    return common::Status::FromException(error);
+  }();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    active_jobs_.erase(job);
   }
+  cancel.SetDeadlineAfterMs(0);
+  return result;
+}
+
+void Rumble::FinishQuery(bool ok) {
+  // A failed or cancelled query must leave nothing behind: the compiled tree
+  // died inside RunGoverned, releasing every reservation and unlinking its
+  // spill files; sweep catches stragglers (e.g. a crash path that skipped a
+  // destructor) and the metrics check pins the drained-pool invariant.
+  if (!ok) exec::SweepSpillFiles();
+  RUMBLE_METRICS_CHECK(
+      engine_->spark->memory_manager().reserved_bytes() == 0,
+      "execution-memory reservations leaked past the end of a query");
+}
+
+bool Rumble::CancelJob(std::int64_t job_id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  if (active_jobs_.find(job_id) == active_jobs_.end()) return false;
+  engine_->spark->cancellation().Cancel(
+      exec::CancellationToken::Origin::kHttp);
+  engine_->spark->bus().AddToCounter("cancel.requested", 1);
+  return true;
 }
 
 common::Result<std::string> Rumble::RunToJson(const std::string& query) {
@@ -81,6 +142,9 @@ common::Status Rumble::RunToDataset(const std::string& query,
                                     const std::string& output_path) {
   common::Result<RuntimeIteratorPtr> compiled = Compile(query);
   if (!compiled.ok()) return compiled.status();
+  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  cancel.Reset();
+  cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
   try {
     if (engine_->memory != nullptr) {
       engine_->memory->Reset();
@@ -98,8 +162,10 @@ common::Status Rumble::RunToDataset(const std::string& query,
     item::ItemSequence items = root->MaterializeAll(*globals_);
     storage::Dfs::WritePartitioned(output_path,
                                    {json::SerializeLines(items)});
+    cancel.SetDeadlineAfterMs(0);
     return common::Status::OK();
   } catch (const common::RumbleException& error) {
+    cancel.SetDeadlineAfterMs(0);
     return common::Status::FromException(error);
   }
 }
@@ -151,6 +217,9 @@ common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
   // for this run and restore the caller's choice afterwards.
   bool was_enabled = tracer->enabled();
   tracer->set_enabled(true);
+  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  cancel.Reset();
+  cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
   std::int64_t since = bus.NextSequence();
   std::int64_t job = bus.BeginJob(query);
   std::int64_t rows_out = 0;
@@ -168,9 +237,11 @@ common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
   } catch (const common::RumbleException& error) {
     bus.EndJob(job, {{"failed", 1}});
     tracer->set_enabled(was_enabled);
+    cancel.SetDeadlineAfterMs(0);
     return common::Status::FromException(error);
   }
   tracer->set_enabled(was_enabled);
+  cancel.SetDeadlineAfterMs(0);
 
   std::int64_t wall = 0;
   for (const auto& event : bus.EventsSince(since)) {

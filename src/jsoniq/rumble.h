@@ -1,12 +1,15 @@
 #ifndef RUMBLE_JSONIQ_RUMBLE_H_
 #define RUMBLE_JSONIQ_RUMBLE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
 #include "src/common/config.h"
 #include "src/common/status.h"
+#include "src/exec/cancellation.h"
 #include "src/item/item.h"
 #include "src/jsoniq/runtime/engine_context.h"
 #include "src/jsoniq/runtime/runtime_iterator.h"
@@ -61,6 +64,19 @@ class Rumble {
   /// Binds a host-provided external variable visible to queries.
   void BindVariable(const std::string& name, item::ItemSequence value);
 
+  /// Requests cooperative cancellation of a running job by id (the id
+  /// BeginJob assigned, as shown by /jobs on the metrics server). Returns
+  /// false when no job with that id is currently running — including when it
+  /// already completed (cancellation racing completion is a no-op). The
+  /// query observes the request at its next task boundary or kernel
+  /// cancellation point and fails with kCancelled (docs/MEMORY.md).
+  bool CancelJob(std::int64_t job_id);
+
+  /// The engine's cancellation token (shell Ctrl-C hooks Cancel on it).
+  exec::CancellationToken& cancellation() {
+    return engine_->spark->cancellation();
+  }
+
   /// Internal contexts, exposed for tests and the benchmark harness.
   const EngineContextPtr& engine() const { return engine_; }
 
@@ -71,9 +87,23 @@ class Rumble {
  private:
   common::Result<RuntimeIteratorPtr> Compile(const std::string& query) const;
 
+  /// Runs a compiled query under memory governance: admission control,
+  /// cancellation token reset + deadline arming, job registration for
+  /// CancelJob, and cancelled-query observability. The compiled tree is
+  /// destroyed before this returns, so every reservation it held is back in
+  /// the pool.
+  common::Result<item::ItemSequence> RunGoverned(const std::string& query);
+
+  /// Post-query invariants: failed/cancelled queries leave no spill files
+  /// behind, and the execution pool always drains back to zero reservations.
+  void FinishQuery(bool ok);
+
   EngineContextPtr engine_;
   std::shared_ptr<DynamicContext> globals_;
   std::set<std::string> globals_names_;
+
+  std::mutex jobs_mu_;
+  std::set<std::int64_t> active_jobs_;
 };
 
 }  // namespace rumble::jsoniq

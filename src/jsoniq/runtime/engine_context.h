@@ -4,18 +4,20 @@
 #include <memory>
 
 #include "src/common/config.h"
+#include "src/exec/memory_manager.h"
 #include "src/spark/context.h"
-#include "src/util/memory_budget.h"
 
 namespace rumble::jsoniq {
 
 /// Immutable per-engine state shared by every runtime iterator: the
 /// configuration, the minispark context (executor pool + RDD factory) and
-/// the memory budget used by the local-execution baselines.
+/// the budget-mode memory manager used by the local-execution baselines
+/// (Allocate throws kOutOfMemory; distinct from the spark context's
+/// spill-capable manager, see docs/MEMORY.md).
 struct EngineContext {
   common::RumbleConfig config;
   std::shared_ptr<spark::Context> spark;
-  std::shared_ptr<util::MemoryBudget> memory;
+  std::shared_ptr<exec::MemoryManager> memory;
 
   /// True when iterators may offer the RDD API (Section 5.6).
   bool ParallelEnabled() const {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/error.h"
+#include "src/exec/cancellation.h"
 #include "src/item/item_compare.h"
 #include "src/item/item_factory.h"
 #include "src/jsoniq/runtime/flwor.h"
@@ -165,6 +166,9 @@ class LocalFlworPipeline {
     std::vector<FlworTuple> tuples;
     tuples.emplace_back();  // the initial tuple stream: one empty tuple
     for (const auto& clause : flwor_.clauses) {
+      // Clause boundaries are the local pipeline's cancellation points —
+      // the equivalent of the task boundaries the executor pool checks.
+      CancelCheck();
       switch (clause.kind) {
         case FlworClause::Kind::kFor: tuples = RunFor(clause, tuples); break;
         case FlworClause::Kind::kLet: tuples = RunLet(clause, tuples); break;
@@ -194,7 +198,16 @@ class LocalFlworPipeline {
   }
 
  private:
+  void CancelCheck() {
+    if (engine_->spark != nullptr) {
+      engine_->spark->cancellation().Check();
+    }
+  }
+
   void Charge(const FlworTuple& tuple) {
+    // Blocking operators call Charge once per held tuple, which makes it a
+    // natural rate-limited cancellation point inside long tuple loops.
+    if ((++charge_calls_ & 0x3FF) == 0) CancelCheck();
     if (engine_->memory != nullptr) {
       engine_->memory->Allocate(TupleFootprint(tuple));
     }
@@ -406,6 +419,7 @@ class LocalFlworPipeline {
   const EngineContextPtr& engine_;
   const CompiledFlwor& flwor_;
   const DynamicContext& context_;
+  std::uint64_t charge_calls_ = 0;
 };
 
 // ---------------------------------------------------------------------------

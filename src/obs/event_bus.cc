@@ -86,6 +86,8 @@ const char* EventKindName(EventKind kind) {
     case EventKind::kExecutorLost: return "executor_lost";
     case EventKind::kPartitionRecomputed: return "partition_recomputed";
     case EventKind::kMalformedLine: return "malformed_line";
+    case EventKind::kSpill: return "spill";
+    case EventKind::kQueryCancelled: return "query_cancelled";
   }
   return "unknown";
 }
@@ -283,6 +285,25 @@ void EventBus::MalformedLine(std::int64_t line_number,
   event.label = sample.size() <= kSampleCap
                     ? sample
                     : sample.substr(0, kSampleCap) + "...";
+  Publish(std::move(event));
+}
+
+void EventBus::Spilled(const std::string& label, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kSpill;
+  event.job_id = current_job_;
+  event.label = label;
+  event.metrics = {{"bytes", bytes}};
+  Publish(std::move(event));
+}
+
+void EventBus::QueryCancelled(std::int64_t job_id, const std::string& origin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.kind = EventKind::kQueryCancelled;
+  event.job_id = job_id;
+  event.label = origin;  // serialized as "label": the cancellation origin
   Publish(std::move(event));
 }
 

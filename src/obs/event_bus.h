@@ -38,6 +38,10 @@ enum class EventKind {
   kExecutorLost,
   kPartitionRecomputed,
   kMalformedLine,
+  // Memory-governance events (docs/MEMORY.md): spill-to-disk decisions and
+  // cooperative query cancellation.
+  kSpill,
+  kQueryCancelled,
 };
 
 const char* EventKindName(EventKind kind);
@@ -117,6 +121,16 @@ class EventBus {
   /// One malformed JSON line skipped in permissive mode; `sample` is the
   /// offending text (truncated). Callers cap how many they publish.
   void MalformedLine(std::int64_t line_number, const std::string& sample);
+
+  // ---- Memory-governance events (docs/MEMORY.md) --------------------------
+
+  /// A consumer spilled state to disk; `label` names it ("rdd.cache",
+  /// "shuffle.groupBy.map", "df.groupBy.partial", ...), `bytes` the
+  /// serialized volume written.
+  void Spilled(const std::string& label, std::int64_t bytes);
+  /// A query was cancelled cooperatively; `origin` is the cancellation
+  /// source ("timeout", "http", "interrupt", "user").
+  void QueryCancelled(std::int64_t job_id, const std::string& origin);
 
   // ---- Counters -----------------------------------------------------------
   /// Returns the stable cell for a named counter, creating it at zero.

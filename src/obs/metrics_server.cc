@@ -33,17 +33,40 @@ void SendAll(int fd, const std::string& data) {
   }
 }
 
-/// Extracts the request path from "GET /path HTTP/1.x"; empty on anything
-/// that is not a GET.
-std::string RequestPath(const std::string& request) {
-  if (request.rfind("GET ", 0) != 0) return "";
-  std::size_t start = 4;
-  std::size_t end = request.find(' ', start);
-  if (end == std::string::npos) return "";
-  std::string path = request.substr(start, end - start);
-  std::size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-  return path;
+/// Splits the request line into method and path; both empty when the line is
+/// not a well-formed "METHOD /path HTTP/1.x".
+void RequestMethodAndPath(const std::string& request, std::string* method,
+                          std::string* path) {
+  method->clear();
+  path->clear();
+  std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return;
+  std::size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return;
+  *method = request.substr(0, method_end);
+  *path = request.substr(method_end + 1, path_end - method_end - 1);
+  std::size_t query = path->find('?');
+  if (query != std::string::npos) path->resize(query);
+}
+
+/// Parses "/jobs/<id>/cancel"; returns false on any other shape.
+bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
+  const std::string prefix = "/jobs/";
+  const std::string suffix = "/cancel";
+  if (path.rfind(prefix, 0) != 0 || path.size() <= prefix.size() + suffix.size())
+    return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return false;
+  std::string digits =
+      path.substr(prefix.size(), path.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  std::int64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *job_id = value;
+  return true;
 }
 
 }  // namespace
@@ -102,17 +125,38 @@ void MetricsServer::HandleConnection(int fd) {
   ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
   if (n <= 0) return;
   buf[n] = '\0';
-  std::string path = RequestPath(buf);
+  std::string method;
+  std::string path;
+  RequestMethodAndPath(buf, &method, &path);
+  std::int64_t job_id = 0;
+  if (method == "POST" && ParseCancelPath(path, &job_id)) {
+    // Cooperative cancellation (docs/MEMORY.md): hand the id to the engine's
+    // handler; the running query observes it at its next cancellation point.
+    bool cancelled =
+        cancel_handler_ != nullptr && cancel_handler_(job_id);
+    std::string body = std::string("{\"cancelled\":") +
+                       (cancelled ? "true" : "false") +
+                       ",\"job\":" + std::to_string(job_id) + "}\n";
+    SendAll(fd, HttpResponse(cancelled ? "200 OK" : "404 Not Found",
+                             "application/json", body));
+    return;
+  }
+  if (method != "GET") {
+    SendAll(fd, HttpResponse("404 Not Found", "text/plain", "not found\n"));
+    return;
+  }
   if (path == "/metrics") {
     SendAll(fd, HttpResponse("200 OK", "text/plain; version=0.0.4",
                              bus_->PrometheusText()));
   } else if (path == "/jobs") {
     SendAll(fd, HttpResponse("200 OK", "application/json", bus_->JobsJson()));
   } else if (path == "/") {
-    SendAll(fd, HttpResponse("200 OK", "text/plain",
-                             "rumble metrics endpoint\n"
-                             "  /metrics  Prometheus text exposition\n"
-                             "  /jobs     live job/stage/task state (JSON)\n"));
+    SendAll(fd,
+            HttpResponse("200 OK", "text/plain",
+                         "rumble metrics endpoint\n"
+                         "  /metrics            Prometheus text exposition\n"
+                         "  /jobs               live job/stage/task state\n"
+                         "  /jobs/<id>/cancel   POST: cancel a running job\n"));
   } else {
     SendAll(fd, HttpResponse("404 Not Found", "text/plain", "not found\n"));
   }

@@ -2,6 +2,8 @@
 #define RUMBLE_OBS_METRICS_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -13,9 +15,10 @@ class EventBus;
 /// substrate. Blocking POSIX sockets, one accept thread, one request per
 /// connection (HTTP/1.0 close semantics), no dependencies. Routes:
 ///
-///   /metrics  EventBus::PrometheusText() — Prometheus text exposition
-///   /jobs     EventBus::JobsJson()       — live job/stage/task state
-///   /         tiny text index of the two
+///   /metrics              EventBus::PrometheusText() — Prometheus text
+///   /jobs                 EventBus::JobsJson()       — live job/stage/task
+///   /jobs/<id>/cancel     POST: cooperative query cancellation (docs/MEMORY.md)
+///   /                     tiny text index
 ///
 /// All rendering happens in the serving thread off bus snapshots, so running
 /// queries never block on a slow scraper. See docs/TRACING.md for a curl
@@ -39,11 +42,20 @@ class MetricsServer {
   /// The bound port (useful after Start(0)); 0 when not running.
   int port() const { return port_; }
 
+  /// Installs the handler POST /jobs/<id>/cancel invokes (typically
+  /// Rumble::CancelJob). The handler returns true when the job was found and
+  /// cancellation was requested. Set before Start(); the serving thread
+  /// reads it without a lock.
+  void SetCancelHandler(std::function<bool(std::int64_t)> handler) {
+    cancel_handler_ = std::move(handler);
+  }
+
  private:
   void Serve();
   void HandleConnection(int fd);
 
   EventBus* bus_;
+  std::function<bool(std::int64_t)> cancel_handler_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   int port_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/exec/spill_file.h"
 #include "src/storage/dfs.h"
 
 namespace rumble::spark {
@@ -20,6 +21,14 @@ int RegisterExecutorLossListener(Context* context,
 
 void UnregisterExecutorLossListener(Context* context, int token) {
   context->UnregisterExecutorLossListener(token);
+}
+
+exec::MemoryManager& MemoryOf(Context* context) {
+  return context->memory_manager();
+}
+
+exec::CancellationToken& CancelOf(Context* context) {
+  return context->cancellation();
 }
 
 Context::Context(common::RumbleConfig config)
@@ -53,6 +62,25 @@ Context::Context(common::RumbleConfig config)
   }
   pool_->set_executor_lost_handler(
       [this](int executor) { NotifyExecutorLost(executor); });
+
+  // Memory governance: explicit config wins; the environment variable lets
+  // the chaos harness cap unmodified binaries. 0 = non-enforcing.
+  std::uint64_t memory_limit = config_.memory_limit_bytes;
+  if (memory_limit == 0) {
+    if (const char* env = std::getenv("RUMBLE_MEMORY_LIMIT")) {
+      exec::MemoryManager::ParseByteSize(env, &memory_limit);
+    }
+  }
+  memory_.set_limit_bytes(memory_limit);
+  memory_.set_bus(bus_.get());
+  pool_->set_cancellation(&cancel_);
+}
+
+Context::~Context() {
+  // Join the workers first, then sweep leftover spill files. Live SpillFile
+  // objects (other engines in this process) are skipped by the sweeper.
+  pool_.reset();
+  exec::SweepSpillFiles();
 }
 
 int Context::RegisterExecutorLossListener(std::function<void(int)> listener) {

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "src/common/config.h"
+#include "src/exec/cancellation.h"
 #include "src/exec/executor_pool.h"
+#include "src/exec/memory_manager.h"
 #include "src/obs/event_bus.h"
 #include "src/spark/rdd.h"
 #include "src/storage/text_source.h"
@@ -23,9 +25,19 @@ namespace rumble::spark {
 class Context {
  public:
   explicit Context(common::RumbleConfig config = {});
+  ~Context();
 
   const common::RumbleConfig& config() const { return config_; }
   exec::ExecutorPool& pool() { return *pool_; }
+
+  /// The engine-wide execution-memory arbiter (docs/MEMORY.md). Limit comes
+  /// from config.memory_limit_bytes or the RUMBLE_MEMORY_LIMIT environment
+  /// variable; 0 keeps it non-enforcing.
+  exec::MemoryManager& memory_manager() { return memory_; }
+
+  /// The per-query cooperative cancellation token. The engine resets it per
+  /// query; the pool and long kernel loops poll it.
+  exec::CancellationToken& cancellation() { return cancel_; }
 
   /// The per-application event bus (mini Spark-UI backend). Every stage the
   /// pool runs and every counter the RDD/DataFrame layers bump lands here.
@@ -81,9 +93,12 @@ class Context {
  private:
   common::RumbleConfig config_;
   std::shared_ptr<obs::EventBus> bus_;
-  // The injector and listener registry must outlive the pool (workers touch
-  // both until joined), so they are declared before pool_ — members are
-  // destroyed in reverse declaration order.
+  // The injector, memory manager, cancellation token, and listener registry
+  // must outlive the pool (workers touch them until joined), so they are
+  // declared before pool_ — members are destroyed in reverse declaration
+  // order.
+  exec::MemoryManager memory_;
+  exec::CancellationToken cancel_;
   std::unique_ptr<exec::FaultInjector> injector_;
   std::mutex listeners_mu_;
   std::map<int, std::function<void(int)>> loss_listeners_;

@@ -13,8 +13,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/exec/cancellation.h"
 #include "src/exec/executor_pool.h"
+#include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
 #include "src/obs/event_bus.h"
+#include "src/spark/spill_codec.h"
 
 namespace rumble::spark {
 
@@ -22,6 +26,8 @@ class Context;
 exec::ExecutorPool& PoolOf(Context* context);
 obs::EventBus& BusOf(Context* context);
 obs::Tracer& TracerOf(Context* context);
+exec::MemoryManager& MemoryOf(Context* context);
+exec::CancellationToken& CancelOf(Context* context);
 
 /// Executor-loss listener registry (defined in context.cc; declared here so
 /// the templated RDD/shuffle code can register invalidation hooks without
@@ -32,14 +38,25 @@ void UnregisterExecutorLossListener(Context* context, int token);
 
 namespace internal {
 
+/// Rows per encoded blob when a sort run or cached partition is spilled in
+/// chunks — bounds the memory a streaming merge or partial read touches.
+inline constexpr std::size_t kSpillChunkRows = 4096;
+
 /// Shared state of one RDD: a partition count and a thunk computing each
 /// partition. Narrow transformations chain thunks, so a map-filter-map
 /// pipeline executes in one pass over each partition without materializing
 /// intermediates — the property that makes the paper's expression-to-
 /// transformation mapping cheap. Wide operations (groupBy, sortBy) install a
 /// lazily executed shuffle guarded by std::once_flag.
+///
+/// When T has a SpillCodec, a cached RddState is also a memory-manager
+/// Spillable: materialized partitions are charged against the pool and the
+/// manager may evict the least-recently-read ones to disk under pressure
+/// (docs/MEMORY.md). A spilled partition is restored from its file on read;
+/// if the file was deleted out from under it, the partition is recomputed
+/// from lineage exactly like an executor loss.
 template <typename T>
-struct RddState {
+struct RddState : exec::Spillable {
   Context* context = nullptr;
   int num_partitions = 0;
   std::function<std::vector<T>(int)> compute;
@@ -68,10 +85,91 @@ struct RddState {
   std::atomic<bool> cache_has_invalid{false};
   int loss_token = -1;
 
-  ~RddState() {
+  // Cache eviction (docs/MEMORY.md). `cache_spill`/`cache_seg`/`cache_charge`
+  // are guarded by `cache_mu`; `cache_tick` (LRU stamps) by `cache_meta_mu`;
+  // `spillable_bytes` mirrors the sum of charges so SpillableBytes() needs no
+  // lock. `manager` is set (and the Spillable registered) only after the
+  // cache materializes under an enforcing limit.
+  exec::MemoryManager* manager = nullptr;
+  std::vector<std::unique_ptr<exec::SpillFile>> cache_spill;
+  std::vector<exec::SpillSegment> cache_seg;
+  std::vector<std::uint64_t> cache_charge;
+  std::vector<std::uint64_t> cache_tick;
+  std::atomic<std::uint64_t> tick_counter{0};
+  std::atomic<std::uint64_t> spillable_bytes{0};
+  int spill_token = -1;
+
+  const char* SpillLabel() const override { return "rdd.cache"; }
+
+  std::uint64_t SpillableBytes() const override {
+    return spillable_bytes.load(std::memory_order_acquire);
+  }
+
+  /// Evicts least-recently-read in-memory partitions to disk until `want`
+  /// bytes are freed. Called by the MemoryManager under its registry lock, so
+  /// it must not re-enter Reserve; it releases the evicted charges itself.
+  /// Uses try_lock: if readers or a repair hold the cache, nothing is freed
+  /// (the manager moves on to the next victim).
+  std::uint64_t SpillBytes(std::uint64_t want) override {
+    if constexpr (HasSpillCodec<T>) {
+      std::unique_lock<std::shared_mutex> lock(cache_mu, std::try_to_lock);
+      if (!lock.owns_lock() || manager == nullptr) return 0;
+      obs::EventBus& bus = BusOf(context);
+      std::uint64_t freed = 0;
+      while (freed < want) {
+        // Pick the charged partition with the oldest LRU stamp.
+        std::size_t victim = cache_charge.size();
+        std::uint64_t oldest = 0;
+        {
+          std::lock_guard<std::mutex> meta(cache_meta_mu);
+          for (std::size_t p = 0; p < cache_charge.size(); ++p) {
+            if (cache_charge[p] == 0) continue;
+            if (victim == cache_charge.size() || cache_tick[p] < oldest) {
+              victim = p;
+              oldest = cache_tick[p];
+            }
+          }
+        }
+        if (victim == cache_charge.size()) break;  // nothing left in memory
+        auto& file = cache_spill[victim];
+        if (file == nullptr) file = std::make_unique<exec::SpillFile>();
+        if (!file->ok()) break;
+        std::string blob = EncodeSpillBlob(cached[victim]);
+        exec::SpillSegment seg = file->Append(blob, cached[victim].size());
+        if (seg.size == 0 && !blob.empty()) break;  // write failed
+        cache_seg[victim] = seg;
+        std::uint64_t charge = cache_charge[victim];
+        cache_charge[victim] = 0;
+        spillable_bytes.fetch_sub(charge, std::memory_order_acq_rel);
+        cached[victim].clear();
+        cached[victim].shrink_to_fit();
+        manager->Release(charge);
+        freed += charge;
+        bus.AddToCounter("rdd.cache.evicted", 1);
+        bus.AddToCounter("spill.files", 1);
+        bus.AddToCounter("spill.bytes_written",
+                         static_cast<std::int64_t>(blob.size()));
+        bus.Spilled("rdd.cache", static_cast<std::int64_t>(blob.size()));
+      }
+      return freed;
+    } else {
+      (void)want;
+      return 0;
+    }
+  }
+
+  ~RddState() override {
     // Synchronizes with in-flight NotifyExecutorLost calls (registry lock),
-    // so the listener's raw `this` capture never dangles.
+    // so the listener's raw `this` capture never dangles. Likewise the
+    // Spillable registration: after UnregisterSpillable returns, no forced
+    // spill can be mid-flight in this object.
     if (loss_token >= 0) UnregisterExecutorLossListener(context, loss_token);
+    if (manager != nullptr) {
+      if (spill_token >= 0) manager->UnregisterSpillable(spill_token);
+      for (std::uint64_t charge : cache_charge) {
+        if (charge > 0) manager->Release(charge);
+      }
+    }
   }
 };
 
@@ -218,10 +316,19 @@ class Rdd {
       std::atomic<bool> has_invalid{false};
       Context* context = nullptr;
       int loss_token = -1;
+      // Memory governance (docs/MEMORY.md): the map outputs are either
+      // charged against the pool (`charged` > 0) or spilled to one file —
+      // spilled_segs[input][reduce] holds each bucket's segment (size 0 =
+      // bucket still in memory). Guarded by data_mu like the buckets.
+      exec::MemoryManager* manager = nullptr;
+      std::uint64_t charged = 0;
+      std::unique_ptr<exec::SpillFile> spill;
+      std::vector<std::vector<exec::SpillSegment>> spilled_segs;
       ~Shuffle() {
         if (loss_token >= 0) {
           UnregisterExecutorLossListener(context, loss_token);
         }
+        if (manager != nullptr && charged > 0) manager->Release(charged);
       }
     };
     auto shuffle = std::make_shared<Shuffle>();
@@ -272,6 +379,52 @@ class Rdd {
         obs::EventBus& bus = BusOf(context);
         bus.AddToCounter("shuffle.records_written", records);
         bus.AddToCounter("shuffle.bytes_written", bytes);
+        // Memory governance: try to hold the map outputs in memory under a
+        // tracked reservation; when the pool denies the grant (even after
+        // forcing other consumers to spill), spill every bucket to one file
+        // and serve reduce tasks from disk.
+        if constexpr (HasSpillCodec<std::pair<K, T>>) {
+          exec::MemoryManager& memory = MemoryOf(context);
+          if (memory.enforcing() && bytes > 0) {
+            shuffle->manager = &memory;
+            if (memory.TryReserve(static_cast<std::uint64_t>(bytes))) {
+              shuffle->charged = static_cast<std::uint64_t>(bytes);
+            } else {
+              obs::ScopedSpan spill_span(&TracerOf(context), "operator",
+                                         "spill.write");
+              shuffle->spill = std::make_unique<exec::SpillFile>();
+              if (shuffle->spill->ok()) {
+                shuffle->spilled_segs.assign(
+                    static_cast<std::size_t>(n_in),
+                    std::vector<exec::SpillSegment>(
+                        static_cast<std::size_t>(n_out)));
+                std::int64_t spilled_bytes = 0;
+                for (std::size_t i = 0; i < static_cast<std::size_t>(n_in);
+                     ++i) {
+                  for (std::size_t r = 0; r < static_cast<std::size_t>(n_out);
+                       ++r) {
+                    auto& bucket = shuffle->buckets[r][i];
+                    if (bucket.empty()) continue;
+                    std::string blob = EncodeSpillBlob(bucket);
+                    exec::SpillSegment seg =
+                        shuffle->spill->Append(blob, bucket.size());
+                    if (seg.size == 0) continue;  // write failed: keep in RAM
+                    shuffle->spilled_segs[i][r] = seg;
+                    spilled_bytes += static_cast<std::int64_t>(blob.size());
+                    bucket.clear();
+                    bucket.shrink_to_fit();
+                  }
+                }
+                spill_span.AddArg("bytes", spilled_bytes);
+                bus.AddToCounter("spill.files", 1);
+                bus.AddToCounter("spill.bytes_written", spilled_bytes);
+                bus.Spilled("shuffle.groupBy.map", spilled_bytes);
+              } else {
+                shuffle->spill.reset();  // creation failed: stay in memory
+              }
+            }
+          }
+        }
         // Losing an executor loses the map outputs it produced; reduce tasks
         // repair them from lineage before reading.
         Shuffle* raw = shuffle.get();
@@ -327,6 +480,12 @@ class Rdd {
         for (int r = 0; r < n_out; ++r) {
           shuffle->buckets[static_cast<std::size_t>(r)][input_index].clear();
         }
+        // The recomputed buckets supersede any spilled copy of this input.
+        if (!shuffle->spilled_segs.empty()) {
+          for (auto& seg : shuffle->spilled_segs[input_index]) {
+            seg = exec::SpillSegment{};
+          }
+        }
         std::vector<T> input =
             Compute(parent, static_cast<int>(input_index));
         for (T& value : input) {
@@ -352,27 +511,58 @@ class Rdd {
           ensure_shuffled();
           repair();
           std::shared_lock<std::shared_mutex> data_lock(shuffle->data_mu);
+          obs::EventBus& bus = BusOf(context);
+          // Gather this reduce partition's input buckets: in-memory ones are
+          // referenced in place, spilled ones are restored from the spill
+          // file (the restored copies live in `restored`, reserved up front
+          // so the pointers stay stable).
+          auto& reduce_buckets = shuffle->buckets[static_cast<std::size_t>(index)];
+          std::vector<std::vector<std::pair<K, T>>> restored;
+          std::vector<std::vector<std::pair<K, T>>*> inputs;
+          restored.reserve(reduce_buckets.size());
+          inputs.reserve(reduce_buckets.size());
+          for (std::size_t i = 0; i < reduce_buckets.size(); ++i) {
+            if constexpr (HasSpillCodec<std::pair<K, T>>) {
+              if (!shuffle->spilled_segs.empty()) {
+                const exec::SpillSegment& seg =
+                    shuffle->spilled_segs[i][static_cast<std::size_t>(index)];
+                if (seg.size > 0) {
+                  std::string blob;
+                  if (!shuffle->spill->Read(seg, &blob)) {
+                    common::ThrowError(
+                        common::ErrorCode::kInternal,
+                        "shuffle spill file lost mid-query: " +
+                            shuffle->spill->path());
+                  }
+                  bus.AddToCounter("spill.bytes_read",
+                                   static_cast<std::int64_t>(blob.size()));
+                  restored.push_back(
+                      DecodeSpillBlob<std::pair<K, T>>(blob));
+                  inputs.push_back(&restored.back());
+                  continue;
+                }
+              }
+            }
+            inputs.push_back(&reduce_buckets[i]);
+          }
           // Account what this reduce task pulls from the map outputs.
           std::int64_t records_read = 0;
           std::int64_t bytes_read = 0;
-          for (const auto& input_bucket :
-               shuffle->buckets[static_cast<std::size_t>(index)]) {
-            records_read += static_cast<std::int64_t>(input_bucket.size());
-            for (const auto& entry : input_bucket) {
+          for (const auto* input_bucket : inputs) {
+            records_read += static_cast<std::int64_t>(input_bucket->size());
+            for (const auto& entry : *input_bucket) {
               bytes_read +=
                   static_cast<std::int64_t>(obs::ApproxByteSize(entry));
             }
           }
-          obs::EventBus& bus = BusOf(context);
           bus.AddToCounter("shuffle.records_read", records_read);
           bus.AddToCounter("shuffle.bytes_read", bytes_read);
           // Group this reduce bucket. Keys within one bucket are grouped
           // with a hash index; order of groups is unspecified (as in Spark).
           std::vector<std::pair<K, std::vector<T>>> groups;
           std::unordered_multimap<std::size_t, std::size_t> by_hash;
-          for (auto& input_bucket :
-               shuffle->buckets[static_cast<std::size_t>(index)]) {
-            for (auto& [key, value] : input_bucket) {
+          for (auto* input_bucket_ptr : inputs) {
+            for (auto& [key, value] : *input_bucket_ptr) {
               std::size_t h = hash(key);
               std::vector<T>* values = nullptr;
               auto [begin, end] = by_hash.equal_range(h);
@@ -411,6 +601,20 @@ class Rdd {
     struct Sorted {
       std::once_flag once;
       std::vector<T> values;
+      std::size_t total_rows = 0;
+      // External-merge state (docs/MEMORY.md). When the pool denies the
+      // reservation for the sorted runs, `spilled` flips on: runs are
+      // written to `spill` in kSpillChunkRows chunks, merged streaming, and
+      // the merged output's chunks (`out_segs`, in order, with row counts)
+      // replace `values`.
+      exec::MemoryManager* manager = nullptr;
+      std::uint64_t charged = 0;
+      bool spilled = false;
+      std::unique_ptr<exec::SpillFile> spill;
+      std::vector<exec::SpillSegment> out_segs;
+      ~Sorted() {
+        if (manager != nullptr && charged > 0) manager->Release(charged);
+      }
     };
     auto sorted = std::make_shared<Sorted>();
 
@@ -425,15 +629,150 @@ class Rdd {
               runs[index] = std::move(run);
             },
             nullptr, "shuffle.sortBy.map");
+        obs::EventBus& bus = BusOf(context);
+        exec::CancellationToken& cancel = CancelOf(context);
+        std::size_t total = 0;
+        for (const auto& run : runs) total += run.size();
+        sorted->total_rows = total;
+
+        // Memory governance: hold the sorted data under a tracked
+        // reservation, or fall back to an external merge sort on disk.
+        if constexpr (HasSpillCodec<T>) {
+          exec::MemoryManager& memory = MemoryOf(context);
+          if (memory.enforcing() && total > 0) {
+            std::uint64_t bytes = 0;
+            for (const auto& run : runs) {
+              for (const T& value : run) {
+                bytes += static_cast<std::uint64_t>(obs::ApproxByteSize(value));
+              }
+            }
+            sorted->manager = &memory;
+            if (memory.TryReserve(bytes)) {
+              sorted->charged = bytes;
+            } else {
+              sorted->spill = std::make_unique<exec::SpillFile>();
+              if (sorted->spill->ok()) {
+                sorted->spilled = true;
+              } else {
+                sorted->spill.reset();  // creation failed: merge in memory
+              }
+            }
+          }
+          if (sorted->spilled) {
+            // External merge sort: write each sorted run to disk in chunks,
+            // then stream a k-way merge holding one chunk per run plus one
+            // output chunk — memory stays bounded by
+            // (runs + 1) * kSpillChunkRows rows regardless of input size.
+            obs::ScopedSpan merge_span(&TracerOf(context), "operator",
+                                       "spill.merge");
+            std::int64_t written = 0;
+            std::vector<std::vector<exec::SpillSegment>> run_segs(runs.size());
+            for (std::size_t r = 0; r < runs.size(); ++r) {
+              auto& run = runs[r];
+              for (std::size_t begin = 0; begin < run.size();
+                   begin += internal::kSpillChunkRows) {
+                std::size_t count =
+                    std::min(internal::kSpillChunkRows, run.size() - begin);
+                std::vector<T> chunk(
+                    std::make_move_iterator(run.begin() +
+                                            static_cast<std::ptrdiff_t>(begin)),
+                    std::make_move_iterator(
+                        run.begin() +
+                        static_cast<std::ptrdiff_t>(begin + count)));
+                std::string blob = EncodeSpillBlob(chunk);
+                exec::SpillSegment seg = sorted->spill->Append(blob, count);
+                if (seg.size == 0 && !blob.empty()) {
+                  common::ThrowError(common::ErrorCode::kInternal,
+                                     "sort spill write failed: " +
+                                         sorted->spill->path());
+                }
+                run_segs[r].push_back(seg);
+                written += static_cast<std::int64_t>(blob.size());
+              }
+              run.clear();
+              run.shrink_to_fit();
+            }
+            struct RunCursor {
+              std::size_t seg = 0;
+              std::size_t pos = 0;
+              std::vector<T> chunk;
+            };
+            std::vector<RunCursor> cursors(runs.size());
+            auto refill = [&](std::size_t r) -> bool {
+              RunCursor& c = cursors[r];
+              while (c.pos >= c.chunk.size()) {
+                if (c.seg >= run_segs[r].size()) return false;
+                std::string blob;
+                if (!sorted->spill->Read(run_segs[r][c.seg], &blob)) {
+                  common::ThrowError(common::ErrorCode::kInternal,
+                                     "sort spill file lost mid-query: " +
+                                         sorted->spill->path());
+                }
+                bus.AddToCounter("spill.bytes_read",
+                                 static_cast<std::int64_t>(blob.size()));
+                c.chunk = DecodeSpillBlob<T>(blob);
+                c.pos = 0;
+                ++c.seg;
+              }
+              return true;
+            };
+            std::vector<T> out_chunk;
+            out_chunk.reserve(std::min(internal::kSpillChunkRows, total));
+            auto flush = [&]() {
+              if (out_chunk.empty()) return;
+              std::string blob = EncodeSpillBlob(out_chunk);
+              exec::SpillSegment seg =
+                  sorted->spill->Append(blob, out_chunk.size());
+              if (seg.size == 0 && !blob.empty()) {
+                common::ThrowError(common::ErrorCode::kInternal,
+                                   "sort spill write failed: " +
+                                       sorted->spill->path());
+              }
+              sorted->out_segs.push_back(seg);
+              written += static_cast<std::int64_t>(blob.size());
+              out_chunk.clear();
+            };
+            std::size_t merged = 0;
+            while (merged < total) {
+              // Cancellation point: this single-threaded merge can dominate
+              // wall time, so poll between batches of rows.
+              if ((merged & 0x1FFF) == 0) cancel.Check();
+              int best = -1;
+              for (std::size_t r = 0; r < cursors.size(); ++r) {
+                if (!refill(r)) continue;
+                if (best < 0 ||
+                    less(cursors[r].chunk[cursors[r].pos],
+                         cursors[static_cast<std::size_t>(best)]
+                             .chunk[cursors[static_cast<std::size_t>(best)]
+                                        .pos])) {
+                  best = static_cast<int>(r);
+                }
+              }
+              auto b = static_cast<std::size_t>(best);
+              out_chunk.push_back(std::move(cursors[b].chunk[cursors[b].pos]));
+              ++cursors[b].pos;
+              ++merged;
+              if (out_chunk.size() >= internal::kSpillChunkRows) flush();
+            }
+            flush();
+            merge_span.AddArg("rows", static_cast<std::int64_t>(total));
+            merge_span.AddArg("bytes", written);
+            bus.AddToCounter("sort.records", static_cast<std::int64_t>(total));
+            bus.AddToCounter("spill.files", 1);
+            bus.AddToCounter("spill.bytes_written", written);
+            bus.Spilled("shuffle.sortBy.merge", written);
+            return;
+          }
+        }
+
         // Sequential k-way merge (driver-side, like a final single-reducer
         // merge); stable across runs by taking the earliest run on ties.
         obs::ScopedSpan merge_span(&TracerOf(context), "operator",
                                    "shuffle.sortBy.merge");
-        std::size_t total = 0;
-        for (const auto& run : runs) total += run.size();
         sorted->values.reserve(total);
         std::vector<std::size_t> cursor(runs.size(), 0);
         while (sorted->values.size() < total) {
+          if ((sorted->values.size() & 0x1FFF) == 0) cancel.Check();
           int best = -1;
           for (std::size_t r = 0; r < runs.size(); ++r) {
             if (cursor[r] >= runs[r].size()) continue;
@@ -455,18 +794,54 @@ class Rdd {
       });
     };
 
-    return Rdd<T>(context, n_parts, [ensure_sorted, sorted, n_parts](int index) {
-      ensure_sorted();
-      std::size_t total = sorted->values.size();
-      auto parts = static_cast<std::size_t>(n_parts);
-      std::size_t chunk = total / parts;
-      std::size_t remainder = total % parts;
-      auto idx = static_cast<std::size_t>(index);
-      std::size_t begin = idx * chunk + std::min(idx, remainder);
-      std::size_t size = chunk + (idx < remainder ? 1 : 0);
-      return std::vector<T>(sorted->values.begin() + begin,
-                            sorted->values.begin() + begin + size);
-    });
+    return Rdd<T>(
+        context, n_parts, [ensure_sorted, sorted, n_parts, context](int index) {
+          ensure_sorted();
+          std::size_t total = sorted->total_rows;
+          auto parts = static_cast<std::size_t>(n_parts);
+          std::size_t chunk = total / parts;
+          std::size_t remainder = total % parts;
+          auto idx = static_cast<std::size_t>(index);
+          std::size_t begin = idx * chunk + std::min(idx, remainder);
+          std::size_t size = chunk + (idx < remainder ? 1 : 0);
+          if constexpr (HasSpillCodec<T>) {
+            if (sorted->spilled) {
+              // Decode only the output chunks overlapping this partition's
+              // global row range [begin, begin + size).
+              obs::EventBus& bus = BusOf(context);
+              std::vector<T> out;
+              out.reserve(size);
+              std::size_t row0 = 0;
+              for (const exec::SpillSegment& seg : sorted->out_segs) {
+                std::size_t row1 = row0 + static_cast<std::size_t>(seg.rows);
+                if (row1 > begin && row0 < begin + size) {
+                  std::string blob;
+                  if (!sorted->spill->Read(seg, &blob)) {
+                    common::ThrowError(common::ErrorCode::kInternal,
+                                       "sort spill file lost mid-query: " +
+                                           sorted->spill->path());
+                  }
+                  bus.AddToCounter("spill.bytes_read",
+                                   static_cast<std::int64_t>(blob.size()));
+                  std::vector<T> decoded = DecodeSpillBlob<T>(blob);
+                  std::size_t from = begin > row0 ? begin - row0 : 0;
+                  std::size_t to = std::min(static_cast<std::size_t>(seg.rows),
+                                            begin + size - row0);
+                  for (std::size_t i = from; i < to; ++i) {
+                    out.push_back(std::move(decoded[i]));
+                  }
+                }
+                row0 = row1;
+                if (row0 >= begin + size) break;
+              }
+              return out;
+            }
+          }
+          return std::vector<T>(sorted->values.begin() +
+                                    static_cast<std::ptrdiff_t>(begin),
+                                sorted->values.begin() +
+                                    static_cast<std::ptrdiff_t>(begin + size));
+        });
   }
 
   /// zipWithIndex: pairs each element with its global position. Triggers a
@@ -645,6 +1020,51 @@ class Rdd {
                 nullptr, "rdd.cache.materialize");
         bus.AddToCounter("rdd.cache.misses",
                          static_cast<std::int64_t>(n));
+        // Memory governance: charge each materialized partition against the
+        // pool; partitions the pool cannot hold are spilled immediately.
+        // Only types with a codec participate — others stay in memory,
+        // uncharged, exactly as before.
+        if constexpr (HasSpillCodec<T>) {
+          exec::MemoryManager& memory = MemoryOf(state->context);
+          if (memory.enforcing()) {
+            state->manager = &memory;
+            state->cache_spill.resize(n);
+            state->cache_seg.assign(n, exec::SpillSegment{});
+            state->cache_charge.assign(n, 0);
+            state->cache_tick.assign(n, 0);
+            for (std::size_t p = 0; p < n; ++p) {
+              std::uint64_t bytes = 0;
+              for (const T& value : state->cached[p]) {
+                bytes += static_cast<std::uint64_t>(obs::ApproxByteSize(value));
+              }
+              if (bytes == 0) continue;
+              if (memory.TryReserve(bytes)) {
+                state->cache_charge[p] = bytes;
+                state->spillable_bytes.fetch_add(bytes,
+                                                 std::memory_order_acq_rel);
+                continue;
+              }
+              // Denied even after forced spilling elsewhere: spill this
+              // partition straight to disk instead of holding it uncharged.
+              auto file = std::make_unique<exec::SpillFile>();
+              if (!file->ok()) continue;  // keep in memory, uncharged
+              std::string blob = EncodeSpillBlob(state->cached[p]);
+              exec::SpillSegment seg =
+                  file->Append(blob, state->cached[p].size());
+              if (seg.size == 0 && !blob.empty()) continue;
+              state->cache_spill[p] = std::move(file);
+              state->cache_seg[p] = seg;
+              state->cached[p].clear();
+              state->cached[p].shrink_to_fit();
+              bus.AddToCounter("rdd.cache.evicted", 1);
+              bus.AddToCounter("spill.files", 1);
+              bus.AddToCounter("spill.bytes_written",
+                               static_cast<std::int64_t>(blob.size()));
+              bus.Spilled("rdd.cache", static_cast<std::int64_t>(blob.size()));
+            }
+            state->spill_token = memory.RegisterSpillable(state.get());
+          }
+        }
         // From here on an executor loss invalidates the partitions it built.
         // Registered only after the build: a kill *during* materialization is
         // already handled by the scheduler retrying the victim's tasks.
@@ -681,7 +1101,35 @@ class Rdd {
       RepairCache(state, bus);
     }
     std::shared_lock<std::shared_mutex> lock(state->cache_mu);
-    return state->cached[static_cast<std::size_t>(index)];
+    auto p = static_cast<std::size_t>(index);
+    if constexpr (HasSpillCodec<T>) {
+      // Evicted partition: restore it from its spill file. The restored copy
+      // is returned directly (the partition stays spilled — re-admitting it
+      // would immediately re-trigger the pressure that evicted it). A lost
+      // file is not fatal: the partition is recomputed from lineage, the same
+      // path an executor loss takes.
+      if (p < state->cache_spill.size() && state->cache_spill[p] != nullptr) {
+        std::string blob;
+        if (state->cache_spill[p]->Read(state->cache_seg[p], &blob)) {
+          bus.AddToCounter("rdd.cache.spill_restored", 1);
+          bus.AddToCounter("spill.bytes_read",
+                           static_cast<std::int64_t>(blob.size()));
+          return DecodeSpillBlob<T>(blob);
+        }
+        bus.PartitionRecomputed("rdd.cache", static_cast<std::int64_t>(p));
+        bus.AddToCounter("partition.recomputed", 1);
+        return state->compute(index);
+      }
+      if (state->manager != nullptr) {
+        std::lock_guard<std::mutex> meta(state->cache_meta_mu);
+        if (p < state->cache_tick.size()) {
+          state->cache_tick[p] = state->tick_counter.fetch_add(
+                                     1, std::memory_order_acq_rel) +
+                                 1;
+        }
+      }
+    }
+    return state->cached[p];
   }
 
   /// Recomputes cache partitions lost to an executor failure, from lineage
@@ -706,6 +1154,15 @@ class Rdd {
     }
     for (std::size_t p : to_repair) {
       state->cached[p] = state->compute(static_cast<int>(p));
+      if constexpr (HasSpillCodec<T>) {
+        // A recomputed partition supersedes any spilled copy; drop the stale
+        // file so reads take the fresh in-memory data. The recomputed copy is
+        // deliberately left uncharged — repair must never fail on memory.
+        if (p < state->cache_spill.size() && state->cache_spill[p] != nullptr) {
+          state->cache_spill[p].reset();
+          state->cache_seg[p] = exec::SpillSegment{};
+        }
+      }
       {
         std::lock_guard<std::mutex> meta(state->cache_meta_mu);
         state->cache_executor[p] = exec::ExecutorPool::CurrentExecutor();

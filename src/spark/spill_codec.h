@@ -1,0 +1,172 @@
+#ifndef RUMBLE_SPARK_SPILL_CODEC_H_
+#define RUMBLE_SPARK_SPILL_CODEC_H_
+
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/item/item.h"
+#include "src/item/item_serde.h"
+
+namespace rumble::spark {
+
+// Binary codecs for the element types that flow through Rdd<T> pipeline
+// breakers (shuffle map outputs, sort buffers, cached partitions). This
+// header is included *by* rdd.h, so every translation unit agrees on which
+// types have a codec — spill support for a given Rdd<T> is compiled in
+// exactly when HasSpillCodec<T> holds, and is skipped (the partition simply
+// stays in memory, uncharged) otherwise. Scalars are raw little-endian bits,
+// which keeps spilled-and-restored doubles byte-identical.
+
+namespace serde {
+
+inline void PutRaw(const void* data, std::size_t size, std::string* out) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+inline void GetRaw(const char** cursor, const char* end, void* data,
+                   std::size_t size) {
+  if (static_cast<std::size_t>(end - *cursor) < size) {
+    common::ThrowError(common::ErrorCode::kInternal,
+                       "spill decode: truncated buffer");
+  }
+  std::memcpy(data, *cursor, size);
+  *cursor += size;
+}
+
+inline void PutU32(std::uint32_t value, std::string* out) {
+  PutRaw(&value, sizeof(value), out);
+}
+
+inline std::uint32_t GetU32(const char** cursor, const char* end) {
+  std::uint32_t value = 0;
+  GetRaw(cursor, end, &value, sizeof(value));
+  return value;
+}
+
+inline void PutU64(std::uint64_t value, std::string* out) {
+  PutRaw(&value, sizeof(value), out);
+}
+
+inline std::uint64_t GetU64(const char** cursor, const char* end) {
+  std::uint64_t value = 0;
+  GetRaw(cursor, end, &value, sizeof(value));
+  return value;
+}
+
+}  // namespace serde
+
+/// Primary template: intentionally undefined. Specializations provide
+/// `static void Encode(const T&, std::string*)` and
+/// `static T Decode(const char**, const char*)`.
+template <typename T>
+struct SpillCodec;
+
+template <typename T>
+  requires std::is_arithmetic_v<T>
+struct SpillCodec<T> {
+  static void Encode(const T& value, std::string* out) {
+    serde::PutRaw(&value, sizeof(T), out);
+  }
+  static T Decode(const char** cursor, const char* end) {
+    T value{};
+    serde::GetRaw(cursor, end, &value, sizeof(T));
+    return value;
+  }
+};
+
+template <>
+struct SpillCodec<std::string> {
+  static void Encode(const std::string& value, std::string* out) {
+    serde::PutU32(static_cast<std::uint32_t>(value.size()), out);
+    out->append(value);
+  }
+  static std::string Decode(const char** cursor, const char* end) {
+    std::uint32_t size = serde::GetU32(cursor, end);
+    if (static_cast<std::size_t>(end - *cursor) < size) {
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "spill decode: truncated string");
+    }
+    std::string value(*cursor, size);
+    *cursor += size;
+    return value;
+  }
+};
+
+template <>
+struct SpillCodec<item::ItemPtr> {
+  static void Encode(const item::ItemPtr& value, std::string* out) {
+    item::EncodeItem(value, out);
+  }
+  static item::ItemPtr Decode(const char** cursor, const char* end) {
+    return item::DecodeItem(cursor, end);
+  }
+};
+
+/// True when T can be spilled. Evaluated per Rdd<T> instantiation to gate
+/// every charge/spill path at compile time.
+template <typename T>
+concept HasSpillCodec =
+    requires(const T& value, std::string* out, const char** cursor,
+             const char* end) {
+      SpillCodec<T>::Encode(value, out);
+      { SpillCodec<T>::Decode(cursor, end) } -> std::same_as<T>;
+    };
+
+template <typename A, typename B>
+  requires HasSpillCodec<A> && HasSpillCodec<B>
+struct SpillCodec<std::pair<A, B>> {
+  static void Encode(const std::pair<A, B>& value, std::string* out) {
+    SpillCodec<A>::Encode(value.first, out);
+    SpillCodec<B>::Encode(value.second, out);
+  }
+  static std::pair<A, B> Decode(const char** cursor, const char* end) {
+    A first = SpillCodec<A>::Decode(cursor, end);
+    B second = SpillCodec<B>::Decode(cursor, end);
+    return {std::move(first), std::move(second)};
+  }
+};
+
+template <typename T>
+  requires HasSpillCodec<T>
+struct SpillCodec<std::vector<T>> {
+  static void Encode(const std::vector<T>& value, std::string* out) {
+    serde::PutU64(value.size(), out);
+    for (const T& element : value) SpillCodec<T>::Encode(element, out);
+  }
+  static std::vector<T> Decode(const char** cursor, const char* end) {
+    std::uint64_t count = serde::GetU64(cursor, end);
+    std::vector<T> value;
+    value.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      value.push_back(SpillCodec<T>::Decode(cursor, end));
+    }
+    return value;
+  }
+};
+
+/// Encodes a whole vector as one blob (the common spill unit).
+template <typename T>
+  requires HasSpillCodec<T>
+std::string EncodeSpillBlob(const std::vector<T>& values) {
+  std::string blob;
+  SpillCodec<std::vector<T>>::Encode(values, &blob);
+  return blob;
+}
+
+template <typename T>
+  requires HasSpillCodec<T>
+std::vector<T> DecodeSpillBlob(const std::string& blob) {
+  const char* cursor = blob.data();
+  const char* end = blob.data() + blob.size();
+  return SpillCodec<std::vector<T>>::Decode(&cursor, end);
+}
+
+}  // namespace rumble::spark
+
+#endif  // RUMBLE_SPARK_SPILL_CODEC_H_

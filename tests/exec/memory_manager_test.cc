@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/exec/cancellation.h"
+#include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
+
+namespace rumble {
+namespace {
+
+using exec::CancellationToken;
+using exec::MemoryManager;
+using exec::SpillFile;
+using exec::SpillSegment;
+using exec::Spillable;
+
+// ---------------------------------------------------------------------------
+// Budget mode (the old util::MemoryBudget semantics)
+// ---------------------------------------------------------------------------
+
+TEST(MemoryManagerTest, CountsWithoutLimit) {
+  MemoryManager manager(0);
+  manager.Allocate(100);
+  manager.Allocate(50);
+  EXPECT_EQ(manager.used_bytes(), 150u);
+  manager.Release(50);
+  EXPECT_EQ(manager.used_bytes(), 100u);
+}
+
+TEST(MemoryManagerTest, AllocateThrowsWhenExceeded) {
+  MemoryManager manager(100);
+  manager.Allocate(90);
+  EXPECT_THROW(manager.Allocate(20), common::RumbleException);
+}
+
+TEST(MemoryManagerTest, AllocateErrorCodeIsOutOfMemory) {
+  MemoryManager manager(10);
+  try {
+    manager.Allocate(11);
+    FAIL() << "expected an exception";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kOutOfMemory);
+  }
+}
+
+TEST(MemoryManagerTest, ResetClearsUsage) {
+  MemoryManager manager(100);
+  manager.Allocate(80);
+  manager.Reset();
+  EXPECT_EQ(manager.used_bytes(), 0u);
+  EXPECT_NO_THROW(manager.Allocate(80));
+}
+
+// The data race the old MemoryBudget had: set_limit_bytes concurrent with
+// Allocate/Release. Run under -DRUMBLE_TSAN=ON to prove the fix.
+TEST(MemoryManagerTest, ConcurrentLimitChangeAndAllocateIsSafe) {
+  MemoryManager manager(0);
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    std::uint64_t limit = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      manager.set_limit_bytes(limit);
+      limit = limit == 0 ? 1'000'000'000 : 0;
+    }
+  });
+  for (int i = 0; i < 20'000; ++i) {
+    try {
+      manager.Allocate(1);
+    } catch (const common::RumbleException&) {
+      // Unreachable with these limits, but allocation failure is not what
+      // this test is about.
+    }
+    manager.Release(1);
+  }
+  stop.store(true, std::memory_order_release);
+  tuner.join();
+}
+
+// ---------------------------------------------------------------------------
+// Tracked reservations + forced spilling
+// ---------------------------------------------------------------------------
+
+/// Test double: a consumer holding `bytes` it can spill on demand.
+class FakeSpillable : public Spillable {
+ public:
+  FakeSpillable(MemoryManager* manager, std::uint64_t bytes)
+      : manager_(manager), bytes_(bytes) {}
+
+  const char* SpillLabel() const override { return "test.fake"; }
+  std::uint64_t SpillableBytes() const override { return bytes_; }
+  std::uint64_t SpillBytes(std::uint64_t want) override {
+    std::uint64_t freed = std::min(want, bytes_);
+    if (spill_everything_) freed = bytes_;
+    bytes_ -= freed;
+    manager_->Release(freed);
+    ++spill_calls_;
+    return freed;
+  }
+
+  void set_spill_everything(bool value) { spill_everything_ = value; }
+  int spill_calls() const { return spill_calls_; }
+  std::uint64_t held() const { return bytes_; }
+
+ private:
+  MemoryManager* manager_;
+  std::uint64_t bytes_;
+  bool spill_everything_ = false;
+  int spill_calls_ = 0;
+};
+
+TEST(MemoryManagerTest, TryReserveAlwaysGrantsWithoutLimit) {
+  MemoryManager manager(0);
+  EXPECT_FALSE(manager.enforcing());
+  EXPECT_TRUE(manager.TryReserve(1'000'000'000));
+  EXPECT_EQ(manager.reserved_bytes(), 1'000'000'000u);
+  manager.Release(1'000'000'000);
+  EXPECT_EQ(manager.reserved_bytes(), 0u);
+}
+
+TEST(MemoryManagerTest, TryReserveGrantsWithinLimit) {
+  MemoryManager manager(1000);
+  EXPECT_TRUE(manager.enforcing());
+  EXPECT_TRUE(manager.TryReserve(400));
+  EXPECT_TRUE(manager.TryReserve(400));
+  EXPECT_EQ(manager.reserved_bytes(), 800u);
+}
+
+TEST(MemoryManagerTest, DeniedReservationIsBackedOut) {
+  MemoryManager manager(1000);
+  ASSERT_TRUE(manager.TryReserve(900));
+  EXPECT_FALSE(manager.TryReserve(200));
+  // The failed grant must not linger in the accounting.
+  EXPECT_EQ(manager.reserved_bytes(), 900u);
+}
+
+TEST(MemoryManagerTest, DenialForcesRegisteredConsumerToSpill) {
+  MemoryManager manager(1000);
+  ASSERT_TRUE(manager.TryReserve(900));
+  FakeSpillable consumer(&manager, 900);
+  int token = manager.RegisterSpillable(&consumer);
+  consumer.set_spill_everything(true);
+  EXPECT_TRUE(manager.TryReserve(200));
+  EXPECT_EQ(consumer.spill_calls(), 1);
+  EXPECT_EQ(manager.reserved_bytes(), 200u);
+  manager.UnregisterSpillable(token);
+  manager.Release(200);
+}
+
+TEST(MemoryManagerTest, LargestConsumerSpillsFirst) {
+  MemoryManager manager(1000);
+  ASSERT_TRUE(manager.TryReserve(500));
+  FakeSpillable small(&manager, 100);
+  FakeSpillable large(&manager, 400);
+  int t1 = manager.RegisterSpillable(&small);
+  int t2 = manager.RegisterSpillable(&large);
+  EXPECT_TRUE(manager.TryReserve(700));
+  EXPECT_EQ(large.spill_calls(), 1);
+  EXPECT_EQ(small.spill_calls(), 0) << "spilling the largest sufficed";
+  manager.UnregisterSpillable(t1);
+  manager.UnregisterSpillable(t2);
+}
+
+TEST(MemoryManagerTest, DenialWhenNothingCanSpill) {
+  MemoryManager manager(100);
+  FakeSpillable empty(&manager, 0);
+  int token = manager.RegisterSpillable(&empty);
+  ASSERT_TRUE(manager.TryReserve(90));
+  EXPECT_FALSE(manager.TryReserve(50));
+  EXPECT_EQ(manager.reserved_bytes(), 90u);
+  manager.UnregisterSpillable(token);
+}
+
+TEST(MemoryManagerTest, AdmissionRejectedWhenPoolExhausted) {
+  MemoryManager manager(100);
+  EXPECT_NO_THROW(manager.AdmitQuery());
+  ASSERT_TRUE(manager.TryReserve(100));
+  try {
+    manager.AdmitQuery();
+    FAIL() << "expected kAdmissionRejected";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kAdmissionRejected);
+  }
+  // Spillable reservations do not count against admission: the pool could
+  // be drained by spilling, so the query is admitted.
+  FakeSpillable consumer(&manager, 100);
+  int token = manager.RegisterSpillable(&consumer);
+  EXPECT_NO_THROW(manager.AdmitQuery());
+  manager.UnregisterSpillable(token);
+  manager.Release(100);
+}
+
+TEST(MemoryManagerTest, ParseByteSize) {
+  std::uint64_t bytes = 0;
+  EXPECT_TRUE(MemoryManager::ParseByteSize("268435456", &bytes));
+  EXPECT_EQ(bytes, 268'435'456u);
+  EXPECT_TRUE(MemoryManager::ParseByteSize("256k", &bytes));
+  EXPECT_EQ(bytes, 256u * 1024);
+  EXPECT_TRUE(MemoryManager::ParseByteSize("64M", &bytes));
+  EXPECT_EQ(bytes, 64u * 1024 * 1024);
+  EXPECT_TRUE(MemoryManager::ParseByteSize("1g", &bytes));
+  EXPECT_EQ(bytes, 1024u * 1024 * 1024);
+  EXPECT_FALSE(MemoryManager::ParseByteSize("", &bytes));
+  EXPECT_FALSE(MemoryManager::ParseByteSize("12q", &bytes));
+  EXPECT_FALSE(MemoryManager::ParseByteSize("k", &bytes));
+}
+
+// ---------------------------------------------------------------------------
+// CancellationToken
+// ---------------------------------------------------------------------------
+
+TEST(CancellationTokenTest, StartsUncancelled) {
+  CancellationToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_NO_THROW(token.Check());
+}
+
+TEST(CancellationTokenTest, CancelLatchesFirstOrigin) {
+  CancellationToken token;
+  token.Cancel(CancellationToken::Origin::kHttp);
+  token.Cancel(CancellationToken::Origin::kUser);
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.origin(), CancellationToken::Origin::kHttp);
+}
+
+TEST(CancellationTokenTest, CheckThrowsKCancelledNamingOrigin) {
+  CancellationToken token;
+  token.Cancel(CancellationToken::Origin::kInterrupt);
+  try {
+    token.Check();
+    FAIL() << "expected kCancelled";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("interrupt"), std::string::npos);
+  }
+}
+
+TEST(CancellationTokenTest, DeadlineLatchesAsTimeout) {
+  CancellationToken token;
+  token.SetDeadlineAfterMs(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.origin(), CancellationToken::Origin::kTimeout);
+}
+
+TEST(CancellationTokenTest, ResetClearsCancelAndDeadline) {
+  CancellationToken token;
+  token.SetDeadlineAfterMs(1);
+  token.Cancel(CancellationToken::Origin::kUser);
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(token.IsCancelled()) << "Reset must disarm the deadline";
+  EXPECT_EQ(token.origin(), CancellationToken::Origin::kNone);
+}
+
+TEST(CancellationTokenTest, ZeroTimeoutMeansNoDeadline) {
+  CancellationToken token;
+  token.SetDeadlineAfterMs(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile
+// ---------------------------------------------------------------------------
+
+TEST(SpillFileTest, AppendReadRoundTrip) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  SpillSegment a = file.Append("hello", 1);
+  SpillSegment b = file.Append(std::string(100'000, 'x'), 2);
+  EXPECT_EQ(a.size, 5u);
+  EXPECT_EQ(b.rows, 2u);
+  std::string out;
+  ASSERT_TRUE(file.Read(b, &out));
+  EXPECT_EQ(out, std::string(100'000, 'x'));
+  ASSERT_TRUE(file.Read(a, &out));
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(file.bytes_written(), 100'005u);
+}
+
+TEST(SpillFileTest, ReadFailsAfterUnlink) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  SpillSegment seg = file.Append("payload");
+  ASSERT_EQ(::unlink(file.path().c_str()), 0);
+  std::string out;
+  // Reads reopen the path per call, so deletion is observable — this is what
+  // lets the RDD cache detect a lost spill file and recover from lineage.
+  EXPECT_FALSE(file.Read(seg, &out));
+}
+
+TEST(SpillFileTest, DestructorUnlinksAndSweeperFindsNothing) {
+  { SpillFile file; (void)file.Append("data"); }
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+  EXPECT_EQ(exec::SweepSpillFiles(), 0);
+}
+
+TEST(SpillFileTest, SweepRemovesLeftoverFiles) {
+  // Simulate a crashed query: a stray file with this process's prefix.
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  (void)file.Append("leftover");
+  std::string stray = file.path() + ".stray";
+  // CountSpillFiles/Sweep match the rumble-spill-<pid>- prefix; copying the
+  // live file's path with a suffix keeps the prefix intact.
+  {
+    FILE* out = std::fopen(stray.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fputs("orphan", out);
+    std::fclose(out);
+  }
+  EXPECT_EQ(exec::CountSpillFiles(), 2);
+  EXPECT_EQ(exec::SweepSpillFiles(), 1) << "must not unlink live files";
+  EXPECT_EQ(exec::CountSpillFiles(), 1);
+  std::string payload;
+  SpillSegment seg{0, 8, 0};
+  EXPECT_TRUE(file.Read(seg, &payload)) << "live file survived the sweep";
+  EXPECT_EQ(payload, "leftover");
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/common/error.h"
+#include "src/exec/spill_file.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_server.h"
+
+namespace rumble {
+namespace {
+
+using common::ErrorCode;
+using common::RumbleConfig;
+using jsoniq::Rumble;
+
+// A query long enough (hundreds of ms at 4 executors) that cancellation
+// requests land while it is still running.
+constexpr char kLongQuery[] =
+    "count(for $x in parallelize(1 to 5000000) "
+    "order by $x mod 9973 descending, $x return $x)";
+
+RumbleConfig Config() {
+  RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = 8;
+  return config;
+}
+
+/// Asserts the post-cancellation invariants: distinct error code, drained
+/// reservation pool, no spill files, and a reusable engine.
+void ExpectCleanlyCancelled(Rumble* engine,
+                            const common::Status& status) {
+  EXPECT_EQ(status.code(), ErrorCode::kCancelled);
+  EXPECT_EQ(engine->engine()->spark->memory_manager().reserved_bytes(), 0u);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+  auto again = engine->RunToJson("1 + 1");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value(), "2\n");
+}
+
+TEST(CancellationTest, QueryTimeoutCancelsMidShuffle) {
+  RumbleConfig config = Config();
+  config.query_timeout_ms = 10;
+  Rumble engine(config);
+  auto result = engine.Run(kLongQuery);
+  ASSERT_FALSE(result.ok()) << "10ms deadline never fired";
+  ExpectCleanlyCancelled(&engine, result.status());
+  EXPECT_GE(engine.event_bus().CounterValue("cancel.observed"), 1);
+}
+
+TEST(CancellationTest, TimeoutAppliesPerQueryNotPerSession) {
+  RumbleConfig config = Config();
+  config.query_timeout_ms = 2000;
+  Rumble engine(config);
+  // Several quick queries each get their own 2s deadline; none expire.
+  for (int i = 0; i < 3; ++i) {
+    auto result = engine.RunToJson("sum(parallelize(1 to 1000))");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value(), "500500\n");
+  }
+}
+
+TEST(CancellationTest, CancelJobStopsARunningQuery) {
+  Rumble engine(Config());
+  // Job ids are assigned sequentially by BeginJob starting at 0; this
+  // engine has run nothing yet, so the long query is job 0.
+  std::atomic<bool> cancelled{false};
+  std::thread canceller([&] {
+    while (!cancelled.load(std::memory_order_acquire)) {
+      if (engine.CancelJob(0)) {
+        cancelled.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto result = engine.Run(kLongQuery);
+  cancelled.store(true, std::memory_order_release);
+  canceller.join();
+  ASSERT_FALSE(result.ok()) << "CancelJob never interrupted the query";
+  ExpectCleanlyCancelled(&engine, result.status());
+}
+
+TEST(CancellationTest, CancelJobOnUnknownOrFinishedJobIsFalse) {
+  Rumble engine(Config());
+  EXPECT_FALSE(engine.CancelJob(0)) << "nothing is running yet";
+  auto result = engine.RunToJson("1 + 1");
+  ASSERT_TRUE(result.ok());
+  // Cancellation racing completion: the job already finished, so the
+  // request is a no-op and the next query is unaffected.
+  EXPECT_FALSE(engine.CancelJob(0));
+  auto after = engine.RunToJson("2 + 2");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after.value(), "4\n");
+}
+
+/// Sends one raw HTTP request and returns the full response.
+std::string HttpRequest(int port, const std::string& request) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(CancellationTest, HttpPostCancelsARunningQuery) {
+  Rumble engine(Config());
+  obs::MetricsServer server(&engine.event_bus());
+  server.SetCancelHandler(
+      [&engine](std::int64_t job) { return engine.CancelJob(job); });
+  ASSERT_TRUE(server.Start(0));
+  int port = server.port();
+
+  std::atomic<bool> done{false};
+  std::thread poster([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string response = HttpRequest(
+          port, "POST /jobs/0/cancel HTTP/1.0\r\n\r\n");
+      if (response.find("200 OK") != std::string::npos) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto result = engine.Run(kLongQuery);
+  done.store(true, std::memory_order_release);
+  poster.join();
+  server.Stop();
+  ASSERT_FALSE(result.ok()) << "POST /jobs/0/cancel never took effect";
+  ExpectCleanlyCancelled(&engine, result.status());
+}
+
+TEST(CancellationTest, HttpCancelOfUnknownJobIs404) {
+  Rumble engine(Config());
+  obs::MetricsServer server(&engine.event_bus());
+  server.SetCancelHandler(
+      [&engine](std::int64_t job) { return engine.CancelJob(job); });
+  ASSERT_TRUE(server.Start(0));
+  std::string response = HttpRequest(
+      server.port(), "POST /jobs/12345/cancel HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"cancelled\":false"), std::string::npos);
+  // Malformed cancel paths and other POSTs are rejected, not crashed on.
+  response = HttpRequest(server.port(), "POST /jobs/abc/cancel HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  response = HttpRequest(server.port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  server.Stop();
+}
+
+TEST(CancellationTest, LocalPipelineObservesCancellation) {
+  // Force the pull-based local pipeline (no RDDs) and cancel via timeout:
+  // the clause-boundary and Charge() checks must observe it.
+  RumbleConfig config = Config();
+  config.flwor_backend = common::FlworBackend::kLocalOnly;
+  config.force_local_execution = true;
+  config.query_timeout_ms = 10;
+  Rumble engine(config);
+  auto result = engine.Run(
+      "count(for $x in (1 to 500000) "
+      "group by $k := $x mod 911 return $k)");
+  ASSERT_FALSE(result.ok()) << "local pipeline never hit a cancel point";
+  EXPECT_EQ(result.status().code(), ErrorCode::kCancelled);
+  auto again = engine.RunToJson("1 + 1");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/error.h"
+#include "src/exec/spill_file.h"
+#include "src/jsoniq/rumble.h"
+
+namespace rumble {
+namespace {
+
+using common::FlworBackend;
+using common::RumbleConfig;
+using jsoniq::Rumble;
+
+constexpr char kGroupSortQuery[] =
+    "for $x in parallelize(1 to 50000) "
+    "group by $k := $x mod 97 "
+    "let $c := count($x) "
+    "order by $c descending, $k "
+    "return { \"k\": $k, \"c\": $c }";
+
+constexpr char kPlainSortQuery[] =
+    "for $x in parallelize(1 to 50000) "
+    "order by $x mod 101 descending, $x "
+    "return $x";
+
+RumbleConfig Config(std::uint64_t memory_limit, FlworBackend backend) {
+  RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = 8;
+  config.memory_limit_bytes = memory_limit;
+  config.flwor_backend = backend;
+  return config;
+}
+
+std::int64_t Counter(Rumble* engine, const std::string& name) {
+  return engine->event_bus().CounterValue(name);
+}
+
+/// Runs `query` under `limit` bytes and asserts the memory-governance
+/// invariants, returning the serialized result.
+std::string RunLimited(const std::string& query, std::uint64_t limit,
+                       FlworBackend backend, bool expect_spill) {
+  Rumble engine(Config(limit, backend));
+  auto result = engine.RunToJson(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (expect_spill) {
+    EXPECT_GT(Counter(&engine, "spill.bytes_written"), 0)
+        << "the limit never forced a spill — raise the data size or lower "
+           "the limit so the test exercises the breakers";
+  }
+  EXPECT_EQ(engine.engine()->spark->memory_manager().reserved_bytes(), 0u)
+      << "reservations leaked past the end of the query";
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "spill files leaked";
+  return result.ok() ? result.value() : std::string();
+}
+
+TEST(JsoniqSpillTest, DataFrameGroupBySortIsByteIdenticalUnderLimit) {
+  std::string unlimited =
+      RunLimited(kGroupSortQuery, 0, FlworBackend::kDataFrame, false);
+  std::string limited = RunLimited(kGroupSortQuery, 64 * 1024,
+                                   FlworBackend::kDataFrame, true);
+  ASSERT_FALSE(unlimited.empty());
+  EXPECT_EQ(limited, unlimited);
+}
+
+TEST(JsoniqSpillTest, DataFrameSortIsByteIdenticalUnderLimit) {
+  std::string unlimited =
+      RunLimited(kPlainSortQuery, 0, FlworBackend::kDataFrame, false);
+  std::string limited =
+      RunLimited(kPlainSortQuery, 64 * 1024, FlworBackend::kDataFrame, true);
+  ASSERT_FALSE(unlimited.empty());
+  EXPECT_EQ(limited, unlimited);
+}
+
+TEST(JsoniqSpillTest, TupleRddGroupBySortIsByteIdenticalUnderLimit) {
+  std::string unlimited =
+      RunLimited(kGroupSortQuery, 0, FlworBackend::kTupleRdd, false);
+  std::string limited = RunLimited(kGroupSortQuery, 64 * 1024,
+                                   FlworBackend::kTupleRdd, true);
+  ASSERT_FALSE(unlimited.empty());
+  EXPECT_EQ(limited, unlimited);
+}
+
+TEST(JsoniqSpillTest, BackendsAgreeUnderLimit) {
+  std::string df = RunLimited(kGroupSortQuery, 64 * 1024,
+                              FlworBackend::kDataFrame, true);
+  std::string rdd = RunLimited(kGroupSortQuery, 64 * 1024,
+                               FlworBackend::kTupleRdd, true);
+  EXPECT_EQ(df, rdd);
+}
+
+TEST(JsoniqSpillTest, SpillReadsMatchWritesAndFilesAreCounted) {
+  Rumble engine(Config(64 * 1024, FlworBackend::kDataFrame));
+  auto result = engine.RunToJson(kGroupSortQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(Counter(&engine, "spill.files"), 0);
+  EXPECT_GT(Counter(&engine, "spill.bytes_read"), 0);
+  // Every spilled byte is read back exactly once by the merge phases.
+  EXPECT_EQ(Counter(&engine, "spill.bytes_read"),
+            Counter(&engine, "spill.bytes_written"));
+}
+
+TEST(JsoniqSpillTest, EngineIsReusableAfterSpillingQueries) {
+  Rumble engine(Config(64 * 1024, FlworBackend::kDataFrame));
+  for (int i = 0; i < 3; ++i) {
+    auto result = engine.RunToJson(kGroupSortQuery);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(engine.engine()->spark->memory_manager().reserved_bytes(), 0u);
+    EXPECT_EQ(exec::CountSpillFiles(), 0);
+  }
+}
+
+// Satellite: a query cancelled *while spilling* must leave zero spill files
+// behind (the sweeper catches anything a unwound destructor missed).
+TEST(JsoniqSpillTest, CancelledSpillingQueryLeavesNoSpillFiles) {
+  RumbleConfig config = Config(64 * 1024, FlworBackend::kDataFrame);
+  config.query_timeout_ms = 20;
+  Rumble engine(config);
+  // Big enough that 20ms always expires mid-execution (the unlimited run
+  // takes hundreds of milliseconds), with a sort so spilling is underway.
+  auto result = engine.RunToJson(
+      "for $x in parallelize(1 to 5000000) "
+      "order by $x mod 9973 descending, $x "
+      "return $x");
+  ASSERT_FALSE(result.ok()) << "expected the 20ms timeout to fire";
+  EXPECT_EQ(result.status().code(), common::ErrorCode::kCancelled);
+  EXPECT_EQ(exec::CountSpillFiles(), 0)
+      << "cancelled query left spill files behind";
+  EXPECT_EQ(engine.engine()->spark->memory_manager().reserved_bytes(), 0u);
+
+  // The engine (and its pool) stay usable after the cancelled query.
+  auto again = engine.RunToJson("sum(parallelize(1 to 100))");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value(), "5050\n");
+}
+
+}  // namespace
+}  // namespace rumble

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exec/spill_file.h"
+#include "src/spark/context.h"
+#include "src/spark/spill_codec.h"
+
+namespace rumble {
+namespace {
+
+using spark::Context;
+using spark::Rdd;
+
+common::RumbleConfig Config(std::uint64_t memory_limit, int partitions = 8) {
+  common::RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = partitions;
+  config.memory_limit_bytes = memory_limit;
+  return config;
+}
+
+std::int64_t Counter(Context* context, const std::string& name) {
+  return context->bus().CounterValue(name);
+}
+
+/// Unlinks every live spill file of this process, simulating an external
+/// cleanup (tmp reaper) deleting them under a running engine.
+int UnlinkSpillFilesOnDisk() {
+  int removed = 0;
+  const std::string prefix = "rumble-spill-" + std::to_string(::getpid());
+  for (const auto& entry :
+       std::filesystem::directory_iterator(exec::SpillDirectory())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0 &&
+        ::unlink(entry.path().c_str()) == 0) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+// ---------------------------------------------------------------------------
+// Spill codec round-trips
+// ---------------------------------------------------------------------------
+
+template <typename T>
+T RoundTrip(const T& value) {
+  std::vector<T> in{value};
+  std::string blob = spark::EncodeSpillBlob(in);
+  std::vector<T> out = spark::DecodeSpillBlob<T>(blob);
+  EXPECT_EQ(out.size(), 1u);
+  return out[0];
+}
+
+TEST(SpillCodecTest, RoundTripsScalarsStringsAndNesting) {
+  EXPECT_EQ(RoundTrip<int>(-42), -42);
+  EXPECT_EQ(RoundTrip<std::int64_t>(1'000'000'000'000), 1'000'000'000'000);
+  EXPECT_EQ(RoundTrip<double>(2.5), 2.5);
+  std::string with_nul("hello\0world", 11);
+  EXPECT_EQ(RoundTrip<std::string>(with_nul), with_nul);
+  using StrIntPair = std::pair<std::string, int>;
+  EXPECT_EQ((RoundTrip<StrIntPair>({"key", 7})), (StrIntPair{"key", 7}));
+  std::vector<int> nested{1, 2, 3};
+  EXPECT_EQ(RoundTrip<std::vector<int>>(nested), nested);
+}
+
+TEST(SpillCodecTest, RoundTripsManyValues) {
+  std::vector<std::pair<int, std::string>> in;
+  for (int i = 0; i < 1000; ++i) {
+    in.emplace_back(i, std::string(static_cast<std::size_t>(i % 37), 'x'));
+  }
+  std::string blob = spark::EncodeSpillBlob(in);
+  auto decoded = spark::DecodeSpillBlob<std::pair<int, std::string>>(blob);
+  EXPECT_EQ(decoded, in);
+}
+
+// ---------------------------------------------------------------------------
+// GroupBy shuffle map-output spilling
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int, std::vector<int>>> RunGroupBy(
+    std::uint64_t memory_limit, std::int64_t* spilled_bytes) {
+  Context context(Config(memory_limit));
+  std::vector<int> values(20'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int>(i);
+  }
+  auto grouped = context.Parallelize(values, 8).GroupBy<int>(
+      [](const int& x) { return x % 53; }, std::hash<int>{},
+      std::equal_to<int>{}, 8);
+  auto result = grouped.Collect();
+  if (spilled_bytes != nullptr) {
+    *spilled_bytes = Counter(&context, "spill.bytes_written");
+  }
+  EXPECT_EQ(Counter(&context, "spill.bytes_read"),
+            Counter(&context, "spill.bytes_written"));
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u)
+      << "shuffle reservations must drain when the RDD dies";
+  return result;
+}
+
+TEST(SpillRddTest, GroupByUnderMemoryLimitIsIdenticalToUnlimited) {
+  std::int64_t unlimited_spill = 0;
+  auto unlimited = RunGroupBy(0, &unlimited_spill);
+  EXPECT_EQ(unlimited_spill, 0);
+
+  std::int64_t limited_spill = 0;
+  auto limited = RunGroupBy(16 * 1024, &limited_spill);
+  EXPECT_GT(limited_spill, 0) << "16k limit must force the shuffle to spill";
+  ASSERT_EQ(limited.size(), unlimited.size());
+  EXPECT_EQ(limited, unlimited) << "spilling must not change results";
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "spill files must not leak";
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int, int>> RunSort(std::uint64_t memory_limit,
+                                         std::int64_t* spilled_bytes) {
+  Context context(Config(memory_limit));
+  std::vector<std::pair<int, int>> values;
+  values.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    values.emplace_back((i * 7919) % 101, i);
+  }
+  auto sorted = context.Parallelize(values, 8).SortBy(
+      [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+        return a.first < b.first;  // many ties: exercises stability
+      });
+  auto result = sorted.Collect();
+  if (spilled_bytes != nullptr) {
+    *spilled_bytes = Counter(&context, "spill.bytes_written");
+  }
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u);
+  return result;
+}
+
+TEST(SpillRddTest, ExternalSortIsIdenticalToInMemorySort) {
+  std::int64_t unlimited_spill = 0;
+  auto unlimited = RunSort(0, &unlimited_spill);
+  EXPECT_EQ(unlimited_spill, 0);
+
+  std::int64_t limited_spill = 0;
+  auto limited = RunSort(16 * 1024, &limited_spill);
+  EXPECT_GT(limited_spill, 0) << "16k limit must force an external sort";
+  ASSERT_EQ(limited.size(), unlimited.size());
+  // Equality of pair sequences checks stability too: ties must keep their
+  // original relative order in both the in-memory and the external path.
+  EXPECT_EQ(limited, unlimited);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cache eviction + lineage recovery of lost spill files
+// ---------------------------------------------------------------------------
+
+TEST(SpillRddTest, CachedPartitionsEvictToDiskAndRestore) {
+  Context context(Config(8 * 1024));
+  auto computes = std::make_shared<std::atomic<int>>(0);
+  auto cached = context.Parallelize(std::vector<int>(40'000, 1), 8)
+                    .Map([computes](const int& x) {
+                      computes->fetch_add(1, std::memory_order_relaxed);
+                      return x + 1;
+                    })
+                    .Cache();
+  EXPECT_EQ(cached.Count(), 40'000u);
+  int after_first = computes->load();
+  EXPECT_EQ(after_first, 40'000);
+  EXPECT_GT(Counter(&context, "rdd.cache.evicted"), 0)
+      << "an 8k limit cannot hold 40k cached ints";
+
+  // Second action: evicted partitions come back from disk, not lineage.
+  EXPECT_EQ(cached.Count(), 40'000u);
+  EXPECT_EQ(computes->load(), after_first)
+      << "restore must read the spill file, not recompute";
+  EXPECT_GT(Counter(&context, "rdd.cache.spill_restored"), 0);
+
+  // Delete the spill files out from under the cache: the next action must
+  // fall back to lineage recomputation and still produce the right answer.
+  ASSERT_GT(UnlinkSpillFilesOnDisk(), 0);
+  std::int64_t recomputed_before = Counter(&context, "partition.recomputed");
+  EXPECT_EQ(cached.Count(), 40'000u);
+  EXPECT_GT(computes->load(), after_first);
+  EXPECT_GT(Counter(&context, "partition.recomputed"), recomputed_before);
+}
+
+TEST(SpillRddTest, UnlimitedCacheNeverSpills) {
+  Context context(Config(0));
+  auto cached = context.Parallelize(std::vector<int>(10'000, 3), 4).Cache();
+  EXPECT_EQ(cached.Count(), 10'000u);
+  EXPECT_EQ(cached.Count(), 10'000u);
+  EXPECT_EQ(Counter(&context, "rdd.cache.evicted"), 0);
+  EXPECT_EQ(Counter(&context, "spill.bytes_written"), 0);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+// A chain that stacks all three breakers: cache -> groupBy -> sort under one
+// tight limit, checked against the unlimited run.
+TEST(SpillRddTest, ChainedBreakersStayByteIdentical) {
+  auto run = [](std::uint64_t limit) {
+    Context context(Config(limit));
+    std::vector<int> values(15'000);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = static_cast<int>((i * 31) % 997);
+    }
+    auto grouped = context.Parallelize(values, 8)
+                       .Cache()
+                       .GroupBy<int>([](const int& x) { return x % 89; },
+                                     std::hash<int>{}, std::equal_to<int>{}, 8)
+                       .Map([](const std::pair<int, std::vector<int>>& g) {
+                         return std::make_pair(
+                             g.first, static_cast<int>(g.second.size()));
+                       })
+                       .SortBy([](const std::pair<int, int>& a,
+                                  const std::pair<int, int>& b) {
+                         return a.second > b.second;
+                       });
+    return grouped.Collect();
+  };
+  auto unlimited = run(0);
+  auto limited = run(12 * 1024);
+  EXPECT_EQ(limited, unlimited);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+}  // namespace
+}  // namespace rumble

@@ -5,7 +5,6 @@
 
 #include "src/common/error.h"
 #include "src/common/status.h"
-#include "src/util/memory_budget.h"
 #include "src/util/prng.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
@@ -157,43 +156,6 @@ TEST(StringsTest, JsonEscapeSpecials) {
   EXPECT_EQ(util::JsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(util::JsonEscape("line\nbreak"), "line\\nbreak");
   EXPECT_EQ(util::JsonEscape(std::string(1, '\x01')), "\\u0001");
-}
-
-// ---------------------------------------------------------------------------
-// MemoryBudget
-// ---------------------------------------------------------------------------
-
-TEST(MemoryBudgetTest, CountsWithoutLimit) {
-  util::MemoryBudget budget(0);
-  budget.Allocate(100);
-  budget.Allocate(50);
-  EXPECT_EQ(budget.used_bytes(), 150u);
-  budget.Release(50);
-  EXPECT_EQ(budget.used_bytes(), 100u);
-}
-
-TEST(MemoryBudgetTest, ThrowsWhenExceeded) {
-  util::MemoryBudget budget(100);
-  budget.Allocate(90);
-  EXPECT_THROW(budget.Allocate(20), common::RumbleException);
-}
-
-TEST(MemoryBudgetTest, ErrorCodeIsOutOfMemory) {
-  util::MemoryBudget budget(10);
-  try {
-    budget.Allocate(11);
-    FAIL() << "expected an exception";
-  } catch (const common::RumbleException& e) {
-    EXPECT_EQ(e.code(), common::ErrorCode::kOutOfMemory);
-  }
-}
-
-TEST(MemoryBudgetTest, ResetClearsUsage) {
-  util::MemoryBudget budget(100);
-  budget.Allocate(80);
-  budget.Reset();
-  EXPECT_EQ(budget.used_bytes(), 0u);
-  EXPECT_NO_THROW(budget.Allocate(80));
 }
 
 // ---------------------------------------------------------------------------
