@@ -8,6 +8,9 @@
 //                                 [--query "<jsoniq>"] [--file query.jq]
 //                                 [--metrics] [--event-log <path>]
 //                                 [--trace <file>] [--serve <port>]
+//                                 [--serve-only] [--serve-slots N]
+//                                 [--serve-queue N] [--plan-cache N]
+//                                 [--tenant-weights "a=3,b=1"]
 //                                 [--metrics-out <file>]
 //                                 [--fault-spec "<spec>"] [--skip-malformed]
 //                                 [--memory-limit <size>]
@@ -33,12 +36,17 @@
 // --query-timeout cancels any query running longer than the given number
 // of milliseconds. Ctrl-C cancels the running query cooperatively instead
 // of killing the shell. With --serve, POST /jobs/<id>/cancel cancels a
-// running job remotely.
+// running job remotely and POST /query serves JSONiq queries over HTTP
+// (docs/SERVING.md): --serve-only runs the server without the REPL until
+// SIGINT/SIGTERM, --serve-slots caps concurrently served queries,
+// --serve-queue caps waiters per tenant, --tenant-weights sets fair-share
+// weights, and --plan-cache sizes the compiled-plan cache.
 
 #include <csignal>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -47,12 +55,14 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "src/exec/cancellation.h"
 #include "src/exec/memory_manager.h"
 #include "src/json/writer.h"
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
+#include "src/serve/query_service.h"
 
 namespace {
 
@@ -60,8 +70,11 @@ namespace {
 /// async-signal-safe (atomic stores only), so the handler may call it
 /// directly.
 std::atomic<rumble::exec::CancellationToken*> g_interrupt_token{nullptr};
+/// --serve-only exits its wait loop when this flips (SIGINT/SIGTERM).
+std::atomic<bool> g_shutdown_requested{false};
 
 extern "C" void HandleSigint(int) {
+  g_shutdown_requested.store(true, std::memory_order_release);
   rumble::exec::CancellationToken* token =
       g_interrupt_token.load(std::memory_order_acquire);
   if (token != nullptr) {
@@ -77,6 +90,23 @@ void InstallSigintHandler() {
   // query; an idle prompt sees the cancelled flag via IsCancelled below.
   action.sa_flags = SA_RESTART;
   ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Parses --tenant-weights "a=3,b=1" into the serving config map.
+bool ParseTenantWeights(const std::string& spec,
+                        std::map<std::string, double>* weights) {
+  std::istringstream in(spec);
+  std::string entry;
+  while (std::getline(in, entry, ',')) {
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    char* end = nullptr;
+    double weight = std::strtod(entry.c_str() + eq + 1, &end);
+    if (end == nullptr || *end != '\0' || weight <= 0.0) return false;
+    (*weights)[entry.substr(0, eq)] = weight;
+  }
+  return !weights->empty();
 }
 
 void PrintHelp() {
@@ -150,7 +180,9 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string metrics_out;
   int serve_port = -1;
+  bool serve_only = false;
   bool metrics = false;
+  rumble::serve::ServingConfig serving;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
       config.executors = std::atoi(argv[++i]);
@@ -166,6 +198,20 @@ int main(int argc, char** argv) {
       trace_file = argv[++i];
     } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
       serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve-only") == 0) {
+      serve_only = true;
+    } else if (std::strcmp(argv[i], "--serve-slots") == 0 && i + 1 < argc) {
+      serving.max_concurrent = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serve-queue") == 0 && i + 1 < argc) {
+      serving.max_queue_per_tenant = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0 && i + 1 < argc) {
+      serving.plan_cache_capacity =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--tenant-weights") == 0 && i + 1 < argc) {
+      if (!ParseTenantWeights(argv[++i], &serving.tenant_weights)) {
+        std::cerr << "bad --tenant-weights (expected e.g. \"a=3,b=1\")\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-spec") == 0 && i + 1 < argc) {
@@ -212,13 +258,33 @@ int main(int argc, char** argv) {
   rumble::obs::MetricsServer server(&bus);
   server.SetCancelHandler(
       [&engine](std::int64_t job_id) { return engine.CancelJob(job_id); });
+  // The serving layer (POST /query) shares the session engine; queries from
+  // the REPL and over HTTP run through the same executors and memory pool.
+  rumble::serve::QueryService service(&engine, serving);
+  service.Install(&server);
   if (serve_port >= 0) {
     if (!server.Start(serve_port)) {
       std::cerr << "cannot bind metrics server to port " << serve_port << "\n";
       return 2;
     }
     std::cerr << "metrics server on http://localhost:" << server.port()
-              << " (/metrics, /jobs, POST /jobs/<id>/cancel)\n";
+              << " (/metrics, /jobs, POST /jobs/<id>/cancel, POST /query, "
+                 "/serving)\n";
+  }
+
+  if (serve_only) {
+    if (serve_port < 0) {
+      std::cerr << "--serve-only requires --serve <port>\n";
+      return 2;
+    }
+    // Headless serving: park until SIGINT/SIGTERM, then drain and stop.
+    while (!g_shutdown_requested.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "shutting down\n";
+    service.Shutdown();
+    server.Stop();
+    return 0;
   }
 
   if (!oneshot.empty()) {

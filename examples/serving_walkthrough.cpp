@@ -1,0 +1,221 @@
+// Served-query walkthrough (docs/SERVING.md): one engine, one embedded HTTP
+// server, three clients from two tenants hitting POST /query concurrently —
+// two run to completion and stream JSON-Lines back, the third is cancelled
+// mid-flight through POST /jobs/<id>/cancel while its rows are still
+// streaming. Along the way /jobs shows the queries in flight and /serving
+// shows the fair-scheduler and plan-cache state.
+//
+// Exits 0 when every step behaves as documented; any deviation prints the
+// failing step and exits 1 (the ctest registration relies on this).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/exec/spill_file.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_server.h"
+#include "src/serve/query_service.h"
+
+namespace {
+
+/// Connects to localhost:`port` or returns -1.
+int Connect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One-shot HTTP exchange; returns the raw response (headers + body).
+std::string Exchange(int port, const std::string& request) {
+  int fd = Connect(port);
+  if (fd < 0) return "";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string PostQuery(int port, const std::string& tenant,
+                      const std::string& query) {
+  return Exchange(port,
+                  "POST /query HTTP/1.1\r\nHost: x\r\nX-Rumble-Tenant: " +
+                      tenant + "\r\nContent-Length: " +
+                      std::to_string(query.size()) + "\r\n\r\n" + query);
+}
+
+/// Decodes a chunked HTTP body (response must contain the blank line).
+std::string DechunkedBody(const std::string& response) {
+  std::size_t body_start = response.find("\r\n\r\n");
+  if (body_start == std::string::npos) return "";
+  std::string out;
+  std::size_t pos = body_start + 4;
+  while (pos < response.size()) {
+    std::size_t line_end = response.find("\r\n", pos);
+    if (line_end == std::string::npos) break;
+    std::size_t size = std::stoul(response.substr(pos, line_end - pos),
+                                  nullptr, 16);
+    if (size == 0) break;
+    out += response.substr(line_end + 2, size);
+    pos = line_end + 2 + size + 2;
+  }
+  return out;
+}
+
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  std::size_t pos = response.find(name + ": ");
+  if (pos == std::string::npos) return "";
+  std::size_t begin = pos + name.size() + 2;
+  return response.substr(begin, response.find("\r\n", begin) - begin);
+}
+
+bool Check(bool ok, const std::string& step) {
+  std::cout << (ok ? "  ok: " : "  FAILED: ") << step << "\n";
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  rumble::common::RumbleConfig config;
+  config.executors = 2;
+  rumble::jsoniq::Rumble engine(config);
+
+  rumble::serve::ServingConfig serving;
+  serving.max_concurrent = 3;
+  serving.tenant_weights = {{"analytics", 2.0}, {"dashboard", 1.0}};
+  rumble::serve::QueryService service(&engine, serving);
+  rumble::obs::MetricsServer server(&engine.event_bus());
+  service.Install(&server);
+  if (!server.Start(0)) {
+    std::cerr << "cannot start server\n";
+    return 1;
+  }
+  int port = server.port();
+  std::cout << "serving on http://localhost:" << port << "\n";
+  bool ok = true;
+
+  // --- Step 1: three concurrent queries from two tenants -------------------
+  std::cout << "step 1: three concurrent POST /query (two tenants)\n";
+  // The slow one streams a long local range: row-by-row, cancellable
+  // between rows. The quick ones exercise the distributed path.
+  const std::string slow_query = "1 to 5000000";
+  const std::string quick_a = "sum(parallelize(1 to 1000, 4))";
+  const std::string quick_b =
+      "for $x in parallelize(1 to 10, 2) where $x mod 2 eq 0 return $x";
+
+  // Slow client: read headers, report the job id, keep draining slowly.
+  std::promise<std::int64_t> slow_job;
+  auto slow_future = slow_job.get_future();
+  std::thread slow_client([&] {
+    int fd = Connect(port);
+    if (fd < 0) {
+      slow_job.set_value(-1);
+      return;
+    }
+    std::string request =
+        "POST /query HTTP/1.1\r\nHost: x\r\nX-Rumble-Tenant: analytics\r\n"
+        "Content-Length: " + std::to_string(slow_query.size()) + "\r\n\r\n" +
+        slow_query;
+    (void)::send(fd, request.data(), request.size(), 0);
+    std::string response;
+    char buf[65536];
+    bool reported = false;
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      if (!reported && response.find("\r\n\r\n") != std::string::npos) {
+        reported = true;
+        std::string job = HeaderValue(response, "X-Rumble-Job");
+        slow_job.set_value(job.empty() ? -1 : std::stoll(job));
+      }
+      // Throttle the drain so the producer outpaces us, the socket buffers
+      // fill, and the query is still running when the cancel lands.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ::close(fd);
+    // The cancelled stream must end with the machine-readable error line.
+    bool cancelled_marker = response.find("RBCL0001") != std::string::npos;
+    bool truncated = response.find("\n5000000\n") == std::string::npos;
+    if (!cancelled_marker || !truncated) {
+      std::cout << "  FAILED: cancelled stream should carry RBCL0001 and "
+                   "stop early\n";
+      std::exit(1);
+    }
+  });
+
+  std::int64_t job_id = slow_future.get();
+  ok &= Check(job_id >= 0, "slow query started, X-Rumble-Job=" +
+                               std::to_string(job_id));
+
+  auto quick_a_future = std::async(std::launch::async, [&] {
+    return PostQuery(port, "analytics", quick_a);
+  });
+  auto quick_b_future = std::async(std::launch::async, [&] {
+    return PostQuery(port, "dashboard", quick_b);
+  });
+
+  // --- Step 2: /jobs shows work in flight ----------------------------------
+  std::string jobs = Exchange(port, "GET /jobs HTTP/1.0\r\n\r\n");
+  ok &= Check(jobs.find("\"state\":\"running\"") != std::string::npos,
+              "/jobs lists at least one running served query");
+
+  // --- Step 3: cancel the slow query mid-stream ----------------------------
+  std::cout << "step 3: POST /jobs/" << job_id << "/cancel\n";
+  std::string cancel = Exchange(
+      port, "POST /jobs/" + std::to_string(job_id) + "/cancel HTTP/1.0\r\n\r\n");
+  ok &= Check(cancel.find("\"cancelled\":true") != std::string::npos,
+              "cancel endpoint acknowledged the job");
+  slow_client.join();
+  Check(true, "cancelled stream ended with RBCL0001 trailing line");
+
+  // --- Step 4: the two quick queries finish with exact output --------------
+  std::string response_a = quick_a_future.get();
+  std::string response_b = quick_b_future.get();
+  ok &= Check(DechunkedBody(response_a) == "500500\n",
+              "analytics result is byte-exact (500500)");
+  ok &= Check(DechunkedBody(response_b) == "2\n4\n6\n8\n10\n",
+              "dashboard result is byte-exact (2..10)");
+
+  // --- Step 5: repeat a query — the plan cache serves it -------------------
+  std::string repeat = PostQuery(port, "dashboard", quick_b);
+  ok &= Check(HeaderValue(repeat, "X-Rumble-Plan-Cache") == "hit",
+              "repeated query compiled from the plan cache");
+  ok &= Check(DechunkedBody(repeat) == "2\n4\n6\n8\n10\n",
+              "cached plan streams identical bytes");
+
+  // --- Step 6: serving stats and clean shutdown ----------------------------
+  std::string stats = Exchange(port, "GET /serving HTTP/1.0\r\n\r\n");
+  ok &= Check(stats.find("\"analytics\"") != std::string::npos &&
+                  stats.find("\"hits\":") != std::string::npos,
+              "/serving reports tenants and plan-cache stats");
+  service.Shutdown();
+  server.Stop();
+  ok &= Check(rumble::exec::CountSpillFiles() == 0,
+              "no spill files left behind");
+
+  std::cout << (ok ? "walkthrough complete\n" : "walkthrough FAILED\n");
+  return ok ? 0 : 1;
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Docs-drift check: fail when the docs and the source disagree.
 
-Two classes of drift, both of which have bitten observability docs before:
+Three classes of drift, all of which have bitten observability docs
+before:
 
 1. Every counter name, event kind, stage label, histogram name, and span
    name that docs/METRICS.md or docs/TRACING.md documents must appear as a
    string literal somewhere under src/. A renamed counter or histogram
    whose doc row was forgotten fails here.
-2. Every intra-repository markdown link (in README.md, docs/, and the
+2. Every endpoint path, request/response header, machine-readable error
+   token, and shell flag documented in docs/SERVING.md tables must appear
+   in the source (src/ plus examples/, where the shell flags live). A
+   renamed header or error token whose doc row was forgotten fails here.
+3. Every intra-repository markdown link (in README.md, docs/, and the
    root-level *.md files) must point at a file that exists.
 
 Run from the repository root (or let ctest do it: the `docs_drift` test
@@ -28,13 +33,15 @@ ALLOWLIST = {
 }
 
 
-def source_blob():
+def source_blob(subdirs=("src",)):
     chunks = []
-    for root, _dirs, files in os.walk(os.path.join(REPO, "src")):
-        for name in files:
-            if name.endswith((".cc", ".h")):
-                with open(os.path.join(root, name), errors="replace") as f:
-                    chunks.append(f.read())
+    for subdir in subdirs:
+        for root, _dirs, files in os.walk(os.path.join(REPO, subdir)):
+            for name in files:
+                if name.endswith((".cc", ".h", ".cpp")):
+                    with open(os.path.join(root, name),
+                              errors="replace") as f:
+                        chunks.append(f.read())
     return "\n".join(chunks)
 
 
@@ -80,6 +87,48 @@ def check_metrics_names(errors):
                 )
 
 
+def serving_documented_tokens(serving_md):
+    """Endpoint paths, headers, error tokens, and flags from SERVING.md.
+
+    Only backticked tokens in the *first* cell of table rows count, and
+    only ones carrying structure (a '.', '_', '-', or '/') — bare words
+    like `hit` are too generic to grep for. Tokens with characters
+    outside the class (e.g. `/jobs/<id>/cancel`) are deliberately not
+    matched by the regex and thus skipped.
+    """
+    tokens = set()
+    with open(serving_md) as f:
+        for line in f:
+            if not line.startswith("|"):
+                continue
+            first_cell = line.split("|")[1]
+            for token in re.findall(r"`([A-Za-z0-9_./-]+)`", first_cell):
+                if any(c in token for c in "._-/"):
+                    tokens.add(token)
+    return tokens - ALLOWLIST
+
+
+def check_serving_tokens(errors):
+    path = os.path.join(REPO, "docs", "SERVING.md")
+    if not os.path.exists(path):
+        errors.append("docs/SERVING.md is documented as existing but is "
+                      "missing")
+        return
+    # The shell flags (--serve-only, ...) live in examples/rumble_shell.cpp,
+    # so the serving blob spans examples/ too.
+    blob = source_blob(subdirs=("src", "examples"))
+    for token in sorted(serving_documented_tokens(path)):
+        # Quoted literal first ("/query", "empty_query"), then a raw
+        # substring for names that only appear inside larger literals or
+        # comments (header names in error messages, usage text).
+        if (f'"{token}"' not in blob and f'\\"{token}\\"' not in blob
+                and token not in blob):
+            errors.append(
+                f"docs/SERVING.md documents `{token}` but it appears "
+                f"nowhere under src/ or examples/"
+            )
+
+
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
@@ -119,6 +168,7 @@ def check_links(errors):
 def main():
     errors = []
     check_metrics_names(errors)
+    check_serving_tokens(errors)
     check_links(errors)
     if errors:
         for error in errors:

@@ -21,6 +21,9 @@
 #   4. memory pressure: the same queries under a tight --memory-limit must
 #      be byte-identical to the unlimited run, with the event log showing
 #      the pipeline breakers actually spilled (docs/MEMORY.md).
+#   5. the HTTP serving path end to end (scripts/run_serving_smoke.sh):
+#      concurrent multi-tenant POST /query, plan-cache hits, error bodies,
+#      counters, clean SIGTERM shutdown (docs/SERVING.md).
 #
 # Exits nonzero on the first divergence.
 
@@ -120,6 +123,10 @@ echo "results identical across $(wc -l <"$queries") queries under 256k"
 spills=$(cat "$work"/memevents.* | grep -c '"event":"spill"' || true)
 echo "event log: $spills spill event(s)"
 [ "$spills" -gt 0 ] || { echo "run_chaos: FAIL — limit never forced a spill" >&2; exit 1; }
+
+echo
+echo "== phase 5: HTTP serving smoke (multi-tenant POST /query)"
+scripts/run_serving_smoke.sh "$build"
 
 echo
 echo "run_chaos: OK"

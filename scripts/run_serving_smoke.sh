@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Serving smoke test (docs/SERVING.md): boots rumble_shell in headless
+# serving mode, drives POST /query over real HTTP from two tenants with
+# curl, and asserts on the serving counters, the plan cache, fairness
+# stats, and error bodies. Complements the in-process gtest coverage
+# (tests/serve/serving_test.cc) with a whole-binary, whole-socket pass.
+#
+#   scripts/run_serving_smoke.sh [build-dir]      (default: build)
+#
+# Exits nonzero on the first deviation.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+build="${1:-build}"
+shell="$build/examples/rumble_shell"
+
+[ -x "$shell" ] || {
+  echo "run_serving_smoke: $shell not found — build first:" >&2
+  echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+  exit 2
+}
+command -v curl >/dev/null || {
+  echo "run_serving_smoke: curl not found" >&2
+  exit 2
+}
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/rumble_serving.XXXXXX")"
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill -TERM "$server_pid" 2>/dev/null || true
+  [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== serving smoke: starting headless server"
+"$shell" --serve 0 --serve-only --serve-slots 2 \
+  --tenant-weights "interactive=3,batch=1" --plan-cache 32 \
+  2>"$work/serve.log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(grep -oE 'localhost:[0-9]+' "$work/serve.log" 2>/dev/null |
+          head -1 | cut -d: -f2 || true)"
+  [ -n "$port" ] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "run_serving_smoke: FAIL — server died at startup" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "run_serving_smoke: FAIL — no port in log" >&2; exit 1; }
+base="http://localhost:$port"
+echo "server on $base"
+
+post() { # $1 = tenant, $2 = query, extra curl args after
+  local tenant="$1" query="$2"
+  shift 2
+  curl -sS -X POST -H "X-Rumble-Tenant: $tenant" --data "$query" "$@" \
+    "$base/query"
+}
+
+echo "== queries from two tenants (concurrent)"
+post interactive 'sum(parallelize(1 to 10000, 4))' >"$work/a.out" &
+pid_a=$!
+post batch 'for $x in parallelize(1 to 10, 2) where $x mod 2 eq 0 return $x' \
+  >"$work/b.out" &
+pid_b=$!
+post interactive 'for $i in 1 to 5 return $i * $i' >"$work/c.out" &
+pid_c=$!
+wait "$pid_a" "$pid_b" "$pid_c"
+
+[ "$(cat "$work/a.out")" = "50005000" ] ||
+  { echo "FAIL: tenant interactive sum wrong: $(cat "$work/a.out")" >&2; exit 1; }
+[ "$(printf '2\n4\n6\n8\n10')" = "$(cat "$work/b.out")" ] ||
+  { echo "FAIL: tenant batch rows wrong: $(cat "$work/b.out")" >&2; exit 1; }
+echo "results byte-exact"
+
+echo "== plan cache: reformatted repeat must hit"
+hit_header="$(post interactive 'for  $i  in 1 to 5  return $i * $i' \
+  -D - -o "$work/d.out" | grep -i '^X-Rumble-Plan-Cache:' | tr -d '\r')"
+case "$hit_header" in
+  *hit) echo "plan cache hit confirmed" ;;
+  *) echo "FAIL: expected plan-cache hit, got '$hit_header'" >&2; exit 1 ;;
+esac
+diff "$work/c.out" "$work/d.out" >/dev/null ||
+  { echo "FAIL: cached plan changed the bytes" >&2; exit 1; }
+
+echo "== error bodies are machine-readable"
+code="$(curl -sS -o "$work/err.json" -w '%{http_code}' -X POST --data '' \
+  "$base/query")"
+[ "$code" = "400" ] || { echo "FAIL: empty body gave $code" >&2; exit 1; }
+grep -q '"error":"empty_query"' "$work/err.json" ||
+  { echo "FAIL: 400 body not machine-readable" >&2; exit 1; }
+code="$(curl -sS -o "$work/err2.json" -w '%{http_code}' -X POST \
+  --data 'for $x in' "$base/query")"
+[ "$code" = "400" ] || { echo "FAIL: syntax error gave $code" >&2; exit 1; }
+grep -q '"error":"XPST0003"' "$work/err2.json" ||
+  { echo "FAIL: syntax-error body missing XPST0003" >&2; exit 1; }
+
+echo "== counters and serving stats"
+curl -sS "$base/metrics" >"$work/metrics.txt"
+requests="$(awk '/^rumble_serving_requests_total/ {print $2}' "$work/metrics.txt")"
+hits="$(awk '/^rumble_serving_plan_cache_hit_total/ {print $2}' "$work/metrics.txt")"
+[ "${requests:-0}" -ge 6 ] ||
+  { echo "FAIL: serving.requests=$requests, expected >= 6" >&2; exit 1; }
+[ "${hits:-0}" -ge 1 ] ||
+  { echo "FAIL: serving.plan_cache.hit=$hits, expected >= 1" >&2; exit 1; }
+curl -sS "$base/serving" >"$work/serving.json"
+grep -q '"interactive"' "$work/serving.json" &&
+  grep -q '"plan_cache"' "$work/serving.json" ||
+  { echo "FAIL: /serving missing tenants or plan_cache" >&2; exit 1; }
+echo "serving.requests=$requests plan_cache.hit=$hits"
+
+echo "== clean shutdown on SIGTERM"
+kill -TERM "$server_pid"
+for _ in $(seq 1 50); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "FAIL: server ignored SIGTERM" >&2
+  exit 1
+fi
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo
+echo "run_serving_smoke: OK"

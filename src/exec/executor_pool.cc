@@ -62,6 +62,13 @@ struct ExecutorPool::StageState {
   obs::Tracer* tracer = nullptr;
   FaultInjector* injector = nullptr;
   CancellationToken* cancel = nullptr;
+  /// The submitting thread's per-query scope and job binding, captured at
+  /// stage creation and re-bound around every attempt so worker-side
+  /// cancellation checks, memory charges, and published events resolve to
+  /// the right query when stages from concurrent queries interleave on the
+  /// shared pool. Null scope / job -1 on the shell path (no-op rebinds).
+  const QueryScope* scope = nullptr;
+  std::int64_t job = -1;
   std::int64_t stage_id = -1;
   /// Stage span id; task spans parent to it explicitly (task attempts run on
   /// worker threads whose local span stacks do not see the driver's stage).
@@ -227,6 +234,11 @@ void ExecutorPool::HandleFailure(const std::shared_ptr<StageState>& stage,
 
 void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
                               TaskAttempt attempt) {
+  // Re-bind the submitting query's scope and job on this thread: a worker
+  // may interleave attempts from different queries, and an inline nested
+  // stage begun from this attempt must attribute to the same query.
+  QueryScopeBinding scope_binding(stage->scope);
+  obs::ThreadJobBinding job_binding(stage->job);
   TaskSlot& slot = *stage->slots[attempt.task];
   if (slot.settled.load(std::memory_order_acquire)) return;
   if (stage->doomed.load(std::memory_order_acquire)) {
@@ -467,7 +479,14 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   // Bus, injector, and cancellation token are bound once per stage, so
   // attaching/detaching them concurrently is safe — a stage sees one
   // consistent set throughout.
-  CancellationToken* cancel = cancel_.load(std::memory_order_acquire);
+  // A thread-bound QueryScope (the serving path) overrides the pool-wide
+  // token: each served query cancels independently instead of tripping the
+  // shared session token.
+  const QueryScope* scope = CurrentQueryScope();
+  CancellationToken* cancel =
+      scope != nullptr && scope->cancel != nullptr
+          ? scope->cancel
+          : cancel_.load(std::memory_order_acquire);
   if (cancel != nullptr) cancel->Check();  // don't even start the stage
   auto stage = std::make_shared<StageState>();
   stage->fn = &fn;
@@ -475,6 +494,8 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   stage->bus = bus_.load(std::memory_order_acquire);
   stage->injector = injector_.load(std::memory_order_acquire);
   stage->cancel = cancel;
+  stage->scope = scope;
+  stage->job = obs::ThreadJobBinding::current();
   stage->label = stage_label != nullptr ? stage_label : "stage";
   stage->task_count = task_count;
   stage->slots.reserve(task_count);

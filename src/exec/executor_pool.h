@@ -15,6 +15,7 @@
 
 #include "src/exec/cancellation.h"
 #include "src/exec/fault_injector.h"
+#include "src/exec/query_scope.h"
 #include "src/exec/task_metrics.h"
 #include "src/obs/event_bus.h"
 

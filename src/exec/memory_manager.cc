@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/common/error.h"
+#include "src/exec/query_scope.h"
 #include "src/obs/event_bus.h"
 
 namespace rumble::exec {
@@ -18,9 +19,30 @@ void PublishReservedDelta(obs::EventBus* bus, std::int64_t delta) {
   }
 }
 
+// The per-query sub-pool bound to the calling thread (the serving path's
+// per-query memory cap, docs/SERVING.md); nullptr on the shell path.
+QueryMemoryPool* ScopePool() {
+  const QueryScope* scope = CurrentQueryScope();
+  return scope != nullptr ? scope->memory : nullptr;
+}
+
 }  // namespace
 
+bool MemoryManager::enforcing() const {
+  return limit_bytes() != 0 || ScopePool() != nullptr;
+}
+
 void MemoryManager::Allocate(std::uint64_t bytes) {
+  if (QueryMemoryPool* pool = ScopePool()) {
+    if (!pool->Charge(bytes)) {
+      if (bus_ != nullptr) bus_->AddToCounter("mem.query_pool_denied", 1);
+      common::ThrowError(
+          common::ErrorCode::kOutOfMemory,
+          "per-query memory cap exhausted: " +
+              std::to_string(pool->charged_bytes() + bytes) + " of " +
+              std::to_string(pool->cap_bytes()) + " bytes");
+    }
+  }
   std::uint64_t now =
       reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
@@ -33,6 +55,7 @@ void MemoryManager::Allocate(std::uint64_t bytes) {
 }
 
 void MemoryManager::Release(std::uint64_t bytes) {
+  if (QueryMemoryPool* pool = ScopePool()) pool->Uncharge(bytes);
   reserved_.fetch_sub(bytes, std::memory_order_relaxed);
   PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
 }
@@ -43,6 +66,17 @@ void MemoryManager::Reset() {
 }
 
 bool MemoryManager::TryReserve(std::uint64_t bytes) {
+  // Per-query sub-pool first (serving path): a query over its own cap is
+  // denied before touching the shared pool, so it spills its *own* state
+  // rather than forcing co-tenants to spill theirs.
+  QueryMemoryPool* pool = ScopePool();
+  if (pool != nullptr && !pool->Charge(bytes)) {
+    if (bus_ != nullptr) {
+      bus_->AddToCounter("mem.query_pool_denied", 1);
+      bus_->AddToCounter("mem.reservation_denied", 1);
+    }
+    return false;
+  }
   std::uint64_t now =
       reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
@@ -54,6 +88,11 @@ bool MemoryManager::TryReserve(std::uint64_t bytes) {
   // SpillBytes call so Unregister synchronizes with in-flight spills.
   {
     std::lock_guard<std::mutex> spill_lock(spill_mu_);
+    // Victims releasing memory here belong to *other* queries; suspend the
+    // caller's query scope so their Release calls do not uncharge the
+    // requesting query's sub-pool. (The victims' own sub-pools keep their
+    // charge — a bounded conservatism documented in docs/SERVING.md.)
+    QueryScopeBinding suspend_scope(nullptr);
     std::map<int, bool> skip;
     while (reserved_.load(std::memory_order_acquire) > limit) {
       Spillable* victim = nullptr;
@@ -81,6 +120,7 @@ bool MemoryManager::TryReserve(std::uint64_t bytes) {
   if (reserved_.load(std::memory_order_acquire) <= limit) return true;
   // Nothing (more) to spill: back the grant out and deny it. The caller is
   // expected to spill its own state instead.
+  if (pool != nullptr) pool->Uncharge(bytes);
   reserved_.fetch_sub(bytes, std::memory_order_relaxed);
   PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
   if (bus_ != nullptr) bus_->AddToCounter("mem.reservation_denied", 1);

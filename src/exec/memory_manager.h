@@ -64,9 +64,13 @@ class MemoryManager {
     limit_.store(limit, std::memory_order_release);
   }
 
-  /// True when a non-zero limit is being enforced. Every charge/spill site
-  /// is gated on this so limit-0 runs take no new locks and write no files.
-  bool enforcing() const { return limit_bytes() != 0; }
+  /// True when the calling thread's reservations are being accounted: a
+  /// non-zero engine-wide limit, or a per-query memory pool bound to this
+  /// thread (a served query's X-Rumble-Memory-Cap — docs/SERVING.md). Every
+  /// charge/spill site is gated on this so fully unlimited runs take no new
+  /// locks and write no files, while a capped served query reserves (and
+  /// spills) even on an unlimited engine.
+  bool enforcing() const;
 
   std::uint64_t reserved_bytes() const {
     return reserved_.load(std::memory_order_acquire);

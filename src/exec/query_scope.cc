@@ -1,0 +1,54 @@
+#include "src/exec/query_scope.h"
+
+namespace rumble::exec {
+
+namespace {
+
+thread_local const QueryScope* current_scope = nullptr;
+
+}  // namespace
+
+bool QueryMemoryPool::Charge(std::uint64_t bytes) {
+  if (cap_ == 0) {
+    charged_.fetch_add(static_cast<std::int64_t>(bytes),
+                       std::memory_order_relaxed);
+    return true;
+  }
+  std::int64_t now = charged_.fetch_add(static_cast<std::int64_t>(bytes),
+                                        std::memory_order_relaxed) +
+                     static_cast<std::int64_t>(bytes);
+  if (now > 0 && static_cast<std::uint64_t>(now) > cap_) {
+    charged_.fetch_sub(static_cast<std::int64_t>(bytes),
+                       std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void QueryMemoryPool::Uncharge(std::uint64_t bytes) {
+  std::int64_t now = charged_.fetch_sub(static_cast<std::int64_t>(bytes),
+                                        std::memory_order_relaxed) -
+                     static_cast<std::int64_t>(bytes);
+  // Clamp: an unmatched release (see header) may push the signed counter
+  // negative; pull it back so later charges account from zero, not a deficit.
+  while (now < 0) {
+    std::int64_t expected = now;
+    if (charged_.compare_exchange_weak(expected, 0,
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+    now = expected;
+    if (now >= 0) break;
+  }
+}
+
+const QueryScope* CurrentQueryScope() { return current_scope; }
+
+QueryScopeBinding::QueryScopeBinding(const QueryScope* scope)
+    : previous_(current_scope) {
+  current_scope = scope;
+}
+
+QueryScopeBinding::~QueryScopeBinding() { current_scope = previous_; }
+
+}  // namespace rumble::exec

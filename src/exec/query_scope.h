@@ -1,0 +1,75 @@
+#ifndef RUMBLE_EXEC_QUERY_SCOPE_H_
+#define RUMBLE_EXEC_QUERY_SCOPE_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rumble::exec {
+
+class CancellationToken;
+
+/// Per-query memory accounting for the serving path (docs/SERVING.md): a
+/// sub-pool carved out of the engine-wide MemoryManager limit. Charges ride
+/// along with MemoryManager::TryReserve/Release through the thread's
+/// QueryScope; exceeding the cap denies the reservation, so the *owning*
+/// query spills its own state while co-tenant queries keep their memory.
+class QueryMemoryPool {
+ public:
+  explicit QueryMemoryPool(std::uint64_t cap_bytes) : cap_(cap_bytes) {}
+
+  /// Records `bytes` against the cap. Returns false — and records nothing —
+  /// when the charge would exceed the cap. Cap 0 never denies.
+  bool Charge(std::uint64_t bytes);
+
+  /// Releases a prior charge, clamped at zero: a consumer force-spilled from
+  /// outside the owning query's scope releases globally without a matching
+  /// pool charge visible here, and that must never underflow the pool.
+  void Uncharge(std::uint64_t bytes);
+
+  std::uint64_t cap_bytes() const { return cap_; }
+  std::uint64_t charged_bytes() const {
+    std::int64_t value = charged_.load(std::memory_order_acquire);
+    return value > 0 ? static_cast<std::uint64_t>(value) : 0;
+  }
+
+ private:
+  std::uint64_t cap_;
+  std::atomic<std::int64_t> charged_{0};
+};
+
+/// What one concurrently-served query carries through execution: its own
+/// cancellation token and, optionally, its memory sub-pool. The scope object
+/// lives on the serving thread's stack for the duration of the query; the
+/// pointers it holds must outlive every stage the query runs.
+struct QueryScope {
+  CancellationToken* cancel = nullptr;
+  QueryMemoryPool* memory = nullptr;
+};
+
+/// The scope bound to the calling thread; nullptr outside any served query
+/// (the shell path). spark::Context::cancellation() and
+/// MemoryManager::TryReserve/Release consult this, and the ExecutorPool
+/// captures the submitting thread's scope per stage and re-binds it around
+/// every task attempt, so a query's kernel loops and reservations resolve to
+/// its own token and pool on every thread they touch.
+const QueryScope* CurrentQueryScope();
+
+/// RAII binding of a scope to the current thread; restores the previous
+/// binding (usually none) on destruction. Binding nullptr suspends the
+/// enclosing scope — the forced-spill pass does this so victims releasing
+/// *other* queries' memory never uncharge the requester's pool.
+class QueryScopeBinding {
+ public:
+  explicit QueryScopeBinding(const QueryScope* scope);
+  ~QueryScopeBinding();
+
+  QueryScopeBinding(const QueryScopeBinding&) = delete;
+  QueryScopeBinding& operator=(const QueryScopeBinding&) = delete;
+
+ private:
+  const QueryScope* previous_;
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_QUERY_SCOPE_H_

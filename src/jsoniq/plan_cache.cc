@@ -1,0 +1,89 @@
+#include "src/jsoniq/plan_cache.h"
+
+#include <cctype>
+#include <utility>
+
+namespace rumble::jsoniq {
+
+std::string PlanCache::NormalizeQueryText(const std::string& query) {
+  std::string out;
+  out.reserve(query.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    char c = query[i];
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < query.size()) {
+        out.push_back(query[++i]);  // keep the escaped character verbatim
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (c == '"') in_string = true;
+    out.push_back(c);
+  }
+  return out;
+}
+
+RuntimeIteratorPtr PlanCache::Lookup(const std::string& normalized_query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(normalized_query);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return it->second->plan->Clone();
+}
+
+void PlanCache::Insert(const std::string& normalized_query,
+                       RuntimeIteratorPtr plan) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(normalized_query);
+  if (it != index_.end()) {
+    it->second->plan = std::move(plan);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.push_front({normalized_query, std::move(plan)});
+  index_[normalized_query] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::int64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace rumble::jsoniq

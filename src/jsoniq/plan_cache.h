@@ -1,0 +1,67 @@
+#ifndef RUMBLE_JSONIQ_PLAN_CACHE_H_
+#define RUMBLE_JSONIQ_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/jsoniq/runtime/runtime_iterator.h"
+
+namespace rumble::jsoniq {
+
+/// LRU cache of compiled query plans for the serving path (docs/SERVING.md).
+/// Keys are normalized query text (whitespace collapsed outside string
+/// literals), so trivially reformatted repeats of the same query hit too.
+///
+/// Entries are never-executed *template* iterator trees: Lookup returns a
+/// fresh Clone() with closed state, and the execution that follows runs on
+/// the clone — the cached template stays pristine, so concurrent hits on the
+/// same entry are safe and a cancelled execution cannot poison the cache.
+/// Operator stats stay shared between template and clones (ShareObservability
+/// semantics), exactly as clones shipped to executor tasks already behave.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Collapses runs of whitespace to single spaces and trims the ends,
+  /// leaving string literals untouched. The serving path keys the cache on
+  /// this.
+  static std::string NormalizeQueryText(const std::string& query);
+
+  /// A clone of the cached plan for `normalized_query`, refreshed to
+  /// most-recently-used; nullptr on miss. Never returns the template itself.
+  RuntimeIteratorPtr Lookup(const std::string& normalized_query);
+
+  /// Caches `plan` as the template for `normalized_query`, evicting the
+  /// least-recently-used entry beyond capacity. The caller must not execute
+  /// `plan` afterwards (execute a Clone() instead).
+  void Insert(const std::string& normalized_query, RuntimeIteratorPtr plan);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    RuntimeIteratorPtr plan;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// Most-recently-used at the front.
+  std::list<Entry> entries_;
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace rumble::jsoniq
+
+#endif  // RUMBLE_JSONIQ_PLAN_CACHE_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <set>
+#include <utility>
 
+#include "src/exec/query_scope.h"
 #include "src/exec/spill_file.h"
 #include "src/json/writer.h"
 #include "src/storage/dfs.h"
@@ -29,9 +32,22 @@ EngineContextPtr MakeEngineContext(common::RumbleConfig config) {
   return engine;
 }
 
+namespace {
+
+/// Default serving plan-cache capacity; --plan-cache / ResetPlanCache
+/// override it.
+constexpr std::size_t kDefaultPlanCacheCapacity = 64;
+
+}  // namespace
+
 Rumble::Rumble(common::RumbleConfig config)
     : engine_(MakeEngineContext(config)),
-      globals_(std::make_shared<DynamicContext>()) {}
+      globals_(std::make_shared<DynamicContext>()),
+      plan_cache_(std::make_unique<PlanCache>(kDefaultPlanCacheCapacity)) {}
+
+void Rumble::ResetPlanCache(std::size_t capacity) {
+  plan_cache_ = std::make_unique<PlanCache>(capacity);
+}
 
 void Rumble::BindVariable(const std::string& name, item::ItemSequence value) {
   globals_->Bind(name, std::move(value));
@@ -51,15 +67,17 @@ common::Result<RuntimeIteratorPtr> Rumble::Compile(
 }
 
 common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
   common::Result<item::ItemSequence> result = RunGoverned(query);
-  FinishQuery(result.ok());
+  bool last = in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  FinishQuery(result.ok(), last);
   return result;
 }
 
 common::Result<item::ItemSequence> Rumble::RunGoverned(
     const std::string& query) {
   exec::MemoryManager& memory = engine_->spark->memory_manager();
-  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  exec::CancellationToken& cancel = engine_->spark->session_cancellation();
   // Admission control: a pool already exhausted beyond what spilling could
   // reclaim rejects new queries outright rather than queueing them.
   try {
@@ -77,7 +95,7 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
   std::int64_t job = bus.BeginJob(query);
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
-    active_jobs_.insert(job);
+    active_jobs_[job] = &cancel;
   }
   // Root of the span hierarchy: stage spans begun on this thread during
   // evaluation parent to the job span implicitly (docs/TRACING.md).
@@ -112,24 +130,185 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
   return result;
 }
 
-void Rumble::FinishQuery(bool ok) {
+void Rumble::FinishQuery(bool ok, bool last) {
   // A failed or cancelled query must leave nothing behind: the compiled tree
-  // died inside RunGoverned, releasing every reservation and unlinking its
-  // spill files; sweep catches stragglers (e.g. a crash path that skipped a
-  // destructor) and the metrics check pins the drained-pool invariant.
+  // died inside RunGoverned/ServeQuery, releasing every reservation and
+  // unlinking its spill files; sweep catches stragglers (e.g. a crash path
+  // that skipped a destructor — live spill files of concurrent queries are
+  // skipped by the sweeper) and the metrics check pins the drained-pool
+  // invariant once no other query is in flight.
   if (!ok) exec::SweepSpillFiles();
+  if (!last) return;
   RUMBLE_METRICS_CHECK(
       engine_->spark->memory_manager().reserved_bytes() == 0,
       "execution-memory reservations leaked past the end of a query");
 }
 
 bool Rumble::CancelJob(std::int64_t job_id) {
+  // Cancel under jobs_mu_: a served query's token lives on its serving
+  // thread's stack and is erased from the map (also under jobs_mu_) before
+  // it dies, so holding the lock across Cancel keeps the pointer alive.
   std::lock_guard<std::mutex> lock(jobs_mu_);
-  if (active_jobs_.find(job_id) == active_jobs_.end()) return false;
-  engine_->spark->cancellation().Cancel(
-      exec::CancellationToken::Origin::kHttp);
+  auto it = active_jobs_.find(job_id);
+  if (it == active_jobs_.end()) return false;
+  it->second->Cancel(exec::CancellationToken::Origin::kHttp);
   engine_->spark->bus().AddToCounter("cancel.requested", 1);
   return true;
+}
+
+common::Result<ServeResult> Rumble::ServeQuery(
+    const std::string& query, const ServeOptions& options,
+    const std::function<void(const ServeStart&)>& on_start,
+    const std::function<bool(std::string_view)>& sink) {
+  exec::MemoryManager& memory = engine_->spark->memory_manager();
+  obs::EventBus& bus = engine_->spark->bus();
+  try {
+    memory.AdmitQuery();
+  } catch (const common::RumbleException& error) {
+    return common::Status::FromException(error);
+  }
+
+  // Compile through the plan cache: a hit returns a fresh clone of the
+  // cached template and skips parse/translate entirely (no serve.parse /
+  // serve.translate spans — the acceptance signal for cache hits).
+  std::string key = PlanCache::NormalizeQueryText(query);
+  RuntimeIteratorPtr root;
+  bool cache_hit = false;
+  if (options.use_plan_cache && plan_cache_ != nullptr) {
+    root = plan_cache_->Lookup(key);
+    cache_hit = root != nullptr;
+    bus.AddToCounter(
+        cache_hit ? "serving.plan_cache.hit" : "serving.plan_cache.miss", 1);
+  }
+  if (root == nullptr) {
+    try {
+      ExprPtr ast;
+      {
+        obs::ScopedSpan parse_span(bus.tracer(), "serve.parse", query);
+        ast = ParseQuery(query);
+        CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
+      }
+      obs::ScopedSpan translate_span(bus.tracer(), "serve.translate", query);
+      root = BuildRuntimeIterator(ast, engine_);
+    } catch (const common::RumbleException& error) {
+      return common::Status::FromException(error);
+    }
+    if (options.use_plan_cache && plan_cache_ != nullptr) {
+      // The pristine tree becomes the cached template; execution runs on a
+      // clone so the template is never opened.
+      RuntimeIteratorPtr template_plan = std::move(root);
+      root = template_plan->Clone();
+      plan_cache_->Insert(key, std::move(template_plan));
+    }
+  }
+
+  // Per-query governance: this query's own token and (optionally) its own
+  // memory sub-pool, bound to this thread for the whole evaluation and
+  // re-bound by the executor pool around every task it spawns.
+  exec::CancellationToken token;
+  token.SetDeadlineAfterMs(options.timeout_ms >= 0
+                               ? options.timeout_ms
+                               : engine_->config.query_timeout_ms);
+  std::optional<exec::QueryMemoryPool> pool;
+  if (options.memory_cap_bytes > 0) pool.emplace(options.memory_cap_bytes);
+  exec::QueryScope scope;
+  scope.cancel = &token;
+  scope.memory = pool.has_value() ? &pool.value() : nullptr;
+  exec::QueryScopeBinding scope_binding(&scope);
+
+  // Detached job: visible and cancellable on /jobs without stealing stage
+  // attribution from a concurrent shell query.
+  std::int64_t job = bus.BeginJob(query, /*detached=*/true);
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    active_jobs_[job] = &token;
+  }
+  obs::ThreadJobBinding job_binding(job);
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
+  ServeStart start;
+  start.job_id = job;
+  start.plan_cache_hit = cache_hit;
+  if (on_start) on_start(start);
+
+  ServeResult out;
+  out.job_id = job;
+  out.plan_cache_hit = cache_hit;
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;
+  common::Result<ServeResult> result = [&]() -> common::Result<ServeResult> {
+    obs::ScopedSpan request_span(
+        bus.tracer(), "serve.request",
+        options.tenant.empty() ? query : options.tenant + ": " + query);
+    try {
+      constexpr std::size_t kChunkBytes = 32 * 1024;
+      std::string chunk;
+      auto flush = [&] {
+        if (chunk.empty()) return;
+        if (!sink(chunk)) {
+          // The client hung up mid-stream: cancel with the HTTP origin so
+          // cleanup and observability follow the normal cancelled path.
+          token.Cancel(exec::CancellationToken::Origin::kHttp);
+          token.Check();
+        }
+        bytes += chunk.size();
+        chunk.clear();
+      };
+      auto emit = [&](const item::ItemPtr& item) {
+        item->SerializeTo(&chunk);
+        chunk += '\n';
+        ++rows;
+        if (chunk.size() >= kChunkBytes) flush();
+      };
+      if (root->IsRddAble()) {
+        // Distributed roots collect exactly as the shell does (same bytes,
+        // same materialization cap), then stream the result out in chunks.
+        for (const item::ItemPtr& item : root->MaterializeAll(*globals_)) {
+          emit(item);
+        }
+      } else {
+        // Local roots genuinely stream: rows reach the client as the pull
+        // pipeline produces them, without a driver-side materialization.
+        root->Open(*globals_);
+        std::uint64_t pulled = 0;
+        while (root->HasNext()) {
+          emit(root->Next());
+          if ((++pulled & 0x3F) == 0) token.Check();
+        }
+        root->Close();
+      }
+      flush();
+      request_span.AddArg("rows_out", static_cast<std::int64_t>(rows));
+      request_span.AddArg("bytes_out", static_cast<std::int64_t>(bytes));
+      request_span.AddArg("plan_cache_hit", cache_hit ? 1 : 0);
+      bus.EndJob(job, {{"query.rows_out", static_cast<std::int64_t>(rows)},
+                       {"serving.bytes", static_cast<std::int64_t>(bytes)}});
+      out.rows = rows;
+      out.bytes = bytes;
+      return out;
+    } catch (const common::RumbleException& error) {
+      request_span.AddArg("failed", 1);
+      if (error.code() == common::ErrorCode::kCancelled) {
+        bus.QueryCancelled(
+            job, exec::CancellationToken::OriginName(token.origin()));
+        bus.AddToCounter("cancel.observed", 1);
+      }
+      bus.EndJob(job, {{"failed", 1}});
+      return common::Result<ServeResult>(common::Status::FromException(error));
+    }
+  }();
+  bus.AddToCounter("serving.rows_streamed", static_cast<std::int64_t>(rows));
+  bus.AddToCounter("serving.bytes_streamed", static_cast<std::int64_t>(bytes));
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    active_jobs_.erase(job);
+  }
+  // Destroy the executed tree before the drained-pool check: its destructors
+  // release every reservation and unlink every spill file it still held.
+  root.reset();
+  bool last = in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  FinishQuery(result.ok(), last);
+  return result;
 }
 
 common::Result<std::string> Rumble::RunToJson(const std::string& query) {
@@ -142,7 +321,7 @@ common::Status Rumble::RunToDataset(const std::string& query,
                                     const std::string& output_path) {
   common::Result<RuntimeIteratorPtr> compiled = Compile(query);
   if (!compiled.ok()) return compiled.status();
-  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  exec::CancellationToken& cancel = engine_->spark->session_cancellation();
   cancel.Reset();
   cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
   try {
@@ -217,7 +396,7 @@ common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
   // for this run and restore the caller's choice afterwards.
   bool was_enabled = tracer->enabled();
   tracer->set_enabled(true);
-  exec::CancellationToken& cancel = engine_->spark->cancellation();
+  exec::CancellationToken& cancel = engine_->spark->session_cancellation();
   cancel.Reset();
   cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
   std::int64_t since = bus.NextSequence();

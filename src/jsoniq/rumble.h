@@ -1,20 +1,55 @@
 #ifndef RUMBLE_JSONIQ_RUMBLE_H_
 #define RUMBLE_JSONIQ_RUMBLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <string_view>
 
 #include "src/common/config.h"
 #include "src/common/status.h"
 #include "src/exec/cancellation.h"
 #include "src/item/item.h"
+#include "src/jsoniq/plan_cache.h"
 #include "src/jsoniq/runtime/engine_context.h"
 #include "src/jsoniq/runtime/runtime_iterator.h"
 
 namespace rumble::jsoniq {
+
+/// Per-request knobs for Rumble::ServeQuery (docs/SERVING.md). The HTTP
+/// layer fills these from the X-Rumble-* request headers.
+struct ServeOptions {
+  /// Tenant label for observability (span args, /jobs); empty = anonymous.
+  std::string tenant;
+  /// Per-query timeout: < 0 uses the engine's query_timeout_ms, 0 disables,
+  /// > 0 overrides in milliseconds.
+  std::int64_t timeout_ms = -1;
+  /// Per-query memory cap carved from the engine-wide limit; 0 = uncapped.
+  std::uint64_t memory_cap_bytes = 0;
+  /// Compile through the plan cache (repeat queries skip parse/translate).
+  bool use_plan_cache = true;
+};
+
+/// Delivered to the on_start callback once a served query is compiled,
+/// admitted, and registered — the moment the HTTP layer can commit response
+/// headers (job id, cache verdict) before the first row exists.
+struct ServeStart {
+  std::int64_t job_id = -1;
+  bool plan_cache_hit = false;
+};
+
+/// Outcome of a completed served query.
+struct ServeResult {
+  std::int64_t job_id = -1;
+  std::uint64_t rows = 0;
+  std::uint64_t bytes = 0;
+  bool plan_cache_hit = false;
+};
 
 /// The public engine facade. One Rumble instance corresponds to one Spark
 /// application (the shell keeps a single instance alive so executors are set
@@ -61,20 +96,54 @@ class Rumble {
   /// Restores the tracer's previous enabled state afterwards.
   common::Result<std::string> ExplainAnalyze(const std::string& query);
 
-  /// Binds a host-provided external variable visible to queries.
+  /// Binds a host-provided external variable visible to queries. Not safe
+  /// to call while queries are being served concurrently.
   void BindVariable(const std::string& name, item::ItemSequence value);
+
+  /// The concurrent serving path (docs/SERVING.md): compiles `query` through
+  /// the plan cache, then runs it under its *own* cancellation token and
+  /// optional per-query memory sub-pool — both bound to this thread and
+  /// re-bound around every executor task — so any number of callers may
+  /// serve queries on the shared engine simultaneously, each cancellable
+  /// independently via CancelJob.
+  ///
+  /// `on_start` fires after compilation and job registration, before
+  /// evaluation (the HTTP layer sends response headers there). `sink`
+  /// receives JSON-Lines output in chunks as rows are produced (local roots
+  /// stream row by row; RDD-able roots materialize exactly as the shell
+  /// does — same bytes — then stream out); returning false from the sink
+  /// means the client is gone and cancels the query with origin kHttp.
+  ///
+  /// Serialization is item->Serialize() + "\n" per row, byte-identical to
+  /// the shell's --query output.
+  common::Result<ServeResult> ServeQuery(
+      const std::string& query, const ServeOptions& options,
+      const std::function<void(const ServeStart&)>& on_start,
+      const std::function<bool(std::string_view)>& sink);
+
+  /// Replaces the serving plan cache with a fresh one of `capacity` entries
+  /// (0 disables caching). Call before serving begins; not safe against
+  /// in-flight ServeQuery calls.
+  void ResetPlanCache(std::size_t capacity);
+
+  /// The serving plan cache (stats for /serving and tests).
+  PlanCache* plan_cache() { return plan_cache_.get(); }
 
   /// Requests cooperative cancellation of a running job by id (the id
   /// BeginJob assigned, as shown by /jobs on the metrics server). Returns
   /// false when no job with that id is currently running — including when it
-  /// already completed (cancellation racing completion is a no-op). The
-  /// query observes the request at its next task boundary or kernel
-  /// cancellation point and fails with kCancelled (docs/MEMORY.md).
+  /// already completed (cancellation racing completion is a no-op). Each
+  /// registered job cancels through its own token — a shell query through
+  /// the session token, a served query through its per-query token — so
+  /// cancelling one served query never touches its neighbours. The query
+  /// observes the request at its next task boundary or kernel cancellation
+  /// point and fails with kCancelled (docs/MEMORY.md).
   bool CancelJob(std::int64_t job_id);
 
-  /// The engine's cancellation token (shell Ctrl-C hooks Cancel on it).
+  /// The engine's session cancellation token (shell Ctrl-C hooks Cancel on
+  /// it). Served queries use their own tokens; see ServeQuery.
   exec::CancellationToken& cancellation() {
-    return engine_->spark->cancellation();
+    return engine_->spark->session_cancellation();
   }
 
   /// Internal contexts, exposed for tests and the benchmark harness.
@@ -95,15 +164,24 @@ class Rumble {
   common::Result<item::ItemSequence> RunGoverned(const std::string& query);
 
   /// Post-query invariants: failed/cancelled queries leave no spill files
-  /// behind, and the execution pool always drains back to zero reservations.
-  void FinishQuery(bool ok);
+  /// behind, and — once the *last* in-flight query finishes (`last`) — the
+  /// execution pool drains back to zero reservations. The invariant is only
+  /// checkable when no concurrent query still holds reservations.
+  void FinishQuery(bool ok, bool last = true);
 
   EngineContextPtr engine_;
   std::shared_ptr<DynamicContext> globals_;
   std::set<std::string> globals_names_;
+  std::unique_ptr<PlanCache> plan_cache_;
 
+  /// Queries currently executing (shell or served), keyed by job id, each
+  /// with the token CancelJob must trip. Tokens for served queries live on
+  /// their serving thread's stack; Cancel is called under jobs_mu_, and the
+  /// owner erases its entry (also under jobs_mu_) before the token dies, so
+  /// the pointer is never dereferenced after free.
   std::mutex jobs_mu_;
-  std::set<std::int64_t> active_jobs_;
+  std::map<std::int64_t, exec::CancellationToken*> active_jobs_;
+  std::atomic<int> in_flight_{0};
 };
 
 }  // namespace rumble::jsoniq

@@ -96,6 +96,21 @@ void MetricsCheckFailed(const std::string& message) {
   throw std::logic_error("metrics cross-check failed: " + message);
 }
 
+namespace {
+
+thread_local std::int64_t bound_job = -1;
+
+}  // namespace
+
+ThreadJobBinding::ThreadJobBinding(std::int64_t job_id)
+    : previous_(bound_job) {
+  bound_job = job_id;
+}
+
+ThreadJobBinding::~ThreadJobBinding() { bound_job = previous_; }
+
+std::int64_t ThreadJobBinding::current() { return bound_job; }
+
 EventBus::EventBus()
     : epoch_(std::chrono::steady_clock::now()),
       task_duration_hist_(metrics_.GetHistogram("task.duration_ns")),
@@ -103,6 +118,17 @@ EventBus::EventBus()
       job_duration_hist_(metrics_.GetHistogram("job.duration_ns")) {}
 
 EventBus::~EventBus() { CloseLogFile(); }
+
+std::int64_t EventBus::ResolveJobLocked() const {
+  std::int64_t bound = ThreadJobBinding::current();
+  return bound >= 0 ? bound : current_job_;
+}
+
+std::int64_t EventBus::StageJobLocked(std::int64_t stage_id) const {
+  auto it = open_stages_.find(stage_id);
+  if (it != open_stages_.end()) return it->second.job;
+  return ResolveJobLocked();
+}
 
 std::int64_t EventBus::NowNanos() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -128,15 +154,16 @@ void EventBus::Publish(Event event) {
   events_.push_back(std::move(event));
 }
 
-std::int64_t EventBus::BeginJob(std::string label) {
+std::int64_t EventBus::BeginJob(std::string label, bool detached) {
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kJobStart;
   event.job_id = next_job_id_++;
   event.label = std::move(label);
-  current_job_ = event.job_id;
+  std::int64_t id = event.job_id;
+  if (!detached) current_job_ = id;
   Publish(std::move(event));
-  return current_job_;
+  return id;
 }
 
 void EventBus::EndJob(
@@ -163,11 +190,11 @@ std::int64_t EventBus::BeginStage(std::string label, std::size_t num_tasks) {
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kStageStart;
-  event.job_id = current_job_;
+  event.job_id = ResolveJobLocked();
   event.stage_id = next_stage_id_++;
   event.num_tasks = num_tasks;
   event.label = std::move(label);
-  open_stages_[event.stage_id] = {num_tasks, 0};
+  open_stages_[event.stage_id] = {num_tasks, 0, event.job_id};
   std::int64_t id = event.stage_id;
   Publish(std::move(event));
   return id;
@@ -178,12 +205,12 @@ void EventBus::TaskEnd(std::int64_t stage_id, std::size_t task_index,
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kTaskEnd;
-  event.job_id = current_job_;
+  event.job_id = StageJobLocked(stage_id);
   event.stage_id = stage_id;
   event.task_id = static_cast<std::int64_t>(task_index);
   event.duration_nanos = duration_nanos;
   auto it = open_stages_.find(stage_id);
-  if (it != open_stages_.end()) ++it->second.second;
+  if (it != open_stages_.end()) ++it->second.recorded_tasks;
   task_duration_hist_->Record(duration_nanos);
   Publish(std::move(event));
 }
@@ -194,7 +221,7 @@ void EventBus::EndStage(
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kStageEnd;
-  event.job_id = current_job_;
+  event.job_id = StageJobLocked(stage_id);
   event.stage_id = stage_id;
   event.duration_nanos = duration_nanos;
   event.metrics = std::move(metrics);
@@ -208,10 +235,11 @@ void EventBus::EndStage(
       // A failed stage legitimately records fewer task events than planned;
       // only cross-check stages that completed normally.
       RUMBLE_METRICS_CHECK(
-          it->second.second == it->second.first,
+          it->second.recorded_tasks == it->second.expected_tasks,
           "stage " + std::to_string(stage_id) + " recorded " +
-              std::to_string(it->second.second) + " task events, expected " +
-              std::to_string(it->second.first));
+              std::to_string(it->second.recorded_tasks) +
+              " task events, expected " +
+              std::to_string(it->second.expected_tasks));
     }
     open_stages_.erase(it);
   }
@@ -224,7 +252,7 @@ void EventBus::TaskFailed(std::int64_t stage_id, std::size_t task_index,
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kTaskFailed;
-  event.job_id = current_job_;
+  event.job_id = StageJobLocked(stage_id);
   event.stage_id = stage_id;
   event.task_id = static_cast<std::int64_t>(task_index);
   event.attempt = attempt;
@@ -237,7 +265,7 @@ void EventBus::TaskRetry(std::int64_t stage_id, std::size_t task_index,
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kTaskRetry;
-  event.job_id = current_job_;
+  event.job_id = StageJobLocked(stage_id);
   event.stage_id = stage_id;
   event.task_id = static_cast<std::int64_t>(task_index);
   event.attempt = attempt;
@@ -248,7 +276,7 @@ void EventBus::TaskSpeculative(std::int64_t stage_id, std::size_t task_index) {
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kTaskSpeculative;
-  event.job_id = current_job_;
+  event.job_id = StageJobLocked(stage_id);
   event.stage_id = stage_id;
   event.task_id = static_cast<std::int64_t>(task_index);
   Publish(std::move(event));
@@ -258,7 +286,7 @@ void EventBus::ExecutorLost(int executor) {
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kExecutorLost;
-  event.job_id = current_job_;
+  event.job_id = ResolveJobLocked();
   event.task_id = executor;  // serialized as "executor"
   Publish(std::move(event));
 }
@@ -268,7 +296,7 @@ void EventBus::PartitionRecomputed(const std::string& label,
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kPartitionRecomputed;
-  event.job_id = current_job_;
+  event.job_id = ResolveJobLocked();
   event.task_id = partition;  // serialized as "partition"
   event.label = label;
   Publish(std::move(event));
@@ -280,7 +308,7 @@ void EventBus::MalformedLine(std::int64_t line_number,
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kMalformedLine;
-  event.job_id = current_job_;
+  event.job_id = ResolveJobLocked();
   event.task_id = line_number;  // serialized as "line"
   event.label = sample.size() <= kSampleCap
                     ? sample
@@ -292,7 +320,7 @@ void EventBus::Spilled(const std::string& label, std::int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   Event event;
   event.kind = EventKind::kSpill;
-  event.job_id = current_job_;
+  event.job_id = ResolveJobLocked();
   event.label = label;
   event.metrics = {{"bytes", bytes}};
   Publish(std::move(event));
@@ -603,6 +631,8 @@ std::string EventBus::JobsJson() const {
     std::string label;
     std::int64_t duration_nanos = 0;
     bool ended = false;
+    bool failed = false;
+    bool cancelled = false;
     std::vector<StageView> stages;
   };
   std::vector<JobView> jobs;
@@ -635,7 +665,13 @@ std::string EventBus::JobsJson() const {
           if (JobView* job = job_of(event.job_id)) {
             job->ended = true;
             job->duration_nanos = event.duration_nanos;
+            for (const auto& [name, value] : event.metrics) {
+              if (name == "failed" && value != 0) job->failed = true;
+            }
           }
+          break;
+        case EventKind::kQueryCancelled:
+          if (JobView* job = job_of(event.job_id)) job->cancelled = true;
           break;
         case EventKind::kStageStart: {
           StageView stage;
@@ -672,7 +708,10 @@ std::string EventBus::JobsJson() const {
     out += ",\"label\":\"";
     AppendJsonEscaped(job.label, &out);
     out += "\",\"state\":\"";
-    out += job.ended ? "succeeded" : "running";
+    out += !job.ended ? "running"
+           : job.cancelled ? "cancelled"
+           : job.failed ? "failed"
+                        : "succeeded";
     out += "\",\"duration_ns\":" + std::to_string(job.duration_nanos);
     out += ",\"stages\":[";
     for (std::size_t s = 0; s < job.stages.size(); ++s) {

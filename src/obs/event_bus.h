@@ -75,6 +75,29 @@ struct CounterCell {
   std::atomic<std::int64_t> value{0};
 };
 
+/// RAII thread→job binding for event attribution under concurrent jobs.
+/// Historically the bus attributed stages to the single `current_job_` set by
+/// BeginJob, which is right only while one job runs at a time (the shell).
+/// The serving path runs jobs concurrently, so each serving thread binds its
+/// job id for the duration of the query, and the executor pool re-binds the
+/// submitting thread's job around every task attempt; stage/task events then
+/// resolve to the bound job first and fall back to `current_job_` when no
+/// binding is present, keeping the shell path byte-identical.
+class ThreadJobBinding {
+ public:
+  explicit ThreadJobBinding(std::int64_t job_id);
+  ~ThreadJobBinding();
+
+  ThreadJobBinding(const ThreadJobBinding&) = delete;
+  ThreadJobBinding& operator=(const ThreadJobBinding&) = delete;
+
+  /// The job bound to the calling thread; -1 when none.
+  static std::int64_t current();
+
+ private:
+  std::int64_t previous_;
+};
+
 /// Thread-safe publisher/collector for execution events and named counters —
 /// the C++ stand-in for the Spark UI + event log. One bus lives per
 /// spark::Context (i.e. per engine); the scheduler and the RDD/DataFrame/
@@ -89,7 +112,12 @@ class EventBus {
   EventBus& operator=(const EventBus&) = delete;
 
   // ---- Jobs ---------------------------------------------------------------
-  std::int64_t BeginJob(std::string label);
+  /// Begins a job and makes it the bus-wide current job (the attribution
+  /// fallback for threads with no ThreadJobBinding — the shell path).
+  /// `detached` jobs skip that: a served query begins detached and binds its
+  /// id to its serving thread instead, so concurrent served jobs never steal
+  /// attribution from a shell query running alongside them.
+  std::int64_t BeginJob(std::string label, bool detached = false);
   /// Ends a job; `metrics` is appended to the job_end record (the engine
   /// passes e.g. the result row count).
   void EndJob(std::int64_t job_id,
@@ -192,8 +220,24 @@ class EventBus {
   std::string JobsJson() const;
 
  private:
+  /// Bookkeeping for an in-flight stage: the RUMBLE_ASSERT_METRICS
+  /// cross-check counts, plus the job the stage belongs to so task-level
+  /// events attribute correctly under concurrent jobs (the publishing worker
+  /// thread may carry a different — or no — job binding).
+  struct OpenStage {
+    std::size_t expected_tasks = 0;
+    std::size_t recorded_tasks = 0;
+    std::int64_t job = -1;
+  };
+
   void Publish(Event event);  // assigns sequence/wall time, logs, retains
   std::int64_t NowNanos() const;
+  /// The job to attribute a new event to: the calling thread's binding when
+  /// present, else the legacy bus-wide current job. Requires mu_ held.
+  std::int64_t ResolveJobLocked() const;
+  /// The owning job of an open stage; falls back to ResolveJobLocked for
+  /// unknown stage ids. Requires mu_ held.
+  std::int64_t StageJobLocked(std::int64_t stage_id) const;
 
   mutable std::mutex mu_;
   std::vector<Event> events_;
@@ -202,9 +246,7 @@ class EventBus {
   std::int64_t next_job_id_ = 0;
   std::int64_t next_stage_id_ = 0;
   std::int64_t current_job_ = -1;
-  /// stage_id -> (expected tasks, recorded task events); used by the
-  /// RUMBLE_ASSERT_METRICS cross-check in EndStage.
-  std::map<std::int64_t, std::pair<std::size_t, std::size_t>> open_stages_;
+  std::map<std::int64_t, OpenStage> open_stages_;
   std::map<std::string, std::unique_ptr<CounterCell>> counters_;
   std::unique_ptr<std::ofstream> log_;
   std::chrono::steady_clock::time_point epoch_;

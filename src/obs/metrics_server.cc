@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstring>
 
 #include "src/obs/event_bus.h"
@@ -12,41 +13,14 @@ namespace rumble::obs {
 
 namespace {
 
-std::string HttpResponse(const char* status, const char* content_type,
-                         const std::string& body) {
-  std::string out = "HTTP/1.0 ";
-  out += status;
-  out += "\r\nContent-Type: ";
-  out += content_type;
-  out += "\r\nContent-Length: " + std::to_string(body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
-}
+/// Request header block is bounded so a garbage client cannot grow memory.
+constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+/// Query bodies are bounded too; larger posts get 413.
+constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
 
-void SendAll(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
-}
-
-/// Splits the request line into method and path; both empty when the line is
-/// not a well-formed "METHOD /path HTTP/1.x".
-void RequestMethodAndPath(const std::string& request, std::string* method,
-                          std::string* path) {
-  method->clear();
-  path->clear();
-  std::size_t method_end = request.find(' ');
-  if (method_end == std::string::npos) return;
-  std::size_t path_end = request.find(' ', method_end + 1);
-  if (path_end == std::string::npos) return;
-  *method = request.substr(0, method_end);
-  *path = request.substr(method_end + 1, path_end - method_end - 1);
-  std::size_t query = path->find('?');
-  if (query != std::string::npos) path->resize(query);
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
 }
 
 /// Parses "/jobs/<id>/cancel"; returns false on any other shape.
@@ -69,7 +43,155 @@ bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
   return true;
 }
 
+/// Reads one HTTP request off `fd`: headers until the blank line, then
+/// Content-Length bytes of body. Returns false on a malformed or oversized
+/// request (*status carries the error status to send) or a dead socket
+/// (*status left empty — nothing to send).
+bool ReadRequest(int fd, HttpRequest* request, std::string* status) {
+  status->clear();
+  std::string data;
+  std::size_t header_end = std::string::npos;
+  char buf[4096];
+  while (header_end == std::string::npos) {
+    if (data.size() > kMaxHeaderBytes) {
+      *status = "431 Request Header Fields Too Large";
+      return false;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    data.append(buf, static_cast<std::size_t>(n));
+    header_end = data.find("\r\n\r\n");
+  }
+
+  // Request line: METHOD SP path SP HTTP/1.x
+  std::size_t line_end = data.find("\r\n");
+  std::string line = data.substr(0, line_end);
+  std::size_t method_end = line.find(' ');
+  std::size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  if (path_end == std::string::npos) {
+    *status = "400 Bad Request";
+    return false;
+  }
+  request->method = line.substr(0, method_end);
+  request->path = line.substr(method_end + 1, path_end - method_end - 1);
+  std::size_t query = request->path.find('?');
+  if (query != std::string::npos) request->path.resize(query);
+
+  // Header lines.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = data.find("\r\n", pos);
+    std::string header = data.substr(pos, eol - pos);
+    pos = eol + 2;
+    std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(header.substr(0, colon));
+    std::size_t value_begin = colon + 1;
+    while (value_begin < header.size() && header[value_begin] == ' ') {
+      ++value_begin;
+    }
+    request->headers[name] = header.substr(value_begin);
+  }
+
+  // Body per Content-Length (this server never sees chunked request bodies).
+  std::size_t content_length = 0;
+  auto it = request->headers.find("content-length");
+  if (it != request->headers.end()) {
+    for (char c : it->second) {
+      if (c < '0' || c > '9') {
+        *status = "400 Bad Request";
+        return false;
+      }
+      content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
+      if (content_length > kMaxBodyBytes) {
+        *status = "413 Payload Too Large";
+        return false;
+      }
+    }
+  }
+  request->body = data.substr(header_end + 4);
+  while (request->body.size() < content_length) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    request->body.append(buf, static_cast<std::size_t>(n));
+  }
+  request->body.resize(content_length);
+  return true;
+}
+
 }  // namespace
+
+std::string HttpRequest::Header(const std::string& lower_name,
+                                std::string fallback) const {
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? std::move(fallback) : it->second;
+}
+
+bool HttpResponseWriter::SendAll(std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a peer that already hung up must surface as an error
+    // here, not as a process-wide SIGPIPE.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      client_gone_ = true;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void HttpResponseWriter::Respond(const std::string& status,
+                                 const std::string& content_type,
+                                 const std::string& body,
+                                 const Headers& extra) {
+  if (headers_sent_) return;
+  headers_sent_ = true;
+  std::string out = "HTTP/1.0 " + status + "\r\nContent-Type: " + content_type;
+  for (const auto& [name, value] : extra) {
+    out += "\r\n" + name + ": " + value;
+  }
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  SendAll(out);
+}
+
+bool HttpResponseWriter::BeginChunked(const std::string& status,
+                                      const std::string& content_type,
+                                      const Headers& extra) {
+  if (headers_sent_) return false;
+  headers_sent_ = true;
+  chunked_ = true;
+  std::string out = "HTTP/1.1 " + status + "\r\nContent-Type: " + content_type;
+  for (const auto& [name, value] : extra) {
+    out += "\r\n" + name + ": " + value;
+  }
+  out += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  return SendAll(out);
+}
+
+bool HttpResponseWriter::WriteChunk(std::string_view data) {
+  if (data.empty() || client_gone_) return !client_gone_;
+  char size_line[32];
+  int size_len = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                               data.size());
+  std::string out;
+  out.reserve(static_cast<std::size_t>(size_len) + data.size() + 2);
+  out.append(size_line, static_cast<std::size_t>(size_len));
+  out.append(data);
+  out += "\r\n";
+  return SendAll(out);
+}
+
+void HttpResponseWriter::EndChunked() {
+  if (!chunked_ || client_gone_) return;
+  SendAll("0\r\n\r\n");
+}
 
 bool MetricsServer::Start(int port) {
   if (running()) return false;
@@ -94,7 +216,7 @@ bool MetricsServer::Start(int port) {
   }
   listen_fd_ = fd;
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Serve(); });
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
@@ -102,63 +224,124 @@ void MetricsServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   // shutdown() unblocks the accept() so the thread observes running_ false.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
+  // Unblock every connection thread (their recv/send fails), then join and
+  // close. Streaming queries see the dead socket and cancel cooperatively.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (Connection& conn : connections_) {
+    ::shutdown(conn.fd, SHUT_RDWR);
+  }
+  for (Connection& conn : connections_) {
+    if (conn.thread.joinable()) conn.thread.join();
+    ::close(conn.fd);
+  }
+  connections_.clear();
 }
 
-void MetricsServer::Serve() {
+void MetricsServer::ReapFinishedLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      ::close(it->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MetricsServer::AcceptLoop() {
   while (running()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (!running()) break;
       continue;
     }
-    HandleConnection(fd);
-    ::close(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    ReapFinishedLocked();
+    if (static_cast<int>(connections_.size()) >= max_connections_) {
+      // Fast, bounded rejection: never queue behind saturated slots.
+      HttpResponseWriter writer(fd);
+      writer.Respond("503 Service Unavailable", "application/json",
+                     "{\"error\":\"too_many_connections\"}\n");
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace_back();
+    Connection* conn = &connections_.back();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { HandleConnection(conn); });
   }
 }
 
-void MetricsServer::HandleConnection(int fd) {
-  char buf[2048];
-  ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
-  if (n <= 0) return;
-  buf[n] = '\0';
-  std::string method;
-  std::string path;
-  RequestMethodAndPath(buf, &method, &path);
+void MetricsServer::HandleConnection(Connection* conn) {
+  HttpRequest request;
+  std::string error_status;
+  HttpResponseWriter writer(conn->fd);
+  if (ReadRequest(conn->fd, &request, &error_status)) {
+    Dispatch(request, writer);
+  } else if (!error_status.empty()) {
+    writer.Respond(error_status, "text/plain", "bad request\n");
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  // The accept loop (or Stop) joins us and closes the fd; flagging done last
+  // keeps the fd valid for the whole lifetime of this thread.
+  conn->done.store(true, std::memory_order_release);
+}
+
+void MetricsServer::Dispatch(const HttpRequest& request,
+                             HttpResponseWriter& writer) {
   std::int64_t job_id = 0;
-  if (method == "POST" && ParseCancelPath(path, &job_id)) {
+  if (request.method == "POST" && request.path == "/query") {
+    if (query_handler_ != nullptr) {
+      query_handler_(request, writer);
+    } else {
+      writer.Respond("404 Not Found", "application/json",
+                     "{\"error\":\"serving_disabled\"}\n");
+    }
+    return;
+  }
+  if (request.method == "POST" && ParseCancelPath(request.path, &job_id)) {
     // Cooperative cancellation (docs/MEMORY.md): hand the id to the engine's
     // handler; the running query observes it at its next cancellation point.
-    bool cancelled =
-        cancel_handler_ != nullptr && cancel_handler_(job_id);
+    bool cancelled = cancel_handler_ != nullptr && cancel_handler_(job_id);
     std::string body = std::string("{\"cancelled\":") +
                        (cancelled ? "true" : "false") +
                        ",\"job\":" + std::to_string(job_id) + "}\n";
-    SendAll(fd, HttpResponse(cancelled ? "200 OK" : "404 Not Found",
-                             "application/json", body));
+    writer.Respond(cancelled ? "200 OK" : "404 Not Found", "application/json",
+                   body);
     return;
   }
-  if (method != "GET") {
-    SendAll(fd, HttpResponse("404 Not Found", "text/plain", "not found\n"));
+  if (request.method != "GET") {
+    writer.Respond("404 Not Found", "text/plain", "not found\n");
     return;
   }
-  if (path == "/metrics") {
-    SendAll(fd, HttpResponse("200 OK", "text/plain; version=0.0.4",
-                             bus_->PrometheusText()));
-  } else if (path == "/jobs") {
-    SendAll(fd, HttpResponse("200 OK", "application/json", bus_->JobsJson()));
-  } else if (path == "/") {
-    SendAll(fd,
-            HttpResponse("200 OK", "text/plain",
-                         "rumble metrics endpoint\n"
-                         "  /metrics            Prometheus text exposition\n"
-                         "  /jobs               live job/stage/task state\n"
-                         "  /jobs/<id>/cancel   POST: cancel a running job\n"));
+  if (request.path == "/metrics") {
+    writer.Respond("200 OK", "text/plain; version=0.0.4",
+                   bus_->PrometheusText());
+  } else if (request.path == "/jobs") {
+    writer.Respond("200 OK", "application/json", bus_->JobsJson());
+  } else if (request.path == "/serving") {
+    if (stats_handler_ != nullptr) {
+      writer.Respond("200 OK", "application/json", stats_handler_());
+    } else {
+      writer.Respond("404 Not Found", "application/json",
+                     "{\"error\":\"serving_disabled\"}\n");
+    }
+  } else if (request.path == "/") {
+    writer.Respond("200 OK", "text/plain",
+                   "rumble metrics endpoint\n"
+                   "  /metrics            Prometheus text exposition\n"
+                   "  /jobs               live job/stage/task state\n"
+                   "  /jobs/<id>/cancel   POST: cancel a running job\n"
+                   "  /query              POST: run a JSONiq query "
+                   "(JSON-Lines stream)\n"
+                   "  /serving            serving-layer stats\n");
   } else {
-    SendAll(fd, HttpResponse("404 Not Found", "text/plain", "not found\n"));
+    writer.Respond("404 Not Found", "text/plain", "not found\n");
   }
 }
 

@@ -4,27 +4,96 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <map>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace rumble::obs {
 
 class EventBus;
 
-/// Minimal embedded HTTP server — the mini Spark Web UI for the minispark
-/// substrate. Blocking POSIX sockets, one accept thread, one request per
-/// connection (HTTP/1.0 close semantics), no dependencies. Routes:
+/// One parsed HTTP request: request line, headers (names lower-cased), and
+/// the body (read per Content-Length). Query strings are stripped from path.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value by lower-cased name; `fallback` when absent.
+  std::string Header(const std::string& lower_name,
+                     std::string fallback = std::string()) const;
+};
+
+/// Response writer bound to one connection. Two modes:
+///  - Respond(): one fixed-length HTTP/1.0 response (the metrics endpoints);
+///  - BeginChunked()/WriteChunk()/EndChunked(): an HTTP/1.1 chunked stream
+///    (POST /query streams JSON-Lines rows as they are produced).
+/// Writes use MSG_NOSIGNAL; a peer that hung up flips client_gone() instead
+/// of raising SIGPIPE, and the serving layer turns that into cancellation.
+class HttpResponseWriter {
+ public:
+  using Headers = std::vector<std::pair<std::string, std::string>>;
+
+  explicit HttpResponseWriter(int fd) : fd_(fd) {}
+
+  HttpResponseWriter(const HttpResponseWriter&) = delete;
+  HttpResponseWriter& operator=(const HttpResponseWriter&) = delete;
+
+  /// Sends status line + headers + fixed-length body. No-op if headers were
+  /// already sent.
+  void Respond(const std::string& status, const std::string& content_type,
+               const std::string& body, const Headers& extra = {});
+
+  /// Sends status line + headers and switches to chunked transfer encoding.
+  /// Returns false (nothing sent) if headers already went out.
+  bool BeginChunked(const std::string& status, const std::string& content_type,
+                    const Headers& extra = {});
+  /// Streams one chunk; false once the client is gone (the data is dropped).
+  bool WriteChunk(std::string_view data);
+  /// Sends the terminating zero-length chunk.
+  void EndChunked();
+
+  bool headers_sent() const { return headers_sent_; }
+  bool chunked() const { return chunked_; }
+  bool client_gone() const { return client_gone_; }
+
+ private:
+  bool SendAll(std::string_view data);
+
+  int fd_;
+  bool headers_sent_ = false;
+  bool chunked_ = false;
+  bool client_gone_ = false;
+};
+
+/// Embedded HTTP server — the mini Spark Web UI grown into the engine's
+/// serving front door (docs/SERVING.md). Blocking POSIX sockets, one accept
+/// thread, one thread per connection (so a long-streaming /query never
+/// blocks /metrics scrapes), no dependencies. Routes:
 ///
 ///   /metrics              EventBus::PrometheusText() — Prometheus text
 ///   /jobs                 EventBus::JobsJson()       — live job/stage/task
-///   /jobs/<id>/cancel     POST: cooperative query cancellation (docs/MEMORY.md)
+///   /jobs/<id>/cancel     POST: cooperative query cancellation
+///   /query                POST: execute a JSONiq query (serving layer)
+///   /serving              serving-layer stats JSON (scheduler, plan cache)
 ///   /                     tiny text index
 ///
-/// All rendering happens in the serving thread off bus snapshots, so running
-/// queries never block on a slow scraper. See docs/TRACING.md for a curl
-/// walkthrough.
+/// /query and /serving route to pluggable handlers so this layer stays
+/// independent of the engine; serve::QueryService installs them. Rendering
+/// happens on connection threads off bus snapshots, so running queries never
+/// block on a slow scraper.
 class MetricsServer {
  public:
+  using QueryHandler =
+      std::function<void(const HttpRequest&, HttpResponseWriter&)>;
+  using StatsHandler = std::function<std::string()>;
+
   explicit MetricsServer(EventBus* bus) : bus_(bus) {}
   ~MetricsServer() { Stop(); }
 
@@ -35,7 +104,9 @@ class MetricsServer {
   /// thread. Returns false when the socket cannot be bound.
   bool Start(int port);
 
-  /// Stops the accept thread and closes the listening socket. Idempotent.
+  /// Stops accepting, unblocks and joins every connection thread, closes all
+  /// sockets. In-flight streamed queries observe the closed socket as a gone
+  /// client and cancel. Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -44,22 +115,58 @@ class MetricsServer {
 
   /// Installs the handler POST /jobs/<id>/cancel invokes (typically
   /// Rumble::CancelJob). The handler returns true when the job was found and
-  /// cancellation was requested. Set before Start(); the serving thread
-  /// reads it without a lock.
+  /// cancellation was requested. Set before Start(); connection threads read
+  /// it without a lock.
   void SetCancelHandler(std::function<bool(std::int64_t)> handler) {
     cancel_handler_ = std::move(handler);
   }
 
+  /// Installs the POST /query handler (serve::QueryService::Handle). The
+  /// handler runs on the connection's own thread and may stream for as long
+  /// as the query takes. Set before Start().
+  void SetQueryHandler(QueryHandler handler) {
+    query_handler_ = std::move(handler);
+  }
+
+  /// Installs the GET /serving stats renderer. Set before Start().
+  void SetServingStatsHandler(StatsHandler handler) {
+    stats_handler_ = std::move(handler);
+  }
+
+  /// Caps concurrent connections; excess connections get an immediate 503.
+  /// Set before Start().
+  void set_max_connections(int max_connections) {
+    max_connections_ = max_connections;
+  }
+
  private:
-  void Serve();
-  void HandleConnection(int fd);
+  /// One live connection: its socket and handling thread. The thread never
+  /// closes the fd itself — `done` flags it for the accept loop (or Stop) to
+  /// join and close, so a recycled fd number can never be shut down by
+  /// mistake.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  void Dispatch(const HttpRequest& request, HttpResponseWriter& writer);
+  /// Joins and erases finished connections. Requires conn_mu_.
+  void ReapFinishedLocked();
 
   EventBus* bus_;
   std::function<bool(std::int64_t)> cancel_handler_;
+  QueryHandler query_handler_;
+  StatsHandler stats_handler_;
   std::atomic<bool> running_{false};
   int listen_fd_ = -1;
   int port_ = 0;
-  std::thread thread_;
+  int max_connections_ = 64;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::list<Connection> connections_;
 };
 
 }  // namespace rumble::obs

@@ -1,0 +1,208 @@
+#include "src/serve/query_service.h"
+
+#include <chrono>
+#include <string_view>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/exec/memory_manager.h"
+#include "src/obs/event_bus.h"
+#include "src/util/strings.h"
+
+namespace rumble::serve {
+
+namespace {
+
+/// JSON error body: {"error":"<code>","message":"<text>"}\n.
+std::string ErrorBody(std::string_view error, const std::string& message) {
+  std::string out = "{\"error\":\"";
+  out += error;
+  out += "\",\"message\":\"";
+  out += util::JsonEscape(message);
+  out += "\"}\n";
+  return out;
+}
+
+/// Maps an engine error to the HTTP status committed when the error arrives
+/// before the first streamed byte (docs/SERVING.md lists these).
+std::string HttpStatusFor(common::ErrorCode code) {
+  switch (code) {
+    case common::ErrorCode::kStaticSyntax:
+    case common::ErrorCode::kUndeclaredVariable:
+    case common::ErrorCode::kUnknownFunction:
+      return "400 Bad Request";
+    case common::ErrorCode::kCancelled:
+      return "499 Client Closed Request";
+    case common::ErrorCode::kAdmissionRejected:
+      return "503 Service Unavailable";
+    default:
+      return "500 Internal Server Error";
+  }
+}
+
+bool ParseNonNegativeInt(const std::string& text, std::int64_t* value) {
+  if (text.empty()) return false;
+  std::int64_t out = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + (c - '0');
+  }
+  *value = out;
+  return true;
+}
+
+bool IsBlank(const std::string& text) {
+  for (char c : text) {
+    if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryService::QueryService(jsoniq::Rumble* engine, ServingConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      scheduler_(config_.max_concurrent, config_.max_queue_per_tenant) {
+  for (const auto& [tenant, weight] : config_.tenant_weights) {
+    scheduler_.SetWeight(tenant, weight);
+  }
+  engine_->ResetPlanCache(config_.plan_cache_capacity);
+}
+
+void QueryService::Install(obs::MetricsServer* server) {
+  server->SetQueryHandler(
+      [this](const obs::HttpRequest& request, obs::HttpResponseWriter& writer) {
+        Handle(request, writer);
+      });
+  server->SetServingStatsHandler([this] { return StatsJson(); });
+  server->SetCancelHandler(
+      [this](std::int64_t job_id) { return engine_->CancelJob(job_id); });
+}
+
+void QueryService::Handle(const obs::HttpRequest& request,
+                          obs::HttpResponseWriter& writer) {
+  obs::EventBus& bus = engine_->event_bus();
+  bus.AddToCounter("serving.requests", 1);
+
+  if (IsBlank(request.body)) {
+    bus.AddToCounter("serving.rejected", 1);
+    writer.Respond("400 Bad Request", "application/json",
+                   ErrorBody("empty_query",
+                             "POST a JSONiq query as the request body"));
+    return;
+  }
+
+  jsoniq::ServeOptions options;
+  options.tenant = request.Header("x-rumble-tenant", "anonymous");
+  std::string timeout_header = request.Header("x-rumble-timeout-ms");
+  if (!timeout_header.empty() &&
+      !ParseNonNegativeInt(timeout_header, &options.timeout_ms)) {
+    bus.AddToCounter("serving.rejected", 1);
+    writer.Respond("400 Bad Request", "application/json",
+                   ErrorBody("bad_header",
+                             "X-Rumble-Timeout-Ms must be a non-negative "
+                             "integer of milliseconds"));
+    return;
+  }
+  std::string cap_header = request.Header("x-rumble-memory-cap");
+  if (!cap_header.empty() &&
+      !exec::MemoryManager::ParseByteSize(cap_header,
+                                          &options.memory_cap_bytes)) {
+    bus.AddToCounter("serving.rejected", 1);
+    writer.Respond("400 Bad Request", "application/json",
+                   ErrorBody("bad_header",
+                             "X-Rumble-Memory-Cap must be a byte size such "
+                             "as 1073741824, 512m, or 1g"));
+    return;
+  }
+  if (request.Header("x-rumble-plan-cache") == "off") {
+    options.use_plan_cache = false;
+  }
+
+  // Weighted fair admission: block (bounded) for a slot; under saturation
+  // the scheduler shares slots by tenant weight instead of arrival order.
+  bus.AddToCounter("serving.queued", 1);
+  TenantScheduler::Outcome outcome =
+      scheduler_.Acquire(options.tenant, config_.queue_wait_timeout_ms);
+  bus.AddToCounter("serving.queued", -1);
+  if (outcome != TenantScheduler::Outcome::kAdmitted) {
+    bus.AddToCounter("serving.rejected", 1);
+    const char* reason =
+        outcome == TenantScheduler::Outcome::kQueueFull  ? "queue_full"
+        : outcome == TenantScheduler::Outcome::kTimeout ? "queue_timeout"
+                                                        : "shutting_down";
+    writer.Respond(
+        "503 Service Unavailable", "application/json",
+        ErrorBody(reason, "tenant \"" + options.tenant +
+                              "\" could not be admitted; retry later"),
+        {{"Retry-After", "1"}});
+    return;
+  }
+
+  bus.AddToCounter("serving.active", 1);
+  auto started = std::chrono::steady_clock::now();
+  common::Result<jsoniq::ServeResult> result = engine_->ServeQuery(
+      request.body, options,
+      [&](const jsoniq::ServeStart& start) {
+        // Compiled and registered: commit the response headers now, before
+        // the first row, so the client learns the job id early enough to
+        // cancel it.
+        writer.BeginChunked(
+            "200 OK", "application/x-ndjson",
+            {{"X-Rumble-Job", std::to_string(start.job_id)},
+             {"X-Rumble-Plan-Cache", start.plan_cache_hit ? "hit" : "miss"},
+             {"X-Rumble-Tenant", options.tenant}});
+      },
+      [&](std::string_view chunk) { return writer.WriteChunk(chunk); });
+  scheduler_.Release();
+  bus.AddToCounter("serving.active", -1);
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  bus.metrics()
+      ->GetHistogram("serving.request.duration_ns")
+      ->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                   .count());
+
+  if (result.ok()) {
+    bus.AddToCounter("serving.completed", 1);
+    if (writer.chunked()) {
+      writer.EndChunked();
+    } else {
+      writer.Respond("200 OK", "application/x-ndjson", "");
+    }
+    return;
+  }
+
+  const common::Status& status = result.status();
+  bool cancelled = status.code() == common::ErrorCode::kCancelled;
+  bus.AddToCounter(cancelled ? "serving.cancelled" : "serving.failed", 1);
+  if (writer.client_gone()) bus.AddToCounter("serving.client_gone", 1);
+  std::string body =
+      ErrorBody(common::ErrorCodeName(status.code()), status.message());
+  if (!writer.headers_sent()) {
+    writer.Respond(HttpStatusFor(status.code()), "application/json", body);
+  } else {
+    // Rows already went out under a 200; the failure becomes a trailing
+    // machine-readable line so clients can distinguish truncation from
+    // success.
+    writer.WriteChunk(body);
+    writer.EndChunked();
+  }
+}
+
+std::string QueryService::StatsJson() const {
+  std::string out = "{\"scheduler\":" + scheduler_.StatsJson();
+  if (jsoniq::PlanCache* cache = engine_->plan_cache()) {
+    out += ",\"plan_cache\":{\"capacity\":" + std::to_string(cache->capacity()) +
+           ",\"size\":" + std::to_string(cache->size()) +
+           ",\"hits\":" + std::to_string(cache->hits()) +
+           ",\"misses\":" + std::to_string(cache->misses()) +
+           ",\"evictions\":" + std::to_string(cache->evictions()) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+void QueryService::Shutdown() { scheduler_.Shutdown(); }
+
+}  // namespace rumble::serve

@@ -1,0 +1,82 @@
+#ifndef RUMBLE_SERVE_QUERY_SERVICE_H_
+#define RUMBLE_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_server.h"
+#include "src/serve/tenant_scheduler.h"
+
+namespace rumble::serve {
+
+/// Knobs for the serving layer, surfaced as rumble_shell --serve-* flags
+/// (docs/SERVING.md).
+struct ServingConfig {
+  /// Queries running at once on the shared engine.
+  int max_concurrent = 4;
+  /// Waiters allowed per tenant before fast 503 queue_full.
+  int max_queue_per_tenant = 16;
+  /// How long an admitted-but-queued request may wait for a slot before 503
+  /// queue_timeout. < 0 waits forever.
+  std::int64_t queue_wait_timeout_ms = 30000;
+  /// Tenant fairness weights (default 1.0 each; see TenantScheduler).
+  std::map<std::string, double> tenant_weights;
+  /// Plan-cache entries (0 disables caching).
+  std::size_t plan_cache_capacity = 64;
+};
+
+/// The HTTP serving layer: turns a POST /query request into a streamed
+/// Rumble::ServeQuery call (docs/SERVING.md). Owns the per-tenant admission
+/// scheduler; installs itself as the MetricsServer's /query and /serving
+/// handlers; translates engine outcomes to HTTP status codes and
+/// machine-readable JSON error bodies.
+///
+/// Request headers understood (all optional):
+///   X-Rumble-Tenant       tenant id for fair scheduling (default anonymous)
+///   X-Rumble-Timeout-Ms   per-query timeout override in milliseconds
+///   X-Rumble-Memory-Cap   per-query memory cap, e.g. "64m" / "1g" / bytes
+///   X-Rumble-Plan-Cache   "off" bypasses the plan cache for this request
+///
+/// Response: 200 with Transfer-Encoding: chunked and one JSON-Lines row per
+/// result item (byte-identical to the shell's --query output), plus headers
+/// X-Rumble-Job, X-Rumble-Plan-Cache (hit|miss), X-Rumble-Tenant. Errors
+/// before the first byte map to a status code with a JSON body; errors after
+/// streaming began append a trailing {"error":...} line to the stream.
+class QueryService {
+ public:
+  QueryService(jsoniq::Rumble* engine, ServingConfig config);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Installs Handle and StatsJson as `server`'s /query and /serving
+  /// handlers. Call before MetricsServer::Start.
+  void Install(obs::MetricsServer* server);
+
+  /// Serves one POST /query request on the caller's thread (the metrics
+  /// server's connection thread), blocking until the query finishes, fails,
+  /// or is cancelled.
+  void Handle(const obs::HttpRequest& request, obs::HttpResponseWriter& writer);
+
+  /// Serving-layer stats (scheduler + plan cache) for GET /serving.
+  std::string StatsJson() const;
+
+  /// Stops admitting new queries; waiters get 503 shutting_down. In-flight
+  /// queries keep streaming — stopping the MetricsServer closes their
+  /// sockets, which cancels them cooperatively.
+  void Shutdown();
+
+  TenantScheduler& scheduler() { return scheduler_; }
+  const ServingConfig& config() const { return config_; }
+
+ private:
+  jsoniq::Rumble* engine_;
+  ServingConfig config_;
+  TenantScheduler scheduler_;
+};
+
+}  // namespace rumble::serve
+
+#endif  // RUMBLE_SERVE_QUERY_SERVICE_H_

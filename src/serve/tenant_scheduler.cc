@@ -1,0 +1,143 @@
+#include "src/serve/tenant_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace rumble::serve {
+
+namespace {
+/// Weights are clamped positive so 1/weight stays finite.
+constexpr double kMinWeight = 1e-3;
+}  // namespace
+
+TenantScheduler::TenantScheduler(int max_concurrent, int max_queue_per_tenant)
+    : max_concurrent_(std::max(1, max_concurrent)),
+      max_queue_per_tenant_(std::max(1, max_queue_per_tenant)) {}
+
+void TenantScheduler::SetWeight(const std::string& tenant, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenants_[tenant].weight = std::max(weight, kMinWeight);
+}
+
+TenantScheduler::Outcome TenantScheduler::Acquire(const std::string& tenant,
+                                                  std::int64_t wait_timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return Outcome::kShutdown;
+  TenantState& state = tenants_[tenant];
+  if (static_cast<int>(state.queue.size()) >= max_queue_per_tenant_) {
+    ++rejected_full_;
+    return Outcome::kQueueFull;
+  }
+  if (state.queue.empty()) {
+    // Idle catch-up: a returning tenant starts at the global floor, not at
+    // the stale clock it left behind (which would grant it a burst).
+    state.vtime = std::max(state.vtime, vnow_);
+  }
+  Waiter waiter;
+  state.queue.push_back(&waiter);
+  ++queued_;
+  TryGrantLocked();
+  if (!waiter.admitted) {
+    auto done = [&] { return waiter.admitted || shutdown_; };
+    if (wait_timeout_ms < 0) {
+      cv_.wait(lock, done);
+    } else if (wait_timeout_ms > 0) {
+      cv_.wait_for(lock, std::chrono::milliseconds(wait_timeout_ms), done);
+    }
+  }
+  if (waiter.admitted) return Outcome::kAdmitted;
+  // Un-admitted exit (timeout or shutdown): remove ourselves before the
+  // stack frame dies.
+  std::deque<Waiter*>& queue = tenants_[tenant].queue;
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (*it == &waiter) {
+      queue.erase(it);
+      break;
+    }
+  }
+  --queued_;
+  if (shutdown_) return Outcome::kShutdown;
+  ++timed_out_;
+  return Outcome::kTimeout;
+}
+
+void TenantScheduler::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  TryGrantLocked();
+}
+
+void TenantScheduler::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+void TenantScheduler::TryGrantLocked() {
+  bool granted = false;
+  while (!shutdown_ && active_ < max_concurrent_) {
+    // Fair-queue winner: smallest virtual clock among tenants with waiters.
+    // std::map iteration order makes the tie-break alphabetical and
+    // deterministic.
+    TenantState* best = nullptr;
+    for (auto& [name, state] : tenants_) {
+      if (state.queue.empty()) continue;
+      if (best == nullptr || state.vtime < best->vtime) best = &state;
+    }
+    if (best == nullptr) break;
+    Waiter* waiter = best->queue.front();
+    best->queue.pop_front();
+    --queued_;
+    double start = std::max(best->vtime, vnow_);
+    vnow_ = start;
+    best->vtime = start + 1.0 / best->weight;
+    ++best->admitted_total;
+    ++active_;
+    waiter->admitted = true;
+    granted = true;
+  }
+  if (granted) cv_.notify_all();
+}
+
+int TenantScheduler::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int TenantScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+std::string TenantScheduler::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char num[64];
+  std::string out = "{\"max_concurrent\":" + std::to_string(max_concurrent_) +
+                    ",\"max_queue_per_tenant\":" +
+                    std::to_string(max_queue_per_tenant_) +
+                    ",\"active\":" + std::to_string(active_) +
+                    ",\"queued\":" + std::to_string(queued_) +
+                    ",\"rejected_queue_full\":" + std::to_string(rejected_full_) +
+                    ",\"timed_out\":" + std::to_string(timed_out_) +
+                    ",\"shutdown\":" + (shutdown_ ? "true" : "false") +
+                    ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [name, state] : tenants_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + util::JsonEscape(name) + "\":{";
+    std::snprintf(num, sizeof(num), "%.3f", state.weight);
+    out += std::string("\"weight\":") + num;
+    std::snprintf(num, sizeof(num), "%.3f", state.vtime);
+    out += std::string(",\"vtime\":") + num;
+    out += ",\"queued\":" + std::to_string(state.queue.size()) +
+           ",\"admitted\":" + std::to_string(state.admitted_total) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rumble::serve

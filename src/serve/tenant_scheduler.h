@@ -1,0 +1,104 @@
+#ifndef RUMBLE_SERVE_TENANT_SCHEDULER_H_
+#define RUMBLE_SERVE_TENANT_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace rumble::serve {
+
+/// Weighted fair admission for the serving path (docs/SERVING.md): at most
+/// `max_concurrent` queries run at once, and when demand exceeds supply the
+/// free slots are shared between tenants in proportion to their weights
+/// rather than first-come-first-served — one chatty tenant cannot starve the
+/// rest.
+///
+/// The algorithm is start-time fair queuing over a per-tenant virtual clock:
+/// each grant advances the tenant's clock by 1/weight, and the next free slot
+/// goes to the waiting tenant with the smallest clock (ties break
+/// alphabetically, deterministically). An idle tenant's clock catches up to
+/// the global floor when it returns, so sitting out earns credit for the gap
+/// but never a banked burst beyond it.
+class TenantScheduler {
+ public:
+  enum class Outcome {
+    kAdmitted,   // a slot is held; the caller must Release() it
+    kQueueFull,  // this tenant's wait queue is at capacity — fast 503
+    kTimeout,    // waited queue_wait_timeout without getting a slot
+    kShutdown,   // the scheduler is draining; no new admissions
+  };
+
+  /// `max_queue_per_tenant` bounds how many callers of one tenant may wait;
+  /// beyond it Acquire fails fast with kQueueFull instead of piling up.
+  TenantScheduler(int max_concurrent, int max_queue_per_tenant);
+
+  TenantScheduler(const TenantScheduler&) = delete;
+  TenantScheduler& operator=(const TenantScheduler&) = delete;
+
+  /// Sets a tenant's weight (default 1.0; clamped to a small positive
+  /// minimum). A tenant with weight 2 receives twice the admissions of a
+  /// tenant with weight 1 under saturation.
+  void SetWeight(const std::string& tenant, double weight);
+
+  /// Blocks until a slot is granted, the wait times out, or Shutdown().
+  /// `wait_timeout_ms` < 0 waits indefinitely; 0 never blocks (immediate
+  /// grant or kTimeout). On kAdmitted the caller owns one slot and must
+  /// Release() exactly once.
+  Outcome Acquire(const std::string& tenant, std::int64_t wait_timeout_ms);
+
+  /// Returns a slot; hands it to the fair-queue winner among the waiters.
+  void Release();
+
+  /// Stops all future admissions and wakes every waiter with kShutdown.
+  /// Already-admitted slots finish normally (their Release() is a no-op
+  /// grant-wise).
+  void Shutdown();
+
+  int active() const;
+  int queued() const;
+
+  /// Scheduler state as a JSON object: slots, per-tenant weight / clock /
+  /// queue depth / admission count, reject and timeout totals. Rendered
+  /// under "scheduler" on GET /serving.
+  std::string StatsJson() const;
+
+ private:
+  /// One blocked Acquire call; lives on that caller's stack. The waiter
+  /// always removes itself from its queue (under mu_) before returning
+  /// un-admitted, so the scheduler never holds a dangling pointer.
+  struct Waiter {
+    bool admitted = false;
+  };
+
+  struct TenantState {
+    double weight = 1.0;
+    /// Virtual finish time of this tenant's latest grant.
+    double vtime = 0.0;
+    std::deque<Waiter*> queue;
+    std::int64_t admitted_total = 0;
+  };
+
+  /// Grants free slots to fair-queue winners; requires mu_. Wakes waiters.
+  void TryGrantLocked();
+
+  const int max_concurrent_;
+  const int max_queue_per_tenant_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, TenantState> tenants_;
+  /// Global virtual-time floor: the start tag of the latest grant.
+  double vnow_ = 0.0;
+  int active_ = 0;
+  int queued_ = 0;
+  bool shutdown_ = false;
+  std::int64_t rejected_full_ = 0;
+  std::int64_t timed_out_ = 0;
+};
+
+}  // namespace rumble::serve
+
+#endif  // RUMBLE_SERVE_TENANT_SCHEDULER_H_

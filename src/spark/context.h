@@ -12,6 +12,7 @@
 #include "src/common/config.h"
 #include "src/exec/cancellation.h"
 #include "src/exec/executor_pool.h"
+#include "src/exec/query_scope.h"
 #include "src/exec/memory_manager.h"
 #include "src/obs/event_bus.h"
 #include "src/spark/rdd.h"
@@ -35,9 +36,21 @@ class Context {
   /// variable; 0 keeps it non-enforcing.
   exec::MemoryManager& memory_manager() { return memory_; }
 
-  /// The per-query cooperative cancellation token. The engine resets it per
-  /// query; the pool and long kernel loops poll it.
-  exec::CancellationToken& cancellation() { return cancel_; }
+  /// The cancellation token governing work on the calling thread: a served
+  /// query's own token when a QueryScope is bound (docs/SERVING.md),
+  /// otherwise the context-wide session token. Long kernel loops poll this,
+  /// so concurrently served queries cancel independently while the shell
+  /// path behaves exactly as before.
+  exec::CancellationToken& cancellation() {
+    const exec::QueryScope* scope = exec::CurrentQueryScope();
+    if (scope != nullptr && scope->cancel != nullptr) return *scope->cancel;
+    return cancel_;
+  }
+
+  /// The context-wide session token (the shell's Ctrl-C target and the
+  /// pool's default), ignoring any per-query scope. The engine resets it per
+  /// shell query.
+  exec::CancellationToken& session_cancellation() { return cancel_; }
 
   /// The per-application event bus (mini Spark-UI backend). Every stage the
   /// pool runs and every counter the RDD/DataFrame layers bump lands here.
