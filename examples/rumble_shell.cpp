@@ -15,6 +15,8 @@
 //                                 [--fault-spec "<spec>"] [--skip-malformed]
 //                                 [--memory-limit <size>]
 //                                 [--query-timeout <ms>]
+//                                 [--drain-timeout <ms>] [--shed-latency <ms>]
+//                                 [--read-deadline <ms>]
 //
 // Interactive by default: one query per line (end a multi-line query with
 // an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
@@ -40,7 +42,16 @@
 // (docs/SERVING.md): --serve-only runs the server without the REPL until
 // SIGINT/SIGTERM, --serve-slots caps concurrently served queries,
 // --serve-queue caps waiters per tenant, --tenant-weights sets fair-share
-// weights, and --plan-cache sizes the compiled-plan cache.
+// weights, and --plan-cache sizes the compiled-plan cache. On SIGTERM the
+// --serve-only loop drains gracefully: admissions stop, /readyz flips to
+// draining, in-flight queries get --drain-timeout milliseconds to finish
+// before their per-query tokens cancel them, and a `drain:` summary line
+// reports what was cancelled/forced plus any leaked spill files or
+// reservations (docs/SERVING.md, "Operations"). --shed-latency tunes the
+// adaptive load-shedding breaker and --read-deadline bounds how long a
+// connection may take to deliver a complete request before 408 eviction.
+// A --fault-spec with net.* keys injects deterministic network faults into
+// the serving sockets (docs/FAULT_TOLERANCE.md).
 
 #include <csignal>
 
@@ -59,6 +70,7 @@
 
 #include "src/exec/cancellation.h"
 #include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
 #include "src/json/writer.h"
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
@@ -182,6 +194,7 @@ int main(int argc, char** argv) {
   int serve_port = -1;
   bool serve_only = false;
   bool metrics = false;
+  int read_deadline_ms = -1;
   rumble::serve::ServingConfig serving;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
@@ -226,6 +239,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--query-timeout") == 0 && i + 1 < argc) {
       config.query_timeout_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-timeout") == 0 && i + 1 < argc) {
+      serving.drain_deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shed-latency") == 0 && i + 1 < argc) {
+      serving.shed_queue_latency_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--read-deadline") == 0 && i + 1 < argc) {
+      read_deadline_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       if (!in) {
@@ -258,6 +277,10 @@ int main(int argc, char** argv) {
   rumble::obs::MetricsServer server(&bus);
   server.SetCancelHandler(
       [&engine](std::int64_t job_id) { return engine.CancelJob(job_id); });
+  if (read_deadline_ms >= 0) server.set_read_deadline_ms(read_deadline_ms);
+  // net.* keys in --fault-spec reach the serving sockets through here; a
+  // spec without them leaves the socket path untouched.
+  server.set_fault_injector(engine.engine()->spark->fault_injector());
   // The serving layer (POST /query) shares the session engine; queries from
   // the REPL and over HTTP run through the same executors and memory pool.
   rumble::serve::QueryService service(&engine, serving);
@@ -282,8 +305,18 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     std::cerr << "shutting down\n";
-    service.Shutdown();
+    // Graceful drain: stop admitting + accepting, give in-flight queries
+    // the drain budget, cancel stragglers through their tokens, then report
+    // what we observed — zero leaked spill files and reservations is the
+    // invariant the smoke test asserts on this line.
+    rumble::serve::DrainStats drained = service.Drain(&server);
     server.Stop();
+    std::cerr << "drain: cancelled=" << drained.cancelled_queries
+              << " forced_connections=" << drained.forced_connections
+              << " leaked_spill_files=" << rumble::exec::CountSpillFiles()
+              << " leaked_reservations="
+              << engine.engine()->spark->memory_manager().reserved_bytes()
+              << "\n";
     return 0;
   }
 

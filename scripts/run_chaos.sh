@@ -23,7 +23,15 @@
 #      the pipeline breakers actually spilled (docs/MEMORY.md).
 #   5. the HTTP serving path end to end (scripts/run_serving_smoke.sh):
 #      concurrent multi-tenant POST /query, plan-cache hits, error bodies,
-#      counters, clean SIGTERM shutdown (docs/SERVING.md).
+#      counters, fd/thread-leak checks, graceful SIGTERM drain
+#      (docs/SERVING.md) — repeated under the TSan/ASan build trees
+#      ("$build-tsan"/"$build-asan") when they exist.
+#   6. net-chaos (docs/FAULT_TOLERANCE.md, "Network fault injection"):
+#      serve queries under seeded non-destructive socket faults (short
+#      reads/writes, delays) and byte-diff the responses against clean
+#      shell runs; then rerun under destructive faults (mid-stream RST,
+#      accept failures) and assert the server survives, the net.fault.*
+#      counters fired, and the SIGTERM drain stays leak-free.
 #
 # Exits nonzero on the first divergence.
 
@@ -53,7 +61,8 @@ env -u RUMBLE_FAULT_SPEC \
 echo
 echo "== phase 3: result identity under chaos (rumble_shell)"
 work="$(mktemp -d "${TMPDIR:-/tmp}/rumble_chaos.XXXXXX")"
-trap 'rm -rf "$work"' EXIT
+net_pid=""
+trap '[ -n "$net_pid" ] && kill -KILL "$net_pid" 2>/dev/null; rm -rf "$work"' EXIT
 
 data="$work/confusion.json"
 targets=(Russian German French English Dutch)
@@ -127,6 +136,118 @@ echo "event log: $spills spill event(s)"
 echo
 echo "== phase 5: HTTP serving smoke (multi-tenant POST /query)"
 scripts/run_serving_smoke.sh "$build"
+
+for sanitized in "$build-tsan" "$build-asan"; do
+  if [ -x "$sanitized/examples/rumble_shell" ]; then
+    echo
+    echo "== phase 5b: serving smoke under $sanitized"
+    scripts/run_serving_smoke.sh "$sanitized"
+  fi
+done
+
+echo
+echo "== phase 6: net-chaos (seeded network fault injection on the serving path)"
+net_spec_soft="seed=13,net.short_read=0.4,net.short_write=0.4,net.delay=0.2,net.delay_ms=1"
+net_spec_hard="seed=13,net.rst=0.5,net.accept_fail=0.3"
+
+net_queries=(
+  'for $i in 1 to 200 return $i * $i'
+  'sum(parallelize(1 to 10000, 4))'
+  'for $x in parallelize(1 to 30, 4) where $x mod 3 eq 0 return $x'
+)
+
+# Clean reference: the shell's --query output is the byte contract the
+# serving path promises to match (docs/SERVING.md).
+for i in "${!net_queries[@]}"; do
+  "$shell" --executors 4 --query "${net_queries[$i]}" >"$work/net_ref.$i"
+done
+
+start_net_server() { # $1 = fault spec, $2 = log path; sets net_pid, net_base
+  "$shell" --serve 0 --serve-only --serve-slots 2 --fault-spec "$1" \
+    2>"$2" &
+  net_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(grep -oE 'localhost:[0-9]+' "$2" 2>/dev/null |
+            head -1 | cut -d: -f2 || true)"
+    [ -n "$port" ] && break
+    kill -0 "$net_pid" 2>/dev/null || {
+      echo "run_chaos: FAIL — net-chaos server died at startup" >&2
+      cat "$2" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "run_chaos: FAIL — no port in net log" >&2; exit 1; }
+  net_base="http://localhost:$port"
+}
+
+stop_net_server() { # asserts the drain summary is leak-free
+  kill -TERM "$net_pid"
+  for _ in $(seq 1 50); do
+    kill -0 "$net_pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  kill -0 "$net_pid" 2>/dev/null &&
+    { echo "run_chaos: FAIL — net-chaos server ignored SIGTERM" >&2; exit 1; }
+  wait "$net_pid" 2>/dev/null || true
+  local log="$1"
+  drain_line="$(grep '^drain:' "$log" || true)"
+  [ -n "$drain_line" ] ||
+    { echo "run_chaos: FAIL — no drain summary in $log" >&2; exit 1; }
+  echo "$drain_line" | grep -q 'leaked_spill_files=0' &&
+    echo "$drain_line" | grep -q 'leaked_reservations=0' ||
+    { echo "run_chaos: FAIL — net-chaos drain leaked: $drain_line" >&2; exit 1; }
+  net_pid=""
+}
+
+echo "-- 6a: byte identity under non-destructive faults ($net_spec_soft)"
+start_net_server "$net_spec_soft" "$work/net_soft.log"
+for i in "${!net_queries[@]}"; do
+  curl -sS -X POST --data "${net_queries[$i]}" "$net_base/query" \
+    >"$work/net_soft.$i"
+  if ! diff -u "$work/net_ref.$i" "$work/net_soft.$i"; then
+    echo "run_chaos: FAIL — served bytes diverged under $net_spec_soft" >&2
+    exit 1
+  fi
+done
+curl -sS "$net_base/metrics" >"$work/net_soft_metrics.txt"
+soft_faults=$(awk '/^rumble_net_fault_(short_read|short_write|delay)_total/ {s += $2} END {print s+0}' \
+  "$work/net_soft_metrics.txt")
+[ "$soft_faults" -gt 0 ] ||
+  { echo "run_chaos: FAIL — no net.fault.* counters fired" >&2; exit 1; }
+stop_net_server "$work/net_soft.log"
+echo "served bytes identical across ${#net_queries[@]} queries ($soft_faults faults injected)"
+
+echo "-- 6b: server survives destructive faults ($net_spec_hard)"
+start_net_server "$net_spec_hard" "$work/net_hard.log"
+hard_ok=0
+hard_dropped=0
+for _ in $(seq 1 24); do
+  if out="$(curl -sS --max-time 5 "$net_base/healthz" 2>/dev/null)" &&
+     [ "$out" = "ok" ]; then
+    hard_ok=$((hard_ok + 1))
+  else
+    hard_dropped=$((hard_dropped + 1))
+  fi
+done
+[ "$hard_ok" -gt 0 ] ||
+  { echo "run_chaos: FAIL — every connection died; listener wedged" >&2; exit 1; }
+[ "$hard_dropped" -gt 0 ] ||
+  { echo "run_chaos: FAIL — destructive faults never fired" >&2; exit 1; }
+# /metrics itself may need a retry under rst=0.5.
+hard_faults=0
+for _ in $(seq 1 10); do
+  if curl -sS --max-time 5 "$net_base/metrics" >"$work/net_hard_metrics.txt" 2>/dev/null; then
+    hard_faults=$(awk '/^rumble_net_fault_(rst|accept_fail)_total/ {s += $2} END {print s+0}' \
+      "$work/net_hard_metrics.txt")
+    [ "$hard_faults" -gt 0 ] && break
+  fi
+done
+[ "$hard_faults" -gt 0 ] ||
+  { echo "run_chaos: FAIL — rst/accept_fail counters never fired" >&2; exit 1; }
+stop_net_server "$work/net_hard.log"
+echo "listener survived: $hard_ok served, $hard_dropped dropped, $hard_faults destructive faults"
 
 echo
 echo "run_chaos: OK"

@@ -63,6 +63,26 @@ post() { # $1 = tenant, $2 = query, extra curl args after
     "$base/query"
 }
 
+fd_count() { ls "/proc/$server_pid/fd" 2>/dev/null | wc -l; }
+thread_count() { ls "/proc/$server_pid/task" 2>/dev/null | wc -l; }
+
+echo "== health and readiness probes"
+code="$(curl -sS -o "$work/healthz.out" -w '%{http_code}' "$base/healthz")"
+[ "$code" = "200" ] || { echo "FAIL: /healthz gave $code" >&2; exit 1; }
+code="$(curl -sS -o "$work/readyz.out" -w '%{http_code}' "$base/readyz")"
+[ "$code" = "200" ] || { echo "FAIL: /readyz gave $code" >&2; exit 1; }
+grep -q '"ready":true' "$work/readyz.out" ||
+  { echo "FAIL: /readyz body not ready: $(cat "$work/readyz.out")" >&2; exit 1; }
+echo "healthz/readyz OK"
+
+# Leak baseline: warm the engine (executor pool, first connection) first so
+# lazily-created threads/fds don't read as leaks later.
+post warmup '1 + 1' >/dev/null
+sleep 0.3
+fd_base="$(fd_count)"
+thread_base="$(thread_count)"
+echo "baseline: $fd_base fds, $thread_base threads"
+
 echo "== queries from two tenants (concurrent)"
 post interactive 'sum(parallelize(1 to 10000, 4))' >"$work/a.out" &
 pid_a=$!
@@ -115,7 +135,27 @@ grep -q '"interactive"' "$work/serving.json" &&
   { echo "FAIL: /serving missing tenants or plan_cache" >&2; exit 1; }
 echo "serving.requests=$requests plan_cache.hit=$hits"
 
-echo "== clean shutdown on SIGTERM"
+echo "== no leaked fds or threads after traffic"
+# Every connection above has completed; the reaper joins finished connection
+# threads continuously, so both counts must decay back to the baseline.
+leak_ok=""
+for _ in $(seq 1 50); do
+  fd_now="$(fd_count)"
+  thread_now="$(thread_count)"
+  if [ "$fd_now" -le "$fd_base" ] && [ "$thread_now" -le "$thread_base" ]; then
+    leak_ok=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$leak_ok" ] || {
+  echo "FAIL: leak — $fd_now fds (baseline $fd_base)," \
+       "$thread_now threads (baseline $thread_base)" >&2
+  exit 1
+}
+echo "fds $fd_now <= $fd_base, threads $thread_now <= $thread_base"
+
+echo "== graceful drain on SIGTERM"
 kill -TERM "$server_pid"
 for _ in $(seq 1 50); do
   kill -0 "$server_pid" 2>/dev/null || break
@@ -127,6 +167,19 @@ if kill -0 "$server_pid" 2>/dev/null; then
 fi
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
+
+# The shell prints a machine-checkable drain summary; with no queries in
+# flight the drain must be clean and leak-free.
+drain_line="$(grep '^drain:' "$work/serve.log" || true)"
+[ -n "$drain_line" ] ||
+  { echo "FAIL: no drain summary in server log" >&2; cat "$work/serve.log" >&2; exit 1; }
+echo "$drain_line"
+echo "$drain_line" | grep -q 'cancelled=0' ||
+  { echo "FAIL: idle drain cancelled queries: $drain_line" >&2; exit 1; }
+echo "$drain_line" | grep -q 'leaked_spill_files=0' ||
+  { echo "FAIL: drain leaked spill files: $drain_line" >&2; exit 1; }
+echo "$drain_line" | grep -q 'leaked_reservations=0' ||
+  { echo "FAIL: drain leaked reservations: $drain_line" >&2; exit 1; }
 
 echo
 echo "run_serving_smoke: OK"

@@ -63,11 +63,25 @@ FaultSpec FaultInjector::ParseSpec(const std::string& text) {
       spec.straggle_nanos = ParseInt(key, value) * 1'000'000;
     } else if (key == "kill") {
       spec.kill_stage = ParseInt(key, value);
+    } else if (key == "net.short_read") {
+      spec.net_short_read_fraction = ParseFraction(key, value);
+    } else if (key == "net.short_write") {
+      spec.net_short_write_fraction = ParseFraction(key, value);
+    } else if (key == "net.delay") {
+      spec.net_delay_fraction = ParseFraction(key, value);
+    } else if (key == "net.delay_ms") {
+      spec.net_delay_nanos = ParseInt(key, value) * 1'000'000;
+    } else if (key == "net.rst") {
+      spec.net_rst_fraction = ParseFraction(key, value);
+    } else if (key == "net.accept_fail") {
+      spec.net_accept_fail_fraction = ParseFraction(key, value);
     } else {
       common::ThrowError(common::ErrorCode::kInvalidArgument,
                          "fault-spec: unknown key \"" + key +
                          "\" (expected seed, transient, straggle, "
-                         "straggle_ms, kill)");
+                         "straggle_ms, kill, net.short_read, "
+                         "net.short_write, net.delay, net.delay_ms, "
+                         "net.rst, net.accept_fail)");
     }
   }
   return spec;
@@ -97,6 +111,41 @@ std::int64_t FaultInjector::StraggleNanos(std::int64_t stage_ordinal,
     return 0;
   }
   return spec_.straggle_nanos;
+}
+
+bool FaultInjector::ShouldShortRead(std::int64_t conn, std::int64_t op) const {
+  if (spec_.net_short_read_fraction <= 0.0) return false;
+  return UnitHash(conn, static_cast<std::uint64_t>(op), /*salt=*/0x5ead) <
+         spec_.net_short_read_fraction;
+}
+
+bool FaultInjector::ShouldShortWrite(std::int64_t conn,
+                                     std::int64_t op) const {
+  if (spec_.net_short_write_fraction <= 0.0) return false;
+  return UnitHash(conn, static_cast<std::uint64_t>(op), /*salt=*/0x5e4d) <
+         spec_.net_short_write_fraction;
+}
+
+std::int64_t FaultInjector::NetDelayNanos(std::int64_t conn,
+                                          std::int64_t op) const {
+  if (spec_.net_delay_fraction <= 0.0 || spec_.net_delay_nanos <= 0) return 0;
+  if (UnitHash(conn, static_cast<std::uint64_t>(op), /*salt=*/0xde1a) >=
+      spec_.net_delay_fraction) {
+    return 0;
+  }
+  return spec_.net_delay_nanos;
+}
+
+bool FaultInjector::ShouldInjectRst(std::int64_t conn, std::int64_t op) const {
+  if (spec_.net_rst_fraction <= 0.0) return false;
+  return UnitHash(conn, static_cast<std::uint64_t>(op), /*salt=*/0x4e5e) <
+         spec_.net_rst_fraction;
+}
+
+bool FaultInjector::ShouldFailAccept(std::int64_t conn) const {
+  if (spec_.net_accept_fail_fraction <= 0.0) return false;
+  return UnitHash(conn, /*task=*/0, /*salt=*/0xacce) <
+         spec_.net_accept_fail_fraction;
 }
 
 int FaultInjector::KillExecutorInStage(std::int64_t stage_ordinal,

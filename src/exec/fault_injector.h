@@ -30,13 +30,31 @@ class TransientTaskFault : public std::runtime_error {
 ///                       (stage ordinals count RunParallel calls per pool,
 ///                       from 0; -1 = never)
 ///
-/// Example: "seed=42,transient=0.1,straggle=0.05,straggle_ms=50,kill=3".
+/// The network domain (docs/FAULT_TOLERANCE.md, "Network fault injection")
+/// drives the serving path's socket wrappers instead of the task scheduler.
+/// Decisions are keyed on (connection ordinal, I/O op ordinal), so a replay
+/// with the same seed faults the same syscalls:
+///
+///   net.short_read=<p>   P(a recv is truncated to one byte)
+///   net.short_write=<p>  P(a send is split, first fragment one byte)
+///   net.delay=<p>        P(an I/O op sleeps net.delay_ms first)
+///   net.delay_ms=<n>     injected latency per delayed op (default 5)
+///   net.rst=<p>          P(a send fails as if the peer reset mid-stream)
+///   net.accept_fail=<p>  P(an accepted connection is dropped immediately)
+///
+/// Example: "seed=42,transient=0.1,net.short_read=0.3,net.delay=0.1".
 struct FaultSpec {
   std::uint64_t seed = 1;
   double transient_fraction = 0.0;
   double straggle_fraction = 0.0;
   std::int64_t straggle_nanos = 50'000'000;
   std::int64_t kill_stage = -1;
+  double net_short_read_fraction = 0.0;
+  double net_short_write_fraction = 0.0;
+  double net_delay_fraction = 0.0;
+  std::int64_t net_delay_nanos = 5'000'000;
+  double net_rst_fraction = 0.0;
+  double net_accept_fail_fraction = 0.0;
 };
 
 /// Deterministic, seeded fault source for the executor pool. Every decision
@@ -83,6 +101,45 @@ class FaultInjector {
   int KillExecutorInStage(std::int64_t stage_ordinal,
                           int num_executors) const;
 
+  // ---- Network fault domain (serving-path socket wrappers) ----------------
+
+  /// True when any net.* fraction is set; lets the server skip the wrapper
+  /// bookkeeping entirely on fault-free runs.
+  bool has_net_faults() const {
+    return spec_.net_short_read_fraction > 0.0 ||
+           spec_.net_short_write_fraction > 0.0 ||
+           spec_.net_delay_fraction > 0.0 || spec_.net_rst_fraction > 0.0 ||
+           spec_.net_accept_fail_fraction > 0.0;
+  }
+
+  /// Assigns the next connection ordinal (one per accepted socket). Accept
+  /// order is the only nondeterminism here; every per-connection decision
+  /// below is a pure function of (seed, conn ordinal, op ordinal).
+  std::int64_t NextConnOrdinal() {
+    return next_conn_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// True when recv op `op` on connection `conn` should be truncated to one
+  /// byte — the classic short read every robust I/O loop must survive.
+  bool ShouldShortRead(std::int64_t conn, std::int64_t op) const;
+
+  /// True when send op `op` on connection `conn` should be split with a
+  /// one-byte first fragment (the kernel is always allowed to do this).
+  bool ShouldShortWrite(std::int64_t conn, std::int64_t op) const;
+
+  /// Injected latency in nanoseconds before op `op` on connection `conn`
+  /// (0 = none). Models cross-host RTT jitter and slow middleboxes.
+  std::int64_t NetDelayNanos(std::int64_t conn, std::int64_t op) const;
+
+  /// True when send op `op` on connection `conn` should fail as if the peer
+  /// sent a mid-stream RST: the wrapper shuts the socket down and reports
+  /// the client gone, which must cancel the query and leak nothing.
+  bool ShouldInjectRst(std::int64_t conn, std::int64_t op) const;
+
+  /// True when accepted connection `conn` should be dropped before its
+  /// handler thread spawns (an accept-queue failure under overload).
+  bool ShouldFailAccept(std::int64_t conn) const;
+
  private:
   /// SplitMix64-style avalanche of (seed, stage, task, salt) to [0, 1).
   double UnitHash(std::int64_t stage_ordinal, std::uint64_t task,
@@ -90,6 +147,7 @@ class FaultInjector {
 
   FaultSpec spec_;
   std::atomic<std::int64_t> next_stage_{0};
+  std::atomic<std::int64_t> next_conn_{0};
 };
 
 }  // namespace rumble::exec

@@ -147,24 +147,27 @@ std::uint64_t MemoryManager::SpillableTotalLocked() const {
   return total;
 }
 
-void MemoryManager::AdmitQuery() {
+bool MemoryManager::WouldAdmitQuery() const {
   std::uint64_t limit = limit_.load(std::memory_order_acquire);
-  if (limit == 0) return;
+  if (limit == 0) return true;
   std::uint64_t reserved = reserved_.load(std::memory_order_acquire);
-  if (reserved < limit) return;
+  if (reserved < limit) return true;
   std::uint64_t reclaimable;
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     reclaimable = SpillableTotalLocked();
   }
-  if (reserved - (reclaimable < reserved ? reclaimable : reserved) < limit) {
-    return;
-  }
+  return reserved - (reclaimable < reserved ? reclaimable : reserved) < limit;
+}
+
+void MemoryManager::AdmitQuery() {
+  if (WouldAdmitQuery()) return;
   if (bus_ != nullptr) bus_->AddToCounter("mem.admission_rejected", 1);
   common::ThrowError(
       common::ErrorCode::kAdmissionRejected,
-      "memory pool exhausted: " + std::to_string(reserved) + " of " +
-          std::to_string(limit) +
+      "memory pool exhausted: " +
+          std::to_string(reserved_.load(std::memory_order_acquire)) + " of " +
+          std::to_string(limit_.load(std::memory_order_acquire)) +
           " bytes reserved and unspillable; query rejected");
 }
 

@@ -106,6 +106,11 @@ class MemoryManager {
   /// meet the limit — so new queries are rejected, not queued.
   void AdmitQuery();
 
+  /// Non-throwing admission probe: would AdmitQuery() pass right now? The
+  /// serving layer's /readyz readiness check folds this in so a memory-
+  /// saturated engine drops out of rotation before clients hit 503s.
+  bool WouldAdmitQuery() const;
+
   /// Parses "268435456", "256k", "64m", "1g" (case-insensitive suffixes).
   static bool ParseByteSize(const std::string& text, std::uint64_t* bytes);
 

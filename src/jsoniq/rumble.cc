@@ -156,6 +156,23 @@ bool Rumble::CancelJob(std::int64_t job_id) {
   return true;
 }
 
+int Rumble::CancelAllJobs() {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  for (auto& [job_id, token] : active_jobs_) {
+    token->Cancel(exec::CancellationToken::Origin::kHttp);
+  }
+  int cancelled = static_cast<int>(active_jobs_.size());
+  if (cancelled > 0) {
+    engine_->spark->bus().AddToCounter("cancel.requested", cancelled);
+  }
+  return cancelled;
+}
+
+int Rumble::active_jobs() {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  return static_cast<int>(active_jobs_.size());
+}
+
 common::Result<ServeResult> Rumble::ServeQuery(
     const std::string& query, const ServeOptions& options,
     const std::function<void(const ServeStart&)>& on_start,

@@ -140,6 +140,17 @@ class Rumble {
   /// point and fails with kCancelled (docs/MEMORY.md).
   bool CancelJob(std::int64_t job_id);
 
+  /// Cancels every currently-running job (shell and served alike) — the
+  /// drain-deadline hammer: when a graceful drain times out, the serving
+  /// layer cancels the stragglers through their own tokens so their streams
+  /// terminate with the documented trailing-error-line protocol and every
+  /// reservation/spill file unwinds (docs/SERVING.md, "Operations").
+  /// Returns the number of jobs cancelled.
+  int CancelAllJobs();
+
+  /// Jobs currently executing (shell or served); the drain loop polls this.
+  int active_jobs();
+
   /// The engine's session cancellation token (shell Ctrl-C hooks Cancel on
   /// it). Served queries use their own tokens; see ServeQuery.
   exec::CancellationToken& cancellation() {

@@ -1,12 +1,19 @@
 #include "src/obs/metrics_server.h"
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "src/exec/fault_injector.h"
 #include "src/obs/event_bus.h"
 
 namespace rumble::obs {
@@ -17,6 +24,8 @@ namespace {
 constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
 /// Query bodies are bounded too; larger posts get 413.
 constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+using SteadyClock = std::chrono::steady_clock;
 
 std::string ToLower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -43,22 +52,93 @@ bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
   return true;
 }
 
-/// Reads one HTTP request off `fd`: headers until the blank line, then
-/// Content-Length bytes of body. Returns false on a malformed or oversized
-/// request (*status carries the error status to send) or a dead socket
-/// (*status left empty — nothing to send).
-bool ReadRequest(int fd, HttpRequest* request, std::string* status) {
+/// The read half of one connection: its fd, the absolute deadline for the
+/// request currently being read, and the seeded fault state. Faults key on
+/// (connection ordinal, read-op ordinal), so a replay with the same seed
+/// truncates and delays the same recv calls.
+struct ConnReader {
+  int fd = -1;
+  SteadyClock::time_point deadline{};
+  bool has_deadline = false;
+  exec::FaultInjector* injector = nullptr;
+  std::int64_t conn = 0;
+  std::int64_t read_ops = 0;
+  EventBus* bus = nullptr;
+  bool timed_out = false;
+};
+
+/// One bounded, fault-aware recv: waits for readability until the reader's
+/// deadline (poll), applies injected latency / short reads, then recv()s.
+/// Returns > 0 on data, 0 on orderly close, < 0 on error or deadline
+/// (reader->timed_out distinguishes the deadline).
+ssize_t RecvSome(ConnReader* reader, char* buf, std::size_t len) {
+  std::int64_t op = reader->read_ops++;
+  if (reader->injector != nullptr) {
+    std::int64_t delay = reader->injector->NetDelayNanos(reader->conn, op);
+    if (delay > 0) {
+      if (reader->bus != nullptr) reader->bus->AddToCounter("net.fault.delay", 1);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+    }
+    if (reader->injector->ShouldShortRead(reader->conn, op) && len > 1) {
+      if (reader->bus != nullptr) {
+        reader->bus->AddToCounter("net.fault.short_read", 1);
+      }
+      len = 1;
+    }
+  }
+  if (reader->has_deadline) {
+    for (;;) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           reader->deadline - SteadyClock::now())
+                           .count();
+      if (remaining <= 0) {
+        reader->timed_out = true;
+        return -1;
+      }
+      pollfd pfd{};
+      pfd.fd = reader->fd;
+      pfd.events = POLLIN;
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+      if (ready > 0) break;
+      if (ready == 0) {
+        reader->timed_out = true;
+        return -1;
+      }
+      if (errno != EINTR) return -1;
+    }
+  }
+  return ::recv(reader->fd, buf, len, 0);
+}
+
+/// Reads one HTTP request off the connection: headers until the blank line,
+/// then Content-Length bytes of body, all under the reader's deadline.
+/// Returns false on a malformed, oversized, or overdue request (*status and
+/// *error_token carry the response to send) or a dead socket (*status left
+/// empty — nothing to send). Overruns fail fast: an oversized declared
+/// Content-Length is rejected from the header alone, before any body byte
+/// is read, and a request that cannot complete within the deadline is
+/// answered 408 instead of holding its thread hostage.
+bool ReadRequest(ConnReader* reader, HttpRequest* request, std::string* status,
+                 std::string* error_token) {
   status->clear();
+  error_token->clear();
   std::string data;
   std::size_t header_end = std::string::npos;
   char buf[4096];
   while (header_end == std::string::npos) {
     if (data.size() > kMaxHeaderBytes) {
       *status = "431 Request Header Fields Too Large";
+      *error_token = "headers_too_large";
       return false;
     }
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
+    ssize_t n = RecvSome(reader, buf, sizeof(buf));
+    if (n <= 0) {
+      if (reader->timed_out) {
+        *status = "408 Request Timeout";
+        *error_token = "request_timeout";
+      }
+      return false;
+    }
     data.append(buf, static_cast<std::size_t>(n));
     header_end = data.find("\r\n\r\n");
   }
@@ -72,6 +152,7 @@ bool ReadRequest(int fd, HttpRequest* request, std::string* status) {
                                       : line.find(' ', method_end + 1);
   if (path_end == std::string::npos) {
     *status = "400 Bad Request";
+    *error_token = "bad_request";
     return false;
   }
   request->method = line.substr(0, method_end);
@@ -102,23 +183,35 @@ bool ReadRequest(int fd, HttpRequest* request, std::string* status) {
     for (char c : it->second) {
       if (c < '0' || c > '9') {
         *status = "400 Bad Request";
+        *error_token = "bad_request";
         return false;
       }
       content_length = content_length * 10 + static_cast<std::size_t>(c - '0');
       if (content_length > kMaxBodyBytes) {
         *status = "413 Payload Too Large";
+        *error_token = "payload_too_large";
         return false;
       }
     }
   }
   request->body = data.substr(header_end + 4);
   while (request->body.size() < content_length) {
-    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
+    ssize_t n = RecvSome(reader, buf, sizeof(buf));
+    if (n <= 0) {
+      if (reader->timed_out) {
+        *status = "408 Request Timeout";
+        *error_token = "request_timeout";
+      }
+      return false;
+    }
     request->body.append(buf, static_cast<std::size_t>(n));
   }
   request->body.resize(content_length);
   return true;
+}
+
+std::string HttpErrorBody(const std::string& token) {
+  return "{\"error\":\"" + token + "\"}\n";
 }
 
 }  // namespace
@@ -132,10 +225,31 @@ std::string HttpRequest::Header(const std::string& lower_name,
 bool HttpResponseWriter::SendAll(std::string_view data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
+    std::size_t len = data.size() - sent;
+    if (injector_ != nullptr) {
+      std::int64_t op = write_ops_++;
+      std::int64_t delay = injector_->NetDelayNanos(conn_, op);
+      if (delay > 0) {
+        if (bus_ != nullptr) bus_->AddToCounter("net.fault.delay", 1);
+        std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      }
+      if (injector_->ShouldInjectRst(conn_, op)) {
+        // The peer "reset" the connection: the socket dies under us exactly
+        // as ECONNRESET would surface, and the caller sees a gone client.
+        if (bus_ != nullptr) bus_->AddToCounter("net.fault.rst", 1);
+        ::shutdown(fd_, SHUT_RDWR);
+        client_gone_ = true;
+        return false;
+      }
+      if (injector_->ShouldShortWrite(conn_, op) && len > 1) {
+        if (bus_ != nullptr) bus_->AddToCounter("net.fault.short_write", 1);
+        len = 1;
+      }
+    }
     // MSG_NOSIGNAL: a peer that already hung up must surface as an error
-    // here, not as a process-wide SIGPIPE.
-    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
+    // here, not as a process-wide SIGPIPE. SO_SNDTIMEO (armed at accept)
+    // bounds how long a stalled reader can block this send.
+    ssize_t n = ::send(fd_, data.data() + sent, len, MSG_NOSIGNAL);
     if (n <= 0) {
       client_gone_ = true;
       return false;
@@ -216,17 +330,45 @@ bool MetricsServer::Start(int port) {
   }
   listen_fd_ = fd;
   running_.store(true, std::memory_order_release);
+  accepting_.store(true, std::memory_order_release);
+  reaper_stop_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
   return true;
 }
 
-void MetricsServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // shutdown() unblocks the accept() so the thread observes running_ false.
+void MetricsServer::StopAccepting() {
+  if (!accepting_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() unblocks the accept() so the thread observes accepting_ false.
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
+}
+
+int MetricsServer::Drain(int deadline_ms) {
+  StopAccepting();
+  auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(std::max(0, deadline_ms));
+  for (;;) {
+    int open = active_connections();
+    if (open == 0) return 0;
+    if (SteadyClock::now() >= deadline) return open;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+int MetricsServer::active_connections() {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  ReapFinishedLocked();
+  return static_cast<int>(connections_.size());
+}
+
+void MetricsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  StopAccepting();
+  reaper_stop_.store(true, std::memory_order_release);
+  if (reaper_thread_.joinable()) reaper_thread_.join();
   port_ = 0;
   // Unblock every connection thread (their recv/send fails), then join and
   // close. Streaming queries see the dead socket and cancel cooperatively.
@@ -253,12 +395,45 @@ void MetricsServer::ReapFinishedLocked() {
   }
 }
 
+void MetricsServer::ReaperLoop() {
+  // Joining finished connection threads must not depend on the next accept
+  // arriving: an idle server would otherwise hold every finished thread (and
+  // its fd) until shutdown. The read deadline and SO_SNDTIMEO bound how long
+  // a live connection can stay un-finished, so this loop alone guarantees
+  // slots come back.
+  while (!reaper_stop_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ReapFinishedLocked();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
 void MetricsServer::AcceptLoop() {
-  while (running()) {
+  while (accepting()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (!running()) break;
+      if (!accepting()) break;
       continue;
+    }
+    std::int64_t ordinal = 0;
+    if (injector_ != nullptr && injector_->has_net_faults()) {
+      ordinal = injector_->NextConnOrdinal();
+      if (injector_->ShouldFailAccept(ordinal)) {
+        // Injected accept-queue failure: the connection dies before a
+        // handler thread ever exists. Clients must retry; the server must
+        // not notice beyond the counter.
+        if (bus_ != nullptr) bus_->AddToCounter("net.fault.accept_fail", 1);
+        ::close(fd);
+        continue;
+      }
+    }
+    if (write_timeout_ms_ > 0) {
+      timeval timeout{};
+      timeout.tv_sec = write_timeout_ms_ / 1000;
+      timeout.tv_usec = (write_timeout_ms_ % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
     ReapFinishedLocked();
@@ -273,6 +448,7 @@ void MetricsServer::AcceptLoop() {
     connections_.emplace_back();
     Connection* conn = &connections_.back();
     conn->fd = fd;
+    conn->ordinal = ordinal;
     conn->thread = std::thread([this, conn] { HandleConnection(conn); });
   }
 }
@@ -280,14 +456,35 @@ void MetricsServer::AcceptLoop() {
 void MetricsServer::HandleConnection(Connection* conn) {
   HttpRequest request;
   std::string error_status;
+  std::string error_token;
   HttpResponseWriter writer(conn->fd);
-  if (ReadRequest(conn->fd, &request, &error_status)) {
+  ConnReader reader;
+  reader.fd = conn->fd;
+  if (read_deadline_ms_ > 0) {
+    reader.deadline =
+        SteadyClock::now() + std::chrono::milliseconds(read_deadline_ms_);
+    reader.has_deadline = true;
+  }
+  if (injector_ != nullptr && injector_->has_net_faults()) {
+    reader.injector = injector_;
+    reader.conn = conn->ordinal;
+    reader.bus = bus_;
+    writer.BindFaults(injector_, conn->ordinal, bus_);
+  }
+  if (ReadRequest(&reader, &request, &error_status, &error_token)) {
     Dispatch(request, writer);
   } else if (!error_status.empty()) {
-    writer.Respond(error_status, "text/plain", "bad request\n");
+    // Fail fast with a machine-readable body: 408 request_timeout for a
+    // request that never completed (slow loris, stalled body), 431/413 for
+    // header/body overruns, 400 for a malformed head.
+    if (bus_ != nullptr && error_token == "request_timeout") {
+      bus_->AddToCounter("serving.request_timeout", 1);
+    }
+    writer.Respond(error_status, "application/json",
+                   HttpErrorBody(error_token));
   }
   ::shutdown(conn->fd, SHUT_RDWR);
-  // The accept loop (or Stop) joins us and closes the fd; flagging done last
+  // The reaper (or Stop) joins us and closes the fd; flagging done last
   // keeps the fd valid for the whole lifetime of this thread.
   conn->done.store(true, std::memory_order_release);
 }
@@ -324,6 +521,26 @@ void MetricsServer::Dispatch(const HttpRequest& request,
                    bus_->PrometheusText());
   } else if (request.path == "/jobs") {
     writer.Respond("200 OK", "application/json", bus_->JobsJson());
+  } else if (request.path == "/healthz") {
+    // Liveness: the process accepts sockets and answers — nothing more. A
+    // draining or saturated server is still alive.
+    writer.Respond("200 OK", "text/plain", "ok\n");
+  } else if (request.path == "/readyz") {
+    // Readiness: should a load balancer send NEW work here? The serving
+    // layer's probe folds in drain state, scheduler saturation, and memory
+    // admission (docs/SERVING.md, "Operations").
+    bool ready = true;
+    std::string body = "{\"ready\":true}\n";
+    if (readiness_handler_ != nullptr) {
+      auto [probe_ready, probe_body] = readiness_handler_();
+      ready = probe_ready;
+      body = std::move(probe_body);
+    } else if (!accepting()) {
+      ready = false;
+      body = "{\"ready\":false,\"reasons\":[\"draining\"]}\n";
+    }
+    writer.Respond(ready ? "200 OK" : "503 Service Unavailable",
+                   "application/json", body);
   } else if (request.path == "/serving") {
     if (stats_handler_ != nullptr) {
       writer.Respond("200 OK", "application/json", stats_handler_());
@@ -339,7 +556,9 @@ void MetricsServer::Dispatch(const HttpRequest& request,
                    "  /jobs/<id>/cancel   POST: cancel a running job\n"
                    "  /query              POST: run a JSONiq query "
                    "(JSON-Lines stream)\n"
-                   "  /serving            serving-layer stats\n");
+                   "  /serving            serving-layer stats\n"
+                   "  /healthz            liveness probe\n"
+                   "  /readyz             readiness probe\n");
   } else {
     writer.Respond("404 Not Found", "text/plain", "not found\n");
   }

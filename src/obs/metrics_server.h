@@ -13,6 +13,10 @@
 #include <utility>
 #include <vector>
 
+namespace rumble::exec {
+class FaultInjector;
+}  // namespace rumble::exec
+
 namespace rumble::obs {
 
 class EventBus;
@@ -36,6 +40,13 @@ struct HttpRequest {
 ///    (POST /query streams JSON-Lines rows as they are produced).
 /// Writes use MSG_NOSIGNAL; a peer that hung up flips client_gone() instead
 /// of raising SIGPIPE, and the serving layer turns that into cancellation.
+/// A stalled reader is bounded the same way: the server arms SO_SNDTIMEO on
+/// every accepted socket, so a send that cannot progress within the write
+/// timeout fails and flips client_gone() instead of pinning the thread.
+///
+/// When a seeded network fault domain is bound (BindFaults), every send may
+/// deterministically be delayed, split short, or failed as an injected
+/// mid-stream RST (docs/FAULT_TOLERANCE.md).
 class HttpResponseWriter {
  public:
   using Headers = std::vector<std::pair<std::string, std::string>>;
@@ -44,6 +55,15 @@ class HttpResponseWriter {
 
   HttpResponseWriter(const HttpResponseWriter&) = delete;
   HttpResponseWriter& operator=(const HttpResponseWriter&) = delete;
+
+  /// Attaches the seeded fault injector for this connection's write side.
+  /// `conn` is the connection ordinal; decisions key on (conn, op).
+  void BindFaults(exec::FaultInjector* injector, std::int64_t conn,
+                  EventBus* bus) {
+    injector_ = injector;
+    conn_ = conn;
+    bus_ = bus;
+  }
 
   /// Sends status line + headers + fixed-length body. No-op if headers were
   /// already sent.
@@ -70,6 +90,10 @@ class HttpResponseWriter {
   bool headers_sent_ = false;
   bool chunked_ = false;
   bool client_gone_ = false;
+  exec::FaultInjector* injector_ = nullptr;
+  std::int64_t conn_ = 0;
+  std::int64_t write_ops_ = 0;
+  EventBus* bus_ = nullptr;
 };
 
 /// Embedded HTTP server — the mini Spark Web UI grown into the engine's
@@ -82,17 +106,36 @@ class HttpResponseWriter {
 ///   /jobs/<id>/cancel     POST: cooperative query cancellation
 ///   /query                POST: execute a JSONiq query (serving layer)
 ///   /serving              serving-layer stats JSON (scheduler, plan cache)
+///   /healthz              liveness: 200 while the process serves at all
+///   /readyz               readiness: 200 only when new work is welcome
 ///   /                     tiny text index
 ///
 /// /query and /serving route to pluggable handlers so this layer stays
-/// independent of the engine; serve::QueryService installs them. Rendering
-/// happens on connection threads off bus snapshots, so running queries never
-/// block on a slow scraper.
+/// independent of the engine; serve::QueryService installs them (and the
+/// /readyz readiness probe). Rendering happens on connection threads off bus
+/// snapshots, so running queries never block on a slow scraper.
+///
+/// Robustness contract (docs/SERVING.md, "Operations"):
+///  - every connection's request read runs under a poll()-based deadline
+///    (set_read_deadline_ms); a slow-loris client trickling header bytes is
+///    answered 408 and evicted instead of pinning a connection thread;
+///  - every send runs under SO_SNDTIMEO (set_write_timeout_ms); a reader
+///    that stalls mid-stream is treated as gone and its query cancelled;
+///  - a reaper thread joins finished connection threads continuously, so
+///    slots free even when no new connection ever arrives;
+///  - StopAccepting()/Drain() support graceful shutdown: stop taking new
+///    connections while in-flight streams run to completion or a deadline;
+///  - an optional seeded exec::FaultInjector (set_fault_injector) injects
+///    deterministic network faults into every recv/send/accept for chaos
+///    testing (docs/FAULT_TOLERANCE.md).
 class MetricsServer {
  public:
   using QueryHandler =
       std::function<void(const HttpRequest&, HttpResponseWriter&)>;
   using StatsHandler = std::function<std::string()>;
+  /// Readiness probe: {ready, JSON body}. Installed by the serving layer;
+  /// without one, /readyz reports ready while running and not draining.
+  using ReadinessHandler = std::function<std::pair<bool, std::string>()>;
 
   explicit MetricsServer(EventBus* bus) : bus_(bus) {}
   ~MetricsServer() { Stop(); }
@@ -101,8 +144,19 @@ class MetricsServer {
   MetricsServer& operator=(const MetricsServer&) = delete;
 
   /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the accept
-  /// thread. Returns false when the socket cannot be bound.
+  /// and reaper threads. Returns false when the socket cannot be bound.
   bool Start(int port);
+
+  /// Stops accepting new connections and joins the accept thread. The first
+  /// step of a graceful drain: in-flight connections keep streaming.
+  /// Idempotent; Stop() implies it.
+  void StopAccepting();
+
+  /// Waits up to `deadline_ms` for all in-flight connections to finish
+  /// (implies StopAccepting). Returns the number of connections still open
+  /// at the deadline — 0 means the drain was clean. Does NOT force-close
+  /// survivors; the caller decides (cancel their queries, then Stop()).
+  int Drain(int deadline_ms);
 
   /// Stops accepting, unblocks and joins every connection thread, closes all
   /// sockets. In-flight streamed queries observe the closed socket as a gone
@@ -110,8 +164,11 @@ class MetricsServer {
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+  bool accepting() const { return accepting_.load(std::memory_order_acquire); }
   /// The bound port (useful after Start(0)); 0 when not running.
   int port() const { return port_; }
+  /// Connections currently open (streaming or mid-request).
+  int active_connections();
 
   /// Installs the handler POST /jobs/<id>/cancel invokes (typically
   /// Rumble::CancelJob). The handler returns true when the job was found and
@@ -133,24 +190,52 @@ class MetricsServer {
     stats_handler_ = std::move(handler);
   }
 
+  /// Installs the GET /readyz probe (serve::QueryService::Readiness). Set
+  /// before Start().
+  void SetReadinessHandler(ReadinessHandler handler) {
+    readiness_handler_ = std::move(handler);
+  }
+
   /// Caps concurrent connections; excess connections get an immediate 503.
   /// Set before Start().
   void set_max_connections(int max_connections) {
     max_connections_ = max_connections;
   }
 
+  /// Deadline for reading one full request (request line + headers + body).
+  /// A connection that cannot produce a complete request within it gets 408
+  /// and is closed; <= 0 disables (not recommended). Set before Start().
+  void set_read_deadline_ms(int deadline_ms) {
+    read_deadline_ms_ = deadline_ms;
+  }
+  int read_deadline_ms() const { return read_deadline_ms_; }
+
+  /// SO_SNDTIMEO armed on every accepted socket: a send that cannot make
+  /// progress within it fails and the client counts as gone; <= 0 disables.
+  /// Set before Start().
+  void set_write_timeout_ms(int timeout_ms) { write_timeout_ms_ = timeout_ms; }
+  int write_timeout_ms() const { return write_timeout_ms_; }
+
+  /// Binds the seeded network fault domain (--fault-spec net.*) to every
+  /// socket this server touches. Set before Start(); null disables.
+  void set_fault_injector(exec::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   /// One live connection: its socket and handling thread. The thread never
-  /// closes the fd itself — `done` flags it for the accept loop (or Stop) to
+  /// closes the fd itself — `done` flags it for the reaper (or Stop) to
   /// join and close, so a recycled fd number can never be shut down by
   /// mistake.
   struct Connection {
     int fd = -1;
+    std::int64_t ordinal = 0;
     std::thread thread;
     std::atomic<bool> done{false};
   };
 
   void AcceptLoop();
+  void ReaperLoop();
   void HandleConnection(Connection* conn);
   void Dispatch(const HttpRequest& request, HttpResponseWriter& writer);
   /// Joins and erases finished connections. Requires conn_mu_.
@@ -160,11 +245,18 @@ class MetricsServer {
   std::function<bool(std::int64_t)> cancel_handler_;
   QueryHandler query_handler_;
   StatsHandler stats_handler_;
+  ReadinessHandler readiness_handler_;
+  exec::FaultInjector* injector_ = nullptr;
   std::atomic<bool> running_{false};
+  std::atomic<bool> accepting_{false};
   int listen_fd_ = -1;
   int port_ = 0;
   int max_connections_ = 64;
+  int read_deadline_ms_ = 10000;
+  int write_timeout_ms_ = 30000;
   std::thread accept_thread_;
+  std::thread reaper_thread_;
+  std::atomic<bool> reaper_stop_{false};
   std::mutex conn_mu_;
   std::list<Connection> connections_;
 };

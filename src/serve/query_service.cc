@@ -1,7 +1,9 @@
 #include "src/serve/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "src/common/error.h"
@@ -78,6 +80,7 @@ void QueryService::Install(obs::MetricsServer* server) {
   server->SetServingStatsHandler([this] { return StatsJson(); });
   server->SetCancelHandler(
       [this](std::int64_t job_id) { return engine_->CancelJob(job_id); });
+  server->SetReadinessHandler([this] { return Readiness(); });
 }
 
 void QueryService::Handle(const obs::HttpRequest& request,
@@ -120,6 +123,26 @@ void QueryService::Handle(const obs::HttpRequest& request,
     options.use_plan_cache = false;
   }
 
+  // Adaptive load-shedding breaker: when every slot is busy and observed
+  // queue latency already exceeds the threshold, shed now with an honest
+  // backoff hint instead of making the client discover the overload by
+  // waiting out the queue timeout.
+  if (scheduler_.ShouldShed(config_.shed_queue_latency_ms)) {
+    std::int64_t retry_sec = scheduler_.SuggestedRetryAfterSec();
+    bus.AddToCounter("serving.rejected", 1);
+    bus.AddToCounter("serving.shed.overload", 1);
+    bus.AddToCounter("serving.shed.retry_after_s", retry_sec);
+    writer.Respond(
+        "503 Service Unavailable", "application/json",
+        ErrorBody("overloaded",
+                  "queue latency " +
+                      std::to_string(static_cast<std::int64_t>(
+                          scheduler_.queue_wait_ewma_ms())) +
+                      " ms exceeds the shedding threshold; retry later"),
+        {{"Retry-After", std::to_string(retry_sec)}});
+    return;
+  }
+
   // Weighted fair admission: block (bounded) for a slot; under saturation
   // the scheduler shares slots by tenant weight instead of arrival order.
   bus.AddToCounter("serving.queued", 1);
@@ -132,11 +155,15 @@ void QueryService::Handle(const obs::HttpRequest& request,
         outcome == TenantScheduler::Outcome::kQueueFull  ? "queue_full"
         : outcome == TenantScheduler::Outcome::kTimeout ? "queue_timeout"
                                                         : "shutting_down";
+    // Retry-After derives from the scheduler's live queue statistics (the
+    // wait EWMA /serving exports), not a constant: a lightly-loaded blip
+    // says "1", a deep queue says how long it actually takes to drain.
     writer.Respond(
         "503 Service Unavailable", "application/json",
         ErrorBody(reason, "tenant \"" + options.tenant +
                               "\" could not be admitted; retry later"),
-        {{"Retry-After", "1"}});
+        {{"Retry-After",
+          std::to_string(scheduler_.SuggestedRetryAfterSec())}});
     return;
   }
 
@@ -203,6 +230,64 @@ std::string QueryService::StatsJson() const {
   return out;
 }
 
+std::pair<bool, std::string> QueryService::Readiness() const {
+  std::string reasons;
+  auto add = [&reasons](const char* reason) {
+    if (!reasons.empty()) reasons += ",";
+    reasons += "\"";
+    reasons += reason;
+    reasons += "\"";
+  };
+  if (draining_.load(std::memory_order_acquire)) add("draining");
+  if (scheduler_.ShouldShed(config_.shed_queue_latency_ms)) add("saturated");
+  if (!engine_->engine()->spark->memory_manager().WouldAdmitQuery()) {
+    add("memory");
+  }
+  if (reasons.empty()) return {true, "{\"ready\":true}\n"};
+  return {false, "{\"ready\":false,\"reasons\":[" + reasons + "]}\n"};
+}
+
 void QueryService::Shutdown() { scheduler_.Shutdown(); }
+
+void QueryService::BeginDrain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) return;
+  engine_->event_bus().AddToCounter("serving.drain.started", 1);
+  scheduler_.Shutdown();
+}
+
+DrainStats QueryService::Drain(obs::MetricsServer* server) {
+  obs::EventBus& bus = engine_->event_bus();
+  BeginDrain();
+  server->StopAccepting();
+  // Let in-flight queries run to completion within the drain budget. Both
+  // the engine's job count and the server's connection count must hit zero:
+  // a finished query whose response bytes are still flushing is not done.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      std::max<std::int64_t>(0, config_.drain_deadline_ms));
+  while ((engine_->active_jobs() > 0 || server->active_connections() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  DrainStats stats;
+  stats.cancelled_queries = engine_->CancelAllJobs();
+  if (stats.cancelled_queries > 0) {
+    bus.AddToCounter("serving.drain.cancelled_queries",
+                     stats.cancelled_queries);
+    // Cancelled streams need a beat to observe the token, emit the trailing
+    // error line, and unwind reservations/spill files before Stop() slams
+    // the sockets.
+    stats.forced_connections =
+        server->Drain(static_cast<int>(config_.drain_deadline_ms));
+  } else {
+    stats.forced_connections = server->active_connections();
+  }
+  if (stats.forced_connections > 0) {
+    bus.AddToCounter("serving.drain.forced_connections",
+                     stats.forced_connections);
+  }
+  bus.AddToCounter("serving.drain.completed", 1);
+  return stats;
+}
 
 }  // namespace rumble::serve

@@ -1,9 +1,11 @@
 #ifndef RUMBLE_SERVE_QUERY_SERVICE_H_
 #define RUMBLE_SERVE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
@@ -25,6 +27,27 @@ struct ServingConfig {
   std::map<std::string, double> tenant_weights;
   /// Plan-cache entries (0 disables caching).
   std::size_t plan_cache_capacity = 64;
+  /// Adaptive load-shedding breaker: when every slot is busy and the
+  /// observed queue-wait EWMA exceeds this, new arrivals are shed with a
+  /// fast 503 `overloaded` + adaptive Retry-After instead of queuing to a
+  /// slow timeout. <= 0 disables the breaker.
+  std::int64_t shed_queue_latency_ms = 10000;
+  /// Graceful drain budget: how long Drain() lets in-flight queries finish
+  /// after admissions stop before cancelling the stragglers through their
+  /// per-query tokens.
+  std::int64_t drain_deadline_ms = 5000;
+};
+
+/// What Drain() observed, for the shutdown log line and the smoke test's
+/// leak assertions.
+struct DrainStats {
+  /// In-flight queries cancelled at the drain deadline (0 = all finished).
+  int cancelled_queries = 0;
+  /// Connections still open after cancellation (0 = clean teardown).
+  int forced_connections = 0;
+  bool clean() const {
+    return cancelled_queries == 0 && forced_connections == 0;
+  }
 };
 
 /// The HTTP serving layer: turns a POST /query request into a streamed
@@ -63,10 +86,33 @@ class QueryService {
   /// Serving-layer stats (scheduler + plan cache) for GET /serving.
   std::string StatsJson() const;
 
+  /// The GET /readyz probe: {ready, JSON body}. Not ready while draining,
+  /// while the shedding breaker is tripped (scheduler saturated beyond the
+  /// latency threshold), or while memory admission would reject a query —
+  /// the states where a load balancer should route new work elsewhere.
+  std::pair<bool, std::string> Readiness() const;
+
   /// Stops admitting new queries; waiters get 503 shutting_down. In-flight
   /// queries keep streaming — stopping the MetricsServer closes their
   /// sockets, which cancels them cooperatively.
   void Shutdown();
+
+  /// Flips /readyz to draining and stops admissions (Shutdown), without
+  /// touching in-flight work. The first step of Drain(); exposed separately
+  /// so a supervisor can pull the instance out of rotation early.
+  void BeginDrain();
+
+  /// Graceful drain (docs/SERVING.md, "Operations"): BeginDrain, stop the
+  /// server accepting, wait up to config.drain_deadline_ms for in-flight
+  /// queries and connections to finish, then cancel the stragglers through
+  /// their per-query tokens and give them a moment to unwind (trailing
+  /// error line, reservation/spill cleanup). The caller still owns the
+  /// final `server->Stop()`.
+  DrainStats Drain(obs::MetricsServer* server);
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   TenantScheduler& scheduler() { return scheduler_; }
   const ServingConfig& config() const { return config_; }
@@ -75,6 +121,7 @@ class QueryService {
   jsoniq::Rumble* engine_;
   ServingConfig config_;
   TenantScheduler scheduler_;
+  std::atomic<bool> draining_{false};
 };
 
 }  // namespace rumble::serve

@@ -11,6 +11,12 @@ namespace rumble::serve {
 namespace {
 /// Weights are clamped positive so 1/weight stays finite.
 constexpr double kMinWeight = 1e-3;
+/// EWMA smoothing for observed queue waits: each sample carries 20%.
+constexpr double kWaitEwmaAlpha = 0.2;
+/// Retry-After bounds: at least 1 s (HTTP grammar floor), at most 60 s so a
+/// recovering server is rediscovered within a minute.
+constexpr std::int64_t kMinRetryAfterSec = 1;
+constexpr std::int64_t kMaxRetryAfterSec = 60;
 }  // namespace
 
 TenantScheduler::TenantScheduler(int max_concurrent, int max_queue_per_tenant)
@@ -40,6 +46,7 @@ TenantScheduler::Outcome TenantScheduler::Acquire(const std::string& tenant,
   state.queue.push_back(&waiter);
   ++queued_;
   TryGrantLocked();
+  auto wait_start = std::chrono::steady_clock::now();
   if (!waiter.admitted) {
     auto done = [&] { return waiter.admitted || shutdown_; };
     if (wait_timeout_ms < 0) {
@@ -48,6 +55,13 @@ TenantScheduler::Outcome TenantScheduler::Acquire(const std::string& tenant,
       cv_.wait_for(lock, std::chrono::milliseconds(wait_timeout_ms), done);
     }
   }
+  // Every admission outcome feeds the queue-latency EWMA — immediate grants
+  // record ~0 and decay it, long waits and timeouts raise it — so the
+  // adaptive Retry-After tracks what callers actually experienced.
+  RecordWaitLocked(
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
   if (waiter.admitted) return Outcome::kAdmitted;
   // Un-admitted exit (timeout or shutdown): remove ourselves before the
   // stack frame dies.
@@ -102,6 +116,34 @@ void TenantScheduler::TryGrantLocked() {
   if (granted) cv_.notify_all();
 }
 
+void TenantScheduler::RecordWaitLocked(double wait_ms) {
+  wait_ewma_ms_ += kWaitEwmaAlpha * (wait_ms - wait_ewma_ms_);
+}
+
+double TenantScheduler::queue_wait_ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_ewma_ms_;
+}
+
+bool TenantScheduler::ShouldShed(std::int64_t latency_threshold_ms) const {
+  if (latency_threshold_ms <= 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_ >= max_concurrent_ &&
+         wait_ewma_ms_ > static_cast<double>(latency_threshold_ms);
+}
+
+std::int64_t TenantScheduler::SuggestedRetryAfterSec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Expected drain time for the queue ahead of a new arrival: the observed
+  // per-admission wait covers one queue "generation" of max_concurrent_
+  // grants, so scale it by how many generations are already queued.
+  double generations =
+      static_cast<double>(queued_) / static_cast<double>(max_concurrent_);
+  double eta_ms = wait_ewma_ms_ * (1.0 + generations);
+  std::int64_t sec = static_cast<std::int64_t>(eta_ms / 1000.0) + 1;
+  return std::min(kMaxRetryAfterSec, std::max(kMinRetryAfterSec, sec));
+}
+
 int TenantScheduler::active() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;
@@ -122,8 +164,10 @@ std::string TenantScheduler::StatsJson() const {
                     ",\"queued\":" + std::to_string(queued_) +
                     ",\"rejected_queue_full\":" + std::to_string(rejected_full_) +
                     ",\"timed_out\":" + std::to_string(timed_out_) +
-                    ",\"shutdown\":" + (shutdown_ ? "true" : "false") +
-                    ",\"tenants\":{";
+                    ",\"shutdown\":" + (shutdown_ ? "true" : "false");
+  std::snprintf(num, sizeof(num), "%.3f", wait_ewma_ms_);
+  out += std::string(",\"queue_wait_ewma_ms\":") + num;
+  out += ",\"tenants\":{";
   bool first = true;
   for (const auto& [name, state] : tenants_) {
     if (!first) out += ",";

@@ -60,6 +60,24 @@ class TenantScheduler {
   int active() const;
   int queued() const;
 
+  /// Exponentially-weighted moving average of observed admission waits in
+  /// milliseconds (immediate grants count as 0). This is the live queue-
+  /// latency signal behind adaptive Retry-After and the load-shedding
+  /// breaker (docs/SERVING.md, "Operations").
+  double queue_wait_ewma_ms() const;
+
+  /// True when every slot is busy AND the observed queue latency exceeds
+  /// `latency_threshold_ms`: the point where admitting more work only grows
+  /// the queue. The serving layer sheds new arrivals early with 503 +
+  /// Retry-After instead of letting them time out slowly.
+  bool ShouldShed(std::int64_t latency_threshold_ms) const;
+
+  /// Retry-After seconds derived from live queue statistics: how long the
+  /// current queue would take to drain at the observed per-grant latency,
+  /// clamped to [1, 60]. Replaces a hardcoded constant so backoff tracks
+  /// actual load.
+  std::int64_t SuggestedRetryAfterSec() const;
+
   /// Scheduler state as a JSON object: slots, per-tenant weight / clock /
   /// queue depth / admission count, reject and timeout totals. Rendered
   /// under "scheduler" on GET /serving.
@@ -97,6 +115,12 @@ class TenantScheduler {
   bool shutdown_ = false;
   std::int64_t rejected_full_ = 0;
   std::int64_t timed_out_ = 0;
+  /// EWMA of admission waits (ms), updated on every Acquire exit. Requires
+  /// mu_.
+  double wait_ewma_ms_ = 0.0;
+
+  /// Folds one observed wait into the EWMA; requires mu_.
+  void RecordWaitLocked(double wait_ms);
 };
 
 }  // namespace rumble::serve

@@ -1,0 +1,557 @@
+// Serving-path robustness tests (docs/SERVING.md, "Operations"): connection
+// read deadlines vs. slow-loris clients, HTTP parsing edge cases, header and
+// body overrun fail-fast, health/readiness probes, graceful drain with
+// in-flight cancellation, adaptive load shedding, and the seeded network
+// fault domain (docs/FAULT_TOLERANCE.md, "Network fault injection").
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/exec/fault_injector.h"
+#include "src/exec/spill_file.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/metrics_server.h"
+#include "src/serve/query_service.h"
+#include "src/serve/tenant_scheduler.h"
+
+namespace rumble {
+namespace {
+
+using exec::FaultInjector;
+using exec::FaultSpec;
+using jsoniq::Rumble;
+using serve::TenantScheduler;
+
+common::RumbleConfig SmallConfig() {
+  common::RumbleConfig config;
+  config.executors = 2;
+  return config;
+}
+
+/// A raw client socket with piecewise control over when bytes go out — the
+/// tool for slow-loris, split-header, and disconnect-mid-request scenarios.
+class RawClient {
+ public:
+  ~RawClient() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Close();
+      return false;
+    }
+    return true;
+  }
+
+  bool Send(const std::string& data) {
+    return fd_ >= 0 &&
+           ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(data.size());
+  }
+
+  /// Reads until the peer closes (or `timeout` passes with no data at all).
+  std::string RecvAll(std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds(10000)) {
+    std::string out;
+    if (fd_ < 0) return out;
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<long>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd_, buf, sizeof(buf), 0)) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// One-shot exchange: connect, send the whole request, read to EOF.
+std::string HttpExchange(int port, const std::string& request) {
+  RawClient client;
+  if (!client.Connect(port)) return "";
+  if (!client.Send(request)) return "";
+  return client.RecvAll();
+}
+
+std::string PostQuery(int port, const std::string& tenant,
+                      const std::string& query) {
+  return HttpExchange(
+      port, "POST /query HTTP/1.1\r\nHost: x\r\nX-Rumble-Tenant: " + tenant +
+                "\r\nContent-Length: " + std::to_string(query.size()) +
+                "\r\n\r\n" + query);
+}
+
+std::string DechunkedBody(const std::string& response) {
+  std::size_t body_start = response.find("\r\n\r\n");
+  if (body_start == std::string::npos) return "";
+  std::string out;
+  std::size_t pos = body_start + 4;
+  while (pos < response.size()) {
+    std::size_t line_end = response.find("\r\n", pos);
+    if (line_end == std::string::npos) break;
+    std::size_t size =
+        std::stoul(response.substr(pos, line_end - pos), nullptr, 16);
+    if (size == 0) break;
+    out += response.substr(line_end + 2, size);
+    pos = line_end + 2 + size + 2;
+  }
+  return out;
+}
+
+std::string HeaderValue(const std::string& response, const std::string& name) {
+  std::size_t pos = response.find(name + ": ");
+  if (pos == std::string::npos) return "";
+  std::size_t begin = pos + name.size() + 2;
+  return response.substr(begin, response.find("\r\n", begin) - begin);
+}
+
+// ---- FaultInjector: network fault domain -----------------------------------
+
+TEST(NetFaultSpecTest, ParsesEveryNetKey) {
+  FaultSpec spec = FaultInjector::ParseSpec(
+      "seed=9,net.short_read=0.25,net.short_write=0.5,net.delay=0.1,"
+      "net.delay_ms=7,net.rst=0.05,net.accept_fail=0.02");
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.net_short_read_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(spec.net_short_write_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(spec.net_delay_fraction, 0.1);
+  EXPECT_EQ(spec.net_delay_nanos, 7'000'000);
+  EXPECT_DOUBLE_EQ(spec.net_rst_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(spec.net_accept_fail_fraction, 0.02);
+  EXPECT_TRUE(FaultInjector(spec).has_net_faults());
+  EXPECT_FALSE(FaultInjector(FaultSpec{}).has_net_faults());
+}
+
+TEST(NetFaultSpecTest, RejectsUnknownNetKey) {
+  EXPECT_THROW(FaultInjector::ParseSpec("net.bogus=1"),
+               common::RumbleException);
+}
+
+// Same seed → the same syscalls fault on replay; a different seed moves the
+// pattern. This is the property that makes net-chaos runs reproducible.
+TEST(NetFaultSpecTest, DecisionsAreDeterministicInSeed) {
+  FaultSpec spec = FaultInjector::ParseSpec(
+      "seed=42,net.short_read=0.5,net.short_write=0.5,net.delay=0.5,"
+      "net.rst=0.5,net.accept_fail=0.5");
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  FaultSpec other = spec;
+  other.seed = 43;
+  FaultInjector c(other);
+  int differs_across_seeds = 0;
+  for (std::int64_t conn = 0; conn < 8; ++conn) {
+    EXPECT_EQ(a.ShouldFailAccept(conn), b.ShouldFailAccept(conn));
+    for (std::int64_t op = 0; op < 16; ++op) {
+      EXPECT_EQ(a.ShouldShortRead(conn, op), b.ShouldShortRead(conn, op));
+      EXPECT_EQ(a.ShouldShortWrite(conn, op), b.ShouldShortWrite(conn, op));
+      EXPECT_EQ(a.NetDelayNanos(conn, op), b.NetDelayNanos(conn, op));
+      EXPECT_EQ(a.ShouldInjectRst(conn, op), b.ShouldInjectRst(conn, op));
+      if (a.ShouldShortRead(conn, op) != c.ShouldShortRead(conn, op)) {
+        ++differs_across_seeds;
+      }
+    }
+  }
+  EXPECT_GT(differs_across_seeds, 0) << "seed must influence decisions";
+}
+
+TEST(NetFaultSpecTest, FractionZeroNeverFiresAndOneAlwaysFires) {
+  FaultInjector off(FaultInjector::ParseSpec("seed=5"));
+  FaultInjector on(FaultInjector::ParseSpec(
+      "seed=5,net.short_read=1.0,net.short_write=1.0,net.rst=1.0,"
+      "net.accept_fail=1.0,net.delay=1.0,net.delay_ms=3"));
+  for (std::int64_t conn = 0; conn < 4; ++conn) {
+    EXPECT_FALSE(off.ShouldFailAccept(conn));
+    EXPECT_TRUE(on.ShouldFailAccept(conn));
+    for (std::int64_t op = 0; op < 8; ++op) {
+      EXPECT_FALSE(off.ShouldShortRead(conn, op));
+      EXPECT_EQ(off.NetDelayNanos(conn, op), 0);
+      EXPECT_TRUE(on.ShouldShortRead(conn, op));
+      EXPECT_TRUE(on.ShouldShortWrite(conn, op));
+      EXPECT_TRUE(on.ShouldInjectRst(conn, op));
+      EXPECT_EQ(on.NetDelayNanos(conn, op), 3'000'000);
+    }
+  }
+}
+
+// ---- HTTP robustness fixture -----------------------------------------------
+
+class HttpRobustnessTest : public ::testing::Test {
+ protected:
+  void StartServer(serve::ServingConfig config = {},
+                   const std::string& fault_spec = "",
+                   int read_deadline_ms = -1) {
+    engine_ = std::make_unique<Rumble>(SmallConfig());
+    service_ = std::make_unique<serve::QueryService>(engine_.get(), config);
+    server_ = std::make_unique<obs::MetricsServer>(&engine_->event_bus());
+    service_->Install(server_.get());
+    if (!fault_spec.empty()) {
+      injector_ = std::make_unique<FaultInjector>(
+          FaultInjector::ParseSpec(fault_spec));
+      server_->set_fault_injector(injector_.get());
+    }
+    if (read_deadline_ms >= 0) server_->set_read_deadline_ms(read_deadline_ms);
+    ASSERT_TRUE(server_->Start(0));
+    port_ = server_->port();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::int64_t Counter(const std::string& name) {
+    return engine_->event_bus().CounterValue(name);
+  }
+
+  std::unique_ptr<Rumble> engine_;
+  std::unique_ptr<serve::QueryService> service_;
+  std::unique_ptr<obs::MetricsServer> server_;
+  std::unique_ptr<FaultInjector> injector_;
+  int port_ = 0;
+};
+
+// ---- Read deadlines & parsing edge cases -----------------------------------
+
+// A client that trickles half a request and then stalls is answered 408 and
+// evicted within the read deadline instead of pinning a connection thread.
+TEST_F(HttpRobustnessTest, SlowLorisIsEvictedWith408WithinDeadline) {
+  StartServer({}, "", /*read_deadline_ms=*/300);
+  RawClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  ASSERT_TRUE(client.Send("POST /query HTTP/1.1\r\nHost: x\r\n"));
+  auto started = std::chrono::steady_clock::now();
+  std::string response = client.RecvAll();
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_NE(response.find("408 Request Timeout"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("request_timeout"), std::string::npos);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000)
+      << "eviction must track the deadline, not the 10 s default";
+  EXPECT_GT(Counter("serving.request_timeout"), 0);
+  // The slot is free again: a well-behaved request succeeds immediately.
+  EXPECT_NE(HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+// Headers arriving one fragment at a time (tiny TCP segments) parse fine as
+// long as the whole request lands within the deadline.
+TEST_F(HttpRobustnessTest, HeadersSplitAcrossSendsStillParse) {
+  StartServer();
+  RawClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  const std::string query = "1 to 3";
+  ASSERT_TRUE(client.Send("POST /que"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client.Send("ry HTTP/1.1\r\nHost: x\r\nContent-Le"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client.Send("ngth: " + std::to_string(query.size()) +
+                          "\r\n\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client.Send(query));
+  std::string response = client.RecvAll();
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(DechunkedBody(response), "1\n2\n3\n");
+}
+
+// A request missing its final CRLF whose client hangs up mid-headers must
+// neither crash nor wedge the server.
+TEST_F(HttpRobustnessTest, MissingFinalCrlfThenCloseIsHarmless) {
+  StartServer();
+  {
+    RawClient client;
+    ASSERT_TRUE(client.Connect(port_));
+    ASSERT_TRUE(client.Send("GET /metrics HTTP/1.0\r\nHost: x\r\n"));
+    client.Close();
+  }
+  // Server is unaffected.
+  EXPECT_NE(HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+  EXPECT_TRUE(server_->running());
+}
+
+// The server speaks one request per connection (Connection: close); a
+// pipelined second request on the same socket is ignored, not half-served.
+TEST_F(HttpRobustnessTest, PipelinedSecondRequestIsIgnoredCleanly) {
+  StartServer();
+  std::string two = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+                    "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::string response = HttpExchange(port_, two);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  // Exactly one response went out: one status line, no /metrics payload.
+  EXPECT_EQ(response.find("200 OK"), response.rfind("200 OK"));
+  EXPECT_EQ(response.find("rumble_"), std::string::npos)
+      << "second (pipelined) request must not be served: " << response;
+  // The next connection is served normally.
+  EXPECT_NE(HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+// Disconnecting between headers and the promised body aborts that request
+// without poisoning the listener.
+TEST_F(HttpRobustnessTest, ClientDisconnectBetweenHeadersAndBodyIsHarmless) {
+  StartServer();
+  {
+    RawClient client;
+    ASSERT_TRUE(client.Connect(port_));
+    ASSERT_TRUE(client.Send(
+        "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 64\r\n\r\n"));
+    client.Close();
+  }
+  std::string response = PostQuery(port_, "t", "1 + 1");
+  EXPECT_EQ(DechunkedBody(response), "2\n");
+}
+
+// ---- Overrun fail-fast -----------------------------------------------------
+
+TEST_F(HttpRobustnessTest, OversizedHeadersFailFastWith431) {
+  StartServer();
+  std::string request = "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Filler: " +
+                        std::string(20 * 1024, 'a') + "\r\n\r\n";
+  std::string response = HttpExchange(port_, request);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+  EXPECT_NE(response.find("headers_too_large"), std::string::npos);
+}
+
+TEST_F(HttpRobustnessTest, OversizedBodyFailsFastWith413) {
+  StartServer();
+  // The Content-Length alone triggers the rejection — no body bytes needed,
+  // so the server never buffers the oversized payload.
+  std::string response = HttpExchange(
+      port_,
+      "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 16777216\r\n\r\n");
+  EXPECT_NE(response.find("413 Payload Too Large"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("payload_too_large"), std::string::npos);
+}
+
+// ---- Health, readiness, drain ----------------------------------------------
+
+TEST_F(HttpRobustnessTest, HealthzIsAlwaysOkAndReadyzFlipsWhileDraining) {
+  StartServer();
+  EXPECT_NE(HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+  std::string ready = HttpExchange(port_, "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ready.find("200 OK"), std::string::npos) << ready;
+  EXPECT_NE(ready.find("\"ready\":true"), std::string::npos);
+
+  service_->BeginDrain();
+  std::string draining = HttpExchange(port_, "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(draining.find("503"), std::string::npos) << draining;
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+  // Liveness is unaffected: the process still serves while it drains.
+  EXPECT_NE(HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n")
+                .find("200 OK"),
+            std::string::npos);
+}
+
+// Graceful drain with an in-flight streamed query: the straggler is cancelled
+// through its own token at the drain deadline, its stream ends with the
+// trailing error line, and nothing leaks.
+TEST_F(HttpRobustnessTest, DrainCancelsInFlightQueryAndLeaksNothing) {
+  serve::ServingConfig config;
+  config.drain_deadline_ms = 300;
+  StartServer(config);
+  auto slow = std::async(std::launch::async, [this] {
+    return PostQuery(port_, "t", "1 to 100000000");
+  });
+  // Wait until the query is actually running before draining.
+  for (int i = 0; i < 500 && engine_->active_jobs() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GT(engine_->active_jobs(), 0) << "query never started";
+
+  serve::DrainStats stats = service_->Drain(server_.get());
+  EXPECT_GE(stats.cancelled_queries, 1);
+  EXPECT_TRUE(service_->draining());
+  EXPECT_FALSE(server_->accepting());
+  EXPECT_GT(Counter("serving.drain.started"), 0);
+  EXPECT_GT(Counter("serving.drain.completed"), 0);
+  EXPECT_GT(Counter("serving.drain.cancelled_queries"), 0);
+
+  std::string response = slow.get();
+  // The stream committed 200 and terminated with the machine-readable
+  // trailing error line (the documented cancellation protocol).
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(DechunkedBody(response).find("query cancelled"),
+            std::string::npos)
+      << response;
+
+  server_->Stop();
+  EXPECT_EQ(engine_->active_jobs(), 0);
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "drain leaked spill files";
+  EXPECT_EQ(engine_->engine()->spark->memory_manager().reserved_bytes(), 0u)
+      << "drain leaked reservations";
+}
+
+// ---- Adaptive load shedding ------------------------------------------------
+
+TEST(TenantSchedulerRetryAfterTest, IdleSchedulerSuggestsTheFloor) {
+  TenantScheduler scheduler(2, 4);
+  EXPECT_FALSE(scheduler.ShouldShed(10));
+  EXPECT_EQ(scheduler.SuggestedRetryAfterSec(), 1);
+}
+
+TEST(TenantSchedulerRetryAfterTest, ObservedWaitsRaiseTheSuggestionBounded) {
+  TenantScheduler scheduler(1, 4);
+  ASSERT_EQ(scheduler.Acquire("a", 0), TenantScheduler::Outcome::kAdmitted);
+  // Timed-out waits feed the EWMA the way real queue latency does.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(scheduler.Acquire("b", 60), TenantScheduler::Outcome::kTimeout);
+  }
+  EXPECT_GT(scheduler.queue_wait_ewma_ms(), 10.0);
+  EXPECT_TRUE(scheduler.ShouldShed(10));
+  EXPECT_FALSE(scheduler.ShouldShed(0)) << "threshold <= 0 disables";
+  std::int64_t suggestion = scheduler.SuggestedRetryAfterSec();
+  EXPECT_GE(suggestion, 1);
+  EXPECT_LE(suggestion, 60);
+  scheduler.Release();
+  // With the slot free the breaker re-arms even though the EWMA is warm.
+  EXPECT_FALSE(scheduler.ShouldShed(10));
+}
+
+// The HTTP breaker: a saturated scheduler with high observed latency sheds
+// new arrivals with 503 `overloaded` and an adaptive Retry-After.
+TEST_F(HttpRobustnessTest, SheddingBreakerReturns503WithAdaptiveRetryAfter) {
+  serve::ServingConfig config;
+  config.max_concurrent = 1;
+  config.shed_queue_latency_ms = 5;
+  StartServer(config);
+  TenantScheduler& scheduler = service_->scheduler();
+  // Saturate the only slot and warm the latency EWMA with real timed waits.
+  ASSERT_EQ(scheduler.Acquire("hog", 0), TenantScheduler::Outcome::kAdmitted);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(scheduler.Acquire("w", 40), TenantScheduler::Outcome::kTimeout);
+  }
+  ASSERT_TRUE(scheduler.ShouldShed(config.shed_queue_latency_ms));
+
+  std::string response = PostQuery(port_, "newcomer", "1 + 1");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"error\":\"overloaded\""), std::string::npos);
+  std::string retry_after = HeaderValue(response, "Retry-After");
+  ASSERT_FALSE(retry_after.empty()) << response;
+  std::int64_t seconds = std::stoll(retry_after);
+  EXPECT_GE(seconds, 1);
+  EXPECT_LE(seconds, 60);
+  EXPECT_GT(Counter("serving.shed.overload"), 0);
+  scheduler.Release();
+}
+
+// Queue-timeout 503s also carry the adaptive Retry-After (not a constant).
+TEST_F(HttpRobustnessTest, QueueTimeout503CarriesAdaptiveRetryAfter) {
+  serve::ServingConfig config;
+  config.max_concurrent = 1;
+  config.queue_wait_timeout_ms = 50;
+  config.shed_queue_latency_ms = 0;  // isolate the queue-timeout path
+  StartServer(config);
+  TenantScheduler& scheduler = service_->scheduler();
+  ASSERT_EQ(scheduler.Acquire("hog", 0), TenantScheduler::Outcome::kAdmitted);
+  std::string response = PostQuery(port_, "waiter", "1 + 1");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("queue_timeout"), std::string::npos);
+  std::string retry_after = HeaderValue(response, "Retry-After");
+  ASSERT_FALSE(retry_after.empty()) << response;
+  EXPECT_GE(std::stoll(retry_after), 1);
+  scheduler.Release();
+}
+
+// ---- Network fault injection end-to-end ------------------------------------
+
+// Non-destructive faults (short reads, short writes, delays) exercise every
+// partial-I/O path yet the served bytes are identical to a fault-free run.
+TEST_F(HttpRobustnessTest, ServedBytesAreIdenticalUnderNonDestructiveFaults) {
+  StartServer({},
+              "seed=11,net.short_read=0.6,net.short_write=0.6,"
+              "net.delay=0.3,net.delay_ms=1");
+  const std::string query = "for $i in 1 to 50 return $i * $i";
+  auto expected = engine_->RunToJson(query);
+  ASSERT_TRUE(expected.ok());
+
+  std::string response = PostQuery(port_, "chaos", query);
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(DechunkedBody(response), expected.value());
+  EXPECT_GT(Counter("net.fault.short_read") + Counter("net.fault.short_write") +
+                Counter("net.fault.delay"),
+            0)
+      << "the fault domain never fired; the test proved nothing";
+}
+
+// An injected mid-stream RST truncates that one response; the server stays
+// healthy, reaps the connection, and the engine leaks nothing.
+TEST_F(HttpRobustnessTest, InjectedRstTruncatesStreamButServerSurvives) {
+  StartServer({}, "seed=7,net.rst=1.0");
+  std::string response = PostQuery(port_, "t", "1 to 100");
+  EXPECT_EQ(response.find("1\n2\n3\n"), std::string::npos)
+      << "every send RSTs, the full body must not arrive";
+  EXPECT_GT(Counter("net.fault.rst"), 0);
+  EXPECT_TRUE(server_->running());
+  // The wounded connection is reaped, not leaked.
+  for (int i = 0; i < 500 && server_->active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->active_connections(), 0);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+  EXPECT_EQ(engine_->engine()->spark->memory_manager().reserved_bytes(), 0u);
+  // The engine itself is untouched by socket chaos.
+  auto after = engine_->RunToJson("1 + 1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "2\n");
+}
+
+// Accept-queue failures drop some connections at the door; the listener keeps
+// accepting and untargeted connections are served normally.
+TEST_F(HttpRobustnessTest, AcceptFailuresDropSomeConnectionsNotTheListener) {
+  StartServer({}, "seed=3,net.accept_fail=0.5");
+  int ok = 0;
+  int dropped = 0;
+  for (int i = 0; i < 24; ++i) {
+    std::string response =
+        HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n");
+    if (response.find("200 OK") != std::string::npos) {
+      ++ok;
+    } else {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(ok, 0) << "every connection died; the listener is wedged";
+  EXPECT_GT(dropped, 0) << "the fault never fired";
+  EXPECT_GT(Counter("net.fault.accept_fail"), 0);
+  EXPECT_TRUE(server_->running());
+}
+
+}  // namespace
+}  // namespace rumble
