@@ -1,0 +1,76 @@
+// Join microbenchmarks (docs/OPTIMIZER.md): a fact stream equi-joined to a
+// small dimension table through the FLWOR translator. Cases cover the cost
+// model's own pick (auto), each forced strategy, and the nested-loop
+// fallback the translator uses when join compilation is disabled — the
+// pre-join baseline. Expected shape: broadcast wins at these dimension
+// sizes, shuffle stays within a small factor (it pays routing + bucket
+// passes), and the nested loop is orders of magnitude behind even on a
+// fraction of the rows.
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr int kPartitions = 8;
+constexpr int kDimensionRows = 64;
+
+std::string JoinQuery(std::uint64_t rows) {
+  std::string n = std::to_string(rows);
+  std::string dims = std::to_string(kDimensionRows);
+  return "sum(for $e in parallelize((for $i in 1 to " + n +
+         " return {\"k\": $i mod " + dims + ", \"v\": $i}), " +
+         std::to_string(kPartitions) +
+         ") for $d in parallelize((for $j in 0 to " + dims +
+         " - 1 return {\"t\": $j, \"w\": $j}), 4) "
+         "where $e.k eq $d.t return $e.v + $d.w)";
+}
+
+void RunJoinCase(benchmark::State& state, const char* strategy,
+                 bool enable_translation, const char* tag) {
+  std::uint64_t n = ScaledObjects(static_cast<std::uint64_t>(state.range(0)));
+  common::RumbleConfig config;
+  config.executors = 4;
+  config.default_partitions = kPartitions;
+  config.join_strategy = strategy;
+  config.enable_join_translation = enable_translation;
+  if (std::string(strategy) == "shuffle") {
+    // A tiny threshold fans the build out over several buckets, so the
+    // benchmark exercises the partitioned path rather than a 1-bucket
+    // degenerate shuffle.
+    config.join_broadcast_threshold_bytes = 4096;
+  }
+  jsoniq::Rumble engine(config);
+  RunQueryBenchmark(state, engine, JoinQuery(n), n, tag);
+}
+
+void BM_Join_Auto(benchmark::State& state) {
+  RunJoinCase(state, "auto", true, "joins_auto");
+}
+void BM_Join_Broadcast(benchmark::State& state) {
+  RunJoinCase(state, "broadcast", true, "joins_broadcast");
+}
+void BM_Join_Shuffle(benchmark::State& state) {
+  RunJoinCase(state, "shuffle", true, "joins_shuffle");
+}
+/// The pre-join baseline: the same query with join compilation off takes
+/// ApplyFor's per-row nested-loop path (the dimension source re-evaluates
+/// for every fact row), so it runs a fraction of the rows.
+void BM_Join_NestedLoopFallback(benchmark::State& state) {
+  RunJoinCase(state, "auto", false, "joins_nested_loop");
+}
+
+#define JOIN_SIZES Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+BENCHMARK(BM_Join_Auto)->JOIN_SIZES;
+BENCHMARK(BM_Join_Broadcast)->JOIN_SIZES;
+BENCHMARK(BM_Join_Shuffle)->JOIN_SIZES;
+BENCHMARK(BM_Join_NestedLoopFallback)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -12,7 +12,11 @@ before:
    token, and shell flag documented in docs/SERVING.md tables must appear
    in the source (src/ plus examples/, where the shell flags live). A
    renamed header or error token whose doc row was forgotten fails here.
-3. Every intra-repository markdown link (in README.md, docs/, and the
+3. Every counter, span, stage label, and config-knob name documented in
+   docs/OPTIMIZER.md tables must appear under src/ — counters and spans
+   as string literals, config knobs as identifiers. A renamed join
+   counter or optimizer knob whose doc row was forgotten fails here.
+4. Every intra-repository markdown link (in README.md, docs/, and the
    root-level *.md files) must point at a file that exists.
 
 Run from the repository root (or let ctest do it: the `docs_drift` test
@@ -129,6 +133,29 @@ def check_serving_tokens(errors):
             )
 
 
+def check_optimizer_tokens(errors):
+    """docs/OPTIMIZER.md names counters/spans/stage labels (dotted string
+    literals in src/) and config knobs (snake_case identifiers in
+    src/common/config.h) in its table first cells; both kinds must exist
+    under src/. Same token shape as the SERVING.md check: backticked
+    first-cell tokens carrying structure ('.', '_', '-', '/')."""
+    path = os.path.join(REPO, "docs", "OPTIMIZER.md")
+    if not os.path.exists(path):
+        errors.append("docs/OPTIMIZER.md is documented as existing but is "
+                      "missing")
+        return
+    blob = source_blob()
+    for token in sorted(serving_documented_tokens(path)):
+        # Counters/spans/labels appear quoted ("df.join.broadcast"); knobs
+        # appear as raw identifiers (join_broadcast_threshold_bytes).
+        if (f'"{token}"' not in blob and f'\\"{token}\\"' not in blob
+                and token not in blob):
+            errors.append(
+                f"docs/OPTIMIZER.md documents `{token}` but it appears "
+                f"nowhere under src/"
+            )
+
+
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
@@ -169,6 +196,7 @@ def main():
     errors = []
     check_metrics_names(errors)
     check_serving_tokens(errors)
+    check_optimizer_tokens(errors)
     check_links(errors)
     if errors:
         for error in errors:

@@ -17,7 +17,9 @@
 #      straggler speculation, JSONiq fail-fast.
 #   3. rumble_shell on a generated JSON-Lines dataset: byte-diff a clean
 #      run against a run under a full spec (transients + stragglers + one
-#      executor kill) and check the event log recorded the chaos.
+#      executor kill) and check the event log recorded the chaos. The
+#      workload includes a two-source equi-join that compiles to a hash
+#      Join node (docs/OPTIMIZER.md).
 #   4. memory pressure: the same queries under a tight --memory-limit must
 #      be byte-identical to the unlimited run, with the event log showing
 #      the pipeline breakers actually spilled (docs/MEMORY.md).
@@ -79,6 +81,7 @@ count(for \$e in json-file("$data", 8) where \$e.guess eq \$e.target return \$e)
 for \$e in json-file("$data", 8) where \$e.guess eq \$e.target group by \$t := \$e.target let \$c := count(\$e) order by \$c descending, \$t return { "target": \$t, "count": \$c }
 sum(for \$e in json-file("$data", 8) return \$e.sample)
 subsequence((for \$e in json-file("$data", 8) order by \$e.target ascending, \$e.country descending, \$e.sample return \$e), 1, 10)
+for \$e in json-file("$data", 8) for \$d in parallelize(({"lang": "Russian", "code": 1}, {"lang": "German", "code": 2}, {"lang": "French", "code": 3}, {"lang": "English", "code": 4}, {"lang": "Dutch", "code": 5}), 2) where \$e.target eq \$d.lang group by \$c := \$d.code let \$n := count(\$e) order by \$c return { "code": \$c, "n": \$n }
 EOF
 
 shell="$build/examples/rumble_shell"

@@ -107,6 +107,24 @@ struct RumbleConfig {
   /// deadline is armed when a query starts and checked at task boundaries
   /// and inside long kernel loops; expiry fails the query with kCancelled.
   std::int64_t query_timeout_ms = 0;
+
+  // ---- Joins and the cost-based optimizer (docs/OPTIMIZER.md) -------------
+
+  /// Build sides estimated (or, failing statistics, measured) at or below
+  /// this many bytes run as broadcast hash joins; larger ones as shuffle
+  /// (partitioned) hash joins whose build buckets are memory-governed.
+  std::uint64_t join_broadcast_threshold_bytes = 4ull << 20;
+
+  /// Forces a join strategy for every Join node: "auto" (cost-based,
+  /// default), "broadcast", or "shuffle". Tests and benchmarks use the
+  /// forced modes to prove both strategies byte-identical.
+  std::string join_strategy = "auto";
+
+  /// When true (default) the FLWOR translator compiles multi-source `for`
+  /// clauses with value-equality predicates into Join nodes; when false
+  /// every multi-source `for` uses the nested-loop fallback
+  /// (docs/QUERY_LANGUAGE.md).
+  bool enable_join_translation = true;
 };
 
 }  // namespace rumble::common

@@ -1,14 +1,39 @@
 #include "src/df/dataframe.h"
 
 #include "src/df/physical_exec.h"
+#include "src/df/stats.h"
 
 namespace rumble::df {
 
+namespace {
+
+/// Translates the config knobs into the optimizer's cost-model options.
+OptimizerOptions OptionsFor(spark::Context* context) {
+  OptimizerOptions options;
+  if (context == nullptr) return options;
+  const common::RumbleConfig& config = context->config();
+  options.broadcast_threshold_bytes = config.join_broadcast_threshold_bytes;
+  if (config.join_strategy == "broadcast") {
+    options.forced_strategy = JoinStrategy::kBroadcast;
+  } else if (config.join_strategy == "shuffle") {
+    options.forced_strategy = JoinStrategy::kShuffle;
+  }
+  return options;
+}
+
+}  // namespace
+
 DataFrame DataFrame::FromBatches(spark::Context* context, SchemaPtr schema,
                                  std::vector<RecordBatch> batches) {
-  return DataFrame(
-      context, MakeScan(std::move(schema),
-                        BatchesToRdd(context, std::move(batches))));
+  // Materialized inputs are profiled here — "statistics collected at scan"
+  // (docs/OPTIMIZER.md). Lazy scans (FromRdd) carry no statistics; EXPLAIN
+  // never executes anything to obtain them.
+  TableStatsPtr stats =
+      CollectTableStats(*schema, batches, context ? &context->bus() : nullptr);
+  return DataFrame(context,
+                   MakeScan(std::move(schema),
+                            BatchesToRdd(context, std::move(batches)),
+                            std::move(stats)));
 }
 
 DataFrame DataFrame::FromRdd(spark::Context* context, SchemaPtr schema,
@@ -48,8 +73,14 @@ DataFrame DataFrame::Limit(std::size_t rows) const {
   return DataFrame(context_, MakeLimit(plan_, rows));
 }
 
+DataFrame DataFrame::Join(const DataFrame& build, std::vector<JoinKey> keys,
+                          JoinStrategy strategy) const {
+  return DataFrame(context_,
+                   MakeJoin(plan_, build.plan_, std::move(keys), strategy));
+}
+
 spark::Rdd<RecordBatch> DataFrame::Execute() const {
-  return ExecutePlan(Optimize(plan_), context_);
+  return ExecutePlan(Optimize(plan_, OptionsFor(context_)), context_);
 }
 
 RecordBatch DataFrame::CollectBatch() const {
@@ -65,7 +96,7 @@ std::size_t DataFrame::CountRows() const {
 }
 
 std::string DataFrame::Explain() const {
-  return PlanToString(*Optimize(plan_));
+  return PlanToString(*Optimize(plan_, OptionsFor(context_)));
 }
 
 }  // namespace rumble::df

@@ -42,6 +42,12 @@ class DataFrame {
   DataFrame Sort(std::vector<SortKey> keys) const;
   DataFrame ZipIndex(const std::string& index_column) const;
   DataFrame Limit(std::size_t rows) const;
+  /// Equi hash join against `build` (this DataFrame is the probe side). The
+  /// optimizer resolves a kAuto strategy from scan statistics when they
+  /// exist; the executor resolves any remainder from the actual build
+  /// footprint (docs/OPTIMIZER.md).
+  DataFrame Join(const DataFrame& build, std::vector<JoinKey> keys,
+                 JoinStrategy strategy = JoinStrategy::kAuto) const;
 
   // ---- Actions ------------------------------------------------------------
   /// Optimizes and executes; returns the result as a lazy RDD of batches

@@ -92,6 +92,10 @@ struct NamedExpr {
 struct Predicate {
   std::function<std::vector<char>(const Schema&, const RecordBatch&)> eval;
   std::vector<std::string> inputs;
+  /// Estimated fraction of rows kept, in [0, 1]; -1 means unknown (the cost
+  /// model then assumes 0.5). Translators set this for predicate shapes they
+  /// recognize; the optimizer orders stacked filters most-selective-first.
+  double selectivity_hint = -1.0;
 };
 
 /// Sort key over a native column. `nulls_smallest` mirrors the JSONiq

@@ -1,0 +1,551 @@
+#include "src/df/join_exec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/df/batch_serde.h"
+#include "src/df/kernel_probe.h"
+#include "src/df/key_hash.h"
+#include "src/df/physical_exec.h"
+#include "src/exec/cancellation.h"
+#include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
+
+namespace rumble::df {
+
+namespace {
+
+using spark::Context;
+using spark::Rdd;
+
+/// Rows per encoded chunk when a build bucket spills (same bound the sort
+/// and group-by spill paths use).
+constexpr std::size_t kJoinSpillChunkRows = 4096;
+
+/// Upper bound on shuffle-join build buckets; beyond this the per-bucket
+/// bookkeeping costs more than the extra memory headroom is worth.
+constexpr std::size_t kMaxJoinBuckets = 64;
+
+/// Concatenates batches, tolerating the column-less empty padding batches
+/// BatchesToRdd emits; the result always has one typed column per field.
+RecordBatch ConcatWithSchema(std::vector<RecordBatch> batches,
+                             const Schema& schema) {
+  std::vector<RecordBatch> keep;
+  keep.reserve(batches.size());
+  for (RecordBatch& batch : batches) {
+    if (!batch.columns.empty()) keep.push_back(std::move(batch));
+  }
+  if (keep.empty()) {
+    RecordBatch out;
+    for (const Field& field : schema.fields()) {
+      out.columns.emplace_back(field.type);
+    }
+    return out;
+  }
+  return ConcatBatches(std::move(keep));
+}
+
+/// True when any of the row's key cells is null. Null keys never join:
+/// the translator encodes the JSONiq empty sequence as null, and `$x eq $y`
+/// over an empty operand is false, never a match.
+bool HasNullKey(const RecordBatch& batch,
+                const std::vector<std::size_t>& key_indices, std::size_t row) {
+  for (std::size_t k : key_indices) {
+    if (batch.columns[k].IsNull(row)) return true;
+  }
+  return false;
+}
+
+/// Drops rows with null key cells. Returns the input unchanged (shared
+/// buffers) when every row survives.
+RecordBatch DropNullKeyRows(const RecordBatch& batch,
+                            const std::vector<std::size_t>& key_indices) {
+  SelectionVector keep;
+  for (std::size_t row = 0; row < batch.num_rows; ++row) {
+    if (!HasNullKey(batch, key_indices, row)) {
+      keep.push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+  if (keep.size() == batch.num_rows) return batch;
+  return GatherBatch(batch, keep);
+}
+
+std::vector<std::uint64_t> HashKeyRows(
+    const RecordBatch& batch, const std::vector<std::size_t>& key_indices) {
+  std::vector<std::uint64_t> hashes(batch.num_rows, 0);
+  for (std::size_t k : key_indices) {
+    HashKeyColumn(batch.columns[k], &hashes);
+  }
+  return hashes;
+}
+
+/// Hash table over a (null-key-free) build batch. Collision chains append
+/// at the tail so traversal yields matches in build insertion order — the
+/// property both strategies rely on for byte-identical output.
+struct JoinHashTable {
+  RecordBatch build;
+  std::vector<std::uint64_t> hashes;
+  // hash -> {head, tail} of the chain through `next` (kNoGroup terminates).
+  std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+      heads;
+  std::vector<std::uint32_t> next;
+
+  void Build(RecordBatch rows, const std::vector<std::size_t>& key_indices) {
+    build = std::move(rows);
+    hashes = HashKeyRows(build, key_indices);
+    next.assign(build.num_rows, kNoGroup);
+    heads.reserve(build.num_rows);
+    for (std::uint32_t r = 0; r < build.num_rows; ++r) {
+      auto [it, inserted] = heads.try_emplace(hashes[r], std::pair{r, r});
+      if (!inserted) {
+        next[it->second.second] = r;
+        it->second.second = r;
+      }
+    }
+  }
+
+  /// Appends every build row matching `row` of `probe` to the selection
+  /// vectors, in insertion order.
+  void Probe(const RecordBatch& probe,
+             const std::vector<std::size_t>& probe_keys,
+             const std::vector<std::size_t>& build_keys, std::uint64_t hash,
+             std::size_t row, SelectionVector* probe_sel,
+             SelectionVector* build_sel) const {
+    auto it = heads.find(hash);
+    if (it == heads.end()) return;
+    for (std::uint32_t g = it->second.first; g != kNoGroup; g = next[g]) {
+      bool equal = true;
+      for (std::size_t k = 0; k < probe_keys.size(); ++k) {
+        if (!CellsEqual(probe.columns[probe_keys[k]], row,
+                        build.columns[build_keys[k]], g)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        probe_sel->push_back(static_cast<std::uint32_t>(row));
+        build_sel->push_back(g);
+      }
+    }
+  }
+};
+
+/// Gathers the matched probe and build rows into one output batch (probe
+/// columns first, matching the Join node's left ++ right schema).
+RecordBatch MakeJoinBatch(const RecordBatch& probe, const RecordBatch& build,
+                          const SelectionVector& probe_sel,
+                          const SelectionVector& build_sel) {
+  RecordBatch out = GatherBatch(probe, probe_sel);
+  RecordBatch right = GatherBatch(build, build_sel);
+  for (Column& column : right.columns) {
+    out.columns.push_back(std::move(column));
+  }
+  out.num_rows = probe_sel.size();
+  return out;
+}
+
+RecordBatch EmptyBatchFor(const Schema& schema) {
+  RecordBatch out;
+  for (const Field& field : schema.fields()) {
+    out.columns.emplace_back(field.type);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast hash join
+// ---------------------------------------------------------------------------
+
+/// Keeps the replicated build table (and its memory reservation) alive for
+/// as long as the lazy probe RDD's thunks may read it.
+struct BroadcastState {
+  exec::MemoryManager* manager = nullptr;
+  std::uint64_t charged = 0;
+  JoinHashTable table;
+  ~BroadcastState() {
+    if (manager != nullptr && charged > 0) manager->Release(charged);
+  }
+};
+
+Rdd<RecordBatch> ExecBroadcastJoin(const LogicalPlan& plan, Context* context,
+                                   Rdd<RecordBatch> left_rdd,
+                                   std::vector<RecordBatch> build_batches,
+                                   const std::vector<std::size_t>& left_keys,
+                                   const std::vector<std::size_t>& right_keys) {
+  obs::EventBus& bus = spark::BusOf(context);
+  exec::MemoryManager& memory = spark::MemoryOf(context);
+  bus.AddToCounter("df.join.broadcast", 1);
+
+  auto state = std::make_shared<BroadcastState>();
+  state->manager = &memory;
+  KernelProbe build_probe = MakeKernelProbe(
+      context, "df.kernel.join.build", "df.kernel.join.build.duration_ns",
+      "df.kernel.join.build.batches", "df.kernel.join.build.rows");
+  build_probe.InvokeWide([&]() -> std::int64_t {
+    RecordBatch build = DropNullKeyRows(
+        ConcatWithSchema(std::move(build_batches), *plan.join_build->schema),
+        right_keys);
+    state->table.Build(std::move(build), right_keys);
+    return static_cast<std::int64_t>(state->table.build.num_rows);
+  });
+  bus.AddToCounter("df.join.build_rows",
+                   static_cast<std::int64_t>(state->table.build.num_rows));
+  if (memory.enforcing()) {
+    // The broadcast table is replicated, not partitioned, so there is
+    // nothing to spill — charge it if the pool allows, else run uncharged
+    // (the planner only picks broadcast for small builds; a forced
+    // broadcast under a tight cap is the caller's explicit choice).
+    auto want =
+        static_cast<std::uint64_t>(ApproxBatchBytes(state->table.build));
+    if (want > 0 && memory.TryReserve(want)) state->charged = want;
+  }
+
+  SchemaPtr out_schema = plan.schema;
+  std::vector<std::size_t> probe_keys = left_keys;
+  std::vector<std::size_t> build_keys = right_keys;
+  KernelProbe probe_probe = MakeKernelProbe(
+      context, "df.kernel.join.probe", "df.kernel.join.probe.duration_ns",
+      "df.kernel.join.probe.batches", "df.kernel.join.probe.rows");
+  obs::CounterCell* probe_rows = bus.GetCounter("df.join.probe_rows");
+  obs::CounterCell* output_rows = bus.GetCounter("df.join.output_rows");
+  return left_rdd.Map([state, probe_probe, probe_keys, build_keys, out_schema,
+                       probe_rows, output_rows](const RecordBatch& batch) {
+    return probe_probe.Invoke(batch, [&](const RecordBatch& input) {
+      if (input.columns.empty()) return EmptyBatchFor(*out_schema);
+      std::vector<std::uint64_t> hashes = HashKeyRows(input, probe_keys);
+      SelectionVector probe_sel;
+      SelectionVector build_sel;
+      for (std::size_t row = 0; row < input.num_rows; ++row) {
+        if (HasNullKey(input, probe_keys, row)) continue;
+        state->table.Probe(input, probe_keys, build_keys, hashes[row], row,
+                           &probe_sel, &build_sel);
+      }
+      probe_rows->value.fetch_add(static_cast<std::int64_t>(input.num_rows),
+                                  std::memory_order_relaxed);
+      output_rows->value.fetch_add(static_cast<std::int64_t>(probe_sel.size()),
+                                   std::memory_order_relaxed);
+      return MakeJoinBatch(input, state->table.build, probe_sel, build_sel);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle (partitioned) hash join
+// ---------------------------------------------------------------------------
+
+/// Stack guard over the shuffle join's spill file and outstanding bucket
+/// reservations: an exception (cancellation, task failure) releases every
+/// charge and unlinks the spill file via ~SpillFile.
+struct ShuffleGuard {
+  exec::MemoryManager* manager = nullptr;
+  std::uint64_t charged = 0;
+  std::unique_ptr<exec::SpillFile> file;
+  ~ShuffleGuard() {
+    if (manager != nullptr && charged > 0) manager->Release(charged);
+  }
+};
+
+Rdd<RecordBatch> ExecShuffleJoin(const LogicalPlan& plan, Context* context,
+                                 Rdd<RecordBatch> left_rdd,
+                                 std::vector<RecordBatch> build_batches,
+                                 std::uint64_t build_bytes,
+                                 const std::vector<std::size_t>& left_keys,
+                                 const std::vector<std::size_t>& right_keys) {
+  obs::EventBus& bus = spark::BusOf(context);
+  exec::MemoryManager& memory = spark::MemoryOf(context);
+  exec::CancellationToken& cancel = spark::CancelOf(context);
+  bus.AddToCounter("df.join.shuffle", 1);
+
+  const Schema& right_schema = *plan.join_build->schema;
+  const Schema& left_schema = *plan.child->schema;
+
+  // Bucket count: enough buckets that one resident bucket stays near the
+  // broadcast threshold. Deterministic in the input, so repeated runs plan
+  // identically.
+  std::uint64_t threshold = std::max<std::uint64_t>(
+      1, context->config().join_broadcast_threshold_bytes);
+  std::size_t n_buckets = static_cast<std::size_t>(
+      std::min<std::uint64_t>(kMaxJoinBuckets,
+                              (build_bytes + threshold - 1) / threshold));
+  if (n_buckets < 1) n_buckets = 1;
+
+  ShuffleGuard guard;
+  guard.manager = &memory;
+
+  // Phase 1: route build rows into per-bucket sub-batches by key hash,
+  // preserving build insertion order within each bucket (rows with null key
+  // cells are dropped — they can never match).
+  std::vector<RecordBatch> bucket_build(n_buckets);
+  for (auto& bucket : bucket_build) bucket = EmptyBatchFor(right_schema);
+  std::int64_t build_rows = 0;
+  KernelProbe build_probe = MakeKernelProbe(
+      context, "df.kernel.join.build", "df.kernel.join.build.duration_ns",
+      "df.kernel.join.build.batches", "df.kernel.join.build.rows");
+  build_probe.InvokeWide([&]() -> std::int64_t {
+    std::vector<SelectionVector> route(n_buckets);
+    for (RecordBatch& batch : build_batches) {
+      cancel.Check();
+      if (batch.columns.empty() || batch.num_rows == 0) continue;
+      std::vector<std::uint64_t> hashes = HashKeyRows(batch, right_keys);
+      for (auto& sel : route) sel.clear();
+      for (std::size_t row = 0; row < batch.num_rows; ++row) {
+        if (HasNullKey(batch, right_keys, row)) continue;
+        route[hashes[row] % n_buckets].push_back(
+            static_cast<std::uint32_t>(row));
+      }
+      for (std::size_t b = 0; b < n_buckets; ++b) {
+        if (route[b].empty()) continue;
+        for (std::size_t c = 0; c < bucket_build[b].columns.size(); ++c) {
+          bucket_build[b].columns[c].AppendGather(batch.columns[c], route[b]);
+        }
+        bucket_build[b].num_rows += route[b].size();
+        build_rows += static_cast<std::int64_t>(route[b].size());
+      }
+      batch = RecordBatch{};  // release routed source rows promptly
+    }
+    return build_rows;
+  });
+  build_batches.clear();
+  bus.AddToCounter("df.join.build_rows", build_rows);
+
+  // Phase 2: charge each bucket against the memory pool or spill it. The
+  // chunked encode bounds the largest write; segments replay in write order
+  // so a reloaded bucket reproduces its insertion order exactly.
+  std::vector<std::uint64_t> bucket_charge(n_buckets, 0);
+  std::vector<std::vector<exec::SpillSegment>> bucket_segs(n_buckets);
+  std::vector<char> bucket_resident(n_buckets, 1);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    if (!memory.enforcing() || bucket_build[b].num_rows == 0) continue;
+    auto want = static_cast<std::uint64_t>(ApproxBatchBytes(bucket_build[b]));
+    if (want == 0) continue;
+    if (memory.TryReserve(want)) {
+      bucket_charge[b] = want;
+      guard.charged += want;
+      continue;
+    }
+    if (guard.file == nullptr) {
+      auto file = std::make_unique<exec::SpillFile>();
+      if (!file->ok()) continue;  // cannot spill: keep the bucket resident
+      guard.file = std::move(file);
+      bus.AddToCounter("spill.files", 1);
+    }
+    obs::ScopedSpan span(bus.tracer(), "operator", "spill.write");
+    std::int64_t bytes = 0;
+    for (std::size_t begin = 0; begin < bucket_build[b].num_rows;
+         begin += kJoinSpillChunkRows) {
+      std::size_t count =
+          std::min(kJoinSpillChunkRows, bucket_build[b].num_rows - begin);
+      RecordBatch chunk = SliceBatch(bucket_build[b], begin, count);
+      std::string blob;
+      EncodeBatch(chunk, &blob);
+      exec::SpillSegment seg = guard.file->Append(blob, count);
+      if (seg.size == 0 && !blob.empty()) {
+        common::ThrowError(common::ErrorCode::kInternal,
+                           "join spill write failed: " + guard.file->path());
+      }
+      bucket_segs[b].push_back(seg);
+      bytes += static_cast<std::int64_t>(blob.size());
+    }
+    span.AddArg("bytes", bytes);
+    bus.AddToCounter("spill.bytes_written", bytes);
+    bus.Spilled("df.join.build", bytes);
+    bucket_build[b] = RecordBatch{};
+    bucket_resident[b] = 0;
+  }
+
+  // Phase 3: materialize the probe partitions and their key hashes once.
+  int n_left = left_rdd.num_partitions();
+  if (n_left < 1) n_left = 1;
+  auto n = static_cast<std::size_t>(n_left);
+  std::vector<RecordBatch> left_parts(n);
+  std::vector<std::vector<std::uint64_t>> left_hashes(n);
+  std::vector<std::vector<char>> left_null_key(n);
+  std::int64_t probe_total = 0;
+  context->pool().RunParallel(
+      n,
+      [&](std::size_t p) {
+        left_parts[p] = ConcatWithSchema(
+            left_rdd.ComputePartition(static_cast<int>(p)), left_schema);
+        left_hashes[p] = HashKeyRows(left_parts[p], left_keys);
+        left_null_key[p].assign(left_parts[p].num_rows, 0);
+        for (std::size_t row = 0; row < left_parts[p].num_rows; ++row) {
+          if (HasNullKey(left_parts[p], left_keys, row)) {
+            left_null_key[p][row] = 1;
+          }
+        }
+      },
+      nullptr, "df.join.probe.materialize");
+  for (const RecordBatch& part : left_parts) {
+    probe_total += static_cast<std::int64_t>(part.num_rows);
+  }
+  bus.AddToCounter("df.join.probe_rows", probe_total);
+
+  // Phase 4: one bucket at a time — load (or reload from spill), build its
+  // table, probe every partition's rows that hash into it, then release the
+  // bucket before the next one. A probe row's matches all live in its own
+  // bucket (equal keys hash equal), so per-bucket results partition the
+  // probe rows.
+  struct BucketMatches {
+    SelectionVector probe_rows;  // ascending within the partition
+    RecordBatch build_rows;      // gathered build cells, aligned to probe_rows
+  };
+  std::vector<std::vector<BucketMatches>> matches(n);
+  for (auto& per_part : matches) per_part.resize(n_buckets);
+  KernelProbe probe_probe = MakeKernelProbe(
+      context, "df.kernel.join.probe", "df.kernel.join.probe.duration_ns",
+      "df.kernel.join.probe.batches", "df.kernel.join.probe.rows");
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    cancel.Check();
+    bool empty = bucket_resident[b] != 0 ? bucket_build[b].num_rows == 0
+                                         : bucket_segs[b].empty();
+    if (empty) continue;
+    RecordBatch build_b;
+    if (bucket_resident[b] != 0) {
+      build_b = std::move(bucket_build[b]);
+    } else {
+      std::vector<RecordBatch> chunks;
+      chunks.reserve(bucket_segs[b].size());
+      for (const exec::SpillSegment& seg : bucket_segs[b]) {
+        std::string blob;
+        if (!guard.file->Read(seg, &blob)) {
+          common::ThrowError(common::ErrorCode::kInternal,
+                             "join spill file lost mid-query: " +
+                                 guard.file->path());
+        }
+        bus.AddToCounter("spill.bytes_read",
+                         static_cast<std::int64_t>(blob.size()));
+        const char* cursor = blob.data();
+        chunks.push_back(DecodeBatch(&cursor, blob.data() + blob.size()));
+      }
+      build_b = ConcatWithSchema(std::move(chunks), right_schema);
+    }
+    JoinHashTable table;
+    table.Build(std::move(build_b), right_keys);
+    probe_probe.InvokeWide([&]() -> std::int64_t {
+      std::vector<std::int64_t> probed(n, 0);
+      context->pool().RunParallel(
+          n,
+          [&](std::size_t p) {
+            SelectionVector probe_sel;
+            SelectionVector build_sel;
+            const RecordBatch& part = left_parts[p];
+            for (std::size_t row = 0; row < part.num_rows; ++row) {
+              if (left_null_key[p][row] != 0) continue;
+              if (left_hashes[p][row] % n_buckets != b) continue;
+              ++probed[p];
+              table.Probe(part, left_keys, right_keys, left_hashes[p][row],
+                          row, &probe_sel, &build_sel);
+            }
+            matches[p][b].build_rows = GatherBatch(table.build, build_sel);
+            matches[p][b].probe_rows = std::move(probe_sel);
+          },
+          nullptr, "df.join.probe");
+      std::int64_t total = 0;
+      for (std::int64_t rows : probed) total += rows;
+      return total;
+    });
+    if (bucket_charge[b] > 0) {
+      memory.Release(bucket_charge[b]);
+      guard.charged -= bucket_charge[b];
+      bucket_charge[b] = 0;
+    }
+  }
+
+  // Phase 5: per-partition assembly in probe-row order. Each row's matches
+  // sit contiguously at its bucket's cursor, so one pass with per-bucket
+  // cursors rebuilds exactly the probe-major order the broadcast strategy
+  // emits.
+  SchemaPtr out_schema = plan.schema;
+  std::vector<RecordBatch> results(n);
+  std::int64_t output_total = 0;
+  std::vector<std::int64_t> output_rows(n, 0);
+  context->pool().RunParallel(
+      n,
+      [&](std::size_t p) {
+        std::vector<std::size_t> cursor(n_buckets, 0);
+        SelectionVector probe_sel;
+        RecordBatch right_out = EmptyBatchFor(right_schema);
+        const RecordBatch& part = left_parts[p];
+        for (std::size_t row = 0; row < part.num_rows; ++row) {
+          if (left_null_key[p][row] != 0) continue;
+          std::size_t b = left_hashes[p][row] % n_buckets;
+          BucketMatches& bucket = matches[p][b];
+          std::size_t begin = cursor[b];
+          std::size_t end = begin;
+          while (end < bucket.probe_rows.size() &&
+                 bucket.probe_rows[end] == row) {
+            ++end;
+          }
+          if (end == begin) continue;
+          for (std::size_t i = begin; i < end; ++i) {
+            probe_sel.push_back(static_cast<std::uint32_t>(row));
+          }
+          for (std::size_t c = 0; c < right_out.columns.size(); ++c) {
+            right_out.columns[c].AppendRange(bucket.build_rows.columns[c],
+                                             begin, end - begin);
+          }
+          right_out.num_rows += end - begin;
+          cursor[b] = end;
+        }
+        RecordBatch out = GatherBatch(part, probe_sel);
+        for (Column& column : right_out.columns) {
+          out.columns.push_back(std::move(column));
+        }
+        out.num_rows = probe_sel.size();
+        if (out.columns.empty()) out = EmptyBatchFor(*out_schema);
+        output_rows[p] = static_cast<std::int64_t>(out.num_rows);
+        results[p] = std::move(out);
+      },
+      nullptr, "df.join.assemble");
+  for (std::int64_t rows : output_rows) output_total += rows;
+  bus.AddToCounter("df.join.output_rows", output_total);
+
+  return BatchesToRdd(context, std::move(results));
+}
+
+}  // namespace
+
+Rdd<RecordBatch> ExecJoin(const LogicalPlan& plan, Context* context,
+                          Rdd<RecordBatch> left_rdd) {
+  const Schema& left_schema = *plan.child->schema;
+  const Schema& right_schema = *plan.join_build->schema;
+  std::vector<std::size_t> left_keys;
+  std::vector<std::size_t> right_keys;
+  left_keys.reserve(plan.join_keys.size());
+  right_keys.reserve(plan.join_keys.size());
+  for (const JoinKey& key : plan.join_keys) {
+    left_keys.push_back(left_schema.RequireIndex(key.left_column));
+    right_keys.push_back(right_schema.RequireIndex(key.right_column));
+  }
+
+  // Execute and collect the build side: both strategies need it local, and
+  // its actual footprint resolves any kAuto the optimizer left behind (lazy
+  // scans carry no statistics).
+  std::vector<RecordBatch> build_batches =
+      ExecutePlan(plan.join_build, context).Collect();
+  std::uint64_t build_bytes = 0;
+  for (const RecordBatch& batch : build_batches) {
+    build_bytes += ApproxBatchBytes(batch);
+  }
+
+  JoinStrategy strategy = plan.join_strategy;
+  if (strategy == JoinStrategy::kAuto) {
+    strategy = build_bytes <= context->config().join_broadcast_threshold_bytes
+                   ? JoinStrategy::kBroadcast
+                   : JoinStrategy::kShuffle;
+  }
+  if (strategy == JoinStrategy::kBroadcast) {
+    return ExecBroadcastJoin(plan, context, std::move(left_rdd),
+                             std::move(build_batches), left_keys, right_keys);
+  }
+  return ExecShuffleJoin(plan, context, std::move(left_rdd),
+                         std::move(build_batches), build_bytes, left_keys,
+                         right_keys);
+}
+
+}  // namespace rumble::df

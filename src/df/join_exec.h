@@ -1,0 +1,28 @@
+#ifndef RUMBLE_DF_JOIN_EXEC_H_
+#define RUMBLE_DF_JOIN_EXEC_H_
+
+#include "src/df/logical_plan.h"
+#include "src/spark/context.h"
+
+namespace rumble::df {
+
+/// Executes a kJoin node. The caller has already lowered the probe (left)
+/// side to `left_rdd`; the build (right) side is executed and collected
+/// here, which also yields the actual build footprint used to resolve a
+/// JoinStrategy::kAuto the optimizer could not decide from statistics.
+///
+/// Both strategies produce byte-identical output: probe-major row order
+/// (left partition order, then row order), with each probe row's matches in
+/// build-side insertion order, and rows whose key cells contain nulls
+/// (JSONiq empty sequences) matching nothing. The broadcast strategy builds
+/// one replicated hash table; the shuffle strategy hash-partitions the build
+/// side into buckets that are individually charged against the
+/// exec::MemoryManager or spilled to disk, so large builds are
+/// memory-governed (docs/OPTIMIZER.md).
+spark::Rdd<RecordBatch> ExecJoin(const LogicalPlan& plan,
+                                 spark::Context* context,
+                                 spark::Rdd<RecordBatch> left_rdd);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_JOIN_EXEC_H_

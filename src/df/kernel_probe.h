@@ -1,0 +1,76 @@
+#ifndef RUMBLE_DF_KERNEL_PROBE_H_
+#define RUMBLE_DF_KERNEL_PROBE_H_
+
+#include <cstdint>
+
+#include "src/df/column.h"
+#include "src/obs/event_bus.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/tracer.h"
+#include "src/spark/context.h"
+#include "src/util/stopwatch.h"
+
+namespace rumble::df {
+
+/// Per-kernel observability probe, built once at plan-wrap time (the Map
+/// lambda captures it by value) so task bodies touch only stable pointers:
+/// a latency histogram (always recorded — two clock reads per *batch* are
+/// noise next to the batch work), batch/row counters, and a span gated on
+/// the tracer's enabled flag. Names follow the `df.udf.vectorized` dotted
+/// style; docs/METRICS.md and docs/TRACING.md list them. Shared by the
+/// physical operators in physical_exec.cc and the hash joins in
+/// join_exec.cc.
+struct KernelProbe {
+  obs::Tracer* tracer = nullptr;
+  obs::Histogram* duration = nullptr;
+  obs::CounterCell* batches = nullptr;
+  obs::CounterCell* rows = nullptr;
+  const char* name = "";
+
+  template <typename Fn>
+  RecordBatch Invoke(const RecordBatch& input, Fn&& eval) const {
+    obs::ScopedSpan span(tracer, "kernel", name);
+    util::Stopwatch watch;
+    RecordBatch out = eval(input);
+    duration->Record(watch.ElapsedNanos());
+    batches->value.fetch_add(1, std::memory_order_relaxed);
+    rows->value.fetch_add(static_cast<std::int64_t>(input.num_rows),
+                          std::memory_order_relaxed);
+    span.AddArg("rows_in", static_cast<std::int64_t>(input.num_rows));
+    span.AddArg("rows_out", static_cast<std::int64_t>(out.num_rows));
+    return out;
+  }
+
+  /// Variant for wide kernels whose task bodies do not map batch-to-batch
+  /// (groupBy phases, sort gather, join build): the body returns the row
+  /// count it processed, which becomes the `rows` counter increment and span
+  /// arg. One call = one task = one "batch" for counting purposes.
+  template <typename Fn>
+  void InvokeWide(Fn&& body) const {
+    obs::ScopedSpan span(tracer, "kernel", name);
+    util::Stopwatch watch;
+    std::int64_t processed = body();
+    duration->Record(watch.ElapsedNanos());
+    batches->value.fetch_add(1, std::memory_order_relaxed);
+    rows->value.fetch_add(processed, std::memory_order_relaxed);
+    span.AddArg("rows", processed);
+  }
+};
+
+inline KernelProbe MakeKernelProbe(spark::Context* context, const char* name,
+                                   const char* duration_name,
+                                   const char* batches_name,
+                                   const char* rows_name) {
+  obs::EventBus& bus = spark::BusOf(context);
+  KernelProbe probe;
+  probe.tracer = bus.tracer();
+  probe.duration = bus.metrics()->GetHistogram(duration_name);
+  probe.batches = bus.GetCounter(batches_name);
+  probe.rows = bus.GetCounter(rows_name);
+  probe.name = name;
+  return probe;
+}
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_KERNEL_PROBE_H_

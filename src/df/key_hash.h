@@ -1,0 +1,125 @@
+#ifndef RUMBLE_DF_KEY_HASH_H_
+#define RUMBLE_DF_KEY_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/df/column.h"
+
+namespace rumble::df {
+
+/// Typed hashing and equality over native key columns, shared by the
+/// group-by accumulator and the hash joins. Keys hash batch-at-a-time into
+/// one 64-bit value per row (one type dispatch per column); collisions are
+/// resolved with typed cell equality against a columnar key store. The
+/// semantics mirror EncodeKey's byte encoding: a type tag is mixed in before
+/// the value so (int64 1) and (bool true) cannot collide, and doubles
+/// normalize -0.0 to +0.0.
+
+/// Sentinel chain terminator for hash-table collision chains.
+inline constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
+
+inline std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+inline std::uint64_t HashBytes(const char* p, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(p[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t DoubleBits(double value) {
+  if (value == 0.0) value = 0.0;  // normalize -0.0, as EncodeKey does
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Folds one key column into the per-row hash accumulator (`hashes` must
+/// have one entry per row of `column`). The type tag is mixed in first so
+/// (int64 1) and (bool true) keys cannot collide by value.
+inline void HashKeyColumn(const Column& column,
+                          std::vector<std::uint64_t>* hashes) {
+  const std::vector<std::uint8_t>& nulls = column.NullMask();
+  std::size_t rows = hashes->size();
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const auto& values = column.Int64Values();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL
+                     : MixHash(0x01, static_cast<std::uint64_t>(values[r])));
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& values = column.Float64Values();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL : MixHash(0x02, DoubleBits(values[r])));
+      }
+      break;
+    }
+    case DataType::kString: {
+      const auto& values = column.StringValues();
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL
+                     : MixHash(0x03, HashBytes(values[r].data(),
+                                               values[r].size())));
+      }
+      break;
+    }
+    case DataType::kBool: {
+      for (std::size_t r = 0; r < rows; ++r) {
+        (*hashes)[r] = MixHash(
+            (*hashes)[r],
+            nulls[r] ? 0x00ULL : (column.BoolAt(r) ? 0x05ULL : 0x04ULL));
+      }
+      break;
+    }
+    case DataType::kItemSeq:
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot use an item-seq column as a native key");
+  }
+}
+
+/// Typed equality of one key cell against another, matching EncodeKey's
+/// byte-identity semantics (doubles compare by -0.0-normalized bit pattern).
+/// Nulls equal only nulls — group-by keys use that to form a null group;
+/// joins must additionally exclude null key cells, which never match.
+inline bool CellsEqual(const Column& left, std::size_t left_row,
+                       const Column& right, std::size_t right_row) {
+  bool ln = left.IsNull(left_row);
+  bool rn = right.IsNull(right_row);
+  if (ln || rn) return ln && rn;
+  switch (left.type()) {
+    case DataType::kInt64:
+      return left.Int64At(left_row) == right.Int64At(right_row);
+    case DataType::kFloat64:
+      return DoubleBits(left.Float64At(left_row)) ==
+             DoubleBits(right.Float64At(right_row));
+    case DataType::kString:
+      return left.StringAt(left_row) == right.StringAt(right_row);
+    case DataType::kBool:
+      return left.BoolAt(left_row) == right.BoolAt(right_row);
+    case DataType::kItemSeq:
+      common::ThrowError(common::ErrorCode::kInternal,
+                         "cannot use an item-seq column as a native key");
+  }
+  return false;
+}
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_KEY_HASH_H_

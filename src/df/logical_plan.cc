@@ -1,6 +1,9 @@
 #include "src/df/logical_plan.h"
 
+#include <cmath>
+
 #include "src/common/error.h"
+#include "src/df/stats.h"
 
 namespace rumble::df {
 
@@ -19,11 +22,13 @@ void RequireColumn(const Schema& schema, const std::string& name,
 
 }  // namespace
 
-PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches) {
+PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches,
+                 TableStatsPtr stats) {
   auto node = std::make_shared<LogicalPlan>();
   node->kind = LogicalPlan::Kind::kScan;
   node->schema = std::move(schema);
   node->scan_batches = std::move(batches);
+  node->scan_stats = std::move(stats);
   return node;
 }
 
@@ -156,68 +161,164 @@ PlanPtr MakeLimit(PlanPtr child, std::size_t limit_rows) {
   return node;
 }
 
+PlanPtr MakeJoin(PlanPtr left, PlanPtr build, std::vector<JoinKey> keys,
+                 JoinStrategy strategy) {
+  if (keys.empty()) {
+    common::ThrowError(ErrorCode::kInternal,
+                       "Join requires at least one equi-key pair");
+  }
+  auto node = std::make_shared<LogicalPlan>();
+  node->kind = LogicalPlan::Kind::kJoin;
+  for (const auto& key : keys) {
+    RequireColumn(*left->schema, key.left_column, "Join(left key)");
+    RequireColumn(*build->schema, key.right_column, "Join(right key)");
+    DataType lt =
+        left->schema->field(left->schema->RequireIndex(key.left_column)).type;
+    DataType rt =
+        build->schema->field(build->schema->RequireIndex(key.right_column))
+            .type;
+    if (lt == DataType::kItemSeq || rt == DataType::kItemSeq) {
+      common::ThrowError(ErrorCode::kInternal,
+                         "Join keys must be native columns: " +
+                             key.left_column + " = " + key.right_column);
+    }
+    if (lt != rt) {
+      common::ThrowError(
+          ErrorCode::kInternal,
+          "Join key types differ: " + key.left_column + " = " +
+              key.right_column);
+    }
+  }
+  auto schema = std::make_shared<Schema>(left->schema->fields());
+  for (const auto& field : build->schema->fields()) {
+    if (schema->IndexOf(field.name) >= 0) {
+      common::ThrowError(ErrorCode::kInternal,
+                         "Join output would duplicate column '" + field.name +
+                             "'");
+    }
+    schema->AddField(field);
+  }
+  node->schema = std::move(schema);
+  node->child = std::move(left);
+  node->join_build = std::move(build);
+  node->join_keys = std::move(keys);
+  node->join_strategy = strategy;
+  return node;
+}
+
 namespace {
+
+const char* StrategyName(JoinStrategy strategy) {
+  switch (strategy) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kBroadcast:
+      return "broadcast";
+    case JoinStrategy::kShuffle:
+      return "shuffle";
+  }
+  return "auto";
+}
 
 void PlanToStringImpl(const LogicalPlan& plan, int depth, std::string* out) {
   out->append(static_cast<std::size_t>(depth) * 2, ' ');
+  std::string line;
   switch (plan.kind) {
     case LogicalPlan::Kind::kScan:
-      out->append("Scan [" + plan.schema->ToString() + "]\n");
+      line = "Scan [" + plan.schema->ToString() + "]";
       break;
     case LogicalPlan::Kind::kProject: {
-      out->append("Project [");
+      line = "Project [";
       for (std::size_t i = 0; i < plan.exprs.size(); ++i) {
-        if (i > 0) out->append(", ");
+        if (i > 0) line.append(", ");
         const auto& expr = plan.exprs[i];
         if (expr.is_column_ref()) {
-          out->append(expr.source_column + " AS " + expr.name);
+          line.append(expr.source_column + " AS " + expr.name);
         } else {
-          out->append("udf(...) AS " + expr.name);
+          line.append("udf(...) AS " + expr.name);
         }
       }
-      out->append("]\n");
+      line.append("]");
       break;
     }
     case LogicalPlan::Kind::kFilter:
-      out->append("Filter [udf over ");
+      line = "Filter [udf over ";
       for (std::size_t i = 0; i < plan.predicate.inputs.size(); ++i) {
-        if (i > 0) out->append(", ");
-        out->append(plan.predicate.inputs[i]);
+        if (i > 0) line.append(", ");
+        line.append(plan.predicate.inputs[i]);
       }
-      out->append("]\n");
+      line.append("]");
       break;
     case LogicalPlan::Kind::kExplode:
-      out->append("Explode [" + plan.explode_column + "]\n");
+      line = "Explode [" + plan.explode_column + "]";
       break;
     case LogicalPlan::Kind::kGroupBy: {
-      out->append("GroupBy [keys: ");
+      line = "GroupBy [keys: ";
       for (std::size_t i = 0; i < plan.group_keys.size(); ++i) {
-        if (i > 0) out->append(", ");
-        out->append(plan.group_keys[i]);
+        if (i > 0) line.append(", ");
+        line.append(plan.group_keys[i]);
       }
-      out->append("; aggs: ");
+      line.append("; aggs: ");
       for (std::size_t i = 0; i < plan.aggregates.size(); ++i) {
-        if (i > 0) out->append(", ");
-        out->append(plan.aggregates[i].output_name);
+        if (i > 0) line.append(", ");
+        line.append(plan.aggregates[i].output_name);
       }
-      out->append("]\n");
+      line.append("]");
       break;
     }
     case LogicalPlan::Kind::kSort:
-      out->append("Sort [");
+      line = "Sort [";
       for (std::size_t i = 0; i < plan.sort_keys.size(); ++i) {
-        if (i > 0) out->append(", ");
-        out->append(plan.sort_keys[i].column);
-        out->append(plan.sort_keys[i].ascending ? " asc" : " desc");
+        if (i > 0) line.append(", ");
+        line.append(plan.sort_keys[i].column);
+        line.append(plan.sort_keys[i].ascending ? " asc" : " desc");
       }
-      out->append("]\n");
+      line.append("]");
       break;
     case LogicalPlan::Kind::kZipIndex:
-      out->append("ZipIndex [" + plan.index_column + "]\n");
+      line = "ZipIndex [" + plan.index_column + "]";
       break;
     case LogicalPlan::Kind::kLimit:
-      out->append("Limit [" + std::to_string(plan.limit_rows) + "]\n");
+      line = "Limit [" + std::to_string(plan.limit_rows) + "]";
       break;
+    case LogicalPlan::Kind::kJoin: {
+      line = "Join [";
+      for (std::size_t i = 0; i < plan.join_keys.size(); ++i) {
+        if (i > 0) line.append(", ");
+        line.append(plan.join_keys[i].left_column + " = " +
+                    plan.join_keys[i].right_column);
+      }
+      line.append("; strategy: ");
+      line.append(StrategyName(plan.join_strategy));
+      line.append("]");
+      break;
+    }
+  }
+  double est = EstimateRows(plan);
+  if (est >= 0.0) {
+    line.append(" (est: " + FormatEstimate(est) + ")");
+  }
+  out->append(line);
+  out->append("\n");
+  if (plan.kind == LogicalPlan::Kind::kJoin) {
+    PlanToStringImpl(*plan.child, depth + 1, out);
+    out->append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+    double build_rows = EstimateRows(*plan.join_build);
+    double build_bytes = EstimateBytes(*plan.join_build);
+    std::string build_line = "Build [est: " + FormatEstimate(build_rows);
+    if (build_bytes >= 0.0) {
+      build_line.append(
+          ", ~" +
+          std::to_string(static_cast<long long>(std::llround(build_bytes))) +
+          " bytes");
+    } else {
+      build_line.append(", ? bytes");
+    }
+    build_line.append("]");
+    out->append(build_line);
+    out->append("\n");
+    PlanToStringImpl(*plan.join_build, depth + 2, out);
+    return;
   }
   if (plan.child) PlanToStringImpl(*plan.child, depth + 1, out);
 }

@@ -12,6 +12,28 @@
 
 namespace rumble::df {
 
+struct TableStats;
+using TableStatsPtr = std::shared_ptr<const TableStats>;
+
+/// Which physical algorithm executes a Join node. kAuto defers the choice:
+/// the optimizer resolves it from scan statistics when they exist
+/// (docs/OPTIMIZER.md), and the executor resolves any remaining kAuto from
+/// the actual build-side footprint at run time.
+enum class JoinStrategy {
+  kAuto,
+  kBroadcast,  // build side replicated: one hash table, probed in place
+  kShuffle,    // build side hash-partitioned into spillable buckets
+};
+
+/// One equi-join key pair: a native (non-item-seq) column on each side.
+/// Both columns must have the same type. Null cells never match — the
+/// FLWOR translator encodes "empty sequence" as null so a missing key joins
+/// with nothing, exactly as the nested-loop predicate evaluates to false.
+struct JoinKey {
+  std::string left_column;
+  std::string right_column;
+};
+
 /// Logical plan node. A tagged struct rather than a class hierarchy: the
 /// node set is small and closed, and the optimizer rewrites trees by
 /// constructing new nodes. The per-kind payload fields are documented next
@@ -29,16 +51,21 @@ struct LogicalPlan {
     kSort,      // sort_keys over native cols (§4.8)
     kZipIndex,  // index_column: global 0-based row number (§4.9, count clause)
     kLimit,     // limit_rows
+    kJoin,      // join_build/join_keys/join_strategy: equi hash join
   };
 
   Kind kind = Kind::kScan;
-  PlanPtr child;  // null for kScan
+  PlanPtr child;  // null for kScan; the probe (left) side for kJoin
 
   /// Output schema of this node; computed by the builder functions below.
   SchemaPtr schema;
 
   // kScan
   spark::Rdd<RecordBatch> scan_batches;
+  /// Per-column min/max/distinct/null statistics collected when the scan
+  /// wraps materialized batches; null for lazy scans (never collected at
+  /// plan time — EXPLAIN must not execute anything).
+  TableStatsPtr scan_stats;
 
   // kProject
   std::vector<NamedExpr> exprs;
@@ -68,11 +95,20 @@ struct LogicalPlan {
 
   // kLimit
   std::size_t limit_rows = 0;
+
+  // kJoin. `child` is the probe (left) side; `join_build` the build (right)
+  // side. Output schema = left fields ++ right fields, output order is
+  // probe-major with matches in build-side insertion order — both physical
+  // strategies reproduce it byte-identically.
+  PlanPtr join_build;
+  std::vector<JoinKey> join_keys;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
 };
 
 /// Node builders; each validates column references against the child schema
 /// (throwing kInternal on engine bugs) and derives the output schema.
-PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches);
+PlanPtr MakeScan(SchemaPtr schema, spark::Rdd<RecordBatch> batches,
+                 TableStatsPtr stats = nullptr);
 PlanPtr MakeProject(PlanPtr child, std::vector<NamedExpr> exprs);
 PlanPtr MakeFilter(PlanPtr child, Predicate predicate);
 PlanPtr MakeExplode(PlanPtr child, std::string column, bool keep_empty = false,
@@ -82,8 +118,15 @@ PlanPtr MakeGroupBy(PlanPtr child, std::vector<std::string> keys,
 PlanPtr MakeSort(PlanPtr child, std::vector<SortKey> keys);
 PlanPtr MakeZipIndex(PlanPtr child, std::string index_column);
 PlanPtr MakeLimit(PlanPtr child, std::size_t limit_rows);
+/// Validates that every key pair names native columns of equal type on both
+/// sides and that the combined schema has no duplicate column names.
+PlanPtr MakeJoin(PlanPtr left, PlanPtr build, std::vector<JoinKey> keys,
+                 JoinStrategy strategy = JoinStrategy::kAuto);
 
-/// Pretty-printer for tests and EXPLAIN-style debugging.
+/// Pretty-printer for tests and EXPLAIN-style debugging. Every node line is
+/// annotated with its cardinality estimate when a scan below carries
+/// statistics; Join lines always show the chosen strategy and the build
+/// side prints under a nested "Build" header.
 std::string PlanToString(const LogicalPlan& plan);
 
 }  // namespace rumble::df

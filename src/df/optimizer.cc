@@ -1,7 +1,10 @@
 #include "src/df/optimizer.h"
 
+#include <algorithm>
 #include <set>
 #include <string>
+
+#include "src/df/stats.h"
 
 namespace rumble::df {
 
@@ -124,6 +127,29 @@ PlanPtr Prune(const PlanPtr& plan, const ColumnSet& required) {
 
     case LogicalPlan::Kind::kLimit:
       return MakeLimit(Prune(plan->child, required), plan->limit_rows);
+
+    case LogicalPlan::Kind::kJoin: {
+      // Split the requirement by side (the combined schema is duplicate-free,
+      // so membership in the left schema decides); key columns are always
+      // required on their respective sides.
+      ColumnSet left_required;
+      ColumnSet right_required;
+      const Schema& left_schema = *plan->child->schema;
+      for (const auto& name : required) {
+        if (left_schema.IndexOf(name) >= 0) {
+          left_required.insert(name);
+        } else {
+          right_required.insert(name);
+        }
+      }
+      for (const auto& key : plan->join_keys) {
+        left_required.insert(key.left_column);
+        right_required.insert(key.right_column);
+      }
+      return MakeJoin(Prune(plan->child, left_required),
+                      Prune(plan->join_build, right_required), plan->join_keys,
+                      plan->join_strategy);
+    }
   }
   return plan;
 }
@@ -147,6 +173,9 @@ PlanPtr Rebuild(const PlanPtr& plan, PlanPtr new_child) {
       return MakeZipIndex(std::move(new_child), plan->index_column);
     case LogicalPlan::Kind::kLimit:
       return MakeLimit(std::move(new_child), plan->limit_rows);
+    case LogicalPlan::Kind::kJoin:
+      return MakeJoin(std::move(new_child), plan->join_build, plan->join_keys,
+                      plan->join_strategy);
     case LogicalPlan::Kind::kScan:
       return plan;
   }
@@ -168,11 +197,40 @@ bool IsIdentityPassThrough(const LogicalPlan& project,
 
 /// Predicate/limit pushdown: Filter(Project(x)) -> Project(Filter(x)) when
 /// the predicate only reads identity pass-through columns (UDF projections
-/// then evaluate on fewer rows), and Limit(Project(x)) -> Project(Limit(x))
-/// always (projections are 1:1). Applied bottom-up to convergence.
+/// then evaluate on fewer rows), Limit(Project(x)) -> Project(Limit(x))
+/// always (projections are 1:1), and Filter(Join(l, r)) routes a predicate
+/// reading only one side's columns below the join. Applied bottom-up to
+/// convergence.
 PlanPtr PushDown(const PlanPtr& plan) {
+  if (plan->kind == LogicalPlan::Kind::kJoin) {
+    return MakeJoin(PushDown(plan->child), PushDown(plan->join_build),
+                    plan->join_keys, plan->join_strategy);
+  }
   if (!plan->child) return plan;
   PlanPtr child = PushDown(plan->child);
+
+  if (plan->kind == LogicalPlan::Kind::kFilter &&
+      child->kind == LogicalPlan::Kind::kJoin) {
+    const Schema& left_schema = *child->child->schema;
+    const Schema& right_schema = *child->join_build->schema;
+    bool all_left = true;
+    bool all_right = true;
+    for (const auto& input : plan->predicate.inputs) {
+      if (left_schema.IndexOf(input) < 0) all_left = false;
+      if (right_schema.IndexOf(input) < 0) all_right = false;
+    }
+    if (all_left) {
+      return MakeJoin(PushDown(MakeFilter(child->child, plan->predicate)),
+                      child->join_build, child->join_keys,
+                      child->join_strategy);
+    }
+    if (all_right) {
+      return MakeJoin(
+          child->child,
+          PushDown(MakeFilter(child->join_build, plan->predicate)),
+          child->join_keys, child->join_strategy);
+    }
+  }
 
   if (plan->kind == LogicalPlan::Kind::kFilter &&
       child->kind == LogicalPlan::Kind::kProject) {
@@ -202,6 +260,10 @@ PlanPtr PushDown(const PlanPtr& plan) {
 /// Collapses Project(Project(x)) when the outer is all references, and
 /// removes identity projections.
 PlanPtr Fuse(const PlanPtr& plan) {
+  if (plan->kind == LogicalPlan::Kind::kJoin) {
+    return MakeJoin(Fuse(plan->child), Fuse(plan->join_build), plan->join_keys,
+                    plan->join_strategy);
+  }
   if (!plan->child) return plan;
   PlanPtr child = Fuse(plan->child);
 
@@ -256,12 +318,85 @@ PlanPtr Fuse(const PlanPtr& plan) {
   return rebuild(child);
 }
 
+double EffectiveSelectivity(const Predicate& predicate) {
+  if (predicate.selectivity_hint >= 0.0 && predicate.selectivity_hint <= 1.0) {
+    return predicate.selectivity_hint;
+  }
+  return 0.5;
+}
+
+/// Reorders stacks of adjacent filters so the most selective predicate runs
+/// first (deepest). Stable over the original execution order, so hint-less
+/// stacks are untouched.
+PlanPtr OrderFilters(const PlanPtr& plan) {
+  if (plan->kind == LogicalPlan::Kind::kJoin) {
+    return MakeJoin(OrderFilters(plan->child), OrderFilters(plan->join_build),
+                    plan->join_keys, plan->join_strategy);
+  }
+  if (!plan->child) return plan;
+  if (plan->kind == LogicalPlan::Kind::kFilter &&
+      plan->child->kind == LogicalPlan::Kind::kFilter) {
+    std::vector<Predicate> predicates;
+    const LogicalPlan* node = plan.get();
+    PlanPtr base = plan;
+    while (node->kind == LogicalPlan::Kind::kFilter) {
+      predicates.push_back(node->predicate);
+      base = node->child;
+      node = base.get();
+    }
+    base = OrderFilters(base);
+    // `predicates` is outermost-first; execution order is the reverse.
+    std::reverse(predicates.begin(), predicates.end());
+    std::stable_sort(predicates.begin(), predicates.end(),
+                     [](const Predicate& a, const Predicate& b) {
+                       return EffectiveSelectivity(a) <
+                              EffectiveSelectivity(b);
+                     });
+    for (auto& predicate : predicates) {
+      base = MakeFilter(std::move(base), std::move(predicate));
+    }
+    return base;
+  }
+  return Rebuild(plan, OrderFilters(plan->child));
+}
+
+/// Resolves every kAuto Join whose build side has a byte estimate; applies
+/// the forced strategy when configured. Runs last so estimates see the
+/// pruned/pushed-down build subtree.
+PlanPtr ResolveJoinStrategies(const PlanPtr& plan,
+                              const OptimizerOptions& options) {
+  if (plan->kind == LogicalPlan::Kind::kJoin) {
+    PlanPtr left = ResolveJoinStrategies(plan->child, options);
+    PlanPtr right = ResolveJoinStrategies(plan->join_build, options);
+    JoinStrategy strategy = plan->join_strategy;
+    if (options.forced_strategy != JoinStrategy::kAuto) {
+      strategy = options.forced_strategy;
+    } else if (strategy == JoinStrategy::kAuto) {
+      double build_bytes = EstimateBytes(*right);
+      if (build_bytes >= 0.0) {
+        strategy = build_bytes <=
+                           static_cast<double>(options.broadcast_threshold_bytes)
+                       ? JoinStrategy::kBroadcast
+                       : JoinStrategy::kShuffle;
+      }
+    }
+    return MakeJoin(std::move(left), std::move(right), plan->join_keys,
+                    strategy);
+  }
+  if (!plan->child) return plan;
+  return Rebuild(plan, ResolveJoinStrategies(plan->child, options));
+}
+
 }  // namespace
 
-PlanPtr Optimize(PlanPtr plan) {
+PlanPtr Optimize(PlanPtr plan, const OptimizerOptions& options) {
   PlanPtr pushed = PushDown(plan);
-  PlanPtr pruned = Prune(pushed, AllColumns(*pushed->schema));
-  return Fuse(pruned);
+  PlanPtr ordered = OrderFilters(pushed);
+  PlanPtr pruned = Prune(ordered, AllColumns(*ordered->schema));
+  PlanPtr fused = Fuse(pruned);
+  return ResolveJoinStrategies(fused, options);
 }
+
+PlanPtr Optimize(PlanPtr plan) { return Optimize(std::move(plan), {}); }
 
 }  // namespace rumble::df

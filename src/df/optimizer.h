@@ -1,22 +1,47 @@
 #ifndef RUMBLE_DF_OPTIMIZER_H_
 #define RUMBLE_DF_OPTIMIZER_H_
 
+#include <cstdint>
+
 #include "src/df/logical_plan.h"
 
 namespace rumble::df {
 
-/// Catalyst-lite rewriter. Passes:
+/// Knobs the cost model reads (wired from RumbleConfig by the DataFrame
+/// layer; docs/OPTIMIZER.md).
+struct OptimizerOptions {
+  /// Estimated build sides at or below this many bytes broadcast; larger
+  /// ones shuffle. Mirrors config join_broadcast_threshold_bytes.
+  std::uint64_t broadcast_threshold_bytes = 4ull << 20;
+  /// kAuto = decide per join from statistics; anything else forces every
+  /// Join node to that strategy (config join_strategy).
+  JoinStrategy forced_strategy = JoinStrategy::kAuto;
+};
+
+/// Catalyst-lite rewriter. Passes, in order:
 ///   1. Pushdown — Filter(Project) reorders to Project(Filter) when the
 ///      predicate only reads identity pass-through columns, so projection
-///      UDFs run on fewer rows; Limit(Project) always reorders.
-///   2. Column pruning — only columns required by ancestors survive; a
+///      UDFs run on fewer rows; Limit(Project) always reorders; and
+///      Filter(Join) routes a predicate reading only one side's columns
+///      below the join, shrinking the build or probe input.
+///   2. Filter ordering — stacked filters reorder most-selective-first by
+///      their selectivity hints (unknown hints assume 0.5; ties keep their
+///      original execution order).
+///   3. Column pruning — only columns required by ancestors survive; a
 ///      projection is inserted above Scan when it reads more than needed.
-///   3. Projection fusion — Project(Project(x)) collapses when the outer
+///      Join key columns are always required on their respective sides.
+///   4. Projection fusion — Project(Project(x)) collapses when the outer
 ///      projection is pure column references, and identity projections are
 ///      removed.
+///   5. Join strategy resolution — every kAuto Join whose build side has a
+///      byte estimate (statistics collected at scan, propagated through the
+///      plan) becomes kBroadcast or kShuffle against the threshold;
+///      stats-free joins stay kAuto and resolve at execution time from the
+///      actual build footprint.
 /// The paper's §4.7 rewrites (COUNT pushdown, unused-variable dropping) are
 /// applied by the FLWOR-to-DataFrame translator, which has the JSONiq-level
 /// usage information; they compose with these relational passes.
+PlanPtr Optimize(PlanPtr plan, const OptimizerOptions& options);
 PlanPtr Optimize(PlanPtr plan);
 
 }  // namespace rumble::df

@@ -9,6 +9,9 @@
 
 #include "src/common/error.h"
 #include "src/df/batch_serde.h"
+#include "src/df/join_exec.h"
+#include "src/df/kernel_probe.h"
+#include "src/df/key_hash.h"
 #include "src/exec/cancellation.h"
 #include "src/exec/memory_manager.h"
 #include "src/exec/spill_file.h"
@@ -52,61 +55,9 @@ Column MakeColumnLike(const Schema& schema, std::size_t index) {
   return Column(schema.field(index).type);
 }
 
-/// Per-kernel observability probe, built once at plan-wrap time (the Map
-/// lambda captures it by value) so task bodies touch only stable pointers:
-/// a latency histogram (always recorded — two clock reads per *batch* are
-/// noise next to the batch work), batch/row counters, and a span gated on
-/// the tracer's enabled flag. Names follow the `df.udf.vectorized` dotted
-/// style; docs/METRICS.md and docs/TRACING.md list them.
-struct KernelProbe {
-  obs::Tracer* tracer = nullptr;
-  obs::Histogram* duration = nullptr;
-  obs::CounterCell* batches = nullptr;
-  obs::CounterCell* rows = nullptr;
-  const char* name = "";
-
-  template <typename Fn>
-  RecordBatch Invoke(const RecordBatch& input, Fn&& eval) const {
-    obs::ScopedSpan span(tracer, "kernel", name);
-    util::Stopwatch watch;
-    RecordBatch out = eval(input);
-    duration->Record(watch.ElapsedNanos());
-    batches->value.fetch_add(1, std::memory_order_relaxed);
-    rows->value.fetch_add(static_cast<std::int64_t>(input.num_rows),
-                          std::memory_order_relaxed);
-    span.AddArg("rows_in", static_cast<std::int64_t>(input.num_rows));
-    span.AddArg("rows_out", static_cast<std::int64_t>(out.num_rows));
-    return out;
-  }
-
-  /// Variant for wide kernels whose task bodies do not map batch-to-batch
-  /// (groupBy phases, sort gather): the body returns the row count it
-  /// processed, which becomes the `rows` counter increment and span arg.
-  /// One call = one task = one "batch" for counting purposes.
-  template <typename Fn>
-  void InvokeWide(Fn&& body) const {
-    obs::ScopedSpan span(tracer, "kernel", name);
-    util::Stopwatch watch;
-    std::int64_t processed = body();
-    duration->Record(watch.ElapsedNanos());
-    batches->value.fetch_add(1, std::memory_order_relaxed);
-    rows->value.fetch_add(processed, std::memory_order_relaxed);
-    span.AddArg("rows", processed);
-  }
-};
-
-KernelProbe MakeKernelProbe(Context* context, const char* name,
-                            const char* duration_name,
-                            const char* batches_name, const char* rows_name) {
-  obs::EventBus& bus = spark::BusOf(context);
-  KernelProbe probe;
-  probe.tracer = bus.tracer();
-  probe.duration = bus.metrics()->GetHistogram(duration_name);
-  probe.batches = bus.GetCounter(batches_name);
-  probe.rows = bus.GetCounter(rows_name);
-  probe.name = name;
-  return probe;
-}
+// KernelProbe (the per-kernel observability wrapper) and the typed key
+// hashing/equality helpers live in src/df/kernel_probe.h and
+// src/df/key_hash.h — shared with the hash joins in join_exec.cc.
 
 // ---------------------------------------------------------------------------
 // Narrow operators
@@ -227,103 +178,6 @@ struct GroupState {
 // with typed cell equality against a columnar key store. Group creation
 // appends the key cells once; emission bulk-copies the store.
 // ---------------------------------------------------------------------------
-
-constexpr std::uint32_t kNoGroup = 0xFFFFFFFFu;
-
-std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t HashBytes(const char* p, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(p[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::uint64_t DoubleBits(double value) {
-  if (value == 0.0) value = 0.0;  // normalize -0.0, as EncodeKey does
-  std::uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return bits;
-}
-
-/// Folds one key column into the per-row hash accumulator. The type tag is
-/// mixed in first so (int64 1) and (bool true) keys cannot collide by value.
-void HashKeyColumn(const Column& column, std::vector<std::uint64_t>* hashes) {
-  const std::vector<std::uint8_t>& nulls = column.NullMask();
-  std::size_t rows = hashes->size();
-  switch (column.type()) {
-    case DataType::kInt64: {
-      const auto& values = column.Int64Values();
-      for (std::size_t r = 0; r < rows; ++r) {
-        (*hashes)[r] = MixHash(
-            (*hashes)[r],
-            nulls[r] ? 0x00ULL
-                     : MixHash(0x01, static_cast<std::uint64_t>(values[r])));
-      }
-      break;
-    }
-    case DataType::kFloat64: {
-      const auto& values = column.Float64Values();
-      for (std::size_t r = 0; r < rows; ++r) {
-        (*hashes)[r] = MixHash(
-            (*hashes)[r],
-            nulls[r] ? 0x00ULL : MixHash(0x02, DoubleBits(values[r])));
-      }
-      break;
-    }
-    case DataType::kString: {
-      const auto& values = column.StringValues();
-      for (std::size_t r = 0; r < rows; ++r) {
-        (*hashes)[r] = MixHash(
-            (*hashes)[r],
-            nulls[r] ? 0x00ULL
-                     : MixHash(0x03, HashBytes(values[r].data(),
-                                               values[r].size())));
-      }
-      break;
-    }
-    case DataType::kBool: {
-      for (std::size_t r = 0; r < rows; ++r) {
-        (*hashes)[r] = MixHash(
-            (*hashes)[r],
-            nulls[r] ? 0x00ULL : (column.BoolAt(r) ? 0x05ULL : 0x04ULL));
-      }
-      break;
-    }
-    case DataType::kItemSeq:
-      common::ThrowError(common::ErrorCode::kInternal,
-                         "cannot use an item-seq column as a native key");
-  }
-}
-
-/// Typed equality of one key cell against another, matching EncodeKey's
-/// byte-identity semantics (doubles compare by -0.0-normalized bit pattern).
-bool CellsEqual(const Column& left, std::size_t left_row, const Column& right,
-                std::size_t right_row) {
-  bool ln = left.IsNull(left_row);
-  bool rn = right.IsNull(right_row);
-  if (ln || rn) return ln && rn;
-  switch (left.type()) {
-    case DataType::kInt64:
-      return left.Int64At(left_row) == right.Int64At(right_row);
-    case DataType::kFloat64:
-      return DoubleBits(left.Float64At(left_row)) ==
-             DoubleBits(right.Float64At(right_row));
-    case DataType::kString:
-      return left.StringAt(left_row) == right.StringAt(right_row);
-    case DataType::kBool:
-      return left.BoolAt(left_row) == right.BoolAt(right_row);
-    case DataType::kItemSeq:
-      common::ThrowError(common::ErrorCode::kInternal,
-                         "cannot use an item-seq column as a native key");
-  }
-  return false;
-}
 
 /// One partial (or reduce-bucket) aggregation table: distinct key rows in a
 /// columnar store, group states alongside, and a hash index whose collision
@@ -1293,6 +1147,9 @@ spark::Rdd<RecordBatch> ExecutePlan(const PlanPtr& plan, Context* context) {
 
     case LogicalPlan::Kind::kLimit:
       return ExecLimit(*plan, context, ExecutePlan(plan->child, context));
+
+    case LogicalPlan::Kind::kJoin:
+      return ExecJoin(*plan, context, ExecutePlan(plan->child, context));
   }
   common::ThrowError(common::ErrorCode::kInternal, "unknown plan node");
 }

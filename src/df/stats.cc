@@ -1,0 +1,328 @@
+#include "src/df/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/df/batch_serde.h"
+#include "src/df/key_hash.h"
+#include "src/obs/event_bus.h"
+
+namespace rumble::df {
+
+namespace {
+
+/// Per-column accumulator for one CollectTableStats pass. Distinct values
+/// are tracked as 64-bit cell hashes (same tagged encoding as the hash-join
+/// keys) so the tracker costs 8 bytes per distinct value and stops cleanly
+/// at kStatsDistinctCap.
+struct ColumnTracker {
+  ColumnStats stats;
+  std::unordered_set<std::uint64_t> hashes;
+
+  void SeeHash(std::uint64_t h) {
+    if (stats.distinct_capped) return;
+    if (hashes.size() >= kStatsDistinctCap && hashes.count(h) == 0) {
+      stats.distinct_capped = true;
+      return;
+    }
+    hashes.insert(h);
+  }
+
+  /// A cell whose distinct identity we do not hash (multi-item sequences,
+  /// arrays, objects): the distinct estimate degrades to a lower bound.
+  void SeeOpaque() { stats.distinct_capped = true; }
+
+  void SeeNumber(double value) {
+    if (!stats.has_number || value < stats.min_number) {
+      stats.min_number = value;
+    }
+    if (!stats.has_number || value > stats.max_number) {
+      stats.max_number = value;
+    }
+    stats.has_number = true;
+  }
+
+  void SeeString(const std::string& value) {
+    if (!stats.has_string || value < stats.min_string) {
+      stats.min_string = value;
+    }
+    if (!stats.has_string || value > stats.max_string) {
+      stats.max_string = value;
+    }
+    stats.has_string = true;
+  }
+};
+
+void ProfileColumn(const Column& column, ColumnTracker* tracker) {
+  std::size_t rows = column.size();
+  switch (column.type()) {
+    case DataType::kInt64: {
+      const auto& values = column.Int64Values();
+      const auto& nulls = column.NullMask();
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (nulls[r]) {
+          ++tracker->stats.null_count;
+          continue;
+        }
+        tracker->SeeNumber(static_cast<double>(values[r]));
+        tracker->SeeHash(
+            MixHash(0x01, static_cast<std::uint64_t>(values[r])));
+      }
+      break;
+    }
+    case DataType::kFloat64: {
+      const auto& values = column.Float64Values();
+      const auto& nulls = column.NullMask();
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (nulls[r]) {
+          ++tracker->stats.null_count;
+          continue;
+        }
+        tracker->SeeNumber(values[r]);
+        tracker->SeeHash(MixHash(0x02, DoubleBits(values[r])));
+      }
+      break;
+    }
+    case DataType::kString: {
+      const auto& values = column.StringValues();
+      const auto& nulls = column.NullMask();
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (nulls[r]) {
+          ++tracker->stats.null_count;
+          continue;
+        }
+        tracker->SeeString(values[r]);
+        tracker->SeeHash(
+            MixHash(0x03, HashBytes(values[r].data(), values[r].size())));
+      }
+      break;
+    }
+    case DataType::kBool: {
+      const auto& nulls = column.NullMask();
+      for (std::size_t r = 0; r < rows; ++r) {
+        if (nulls[r]) {
+          ++tracker->stats.null_count;
+          continue;
+        }
+        tracker->SeeHash(column.BoolAt(r) ? 0x05ULL : 0x04ULL);
+      }
+      break;
+    }
+    case DataType::kItemSeq: {
+      for (std::size_t r = 0; r < rows; ++r) {
+        const item::ItemSequence& seq = column.SeqAt(r);
+        if (seq.empty()) {
+          // The empty sequence is this column family's "absent" value —
+          // counted as null so join/filter selectivity sees missing keys.
+          ++tracker->stats.null_count;
+          continue;
+        }
+        if (seq.size() > 1) {
+          tracker->SeeOpaque();
+          continue;
+        }
+        const item::Item& only = *seq[0];
+        if (only.IsNumeric()) {
+          double value = only.NumericValue();
+          tracker->SeeNumber(value);
+          tracker->SeeHash(MixHash(0x02, DoubleBits(value)));
+        } else if (only.IsString()) {
+          tracker->SeeString(only.StringValue());
+          tracker->SeeHash(MixHash(0x03, HashBytes(only.StringValue().data(),
+                                                   only.StringValue().size())));
+        } else if (only.IsBoolean()) {
+          tracker->SeeHash(only.BooleanValue() ? 0x05ULL : 0x04ULL);
+        } else if (only.IsNull()) {
+          tracker->SeeHash(MixHash(0x06, 0));
+        } else {
+          tracker->SeeOpaque();  // arrays/objects: identity not hashed
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+TableStatsPtr CollectTableStats(const Schema& schema,
+                                const std::vector<RecordBatch>& batches,
+                                obs::EventBus* bus) {
+  auto stats = std::make_shared<TableStats>();
+  std::vector<ColumnTracker> trackers(schema.num_fields());
+  for (const RecordBatch& batch : batches) {
+    stats->row_count += batch.num_rows;
+    stats->bytes += ApproxBatchBytes(batch);
+    for (std::size_t c = 0; c < schema.num_fields() && c < batch.columns.size();
+         ++c) {
+      ProfileColumn(batch.columns[c], &trackers[c]);
+    }
+  }
+  stats->columns.reserve(trackers.size());
+  for (ColumnTracker& tracker : trackers) {
+    tracker.stats.distinct = tracker.hashes.size();
+    stats->columns.push_back(std::move(tracker.stats));
+  }
+  if (bus != nullptr) {
+    bus->AddToCounter("stats.collections", 1);
+    bus->AddToCounter("stats.rows",
+                      static_cast<std::int64_t>(stats->row_count));
+  }
+  return stats;
+}
+
+namespace {
+
+/// Filter selectivity when the predicate carries no hint. Deliberately a
+/// plain constant (docs/OPTIMIZER.md): with messy data we rarely know
+/// better, and the join planner only needs the right order of magnitude.
+constexpr double kDefaultFilterSelectivity = 0.5;
+
+/// GroupBy output fraction when key distinct counts are unknown.
+constexpr double kDefaultGroupFraction = 0.1;
+
+}  // namespace
+
+double EstimateColumnDistinct(const LogicalPlan& plan,
+                              const std::string& column) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan: {
+      if (!plan.scan_stats) return -1.0;
+      int index = plan.schema->IndexOf(column);
+      if (index < 0 ||
+          static_cast<std::size_t>(index) >= plan.scan_stats->columns.size()) {
+        return -1.0;
+      }
+      return static_cast<double>(
+          plan.scan_stats->columns[static_cast<std::size_t>(index)].distinct);
+    }
+    case LogicalPlan::Kind::kProject: {
+      for (const NamedExpr& expr : plan.exprs) {
+        if (expr.name != column) continue;
+        if (!expr.is_column_ref()) return -1.0;
+        return EstimateColumnDistinct(*plan.child, expr.source_column);
+      }
+      return -1.0;
+    }
+    case LogicalPlan::Kind::kFilter:
+    case LogicalPlan::Kind::kSort:
+    case LogicalPlan::Kind::kLimit:
+      return EstimateColumnDistinct(*plan.child, column);
+    case LogicalPlan::Kind::kZipIndex:
+      if (column == plan.index_column) return -1.0;
+      return EstimateColumnDistinct(*plan.child, column);
+    case LogicalPlan::Kind::kExplode:
+      // Exploding rewrites the exploded column (and adds the position
+      // column); other columns keep their identity but repeat, so the
+      // distinct count still holds.
+      if (column == plan.explode_column ||
+          column == plan.explode_position_column) {
+        return -1.0;
+      }
+      return EstimateColumnDistinct(*plan.child, column);
+    case LogicalPlan::Kind::kGroupBy:
+      for (const std::string& key : plan.group_keys) {
+        if (key == column) return EstimateColumnDistinct(*plan.child, column);
+      }
+      return -1.0;
+    case LogicalPlan::Kind::kJoin:
+      if (plan.child->schema->IndexOf(column) >= 0) {
+        return EstimateColumnDistinct(*plan.child, column);
+      }
+      return EstimateColumnDistinct(*plan.join_build, column);
+  }
+  return -1.0;
+}
+
+double EstimateRows(const LogicalPlan& plan) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan:
+      if (!plan.scan_stats) return -1.0;
+      return static_cast<double>(plan.scan_stats->row_count);
+    case LogicalPlan::Kind::kProject:
+    case LogicalPlan::Kind::kSort:
+    case LogicalPlan::Kind::kZipIndex:
+    case LogicalPlan::Kind::kExplode:
+      // Explode's fan-out factor (average sequence length) is unknown at
+      // plan time; we assume ~1 item per sequence, the common case for the
+      // scalar field accesses the translator emits.
+      return EstimateRows(*plan.child);
+    case LogicalPlan::Kind::kFilter: {
+      double child = EstimateRows(*plan.child);
+      if (child < 0.0) return -1.0;
+      double selectivity = plan.predicate.selectivity_hint;
+      if (selectivity < 0.0 || selectivity > 1.0) {
+        selectivity = kDefaultFilterSelectivity;
+      }
+      return child * selectivity;
+    }
+    case LogicalPlan::Kind::kGroupBy: {
+      double child = EstimateRows(*plan.child);
+      if (child < 0.0) return -1.0;
+      if (plan.group_keys.empty()) return 1.0;
+      double product = 1.0;
+      for (const std::string& key : plan.group_keys) {
+        double distinct = EstimateColumnDistinct(*plan.child, key);
+        if (distinct < 0.0) return child * kDefaultGroupFraction;
+        product *= std::max(distinct, 1.0);
+      }
+      return std::min(product, child);
+    }
+    case LogicalPlan::Kind::kLimit: {
+      double child = EstimateRows(*plan.child);
+      double limit = static_cast<double>(plan.limit_rows);
+      if (child < 0.0) return limit;
+      return std::min(child, limit);
+    }
+    case LogicalPlan::Kind::kJoin: {
+      double left = EstimateRows(*plan.child);
+      double right = EstimateRows(*plan.join_build);
+      if (left < 0.0 || right < 0.0) return -1.0;
+      // Classic System R estimate: |L x R| / max(distinct(Lk), distinct(Rk))
+      // on the first key pair with known distinct counts.
+      for (const JoinKey& key : plan.join_keys) {
+        double dl = EstimateColumnDistinct(*plan.child, key.left_column);
+        double dr = EstimateColumnDistinct(*plan.join_build, key.right_column);
+        if (dl < 0.0 || dr < 0.0) continue;
+        double denom = std::max({dl, dr, 1.0});
+        return left * right / denom;
+      }
+      return std::max(left, right);
+    }
+  }
+  return -1.0;
+}
+
+double EstimateAvgRowBytes(const LogicalPlan& plan) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan:
+      if (!plan.scan_stats || plan.scan_stats->row_count == 0) return -1.0;
+      return static_cast<double>(plan.scan_stats->bytes) /
+             static_cast<double>(plan.scan_stats->row_count);
+    case LogicalPlan::Kind::kJoin: {
+      double left = EstimateAvgRowBytes(*plan.child);
+      double right = EstimateAvgRowBytes(*plan.join_build);
+      if (left < 0.0) return right;
+      if (right < 0.0) return left;
+      return left + right;  // a join row concatenates both sides
+    }
+    default:
+      return plan.child ? EstimateAvgRowBytes(*plan.child) : -1.0;
+  }
+}
+
+double EstimateBytes(const LogicalPlan& plan) {
+  double rows = EstimateRows(plan);
+  double avg = EstimateAvgRowBytes(plan);
+  if (rows < 0.0 || avg < 0.0) return -1.0;
+  return rows * avg;
+}
+
+std::string FormatEstimate(double rows) {
+  if (rows < 0.0) return "? rows";
+  return "~" + std::to_string(static_cast<long long>(std::llround(rows))) +
+         " rows";
+}
+
+}  // namespace rumble::df

@@ -1,0 +1,80 @@
+#ifndef RUMBLE_DF_STATS_H_
+#define RUMBLE_DF_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/df/logical_plan.h"
+
+namespace rumble::obs {
+class EventBus;
+}  // namespace rumble::obs
+
+namespace rumble::df {
+
+/// Distinct-value tracking is exact up to this many values per column, then
+/// marked capped (the estimate becomes a lower bound). The tracker stores
+/// 64-bit cell hashes, so a hash collision can undercount by one — fine for
+/// cardinality estimation, never used for semantics.
+inline constexpr std::size_t kStatsDistinctCap = 4096;
+
+/// Per-column statistics collected at scan time (docs/OPTIMIZER.md):
+/// null count, a capped-exact distinct estimate, and min/max for the value
+/// families that order meaningfully. Item-seq columns are profiled through
+/// their cell values: an empty sequence counts as null, and singleton
+/// numbers/strings feed the min/max trackers.
+struct ColumnStats {
+  std::uint64_t null_count = 0;
+  std::uint64_t distinct = 0;
+  bool distinct_capped = false;
+  bool has_number = false;
+  double min_number = 0.0;
+  double max_number = 0.0;
+  bool has_string = false;
+  std::string min_string;
+  std::string max_string;
+};
+
+/// Table-level statistics: row count, the batch footprint in the same units
+/// the MemoryManager reservations use (ApproxBatchBytes), and one
+/// ColumnStats per schema field.
+struct TableStats {
+  std::uint64_t row_count = 0;
+  std::uint64_t bytes = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// One pass over materialized batches. Publishes stats.collections /
+/// stats.rows counters when `bus` is non-null.
+TableStatsPtr CollectTableStats(const Schema& schema,
+                                const std::vector<RecordBatch>& batches,
+                                obs::EventBus* bus = nullptr);
+
+/// Cardinality propagation through the logical plan (docs/OPTIMIZER.md
+/// documents the per-node rules). Returns -1 when no scan below carries
+/// statistics; never executes anything.
+double EstimateRows(const LogicalPlan& plan);
+
+/// Distinct-value estimate for `column` of `plan`'s output, resolved by
+/// walking pass-through projections down to a statistics-bearing scan.
+/// Returns -1 for computed columns or stats-free scans.
+double EstimateColumnDistinct(const LogicalPlan& plan,
+                              const std::string& column);
+
+/// Average in-memory bytes per output row, taken from the deepest
+/// statistics-bearing scan (projection width changes are ignored — this is
+/// a cost-model heuristic, not an accounting number). Returns -1 unknown.
+double EstimateAvgRowBytes(const LogicalPlan& plan);
+
+/// EstimateRows x EstimateAvgRowBytes — the broadcast-vs-shuffle input.
+/// Returns -1 when either factor is unknown.
+double EstimateBytes(const LogicalPlan& plan);
+
+/// Formats an estimate for EXPLAIN plan lines: "~123 rows" or "? rows".
+std::string FormatEstimate(double rows);
+
+}  // namespace rumble::df
+
+#endif  // RUMBLE_DF_STATS_H_

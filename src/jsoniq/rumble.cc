@@ -419,6 +419,12 @@ common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
   std::int64_t since = bus.NextSequence();
   std::int64_t job = bus.BeginJob(query);
   std::int64_t rows_out = 0;
+  // Join actuals are counter deltas over this run (estimates are printed by
+  // the plan via EXPLAIN; docs/OPTIMIZER.md explains reading the two
+  // together).
+  std::int64_t join_build_before = bus.CounterValue("df.join.build_rows");
+  std::int64_t join_probe_before = bus.CounterValue("df.join.probe_rows");
+  std::int64_t join_out_before = bus.CounterValue("df.join.output_rows");
   try {
     if (engine_->memory != nullptr) {
       engine_->memory->Reset();
@@ -474,6 +480,17 @@ common::Result<std::string> Rumble::ExplainAnalyze(const std::string& query) {
            " p95=" + FormatMs(snap.Quantile(0.95)) +
            " p99=" + FormatMs(snap.Quantile(0.99)) +
            " (n=" + std::to_string(snap.count) + ", all jobs this session)\n";
+  }
+  std::int64_t join_build = bus.CounterValue("df.join.build_rows") -
+                            join_build_before;
+  std::int64_t join_probe = bus.CounterValue("df.join.probe_rows") -
+                            join_probe_before;
+  std::int64_t join_out = bus.CounterValue("df.join.output_rows") -
+                          join_out_before;
+  if (join_build > 0 || join_probe > 0 || join_out > 0) {
+    out += "join actuals: build rows=" + std::to_string(join_build) +
+           ", probe rows=" + std::to_string(join_probe) +
+           ", output rows=" + std::to_string(join_out) + "\n";
   }
   return out;
 }

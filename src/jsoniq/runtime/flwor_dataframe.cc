@@ -266,6 +266,100 @@ df::Udf GroupNumberUdf(std::string variable) {
   return udf;
 }
 
+// ---- join key encoding (docs/OPTIMIZER.md) ---------------------------------
+
+/// Build-side batches are chunked so FromBatches yields several partitions
+/// and the statistics pass sees realistic per-batch byte counts.
+constexpr std::size_t kJoinBuildBatchRows = 4096;
+
+/// Join keys reuse the group-by triple encoding (tag/string/number), with
+/// two `eq` — value-comparison — differences: an empty key sequence encodes
+/// as a native NULL tag cell, which the hash join never matches (`() eq x`
+/// is the empty sequence, whose effective boolean value is false), and a
+/// multi-item key raises kCardinalityError exactly as the comparison
+/// iterator would. JSON null keeps tag 2 and so joins with other nulls
+/// (`null eq null` is true).
+df::Udf JoinTagUdf(ColumnFieldPath path) {
+  df::Udf udf;
+  udf.inputs = {path.variable};
+  udf.eval = [path](const df::Schema& schema, const RecordBatch& batch,
+                    df::Column* out) {
+    std::size_t index = schema.RequireIndex(path.variable);
+    ItemSequence a, b;
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value =
+          *EvalFieldPath(batch.columns[index].SeqAt(row), path.keys, &a, &b);
+      if (value.empty()) {
+        out->AppendNull();
+        continue;
+      }
+      if (value.size() > 1) {
+        common::ThrowError(
+            ErrorCode::kCardinalityError,
+            "value comparison: expected at most one item, found several");
+      }
+      switch (value.front()->type()) {
+        case item::ItemType::kNull: out->AppendInt64(2); break;
+        case item::ItemType::kBoolean:
+          out->AppendInt64(value.front()->BooleanValue() ? 3 : 4);
+          break;
+        case item::ItemType::kString: out->AppendInt64(5); break;
+        case item::ItemType::kInteger:
+        case item::ItemType::kDecimal:
+        case item::ItemType::kDouble: out->AppendInt64(6); break;
+        default:
+          common::ThrowError(
+              ErrorCode::kTypeError,
+              "join key must be an atomic, found " +
+                  std::string(item::ItemTypeName(value.front()->type())));
+      }
+    }
+  };
+  return udf;
+}
+
+df::Udf JoinStringUdf(ColumnFieldPath path) {
+  df::Udf udf;
+  udf.inputs = {path.variable};
+  udf.eval = [path](const df::Schema& schema, const RecordBatch& batch,
+                    df::Column* out) {
+    std::size_t index = schema.RequireIndex(path.variable);
+    ItemSequence a, b;
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value =
+          *EvalFieldPath(batch.columns[index].SeqAt(row), path.keys, &a, &b);
+      if (value.size() == 1 && value.front()->IsString()) {
+        out->AppendString(value.front()->StringValue());
+      } else {
+        out->AppendString("");
+      }
+    }
+  };
+  return udf;
+}
+
+df::Udf JoinNumberUdf(ColumnFieldPath path) {
+  df::Udf udf;
+  udf.inputs = {path.variable};
+  udf.eval = [path](const df::Schema& schema, const RecordBatch& batch,
+                    df::Column* out) {
+    std::size_t index = schema.RequireIndex(path.variable);
+    ItemSequence a, b;
+    for (std::size_t row = 0; row < batch.num_rows; ++row) {
+      const ItemSequence& value =
+          *EvalFieldPath(batch.columns[index].SeqAt(row), path.keys, &a, &b);
+      if (value.size() == 1 && value.front()->IsNumeric()) {
+        double numeric = value.front()->NumericValue();
+        if (numeric == 0.0) numeric = 0.0;  // normalize -0.0
+        out->AppendFloat64(numeric);
+      } else {
+        out->AppendFloat64(0.0);
+      }
+    }
+  };
+  return udf;
+}
+
 // ---- order-by key encoding (Section 4.8) -----------------------------------
 
 enum class KeyFamily { kNone, kBoolean, kString, kNumber };
@@ -530,6 +624,124 @@ struct Translator {
     df = df.Filter(std::move(predicate));
   }
 
+  /// Whether a mid-stream for clause could be the build side of a join: an
+  /// independent distributed source (no references to current tuple
+  /// columns), plain binding (no position variable, no allowing empty — both
+  /// change per-probe-row semantics), and a fresh variable name. Candidates
+  /// that fail the where-shape test fall back to the nested-loop path
+  /// (ApplyFor's per-row evaluation) and count df.join.fallback.
+  bool JoinCandidate(const CompiledClause& clause) const {
+    return engine->config.enable_join_translation &&
+           clause.kind == FlworClause::Kind::kFor && !clause.allowing_empty &&
+           clause.position_variable.empty() && clause.expr->IsRddAble() &&
+           df.schema().IndexOf(clause.variable) < 0 &&
+           ColumnInputs(clause.free_vars, df.schema()).empty();
+  }
+
+  /// The build side as a one-column DataFrame of singleton sequences. During
+  /// execution the source materializes here so scan statistics exist and the
+  /// cost model picks broadcast vs shuffle before the join runs; plan-only
+  /// EXPLAIN must not execute anything, so it wraps the lazy RDD instead and
+  /// the printed strategy stays "auto" (resolved from the actual build
+  /// footprint at execution time).
+  DataFrame BuildSideFrame(const CompiledClause& clause) {
+    auto schema = std::make_shared<df::Schema>(std::vector<df::Field>{
+        df::Field{clause.variable, DataType::kItemSeq}});
+    if (plan_only) {
+      spark::Rdd<RecordBatch> batches =
+          clause.expr->GetRdd(*captured).MapPartitions(
+              [](ItemSequence&& items) {
+                RecordBatch batch;
+                df::Column column(DataType::kItemSeq);
+                column.Reserve(items.size());
+                for (auto& item : items) {
+                  column.AppendSeq({std::move(item)});
+                }
+                batch.num_rows = column.size();
+                batch.columns.push_back(std::move(column));
+                return std::vector<RecordBatch>{std::move(batch)};
+              });
+      return DataFrame::FromRdd(engine->spark.get(), std::move(schema),
+                                std::move(batches));
+    }
+    std::vector<ItemPtr> items = clause.expr->GetRdd(*captured).Collect();
+    std::vector<RecordBatch> batches;
+    for (std::size_t begin = 0; begin < items.size();
+         begin += kJoinBuildBatchRows) {
+      std::size_t end = std::min(items.size(), begin + kJoinBuildBatchRows);
+      RecordBatch batch;
+      df::Column column(DataType::kItemSeq);
+      column.Reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        column.AppendSeq({std::move(items[i])});
+      }
+      batch.num_rows = column.size();
+      batch.columns.push_back(std::move(column));
+      batches.push_back(std::move(batch));
+    }
+    if (batches.empty()) {
+      RecordBatch batch;
+      batch.columns.emplace_back(DataType::kItemSeq);
+      batches.push_back(std::move(batch));
+    }
+    return DataFrame::FromBatches(engine->spark.get(), std::move(schema),
+                                  std::move(batches));
+  }
+
+  /// Compiles `for $r in <source> where <key eq key>` into a Join node when
+  /// the where clause is a value-equality between a field path over the new
+  /// variable and a field path over an existing tuple column
+  /// (docs/QUERY_LANGUAGE.md). General `=` comparisons are existential over
+  /// sequences and stay on the nested-loop path. Returns false without
+  /// changing any state when the shape does not match.
+  bool TryApplyJoin(const CompiledClause& for_clause,
+                    const CompiledClause& where_clause) {
+    ComparisonShape shape;
+    if (!where_clause.expr->DescribeComparison(&shape)) return false;
+    if (shape.op != CompareOp::kValueEq) return false;
+    ColumnFieldPath lhs;
+    ColumnFieldPath rhs;
+    if (!shape.left->DescribeFieldPath(&lhs) ||
+        !shape.right->DescribeFieldPath(&rhs)) {
+      return false;
+    }
+    const bool left_is_build = lhs.variable == for_clause.variable;
+    const bool right_is_build = rhs.variable == for_clause.variable;
+    if (left_is_build == right_is_build) return false;
+    const ColumnFieldPath& build_path = left_is_build ? lhs : rhs;
+    const ColumnFieldPath& probe_path = left_is_build ? rhs : lhs;
+    if (df.schema().IndexOf(probe_path.variable) < 0) return false;
+
+    // Probe (left) side: the current tuple stream plus its key triple.
+    std::vector<NamedExpr> left_exprs = RefsExcept(df.schema(), {});
+    left_exprs.push_back(NamedExpr::Computed("#jl0t", DataType::kInt64,
+                                             JoinTagUdf(probe_path)));
+    left_exprs.push_back(NamedExpr::Computed("#jl0s", DataType::kString,
+                                             JoinStringUdf(probe_path)));
+    left_exprs.push_back(NamedExpr::Computed("#jl0d", DataType::kFloat64,
+                                             JoinNumberUdf(probe_path)));
+    DataFrame probe = df.Project(std::move(left_exprs));
+
+    // Build (right) side: the new source plus its key triple.
+    DataFrame build = BuildSideFrame(for_clause);
+    std::vector<NamedExpr> right_exprs = RefsExcept(build.schema(), {});
+    right_exprs.push_back(NamedExpr::Computed("#jr0t", DataType::kInt64,
+                                              JoinTagUdf(build_path)));
+    right_exprs.push_back(NamedExpr::Computed("#jr0s", DataType::kString,
+                                              JoinStringUdf(build_path)));
+    right_exprs.push_back(NamedExpr::Computed("#jr0d", DataType::kFloat64,
+                                              JoinNumberUdf(build_path)));
+    build = build.Project(std::move(right_exprs));
+
+    df = probe.Join(build, {df::JoinKey{"#jl0t", "#jr0t"},
+                            df::JoinKey{"#jl0s", "#jr0s"},
+                            df::JoinKey{"#jl0d", "#jr0d"}});
+    df = df.Project(RefsExcept(
+        df.schema(),
+        {"#jl0t", "#jl0s", "#jl0d", "#jr0t", "#jr0s", "#jr0d"}));
+    return true;
+  }
+
   void ApplyGroupBy(const CompiledClause& clause) {
     // 1. Bind grouping variables that come with expressions.
     for (const auto& spec : clause.group_specs) {
@@ -717,8 +929,22 @@ DataFrame TranslateFlwor(const EngineContextPtr& engine,
     translator.df = translator.df.Project(std::move(exprs));
   }
 
+  obs::EventBus* bus = engine->bus();
   for (std::size_t i = 1; i < flwor.clauses.size(); ++i) {
-    translator.Apply(flwor.clauses[i]);
+    const CompiledClause& clause = flwor.clauses[i];
+    if (translator.JoinCandidate(clause)) {
+      if (i + 1 < flwor.clauses.size() &&
+          flwor.clauses[i + 1].kind == FlworClause::Kind::kWhere &&
+          translator.TryApplyJoin(clause, flwor.clauses[i + 1])) {
+        if (bus != nullptr) bus->AddToCounter("df.join.compiled", 1);
+        ++i;  // the where clause became the join condition
+        continue;
+      }
+      // A multi-source for without a recognized equi-key: nested loop via
+      // the per-row path (docs/QUERY_LANGUAGE.md).
+      if (bus != nullptr) bus->AddToCounter("df.join.fallback", 1);
+    }
+    translator.Apply(clause);
   }
   return translator.df;
 }

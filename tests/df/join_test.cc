@@ -1,0 +1,371 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/df/batch_serde.h"
+#include "src/df/dataframe.h"
+#include "src/df/stats.h"
+#include "src/exec/spill_file.h"
+#include "src/json/writer.h"
+#include "src/jsoniq/rumble.h"
+
+namespace rumble {
+namespace {
+
+using df::Column;
+using df::DataFrame;
+using df::DataType;
+using df::JoinKey;
+using df::RecordBatch;
+using df::Schema;
+
+common::RumbleConfig TestConfig() {
+  common::RumbleConfig config;
+  config.executors = 2;
+  config.default_partitions = 3;
+  return config;
+}
+
+/// Probe side: {k:int64, pv:int64}, `n` rows over `parts` batches. Keys
+/// cycle 0..6; every 11th key cell is NULL (must never match).
+DataFrame ProbeFrame(spark::Context* context, int n, int parts) {
+  std::vector<RecordBatch> batches;
+  int per = (n + parts - 1) / parts;
+  int row = 0;
+  for (int p = 0; p < parts; ++p) {
+    RecordBatch batch;
+    Column keys(DataType::kInt64);
+    Column values(DataType::kInt64);
+    for (int i = 0; i < per && row < n; ++i, ++row) {
+      if (row % 11 == 10) {
+        keys.AppendNull();
+      } else {
+        keys.AppendInt64(row % 7);
+      }
+      values.AppendInt64(row);
+    }
+    batch.num_rows = keys.size();
+    batch.columns.push_back(std::move(keys));
+    batch.columns.push_back(std::move(values));
+    batches.push_back(std::move(batch));
+  }
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"k", DataType::kInt64}, {"pv", DataType::kInt64}});
+  return DataFrame::FromBatches(context, schema, std::move(batches));
+}
+
+/// Build side: {bk:int64, bv:int64}, `n` rows. Keys cycle 0..4 (so probe
+/// keys 5 and 6 never match), with duplicates once n > 5; every 13th key
+/// cell is NULL.
+DataFrame BuildFrame(spark::Context* context, int n) {
+  std::vector<RecordBatch> batches;
+  constexpr int kPer = 512;
+  int row = 0;
+  while (row < n || batches.empty()) {
+    RecordBatch batch;
+    Column keys(DataType::kInt64);
+    Column values(DataType::kInt64);
+    for (int i = 0; i < kPer && row < n; ++i, ++row) {
+      if (row % 13 == 12) {
+        keys.AppendNull();
+      } else {
+        keys.AppendInt64(row % 5);
+      }
+      values.AppendInt64(1000 + row);
+    }
+    batch.num_rows = keys.size();
+    batch.columns.push_back(std::move(keys));
+    batch.columns.push_back(std::move(values));
+    batches.push_back(std::move(batch));
+  }
+  auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+      {"bk", DataType::kInt64}, {"bv", DataType::kInt64}});
+  return DataFrame::FromBatches(context, schema, std::move(batches));
+}
+
+/// Runs the probe(n_probe) ⋈ build(n_build) join under the given config and
+/// returns the concatenated result encoded to bytes.
+std::string JoinBytes(common::RumbleConfig config, int n_probe, int n_build,
+                      std::int64_t* spilled_out = nullptr) {
+  spark::Context context(config);
+  DataFrame joined = ProbeFrame(&context, n_probe, 4)
+                         .Join(BuildFrame(&context, n_build),
+                               {JoinKey{"k", "bk"}});
+  RecordBatch out = joined.CollectBatch();
+  if (spilled_out != nullptr) {
+    *spilled_out = context.bus().CounterValue("spill.bytes_written");
+  }
+  std::string bytes;
+  df::EncodeBatch(out, &bytes);
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Correctness: values, duplicate-match order, null keys
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, ValuesAndDuplicateMatchOrder) {
+  spark::Context context(TestConfig());
+  // Probe: keys [1, 2, null]; build: key 1 twice (values 10 then 11).
+  auto make = [](std::vector<std::pair<bool, std::int64_t>> keys,
+                 std::vector<std::int64_t> values, const char* key_name,
+                 const char* value_name, spark::Context* ctx) {
+    RecordBatch batch;
+    Column k(DataType::kInt64);
+    Column v(DataType::kInt64);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i].first) {
+        k.AppendInt64(keys[i].second);
+      } else {
+        k.AppendNull();
+      }
+      v.AppendInt64(values[i]);
+    }
+    batch.num_rows = k.size();
+    batch.columns.push_back(std::move(k));
+    batch.columns.push_back(std::move(v));
+    auto schema = std::make_shared<Schema>(std::vector<df::Field>{
+        {key_name, DataType::kInt64}, {value_name, DataType::kInt64}});
+    std::vector<RecordBatch> batches;
+    batches.push_back(std::move(batch));
+    return DataFrame::FromBatches(ctx, schema, std::move(batches));
+  };
+  DataFrame probe = make({{true, 1}, {true, 2}, {false, 0}}, {100, 200, 300},
+                         "k", "pv", &context);
+  DataFrame build = make({{true, 1}, {true, 3}, {true, 1}}, {10, 20, 11},
+                         "bk", "bv", &context);
+  RecordBatch out =
+      probe.Join(build, {JoinKey{"k", "bk"}}).CollectBatch();
+  // Probe row 1 matches build rows 10 and 11 in build insertion order;
+  // probe row 2 matches nothing; the null probe key matches nothing.
+  ASSERT_EQ(out.num_rows, 2u);
+  std::size_t pv = 1, bv = 3;
+  EXPECT_EQ(out.columns[pv].Int64At(0), 100);
+  EXPECT_EQ(out.columns[bv].Int64At(0), 10);
+  EXPECT_EQ(out.columns[pv].Int64At(1), 100);
+  EXPECT_EQ(out.columns[bv].Int64At(1), 11);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity across strategies (acceptance criterion)
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, BroadcastAndShuffleByteIdentical) {
+  common::RumbleConfig broadcast = TestConfig();
+  broadcast.join_strategy = "broadcast";
+  common::RumbleConfig shuffle = TestConfig();
+  shuffle.join_strategy = "shuffle";
+  // Tiny threshold so the shuffle fans out over several buckets.
+  shuffle.join_broadcast_threshold_bytes = 1024;
+  std::string a = JoinBytes(broadcast, 500, 400);
+  std::string b = JoinBytes(shuffle, 500, 400);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "strategies disagree on the joined bytes";
+}
+
+TEST(JoinTest, EmptySidesByteIdenticalAcrossStrategies) {
+  for (int n_probe : {0, 50}) {
+    for (int n_build : {0, 50}) {
+      if (n_probe > 0 && n_build > 0) continue;
+      common::RumbleConfig broadcast = TestConfig();
+      broadcast.join_strategy = "broadcast";
+      common::RumbleConfig shuffle = TestConfig();
+      shuffle.join_strategy = "shuffle";
+      std::string a = JoinBytes(broadcast, n_probe, n_build);
+      std::string b = JoinBytes(shuffle, n_probe, n_build);
+      EXPECT_EQ(a, b) << "probe=" << n_probe << " build=" << n_build;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics and the cost model (EXPLAIN never executes)
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, ExplainPicksStrategyFromScanStatistics) {
+  // Small build side under the default 4 MiB threshold: broadcast.
+  {
+    spark::Context context(TestConfig());
+    std::string plan = ProbeFrame(&context, 100, 2)
+                           .Join(BuildFrame(&context, 50),
+                                 {JoinKey{"k", "bk"}})
+                           .Explain();
+    EXPECT_NE(plan.find("Join ["), std::string::npos) << plan;
+    EXPECT_NE(plan.find("strategy: broadcast"), std::string::npos) << plan;
+    EXPECT_NE(plan.find("est:"), std::string::npos) << plan;
+  }
+  // Same data with a 64-byte threshold: the estimated build footprint
+  // exceeds it, so the cost model switches to shuffle.
+  {
+    common::RumbleConfig config = TestConfig();
+    config.join_broadcast_threshold_bytes = 64;
+    spark::Context context(config);
+    std::string plan = ProbeFrame(&context, 100, 2)
+                           .Join(BuildFrame(&context, 50),
+                                 {JoinKey{"k", "bk"}})
+                           .Explain();
+    EXPECT_NE(plan.find("strategy: shuffle"), std::string::npos) << plan;
+  }
+}
+
+TEST(JoinTest, StatsCollectedAtScan) {
+  spark::Context context(TestConfig());
+  DataFrame frame = ProbeFrame(&context, 100, 2);
+  EXPECT_GE(context.bus().CounterValue("stats.collections"), 1);
+  EXPECT_GE(context.bus().CounterValue("stats.rows"), 100);
+  EXPECT_EQ(df::EstimateRows(*frame.plan()), 100.0);
+  // Keys cycle 0..6, so the distinct estimate is exact at 7.
+  EXPECT_EQ(df::EstimateColumnDistinct(*frame.plan(), "k"), 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory governance: cap forces build-side spill, bytes stay identical
+// ---------------------------------------------------------------------------
+
+TEST(JoinTest, ShuffleUnderMemoryCapSpillsAndStaysByteIdentical) {
+  common::RumbleConfig uncapped = TestConfig();
+  uncapped.join_strategy = "shuffle";
+  uncapped.join_broadcast_threshold_bytes = 2048;
+  common::RumbleConfig capped = uncapped;
+  capped.memory_limit_bytes = 16 * 1024;
+  std::int64_t spilled = 0;
+  std::string a = JoinBytes(uncapped, 2000, 4000);
+  std::string b = JoinBytes(capped, 2000, 4000, &spilled);
+  EXPECT_GT(spilled, 0) << "the cap never forced a build-side spill";
+  EXPECT_EQ(a, b) << "spilling changed the joined bytes";
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "spill files leaked";
+}
+
+TEST(JoinTest, CancellationLeavesNoSpillFilesOrReservations) {
+  common::RumbleConfig config = TestConfig();
+  config.join_strategy = "shuffle";
+  config.join_broadcast_threshold_bytes = 2048;
+  config.memory_limit_bytes = 16 * 1024;
+  spark::Context context(config);
+  DataFrame probe = ProbeFrame(&context, 2000, 4);
+  // Cancel from inside a probe-side predicate: it runs after the build side
+  // has been routed into (spilled) buckets, so the join must unwind files
+  // and reservations it already created.
+  df::Predicate cancel_probe;
+  cancel_probe.inputs = {"k"};
+  spark::Context* ctx = &context;
+  cancel_probe.eval = [ctx](const df::Schema&, const RecordBatch& batch) {
+    ctx->session_cancellation().Cancel(exec::CancellationToken::Origin::kUser);
+    return std::vector<char>(batch.num_rows, 1);
+  };
+  DataFrame joined = probe.Filter(std::move(cancel_probe))
+                         .Join(BuildFrame(&context, 4000),
+                               {JoinKey{"k", "bk"}});
+  EXPECT_THROW(joined.CollectBatch(), common::RumbleException);
+  EXPECT_EQ(exec::CountSpillFiles(), 0)
+      << "cancelled join left spill files behind";
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u)
+      << "cancelled join leaked reservations";
+}
+
+// ---------------------------------------------------------------------------
+// FLWOR translation: multi-source for + equi-predicate compiles to a Join
+// ---------------------------------------------------------------------------
+
+common::RumbleConfig FlworConfig() {
+  common::RumbleConfig config;
+  config.executors = 3;
+  config.default_partitions = 4;
+  config.flwor_backend = common::FlworBackend::kDataFrame;
+  return config;
+}
+
+constexpr char kJoinQuery[] =
+    "for $o in parallelize(({\"k\": 1, \"v\": \"a\"}, {\"k\": 2, \"v\": "
+    "\"b\"}, {\"k\": 3, \"v\": \"c\"}, {\"v\": \"nokey\"}), 2) "
+    "for $d in parallelize(({\"k\": 1, \"n\": 10}, {\"k\": 2, \"n\": 20}, "
+    "{\"k\": 1, \"n\": 11}), 2) "
+    "where $o.k eq $d.k "
+    "return {\"v\": $o.v, \"n\": $d.n}";
+
+constexpr char kJoinResult[] =
+    "{\"v\" : \"a\", \"n\" : 10}\n{\"v\" : \"a\", \"n\" : 11}\n"
+    "{\"v\" : \"b\", \"n\" : 20}\n";
+
+TEST(FlworJoinTest, EquiPredicateExplainsAsJoinNode) {
+  jsoniq::Rumble engine(FlworConfig());
+  auto explain = engine.Explain(kJoinQuery);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  // Plan-only EXPLAIN never executes, so no statistics exist yet and the
+  // strategy prints as auto (resolved from the actual build at run time).
+  EXPECT_NE(explain.value().find("Join ["), std::string::npos)
+      << explain.value();
+  EXPECT_NE(explain.value().find("strategy: auto"), std::string::npos)
+      << explain.value();
+  EXPECT_EQ(engine.event_bus().CounterValue("df.join.compiled"), 1);
+}
+
+TEST(FlworJoinTest, JoinResultsMatchSemantics) {
+  jsoniq::Rumble engine(FlworConfig());
+  auto result = engine.RunToJson(kJoinQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), kJoinResult);
+  EXPECT_GE(engine.event_bus().CounterValue("df.join.compiled"), 1);
+  EXPECT_GE(engine.event_bus().CounterValue("df.join.broadcast") +
+                engine.event_bus().CounterValue("df.join.shuffle"),
+            1);
+}
+
+TEST(FlworJoinTest, JoinMatchesNestedLoopBackend) {
+  jsoniq::Rumble with_joins(FlworConfig());
+  common::RumbleConfig no_joins_config = FlworConfig();
+  no_joins_config.enable_join_translation = false;
+  jsoniq::Rumble no_joins(no_joins_config);
+  auto a = with_joins.RunToJson(kJoinQuery);
+  auto b = no_joins.RunToJson(kJoinQuery);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(with_joins.event_bus().CounterValue("df.join.compiled"), 1);
+  EXPECT_EQ(no_joins.event_bus().CounterValue("df.join.compiled"), 0);
+}
+
+TEST(FlworJoinTest, GeneralComparisonFallsBackToNestedLoop) {
+  jsoniq::Rumble engine(FlworConfig());
+  std::string query = kJoinQuery;
+  std::size_t at = query.find(" eq ");
+  ASSERT_NE(at, std::string::npos);
+  query.replace(at, 4, " = ");  // general comparison: existential semantics
+  auto explain = engine.Explain(query);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain.value().find("Join ["), std::string::npos)
+      << explain.value();
+  EXPECT_EQ(engine.event_bus().CounterValue("df.join.fallback"), 1);
+  auto result = engine.RunToJson(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), kJoinResult);  // singleton keys: same rows
+}
+
+TEST(FlworJoinTest, ExplainAnalyzeReportsJoinActuals) {
+  jsoniq::Rumble engine(FlworConfig());
+  auto analyzed = engine.ExplainAnalyze(kJoinQuery);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(analyzed.value().find("join actuals: build rows=3, probe rows=4, "
+                                  "output rows=3"),
+            std::string::npos)
+      << analyzed.value();
+}
+
+TEST(FlworJoinTest, NullKeysJoinAndAbsentKeysDoNot) {
+  jsoniq::Rumble engine(FlworConfig());
+  // JSON null eq null is true, so null keys pair up; an absent key yields
+  // the empty sequence, `() eq x` is (), and the row matches nothing.
+  auto result = engine.RunToJson(
+      "for $o in parallelize(({\"k\": null, \"v\": \"nullkey\"}, "
+      "{\"v\": \"absent\"}), 2) "
+      "for $d in parallelize(({\"k\": null, \"n\": 1}), 2) "
+      "where $o.k eq $d.k "
+      "return {\"v\": $o.v, \"n\": $d.n}");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), "{\"v\" : \"nullkey\", \"n\" : 1}\n");
+}
+
+}  // namespace
+}  // namespace rumble
