@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/jsoniq/rumble.h"
+#include "src/obs/query_profiler.h"
 #include "src/workload/confusion.h"
 #include "src/workload/reddit.h"
 
@@ -124,6 +125,26 @@ inline void MaybeWriteMetrics(jsoniq::Rumble& engine, const char* tag) {
   out << engine.event_bus().MetricsJson();
 }
 
+/// When RUMBLE_PROFILE_OUT_DIR is set (scripts/run_benchmarks.sh
+/// --profile-out), writes the profile of the engine's last finished query to
+/// <dir>/<tag>.profile.json after the benchmark loop — one representative
+/// end-to-end QueryProfile (docs/PROFILING.md) per benchmark, alongside the
+/// metrics snapshot.
+inline void MaybeWriteProfile(jsoniq::Rumble& engine, const char* tag) {
+  const char* dir = std::getenv("RUMBLE_PROFILE_OUT_DIR");
+  if (dir == nullptr || *dir == '\0' || tag == nullptr) return;
+  auto profile = engine.event_bus().profiler()->Latest();
+  if (profile == nullptr) return;
+  std::string path = std::string(dir) + "/" + tag + ".profile.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "WARNING: RUMBLE_PROFILE_OUT_DIR is set but " << path
+              << " is not writable; profile snapshot skipped\n";
+    return;
+  }
+  out << obs::QueryProfiler::ToJson(*profile) << "\n";
+}
+
 /// Runs a query on the engine and reports items/second to the benchmark.
 /// `tag`, when given, names the JSONL event log this run streams under
 /// --event-log (one file per benchmark).
@@ -144,6 +165,7 @@ inline void RunQueryBenchmark(benchmark::State& state, jsoniq::Rumble& engine,
       static_cast<std::int64_t>(num_objects) * state.iterations());
   state.counters["objects"] = static_cast<double>(num_objects);
   MaybeWriteMetrics(engine, tag);
+  MaybeWriteProfile(engine, tag);
 }
 
 }  // namespace rumble::bench

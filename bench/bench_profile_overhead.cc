@@ -1,0 +1,88 @@
+// Profiling-overhead microbenchmark (docs/PROFILING.md): query profiles are
+// always on — every Run/ServeQuery assembles one — so their cost rides on
+// every other benchmark in this suite. This binary pins that cost down on
+// the 64k-object filter pipeline:
+//
+//  - BM_Filter_Profiled is the default engine configuration (profiles
+//    assembled, no sinks). Compare it against the pre-profiler baseline in
+//    the committed BENCH_*.json trajectory; the acceptance bar is < 1%.
+//    Per query the profiler adds two thread-CPU clock reads per task
+//    attempt, one map insert/erase under a mutex, and a handful of relaxed
+//    atomic adds — all orders of magnitude below one task's work.
+//  - BM_Filter_SlowQueryLogged additionally forces every query over the
+//    slow-query threshold (1 ns), so each iteration also renders the
+//    profile to JSON and appends it to the rotated JSONL sink — the
+//    worst-case opt-in cost of `--slow-query-log`.
+//
+// Run: ./build/bench/bench_profile_overhead
+#include <filesystem>
+
+#include "bench/bench_common.h"
+
+namespace rumble::bench {
+namespace {
+
+constexpr std::uint64_t kObjects = 64 * 1024;
+constexpr int kExecutors = 4;
+constexpr int kPartitions = 8;
+
+common::RumbleConfig LocalConfig() {
+  common::RumbleConfig config;
+  config.executors = kExecutors;
+  config.default_partitions = kPartitions;
+  return config;
+}
+
+void BM_Filter_Profiled(benchmark::State& state) {
+  std::uint64_t n = ScaledObjects(kObjects);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n,
+                    "profile_overhead_filter");
+}
+
+void BM_Filter_SlowQueryLogged(benchmark::State& state) {
+  std::uint64_t n = ScaledObjects(kObjects);
+  const std::string& dataset = ConfusionDataset(n, kPartitions);
+  jsoniq::Rumble engine(LocalConfig());
+  std::string path = ScratchDir() + "/profile_overhead_slow.jsonl";
+  // A 1 ms threshold captures every iteration of this multi-ms query:
+  // worst case, the sink renders + appends one JSON line per query.
+  engine.event_bus().profiler()->SetSlowQueryLog(path, /*threshold_ms=*/1);
+  RunQueryBenchmark(state, engine, FilterQuery(dataset), n,
+                    "profile_overhead_slow_logged");
+  engine.event_bus().profiler()->CloseSlowQueryLog();
+  std::filesystem::remove(path);
+}
+
+// The profiler's own per-query cost in isolation: Begin, the per-task
+// atomic feeds and CPU clock reads a typical 8-task query performs, and
+// Finalize. Divide this by any real query's wall time for the exact
+// overhead fraction — microseconds against milliseconds.
+void BM_ProfilerLifecycle(benchmark::State& state) {
+  obs::QueryProfiler profiler;
+  std::int64_t job = 0;
+  for (auto _ : state) {
+    auto profile = profiler.Begin(job++, "bench query", "tenant", true);
+    for (int task = 0; task < 8; ++task) {
+      std::int64_t cpu_before = obs::ThreadCpuNanos();
+      profile->tasks.fetch_add(1, std::memory_order_relaxed);
+      profile->task_cpu_nanos.fetch_add(obs::ThreadCpuNanos() - cpu_before,
+                                        std::memory_order_relaxed);
+    }
+    profile->wall_nanos = 1;
+    profiler.Finalize(profile);
+    benchmark::DoNotOptimize(profile);
+  }
+}
+
+#define PROFILE_ARGS Unit(benchmark::kMillisecond)->MinTime(2.0)
+
+BENCHMARK(BM_Filter_Profiled)->PROFILE_ARGS;
+BENCHMARK(BM_Filter_SlowQueryLogged)->PROFILE_ARGS;
+BENCHMARK(BM_ProfilerLifecycle)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rumble::bench
+
+BENCHMARK_MAIN();

@@ -16,7 +16,10 @@
 //                                 [--memory-limit <size>]
 //                                 [--query-timeout <ms>]
 //                                 [--drain-timeout <ms>] [--shed-latency <ms>]
-//                                 [--read-deadline <ms>]
+//                                 [--read-deadline <ms>] [--version]
+//                                 [--slow-query-log <path>]
+//                                 [--slow-query-ms <ms>]
+//                                 [--profile-out <dir>]
 //
 // Interactive by default: one query per line (end a multi-line query with
 // an empty line); `:quit` exits, `:help` lists commands, `:explain <q>`
@@ -52,6 +55,16 @@
 // connection may take to deliver a complete request before 408 eviction.
 // A --fault-spec with net.* keys injects deterministic network faults into
 // the serving sockets (docs/FAULT_TOLERANCE.md).
+//
+// --version prints the build identity (git describe, build type, compiler)
+// and exits. Query profiling (docs/PROFILING.md): every query gets an
+// end-to-end profile (GET /jobs/<id>/profile when serving; `:profile` shows
+// the last one in the REPL). --slow-query-log appends the full profile of
+// every query at or over the --slow-query-ms threshold (default 1000 when
+// only the path is given) to a size-capped, rotated JSONL file.
+// --profile-out writes each completed query's profile JSON into the given
+// directory as profile-<job>.json (the benchmark harness's
+// --profile-out flag routes here).
 
 #include <csignal>
 
@@ -61,6 +74,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -68,12 +82,14 @@
 #include <string>
 #include <thread>
 
+#include "src/common/version.h"
 #include "src/exec/cancellation.h"
 #include "src/exec/memory_manager.h"
 #include "src/exec/spill_file.h"
 #include "src/json/writer.h"
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
+#include "src/obs/query_profiler.h"
 #include "src/serve/query_service.h"
 
 namespace {
@@ -129,6 +145,7 @@ void PrintHelp() {
       "  :analyze <query>  run with tracing and show per-operator times\n"
       "  :metrics on|off   toggle the per-query stage/counter summary\n"
       "  :metrics          show the current counter totals\n"
+      "  :profile          show the last query's full profile JSON\n"
       "  :quit             exit the shell\n"
       "Queries: type JSONiq; finish a multi-line query with an empty line.\n"
       "Example: for $x in parallelize(1 to 10) where $x mod 2 eq 0 "
@@ -146,6 +163,25 @@ void PrintQuerySummary(rumble::obs::EventBus& bus, std::int64_t since,
       rumble::obs::EventBus::RenderCounterDelta(before, bus.CounterSnapshot());
   if (!delta.empty()) std::cout << "counters:\n" << delta << "\n";
   std::cout << "output rows: " << rows_out << "\n";
+}
+
+/// --profile-out sink: writes the most recently finished query's profile as
+/// <dir>/profile-<job>.json. Call after each query; no-op without --profile-out
+/// or before the first finished query.
+void MaybeWriteProfile(rumble::obs::EventBus& bus, const std::string& dir) {
+  if (dir.empty()) return;
+  auto profile = bus.profiler()->Latest();
+  if (profile == nullptr) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string path =
+      dir + "/profile-" + std::to_string(profile->job_id) + ".json";
+  std::ofstream out(path);
+  if (out) {
+    out << rumble::obs::QueryProfiler::ToJson(*profile) << "\n";
+  } else {
+    std::cerr << "cannot write profile " << path << "\n";
+  }
 }
 
 /// End-of-session artifact writer: the Chrome trace (--trace) and the
@@ -195,8 +231,13 @@ int main(int argc, char** argv) {
   bool serve_only = false;
   bool metrics = false;
   int read_deadline_ms = -1;
+  std::string profile_out;
   rumble::serve::ServingConfig serving;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::cout << rumble::common::VersionString() << "\n";
+      return 0;
+    }
     if (std::strcmp(argv[i], "--executors") == 0 && i + 1 < argc) {
       config.executors = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--max-items") == 0 && i + 1 < argc) {
@@ -245,6 +286,12 @@ int main(int argc, char** argv) {
       serving.shed_queue_latency_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--read-deadline") == 0 && i + 1 < argc) {
       read_deadline_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slow-query-log") == 0 && i + 1 < argc) {
+      config.slow_query_log_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 && i + 1 < argc) {
+      config.slow_query_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out = argv[++i];
     } else if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
       std::ifstream in(argv[++i]);
       if (!in) {
@@ -255,6 +302,12 @@ int main(int argc, char** argv) {
       text << in.rdbuf();
       oneshot = text.str();
     }
+  }
+
+  if (!config.slow_query_log_path.empty() && config.slow_query_ms <= 0) {
+    // Path without a threshold: a reasonable default beats silently
+    // disabling the log.
+    config.slow_query_ms = 1000;
   }
 
   // One engine for the whole session: executors start once.
@@ -324,6 +377,7 @@ int main(int argc, char** argv) {
     std::int64_t since = bus.NextSequence();
     auto before = bus.CounterSnapshot();
     auto result = engine.Run(oneshot);
+    MaybeWriteProfile(bus, profile_out);
     if (!result.ok()) {
       std::cerr << "error: " << result.status().ToString() << "\n";
       return 1;
@@ -359,6 +413,15 @@ int main(int argc, char** argv) {
       if (line == ":metrics off" || line == "metrics off") {
         metrics = false;
         std::cout << "metrics: off\n";
+        continue;
+      }
+      if (line == ":profile" || line == "profile") {
+        auto profile = bus.profiler()->Latest();
+        if (profile == nullptr) {
+          std::cout << "no finished query to profile yet\n";
+        } else {
+          std::cout << rumble::obs::QueryProfiler::ToJson(*profile) << "\n";
+        }
         continue;
       }
       if (line == ":metrics" || line == "metrics") {
@@ -416,6 +479,7 @@ int main(int argc, char** argv) {
     auto before = bus.CounterSnapshot();
     auto result = engine.Run(buffer);
     buffer.clear();
+    MaybeWriteProfile(bus, profile_out);
     if (!result.ok()) {
       std::cout << "error: " << result.status().ToString() << "\n";
       continue;

@@ -133,6 +133,26 @@ def check_serving_tokens(errors):
             )
 
 
+def check_profiling_tokens(errors):
+    """docs/PROFILING.md names profile JSON fields (snake_case keys in the
+    hand-built renderer), endpoints, flags, trailer headers, and counters.
+    Same token shape and blob as the SERVING.md check — the profiling flags
+    live in examples/rumble_shell.cpp."""
+    path = os.path.join(REPO, "docs", "PROFILING.md")
+    if not os.path.exists(path):
+        errors.append("docs/PROFILING.md is documented as existing but is "
+                      "missing")
+        return
+    blob = source_blob(subdirs=("src", "examples"))
+    for token in sorted(serving_documented_tokens(path)):
+        if (f'"{token}"' not in blob and f'\\"{token}\\"' not in blob
+                and token not in blob):
+            errors.append(
+                f"docs/PROFILING.md documents `{token}` but it appears "
+                f"nowhere under src/ or examples/"
+            )
+
+
 def check_optimizer_tokens(errors):
     """docs/OPTIMIZER.md names counters/spans/stage labels (dotted string
     literals in src/) and config knobs (snake_case identifiers in
@@ -196,6 +216,7 @@ def main():
     errors = []
     check_metrics_names(errors)
     check_serving_tokens(errors)
+    check_profiling_tokens(errors)
     check_optimizer_tokens(errors)
     check_links(errors)
     if errors:

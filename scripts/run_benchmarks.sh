@@ -11,6 +11,9 @@
 #   --metrics-out <dir> write each benchmark's counter+histogram snapshot to
 #                       <dir>/<tag>.metrics.json (attach to a BENCH_*.json
 #                       entry with scripts/bench_to_json.py --metrics)
+#   --profile-out <dir> write each benchmark's last-query end-to-end profile
+#                       to <dir>/<tag>.profile.json (schema:
+#                       docs/PROFILING.md)
 #   --json <dir>        additionally write Google Benchmark JSON results to
 #                       <dir>/<benchmark>.json, suitable for
 #                       scripts/bench_to_json.py (see docs/BENCHMARKS.md)
@@ -50,6 +53,15 @@ while [ $# -gt 0 ]; do
         echo "--metrics-out: $2 is not a writable directory" >&2; exit 2;
       }
       export RUMBLE_METRICS_OUT_DIR="$(cd "$2" && pwd)"
+      shift 2
+      ;;
+    --profile-out)
+      [ $# -ge 2 ] || { echo "--profile-out needs a directory" >&2; exit 2; }
+      mkdir -p "$2"
+      [ -d "$2" ] && [ -w "$2" ] || {
+        echo "--profile-out: $2 is not a writable directory" >&2; exit 2;
+      }
+      export RUMBLE_PROFILE_OUT_DIR="$(cd "$2" && pwd)"
       shift 2
       ;;
     --json)
@@ -106,6 +118,9 @@ if [ -n "${RUMBLE_EVENT_LOG_DIR:-}" ]; then
 fi
 if [ -n "${RUMBLE_METRICS_OUT_DIR:-}" ]; then
   echo "metrics snapshots in $RUMBLE_METRICS_OUT_DIR"
+fi
+if [ -n "${RUMBLE_PROFILE_OUT_DIR:-}" ]; then
+  echo "query profiles in $RUMBLE_PROFILE_OUT_DIR"
 fi
 if [ -n "$json_dir" ]; then
   echo "JSON results in $json_dir — turn one into a committed trajectory point:"

@@ -34,6 +34,11 @@
 #      shell runs; then rerun under destructive faults (mid-stream RST,
 #      accept failures) and assert the server survives, the net.fault.*
 #      counters fired, and the SIGTERM drain stays leak-free.
+#   7. query profiles under net-chaos (docs/PROFILING.md): serve a query
+#      with socket faults injected, fetch GET /jobs/<id>/profile, and
+#      assert it parses with sane wall/CPU/task numbers; assert the
+#      --slow-query-log captured the (intentionally slow) query's full
+#      profile JSON.
 #
 # Exits nonzero on the first divergence.
 
@@ -165,18 +170,20 @@ for i in "${!net_queries[@]}"; do
   "$shell" --executors 4 --query "${net_queries[$i]}" >"$work/net_ref.$i"
 done
 
-start_net_server() { # $1 = fault spec, $2 = log path; sets net_pid, net_base
-  "$shell" --serve 0 --serve-only --serve-slots 2 --fault-spec "$1" \
-    2>"$2" &
+start_net_server() { # $1 = fault spec, $2 = log path, rest = extra shell args
+  local spec="$1" log="$2"
+  shift 2
+  "$shell" --serve 0 --serve-only --serve-slots 2 --fault-spec "$spec" "$@" \
+    2>"$log" &
   net_pid=$!
   local port=""
   for _ in $(seq 1 100); do
-    port="$(grep -oE 'localhost:[0-9]+' "$2" 2>/dev/null |
+    port="$(grep -oE 'localhost:[0-9]+' "$log" 2>/dev/null |
             head -1 | cut -d: -f2 || true)"
     [ -n "$port" ] && break
     kill -0 "$net_pid" 2>/dev/null || {
       echo "run_chaos: FAIL — net-chaos server died at startup" >&2
-      cat "$2" >&2
+      cat "$log" >&2
       exit 1
     }
     sleep 0.1
@@ -227,8 +234,10 @@ start_net_server "$net_spec_hard" "$work/net_hard.log"
 hard_ok=0
 hard_dropped=0
 for _ in $(seq 1 24); do
+  # /healthz is "ok" plus the version line (docs/PROFILING.md); the
+  # liveness token is the first line.
   if out="$(curl -sS --max-time 5 "$net_base/healthz" 2>/dev/null)" &&
-     [ "$out" = "ok" ]; then
+     [ "$(printf '%s\n' "$out" | head -1)" = "ok" ]; then
     hard_ok=$((hard_ok + 1))
   else
     hard_dropped=$((hard_dropped + 1))
@@ -251,6 +260,48 @@ done
   { echo "run_chaos: FAIL — rst/accept_fail counters never fired" >&2; exit 1; }
 stop_net_server "$work/net_hard.log"
 echo "listener survived: $hard_ok served, $hard_dropped dropped, $hard_faults destructive faults"
+
+echo
+echo "== phase 7: query profiles under net-chaos (docs/PROFILING.md)"
+slow_log="$work/slow_queries.jsonl"
+# A 1 ms threshold the 200k-element sum always crosses — the served query
+# must land in the slow-query log with its full profile attached.
+start_net_server "$net_spec_soft" "$work/net_prof.log" \
+  --slow-query-log "$slow_log" --slow-query-ms 1
+
+curl -sS -D "$work/prof_headers.txt" -X POST \
+  --data 'sum(parallelize(1 to 200000, 8))' "$net_base/query" \
+  >"$work/prof_body.txt"
+grep -q '^20000100000$' "$work/prof_body.txt" ||
+  { echo "run_chaos: FAIL — profiled query returned wrong result" >&2; exit 1; }
+job="$(tr -d '\r' <"$work/prof_headers.txt" |
+       awk -F': ' 'tolower($1) == "x-rumble-job" {print $2}')"
+[ -n "$job" ] ||
+  { echo "run_chaos: FAIL — no X-Rumble-Job header on the response" >&2; exit 1; }
+
+curl -sS "$net_base/jobs/$job/profile" >"$work/profile.json"
+python3 - "$work/profile.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["state"] == "succeeded", p
+assert p["served"] is True, p
+assert p["wall_ns"] > 0 and p["execute_ns"] > 0, p
+assert p["cpu_ns"] > 0 and p["cpu_ns"] <= p["wall_ns"] * 64, p
+assert p["rows_out"] == 1 and p["tasks"] >= 1, p
+assert p["peak_bytes"] >= 0 and p["spill_bytes_written"] >= 0, p
+PY
+echo "profile for job $job parses and is sane under $net_spec_soft"
+
+[ -s "$slow_log" ] ||
+  { echo "run_chaos: FAIL — slow-query log never captured the query" >&2; exit 1; }
+python3 - "$slow_log" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert any(p["served"] and p["wall_ns"] >= 1_000_000 and
+           p["state"] == "succeeded" for p in lines), lines
+PY
+echo "slow-query log captured $(wc -l <"$slow_log") profile(s)"
+stop_net_server "$work/net_prof.log"
 
 echo
 echo "run_chaos: OK"

@@ -108,6 +108,16 @@ struct RumbleConfig {
   /// and inside long kernel loops; expiry fails the query with kCancelled.
   std::int64_t query_timeout_ms = 0;
 
+  // ---- Query profiling (docs/PROFILING.md) --------------------------------
+
+  /// JSONL slow-query log: every query (shell or served) whose end-to-end
+  /// wall time reaches slow_query_ms gets its full profile appended to
+  /// slow_query_log_path (size-capped, rotated). Empty path or
+  /// slow_query_ms <= 0 disables. Shell flags: --slow-query-log /
+  /// --slow-query-ms.
+  std::string slow_query_log_path;
+  std::int64_t slow_query_ms = 0;
+
   // ---- Joins and the cost-based optimizer (docs/OPTIMIZER.md) -------------
 
   /// Build sides estimated (or, failing statistics, measured) at or below

@@ -1,0 +1,68 @@
+#include "src/common/version.h"
+
+namespace rumble::common {
+
+#ifndef RUMBLE_GIT_DESCRIBE
+#define RUMBLE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef RUMBLE_BUILD_TYPE
+#define RUMBLE_BUILD_TYPE "unspecified"
+#endif
+
+namespace {
+
+std::string JsonEscape(const char* value) {
+  std::string out;
+  for (const char* p = value; *p != '\0'; ++p) {
+    char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* GitDescribe() { return RUMBLE_GIT_DESCRIBE; }
+
+const char* BuildType() { return RUMBLE_BUILD_TYPE; }
+
+const char* Compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string VersionString() {
+  std::string out = "rumble ";
+  out += GitDescribe();
+  out += " (";
+  out += BuildType();
+  out += ", ";
+  out += Compiler();
+  out += ")";
+  return out;
+}
+
+std::string VersionJson() {
+  std::string out = "{\"name\":\"rumble\",\"git\":\"";
+  out += JsonEscape(GitDescribe());
+  out += "\",\"build_type\":\"";
+  out += JsonEscape(BuildType());
+  out += "\",\"compiler\":\"";
+  out += JsonEscape(Compiler());
+  out += "\"}";
+  return out;
+}
+
+}  // namespace rumble::common

@@ -1,0 +1,37 @@
+#ifndef RUMBLE_COMMON_VERSION_H_
+#define RUMBLE_COMMON_VERSION_H_
+
+#include <string>
+
+namespace rumble::common {
+
+/// Build/version identification (docs/PROFILING.md, "Version info").
+/// The values are baked in at configure time by src/CMakeLists.txt:
+/// `git describe --always --dirty --tags` becomes RUMBLE_GIT_DESCRIBE and
+/// CMAKE_BUILD_TYPE becomes RUMBLE_BUILD_TYPE, both as compile definitions
+/// on version.cc only (so touching the git head rebuilds one TU, not the
+/// world). The compiler string comes from the compiler itself.
+
+/// `git describe` output at configure time, or "unknown" outside a git
+/// checkout.
+const char* GitDescribe();
+
+/// CMAKE_BUILD_TYPE at configure time ("Release", "Debug", ... or
+/// "unspecified").
+const char* BuildType();
+
+/// The compiler that built this binary, e.g. "GNU 13.2.0 (__VERSION__ ...)".
+const char* Compiler();
+
+/// One human-readable line: "rumble <git> (<build type>, <compiler>)".
+/// Printed by `rumble_shell --version`.
+std::string VersionString();
+
+/// The same facts as a JSON object:
+/// {"name":"rumble","git":"...","build_type":"...","compiler":"..."} —
+/// the body of `GET /version` and part of the `/healthz` body.
+std::string VersionJson();
+
+}  // namespace rumble::common
+
+#endif  // RUMBLE_COMMON_VERSION_H_

@@ -2,6 +2,8 @@
 
 #include "src/df/physical_exec.h"
 #include "src/df/stats.h"
+#include "src/obs/query_profiler.h"
+#include "src/util/stopwatch.h"
 
 namespace rumble::df {
 
@@ -80,7 +82,22 @@ DataFrame DataFrame::Join(const DataFrame& build, std::vector<JoinKey> keys,
 }
 
 spark::Rdd<RecordBatch> DataFrame::Execute() const {
-  return ExecutePlan(Optimize(plan_, OptionsFor(context_)), context_);
+  // Time the optimizer pass onto the owning query's profile. DataFrames are
+  // forced lazily, so this may run on whichever thread first executes the
+  // frame — the job binding travels with the thread, and optimize_nanos is
+  // atomic (a query can optimize several frames; they accumulate).
+  util::Stopwatch watch;
+  PlanPtr plan = Optimize(plan_, OptionsFor(context_));
+  if (context_ != nullptr) {
+    std::int64_t job = obs::ThreadJobBinding::current();
+    if (job >= 0) {
+      if (auto profile = context_->bus().profiler()->Find(job)) {
+        profile->optimize_nanos.fetch_add(watch.ElapsedNanos(),
+                                          std::memory_order_relaxed);
+      }
+    }
+  }
+  return ExecutePlan(std::move(plan), context_);
 }
 
 RecordBatch DataFrame::CollectBatch() const {

@@ -69,6 +69,10 @@ struct ExecutorPool::StageState {
   /// shared pool. Null scope / job -1 on the shell path (no-op rebinds).
   const QueryScope* scope = nullptr;
   std::int64_t job = -1;
+  /// The owning query's live profile (bus->profiler()->Find(job)), looked up
+  /// once per stage; attempts feed its atomics (CPU nanos, task counts)
+  /// lock-free. Null when the job is not profiled (docs/PROFILING.md).
+  std::shared_ptr<obs::QueryProfile> profile;
   std::int64_t stage_id = -1;
   /// Stage span id; task spans parent to it explicitly (task attempts run on
   /// worker threads whose local span stacks do not see the driver's stage).
@@ -188,6 +192,9 @@ void ExecutorPool::HandleFailure(const std::shared_ptr<StageState>& stage,
   }
 
   stage->failures.fetch_add(1, std::memory_order_relaxed);
+  if (stage->profile != nullptr) {
+    stage->profile->task_failures.fetch_add(1, std::memory_order_relaxed);
+  }
   if (stage->bus != nullptr) {
     stage->bus->TaskFailed(stage->stage_id, attempt.task, attempt.attempt,
                            what);
@@ -206,6 +213,9 @@ void ExecutorPool::HandleFailure(const std::shared_ptr<StageState>& stage,
   bool retryable = !is_rumble && attempt.attempt < policy_.max_task_attempts;
   if (retryable && !stage->doomed.load(std::memory_order_acquire)) {
     stage->retries.fetch_add(1, std::memory_order_relaxed);
+    if (stage->profile != nullptr) {
+      stage->profile->task_retries.fetch_add(1, std::memory_order_relaxed);
+    }
     if (stage->bus != nullptr) {
       stage->bus->TaskRetry(stage->stage_id, attempt.task,
                             attempt.attempt + 1);
@@ -265,6 +275,19 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
                            << std::min(attempt.attempt - 2, 20);
     SleepNanos(std::min(backoff, policy_.retry_backoff_cap_nanos));
   }
+  // CPU attribution (docs/PROFILING.md): a CLOCK_THREAD_CPUTIME_ID delta
+  // over the attempt, credited to the owning query's profile whether the
+  // attempt commits or fails — CPU burned by failing attempts is exactly
+  // what retry storms waste, so it must show up. Two clock_gettime calls
+  // per attempt; skipped entirely when the stage's job is not profiled.
+  std::int64_t cpu_start =
+      stage->profile != nullptr ? obs::ThreadCpuNanos() : 0;
+  auto credit_cpu = [&stage, cpu_start] {
+    if (stage->profile != nullptr) {
+      stage->profile->task_cpu_nanos.fetch_add(
+          obs::ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+    }
+  };
   try {
     // Task-boundary cancellation check: a cancelled query fails its next
     // attempt with kCancelled, which is non-retryable and dooms the stage.
@@ -341,6 +364,10 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
     slot.duration_nanos.store(nanos, std::memory_order_release);
     slot.committed.store(true, std::memory_order_release);
     commit.unlock();
+    credit_cpu();
+    if (stage->profile != nullptr) {
+      stage->profile->tasks.fetch_add(1, std::memory_order_relaxed);
+    }
     pool_metrics_.RecordTask(nanos);
     if (stage->caller_metrics != nullptr) {
       stage->caller_metrics->RecordTask(nanos);
@@ -358,6 +385,7 @@ void ExecutorPool::RunAttempt(const std::shared_ptr<StageState>& stage,
     }
     SettleTask(stage, attempt.task);
   } catch (...) {
+    credit_cpu();
     // The failed attempt's span closes before any retry attempt begins, so
     // sibling attempt spans never overlap on one thread's stack.
     if (stage->tracer != nullptr) {
@@ -509,6 +537,9 @@ void ExecutorPool::RunParallel(std::size_t task_count,
   }
   if (stage->bus != nullptr) {
     stage->stage_id = stage->bus->BeginStage(stage->label, task_count);
+    if (stage->job >= 0) {
+      stage->profile = stage->bus->profiler()->Find(stage->job);
+    }
     stage->tracer = stage->bus->tracer();
     if (stage->tracer->enabled()) {
       // Implicit parent: the innermost span open on the calling thread (the

@@ -28,6 +28,22 @@ QueryMemoryPool* ScopePool() {
 
 }  // namespace
 
+void MemoryManager::NoteCharged(std::uint64_t bytes, std::uint64_t now) {
+  if (QueryResourceStats* stats = CurrentQueryStats()) {
+    stats->Charge(static_cast<std::int64_t>(bytes));
+  }
+  // Engine-wide high-water mark, reported on query profiles
+  // (docs/PROFILING.md) and used by the ASSERT_METRICS cross-checks.
+  std::uint64_t peak = peak_reserved_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_reserved_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  if (bus_ != nullptr && bytes != 0) {
+    bus_->AddToCounter("mem.charged_bytes_total",
+                       static_cast<std::int64_t>(bytes));
+  }
+}
+
 bool MemoryManager::enforcing() const {
   return limit_bytes() != 0 || ScopePool() != nullptr;
 }
@@ -45,6 +61,7 @@ void MemoryManager::Allocate(std::uint64_t bytes) {
   }
   std::uint64_t now =
       reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  NoteCharged(bytes, now);
   PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
   std::uint64_t limit = limit_.load(std::memory_order_acquire);
   if (limit != 0 && now > limit) {
@@ -56,6 +73,9 @@ void MemoryManager::Allocate(std::uint64_t bytes) {
 
 void MemoryManager::Release(std::uint64_t bytes) {
   if (QueryMemoryPool* pool = ScopePool()) pool->Uncharge(bytes);
+  if (QueryResourceStats* stats = CurrentQueryStats()) {
+    stats->Uncharge(static_cast<std::int64_t>(bytes));
+  }
   reserved_.fetch_sub(bytes, std::memory_order_relaxed);
   PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
 }
@@ -79,6 +99,7 @@ bool MemoryManager::TryReserve(std::uint64_t bytes) {
   }
   std::uint64_t now =
       reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  NoteCharged(bytes, now);
   PublishReservedDelta(bus_, static_cast<std::int64_t>(bytes));
   std::uint64_t limit = limit_.load(std::memory_order_acquire);
   if (limit == 0 || now <= limit) return true;
@@ -121,6 +142,9 @@ bool MemoryManager::TryReserve(std::uint64_t bytes) {
   // Nothing (more) to spill: back the grant out and deny it. The caller is
   // expected to spill its own state instead.
   if (pool != nullptr) pool->Uncharge(bytes);
+  if (QueryResourceStats* stats = CurrentQueryStats()) {
+    stats->Uncharge(static_cast<std::int64_t>(bytes));
+  }
   reserved_.fetch_sub(bytes, std::memory_order_relaxed);
   PublishReservedDelta(bus_, -static_cast<std::int64_t>(bytes));
   if (bus_ != nullptr) bus_->AddToCounter("mem.reservation_denied", 1);

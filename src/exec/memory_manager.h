@@ -76,6 +76,14 @@ class MemoryManager {
     return reserved_.load(std::memory_order_acquire);
   }
 
+  /// High-water mark of reserved_bytes over the manager's lifetime: the
+  /// engine-wide peak that query profiles and the ASSERT_METRICS
+  /// cross-checks compare per-query peaks against (docs/PROFILING.md). A
+  /// single query's attributed peak can never exceed it.
+  std::uint64_t peak_reserved_bytes() const {
+    return peak_reserved_.load(std::memory_order_acquire);
+  }
+
   // ---- Budget mode (util::MemoryBudget semantics) -------------------------
 
   /// Charges `bytes`, throwing kOutOfMemory when the limit is exceeded
@@ -117,8 +125,15 @@ class MemoryManager {
  private:
   std::uint64_t SpillableTotalLocked() const;  // requires reg_mu_
 
+  /// Attribution fan-out for every successful charge: the calling thread's
+  /// QueryResourceStats (per-query profile), the engine-wide high-water
+  /// mark, and the monotonic `mem.charged_bytes_total` counter. `now` is
+  /// the post-charge reserved total.
+  void NoteCharged(std::uint64_t bytes, std::uint64_t now);
+
   std::atomic<std::uint64_t> limit_{0};
   std::atomic<std::uint64_t> reserved_{0};
+  std::atomic<std::uint64_t> peak_reserved_{0};
   obs::EventBus* bus_ = nullptr;
 
   std::mutex spill_mu_;  // one forced-spill pass at a time

@@ -44,6 +44,10 @@ void QueryMemoryPool::Uncharge(std::uint64_t bytes) {
 
 const QueryScope* CurrentQueryScope() { return current_scope; }
 
+QueryResourceStats* CurrentQueryStats() {
+  return current_scope != nullptr ? current_scope->stats : nullptr;
+}
+
 QueryScopeBinding::QueryScopeBinding(const QueryScope* scope)
     : previous_(current_scope) {
   current_scope = scope;

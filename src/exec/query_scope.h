@@ -37,14 +37,64 @@ class QueryMemoryPool {
   std::atomic<std::int64_t> charged_{0};
 };
 
+/// Per-query resource attribution (docs/PROFILING.md): live memory
+/// charge/high-water and spill traffic, accumulated from whatever thread is
+/// executing under the query's scope. MemoryManager::Allocate/Release/
+/// TryReserve feed the memory side at exactly the sites that move the
+/// engine-wide `mem.*` counters; the spill writers in src/df feed the spill
+/// side at exactly the sites that bump `spill.*` — so for a query running
+/// alone the profile's fields equal the counter deltas (asserted under
+/// -DRUMBLE_ASSERT_METRICS). All relaxed atomics: attribution must never
+/// add synchronization to the hot allocation path.
+struct QueryResourceStats {
+  std::atomic<std::int64_t> current_bytes{0};
+  std::atomic<std::int64_t> peak_bytes{0};
+  std::atomic<std::int64_t> spill_bytes_written{0};
+  std::atomic<std::int64_t> spill_bytes_read{0};
+  std::atomic<std::int64_t> spill_files{0};
+
+  void Charge(std::int64_t bytes) {
+    std::int64_t now =
+        current_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::int64_t peak = peak_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Clamped at zero, same reasoning as QueryMemoryPool::Uncharge: a victim
+  /// force-spilled from outside this query's scope releases globally without
+  /// a charge visible here.
+  void Uncharge(std::int64_t bytes) {
+    std::int64_t now =
+        current_bytes.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+    while (now < 0) {
+      std::int64_t expected = now;
+      if (current_bytes.compare_exchange_weak(expected, 0,
+                                              std::memory_order_relaxed)) {
+        break;
+      }
+      now = expected;
+      if (now >= 0) break;
+    }
+  }
+};
+
 /// What one concurrently-served query carries through execution: its own
-/// cancellation token and, optionally, its memory sub-pool. The scope object
-/// lives on the serving thread's stack for the duration of the query; the
-/// pointers it holds must outlive every stage the query runs.
+/// cancellation token, optionally its memory sub-pool, and optionally a
+/// resource-stats sink for the query profile. The scope object lives on the
+/// serving thread's stack for the duration of the query; the pointers it
+/// holds must outlive every stage the query runs.
 struct QueryScope {
   CancellationToken* cancel = nullptr;
   QueryMemoryPool* memory = nullptr;
+  QueryResourceStats* stats = nullptr;
 };
+
+/// The stats sink of the scope bound to the calling thread, or nullptr.
+/// Spill writers call this next to every `spill.*` counter bump so spill
+/// I/O lands on the owning query's profile.
+QueryResourceStats* CurrentQueryStats();
 
 /// The scope bound to the calling thread; nullptr outside any served query
 /// (the shell path). spark::Context::cancellation() and

@@ -9,11 +9,13 @@
 #include "src/exec/query_scope.h"
 #include "src/exec/spill_file.h"
 #include "src/json/writer.h"
+#include "src/obs/query_profiler.h"
 #include "src/storage/dfs.h"
 #include "src/jsoniq/functions/function_library.h"
 #include "src/jsoniq/parser.h"
 #include "src/jsoniq/static_context.h"
 #include "src/jsoniq/visitor/iterator_builder.h"
+#include "src/util/stopwatch.h"
 
 namespace rumble::jsoniq {
 
@@ -38,12 +40,54 @@ namespace {
 /// override it.
 constexpr std::size_t kDefaultPlanCacheCapacity = 64;
 
+/// Flattens the executed tree's operator stats (pre-order) into the
+/// profile's operators array. Stats only accumulate while the tracer is
+/// enabled, so callers gate on that. Exclusive time is clamped at zero —
+/// children evaluated on executor threads can overlap each other.
+void CollectOperatorProfiles(const RuntimeIterator& node,
+                             std::vector<obs::OperatorProfile>* out) {
+  obs::OperatorProfile op;
+  op.name = node.DisplayName();
+  op.rows = node.op_stats().items.load(std::memory_order_relaxed);
+  op.opens = node.op_stats().opens.load(std::memory_order_relaxed);
+  op.total_nanos = node.op_stats().busy_nanos.load(std::memory_order_relaxed);
+  std::int64_t child_nanos = 0;
+  for (const RuntimeIteratorPtr& child : node.children()) {
+    child_nanos +=
+        child->op_stats().busy_nanos.load(std::memory_order_relaxed);
+  }
+  op.self_nanos = std::max<std::int64_t>(0, op.total_nanos - child_nanos);
+  out->push_back(std::move(op));
+  for (const RuntimeIteratorPtr& child : node.children()) {
+    CollectOperatorProfiles(*child, out);
+  }
+}
+
+/// Copies the query's resource stats onto its (frozen-after-Finalize)
+/// profile. Reads are relaxed: the owning thread calls this after execution
+/// finished and the scope unbound, so no writer is concurrent.
+void FillResourceStats(const exec::QueryResourceStats& stats,
+                       obs::QueryProfile* profile) {
+  profile->peak_bytes = static_cast<std::int64_t>(
+      stats.peak_bytes.load(std::memory_order_relaxed));
+  profile->spill_bytes_written =
+      stats.spill_bytes_written.load(std::memory_order_relaxed);
+  profile->spill_bytes_read =
+      stats.spill_bytes_read.load(std::memory_order_relaxed);
+  profile->spill_files = stats.spill_files.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Rumble::Rumble(common::RumbleConfig config)
     : engine_(MakeEngineContext(config)),
       globals_(std::make_shared<DynamicContext>()),
-      plan_cache_(std::make_unique<PlanCache>(kDefaultPlanCacheCapacity)) {}
+      plan_cache_(std::make_unique<PlanCache>(kDefaultPlanCacheCapacity)) {
+  if (!config.slow_query_log_path.empty() && config.slow_query_ms > 0) {
+    engine_->spark->bus().profiler()->SetSlowQueryLog(
+        config.slow_query_log_path, config.slow_query_ms);
+  }
+}
 
 void Rumble::ResetPlanCache(std::size_t capacity) {
   plan_cache_ = std::make_unique<PlanCache>(capacity);
@@ -55,27 +99,98 @@ void Rumble::BindVariable(const std::string& name, item::ItemSequence value) {
 }
 
 common::Result<RuntimeIteratorPtr> Rumble::Compile(
-    const std::string& query) const {
+    const std::string& query, CompileTimings* timings) const {
   try {
+    util::Stopwatch watch;
     ExprPtr ast = ParseQuery(query);
     // Host-bound globals are visible to static checking.
     CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
-    return BuildRuntimeIterator(ast, engine_);
+    if (timings != nullptr) timings->parse_nanos = watch.ElapsedNanos();
+    watch.Restart();
+    common::Result<RuntimeIteratorPtr> root =
+        BuildRuntimeIterator(ast, engine_);
+    if (timings != nullptr) timings->translate_nanos = watch.ElapsedNanos();
+    return root;
   } catch (const common::RumbleException& error) {
     return common::Status::FromException(error);
   }
 }
 
 common::Result<item::ItemSequence> Rumble::Run(const std::string& query) {
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  bool was_idle = in_flight_.fetch_add(1, std::memory_order_acq_rel) == 0;
+  (void)was_idle;
+#ifdef RUMBLE_ASSERT_METRICS
+  obs::EventBus& bus = engine_->spark->bus();
+  std::int64_t generation_before =
+      query_generation_.load(std::memory_order_acquire);
+  std::int64_t spill_written_before = bus.CounterValue("spill.bytes_written");
+  std::int64_t spill_read_before = bus.CounterValue("spill.bytes_read");
+  std::int64_t spill_files_before = bus.CounterValue("spill.files");
+  std::int64_t charged_before = bus.CounterValue("mem.charged_bytes_total");
+  std::int64_t forced_before = bus.CounterValue("mem.spill_triggered");
+#endif
   common::Result<item::ItemSequence> result = RunGoverned(query);
   bool last = in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+#ifdef RUMBLE_ASSERT_METRICS
+  // Profile-vs-counter cross-check. Counters are engine-global, so their
+  // deltas are attributable to this query only when it verifiably ran alone:
+  // in_flight_ was zero on both sides and the generation advanced by exactly
+  // one (no query started or finished anywhere in between).
+  bool solo = was_idle && last &&
+              query_generation_.load(std::memory_order_acquire) ==
+                  generation_before + 1;
+  std::shared_ptr<const obs::QueryProfile> profile = bus.profiler()->Latest();
+  if (solo && profile != nullptr && profile->query == query) {
+    std::int64_t written_delta =
+        bus.CounterValue("spill.bytes_written") - spill_written_before;
+    std::int64_t read_delta =
+        bus.CounterValue("spill.bytes_read") - spill_read_before;
+    std::int64_t files_delta =
+        bus.CounterValue("spill.files") - spill_files_before;
+    if (bus.CounterValue("mem.spill_triggered") == forced_before) {
+      // No forced-spill pass ran, so every spill byte the counters saw was
+      // written under this query's scope — the attribution must be exact.
+      RUMBLE_METRICS_CHECK(
+          profile->spill_bytes_written == written_delta &&
+              profile->spill_bytes_read == read_delta &&
+              profile->spill_files == files_delta,
+          "query profile spill attribution disagrees with spill.* counters");
+    } else {
+      // Forced spills run under a suspended scope (unattributed by design),
+      // so the profile can only under-count the engine-global counters.
+      RUMBLE_METRICS_CHECK(
+          profile->spill_bytes_written <= written_delta &&
+              profile->spill_bytes_read <= read_delta &&
+              profile->spill_files <= files_delta,
+          "query profile spill attribution exceeds spill.* counters");
+    }
+    if (engine_->memory == nullptr) {
+      // The budget-mode manager is deliberately bus-less: its charges reach
+      // the profile but not the counter, so only cross-check without it.
+      RUMBLE_METRICS_CHECK(
+          profile->peak_bytes <=
+              bus.CounterValue("mem.charged_bytes_total") - charged_before,
+          "query profile peak memory exceeds total bytes charged");
+    }
+    std::int64_t cpu = profile->cpu_nanos();
+    std::int64_t bound =
+        profile->wall_nanos * (engine_->config.executors + 1) + 50'000'000;
+    RUMBLE_METRICS_CHECK(
+        cpu >= 0 && cpu <= bound,
+        "query profile CPU time " + std::to_string(cpu) +
+            "ns outside [0, wall*(executors+1)] sanity bound " +
+            std::to_string(bound) + "ns");
+  }
+#endif
   FinishQuery(result.ok(), last);
   return result;
 }
 
 common::Result<item::ItemSequence> Rumble::RunGoverned(
     const std::string& query) {
+  util::Stopwatch wall_watch;
+  std::int64_t driver_cpu_start = obs::ThreadCpuNanos();
+  query_generation_.fetch_add(1, std::memory_order_acq_rel);
   exec::MemoryManager& memory = engine_->spark->memory_manager();
   exec::CancellationToken& cancel = engine_->spark->session_cancellation();
   // Admission control: a pool already exhausted beyond what spilling could
@@ -85,21 +200,42 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
   } catch (const common::RumbleException& error) {
     return common::Status::FromException(error);
   }
-  common::Result<RuntimeIteratorPtr> compiled = Compile(query);
+  CompileTimings timings;
+  common::Result<RuntimeIteratorPtr> compiled = Compile(query, &timings);
   if (!compiled.ok()) return compiled.status();
   cancel.Reset();
   cancel.SetDeadlineAfterMs(engine_->config.query_timeout_ms);
+  // Resource-attribution scope for the shell path: same session token, no
+  // per-query pool (the shell is governed by the engine-wide limit), but a
+  // stats block so memory charges and spill I/O — on this thread and on
+  // every executor task, which re-binds the scope — land on this query's
+  // profile (docs/PROFILING.md).
+  exec::QueryResourceStats stats;
+  exec::QueryScope scope;
+  scope.cancel = &cancel;
+  scope.memory = nullptr;
+  scope.stats = &stats;
+  exec::QueryScopeBinding scope_binding(&scope);
   // One query run = one job in the event log; every stage the executor pool
   // runs during evaluation lands under this job id.
   obs::EventBus& bus = engine_->spark->bus();
   std::int64_t job = bus.BeginJob(query);
+  std::shared_ptr<obs::QueryProfile> profile =
+      bus.profiler()->Begin(job, query, /*tenant=*/"", /*served=*/false);
+  profile->parse_nanos = timings.parse_nanos;
+  profile->translate_nanos = timings.translate_nanos;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_[job] = &cancel;
   }
+  // Bind the job to this thread so every stage the pool runs during
+  // evaluation can look up this query's profile and credit its tasks'
+  // CPU time (docs/PROFILING.md).
+  obs::ThreadJobBinding job_binding(job);
   // Root of the span hierarchy: stage spans begun on this thread during
   // evaluation parent to the job span implicitly (docs/TRACING.md).
   obs::ScopedSpan job_span(bus.tracer(), "job", query);
+  util::Stopwatch execute_watch;
   common::Result<item::ItemSequence> result = [&] {
     try {
       if (engine_->memory != nullptr) {
@@ -109,6 +245,7 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
       job_span.AddArg("rows_out", static_cast<std::int64_t>(items.size()));
       bus.EndJob(job, {{"query.rows_out",
                         static_cast<std::int64_t>(items.size())}});
+      profile->rows_out = static_cast<std::int64_t>(items.size());
       return common::Result<item::ItemSequence>(std::move(items));
     } catch (const common::RumbleException& error) {
       job_span.AddArg("failed", 1);
@@ -118,15 +255,27 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
         bus.AddToCounter("cancel.observed", 1);
       }
       bus.EndJob(job, {{"failed", 1}});
+      profile->failed = true;
+      profile->error = error.what();
       return common::Result<item::ItemSequence>(
           common::Status::FromException(error));
     }
   }();
+  profile->execute_nanos = execute_watch.ElapsedNanos();
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_.erase(job);
   }
   cancel.SetDeadlineAfterMs(0);
+  // Operator actuals only accumulate under tracing (EXPLAIN ANALYZE or
+  // --trace); skip the walk otherwise — the stats would be all zeros.
+  if (bus.tracer()->enabled()) {
+    CollectOperatorProfiles(*compiled.value(), &profile->operators);
+  }
+  FillResourceStats(stats, profile.get());
+  profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
+  profile->wall_nanos = wall_watch.ElapsedNanos();
+  bus.profiler()->Finalize(profile);
   return result;
 }
 
@@ -177,6 +326,9 @@ common::Result<ServeResult> Rumble::ServeQuery(
     const std::string& query, const ServeOptions& options,
     const std::function<void(const ServeStart&)>& on_start,
     const std::function<bool(std::string_view)>& sink) {
+  util::Stopwatch wall_watch;
+  std::int64_t driver_cpu_start = obs::ThreadCpuNanos();
+  query_generation_.fetch_add(1, std::memory_order_acq_rel);
   exec::MemoryManager& memory = engine_->spark->memory_manager();
   obs::EventBus& bus = engine_->spark->bus();
   try {
@@ -191,6 +343,7 @@ common::Result<ServeResult> Rumble::ServeQuery(
   std::string key = PlanCache::NormalizeQueryText(query);
   RuntimeIteratorPtr root;
   bool cache_hit = false;
+  CompileTimings timings;
   if (options.use_plan_cache && plan_cache_ != nullptr) {
     root = plan_cache_->Lookup(key);
     cache_hit = root != nullptr;
@@ -200,13 +353,17 @@ common::Result<ServeResult> Rumble::ServeQuery(
   if (root == nullptr) {
     try {
       ExprPtr ast;
+      util::Stopwatch compile_watch;
       {
         obs::ScopedSpan parse_span(bus.tracer(), "serve.parse", query);
         ast = ParseQuery(query);
         CheckStaticContext(*ast, FunctionLibrary::Global(), globals_names_);
       }
+      timings.parse_nanos = compile_watch.ElapsedNanos();
+      compile_watch.Restart();
       obs::ScopedSpan translate_span(bus.tracer(), "serve.translate", query);
       root = BuildRuntimeIterator(ast, engine_);
+      timings.translate_nanos = compile_watch.ElapsedNanos();
     } catch (const common::RumbleException& error) {
       return common::Status::FromException(error);
     }
@@ -228,14 +385,22 @@ common::Result<ServeResult> Rumble::ServeQuery(
                                : engine_->config.query_timeout_ms);
   std::optional<exec::QueryMemoryPool> pool;
   if (options.memory_cap_bytes > 0) pool.emplace(options.memory_cap_bytes);
+  exec::QueryResourceStats stats;
   exec::QueryScope scope;
   scope.cancel = &token;
   scope.memory = pool.has_value() ? &pool.value() : nullptr;
+  scope.stats = &stats;
   exec::QueryScopeBinding scope_binding(&scope);
 
   // Detached job: visible and cancellable on /jobs without stealing stage
   // attribution from a concurrent shell query.
   std::int64_t job = bus.BeginJob(query, /*detached=*/true);
+  std::shared_ptr<obs::QueryProfile> profile =
+      bus.profiler()->Begin(job, query, options.tenant, /*served=*/true);
+  profile->plan_cache_hit = cache_hit;
+  profile->queue_wait_nanos = options.queue_wait_nanos;
+  profile->parse_nanos = timings.parse_nanos;
+  profile->translate_nanos = timings.translate_nanos;
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_[job] = &token;
@@ -253,6 +418,7 @@ common::Result<ServeResult> Rumble::ServeQuery(
   out.plan_cache_hit = cache_hit;
   std::uint64_t rows = 0;
   std::uint64_t bytes = 0;
+  util::Stopwatch execute_watch;
   common::Result<ServeResult> result = [&]() -> common::Result<ServeResult> {
     obs::ScopedSpan request_span(
         bus.tracer(), "serve.request",
@@ -311,18 +477,38 @@ common::Result<ServeResult> Rumble::ServeQuery(
         bus.AddToCounter("cancel.observed", 1);
       }
       bus.EndJob(job, {{"failed", 1}});
+      profile->failed = true;
+      profile->error = error.what();
       return common::Result<ServeResult>(common::Status::FromException(error));
     }
   }();
+  profile->execute_nanos = execute_watch.ElapsedNanos();
+  profile->rows_out = static_cast<std::int64_t>(rows);
+  profile->bytes_out = static_cast<std::int64_t>(bytes);
   bus.AddToCounter("serving.rows_streamed", static_cast<std::int64_t>(rows));
   bus.AddToCounter("serving.bytes_streamed", static_cast<std::int64_t>(bytes));
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_.erase(job);
   }
+  if (bus.tracer()->enabled() && root != nullptr) {
+    CollectOperatorProfiles(*root, &profile->operators);
+  }
   // Destroy the executed tree before the drained-pool check: its destructors
   // release every reservation and unlink every spill file it still held.
   root.reset();
+  FillResourceStats(stats, profile.get());
+  profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
+  // The profile's wall time is end-to-end from the client's perspective:
+  // scheduler admission wait (spent before ServeQuery was entered) plus
+  // everything from entry to here. The slow-query threshold keys off this.
+  profile->wall_nanos = options.queue_wait_nanos + wall_watch.ElapsedNanos();
+  bus.profiler()->Finalize(profile);
+  if (result.ok()) {
+    result.value().cpu_nanos = profile->cpu_nanos();
+    result.value().peak_bytes = profile->peak_bytes;
+    result.value().spill_bytes = profile->spill_bytes_written;
+  }
   bool last = in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
   FinishQuery(result.ok(), last);
   return result;

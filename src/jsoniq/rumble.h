@@ -33,6 +33,9 @@ struct ServeOptions {
   std::uint64_t memory_cap_bytes = 0;
   /// Compile through the plan cache (repeat queries skip parse/translate).
   bool use_plan_cache = true;
+  /// Admission wait already spent in the serving scheduler before ServeQuery
+  /// was entered; recorded on the query profile (docs/PROFILING.md).
+  std::int64_t queue_wait_nanos = 0;
 };
 
 /// Delivered to the on_start callback once a served query is compiled,
@@ -49,6 +52,12 @@ struct ServeResult {
   std::uint64_t rows = 0;
   std::uint64_t bytes = 0;
   bool plan_cache_hit = false;
+  /// Resource attribution from the query's profile (docs/PROFILING.md): the
+  /// serving layer reports these as the X-Rumble-CPU-Ms / X-Rumble-Peak-Bytes
+  /// response trailers and folds them into the per-tenant totals.
+  std::int64_t cpu_nanos = 0;
+  std::int64_t peak_bytes = 0;
+  std::int64_t spill_bytes = 0;
 };
 
 /// The public engine facade. One Rumble instance corresponds to one Spark
@@ -165,7 +174,14 @@ class Rumble {
   obs::EventBus& event_bus() { return engine_->spark->bus(); }
 
  private:
-  common::Result<RuntimeIteratorPtr> Compile(const std::string& query) const;
+  /// Compile-phase wall timings, recorded on the query profile.
+  struct CompileTimings {
+    std::int64_t parse_nanos = 0;
+    std::int64_t translate_nanos = 0;
+  };
+
+  common::Result<RuntimeIteratorPtr> Compile(
+      const std::string& query, CompileTimings* timings = nullptr) const;
 
   /// Runs a compiled query under memory governance: admission control,
   /// cancellation token reset + deadline arming, job registration for
@@ -193,6 +209,11 @@ class Rumble {
   std::mutex jobs_mu_;
   std::map<std::int64_t, exec::CancellationToken*> active_jobs_;
   std::atomic<int> in_flight_{0};
+  /// Bumped at the start of every query (shell or served). Run()'s
+  /// ASSERT_METRICS profile-vs-counter cross-check only fires when the
+  /// generation advanced by exactly one across the run — i.e. the query
+  /// verifiably ran alone, so counter deltas are attributable to it.
+  std::atomic<std::int64_t> query_generation_{0};
 };
 
 }  // namespace rumble::jsoniq

@@ -5,6 +5,11 @@
 #include <sstream>
 #include <stdexcept>
 
+// Implementation-only dependency for spill attribution (AddToCounter);
+// exec/query_scope.h is itself header-dependency-free, so this does not
+// create a header cycle with the exec layer.
+#include "src/exec/query_scope.h"
+
 namespace rumble::obs {
 
 namespace {
@@ -141,8 +146,8 @@ void EventBus::Publish(Event event) {
   event.sequence = next_sequence_++;
   event.wall_nanos = NowNanos();
   if (log_ != nullptr && log_->is_open()) {
-    *log_ << EventToJson(event) << '\n';
-    if (event.kind == EventKind::kJobEnd) log_->flush();
+    log_->Append(EventToJson(event),
+                 /*flush=*/event.kind == EventKind::kJobEnd);
   }
   if (events_.size() >= kMaxRetainedEvents) {
     // Drop the oldest half; snapshots keep working on recent history.
@@ -346,6 +351,24 @@ CounterCell* EventBus::GetCounter(const std::string& name) {
 
 void EventBus::AddToCounter(const std::string& name, std::int64_t delta) {
   GetCounter(name)->value.fetch_add(delta, std::memory_order_relaxed);
+  // Per-query spill attribution rides the counter bump itself: every spill
+  // site in src/spark and src/df reports here, so the owning query's
+  // resource stats stay exactly in step with the engine-wide spill.*
+  // counters — the invariant the ASSERT_METRICS profile cross-check relies
+  // on (docs/PROFILING.md). Victims force-spilled on another query's behalf
+  // run under a suspended scope and are deliberately not attributed.
+  if (name.compare(0, 6, "spill.") == 0) {
+    if (exec::QueryResourceStats* stats = exec::CurrentQueryStats()) {
+      if (name == "spill.bytes_written") {
+        stats->spill_bytes_written.fetch_add(delta,
+                                             std::memory_order_relaxed);
+      } else if (name == "spill.bytes_read") {
+        stats->spill_bytes_read.fetch_add(delta, std::memory_order_relaxed);
+      } else if (name == "spill.files") {
+        stats->spill_files.fetch_add(delta, std::memory_order_relaxed);
+      }
+    }
+  }
 }
 
 std::int64_t EventBus::CounterValue(const std::string& name) const {
@@ -493,10 +516,11 @@ std::string EventBus::RenderCounterDelta(
   return out;
 }
 
-bool EventBus::SetLogFile(const std::string& path) {
+bool EventBus::SetLogFile(const std::string& path,
+                          RotatingLogFile::Options options) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto log = std::make_unique<std::ofstream>(path, std::ios::trunc);
-  if (!log->is_open()) return false;
+  auto log = std::make_unique<RotatingLogFile>();
+  if (!log->Open(path, options)) return false;
   log_ = std::move(log);
   return true;
 }
@@ -504,9 +528,14 @@ bool EventBus::SetLogFile(const std::string& path) {
 void EventBus::CloseLogFile() {
   std::lock_guard<std::mutex> lock(mu_);
   if (log_ != nullptr) {
-    log_->flush();
+    log_->Flush();
     log_.reset();
   }
+}
+
+int EventBus::log_rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_ != nullptr ? log_->rotations() : 0;
 }
 
 void EventBus::Reset() {
@@ -549,10 +578,35 @@ void AppendDouble(double value, std::string* out) {
 
 std::string EventBus::PrometheusText() const {
   std::string out;
+  std::string last_metric;
   for (const auto& [name, value] : CounterSnapshot()) {
-    std::string metric = "rumble_" + PrometheusName(name) + "_total";
-    out += "# TYPE " + metric + " counter\n";
-    out += metric + " " + std::to_string(value) + "\n";
+    // Labeled counters use the `base|key=value` naming convention (the
+    // serving layer's per-tenant counters, e.g.
+    // `serving.tenant.requests|tenant=batch`) and render as one Prometheus
+    // series per label value under the base metric name
+    // (docs/METRICS.md, docs/PROFILING.md).
+    std::string base = name;
+    std::string labels;
+    std::size_t bar = name.find('|');
+    if (bar != std::string::npos) {
+      base = name.substr(0, bar);
+      std::string label = name.substr(bar + 1);
+      std::size_t eq = label.find('=');
+      if (eq != std::string::npos) {
+        std::string label_value;
+        AppendJsonEscaped(label.substr(eq + 1), &label_value);
+        labels = "{" + PrometheusName(label.substr(0, eq)) + "=\"" +
+                 label_value + "\"}";
+      }
+    }
+    std::string metric = "rumble_" + PrometheusName(base) + "_total";
+    // The snapshot map is sorted, so every label variant of one base metric
+    // is contiguous; emit the TYPE line once per base.
+    if (metric != last_metric) {
+      out += "# TYPE " + metric + " counter\n";
+      last_metric = metric;
+    }
+    out += metric + labels + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, snap] : metrics_.Snapshot()) {
     std::string metric = "rumble_" + PrometheusName(name);

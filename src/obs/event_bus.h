@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +12,8 @@
 #include <vector>
 
 #include "src/obs/metrics_registry.h"
+#include "src/obs/query_profiler.h"
+#include "src/obs/rotating_log.h"
 #include "src/obs/tracer.h"
 
 namespace rumble::obs {
@@ -190,9 +191,14 @@ class EventBus {
   // ---- JSONL event log ----------------------------------------------------
   /// Streams every subsequently published event to `path` as one JSON object
   /// per line (schema in docs/METRICS.md). Replaces any previous log file.
-  /// Returns false when the file cannot be opened.
-  bool SetLogFile(const std::string& path);
+  /// The sink is size-capped and rotated (`options` — default 64 MiB live
+  /// file, 3 numbered archives) so a long serving run never grows it without
+  /// bound. Returns false when the file cannot be opened.
+  bool SetLogFile(const std::string& path,
+                  RotatingLogFile::Options options = RotatingLogFile::Options{});
   void CloseLogFile();
+  /// How many times the event log rotated since SetLogFile (0 when no log).
+  int log_rotations() const;
 
   /// Clears retained events, zeroes all counters and histograms, and clears
   /// recorded spans (the log file, if any, stays attached). Benchmarks call
@@ -205,6 +211,11 @@ class EventBus {
   Tracer* tracer() { return &tracer_; }
   /// The per-engine latency-histogram registry (docs/METRICS.md).
   MetricsRegistry* metrics() { return &metrics_; }
+  /// The per-engine query-profile registry and slow-query sink
+  /// (docs/PROFILING.md). The engine begins/finalizes profiles around every
+  /// job; the executor pool and memory manager feed them; the metrics
+  /// server renders them at GET /jobs/<id>/profile.
+  QueryProfiler* profiler() { return &profiler_; }
 
   // ---- Renderers for the metrics endpoint -----------------------------------
   /// Counters and histograms in Prometheus text exposition format
@@ -248,10 +259,11 @@ class EventBus {
   std::int64_t current_job_ = -1;
   std::map<std::int64_t, OpenStage> open_stages_;
   std::map<std::string, std::unique_ptr<CounterCell>> counters_;
-  std::unique_ptr<std::ofstream> log_;
+  std::unique_ptr<RotatingLogFile> log_;
   std::chrono::steady_clock::time_point epoch_;
   Tracer tracer_;
   MetricsRegistry metrics_;
+  QueryProfiler profiler_;
   /// Cached cells for the built-in duration histograms recorded by
   /// TaskEnd/EndStage/EndJob (names in docs/METRICS.md).
   Histogram* task_duration_hist_;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <thread>
 
+#include "src/common/version.h"
 #include "src/exec/fault_injector.h"
 #include "src/obs/event_bus.h"
 
@@ -40,6 +41,29 @@ bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
     return false;
   if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0)
     return false;
+  std::string digits =
+      path.substr(prefix.size(), path.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  std::int64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *job_id = value;
+  return true;
+}
+
+/// Parses "/jobs/<id>" (suffix empty) or "/jobs/<id>/profile"
+/// (suffix "/profile"); returns false on any other shape.
+bool ParseJobPath(const std::string& path, const std::string& suffix,
+                  std::int64_t* job_id) {
+  const std::string prefix = "/jobs/";
+  if (path.rfind(prefix, 0) != 0) return false;
+  if (path.size() <= prefix.size() + suffix.size()) return false;
+  if (!suffix.empty() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
   std::string digits =
       path.substr(prefix.size(), path.size() - prefix.size() - suffix.size());
   if (digits.empty()) return false;
@@ -277,7 +301,8 @@ void HttpResponseWriter::Respond(const std::string& status,
 
 bool HttpResponseWriter::BeginChunked(const std::string& status,
                                       const std::string& content_type,
-                                      const Headers& extra) {
+                                      const Headers& extra,
+                                      const std::string& trailer) {
   if (headers_sent_) return false;
   headers_sent_ = true;
   chunked_ = true;
@@ -285,6 +310,7 @@ bool HttpResponseWriter::BeginChunked(const std::string& status,
   for (const auto& [name, value] : extra) {
     out += "\r\n" + name + ": " + value;
   }
+  if (!trailer.empty()) out += "\r\nTrailer: " + trailer;
   out += "\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
   return SendAll(out);
 }
@@ -302,9 +328,14 @@ bool HttpResponseWriter::WriteChunk(std::string_view data) {
   return SendAll(out);
 }
 
-void HttpResponseWriter::EndChunked() {
+void HttpResponseWriter::EndChunked(const Headers& trailers) {
   if (!chunked_ || client_gone_) return;
-  SendAll("0\r\n\r\n");
+  std::string out = "0\r\n";
+  for (const auto& [name, value] : trailers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "\r\n";
+  SendAll(out);
 }
 
 bool MetricsServer::Start(int port) {
@@ -521,10 +552,39 @@ void MetricsServer::Dispatch(const HttpRequest& request,
                    bus_->PrometheusText());
   } else if (request.path == "/jobs") {
     writer.Respond("200 OK", "application/json", bus_->JobsJson());
+  } else if (ParseJobPath(request.path, "/profile", &job_id)) {
+    // The query's full end-to-end profile (docs/PROFILING.md): live while it
+    // runs, retained after it finishes until it ages out of the ring.
+    std::shared_ptr<const QueryProfile> profile =
+        bus_->profiler()->Get(job_id);
+    if (profile == nullptr) {
+      writer.Respond("404 Not Found", "application/json",
+                     "{\"error\":\"unknown_job\",\"job\":" +
+                         std::to_string(job_id) + "}\n");
+    } else {
+      writer.Respond("200 OK", "application/json",
+                     QueryProfiler::ToJson(*profile) + "\n");
+    }
+  } else if (ParseJobPath(request.path, "", &job_id)) {
+    std::shared_ptr<const QueryProfile> profile =
+        bus_->profiler()->Get(job_id);
+    if (profile == nullptr) {
+      writer.Respond("404 Not Found", "application/json",
+                     "{\"error\":\"unknown_job\",\"job\":" +
+                         std::to_string(job_id) + "}\n");
+    } else {
+      writer.Respond("200 OK", "application/json",
+                     QueryProfiler::SummaryJson(*profile) + "\n");
+    }
+  } else if (request.path == "/version") {
+    writer.Respond("200 OK", "application/json",
+                   common::VersionJson() + "\n");
   } else if (request.path == "/healthz") {
     // Liveness: the process accepts sockets and answers — nothing more. A
-    // draining or saturated server is still alive.
-    writer.Respond("200 OK", "text/plain", "ok\n");
+    // draining or saturated server is still alive. The first line stays the
+    // bare "ok" probes grep for; the second identifies the build.
+    writer.Respond("200 OK", "text/plain",
+                   "ok\n" + common::VersionString() + "\n");
   } else if (request.path == "/readyz") {
     // Readiness: should a load balancer send NEW work here? The serving
     // layer's probe folds in drain state, scheduler saturation, and memory
@@ -553,10 +613,13 @@ void MetricsServer::Dispatch(const HttpRequest& request,
                    "rumble metrics endpoint\n"
                    "  /metrics            Prometheus text exposition\n"
                    "  /jobs               live job/stage/task state\n"
+                   "  /jobs/<id>          one job's profile summary\n"
+                   "  /jobs/<id>/profile  one job's full query profile\n"
                    "  /jobs/<id>/cancel   POST: cancel a running job\n"
                    "  /query              POST: run a JSONiq query "
                    "(JSON-Lines stream)\n"
                    "  /serving            serving-layer stats\n"
+                   "  /version            build identity\n"
                    "  /healthz            liveness probe\n"
                    "  /readyz             readiness probe\n");
   } else {

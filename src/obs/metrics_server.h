@@ -71,13 +71,18 @@ class HttpResponseWriter {
                const std::string& body, const Headers& extra = {});
 
   /// Sends status line + headers and switches to chunked transfer encoding.
+  /// `trailer` (e.g. "X-Rumble-CPU-Ms, X-Rumble-Peak-Bytes") is announced as
+  /// the Trailer header so clients know which fields EndChunked will append.
   /// Returns false (nothing sent) if headers already went out.
   bool BeginChunked(const std::string& status, const std::string& content_type,
-                    const Headers& extra = {});
+                    const Headers& extra = {},
+                    const std::string& trailer = std::string());
   /// Streams one chunk; false once the client is gone (the data is dropped).
   bool WriteChunk(std::string_view data);
-  /// Sends the terminating zero-length chunk.
-  void EndChunked();
+  /// Sends the terminating zero-length chunk, carrying `trailers` as HTTP
+  /// trailer fields — how per-query resource usage (CPU time, peak memory)
+  /// reaches the client when the values only exist after the stream ends.
+  void EndChunked(const Headers& trailers = {});
 
   bool headers_sent() const { return headers_sent_; }
   bool chunked() const { return chunked_; }

@@ -1,0 +1,199 @@
+#include "src/obs/query_profiler.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/obs/tracer.h"
+
+namespace rumble::obs {
+
+std::int64_t ThreadCpuNanos() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+std::shared_ptr<QueryProfile> QueryProfiler::Begin(std::int64_t job_id,
+                                                   std::string query,
+                                                   std::string tenant,
+                                                   bool served) {
+  auto profile = std::make_shared<QueryProfile>();
+  profile->job_id = job_id;
+  profile->query = std::move(query);
+  profile->tenant = std::move(tenant);
+  profile->served = served;
+  profile->started_unix_millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[job_id] = profile;
+  return profile;
+}
+
+std::shared_ptr<QueryProfile> QueryProfiler::Find(std::int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(job_id);
+  return it != live_.end() ? it->second : nullptr;
+}
+
+void QueryProfiler::Finalize(const std::shared_ptr<QueryProfile>& profile) {
+  if (profile == nullptr) return;
+  std::string slow_line;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (profile->finished) return;
+    profile->finished = true;
+    live_.erase(profile->job_id);
+    completed_.push_back(profile);
+    if (completed_.size() > kRetainedProfiles) completed_.pop_front();
+    latest_ = profile;
+  }
+  // Render outside mu_ (the renderer only reads, and the profile is frozen
+  // now), append under the log's own lock.
+  std::lock_guard<std::mutex> log_lock(log_mu_);
+  if (slow_threshold_ms_ > 0 && slow_log_.is_open() &&
+      profile->wall_nanos >= slow_threshold_ms_ * 1'000'000) {
+    slow_log_.Append(ToJson(*profile), /*flush=*/true);
+    ++slow_logged_;
+  }
+}
+
+std::shared_ptr<const QueryProfile> QueryProfiler::Get(
+    std::int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(job_id);
+  if (it != live_.end()) return it->second;
+  // Most lookups target recent jobs; scan the ring newest-first.
+  for (auto rit = completed_.rbegin(); rit != completed_.rend(); ++rit) {
+    if ((*rit)->job_id == job_id) return *rit;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const QueryProfile> QueryProfiler::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+std::string QueryProfiler::ToJson(const QueryProfile& profile) {
+  std::string out = "{\"job\":" + std::to_string(profile.job_id);
+  out += ",\"query\":\"";
+  AppendJsonEscaped(profile.query, &out);
+  out += "\",\"tenant\":\"";
+  AppendJsonEscaped(profile.tenant, &out);
+  out += "\",\"served\":";
+  out += profile.served ? "true" : "false";
+  out += ",\"state\":\"";
+  out += !profile.finished ? "running" : (profile.failed ? "failed"
+                                                         : "succeeded");
+  out += "\"";
+  if (!profile.error.empty()) {
+    out += ",\"error\":\"";
+    AppendJsonEscaped(profile.error, &out);
+    out += "\"";
+  }
+  out += ",\"plan_cache_hit\":";
+  out += profile.plan_cache_hit ? "true" : "false";
+  out += ",\"started_unix_ms\":" +
+         std::to_string(profile.started_unix_millis);
+  out += ",\"wall_ns\":" + std::to_string(profile.wall_nanos);
+  out += ",\"queue_wait_ns\":" + std::to_string(profile.queue_wait_nanos);
+  out += ",\"parse_ns\":" + std::to_string(profile.parse_nanos);
+  out += ",\"translate_ns\":" + std::to_string(profile.translate_nanos);
+  out += ",\"optimize_ns\":" +
+         std::to_string(
+             profile.optimize_nanos.load(std::memory_order_relaxed));
+  out += ",\"execute_ns\":" + std::to_string(profile.execute_nanos);
+  out += ",\"cpu_ns\":" + std::to_string(profile.cpu_nanos());
+  out += ",\"task_cpu_ns\":" +
+         std::to_string(
+             profile.task_cpu_nanos.load(std::memory_order_relaxed));
+  out += ",\"driver_cpu_ns\":" + std::to_string(profile.driver_cpu_nanos);
+  out += ",\"peak_bytes\":" + std::to_string(profile.peak_bytes);
+  out += ",\"spill_bytes_written\":" +
+         std::to_string(profile.spill_bytes_written);
+  out += ",\"spill_bytes_read\":" + std::to_string(profile.spill_bytes_read);
+  out += ",\"spill_files\":" + std::to_string(profile.spill_files);
+  out += ",\"tasks\":" +
+         std::to_string(profile.tasks.load(std::memory_order_relaxed));
+  out += ",\"task_failures\":" +
+         std::to_string(
+             profile.task_failures.load(std::memory_order_relaxed));
+  out += ",\"task_retries\":" +
+         std::to_string(
+             profile.task_retries.load(std::memory_order_relaxed));
+  out += ",\"rows_out\":" + std::to_string(profile.rows_out);
+  out += ",\"bytes_out\":" + std::to_string(profile.bytes_out);
+  out += ",\"operators\":[";
+  bool first = true;
+  for (const OperatorProfile& op : profile.operators) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(op.name, &out);
+    out += "\",\"rows\":" + std::to_string(op.rows);
+    out += ",\"opens\":" + std::to_string(op.opens);
+    out += ",\"total_ns\":" + std::to_string(op.total_nanos);
+    out += ",\"self_ns\":" + std::to_string(op.self_nanos);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfiler::SummaryJson(const QueryProfile& profile) {
+  std::string out = "{\"job\":" + std::to_string(profile.job_id);
+  out += ",\"query\":\"";
+  AppendJsonEscaped(profile.query, &out);
+  out += "\",\"tenant\":\"";
+  AppendJsonEscaped(profile.tenant, &out);
+  out += "\",\"served\":";
+  out += profile.served ? "true" : "false";
+  out += ",\"state\":\"";
+  out += !profile.finished ? "running" : (profile.failed ? "failed"
+                                                         : "succeeded");
+  out += "\",\"started_unix_ms\":" +
+         std::to_string(profile.started_unix_millis);
+  out += ",\"wall_ns\":" + std::to_string(profile.wall_nanos);
+  out += ",\"cpu_ns\":" + std::to_string(profile.cpu_nanos());
+  out += ",\"peak_bytes\":" + std::to_string(profile.peak_bytes);
+  out += ",\"spill_bytes_written\":" +
+         std::to_string(profile.spill_bytes_written);
+  out += ",\"tasks\":" +
+         std::to_string(profile.tasks.load(std::memory_order_relaxed));
+  out += ",\"rows_out\":" + std::to_string(profile.rows_out);
+  out += "}";
+  return out;
+}
+
+bool QueryProfiler::SetSlowQueryLog(const std::string& path,
+                                    std::int64_t threshold_ms,
+                                    RotatingLogFile::Options options) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (threshold_ms <= 0) return false;  // disabled: don't even open the file
+  if (!slow_log_.Open(path, options)) return false;
+  slow_threshold_ms_ = threshold_ms;
+  slow_logged_ = 0;
+  return true;
+}
+
+void QueryProfiler::CloseSlowQueryLog() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  slow_log_.Close();
+  slow_threshold_ms_ = 0;
+}
+
+std::int64_t QueryProfiler::slow_queries_logged() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return slow_logged_;
+}
+
+}  // namespace rumble::obs

@@ -1,0 +1,167 @@
+#ifndef RUMBLE_OBS_QUERY_PROFILER_H_
+#define RUMBLE_OBS_QUERY_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/rotating_log.h"
+
+namespace rumble::obs {
+
+/// CPU time consumed by the calling thread so far
+/// (clock_gettime(CLOCK_THREAD_CPUTIME_ID)); 0 when the clock is
+/// unavailable. The ExecutorPool samples this at task-attempt boundaries and
+/// credits the delta to the owning query's profile; the engine samples it on
+/// the driver/serving thread around the whole query.
+std::int64_t ThreadCpuNanos();
+
+/// Per-operator actuals carried on a profile when the span tracer was
+/// enabled for the query (EXPLAIN ANALYZE / --trace); empty otherwise —
+/// operator stats only accumulate under tracing (docs/TRACING.md).
+struct OperatorProfile {
+  std::string name;
+  std::int64_t rows = 0;
+  std::int64_t opens = 0;
+  std::int64_t total_nanos = 0;
+  std::int64_t self_nanos = 0;
+};
+
+/// One query's end-to-end resource profile (docs/PROFILING.md): the answer
+/// to "which query/tenant burned the CPU, memory, and spill I/O?". Assembled
+/// by the engine (jsoniq::Rumble::Run / ServeQuery) around execution;
+/// the atomic fields are fed concurrently by executor workers (CPU samples,
+/// task counts) and by MemoryManager/spill writers via the query's
+/// exec::QueryResourceStats. Plain fields are written by the owning
+/// driver/serving thread only.
+struct QueryProfile {
+  std::int64_t job_id = -1;
+  std::string query;
+  std::string tenant;  // empty on the shell path
+  bool served = false;
+  bool plan_cache_hit = false;
+
+  // Wall-clock phases, nanoseconds. queue_wait is the serving scheduler's
+  // admission wait; parse/translate/optimize are zero on a plan-cache hit.
+  // optimize is atomic because DataFrame plan optimization can run lazily on
+  // whichever thread first forces the frame (possibly an executor worker).
+  std::int64_t queue_wait_nanos = 0;
+  std::int64_t parse_nanos = 0;
+  std::int64_t translate_nanos = 0;
+  std::atomic<std::int64_t> optimize_nanos{0};
+  std::int64_t execute_nanos = 0;
+  std::int64_t wall_nanos = 0;
+
+  // CPU attribution: task_cpu is summed over every committed/failed task
+  // attempt body (CLOCK_THREAD_CPUTIME_ID deltas); driver_cpu covers the
+  // driver/serving thread including parse/translate and result streaming.
+  std::atomic<std::int64_t> task_cpu_nanos{0};
+  std::int64_t driver_cpu_nanos = 0;
+
+  // Memory/spill attribution (exec::QueryResourceStats, docs/PROFILING.md).
+  std::int64_t peak_bytes = 0;
+  std::int64_t spill_bytes_written = 0;
+  std::int64_t spill_bytes_read = 0;
+  std::int64_t spill_files = 0;
+
+  // Scheduler-side counts, fed by the ExecutorPool per attempt.
+  std::atomic<std::int64_t> tasks{0};
+  std::atomic<std::int64_t> task_failures{0};
+  std::atomic<std::int64_t> task_retries{0};
+
+  std::int64_t rows_out = 0;
+  std::int64_t bytes_out = 0;
+
+  // Lifecycle. started_unix_millis is wall-clock (system_clock) for log
+  // correlation; everything else is steady-clock durations.
+  bool finished = false;
+  bool failed = false;
+  std::string error;
+  std::int64_t started_unix_millis = 0;
+
+  std::vector<OperatorProfile> operators;
+
+  std::int64_t cpu_nanos() const {
+    return task_cpu_nanos.load(std::memory_order_relaxed) + driver_cpu_nanos;
+  }
+};
+
+/// Registry + renderer + slow-query sink for query profiles. One instance
+/// lives on the per-engine EventBus (bus->profiler()) so every layer that
+/// can already reach the bus — the engine, the executor pool, the metrics
+/// server — can reach the profiles.
+///
+/// Lifecycle: the engine Begin()s a profile right after BeginJob (keyed by
+/// the job id), workers feed its atomics while the query runs, and the
+/// engine Finalize()s it at job end — which freezes it, moves it to the
+/// completed ring (most recent kRetainedProfiles kept), and appends it to
+/// the slow-query log when the query's wall time met the threshold.
+class QueryProfiler {
+ public:
+  static constexpr std::size_t kRetainedProfiles = 256;
+
+  QueryProfiler() = default;
+
+  QueryProfiler(const QueryProfiler&) = delete;
+  QueryProfiler& operator=(const QueryProfiler&) = delete;
+
+  std::shared_ptr<QueryProfile> Begin(std::int64_t job_id, std::string query,
+                                      std::string tenant, bool served);
+
+  /// The live (unfinished) profile for a job; nullptr when the job is not
+  /// running. The ExecutorPool looks the profile up once per stage and then
+  /// feeds its atomics lock-free per task.
+  std::shared_ptr<QueryProfile> Find(std::int64_t job_id) const;
+
+  /// Freezes the profile, retires it to the completed ring, and writes it to
+  /// the slow-query log when wall_nanos >= threshold. Idempotent per job.
+  void Finalize(const std::shared_ptr<QueryProfile>& profile);
+
+  /// Live or completed profile by job id; nullptr when unknown (expired out
+  /// of the ring or never profiled).
+  std::shared_ptr<const QueryProfile> Get(std::int64_t job_id) const;
+
+  /// The most recently *finished* profile (the shell's `:profile` target);
+  /// nullptr before any query ran.
+  std::shared_ptr<const QueryProfile> Latest() const;
+
+  /// Renders one profile as a single-line JSON object (the
+  /// `GET /jobs/<id>/profile` body and the slow-query log record —
+  /// schema in docs/PROFILING.md).
+  static std::string ToJson(const QueryProfile& profile);
+
+  /// Condensed one-line JSON for the `GET /jobs/<id>` detail route: identity,
+  /// state, and headline resource numbers without the phase breakdown or the
+  /// operators array.
+  static std::string SummaryJson(const QueryProfile& profile);
+
+  // ---- Slow-query log (docs/PROFILING.md) ---------------------------------
+  /// Streams the full profile of every query whose wall time reaches
+  /// `threshold_ms` to `path` as JSONL, size-capped and rotated. Returns
+  /// false when the path is not writable. threshold_ms <= 0 disables.
+  bool SetSlowQueryLog(const std::string& path, std::int64_t threshold_ms,
+                       RotatingLogFile::Options options = {});
+  void CloseSlowQueryLog();
+  /// Queries written to the slow-query log since it was opened.
+  std::int64_t slow_queries_logged() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::int64_t, std::shared_ptr<QueryProfile>> live_;
+  std::deque<std::shared_ptr<QueryProfile>> completed_;
+  std::shared_ptr<QueryProfile> latest_;
+
+  mutable std::mutex log_mu_;
+  RotatingLogFile slow_log_;
+  std::int64_t slow_threshold_ms_ = 0;
+  std::int64_t slow_logged_ = 0;
+};
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_QUERY_PROFILER_H_

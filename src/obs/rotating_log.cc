@@ -1,0 +1,70 @@
+#include "src/obs/rotating_log.h"
+
+#include <cstdio>
+#include <ios>
+#include <utility>
+
+namespace rumble::obs {
+
+bool RotatingLogFile::Open(const std::string& path, Options options) {
+  Close();
+  auto out = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!out->good()) return false;
+  path_ = path;
+  options_ = options;
+  if (options_.max_files < 1) options_.max_files = 1;
+  out_ = std::move(out);
+  current_bytes_ = 0;
+  rotations_ = 0;
+  return true;
+}
+
+void RotatingLogFile::Close() {
+  if (out_ != nullptr) out_->flush();
+  out_.reset();
+  current_bytes_ = 0;
+}
+
+void RotatingLogFile::Append(const std::string& line, bool flush) {
+  if (out_ == nullptr) return;
+  auto incoming = static_cast<std::int64_t>(line.size()) + 1;
+  // Rotate *before* the write that would overshoot, but never on an empty
+  // live file — an oversized single line is written whole instead of
+  // producing an endless cascade of empty archives.
+  if (options_.max_bytes > 0 && current_bytes_ > 0 &&
+      current_bytes_ + incoming > options_.max_bytes) {
+    Rotate();
+    if (out_ == nullptr) return;  // re-open failed; drop the line
+  }
+  *out_ << line << '\n';
+  current_bytes_ += incoming;
+  if (flush) out_->flush();
+}
+
+void RotatingLogFile::Flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void RotatingLogFile::Rotate() {
+  out_->flush();
+  out_.reset();
+  // Shift archives up from the oldest: path.(max-1) dies, path.1 -> path.2,
+  // ..., live -> path.1. With max_files == 1 the live file is simply
+  // truncated by the re-open below.
+  for (int i = options_.max_files - 1; i >= 1; --i) {
+    std::string from =
+        i == 1 ? path_ : path_ + "." + std::to_string(i - 1);
+    std::string to = path_ + "." + std::to_string(i);
+    std::remove(to.c_str());
+    std::rename(from.c_str(), to.c_str());
+  }
+  out_ = std::make_unique<std::ofstream>(path_, std::ios::trunc);
+  if (!out_->good()) {
+    out_.reset();
+    return;
+  }
+  current_bytes_ = 0;
+  ++rotations_;
+}
+
+}  // namespace rumble::obs

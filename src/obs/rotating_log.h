@@ -1,0 +1,82 @@
+#ifndef RUMBLE_OBS_ROTATING_LOG_H_
+#define RUMBLE_OBS_ROTATING_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+namespace rumble::obs {
+
+/// A size-capped, rotating line-oriented log sink (docs/METRICS.md,
+/// docs/PROFILING.md). Both JSONL sinks in the observability layer — the
+/// event log (`--event-log`) and the slow-query log (`--slow-query-log`) —
+/// write through one of these so a long serving run can never grow a log
+/// file without bound.
+///
+/// Rotation is the classic numbered scheme: when appending a line would push
+/// the live file past `max_bytes`, the live file is renamed `<path>.1`,
+/// existing archives shift up (`<path>.1` -> `<path>.2`, ...), the oldest
+/// archive past `max_files - 1` is deleted, and a fresh live file opens.
+/// A single line larger than `max_bytes` still gets written whole — the cap
+/// bounds file growth, it never truncates a record mid-line.
+///
+/// Not thread-safe: callers serialize Append() under their own lock (the
+/// EventBus appends under its bus mutex, the QueryProfiler under its
+/// slow-query-log mutex).
+class RotatingLogFile {
+ public:
+  struct Options {
+    /// Rotate once the live file would exceed this many bytes.
+    /// 0 disables rotation entirely (unbounded, pre-rotation behavior).
+    std::int64_t max_bytes = 64ll * 1024 * 1024;
+    /// Total files kept: the live file plus `max_files - 1` archives.
+    /// Clamped to >= 1 (1 means rotate-by-truncate: old lines are dropped).
+    int max_files = 4;
+  };
+
+  RotatingLogFile() = default;
+  ~RotatingLogFile() { Close(); }
+
+  RotatingLogFile(const RotatingLogFile&) = delete;
+  RotatingLogFile& operator=(const RotatingLogFile&) = delete;
+
+  /// Opens (truncating) the live file. Returns false when the path is not
+  /// writable; the sink stays closed and Append() becomes a no-op.
+  /// (Overload instead of a default argument: a default of a nested type
+  /// with member initializers is ill-formed inside the enclosing class.)
+  bool Open(const std::string& path, Options options);
+  bool Open(const std::string& path) { return Open(path, Options()); }
+
+  /// Flushes and closes the live file. Archives are left in place.
+  void Close();
+
+  bool is_open() const { return out_ != nullptr && out_->good(); }
+
+  /// Appends one line (a trailing '\n' is added), rotating first when the
+  /// line would push the live file over the cap.
+  void Append(const std::string& line, bool flush = false);
+
+  void Flush();
+
+  /// Bytes written to the *live* file since it was (re)opened.
+  std::int64_t current_bytes() const { return current_bytes_; }
+
+  /// How many times the live file has been rotated out since Open().
+  int rotations() const { return rotations_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Rotate();
+
+  std::string path_;
+  Options options_;
+  std::unique_ptr<std::ofstream> out_;
+  std::int64_t current_bytes_ = 0;
+  int rotations_ = 0;
+};
+
+}  // namespace rumble::obs
+
+#endif  // RUMBLE_OBS_ROTATING_LOG_H_

@@ -60,6 +60,26 @@ bool IsBlank(const std::string& text) {
   return true;
 }
 
+// Per-tenant counter bases (docs/METRICS.md). Rendered on /metrics as
+// labeled series — "serving.tenant.requests|tenant=acme" becomes
+// rumble_serving_tenant_requests_total{tenant="acme"}.
+constexpr char kTenantRequests[] = "serving.tenant.requests";
+constexpr char kTenantCompleted[] = "serving.tenant.completed";
+constexpr char kTenantFailed[] = "serving.tenant.failed";
+constexpr char kTenantRowsStreamed[] = "serving.tenant.rows_streamed";
+constexpr char kTenantBytesStreamed[] = "serving.tenant.bytes_streamed";
+constexpr char kTenantCpuMs[] = "serving.tenant.cpu_ms";
+constexpr char kTenantSpillBytes[] = "serving.tenant.spill_bytes";
+
+std::string TenantCounter(const char* base, const std::string& tenant) {
+  return std::string(base) + "|tenant=" + tenant;
+}
+
+/// The trailer fields POST /query announces up front and appends after the
+/// terminating chunk (docs/PROFILING.md): resource attribution only exists
+/// once the stream has finished.
+constexpr char kProfileTrailerNames[] = "X-Rumble-CPU-Ms, X-Rumble-Peak-Bytes";
+
 }  // namespace
 
 QueryService::QueryService(jsoniq::Rumble* engine, ServingConfig config)
@@ -143,11 +163,23 @@ void QueryService::Handle(const obs::HttpRequest& request,
     return;
   }
 
+  bus.AddToCounter(TenantCounter(kTenantRequests, options.tenant), 1);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants_[options.tenant].requests += 1;
+  }
+
   // Weighted fair admission: block (bounded) for a slot; under saturation
   // the scheduler shares slots by tenant weight instead of arrival order.
+  // The wait is measured onto the query's profile as its queue_wait phase.
   bus.AddToCounter("serving.queued", 1);
+  auto queue_entered = std::chrono::steady_clock::now();
   TenantScheduler::Outcome outcome =
       scheduler_.Acquire(options.tenant, config_.queue_wait_timeout_ms);
+  options.queue_wait_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - queue_entered)
+          .count();
   bus.AddToCounter("serving.queued", -1);
   if (outcome != TenantScheduler::Outcome::kAdmitted) {
     bus.AddToCounter("serving.rejected", 1);
@@ -174,12 +206,14 @@ void QueryService::Handle(const obs::HttpRequest& request,
       [&](const jsoniq::ServeStart& start) {
         // Compiled and registered: commit the response headers now, before
         // the first row, so the client learns the job id early enough to
-        // cancel it.
+        // cancel it. Resource attribution cannot be known yet — it is
+        // announced here and delivered as trailers by EndChunked.
         writer.BeginChunked(
             "200 OK", "application/x-ndjson",
             {{"X-Rumble-Job", std::to_string(start.job_id)},
              {"X-Rumble-Plan-Cache", start.plan_cache_hit ? "hit" : "miss"},
-             {"X-Rumble-Tenant", options.tenant}});
+             {"X-Rumble-Tenant", options.tenant}},
+            kProfileTrailerNames);
       },
       [&](std::string_view chunk) { return writer.WriteChunk(chunk); });
   scheduler_.Release();
@@ -191,11 +225,35 @@ void QueryService::Handle(const obs::HttpRequest& request,
                    .count());
 
   if (result.ok()) {
+    const jsoniq::ServeResult& served = result.value();
+    std::int64_t cpu_ms = served.cpu_nanos / 1'000'000;
     bus.AddToCounter("serving.completed", 1);
+    bus.AddToCounter(TenantCounter(kTenantCompleted, options.tenant), 1);
+    bus.AddToCounter(TenantCounter(kTenantRowsStreamed, options.tenant),
+                     static_cast<std::int64_t>(served.rows));
+    bus.AddToCounter(TenantCounter(kTenantBytesStreamed, options.tenant),
+                     static_cast<std::int64_t>(served.bytes));
+    bus.AddToCounter(TenantCounter(kTenantCpuMs, options.tenant), cpu_ms);
+    bus.AddToCounter(TenantCounter(kTenantSpillBytes, options.tenant),
+                     served.spill_bytes);
+    {
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      TenantTotals& totals = tenants_[options.tenant];
+      totals.completed += 1;
+      totals.rows_streamed += static_cast<std::int64_t>(served.rows);
+      totals.bytes_streamed += static_cast<std::int64_t>(served.bytes);
+      totals.cpu_nanos += served.cpu_nanos;
+      totals.spill_bytes += served.spill_bytes;
+      totals.peak_bytes_max = std::max(totals.peak_bytes_max,
+                                       served.peak_bytes);
+    }
+    obs::HttpResponseWriter::Headers attribution = {
+        {"X-Rumble-CPU-Ms", std::to_string(cpu_ms)},
+        {"X-Rumble-Peak-Bytes", std::to_string(served.peak_bytes)}};
     if (writer.chunked()) {
-      writer.EndChunked();
+      writer.EndChunked(attribution);
     } else {
-      writer.Respond("200 OK", "application/x-ndjson", "");
+      writer.Respond("200 OK", "application/x-ndjson", "", attribution);
     }
     return;
   }
@@ -203,6 +261,11 @@ void QueryService::Handle(const obs::HttpRequest& request,
   const common::Status& status = result.status();
   bool cancelled = status.code() == common::ErrorCode::kCancelled;
   bus.AddToCounter(cancelled ? "serving.cancelled" : "serving.failed", 1);
+  bus.AddToCounter(TenantCounter(kTenantFailed, options.tenant), 1);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants_[options.tenant].failed += 1;
+  }
   if (writer.client_gone()) bus.AddToCounter("serving.client_gone", 1);
   std::string body =
       ErrorBody(common::ErrorCodeName(status.code()), status.message());
@@ -226,7 +289,26 @@ std::string QueryService::StatsJson() const {
            ",\"misses\":" + std::to_string(cache->misses()) +
            ",\"evictions\":" + std::to_string(cache->evictions()) + "}";
   }
-  out += "}";
+  out += ",\"tenants\":{";
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    bool first = true;
+    for (const auto& [tenant, totals] : tenants_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + util::JsonEscape(tenant) + "\":{";
+      out += "\"requests\":" + std::to_string(totals.requests);
+      out += ",\"completed\":" + std::to_string(totals.completed);
+      out += ",\"failed\":" + std::to_string(totals.failed);
+      out += ",\"rows_streamed\":" + std::to_string(totals.rows_streamed);
+      out += ",\"bytes_streamed\":" + std::to_string(totals.bytes_streamed);
+      out += ",\"cpu_ms\":" + std::to_string(totals.cpu_nanos / 1'000'000);
+      out += ",\"spill_bytes\":" + std::to_string(totals.spill_bytes);
+      out += ",\"peak_bytes_max\":" + std::to_string(totals.peak_bytes_max);
+      out += "}";
+    }
+  }
+  out += "}}";
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -118,10 +119,27 @@ class QueryService {
   const ServingConfig& config() const { return config_; }
 
  private:
+  /// Per-tenant resource totals across the service's lifetime, rendered as
+  /// the "tenants" object on GET /serving (docs/PROFILING.md). Counter-style
+  /// series for the same numbers go to /metrics via labeled
+  /// serving.tenant.* counters.
+  struct TenantTotals {
+    std::int64_t requests = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    std::int64_t rows_streamed = 0;
+    std::int64_t bytes_streamed = 0;
+    std::int64_t cpu_nanos = 0;
+    std::int64_t spill_bytes = 0;
+    std::int64_t peak_bytes_max = 0;
+  };
+
   jsoniq::Rumble* engine_;
   ServingConfig config_;
   TenantScheduler scheduler_;
   std::atomic<bool> draining_{false};
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, TenantTotals> tenants_;
 };
 
 }  // namespace rumble::serve

@@ -90,6 +90,80 @@ TEST(HistogramTest, QuantilesAreOctaveAccurateAndClampToObservedRange) {
   EXPECT_LE(q, 511.0);
 }
 
+// ---- Histogram edge cases (docs/PROFILING.md relies on these quantiles) ----
+
+TEST(HistogramTest, EmptyHistogramIsAllZeroes) {
+  Histogram histogram;
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.sum, 0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 0.0) << q;
+  }
+}
+
+TEST(HistogramTest, SingleSampleDrivesEveryQuantileToItsBucket) {
+  Histogram histogram;
+  histogram.Record(1000);  // bucket [512, 1023]
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1);
+  EXPECT_EQ(snap.min, 1000);
+  EXPECT_EQ(snap.max, 1000);
+  for (double q : {0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(snap.Quantile(q), 512.0) << q;
+    EXPECT_LE(snap.Quantile(q), 1023.0) << q;
+  }
+}
+
+TEST(HistogramTest, OverflowValuesLandInTopBucketAndClampToObservedMax) {
+  Histogram histogram;
+  const std::int64_t huge = std::int64_t{1} << 62;
+  histogram.Record(huge);
+  histogram.Record(huge / 2);
+  Histogram::Snapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 2);
+  EXPECT_EQ(snap.max, huge);
+  // Both samples exceed every octave boundary: they share the top bucket,
+  // and quantiles clamp to the observed max instead of the bucket's
+  // (astronomically larger) nominal upper bound.
+  EXPECT_LE(snap.Quantile(0.99), static_cast<double>(huge));
+  EXPECT_LE(snap.Quantile(1.0), static_cast<double>(huge));
+  EXPECT_GT(snap.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsKeepQuantilesMonotonicAndCountExact) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Spread samples across several octaves, different per thread.
+        histogram.Record((t + 1) * 100 + i % 1000);
+      }
+    });
+  }
+  // Snapshots taken mid-write must stay internally consistent (monotonic
+  // quantiles, count <= total) even while writers race.
+  for (int probe = 0; probe < 50; ++probe) {
+    Histogram::Snapshot snap = histogram.snapshot();
+    double p50 = snap.Quantile(0.50);
+    double p95 = snap.Quantile(0.95);
+    double p99 = snap.Quantile(0.99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(snap.count, std::int64_t{kThreads} * kPerThread);
+  }
+  for (auto& w : writers) w.join();
+  Histogram::Snapshot final_snap = histogram.snapshot();
+  EXPECT_EQ(final_snap.count, std::int64_t{kThreads} * kPerThread);
+  EXPECT_LE(final_snap.Quantile(0.50), final_snap.Quantile(0.95));
+  EXPECT_LE(final_snap.Quantile(0.95), final_snap.Quantile(0.99));
+  EXPECT_GE(final_snap.min, 100);
+  EXPECT_LE(final_snap.max, kThreads * 100 + 999);
+}
+
 TEST(HistogramTest, ResetZeroesInPlace) {
   MetricsRegistry registry;
   Histogram* histogram = registry.GetHistogram("x");

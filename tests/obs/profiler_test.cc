@@ -1,0 +1,385 @@
+// Query-profile subsystem tests (docs/PROFILING.md): the rotating log sink's
+// size-cap/rotation math, the QueryProfiler lifecycle (Begin/Find/Finalize/
+// Get/Latest), slow-query-log threshold exactness, profile JSON validity,
+// and end-to-end engine profiles — phase/CPU/memory attribution for both
+// succeeding and failing queries, cross-checked against bus counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/json/dom.h"
+#include "src/jsoniq/rumble.h"
+#include "src/obs/event_bus.h"
+#include "src/obs/query_profiler.h"
+#include "src/obs/rotating_log.h"
+
+namespace rumble {
+namespace {
+
+using obs::QueryProfile;
+using obs::QueryProfiler;
+using obs::RotatingLogFile;
+
+common::RumbleConfig SmallConfig(int executors = 4, int partitions = 8) {
+  common::RumbleConfig config;
+  config.executors = executors;
+  config.default_partitions = partitions;
+  return config;
+}
+
+std::string ScratchPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---- RotatingLogFile -------------------------------------------------------
+
+TEST(RotatingLogTest, AppendsLinesWithoutRotationUnderCap) {
+  std::string path = ScratchPath("rumble_rotlog_basic.jsonl");
+  std::filesystem::remove(path);
+  RotatingLogFile log;
+  ASSERT_TRUE(log.Open(path));
+  log.Append("{\"a\":1}");
+  log.Append("{\"a\":2}", /*flush=*/true);
+  EXPECT_EQ(log.rotations(), 0);
+  EXPECT_EQ(log.current_bytes(), 16);  // 2 * (7 chars + '\n')
+  log.Close();
+  EXPECT_EQ(ReadLines(path).size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(RotatingLogTest, RotatesAtCapAndPrunesOldestArchive) {
+  std::string path = ScratchPath("rumble_rotlog_rotate.jsonl");
+  for (int i = 1; i <= 4; ++i) {
+    std::filesystem::remove(path + "." + std::to_string(i));
+  }
+  std::filesystem::remove(path);
+  RotatingLogFile::Options options;
+  options.max_bytes = 64;
+  options.max_files = 3;  // live + 2 archives
+  RotatingLogFile log;
+  ASSERT_TRUE(log.Open(path, options));
+  // Each line is 32 bytes with the newline: two fit; the third rotates.
+  std::string line(31, 'x');
+  for (int i = 0; i < 7; ++i) log.Append(line, /*flush=*/true);
+  EXPECT_EQ(log.rotations(), 3);
+  log.Close();
+  // Live file holds the last line; .1 and .2 hold two each; no .3 survives.
+  EXPECT_EQ(ReadLines(path).size(), 1u);
+  EXPECT_EQ(ReadLines(path + ".1").size(), 2u);
+  EXPECT_EQ(ReadLines(path + ".2").size(), 2u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".3"));
+  for (int i = 1; i <= 2; ++i) {
+    std::filesystem::remove(path + "." + std::to_string(i));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(RotatingLogTest, ZeroMaxBytesDisablesRotation) {
+  std::string path = ScratchPath("rumble_rotlog_unbounded.jsonl");
+  std::filesystem::remove(path);
+  RotatingLogFile::Options options;
+  options.max_bytes = 0;
+  RotatingLogFile log;
+  ASSERT_TRUE(log.Open(path, options));
+  for (int i = 0; i < 100; ++i) log.Append(std::string(100, 'y'));
+  log.Close();
+  EXPECT_EQ(log.rotations(), 0);
+  EXPECT_EQ(ReadLines(path).size(), 100u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".1"));
+  std::filesystem::remove(path);
+}
+
+TEST(RotatingLogTest, OversizedLineIsWrittenWholeNotTruncated) {
+  std::string path = ScratchPath("rumble_rotlog_oversize.jsonl");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+  RotatingLogFile::Options options;
+  options.max_bytes = 16;
+  RotatingLogFile log;
+  ASSERT_TRUE(log.Open(path, options));
+  std::string big(200, 'z');
+  log.Append("small");
+  log.Append(big, /*flush=*/true);  // rotates, then writes the whole line
+  log.Close();
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], big);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".1");
+}
+
+TEST(RotatingLogTest, UnwritablePathFailsOpenAndAppendsAreNoOps) {
+  RotatingLogFile log;
+  EXPECT_FALSE(log.Open("/nonexistent-dir-for-sure/x.jsonl"));
+  EXPECT_FALSE(log.is_open());
+  log.Append("dropped");  // must not crash
+  EXPECT_EQ(log.current_bytes(), 0);
+}
+
+// ---- ThreadCpuNanos --------------------------------------------------------
+
+TEST(ProfilerTest, ThreadCpuClockAdvancesUnderWork) {
+  std::int64_t before = obs::ThreadCpuNanos();
+  // Burn a little CPU; volatile so the loop is not optimized out.
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < 20'000'000; ++i) sink = sink + i;
+  std::int64_t after = obs::ThreadCpuNanos();
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, 0);
+}
+
+// ---- QueryProfiler lifecycle ----------------------------------------------
+
+TEST(ProfilerTest, BeginFindFinalizeGetLatest) {
+  QueryProfiler profiler;
+  EXPECT_EQ(profiler.Latest(), nullptr);
+  EXPECT_EQ(profiler.Find(7), nullptr);
+
+  auto profile = profiler.Begin(7, "1 + 1", "alice", /*served=*/true);
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profiler.Find(7), profile);       // live
+  EXPECT_EQ(profiler.Get(7), profile);        // reachable while live
+  EXPECT_EQ(profiler.Latest(), nullptr);      // not finished yet
+  EXPECT_GT(profile->started_unix_millis, 0);
+
+  profile->wall_nanos = 1'000'000;
+  profiler.Finalize(profile);
+  EXPECT_TRUE(profile->finished);
+  EXPECT_EQ(profiler.Find(7), nullptr);       // no longer live
+  EXPECT_EQ(profiler.Get(7), profile);        // retired to the ring
+  EXPECT_EQ(profiler.Latest(), profile);
+  profiler.Finalize(profile);                 // idempotent
+  EXPECT_EQ(profiler.Get(7), profile);
+}
+
+TEST(ProfilerTest, CompletedRingEvictsOldestBeyondRetention) {
+  QueryProfiler profiler;
+  for (std::int64_t job = 0;
+       job < static_cast<std::int64_t>(QueryProfiler::kRetainedProfiles) + 5;
+       ++job) {
+    auto profile = profiler.Begin(job, "q", "", false);
+    profiler.Finalize(profile);
+  }
+  EXPECT_EQ(profiler.Get(0), nullptr);  // evicted
+  EXPECT_EQ(profiler.Get(4), nullptr);  // evicted
+  EXPECT_NE(profiler.Get(5), nullptr);  // oldest survivor
+  EXPECT_NE(
+      profiler.Get(static_cast<std::int64_t>(QueryProfiler::kRetainedProfiles) +
+                   4),
+      nullptr);
+}
+
+TEST(ProfilerTest, ToJsonAndSummaryJsonParseAndCarryTheSchema) {
+  QueryProfiler profiler;
+  auto profile = profiler.Begin(42, "count(\"x\")", "bob", true);
+  profile->plan_cache_hit = true;
+  profile->queue_wait_nanos = 11;
+  profile->parse_nanos = 22;
+  profile->translate_nanos = 33;
+  profile->optimize_nanos.store(44);
+  profile->execute_nanos = 55;
+  profile->wall_nanos = 200;
+  profile->task_cpu_nanos.store(70);
+  profile->driver_cpu_nanos = 30;
+  profile->peak_bytes = 1024;
+  profile->rows_out = 3;
+  profile->operators.push_back({"Filter", 3, 1, 90, 60});
+  profiler.Finalize(profile);
+
+  json::DomValuePtr root = json::ParseDom(QueryProfiler::ToJson(*profile));
+  auto& top = std::get<json::DomValue::Object>(root->value);
+  EXPECT_EQ(std::get<std::int64_t>(top["job"]->value), 42);
+  EXPECT_EQ(std::get<std::string>(top["query"]->value), "count(\"x\")");
+  EXPECT_EQ(std::get<std::string>(top["tenant"]->value), "bob");
+  EXPECT_EQ(std::get<std::string>(top["state"]->value), "succeeded");
+  EXPECT_TRUE(std::get<bool>(top["served"]->value));
+  EXPECT_TRUE(std::get<bool>(top["plan_cache_hit"]->value));
+  for (const char* key :
+       {"wall_ns", "queue_wait_ns", "parse_ns", "translate_ns", "optimize_ns",
+        "execute_ns", "cpu_ns", "task_cpu_ns", "driver_cpu_ns", "peak_bytes",
+        "spill_bytes_written", "spill_bytes_read", "spill_files", "tasks",
+        "task_failures", "task_retries", "rows_out", "bytes_out",
+        "started_unix_ms"}) {
+    EXPECT_TRUE(top.count(key)) << key;
+  }
+  EXPECT_EQ(std::get<std::int64_t>(top["cpu_ns"]->value), 100);
+  auto& ops = std::get<json::DomValue::Array>(top["operators"]->value);
+  ASSERT_EQ(ops.size(), 1u);
+  auto& op = std::get<json::DomValue::Object>(ops[0]->value);
+  EXPECT_EQ(std::get<std::string>(op["name"]->value), "Filter");
+  EXPECT_EQ(std::get<std::int64_t>(op["self_ns"]->value), 60);
+
+  json::DomValuePtr summary =
+      json::ParseDom(QueryProfiler::SummaryJson(*profile));
+  auto& condensed = std::get<json::DomValue::Object>(summary->value);
+  EXPECT_EQ(std::get<std::int64_t>(condensed["job"]->value), 42);
+  EXPECT_EQ(std::get<std::int64_t>(condensed["cpu_ns"]->value), 100);
+  EXPECT_FALSE(condensed.count("operators"));  // condensed view
+}
+
+// ---- Slow-query log --------------------------------------------------------
+
+TEST(ProfilerTest, SlowQueryLogCapturesExactlyQueriesOverThreshold) {
+  std::string path = ScratchPath("rumble_slow_query_test.jsonl");
+  std::filesystem::remove(path);
+  QueryProfiler profiler;
+  ASSERT_TRUE(profiler.SetSlowQueryLog(path, /*threshold_ms=*/10));
+
+  auto fast = profiler.Begin(1, "fast query", "", false);
+  fast->wall_nanos = 9'999'999;  // 9.99ms: under the 10ms threshold
+  profiler.Finalize(fast);
+
+  auto slow = profiler.Begin(2, "slow query", "t1", true);
+  slow->wall_nanos = 10'000'000;  // exactly at threshold: captured
+  profiler.Finalize(slow);
+
+  auto slower = profiler.Begin(3, "slower query", "", false);
+  slower->wall_nanos = 50'000'000;
+  slower->failed = true;
+  slower->error = "boom";
+  profiler.Finalize(slower);
+
+  EXPECT_EQ(profiler.slow_queries_logged(), 2);
+  profiler.CloseSlowQueryLog();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  auto first = json::ParseDom(lines[0]);
+  auto& f = std::get<json::DomValue::Object>(first->value);
+  EXPECT_EQ(std::get<std::string>(f["query"]->value), "slow query");
+  EXPECT_EQ(std::get<std::int64_t>(f["wall_ns"]->value), 10'000'000);
+  auto second = json::ParseDom(lines[1]);
+  auto& s = std::get<json::DomValue::Object>(second->value);
+  EXPECT_EQ(std::get<std::string>(s["query"]->value), "slower query");
+  EXPECT_EQ(std::get<std::string>(s["state"]->value), "failed");
+  EXPECT_EQ(std::get<std::string>(s["error"]->value), "boom");
+  std::filesystem::remove(path);
+}
+
+TEST(ProfilerTest, SlowQueryLogDisabledWhenThresholdNonPositive) {
+  std::string path = ScratchPath("rumble_slow_query_disabled.jsonl");
+  std::filesystem::remove(path);
+  QueryProfiler profiler;
+  EXPECT_FALSE(profiler.SetSlowQueryLog(path, 0));
+  auto profile = profiler.Begin(1, "q", "", false);
+  profile->wall_nanos = std::int64_t{1} << 40;
+  profiler.Finalize(profile);
+  EXPECT_EQ(profiler.slow_queries_logged(), 0);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// ---- End-to-end engine profiles --------------------------------------------
+
+TEST(ProfilerTest, EngineRunProducesCoherentProfile) {
+  jsoniq::Rumble engine(SmallConfig());
+  auto result = engine.Run("sum(parallelize(1 to 10000, 8))");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto profile = engine.event_bus().profiler()->Latest();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->query, "sum(parallelize(1 to 10000, 8))");
+  EXPECT_FALSE(profile->served);
+  EXPECT_TRUE(profile->finished);
+  EXPECT_FALSE(profile->failed);
+  EXPECT_EQ(profile->rows_out, 1);
+  EXPECT_GE(profile->tasks.load(), 8);
+  EXPECT_EQ(profile->task_failures.load(), 0);
+
+  // Phases nest inside the wall clock.
+  EXPECT_GT(profile->parse_nanos, 0);
+  EXPECT_GT(profile->translate_nanos, 0);
+  EXPECT_GT(profile->execute_nanos, 0);
+  EXPECT_GE(profile->wall_nanos, profile->execute_nanos);
+  EXPECT_GE(profile->wall_nanos,
+            profile->parse_nanos + profile->translate_nanos);
+
+  // CPU attribution: tasks ran, so worker CPU was credited, and total CPU
+  // cannot exceed wall * (workers + driver) by construction.
+  EXPECT_GT(profile->driver_cpu_nanos, 0);
+  EXPECT_GE(profile->task_cpu_nanos.load(), 0);
+  EXPECT_LE(profile->cpu_nanos(), profile->wall_nanos * (4 + 1) + 50'000'000);
+
+  // The profile is fetchable by job id too, and renders as valid JSON.
+  auto by_id = engine.event_bus().profiler()->Get(profile->job_id);
+  EXPECT_EQ(by_id, profile);
+  EXPECT_NE(json::ParseDom(QueryProfiler::ToJson(*profile)), nullptr);
+}
+
+TEST(ProfilerTest, FailedQueryProfileCarriesErrorState) {
+  jsoniq::Rumble engine(SmallConfig());
+  // A runtime failure (FOAR0001, division by zero): queries rejected at
+  // compile time never start a job and carry no profile, but any query
+  // that begins executing gets one — failed or not.
+  auto result = engine.Run("1 div 0");
+  ASSERT_FALSE(result.ok());
+  auto profile = engine.event_bus().profiler()->Latest();
+  ASSERT_NE(profile, nullptr);
+  EXPECT_TRUE(profile->finished);
+  EXPECT_TRUE(profile->failed);
+  EXPECT_FALSE(profile->error.empty());
+  std::string json = QueryProfiler::ToJson(*profile);
+  auto parsed = json::ParseDom(json);
+  auto& top = std::get<json::DomValue::Object>(parsed->value);
+  EXPECT_EQ(std::get<std::string>(top["state"]->value), "failed");
+  EXPECT_TRUE(top.count("error"));
+}
+
+TEST(ProfilerTest, SpillingQueryAttributesSpillBytesToTheProfile) {
+  common::RumbleConfig config = SmallConfig();
+  config.memory_limit_bytes = 64 * 1024;
+  jsoniq::Rumble engine(config);
+  auto result = engine.Run(
+      "count(for $x in parallelize(1 to 20000) group by $k := $x mod 101 "
+      "return $k)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto profile = engine.event_bus().profiler()->Latest();
+  ASSERT_NE(profile, nullptr);
+  // The tight memory limit forces spilling; it must land on this profile
+  // and agree with the bus-level counters (same engine, one query ran).
+  obs::EventBus& bus = engine.event_bus();
+  EXPECT_GT(profile->spill_bytes_written, 0);
+  EXPECT_GT(profile->spill_files, 0);
+  EXPECT_LE(profile->spill_bytes_written,
+            bus.CounterValue("spill.bytes_written"));
+  EXPECT_LE(profile->spill_files, bus.CounterValue("spill.files"));
+  EXPECT_GT(profile->peak_bytes, 0);
+}
+
+TEST(ProfilerTest, OperatorBreakdownAppearsOnlyUnderTracing) {
+  jsoniq::Rumble engine(SmallConfig());
+  ASSERT_TRUE(engine.Run("count(for $x in parallelize(1 to 100, 4) "
+                         "where $x mod 2 eq 0 return $x)")
+                  .ok());
+  auto untraced = engine.event_bus().profiler()->Latest();
+  ASSERT_NE(untraced, nullptr);
+  EXPECT_TRUE(untraced->operators.empty());
+
+  engine.event_bus().tracer()->set_enabled(true);
+  ASSERT_TRUE(engine.Run("count(for $x in parallelize(1 to 100, 4) "
+                         "where $x mod 2 eq 0 return $x)")
+                  .ok());
+  auto traced = engine.event_bus().profiler()->Latest();
+  ASSERT_NE(traced, nullptr);
+  ASSERT_FALSE(traced->operators.empty());
+  for (const auto& op : traced->operators) {
+    EXPECT_FALSE(op.name.empty());
+    EXPECT_GE(op.total_nanos, op.self_nanos);
+    EXPECT_GE(op.self_nanos, 0);
+  }
+}
+
+}  // namespace
+}  // namespace rumble

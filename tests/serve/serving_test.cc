@@ -10,6 +10,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <string>
@@ -20,9 +22,11 @@
 
 #include "src/exec/query_scope.h"
 #include "src/exec/spill_file.h"
+#include "src/json/dom.h"
 #include "src/jsoniq/plan_cache.h"
 #include "src/jsoniq/rumble.h"
 #include "src/obs/metrics_server.h"
+#include "src/obs/query_profiler.h"
 #include "src/serve/query_service.h"
 #include "src/serve/tenant_scheduler.h"
 
@@ -457,6 +461,157 @@ TEST_F(HttpServingTest, ServingStatsEndpointReportsSchedulerAndPlanCache) {
   EXPECT_NE(response.find("\"scheduler\""), std::string::npos);
   EXPECT_NE(response.find("\"alice\""), std::string::npos);
   EXPECT_NE(response.find("\"plan_cache\""), std::string::npos);
+}
+
+// ---- Query profiles over HTTP (docs/PROFILING.md) --------------------------
+
+TEST_F(HttpServingTest, VersionEndpointAndVersionedHealthz) {
+  StartServer();
+  std::string version = HttpExchange(port_, "GET /version HTTP/1.0\r\n\r\n");
+  EXPECT_NE(version.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(version.find("\"name\":\"rumble\""), std::string::npos);
+  EXPECT_NE(version.find("\"git\":"), std::string::npos);
+  EXPECT_NE(version.find("\"build_type\":"), std::string::npos);
+  std::string healthz = HttpExchange(port_, "GET /healthz HTTP/1.0\r\n\r\n");
+  // First body line stays the bare "ok" liveness token; the version string
+  // rides on the second line for humans.
+  std::size_t body = healthz.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_EQ(healthz.substr(body + 4, 3), "ok\n");
+  EXPECT_NE(healthz.find("rumble "), std::string::npos);
+}
+
+TEST_F(HttpServingTest, ProfileEndpointServesFullAndSummaryViews) {
+  StartServer();
+  std::string response =
+      PostQuery(port_, "alice", "sum(parallelize(1 to 1000, 4))");
+  EXPECT_EQ(DechunkedBody(response), "500500\n");
+  std::string job = HeaderValue(response, "X-Rumble-Job");
+  ASSERT_FALSE(job.empty());
+
+  std::string full =
+      HttpExchange(port_, "GET /jobs/" + job + "/profile HTTP/1.0\r\n\r\n");
+  EXPECT_NE(full.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(full.find("application/json"), std::string::npos);
+  json::DomValuePtr parsed = json::ParseDom(
+      full.substr(full.find("\r\n\r\n") + 4));
+  auto& top = std::get<json::DomValue::Object>(parsed->value);
+  EXPECT_EQ(std::get<std::int64_t>(top["job"]->value), std::stoll(job));
+  EXPECT_EQ(std::get<std::string>(top["tenant"]->value), "alice");
+  EXPECT_TRUE(std::get<bool>(top["served"]->value));
+  EXPECT_EQ(std::get<std::string>(top["state"]->value), "succeeded");
+  EXPECT_GT(std::get<std::int64_t>(top["wall_ns"]->value), 0);
+  EXPECT_GT(std::get<std::int64_t>(top["cpu_ns"]->value), 0);
+  EXPECT_EQ(std::get<std::int64_t>(top["rows_out"]->value), 1);
+  EXPECT_TRUE(top.count("queue_wait_ns"));
+  EXPECT_TRUE(top.count("operators"));
+
+  std::string summary =
+      HttpExchange(port_, "GET /jobs/" + job + " HTTP/1.0\r\n\r\n");
+  EXPECT_NE(summary.find("HTTP/1.0 200 OK"), std::string::npos);
+  json::DomValuePtr brief = json::ParseDom(
+      summary.substr(summary.find("\r\n\r\n") + 4));
+  auto& condensed = std::get<json::DomValue::Object>(brief->value);
+  EXPECT_EQ(std::get<std::string>(condensed["state"]->value), "succeeded");
+  EXPECT_FALSE(condensed.count("operators"));  // condensed view
+
+  std::string missing =
+      HttpExchange(port_, "GET /jobs/999999/profile HTTP/1.0\r\n\r\n");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_NE(missing.find("\"error\":\"unknown_job\""), std::string::npos);
+}
+
+TEST_F(HttpServingTest, ResponseTrailersCarryCpuAndPeakMemory) {
+  StartServer();
+  std::string response =
+      PostQuery(port_, "alice", "sum(parallelize(1 to 5000, 4))");
+  // The chunked response announces its trailers up front and appends them
+  // after the terminating chunk.
+  EXPECT_NE(response.find("Trailer: X-Rumble-CPU-Ms, X-Rumble-Peak-Bytes"),
+            std::string::npos);
+  // The colon form only appears in the trailer section after the terminating
+  // chunk (the announcement above uses the comma-separated list form).
+  std::size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  std::string after_headers = response.substr(body_start + 4);
+  EXPECT_NE(after_headers.find("X-Rumble-CPU-Ms: "), std::string::npos);
+  EXPECT_NE(after_headers.find("X-Rumble-Peak-Bytes: "), std::string::npos);
+}
+
+TEST_F(HttpServingTest, TenantCountersAndTotalsAttributeResourceUsage) {
+  StartServer();
+  EXPECT_EQ(DechunkedBody(PostQuery(port_, "alice", "1 + 1")), "2\n");
+  EXPECT_EQ(DechunkedBody(
+                PostQuery(port_, "alice", "sum(parallelize(1 to 1000, 4))")),
+            "500500\n");
+  std::string rejected = PostQuery(port_, "bob", "for $x in");
+  EXPECT_NE(rejected.find("400 Bad Request"), std::string::npos);
+
+  obs::EventBus& bus = engine_->event_bus();
+  EXPECT_EQ(bus.CounterValue("serving.tenant.requests|tenant=alice"), 2);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.completed|tenant=alice"), 2);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.rows_streamed|tenant=alice"), 2);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.requests|tenant=bob"), 1);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.failed|tenant=bob"), 1);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.completed|tenant=bob"), 0);
+
+  // Labeled counters render with Prometheus label syntax.
+  std::string prom = bus.PrometheusText();
+  EXPECT_NE(
+      prom.find("rumble_serving_tenant_requests_total{tenant=\"alice\"} 2"),
+      std::string::npos);
+  EXPECT_NE(prom.find("rumble_serving_tenant_failed_total{tenant=\"bob\"} 1"),
+            std::string::npos);
+
+  // GET /serving carries the per-tenant lifetime totals object.
+  std::string serving = HttpExchange(port_, "GET /serving HTTP/1.0\r\n\r\n");
+  std::string body = serving.substr(serving.find("\r\n\r\n") + 4);
+  json::DomValuePtr parsed = json::ParseDom(body);
+  auto& top = std::get<json::DomValue::Object>(parsed->value);
+  ASSERT_TRUE(top.count("tenants"));
+  auto& tenants = std::get<json::DomValue::Object>(top["tenants"]->value);
+  ASSERT_TRUE(tenants.count("alice"));
+  auto& alice = std::get<json::DomValue::Object>(tenants["alice"]->value);
+  EXPECT_EQ(std::get<std::int64_t>(alice["requests"]->value), 2);
+  EXPECT_EQ(std::get<std::int64_t>(alice["completed"]->value), 2);
+  EXPECT_EQ(std::get<std::int64_t>(alice["rows_streamed"]->value), 2);
+  EXPECT_GE(std::get<std::int64_t>(alice["cpu_ms"]->value), 0);
+  EXPECT_GE(std::get<std::int64_t>(alice["peak_bytes_max"]->value), 0);
+  auto& bob = std::get<json::DomValue::Object>(tenants["bob"]->value);
+  EXPECT_EQ(std::get<std::int64_t>(bob["failed"]->value), 1);
+}
+
+TEST_F(HttpServingTest, SlowQueryLogCapturesServedQueriesOverThreshold) {
+  StartServer();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "rumble_served_slow.jsonl")
+          .string();
+  std::filesystem::remove(path);
+  obs::QueryProfiler* profiler = engine_->event_bus().profiler();
+
+  // Threshold far above anything this test runs: nothing must be captured.
+  ASSERT_TRUE(profiler->SetSlowQueryLog(path, /*threshold_ms=*/600'000));
+  EXPECT_EQ(DechunkedBody(PostQuery(port_, "alice", "1 + 1")), "2\n");
+  EXPECT_EQ(profiler->slow_queries_logged(), 0);
+
+  // Threshold of 1ms: the 200k-element aggregation comfortably exceeds it.
+  ASSERT_TRUE(profiler->SetSlowQueryLog(path, /*threshold_ms=*/1));
+  EXPECT_EQ(DechunkedBody(
+                PostQuery(port_, "bob", "sum(parallelize(1 to 200000, 8))")),
+            "20000100000\n");
+  EXPECT_EQ(profiler->slow_queries_logged(), 1);
+  profiler->CloseSlowQueryLog();
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  json::DomValuePtr parsed = json::ParseDom(line);
+  auto& top = std::get<json::DomValue::Object>(parsed->value);
+  EXPECT_EQ(std::get<std::string>(top["tenant"]->value), "bob");
+  EXPECT_TRUE(std::get<bool>(top["served"]->value));
+  EXPECT_GE(std::get<std::int64_t>(top["wall_ns"]->value), 1'000'000);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one record
+  std::filesystem::remove(path);
 }
 
 }  // namespace
