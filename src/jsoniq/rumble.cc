@@ -63,9 +63,10 @@ void CollectOperatorProfiles(const RuntimeIterator& node,
   }
 }
 
-/// Copies the query's resource stats onto its (frozen-after-Finalize)
-/// profile. Reads are relaxed: the owning thread calls this after execution
-/// finished and the scope unbound, so no writer is concurrent.
+/// Copies the query's resource stats onto its profile; the caller holds
+/// profile->mu. Reads are relaxed: the owning thread calls this after
+/// execution finished and the scope unbound, so no stats writer is
+/// concurrent.
 void FillResourceStats(const exec::QueryResourceStats& stats,
                        obs::QueryProfile* profile) {
   profile->peak_bytes = static_cast<std::int64_t>(
@@ -222,8 +223,13 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
   std::int64_t job = bus.BeginJob(query);
   std::shared_ptr<obs::QueryProfile> profile =
       bus.profiler()->Begin(job, query, /*tenant=*/"", /*served=*/false);
-  profile->parse_nanos = timings.parse_nanos;
-  profile->translate_nanos = timings.translate_nanos;
+  // Plain profile fields are written under profile->mu throughout: the
+  // metrics server renders live profiles from other threads (docs/PROFILING.md).
+  {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
+    profile->parse_nanos = timings.parse_nanos;
+    profile->translate_nanos = timings.translate_nanos;
+  }
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_[job] = &cancel;
@@ -245,7 +251,10 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
       job_span.AddArg("rows_out", static_cast<std::int64_t>(items.size()));
       bus.EndJob(job, {{"query.rows_out",
                         static_cast<std::int64_t>(items.size())}});
-      profile->rows_out = static_cast<std::int64_t>(items.size());
+      {
+        std::lock_guard<std::mutex> profile_lock(profile->mu);
+        profile->rows_out = static_cast<std::int64_t>(items.size());
+      }
       return common::Result<item::ItemSequence>(std::move(items));
     } catch (const common::RumbleException& error) {
       job_span.AddArg("failed", 1);
@@ -255,26 +264,33 @@ common::Result<item::ItemSequence> Rumble::RunGoverned(
         bus.AddToCounter("cancel.observed", 1);
       }
       bus.EndJob(job, {{"failed", 1}});
-      profile->failed = true;
-      profile->error = error.what();
+      {
+        std::lock_guard<std::mutex> profile_lock(profile->mu);
+        profile->failed = true;
+        profile->error = error.what();
+      }
       return common::Result<item::ItemSequence>(
           common::Status::FromException(error));
     }
   }();
-  profile->execute_nanos = execute_watch.ElapsedNanos();
+  std::int64_t execute_nanos = execute_watch.ElapsedNanos();
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_.erase(job);
   }
   cancel.SetDeadlineAfterMs(0);
-  // Operator actuals only accumulate under tracing (EXPLAIN ANALYZE or
-  // --trace); skip the walk otherwise — the stats would be all zeros.
-  if (bus.tracer()->enabled()) {
-    CollectOperatorProfiles(*compiled.value(), &profile->operators);
+  {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
+    profile->execute_nanos = execute_nanos;
+    // Operator actuals only accumulate under tracing (EXPLAIN ANALYZE or
+    // --trace); skip the walk otherwise — the stats would be all zeros.
+    if (bus.tracer()->enabled()) {
+      CollectOperatorProfiles(*compiled.value(), &profile->operators);
+    }
+    FillResourceStats(stats, profile.get());
+    profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
+    profile->wall_nanos = wall_watch.ElapsedNanos();
   }
-  FillResourceStats(stats, profile.get());
-  profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
-  profile->wall_nanos = wall_watch.ElapsedNanos();
   bus.profiler()->Finalize(profile);
   return result;
 }
@@ -397,10 +413,15 @@ common::Result<ServeResult> Rumble::ServeQuery(
   std::int64_t job = bus.BeginJob(query, /*detached=*/true);
   std::shared_ptr<obs::QueryProfile> profile =
       bus.profiler()->Begin(job, query, options.tenant, /*served=*/true);
-  profile->plan_cache_hit = cache_hit;
-  profile->queue_wait_nanos = options.queue_wait_nanos;
-  profile->parse_nanos = timings.parse_nanos;
-  profile->translate_nanos = timings.translate_nanos;
+  // Plain profile fields are written under profile->mu throughout: the
+  // metrics server renders live profiles from other threads (docs/PROFILING.md).
+  {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
+    profile->plan_cache_hit = cache_hit;
+    profile->queue_wait_nanos = options.queue_wait_nanos;
+    profile->parse_nanos = timings.parse_nanos;
+    profile->translate_nanos = timings.translate_nanos;
+  }
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     active_jobs_[job] = &token;
@@ -477,14 +498,20 @@ common::Result<ServeResult> Rumble::ServeQuery(
         bus.AddToCounter("cancel.observed", 1);
       }
       bus.EndJob(job, {{"failed", 1}});
-      profile->failed = true;
-      profile->error = error.what();
+      {
+        std::lock_guard<std::mutex> profile_lock(profile->mu);
+        profile->failed = true;
+        profile->error = error.what();
+      }
       return common::Result<ServeResult>(common::Status::FromException(error));
     }
   }();
-  profile->execute_nanos = execute_watch.ElapsedNanos();
-  profile->rows_out = static_cast<std::int64_t>(rows);
-  profile->bytes_out = static_cast<std::int64_t>(bytes);
+  {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
+    profile->execute_nanos = execute_watch.ElapsedNanos();
+    profile->rows_out = static_cast<std::int64_t>(rows);
+    profile->bytes_out = static_cast<std::int64_t>(bytes);
+  }
   bus.AddToCounter("serving.rows_streamed", static_cast<std::int64_t>(rows));
   bus.AddToCounter("serving.bytes_streamed", static_cast<std::int64_t>(bytes));
   {
@@ -492,17 +519,21 @@ common::Result<ServeResult> Rumble::ServeQuery(
     active_jobs_.erase(job);
   }
   if (bus.tracer()->enabled() && root != nullptr) {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
     CollectOperatorProfiles(*root, &profile->operators);
   }
   // Destroy the executed tree before the drained-pool check: its destructors
   // release every reservation and unlink every spill file it still held.
   root.reset();
-  FillResourceStats(stats, profile.get());
-  profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
-  // The profile's wall time is end-to-end from the client's perspective:
-  // scheduler admission wait (spent before ServeQuery was entered) plus
-  // everything from entry to here. The slow-query threshold keys off this.
-  profile->wall_nanos = options.queue_wait_nanos + wall_watch.ElapsedNanos();
+  {
+    std::lock_guard<std::mutex> profile_lock(profile->mu);
+    FillResourceStats(stats, profile.get());
+    profile->driver_cpu_nanos = obs::ThreadCpuNanos() - driver_cpu_start;
+    // The profile's wall time is end-to-end from the client's perspective:
+    // scheduler admission wait (spent before ServeQuery was entered) plus
+    // everything from entry to here. The slow-query threshold keys off this.
+    profile->wall_nanos = options.queue_wait_nanos + wall_watch.ElapsedNanos();
+  }
   bus.profiler()->Finalize(profile);
   if (result.ok()) {
     result.value().cpu_nanos = profile->cpu_nanos();

@@ -574,6 +574,20 @@ void AppendDouble(double value, std::string* out) {
   out->append(buf);
 }
 
+/// Prometheus text-exposition label-value escaping: only backslash, double
+/// quote, and newline are escaped (\\, \", \n). JSON escaping is NOT valid
+/// here — \uXXXX sequences would make the exposition unparsable.
+void AppendPrometheusLabelValue(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '"': *out += "\\\""; break;
+      case '\n': *out += "\\n"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
 }  // namespace
 
 std::string EventBus::PrometheusText() const {
@@ -594,7 +608,7 @@ std::string EventBus::PrometheusText() const {
       std::size_t eq = label.find('=');
       if (eq != std::string::npos) {
         std::string label_value;
-        AppendJsonEscaped(label.substr(eq + 1), &label_value);
+        AppendPrometheusLabelValue(label.substr(eq + 1), &label_value);
         labels = "{" + PrometheusName(label.substr(0, eq)) + "=\"" +
                  label_value + "\"}";
       }

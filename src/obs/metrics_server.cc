@@ -33,17 +33,11 @@ std::string ToLower(std::string s) {
   return s;
 }
 
-/// Parses "/jobs/<id>/cancel"; returns false on any other shape.
-bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
-  const std::string prefix = "/jobs/";
-  const std::string suffix = "/cancel";
-  if (path.rfind(prefix, 0) != 0 || path.size() <= prefix.size() + suffix.size())
-    return false;
-  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0)
-    return false;
-  std::string digits =
-      path.substr(prefix.size(), path.size() - prefix.size() - suffix.size());
-  if (digits.empty()) return false;
+/// Parses a decimal job id. Rejects empty, non-digit, and > 18 digit
+/// strings — job ids are small, and 19+ digits would overflow int64
+/// (signed-overflow UB) in the accumulate.
+bool ParseJobId(const std::string& digits, std::int64_t* job_id) {
+  if (digits.empty() || digits.size() > 18) return false;
   std::int64_t value = 0;
   for (char c : digits) {
     if (c < '0' || c > '9') return false;
@@ -53,8 +47,8 @@ bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
   return true;
 }
 
-/// Parses "/jobs/<id>" (suffix empty) or "/jobs/<id>/profile"
-/// (suffix "/profile"); returns false on any other shape.
+/// Parses "/jobs/<id>" (suffix empty), "/jobs/<id>/profile", or
+/// "/jobs/<id>/cancel"; returns false on any other shape.
 bool ParseJobPath(const std::string& path, const std::string& suffix,
                   std::int64_t* job_id) {
   const std::string prefix = "/jobs/";
@@ -66,14 +60,12 @@ bool ParseJobPath(const std::string& path, const std::string& suffix,
   }
   std::string digits =
       path.substr(prefix.size(), path.size() - prefix.size() - suffix.size());
-  if (digits.empty()) return false;
-  std::int64_t value = 0;
-  for (char c : digits) {
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + (c - '0');
-  }
-  *job_id = value;
-  return true;
+  return ParseJobId(digits, job_id);
+}
+
+/// Parses "/jobs/<id>/cancel"; returns false on any other shape.
+bool ParseCancelPath(const std::string& path, std::int64_t* job_id) {
+  return ParseJobPath(path, "/cancel", job_id);
 }
 
 /// The read half of one connection: its fd, the absolute deadline for the

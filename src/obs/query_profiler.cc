@@ -46,18 +46,24 @@ std::shared_ptr<QueryProfile> QueryProfiler::Find(std::int64_t job_id) const {
 
 void QueryProfiler::Finalize(const std::shared_ptr<QueryProfile>& profile) {
   if (profile == nullptr) return;
-  std::string slow_line;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (profile->finished) return;
-    profile->finished = true;
+    {
+      // finished is a plain field concurrently read by the renderers, so it
+      // flips under the profile's own lock (order: mu_ then profile->mu —
+      // nothing takes them the other way around).
+      std::lock_guard<std::mutex> profile_lock(profile->mu);
+      if (profile->finished) return;
+      profile->finished = true;
+    }
     live_.erase(profile->job_id);
     completed_.push_back(profile);
     if (completed_.size() > kRetainedProfiles) completed_.pop_front();
     latest_ = profile;
   }
-  // Render outside mu_ (the renderer only reads, and the profile is frozen
-  // now), append under the log's own lock.
+  // The profile is frozen now; render + append under the log's own lock
+  // (ToJson re-takes profile->mu internally, which is fine — log_mu_ and
+  // profile->mu never nest the other way).
   std::lock_guard<std::mutex> log_lock(log_mu_);
   if (slow_threshold_ms_ > 0 && slow_log_.is_open() &&
       profile->wall_nanos >= slow_threshold_ms_ * 1'000'000) {
@@ -84,6 +90,10 @@ std::shared_ptr<const QueryProfile> QueryProfiler::Latest() const {
 }
 
 std::string QueryProfiler::ToJson(const QueryProfile& profile) {
+  // A live profile's plain fields are still being written by the driver
+  // thread (under profile.mu); render the whole object under that lock so a
+  // GET during execution sees a consistent snapshot instead of racing.
+  std::lock_guard<std::mutex> lock(profile.mu);
   std::string out = "{\"job\":" + std::to_string(profile.job_id);
   out += ",\"query\":\"";
   AppendJsonEscaped(profile.query, &out);
@@ -150,6 +160,7 @@ std::string QueryProfiler::ToJson(const QueryProfile& profile) {
 }
 
 std::string QueryProfiler::SummaryJson(const QueryProfile& profile) {
+  std::lock_guard<std::mutex> lock(profile.mu);
   std::string out = "{\"job\":" + std::to_string(profile.job_id);
   out += ",\"query\":\"";
   AppendJsonEscaped(profile.query, &out);

@@ -38,8 +38,18 @@ struct OperatorProfile {
 /// the atomic fields are fed concurrently by executor workers (CPU samples,
 /// task counts) and by MemoryManager/spill writers via the query's
 /// exec::QueryResourceStats. Plain fields are written by the owning
-/// driver/serving thread only.
+/// driver/serving thread only — under `mu`, because the metrics server
+/// renders live profiles from other threads while the query runs.
 struct QueryProfile {
+  /// Guards every non-atomic field below that is written after Begin()
+  /// (phase timings, resource totals, rows/bytes, lifecycle, operators).
+  /// Writers (the driver/serving thread, Finalize) and renderers
+  /// (ToJson/SummaryJson on HTTP threads) both take it; the executor-fed
+  /// atomics stay lock-free. Fields set once in Begin() before the profile
+  /// is published (job_id, query, tenant, served, started_unix_millis) are
+  /// immutable afterwards and safe to read without it.
+  mutable std::mutex mu;
+
   std::int64_t job_id = -1;
   std::string query;
   std::string tenant;  // empty on the shell path
@@ -86,6 +96,8 @@ struct QueryProfile {
 
   std::vector<OperatorProfile> operators;
 
+  /// task + driver CPU. Reads the plain driver_cpu_nanos: callers hold mu
+  /// or read a finalized (frozen) profile.
   std::int64_t cpu_nanos() const {
     return task_cpu_nanos.load(std::memory_order_relaxed) + driver_cpu_nanos;
   }
@@ -132,12 +144,13 @@ class QueryProfiler {
 
   /// Renders one profile as a single-line JSON object (the
   /// `GET /jobs/<id>/profile` body and the slow-query log record —
-  /// schema in docs/PROFILING.md).
+  /// schema in docs/PROFILING.md). Takes profile.mu internally, so a live
+  /// (still-running) profile renders a consistent snapshot.
   static std::string ToJson(const QueryProfile& profile);
 
   /// Condensed one-line JSON for the `GET /jobs/<id>` detail route: identity,
   /// state, and headline resource numbers without the phase breakdown or the
-  /// operators array.
+  /// operators array. Takes profile.mu internally, like ToJson.
   static std::string SummaryJson(const QueryProfile& profile);
 
   // ---- Slow-query log (docs/PROFILING.md) ---------------------------------

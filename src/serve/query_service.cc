@@ -43,7 +43,9 @@ std::string HttpStatusFor(common::ErrorCode code) {
 }
 
 bool ParseNonNegativeInt(const std::string& text, std::int64_t* value) {
-  if (text.empty()) return false;
+  // <= 18 digits cannot overflow int64; longer strings are rejected rather
+  // than risking signed-overflow UB in the accumulate below.
+  if (text.empty() || text.size() > 18) return false;
   std::int64_t out = 0;
   for (char c : text) {
     if (c < '0' || c > '9') return false;
@@ -56,6 +58,23 @@ bool ParseNonNegativeInt(const std::string& text, std::int64_t* value) {
 bool IsBlank(const std::string& text) {
   for (char c : text) {
     if (c != ' ' && c != '\t' && c != '\r' && c != '\n') return false;
+  }
+  return true;
+}
+
+/// Tenant ids come verbatim off the wire (X-Rumble-Tenant) and become
+/// Prometheus label values, /serving JSON keys, scheduler queue keys, and
+/// response header bytes — so they are restricted to a safe charset and
+/// length, and requests carrying anything else are rejected with 400 before
+/// any per-tenant state is allocated.
+constexpr std::size_t kMaxTenantNameBytes = 64;
+
+bool IsValidTenantName(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > kMaxTenantNameBytes) return false;
+  for (char c : tenant) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
   }
   return true;
 }
@@ -74,6 +93,10 @@ constexpr char kTenantSpillBytes[] = "serving.tenant.spill_bytes";
 std::string TenantCounter(const char* base, const std::string& tenant) {
   return std::string(base) + "|tenant=" + tenant;
 }
+
+/// Where previously-unseen tenant ids land once max_tracked_tenants distinct
+/// ids already have state (docs/SERVING.md).
+constexpr char kOverflowTenant[] = "overflow";
 
 /// The trailer fields POST /query announces up front and appends after the
 /// terminating chunk (docs/PROFILING.md): resource attribution only exists
@@ -118,6 +141,14 @@ void QueryService::Handle(const obs::HttpRequest& request,
 
   jsoniq::ServeOptions options;
   options.tenant = request.Header("x-rumble-tenant", "anonymous");
+  if (!IsValidTenantName(options.tenant)) {
+    bus.AddToCounter("serving.rejected", 1);
+    writer.Respond("400 Bad Request", "application/json",
+                   ErrorBody("bad_header",
+                             "X-Rumble-Tenant must be 1-64 characters of "
+                             "[A-Za-z0-9_.-]"));
+    return;
+  }
   std::string timeout_header = request.Header("x-rumble-timeout-ms");
   if (!timeout_header.empty() &&
       !ParseNonNegativeInt(timeout_header, &options.timeout_ms)) {
@@ -163,11 +194,20 @@ void QueryService::Handle(const obs::HttpRequest& request,
     return;
   }
 
-  bus.AddToCounter(TenantCounter(kTenantRequests, options.tenant), 1);
   {
+    // Cardinality cap: per-tenant totals, labeled counters, and scheduler
+    // queues all key on the tenant id, so once max_tracked_tenants distinct
+    // ids exist, previously-unseen ones fold into the shared overflow bucket
+    // rather than allocating unbounded state for a client-invented name.
     std::lock_guard<std::mutex> lock(tenants_mu_);
+    if (tenants_.find(options.tenant) == tenants_.end() &&
+        tenants_.size() >= config_.max_tracked_tenants) {
+      options.tenant = kOverflowTenant;
+      bus.AddToCounter("serving.tenant_overflow", 1);
+    }
     tenants_[options.tenant].requests += 1;
   }
+  bus.AddToCounter(TenantCounter(kTenantRequests, options.tenant), 1);
 
   // Weighted fair admission: block (bounded) for a slot; under saturation
   // the scheduler shares slots by tenant weight instead of arrival order.

@@ -37,6 +37,12 @@ struct ServingConfig {
   /// after admissions stop before cancelling the stragglers through their
   /// per-query tokens.
   std::int64_t drain_deadline_ms = 5000;
+  /// Distinct tenant ids tracked with their own totals, labeled counters,
+  /// and scheduler queue. Tenant ids are client-controlled, so beyond this
+  /// many the service folds new ones into the "overflow" tenant instead of
+  /// letting an unauthenticated client grow server memory and /metrics
+  /// cardinality without bound (docs/SERVING.md).
+  std::size_t max_tracked_tenants = 256;
 };
 
 /// What Drain() observed, for the shutdown log line and the smoke test's
@@ -58,7 +64,8 @@ struct DrainStats {
 /// machine-readable JSON error bodies.
 ///
 /// Request headers understood (all optional):
-///   X-Rumble-Tenant       tenant id for fair scheduling (default anonymous)
+///   X-Rumble-Tenant       tenant id for fair scheduling (default anonymous;
+///                         1-64 chars of [A-Za-z0-9_.-], else 400)
 ///   X-Rumble-Timeout-Ms   per-query timeout override in milliseconds
 ///   X-Rumble-Memory-Cap   per-query memory cap, e.g. "64m" / "1g" / bytes
 ///   X-Rumble-Plan-Cache   "off" bypasses the plan cache for this request

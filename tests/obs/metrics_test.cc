@@ -17,6 +17,7 @@
 
 #include "src/json/dom.h"
 #include "src/jsoniq/rumble.h"
+#include "src/obs/event_bus.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/metrics_server.h"
 
@@ -226,6 +227,22 @@ TEST(MetricsTest, PrometheusTextExposesCountersAndHistograms) {
     pos = value_at;
   }
   ASSERT_GE(last, 1);
+}
+
+TEST(MetricsTest, PrometheusLabelValuesUseExpositionEscapesNotJson) {
+  obs::EventBus bus;
+  // Backslash, double quote, and newline are the only characters the
+  // Prometheus text exposition escapes in label values; JSON-style \uXXXX
+  // output would make the payload unparsable.
+  bus.AddToCounter("serving.tenant.requests|tenant=a\\b\"c\nd\te", 1);
+  std::string text = bus.PrometheusText();
+  EXPECT_NE(
+      text.find(
+          "rumble_serving_tenant_requests_total{tenant=\"a\\\\b\\\"c\\nd\te\"}"
+          " 1"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("\\u"), std::string::npos) << text;
 }
 
 TEST(MetricsTest, MetricsJsonParsesAndCarriesQuantiles) {

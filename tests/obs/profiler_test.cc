@@ -5,11 +5,14 @@
 // succeeding and failing queries, cross-checked against bus counters.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/json/dom.h"
@@ -180,6 +183,35 @@ TEST(ProfilerTest, CompletedRingEvictsOldestBeyondRetention) {
       profiler.Get(static_cast<std::int64_t>(QueryProfiler::kRetainedProfiles) +
                    4),
       nullptr);
+}
+
+TEST(ProfilerTest, LiveProfileRendersWhileWriterMutatesUnderItsLock) {
+  // The metrics server renders live profiles from HTTP threads while the
+  // driver is still writing plain fields; both sides synchronize on
+  // profile->mu, so hammering the renderers against a writer must stay
+  // data-race free (the TSan suite is the teeth here) and always produce
+  // parseable JSON.
+  QueryProfiler profiler;
+  auto profile = profiler.Begin(7, "1 + 1", "alice", /*served=*/true);
+  std::atomic<bool> stop{false};
+  std::thread renderer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_NE(json::ParseDom(QueryProfiler::ToJson(*profile)), nullptr);
+      EXPECT_NE(json::ParseDom(QueryProfiler::SummaryJson(*profile)), nullptr);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    std::lock_guard<std::mutex> lock(profile->mu);
+    profile->execute_nanos = i;
+    profile->rows_out = i;
+    profile->error = (i % 2) != 0 ? "transient failure text" : "";
+    profile->operators.push_back({"Filter", i, 1, 2, 3});
+    if (profile->operators.size() > 8) profile->operators.clear();
+  }
+  stop.store(true, std::memory_order_release);
+  renderer.join();
+  profiler.Finalize(profile);
+  EXPECT_NE(json::ParseDom(QueryProfiler::ToJson(*profile)), nullptr);
 }
 
 TEST(ProfilerTest, ToJsonAndSummaryJsonParseAndCarryTheSchema) {

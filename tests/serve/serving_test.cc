@@ -25,6 +25,7 @@
 #include "src/json/dom.h"
 #include "src/jsoniq/plan_cache.h"
 #include "src/jsoniq/rumble.h"
+#include "src/obs/event_bus.h"
 #include "src/obs/metrics_server.h"
 #include "src/obs/query_profiler.h"
 #include "src/serve/query_service.h"
@@ -519,6 +520,90 @@ TEST_F(HttpServingTest, ProfileEndpointServesFullAndSummaryViews) {
       HttpExchange(port_, "GET /jobs/999999/profile HTTP/1.0\r\n\r\n");
   EXPECT_NE(missing.find("404"), std::string::npos);
   EXPECT_NE(missing.find("\"error\":\"unknown_job\""), std::string::npos);
+
+  // A job id too long for int64 must not parse (signed overflow would be
+  // UB); the path simply fails to match and 404s.
+  std::string huge = HttpExchange(
+      port_, "GET /jobs/99999999999999999999/profile HTTP/1.0\r\n\r\n");
+  EXPECT_NE(huge.find("404"), std::string::npos);
+}
+
+TEST_F(HttpServingTest, LiveProfileRendersConsistentlyWhileQueryRuns) {
+  StartServer();
+  // A served query streams on this thread while another thread hammers the
+  // live-profile endpoints — the render path must snapshot under the
+  // profile's lock instead of racing the driver's writes (TSan-sensitive).
+  std::promise<std::int64_t> job_promise;
+  std::shared_future<std::int64_t> job_future =
+      job_promise.get_future().share();
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    std::int64_t job = job_future.get();
+    while (!done.load(std::memory_order_acquire)) {
+      std::string full = HttpExchange(
+          port_,
+          "GET /jobs/" + std::to_string(job) + "/profile HTTP/1.0\r\n\r\n");
+      EXPECT_NE(full.find("200 OK"), std::string::npos);
+      std::string summary = HttpExchange(
+          port_, "GET /jobs/" + std::to_string(job) + " HTTP/1.0\r\n\r\n");
+      EXPECT_NE(summary.find("200 OK"), std::string::npos);
+    }
+  });
+  jsoniq::ServeOptions options;
+  options.tenant = "alice";
+  auto result = engine_->ServeQuery(
+      "for $x in parallelize(1 to 20000, 8) return $x", options,
+      [&](const jsoniq::ServeStart& start) {
+        job_promise.set_value(start.job_id);
+      },
+      [&](std::string_view) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return true;
+      });
+  done.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST_F(HttpServingTest, InvalidTenantHeaderIsRejectedWithoutTenantState) {
+  StartServer();
+  // Tenant ids become Prometheus label values, /serving JSON keys, and
+  // response header bytes — anything outside [A-Za-z0-9_.-]{1,64} is
+  // rejected up front, before any per-tenant state is allocated.
+  std::string response = PostQuery(port_, "bad tenant\"{}", "1 + 1");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(response.find("\"error\":\"bad_header\""), std::string::npos);
+  response = PostQuery(port_, std::string(65, 'a'), "1 + 1");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  std::string serving = HttpExchange(port_, "GET /serving HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(serving.find("bad tenant"), std::string::npos);
+  EXPECT_EQ(serving.find(std::string(65, 'a')), std::string::npos);
+  // Valid edge cases still pass.
+  response = PostQuery(port_, std::string(64, 'a'), "1 + 1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  response = PostQuery(port_, "Tenant_1.with-dots", "1 + 1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST_F(HttpServingTest, TenantCardinalityCapFoldsNewIdsIntoOverflow) {
+  serve::ServingConfig config;
+  config.max_tracked_tenants = 2;
+  StartServer(config);
+  obs::EventBus& bus = engine_->event_bus();
+  EXPECT_NE(PostQuery(port_, "a", "1 + 1").find("200 OK"), std::string::npos);
+  EXPECT_NE(PostQuery(port_, "b", "1 + 1").find("200 OK"), std::string::npos);
+  // Two distinct ids are tracked; a third folds into "overflow" — scheduled,
+  // accounted, and echoed back under that name, with no per-"c" state.
+  std::string response = PostQuery(port_, "c", "1 + 1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(HeaderValue(response, "X-Rumble-Tenant"), "overflow");
+  EXPECT_EQ(bus.CounterValue("serving.tenant_overflow"), 1);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.requests|tenant=c"), 0);
+  EXPECT_EQ(bus.CounterValue("serving.tenant.requests|tenant=overflow"), 1);
+  // Already-tracked tenants keep their own accounting past the cap.
+  response = PostQuery(port_, "a", "1 + 1");
+  EXPECT_EQ(HeaderValue(response, "X-Rumble-Tenant"), "a");
+  EXPECT_EQ(bus.CounterValue("serving.tenant.requests|tenant=a"), 2);
 }
 
 TEST_F(HttpServingTest, ResponseTrailersCarryCpuAndPeakMemory) {
