@@ -14,6 +14,7 @@
 //                                 [--metrics-out <file>]
 //                                 [--fault-spec "<spec>"] [--skip-malformed]
 //                                 [--memory-limit <size>]
+//                                 [--spill-dir <dir>]
 //                                 [--query-timeout <ms>]
 //                                 [--drain-timeout <ms>] [--shed-latency <ms>]
 //                                 [--read-deadline <ms>] [--version]
@@ -37,7 +38,9 @@
 // deterministic fault injection (grammar: docs/FAULT_TOLERANCE.md) and
 // --skip-malformed makes json-file() skip malformed lines instead of
 // failing the query. --memory-limit caps execution memory (suffixes k/m/g;
-// operators spill to disk under pressure, docs/MEMORY.md) and
+// operators spill to disk under pressure, docs/MEMORY.md), --spill-dir
+// redirects spill files (default $TMPDIR or /tmp; also the RUMBLE_SPILL_DIR
+// environment variable — the flag wins; validated at startup) and
 // --query-timeout cancels any query running longer than the given number
 // of milliseconds. Ctrl-C cancels the running query cooperatively instead
 // of killing the shell. With --serve, POST /jobs/<id>/cancel cancels a
@@ -278,6 +281,8 @@ int main(int argc, char** argv) {
         std::cerr << "bad --memory-limit (expected e.g. 64m, 512k, 2g)\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      config.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--query-timeout") == 0 && i + 1 < argc) {
       config.query_timeout_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--drain-timeout") == 0 && i + 1 < argc) {
@@ -308,6 +313,16 @@ int main(int argc, char** argv) {
     // Path without a threshold: a reasonable default beats silently
     // disabling the log.
     config.slow_query_ms = 1000;
+  }
+
+  if (!config.spill_dir.empty()) {
+    // Validate up front for a clean CLI error; the engine re-applies (and
+    // re-validates) the override when the Context starts.
+    std::string spill_error;
+    if (!rumble::exec::SetSpillDirectory(config.spill_dir, &spill_error)) {
+      std::cerr << "bad --spill-dir: " << spill_error << "\n";
+      return 2;
+    }
   }
 
   // One engine for the whole session: executors start once.

@@ -39,6 +39,15 @@
 #      assert it parses with sane wall/CPU/task numbers; assert the
 #      --slow-query-log captured the (intentionally slow) query's full
 #      profile JSON.
+#   8. storage chaos (docs/FAULT_TOLERANCE.md, "Storage fault injection"):
+#      byte-diff the phase-3 workload under a tight --memory-limit with
+#      seeded non-destructive io faults (transient EIO on spill reads and
+#      writes, torn frames, bit-flips — all healed by checksummed retries
+#      and lineage/map-output recovery), asserting the io.fault.* counters
+#      fired; rerun the dedicated corrupt-cache/corrupt-shuffle recovery
+#      tests; then simulate a full disk (RUMBLE_SPILL_MAX_BYTES) and
+#      assert the query fails with the machine-readable RBRE0001 and
+#      leaves zero spill files behind.
 #
 # Exits nonzero on the first divergence.
 
@@ -302,6 +311,76 @@ assert any(p["served"] and p["wall_ns"] >= 1_000_000 and
 PY
 echo "slow-query log captured $(wc -l <"$slow_log") profile(s)"
 stop_net_server "$work/net_prof.log"
+
+echo
+echo "== phase 8: storage chaos (checksummed spill I/O under io.* faults)"
+io_spec="seed=17,io.eio_write=0.05,io.short_write=0.05,io.eio_read=0.05,io.corrupt=0.05"
+
+echo "-- 8a: byte identity under non-destructive io faults ($io_spec)"
+run_io_chaos() { # $1 = metrics snapshot path prefix
+  local n=0
+  while IFS= read -r q; do
+    n=$((n + 1))
+    "$shell" --executors 4 --memory-limit 256k --fault-spec "$io_spec" \
+      --metrics-out "$1.$n" --query "$q"
+  done <"$queries"
+}
+
+run_io_chaos "$work/iometrics" >"$work/iochaos.out"
+
+if ! diff -u "$work/clean.out" "$work/iochaos.out"; then
+  echo "run_chaos: FAIL — results diverged under $io_spec" >&2
+  exit 1
+fi
+echo "results identical across $(wc -l <"$queries") queries under io faults"
+
+io_counts="$(python3 - "$work"/iometrics.* <<'PY'
+import json, sys
+faults = spilled = retries = checksum = 0
+for path in sys.argv[1:]:
+    c = json.load(open(path))["counters"]
+    faults += sum(v for k, v in c.items() if k.startswith("io.fault."))
+    spilled += c.get("spill.bytes_written", 0)
+    retries += c.get("spill.retry", 0)
+    checksum += c.get("spill.checksum_failure", 0)
+print(faults, spilled, retries, checksum)
+PY
+)"
+read -r io_faults io_spilled io_retries io_checksum <<<"$io_counts"
+echo "io chaos: $io_faults faults injected, $io_retries write retries," \
+  "$io_checksum checksum failures, $io_spilled spill bytes"
+[ "$io_spilled" -gt 0 ] ||
+  { echo "run_chaos: FAIL — the 256k limit never forced a spill" >&2; exit 1; }
+[ "$io_faults" -gt 0 ] ||
+  { echo "run_chaos: FAIL — no io.fault.* counters fired" >&2; exit 1; }
+
+echo "-- 8b: corrupt-cache / corrupt-shuffle / full-disk recovery tests"
+# Counter-level recovery proofs live in the dedicated tests: corrupt cache
+# frames must recompute from lineage (partition.recomputed), corrupt shuffle
+# frames must invalidate and recompute map outputs (shuffle.map_invalidated),
+# and a full disk must fail typed with nothing leaked.
+env -u RUMBLE_FAULT_SPEC \
+  ctest --test-dir "$build" -j --output-on-failure \
+  -R "SpillFrameTest|SpillFaultTest|SpillFaultRecoveryTest|SpillWatchdogTest|SpillOrphanTest|JsoniqSpillTest"
+
+echo "-- 8c: full disk fails clean (RUMBLE_SPILL_MAX_BYTES=4k)"
+spill_dir="$work/spilldir"
+mkdir -p "$spill_dir"
+if RUMBLE_SPILL_DIR="$spill_dir" RUMBLE_SPILL_MAX_BYTES=4k \
+  "$shell" --executors 4 --memory-limit 256k \
+  --query "$(head -4 "$queries" | tail -1)" \
+  >"$work/enospc.out" 2>"$work/enospc.err"; then
+  echo "run_chaos: FAIL — spill-forced query succeeded on a 4k disk" >&2
+  exit 1
+fi
+grep -q "RBRE0001" "$work/enospc.err" ||
+  { echo "run_chaos: FAIL — full disk did not surface RBRE0001:" >&2;
+    cat "$work/enospc.err" >&2; exit 1; }
+leftover="$(find "$spill_dir" -type f | wc -l)"
+[ "$leftover" -eq 0 ] ||
+  { echo "run_chaos: FAIL — $leftover spill file(s) leaked in $spill_dir" >&2;
+    exit 1; }
+echo "full disk failed clean: RBRE0001, zero leftover spill files"
 
 echo
 echo "run_chaos: OK"

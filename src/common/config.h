@@ -103,6 +103,25 @@ struct RumbleConfig {
   /// makes pipeline breakers *spill* to disk and keep going.
   std::uint64_t memory_limit_bytes = 0;
 
+  // ---- Spill storage (docs/MEMORY.md, "Spill disk watchdog") --------------
+
+  /// Directory spill files are written to. Empty = $TMPDIR or /tmp. Set via
+  /// the --spill-dir shell flag or the RUMBLE_SPILL_DIR environment variable
+  /// (config wins); validated at Context startup — it must exist and be
+  /// writable, otherwise construction fails with kInvalidArgument.
+  std::string spill_dir;
+
+  /// Free-space headroom the spill watchdog requires in the spill directory
+  /// (statvfs). A spill that would leave less free space than this fails
+  /// fast with kResourceExhausted instead of running the disk to zero.
+  /// 0 disables the headroom check.
+  std::uint64_t spill_min_free_bytes = 32ull << 20;
+
+  /// Cap on this process's total live spill bytes; 0 = unlimited. Lets
+  /// tests and the chaos harness (RUMBLE_SPILL_MAX_BYTES) simulate a small
+  /// disk: the watchdog denies spills past the cap exactly like ENOSPC.
+  std::uint64_t spill_max_bytes = 0;
+
   /// Cooperative per-query timeout in milliseconds; 0 = no timeout. The
   /// deadline is armed when a query starts and checked at task boundaries
   /// and inside long kernel loops; expiry fails the query with kCancelled.

@@ -27,6 +27,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kMaterializationCap: return "RBML0001";
     case ErrorCode::kCancelled: return "RBCL0001";
     case ErrorCode::kAdmissionRejected: return "RBAD0001";
+    case ErrorCode::kResourceExhausted: return "RBRE0001";
+    case ErrorCode::kIoError: return "RBIO0001";
     case ErrorCode::kInternal: return "RBIN0000";
   }
   return "RBIN0000";

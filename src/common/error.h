@@ -35,6 +35,8 @@ enum class ErrorCode {
   kMaterializationCap,      // RBML0001 (Rumble): too many items materialized.
   kCancelled,               // RBCL0001 (Rumble): query cancelled cooperatively.
   kAdmissionRejected,       // RBAD0001 (Rumble): engine memory pool exhausted.
+  kResourceExhausted,       // RBRE0001 (Rumble): spill disk full / watchdog denied.
+  kIoError,                 // RBIO0001 (Rumble): unrecoverable storage I/O failure.
   kInternal,                // RBIN0000: engine invariant violated.
 };
 

@@ -329,7 +329,8 @@ Rdd<RecordBatch> ExecShuffleJoin(const LogicalPlan& plan, Context* context,
       continue;
     }
     if (guard.file == nullptr) {
-      auto file = std::make_unique<exec::SpillFile>();
+      auto file = std::make_unique<exec::SpillFile>(
+          &bus, spark::InjectorOf(context));
       if (!file->ok()) continue;  // cannot spill: keep the bucket resident
       guard.file = std::move(file);
       bus.AddToCounter("spill.files", 1);
@@ -343,11 +344,9 @@ Rdd<RecordBatch> ExecShuffleJoin(const LogicalPlan& plan, Context* context,
       RecordBatch chunk = SliceBatch(bucket_build[b], begin, count);
       std::string blob;
       EncodeBatch(chunk, &blob);
+      // Append throws kResourceExhausted/kIoError on failure; the guard's
+      // RAII cleanup then releases the charges and unlinks the file.
       exec::SpillSegment seg = guard.file->Append(blob, count);
-      if (seg.size == 0 && !blob.empty()) {
-        common::ThrowError(common::ErrorCode::kInternal,
-                           "join spill write failed: " + guard.file->path());
-      }
       bucket_segs[b].push_back(seg);
       bytes += static_cast<std::int64_t>(blob.size());
     }
@@ -412,9 +411,14 @@ Rdd<RecordBatch> ExecShuffleJoin(const LogicalPlan& plan, Context* context,
       chunks.reserve(bucket_segs[b].size());
       for (const exec::SpillSegment& seg : bucket_segs[b]) {
         std::string blob;
-        if (!guard.file->Read(seg, &blob)) {
-          common::ThrowError(common::ErrorCode::kInternal,
-                             "join spill file lost mid-query: " +
+        exec::SpillReadStatus rs = guard.file->ReadVerified(seg, &blob);
+        if (rs != exec::SpillReadStatus::kOk) {
+          // Driver-side bucket reload: the build rows exist only on disk,
+          // so a verification failure is a typed query error — corrupt
+          // frames are never joined as data.
+          common::ThrowError(common::ErrorCode::kIoError,
+                             std::string("join build bucket unreadable (") +
+                                 exec::SpillReadStatusName(rs) + "): " +
                                  guard.file->path());
         }
         bus.AddToCounter("spill.bytes_read",

@@ -354,11 +354,18 @@ GroupRun DecodeGroupRun(const std::string& blob, std::size_t agg_count) {
   return run;
 }
 
-/// Per-partition spill bookkeeping for the group-by partial phase.
+/// Per-partition spill bookkeeping for the group-by partial phase. Releases
+/// its reservation on destruction so a query that fails mid-phase (a typed
+/// spill-write error, a cancellation) leaks neither bytes nor files; the
+/// happy path releases explicitly in phase 2 and zeroes `charged`.
 struct PartialSpill {
   std::unique_ptr<exec::SpillFile> file;
   std::vector<exec::SpillSegment> runs;
   std::uint64_t charged = 0;
+  exec::MemoryManager* manager = nullptr;
+  ~PartialSpill() {
+    if (manager != nullptr && charged > 0) manager->Release(charged);
+  }
 };
 
 /// Serializes the partial table as one sorted-by-insertion run and resets it
@@ -374,14 +381,17 @@ void SpillGroupTable(GroupTable* table, PartialSpill* spill, Context* context,
   obs::EventBus& bus = spark::BusOf(context);
   obs::ScopedSpan span(bus.tracer(), "operator", "spill.write");
   if (spill->file == nullptr) {
-    auto file = std::make_unique<exec::SpillFile>();
+    auto file = std::make_unique<exec::SpillFile>(&bus,
+                                                  spark::InjectorOf(context));
     if (!file->ok()) return;  // cannot spill: keep accumulating in memory
     spill->file = std::move(file);
     bus.AddToCounter("spill.files", 1);
   }
   std::string blob = EncodeGroupRun(*table, agg_count);
+  // Append throws kResourceExhausted/kIoError on failure; PartialSpill's
+  // destructor then releases this partition's reservation as the query
+  // fails, so a full disk never leaks bytes or yields a truncated result.
   exec::SpillSegment seg = spill->file->Append(blob, table->states.size());
-  if (seg.size == 0 && !blob.empty()) return;  // write failed: keep in memory
   spill->runs.push_back(seg);
   span.AddArg("bytes", static_cast<std::int64_t>(blob.size()));
   bus.AddToCounter("spill.bytes_written",
@@ -415,6 +425,7 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
   exec::MemoryManager& memory = spark::MemoryOf(context);
   std::vector<GroupTable> partials(n);
   std::vector<PartialSpill> spills(n);
+  for (auto& spill : spills) spill.manager = &memory;
   std::vector<std::int64_t> input_rows(n, 0);
   KernelProbe partial_probe = MakeKernelProbe(
       context, "df.kernel.groupBy.partial",
@@ -500,9 +511,14 @@ Rdd<RecordBatch> ExecGroupBy(const LogicalPlan& plan, Context* context,
     };
     for (const exec::SpillSegment& seg : spills[p].runs) {
       std::string blob;
-      if (!spills[p].file->Read(seg, &blob)) {
-        common::ThrowError(common::ErrorCode::kInternal,
-                           "group-by spill file lost mid-query: " +
+      exec::SpillReadStatus rs = spills[p].file->ReadVerified(seg, &blob);
+      if (rs != exec::SpillReadStatus::kOk) {
+        // Driver-side merge: there is no task attempt to retry, and the run
+        // exists only on disk, so a verification failure is a typed query
+        // error — never silently merged garbage.
+        common::ThrowError(common::ErrorCode::kIoError,
+                           std::string("group-by spill run unreadable (") +
+                               exec::SpillReadStatusName(rs) + "): " +
                                spills[p].file->path());
       }
       bus.AddToCounter("spill.bytes_read",
@@ -722,9 +738,10 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
   std::int64_t written = 0;
   auto ensure_file = [&]() {
     if (holder->file != nullptr) return;
-    holder->file = std::make_unique<exec::SpillFile>();
+    holder->file = std::make_unique<exec::SpillFile>(
+        &bus, spark::InjectorOf(context));
     if (!holder->file->ok()) {
-      common::ThrowError(common::ErrorCode::kInternal,
+      common::ThrowError(common::ErrorCode::kIoError,
                          "cannot create sort spill file in " +
                              exec::SpillDirectory());
     }
@@ -742,11 +759,9 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
       RecordBatch chunk = SliceBatch(batch, begin, count);
       std::string blob;
       EncodeBatch(chunk, &blob);
+      // Append throws kResourceExhausted/kIoError on failure; the holder's
+      // destructor releases charges and unlinks the file as the query fails.
       exec::SpillSegment seg = holder->file->Append(blob, count);
-      if (seg.size == 0 && !blob.empty()) {
-        common::ThrowError(common::ErrorCode::kInternal,
-                           "sort spill write failed: " + holder->file->path());
-      }
       segs->push_back(seg);
       bytes += static_cast<std::int64_t>(blob.size());
     }
@@ -763,7 +778,11 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
     if (runs[r].num_rows == 0) continue;
     auto want = static_cast<std::uint64_t>(ApproxBatchBytes(runs[r]));
     if (memory.TryReserve(want)) {
+      // Tracked in holder->charged too, so the holder's destructor releases
+      // run reservations if the merge below fails (typed spill error,
+      // cancellation) before the explicit release at the end of the merge.
       run_charges += want;
+      holder->charged += want;
       continue;
     }
     spill_batch(runs[r], &run_segs[r]);
@@ -793,10 +812,16 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
       while (c.pos >= c.chunk.num_rows) {
         if (c.seg >= run_segs[r].size()) return nullptr;
         std::string blob;
-        if (!holder->file->Read(run_segs[r][c.seg], &blob)) {
+        exec::SpillReadStatus rs =
+            holder->file->ReadVerified(run_segs[r][c.seg], &blob);
+        if (rs != exec::SpillReadStatus::kOk) {
+          // Driver-side merge: the run exists only on disk, so a
+          // verification failure is a typed query error, never garbage rows.
           common::ThrowError(
-              common::ErrorCode::kInternal,
-              "sort spill file lost mid-query: " + holder->file->path());
+              common::ErrorCode::kIoError,
+              std::string("sort spill run unreadable (") +
+                  exec::SpillReadStatusName(rs) + "): " +
+                  holder->file->path());
         }
         bus.AddToCounter("spill.bytes_read",
                          static_cast<std::int64_t>(blob.size()));
@@ -873,7 +898,10 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
     merge_span.AddArg("rows", static_cast<std::int64_t>(merged));
   }
   if (written > 0) bus.AddToCounter("spill.bytes_written", written);
-  if (run_charges > 0) memory.Release(run_charges);
+  if (run_charges > 0) {
+    memory.Release(run_charges);
+    holder->charged -= run_charges;
+  }
 
   return Rdd<RecordBatch>(context, n_parts, [holder, context](int index) {
     auto p = static_cast<std::size_t>(index);
@@ -887,10 +915,14 @@ Rdd<RecordBatch> ExecSortExternal(const LogicalPlan& plan, Context* context,
     chunks.reserve(holder->segs[p].size());
     for (const exec::SpillSegment& seg : holder->segs[p]) {
       std::string blob;
-      if (!holder->file->Read(seg, &blob)) {
-        common::ThrowError(
-            common::ErrorCode::kInternal,
-            "sort spill file lost mid-query: " + holder->file->path());
+      exec::SpillReadStatus rs = holder->file->ReadVerified(seg, &blob);
+      if (rs != exec::SpillReadStatus::kOk) {
+        // Runs inside a task: fail the attempt with a retryable fault.
+        // Transient faults heal on the re-read; a truly lost file keeps
+        // failing and surfaces after max attempts — never as garbage rows.
+        throw exec::TransientTaskFault(
+            std::string("sort output chunk unreadable (") +
+            exec::SpillReadStatusName(rs) + "): " + holder->file->path());
       }
       bus.AddToCounter("spill.bytes_read",
                        static_cast<std::int64_t>(blob.size()));

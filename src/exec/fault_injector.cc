@@ -75,13 +75,25 @@ FaultSpec FaultInjector::ParseSpec(const std::string& text) {
       spec.net_rst_fraction = ParseFraction(key, value);
     } else if (key == "net.accept_fail") {
       spec.net_accept_fail_fraction = ParseFraction(key, value);
+    } else if (key == "io.eio_write") {
+      spec.io_eio_write_fraction = ParseFraction(key, value);
+    } else if (key == "io.eio_read") {
+      spec.io_eio_read_fraction = ParseFraction(key, value);
+    } else if (key == "io.enospc") {
+      spec.io_enospc_fraction = ParseFraction(key, value);
+    } else if (key == "io.short_write") {
+      spec.io_short_write_fraction = ParseFraction(key, value);
+    } else if (key == "io.corrupt") {
+      spec.io_corrupt_fraction = ParseFraction(key, value);
     } else {
       common::ThrowError(common::ErrorCode::kInvalidArgument,
                          "fault-spec: unknown key \"" + key +
                          "\" (expected seed, transient, straggle, "
                          "straggle_ms, kill, net.short_read, "
                          "net.short_write, net.delay, net.delay_ms, "
-                         "net.rst, net.accept_fail)");
+                         "net.rst, net.accept_fail, io.eio_write, "
+                         "io.eio_read, io.enospc, io.short_write, "
+                         "io.corrupt)");
     }
   }
   return spec;
@@ -146,6 +158,41 @@ bool FaultInjector::ShouldFailAccept(std::int64_t conn) const {
   if (spec_.net_accept_fail_fraction <= 0.0) return false;
   return UnitHash(conn, /*task=*/0, /*salt=*/0xacce) <
          spec_.net_accept_fail_fraction;
+}
+
+bool FaultInjector::ShouldFailSpillWrite(std::int64_t file,
+                                         std::int64_t op) const {
+  if (spec_.io_eio_write_fraction <= 0.0) return false;
+  return UnitHash(file, static_cast<std::uint64_t>(op), /*salt=*/0xe10a) <
+         spec_.io_eio_write_fraction;
+}
+
+bool FaultInjector::ShouldFailSpillRead(std::int64_t file,
+                                        std::int64_t op) const {
+  if (spec_.io_eio_read_fraction <= 0.0) return false;
+  return UnitHash(file, static_cast<std::uint64_t>(op), /*salt=*/0xe10b) <
+         spec_.io_eio_read_fraction;
+}
+
+bool FaultInjector::ShouldEnospcSpillWrite(std::int64_t file,
+                                           std::int64_t op) const {
+  if (spec_.io_enospc_fraction <= 0.0) return false;
+  return UnitHash(file, static_cast<std::uint64_t>(op), /*salt=*/0x105c) <
+         spec_.io_enospc_fraction;
+}
+
+bool FaultInjector::ShouldTearSpillWrite(std::int64_t file,
+                                         std::int64_t op) const {
+  if (spec_.io_short_write_fraction <= 0.0) return false;
+  return UnitHash(file, static_cast<std::uint64_t>(op), /*salt=*/0x7ea5) <
+         spec_.io_short_write_fraction;
+}
+
+bool FaultInjector::ShouldCorruptSpillRead(std::int64_t file,
+                                           std::int64_t op) const {
+  if (spec_.io_corrupt_fraction <= 0.0) return false;
+  return UnitHash(file, static_cast<std::uint64_t>(op), /*salt=*/0xc0bb) <
+         spec_.io_corrupt_fraction;
 }
 
 int FaultInjector::KillExecutorInStage(std::int64_t stage_ordinal,

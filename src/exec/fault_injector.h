@@ -42,7 +42,18 @@ class TransientTaskFault : public std::runtime_error {
 ///   net.rst=<p>          P(a send fails as if the peer reset mid-stream)
 ///   net.accept_fail=<p>  P(an accepted connection is dropped immediately)
 ///
-/// Example: "seed=42,transient=0.1,net.short_read=0.3,net.delay=0.1".
+/// The storage domain (docs/FAULT_TOLERANCE.md, "Storage fault injection")
+/// drives SpillFile's pwrite/pread wrappers. Decisions are keyed on
+/// (spill-file ordinal, I/O op ordinal), so a replay with the same seed
+/// faults the identical frames:
+///
+///   io.eio_write=<p>     P(a frame pwrite fails with EIO; retried)
+///   io.eio_read=<p>      P(a frame pread fails with EIO; retried)
+///   io.enospc=<p>        P(a frame write fails with ENOSPC; fails fast)
+///   io.short_write=<p>   P(a frame write is torn mid-payload; retried)
+///   io.corrupt=<p>       P(a read-back frame has one payload bit flipped)
+///
+/// Example: "seed=42,transient=0.1,net.short_read=0.3,io.corrupt=0.2".
 struct FaultSpec {
   std::uint64_t seed = 1;
   double transient_fraction = 0.0;
@@ -55,6 +66,11 @@ struct FaultSpec {
   std::int64_t net_delay_nanos = 5'000'000;
   double net_rst_fraction = 0.0;
   double net_accept_fail_fraction = 0.0;
+  double io_eio_write_fraction = 0.0;
+  double io_eio_read_fraction = 0.0;
+  double io_enospc_fraction = 0.0;
+  double io_short_write_fraction = 0.0;
+  double io_corrupt_fraction = 0.0;
 };
 
 /// Deterministic, seeded fault source for the executor pool. Every decision
@@ -139,6 +155,40 @@ class FaultInjector {
   /// True when accepted connection `conn` should be dropped before its
   /// handler thread spawns (an accept-queue failure under overload).
   bool ShouldFailAccept(std::int64_t conn) const;
+
+  // ---- Storage fault domain (SpillFile pwrite/pread wrappers) -------------
+
+  /// True when any io.* fraction is set; SpillFile skips the per-op ordinal
+  /// bookkeeping on fault-free runs.
+  bool has_io_faults() const {
+    return spec_.io_eio_write_fraction > 0.0 ||
+           spec_.io_eio_read_fraction > 0.0 ||
+           spec_.io_enospc_fraction > 0.0 ||
+           spec_.io_short_write_fraction > 0.0 ||
+           spec_.io_corrupt_fraction > 0.0;
+  }
+
+  /// True when write op `op` on spill file `file` should fail as EIO (a
+  /// flaky disk / controller hiccup). The writer retries with backoff; each
+  /// retry is a fresh op ordinal, so transient by construction.
+  bool ShouldFailSpillWrite(std::int64_t file, std::int64_t op) const;
+
+  /// True when read op `op` on spill file `file` should fail as EIO.
+  bool ShouldFailSpillRead(std::int64_t file, std::int64_t op) const;
+
+  /// True when write op `op` on spill file `file` should fail as ENOSPC.
+  /// Unlike EIO this is not retried: a full disk stays full, so the writer
+  /// fails fast with kResourceExhausted.
+  bool ShouldEnospcSpillWrite(std::int64_t file, std::int64_t op) const;
+
+  /// True when write op `op` on spill file `file` should be torn: the frame
+  /// header and a prefix of the payload land, the tail does not (a crash or
+  /// lost sector mid-frame). The torn frame is rewritten in place on retry.
+  bool ShouldTearSpillWrite(std::int64_t file, std::int64_t op) const;
+
+  /// True when read op `op` on spill file `file` should see one payload bit
+  /// flipped (silent media corruption). CRC verification must catch it.
+  bool ShouldCorruptSpillRead(std::int64_t file, std::int64_t op) const;
 
  private:
   /// SplitMix64-style avalanche of (seed, stage, task, salt) to [0, 1).

@@ -1,0 +1,62 @@
+#ifndef RUMBLE_EXEC_ONCE_H_
+#define RUMBLE_EXEC_ONCE_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace rumble::exec {
+
+/// Exception-safe one-time initialization with std::call_once turnover
+/// semantics: exactly one thread runs the callable at a time, a successful
+/// run latches the flag forever, and a *throwing* run hands the flag to one
+/// blocked waiter (which re-runs the callable) while the exception
+/// propagates to the thrower.
+///
+/// Exists because sanitizer runtimes intercept pthread_once without
+/// handling the exceptional path — an initializer that throws under TSan
+/// leaves every waiter blocked on the once guard forever. Storage faults
+/// made throwing initializers a normal occurrence (a spill Append inside a
+/// shuffle/sort/cache build now raises typed errors that the task scheduler
+/// retries), so the lazily-built shared structures use this instead of
+/// std::once_flag.
+///
+/// Successful completion in one thread happens-before every later Call()
+/// return in any thread (the state is published under the mutex), matching
+/// the visibility guarantee of std::call_once.
+class RetryableOnce {
+ public:
+  template <typename Fn>
+  void Call(Fn&& fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (done_) return;
+      if (!running_) break;
+      cv_.wait(lock);
+    }
+    running_ = true;
+    lock.unlock();
+    try {
+      fn();
+    } catch (...) {
+      lock.lock();
+      running_ = false;
+      // Turnover: exactly one waiter becomes the next active invocation.
+      cv_.notify_one();
+      throw;
+    }
+    lock.lock();
+    running_ = false;
+    done_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool done_ = false;
+};
+
+}  // namespace rumble::exec
+
+#endif  // RUMBLE_EXEC_ONCE_H_

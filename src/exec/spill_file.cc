@@ -1,20 +1,44 @@
 #include "src/exec/spill_file.h"
 
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/statvfs.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <set>
+#include <thread>
+
+#include "src/common/error.h"
+#include "src/exec/fault_injector.h"
+#include "src/obs/event_bus.h"
 
 namespace rumble::exec {
 
 namespace {
 
 std::atomic<std::uint64_t> g_spill_seq{0};
+
+/// Process-wide bytes held by live spill files (frame headers included);
+/// the watchdog's `spill.disk_bytes` source of truth.
+std::atomic<std::uint64_t> g_spill_disk_bytes{0};
+
+/// Sticky degradation flag (see SpillDiskDegraded()).
+std::atomic<bool> g_spill_disk_degraded{false};
+
+/// Watchdog policy (SetSpillDiskPolicy). Defaults: require 32 MiB of free
+/// space headroom, no cap on this process's own spill bytes.
+std::atomic<std::uint64_t> g_spill_min_free_bytes{32ull << 20};
+std::atomic<std::uint64_t> g_spill_max_bytes{0};
+
+constexpr int kMaxAppendAttempts = 4;
+constexpr int kMaxReadAttempts = 3;
 
 // Paths of live SpillFile objects. The sweeper must not unlink files that a
 // running query still references (several engines can coexist in one
@@ -29,20 +53,298 @@ std::set<std::string>& LivePaths() {
   return paths;
 }
 
+std::mutex& DirMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string& DirOverride() {
+  static std::string dir;
+  return dir;
+}
+
 std::string SpillPrefix() {
   return "rumble-spill-" + std::to_string(::getpid()) + "-";
 }
 
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli), software slice-by-8 implementation. No hardware
+// dependence so frames verify identically everywhere; slice-by-8 processes
+// eight bytes per iteration, keeping the cost noise next to the pwrite
+// itself (throughput measured in docs/MEMORY.md).
+// ---------------------------------------------------------------------------
+
+struct Crc32cTable {
+  std::uint32_t entries[8][256];
+  Crc32cTable() {
+    constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = entries[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        crc = (crc >> 8) ^ entries[0][crc & 0xffu];
+        entries[slice][i] = crc;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Frame header encode/decode (little-endian, layout in spill_file.h).
+// ---------------------------------------------------------------------------
+
+void StoreU16(char* p, std::uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void StoreU32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void StoreU64(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint16_t LoadU16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t LoadU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t LoadU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+void EncodeFrameHeader(const std::string& payload, char* header) {
+  StoreU32(header + 0, kSpillFrameMagic);
+  StoreU16(header + 4, kSpillFrameVersion);
+  StoreU16(header + 6, 0);  // flags
+  StoreU64(header + 8, payload.size());
+  StoreU32(header + 16, Crc32c(payload));
+  StoreU32(header + 20, Crc32c(std::string_view(header, 20)));
+}
+
+/// Writes [data, data+size) at `offset`, handling short writes and EINTR.
+/// Returns 0 on success, the failing errno otherwise.
+int PwriteAll(int fd, const char* data, std::size_t size,
+              std::uint64_t offset) {
+  std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::pwrite(fd, data + written, size - written,
+                         static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    if (n == 0) return EIO;
+    written += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+/// Reads exactly `size` bytes at `offset`. Returns 0 on success, -1 on a
+/// short read (EOF inside the range: a truncated frame), errno on failure.
+int PreadAll(int fd, char* data, std::size_t size, std::uint64_t offset) {
+  std::size_t got = 0;
+  while (got < size) {
+    ssize_t n = ::pread(fd, data + got, size - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    if (n == 0) return -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+void BackoffSleep(int attempt) {
+  // 200us, 400us, 800us: long enough to ride out a transient hiccup, short
+  // enough that retried spills stay invisible in query latency.
+  std::this_thread::sleep_for(std::chrono::microseconds(200ll << attempt));
+}
+
+/// Watchdog admission check for one frame of `frame_bytes`. Throws
+/// kResourceExhausted (and sets the sticky degraded flag) when the write
+/// would breach the spill-bytes cap or the free-space headroom.
+void CheckSpillHeadroom(std::uint64_t frame_bytes) {
+  const std::uint64_t max_bytes =
+      g_spill_max_bytes.load(std::memory_order_relaxed);
+  if (max_bytes > 0 &&
+      g_spill_disk_bytes.load(std::memory_order_relaxed) + frame_bytes >
+          max_bytes) {
+    g_spill_disk_degraded.store(true, std::memory_order_relaxed);
+    common::ThrowError(
+        common::ErrorCode::kResourceExhausted,
+        "spill denied: spill-bytes cap of " + std::to_string(max_bytes) +
+            " bytes would be exceeded (" +
+            std::to_string(g_spill_disk_bytes.load()) + " in use, frame of " +
+            std::to_string(frame_bytes) + " requested)");
+  }
+  const std::uint64_t min_free =
+      g_spill_min_free_bytes.load(std::memory_order_relaxed);
+  if (min_free > 0) {
+    struct statvfs vfs;
+    if (::statvfs(SpillDirectory().c_str(), &vfs) == 0) {
+      const std::uint64_t free_bytes =
+          static_cast<std::uint64_t>(vfs.f_bavail) * vfs.f_frsize;
+      if (free_bytes < min_free + frame_bytes) {
+        g_spill_disk_degraded.store(true, std::memory_order_relaxed);
+        common::ThrowError(
+            common::ErrorCode::kResourceExhausted,
+            "spill denied: " + std::to_string(free_bytes) +
+                " bytes free in " + SpillDirectory() +
+                " is below the watchdog headroom of " +
+                std::to_string(min_free) + " bytes");
+      }
+    }
+  }
+}
+
 }  // namespace
 
+std::uint32_t Crc32c(std::string_view data) {
+  static const Crc32cTable table;
+  std::uint32_t crc = 0xffffffffu;
+  const char* p = data.data();
+  std::size_t n = data.size();
+  // Slice-by-8 main loop: fold the running CRC into the first four bytes,
+  // then look all eight bytes up in parallel tables. memcpy keeps the loads
+  // alignment-safe; the fold relies on little-endian load order, so other
+  // hosts take the (correct, slower) bytewise tail loop for everything.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = table.entries[7][lo & 0xffu] ^ table.entries[6][(lo >> 8) & 0xffu] ^
+          table.entries[5][(lo >> 16) & 0xffu] ^
+          table.entries[4][(lo >> 24) & 0xffu] ^
+          table.entries[3][hi & 0xffu] ^ table.entries[2][(hi >> 8) & 0xffu] ^
+          table.entries[1][(hi >> 16) & 0xffu] ^
+          table.entries[0][(hi >> 24) & 0xffu];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (; n > 0; ++p, --n) {
+    crc = (crc >> 8) ^
+          table.entries[0][(crc ^ static_cast<unsigned char>(*p)) & 0xffu];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+const char* SpillReadStatusName(SpillReadStatus status) {
+  switch (status) {
+    case SpillReadStatus::kOk: return "ok";
+    case SpillReadStatus::kMissing: return "missing";
+    case SpillReadStatus::kCorrupt: return "corrupt";
+    case SpillReadStatus::kIo: return "io-error";
+  }
+  return "unknown";
+}
+
 std::string SpillDirectory() {
+  {
+    std::lock_guard<std::mutex> lock(DirMutex());
+    if (!DirOverride().empty()) return DirOverride();
+  }
   const char* tmp = std::getenv("TMPDIR");
   if (tmp != nullptr && tmp[0] != '\0') return tmp;
   return "/tmp";
 }
 
-SpillFile::SpillFile() {
+bool SetSpillDirectory(const std::string& dir, std::string* error) {
+  if (dir.empty()) {
+    std::lock_guard<std::mutex> lock(DirMutex());
+    DirOverride().clear();
+    return true;
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    if (error != nullptr) {
+      *error = "spill directory \"" + dir + "\" does not exist or is not a "
+               "directory";
+    }
+    return false;
+  }
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    if (error != nullptr) {
+      *error = "spill directory \"" + dir + "\" is not writable: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(DirMutex());
+  DirOverride() = dir;
+  return true;
+}
+
+void SetSpillDiskPolicy(std::uint64_t min_free_bytes,
+                        std::uint64_t max_spill_bytes) {
+  g_spill_min_free_bytes.store(min_free_bytes, std::memory_order_relaxed);
+  g_spill_max_bytes.store(max_spill_bytes, std::memory_order_relaxed);
+}
+
+SpillDiskStatus ProbeSpillDisk() {
+  SpillDiskStatus status;
+  status.spill_bytes = g_spill_disk_bytes.load(std::memory_order_relaxed);
+  struct statvfs vfs;
+  if (::statvfs(SpillDirectory().c_str(), &vfs) != 0) {
+    status.healthy = false;
+    status.reason = "spill directory " + SpillDirectory() +
+                    " is unavailable: " + std::strerror(errno);
+  } else {
+    status.free_bytes = static_cast<std::uint64_t>(vfs.f_bavail) * vfs.f_frsize;
+    const std::uint64_t min_free =
+        g_spill_min_free_bytes.load(std::memory_order_relaxed);
+    const std::uint64_t max_bytes =
+        g_spill_max_bytes.load(std::memory_order_relaxed);
+    if (min_free > 0 && status.free_bytes < min_free) {
+      status.healthy = false;
+      status.reason = "free space below watchdog headroom";
+    } else if (max_bytes > 0 && status.spill_bytes >= max_bytes) {
+      status.healthy = false;
+      status.reason = "spill-bytes cap reached";
+    }
+  }
+  g_spill_disk_degraded.store(!status.healthy, std::memory_order_relaxed);
+  return status;
+}
+
+bool SpillDiskDegraded() {
+  return g_spill_disk_degraded.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SpillDiskBytes() {
+  return g_spill_disk_bytes.load(std::memory_order_relaxed);
+}
+
+SpillFile::SpillFile(obs::EventBus* bus, FaultInjector* injector)
+    : bus_(bus), injector_(injector) {
   std::uint64_t seq = g_spill_seq.fetch_add(1, std::memory_order_relaxed);
+  ordinal_ = static_cast<std::int64_t>(seq);
   path_ = SpillDirectory() + "/" + SpillPrefix() + std::to_string(seq) +
           ".bin";
   fd_ = ::open(path_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
@@ -56,53 +358,171 @@ SpillFile::~SpillFile() {
   if (fd_ >= 0) {
     ::close(fd_);
     ::unlink(path_.c_str());
+    if (next_offset_ > 0) {
+      g_spill_disk_bytes.fetch_sub(next_offset_, std::memory_order_relaxed);
+      Count("spill.disk_bytes", -static_cast<std::int64_t>(next_offset_));
+    }
     std::lock_guard<std::mutex> lock(LiveMutex());
     LivePaths().erase(path_);
   }
 }
 
+void SpillFile::Count(const char* name, std::int64_t delta) const {
+  if (bus_ != nullptr) bus_->AddToCounter(name, delta);
+}
+
 SpillSegment SpillFile::Append(const std::string& blob, std::uint64_t rows) {
-  SpillSegment segment;
-  if (fd_ < 0) return segment;
-  std::lock_guard<std::mutex> lock(mu_);
-  segment.offset = next_offset_;
-  segment.rows = rows;
-  std::size_t written = 0;
-  while (written < blob.size()) {
-    ssize_t n = ::pwrite(fd_, blob.data() + written, blob.size() - written,
-                         static_cast<off_t>(segment.offset + written));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return SpillSegment{};  // size 0 signals failure
-    }
-    written += static_cast<std::size_t>(n);
+  if (fd_ < 0) {
+    common::ThrowError(common::ErrorCode::kIoError,
+                       "cannot create spill file in " + SpillDirectory() +
+                           " (open failed for " + path_ + ")");
   }
-  segment.size = blob.size();
-  next_offset_ += blob.size();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t frame_bytes = kSpillFrameHeaderBytes + blob.size();
+  CheckSpillHeadroom(frame_bytes);
+
+  char header[kSpillFrameHeaderBytes];
+  EncodeFrameHeader(blob, header);
+  SpillSegment segment{next_offset_, blob.size(), rows};
+
+  const bool inject = injector_ != nullptr && injector_->has_io_faults();
+  for (int attempt = 0;; ++attempt) {
+    const std::int64_t op =
+        inject ? next_op_.fetch_add(1, std::memory_order_relaxed) : 0;
+    int err = 0;
+    if (inject && injector_->ShouldEnospcSpillWrite(ordinal_, op)) {
+      Count("io.fault.enospc");
+      err = ENOSPC;
+    } else if (inject && injector_->ShouldFailSpillWrite(ordinal_, op)) {
+      Count("io.fault.eio_write");
+      err = EIO;
+    } else if (inject && injector_->ShouldTearSpillWrite(ordinal_, op)) {
+      // A torn frame: the header and half the payload land, the tail does
+      // not. Written for real so the retry genuinely rewrites in place.
+      Count("io.fault.short_write");
+      (void)PwriteAll(fd_, header, sizeof(header), segment.offset);
+      (void)PwriteAll(fd_, blob.data(), blob.size() / 2,
+                      segment.offset + kSpillFrameHeaderBytes);
+      err = EIO;
+    } else {
+      err = PwriteAll(fd_, header, sizeof(header), segment.offset);
+      if (err == 0 && !blob.empty()) {
+        err = PwriteAll(fd_, blob.data(), blob.size(),
+                        segment.offset + kSpillFrameHeaderBytes);
+      }
+    }
+    if (err == 0) break;
+    if (err == ENOSPC) {
+      // A full disk stays full: fail fast so the memory manager's caller
+      // surfaces a clean resource error instead of spinning on retries.
+      g_spill_disk_degraded.store(true, std::memory_order_relaxed);
+      common::ThrowError(common::ErrorCode::kResourceExhausted,
+                         "spill write failed: no space left on device in " +
+                             SpillDirectory());
+    }
+    if (attempt + 1 >= kMaxAppendAttempts) {
+      common::ThrowError(common::ErrorCode::kIoError,
+                         "spill write to " + path_ + " failed after " +
+                             std::to_string(kMaxAppendAttempts) +
+                             " attempts: " + std::strerror(err));
+    }
+    Count("spill.retry");
+    BackoffSleep(attempt);
+  }
+
+  next_offset_ += frame_bytes;
+  g_spill_disk_bytes.fetch_add(frame_bytes, std::memory_order_relaxed);
+  Count("spill.disk_bytes", static_cast<std::int64_t>(frame_bytes));
   return segment;
 }
 
-bool SpillFile::Read(const SpillSegment& segment, std::string* out) const {
+SpillReadStatus SpillFile::ReadOnce(const SpillSegment& segment,
+                                    std::string* out, bool inject) const {
   out->clear();
-  // Reopen by path: a deleted spill file must surface as a failure here so
+  // Reopen by path: a deleted spill file must surface as kMissing here so
   // the cache's lineage-recovery path can kick in.
   int fd = ::open(path_.c_str(), O_RDONLY);
-  if (fd < 0) return false;
+  if (fd < 0) return SpillReadStatus::kMissing;
+  const std::int64_t op =
+      inject ? next_op_.fetch_add(1, std::memory_order_relaxed) : 0;
+  if (inject && injector_->ShouldFailSpillRead(ordinal_, op)) {
+    Count("io.fault.eio_read");
+    ::close(fd);
+    return SpillReadStatus::kIo;
+  }
+
+  char header[kSpillFrameHeaderBytes];
+  int err = PreadAll(fd, header, sizeof(header), segment.offset);
+  if (err != 0) {
+    ::close(fd);
+    if (err < 0) {  // short read: truncated/torn frame
+      Count("spill.checksum_failure");
+      return SpillReadStatus::kCorrupt;
+    }
+    return SpillReadStatus::kIo;
+  }
+  if (LoadU32(header + 20) != Crc32c(std::string_view(header, 20)) ||
+      LoadU32(header + 0) != kSpillFrameMagic ||
+      LoadU16(header + 4) != kSpillFrameVersion ||
+      LoadU64(header + 8) != segment.size) {
+    Count("spill.checksum_failure");
+    ::close(fd);
+    return SpillReadStatus::kCorrupt;
+  }
+
   out->resize(segment.size);
-  std::size_t got = 0;
-  while (got < segment.size) {
-    ssize_t n = ::pread(fd, out->data() + got, segment.size - got,
-                        static_cast<off_t>(segment.offset + got));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+  if (segment.size > 0) {
+    err = PreadAll(fd, out->data(), segment.size,
+                   segment.offset + kSpillFrameHeaderBytes);
+    if (err != 0) {
       ::close(fd);
       out->clear();
-      return false;
+      if (err < 0) {
+        Count("spill.checksum_failure");
+        return SpillReadStatus::kCorrupt;
+      }
+      return SpillReadStatus::kIo;
     }
-    got += static_cast<std::size_t>(n);
   }
   ::close(fd);
-  return true;
+  if (inject && !out->empty() &&
+      injector_->ShouldCorruptSpillRead(ordinal_, op)) {
+    // Deterministic single-bit flip: position keyed on the op ordinal so a
+    // replay corrupts the same bit.
+    Count("io.fault.corrupt");
+    (*out)[static_cast<std::size_t>(op) % out->size()] ^=
+        static_cast<char>(1u << (static_cast<unsigned>(op) % 8u));
+  }
+  if (LoadU32(header + 16) != Crc32c(*out)) {
+    Count("spill.checksum_failure");
+    out->clear();
+    return SpillReadStatus::kCorrupt;
+  }
+  return SpillReadStatus::kOk;
+}
+
+SpillReadStatus SpillFile::ReadVerified(const SpillSegment& segment,
+                                        std::string* out) const {
+  const bool inject = injector_ != nullptr && injector_->has_io_faults();
+  SpillReadStatus status = SpillReadStatus::kIo;
+  for (int attempt = 0; attempt < kMaxReadAttempts; ++attempt) {
+    status = ReadOnce(segment, out, inject);
+    // kMissing is final (the file will not reappear); kCorrupt/kIo get a
+    // bounded re-read — injected faults are per-op transient, and a real
+    // marginal sector sometimes reads clean on retry.
+    if (status == SpillReadStatus::kOk || status == SpillReadStatus::kMissing) {
+      return status;
+    }
+    if (attempt + 1 < kMaxReadAttempts) {
+      Count("spill.retry");
+      BackoffSleep(attempt);
+    }
+  }
+  return status;
+}
+
+bool SpillFile::Read(const SpillSegment& segment, std::string* out) const {
+  return ReadVerified(segment, out) == SpillReadStatus::kOk;
 }
 
 int SweepSpillFiles() {
@@ -116,6 +536,34 @@ int SweepSpillFiles() {
     const std::string name = entry.path().filename().string();
     if (name.rfind(prefix, 0) != 0) continue;
     if (LivePaths().count(entry.path().string()) != 0) continue;
+    if (::unlink(entry.path().c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+int SweepOrphanSpillFiles() {
+  int removed = 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(SpillDirectory(), ec);
+  if (ec) return 0;
+  const std::string kPrefix = "rumble-spill-";
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    // Parse the owner pid out of rumble-spill-<pid>-<seq>.bin.
+    const std::size_t pid_begin = kPrefix.size();
+    const std::size_t pid_end = name.find('-', pid_begin);
+    if (pid_end == std::string::npos || pid_end == pid_begin) continue;
+    char* parse_end = nullptr;
+    errno = 0;
+    long pid = std::strtol(name.c_str() + pid_begin, &parse_end, 10);
+    if (errno != 0 || parse_end != name.c_str() + pid_end || pid <= 0) {
+      continue;
+    }
+    if (pid == static_cast<long>(::getpid())) continue;  // SweepSpillFiles' job
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      continue;  // owner (or an unsignalable process) is alive: not ours
+    }
     if (::unlink(entry.path().c_str()) == 0) ++removed;
   }
   return removed;

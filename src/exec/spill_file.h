@@ -1,19 +1,57 @@
 #ifndef RUMBLE_EXEC_SPILL_FILE_H_
 #define RUMBLE_EXEC_SPILL_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
+
+namespace rumble::obs {
+class EventBus;
+}  // namespace rumble::obs
 
 namespace rumble::exec {
 
+class FaultInjector;
+
 /// One segment of a spill file: a blob written by Append, optionally with a
 /// logical row count so readers can skip whole segments without decoding.
+/// `offset` is the frame start (header included); `size` is the payload size,
+/// so consumer byte accounting keeps counting payload bytes only.
 struct SpillSegment {
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
   std::uint64_t rows = 0;
 };
+
+/// On-disk frame layout (docs/MEMORY.md, "Spill frame format"): every Append
+/// writes a fixed header followed by the payload. The header CRC makes a torn
+/// header distinguishable from garbage; the payload CRC32C catches bit rot
+/// and truncation. All fields little-endian:
+///
+///   u32 magic ("RSP1")  u16 version  u16 flags
+///   u64 payload_len
+///   u32 payload_crc32c  u32 header_crc32c (over the preceding 20 bytes)
+inline constexpr std::uint32_t kSpillFrameMagic = 0x31505352;  // "RSP1"
+inline constexpr std::uint16_t kSpillFrameVersion = 1;
+inline constexpr std::uint64_t kSpillFrameHeaderBytes = 24;
+
+/// Software CRC32C (Castagnoli polynomial, table-driven). Exposed so tests
+/// can hand-craft valid and corrupt frames.
+std::uint32_t Crc32c(std::string_view data);
+
+/// Outcome of a verified read, ordered from best to worst. Consumers map
+/// these onto their recovery paths (docs/FAULT_TOLERANCE.md recovery matrix):
+/// kMissing/kCorrupt/kIo all mean "this frame is not trustworthy data".
+enum class SpillReadStatus {
+  kOk,       // frame verified, payload returned
+  kMissing,  // file gone (deleted/swept) — recompute from lineage
+  kCorrupt,  // frame failed verification (bad CRC/magic/truncated)
+  kIo,       // pread failed after retries (EIO)
+};
+
+const char* SpillReadStatusName(SpillReadStatus status);
 
 /// An append-only temp file used by spilling consumers. Files are named
 /// `rumble-spill-<pid>-<seq>.bin` inside SpillDirectory() so the sweeper can
@@ -21,42 +59,129 @@ struct SpillSegment {
 /// per call, so a file deleted out from under a cached partition surfaces as
 /// a read failure (and the cache falls back to lineage recomputation) rather
 /// than silently reading through a still-open descriptor.
+///
+/// Fault story (PR: storage fault domain): every frame is checksummed and
+/// verified on read; Append throws typed errors instead of returning empty
+/// segments — kResourceExhausted for ENOSPC/watchdog denial (a full disk is
+/// a governed state, not retryable) and kIoError once bounded-backoff retries
+/// are exhausted. When a FaultInjector with io.* fractions is attached, the
+/// pwrite/pread wrappers draw deterministic per-(file ordinal, op ordinal)
+/// fault decisions and publish io.fault.* counters on the bus.
 class SpillFile {
  public:
-  SpillFile();
+  explicit SpillFile(obs::EventBus* bus = nullptr,
+                     FaultInjector* injector = nullptr);
   ~SpillFile();
 
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
-  /// False when the file could not be created (Append/Read will fail too).
+  /// False when the file could not be created (Append will throw kIoError).
   bool ok() const { return fd_ >= 0; }
 
-  /// Appends the blob, returning its segment (rows filled in by the caller).
-  /// Thread-safe. Returns {0, 0, 0} with size 0 on write failure.
+  /// Appends the blob as one checksummed frame, returning its segment (rows
+  /// filled in by the caller). Thread-safe. Never returns a partial/empty
+  /// segment: transient write failures (EIO, torn writes) are retried in
+  /// place with bounded exponential backoff (`spill.retry` counts retries);
+  /// ENOSPC and spill-watchdog denial throw
+  /// common::RumbleException(kResourceExhausted) and mark the disk degraded;
+  /// exhausted retries throw common::RumbleException(kIoError).
   SpillSegment Append(const std::string& blob, std::uint64_t rows = 0);
 
-  /// Reads `segment.size` bytes at `segment.offset` into *out. Reopens the
-  /// path for each call; returns false if the file is gone or truncated.
+  /// Reads and verifies the frame at `segment`, filling *out with the
+  /// payload on kOk. Reopens the path per call. Verification failures count
+  /// `spill.checksum_failure`; transient failures (injected corruption, EIO)
+  /// are retried a bounded number of times before the status is returned, so
+  /// a persistent kCorrupt/kIo means the frame is really gone.
+  SpillReadStatus ReadVerified(const SpillSegment& segment,
+                               std::string* out) const;
+
+  /// Convenience wrapper: true iff ReadVerified returns kOk.
   bool Read(const SpillSegment& segment, std::string* out) const;
 
   const std::string& path() const { return path_; }
+  /// Total bytes on disk, frame headers included.
   std::uint64_t bytes_written() const { return next_offset_; }
+  /// Process-wide creation ordinal; the `file` key of io.* fault decisions.
+  std::int64_t ordinal() const { return ordinal_; }
 
  private:
+  void Count(const char* name, std::int64_t delta = 1) const;
+  SpillReadStatus ReadOnce(const SpillSegment& segment, std::string* out,
+                           bool inject) const;
+
   std::string path_;
   int fd_ = -1;
   std::mutex mu_;  // serializes Append offset assignment + pwrite
   std::uint64_t next_offset_ = 0;
+  obs::EventBus* bus_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  std::int64_t ordinal_ = 0;
+  /// Per-file I/O op ordinal (reads and writes share one sequence). Mutable:
+  /// reads are logically const but still consume fault-decision ordinals.
+  mutable std::atomic<std::int64_t> next_op_{0};
 };
 
-/// The directory spill files live in ($TMPDIR or /tmp).
+// ---------------------------------------------------------------------------
+// Spill directory configuration
+// ---------------------------------------------------------------------------
+
+/// The directory spill files live in: the SetSpillDirectory override if set,
+/// else $TMPDIR, else /tmp.
 std::string SpillDirectory();
+
+/// Overrides the spill directory (--spill-dir / RUMBLE_SPILL_DIR / spill_dir
+/// config), validating that it exists, is a directory, and is writable.
+/// Returns false and fills *error on validation failure (the override is not
+/// installed). An empty `dir` clears the override back to $TMPDIR-or-/tmp.
+bool SetSpillDirectory(const std::string& dir, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Disk watchdog (docs/MEMORY.md, "Spill disk watchdog")
+// ---------------------------------------------------------------------------
+
+/// A point-in-time health probe of the spill directory.
+struct SpillDiskStatus {
+  bool healthy = true;
+  std::uint64_t free_bytes = 0;   // statvfs free space in SpillDirectory()
+  std::uint64_t spill_bytes = 0;  // bytes held by this process's live spills
+  std::string reason;             // human-readable cause when !healthy
+};
+
+/// Configures the watchdog: Append fails fast with kResourceExhausted when
+/// statvfs free space would drop below `min_free_bytes` (0 disables), or
+/// when this process's live spill bytes would exceed `max_spill_bytes`
+/// (0 = unlimited; used to simulate a small disk in tests/chaos runs).
+void SetSpillDiskPolicy(std::uint64_t min_free_bytes,
+                        std::uint64_t max_spill_bytes);
+
+/// Probes the spill directory against the policy. Also reconciles the sticky
+/// degraded flag: a healthy probe clears it, an unhealthy one sets it.
+SpillDiskStatus ProbeSpillDisk();
+
+/// Sticky "spill disk is degraded" flag: set when an Append is denied by the
+/// watchdog or hits ENOSPC, cleared by the next healthy ProbeSpillDisk().
+/// The serving path sheds spill-heavy work while this is set.
+bool SpillDiskDegraded();
+
+/// Bytes currently held on disk by this process's live spill files (frame
+/// headers included). The `spill.disk_bytes` counter mirrors this per bus.
+std::uint64_t SpillDiskBytes();
+
+// ---------------------------------------------------------------------------
+// Sweeping
+// ---------------------------------------------------------------------------
 
 /// Removes this process's leftover rumble-spill-* files (crash/cancel
 /// stragglers; normal destruction already unlinks). Returns the count
 /// removed. Called on Context shutdown and after a failed/cancelled query.
 int SweepSpillFiles();
+
+/// Removes rumble-spill-<pid>-* files left by *dead* processes (crashed
+/// runs): a file is reclaimed only when kill(pid, 0) reports ESRCH, so live
+/// sibling engines are never disturbed. Returns the count removed; counted
+/// by `spill.orphans_swept`. Called once at Context startup.
+int SweepOrphanSpillFiles();
 
 /// Counts this process's rumble-spill-* files currently on disk (tests).
 int CountSpillFiles();

@@ -8,6 +8,7 @@
 
 #include "src/common/error.h"
 #include "src/exec/memory_manager.h"
+#include "src/exec/spill_file.h"
 #include "src/obs/event_bus.h"
 #include "src/util/strings.h"
 
@@ -36,6 +37,7 @@ std::string HttpStatusFor(common::ErrorCode code) {
     case common::ErrorCode::kCancelled:
       return "499 Client Closed Request";
     case common::ErrorCode::kAdmissionRejected:
+    case common::ErrorCode::kResourceExhausted:
       return "503 Service Unavailable";
     default:
       return "500 Internal Server Error";
@@ -191,6 +193,22 @@ void QueryService::Handle(const obs::HttpRequest& request,
                           scheduler_.queue_wait_ewma_ms())) +
                       " ms exceeds the shedding threshold; retry later"),
         {{"Retry-After", std::to_string(retry_sec)}});
+    return;
+  }
+
+  // Disk-pressure breaker: once the spill watchdog has tripped (ENOSPC or
+  // headroom exhausted), memory-governed queries would fail mid-flight the
+  // moment they try to spill. Shed up front with the machine-readable token
+  // until a fresh probe confirms the disk recovered (which also clears the
+  // sticky flag).
+  if (exec::SpillDiskDegraded() && !exec::ProbeSpillDisk().healthy) {
+    bus.AddToCounter("serving.rejected", 1);
+    bus.AddToCounter("serving.shed.disk", 1);
+    writer.Respond(
+        "503 Service Unavailable", "application/json",
+        ErrorBody(common::ErrorCodeName(common::ErrorCode::kResourceExhausted),
+                  "spill disk degraded: " + exec::ProbeSpillDisk().reason),
+        {{"Retry-After", std::to_string(scheduler_.SuggestedRetryAfterSec())}});
     return;
   }
 
@@ -365,6 +383,9 @@ std::pair<bool, std::string> QueryService::Readiness() const {
   if (!engine_->engine()->spark->memory_manager().WouldAdmitQuery()) {
     add("memory");
   }
+  // Fresh probe (statvfs + the live spill-byte cap), not the sticky flag:
+  // readiness should recover on its own once the operator frees disk space.
+  if (!exec::ProbeSpillDisk().healthy) add("disk");
   if (reasons.empty()) return {true, "{\"ready\":true}\n"};
   return {false, "{\"ready\":false,\"reasons\":[" + reasons + "]}\n"};
 }

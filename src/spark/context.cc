@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/common/error.h"
 #include "src/exec/spill_file.h"
 #include "src/storage/dfs.h"
 
@@ -29,6 +30,10 @@ exec::MemoryManager& MemoryOf(Context* context) {
 
 exec::CancellationToken& CancelOf(Context* context) {
   return context->cancellation();
+}
+
+exec::FaultInjector* InjectorOf(Context* context) {
+  return context->fault_injector();
 }
 
 Context::Context(common::RumbleConfig config)
@@ -74,6 +79,31 @@ Context::Context(common::RumbleConfig config)
   memory_.set_limit_bytes(memory_limit);
   memory_.set_bus(bus_.get());
   pool_->set_cancellation(&cancel_);
+
+  // Spill storage: apply the directory override (config wins over the
+  // environment) with startup validation, install the disk-watchdog policy,
+  // and reclaim spill files leaked by dead processes (crashed runs).
+  std::string spill_dir = config_.spill_dir;
+  if (spill_dir.empty()) {
+    if (const char* env = std::getenv("RUMBLE_SPILL_DIR")) spill_dir = env;
+  }
+  if (!spill_dir.empty()) {
+    std::string error;
+    if (!exec::SetSpillDirectory(spill_dir, &error)) {
+      common::ThrowError(common::ErrorCode::kInvalidArgument, error);
+    }
+  }
+  std::uint64_t spill_max = config_.spill_max_bytes;
+  if (spill_max == 0) {
+    if (const char* env = std::getenv("RUMBLE_SPILL_MAX_BYTES")) {
+      exec::MemoryManager::ParseByteSize(env, &spill_max);
+    }
+  }
+  exec::SetSpillDiskPolicy(config_.spill_min_free_bytes, spill_max);
+  int orphans = exec::SweepOrphanSpillFiles();
+  if (orphans > 0) {
+    bus_->AddToCounter("spill.orphans_swept", orphans);
+  }
 }
 
 Context::~Context() {

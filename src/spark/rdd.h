@@ -16,6 +16,7 @@
 #include "src/exec/cancellation.h"
 #include "src/exec/executor_pool.h"
 #include "src/exec/memory_manager.h"
+#include "src/exec/once.h"
 #include "src/exec/spill_file.h"
 #include "src/obs/event_bus.h"
 #include "src/spark/spill_codec.h"
@@ -28,6 +29,10 @@ obs::EventBus& BusOf(Context* context);
 obs::Tracer& TracerOf(Context* context);
 exec::MemoryManager& MemoryOf(Context* context);
 exec::CancellationToken& CancelOf(Context* context);
+/// The context's fault injector, or nullptr when no fault spec is active.
+/// Threaded into SpillFile so the io.* storage fault domain covers every
+/// spill consumer (docs/FAULT_TOLERANCE.md).
+exec::FaultInjector* InjectorOf(Context* context);
 
 /// Executor-loss listener registry (defined in context.cc; declared here so
 /// the templated RDD/shuffle code can register invalidation hooks without
@@ -47,7 +52,7 @@ inline constexpr std::size_t kSpillChunkRows = 4096;
 /// pipeline executes in one pass over each partition without materializing
 /// intermediates — the property that makes the paper's expression-to-
 /// transformation mapping cheap. Wide operations (groupBy, sortBy) install a
-/// lazily executed shuffle guarded by std::once_flag.
+/// lazily executed shuffle guarded by exec::RetryableOnce (exception-safe, exec/once.h).
 ///
 /// When T has a SpillCodec, a cached RddState is also a memory-manager
 /// Spillable: materialized partitions are charged against the pool and the
@@ -62,11 +67,13 @@ struct RddState : exec::Spillable {
   std::function<std::vector<T>(int)> compute;
 
   // Cache support (Rdd::Cache). The same once/atomic discipline as shuffles:
-  // call_once guarantees exactly one thread materializes `cached`, and the
-  // acquire/release flag publishes it to threads that never entered the
-  // call_once (they must not touch `cached` before the flag is set).
+  // RetryableOnce guarantees exactly one thread materializes `cached` (and,
+  // unlike std::call_once, survives the initializer throwing — spill faults
+  // inside the build are retried, exec/once.h), and the acquire/release flag
+  // publishes it to threads that never entered the once (they must not touch
+  // `cached` before the flag is set).
   bool cache_enabled = false;
-  std::once_flag cache_once;
+  exec::RetryableOnce cache_once;
   std::atomic<bool> cache_materialized{false};
   std::vector<std::vector<T>> cached;
 
@@ -132,11 +139,23 @@ struct RddState : exec::Spillable {
         }
         if (victim == cache_charge.size()) break;  // nothing left in memory
         auto& file = cache_spill[victim];
-        if (file == nullptr) file = std::make_unique<exec::SpillFile>();
+        if (file == nullptr) {
+          file = std::make_unique<exec::SpillFile>(&BusOf(context),
+                                                   InjectorOf(context));
+        }
         if (!file->ok()) break;
         std::string blob = EncodeSpillBlob(cached[victim]);
-        exec::SpillSegment seg = file->Append(blob, cached[victim].size());
-        if (seg.size == 0 && !blob.empty()) break;  // write failed
+        exec::SpillSegment seg;
+        try {
+          seg = file->Append(blob, cached[victim].size());
+        } catch (const std::exception&) {
+          // Forced eviction runs under the MemoryManager's locks and must
+          // not throw: a failed/denied spill write just means this victim
+          // stays in memory and we report what was actually freed. The
+          // requester whose reservation forced the spill then surfaces the
+          // resource pressure as its own typed error.
+          break;
+        }
         cache_seg[victim] = seg;
         std::uint64_t charge = cache_charge[victim];
         cache_charge[victim] = 0;
@@ -301,7 +320,7 @@ class Rdd {
     if (output_partitions < 1) output_partitions = parent->num_partitions;
 
     struct Shuffle {
-      std::once_flag once;
+      exec::RetryableOnce once;
       // buckets[reduce][input partition] -> (key, value) pairs.
       std::vector<std::vector<std::vector<std::pair<K, T>>>> buckets;
       // Lineage recovery: the executor that ran each map task, and which map
@@ -336,7 +355,7 @@ class Rdd {
     int n_out = output_partitions;
 
     auto ensure_shuffled = [parent, context, shuffle, key_fn, hash, n_out]() {
-      std::call_once(shuffle->once, [&] {
+      shuffle->once.Call([&] {
         // Exchange span: covers the map stage plus the driver-side byte
         // accounting; the map stage's span nests inside it implicitly.
         obs::ScopedSpan exchange_span(&TracerOf(context), "operator",
@@ -392,7 +411,8 @@ class Rdd {
             } else {
               obs::ScopedSpan spill_span(&TracerOf(context), "operator",
                                          "spill.write");
-              shuffle->spill = std::make_unique<exec::SpillFile>();
+              shuffle->spill = std::make_unique<exec::SpillFile>(
+                  &bus, InjectorOf(context));
               if (shuffle->spill->ok()) {
                 shuffle->spilled_segs.assign(
                     static_cast<std::size_t>(n_in),
@@ -406,9 +426,12 @@ class Rdd {
                     auto& bucket = shuffle->buckets[r][i];
                     if (bucket.empty()) continue;
                     std::string blob = EncodeSpillBlob(bucket);
+                    // Append throws a typed error (kResourceExhausted /
+                    // kIoError) when the disk cannot take the frame: the
+                    // memory pool already denied this data, so there is no
+                    // correct fallback and the query fails cleanly.
                     exec::SpillSegment seg =
                         shuffle->spill->Append(blob, bucket.size());
-                    if (seg.size == 0) continue;  // write failed: keep in RAM
                     shuffle->spilled_segs[i][r] = seg;
                     spilled_bytes += static_cast<std::int64_t>(blob.size());
                     bucket.clear();
@@ -528,11 +551,49 @@ class Rdd {
                     shuffle->spilled_segs[i][static_cast<std::size_t>(index)];
                 if (seg.size > 0) {
                   std::string blob;
-                  if (!shuffle->spill->Read(seg, &blob)) {
-                    common::ThrowError(
-                        common::ErrorCode::kInternal,
-                        "shuffle spill file lost mid-query: " +
-                            shuffle->spill->path());
+                  exec::SpillReadStatus rs =
+                      shuffle->spill->ReadVerified(seg, &blob);
+                  if (rs != exec::SpillReadStatus::kOk) {
+                    // The frame is unusable (deleted file, torn or corrupt
+                    // frame): invalidate the producing map output(s) and
+                    // fail this attempt with a retryable fault — the
+                    // retry's repair() recomputes them from lineage
+                    // exactly once, as for a lost executor.
+                    std::int64_t invalidated = 0;
+                    {
+                      std::lock_guard<std::mutex> meta(shuffle->meta_mu);
+                      auto mark = [&](std::size_t input) {
+                        if (shuffle->invalid[input] == 0) {
+                          shuffle->invalid[input] = 1;
+                          ++invalidated;
+                        }
+                      };
+                      if (rs == exec::SpillReadStatus::kMissing) {
+                        // Whole file gone: every spilled map output is lost.
+                        for (std::size_t p = 0;
+                             p < shuffle->spilled_segs.size(); ++p) {
+                          for (const auto& s : shuffle->spilled_segs[p]) {
+                            if (s.size > 0) {
+                              mark(p);
+                              break;
+                            }
+                          }
+                        }
+                      } else {
+                        mark(i);
+                      }
+                      if (invalidated > 0) {
+                        shuffle->has_invalid.store(true,
+                                                   std::memory_order_release);
+                      }
+                    }
+                    if (invalidated > 0) {
+                      bus.AddToCounter("shuffle.map_invalidated", invalidated);
+                    }
+                    throw exec::TransientTaskFault(
+                        std::string("shuffle map output unreadable (") +
+                        exec::SpillReadStatusName(rs) + "): " +
+                        shuffle->spill->path());
                   }
                   bus.AddToCounter("spill.bytes_read",
                                    static_cast<std::int64_t>(blob.size()));
@@ -599,7 +660,7 @@ class Rdd {
     int n_parts = parent->num_partitions;
 
     struct Sorted {
-      std::once_flag once;
+      exec::RetryableOnce once;
       std::vector<T> values;
       std::size_t total_rows = 0;
       // External-merge state (docs/MEMORY.md). When the pool denies the
@@ -619,7 +680,8 @@ class Rdd {
     auto sorted = std::make_shared<Sorted>();
 
     auto ensure_sorted = [parent, context, sorted, less, n_parts]() {
-      std::call_once(sorted->once, [&] {
+      sorted->once.Call([&]() {
+        try {
         std::vector<std::vector<T>> runs(static_cast<std::size_t>(n_parts));
         PoolOf(context).RunParallel(
             static_cast<std::size_t>(n_parts),
@@ -650,7 +712,8 @@ class Rdd {
             if (memory.TryReserve(bytes)) {
               sorted->charged = bytes;
             } else {
-              sorted->spill = std::make_unique<exec::SpillFile>();
+              sorted->spill = std::make_unique<exec::SpillFile>(
+                  &bus, InjectorOf(context));
               if (sorted->spill->ok()) {
                 sorted->spilled = true;
               } else {
@@ -680,12 +743,9 @@ class Rdd {
                         run.begin() +
                         static_cast<std::ptrdiff_t>(begin + count)));
                 std::string blob = EncodeSpillBlob(chunk);
+                // Append throws kResourceExhausted/kIoError on failure; the
+                // catch below then unwinds the half-built sort state.
                 exec::SpillSegment seg = sorted->spill->Append(blob, count);
-                if (seg.size == 0 && !blob.empty()) {
-                  common::ThrowError(common::ErrorCode::kInternal,
-                                     "sort spill write failed: " +
-                                         sorted->spill->path());
-                }
                 run_segs[r].push_back(seg);
                 written += static_cast<std::int64_t>(blob.size());
               }
@@ -703,10 +763,16 @@ class Rdd {
               while (c.pos >= c.chunk.size()) {
                 if (c.seg >= run_segs[r].size()) return false;
                 std::string blob;
-                if (!sorted->spill->Read(run_segs[r][c.seg], &blob)) {
-                  common::ThrowError(common::ErrorCode::kInternal,
-                                     "sort spill file lost mid-query: " +
-                                         sorted->spill->path());
+                exec::SpillReadStatus rs =
+                    sorted->spill->ReadVerified(run_segs[r][c.seg], &blob);
+                if (rs != exec::SpillReadStatus::kOk) {
+                  // Retryable: the catch below resets the sort state and the
+                  // task-attempt scheduler re-runs the whole sort, which
+                  // rewrites the runs from lineage.
+                  throw exec::TransientTaskFault(
+                      std::string("sort run unreadable (") +
+                      exec::SpillReadStatusName(rs) + "): " +
+                      sorted->spill->path());
                 }
                 bus.AddToCounter("spill.bytes_read",
                                  static_cast<std::int64_t>(blob.size()));
@@ -723,11 +789,6 @@ class Rdd {
               std::string blob = EncodeSpillBlob(out_chunk);
               exec::SpillSegment seg =
                   sorted->spill->Append(blob, out_chunk.size());
-              if (seg.size == 0 && !blob.empty()) {
-                common::ThrowError(common::ErrorCode::kInternal,
-                                   "sort spill write failed: " +
-                                       sorted->spill->path());
-              }
               sorted->out_segs.push_back(seg);
               written += static_cast<std::int64_t>(blob.size());
               out_chunk.clear();
@@ -791,6 +852,23 @@ class Rdd {
             "sort.records", static_cast<std::int64_t>(sorted->values.size()));
         merge_span.AddArg("rows",
                           static_cast<std::int64_t>(sorted->values.size()));
+        } catch (...) {
+          // the once did not flip the flag, so a retried task re-runs the
+          // sort from scratch: drop every half-built artifact (reservation,
+          // spill file, merged chunks) so the retry cannot double-charge the
+          // pool or merge stale runs.
+          if (sorted->manager != nullptr && sorted->charged > 0) {
+            sorted->manager->Release(sorted->charged);
+          }
+          sorted->manager = nullptr;
+          sorted->charged = 0;
+          sorted->spilled = false;
+          sorted->spill.reset();
+          sorted->out_segs.clear();
+          sorted->values.clear();
+          sorted->total_rows = 0;
+          throw;
+        }
       });
     };
 
@@ -816,10 +894,17 @@ class Rdd {
                 std::size_t row1 = row0 + static_cast<std::size_t>(seg.rows);
                 if (row1 > begin && row0 < begin + size) {
                   std::string blob;
-                  if (!sorted->spill->Read(seg, &blob)) {
-                    common::ThrowError(common::ErrorCode::kInternal,
-                                       "sort spill file lost mid-query: " +
-                                           sorted->spill->path());
+                  exec::SpillReadStatus rs =
+                      sorted->spill->ReadVerified(seg, &blob);
+                  if (rs != exec::SpillReadStatus::kOk) {
+                    // The merged output chunk is unreadable; fail the task
+                    // with a retryable error. Transient faults heal on the
+                    // re-read; a truly lost file keeps failing and surfaces
+                    // after max attempts — never as truncated output.
+                    throw exec::TransientTaskFault(
+                        std::string("sort output chunk unreadable (") +
+                        exec::SpillReadStatusName(rs) + "): " +
+                        sorted->spill->path());
                   }
                   bus.AddToCounter("spill.bytes_read",
                                    static_cast<std::int64_t>(blob.size()));
@@ -854,12 +939,12 @@ class Rdd {
     int n_parts = parent->num_partitions;
 
     struct Offsets {
-      std::once_flag once;
+      exec::RetryableOnce once;
       std::vector<std::int64_t> starts;
     };
     auto offsets = std::make_shared<Offsets>();
     auto ensure_offsets = [parent, context, offsets, n_parts]() {
-      std::call_once(offsets->once, [&] {
+      offsets->once.Call([&] {
         std::vector<std::int64_t> sizes(static_cast<std::size_t>(n_parts), 0);
         PoolOf(context).RunParallel(
             static_cast<std::size_t>(n_parts),
@@ -988,8 +1073,8 @@ class Rdd {
   /// Computes a partition of a state, honouring its cache. Static so thunks
   /// can capture only the shared state, not a dangling Rdd.
   ///
-  /// Cached path: exactly one thread materializes all partitions (call_once),
-  /// every other caller either waits inside call_once or — once the
+  /// Cached path: exactly one thread materializes all partitions (RetryableOnce),
+  /// every other caller either waits inside the once or — once the
   /// materialized flag is up — reads `cached` directly. The old
   /// check-then-compute version let concurrent callers each rebuild every
   /// partition and discard all but one result. Partitions invalidated by an
@@ -1004,7 +1089,7 @@ class Rdd {
     if (was_materialized) {
       bus.AddToCounter("rdd.cache.hits", 1);
     } else {
-      std::call_once(state->cache_once, [&] {
+      state->cache_once.Call([&] {
         auto n = static_cast<std::size_t>(state->num_partitions);
         state->cached.assign(n, std::vector<T>{});
         state->cache_executor.assign(n, -1);
@@ -1032,35 +1117,57 @@ class Rdd {
             state->cache_seg.assign(n, exec::SpillSegment{});
             state->cache_charge.assign(n, 0);
             state->cache_tick.assign(n, 0);
-            for (std::size_t p = 0; p < n; ++p) {
-              std::uint64_t bytes = 0;
-              for (const T& value : state->cached[p]) {
-                bytes += static_cast<std::uint64_t>(obs::ApproxByteSize(value));
+            try {
+              for (std::size_t p = 0; p < n; ++p) {
+                std::uint64_t bytes = 0;
+                for (const T& value : state->cached[p]) {
+                  bytes +=
+                      static_cast<std::uint64_t>(obs::ApproxByteSize(value));
+                }
+                if (bytes == 0) continue;
+                if (memory.TryReserve(bytes)) {
+                  state->cache_charge[p] = bytes;
+                  state->spillable_bytes.fetch_add(bytes,
+                                                   std::memory_order_acq_rel);
+                  continue;
+                }
+                // Denied even after forced spilling elsewhere: spill this
+                // partition straight to disk instead of holding it uncharged.
+                // Append throws typed errors — memory AND disk exhausted
+                // means the query fails cleanly via the rollback below.
+                auto file = std::make_unique<exec::SpillFile>(
+                    &bus, InjectorOf(state->context));
+                if (!file->ok()) continue;  // keep in memory, uncharged
+                std::string blob = EncodeSpillBlob(state->cached[p]);
+                exec::SpillSegment seg =
+                    file->Append(blob, state->cached[p].size());
+                state->cache_spill[p] = std::move(file);
+                state->cache_seg[p] = seg;
+                state->cached[p].clear();
+                state->cached[p].shrink_to_fit();
+                bus.AddToCounter("rdd.cache.evicted", 1);
+                bus.AddToCounter("spill.files", 1);
+                bus.AddToCounter("spill.bytes_written",
+                                 static_cast<std::int64_t>(blob.size()));
+                bus.Spilled("rdd.cache",
+                            static_cast<std::int64_t>(blob.size()));
               }
-              if (bytes == 0) continue;
-              if (memory.TryReserve(bytes)) {
-                state->cache_charge[p] = bytes;
-                state->spillable_bytes.fetch_add(bytes,
-                                                 std::memory_order_acq_rel);
-                continue;
+            } catch (...) {
+              // the once did not flip the flag: a retried materialization
+              // re-runs this loop from scratch, so release every charge made
+              // this round — the reassign above would otherwise leak them.
+              for (std::size_t q = 0; q < n; ++q) {
+                if (state->cache_charge[q] > 0) {
+                  memory.Release(state->cache_charge[q]);
+                  state->spillable_bytes.fetch_sub(state->cache_charge[q],
+                                                   std::memory_order_acq_rel);
+                  state->cache_charge[q] = 0;
+                }
               }
-              // Denied even after forced spilling elsewhere: spill this
-              // partition straight to disk instead of holding it uncharged.
-              auto file = std::make_unique<exec::SpillFile>();
-              if (!file->ok()) continue;  // keep in memory, uncharged
-              std::string blob = EncodeSpillBlob(state->cached[p]);
-              exec::SpillSegment seg =
-                  file->Append(blob, state->cached[p].size());
-              if (seg.size == 0 && !blob.empty()) continue;
-              state->cache_spill[p] = std::move(file);
-              state->cache_seg[p] = seg;
-              state->cached[p].clear();
-              state->cached[p].shrink_to_fit();
-              bus.AddToCounter("rdd.cache.evicted", 1);
-              bus.AddToCounter("spill.files", 1);
-              bus.AddToCounter("spill.bytes_written",
-                               static_cast<std::int64_t>(blob.size()));
-              bus.Spilled("rdd.cache", static_cast<std::int64_t>(blob.size()));
+              state->cache_spill.clear();
+              state->cache_seg.clear();
+              state->manager = nullptr;
+              throw;
             }
             state->spill_token = memory.RegisterSpillable(state.get());
           }
@@ -1094,7 +1201,7 @@ class Rdd {
             });
         state->cache_materialized.store(true, std::memory_order_release);
       });
-      // Losers of the call_once race land here after the winner finished;
+      // Losers of the once race land here after the winner finished;
       // they are neither hits nor misses (they piggyback on the build).
     }
     if (state->cache_has_invalid.load(std::memory_order_acquire)) {

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "src/exec/executor_pool.h"
+#include "src/exec/once.h"
 #include "src/exec/simulated_cluster.h"
 #include "src/exec/task_metrics.h"
 
@@ -177,6 +180,65 @@ TEST(SimulatedClusterTest, SpeedupShapeMatchesFigure14) {
   EXPECT_GT(wall1 / wall4, 3.0);    // near-ideal early speedup
   EXPECT_GT(wall1 / wall32, 8.0);   // still large at 32...
   EXPECT_LT(wall1 / wall32, 32.0);  // ...but clearly sublinear
+}
+
+// ---------------------------------------------------------------------------
+// RetryableOnce
+// ---------------------------------------------------------------------------
+
+TEST(RetryableOnceTest, RunsInitializerExactlyOnceAcrossThreads) {
+  exec::RetryableOnce once;
+  std::atomic<int> runs{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] { once.Call([&] { runs.fetch_add(1); }); });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(RetryableOnceTest, ThrowingInitializerHandsOverToWaiters) {
+  // The regression this primitive exists for: under TSan, std::call_once
+  // with a throwing initializer leaves every waiter blocked forever. Here
+  // the first three active invocations throw under heavy contention; the
+  // fourth must succeed and unblock everyone. Repeated because the hang is
+  // a race between the throw and the waiters queuing on the guard.
+  struct Fault {};
+  for (int iter = 0; iter < 200; ++iter) {
+    exec::RetryableOnce once;
+    std::atomic<int> fails{3};
+    std::atomic<int> successes{0};
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          try {
+            once.Call([&] {
+              if (fails.fetch_sub(1) > 0) throw Fault{};
+              successes.fetch_add(1);
+            });
+            return;
+          } catch (const Fault&) {
+            // retry, like the task scheduler re-running a faulted build
+          }
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(successes.load(), 1);
+  }
+}
+
+TEST(RetryableOnceTest, SuccessLatchesEvenAfterEarlierThrows) {
+  exec::RetryableOnce once;
+  std::atomic<int> runs{0};
+  EXPECT_THROW(once.Call([] { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  once.Call([&] { runs.fetch_add(1); });
+  once.Call([&] { runs.fetch_add(1); });  // latched: must not run again
+  EXPECT_EQ(runs.load(), 1);
 }
 
 }  // namespace

@@ -285,7 +285,8 @@ TEST(SpillFileTest, AppendReadRoundTrip) {
   EXPECT_EQ(out, std::string(100'000, 'x'));
   ASSERT_TRUE(file.Read(a, &out));
   EXPECT_EQ(out, "hello");
-  EXPECT_EQ(file.bytes_written(), 100'005u);
+  // Two frames: payload bytes plus one checksummed header per Append.
+  EXPECT_EQ(file.bytes_written(), 100'005u + 2 * exec::kSpillFrameHeaderBytes);
 }
 
 TEST(SpillFileTest, ReadFailsAfterUnlink) {

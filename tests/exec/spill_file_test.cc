@@ -1,0 +1,446 @@
+// Storage fault domain: checksummed frame round-trips, corruption/torn-frame
+// detection, deterministic io.* fault injection, the disk watchdog, and the
+// orphan sweeper (docs/FAULT_TOLERANCE.md, "Storage fault injection").
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/exec/fault_injector.h"
+#include "src/exec/spill_file.h"
+#include "src/obs/event_bus.h"
+
+namespace rumble {
+namespace {
+
+using exec::FaultInjector;
+using exec::FaultSpec;
+using exec::SpillFile;
+using exec::SpillReadStatus;
+using exec::SpillSegment;
+
+/// Restores the default watchdog policy on scope exit so one test's cap
+/// cannot leak into another (the policy is process-global).
+struct PolicyGuard {
+  ~PolicyGuard() {
+    exec::SetSpillDiskPolicy(32ull << 20, 0);
+    exec::ProbeSpillDisk();  // clears the sticky degraded flag
+  }
+};
+
+/// Overwrites one byte of the file at `path` (simulated media corruption).
+void FlipByteOnDisk(const std::string& path, std::uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  ASSERT_GE(fd, 0);
+  char byte = 0;
+  ASSERT_EQ(::pread(fd, &byte, 1, static_cast<off_t>(offset)), 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  ASSERT_EQ(::pwrite(fd, &byte, 1, static_cast<off_t>(offset)), 1);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32C and the frame format
+// ---------------------------------------------------------------------------
+
+TEST(SpillFrameTest, Crc32cKnownAnswer) {
+  // RFC 3720 check value for the Castagnoli polynomial.
+  EXPECT_EQ(exec::Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(exec::Crc32c(""), 0u);
+  EXPECT_NE(exec::Crc32c("abc"), exec::Crc32c("abd"));
+}
+
+TEST(SpillFrameTest, FramesRoundTripWithHeaders) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  std::vector<std::pair<SpillSegment, std::string>> frames;
+  for (int i = 0; i < 16; ++i) {
+    std::string blob(static_cast<std::size_t>(i * 131 + 1),
+                     static_cast<char>('a' + i));
+    frames.emplace_back(file.Append(blob, static_cast<std::uint64_t>(i)),
+                        blob);
+  }
+  std::uint64_t payload = 0;
+  for (auto& [seg, blob] : frames) {
+    std::string out;
+    EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk);
+    EXPECT_EQ(out, blob);
+    EXPECT_EQ(seg.size, blob.size()) << "segments keep counting payload bytes";
+    payload += seg.size;
+  }
+  EXPECT_EQ(file.bytes_written(),
+            payload + frames.size() * exec::kSpillFrameHeaderBytes);
+}
+
+TEST(SpillFrameTest, TruncatedFrameIsCorruptNotGarbage) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  SpillSegment seg = file.Append(std::string(4096, 'z'));
+  // Tear the tail of the payload off, as a crash mid-frame would.
+  ASSERT_EQ(::truncate(file.path().c_str(),
+                       static_cast<off_t>(seg.offset +
+                                          exec::kSpillFrameHeaderBytes + 100)),
+            0);
+  std::string out = "sentinel";
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kCorrupt);
+}
+
+TEST(SpillFrameTest, FlippedPayloadBitIsCorrupt) {
+  obs::EventBus bus;
+  SpillFile file(&bus);
+  ASSERT_TRUE(file.ok());
+  SpillSegment seg = file.Append(std::string(1000, 'q'));
+  FlipByteOnDisk(file.path(), seg.offset + exec::kSpillFrameHeaderBytes + 500);
+  std::string out;
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kCorrupt);
+  EXPECT_GT(bus.CounterValue("spill.checksum_failure"), 0);
+}
+
+TEST(SpillFrameTest, FlippedHeaderByteIsCorrupt) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  SpillSegment seg = file.Append("header-guarded");
+  FlipByteOnDisk(file.path(), seg.offset + 2);  // inside the magic
+  std::string out;
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kCorrupt);
+}
+
+TEST(SpillFrameTest, DeletedFileIsMissing) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  SpillSegment seg = file.Append("gone");
+  ASSERT_EQ(::unlink(file.path().c_str()), 0);
+  std::string out;
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kMissing);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+TEST(SpillFrameTest, ConcurrentAppendsKeepFrameIntegrity) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+  std::vector<std::vector<std::pair<SpillSegment, std::string>>> written(
+      kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&file, &written, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          std::string blob = "t" + std::to_string(t) + "-i" +
+                             std::to_string(i) + "-" +
+                             std::string(static_cast<std::size_t>(i), 'p');
+          written[static_cast<std::size_t>(t)].emplace_back(
+              file.Append(blob), std::move(blob));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  std::uint64_t total = 0;
+  for (const auto& per_thread : written) {
+    for (const auto& [seg, blob] : per_thread) {
+      std::string out;
+      EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk);
+      EXPECT_EQ(out, blob) << "interleaved appends must not overlap frames";
+      total += seg.size + exec::kSpillFrameHeaderBytes;
+    }
+  }
+  EXPECT_EQ(file.bytes_written(), total);
+}
+
+TEST(SpillFrameTest, SweepDuringActiveSpillingIsSafe) {
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  std::vector<std::pair<SpillSegment, std::string>> frames;
+  std::thread sweeper([] {
+    for (int i = 0; i < 50; ++i) exec::SweepSpillFiles();
+  });
+  for (int i = 0; i < 200; ++i) {
+    std::string blob = "live-" + std::to_string(i);
+    frames.emplace_back(file.Append(blob), blob);
+  }
+  sweeper.join();
+  for (const auto& [seg, blob] : frames) {
+    std::string out;
+    EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk)
+        << "the sweeper must never unlink a live file";
+    EXPECT_EQ(out, blob);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic io.* fault injection
+// ---------------------------------------------------------------------------
+
+TEST(SpillFaultTest, DecisionsAreDeterministicPerSeed) {
+  FaultSpec spec = FaultInjector::ParseSpec(
+      "seed=42,io.eio_write=0.3,io.eio_read=0.3,io.enospc=0.3,"
+      "io.short_write=0.3,io.corrupt=0.3");
+  FaultInjector a(spec), b(spec);
+  FaultInjector other(FaultInjector::ParseSpec(
+      "seed=43,io.eio_write=0.3,io.eio_read=0.3,io.enospc=0.3,"
+      "io.short_write=0.3,io.corrupt=0.3"));
+  int differs = 0;
+  for (std::int64_t file = 0; file < 8; ++file) {
+    for (std::int64_t op = 0; op < 64; ++op) {
+      EXPECT_EQ(a.ShouldFailSpillWrite(file, op),
+                b.ShouldFailSpillWrite(file, op));
+      EXPECT_EQ(a.ShouldFailSpillRead(file, op),
+                b.ShouldFailSpillRead(file, op));
+      EXPECT_EQ(a.ShouldEnospcSpillWrite(file, op),
+                b.ShouldEnospcSpillWrite(file, op));
+      EXPECT_EQ(a.ShouldTearSpillWrite(file, op),
+                b.ShouldTearSpillWrite(file, op));
+      EXPECT_EQ(a.ShouldCorruptSpillRead(file, op),
+                b.ShouldCorruptSpillRead(file, op));
+      differs += a.ShouldCorruptSpillRead(file, op) !=
+                 other.ShouldCorruptSpillRead(file, op);
+    }
+  }
+  EXPECT_GT(differs, 0) << "a different seed must fault different (file,op)s";
+}
+
+TEST(SpillFaultTest, ParseRejectsUnknownIoKey) {
+  EXPECT_THROW(FaultInjector::ParseSpec("io.explode=0.5"),
+               common::RumbleException);
+}
+
+TEST(SpillFaultTest, InjectedEioWriteRetriesThenSucceeds) {
+  obs::EventBus bus;
+  FaultInjector injector(
+      FaultInjector::ParseSpec("seed=11,io.eio_write=0.5"));
+  SpillFile file(&bus, &injector);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::pair<SpillSegment, std::string>> ok;
+  for (int i = 0; i < 64; ++i) {
+    std::string blob = "retry-payload-" + std::to_string(i);
+    try {
+      ok.emplace_back(file.Append(blob), blob);
+    } catch (const common::RumbleException& e) {
+      // Four consecutive injected EIOs exhaust the retry budget; the error
+      // must be the typed I/O code, never a silent empty segment.
+      EXPECT_EQ(e.code(), common::ErrorCode::kIoError);
+    }
+  }
+  EXPECT_GT(bus.CounterValue("io.fault.eio_write"), 0);
+  EXPECT_GT(bus.CounterValue("spill.retry"), 0);
+  ASSERT_FALSE(ok.empty());
+  for (const auto& [seg, blob] : ok) {
+    std::string out;
+    EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk);
+    EXPECT_EQ(out, blob) << "a retried frame must land byte-identical";
+  }
+}
+
+TEST(SpillFaultTest, TornWritesNeverSurfaceAsData) {
+  obs::EventBus bus;
+  FaultInjector injector(
+      FaultInjector::ParseSpec("seed=3,io.short_write=0.5"));
+  SpillFile file(&bus, &injector);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::pair<SpillSegment, std::string>> ok;
+  for (int i = 0; i < 64; ++i) {
+    std::string blob(777, static_cast<char>('A' + (i % 26)));
+    try {
+      ok.emplace_back(file.Append(blob), blob);
+    } catch (const common::RumbleException& e) {
+      EXPECT_EQ(e.code(), common::ErrorCode::kIoError);
+    }
+  }
+  EXPECT_GT(bus.CounterValue("io.fault.short_write"), 0);
+  for (const auto& [seg, blob] : ok) {
+    std::string out;
+    EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk)
+        << "a torn frame must be rewritten in place before Append returns";
+    EXPECT_EQ(out, blob);
+  }
+}
+
+TEST(SpillFaultTest, InjectedCorruptionIsDetectedNeverReturned) {
+  obs::EventBus bus;
+  FaultInjector injector(FaultInjector::ParseSpec("seed=5,io.corrupt=1.0"));
+  SpillFile file(&bus, &injector);
+  ASSERT_TRUE(file.ok());
+  std::string blob(512, 'k');
+  SpillSegment seg = file.Append(blob);
+  std::string out;
+  // Every read op corrupts, so all bounded retries fail verification: the
+  // caller gets a typed status, never the flipped bytes.
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kCorrupt);
+  EXPECT_GT(bus.CounterValue("io.fault.corrupt"), 0);
+  EXPECT_GT(bus.CounterValue("spill.checksum_failure"), 0);
+}
+
+TEST(SpillFaultTest, IntermittentCorruptionHealsViaRetry) {
+  obs::EventBus bus;
+  FaultInjector injector(FaultInjector::ParseSpec("seed=9,io.corrupt=0.4"));
+  SpillFile file(&bus, &injector);
+  ASSERT_TRUE(file.ok());
+  std::string blob(256, 'h');
+  SpillSegment seg = file.Append(blob);
+  int ok = 0;
+  for (int i = 0; i < 32; ++i) {
+    std::string out;
+    SpillReadStatus status = file.ReadVerified(seg, &out);
+    if (status == SpillReadStatus::kOk) {
+      ++ok;
+      EXPECT_EQ(out, blob) << "a healed read must be byte-identical";
+    } else {
+      EXPECT_EQ(status, SpillReadStatus::kCorrupt);
+    }
+  }
+  EXPECT_GT(ok, 0) << "retries must heal intermittent corruption";
+  EXPECT_GT(bus.CounterValue("io.fault.corrupt"), 0);
+}
+
+TEST(SpillFaultTest, InjectedEnospcFailsFastAndDegrades) {
+  PolicyGuard guard;
+  obs::EventBus bus;
+  FaultInjector injector(FaultInjector::ParseSpec("seed=2,io.enospc=1.0"));
+  SpillFile file(&bus, &injector);
+  ASSERT_TRUE(file.ok());
+  try {
+    (void)file.Append("no room");
+    FAIL() << "ENOSPC must throw";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kResourceExhausted);
+  }
+  EXPECT_EQ(bus.CounterValue("io.fault.enospc"), 1);
+  EXPECT_TRUE(exec::SpillDiskDegraded());
+  // A healthy probe (the real disk is fine) clears the sticky flag.
+  EXPECT_TRUE(exec::ProbeSpillDisk().healthy);
+  EXPECT_FALSE(exec::SpillDiskDegraded());
+}
+
+// ---------------------------------------------------------------------------
+// Disk watchdog
+// ---------------------------------------------------------------------------
+
+TEST(SpillWatchdogTest, MaxBytesCapDeniesLikeEnospc) {
+  PolicyGuard guard;
+  exec::SetSpillDiskPolicy(0, 1024);
+  SpillFile file;
+  ASSERT_TRUE(file.ok());
+  (void)file.Append(std::string(100, 'a'));
+  try {
+    (void)file.Append(std::string(4096, 'b'));
+    FAIL() << "the cap must deny the spill";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kResourceExhausted);
+  }
+  EXPECT_TRUE(exec::SpillDiskDegraded());
+  // The probe is point-in-time: current usage is under the cap, so it heals
+  // the sticky flag — but a cap below what is already held stays unhealthy.
+  exec::SetSpillDiskPolicy(0, 64);
+  EXPECT_FALSE(exec::ProbeSpillDisk().healthy);
+  EXPECT_TRUE(exec::SpillDiskDegraded());
+  // Lifting the cap heals the probe and the sticky flag together.
+  exec::SetSpillDiskPolicy(0, 0);
+  EXPECT_TRUE(exec::ProbeSpillDisk().healthy);
+  EXPECT_FALSE(exec::SpillDiskDegraded());
+  std::string out;
+  SpillSegment seg = file.Append(std::string(4096, 'b'));
+  EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk);
+}
+
+TEST(SpillWatchdogTest, DiskBytesTrackLiveFrames) {
+  PolicyGuard guard;
+  std::uint64_t before = exec::SpillDiskBytes();
+  {
+    SpillFile file;
+    ASSERT_TRUE(file.ok());
+    (void)file.Append(std::string(1000, 'x'));
+    EXPECT_EQ(exec::SpillDiskBytes(),
+              before + 1000 + exec::kSpillFrameHeaderBytes);
+  }
+  EXPECT_EQ(exec::SpillDiskBytes(), before)
+      << "destruction must return the bytes";
+}
+
+// ---------------------------------------------------------------------------
+// Spill directory override
+// ---------------------------------------------------------------------------
+
+TEST(SpillDirectoryTest, OverrideValidatesAndRedirects) {
+  std::string error;
+  EXPECT_FALSE(exec::SetSpillDirectory("/nonexistent/spill/dir", &error));
+  EXPECT_FALSE(error.empty());
+
+  std::string dir = ::testing::TempDir() + "rumble-spill-dir-test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(exec::SetSpillDirectory(dir, &error)) << error;
+  EXPECT_EQ(exec::SpillDirectory(), dir);
+  {
+    SpillFile file;
+    ASSERT_TRUE(file.ok());
+    EXPECT_EQ(file.path().rfind(dir, 0), 0u)
+        << "new spill files must land in the override";
+    SpillSegment seg = file.Append("redirected");
+    std::string out;
+    EXPECT_EQ(file.ReadVerified(seg, &out), SpillReadStatus::kOk);
+    EXPECT_EQ(out, "redirected");
+  }
+  ASSERT_TRUE(exec::SetSpillDirectory("", &error));
+  EXPECT_NE(exec::SpillDirectory(), dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SpillDirectoryTest, RejectsPlainFile) {
+  std::string path = ::testing::TempDir() + "rumble-not-a-dir";
+  FILE* out = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(out, nullptr);
+  std::fclose(out);
+  std::string error;
+  EXPECT_FALSE(exec::SetSpillDirectory(path, &error));
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Orphan sweep
+// ---------------------------------------------------------------------------
+
+TEST(SpillOrphanTest, ReclaimsDeadPidFilesOnly) {
+  // A forked child that exits immediately yields a pid that is guaranteed
+  // dead (and reaped, so kill(pid, 0) reports ESRCH).
+  pid_t dead = ::fork();
+  ASSERT_GE(dead, 0);
+  if (dead == 0) ::_exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(dead, &wstatus, 0), dead);
+
+  std::string dir = exec::SpillDirectory();
+  std::string orphan =
+      dir + "/rumble-spill-" + std::to_string(dead) + "-0.bin";
+  std::string mine = dir + "/rumble-spill-" + std::to_string(::getpid()) +
+                     "-999999.bin";
+  for (const std::string& path : {orphan, mine}) {
+    FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fputs("stale", out);
+    std::fclose(out);
+  }
+
+  EXPECT_GE(exec::SweepOrphanSpillFiles(), 1);
+  EXPECT_FALSE(std::filesystem::exists(orphan))
+      << "the dead process's file must be reclaimed";
+  EXPECT_TRUE(std::filesystem::exists(mine))
+      << "the orphan sweep must never touch this process's files";
+  EXPECT_EQ(::unlink(mine.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace rumble

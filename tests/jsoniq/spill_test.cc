@@ -136,5 +136,59 @@ TEST(JsoniqSpillTest, CancelledSpillingQueryLeavesNoSpillFiles) {
   EXPECT_EQ(again.value(), "5050\n");
 }
 
+// ---------------------------------------------------------------------------
+// Storage fault injection at the engine boundary
+// (docs/FAULT_TOLERANCE.md, "Storage fault injection")
+// ---------------------------------------------------------------------------
+
+// Non-destructive io faults (transient EIO, intermittent corruption) must be
+// invisible in the result: retries and checksum-verified re-reads heal them.
+TEST(JsoniqSpillTest, ByteIdenticalUnderNonDestructiveIoFaults) {
+  std::string clean =
+      RunLimited(kGroupSortQuery, 0, FlworBackend::kDataFrame, false);
+  ASSERT_FALSE(clean.empty());
+
+  RumbleConfig config = Config(64 * 1024, FlworBackend::kDataFrame);
+  config.fault_spec = "seed=17,io.eio_write=0.2,io.eio_read=0.2,io.corrupt=0.2";
+  Rumble engine(config);
+  auto result = engine.RunToJson(kGroupSortQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value(), clean);
+  EXPECT_GT(Counter(&engine, "io.fault.eio_write") +
+                Counter(&engine, "io.fault.eio_read") +
+                Counter(&engine, "io.fault.corrupt"),
+            0)
+      << "the spec never fired — the run proved nothing";
+  EXPECT_EQ(engine.engine()->spark->memory_manager().reserved_bytes(), 0u);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+// Satellite regression: a failed Append must surface as a typed error — the
+// legacy behavior returned an empty segment and could truncate the result.
+TEST(JsoniqSpillTest, FullDiskFailsTypedNeverTruncated) {
+  RumbleConfig config = Config(64 * 1024, FlworBackend::kDataFrame);
+  config.fault_spec = "seed=1,io.enospc=1.0";
+  Rumble engine(config);
+  auto result = engine.RunToJson(kGroupSortQuery);
+  ASSERT_FALSE(result.ok())
+      << "a spill-forced query on a full disk must fail, not succeed "
+         "with a truncated result";
+  EXPECT_EQ(result.status().code(), common::ErrorCode::kResourceExhausted);
+  EXPECT_GT(Counter(&engine, "io.fault.enospc"), 0);
+  EXPECT_EQ(engine.engine()->spark->memory_manager().reserved_bytes(), 0u)
+      << "a denied spill leaked reservations";
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "a denied spill leaked files";
+  EXPECT_TRUE(exec::SpillDiskDegraded())
+      << "ENOSPC must trip the disk watchdog's degraded flag";
+  ASSERT_TRUE(exec::ProbeSpillDisk().healthy);  // the real disk is fine
+  EXPECT_FALSE(exec::SpillDiskDegraded());
+
+  // The engine survives: once the "disk" recovers the same query succeeds.
+  config.fault_spec.clear();
+  Rumble healthy(config);
+  auto again = healthy.RunToJson(kGroupSortQuery);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
 }  // namespace
 }  // namespace rumble

@@ -377,6 +377,46 @@ TEST_F(HttpRobustnessTest, HealthzIsAlwaysOkAndReadyzFlipsWhileDraining) {
             std::string::npos);
 }
 
+// A degraded spill disk takes the instance out of rotation (/readyz reports
+// "disk"), sheds new queries with a typed 503, and restores service by
+// itself once the disk recovers — no restart (docs/MEMORY.md, watchdog).
+TEST_F(HttpRobustnessTest, DegradedSpillDiskShedsQueriesAndReadyzReportsDisk) {
+  struct PolicyGuard {
+    ~PolicyGuard() {
+      exec::SetSpillDiskPolicy(32ull << 20, 0);
+      exec::ProbeSpillDisk();  // clear the sticky flag against a sane policy
+    }
+  } guard;
+  StartServer();
+
+  // Unsatisfiable free-space headroom: a fresh probe reports unhealthy, so
+  // readiness flips even before any query touches the disk.
+  exec::SetSpillDiskPolicy(std::uint64_t{1} << 62, 0);
+  std::string not_ready = HttpExchange(port_, "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(not_ready.find("503"), std::string::npos) << not_ready;
+  EXPECT_NE(not_ready.find("disk"), std::string::npos) << not_ready;
+
+  // A watchdog denial latches the sticky degraded flag; with the probe still
+  // unhealthy, arrivals are shed with the resource-exhausted token before
+  // they can start work that would only fail at its first spill.
+  exec::SpillFile victim(&engine_->event_bus(), nullptr);
+  EXPECT_THROW(victim.Append("payload", 1), common::RumbleException);
+  ASSERT_TRUE(exec::SpillDiskDegraded());
+  std::string shed = PostQuery(port_, "t", "1 + 1");
+  EXPECT_NE(shed.find("503"), std::string::npos) << shed;
+  EXPECT_NE(shed.find("RBRE0001"), std::string::npos) << shed;
+  EXPECT_NE(shed.find("Retry-After"), std::string::npos) << shed;
+  EXPECT_GE(Counter("serving.shed.disk"), 1);
+
+  // Disk recovers: the next healthy probe clears the flag, readiness returns
+  // to 200, and queries flow again.
+  exec::SetSpillDiskPolicy(32ull << 20, 0);
+  std::string ready = HttpExchange(port_, "GET /readyz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ready.find("200 OK"), std::string::npos) << ready;
+  EXPECT_FALSE(exec::SpillDiskDegraded());
+  EXPECT_EQ(DechunkedBody(PostQuery(port_, "t", "1 + 1")), "2\n");
+}
+
 // Graceful drain with an in-flight streamed query: the straggler is cancelled
 // through its own token at the drain deadline, its stream ends with the
 // trailing error line, and nothing leaks.

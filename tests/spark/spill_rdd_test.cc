@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/error.h"
 #include "src/exec/spill_file.h"
 #include "src/spark/context.h"
 #include "src/spark/spill_codec.h"
@@ -229,6 +230,125 @@ TEST(SpillRddTest, ChainedBreakersStayByteIdentical) {
   auto limited = run(12 * 1024);
   EXPECT_EQ(limited, unlimited);
   EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Storage fault injection: end-to-end recovery (docs/FAULT_TOLERANCE.md,
+// "Storage fault injection" recovery matrix)
+// ---------------------------------------------------------------------------
+
+common::RumbleConfig FaultConfig(std::uint64_t memory_limit,
+                                 const std::string& fault_spec) {
+  common::RumbleConfig config = Config(memory_limit);
+  config.fault_spec = fault_spec;
+  return config;
+}
+
+TEST(SpillFaultRecoveryTest, CorruptCacheFramesRecoverFromLineage) {
+  // Every spilled-cache read-back sees a flipped bit, so every restore must
+  // detect the corruption and fall back to lineage recomputation — and the
+  // answer must still be right.
+  Context context(FaultConfig(8 * 1024, "seed=7,io.corrupt=1.0"));
+  auto computes = std::make_shared<std::atomic<int>>(0);
+  auto cached = context.Parallelize(std::vector<int>(40'000, 1), 8)
+                    .Map([computes](const int& x) {
+                      computes->fetch_add(1, std::memory_order_relaxed);
+                      return x + 1;
+                    })
+                    .Cache();
+  EXPECT_EQ(cached.Count(), 40'000u);
+  int after_first = computes->load();
+  ASSERT_GT(Counter(&context, "rdd.cache.evicted"), 0);
+
+  EXPECT_EQ(cached.Count(), 40'000u);
+  EXPECT_GT(computes->load(), after_first)
+      << "corrupt frames must force recomputation, not be returned as data";
+  EXPECT_GT(Counter(&context, "io.fault.corrupt"), 0);
+  EXPECT_GT(Counter(&context, "spill.checksum_failure"), 0);
+  EXPECT_GT(Counter(&context, "partition.recomputed"), 0);
+}
+
+TEST(SpillFaultRecoveryTest, CorruptShuffleFramesRecomputeMapOutputs) {
+  // Intermittent corruption on shuffle map-output read-back: the reduce task
+  // fails transiently, invalidated map outputs are recomputed exactly once
+  // per repair round, and the grouped result matches the unfaulted run.
+  std::int64_t unused = 0;
+  auto expected = RunGroupBy(16 * 1024, &unused);
+
+  Context context(FaultConfig(16 * 1024, "seed=13,io.corrupt=0.3"));
+  std::vector<int> values(20'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int>(i);
+  }
+  std::vector<std::pair<int, std::vector<int>>> result;
+  {
+    auto grouped = context.Parallelize(values, 8).GroupBy<int>(
+        [](const int& x) { return x % 53; }, std::hash<int>{},
+        std::equal_to<int>{}, 8);
+    result = grouped.Collect();
+  }
+  EXPECT_EQ(result, expected) << "recovery must be byte-identical";
+  EXPECT_GT(Counter(&context, "io.fault.corrupt"), 0)
+      << "the spec must actually have faulted some reads";
+  if (Counter(&context, "spill.checksum_failure") > 0) {
+    EXPECT_GT(Counter(&context, "shuffle.map_invalidated"), 0)
+        << "a detected corrupt frame must invalidate its map output";
+  }
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+TEST(SpillFaultRecoveryTest, ExternalSortSurvivesIntermittentIoFaults) {
+  std::int64_t unused = 0;
+  auto expected = RunSort(16 * 1024, &unused);
+
+  Context context(FaultConfig(
+      16 * 1024, "seed=21,io.eio_write=0.2,io.eio_read=0.2,io.corrupt=0.2"));
+  std::vector<std::pair<int, int>> values;
+  values.reserve(30'000);
+  for (int i = 0; i < 30'000; ++i) {
+    values.emplace_back((i * 7919) % 101, i);
+  }
+  {
+    auto sorted = context.Parallelize(values, 8).SortBy(
+        [](const std::pair<int, int>& a, const std::pair<int, int>& b) {
+          return a.first < b.first;
+        });
+    EXPECT_EQ(sorted.Collect(), expected);
+  }
+  EXPECT_GT(Counter(&context, "io.fault.eio_write") +
+                Counter(&context, "io.fault.eio_read") +
+                Counter(&context, "io.fault.corrupt"),
+            0);
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u);
+  EXPECT_EQ(exec::CountSpillFiles(), 0);
+}
+
+TEST(SpillFaultRecoveryTest, EnospcFailsTypedWithNothingLeaked) {
+  // A full disk (injected ENOSPC on every spill write) must surface as the
+  // machine-readable kResourceExhausted — never a truncated result — and
+  // leave zero spill files and zero reserved bytes behind.
+  Context context(FaultConfig(16 * 1024, "seed=1,io.enospc=1.0"));
+  std::vector<int> values(20'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int>(i);
+  }
+  try {
+    auto grouped = context.Parallelize(values, 8).GroupBy<int>(
+        [](const int& x) { return x % 53; }, std::hash<int>{},
+        std::equal_to<int>{}, 8);
+    (void)grouped.Collect();
+    FAIL() << "a query that must spill on a full disk cannot succeed";
+  } catch (const common::RumbleException& e) {
+    EXPECT_EQ(e.code(), common::ErrorCode::kResourceExhausted);
+  }
+  EXPECT_GT(Counter(&context, "io.fault.enospc"), 0);
+  EXPECT_EQ(context.memory_manager().reserved_bytes(), 0u)
+      << "a denied spill must release its reservations";
+  EXPECT_EQ(exec::CountSpillFiles(), 0) << "no spill files may leak";
+  EXPECT_TRUE(exec::SpillDiskDegraded());
+  ASSERT_TRUE(exec::ProbeSpillDisk().healthy);  // real disk is fine: heals
+  EXPECT_FALSE(exec::SpillDiskDegraded());
 }
 
 }  // namespace
